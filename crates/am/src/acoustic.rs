@@ -1,0 +1,449 @@
+//! Synthetic acoustic scoring.
+//!
+//! Stands in for the GMM / DNN / LSTM acoustic front-ends of the paper.
+//! The decoder only ever sees a *cost vector per frame* (the "Acoustic
+//! Likelihood Buffer" the GPU fills in the paper's integration, §5.2),
+//! so a generator that produces per-frame costs biased toward the
+//! ground-truth PDF exercises exactly the same search behavior as a real
+//! neural network — with the advantage that the signal-to-noise ratio,
+//! and therefore the word error rate, is a controlled parameter.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use unfold_lm::WordId;
+
+use crate::graph::{HmmTopology, PdfId};
+use crate::lexicon::Lexicon;
+
+/// Duration of one frame in seconds (the standard 10 ms hop).
+pub const FRAME_SECONDS: f64 = 0.01;
+
+/// Per-frame acoustic costs for all PDFs.
+#[derive(Debug, Clone)]
+pub struct AcousticScores {
+    costs: Vec<f32>,
+    num_pdfs: usize,
+}
+
+impl AcousticScores {
+    /// Creates a score matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `num_pdfs`.
+    pub fn from_flat(costs: Vec<f32>, num_pdfs: usize) -> Self {
+        assert!(num_pdfs > 0, "from_flat: num_pdfs must be positive");
+        assert_eq!(costs.len() % num_pdfs, 0, "from_flat: ragged buffer");
+        AcousticScores { costs, num_pdfs }
+    }
+
+    /// Number of frames.
+    pub fn num_frames(&self) -> usize {
+        self.costs.len() / self.num_pdfs
+    }
+
+    /// Number of PDFs per frame.
+    pub fn num_pdfs(&self) -> usize {
+        self.num_pdfs
+    }
+
+    /// Acoustic cost of `pdf` at `frame` (PDF ids are 1-based).
+    ///
+    /// # Panics
+    /// Panics if `frame` or `pdf` is out of range.
+    #[inline]
+    pub fn cost(&self, frame: usize, pdf: PdfId) -> f32 {
+        assert!(pdf >= 1 && (pdf as usize) <= self.num_pdfs, "cost: bad pdf {pdf}");
+        self.costs[frame * self.num_pdfs + (pdf as usize - 1)]
+    }
+
+    /// The cost row of one frame (indexed by `pdf - 1`).
+    ///
+    /// # Panics
+    /// Panics if `frame` is out of range.
+    #[inline]
+    pub fn frame(&self, frame: usize) -> &[f32] {
+        &self.costs[frame * self.num_pdfs..(frame + 1) * self.num_pdfs]
+    }
+
+    /// Size of the buffer in bytes (4 bytes per score).
+    pub fn bytes(&self) -> u64 {
+        self.costs.len() as u64 * 4
+    }
+}
+
+/// Controls how cleanly the synthetic scores separate the true PDF from
+/// the rest. `noise_sigma` is the WER knob: 0 gives an oracle; beyond
+/// ~1.5 the decoder starts making natural-looking substitutions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Mean cost assigned to the ground-truth PDF.
+    pub true_cost: f32,
+    /// Mean cost assigned to unrelated PDFs.
+    pub wrong_cost: f32,
+    /// Mean cost assigned to "confusable" PDFs (acoustic neighbours).
+    pub confusable_cost: f32,
+    /// Gaussian perturbation applied to every cost.
+    pub noise_sigma: f32,
+    /// Probability that a whole phoneme-state segment is "misheard":
+    /// one confusable PDF swaps costs with the truth for the entire
+    /// dwell. Per-frame noise averages out over multi-frame states, so
+    /// this segment-correlated corruption perturbs path costs without
+    /// necessarily changing the winner.
+    pub confusion_prob: f32,
+    /// Probability that a whole word is "mispronounced": its frames are
+    /// synthesized from a *different* word's pronunciation while the
+    /// ground truth keeps the intended word. This is what actually
+    /// produces substitution errors (a competing lexicon path must
+    /// exist for the decoder to take it) — the knob behind Table 6's
+    /// WER targets.
+    pub word_confusion_prob: f32,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel {
+            true_cost: 0.3,
+            wrong_cost: 5.0,
+            confusable_cost: 2.0,
+            noise_sigma: 0.9,
+            confusion_prob: 0.02,
+            word_confusion_prob: 0.02,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// A near-oracle model (useful for correctness tests).
+    pub fn clean() -> Self {
+        NoiseModel {
+            noise_sigma: 0.05,
+            confusion_prob: 0.0,
+            word_confusion_prob: 0.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// A synthesized utterance: ground truth plus its acoustic scores.
+#[derive(Debug, Clone)]
+pub struct Utterance {
+    /// Ground-truth word sequence.
+    pub words: Vec<WordId>,
+    /// Ground-truth PDF per frame.
+    pub alignment: Vec<PdfId>,
+    /// Acoustic costs per frame per PDF.
+    pub scores: AcousticScores,
+}
+
+impl Utterance {
+    /// Audio length in seconds implied by the frame count.
+    pub fn audio_seconds(&self) -> f64 {
+        self.scores.num_frames() as f64 * FRAME_SECONDS
+    }
+}
+
+/// Samples a duration of 1–4 frames with mean ≈ 2 (how long a speaker
+/// dwells in one HMM state).
+fn sample_duration(rng: &mut SmallRng) -> usize {
+    let mut d = 1;
+    while d < 4 && rng.gen::<f32>() < 0.45 {
+        d += 1;
+    }
+    d
+}
+
+/// Standard-normal draw (Box–Muller).
+fn gauss(rng: &mut SmallRng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-7..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * core::f32::consts::PI * u2).cos()
+}
+
+/// Synthesizes an utterance for `words`: expands pronunciations into a
+/// frame-level PDF alignment under `topology`, then generates a score
+/// matrix around that alignment under `noise`.
+///
+/// Confusable PDFs are the numeric neighbours of the true PDF (a fixed,
+/// deterministic confusion structure standing in for acoustically
+/// similar senones).
+///
+/// # Panics
+/// Panics if `words` is empty or contains out-of-vocabulary ids.
+pub fn synthesize_utterance(
+    words: &[WordId],
+    lexicon: &Lexicon,
+    topology: HmmTopology,
+    noise: &NoiseModel,
+    seed: u64,
+) -> Utterance {
+    assert!(!words.is_empty(), "synthesize_utterance: empty word sequence");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let num_pdfs = topology.num_pdfs(lexicon.num_phonemes());
+
+    // --- Alignment (tracking state-dwell segments). ---
+    let mut alignment: Vec<PdfId> = Vec::new();
+    let mut segments: Vec<(usize, usize, PdfId)> = Vec::new();
+    for &w in words {
+        // Word-level confusion: the speaker "says" a different word.
+        let spoken = if rng.gen::<f32>() < noise.word_confusion_prob && lexicon.vocab_size() > 1 {
+            let mut alt = rng.gen_range(1..=lexicon.vocab_size() as WordId);
+            if alt == w {
+                alt = if alt == lexicon.vocab_size() as WordId { 1 } else { alt + 1 };
+            }
+            alt
+        } else {
+            w
+        };
+        for &ph in lexicon.pronunciation(spoken) {
+            for pdf in topology.pdfs(ph) {
+                let start = alignment.len();
+                for _ in 0..sample_duration(&mut rng) {
+                    alignment.push(pdf);
+                }
+                segments.push((start, alignment.len(), pdf));
+            }
+        }
+        // CTC: optional blank frames at word boundaries.
+        if let Some(blank) = topology.blank_pdf(lexicon.num_phonemes()) {
+            if rng.gen::<f32>() < 0.4 {
+                for _ in 0..rng.gen_range(1..=2) {
+                    alignment.push(blank);
+                }
+            }
+        }
+    }
+
+    // --- Segment-level confusions: a misheard phoneme state swaps
+    // cost roles with one of its acoustic neighbours for its whole
+    // dwell. `confused[t]` holds the PDF that sounds like the truth at
+    // frame `t` (equal to the true PDF when the segment is clean). ---
+    let mut confused: Vec<PdfId> = alignment.clone();
+    for &(start, end, pdf) in &segments {
+        if rng.gen::<f32>() < noise.confusion_prob {
+            let lo = pdf.saturating_sub(2).max(1);
+            let hi = (pdf + 2).min(num_pdfs as PdfId);
+            let mut alt = rng.gen_range(lo..=hi);
+            if alt == pdf {
+                alt = if pdf > lo { pdf - 1 } else { hi };
+            }
+            if alt != pdf {
+                for slot in &mut confused[start..end] {
+                    *slot = alt;
+                }
+            }
+        }
+    }
+
+    // --- Scores. ---
+    let mut costs = vec![0.0f32; alignment.len() * num_pdfs];
+    for (t, (&true_pdf, &heard_pdf)) in alignment.iter().zip(&confused).enumerate() {
+        let row = &mut costs[t * num_pdfs..(t + 1) * num_pdfs];
+        for (i, c) in row.iter_mut().enumerate() {
+            let pdf = i as PdfId + 1;
+            // The "heard" PDF takes the cheap slot; if the segment is
+            // confused, the true PDF is demoted to confusable cost.
+            let mean = if pdf == heard_pdf {
+                noise.true_cost
+            } else if pdf == true_pdf {
+                noise.confusable_cost
+            } else if i64::from(pdf).abs_diff(i64::from(heard_pdf)) <= 2 {
+                noise.confusable_cost
+            } else {
+                noise.wrong_cost
+            };
+            *c = (mean + noise.noise_sigma * gauss(&mut rng)).max(0.01);
+        }
+    }
+
+    Utterance {
+        words: words.to_vec(),
+        alignment,
+        scores: AcousticScores::from_flat(costs, num_pdfs),
+    }
+}
+
+/// Analytic descriptor of an acoustic-scoring backend (the GMM / DNN /
+/// LSTM whose execution the paper leaves on the GPU). Parameter counts
+/// and per-frame FLOPs drive the Figure 1/2/12/13 experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcousticBackend {
+    /// Gaussian mixture model: `num_pdfs` senones × `mixtures` diagonal
+    /// Gaussians over `feat_dim` features.
+    Gmm {
+        /// Number of senones.
+        num_pdfs: usize,
+        /// Gaussians per senone.
+        mixtures: usize,
+        /// Feature dimensionality.
+        feat_dim: usize,
+    },
+    /// Feed-forward DNN with the given layer widths (input first).
+    Dnn {
+        /// Layer widths, e.g. `[440, 2048, 2048, 2048, 2048, 8000]`.
+        layer_widths: [usize; 6],
+    },
+    /// Bidirectional LSTM stack (EESEN-style).
+    Lstm {
+        /// Input feature size.
+        input: usize,
+        /// Hidden units per direction.
+        hidden: usize,
+        /// Stacked layers.
+        layers: usize,
+    },
+}
+
+impl AcousticBackend {
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> u64 {
+        match *self {
+            AcousticBackend::Gmm { num_pdfs, mixtures, feat_dim } => {
+                // mean + variance per dim, plus a mixture weight.
+                (num_pdfs * mixtures * (2 * feat_dim + 1)) as u64
+            }
+            AcousticBackend::Dnn { layer_widths } => layer_widths
+                .windows(2)
+                .map(|w| (w[0] * w[1] + w[1]) as u64)
+                .sum(),
+            AcousticBackend::Lstm { input, hidden, layers } => {
+                // 4 gates, bidirectional: 2 directions per layer.
+                let l1 = 2u64 * 4 * ((input * hidden + hidden * hidden + hidden) as u64);
+                let ln = 2u64 * 4 * ((2 * hidden * hidden + hidden * hidden + hidden) as u64);
+                l1 + ln * (layers as u64 - 1)
+            }
+        }
+    }
+
+    /// Model size in bytes (32-bit parameters).
+    pub fn bytes(&self) -> u64 {
+        self.num_params() * 4
+    }
+
+    /// Arithmetic operations needed to score one frame.
+    pub fn flops_per_frame(&self) -> u64 {
+        match *self {
+            AcousticBackend::Gmm { .. } => 2 * self.num_params(),
+            AcousticBackend::Dnn { .. } => 2 * self.num_params(),
+            AcousticBackend::Lstm { .. } => 2 * self.num_params(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn setup() -> Lexicon {
+        Lexicon::generate(100, 30, 17)
+    }
+
+    #[test]
+    fn alignment_matches_pronunciations_cleanly() {
+        let lex = setup();
+        let utt = synthesize_utterance(&[3, 7], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 1);
+        // Dedup consecutive frames -> PDF sequence must equal the
+        // concatenated per-phoneme PDFs.
+        let mut dedup: Vec<PdfId> = Vec::new();
+        for &p in &utt.alignment {
+            if dedup.last() != Some(&p) {
+                dedup.push(p);
+            }
+        }
+        let want: Vec<PdfId> = [3u32, 7]
+            .iter()
+            .flat_map(|&w| lex.pronunciation(w).iter().flat_map(|&ph| HmmTopology::Kaldi3State.pdfs(ph)))
+            .collect();
+        assert_eq!(dedup, want);
+    }
+
+    #[test]
+    fn clean_scores_favor_truth() {
+        let lex = setup();
+        let utt = synthesize_utterance(&[1, 2, 3], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 2);
+        for (t, &true_pdf) in utt.alignment.iter().enumerate() {
+            let true_cost = utt.scores.cost(t, true_pdf);
+            for pdf in 1..=utt.scores.num_pdfs() as PdfId {
+                if pdf != true_pdf {
+                    assert!(
+                        utt.scores.cost(t, pdf) > true_cost,
+                        "frame {t}: pdf {pdf} beats truth"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn audio_seconds_uses_10ms_frames() {
+        let lex = setup();
+        let utt = synthesize_utterance(&[1], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 3);
+        let s = utt.audio_seconds();
+        assert!((s - utt.alignment.len() as f64 * 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let lex = setup();
+        let a = synthesize_utterance(&[5, 6], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 9);
+        let b = synthesize_utterance(&[5, 6], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 9);
+        assert_eq!(a.alignment, b.alignment);
+        assert_eq!(a.scores.cost(0, 1), b.scores.cost(0, 1));
+    }
+
+    #[test]
+    fn ctc_inserts_blank_frames_sometimes() {
+        let lex = setup();
+        let blank = HmmTopology::Ctc.blank_pdf(30).unwrap();
+        let mut any_blank = false;
+        for seed in 0..20 {
+            let utt = synthesize_utterance(&[1, 2, 3, 4], &lex, HmmTopology::Ctc, &NoiseModel::clean(), seed);
+            any_blank |= utt.alignment.contains(&blank);
+        }
+        assert!(any_blank, "no blank frames in 20 utterances");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty word sequence")]
+    fn empty_words_panics() {
+        let lex = setup();
+        let _ = synthesize_utterance(&[], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 0);
+    }
+
+    #[test]
+    fn backend_sizes_are_plausible() {
+        // Constants chosen so the synthetic backends land in the paper's
+        // Figure 2 ballpark (tens to ~150 MB).
+        let gmm = AcousticBackend::Gmm { num_pdfs: 4_000, mixtures: 32, feat_dim: 40 };
+        let dnn = AcousticBackend::Dnn { layer_widths: [440, 2048, 2048, 2048, 2048, 8000] };
+        let lstm = AcousticBackend::Lstm { input: 120, hidden: 320, layers: 5 };
+        assert!(gmm.bytes() > 10 << 20 && gmm.bytes() < 100 << 20);
+        assert!(dnn.bytes() > 30 << 20 && dnn.bytes() < 200 << 20);
+        assert!(lstm.bytes() > 2 << 20 && lstm.bytes() < 100 << 20);
+        for b in [gmm, dnn, lstm] {
+            assert!(b.flops_per_frame() >= b.num_params());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn scores_bounded_below(seed in 0u64..30, w1 in 1u32..100, w2 in 1u32..100) {
+            let lex = setup();
+            let utt = synthesize_utterance(&[w1, w2], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), seed);
+            for t in 0..utt.scores.num_frames() {
+                for pdf in 1..=utt.scores.num_pdfs() as PdfId {
+                    prop_assert!(utt.scores.cost(t, pdf) >= 0.01);
+                }
+            }
+        }
+
+        #[test]
+        fn frames_at_least_states(seed in 0u64..20, w in 1u32..100) {
+            let lex = setup();
+            let utt = synthesize_utterance(&[w], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), seed);
+            let min_frames = lex.pronunciation(w).len() * 3;
+            prop_assert!(utt.alignment.len() >= min_frames);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! AM WFST construction (the paper's Figure 3a, at scale).
+//!
+//! The acoustic model is a lexicon prefix tree whose edges are expanded
+//! into per-phoneme HMM state chains. Input labels are PDF (senone) ids
+//! indexing the acoustic score vectors; output labels are epsilon except
+//! on the word-ending arcs that loop back to the root — the "cross-word
+//! transitions" that trigger LM transitions during decoding.
+//!
+//! States are allocated in DFS order over the prefix tree, which makes
+//! most arcs point at the same state (self-loops) or the next state —
+//! the locality the paper's Figure 5 compression exploits ("most of the
+//! arcs ... point to the previous, the same or the next state").
+
+use std::collections::HashMap;
+
+use unfold_lm::WordId;
+use unfold_wfst::{Arc, StateId, Wfst, WfstBuilder, EPSILON};
+
+use crate::lexicon::{Lexicon, PhonemeId};
+
+/// PDF (probability density function / senone) identifier: the index of
+/// an entry in a frame's acoustic score vector. `1`-based; `0` would
+/// collide with the epsilon label.
+pub type PdfId = u32;
+
+/// HMM topology used to expand a phoneme into states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HmmTopology {
+    /// Kaldi-style 3-emitting-state left-to-right HMM per phoneme
+    /// (self-loop + advance on each state). Used by the Kaldi tasks.
+    Kaldi3State,
+    /// EESEN/CTC-style single-state-per-phoneme topology with a shared
+    /// blank PDF self-loop at the root. Used by the EESEN task.
+    Ctc,
+}
+
+impl HmmTopology {
+    /// Emitting states (and PDFs) per phoneme.
+    pub fn states_per_phoneme(self) -> usize {
+        match self {
+            HmmTopology::Kaldi3State => 3,
+            HmmTopology::Ctc => 1,
+        }
+    }
+
+    /// Total number of PDFs for an inventory of `num_phonemes`.
+    pub fn num_pdfs(self, num_phonemes: usize) -> usize {
+        match self {
+            HmmTopology::Kaldi3State => num_phonemes * 3,
+            HmmTopology::Ctc => num_phonemes + 1, // + blank
+        }
+    }
+
+    /// The PDF ids of `phoneme`, in emission order.
+    pub fn pdfs(self, phoneme: PhonemeId) -> Vec<PdfId> {
+        match self {
+            HmmTopology::Kaldi3State => {
+                let base = u32::from(phoneme) * 3 + 1;
+                vec![base, base + 1, base + 2]
+            }
+            HmmTopology::Ctc => vec![u32::from(phoneme) + 1],
+        }
+    }
+
+    /// The blank PDF (CTC only).
+    pub fn blank_pdf(self, num_phonemes: usize) -> Option<PdfId> {
+        match self {
+            HmmTopology::Kaldi3State => None,
+            HmmTopology::Ctc => Some(num_phonemes as PdfId + 1),
+        }
+    }
+}
+
+/// Negative log of the HMM self-loop probability (0.5 / 0.5 split).
+const SELF_LOOP_COST: f32 = core::f32::consts::LN_2;
+/// Negative log of the HMM advance probability.
+const ADVANCE_COST: f32 = core::f32::consts::LN_2;
+
+/// An AM WFST plus the metadata the decoder and score generator need.
+#[derive(Debug, Clone)]
+pub struct AmGraph {
+    /// The transducer (PDF ids in, word ids out).
+    pub fst: Wfst,
+    /// Number of PDFs (length of each frame's score vector, 1-based ids).
+    pub num_pdfs: usize,
+    /// Topology used to build the graph.
+    pub topology: HmmTopology,
+    /// Number of phonemes in the inventory.
+    pub num_phonemes: usize,
+}
+
+/// Builds the AM WFST for `lexicon` under `topology`.
+///
+/// The root (state 0) is both the start state and the only final state:
+/// decoding starts there and every recognized word returns there via a
+/// cross-word arc, exactly like Figure 3a.
+pub fn build_am(lexicon: &Lexicon, topology: HmmTopology) -> AmGraph {
+    // --- Phase 1: lexicon prefix tree. ---
+    // node 0 is the root; each node stores children (phoneme -> node)
+    // and the words ending there.
+    struct TrieNode {
+        children: HashMap<PhonemeId, usize>,
+        child_order: Vec<PhonemeId>,
+        words: Vec<WordId>,
+    }
+    let mut trie = vec![TrieNode {
+        children: HashMap::new(),
+        child_order: Vec::new(),
+        words: Vec::new(),
+    }];
+    for (word, pron) in lexicon.iter() {
+        let mut node = 0usize;
+        for &ph in pron {
+            node = match trie[node].children.get(&ph) {
+                Some(&n) => n,
+                None => {
+                    let n = trie.len();
+                    trie.push(TrieNode {
+                        children: HashMap::new(),
+                        child_order: Vec::new(),
+                        words: Vec::new(),
+                    });
+                    trie[node].children.insert(ph, n);
+                    trie[node].child_order.push(ph);
+                    n
+                }
+            };
+        }
+        trie[node].words.push(word);
+    }
+
+    // --- Phase 2: DFS expansion into HMM chains. ---
+    let mut b = WfstBuilder::new();
+    let root = b.add_state();
+    b.set_start(root);
+    b.set_final(root, 0.0);
+
+    // Word-end arcs buffered until all states exist (the builder checks
+    // destinations eagerly, and the root already exists, but buffering
+    // keeps the arc order deterministic: word ends appended last).
+    // (entry state of node, phoneme chain) recursion, iterative stack.
+    // Each stack entry: (trie node, entry state into that node).
+    let mut stack: Vec<(usize, StateId)> = vec![(0, root)];
+    let mut word_end_arcs: Vec<(StateId, WordId)> = Vec::new();
+    while let Some((node, entry)) = stack.pop() {
+        for &w in &trie[node].words {
+            word_end_arcs.push((entry, w));
+        }
+        // Reverse so the first child is processed first (stack is LIFO),
+        // keeping state ids contiguous along the first-child spine.
+        for &ph in trie[node].child_order.iter().rev() {
+            let child = trie[node].children[&ph];
+            let pdfs = topology.pdfs(ph);
+            let mut prev = entry;
+            let mut first_pdf = true;
+            for &pdf in &pdfs {
+                let s = b.add_state();
+                // Advance into the state consumes its first frame.
+                b.add_arc(prev, Arc::new(pdf, EPSILON, ADVANCE_COST, s));
+                // Self-loop re-consumes the same PDF.
+                b.add_arc(s, Arc::new(pdf, EPSILON, SELF_LOOP_COST, s));
+                prev = s;
+                first_pdf = false;
+            }
+            debug_assert!(!first_pdf, "phoneme with zero PDFs");
+            stack.push((child, prev));
+        }
+    }
+    for (state, word) in word_end_arcs {
+        b.add_arc(state, Arc::new(EPSILON, word, 0.0, root));
+    }
+    // CTC: optional blank between words, modeled as a blank self-loop on
+    // the root.
+    if let Some(blank) = topology.blank_pdf(lexicon.num_phonemes()) {
+        b.add_arc(root, Arc::new(blank, EPSILON, SELF_LOOP_COST, root));
+    }
+
+    AmGraph {
+        fst: b.build(),
+        num_pdfs: topology.num_pdfs(lexicon.num_phonemes()),
+        topology,
+        num_phonemes: lexicon.num_phonemes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unfold_wfst::FstStats;
+
+    fn lex() -> Lexicon {
+        Lexicon::generate(300, 40, 13)
+    }
+
+    #[test]
+    fn root_is_start_and_final() {
+        let am = build_am(&lex(), HmmTopology::Kaldi3State);
+        assert_eq!(am.fst.start(), 0);
+        assert_eq!(am.fst.final_weight(0), Some(0.0));
+    }
+
+    #[test]
+    fn one_cross_word_arc_per_word() {
+        let l = lex();
+        let am = build_am(&l, HmmTopology::Kaldi3State);
+        let stats = FstStats::measure(&am.fst);
+        assert_eq!(stats.cross_word_arcs, l.vocab_size());
+        // Cross-word arcs all return to the root.
+        let mut seen = std::collections::HashSet::new();
+        for s in am.fst.states() {
+            for a in am.fst.arcs(s) {
+                if a.is_cross_word() {
+                    assert_eq!(a.nextstate, am.fst.start());
+                    assert!(seen.insert(a.olabel), "word {} emitted twice", a.olabel);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_tree_shares_states() {
+        let l = lex();
+        let am = build_am(&l, HmmTopology::Kaldi3State);
+        // Without sharing, states = sum of pronunciation lengths * 3 + 1.
+        let unshared: usize =
+            l.iter().map(|(_, p)| p.len() * 3).sum::<usize>() + 1;
+        assert!(
+            am.fst.num_states() < unshared,
+            "trie should share prefixes: {} vs {}",
+            am.fst.num_states(),
+            unshared
+        );
+    }
+
+    #[test]
+    fn arcs_are_mostly_local() {
+        // The premise of the paper's 20-bit AM arc format: most arcs are
+        // self-loops or +/-1. With DFS allocation we expect a clear
+        // majority.
+        let am = build_am(&lex(), HmmTopology::Kaldi3State);
+        let stats = FstStats::measure(&am.fst);
+        assert!(
+            stats.local_arc_fraction() > 0.6,
+            "local fraction too low: {}",
+            stats.local_arc_fraction()
+        );
+    }
+
+    #[test]
+    fn pdf_ids_in_range_and_nonzero() {
+        let am = build_am(&lex(), HmmTopology::Kaldi3State);
+        for s in am.fst.states() {
+            for a in am.fst.arcs(s) {
+                if a.ilabel != EPSILON {
+                    assert!(a.ilabel as usize <= am.num_pdfs, "pdf {} too big", a.ilabel);
+                }
+            }
+        }
+        assert_eq!(am.num_pdfs, 40 * 3);
+    }
+
+    #[test]
+    fn every_state_has_selfloop_except_root() {
+        let am = build_am(&lex(), HmmTopology::Kaldi3State);
+        for s in 1..am.fst.num_states() as StateId {
+            assert!(
+                am.fst.arcs(s).iter().any(|a| a.nextstate == s),
+                "HMM state {s} lacks a self-loop"
+            );
+        }
+    }
+
+    #[test]
+    fn ctc_topology_has_blank_and_one_state_per_phoneme() {
+        let l = lex();
+        let am = build_am(&l, HmmTopology::Ctc);
+        assert_eq!(am.num_pdfs, 41);
+        // Root must have the blank self-loop.
+        let blank = HmmTopology::Ctc.blank_pdf(40).unwrap();
+        assert!(am
+            .fst
+            .arcs(0)
+            .iter()
+            .any(|a| a.ilabel == blank && a.nextstate == 0));
+        // CTC graph is about 3x smaller than Kaldi3State.
+        let kaldi = build_am(&l, HmmTopology::Kaldi3State);
+        assert!(am.fst.num_states() < kaldi.fst.num_states());
+    }
+
+    #[test]
+    fn topology_pdf_mapping() {
+        assert_eq!(HmmTopology::Kaldi3State.pdfs(0), vec![1, 2, 3]);
+        assert_eq!(HmmTopology::Kaldi3State.pdfs(2), vec![7, 8, 9]);
+        assert_eq!(HmmTopology::Ctc.pdfs(5), vec![6]);
+        assert_eq!(HmmTopology::Ctc.blank_pdf(40), Some(41));
+        assert_eq!(HmmTopology::Kaldi3State.blank_pdf(40), None);
+    }
+
+    #[test]
+    fn word_path_exists_for_each_word() {
+        // Follow each word's pronunciation through the graph greedily:
+        // from the root, consume each PDF's advance arc, then find the
+        // cross-word arc.
+        let l = Lexicon::generate(50, 20, 3);
+        let am = build_am(&l, HmmTopology::Kaldi3State);
+        for (word, pron) in l.iter() {
+            let mut s = am.fst.start();
+            for &ph in pron {
+                for pdf in HmmTopology::Kaldi3State.pdfs(ph) {
+                    let arc = am
+                        .fst
+                        .arcs(s)
+                        .iter()
+                        .find(|a| a.ilabel == pdf && a.nextstate != s)
+                        .unwrap_or_else(|| panic!("word {word}: no advance arc for pdf {pdf}"));
+                    s = arc.nextstate;
+                }
+            }
+            assert!(
+                am.fst.arcs(s).iter().any(|a| a.olabel == word),
+                "word {word}: no cross-word arc at path end"
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Synthetic pronunciation lexicon.
+//!
+//! Substitutes for the CMU-dict-style lexica inside the paper's Kaldi /
+//! EESEN recipes. Two realistic properties are kept because they shape
+//! the AM WFST topology:
+//!
+//! * frequent words have short pronunciations (Zipf's law of
+//!   abbreviation), so the busiest decoding paths are shallow;
+//! * words share prefixes, so the lexicon prefix tree compresses state
+//!   count near the root.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use unfold_lm::WordId;
+
+/// Phoneme identifier, `0..num_phonemes`.
+pub type PhonemeId = u16;
+
+/// A pronunciation lexicon: one phoneme sequence per word.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    prons: Vec<Vec<PhonemeId>>,
+    num_phonemes: usize,
+}
+
+impl Lexicon {
+    /// Generates a lexicon of `vocab_size` words over `num_phonemes`
+    /// phonemes, deterministically from `seed`.
+    ///
+    /// Word ids follow frequency rank (id 1 = most frequent), so
+    /// pronunciations grow with the word id: roughly 2–3 phonemes for
+    /// the head of the vocabulary, up to 8 for the tail — mirroring real
+    /// lexica where "a"/"the" are short and rare words are long.
+    /// Pronunciations are guaranteed unique (no homophones) so that a
+    /// word sequence maps to exactly one phoneme path.
+    ///
+    /// # Panics
+    /// Panics if `vocab_size == 0` or `num_phonemes < 4`.
+    pub fn generate(vocab_size: usize, num_phonemes: usize, seed: u64) -> Self {
+        assert!(vocab_size > 0, "generate: empty vocabulary");
+        assert!(num_phonemes >= 4, "generate: need at least 4 phonemes");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut seen = std::collections::HashSet::new();
+        let mut prons = Vec::with_capacity(vocab_size + 1);
+        prons.push(Vec::new()); // word id 0 = epsilon, unused
+        for rank in 1..=vocab_size {
+            // Target length grows logarithmically with rank.
+            let base = 2.0 + (rank as f64).ln() * 0.75;
+            let mut len = (base + rng.gen_range(-0.5..1.5)).round() as usize;
+            len = len.clamp(2, 8);
+            let pron = loop {
+                let candidate: Vec<PhonemeId> = (0..len)
+                    .map(|_| rng.gen_range(0..num_phonemes) as PhonemeId)
+                    .collect();
+                if seen.insert(candidate.clone()) {
+                    break candidate;
+                }
+                // Collision: allow the pronunciation to grow so the
+                // search always terminates even for tiny inventories.
+                len = (len + 1).min(12);
+            };
+            prons.push(pron);
+        }
+        Lexicon { prons, num_phonemes }
+    }
+
+    /// Number of words (excluding epsilon).
+    pub fn vocab_size(&self) -> usize {
+        self.prons.len() - 1
+    }
+
+    /// Number of distinct phonemes.
+    pub fn num_phonemes(&self) -> usize {
+        self.num_phonemes
+    }
+
+    /// Pronunciation of `word`.
+    ///
+    /// # Panics
+    /// Panics if `word` is 0 or out of range.
+    pub fn pronunciation(&self, word: WordId) -> &[PhonemeId] {
+        assert!(
+            word >= 1 && (word as usize) < self.prons.len(),
+            "pronunciation: bad word id {word}"
+        );
+        &self.prons[word as usize]
+    }
+
+    /// Iterates `(word_id, pronunciation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &[PhonemeId])> + '_ {
+        self.prons
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, p)| (i as WordId, p.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic() {
+        let a = Lexicon::generate(200, 40, 9);
+        let b = Lexicon::generate(200, 40, 9);
+        for w in 1..=200u32 {
+            assert_eq!(a.pronunciation(w), b.pronunciation(w));
+        }
+    }
+
+    #[test]
+    fn no_homophones() {
+        let lex = Lexicon::generate(500, 30, 1);
+        let mut seen = std::collections::HashSet::new();
+        for (_, p) in lex.iter() {
+            assert!(seen.insert(p.to_vec()), "duplicate pronunciation {p:?}");
+        }
+    }
+
+    #[test]
+    fn frequent_words_are_shorter_on_average() {
+        let lex = Lexicon::generate(2_000, 40, 5);
+        let head: f64 = (1..=100u32)
+            .map(|w| lex.pronunciation(w).len() as f64)
+            .sum::<f64>()
+            / 100.0;
+        let tail: f64 = (1_901..=2_000u32)
+            .map(|w| lex.pronunciation(w).len() as f64)
+            .sum::<f64>()
+            / 100.0;
+        assert!(head < tail, "head {head} should be shorter than tail {tail}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad word id")]
+    fn pronunciation_of_epsilon_panics() {
+        let lex = Lexicon::generate(10, 10, 0);
+        let _ = lex.pronunciation(0);
+    }
+
+    #[test]
+    fn tiny_inventory_still_unique() {
+        // 4 phonemes, 300 words: collisions are frequent and must be
+        // resolved by lengthening.
+        let lex = Lexicon::generate(300, 4, 2);
+        let mut seen = std::collections::HashSet::new();
+        for (_, p) in lex.iter() {
+            assert!(seen.insert(p.to_vec()));
+            assert!(p.len() <= 12);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn phonemes_in_range(vocab in 1usize..100, phones in 4usize..60, seed in 0u64..50) {
+            let lex = Lexicon::generate(vocab, phones, seed);
+            for (_, p) in lex.iter() {
+                prop_assert!(p.len() >= 2);
+                for &ph in p {
+                    prop_assert!((ph as usize) < phones);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Acoustic-model substrate for the UNFOLD reproduction.
+//!
+//! The paper's acoustic model (AM) side has three parts, all rebuilt here
+//! from synthetic equivalents (the real models are trained on hundreds of
+//! hours of audio we do not have):
+//!
+//! * [`lexicon`] — a pronunciation lexicon mapping every vocabulary word
+//!   to a phoneme sequence, generated deterministically so that frequent
+//!   words are short (as in natural lexica) and words share prefixes,
+//! * [`graph`] — the AM WFST of Figure 3a: a lexicon prefix tree whose
+//!   edges are expanded into HMM state chains (3-state Kaldi-style
+//!   topology or 1-state CTC/EESEN-style topology). Arcs mostly point to
+//!   the same / next state, which is exactly the locality the paper's
+//!   20-bit compressed arc format (Figure 5) banks on,
+//! * [`acoustic`] — a synthetic acoustic-score generator standing in for
+//!   the GMM/DNN/RNN: given a ground-truth word sequence it emits
+//!   per-frame cost vectors whose signal-to-noise ratio is adjustable
+//!   (which is how the reproduction controls word error rate), plus
+//!   analytic descriptors of GMM/DNN/LSTM size and per-frame FLOPs used
+//!   by the Figure 1/2/12/13 experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use unfold_am::{Lexicon, HmmTopology, build_am};
+//!
+//! let lex = Lexicon::generate(100, 40, 7);
+//! let am = build_am(&lex, HmmTopology::Kaldi3State);
+//! assert!(am.fst.num_states() > 100);
+//! // The AM root must be both start and final: decoding loops there.
+//! assert!(am.fst.final_weight(am.fst.start()).is_some());
+//! ```
+
+pub mod acoustic;
+pub mod gmm;
+pub mod graph;
+pub mod lexicon;
+
+pub use acoustic::{
+    synthesize_utterance, AcousticBackend, AcousticScores, NoiseModel, Utterance,
+};
+pub use gmm::{synthesize_utterance_gmm, GmmModel};
+pub use graph::{build_am, AmGraph, HmmTopology, PdfId};
+pub use lexicon::{Lexicon, PhonemeId};

@@ -1,0 +1,39 @@
+//! Criterion: compression/decompression throughput of the bit-packed
+//! formats and the K-means quantizer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unfold::{System, TaskSpec};
+use unfold_compress::{CompressedAm, CompressedLm, WeightQuantizer};
+
+fn bench_compression(c: &mut Criterion) {
+    let system = System::build(&TaskSpec::tiny());
+    let mut group = c.benchmark_group("compression");
+
+    group.bench_function("compress_am", |b| {
+        b.iter(|| black_box(CompressedAm::compress(&system.am.fst, 64, 0)))
+    });
+    group.bench_function("compress_lm", |b| {
+        b.iter(|| black_box(CompressedLm::compress(&system.lm_fst, 64, 0)))
+    });
+    group.bench_function("decode_am_arcs", |b| {
+        let comp = CompressedAm::compress(&system.am.fst, 64, 0);
+        b.iter(|| {
+            for s in (0..comp.num_states() as u32).step_by(3) {
+                black_box(comp.decode_arcs(s));
+            }
+        })
+    });
+    let weights: Vec<f32> = (0..20_000).map(|i| ((i * 37) % 1000) as f32 / 83.0).collect();
+    group.bench_function("kmeans_fit_64", |b| {
+        b.iter(|| black_box(WeightQuantizer::fit(&weights, 64, 0)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compression
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: decode throughput of the two decoders over compressed and
+//! uncompressed models (the software-side cost of on-the-fly
+//! composition).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use unfold::{System, TaskSpec};
+use unfold_decoder::{DecodeConfig, FullyComposedDecoder, NullSink, OtfDecoder};
+
+fn bench_decoders(c: &mut Criterion) {
+    let system = System::build(&TaskSpec::tiny());
+    let utts = system.test_utterances(2);
+    let composed = system.composed();
+    let mut group = c.benchmark_group("decode");
+
+    group.bench_function("otf_uncompressed", |b| {
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        b.iter_batched(
+            || (),
+            |_| dec.decode(&system.am.fst, &system.lm_fst, &utts[0].scores, &mut NullSink),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("otf_compressed", |b| {
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        b.iter_batched(
+            || (),
+            |_| dec.decode(&system.am_comp, &system.lm_comp, &utts[0].scores, &mut NullSink),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("fully_composed", |b| {
+        let dec = FullyComposedDecoder::new(DecodeConfig::default());
+        b.iter_batched(
+            || (),
+            |_| dec.decode(&composed, &utts[0].scores, &mut NullSink),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_decoders
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion: LM arc-location strategies (the paper's linear / binary /
+//! compressed-positional ladder) at the data-structure level.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unfold::{System, TaskSpec};
+use unfold_decoder::{LinearLm, LmSource};
+
+fn bench_lookup(c: &mut Criterion) {
+    let system = System::build(&TaskSpec::tiny());
+    let lm = &system.lm_fst;
+    let clm = &system.lm_comp;
+    let linear = LinearLm(lm);
+    let states: Vec<u32> = (0..lm.num_states() as u32).step_by(7).collect();
+    let mut group = c.benchmark_group("lm_lookup");
+
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            for &s in &states {
+                for w in (1..=80u32).step_by(11) {
+                    black_box(linear.lookup_word(black_box(s), black_box(w)).arc);
+                }
+            }
+        })
+    });
+    group.bench_function("binary", |b| {
+        b.iter(|| {
+            for &s in &states {
+                for w in (1..=80u32).step_by(11) {
+                    black_box(LmSource::lookup_word(lm, black_box(s), black_box(w)).arc);
+                }
+            }
+        })
+    });
+    group.bench_function("compressed_binary", |b| {
+        b.iter(|| {
+            for &s in &states {
+                for w in (1..=80u32).step_by(11) {
+                    black_box(LmSource::lookup_word(clm, black_box(s), black_box(w)).arc);
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_lookup
+}
+criterion_main!(benches);

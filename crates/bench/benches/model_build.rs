@@ -1,0 +1,36 @@
+//! Criterion: model-construction throughput — LM training, WFST
+//! conversion, AM building, and the offline composition the paper
+//! avoids at decode time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unfold::{build_composed_lg, TaskSpec};
+use unfold_am::{build_am, Lexicon};
+use unfold_lm::{lm_to_wfst, NGramModel};
+
+fn bench_builds(c: &mut Criterion) {
+    let spec = TaskSpec::tiny();
+    let corpus = spec.corpus_spec().generate(spec.seed);
+    let model = NGramModel::train(&corpus, spec.vocab_size, spec.discount);
+    let lexicon = Lexicon::generate(spec.vocab_size, spec.phonemes, 1);
+    let mut group = c.benchmark_group("model_build");
+
+    group.bench_function("ngram_train", |b| {
+        b.iter(|| black_box(NGramModel::train(&corpus, spec.vocab_size, spec.discount)))
+    });
+    group.bench_function("lm_to_wfst", |b| b.iter(|| black_box(lm_to_wfst(&model))));
+    group.bench_function("build_am", |b| {
+        b.iter(|| black_box(build_am(&lexicon, spec.topology)))
+    });
+    group.bench_function("offline_composition", |b| {
+        b.iter(|| black_box(build_composed_lg(&lexicon, spec.topology, &model)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_builds
+}
+criterion_main!(benches);

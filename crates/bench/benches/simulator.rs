@@ -1,0 +1,37 @@
+//! Criterion: accelerator-model overhead (events per second the sink
+//! can absorb) and cache-model throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unfold_decoder::TraceSink;
+use unfold_sim::{Accelerator, AcceleratorConfig, Cache, CacheConfig};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+
+    group.bench_function("cache_access", |b| {
+        let mut cache = Cache::new(CacheConfig::kib(256, 4, 64));
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(4297);
+            black_box(cache.access(a % (1 << 22), 16))
+        })
+    });
+    group.bench_function("accel_arc_event", |b| {
+        let mut accel = Accelerator::new(AcceleratorConfig::unfold());
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(16);
+            accel.am_arc_fetch(0x4000_0000 + (a % (1 << 20)), 16);
+            black_box(accel.cycles())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! §2's pruning trade-off: beam width vs accuracy, search effort, and
+//! accelerator speed. "Due to the large search space, pruning of the
+//! search graph is also applied to discard unlikely hypotheses."
+
+use unfold::experiments::run_unfold_configured;
+use unfold_bench::{build_all, header, row};
+use unfold_decoder::DecodeConfig;
+use unfold_sim::AcceleratorConfig;
+
+fn main() {
+    println!("# Ablation — beam width vs WER / effort / speed\n");
+    let tasks = build_all();
+    let task = &tasks[0];
+    println!("Task: {}\n", task.name());
+    header(&["Beam", "WER %", "Mean active tokens", "Tokens created", "xRT"]);
+    for beam in [2.0f32, 4.0, 6.0, 8.0, 11.0, 14.0, 18.0] {
+        let run = run_unfold_configured(
+            &task.system,
+            &task.utterances,
+            AcceleratorConfig::unfold(),
+            DecodeConfig { beam, ..Default::default() },
+        );
+        row(&[
+            format!("{beam}"),
+            format!("{:.2}", run.wer.percent()),
+            format!("{:.0}", run.stats.mean_active()),
+            run.stats.tokens_created.to_string(),
+            format!("{:.0}", run.sim.times_real_time()),
+        ]);
+    }
+    println!("\nShape: WER saturates once the beam covers the true hypothesis;");
+    println!("search effort (and decode time) keeps growing — the knee is where");
+    println!("production decoders operate.");
+}

@@ -1,0 +1,86 @@
+//! §2 / §5.1 ablation: the LM arc-location ladder.
+//!
+//! Linear search (paper: 10x slowdown) → sorted arcs + binary search
+//! (3x) → binary search + Offset Lookup Table + preemptive pruning
+//! (1.18x, the shipped design). We report simulated cycles per audio
+//! second for each strategy, normalized to the best configuration; at
+//! reproduction scale the absolute factors are smaller (LM states have
+//! ~50 arcs instead of thousands) but the ordering is the result.
+
+use unfold_bench::{build_all, header, paper, row};
+use unfold_decoder::{DecodeConfig, LinearLm, OtfDecoder};
+use unfold_sim::{Accelerator, AcceleratorConfig};
+
+fn main() {
+    println!("# Ablation — LM arc-location strategy\n");
+    let tasks = build_all();
+    let task = tasks.last().expect("a task"); // EESEN: most LM traffic
+    println!("Task: {}\n", task.name());
+    let s = &task.system;
+
+    // Scaled-machine configs (see DESIGN.md) so LM fetches actually
+    // miss, as they do at full scale.
+    const SCALE: u64 = 32;
+    let no_preempt = DecodeConfig { preemptive_pruning: false, ..Default::default() };
+    let mut no_olt = AcceleratorConfig::unfold().scaled_datasets(SCALE);
+    no_olt.offset_table_entries = None;
+
+    // Linear search, no OLT, no preemptive pruning.
+    let mut accel = Accelerator::new(no_olt);
+    let dec = OtfDecoder::new(no_preempt);
+    let mut audio = 0.0;
+    for utt in &task.utterances {
+        dec.decode(&s.am_comp, &LinearLm(&s.lm_fst), &utt.scores, &mut accel);
+        audio += utt.audio_seconds();
+    }
+    let linear_rep = accel.finish(audio);
+    let linear = linear_rep.cycles as f64;
+
+    // Binary search, no OLT, no preemptive pruning.
+    let mut accel = Accelerator::new(no_olt);
+    for utt in &task.utterances {
+        dec.decode(&s.am_comp, &s.lm_comp, &utt.scores, &mut accel);
+    }
+    let binary_rep = accel.finish(audio);
+    let binary = binary_rep.cycles as f64;
+
+    // Binary + OLT + preemptive pruning (the shipped UNFOLD).
+    let mut accel = Accelerator::new(AcceleratorConfig::unfold().scaled_datasets(SCALE));
+    let dec_full = OtfDecoder::new(DecodeConfig::default());
+    for utt in &task.utterances {
+        dec_full.decode(&s.am_comp, &s.lm_comp, &utt.scores, &mut accel);
+    }
+    let full_rep = accel.finish(audio);
+    let full = full_rep.cycles as f64;
+
+    header(&["Strategy", "Cycles (norm.)", "LM arc fetches", "Paper slowdown vs baseline"]);
+    row(&[
+        "linear search".into(),
+        format!("{:.2}", linear / full),
+        linear_rep.lm_fetches_charged.to_string(),
+        format!("{:.1}x", paper::LINEAR_SEARCH_SLOWDOWN),
+    ]);
+    row(&[
+        "binary search".into(),
+        format!("{:.2}", binary / full),
+        binary_rep.lm_fetches_charged.to_string(),
+        format!("{:.1}x", paper::BINARY_SEARCH_SLOWDOWN),
+    ]);
+    row(&[
+        "binary + OLT + preemptive pruning".into(),
+        "1.00".into(),
+        full_rep.lm_fetches_charged.to_string(),
+        format!("{:.2}x", paper::FINAL_SLOWDOWN),
+    ]);
+    assert!(linear >= binary && binary >= full, "ladder ordering must hold");
+    assert!(
+        linear_rep.lm_fetches_charged > binary_rep.lm_fetches_charged
+            && binary_rep.lm_fetches_charged > full_rep.lm_fetches_charged,
+        "fetch-count ladder must hold"
+    );
+    println!("\nOrdering preserved (cycles and fetch counts):");
+    println!("linear > binary > binary+OLT+pruning. At reproduction scale the");
+    println!("compressed LM is nearly cache-resident, so the cycle gap is far");
+    println!("smaller than the paper's full-size 10x/3x/1.18x; the fetch-count");
+    println!("column shows the architectural mechanism at full strength.");
+}

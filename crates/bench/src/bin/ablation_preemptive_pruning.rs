@@ -1,0 +1,57 @@
+//! §3.3 ablation: preemptive pruning in the back-off mechanism.
+//!
+//! Paper: 22.5% of hypotheses pruned, 16.3% performance improvement,
+//! with zero accuracy impact (only doomed hypotheses are discarded).
+
+use unfold_bench::{build_all, header, paper, row};
+use unfold_decoder::{DecodeConfig, OtfDecoder};
+use unfold_sim::{Accelerator, AcceleratorConfig};
+
+fn main() {
+    println!("# Ablation — preemptive pruning (§3.3)\n");
+    header(&[
+        "Task",
+        "LM fetches saved %",
+        "Hypotheses pruned (of LM walks) %",
+        "Cycle speedup %",
+        "Words identical",
+    ]);
+    for task in build_all() {
+        let s = &task.system;
+        let run = |preempt: bool| {
+            let dec = OtfDecoder::new(DecodeConfig { preemptive_pruning: preempt, ..Default::default() });
+            let mut accel = Accelerator::new(AcceleratorConfig::unfold().scaled_datasets(32));
+            let mut words = Vec::new();
+            let mut stats = unfold_decoder::DecodeStats::default();
+            let mut audio = 0.0;
+            for utt in &task.utterances {
+                let r = dec.decode(&s.am_comp, &s.lm_comp, &utt.scores, &mut accel);
+                words.push(r.words);
+                stats.lm_fetches += r.stats.lm_fetches;
+                stats.lm_lookups += r.stats.lm_lookups;
+                stats.preemptive_prunes += r.stats.preemptive_prunes;
+                audio += utt.audio_seconds();
+            }
+            (accel.finish(audio).cycles, stats, words)
+        };
+        let (c_on, s_on, w_on) = run(true);
+        let (c_off, s_off, w_off) = run(false);
+        let fetch_saved = (1.0 - s_on.lm_fetches as f64 / s_off.lm_fetches.max(1) as f64) * 100.0;
+        let pruned_pct = 100.0 * s_on.preemptive_prunes as f64 / s_on.lm_lookups.max(1) as f64;
+        let speedup = (c_off as f64 / c_on as f64 - 1.0) * 100.0;
+        row(&[
+            task.name().into(),
+            format!("{fetch_saved:.1}"),
+            format!("{pruned_pct:.1}"),
+            format!("{speedup:.2}"),
+            (w_on == w_off).to_string(),
+        ]);
+    }
+    println!(
+        "\nPaper: {:.1}% of hypotheses pruned, {:.1}% speedup, no accuracy change.",
+        paper::PREEMPTIVE_PRUNED_PCT,
+        paper::PREEMPTIVE_SPEEDUP_PCT
+    );
+    println!("(At reproduction scale back-off walks are shorter, so the measured");
+    println!("magnitudes are smaller; correctness-neutrality is exact.)");
+}

@@ -1,0 +1,43 @@
+//! §3.4 ablation: K-means weight-quantization cluster count.
+//!
+//! The paper picks K = 64 (6-bit indices) and reports < 0.01% WER
+//! impact. Sweeping K shows the size/accuracy trade-off.
+
+use unfold_bench::{build_all, header, row};
+use unfold_compress::{CompressedAm, CompressedLm};
+use unfold_decoder::{wer, DecodeConfig, NullSink, OtfDecoder, WerReport};
+
+fn main() {
+    println!("# Ablation — weight quantization clusters (paper: K=64)\n");
+    let tasks = build_all();
+    let task = &tasks[0];
+    println!("Task: {}\n", task.name());
+    let s = &task.system;
+    let dec = OtfDecoder::new(DecodeConfig::default());
+
+    // Reference decode on unquantized models.
+    let mut reference = WerReport::default();
+    for utt in &task.utterances {
+        let r = dec.decode(&s.am.fst, &s.lm_fst, &utt.scores, &mut NullSink);
+        reference.accumulate(wer(&utt.words, &r.words));
+    }
+
+    header(&["K", "index bits", "AM+LM KiB", "WER %", "WER delta vs float"]);
+    for k in [4usize, 8, 16, 32, 64] {
+        let am = CompressedAm::compress(&s.am.fst, k, s.spec.seed);
+        let lm = CompressedLm::compress(&s.lm_fst, k, s.spec.seed);
+        let mut rep = WerReport::default();
+        for utt in &task.utterances {
+            let r = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
+            rep.accumulate(wer(&utt.words, &r.words));
+        }
+        row(&[
+            k.to_string(),
+            format!("{}", (usize::BITS - (k - 1).leading_zeros()).max(1)),
+            format!("{}", (am.size_bytes() + lm.size_bytes()) / 1024),
+            format!("{:.2}", rep.percent()),
+            format!("{:+.2}", rep.percent() - reference.percent()),
+        ]);
+    }
+    println!("\nPaper claim: K=64 changes WER by < 0.01%.");
+}

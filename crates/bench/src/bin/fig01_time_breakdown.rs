@@ -1,0 +1,22 @@
+//! Figure 1: percentage of GPU execution time spent in the Viterbi
+//! search vs the GMM/DNN/LSTM acoustic scoring, per ASR decoder.
+
+use unfold_bench::{build_all, fmt1, header, paper, row};
+
+fn main() {
+    println!("# Figure 1 — GPU execution-time breakdown (Tegra X1 model)\n");
+    header(&["Task", "Viterbi % (paper)", "Viterbi % (measured)", "Scoring % (measured)"]);
+    for (i, task) in build_all().iter().enumerate() {
+        let gpu = unfold::run_gpu(&task.system, &task.utterances);
+        let viterbi = gpu.viterbi_fraction() * 100.0;
+        let paper_pct = paper::FIG1_VITERBI_PCT.get(i).copied().unwrap_or(f64::NAN);
+        row(&[
+            task.name().into(),
+            fmt1(paper_pct),
+            fmt1(viterbi),
+            fmt1(100.0 - viterbi),
+        ]);
+    }
+    println!("\nPaper's claim: the Viterbi search dominates (55-88%) across");
+    println!("GMM-, DNN-, and LSTM-based decoders, motivating a search accelerator.");
+}

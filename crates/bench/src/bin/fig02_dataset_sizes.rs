@@ -1,0 +1,19 @@
+//! Figure 2: sizes of the ASR datasets (acoustic model vs WFST); the
+//! WFST dominates, taking 87-97% of the total.
+
+use unfold_bench::{build_all, fmt1, fmt2, header, row};
+
+fn main() {
+    println!("# Figure 2 — dataset sizes per decoder (scaled task instances)\n");
+    header(&["Task", "GMM/DNN/LSTM (MiB)", "Composed WFST (MiB)", "WFST share % (paper: 87-97%)"]);
+    for task in build_all() {
+        let sizes = task.system.sizes();
+        let share = 100.0 * sizes.composed_mib / (sizes.composed_mib + sizes.backend_mib);
+        row(&[
+            task.name().into(),
+            fmt2(sizes.backend_mib),
+            fmt2(sizes.composed_mib),
+            fmt1(share),
+        ]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 8: dataset sizes under the four storage configurations, and
+//! the paper's headline 31x / 8.8x reductions.
+
+use unfold_bench::{build_all, fmt2, header, paper, row};
+
+fn main() {
+    println!("# Figure 8 — memory footprint of the four configurations (MiB)\n");
+    header(&[
+        "Task",
+        "Fully-Composed",
+        "Fully-Composed+Comp",
+        "On-the-fly",
+        "On-the-fly+Comp (UNFOLD)",
+        "Reduction",
+    ]);
+    let mut reductions = Vec::new();
+    for task in build_all() {
+        let s = task.system.sizes();
+        let red = s.reduction_vs_composed();
+        reductions.push(red);
+        row(&[
+            task.name().into(),
+            fmt2(s.composed_mib),
+            fmt2(s.composed_comp_mib),
+            fmt2(s.on_the_fly_mib()),
+            fmt2(s.unfold_mib()),
+            format!("{:.1}x", red),
+        ]);
+    }
+    let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    let min = reductions.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = reductions.iter().copied().fold(0.0, f64::max);
+    println!(
+        "\nReduction vs Fully-Composed: avg {:.1}x (paper {:.0}x), range {:.1}-{:.1}x (paper 23.3-34.7x).",
+        avg,
+        paper::REDUCTION_VS_COMPOSED,
+        min,
+        max
+    );
+}

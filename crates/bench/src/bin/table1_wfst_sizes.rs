@@ -1,0 +1,37 @@
+//! Table 1: sizes of the individual AM and LM WFSTs vs the
+//! fully-composed WFST.
+
+use unfold_bench::{build_all, fmt1, fmt2, header, paper, row};
+
+fn main() {
+    println!("# Table 1 — AM / LM / composed WFST sizes\n");
+    println!("(absolute values are ~75x scaled; the explosion *ratio* is the result)\n");
+    header(&[
+        "Task",
+        "AM MiB",
+        "LM MiB",
+        "Composed MiB",
+        "Composed/(AM+LM) measured",
+        "Composed/(AM+LM) paper",
+    ]);
+    for (i, task) in build_all().iter().enumerate() {
+        let s = task.system.sizes();
+        let measured = s.composed_mib / s.on_the_fly_mib();
+        let paper_ratio = match (
+            paper::TABLE1_COMPOSED_MB.get(i),
+            paper::TABLE1_AM_MB.get(i),
+            paper::TABLE1_LM_MB.get(i),
+        ) {
+            (Some(c), Some(a), Some(l)) => c / (a + l),
+            _ => f64::NAN,
+        };
+        row(&[
+            task.name().into(),
+            fmt2(s.am_mib),
+            fmt2(s.lm_mib),
+            fmt2(s.composed_mib),
+            fmt1(measured),
+            fmt1(paper_ratio),
+        ]);
+    }
+}

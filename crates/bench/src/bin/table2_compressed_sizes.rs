@@ -1,0 +1,38 @@
+//! Table 2: compressed WFST sizes, on-the-fly vs fully-composed, and
+//! the paper's 8.8x advantage of the split models.
+
+use unfold_bench::{build_all, fmt1, fmt2, header, paper, row};
+
+fn main() {
+    println!("# Table 2 — compressed sizes: on-the-fly vs fully-composed\n");
+    header(&[
+        "Task",
+        "On-the-fly+Comp MiB",
+        "Fully-Composed+Comp MiB",
+        "Advantage measured",
+        "Advantage paper",
+    ]);
+    let mut ratios = Vec::new();
+    for (i, task) in build_all().iter().enumerate() {
+        let s = task.system.sizes();
+        let adv = s.reduction_vs_composed_comp();
+        ratios.push(adv);
+        let paper_adv = match (paper::TABLE2_FULL_COMP_MB.get(i), paper::TABLE2_OTF_COMP_MB.get(i)) {
+            (Some(f), Some(o)) => f / o,
+            _ => f64::NAN,
+        };
+        row(&[
+            task.name().into(),
+            fmt2(s.unfold_mib()),
+            fmt2(s.composed_comp_mib),
+            fmt1(adv),
+            fmt1(paper_adv),
+        ]);
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!(
+        "\nAverage advantage: {:.1}x measured vs {:.1}x paper.",
+        avg,
+        paper::REDUCTION_VS_COMPOSED_COMP
+    );
+}

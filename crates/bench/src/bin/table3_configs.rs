@@ -1,0 +1,61 @@
+//! Table 3: accelerator configuration parameters, plus the area
+//! estimates of §5.1.
+
+use unfold_bench::paper;
+use unfold_sim::AcceleratorConfig;
+
+fn print_config(c: &AcceleratorConfig) {
+    println!("## {}", c.name);
+    println!("- frequency: {} MHz", c.frequency_mhz);
+    let kib = |b: u64| b / 1024;
+    println!(
+        "- state cache: {} KiB, {}-way, {} B lines",
+        kib(c.state_cache.capacity_bytes),
+        c.state_cache.ways,
+        c.state_cache.line_bytes
+    );
+    println!(
+        "- arc cache (AM/composed): {} KiB, {}-way",
+        kib(c.am_arc_cache.capacity_bytes),
+        c.am_arc_cache.ways
+    );
+    match c.lm_arc_cache {
+        Some(l) => println!("- LM arc cache: {} KiB, {}-way", kib(l.capacity_bytes), l.ways),
+        None => println!("- LM arc cache: (none)"),
+    }
+    println!(
+        "- token cache: {} KiB, {}-way",
+        kib(c.token_cache.capacity_bytes),
+        c.token_cache.ways
+    );
+    println!("- acoustic likelihood buffer: {} KiB", kib(c.acoustic_buffer_bytes));
+    println!(
+        "- hash tables: {} entries, {} KiB",
+        c.hash_entries,
+        kib(c.hash_entries as u64 * c.hash_entry_bytes)
+    );
+    match c.offset_table_entries {
+        Some(e) => println!("- offset lookup table: {} entries, {} KiB", e, kib(e as u64 * 6)),
+        None => println!("- offset lookup table: (none)"),
+    }
+    println!("- memory controller: {} in-flight requests", c.max_inflight);
+    println!("- total SRAM: {} KiB", kib(c.sram_bytes()));
+    println!("- estimated area: {:.1} mm2", c.area_mm2());
+    println!();
+}
+
+fn main() {
+    println!("# Table 3 — accelerator configurations\n");
+    let u = AcceleratorConfig::unfold();
+    let r = AcceleratorConfig::reza();
+    print_config(&u);
+    print_config(&r);
+    let reduction = (r.area_mm2() - u.area_mm2()) / r.area_mm2() * 100.0;
+    println!(
+        "Area: UNFOLD {:.1} mm2 (paper {:.1}), reduction vs baseline {:.0}% (paper {:.0}%).",
+        u.area_mm2(),
+        paper::UNFOLD_AREA_MM2,
+        reduction,
+        paper::AREA_REDUCTION_PCT
+    );
+}

@@ -1,0 +1,45 @@
+//! Table 5: maximum and average decoding time per utterance across
+//! the three platforms.
+
+use unfold::experiments::{run_baseline_on, run_gpu, run_unfold};
+use unfold_bench::{build_all, header, paper, row};
+
+fn main() {
+    println!("# Table 5 — decode latency per utterance (ms)\n");
+    println!("(absolute latencies track the ~75x workload scale; orderings are the result)\n");
+    header(&[
+        "Task",
+        "Tegra max",
+        "Tegra avg",
+        "Reza max",
+        "Reza avg",
+        "UNFOLD max",
+        "UNFOLD avg",
+    ]);
+    for task in build_all() {
+        let composed = task.system.composed();
+        let gpu = run_gpu(&task.system, &task.utterances);
+        let reza = run_baseline_on(&task.system, &composed, &task.utterances);
+        let unf = run_unfold(&task.system, &task.utterances);
+        let gmax = gpu.per_utterance_seconds.iter().copied().fold(0.0f64, f64::max) * 1e3;
+        let gavg = gpu.per_utterance_seconds.iter().sum::<f64>()
+            / gpu.per_utterance_seconds.len() as f64
+            * 1e3;
+        row(&[
+            task.name().into(),
+            format!("{gmax:.2}"),
+            format!("{gavg:.2}"),
+            format!("{:.3}", reza.max_latency_ms()),
+            format!("{:.3}", reza.avg_latency_ms()),
+            format!("{:.3}", unf.max_latency_ms()),
+            format!("{:.3}", unf.avg_latency_ms()),
+        ]);
+    }
+    println!(
+        "\nPaper (full scale) averages, ms: Tegra {:?}, Reza {:?}, UNFOLD {:?}.",
+        paper::TABLE5_TEGRA_AVG_MS,
+        paper::TABLE5_REZA_AVG_MS,
+        paper::TABLE5_UNFOLD_AVG_MS
+    );
+    println!("Both accelerators answer orders of magnitude faster than the GPU.");
+}

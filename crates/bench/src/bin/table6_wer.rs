@@ -1,0 +1,30 @@
+//! Table 6: word error rate per task, plus the quantization-impact
+//! check (paper: the compressed models change WER by < 0.01%).
+
+use unfold::experiments::run_unfold;
+use unfold_bench::{build_all, fmt2, header, paper, row};
+use unfold_decoder::{wer, DecodeConfig, NullSink, OtfDecoder, WerReport};
+
+fn main() {
+    println!("# Table 6 — word error rate (%)\n");
+    header(&["Task", "WER paper", "WER measured (UNFOLD)", "WER uncompressed models", "Delta"]);
+    for (i, task) in build_all().iter().enumerate() {
+        let comp = run_unfold(&task.system, &task.utterances);
+        // Same decode against the *uncompressed* models: quantization impact.
+        let decoder = OtfDecoder::new(DecodeConfig::default());
+        let mut plain = WerReport::default();
+        for utt in &task.utterances {
+            let res = decoder.decode(&task.system.am.fst, &task.system.lm_fst, &utt.scores, &mut NullSink);
+            plain.accumulate(wer(&utt.words, &res.words));
+        }
+        let paper_wer = paper::TABLE6_WER.get(i).copied().unwrap_or(f64::NAN);
+        row(&[
+            task.name().into(),
+            fmt2(paper_wer),
+            fmt2(comp.wer.percent()),
+            fmt2(plain.percent()),
+            fmt2((comp.wer.percent() - plain.percent()).abs()),
+        ]);
+    }
+    println!("\nPaper claim: compression/quantization adds < 0.01% WER.");
+}

@@ -1,0 +1,81 @@
+//! Shared machinery for the per-figure binaries.
+
+use unfold::{System, TaskSpec};
+use unfold_am::Utterance;
+
+/// One built task plus its test batch.
+pub struct TaskRun {
+    /// The built system.
+    pub system: System,
+    /// Test utterances.
+    pub utterances: Vec<Utterance>,
+}
+
+impl TaskRun {
+    /// The task name.
+    pub fn name(&self) -> &'static str {
+        self.system.spec.name
+    }
+}
+
+/// Test utterances per task (`UNFOLD_UTTS`, default 8).
+pub fn utterance_count() -> usize {
+    std::env::var("UNFOLD_UTTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// Builds every paper task (or just the tiny task under
+/// `UNFOLD_SMOKE=1`) with its utterance batch.
+pub fn build_all() -> Vec<TaskRun> {
+    let smoke = std::env::var("UNFOLD_SMOKE").map_or(false, |v| v == "1");
+    let specs = if smoke { vec![TaskSpec::tiny()] } else { TaskSpec::all_paper_tasks() };
+    let n = utterance_count();
+    specs
+        .into_iter()
+        .map(|spec| {
+            let system = System::build(&spec);
+            let utterances = system.test_utterances(n);
+            TaskRun { system, utterances }
+        })
+        .collect()
+}
+
+/// Prints a Markdown header row + separator.
+pub fn header(cols: &[&str]) {
+    println!("| {} |", cols.join(" | "));
+    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Prints a Markdown data row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Formats with one decimal.
+pub fn fmt1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats with two decimals.
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_utterance_count() {
+        // (environment-dependent, but the default path must parse)
+        assert!(utterance_count() >= 1);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt1(3.14159), "3.1");
+        assert_eq!(fmt2(3.14159), "3.14");
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness for the UNFOLD reproduction.
+//!
+//! One binary per paper table/figure (see `src/bin/`), each printing a
+//! Markdown table with the paper's reported value next to the measured
+//! one, plus Criterion micro-benchmarks (see `benches/`). DESIGN.md
+//! carries the experiment index; EXPERIMENTS.md records the outcomes.
+//!
+//! Environment knobs honored by every binary:
+//!
+//! * `UNFOLD_UTTS` — test utterances per task (default 8),
+//! * `UNFOLD_SMOKE` — set to `1` to run on the tiny task only (CI).
+
+pub mod harness;
+pub mod paper;
+
+pub use harness::{build_all, fmt1, fmt2, header, row, utterance_count, TaskRun};

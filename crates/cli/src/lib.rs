@@ -1,0 +1,354 @@
+#![warn(missing_docs)]
+
+//! Command-line interface for the UNFOLD reproduction.
+//!
+//! Subcommands:
+//!
+//! * `build`    — build a task's models and write the compressed
+//!   `.unfa`/`.unfl` files plus an ARPA dump of the LM,
+//! * `decode`   — load compressed models and decode synthesized test
+//!   utterances, printing transcripts and WER,
+//! * `simulate` — run the accelerator model (UNFOLD or the baseline)
+//!   over a task and print the performance/energy summary,
+//! * `sizes`    — print the dataset size table for a task.
+//!
+//! All argument parsing is plain `std`; [`run`] returns the output as a
+//! string so every command is unit-testable.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use unfold::experiments::{run_baseline_on, run_unfold};
+use unfold::{System, TaskSpec};
+use unfold_compress::{load_am, load_lm, save_am, save_lm};
+use unfold_decoder::{wer, DecodeConfig, NullSink, OtfDecoder, WerReport};
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage: unfold-cli <command> [options]
+
+commands:
+  build    --task <name> --out <dir>        build models, write .unfa/.unfl/.arpa
+  decode   --task <name> [--utterances N]   decode test utterances (WER report)
+           [--am <file> --lm <file>]        ... using previously saved models
+           [--nbest K]                      ... printing K-best hypotheses
+  simulate --task <name> [--utterances N]   accelerator performance/energy summary
+           [--baseline]                     ... on the Reza et al. baseline instead
+  sizes    --task <name>                    dataset size table
+
+tasks: tedlium | librispeech | voxforge | eesen | tiny
+";
+
+/// CLI errors (argument problems and I/O failures).
+#[derive(Debug)]
+pub enum CliError {
+    /// No or unknown subcommand / flag.
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+fn task_by_name(name: &str) -> Result<TaskSpec, CliError> {
+    match name {
+        "tedlium" => Ok(TaskSpec::tedlium_kaldi()),
+        "librispeech" => Ok(TaskSpec::librispeech()),
+        "voxforge" => Ok(TaskSpec::voxforge()),
+        "eesen" => Ok(TaskSpec::tedlium_eesen()),
+        "tiny" => Ok(TaskSpec::tiny()),
+        other => Err(CliError::Usage(format!("unknown task '{other}'"))),
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean switches.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String], switches: &[&str]) -> Result<Self, CliError> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::Usage(format!("expected a flag, got '{}'", args[i])))?;
+            if switches.contains(&key) {
+                pairs.push((key, None));
+                i += 1;
+            } else {
+                let val = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+                pairs.push((key, Some(val.as_str())));
+                i += 2;
+            }
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| *k == key).and_then(|(_, v)| *v)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| *k == key)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| CliError::Usage(format!("missing --{key}")))
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} expects a number, got '{v}'"))),
+        }
+    }
+}
+
+/// Executes a CLI invocation and returns its stdout text.
+///
+/// # Errors
+/// Returns [`CliError`] on bad arguments or filesystem failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::Usage("no command given".into()))?;
+    match cmd.as_str() {
+        "build" => cmd_build(rest),
+        "decode" => cmd_decode(rest),
+        "simulate" => cmd_simulate(rest),
+        "sizes" => cmd_sizes(rest),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+fn cmd_build(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let spec = task_by_name(flags.require("task")?)?;
+    let out = PathBuf::from(flags.require("out")?);
+    std::fs::create_dir_all(&out)?;
+    let system = System::build(&spec);
+    let am_path = out.join(format!("{}.unfa", spec.name));
+    let lm_path = out.join(format!("{}.unfl", spec.name));
+    let arpa_path = out.join(format!("{}.arpa", spec.name));
+    save_am(&system.am_comp, &am_path)?;
+    save_lm(&system.lm_comp, &lm_path)?;
+    std::fs::write(&arpa_path, unfold_lm::to_arpa(&system.lm_model))?;
+    let mut s = String::new();
+    let _ = writeln!(s, "task: {}", spec.name);
+    let _ = writeln!(s, "AM:   {} ({} bytes)", am_path.display(), system.am_comp.size_bytes());
+    let _ = writeln!(s, "LM:   {} ({} bytes)", lm_path.display(), system.lm_comp.size_bytes());
+    let _ = writeln!(s, "ARPA: {}", arpa_path.display());
+    Ok(s)
+}
+
+fn cmd_decode(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let spec = task_by_name(flags.require("task")?)?;
+    let n = flags.usize_or("utterances", 5)?;
+    let system = System::build(&spec);
+    let decoder = OtfDecoder::new(DecodeConfig::default());
+    let mut s = String::new();
+    let mut report = WerReport::default();
+    let loaded = match (flags.get("am"), flags.get("lm")) {
+        (Some(a), Some(l)) => Some((load_am(a.as_ref())?, load_lm(l.as_ref())?)),
+        (None, None) => None,
+        _ => return Err(CliError::Usage("--am and --lm must be given together".into())),
+    };
+    let nbest = flags.usize_or("nbest", 1)?;
+    for (i, utt) in system.test_utterances(n).iter().enumerate() {
+        let res = match &loaded {
+            Some((am, lm)) => decoder.decode(am, lm, &utt.scores, &mut NullSink),
+            None => decoder.decode(&system.am_comp, &system.lm_comp, &utt.scores, &mut NullSink),
+        };
+        report.accumulate(wer(&utt.words, &res.words));
+        let _ = writeln!(s, "utt {i}: ref {:?}", utt.words);
+        let _ = writeln!(s, "       hyp {:?} (cost {:.2})", res.words, res.cost);
+        if nbest > 1 {
+            let list = match &loaded {
+                Some((am, lm)) => decoder.decode_nbest(am, lm, &utt.scores, nbest, &mut NullSink),
+                None => decoder.decode_nbest(
+                    &system.am_comp,
+                    &system.lm_comp,
+                    &utt.scores,
+                    nbest,
+                    &mut NullSink,
+                ),
+            };
+            for (rank, (words, cost)) in list.iter().enumerate().skip(1) {
+                let _ = writeln!(s, "       #{} {:?} (cost {cost:.2})", rank + 1, words);
+            }
+        }
+    }
+    let _ = writeln!(s, "WER: {:.2}% over {} words", report.percent(), report.ref_words);
+    Ok(s)
+}
+
+fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["baseline"])?;
+    let spec = task_by_name(flags.require("task")?)?;
+    let n = flags.usize_or("utterances", 5)?;
+    let system = System::build(&spec);
+    let utts = system.test_utterances(n);
+    let run = if flags.has("baseline") {
+        let composed = system.composed();
+        run_baseline_on(&system, &composed, &utts)
+    } else {
+        run_unfold(&system, &utts)
+    };
+    let mut s = String::new();
+    let sim = &run.sim;
+    let _ = writeln!(s, "configuration: {}", sim.config_name);
+    let _ = writeln!(s, "task:          {}", spec.name);
+    let _ = writeln!(s, "audio:         {:.2} s in {} utterances", run.audio_seconds, n);
+    let _ = writeln!(s, "decode time:   {:.3} ms ({:.0}x real time)", sim.seconds * 1e3, sim.times_real_time());
+    let _ = writeln!(s, "energy:        {:.4} mJ ({:.4} mJ per audio second)", sim.total_energy_mj(), sim.energy_mj_per_audio_second());
+    let _ = writeln!(s, "avg power:     {:.1} mW", sim.total_energy_mj() / sim.seconds / 1000.0 * 1000.0);
+    let _ = writeln!(s, "bandwidth:     {:.1} MB/s", sim.bandwidth_mb_per_s());
+    let _ = writeln!(
+        s,
+        "cache misses:  state {:.1}%  am-arc {:.1}%  lm-arc {:.1}%  token {:.1}%",
+        sim.state_cache.miss_ratio() * 100.0,
+        sim.am_arc_cache.miss_ratio() * 100.0,
+        sim.lm_arc_cache.miss_ratio() * 100.0,
+        sim.token_cache.miss_ratio() * 100.0
+    );
+    if sim.olt.probes > 0 {
+        let _ = writeln!(s, "OLT hit ratio: {:.1}%", sim.olt.hit_ratio() * 100.0);
+    }
+    let _ = writeln!(s, "WER:           {:.2}%", run.wer.percent());
+    let _ = writeln!(s, "area estimate: {:.1} mm2", sim.area_mm2);
+    Ok(s)
+}
+
+fn cmd_sizes(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let spec = task_by_name(flags.require("task")?)?;
+    let system = System::build(&spec);
+    let t = system.sizes();
+    let mut s = String::new();
+    let _ = writeln!(s, "task: {}", spec.name);
+    let _ = writeln!(s, "AM WFST:                 {:>10.3} MiB", t.am_mib);
+    let _ = writeln!(s, "LM WFST:                 {:>10.3} MiB", t.lm_mib);
+    let _ = writeln!(s, "composed WFST:           {:>10.3} MiB", t.composed_mib);
+    let _ = writeln!(s, "composed + compression:  {:>10.3} MiB", t.composed_comp_mib);
+    let _ = writeln!(s, "on-the-fly (AM+LM):      {:>10.3} MiB", t.on_the_fly_mib());
+    let _ = writeln!(s, "UNFOLD (compressed):     {:>10.3} MiB", t.unfold_mib());
+    let _ = writeln!(s, "acoustic backend:        {:>10.3} MiB", t.backend_mib);
+    let _ = writeln!(s, "reduction vs composed:   {:>9.1}x", t.reduction_vs_composed());
+    let _ = writeln!(s, "reduction vs comp+comp:  {:>9.1}x", t.reduction_vs_composed_comp());
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_command_is_usage_error() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&sv(&["frobnicate"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn missing_flags_are_reported() {
+        let err = run(&sv(&["sizes"])).unwrap_err();
+        assert!(err.to_string().contains("--task"));
+        let err = run(&sv(&["decode", "--task", "tiny", "--am", "x"])).unwrap_err();
+        assert!(err.to_string().contains("together"));
+    }
+
+    #[test]
+    fn unknown_task_is_reported() {
+        let err = run(&sv(&["sizes", "--task", "klingon"])).unwrap_err();
+        assert!(err.to_string().contains("klingon"));
+    }
+
+    #[test]
+    fn sizes_prints_table() {
+        let out = run(&sv(&["sizes", "--task", "tiny"])).unwrap();
+        assert!(out.contains("reduction vs composed"));
+        assert!(out.contains("UNFOLD (compressed)"));
+    }
+
+    #[test]
+    fn decode_reports_wer() {
+        let out = run(&sv(&["decode", "--task", "tiny", "--utterances", "2"])).unwrap();
+        assert!(out.contains("WER:"));
+        assert!(out.contains("utt 1:"));
+    }
+
+    #[test]
+    fn decode_nbest_lists_alternatives() {
+        let out =
+            run(&sv(&["decode", "--task", "tiny", "--utterances", "1", "--nbest", "3"])).unwrap();
+        assert!(out.contains("hyp"));
+        // Alternatives may or may not exist; the flag must parse.
+        assert!(out.contains("WER:"));
+    }
+
+    #[test]
+    fn simulate_both_configurations() {
+        let unfold_out = run(&sv(&["simulate", "--task", "tiny", "--utterances", "2"])).unwrap();
+        assert!(unfold_out.contains("configuration: UNFOLD"));
+        assert!(unfold_out.contains("OLT hit ratio"));
+        let reza_out =
+            run(&sv(&["simulate", "--task", "tiny", "--utterances", "2", "--baseline"])).unwrap();
+        assert!(reza_out.contains("configuration: Reza et al."));
+    }
+
+    #[test]
+    fn build_then_decode_from_files() {
+        let dir = std::env::temp_dir().join(format!("unfold-cli-{}", std::process::id()));
+        let out = run(&sv(&["build", "--task", "tiny", "--out", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains(".unfa") || out.contains("AM:"));
+        let am = dir.join("tiny.unfa");
+        let lm = dir.join("tiny.unfl");
+        assert!(am.exists() && lm.exists());
+        assert!(dir.join("tiny.arpa").exists());
+        let decoded = run(&sv(&[
+            "decode",
+            "--task",
+            "tiny",
+            "--utterances",
+            "1",
+            "--am",
+            am.to_str().unwrap(),
+            "--lm",
+            lm.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(decoded.contains("WER:"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_number_is_usage_error() {
+        let err = run(&sv(&["decode", "--task", "tiny", "--utterances", "lots"])).unwrap_err();
+        assert!(err.to_string().contains("number"));
+    }
+}

@@ -1,0 +1,14 @@
+//! `unfold-cli` entry point; all logic lives in the library for
+//! testability.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match unfold_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", unfold_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Bit-granular storage with random access.
+//!
+//! The compressed AM/LM layouts pack arcs at arbitrary bit offsets
+//! (20/27/45/58-bit records), and the LM's binary search needs random
+//! access to the *i*-th fixed-width arc of a state. [`BitWriter`]
+//! appends fields LSB-first; [`BitReader`] reads any `(offset, width)`
+//! window in O(1).
+
+/// Append-only bit stream writer.
+///
+/// ```
+/// use unfold_compress::{BitWriter, BitReader};
+/// let mut w = BitWriter::new();
+/// w.push(0b101, 3);
+/// w.push(0x3FFFF, 18);
+/// let r = BitReader::new(w.finish());
+/// assert_eq!(r.read(0, 3), 0b101);
+/// assert_eq!(r.read(3, 18), 0x3FFFF);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    words: Vec<u64>,
+    len_bits: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far (the offset of the next push).
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// Appends the low `width` bits of `value`.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or > 57, or if `value` has bits above
+    /// `width`. (57 keeps every field within two words; all formats in
+    /// this crate use ≤ 24-bit fields.)
+    pub fn push(&mut self, value: u64, width: u32) {
+        assert!(width >= 1 && width <= 57, "push: width {width} out of range");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "push: value {value:#x} does not fit in {width} bits"
+        );
+        let word = (self.len_bits / 64) as usize;
+        let bit = (self.len_bits % 64) as u32;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= value << bit;
+        if bit + width > 64 {
+            self.words.push(value >> (64 - bit));
+        }
+        self.len_bits += u64::from(width);
+    }
+
+    /// Finalizes the stream.
+    pub fn finish(self) -> BitBuf {
+        BitBuf { words: self.words, len_bits: self.len_bits }
+    }
+}
+
+/// An immutable bit buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BitBuf {
+    words: Vec<u64>,
+    len_bits: u64,
+}
+
+impl BitBuf {
+    /// Length in bits.
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// The backing 64-bit words (for serialization).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstructs a buffer from its raw parts.
+    ///
+    /// # Panics
+    /// Panics if `len_bits` does not fit within `words`.
+    pub fn from_raw(words: Vec<u64>, len_bits: u64) -> Self {
+        assert!(
+            len_bits <= words.len() as u64 * 64,
+            "from_raw: {len_bits} bits exceed {} words",
+            words.len()
+        );
+        BitBuf { words, len_bits }
+    }
+
+    /// Storage footprint in bytes, rounded up to whole bytes (this is
+    /// what the size tables report).
+    pub fn size_bytes(&self) -> u64 {
+        (self.len_bits + 7) / 8
+    }
+}
+
+/// Random-access reader over a [`BitBuf`].
+#[derive(Debug, Clone)]
+pub struct BitReader {
+    buf: BitBuf,
+}
+
+impl BitReader {
+    /// Wraps a finished buffer.
+    pub fn new(buf: BitBuf) -> Self {
+        BitReader { buf }
+    }
+
+    /// The underlying buffer.
+    pub fn buf(&self) -> &BitBuf {
+        &self.buf
+    }
+
+    /// Reads `width` bits starting at bit `offset`.
+    ///
+    /// # Panics
+    /// Panics if the window exceeds the buffer or `width` > 57.
+    #[inline]
+    pub fn read(&self, offset: u64, width: u32) -> u64 {
+        assert!(width >= 1 && width <= 57, "read: width {width} out of range");
+        assert!(
+            offset + u64::from(width) <= self.buf.len_bits,
+            "read: window [{offset}, +{width}) beyond {} bits",
+            self.buf.len_bits
+        );
+        let word = (offset / 64) as usize;
+        let bit = (offset % 64) as u32;
+        let mask = (1u64 << width) - 1;
+        let lo = self.buf.words[word] >> bit;
+        let val = if bit + width <= 64 {
+            lo
+        } else {
+            lo | (self.buf.words[word + 1] << (64 - bit))
+        };
+        val & mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_buffer() {
+        let b = BitWriter::new().finish();
+        assert_eq!(b.len_bits(), 0);
+        assert_eq!(b.size_bytes(), 0);
+    }
+
+    #[test]
+    fn crosses_word_boundaries() {
+        let mut w = BitWriter::new();
+        // 60 bits, then a 20-bit value straddling the first word.
+        w.push((1u64 << 57) - 1, 57);
+        w.push(0b111, 3);
+        w.push(0xABCDE, 20);
+        let r = BitReader::new(w.finish());
+        assert_eq!(r.read(0, 57), (1u64 << 57) - 1);
+        assert_eq!(r.read(57, 3), 0b111);
+        assert_eq!(r.read(60, 20), 0xABCDE);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        BitWriter::new().push(0b100, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn read_past_end_panics() {
+        let mut w = BitWriter::new();
+        w.push(1, 4);
+        BitReader::new(w.finish()).read(2, 4);
+    }
+
+    #[test]
+    fn size_rounds_up_to_bytes() {
+        let mut w = BitWriter::new();
+        w.push(1, 9);
+        assert_eq!(w.finish().size_bytes(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_fields(fields in proptest::collection::vec((0u64..1u64<<24, 1u32..25), 1..200)) {
+            let mut w = BitWriter::new();
+            let mut offsets = Vec::new();
+            for &(v, width) in &fields {
+                let v = v & ((1 << width) - 1);
+                offsets.push(w.len_bits());
+                w.push(v, width);
+            }
+            let r = BitReader::new(w.finish());
+            for (&(v, width), &off) in fields.iter().zip(&offsets) {
+                let v = v & ((1 << width) - 1);
+                prop_assert_eq!(r.read(off, width), v);
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Binary container format for the compressed models.
+//!
+//! UNFOLD's deployment story is "ship tens of megabytes instead of a
+//! gigabyte" (§5.3: wearables with ≤1 GB of memory); that needs the
+//! compressed AM/LM to exist as *files*. This module defines a small
+//! little-endian container: magic + version, the state table, the
+//! K-means codebook, and the raw arc bit stream. Round-trips are exact
+//! (bit-for-bit), and loading validates structure rather than trusting
+//! the bytes.
+
+use crate::am::CompressedAm;
+use crate::lm::CompressedLm;
+
+/// Magic for serialized compressed AMs.
+pub const AM_MAGIC: [u8; 4] = *b"UNFA";
+/// Magic for serialized compressed LMs.
+pub const LM_MAGIC: [u8; 4] = *b"UNFL";
+/// Container format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from loading a serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelIoError {
+    /// The magic bytes did not match.
+    BadMagic,
+    /// Unsupported container version.
+    BadVersion(u32),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// Structurally invalid content.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::BadMagic => write!(f, "bad magic bytes"),
+            ModelIoError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            ModelIoError::Truncated => write!(f, "buffer truncated"),
+            ModelIoError::Corrupt(what) => write!(f, "corrupt model: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+/// Little-endian byte cursor used by the model loaders.
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ModelIoError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ModelIoError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, ModelIoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, ModelIoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn f32(&mut self) -> Result<f32, ModelIoError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Bytes left in the buffer (to validate declared counts before
+    /// allocating — a hostile header must not trigger a huge
+    /// `Vec::with_capacity`).
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Little-endian byte sink used by the model writers.
+#[derive(Default)]
+pub(crate) struct ByteWriter {
+    pub(crate) out: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f32(&mut self, v: f32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Convenience: write a compressed AM to a file.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_am(am: &CompressedAm, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, am.to_bytes())
+}
+
+/// Convenience: load a compressed AM from a file.
+///
+/// # Errors
+/// Propagates I/O errors; corrupt files map to `InvalidData`.
+pub fn load_am(path: &std::path::Path) -> std::io::Result<CompressedAm> {
+    let bytes = std::fs::read(path)?;
+    CompressedAm::from_bytes(&bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Convenience: write a compressed LM to a file.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_lm(lm: &CompressedLm, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, lm.to_bytes())
+}
+
+/// Convenience: load a compressed LM from a file.
+///
+/// # Errors
+/// Propagates I/O errors; corrupt files map to `InvalidData`.
+pub fn load_lm(path: &std::path::Path) -> std::io::Result<CompressedLm> {
+    let bytes = std::fs::read(path)?;
+    CompressedLm::from_bytes(&bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip_primitives() {
+        let mut w = ByteWriter::default();
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        w.f32(1.5);
+        let mut r = ByteReader::new(&w.out);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert!(r.done());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(r.u32().unwrap_err(), ModelIoError::Truncated);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(ModelIoError::BadMagic.to_string().contains("magic"));
+        assert!(ModelIoError::BadVersion(9).to_string().contains('9'));
+        assert!(ModelIoError::Corrupt("x").to_string().contains('x'));
+    }
+
+    mod fuzz {
+        use crate::{CompressedAm, CompressedLm};
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary bytes must produce an error, never a panic or a
+            /// structurally unsound model.
+            #[test]
+            fn random_bytes_never_panic_loaders(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+                let _ = CompressedAm::from_bytes(&bytes);
+                let _ = CompressedLm::from_bytes(&bytes);
+            }
+
+            /// Same with a valid magic prefix (reaches deeper code paths).
+            #[test]
+            fn magic_prefixed_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+                let mut am = super::AM_MAGIC.to_vec();
+                am.extend_from_slice(&1u32.to_le_bytes());
+                am.extend_from_slice(&bytes);
+                let _ = CompressedAm::from_bytes(&am);
+                let mut lm = super::LM_MAGIC.to_vec();
+                lm.extend_from_slice(&1u32.to_le_bytes());
+                lm.extend_from_slice(&bytes);
+                let _ = CompressedLm::from_bytes(&lm);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! WFST compression (paper §3.4).
+//!
+//! UNFOLD's 31x footprint reduction comes from *combining* on-the-fly
+//! composition with aggressive compression of the two individual WFSTs.
+//! This crate implements all of it:
+//!
+//! * [`bits`] — bit-granular writer/reader with random access,
+//! * [`quant`] — the K-means weight quantizer (64 clusters → 6-bit
+//!   weight indices, the paper's <0.01% WER-impact trick),
+//! * [`am`] — the compressed AM format of Figure 5: a 2-bit destination
+//!   tag makes most arcs 20 bits (self / +1 / −1 locality), the rest
+//!   58 bits,
+//! * [`lm`] — the compressed LM format: 6-bit unigram arcs whose word id
+//!   and destination are implied by position, 45-bit regular arcs
+//!   supporting random access (binary search), 27-bit back-off arcs
+//!   stored last,
+//! * [`composed`] — the Price-et-al-style compression of the *composed*
+//!   WFST used as the paper's "Fully-Composed+Comp" comparator
+//!   (Table 2, Figure 8).
+//!
+//! # Example
+//!
+//! ```
+//! use unfold_compress::{CompressedAm, WeightQuantizer};
+//! use unfold_am::{build_am, HmmTopology, Lexicon};
+//!
+//! let am = build_am(&Lexicon::generate(50, 20, 1), HmmTopology::Kaldi3State);
+//! let comp = CompressedAm::compress(&am.fst, 64, 0);
+//! assert!(comp.size_bytes() < unfold_wfst::SizeModel::UNCOMPRESSED.bytes(&am.fst));
+//! let rt = comp.to_wfst();
+//! assert_eq!(rt.num_arcs(), am.fst.num_arcs());
+//! # let _: Option<&WeightQuantizer> = None;
+//! ```
+
+pub mod am;
+pub mod bits;
+pub mod composed;
+pub mod io;
+pub mod lm;
+pub mod quant;
+
+pub use am::CompressedAm;
+pub use bits::{BitReader, BitWriter};
+pub use composed::CompressedComposed;
+pub use io::{load_am, load_lm, save_am, save_lm, ModelIoError};
+pub use lm::{CompressedLm, LmLookup};
+pub use quant::WeightQuantizer;

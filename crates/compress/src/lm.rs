@@ -1,0 +1,533 @@
+//! Compressed LM format (paper §3.4).
+//!
+//! Three arc classes, as in the paper:
+//!
+//! * **Unigram arcs** (root state): "no information other than a 6-bit
+//!   weight value is required" — the *i*-th arc is word *i* and points
+//!   at state *i* (an invariant `unfold_lm::graph` establishes).
+//! * **Back-off arcs**: 27 bits (21-bit destination + 6-bit weight),
+//!   always stored *last* in a state so they are addressable without
+//!   searching.
+//! * **Regular arcs**: 45 bits (18-bit word id + 21-bit destination +
+//!   6-bit weight), fixed-width so the *i*-th arc of a state sits at a
+//!   computable bit offset — the random access the binary search needs.
+
+use unfold_wfst::{Arc, Label, StateId, Wfst, WfstBuilder, EPSILON};
+
+use crate::bits::{BitBuf, BitReader, BitWriter};
+use crate::io::{ByteReader, ByteWriter, ModelIoError, FORMAT_VERSION, LM_MAGIC};
+use crate::quant::WeightQuantizer;
+
+const WORD_BITS: u32 = 18;
+const DEST_BITS: u32 = 21;
+const WEIGHT_BITS: u32 = 6;
+/// Regular arc width: 18 + 21 + 6.
+pub const REGULAR_ARC_BITS: u64 = 45;
+/// Back-off arc width: 21 + 6.
+pub const BACKOFF_ARC_BITS: u64 = 27;
+/// Unigram arc width: weight only.
+pub const UNIGRAM_ARC_BITS: u64 = 6;
+
+#[derive(Debug, Clone, Copy)]
+struct StateRec {
+    bit_offset: u64,
+    /// Word-labelled arcs (excludes the back-off arc).
+    num_word_arcs: u32,
+    has_backoff: bool,
+}
+
+/// Result of looking up a word at an LM state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmLookup {
+    /// The matching arc, if the state has one for the word.
+    pub arc: Option<Arc>,
+    /// Binary-search probes performed (each is an LM-arc memory fetch).
+    pub probes: u32,
+    /// Bit offset of the last probed arc (address modeling).
+    pub bit_offset: u64,
+}
+
+/// An LM WFST in the compressed bit-packed format.
+#[derive(Debug, Clone)]
+pub struct CompressedLm {
+    states: Vec<StateRec>,
+    reader: BitReader,
+    quant: WeightQuantizer,
+}
+
+impl CompressedLm {
+    /// Compresses an LM WFST produced by `unfold_lm::lm_to_wfst`.
+    ///
+    /// # Panics
+    /// Panics if the machine violates the layout invariants: root arcs
+    /// not in word order with `dest == word == index + 1`, arcs not
+    /// ilabel-sorted, more than one epsilon arc per state, epsilon arcs
+    /// not last, or fields exceeding their bit budgets.
+    pub fn compress(fst: &Wfst, k: usize, seed: u64) -> Self {
+        assert!(fst.num_states() > 0, "compress: empty LM");
+        assert_eq!(fst.start(), 0, "compress: LM root must be state 0");
+        assert!(
+            fst.num_states() < (1 << DEST_BITS),
+            "compress: {} states exceed the 21-bit destination field",
+            fst.num_states()
+        );
+        assert!(fst.is_ilabel_sorted(), "compress: LM arcs must be sorted");
+
+        let weights: Vec<f32> = fst
+            .states()
+            .flat_map(|s| fst.arcs(s).iter().map(|a| a.weight))
+            .collect();
+        assert!(k <= 64, "compress: the LM format stores 6-bit weight indices (k <= 64)");
+        let quant = WeightQuantizer::fit(&weights, k, seed);
+
+        let mut w = BitWriter::new();
+        let mut states = Vec::with_capacity(fst.num_states());
+
+        // Root: positional unigram arcs.
+        let root_arcs = fst.arcs(0);
+        for (i, a) in root_arcs.iter().enumerate() {
+            assert_eq!(a.ilabel, i as Label + 1, "root arc {i} is not word {}", i + 1);
+            assert_eq!(a.nextstate, i as StateId + 1, "root arc {i} breaks the dest invariant");
+        }
+        states.push(StateRec { bit_offset: 0, num_word_arcs: root_arcs.len() as u32, has_backoff: false });
+        for a in root_arcs {
+            w.push(u64::from(quant.encode(a.weight)), WEIGHT_BITS);
+        }
+
+        // Remaining states: fixed-width word arcs, optional back-off last.
+        for s in 1..fst.num_states() as StateId {
+            let arcs = fst.arcs(s);
+            let eps_count = arcs.iter().filter(|a| a.ilabel == EPSILON).count();
+            assert!(eps_count <= 1, "state {s}: multiple back-off arcs");
+            let has_backoff = eps_count == 1;
+            let num_word_arcs = arcs.len() - eps_count;
+            states.push(StateRec {
+                bit_offset: w.len_bits(),
+                num_word_arcs: num_word_arcs as u32,
+                has_backoff,
+            });
+            for a in &arcs[..num_word_arcs] {
+                assert!(a.ilabel < (1 << WORD_BITS), "word id {} exceeds 18 bits", a.ilabel);
+                w.push(u64::from(a.ilabel), WORD_BITS);
+                w.push(u64::from(a.nextstate), DEST_BITS);
+                w.push(u64::from(quant.encode(a.weight)), WEIGHT_BITS);
+            }
+            if has_backoff {
+                let back = arcs.last().unwrap();
+                assert_eq!(back.ilabel, EPSILON, "state {s}: back-off arc must be last");
+                w.push(u64::from(back.nextstate), DEST_BITS);
+                w.push(u64::from(quant.encode(back.weight)), WEIGHT_BITS);
+            }
+        }
+
+        CompressedLm { states, reader: BitReader::new(w.finish()), quant }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of word-labelled arcs at `s`.
+    pub fn num_word_arcs(&self, s: StateId) -> u32 {
+        self.states[s as usize].num_word_arcs
+    }
+
+    /// Total compressed size in bytes (bit stream + 8-byte state records
+    /// + centroid table).
+    pub fn size_bytes(&self) -> u64 {
+        self.reader.buf().size_bytes() + self.states.len() as u64 * 8 + self.quant.table_bytes()
+    }
+
+    /// Decodes the `i`-th word arc of `s`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn word_arc(&self, s: StateId, i: u32) -> Arc {
+        let rec = &self.states[s as usize];
+        assert!(i < rec.num_word_arcs, "word_arc: index {i} out of range at state {s}");
+        if s == 0 {
+            let off = rec.bit_offset + u64::from(i) * UNIGRAM_ARC_BITS;
+            let widx = self.reader.read(off, WEIGHT_BITS) as u8;
+            Arc::new(i + 1, i + 1, self.quant.decode(widx), i + 1)
+        } else {
+            let off = rec.bit_offset + u64::from(i) * REGULAR_ARC_BITS;
+            let word = self.reader.read(off, WORD_BITS) as u32;
+            let dest = self.reader.read(off + u64::from(WORD_BITS), DEST_BITS) as u32;
+            let widx = self
+                .reader
+                .read(off + u64::from(WORD_BITS) + u64::from(DEST_BITS), WEIGHT_BITS)
+                as u8;
+            Arc::new(word, word, self.quant.decode(widx), dest)
+        }
+    }
+
+    /// Bit offset of the `i`-th word arc of `s` (address modeling).
+    pub fn word_arc_bit_offset(&self, s: StateId, i: u32) -> u64 {
+        let rec = &self.states[s as usize];
+        let width = if s == 0 { UNIGRAM_ARC_BITS } else { REGULAR_ARC_BITS };
+        rec.bit_offset + u64::from(i) * width
+    }
+
+    /// The back-off arc of `s`, if present.
+    pub fn backoff_arc(&self, s: StateId) -> Option<Arc> {
+        let rec = &self.states[s as usize];
+        if !rec.has_backoff {
+            return None;
+        }
+        let off = rec.bit_offset + u64::from(rec.num_word_arcs) * REGULAR_ARC_BITS;
+        let dest = self.reader.read(off, DEST_BITS) as u32;
+        let widx = self.reader.read(off + u64::from(DEST_BITS), WEIGHT_BITS) as u8;
+        Some(Arc::epsilon(self.quant.decode(widx), dest))
+    }
+
+    /// Looks up `word` at `s`: O(1) positional access at the root,
+    /// binary search over the fixed-width arcs elsewhere.
+    ///
+    /// # Panics
+    /// Panics if `word` is epsilon.
+    pub fn lookup(&self, s: StateId, word: Label) -> LmLookup {
+        assert_ne!(word, EPSILON, "lookup: cannot search for epsilon");
+        let rec = &self.states[s as usize];
+        if s == 0 {
+            // Root: i-th arc is word i+1.
+            if word <= rec.num_word_arcs {
+                return LmLookup {
+                    arc: Some(self.word_arc(0, word - 1)),
+                    probes: 1,
+                    bit_offset: self.word_arc_bit_offset(0, word - 1),
+                };
+            }
+            return LmLookup { arc: None, probes: 1, bit_offset: rec.bit_offset };
+        }
+        let mut lo = 0u32;
+        let mut hi = rec.num_word_arcs;
+        let mut probes = 0;
+        let mut last_off = rec.bit_offset;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probes += 1;
+            last_off = self.word_arc_bit_offset(s, mid);
+            let a = self.word_arc(s, mid);
+            match a.ilabel.cmp(&word) {
+                std::cmp::Ordering::Equal => {
+                    return LmLookup { arc: Some(a), probes, bit_offset: last_off }
+                }
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        LmLookup { arc: None, probes: probes.max(1), bit_offset: last_off }
+    }
+
+    /// Resolves `word` from `s` with full back-off semantics; mirrors
+    /// `unfold_wfst::compose::resolve_lm_word` on the compressed form.
+    ///
+    /// Returns `(destination, total_cost, backoff_hops, total_probes)`.
+    pub fn resolve(&self, s: StateId, word: Label) -> Option<(StateId, f32, u32, u32)> {
+        let mut state = s;
+        let mut cost = 0.0f32;
+        let mut hops = 0u32;
+        let mut probes = 0u32;
+        loop {
+            let res = self.lookup(state, word);
+            probes += res.probes;
+            if let Some(arc) = res.arc {
+                return Some((arc.nextstate, cost + arc.weight, hops, probes));
+            }
+            let back = self.backoff_arc(state)?;
+            cost += back.weight;
+            state = back.nextstate;
+            hops += 1;
+            assert!(hops <= 8, "resolve: back-off chain too long");
+        }
+    }
+
+    /// Serializes to the `UNFL` container (see [`crate::io`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::default();
+        w.out.extend_from_slice(&LM_MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u32(self.states.len() as u32);
+        w.u32(self.quant.num_clusters() as u32);
+        for &c in self.quant.centroids() {
+            w.f32(c);
+        }
+        for rec in &self.states {
+            w.u64(rec.bit_offset);
+            w.u32(rec.num_word_arcs);
+            w.u32(u32::from(rec.has_backoff));
+        }
+        let buf = self.reader.buf();
+        w.u64(buf.len_bits());
+        w.u32(buf.words().len() as u32);
+        for &word in buf.words() {
+            w.u64(word);
+        }
+        w.out
+    }
+
+    /// Deserializes from the `UNFL` container, validating structure
+    /// before returning.
+    ///
+    /// # Errors
+    /// Returns [`ModelIoError`] on bad magic/version, truncation, or
+    /// structurally invalid content.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(4)? != LM_MAGIC {
+            return Err(ModelIoError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(ModelIoError::BadVersion(version));
+        }
+        let num_states = r.u32()? as usize;
+        if num_states == 0 || num_states >= (1 << DEST_BITS) {
+            return Err(ModelIoError::Corrupt("state count out of range"));
+        }
+        let k = r.u32()? as usize;
+        if k == 0 || k > 64 {
+            return Err(ModelIoError::Corrupt("cluster count out of range"));
+        }
+        let mut centroids = Vec::with_capacity(k);
+        for _ in 0..k {
+            centroids.push(r.f32()?);
+        }
+        if !centroids.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(ModelIoError::Corrupt("codebook not sorted"));
+        }
+        if num_states.checked_mul(16).map_or(true, |n| n > r.remaining()) {
+            return Err(ModelIoError::Truncated);
+        }
+        let mut states = Vec::with_capacity(num_states);
+        for _ in 0..num_states {
+            let bit_offset = r.u64()?;
+            let num_word_arcs = r.u32()?;
+            let has_backoff = r.u32()? != 0;
+            states.push(StateRec { bit_offset, num_word_arcs, has_backoff });
+        }
+        let len_bits = r.u64()?;
+        let num_words = r.u32()? as usize;
+        if len_bits > num_words as u64 * 64 {
+            return Err(ModelIoError::Corrupt("bit length exceeds words"));
+        }
+        if num_words.checked_mul(8).map_or(true, |n| n > r.remaining()) {
+            return Err(ModelIoError::Truncated);
+        }
+        let mut words = Vec::with_capacity(num_words);
+        for _ in 0..num_words {
+            words.push(r.u64()?);
+        }
+        if !r.done() {
+            return Err(ModelIoError::Corrupt("trailing bytes"));
+        }
+        let lm = CompressedLm {
+            states,
+            reader: BitReader::new(BitBuf::from_raw(words, len_bits)),
+            quant: WeightQuantizer::from_centroids(centroids),
+        };
+        lm.validate()?;
+        Ok(lm)
+    }
+
+    /// Structural validation: blocks within bounds and contiguous,
+    /// word arcs sorted, destinations in range, root back-off absent.
+    fn validate(&self) -> Result<(), ModelIoError> {
+        let len = self.reader.buf().len_bits();
+        let n = self.states.len() as u32;
+        if self.states[0].has_backoff {
+            return Err(ModelIoError::Corrupt("root state has a back-off arc"));
+        }
+        for (i, rec) in self.states.iter().enumerate() {
+            let width = if i == 0 { UNIGRAM_ARC_BITS } else { REGULAR_ARC_BITS };
+            let mut end = rec
+                .bit_offset
+                .checked_add(u64::from(rec.num_word_arcs) * width)
+                .ok_or(ModelIoError::Corrupt("offset overflow"))?;
+            if rec.has_backoff {
+                end += BACKOFF_ARC_BITS;
+            }
+            if end > len {
+                return Err(ModelIoError::Corrupt("arc block past end of stream"));
+            }
+            if i > 0 {
+                let mut prev_word = 0u32;
+                for a in 0..rec.num_word_arcs {
+                    let arc = self.word_arc(i as StateId, a);
+                    if arc.ilabel <= prev_word {
+                        return Err(ModelIoError::Corrupt("word arcs not sorted"));
+                    }
+                    prev_word = arc.ilabel;
+                    if arc.nextstate >= n {
+                        return Err(ModelIoError::Corrupt("destination out of range"));
+                    }
+                }
+                if let Some(back) = self.backoff_arc(i as StateId) {
+                    if back.nextstate >= n {
+                        return Err(ModelIoError::Corrupt("back-off destination out of range"));
+                    }
+                }
+            }
+            let next_off = self.states.get(i + 1).map_or(len, |nr| nr.bit_offset);
+            if end != next_off {
+                return Err(ModelIoError::Corrupt("arc blocks not contiguous"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fully decompresses into a [`Wfst`] with quantized weights.
+    pub fn to_wfst(&self) -> Wfst {
+        let mut b = WfstBuilder::with_states(self.states.len());
+        b.set_start(0);
+        for s in 0..self.states.len() as StateId {
+            b.set_final(s, 0.0);
+        }
+        for s in 0..self.states.len() as StateId {
+            for i in 0..self.states[s as usize].num_word_arcs {
+                b.add_arc(s, self.word_arc(s, i));
+            }
+            if let Some(back) = self.backoff_arc(s) {
+                b.add_arc(s, back);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+    use unfold_wfst::compose::resolve_lm_word;
+    use unfold_wfst::SizeModel;
+
+    fn lm_fst() -> Wfst {
+        let spec = CorpusSpec { vocab_size: 120, num_sentences: 500, ..Default::default() };
+        let corpus = spec.generate(77);
+        let model = NGramModel::train(&corpus, 120, DiscountConfig::default());
+        lm_to_wfst(&model)
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let fst = lm_fst();
+        let comp = CompressedLm::compress(&fst, 64, 0);
+        let rt = comp.to_wfst();
+        assert_eq!(rt.num_states(), fst.num_states());
+        assert_eq!(rt.num_arcs(), fst.num_arcs());
+        for s in fst.states() {
+            let (o, d) = (fst.arcs(s), rt.arcs(s));
+            assert_eq!(o.len(), d.len(), "state {s}");
+            for (a, b) in o.iter().zip(d) {
+                assert_eq!(a.ilabel, b.ilabel);
+                assert_eq!(a.nextstate, b.nextstate);
+                assert!((a.weight - b.weight).abs() < 2.0, "tail outlier beyond codebook reach");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_matches_uncompressed_binary_search() {
+        let fst = lm_fst();
+        let comp = CompressedLm::compress(&fst, 64, 0);
+        for s in (0..fst.num_states() as StateId).step_by(13) {
+            for word in (1..=120u32).step_by(7) {
+                let (want, _) = fst.find_arc(s, word);
+                let got = comp.lookup(s, word);
+                assert_eq!(
+                    want.map(|a| (a.ilabel, a.nextstate)),
+                    got.arc.map(|a| (a.ilabel, a.nextstate)),
+                    "state {s} word {word}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_lookup_is_one_probe() {
+        let comp = CompressedLm::compress(&lm_fst(), 64, 0);
+        for word in [1u32, 60, 120] {
+            let res = comp.lookup(0, word);
+            assert_eq!(res.probes, 1);
+            assert_eq!(res.arc.unwrap().nextstate, word);
+        }
+    }
+
+    #[test]
+    fn resolve_matches_uncompressed_up_to_quantization() {
+        let fst = lm_fst();
+        let comp = CompressedLm::compress(&fst, 64, 0);
+        for s in (0..fst.num_states() as StateId).step_by(11) {
+            for word in (1..=120u32).step_by(17) {
+                let (d0, w0, h0) = resolve_lm_word(&fst, s, word).unwrap();
+                let (d1, w1, h1, _) = comp.resolve(s, word).unwrap();
+                assert_eq!(d0, d1, "dest mismatch at state {s} word {word}");
+                assert_eq!(h0, h1, "hop mismatch at state {s} word {word}");
+                // Back-off chains accumulate up to 3 quantized weights.
+                assert!((w0 - w1).abs() < 2.0, "cost {w0} vs {w1}");
+            }
+        }
+    }
+
+    #[test]
+    fn compression_ratio_is_large() {
+        let fst = lm_fst();
+        let comp = CompressedLm::compress(&fst, 64, 0);
+        let ratio = SizeModel::UNCOMPRESSED.bytes(&fst) as f64 / comp.size_bytes() as f64;
+        assert!(ratio > 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn backoff_arcs_present_on_non_root_states() {
+        let fst = lm_fst();
+        let comp = CompressedLm::compress(&fst, 64, 0);
+        assert!(comp.backoff_arc(0).is_none());
+        for s in 1..comp.num_states() as StateId {
+            assert!(comp.backoff_arc(s).is_some(), "state {s} lost its back-off arc");
+        }
+    }
+
+    #[test]
+    fn byte_serialization_roundtrips_exactly() {
+        let comp = CompressedLm::compress(&lm_fst(), 64, 0);
+        let bytes = comp.to_bytes();
+        let back = CompressedLm::from_bytes(&bytes).expect("valid container");
+        assert_eq!(back.num_states(), comp.num_states());
+        for s in (0..comp.num_states() as StateId).step_by(13) {
+            for w in (1..=120u32).step_by(11) {
+                assert_eq!(back.lookup(s, w).arc, comp.lookup(s, w).arc);
+            }
+            assert_eq!(back.backoff_arc(s), comp.backoff_arc(s));
+        }
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn corrupt_lm_bytes_are_rejected() {
+        use crate::io::ModelIoError;
+        let comp = CompressedLm::compress(&lm_fst(), 64, 0);
+        let good = comp.to_bytes();
+        let mut bad = good.clone();
+        bad[1] = b'?';
+        assert_eq!(CompressedLm::from_bytes(&bad).unwrap_err(), ModelIoError::BadMagic);
+        assert_eq!(
+            CompressedLm::from_bytes(&good[..20]).unwrap_err(),
+            ModelIoError::Truncated
+        );
+        // Corrupt a state-record bit offset: header = 16 bytes,
+        // codebook = 64 * 4; records are 16 bytes each, offset first.
+        let mut flipped = good.clone();
+        let state3_offset = 16 + 64 * 4 + 3 * 16;
+        flipped[state3_offset] ^= 0x5A;
+        assert!(CompressedLm::from_bytes(&flipped).is_err());
+    }
+
+    #[test]
+    fn arc_widths_match_paper() {
+        assert_eq!(REGULAR_ARC_BITS, 45);
+        assert_eq!(BACKOFF_ARC_BITS, 27);
+        assert_eq!(UNIGRAM_ARC_BITS, 6);
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline-composed decoding graph, at realistic size.
+//!
+//! Real toolchains build the unified recognition network by composing
+//! L (lexicon) with G (the n-gram LM), expanding HMM states, and
+//! *determinizing*: the words leaving one LM state share a pronunciation
+//! prefix tree instead of one chain per word. That keeps the result at
+//! roughly `LM arcs × pronunciation states` — an order of magnitude
+//! beyond the two inputs (Table 1) — and keeps the active search set
+//! comparable to the on-the-fly decoder's (one tree position per live
+//! LM history).
+//!
+//! [`build_composed_lg`] reproduces that construction: every LM state
+//! becomes an anchor; a prefix tree over the state's outgoing words is
+//! expanded into HMM chains; word identity (and the LM weight) is
+//! applied on the leaf's cross-word arc to the destination anchor;
+//! back-off arcs become epsilon arcs between anchors. The result is
+//! search-equivalent to on-the-fly composition (same best path, same
+//! words), which the integration tests verify.
+//!
+//! (`unfold_wfst::compose_am_lm` — the exact pair-space product — is
+//! still used by the small-scale equivalence tests; it is exponentially
+//! larger than what real toolchains ship, so it is not used for size
+//! accounting.)
+
+use std::collections::HashMap;
+
+use unfold_am::{HmmTopology, Lexicon, PhonemeId};
+use unfold_lm::graph::LmWfstLayout;
+use unfold_lm::NGramModel;
+use unfold_wfst::{Arc, StateId, Wfst, WfstBuilder, EPSILON};
+
+/// Negative log of the HMM self-loop probability (matches the AM).
+const SELF_LOOP_COST: f32 = core::f32::consts::LN_2;
+/// Negative log of the HMM advance probability.
+const ADVANCE_COST: f32 = core::f32::consts::LN_2;
+
+/// One outgoing word of an LM state, destined for another anchor.
+struct WordExit {
+    word: u32,
+    lm_cost: f32,
+    dest_anchor: StateId,
+}
+
+/// Expands the prefix tree of `exits` from `anchor`, adding HMM chains
+/// and leaf cross-word arcs.
+fn expand_prefix_tree(
+    b: &mut WfstBuilder,
+    lexicon: &Lexicon,
+    topology: HmmTopology,
+    anchor: StateId,
+    exits: &[WordExit],
+) {
+    struct Node {
+        children: Vec<(PhonemeId, usize)>,
+        words: Vec<usize>, // indices into exits
+    }
+    let mut trie = vec![Node { children: Vec::new(), words: Vec::new() }];
+    for (i, e) in exits.iter().enumerate() {
+        let mut node = 0usize;
+        for &ph in lexicon.pronunciation(e.word) {
+            node = match trie[node].children.iter().find(|&&(p, _)| p == ph) {
+                Some(&(_, n)) => n,
+                None => {
+                    let n = trie.len();
+                    trie.push(Node { children: Vec::new(), words: Vec::new() });
+                    trie[node].children.push((ph, n));
+                    n
+                }
+            };
+        }
+        trie[node].words.push(i);
+    }
+
+    // DFS expansion (same state-allocation discipline as `build_am`,
+    // so arcs stay local and the graph stays cache-friendly).
+    let mut stack: Vec<(usize, StateId)> = vec![(0, anchor)];
+    while let Some((node, entry)) = stack.pop() {
+        for &wi in &trie[node].words {
+            let e = &exits[wi];
+            b.add_arc(entry, Arc::new(EPSILON, e.word, e.lm_cost, e.dest_anchor));
+        }
+        for i in (0..trie[node].children.len()).rev() {
+            let (ph, child) = trie[node].children[i];
+            let mut prev = entry;
+            for pdf in topology.pdfs(ph) {
+                let s = b.add_state();
+                b.add_arc(prev, Arc::new(pdf, EPSILON, ADVANCE_COST, s));
+                b.add_arc(s, Arc::new(pdf, EPSILON, SELF_LOOP_COST, s));
+                prev = s;
+            }
+            stack.push((child, prev));
+        }
+    }
+}
+
+/// Builds the offline-composed decoding graph for `model` over
+/// `lexicon` with the given HMM `topology`.
+///
+/// # Panics
+/// Panics if the lexicon vocabulary is smaller than the LM's.
+pub fn build_composed_lg(
+    lexicon: &Lexicon,
+    topology: HmmTopology,
+    model: &NGramModel,
+) -> Wfst {
+    assert!(
+        lexicon.vocab_size() >= model.vocab_size(),
+        "build_composed_lg: lexicon smaller than LM vocabulary"
+    );
+    let v = model.vocab_size();
+    // Anchors mirror LM states 1:1 (same layout as `lm_to_wfst`).
+    let mut tri_hists: Vec<(u32, u32)> = model.trigram_histories().collect();
+    tri_hists.sort_unstable();
+    let mut bigram_states = HashMap::new();
+    let first_bigram_state = (v + 1) as StateId;
+    for (i, &h) in tri_hists.iter().enumerate() {
+        bigram_states.insert(h, first_bigram_state + i as StateId);
+    }
+    let layout = LmWfstLayout { vocab_size: v, bigram_states };
+    let num_anchors = v + 1 + tri_hists.len();
+
+    let mut b = WfstBuilder::with_states(num_anchors);
+    b.set_start(0);
+    for a in 0..num_anchors {
+        b.set_final(a as StateId, 0.0);
+    }
+
+    // Root anchor: the full vocabulary (unigrams).
+    let root_exits: Vec<WordExit> = (1..=v as u32)
+        .map(|w| WordExit { word: w, lm_cost: model.unigram_cost(w), dest_anchor: w })
+        .collect();
+    expand_prefix_tree(&mut b, lexicon, topology, 0, &root_exits);
+
+    // Unigram-history anchors: kept bigrams + back-off epsilon.
+    for u in 1..=v as u32 {
+        let exits: Vec<WordExit> = model
+            .bigram_arcs(u)
+            .iter()
+            .map(|&(w, cost)| WordExit { word: w, lm_cost: cost, dest_anchor: layout.state_for(&[u, w]) })
+            .collect();
+        expand_prefix_tree(&mut b, lexicon, topology, u, &exits);
+        b.add_arc(u, Arc::epsilon(model.bigram_backoff_cost(u), 0));
+    }
+
+    // Bigram-history anchors: kept trigrams + back-off epsilon.
+    for &(u, vv) in &tri_hists {
+        let s = layout.state_for(&[u, vv]);
+        let exits: Vec<WordExit> = model
+            .trigram_arcs(u, vv)
+            .iter()
+            .map(|&(w, cost)| WordExit { word: w, lm_cost: cost, dest_anchor: layout.state_for(&[vv, w]) })
+            .collect();
+        expand_prefix_tree(&mut b, lexicon, topology, s, &exits);
+        b.add_arc(s, Arc::epsilon(model.trigram_backoff_cost(u, vv), vv));
+    }
+
+    // CTC blank self-loop on the root anchor, matching the AM.
+    if let Some(blank) = topology.blank_pdf(lexicon.num_phonemes()) {
+        b.add_arc(0, Arc::new(blank, EPSILON, SELF_LOOP_COST, 0));
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unfold_lm::{CorpusSpec, DiscountConfig};
+    use unfold_wfst::SizeModel;
+
+    fn build() -> (Lexicon, NGramModel, Wfst) {
+        let lex = Lexicon::generate(100, 25, 8);
+        let spec = CorpusSpec { vocab_size: 100, num_sentences: 800, ..Default::default() };
+        let model = NGramModel::train(&spec.generate(9), 100, DiscountConfig::default());
+        let lg = build_composed_lg(&lex, HmmTopology::Kaldi3State, &model);
+        (lex, model, lg)
+    }
+
+    #[test]
+    fn size_explodes_past_inputs() {
+        let (lex, model, lg) = build();
+        let am = unfold_am::build_am(&lex, HmmTopology::Kaldi3State);
+        let lm = unfold_lm::lm_to_wfst(&model);
+        let composed = SizeModel::UNCOMPRESSED.bytes(&lg);
+        let parts = SizeModel::UNCOMPRESSED.bytes(&am.fst) + SizeModel::UNCOMPRESSED.bytes(&lm);
+        assert!(
+            composed > 3 * parts,
+            "composed {composed} should dwarf AM+LM {parts}"
+        );
+    }
+
+    #[test]
+    fn anchors_are_all_final_with_backoff_epsilons() {
+        let (_, model, lg) = build();
+        let v = model.vocab_size() as StateId;
+        for a in 0..=v {
+            assert_eq!(lg.final_weight(a), Some(0.0));
+        }
+        for u in 1..=v {
+            assert!(lg
+                .arcs(u)
+                .iter()
+                .any(|arc| arc.ilabel == EPSILON && arc.olabel == EPSILON && arc.nextstate == 0));
+        }
+    }
+
+    #[test]
+    fn root_shares_pronunciation_prefixes() {
+        // Determinization: the root anchor has at most one outgoing
+        // chain per distinct first phoneme, far fewer than V.
+        let (lex, model, lg) = build();
+        let first_phonemes: std::collections::HashSet<_> = (1..=model.vocab_size() as u32)
+            .map(|w| lex.pronunciation(w)[0])
+            .collect();
+        // Root arcs: one advance arc per distinct first phoneme (plus
+        // any single-phoneme word-end arcs; our lexicon min length is 2).
+        assert_eq!(lg.arcs(0).len(), first_phonemes.len());
+    }
+
+    #[test]
+    fn every_word_has_a_cross_word_arc() {
+        let (_, model, lg) = build();
+        let mut words = std::collections::HashSet::new();
+        for s in lg.states() {
+            for a in lg.arcs(s) {
+                if a.is_cross_word() {
+                    words.insert(a.olabel);
+                }
+            }
+        }
+        // Every vocabulary word leaves the root trie at least once.
+        assert_eq!(words.len(), model.vocab_size());
+    }
+
+    #[test]
+    fn ctc_variant_is_smaller() {
+        let lex = Lexicon::generate(100, 25, 8);
+        let spec = CorpusSpec { vocab_size: 100, num_sentences: 800, ..Default::default() };
+        let model = NGramModel::train(&spec.generate(9), 100, DiscountConfig::default());
+        let kaldi = build_composed_lg(&lex, HmmTopology::Kaldi3State, &model);
+        let ctc = build_composed_lg(&lex, HmmTopology::Ctc, &model);
+        assert!(ctc.num_states() < kaldi.num_states());
+    }
+}

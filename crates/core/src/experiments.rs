@@ -1,0 +1,264 @@
+//! One-call experiment runners: decode a batch of utterances on a
+//! system configuration, simulate the hardware, and score the output.
+//!
+//! Three configurations mirror the paper's §5 comparisons:
+//!
+//! * [`run_unfold`] — on-the-fly decoder over the *compressed* AM/LM,
+//!   simulated on the UNFOLD accelerator (Table 3 left),
+//! * [`run_baseline`] — fully-composed decoder over the offline graph,
+//!   simulated on the Reza et al. accelerator (Table 3 right),
+//! * [`run_gpu`] — the Tegra X1 analytic model fed with the software
+//!   decoder's statistics.
+
+use unfold_am::Utterance;
+use unfold_decoder::{
+    wer, DecodeConfig, DecodeStats, FullyComposedDecoder, OtfDecoder, WerReport,
+};
+use unfold_sim::{Accelerator, AcceleratorConfig, GpuModel, SimReport};
+
+use crate::system::System;
+
+/// Outcome of running a batch on an accelerated configuration.
+#[derive(Debug, Clone)]
+pub struct SystemRun {
+    /// Accuracy over the batch.
+    pub wer: WerReport,
+    /// Hardware simulation report.
+    pub sim: SimReport,
+    /// Aggregated decoder statistics.
+    pub stats: DecodeStats,
+    /// Audio seconds decoded.
+    pub audio_seconds: f64,
+    /// Per-utterance decode time on the accelerator, seconds.
+    pub per_utterance_seconds: Vec<f64>,
+}
+
+impl SystemRun {
+    /// Mean per-utterance latency in milliseconds (Table 5).
+    pub fn avg_latency_ms(&self) -> f64 {
+        let n = self.per_utterance_seconds.len().max(1) as f64;
+        self.per_utterance_seconds.iter().sum::<f64>() / n * 1e3
+    }
+
+    /// Worst per-utterance latency in milliseconds (Table 5).
+    pub fn max_latency_ms(&self) -> f64 {
+        self.per_utterance_seconds.iter().copied().fold(0.0, f64::max) * 1e3
+    }
+}
+
+/// Aggregates per-utterance decode stats into one batch total.
+fn merge_stats(total: &mut DecodeStats, one: &DecodeStats) {
+    total.frames += one.frames;
+    total.tokens_created += one.tokens_created;
+    total.tokens_pruned += one.tokens_pruned;
+    total.max_active = total.max_active.max(one.max_active);
+    total.total_active += one.total_active;
+    total.lm_lookups += one.lm_lookups;
+    total.lm_fetches += one.lm_fetches;
+    total.backoff_hops += one.backoff_hops;
+    total.preemptive_prunes += one.preemptive_prunes;
+    total.epsilon_expansions += one.epsilon_expansions;
+}
+
+/// Runs UNFOLD: on-the-fly decode of the compressed models, simulated
+/// on the UNFOLD accelerator configuration.
+pub fn run_unfold(system: &System, utterances: &[Utterance]) -> SystemRun {
+    run_unfold_configured(system, utterances, AcceleratorConfig::unfold(), DecodeConfig::default())
+}
+
+/// [`run_unfold`] with explicit accelerator/decoder configurations
+/// (used by the cache/OLT sweeps and ablations).
+pub fn run_unfold_configured(
+    system: &System,
+    utterances: &[Utterance],
+    accel_config: AcceleratorConfig,
+    decode_config: DecodeConfig,
+) -> SystemRun {
+    assert!(!utterances.is_empty(), "run_unfold: no utterances");
+    let decoder = OtfDecoder::new(decode_config);
+    let mut accel = Accelerator::new(accel_config);
+    let mut total_wer = WerReport::default();
+    let mut stats = DecodeStats::default();
+    let mut audio = 0.0;
+    let mut per_utt = Vec::with_capacity(utterances.len());
+    let freq_hz = accel.config().frequency_mhz as f64 * 1e6;
+    for utt in utterances {
+        let c0 = accel.cycles();
+        let res = decoder.decode(&system.am_comp, &system.lm_comp, &utt.scores, &mut accel);
+        per_utt.push((accel.cycles() - c0) as f64 / freq_hz);
+        total_wer.accumulate(wer(&utt.words, &res.words));
+        merge_stats(&mut stats, &res.stats);
+        audio += utt.audio_seconds();
+    }
+    let sim = accel.finish(audio);
+    SystemRun { wer: total_wer, sim, stats, audio_seconds: audio, per_utterance_seconds: per_utt }
+}
+
+/// Runs the Reza et al. baseline: fully-composed decode on the offline
+/// graph, simulated on the baseline accelerator.
+///
+/// The composed graph is built once per call — pass it in when running
+/// several experiments on one system.
+pub fn run_baseline(system: &System, utterances: &[Utterance]) -> SystemRun {
+    let composed = system.composed();
+    run_baseline_on(system, &composed, utterances)
+}
+
+/// [`run_baseline`] against a pre-built composed graph.
+pub fn run_baseline_on(
+    system: &System,
+    composed: &unfold_wfst::Wfst,
+    utterances: &[Utterance],
+) -> SystemRun {
+    run_baseline_configured(system, composed, utterances, AcceleratorConfig::reza(), DecodeConfig::default())
+}
+
+/// [`run_baseline_on`] with explicit accelerator/decoder configurations.
+pub fn run_baseline_configured(
+    _system: &System,
+    composed: &unfold_wfst::Wfst,
+    utterances: &[Utterance],
+    accel_config: AcceleratorConfig,
+    decode_config: DecodeConfig,
+) -> SystemRun {
+    assert!(!utterances.is_empty(), "run_baseline: no utterances");
+    let decoder = FullyComposedDecoder::new(decode_config);
+    let mut accel = Accelerator::new(accel_config);
+    let mut total_wer = WerReport::default();
+    let mut stats = DecodeStats::default();
+    let mut audio = 0.0;
+    let mut per_utt = Vec::with_capacity(utterances.len());
+    let freq_hz = accel.config().frequency_mhz as f64 * 1e6;
+    for utt in utterances {
+        let c0 = accel.cycles();
+        let res = decoder.decode(composed, &utt.scores, &mut accel);
+        per_utt.push((accel.cycles() - c0) as f64 / freq_hz);
+        total_wer.accumulate(wer(&utt.words, &res.words));
+        merge_stats(&mut stats, &res.stats);
+        audio += utt.audio_seconds();
+    }
+    let sim = accel.finish(audio);
+    SystemRun { wer: total_wer, sim, stats, audio_seconds: audio, per_utterance_seconds: per_utt }
+}
+
+/// Outcome of the GPU (Tegra X1) software run.
+#[derive(Debug, Clone)]
+pub struct GpuRun {
+    /// Viterbi-search time, seconds.
+    pub search_seconds: f64,
+    /// Viterbi-search energy, mJ.
+    pub search_energy_mj: f64,
+    /// Acoustic-scoring time, seconds.
+    pub scoring_seconds: f64,
+    /// Acoustic-scoring energy, mJ.
+    pub scoring_energy_mj: f64,
+    /// Audio seconds decoded.
+    pub audio_seconds: f64,
+    /// Per-utterance search latency, seconds.
+    pub per_utterance_seconds: Vec<f64>,
+}
+
+impl GpuRun {
+    /// GPU-only end-to-end decode time (scoring + search), seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.search_seconds + self.scoring_seconds
+    }
+
+    /// Fraction of GPU time spent in the Viterbi search (Figure 1).
+    pub fn viterbi_fraction(&self) -> f64 {
+        self.search_seconds / self.total_seconds()
+    }
+}
+
+/// Runs the software decoder and prices it with the Tegra X1 model.
+pub fn run_gpu(system: &System, utterances: &[Utterance]) -> GpuRun {
+    assert!(!utterances.is_empty(), "run_gpu: no utterances");
+    let gpu = GpuModel::default();
+    let decoder = OtfDecoder::new(DecodeConfig::default());
+    let mut search_s = 0.0;
+    let mut search_mj = 0.0;
+    let mut frames = 0usize;
+    let mut audio = 0.0;
+    let mut per_utt = Vec::with_capacity(utterances.len());
+    for utt in utterances {
+        let res = decoder.decode(
+            &system.am.fst,
+            &system.lm_fst,
+            &utt.scores,
+            &mut unfold_decoder::NullSink,
+        );
+        let t = gpu.viterbi_seconds(&res.stats);
+        per_utt.push(t);
+        search_s += t;
+        search_mj += gpu.viterbi_energy_mj(&res.stats);
+        frames += utt.scores.num_frames();
+        audio += utt.audio_seconds();
+    }
+    GpuRun {
+        search_seconds: search_s,
+        search_energy_mj: search_mj,
+        scoring_seconds: gpu.scoring_seconds(&system.spec.backend, frames),
+        scoring_energy_mj: gpu.scoring_energy_mj(&system.spec.backend, frames),
+        audio_seconds: audio,
+        per_utterance_seconds: per_utt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+
+    fn setup() -> (System, Vec<Utterance>) {
+        let s = System::build(&TaskSpec::tiny());
+        let utts = s.test_utterances(3);
+        (s, utts)
+    }
+
+    #[test]
+    fn unfold_run_produces_sane_report() {
+        let (s, utts) = setup();
+        let run = run_unfold(&s, &utts);
+        assert!(run.wer.ref_words > 0);
+        assert!(run.sim.cycles > 0);
+        assert!(run.sim.times_real_time() > 1.0, "accelerator must beat real time");
+        assert!(run.stats.lm_lookups > 0);
+        assert_eq!(run.per_utterance_seconds.len(), 3);
+        assert!(run.max_latency_ms() >= run.avg_latency_ms());
+    }
+
+    #[test]
+    fn baseline_and_unfold_agree_on_words_mostly() {
+        // The two systems search equivalent graphs; on a quiet task
+        // their word outputs should be nearly identical.
+        let (s, utts) = setup();
+        let a = run_unfold(&s, &utts);
+        let b = run_baseline(&s, &utts);
+        let delta = (a.wer.percent() - b.wer.percent()).abs();
+        assert!(delta < 10.0, "WER divergence {delta} too large");
+    }
+
+    #[test]
+    fn unfold_moves_less_memory_than_baseline() {
+        // The paper's core claim: smaller datasets → fewer cache misses
+        // → less DRAM traffic (68% fewer accesses, Figure 11).
+        let (s, utts) = setup();
+        let a = run_unfold(&s, &utts);
+        let b = run_baseline(&s, &utts);
+        assert!(
+            a.sim.dram.total_bytes() < b.sim.dram.total_bytes(),
+            "UNFOLD {} vs baseline {}",
+            a.sim.dram.total_bytes(),
+            b.sim.dram.total_bytes()
+        );
+    }
+
+    #[test]
+    fn gpu_run_is_much_slower_than_accelerators() {
+        let (s, utts) = setup();
+        let accel = run_unfold(&s, &utts);
+        let gpu = run_gpu(&s, &utts);
+        assert!(gpu.search_seconds > accel.sim.seconds * 3.0);
+        assert!(gpu.viterbi_fraction() > 0.5, "Viterbi must dominate (Figure 1)");
+    }
+}

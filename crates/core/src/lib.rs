@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! UNFOLD: a memory-efficient speech recognizer using on-the-fly WFST
+//! composition — full-system reproduction.
+//!
+//! This facade crate wires the substrates together into the paper's two
+//! end-to-end systems and its four evaluation tasks:
+//!
+//! * [`task`] — scaled synthetic equivalents of the paper's
+//!   Kaldi-TEDLIUM, Kaldi-Librispeech, Kaldi-Voxforge, and
+//!   EESEN-TEDLIUM setups,
+//! * [`system`] — builds everything a task needs (lexicon, AM, LM,
+//!   compressed models, test utterances) and reports dataset sizes,
+//! * [`composed`] — the realistic offline-composed decoding graph
+//!   (LM-arc expansion) whose size explosion motivates the paper,
+//! * [`experiments`] — one-call runners pairing a decoder with an
+//!   accelerator model: UNFOLD, the Reza et al. baseline, and the
+//!   Tegra X1 GPU.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use unfold::{System, TaskSpec};
+//! use unfold::experiments::run_unfold;
+//!
+//! let system = System::build(&TaskSpec::tiny());
+//! let utts = system.test_utterances(2);
+//! let run = run_unfold(&system, &utts);
+//! assert!(run.wer.percent() < 50.0);
+//! assert!(run.sim.times_real_time() > 1.0);
+//! ```
+
+pub mod composed;
+pub mod experiments;
+pub mod system;
+pub mod task;
+
+pub use composed::build_composed_lg;
+pub use experiments::{run_baseline, run_gpu, run_unfold, GpuRun, SystemRun};
+pub use system::{SizeTable, System};
+pub use task::{ScoringSynth, TaskSpec};

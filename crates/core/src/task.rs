@@ -1,0 +1,212 @@
+//! Task presets: scaled synthetic stand-ins for the paper's four ASR
+//! setups.
+//!
+//! The real tasks decode 60K–200K-word vocabularies with WFSTs beyond a
+//! gigabyte; a reproduction must fit in CI memory, so every preset is
+//! scaled down by roughly 75x in vocabulary while keeping the paper's
+//! *relative* proportions (Table 1): Voxforge ≪ TEDLIUM ≈ Librispeech,
+//! EESEN's LM bigger than Kaldi-TEDLIUM's, AM smaller than LM, composed
+//! an order of magnitude beyond both. The acoustic back-ends are scaled
+//! by the same factor so Figure 2's "the WFST dominates" shape is
+//! preserved.
+
+use unfold_am::{AcousticBackend, HmmTopology, NoiseModel};
+use unfold_lm::{CorpusSpec, DiscountConfig};
+
+/// How test-utterance acoustic scores are synthesized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoringSynth {
+    /// Score tables with the calibrated error model
+    /// ([`unfold_am::NoiseModel`]) — the default; WER is a controlled
+    /// parameter.
+    Table,
+    /// A real diagonal-covariance GMM ([`unfold_am::GmmModel`]):
+    /// feature vectors are sampled and scored with actual likelihood
+    /// arithmetic; WER emerges from Gaussian overlap.
+    RealGmm {
+        /// Feature dimensionality.
+        dim: usize,
+        /// Mixtures per PDF.
+        mixtures: usize,
+        /// Mean separation (smaller ⇒ more overlap ⇒ more errors).
+        separation: f32,
+    },
+}
+
+/// Everything needed to instantiate one evaluation task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpec {
+    /// Task name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Training-corpus sentences.
+    pub num_sentences: usize,
+    /// Phoneme inventory size.
+    pub phonemes: usize,
+    /// HMM topology (Kaldi 3-state vs EESEN CTC).
+    pub topology: HmmTopology,
+    /// N-gram pruning/discounting.
+    pub discount: DiscountConfig,
+    /// Acoustic scoring backend descriptor (scaled).
+    pub backend: AcousticBackend,
+    /// Acoustic score noise (the WER knob for [`ScoringSynth::Table`]).
+    pub noise: NoiseModel,
+    /// Score synthesis substrate.
+    pub scoring: ScoringSynth,
+    /// Master seed for all generators.
+    pub seed: u64,
+}
+
+impl TaskSpec {
+    /// Scaled Kaldi-TEDLIUM: GMM scoring, trigram LM, noisy spontaneous
+    /// speech (the paper's highest-WER task).
+    pub fn tedlium_kaldi() -> Self {
+        TaskSpec {
+            name: "Kaldi-TEDLIUM",
+            vocab_size: 2_000,
+            num_sentences: 20_000,
+            phonemes: 40,
+            topology: HmmTopology::Kaldi3State,
+            discount: DiscountConfig::default(),
+            backend: AcousticBackend::Gmm { num_pdfs: 120, mixtures: 32, feat_dim: 60 },
+            noise: NoiseModel { word_confusion_prob: 0.28, noise_sigma: 1.0, ..NoiseModel::default() },
+            scoring: ScoringSynth::Table,
+            seed: 0x7ED,
+        }
+    }
+
+    /// Scaled Kaldi-Librispeech: DNN scoring, read speech (cleaner).
+    pub fn librispeech() -> Self {
+        TaskSpec {
+            name: "Kaldi-Librispeech",
+            vocab_size: 2_500,
+            num_sentences: 22_000,
+            phonemes: 42,
+            topology: HmmTopology::Kaldi3State,
+            discount: DiscountConfig::default(),
+            backend: AcousticBackend::Dnn { layer_widths: [120, 512, 512, 512, 512, 2000] },
+            noise: NoiseModel { word_confusion_prob: 0.085, noise_sigma: 0.9, ..NoiseModel::default() },
+            scoring: ScoringSynth::Table,
+            seed: 0x11B5,
+        }
+    }
+
+    /// Scaled Kaldi-Voxforge: the small-vocabulary task.
+    pub fn voxforge() -> Self {
+        TaskSpec {
+            name: "Kaldi-Voxforge",
+            vocab_size: 250,
+            num_sentences: 3_000,
+            phonemes: 35,
+            topology: HmmTopology::Kaldi3State,
+            discount: DiscountConfig::default(),
+            backend: AcousticBackend::Gmm { num_pdfs: 105, mixtures: 8, feat_dim: 39 },
+            noise: NoiseModel { word_confusion_prob: 0.14, noise_sigma: 0.9, ..NoiseModel::default() },
+            scoring: ScoringSynth::Table,
+            seed: 0x40F,
+        }
+    }
+
+    /// Scaled EESEN-TEDLIUM: CTC topology, LSTM scoring, and the
+    /// biggest LM of the four (paper Table 1: 102 MB vs 66 MB).
+    pub fn tedlium_eesen() -> Self {
+        TaskSpec {
+            name: "EESEN-TEDLIUM",
+            vocab_size: 2_000,
+            num_sentences: 34_000,
+            phonemes: 40,
+            topology: HmmTopology::Ctc,
+            discount: DiscountConfig { min_bigram_count: 2, min_trigram_count: 2, ..Default::default() },
+            backend: AcousticBackend::Lstm { input: 120, hidden: 100, layers: 4 },
+            noise: NoiseModel { word_confusion_prob: 0.26, noise_sigma: 1.0, ..NoiseModel::default() },
+            scoring: ScoringSynth::Table,
+            seed: 0xEE5E,
+        }
+    }
+
+    /// All four paper tasks, in the figures' order.
+    pub fn all_paper_tasks() -> Vec<TaskSpec> {
+        vec![
+            Self::tedlium_kaldi(),
+            Self::librispeech(),
+            Self::voxforge(),
+            Self::tedlium_eesen(),
+        ]
+    }
+
+    /// A miniature task for unit/integration tests: builds in well under
+    /// a second, still exercises every code path (back-off, cross-word,
+    /// compression, simulation).
+    pub fn tiny() -> Self {
+        TaskSpec {
+            name: "tiny",
+            vocab_size: 80,
+            num_sentences: 600,
+            phonemes: 25,
+            topology: HmmTopology::Kaldi3State,
+            discount: DiscountConfig::default(),
+            backend: AcousticBackend::Gmm { num_pdfs: 75, mixtures: 4, feat_dim: 20 },
+            noise: NoiseModel { word_confusion_prob: 0.10, noise_sigma: 0.8, ..NoiseModel::default() },
+            scoring: ScoringSynth::Table,
+            seed: 42,
+        }
+    }
+
+    /// Switches the task to real-GMM scoring (see
+    /// [`ScoringSynth::RealGmm`]).
+    pub fn with_real_gmm(mut self, dim: usize, mixtures: usize, separation: f32) -> Self {
+        self.scoring = ScoringSynth::RealGmm { dim, mixtures, separation };
+        self
+    }
+
+    /// The corpus generator settings for this task.
+    pub fn corpus_spec(&self) -> CorpusSpec {
+        CorpusSpec {
+            vocab_size: self.vocab_size,
+            num_sentences: self.num_sentences,
+            ..CorpusSpec::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_proportions_match_table1() {
+        let ted = TaskSpec::tedlium_kaldi();
+        let libri = TaskSpec::librispeech();
+        let vox = TaskSpec::voxforge();
+        let eesen = TaskSpec::tedlium_eesen();
+        // Voxforge is an order of magnitude smaller.
+        assert!(vox.vocab_size * 5 < ted.vocab_size);
+        // EESEN's LM training set exceeds Kaldi-TEDLIUM's (102 vs 66 MB).
+        assert!(eesen.num_sentences > ted.num_sentences);
+        // Librispeech has the biggest vocabulary (200K words full-scale).
+        assert!(libri.vocab_size >= ted.vocab_size);
+    }
+
+    #[test]
+    fn eesen_uses_ctc() {
+        assert_eq!(TaskSpec::tedlium_eesen().topology, HmmTopology::Ctc);
+        assert_eq!(TaskSpec::tedlium_kaldi().topology, HmmTopology::Kaldi3State);
+    }
+
+    #[test]
+    fn real_gmm_switch() {
+        let spec = TaskSpec::tiny().with_real_gmm(12, 2, 4.0);
+        assert!(matches!(spec.scoring, ScoringSynth::RealGmm { dim: 12, .. }));
+        assert_eq!(TaskSpec::tiny().scoring, ScoringSynth::Table);
+    }
+
+    #[test]
+    fn all_tasks_enumerates_four() {
+        let names: Vec<_> = TaskSpec::all_paper_tasks().iter().map(|t| t.name).collect();
+        assert_eq!(
+            names,
+            vec!["Kaldi-TEDLIUM", "Kaldi-Librispeech", "Kaldi-Voxforge", "EESEN-TEDLIUM"]
+        );
+    }
+}

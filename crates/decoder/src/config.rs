@@ -1,0 +1,123 @@
+//! Decoder configuration, statistics, and results.
+
+use unfold_lm::WordId;
+
+/// Beam-search parameters shared by both decoders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeConfig {
+    /// Beam width: tokens whose cost exceeds `best + beam` are pruned.
+    pub beam: f32,
+    /// Hard cap on live tokens per frame (histogram-style pruning);
+    /// `usize::MAX` disables it.
+    pub max_active: usize,
+    /// Enable the paper's §3.3 preemptive pruning: abandon a hypothesis
+    /// mid-back-off as soon as its accumulated cost crosses the beam
+    /// threshold.
+    pub preemptive_pruning: bool,
+}
+
+impl Default for DecodeConfig {
+    fn default() -> Self {
+        DecodeConfig { beam: 14.0, max_active: 6_000, preemptive_pruning: true }
+    }
+}
+
+/// Counters collected during one utterance decode.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DecodeStats {
+    /// Frames processed.
+    pub frames: usize,
+    /// Tokens created (pre-pruning).
+    pub tokens_created: u64,
+    /// Tokens discarded by beam/histogram pruning.
+    pub tokens_pruned: u64,
+    /// Peak live tokens in any frame.
+    pub max_active: usize,
+    /// Sum of live tokens over frames (for mean-active computations).
+    pub total_active: u64,
+    /// LM lookups issued (cross-word transitions).
+    pub lm_lookups: u64,
+    /// Total binary-search probes + back-off arc fetches.
+    pub lm_fetches: u64,
+    /// Back-off arcs traversed.
+    pub backoff_hops: u64,
+    /// Hypotheses abandoned by preemptive pruning (§3.3).
+    pub preemptive_prunes: u64,
+    /// Non-emitting (epsilon) expansions performed.
+    pub epsilon_expansions: u64,
+}
+
+impl DecodeStats {
+    /// Mean live tokens per frame.
+    pub fn mean_active(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.total_active as f64 / self.frames as f64
+        }
+    }
+
+    /// Mean LM fetches per lookup (the cost the Offset Lookup Table and
+    /// binary search fight over).
+    pub fn fetches_per_lookup(&self) -> f64 {
+        if self.lm_lookups == 0 {
+            0.0
+        } else {
+            self.lm_fetches as f64 / self.lm_lookups as f64
+        }
+    }
+}
+
+/// Output of decoding one utterance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeResult {
+    /// Best-path word sequence.
+    pub words: Vec<WordId>,
+    /// Cost of the best complete hypothesis (`f32::INFINITY` when no
+    /// hypothesis reached a final state).
+    pub cost: f32,
+    /// Search statistics.
+    pub stats: DecodeStats,
+}
+
+impl DecodeResult {
+    /// Whether the search produced a complete hypothesis.
+    pub fn is_complete(&self) -> bool {
+        self.cost.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DecodeConfig::default();
+        assert!(c.beam > 0.0);
+        assert!(c.max_active > 100);
+        assert!(c.preemptive_pruning);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let s = DecodeStats {
+            frames: 10,
+            total_active: 250,
+            lm_lookups: 5,
+            lm_fetches: 40,
+            ..Default::default()
+        };
+        assert_eq!(s.mean_active(), 25.0);
+        assert_eq!(s.fetches_per_lookup(), 8.0);
+        let empty = DecodeStats::default();
+        assert_eq!(empty.mean_active(), 0.0);
+        assert_eq!(empty.fetches_per_lookup(), 0.0);
+    }
+
+    #[test]
+    fn incomplete_result_detected() {
+        let r = DecodeResult { words: vec![], cost: f32::INFINITY, stats: DecodeStats::default() };
+        assert!(!r.is_complete());
+    }
+}

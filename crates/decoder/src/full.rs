@@ -1,0 +1,284 @@
+//! Token-passing Viterbi beam search over the fully-composed WFST — the
+//! decoding model of the paper's baseline accelerator (Reza et al.
+//! \[34\]): one token per composed-graph state, all LM knowledge already
+//! merged into the arc weights offline.
+
+use unfold_am::AcousticScores;
+use unfold_wfst::{StateId, Wfst, EPSILON};
+
+use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
+use crate::lattice::{Lattice, COMPACT_ENTRY_BYTES, LATTICE_ROOT};
+use crate::search::{prune_threshold, Token, TokenMap};
+use crate::sources::{addr, AmSource};
+use crate::trace::TraceSink;
+
+/// Beam-search decoder for offline-composed WFSTs.
+#[derive(Debug, Clone)]
+pub struct FullyComposedDecoder {
+    config: DecodeConfig,
+}
+
+impl FullyComposedDecoder {
+    /// Creates a decoder with the given beam configuration.
+    pub fn new(config: DecodeConfig) -> Self {
+        FullyComposedDecoder { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DecodeConfig {
+        &self.config
+    }
+
+    /// Decodes one utterance against the composed graph.
+    ///
+    /// # Panics
+    /// Panics if an arc's input label exceeds the score matrix width.
+    pub fn decode(
+        &self,
+        fst: &Wfst,
+        scores: &AcousticScores,
+        sink: &mut dyn TraceSink,
+    ) -> DecodeResult {
+        let mut stats = DecodeStats::default();
+        let mut lattice = Lattice::new();
+        let mut cur: TokenMap<StateId, Token> = TokenMap::default();
+        cur.insert(AmSource::start(fst), Token { cost: 0.0, lat: LATTICE_ROOT });
+        // Initial non-emitting closure (the composed start state may have
+        // epsilon-input arcs after a cross-word loop).
+        self.epsilon_closure(fst, &mut cur, &mut lattice, 0, f32::INFINITY, sink, &mut stats);
+
+        for t in 0..scores.num_frames() {
+            sink.frame_start(t, cur.len());
+            stats.frames += 1;
+            stats.max_active = stats.max_active.max(cur.len());
+            stats.total_active += cur.len() as u64;
+
+            let thr = prune_threshold(&cur, self.config.beam, self.config.max_active);
+            let mut next: TokenMap<StateId, Token> = TokenMap::default();
+            let mut next_best = f32::INFINITY;
+
+            for (&s, tok) in cur.iter() {
+                if tok.cost > thr {
+                    stats.tokens_pruned += 1;
+                    continue;
+                }
+                sink.state_fetch(AmSource::state_addr(fst, s));
+                let tok = *tok;
+                AmSource::for_each_arc(fst, s, &mut |v| {
+                    sink.am_arc_fetch(v.addr, v.bytes);
+                    let arc = v.arc;
+                    if arc.ilabel == EPSILON {
+                        return; // non-emitting: handled in the closure phase
+                    }
+                    sink.acoustic_fetch(t, arc.ilabel);
+                    let cost = tok.cost + arc.weight + scores.cost(t, arc.ilabel);
+                    stats.tokens_created += 1;
+                    if cost > next_best + self.config.beam {
+                        stats.tokens_pruned += 1;
+                        return;
+                    }
+                    next_best = next_best.min(cost);
+                    relax(
+                        &mut next,
+                        arc.nextstate,
+                        cost,
+                        tok.lat,
+                        arc.olabel,
+                        t as u32,
+                        &mut lattice,
+                        sink,
+                    );
+                });
+            }
+
+            self.epsilon_closure(
+                fst,
+                &mut next,
+                &mut lattice,
+                t as u32,
+                next_best + self.config.beam,
+                sink,
+                &mut stats,
+            );
+            cur = next;
+        }
+
+        finish(fst, &cur, &lattice, stats)
+    }
+
+    /// Relaxes epsilon-input arcs to a fixed point (worklist).
+    #[allow(clippy::too_many_arguments)]
+    fn epsilon_closure(
+        &self,
+        fst: &Wfst,
+        tokens: &mut TokenMap<StateId, Token>,
+        lattice: &mut Lattice,
+        frame: u32,
+        thr: f32,
+        sink: &mut dyn TraceSink,
+        stats: &mut DecodeStats,
+    ) {
+        let mut worklist: Vec<StateId> = tokens.keys().copied().collect();
+        let mut guard = 0u64;
+        while let Some(s) = worklist.pop() {
+            guard += 1;
+            assert!(guard < 100_000_000, "epsilon closure diverged: negative cycle?");
+            let tok = match tokens.get(&s) {
+                Some(t) => *t,
+                None => continue,
+            };
+            if tok.cost > thr {
+                continue;
+            }
+            let mut local: Vec<(StateId, f32, u32)> = Vec::new();
+            AmSource::for_each_arc(fst, s, &mut |v| {
+                if v.arc.ilabel != EPSILON {
+                    return;
+                }
+                sink.am_arc_fetch(v.addr, v.bytes);
+                stats.epsilon_expansions += 1;
+                local.push((v.arc.nextstate, tok.cost + v.arc.weight, v.arc.olabel));
+            });
+            for (dest, cost, word) in local {
+                stats.tokens_created += 1;
+                if relax(tokens, dest, cost, tok.lat, word, frame, lattice, sink) {
+                    worklist.push(dest);
+                }
+            }
+        }
+    }
+}
+
+/// Inserts/improves a token; returns whether the map changed.
+#[allow(clippy::too_many_arguments)]
+fn relax(
+    map: &mut TokenMap<StateId, Token>,
+    key: StateId,
+    cost: f32,
+    parent_lat: u32,
+    word: u32,
+    frame: u32,
+    lattice: &mut Lattice,
+    sink: &mut dyn TraceSink,
+) -> bool {
+    let improved = match map.get(&key) {
+        Some(existing) => cost < existing.cost,
+        None => true,
+    };
+    if !improved {
+        return false;
+    }
+    let lat = if word != EPSILON {
+        let idx = lattice.push(parent_lat, word, frame);
+        sink.token_store(
+            addr::TOKEN_BASE + u64::from(idx) * u64::from(COMPACT_ENTRY_BYTES),
+            COMPACT_ENTRY_BYTES,
+        );
+        idx
+    } else {
+        parent_lat
+    };
+    sink.hash_insert(u64::from(key));
+    map.insert(key, Token { cost, lat });
+    true
+}
+
+/// Selects the best final token and backtraces its words.
+fn finish(
+    fst: &Wfst,
+    tokens: &TokenMap<StateId, Token>,
+    lattice: &Lattice,
+    stats: DecodeStats,
+) -> DecodeResult {
+    let mut best_cost = f32::INFINITY;
+    let mut best_lat = LATTICE_ROOT;
+    for (&s, tok) in tokens.iter() {
+        if let Some(fw) = AmSource::final_weight(fst, s) {
+            let total = tok.cost + fw;
+            if total < best_cost {
+                best_cost = total;
+                best_lat = tok.lat;
+            }
+        }
+    }
+    let words = if best_cost.is_finite() {
+        lattice.backtrace(best_lat)
+    } else {
+        Vec::new()
+    };
+    DecodeResult { words, cost: best_cost, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountingSink, NullSink};
+    use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+    use unfold_wfst::{compose_am_lm, ComposeOptions};
+
+    fn setup() -> (Lexicon, Wfst) {
+        let lex = Lexicon::generate(60, 25, 4);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec { vocab_size: 60, num_sentences: 400, ..Default::default() };
+        let model = NGramModel::train(&spec.generate(5), 60, DiscountConfig::default());
+        let lm = lm_to_wfst(&model);
+        let composed = compose_am_lm(&am.fst, &lm, ComposeOptions::default());
+        (lex, composed)
+    }
+
+    #[test]
+    fn decodes_clean_utterance_exactly() {
+        let (lex, composed) = setup();
+        let truth = vec![7u32, 3, 15, 2];
+        let utt = synthesize_utterance(&truth, &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 11);
+        let dec = FullyComposedDecoder::new(DecodeConfig::default());
+        let res = dec.decode(&composed, &utt.scores, &mut NullSink);
+        assert!(res.is_complete());
+        assert_eq!(res.words, truth);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (lex, composed) = setup();
+        let utt = synthesize_utterance(&[1, 2], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 3);
+        let dec = FullyComposedDecoder::new(DecodeConfig::default());
+        let mut sink = CountingSink::default();
+        let res = dec.decode(&composed, &utt.scores, &mut sink);
+        assert_eq!(res.stats.frames, utt.scores.num_frames());
+        assert!(res.stats.tokens_created > 0);
+        assert!(res.stats.max_active >= 1);
+        assert_eq!(sink.frames, utt.scores.num_frames());
+        assert!(sink.am_arc_fetches > 0);
+        assert!(sink.token_bytes > 0, "cross-word arcs must write lattice entries");
+        // The fully-composed decoder never touches an LM.
+        assert_eq!(sink.lm_lookups, 0);
+    }
+
+    #[test]
+    fn tight_beam_prunes_more() {
+        let (lex, composed) = setup();
+        let utt = synthesize_utterance(&[5, 9, 12], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 7);
+        let wide = FullyComposedDecoder::new(DecodeConfig { beam: 16.0, ..Default::default() })
+            .decode(&composed, &utt.scores, &mut NullSink);
+        let tight = FullyComposedDecoder::new(DecodeConfig { beam: 4.0, ..Default::default() })
+            .decode(&composed, &utt.scores, &mut NullSink);
+        assert!(tight.stats.mean_active() < wide.stats.mean_active());
+        // A wider beam can only find an equal-or-better path.
+        if wide.is_complete() && tight.is_complete() {
+            assert!(wide.cost <= tight.cost + 1e-4);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (lex, composed) = setup();
+        let utt = synthesize_utterance(&[2, 4, 6], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 13);
+        let dec = FullyComposedDecoder::new(DecodeConfig::default());
+        let a = dec.decode(&composed, &utt.scores, &mut NullSink);
+        let b = dec.decode(&composed, &utt.scores, &mut NullSink);
+        assert_eq!(a.words, b.words);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -1,0 +1,121 @@
+//! Word lattice: the backpointer structure from which the best word
+//! sequence is recovered.
+//!
+//! Tokens do not store word histories; they store an index into this
+//! append-only lattice. Each entry records a recognized word and the
+//! entry that preceded it, so a hypothesis's words are recovered by
+//! walking backpointers from its lattice index — the same compact
+//! token-to-lattice split the paper adopts from \[22\] to cut Token Cache
+//! traffic ("the Token Issuer \[writes\] the word lattice in a compact
+//! representation").
+
+use unfold_lm::WordId;
+
+/// Bytes one lattice entry occupies in the compact representation
+/// (\[22\]-style: packed backpointer + word id).
+pub const COMPACT_ENTRY_BYTES: u32 = 8;
+/// Bytes one lattice entry occupies in the plain representation used by
+/// the fully-composed baseline's Token Issuer.
+pub const PLAIN_ENTRY_BYTES: u32 = 16;
+
+/// Sentinel lattice index meaning "no predecessor".
+pub const LATTICE_ROOT: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    prev: u32,
+    word: WordId,
+    #[allow(dead_code)]
+    frame: u32,
+}
+
+/// Append-only word lattice.
+#[derive(Debug, Clone, Default)]
+pub struct Lattice {
+    entries: Vec<Entry>,
+}
+
+impl Lattice {
+    /// Creates an empty lattice.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the lattice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends a word recognized at `frame`, preceded by `prev`
+    /// (or [`LATTICE_ROOT`]). Returns the new entry's index.
+    ///
+    /// # Panics
+    /// Panics if `prev` is neither [`LATTICE_ROOT`] nor a valid index,
+    /// or if the lattice would exceed `u32::MAX - 1` entries.
+    pub fn push(&mut self, prev: u32, word: WordId, frame: u32) -> u32 {
+        assert!(
+            prev == LATTICE_ROOT || (prev as usize) < self.entries.len(),
+            "push: dangling backpointer {prev}"
+        );
+        let idx = self.entries.len();
+        assert!(idx < (u32::MAX - 1) as usize, "push: lattice overflow");
+        self.entries.push(Entry { prev, word, frame });
+        idx as u32
+    }
+
+    /// Recovers the word sequence ending at `index` (oldest first).
+    /// [`LATTICE_ROOT`] yields the empty sequence.
+    ///
+    /// # Panics
+    /// Panics if `index` is invalid.
+    pub fn backtrace(&self, index: u32) -> Vec<WordId> {
+        let mut words = Vec::new();
+        let mut cur = index;
+        while cur != LATTICE_ROOT {
+            let e = &self.entries[cur as usize];
+            words.push(e.word);
+            cur = e.prev;
+        }
+        words.reverse();
+        words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backtrace_recovers_sequence() {
+        let mut l = Lattice::new();
+        let a = l.push(LATTICE_ROOT, 10, 0);
+        let b = l.push(a, 20, 5);
+        let c = l.push(b, 30, 9);
+        assert_eq!(l.backtrace(c), vec![10, 20, 30]);
+        assert_eq!(l.backtrace(a), vec![10]);
+        assert_eq!(l.backtrace(LATTICE_ROOT), Vec::<WordId>::new());
+    }
+
+    #[test]
+    fn branches_share_prefixes() {
+        let mut l = Lattice::new();
+        let a = l.push(LATTICE_ROOT, 1, 0);
+        let b1 = l.push(a, 2, 3);
+        let b2 = l.push(a, 3, 3);
+        assert_eq!(l.backtrace(b1), vec![1, 2]);
+        assert_eq!(l.backtrace(b2), vec![1, 3]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling backpointer")]
+    fn dangling_prev_panics() {
+        let mut l = Lattice::new();
+        l.push(5, 1, 0);
+    }
+}

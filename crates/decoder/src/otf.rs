@@ -1,0 +1,569 @@
+//! The on-the-fly composition decoder — the search UNFOLD accelerates.
+//!
+//! Tokens are (AM state, LM state) pairs (paper Figure 3c). The AM
+//! drives the search; when a cross-word AM arc is traversed, the word id
+//! is resolved in the LM: a binary search over the state's sorted arcs,
+//! walking back-off arcs on misses. Preemptive pruning (§3.3) abandons a
+//! hypothesis *between back-off hops* once its accumulated cost can no
+//! longer survive the beam — "it is guaranteed that we only discard the
+//! hypotheses that would be pruned away later" because back-off weights
+//! only ever add cost at the point of comparison.
+
+use unfold_am::AcousticScores;
+use unfold_wfst::{Label, StateId, EPSILON};
+
+use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
+use crate::lattice::{Lattice, COMPACT_ENTRY_BYTES, LATTICE_ROOT};
+use crate::search::{prune_threshold, Token, TokenMap};
+use crate::sources::{addr, AmSource, LmSource};
+use crate::trace::TraceSink;
+
+/// Token key: AM state in the high half, LM state in the low half —
+/// also how the accelerator indexes its token hash tables ("the hash
+/// tables are indexed through a combination of IDs of AM and LM states",
+/// §3.2).
+#[inline]
+pub(crate) fn token_key(am: StateId, lm: StateId) -> u64 {
+    (u64::from(am) << 32) | u64::from(lm)
+}
+
+#[inline]
+fn split(key: u64) -> (StateId, StateId) {
+    ((key >> 32) as StateId, key as StateId)
+}
+
+/// Beam-search decoder with on-the-fly AM ∘ LM composition.
+#[derive(Debug, Clone)]
+pub struct OtfDecoder {
+    config: DecodeConfig,
+}
+
+impl OtfDecoder {
+    /// Creates a decoder with the given beam configuration.
+    pub fn new(config: DecodeConfig) -> Self {
+        OtfDecoder { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DecodeConfig {
+        &self.config
+    }
+
+    /// Decodes and returns up to `k` distinct word sequences among the
+    /// surviving complete hypotheses, best first. The 1-best entry
+    /// equals [`OtfDecoder::decode`]'s result. Distinctness is by word
+    /// sequence: hypotheses that differ only in their (AM, LM) state
+    /// pair are merged, keeping the cheaper cost.
+    ///
+    /// This is the hypothesis list a two-pass rescorer consumes (the
+    /// paper's §6 contrasts one-pass search — what UNFOLD implements —
+    /// against lattice + rescore pipelines).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn decode_nbest<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+        &self,
+        am: &A,
+        lm: &L,
+        scores: &AcousticScores,
+        k: usize,
+        sink: &mut dyn TraceSink,
+    ) -> Vec<(Vec<Label>, f32)> {
+        assert!(k > 0, "decode_nbest: k must be positive");
+        let mut stats = DecodeStats::default();
+        let mut lattice = Lattice::new();
+        let mut cur: TokenMap<u64, Token> = TokenMap::default();
+        cur.insert(token_key(am.start(), lm.start()), Token { cost: 0.0, lat: LATTICE_ROOT });
+        epsilon_closure(&self.config, am, lm, &mut cur, &mut lattice, 0, f32::INFINITY, sink, &mut stats);
+        for t in 0..scores.num_frames() {
+            cur = expand_frame(&self.config, am, lm, &cur, scores.frame(t), t, &mut lattice, sink, &mut stats);
+        }
+        // Collect every complete hypothesis, dedup by word string.
+        let mut finals: Vec<(f32, u32)> = Vec::new();
+        for (&key, tok) in cur.iter() {
+            let (am_s, _) = split(key);
+            if let Some(fw) = am.final_weight(am_s) {
+                finals.push((tok.cost + fw, tok.lat));
+            }
+        }
+        finals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut seen: Vec<Vec<Label>> = Vec::new();
+        let mut out = Vec::new();
+        for (cost, lat) in finals {
+            let words = lattice.backtrace(lat);
+            if seen.contains(&words) {
+                continue;
+            }
+            seen.push(words.clone());
+            out.push((words, cost));
+            if out.len() == k {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Decodes one utterance by composing `am` and `lm` on demand.
+    ///
+    /// Works with any [`AmSource`]/[`LmSource`] pair: uncompressed
+    /// [`unfold_wfst::Wfst`]s or the bit-packed compressed models.
+    ///
+    /// # Panics
+    /// Panics if the LM cannot resolve a word the AM emits (malformed
+    /// LM: missing unigram coverage).
+    pub fn decode<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+        &self,
+        am: &A,
+        lm: &L,
+        scores: &AcousticScores,
+        sink: &mut dyn TraceSink,
+    ) -> DecodeResult {
+        let mut stats = DecodeStats::default();
+        let mut lattice = Lattice::new();
+        let mut cur: TokenMap<u64, Token> = TokenMap::default();
+        cur.insert(token_key(am.start(), lm.start()), Token { cost: 0.0, lat: LATTICE_ROOT });
+        epsilon_closure(&self.config, am, lm, &mut cur, &mut lattice, 0, f32::INFINITY, sink, &mut stats);
+
+        for t in 0..scores.num_frames() {
+            cur = expand_frame(
+                &self.config,
+                am,
+                lm,
+                &cur,
+                scores.frame(t),
+                t,
+                &mut lattice,
+                sink,
+                &mut stats,
+            );
+        }
+
+        finish(am, &cur, &lattice, stats)
+    }
+}
+
+/// Processes one frame: prune, expand emitting arcs against the frame's
+/// cost row (`costs[pdf - 1]`), then run the non-emitting closure.
+/// Shared by [`OtfDecoder::decode`] and [`crate::streaming::OtfStream`].
+///
+/// # Panics
+/// Panics if an AM arc's PDF id exceeds `costs.len()`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn expand_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+    config: &DecodeConfig,
+    am: &A,
+    lm: &L,
+    cur: &TokenMap<u64, Token>,
+    costs: &[f32],
+    t: usize,
+    lattice: &mut Lattice,
+    sink: &mut dyn TraceSink,
+    stats: &mut DecodeStats,
+) -> TokenMap<u64, Token> {
+    sink.frame_start(t, cur.len());
+    stats.frames += 1;
+    stats.max_active = stats.max_active.max(cur.len());
+    stats.total_active += cur.len() as u64;
+
+    let thr = prune_threshold(cur, config.beam, config.max_active);
+    let mut next: TokenMap<u64, Token> = TokenMap::default();
+    let mut next_best = f32::INFINITY;
+
+    for (&k, tok) in cur.iter() {
+        if tok.cost > thr {
+            stats.tokens_pruned += 1;
+            continue;
+        }
+        let (am_s, lm_s) = split(k);
+        sink.state_fetch(am.state_addr(am_s));
+        let tok = *tok;
+        am.for_each_arc(am_s, &mut |v| {
+            sink.am_arc_fetch(v.addr, v.bytes);
+            let arc = v.arc;
+            if arc.ilabel == EPSILON {
+                return; // non-emitting: closure phase
+            }
+            sink.acoustic_fetch(t, arc.ilabel);
+            assert!(
+                (arc.ilabel as usize) <= costs.len(),
+                "pdf {} beyond the {}-wide score row",
+                arc.ilabel,
+                costs.len()
+            );
+            let base = tok.cost + arc.weight + costs[arc.ilabel as usize - 1];
+            stats.tokens_created += 1;
+            if base > next_best + config.beam {
+                stats.tokens_pruned += 1;
+                return;
+            }
+            let (lm_next, cost, word) = if arc.olabel != EPSILON {
+                let walk_thr = if config.preemptive_pruning {
+                    next_best + config.beam
+                } else {
+                    f32::INFINITY
+                };
+                match lm_walk(lm, lm_s, arc.olabel, base, walk_thr, sink, stats) {
+                    Some((dest, c)) => (dest, c, arc.olabel),
+                    None => return,
+                }
+            } else {
+                (lm_s, base, EPSILON)
+            };
+            next_best = next_best.min(cost);
+            relax(&mut next, token_key(arc.nextstate, lm_next), cost, tok.lat, word, t as u32, lattice, sink);
+        });
+    }
+
+    epsilon_closure(config, am, lm, &mut next, lattice, t as u32, next_best + config.beam, sink, stats);
+    next
+}
+
+/// Relaxes non-emitting AM arcs (including cross-word transitions,
+/// which trigger LM walks) to a fixed point.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn epsilon_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+    config: &DecodeConfig,
+    am: &A,
+    lm: &L,
+    tokens: &mut TokenMap<u64, Token>,
+    lattice: &mut Lattice,
+    frame: u32,
+    thr: f32,
+    sink: &mut dyn TraceSink,
+    stats: &mut DecodeStats,
+) {
+        let mut worklist: Vec<u64> = tokens.keys().copied().collect();
+        let mut guard = 0u64;
+        while let Some(k) = worklist.pop() {
+            guard += 1;
+            assert!(guard < 100_000_000, "epsilon closure diverged: negative cycle?");
+            let tok = match tokens.get(&k) {
+                Some(t) => *t,
+                None => continue,
+            };
+            if tok.cost > thr {
+                continue;
+            }
+            let (am_s, lm_s) = split(k);
+            let mut local: Vec<(StateId, f32, Label)> = Vec::new();
+            am.for_each_arc(am_s, &mut |v| {
+                if v.arc.ilabel != EPSILON {
+                    return;
+                }
+                sink.am_arc_fetch(v.addr, v.bytes);
+                stats.epsilon_expansions += 1;
+                local.push((v.arc.nextstate, tok.cost + v.arc.weight, v.arc.olabel));
+            });
+            for (am_next, base, word) in local {
+                stats.tokens_created += 1;
+                let (lm_next, cost, out_word) = if word != EPSILON {
+                    let walk_thr = if config.preemptive_pruning { thr } else { f32::INFINITY };
+                    match lm_walk(lm, lm_s, word, base, walk_thr, sink, stats) {
+                        Some((dest, c)) => (dest, c, word),
+                        None => continue,
+                    }
+                } else {
+                    (lm_s, base, EPSILON)
+                };
+                if relax(tokens, token_key(am_next, lm_next), cost, tok.lat, out_word, frame, lattice, sink) {
+                    worklist.push(token_key(am_next, lm_next));
+                }
+            }
+        }
+}
+
+/// Resolves `word` from `lm_state`, carrying the hypothesis cost `base`
+/// through the back-off chain. Returns `None` if preemptive pruning
+/// abandoned the hypothesis (cost crossed `thr` mid-walk).
+///
+/// # Panics
+/// Panics if the LM has no back-off arc on a state that misses `word`
+/// (a malformed model).
+fn lm_walk<L: LmSource + ?Sized>(
+    lm: &L,
+    lm_state: StateId,
+    word: Label,
+    base: f32,
+    thr: f32,
+    sink: &mut dyn TraceSink,
+    stats: &mut DecodeStats,
+) -> Option<(StateId, f32)> {
+    let mut state = lm_state;
+    let mut cost = base;
+    let mut hops = 0u32;
+    stats.lm_lookups += 1;
+    loop {
+        sink.lm_lookup(state, word);
+        sink.state_fetch(lm.state_addr(state));
+        let res = lm.lookup_word(state, word);
+        stats.lm_fetches += res.probes.len() as u64;
+        for &(a, b) in &res.probes {
+            sink.lm_arc_fetch(a, b);
+        }
+        if let Some(arc) = res.arc {
+            sink.lm_resolved(state, word, hops);
+            return Some((arc.nextstate, cost + arc.weight));
+        }
+        let (back, fetch) = lm
+            .backoff(state)
+            .unwrap_or_else(|| panic!("LM state {state} misses word {word} and has no back-off"));
+        sink.lm_arc_fetch(fetch.0, fetch.1);
+        stats.lm_fetches += 1;
+        stats.backoff_hops += 1;
+        cost += back.weight;
+        hops += 1;
+        assert!(hops <= 8, "back-off chain too long");
+        // §3.3: "the Arc Issuer updates and checks the likelihood of a
+        // hypothesis after traversing a back-off arc".
+        if cost > thr {
+            stats.preemptive_prunes += 1;
+            sink.preemptive_prune();
+            return None;
+        }
+        state = back.nextstate;
+    }
+}
+
+/// Inserts/improves a token; returns whether the map changed.
+#[allow(clippy::too_many_arguments)]
+fn relax(
+    map: &mut TokenMap<u64, Token>,
+    k: u64,
+    cost: f32,
+    parent_lat: u32,
+    word: Label,
+    frame: u32,
+    lattice: &mut Lattice,
+    sink: &mut dyn TraceSink,
+) -> bool {
+    let improved = match map.get(&k) {
+        Some(existing) => cost < existing.cost,
+        None => true,
+    };
+    if !improved {
+        return false;
+    }
+    let lat = if word != EPSILON {
+        let idx = lattice.push(parent_lat, word, frame);
+        sink.token_store(
+            addr::TOKEN_BASE + u64::from(idx) * u64::from(COMPACT_ENTRY_BYTES),
+            COMPACT_ENTRY_BYTES,
+        );
+        idx
+    } else {
+        parent_lat
+    };
+    sink.hash_insert(k);
+    map.insert(k, Token { cost, lat });
+    true
+}
+
+/// Selects the best token whose AM state is final and backtraces it.
+pub(crate) fn finish<A: AmSource + ?Sized>(
+    am: &A,
+    tokens: &TokenMap<u64, Token>,
+    lattice: &Lattice,
+    stats: DecodeStats,
+) -> DecodeResult {
+    let mut best_cost = f32::INFINITY;
+    let mut best_lat = LATTICE_ROOT;
+    for (&k, tok) in tokens.iter() {
+        let (am_s, _) = split(k);
+        if let Some(fw) = am.final_weight(am_s) {
+            let total = tok.cost + fw;
+            if total < best_cost {
+                best_cost = total;
+                best_lat = tok.lat;
+            }
+        }
+    }
+    let words = if best_cost.is_finite() {
+        lattice.backtrace(best_lat)
+    } else {
+        Vec::new()
+    };
+    DecodeResult { words, cost: best_cost, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountingSink, NullSink};
+    use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel};
+    use unfold_compress::{CompressedAm, CompressedLm};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+    use unfold_wfst::Wfst;
+
+    fn setup() -> (Lexicon, Wfst, Wfst) {
+        let lex = Lexicon::generate(60, 25, 4);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec { vocab_size: 60, num_sentences: 400, ..Default::default() };
+        let model = NGramModel::train(&spec.generate(5), 60, DiscountConfig::default());
+        let lm = lm_to_wfst(&model);
+        (lex, am.fst, lm)
+    }
+
+    #[test]
+    fn decodes_clean_utterance_exactly() {
+        let (lex, am, lm) = setup();
+        let truth = vec![7u32, 3, 15, 2];
+        let utt = synthesize_utterance(&truth, &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 11);
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        let res = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
+        assert!(res.is_complete());
+        assert_eq!(res.words, truth);
+    }
+
+    #[test]
+    fn lm_traffic_is_reported() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(&[1, 2, 3], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 3);
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        let mut sink = CountingSink::default();
+        let res = dec.decode(&am, &lm, &utt.scores, &mut sink);
+        assert!(res.stats.lm_lookups > 0, "cross-word arcs must trigger LM lookups");
+        assert!(res.stats.lm_fetches >= res.stats.lm_lookups);
+        assert!(sink.lm_arc_fetches > 0);
+        assert_eq!(sink.lm_lookups >= res.stats.lm_lookups, true);
+    }
+
+    #[test]
+    fn compressed_models_decode_identically_modulo_quantization() {
+        let (lex, am, lm) = setup();
+        let cam = CompressedAm::compress(&am, 64, 0);
+        let clm = CompressedLm::compress(&lm, 64, 0);
+        let truth = vec![4u32, 8, 20];
+        let utt = synthesize_utterance(&truth, &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 17);
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        let plain = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
+        let comp = dec.decode(&cam, &clm, &utt.scores, &mut NullSink);
+        assert_eq!(plain.words, truth);
+        assert_eq!(comp.words, truth, "quantization must not change a clean decode");
+        assert!((plain.cost - comp.cost).abs() < 2.0);
+    }
+
+    #[test]
+    fn preemptive_pruning_only_discards_doomed_hypotheses() {
+        // With and without preemptive pruning the decoded words and the
+        // final cost must match — the pruned hypotheses were going to
+        // lose anyway (§3.3's guarantee).
+        let (lex, am, lm) = setup();
+        // A long, rare-word utterance under a tight beam: back-off
+        // walks start near the threshold, so the §3.3 check fires.
+        let words = [55u32, 58, 33, 59, 41, 60, 47, 52];
+        let noise = NoiseModel { noise_sigma: 1.3, ..NoiseModel::default() };
+        let utt = synthesize_utterance(&words, &lex, HmmTopology::Kaldi3State, &noise, 23);
+        let cfg = DecodeConfig { beam: 8.0, ..Default::default() };
+        let on = OtfDecoder::new(DecodeConfig { preemptive_pruning: true, ..cfg })
+            .decode(&am, &lm, &utt.scores, &mut NullSink);
+        let off = OtfDecoder::new(DecodeConfig { preemptive_pruning: false, ..cfg })
+            .decode(&am, &lm, &utt.scores, &mut NullSink);
+        assert_eq!(on.words, off.words);
+        assert!((on.cost - off.cost).abs() < 1e-4);
+        assert!(on.stats.preemptive_prunes > 0, "pruning never fired");
+        assert_eq!(off.stats.preemptive_prunes, 0);
+        assert!(on.stats.lm_fetches <= off.stats.lm_fetches);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(&[2, 4, 6], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 13);
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        let a = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
+        let b = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
+        assert_eq!(a.words, b.words);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn backoff_hops_occur_on_real_workloads() {
+        let (lex, am, lm) = setup();
+        // Rare-word sequences are unlikely to have kept trigrams.
+        let utt = synthesize_utterance(&[55, 58, 59, 60], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 31);
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        let res = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
+        assert!(res.stats.backoff_hops > 0, "no back-off exercised");
+    }
+}
+
+#[cfg(test)]
+mod nbest_tests {
+    use super::*;
+    use crate::trace::NullSink;
+    use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+
+    fn setup() -> (Lexicon, unfold_wfst::Wfst, unfold_wfst::Wfst) {
+        let lex = Lexicon::generate(40, 18, 8);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec { vocab_size: 40, num_sentences: 250, ..Default::default() };
+        let model = NGramModel::train(&spec.generate(2), 40, DiscountConfig::default());
+        (lex, am.fst, lm_to_wfst(&model))
+    }
+
+    #[test]
+    fn one_best_matches_decode() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(&[3, 8], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 4);
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        let best = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
+        let nbest = dec.decode_nbest(&am, &lm, &utt.scores, 5, &mut NullSink);
+        assert!(!nbest.is_empty());
+        assert_eq!(nbest[0].0, best.words);
+        assert!((nbest[0].1 - best.cost).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nbest_is_sorted_and_distinct() {
+        let (lex, am, lm) = setup();
+        let noise = NoiseModel { noise_sigma: 1.2, ..NoiseModel::default() };
+        let utt = synthesize_utterance(&[5, 9, 12], &lex, HmmTopology::Kaldi3State, &noise, 6);
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        let nbest = dec.decode_nbest(&am, &lm, &utt.scores, 8, &mut NullSink);
+        for w in nbest.windows(2) {
+            assert!(w[0].1 <= w[1].1, "costs must be sorted");
+            assert_ne!(w[0].0, w[1].0, "sequences must be distinct");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(&[1], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 1);
+        let _ = OtfDecoder::new(DecodeConfig::default()).decode_nbest(&am, &lm, &utt.scores, 0, &mut NullSink);
+    }
+}
+
+#[cfg(test)]
+mod pruning_tests {
+    use super::*;
+    use crate::trace::NullSink;
+    use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, NGramModel};
+
+    #[test]
+    fn max_active_caps_the_population() {
+        let lex = Lexicon::generate(60, 20, 14);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec { vocab_size: 60, num_sentences: 300, ..Default::default() };
+        let model = NGramModel::train(&spec.generate(15), 60, Default::default());
+        let lm = lm_to_wfst(&model);
+        let noise = NoiseModel { noise_sigma: 1.4, wrong_cost: 2.0, ..NoiseModel::default() };
+        let utt = synthesize_utterance(&[3, 9], &lex, HmmTopology::Kaldi3State, &noise, 16);
+        let loose = OtfDecoder::new(DecodeConfig { beam: 20.0, max_active: usize::MAX, ..Default::default() })
+            .decode(&am.fst, &lm, &utt.scores, &mut NullSink);
+        let capped = OtfDecoder::new(DecodeConfig { beam: 20.0, max_active: 50, ..Default::default() })
+            .decode(&am.fst, &lm, &utt.scores, &mut NullSink);
+        assert!(loose.stats.max_active > 50, "workload too small to test the cap");
+        // Histogram pruning caps survivors *entering* expansion; the
+        // population measured at the next frame start can exceed the cap
+        // only via fresh expansion, so mean active must drop sharply.
+        assert!(capped.stats.mean_active() < loose.stats.mean_active() / 2.0);
+        assert!(
+            capped.stats.tokens_created < loose.stats.tokens_created,
+            "capping survivors must shrink the expansion work"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Trace recording and replay.
+//!
+//! The decoder normally drives a simulator *online*. For design-space
+//! sweeps (Figure 6's cache-capacity curve, Figure 7's OLT curve) the
+//! same decode would be repeated once per configuration — wasteful,
+//! since the memory-access trace is identical every time. A
+//! [`TraceRecorder`] captures the trace once; [`TraceRecorder::replay`]
+//! then feeds any number of sinks at memory-bandwidth speed.
+
+use unfold_wfst::{Label, StateId};
+
+use crate::trace::TraceSink;
+
+/// One recorded trace event (the [`TraceSink`] vocabulary, reified).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// Frame boundary with the live-token count.
+    FrameStart(usize, usize),
+    /// State record fetch.
+    StateFetch(u64),
+    /// AM (or composed-graph) arc fetch.
+    AmArcFetch(u64, u32),
+    /// LM lookup begins for `(state, word)`.
+    LmLookup(StateId, Label),
+    /// LM arc fetch (probe or back-off read).
+    LmArcFetch(u64, u32),
+    /// LM lookup resolved after the given back-off hops.
+    LmResolved(StateId, Label, u32),
+    /// Acoustic score read.
+    AcousticFetch(usize, Label),
+    /// Token hash insert.
+    HashInsert(u64),
+    /// Word-lattice write.
+    TokenStore(u64, u32),
+    /// Hypothesis abandoned mid-back-off.
+    PreemptivePrune,
+}
+
+/// Records every sink call for later replay.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Feeds the recorded trace into `sink`, in order.
+    pub fn replay(&self, sink: &mut dyn TraceSink) {
+        for &e in &self.events {
+            match e {
+                TraceEvent::FrameStart(f, a) => sink.frame_start(f, a),
+                TraceEvent::StateFetch(addr) => sink.state_fetch(addr),
+                TraceEvent::AmArcFetch(addr, b) => sink.am_arc_fetch(addr, b),
+                TraceEvent::LmLookup(s, w) => sink.lm_lookup(s, w),
+                TraceEvent::LmArcFetch(addr, b) => sink.lm_arc_fetch(addr, b),
+                TraceEvent::LmResolved(s, w, h) => sink.lm_resolved(s, w, h),
+                TraceEvent::AcousticFetch(f, p) => sink.acoustic_fetch(f, p),
+                TraceEvent::HashInsert(k) => sink.hash_insert(k),
+                TraceEvent::TokenStore(addr, b) => sink.token_store(addr, b),
+                TraceEvent::PreemptivePrune => sink.preemptive_prune(),
+            }
+        }
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    fn frame_start(&mut self, frame: usize, active: usize) {
+        self.events.push(TraceEvent::FrameStart(frame, active));
+    }
+    fn state_fetch(&mut self, addr: u64) {
+        self.events.push(TraceEvent::StateFetch(addr));
+    }
+    fn am_arc_fetch(&mut self, addr: u64, bytes: u32) {
+        self.events.push(TraceEvent::AmArcFetch(addr, bytes));
+    }
+    fn lm_lookup(&mut self, lm_state: StateId, word: Label) {
+        self.events.push(TraceEvent::LmLookup(lm_state, word));
+    }
+    fn lm_arc_fetch(&mut self, addr: u64, bytes: u32) {
+        self.events.push(TraceEvent::LmArcFetch(addr, bytes));
+    }
+    fn lm_resolved(&mut self, lm_state: StateId, word: Label, backoff_hops: u32) {
+        self.events.push(TraceEvent::LmResolved(lm_state, word, backoff_hops));
+    }
+    fn acoustic_fetch(&mut self, frame: usize, pdf: Label) {
+        self.events.push(TraceEvent::AcousticFetch(frame, pdf));
+    }
+    fn hash_insert(&mut self, key: u64) {
+        self.events.push(TraceEvent::HashInsert(key));
+    }
+    fn token_store(&mut self, addr: u64, bytes: u32) {
+        self.events.push(TraceEvent::TokenStore(addr, bytes));
+    }
+    fn preemptive_prune(&mut self) {
+        self.events.push(TraceEvent::PreemptivePrune);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CountingSink;
+    use crate::{DecodeConfig, NullSink, OtfDecoder};
+    use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, NGramModel};
+
+    #[test]
+    fn replay_reproduces_the_online_counts() {
+        let lex = Lexicon::generate(40, 18, 2);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec { vocab_size: 40, num_sentences: 250, ..Default::default() };
+        let model = NGramModel::train(&spec.generate(3), 40, Default::default());
+        let lm = lm_to_wfst(&model);
+        let utt = synthesize_utterance(&[4, 9], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 7);
+        let dec = OtfDecoder::new(DecodeConfig::default());
+
+        // Online counts.
+        let mut online = CountingSink::default();
+        dec.decode(&am.fst, &lm, &utt.scores, &mut online);
+
+        // Recorded then replayed counts.
+        let mut rec = TraceRecorder::new();
+        dec.decode(&am.fst, &lm, &utt.scores, &mut rec);
+        assert!(!rec.is_empty());
+        let mut replayed = CountingSink::default();
+        rec.replay(&mut replayed);
+
+        assert_eq!(online.frames, replayed.frames);
+        assert_eq!(online.am_arc_fetches, replayed.am_arc_fetches);
+        assert_eq!(online.lm_arc_fetches, replayed.lm_arc_fetches);
+        assert_eq!(online.lm_lookups, replayed.lm_lookups);
+        assert_eq!(online.token_bytes, replayed.token_bytes);
+        assert_eq!(online.hash_inserts, replayed.hash_inserts);
+    }
+
+    #[test]
+    fn replay_is_repeatable() {
+        let mut rec = TraceRecorder::new();
+        rec.state_fetch(0x10);
+        rec.am_arc_fetch(0x20, 16);
+        let mut a = CountingSink::default();
+        let mut b = CountingSink::default();
+        rec.replay(&mut a);
+        rec.replay(&mut b);
+        assert_eq!(a.state_fetches, b.state_fetches);
+        assert_eq!(rec.len(), 2);
+        let _ = NullSink;
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared beam-search machinery: deterministic hash maps, pruning
+//! thresholds, and token relaxation used by both decoders.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Deterministic FNV-style hasher so decode traces (and therefore
+/// simulator results) are reproducible across runs — `RandomState`
+/// would randomize token iteration order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetHasher(u64);
+
+impl Hasher for DetHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = if self.0 == 0 { 0xCBF2_9CE4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // Strong single-shot mix (splitmix64 finalizer).
+        let mut z = v.wrapping_add(self.0).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+}
+
+/// Deterministic hash map keyed by token keys.
+pub type TokenMap<K, V> = HashMap<K, V, BuildHasherDefault<DetHasher>>;
+
+/// A live search hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Token {
+    /// Accumulated path cost.
+    pub cost: f32,
+    /// Index of the hypothesis's last word in the lattice
+    /// ([`crate::lattice::LATTICE_ROOT`] if no word yet).
+    pub lat: u32,
+}
+
+/// Computes the pruning threshold for a token population: `best + beam`,
+/// tightened to the `max_active`-th smallest cost when the population
+/// exceeds `max_active` (histogram-style pruning).
+pub fn prune_threshold<K>(tokens: &TokenMap<K, Token>, beam: f32, max_active: usize) -> f32
+where
+    K: std::hash::Hash + Eq,
+{
+    if tokens.is_empty() {
+        return f32::INFINITY;
+    }
+    let best = tokens.values().map(|t| t.cost).fold(f32::INFINITY, f32::min);
+    let mut thr = best + beam;
+    if tokens.len() > max_active {
+        let mut costs: Vec<f32> = tokens.values().map(|t| t.cost).collect();
+        let (_, nth, _) = costs.select_nth_unstable_by(max_active - 1, |a, b| {
+            a.partial_cmp(b).unwrap()
+        });
+        thr = thr.min(*nth);
+    }
+    thr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::LATTICE_ROOT;
+
+    fn map_of(costs: &[f32]) -> TokenMap<u32, Token> {
+        let mut m = TokenMap::default();
+        for (i, &c) in costs.iter().enumerate() {
+            m.insert(i as u32, Token { cost: c, lat: LATTICE_ROOT });
+        }
+        m
+    }
+
+    #[test]
+    fn beam_threshold() {
+        let m = map_of(&[5.0, 3.0, 9.0]);
+        assert_eq!(prune_threshold(&m, 2.0, 100), 5.0);
+    }
+
+    #[test]
+    fn histogram_tightens_threshold() {
+        let m = map_of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        // Beam alone allows everything; max_active=2 keeps the 2 best.
+        let thr = prune_threshold(&m, 100.0, 2);
+        assert_eq!(thr, 2.0);
+    }
+
+    #[test]
+    fn empty_population() {
+        let m: TokenMap<u32, Token> = TokenMap::default();
+        assert_eq!(prune_threshold(&m, 5.0, 10), f32::INFINITY);
+    }
+
+    #[test]
+    fn hasher_is_deterministic() {
+        use std::hash::Hash;
+        let mut a = DetHasher::default();
+        let mut b = DetHasher::default();
+        42u64.hash(&mut a);
+        42u64.hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = DetHasher::default();
+        43u64.hash(&mut c);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

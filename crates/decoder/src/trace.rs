@@ -1,0 +1,150 @@
+//! Decode-time trace: the stream of architectural events the
+//! accelerator simulator consumes.
+//!
+//! The decoders call into a [`TraceSink`] as they work; the simulator
+//! implements the sink and models caches/DRAM/pipeline online, so no
+//! trace is ever materialized in memory. [`NullSink`] is for pure
+//! decoding, [`CountingSink`] for tests and quick statistics.
+
+use unfold_wfst::{Label, StateId};
+
+/// Receiver of decode events. All methods have empty defaults so sinks
+/// implement only what they model.
+///
+/// Addresses are byte addresses in the flat map of
+/// [`crate::sources::addr`]; `bytes` is the record size fetched.
+pub trait TraceSink {
+    /// A new frame begins with `active` live tokens.
+    fn frame_start(&mut self, _frame: usize, _active: usize) {}
+    /// A state record was fetched (AM, LM, or composed graph).
+    fn state_fetch(&mut self, _addr: u64) {}
+    /// An AM (or composed-graph) arc record was fetched.
+    fn am_arc_fetch(&mut self, _addr: u64, _bytes: u32) {}
+    /// An LM lookup for `(lm_state, word)` begins. If the simulator's
+    /// Offset Lookup Table hits, it may skip the subsequent
+    /// [`TraceSink::lm_arc_fetch`] probes for this lookup.
+    fn lm_lookup(&mut self, _lm_state: StateId, _word: Label) {}
+    /// One LM arc fetch (binary-search probe or back-off arc read).
+    fn lm_arc_fetch(&mut self, _addr: u64, _bytes: u32) {}
+    /// The LM lookup resolved after `backoff_hops` back-off traversals.
+    fn lm_resolved(&mut self, _lm_state: StateId, _word: Label, _backoff_hops: u32) {}
+    /// An acoustic score was read from the likelihood buffer.
+    fn acoustic_fetch(&mut self, _frame: usize, _pdf: Label) {}
+    /// A token was written to the hash table (on-chip) with `key`.
+    fn hash_insert(&mut self, _key: u64) {}
+    /// Word-lattice data was written to memory.
+    fn token_store(&mut self, _addr: u64, _bytes: u32) {}
+    /// A hypothesis was abandoned mid-back-off by preemptive pruning.
+    fn preemptive_prune(&mut self) {}
+}
+
+/// Sink that drops everything (pure functional decoding).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// Sink that counts events; handy in tests and for first-order traffic
+/// estimates without running the full simulator.
+#[derive(Debug, Clone, Default)]
+pub struct CountingSink {
+    /// Frames seen.
+    pub frames: usize,
+    /// Total active tokens summed over frames.
+    pub total_active: u64,
+    /// State record fetches.
+    pub state_fetches: u64,
+    /// AM arc fetches.
+    pub am_arc_fetches: u64,
+    /// AM arc bytes fetched.
+    pub am_arc_bytes: u64,
+    /// LM lookups issued.
+    pub lm_lookups: u64,
+    /// LM arc fetches (probes + back-off reads).
+    pub lm_arc_fetches: u64,
+    /// LM arc bytes fetched.
+    pub lm_arc_bytes: u64,
+    /// Lookups that needed at least one back-off hop.
+    pub backed_off_lookups: u64,
+    /// Acoustic score reads.
+    pub acoustic_fetches: u64,
+    /// Token hash insertions.
+    pub hash_inserts: u64,
+    /// Lattice bytes written.
+    pub token_bytes: u64,
+    /// Preemptively pruned hypotheses.
+    pub preemptive_prunes: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn frame_start(&mut self, _frame: usize, active: usize) {
+        self.frames += 1;
+        self.total_active += active as u64;
+    }
+    fn state_fetch(&mut self, _addr: u64) {
+        self.state_fetches += 1;
+    }
+    fn am_arc_fetch(&mut self, _addr: u64, bytes: u32) {
+        self.am_arc_fetches += 1;
+        self.am_arc_bytes += u64::from(bytes);
+    }
+    fn lm_lookup(&mut self, _lm_state: StateId, _word: Label) {
+        self.lm_lookups += 1;
+    }
+    fn lm_arc_fetch(&mut self, _addr: u64, bytes: u32) {
+        self.lm_arc_fetches += 1;
+        self.lm_arc_bytes += u64::from(bytes);
+    }
+    fn lm_resolved(&mut self, _lm_state: StateId, _word: Label, backoff_hops: u32) {
+        if backoff_hops > 0 {
+            self.backed_off_lookups += 1;
+        }
+    }
+    fn acoustic_fetch(&mut self, _frame: usize, _pdf: Label) {
+        self.acoustic_fetches += 1;
+    }
+    fn hash_insert(&mut self, _key: u64) {
+        self.hash_inserts += 1;
+    }
+    fn token_store(&mut self, _addr: u64, bytes: u32) {
+        self.token_bytes += u64::from(bytes);
+    }
+    fn preemptive_prune(&mut self) {
+        self.preemptive_prunes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_accumulates() {
+        let mut s = CountingSink::default();
+        s.frame_start(0, 5);
+        s.frame_start(1, 7);
+        s.am_arc_fetch(0x100, 16);
+        s.am_arc_fetch(0x110, 16);
+        s.lm_lookup(3, 9);
+        s.lm_arc_fetch(0xC000_0000, 6);
+        s.lm_resolved(3, 9, 2);
+        s.token_store(0, 8);
+        s.preemptive_prune();
+        assert_eq!(s.frames, 2);
+        assert_eq!(s.total_active, 12);
+        assert_eq!(s.am_arc_fetches, 2);
+        assert_eq!(s.am_arc_bytes, 32);
+        assert_eq!(s.lm_lookups, 1);
+        assert_eq!(s.backed_off_lookups, 1);
+        assert_eq!(s.token_bytes, 8);
+        assert_eq!(s.preemptive_prunes, 1);
+    }
+
+    #[test]
+    fn null_sink_is_a_no_op() {
+        let mut s = NullSink;
+        s.frame_start(0, 1);
+        s.state_fetch(0);
+        s.preemptive_prune();
+    }
+}

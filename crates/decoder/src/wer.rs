@@ -1,0 +1,300 @@
+//! Word error rate (Table 6's metric): Levenshtein alignment of the
+//! hypothesis against the reference, WER = (S + D + I) / N.
+
+use unfold_lm::WordId;
+
+/// Alignment counts from scoring one or more utterances.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WerReport {
+    /// Substitutions.
+    pub substitutions: u64,
+    /// Deletions (reference words missing from the hypothesis).
+    pub deletions: u64,
+    /// Insertions (hypothesis words not in the reference).
+    pub insertions: u64,
+    /// Reference word count.
+    pub ref_words: u64,
+}
+
+impl WerReport {
+    /// Word error rate in percent.
+    ///
+    /// # Panics
+    /// Panics if no reference words have been scored.
+    pub fn percent(&self) -> f64 {
+        assert!(self.ref_words > 0, "percent: no reference words scored");
+        100.0 * (self.substitutions + self.deletions + self.insertions) as f64
+            / self.ref_words as f64
+    }
+
+    /// Accumulates another report (for corpus-level WER).
+    pub fn accumulate(&mut self, other: WerReport) {
+        self.substitutions += other.substitutions;
+        self.deletions += other.deletions;
+        self.insertions += other.insertions;
+        self.ref_words += other.ref_words;
+    }
+}
+
+/// One step of a reference/hypothesis alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOp {
+    /// Reference and hypothesis words match.
+    Correct(WordId),
+    /// `reference` word was recognized as a different `hypothesis` word.
+    Substitute {
+        /// The word that was spoken.
+        reference: WordId,
+        /// The word that was recognized.
+        hypothesis: WordId,
+    },
+    /// A reference word was missed entirely.
+    Delete(WordId),
+    /// A hypothesis word has no reference counterpart.
+    Insert(WordId),
+}
+
+/// Produces the full edit alignment between `reference` and `hyp`
+/// (minimum-error path; ties broken substitution-first). The error
+/// counts of the alignment equal [`wer`]'s.
+pub fn align(reference: &[WordId], hyp: &[WordId]) -> Vec<AlignOp> {
+    let n = reference.len();
+    let m = hyp.len();
+    let mut cost = vec![0u32; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for i in 1..=n {
+        cost[idx(i, 0)] = i as u32;
+    }
+    for j in 1..=m {
+        cost[idx(0, j)] = j as u32;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let hit = u32::from(reference[i - 1] != hyp[j - 1]);
+            cost[idx(i, j)] = (cost[idx(i - 1, j - 1)] + hit)
+                .min(cost[idx(i - 1, j)] + 1)
+                .min(cost[idx(i, j - 1)] + 1);
+        }
+    }
+    // Backtrace, preferring diagonal moves.
+    let mut ops = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        if i > 0 && j > 0 {
+            let diag = cost[idx(i - 1, j - 1)] + u32::from(reference[i - 1] != hyp[j - 1]);
+            if diag == cost[idx(i, j)] {
+                ops.push(if reference[i - 1] == hyp[j - 1] {
+                    AlignOp::Correct(reference[i - 1])
+                } else {
+                    AlignOp::Substitute { reference: reference[i - 1], hypothesis: hyp[j - 1] }
+                });
+                i -= 1;
+                j -= 1;
+                continue;
+            }
+        }
+        if i > 0 && cost[idx(i - 1, j)] + 1 == cost[idx(i, j)] {
+            ops.push(AlignOp::Delete(reference[i - 1]));
+            i -= 1;
+        } else {
+            ops.push(AlignOp::Insert(hyp[j - 1]));
+            j -= 1;
+        }
+    }
+    ops.reverse();
+    ops
+}
+
+/// Oracle report: the best (minimum-error) hypothesis among
+/// `candidates` — how lattice/n-best quality is measured (an oracle WER
+/// far below the 1-best WER means rescoring has headroom).
+///
+/// # Panics
+/// Panics if `candidates` is empty.
+pub fn oracle_wer(reference: &[WordId], candidates: &[Vec<WordId>]) -> WerReport {
+    assert!(!candidates.is_empty(), "oracle_wer: no candidates");
+    candidates
+        .iter()
+        .map(|c| wer(reference, c))
+        .min_by_key(|r| r.substitutions + r.deletions + r.insertions)
+        .expect("non-empty")
+}
+
+/// Aligns `hyp` against `reference` with unit costs.
+///
+/// ```
+/// use unfold_decoder::wer;
+/// let r = wer(&[1, 2, 3], &[1, 9, 3]);
+/// assert_eq!(r.substitutions, 1);
+/// assert!((r.percent() - 33.33).abs() < 0.01);
+/// ```
+pub fn wer(reference: &[WordId], hyp: &[WordId]) -> WerReport {
+    let n = reference.len();
+    let m = hyp.len();
+    // dp[i][j] = (cost, subs, dels, ins) for ref[..i] vs hyp[..j].
+    #[derive(Clone, Copy)]
+    struct Cell {
+        cost: u32,
+        s: u32,
+        d: u32,
+        i: u32,
+    }
+    let mut dp = vec![Cell { cost: 0, s: 0, d: 0, i: 0 }; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for i in 1..=n {
+        dp[idx(i, 0)] = Cell { cost: i as u32, s: 0, d: i as u32, i: 0 };
+    }
+    for j in 1..=m {
+        dp[idx(0, j)] = Cell { cost: j as u32, s: 0, d: 0, i: j as u32 };
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let hit = reference[i - 1] == hyp[j - 1];
+            let diag = dp[idx(i - 1, j - 1)];
+            let sub = Cell {
+                cost: diag.cost + u32::from(!hit),
+                s: diag.s + u32::from(!hit),
+                d: diag.d,
+                i: diag.i,
+            };
+            let up = dp[idx(i - 1, j)];
+            let del = Cell { cost: up.cost + 1, s: up.s, d: up.d + 1, i: up.i };
+            let left = dp[idx(i, j - 1)];
+            let ins = Cell { cost: left.cost + 1, s: left.s, d: left.d, i: left.i + 1 };
+            let best = if sub.cost <= del.cost && sub.cost <= ins.cost {
+                sub
+            } else if del.cost <= ins.cost {
+                del
+            } else {
+                ins
+            };
+            dp[idx(i, j)] = best;
+        }
+    }
+    let f = dp[idx(n, m)];
+    WerReport {
+        substitutions: u64::from(f.s),
+        deletions: u64::from(f.d),
+        insertions: u64::from(f.i),
+        ref_words: n as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_match_is_zero() {
+        let r = wer(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(r.percent(), 0.0);
+    }
+
+    #[test]
+    fn pure_deletion() {
+        let r = wer(&[1, 2, 3, 4], &[1, 4]);
+        assert_eq!(r.deletions, 2);
+        assert_eq!(r.substitutions, 0);
+        assert_eq!(r.percent(), 50.0);
+    }
+
+    #[test]
+    fn pure_insertion() {
+        let r = wer(&[1, 2], &[1, 9, 9, 2]);
+        assert_eq!(r.insertions, 2);
+        assert_eq!(r.percent(), 100.0);
+    }
+
+    #[test]
+    fn empty_hypothesis_is_all_deletions() {
+        let r = wer(&[5, 6, 7], &[]);
+        assert_eq!(r.deletions, 3);
+        assert_eq!(r.percent(), 100.0);
+    }
+
+    #[test]
+    fn accumulate_pools_counts() {
+        let mut total = WerReport::default();
+        total.accumulate(wer(&[1, 2], &[1, 2]));
+        total.accumulate(wer(&[3, 4], &[3, 9]));
+        assert_eq!(total.ref_words, 4);
+        assert_eq!(total.percent(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no reference words")]
+    fn percent_without_reference_panics() {
+        let _ = WerReport::default().percent();
+    }
+
+    #[test]
+    fn oracle_picks_the_best_candidate() {
+        let reference = [1u32, 2, 3];
+        let candidates = vec![vec![9, 9, 9], vec![1, 2, 9], vec![5]];
+        let r = oracle_wer(&reference, &candidates);
+        assert_eq!(r.substitutions + r.deletions + r.insertions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidates")]
+    fn oracle_requires_candidates() {
+        let _ = oracle_wer(&[1], &[]);
+    }
+
+    #[test]
+    fn alignment_classifies_each_op() {
+        // Examples with a unique minimal alignment.
+        assert_eq!(
+            align(&[1, 2, 3], &[1, 3]),
+            vec![AlignOp::Correct(1), AlignOp::Delete(2), AlignOp::Correct(3)]
+        );
+        assert_eq!(
+            align(&[1, 2], &[1, 9, 2]),
+            vec![AlignOp::Correct(1), AlignOp::Insert(9), AlignOp::Correct(2)]
+        );
+        assert_eq!(
+            align(&[7], &[8]),
+            vec![AlignOp::Substitute { reference: 7, hypothesis: 8 }]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn alignment_error_count_matches_wer(r in proptest::collection::vec(1u32..6, 1..12),
+                                             h in proptest::collection::vec(1u32..6, 0..12)) {
+            let ops = align(&r, &h);
+            let errs = ops.iter().filter(|o| !matches!(o, AlignOp::Correct(_))).count() as u64;
+            let rep = wer(&r, &h);
+            prop_assert_eq!(errs, rep.substitutions + rep.deletions + rep.insertions);
+            // The alignment covers both sequences exactly.
+            let ref_len = ops.iter().filter(|o| !matches!(o, AlignOp::Insert(_))).count();
+            let hyp_len = ops.iter().filter(|o| !matches!(o, AlignOp::Delete(_))).count();
+            prop_assert_eq!(ref_len, r.len());
+            prop_assert_eq!(hyp_len, h.len());
+        }
+
+        #[test]
+        fn error_counts_match_cost(r in proptest::collection::vec(1u32..6, 0..12),
+                                   h in proptest::collection::vec(1u32..6, 0..12)) {
+            prop_assume!(!r.is_empty());
+            let rep = wer(&r, &h);
+            // Total errors bounded by max(len) and at least |len diff|.
+            let errs = rep.substitutions + rep.deletions + rep.insertions;
+            prop_assert!(errs <= r.len().max(h.len()) as u64);
+            prop_assert!(errs >= (r.len() as i64 - h.len() as i64).unsigned_abs());
+        }
+
+        #[test]
+        fn symmetric_total_errors(r in proptest::collection::vec(1u32..6, 1..10),
+                                  h in proptest::collection::vec(1u32..6, 1..10)) {
+            let a = wer(&r, &h);
+            let b = wer(&h, &r);
+            let ea = a.substitutions + a.deletions + a.insertions;
+            let eb = b.substitutions + b.deletions + b.insertions;
+            // The total distance is symmetric; the S/D/I split is not
+            // (tie-breaking picks different alignments).
+            prop_assert_eq!(ea, eb);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! ARPA text format: the lingua franca for back-off n-gram models.
+//!
+//! The paper's LMs are trained externally and shipped as ARPA files
+//! before conversion to WFSTs; supporting the format makes this
+//! reproduction interoperable with standard toolchains (SRILM, KenLM,
+//! Kaldi's `arpa2fst`). Probabilities and back-off weights are written
+//! as log10 values per the format; internally everything is natural-log
+//! *cost*, so conversion happens at the boundary.
+//!
+//! Words are written as `w<id>` — synthetic vocabularies have no
+//! natural orthography — and parsed back by stripping the prefix.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::ngram::{NGramModel, WordId};
+
+const LN_10: f64 = core::f64::consts::LN_10;
+
+/// Converts a natural-log cost to the ARPA log10 probability.
+fn cost_to_log10(cost: f32) -> f64 {
+    -f64::from(cost) / LN_10
+}
+
+/// Converts an ARPA log10 probability to a natural-log cost.
+fn log10_to_cost(lp: f64) -> f32 {
+    (-lp * LN_10) as f32
+}
+
+/// Serializes a model to ARPA text.
+///
+/// ```
+/// use unfold_lm::{CorpusSpec, NGramModel};
+/// use unfold_lm::arpa::{to_arpa, parse_arpa};
+///
+/// let spec = CorpusSpec { vocab_size: 30, num_sentences: 150, ..Default::default() };
+/// let model = NGramModel::train(&spec.generate(1), 30, Default::default());
+/// let text = to_arpa(&model);
+/// let parsed = parse_arpa(&text).unwrap();
+/// assert_eq!(parsed.unigrams.len(), 30);
+/// ```
+pub fn to_arpa(model: &NGramModel) -> String {
+    let mut out = String::new();
+    let v = model.vocab_size();
+    let mut bi_hists: Vec<WordId> = model.bigram_histories().collect();
+    bi_hists.sort_unstable();
+    let mut tri_hists: Vec<(WordId, WordId)> = model.trigram_histories().collect();
+    tri_hists.sort_unstable();
+    let n_bigrams: usize = model.num_bigrams();
+    let n_trigrams: usize = model.num_trigrams();
+
+    out.push_str("\\data\\\n");
+    let _ = writeln!(out, "ngram 1={v}");
+    let _ = writeln!(out, "ngram 2={n_bigrams}");
+    let _ = writeln!(out, "ngram 3={n_trigrams}");
+
+    out.push_str("\n\\1-grams:\n");
+    for w in 1..=v as WordId {
+        let lp = cost_to_log10(model.unigram_cost(w));
+        // Back-off weight is attached to the unigram entry of the
+        // history word; only histories with kept bigrams carry one.
+        let has_bow = model.bigram_arcs(w).first().is_some();
+        if has_bow {
+            let bow = cost_to_log10(model.bigram_backoff_cost(w));
+            let _ = writeln!(out, "{lp:.6}\tw{w}\t{bow:.6}");
+        } else {
+            let _ = writeln!(out, "{lp:.6}\tw{w}");
+        }
+    }
+
+    out.push_str("\n\\2-grams:\n");
+    for &u in &bi_hists {
+        for &(w, cost) in model.bigram_arcs(u) {
+            let lp = cost_to_log10(cost);
+            if model.trigram_arcs(u, w).first().is_some() {
+                let bow = cost_to_log10(model.trigram_backoff_cost(u, w));
+                let _ = writeln!(out, "{lp:.6}\tw{u} w{w}\t{bow:.6}");
+            } else {
+                let _ = writeln!(out, "{lp:.6}\tw{u} w{w}");
+            }
+        }
+    }
+
+    out.push_str("\n\\3-grams:\n");
+    for &(u, vv) in &tri_hists {
+        for &(w, cost) in model.trigram_arcs(u, vv) {
+            let lp = cost_to_log10(cost);
+            let _ = writeln!(out, "{lp:.6}\tw{u} w{vv} w{w}");
+        }
+    }
+    out.push_str("\n\\end\\\n");
+    out
+}
+
+/// A parsed ARPA model: costs in natural-log space, ready to compare
+/// against an [`NGramModel`] or convert to a WFST.
+#[derive(Debug, Clone, Default)]
+pub struct ArpaModel {
+    /// `word -> (cost, back-off cost)`.
+    pub unigrams: HashMap<WordId, (f32, f32)>,
+    /// `(u, w) -> (cost, back-off cost)`.
+    pub bigrams: HashMap<(WordId, WordId), (f32, f32)>,
+    /// `(u, v, w) -> cost`.
+    pub trigrams: HashMap<(WordId, WordId, WordId), f32>,
+}
+
+impl ArpaModel {
+    /// Evaluates a word cost with standard back-off semantics.
+    ///
+    /// # Panics
+    /// Panics if `w` has no unigram entry.
+    pub fn word_cost(&self, hist: &[WordId], w: WordId) -> f32 {
+        if hist.len() >= 2 {
+            let (u, v) = (hist[hist.len() - 2], hist[hist.len() - 1]);
+            if let Some(&c) = self.trigrams.get(&(u, v, w)) {
+                return c;
+            }
+            let bow = self.bigrams.get(&(u, v)).map_or(0.0, |&(_, b)| b);
+            return bow + self.word_cost(&[v], w);
+        }
+        if hist.len() == 1 {
+            let u = hist[0];
+            if let Some(&(c, _)) = self.bigrams.get(&(u, w)) {
+                return c;
+            }
+            let bow = self.unigrams.get(&u).map_or(0.0, |&(_, b)| b);
+            return bow + self.word_cost(&[], w);
+        }
+        self.unigrams.get(&w).expect("word has a unigram").0
+    }
+}
+
+/// Errors produced by [`parse_arpa`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseArpaError {
+    /// The `\data\` header is missing.
+    MissingHeader,
+    /// A line could not be parsed (1-based line number and content).
+    BadLine(usize, String),
+    /// A declared count does not match the entries found.
+    CountMismatch {
+        /// N-gram order.
+        order: usize,
+        /// Count declared in the header.
+        declared: usize,
+        /// Entries actually present.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for ParseArpaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseArpaError::MissingHeader => write!(f, "missing \\data\\ header"),
+            ParseArpaError::BadLine(n, l) => write!(f, "unparseable line {n}: {l:?}"),
+            ParseArpaError::CountMismatch { order, declared, found } => write!(
+                f,
+                "{order}-gram count mismatch: header says {declared}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseArpaError {}
+
+fn parse_word(tok: &str) -> Option<WordId> {
+    tok.strip_prefix('w')?.parse().ok()
+}
+
+/// Parses ARPA text (the subset this crate emits: orders 1-3, `w<id>`
+/// words).
+///
+/// # Errors
+/// Returns [`ParseArpaError`] on malformed input or count mismatches.
+pub fn parse_arpa(text: &str) -> Result<ArpaModel, ParseArpaError> {
+    let mut model = ArpaModel::default();
+    let mut declared: HashMap<usize, usize> = HashMap::new();
+    let mut section = 0usize;
+    let mut seen_header = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\data\\" {
+            seen_header = true;
+            continue;
+        }
+        if line == "\\end\\" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("ngram ") {
+            let (order, count) = rest
+                .split_once('=')
+                .ok_or_else(|| ParseArpaError::BadLine(i + 1, line.to_string()))?;
+            let order: usize = order.trim().parse().map_err(|_| ParseArpaError::BadLine(i + 1, line.to_string()))?;
+            let count: usize = count.trim().parse().map_err(|_| ParseArpaError::BadLine(i + 1, line.to_string()))?;
+            declared.insert(order, count);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('\\') {
+            if let Some(o) = rest.strip_suffix("-grams:") {
+                section = o.parse().map_err(|_| ParseArpaError::BadLine(i + 1, line.to_string()))?;
+                continue;
+            }
+            return Err(ParseArpaError::BadLine(i + 1, line.to_string()));
+        }
+        if !seen_header {
+            return Err(ParseArpaError::MissingHeader);
+        }
+        let bad = || ParseArpaError::BadLine(i + 1, line.to_string());
+        let mut fields = line.split_whitespace();
+        let lp: f64 = fields.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let words: Vec<&str> = fields.collect();
+        match section {
+            1 => {
+                let (w, bow) = match words.as_slice() {
+                    [w] => (parse_word(w).ok_or_else(bad)?, 0.0),
+                    [w, bow] => (
+                        parse_word(w).ok_or_else(bad)?,
+                        log10_to_cost(bow.parse().map_err(|_| bad())?),
+                    ),
+                    _ => return Err(bad()),
+                };
+                model.unigrams.insert(w, (log10_to_cost(lp), bow));
+            }
+            2 => {
+                let (u, w, bow) = match words.as_slice() {
+                    [u, w] => (parse_word(u).ok_or_else(bad)?, parse_word(w).ok_or_else(bad)?, 0.0),
+                    [u, w, bow] => (
+                        parse_word(u).ok_or_else(bad)?,
+                        parse_word(w).ok_or_else(bad)?,
+                        log10_to_cost(bow.parse().map_err(|_| bad())?),
+                    ),
+                    _ => return Err(bad()),
+                };
+                model.bigrams.insert((u, w), (log10_to_cost(lp), bow));
+            }
+            3 => match words.as_slice() {
+                [u, v, w] => {
+                    model.trigrams.insert(
+                        (
+                            parse_word(u).ok_or_else(bad)?,
+                            parse_word(v).ok_or_else(bad)?,
+                            parse_word(w).ok_or_else(bad)?,
+                        ),
+                        log10_to_cost(lp),
+                    );
+                }
+                _ => return Err(bad()),
+            },
+            _ => return Err(bad()),
+        }
+    }
+    if !seen_header {
+        return Err(ParseArpaError::MissingHeader);
+    }
+    for (order, found) in [
+        (1usize, model.unigrams.len()),
+        (2, model.bigrams.len()),
+        (3, model.trigrams.len()),
+    ] {
+        if let Some(&d) = declared.get(&order) {
+            if d != found {
+                return Err(ParseArpaError::CountMismatch { order, declared: d, found });
+            }
+        }
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+    use crate::ngram::DiscountConfig;
+
+    fn model() -> NGramModel {
+        let spec = CorpusSpec { vocab_size: 60, num_sentences: 400, ..Default::default() };
+        NGramModel::train(&spec.generate(4), 60, DiscountConfig::default())
+    }
+
+    #[test]
+    fn roundtrip_preserves_all_costs() {
+        let m = model();
+        let parsed = parse_arpa(&to_arpa(&m)).expect("roundtrip parses");
+        assert_eq!(parsed.unigrams.len(), 60);
+        assert_eq!(parsed.bigrams.len(), m.num_bigrams());
+        assert_eq!(parsed.trigrams.len(), m.num_trigrams());
+        // Spot-check full back-off evaluation agreement.
+        let mut checked = 0;
+        for hist in [vec![], vec![5], vec![2, 7], vec![17, 3]] {
+            for w in (1..=60).step_by(7) {
+                let a = m.word_cost(&hist, w);
+                let b = parsed.word_cost(&hist, w);
+                assert!((a - b).abs() < 1e-3, "hist {hist:?} w {w}: {a} vs {b}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 20);
+    }
+
+    #[test]
+    fn header_counts_match_body() {
+        let text = to_arpa(&model());
+        assert!(text.starts_with("\\data\\"));
+        assert!(text.contains("\\1-grams:"));
+        assert!(text.trim_end().ends_with("\\end\\"));
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert_eq!(parse_arpa("-1.0\tw1\n").unwrap_err(), ParseArpaError::MissingHeader);
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let text = "\\data\\\nngram 1=2\n\n\\1-grams:\n-1.0\tw1\n\n\\end\\\n";
+        match parse_arpa(text) {
+            Err(ParseArpaError::CountMismatch { order: 1, declared: 2, found: 1 }) => {}
+            other => panic!("expected count mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let text = "\\data\\\n\n\\1-grams:\nnot-a-number w1\n\\end\\\n";
+        match parse_arpa(text) {
+            Err(ParseArpaError::BadLine(4, _)) => {}
+            other => panic!("expected bad line 4, got {other:?}"),
+        }
+    }
+
+    mod fuzz {
+        use super::super::parse_arpa;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary text errors gracefully, never panics.
+            #[test]
+            fn random_text_never_panics(s in "[ -~\n\t]{0,600}") {
+                let _ = parse_arpa(&s);
+            }
+
+            /// Structured-ish garbage after a valid header too.
+            #[test]
+            fn headered_garbage_never_panics(s in "[ -~\n]{0,300}") {
+                let text = format!("\\data\\\nngram 1=0\n\n\\1-grams:\n{s}\n\\end\\\n");
+                let _ = parse_arpa(&text);
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        let e = ParseArpaError::CountMismatch { order: 2, declared: 10, found: 9 };
+        assert!(e.to_string().contains("2-gram"));
+        assert!(ParseArpaError::MissingHeader.to_string().contains("data"));
+    }
+}

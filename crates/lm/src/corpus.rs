@@ -1,0 +1,294 @@
+//! Synthetic text generation.
+//!
+//! Substitutes for the paper's training corpora (TEDLIUM / Librispeech /
+//! Voxforge transcripts). Two properties of natural language matter for
+//! the LM-WFST workload and are reproduced here:
+//!
+//! 1. **Zipfian unigram distribution** — a few words dominate, giving LM
+//!    states wildly different out-degrees (the paper: "states in the LM
+//!    have thousands of arcs").
+//! 2. **Markov structure** — word choice depends on recent history, so
+//!    bigram/trigram counts concentrate on a sparse subset and the
+//!    back-off mechanism is exercised on real misses.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ngram::WordId;
+
+/// A draw-by-inverse-CDF sampler over ranks `1..=n` with Zipf-Mandelbrot
+/// weights `1 / (rank + q)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s` and shift `q`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn new(n: usize, s: f64, q: f64) -> Self {
+        assert!(n > 0, "ZipfSampler: need at least one rank");
+        assert!(s > 0.0, "ZipfSampler: exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64 + q).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1) + 1,
+        }
+    }
+
+    /// Probability mass of a given rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        assert!(rank >= 1 && rank <= self.cdf.len());
+        if rank == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank - 1] - self.cdf[rank - 2]
+        }
+    }
+}
+
+/// Parameters of the synthetic corpus generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusSpec {
+    /// Vocabulary size (word ids `1..=vocab_size`).
+    pub vocab_size: usize,
+    /// Number of sentences to generate.
+    pub num_sentences: usize,
+    /// Zipf exponent of the unigram distribution (English ≈ 1.0).
+    pub zipf_exponent: f64,
+    /// Mean sentence length in words.
+    pub mean_sentence_len: usize,
+    /// Probability that the next word comes from the current word's
+    /// preferred-successor set rather than the global distribution.
+    pub coherence: f64,
+    /// Number of preferred successors per word.
+    pub successors_per_word: usize,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            vocab_size: 1_000,
+            num_sentences: 2_000,
+            zipf_exponent: 1.05,
+            mean_sentence_len: 12,
+            coherence: 0.7,
+            successors_per_word: 12,
+        }
+    }
+}
+
+/// A generated corpus: sentences of word ids in `1..=vocab_size`.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// The sentences.
+    pub sentences: Vec<Vec<WordId>>,
+}
+
+impl Corpus {
+    /// Total number of word tokens.
+    pub fn num_tokens(&self) -> usize {
+        self.sentences.iter().map(Vec::len).sum()
+    }
+
+    /// Splits off the last `fraction` of sentences as a held-out set.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is not within `(0, 1)`.
+    pub fn split_heldout(mut self, fraction: f64) -> (Corpus, Corpus) {
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        let n = self.sentences.len();
+        let keep = n - ((n as f64 * fraction) as usize).max(1);
+        let held = self.sentences.split_off(keep);
+        (self, Corpus { sentences: held })
+    }
+}
+
+impl CorpusSpec {
+    /// Generates a corpus deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `vocab_size == 0` or `coherence` is outside `[0, 1]`.
+    pub fn generate(&self, seed: u64) -> Corpus {
+        assert!(self.vocab_size > 0, "generate: empty vocabulary");
+        assert!(
+            (0.0..=1.0).contains(&self.coherence),
+            "generate: coherence must be in [0,1]"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let zipf = ZipfSampler::new(self.vocab_size, self.zipf_exponent, 2.7);
+        // Each word's preferred successors, drawn once from the global
+        // Zipf so popular words are popular successors too.
+        let succ: Vec<Vec<WordId>> = (0..=self.vocab_size)
+            .map(|_| {
+                (0..self.successors_per_word)
+                    .map(|_| zipf.sample(&mut rng) as WordId)
+                    .collect()
+            })
+            .collect();
+        let succ_zipf = ZipfSampler::new(self.successors_per_word.max(1), 1.0, 1.0);
+
+        let mut sentences = Vec::with_capacity(self.num_sentences);
+        for _ in 0..self.num_sentences {
+            // Geometric-ish length, clamped to [3, 4 * mean].
+            let mut len = 3;
+            let p_stop = 1.0 / self.mean_entence_len_f64();
+            while rng.gen::<f64>() > p_stop && len < self.mean_sentence_len * 4 {
+                len += 1;
+            }
+            let mut sent = Vec::with_capacity(len);
+            let mut prev: WordId = zipf.sample(&mut rng) as WordId;
+            sent.push(prev);
+            for _ in 1..len {
+                let next = if rng.gen::<f64>() < self.coherence && self.successors_per_word > 0 {
+                    let k = succ_zipf.sample(&mut rng) - 1;
+                    succ[prev as usize][k]
+                } else {
+                    zipf.sample(&mut rng) as WordId
+                };
+                sent.push(next);
+                prev = next;
+            }
+            sentences.push(sent);
+        }
+        Corpus { sentences }
+    }
+
+    fn mean_entence_len_f64(&self) -> f64 {
+        (self.mean_sentence_len.max(3)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = CorpusSpec { vocab_size: 100, num_sentences: 50, ..Default::default() };
+        let a = spec.generate(7);
+        let b = spec.generate(7);
+        assert_eq!(a.sentences, b.sentences);
+        let c = spec.generate(8);
+        assert_ne!(a.sentences, c.sentences);
+    }
+
+    #[test]
+    fn words_stay_in_vocabulary() {
+        let spec = CorpusSpec { vocab_size: 64, num_sentences: 200, ..Default::default() };
+        let c = spec.generate(1);
+        for s in &c.sentences {
+            assert!(s.len() >= 3);
+            for &w in s {
+                assert!(w >= 1 && w as usize <= 64);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        let spec = CorpusSpec { vocab_size: 500, num_sentences: 2_000, coherence: 0.0, ..Default::default() };
+        let c = spec.generate(3);
+        let mut counts = vec![0u64; 501];
+        for s in &c.sentences {
+            for &w in s {
+                counts[w as usize] += 1;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        let top10: u64 = {
+            let mut sorted = counts.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            sorted[..10].iter().sum()
+        };
+        // With s≈1.05 the 10 most frequent of 500 words carry a large
+        // share of the mass — that skew is what makes LM state degrees
+        // non-uniform.
+        assert!(
+            top10 as f64 / total as f64 > 0.15,
+            "head mass too small: {}",
+            top10 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn coherence_concentrates_bigrams() {
+        let base = CorpusSpec { vocab_size: 300, num_sentences: 1_000, ..Default::default() };
+        let incoherent = CorpusSpec { coherence: 0.0, ..base };
+        let coherent = CorpusSpec { coherence: 0.9, ..base };
+        let distinct = |c: &Corpus| {
+            let mut set = std::collections::HashSet::new();
+            for s in &c.sentences {
+                for w in s.windows(2) {
+                    set.insert((w[0], w[1]));
+                }
+            }
+            set.len()
+        };
+        let di = distinct(&incoherent.generate(5));
+        let dc = distinct(&coherent.generate(5));
+        assert!(
+            dc < di,
+            "coherent corpus should repeat bigrams more: {dc} vs {di}"
+        );
+    }
+
+    #[test]
+    fn heldout_split() {
+        let spec = CorpusSpec { vocab_size: 50, num_sentences: 100, ..Default::default() };
+        let (train, held) = spec.generate(2).split_heldout(0.1);
+        assert_eq!(train.sentences.len(), 90);
+        assert_eq!(held.sentences.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty vocabulary")]
+    fn zero_vocab_panics() {
+        let spec = CorpusSpec { vocab_size: 0, ..Default::default() };
+        let _ = spec.generate(0);
+    }
+
+    proptest! {
+        #[test]
+        fn zipf_pmf_sums_to_one(n in 1usize..200, s in 0.5f64..2.0) {
+            let z = ZipfSampler::new(n, s, 1.0);
+            let total: f64 = (1..=n).map(|r| z.pmf(r)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn zipf_pmf_monotone_decreasing(n in 2usize..200) {
+            let z = ZipfSampler::new(n, 1.1, 1.0);
+            for r in 1..n {
+                prop_assert!(z.pmf(r) >= z.pmf(r + 1));
+            }
+        }
+
+        #[test]
+        fn zipf_samples_in_range(n in 1usize..100, seed in 0u64..1000) {
+            let z = ZipfSampler::new(n, 1.0, 1.0);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                let r = z.sample(&mut rng);
+                prop_assert!(r >= 1 && r <= n);
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! N-gram model → back-off LM WFST (the paper's Figure 3b).
+//!
+//! State numbering follows the invariant the paper's LM compression
+//! scheme exploits (§3.4): state 0 is the empty-history root whose *i*-th
+//! outgoing arc carries word *i* and points at state *i*; states
+//! `1..=V` are the unigram-history states; bigram-history states (one
+//! per history with kept trigrams) follow. Back-off arcs are epsilon
+//! arcs and, after sorting, sit last in each state's arc list.
+
+use std::collections::HashMap;
+
+use unfold_wfst::{Arc, StateId, Wfst, WfstBuilder};
+
+use crate::ngram::{NGramModel, WordId};
+
+/// Maps n-gram histories to LM WFST state ids.
+#[derive(Debug, Clone)]
+pub struct LmWfstLayout {
+    /// Vocabulary size `V`; unigram history of word `w` is state `w`.
+    pub vocab_size: usize,
+    /// Bigram history `(u, v)` → state id (only histories with kept
+    /// trigrams have dedicated states).
+    pub bigram_states: HashMap<(WordId, WordId), StateId>,
+}
+
+impl LmWfstLayout {
+    /// State encoding the given history (last up-to-2 words).
+    pub fn state_for(&self, hist: &[WordId]) -> StateId {
+        if hist.len() >= 2 {
+            let key = (hist[hist.len() - 2], hist[hist.len() - 1]);
+            if let Some(&s) = self.bigram_states.get(&key) {
+                return s;
+            }
+            return hist[hist.len() - 1];
+        }
+        if hist.len() == 1 {
+            return hist[0];
+        }
+        0
+    }
+}
+
+/// Converts a trained model into its back-off WFST.
+///
+/// See [`lm_to_wfst_with_layout`] for the state map.
+pub fn lm_to_wfst(model: &NGramModel) -> Wfst {
+    lm_to_wfst_with_layout(model).0
+}
+
+/// Converts a trained model into its back-off WFST, returning the
+/// history → state layout as well.
+///
+/// The resulting machine is ilabel-sorted with back-off (epsilon) arcs
+/// stored last per state, all states final with weight 0 (we do not
+/// model a sentence-end symbol; every word boundary is a legal stopping
+/// point in the synthetic tasks).
+pub fn lm_to_wfst_with_layout(model: &NGramModel) -> (Wfst, LmWfstLayout) {
+    let v = model.vocab_size();
+    // Deterministic ordering of bigram-history states.
+    let mut tri_hists: Vec<(WordId, WordId)> = model.trigram_histories().collect();
+    tri_hists.sort_unstable();
+    let mut bigram_states: HashMap<(WordId, WordId), StateId> = HashMap::new();
+    let first_bigram_state = (v + 1) as StateId;
+    for (i, &h) in tri_hists.iter().enumerate() {
+        bigram_states.insert(h, first_bigram_state + i as StateId);
+    }
+    let layout = LmWfstLayout { vocab_size: v, bigram_states };
+
+    let num_states = v + 1 + tri_hists.len();
+    let mut b = WfstBuilder::with_states(num_states);
+    b.set_start(0);
+    for s in 0..num_states {
+        b.set_final(s as StateId, 0.0);
+    }
+
+    // Root: one unigram arc per word, in word order, dest = word id.
+    for w in 1..=v as WordId {
+        b.add_arc(0, Arc::new(w, w, model.unigram_cost(w), w));
+    }
+
+    // Unigram-history states: kept bigram arcs + back-off to root.
+    for u in 1..=v as WordId {
+        for &(w, cost) in model.bigram_arcs(u) {
+            let dest = layout
+                .bigram_states
+                .get(&(u, w))
+                .copied()
+                .unwrap_or(w as StateId);
+            b.add_arc(u, Arc::new(w, w, cost, dest));
+        }
+        b.add_arc(u, Arc::epsilon(model.bigram_backoff_cost(u), 0));
+    }
+
+    // Bigram-history states: kept trigram arcs + back-off to the
+    // unigram history of the most recent word.
+    for &(u, vv) in &tri_hists {
+        let s = layout.bigram_states[&(u, vv)];
+        for &(w, cost) in model.trigram_arcs(u, vv) {
+            let dest = layout
+                .bigram_states
+                .get(&(vv, w))
+                .copied()
+                .unwrap_or(w as StateId);
+            b.add_arc(s, Arc::new(w, w, cost, dest));
+        }
+        b.add_arc(s, Arc::epsilon(model.trigram_backoff_cost(u, vv), vv));
+    }
+
+    let mut fst = b.build();
+    fst.sort_arcs_by_ilabel();
+    (fst, layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+    use crate::ngram::DiscountConfig;
+    use unfold_wfst::compose::resolve_lm_word;
+    use unfold_wfst::EPSILON;
+
+    fn build() -> (NGramModel, Wfst, LmWfstLayout) {
+        let spec = CorpusSpec { vocab_size: 150, num_sentences: 600, ..Default::default() };
+        let corpus = spec.generate(33);
+        let model = NGramModel::train(&corpus, 150, DiscountConfig::default());
+        let (fst, layout) = lm_to_wfst_with_layout(&model);
+        (model, fst, layout)
+    }
+
+    #[test]
+    fn root_arc_invariant_for_compression() {
+        // §3.4: "the i-th outgoing arc of state 0 is associated with word
+        // ID i and has destination state i".
+        let (_, fst, _) = build();
+        for (i, arc) in fst.arcs(0).iter().enumerate() {
+            assert_eq!(arc.ilabel, i as u32 + 1);
+            assert_eq!(arc.olabel, i as u32 + 1);
+            assert_eq!(arc.nextstate, i as u32 + 1);
+        }
+        assert!(fst.backoff_arc(0).is_none(), "root has no back-off arc");
+    }
+
+    #[test]
+    fn every_non_root_state_has_backoff_last() {
+        let (_, fst, _) = build();
+        for s in 1..fst.num_states() as StateId {
+            let arcs = fst.arcs(s);
+            let back = arcs.last().expect("state {s} must have a back-off arc");
+            assert_eq!(back.ilabel, EPSILON, "state {s}: back-off must be last");
+            // Exactly one epsilon arc.
+            assert_eq!(arcs.iter().filter(|a| a.ilabel == EPSILON).count(), 1);
+        }
+    }
+
+    #[test]
+    fn sorted_and_all_final() {
+        let (_, fst, _) = build();
+        assert!(fst.is_ilabel_sorted());
+        for s in fst.states() {
+            assert_eq!(fst.final_weight(s), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn backoff_destinations_descend_order() {
+        // Trigram-history states back off to unigram-history states;
+        // unigram-history states back off to the root.
+        let (_, fst, layout) = build();
+        for (&(_, v), &s) in &layout.bigram_states {
+            assert_eq!(fst.backoff_arc(s).unwrap().nextstate, v);
+        }
+        for u in 1..=layout.vocab_size as StateId {
+            assert_eq!(fst.backoff_arc(u).unwrap().nextstate, 0);
+        }
+    }
+
+    #[test]
+    fn wfst_resolution_matches_model_cost() {
+        // Walking the WFST back-off chain must reproduce the model's
+        // word_cost for unigram, bigram and trigram histories.
+        let (model, fst, layout) = build();
+        let histories: Vec<Vec<WordId>> = vec![
+            vec![],
+            vec![3],
+            vec![7, 1],
+        ];
+        let mut tri = model.trigram_histories().collect::<Vec<_>>();
+        tri.sort_unstable();
+        let mut checked = 0;
+        for hist in histories
+            .into_iter()
+            .chain(tri.iter().take(5).map(|&(u, v)| vec![u, v]))
+        {
+            let state = layout.state_for(&hist);
+            for w in (1..=150u32).step_by(17) {
+                let (_, cost, _) =
+                    resolve_lm_word(&fst, state, w).expect("resolvable");
+                let want = model.word_cost(&hist, w);
+                assert!(
+                    (cost - want).abs() < 1e-4,
+                    "hist {hist:?} w {w}: wfst {cost} vs model {want}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 30);
+    }
+
+    #[test]
+    fn resolution_destination_matches_layout() {
+        let (model, fst, layout) = build();
+        let (u, v) = model.trigram_histories().next().unwrap();
+        // Resolve v from history [u]: destination must encode history
+        // [u, v] (a bigram state if it exists, else unigram of v).
+        if model
+            .bigram_arcs(u)
+            .binary_search_by_key(&v, |&(x, _)| x)
+            .is_ok()
+        {
+            let (dest, _, _) = resolve_lm_word(&fst, layout.state_for(&[u]), v).unwrap();
+            assert_eq!(dest, layout.state_for(&[u, v]));
+        }
+    }
+
+    #[test]
+    fn state_count_is_root_plus_vocab_plus_trigram_histories() {
+        let (model, fst, layout) = build();
+        assert_eq!(
+            fst.num_states(),
+            1 + layout.vocab_size + model.trigram_histories().count()
+        );
+    }
+
+    #[test]
+    fn layout_state_for_unknown_bigram_history_falls_back() {
+        let (_, _, layout) = build();
+        // A history that kept no trigrams maps to the unigram state of
+        // its most recent word.
+        let s = layout.state_for(&[149, 150]);
+        if !layout.bigram_states.contains_key(&(149, 150)) {
+            assert_eq!(s, 150);
+        }
+    }
+}

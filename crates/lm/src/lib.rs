@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Language-model substrate for the UNFOLD reproduction.
+//!
+//! The paper decodes against back-off n-gram language models (unigram /
+//! bigram / trigram, §2) trained on the TEDLIUM, Librispeech and Voxforge
+//! corpora. Those corpora are not available here, so this crate supplies
+//! the closest synthetic equivalent:
+//!
+//! * [`corpus`] — a seeded generator of Zipf-distributed, Markov-
+//!   structured text whose n-gram sparsity mimics natural language
+//!   closely enough to exercise the same LM-WFST topology (dense
+//!   unigrams, pruned bigrams/trigrams, back-off arcs),
+//! * [`ngram`] — n-gram counting and absolute-discounting back-off
+//!   estimation,
+//! * [`graph`] — conversion of an [`ngram::NGramModel`] into the back-off
+//!   WFST of Figure 3b, with the state-numbering invariant the paper's
+//!   LM compression relies on (the *i*-th arc of the root state is word
+//!   *i* and points at state *i*, §3.4).
+//!
+//! # Example
+//!
+//! ```
+//! use unfold_lm::{CorpusSpec, NGramModel, lm_to_wfst};
+//!
+//! let spec = CorpusSpec { vocab_size: 50, num_sentences: 200, ..CorpusSpec::default() };
+//! let corpus = spec.generate(42);
+//! let model = NGramModel::train(&corpus, spec.vocab_size, Default::default());
+//! let fst = lm_to_wfst(&model);
+//! assert!(fst.is_ilabel_sorted());
+//! // Root state has exactly one arc per vocabulary word.
+//! assert_eq!(fst.arcs(0).len(), 50);
+//! ```
+
+pub mod arpa;
+pub mod corpus;
+pub mod graph;
+pub mod ngram;
+
+pub use arpa::{parse_arpa, to_arpa, ArpaModel, ParseArpaError};
+pub use corpus::{Corpus, CorpusSpec, ZipfSampler};
+pub use graph::{lm_to_wfst, LmWfstLayout};
+pub use ngram::{DiscountConfig, NGramModel, WordId};

@@ -1,0 +1,498 @@
+//! N-gram counting and back-off estimation.
+//!
+//! Produces the trigram back-off model of the paper's Figure 3b:
+//! all unigrams are kept (so any word can always be resolved at the LM
+//! root, §3.3), while bigrams and trigrams below a count threshold are
+//! pruned — "combinations whose likelihood is smaller than a threshold
+//! are pruned to keep the size of the LM manageable" (§2). Probabilities
+//! use absolute discounting, with the discounted mass redistributed via
+//! back-off weights.
+
+use std::collections::HashMap;
+
+use crate::corpus::Corpus;
+
+/// Word identifier (`1..=vocab_size`; `0` is reserved for epsilon).
+pub type WordId = u32;
+
+/// Packs a bigram history into a map key.
+#[inline]
+fn pack2(u: WordId, v: WordId) -> u64 {
+    (u64::from(u) << 21) | u64::from(v)
+}
+
+/// Discounting / pruning configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscountConfig {
+    /// Absolute discount subtracted from every kept n-gram count.
+    pub discount: f64,
+    /// Bigrams observed fewer times than this are pruned.
+    pub min_bigram_count: u64,
+    /// Trigrams observed fewer times than this are pruned.
+    pub min_trigram_count: u64,
+}
+
+impl Default for DiscountConfig {
+    fn default() -> Self {
+        DiscountConfig { discount: 0.5, min_bigram_count: 2, min_trigram_count: 2 }
+    }
+}
+
+/// A trained trigram back-off model.
+///
+/// Probabilities are stored as *costs* (negative natural logs), the
+/// currency of the tropical semiring the decoder works in. Back-off
+/// weights may legitimately be negative costs (back-off factors > 1).
+#[derive(Debug, Clone)]
+pub struct NGramModel {
+    vocab_size: usize,
+    /// `uni_cost[w]` = -ln P(w); index 0 unused.
+    uni_cost: Vec<f32>,
+    /// Kept bigram successors per history word, sorted by word id.
+    bi: HashMap<WordId, Vec<(WordId, f32)>>,
+    /// Back-off cost per unigram history.
+    bi_backoff: HashMap<WordId, f32>,
+    /// Kept trigram successors per (u, v) history, sorted by word id.
+    tri: HashMap<u64, Vec<(WordId, f32)>>,
+    /// Back-off cost per bigram history.
+    tri_backoff: HashMap<u64, f32>,
+}
+
+impl NGramModel {
+    /// Trains a trigram model on `corpus`.
+    ///
+    /// Every word in `1..=vocab_size` receives a unigram probability
+    /// (add-one smoothing), which guarantees the back-off chain always
+    /// terminates at the root — the invariant the paper's §3.3 relies on.
+    ///
+    /// # Panics
+    /// Panics if `vocab_size == 0` or exceeds 2^21 - 1 (the LM arc
+    /// destination field is 21 bits in the compressed layout).
+    pub fn train(corpus: &Corpus, vocab_size: usize, cfg: DiscountConfig) -> Self {
+        assert!(vocab_size > 0, "train: empty vocabulary");
+        assert!(vocab_size < (1 << 21), "train: vocabulary exceeds 21-bit word ids");
+
+        let mut c_uni = vec![0u64; vocab_size + 1];
+        let mut c_bi: HashMap<u64, u64> = HashMap::new();
+        let mut c_tri: HashMap<(u64, WordId), u64> = HashMap::new();
+        for sent in &corpus.sentences {
+            for (i, &w) in sent.iter().enumerate() {
+                assert!(
+                    w >= 1 && (w as usize) <= vocab_size,
+                    "train: word id {w} out of range"
+                );
+                c_uni[w as usize] += 1;
+                if i >= 1 {
+                    *c_bi.entry(pack2(sent[i - 1], w)).or_insert(0) += 1;
+                }
+                if i >= 2 {
+                    *c_tri.entry((pack2(sent[i - 2], sent[i - 1]), w)).or_insert(0) += 1;
+                }
+            }
+        }
+        let total: u64 = c_uni.iter().sum();
+
+        // --- Unigrams: add-one smoothing, full coverage. ---
+        let denom = (total + vocab_size as u64) as f64;
+        let p_uni: Vec<f64> = (0..=vocab_size)
+            .map(|w| if w == 0 { 0.0 } else { (c_uni[w] + 1) as f64 / denom })
+            .collect();
+        let uni_cost: Vec<f32> = p_uni
+            .iter()
+            .map(|&p| if p > 0.0 { -(p.ln()) as f32 } else { f32::INFINITY })
+            .collect();
+
+        // --- Bigrams: absolute discounting over kept successors. ---
+        let mut kept_bi: HashMap<WordId, Vec<(WordId, f64)>> = HashMap::new();
+        let mut hist_count: HashMap<WordId, u64> = HashMap::new();
+        for (&key, &cnt) in &c_bi {
+            let u = (key >> 21) as WordId;
+            *hist_count.entry(u).or_insert(0) += cnt;
+            if cnt >= cfg.min_bigram_count {
+                let v = (key & ((1 << 21) - 1)) as WordId;
+                let disc = (cnt as f64 - cfg.discount).max(1e-9);
+                kept_bi.entry(u).or_default().push((v, disc));
+            }
+        }
+        let mut bi: HashMap<WordId, Vec<(WordId, f32)>> = HashMap::new();
+        let mut bi_backoff: HashMap<WordId, f32> = HashMap::new();
+        for (u, mut succ) in kept_bi {
+            let h = hist_count[&u] as f64;
+            succ.sort_unstable_by_key(|&(w, _)| w);
+            let mut kept_mass = 0.0;
+            let mut uni_mass = 0.0;
+            let arcs: Vec<(WordId, f32)> = succ
+                .iter()
+                .map(|&(w, disc)| {
+                    let p = disc / h;
+                    kept_mass += p;
+                    uni_mass += p_uni[w as usize];
+                    (w, -(p.ln()) as f32)
+                })
+                .collect();
+            let bow = backoff_weight(kept_mass, uni_mass);
+            bi.insert(u, arcs);
+            bi_backoff.insert(u, -(bow.ln()) as f32);
+        }
+
+        // --- Trigrams: same scheme over (u, v) histories; the back-off
+        // denominator uses the *bigram-level* probability of each kept
+        // word so mass is conserved against the next model down. ---
+        let p_bi = |u: WordId, w: WordId| -> f64 {
+            if let Some(arcs) = bi.get(&u) {
+                if let Ok(i) = arcs.binary_search_by_key(&w, |&(x, _)| x) {
+                    return f64::from(-arcs[i].1).exp();
+                }
+                let bow = f64::from(-bi_backoff[&u]).exp();
+                return bow * p_uni[w as usize];
+            }
+            p_uni[w as usize]
+        };
+        let mut kept_tri: HashMap<u64, Vec<(WordId, f64)>> = HashMap::new();
+        let mut tri_hist_count: HashMap<u64, u64> = HashMap::new();
+        for (&(key, w), &cnt) in &c_tri {
+            *tri_hist_count.entry(key).or_insert(0) += cnt;
+            if cnt >= cfg.min_trigram_count {
+                let disc = (cnt as f64 - cfg.discount).max(1e-9);
+                kept_tri.entry(key).or_default().push((w, disc));
+            }
+        }
+        let mut tri: HashMap<u64, Vec<(WordId, f32)>> = HashMap::new();
+        let mut tri_backoff: HashMap<u64, f32> = HashMap::new();
+        for (key, mut succ) in kept_tri {
+            let h = tri_hist_count[&key] as f64;
+            let v = (key & ((1 << 21) - 1)) as WordId;
+            succ.sort_unstable_by_key(|&(w, _)| w);
+            let mut kept_mass = 0.0;
+            let mut lower_mass = 0.0;
+            let arcs: Vec<(WordId, f32)> = succ
+                .iter()
+                .map(|&(w, disc)| {
+                    let p = disc / h;
+                    kept_mass += p;
+                    lower_mass += p_bi(v, w);
+                    (w, -(p.ln()) as f32)
+                })
+                .collect();
+            let bow = backoff_weight(kept_mass, lower_mass);
+            tri.insert(key, arcs);
+            tri_backoff.insert(key, -(bow.ln()) as f32);
+        }
+
+        NGramModel { vocab_size, uni_cost, bi, bi_backoff, tri, tri_backoff }
+    }
+
+    /// Reconstructs a model from a parsed ARPA file (the import half of
+    /// the interop story: LMs trained by external toolchains — SRILM,
+    /// KenLM — can drive this decoder).
+    ///
+    /// # Panics
+    /// Panics if the ARPA model is missing a unigram in `1..=vocab_size`
+    /// (the decoder's back-off chain requires full unigram coverage) or
+    /// if `vocab_size` is out of range.
+    pub fn from_arpa(arpa: &crate::arpa::ArpaModel, vocab_size: usize) -> Self {
+        assert!(vocab_size > 0, "from_arpa: empty vocabulary");
+        assert!(vocab_size < (1 << 21), "from_arpa: vocabulary exceeds 21-bit word ids");
+        let mut uni_cost = vec![f32::INFINITY; vocab_size + 1];
+        let mut bi_backoff: HashMap<WordId, f32> = HashMap::new();
+        for w in 1..=vocab_size as WordId {
+            let &(cost, bow) = arpa
+                .unigrams
+                .get(&w)
+                .unwrap_or_else(|| panic!("from_arpa: missing unigram for word {w}"));
+            uni_cost[w as usize] = cost;
+            bi_backoff.insert(w, bow);
+        }
+        let mut bi: HashMap<WordId, Vec<(WordId, f32)>> = HashMap::new();
+        let mut tri_backoff: HashMap<u64, f32> = HashMap::new();
+        for (&(u, w), &(cost, bow)) in &arpa.bigrams {
+            bi.entry(u).or_default().push((w, cost));
+            tri_backoff.insert(pack2(u, w), bow);
+        }
+        let mut tri: HashMap<u64, Vec<(WordId, f32)>> = HashMap::new();
+        for (&(u, v, w), &cost) in &arpa.trigrams {
+            tri.entry(pack2(u, v)).or_default().push((w, cost));
+        }
+        for arcs in bi.values_mut() {
+            arcs.sort_unstable_by_key(|&(w, _)| w);
+        }
+        for arcs in tri.values_mut() {
+            arcs.sort_unstable_by_key(|&(w, _)| w);
+        }
+        // Drop back-off weights for histories without kept successors
+        // (they would be unreachable states in the WFST).
+        tri_backoff.retain(|k, _| tri.contains_key(k));
+        NGramModel { vocab_size, uni_cost, bi, bi_backoff, tri, tri_backoff }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Unigram cost of `w` (= -ln P(w)).
+    ///
+    /// # Panics
+    /// Panics if `w` is 0 or out of range.
+    pub fn unigram_cost(&self, w: WordId) -> f32 {
+        assert!(w >= 1 && (w as usize) <= self.vocab_size, "unigram_cost: bad word {w}");
+        self.uni_cost[w as usize]
+    }
+
+    /// Kept bigram successors of history `u`, sorted by word id.
+    pub fn bigram_arcs(&self, u: WordId) -> &[(WordId, f32)] {
+        self.bi.get(&u).map_or(&[], Vec::as_slice)
+    }
+
+    /// Back-off cost of unigram history `u` (0.0 if `u` has no kept
+    /// bigrams and therefore no explicit back-off).
+    pub fn bigram_backoff_cost(&self, u: WordId) -> f32 {
+        self.bi_backoff.get(&u).copied().unwrap_or(0.0)
+    }
+
+    /// Kept trigram successors of history `(u, v)`, sorted by word id.
+    pub fn trigram_arcs(&self, u: WordId, v: WordId) -> &[(WordId, f32)] {
+        self.tri.get(&pack2(u, v)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Back-off cost of bigram history `(u, v)`.
+    pub fn trigram_backoff_cost(&self, u: WordId, v: WordId) -> f32 {
+        self.tri_backoff.get(&pack2(u, v)).copied().unwrap_or(0.0)
+    }
+
+    /// All bigram histories that kept at least one successor.
+    pub fn bigram_histories(&self) -> impl Iterator<Item = WordId> + '_ {
+        self.bi.keys().copied()
+    }
+
+    /// All trigram histories `(u, v)` that kept at least one successor.
+    pub fn trigram_histories(&self) -> impl Iterator<Item = (WordId, WordId)> + '_ {
+        self.tri
+            .keys()
+            .map(|&k| ((k >> 21) as WordId, (k & ((1 << 21) - 1)) as WordId))
+    }
+
+    /// Number of kept bigrams.
+    pub fn num_bigrams(&self) -> usize {
+        self.bi.values().map(Vec::len).sum()
+    }
+
+    /// Number of kept trigrams.
+    pub fn num_trigrams(&self) -> usize {
+        self.tri.values().map(Vec::len).sum()
+    }
+
+    /// Cost of `w` after history `hist` (last up-to-2 words), evaluated
+    /// with full back-off semantics. This is the reference the WFST
+    /// conversion is validated against.
+    pub fn word_cost(&self, hist: &[WordId], w: WordId) -> f32 {
+        if hist.len() >= 2 {
+            let (u, v) = (hist[hist.len() - 2], hist[hist.len() - 1]);
+            let key = pack2(u, v);
+            if let Some(arcs) = self.tri.get(&key) {
+                if let Ok(i) = arcs.binary_search_by_key(&w, |&(x, _)| x) {
+                    return arcs[i].1;
+                }
+                return self.tri_backoff[&key] + self.word_cost(&[v], w);
+            }
+            return self.word_cost(&[v], w);
+        }
+        if hist.len() == 1 {
+            let u = hist[0];
+            if let Some(arcs) = self.bi.get(&u) {
+                if let Ok(i) = arcs.binary_search_by_key(&w, |&(x, _)| x) {
+                    return arcs[i].1;
+                }
+                return self.bi_backoff[&u] + self.unigram_cost(w);
+            }
+            return self.unigram_cost(w);
+        }
+        self.unigram_cost(w)
+    }
+
+    /// Perplexity of a corpus under this model.
+    ///
+    /// # Panics
+    /// Panics if the corpus is empty.
+    pub fn perplexity(&self, corpus: &Corpus) -> f64 {
+        let mut total_cost = 0.0f64;
+        let mut tokens = 0usize;
+        for sent in &corpus.sentences {
+            for (i, &w) in sent.iter().enumerate() {
+                let lo = i.saturating_sub(2);
+                total_cost += f64::from(self.word_cost(&sent[lo..i], w));
+                tokens += 1;
+            }
+        }
+        assert!(tokens > 0, "perplexity: empty corpus");
+        (total_cost / tokens as f64).exp()
+    }
+}
+
+/// Back-off factor: leftover probability mass divided by the mass the
+/// lower-order model assigns outside the kept set. Clamped to keep the
+/// model well-behaved when pruning leaves pathological distributions.
+fn backoff_weight(kept_mass: f64, lower_order_kept_mass: f64) -> f64 {
+    let leftover = (1.0 - kept_mass).max(1e-6);
+    let denom = (1.0 - lower_order_kept_mass).max(1e-6);
+    (leftover / denom).clamp(1e-4, 1e4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+
+    fn small_model() -> (NGramModel, Corpus) {
+        let spec = CorpusSpec { vocab_size: 200, num_sentences: 800, ..Default::default() };
+        let corpus = spec.generate(11);
+        let model = NGramModel::train(&corpus, 200, DiscountConfig::default());
+        (model, corpus)
+    }
+
+    #[test]
+    fn unigrams_cover_vocabulary() {
+        let (m, _) = small_model();
+        for w in 1..=200 {
+            let c = m.unigram_cost(w);
+            assert!(c.is_finite() && c > 0.0, "word {w} cost {c}");
+        }
+    }
+
+    #[test]
+    fn unigram_probabilities_sum_to_one() {
+        let (m, _) = small_model();
+        let total: f64 = (1..=200).map(|w| f64::from(-m.unigram_cost(w)).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+    }
+
+    #[test]
+    fn kept_ngrams_are_sorted() {
+        let (m, _) = small_model();
+        for u in m.bigram_histories().collect::<Vec<_>>() {
+            let arcs = m.bigram_arcs(u);
+            assert!(arcs.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        for (u, v) in m.trigram_histories().collect::<Vec<_>>() {
+            let arcs = m.trigram_arcs(u, v);
+            assert!(arcs.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn pruning_leaves_sparse_higher_orders() {
+        let (m, _) = small_model();
+        assert!(m.num_bigrams() > 0, "no bigrams survived");
+        assert!(m.num_trigrams() > 0, "no trigrams survived");
+        // Far fewer than the dense V^2 / V^3 combinations — the whole
+        // reason back-off arcs exist.
+        assert!(m.num_bigrams() < 200 * 200 / 4);
+        assert!(m.num_trigrams() < m.num_bigrams() * 50);
+    }
+
+    #[test]
+    fn bigram_distribution_nearly_normalized() {
+        let (m, _) = small_model();
+        // For each history: kept mass + bow * (unigram mass outside kept)
+        // should be ~1. Clamping can distort degenerate histories, so we
+        // check the median-behaved ones.
+        let mut oks = 0;
+        let mut all = 0;
+        for u in m.bigram_histories().collect::<Vec<_>>() {
+            let arcs = m.bigram_arcs(u);
+            let kept: f64 = arcs.iter().map(|&(_, c)| f64::from(-c).exp()).sum();
+            let kept_uni: f64 = arcs.iter().map(|&(w, _)| f64::from(-m.unigram_cost(w)).exp()).sum();
+            let bow = f64::from(-m.bigram_backoff_cost(u)).exp();
+            let total = kept + bow * (1.0 - kept_uni);
+            all += 1;
+            if (total - 1.0).abs() < 0.05 {
+                oks += 1;
+            }
+        }
+        assert!(oks as f64 / all as f64 > 0.9, "only {oks}/{all} normalized");
+    }
+
+    #[test]
+    fn word_cost_backoff_chain_consistent() {
+        let (m, _) = small_model();
+        // A word with no trigram and no bigram must cost
+        // tri_bow + bi_bow + unigram when both histories exist.
+        let (u, v) = m.trigram_histories().next().unwrap();
+        // Find a word absent from both the trigram and bigram arcs.
+        let absent = (1..=200u32)
+            .find(|&w| {
+                m.trigram_arcs(u, v).binary_search_by_key(&w, |&(x, _)| x).is_err()
+                    && m.bigram_arcs(v).binary_search_by_key(&w, |&(x, _)| x).is_err()
+            })
+            .expect("some word must be absent");
+        let got = m.word_cost(&[u, v], absent);
+        let want = m.trigram_backoff_cost(u, v)
+            + m.bigram_backoff_cost(v)
+            + m.unigram_cost(absent);
+        // bigram_backoff_cost returns 0 when v has no kept bigrams, which
+        // matches word_cost's fall-through; both sides agree either way.
+        assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+    }
+
+    #[test]
+    fn model_beats_uniform_on_heldout() {
+        let spec = CorpusSpec { vocab_size: 300, num_sentences: 3_000, ..Default::default() };
+        let (train, held) = spec.generate(21).split_heldout(0.1);
+        let m = NGramModel::train(&train, 300, DiscountConfig::default());
+        let ppl = m.perplexity(&held);
+        assert!(ppl.is_finite());
+        assert!(ppl < 300.0, "perplexity {ppl} not better than uniform (300)");
+    }
+
+    #[test]
+    fn trigram_context_helps() {
+        // Perplexity with full model must not exceed unigram-only cost.
+        let (m, corpus) = small_model();
+        let ppl_full = m.perplexity(&corpus);
+        let mut uni_cost = 0.0f64;
+        let mut n = 0usize;
+        for s in &corpus.sentences {
+            for &w in s {
+                uni_cost += f64::from(m.unigram_cost(w));
+                n += 1;
+            }
+        }
+        let ppl_uni = (uni_cost / n as f64).exp();
+        assert!(ppl_full < ppl_uni, "context should reduce perplexity: {ppl_full} vs {ppl_uni}");
+    }
+
+    #[test]
+    fn from_arpa_roundtrips_the_model() {
+        let (m, _) = small_model();
+        let text = crate::arpa::to_arpa(&m);
+        let parsed = crate::arpa::parse_arpa(&text).unwrap();
+        let back = NGramModel::from_arpa(&parsed, 200);
+        assert_eq!(back.num_bigrams(), m.num_bigrams());
+        assert_eq!(back.num_trigrams(), m.num_trigrams());
+        for hist in [vec![], vec![3], vec![7, 1]] {
+            for w in (1..=200u32).step_by(13) {
+                let a = m.word_cost(&hist, w);
+                let b = back.word_cost(&hist, w);
+                assert!((a - b).abs() < 1e-3, "hist {hist:?} w {w}: {a} vs {b}");
+            }
+        }
+        // The reconstructed model converts to a layout-valid WFST.
+        let fst = crate::graph::lm_to_wfst(&back);
+        assert!(fst.is_ilabel_sorted());
+        assert_eq!(fst.arcs(0).len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing unigram")]
+    fn from_arpa_requires_full_unigram_coverage() {
+        let arpa = crate::arpa::ArpaModel::default();
+        let _ = NGramModel::from_arpa(&arpa, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad word")]
+    fn unigram_cost_rejects_epsilon() {
+        let (m, _) = small_model();
+        let _ = m.unigram_cost(0);
+    }
+}

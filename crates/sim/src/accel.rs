@@ -1,0 +1,397 @@
+//! The accelerator pipeline model.
+//!
+//! [`Accelerator`] implements [`unfold_decoder::TraceSink`]: the decoder
+//! drives it online, event by event, and it models the paper's pipeline
+//! (Figure 4) at event granularity:
+//!
+//! * one arc evaluation per cycle when everything hits (the pipeline's
+//!   steady state),
+//! * binary-search LM probes are *dependent* accesses — each probe waits
+//!   for the previous one, which is why the paper's linear→binary→OLT
+//!   ladder matters so much,
+//! * independent cache misses overlap through the 32-entry memory
+//!   controller (modeled as an amortization factor), while LM-probe
+//!   misses stall their walk fully,
+//! * an Offset Lookup Table hit replaces the whole binary search with a
+//!   single LM-cache access (§3.1).
+//!
+//! The model is cycle-approximate, not RTL-exact; DESIGN.md documents
+//! why that is sufficient for the paper's comparisons (all results are
+//! ratios between two configurations simulated under the same model).
+
+use unfold_decoder::{sources::addr, TraceSink};
+use unfold_wfst::{Label, StateId};
+
+use crate::cache::Cache;
+use crate::dram::DramModel;
+use crate::hashtable::TokenHashTable;
+use crate::olt::OffsetLookupTable;
+use crate::report::{AcceleratorConfig, ComponentEnergy, SimReport, TrafficBreakdown};
+
+/// Cycles per pipelined event (cache hit path).
+const EVENT_CYCLES: u64 = 1;
+/// Extra cycles per dependent LM probe (address generation + compare).
+const LM_PROBE_CYCLES: u64 = 2;
+/// Frame startup overhead (hash flip, threshold broadcast).
+const FRAME_OVERHEAD_CYCLES: u64 = 12;
+
+/// Event-driven accelerator model; feed it decoder traces, then call
+/// [`Accelerator::finish`].
+pub struct Accelerator {
+    config: AcceleratorConfig,
+    state_cache: Cache,
+    am_arc_cache: Cache,
+    lm_arc_cache: Option<Cache>,
+    token_cache: Cache,
+    olt: Option<OffsetLookupTable>,
+    hash: TokenHashTable,
+    dram: DramModel,
+    cycles: u64,
+    energy: ComponentEnergy,
+    /// Pending LM arc fetches of the in-progress lookup.
+    pending_lm: Vec<(u64, u32)>,
+    /// Whether the in-progress lookup hit in the OLT.
+    cur_olt_hit: bool,
+    /// FP operations performed (likelihood evaluation).
+    flops: u64,
+    traffic: TrafficBreakdown,
+    /// LM arc fetches actually charged (after OLT hits skip probes).
+    lm_fetches_charged: u64,
+}
+
+impl std::fmt::Debug for Accelerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Accelerator")
+            .field("config", &self.config.name)
+            .field("cycles", &self.cycles)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Accelerator {
+    /// Builds a cold accelerator.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        Accelerator {
+            state_cache: Cache::new(config.state_cache),
+            am_arc_cache: Cache::new(config.am_arc_cache),
+            lm_arc_cache: config.lm_arc_cache.map(Cache::new),
+            token_cache: Cache::new(config.token_cache),
+            olt: config.offset_table_entries.map(OffsetLookupTable::new),
+            hash: TokenHashTable::new(config.hash_entries, config.hash_entry_bytes),
+            dram: DramModel::lpddr4(config.frequency_mhz),
+            cycles: 0,
+            energy: ComponentEnergy::default(),
+            pending_lm: Vec::new(),
+            cur_olt_hit: false,
+            flops: 0,
+            traffic: TrafficBreakdown::default(),
+            lm_fetches_charged: 0,
+            config,
+        }
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Cycles elapsed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Amortized stall for an overlappable miss (independent accesses
+    /// share the memory controller's in-flight slots).
+    fn overlapped_stall(&self) -> u64 {
+        let mlp = u64::from(self.config.max_inflight / 4).max(1);
+        (self.dram.latency_cycles / mlp).max(1)
+    }
+
+    fn sram_pj(&self, capacity: u64) -> f64 {
+        self.config.energy.sram_access_pj(capacity)
+    }
+
+    /// Finishes the in-progress LM lookup: charges its arc fetches.
+    fn flush_lm(&mut self) {
+        if self.pending_lm.is_empty() {
+            return;
+        }
+        let fetches: Vec<(u64, u32)> = if self.cur_olt_hit {
+            // OLT hit: the offset is known; fetch only the final arc.
+            vec![*self.pending_lm.last().expect("non-empty pending")]
+        } else {
+            std::mem::take(&mut self.pending_lm)
+        };
+        self.pending_lm.clear();
+        let cap = self
+            .config
+            .lm_arc_cache
+            .map(|c| c.capacity_bytes)
+            .unwrap_or(self.config.am_arc_cache.capacity_bytes);
+        self.lm_fetches_charged += fetches.len() as u64;
+        for (a, b) in fetches {
+            let misses = match self.lm_arc_cache.as_mut() {
+                Some(c) => c.access(a, b),
+                None => self.am_arc_cache.access(a, b),
+            };
+            self.energy.lm_arc_cache += self.sram_pj(cap) / 1e9;
+            self.cycles += LM_PROBE_CYCLES;
+            for _ in 0..misses {
+                self.dram.read();
+                self.traffic.lm_arc_bursts += 1;
+                // Dependent access: the walk stalls for the full latency.
+                self.cycles += self.dram.latency_cycles;
+            }
+            self.flops += 1;
+        }
+    }
+
+    /// Produces the report for everything simulated so far, attributing
+    /// `audio_seconds` of decoded speech.
+    ///
+    /// # Panics
+    /// Panics if `audio_seconds` is not positive.
+    pub fn finish(&mut self, audio_seconds: f64) -> SimReport {
+        assert!(audio_seconds > 0.0, "finish: non-positive audio time");
+        self.flush_lm();
+        let seconds = self.cycles as f64 / (self.config.frequency_mhz as f64 * 1e6);
+
+        let mut energy = self.energy;
+        energy.dram = self.dram.dynamic_energy_mj();
+        energy.pipeline += self.flops as f64 * self.config.energy.flop_pj / 1e9;
+
+        // Static energy: SRAM + logic leakage + DRAM background, over
+        // the decode wall-clock time.
+        let leak_mw = self.config.energy.sram_leak_mw(self.config.sram_bytes())
+            + self.config.energy.logic_leak_mw
+            + self.dram.background_mw;
+        energy.static_energy = leak_mw * seconds; // mW * s = mJ
+
+        SimReport {
+            config_name: self.config.name,
+            cycles: self.cycles,
+            seconds,
+            audio_seconds,
+            energy,
+            dram: self.dram.stats(),
+            traffic: self.traffic,
+            state_cache: self.state_cache.stats(),
+            am_arc_cache: self.am_arc_cache.stats(),
+            lm_arc_cache: self.lm_arc_cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            token_cache: self.token_cache.stats(),
+            olt: self.olt.as_ref().map(|t| t.stats()).unwrap_or_default(),
+            lm_fetches_charged: self.lm_fetches_charged,
+            hash: self.hash.stats(),
+            area_mm2: self.config.area_mm2(),
+        }
+    }
+}
+
+impl TraceSink for Accelerator {
+    fn frame_start(&mut self, _frame: usize, _active: usize) {
+        self.flush_lm();
+        self.hash.frame_flip();
+        self.cycles += FRAME_OVERHEAD_CYCLES;
+    }
+
+    fn state_fetch(&mut self, a: u64) {
+        let cap = self.config.state_cache.capacity_bytes;
+        let misses = self.state_cache.access(a, addr::STATE_RECORD_BYTES as u32);
+        self.energy.state_cache += self.sram_pj(cap) / 1e9;
+        self.cycles += EVENT_CYCLES;
+        for _ in 0..misses {
+            self.dram.read();
+            self.traffic.state_bursts += 1;
+            self.cycles += self.overlapped_stall();
+        }
+    }
+
+    fn am_arc_fetch(&mut self, a: u64, bytes: u32) {
+        let cap = self.config.am_arc_cache.capacity_bytes;
+        let misses = self.am_arc_cache.access(a, bytes);
+        self.energy.am_arc_cache += self.sram_pj(cap) / 1e9;
+        self.cycles += EVENT_CYCLES;
+        self.flops += 2; // weight accumulate + beam compare
+        for _ in 0..misses {
+            self.dram.read();
+            self.traffic.am_arc_bursts += 1;
+            self.cycles += self.overlapped_stall();
+        }
+    }
+
+    fn lm_lookup(&mut self, state: StateId, word: Label) {
+        self.flush_lm();
+        self.cur_olt_hit = match self.olt.as_mut() {
+            Some(t) => {
+                let cap = t.size_bytes();
+                let hit = t.probe(state, word);
+                self.energy.offset_table += self.sram_pj(cap) / 1e9;
+                self.cycles += EVENT_CYCLES;
+                hit
+            }
+            None => false,
+        };
+    }
+
+    fn lm_arc_fetch(&mut self, a: u64, bytes: u32) {
+        self.pending_lm.push((a, bytes));
+    }
+
+    fn lm_resolved(&mut self, state: StateId, word: Label, _backoff_hops: u32) {
+        let hit = self.cur_olt_hit;
+        self.flush_lm();
+        if !hit {
+            if let Some(t) = self.olt.as_mut() {
+                t.insert(state, word);
+            }
+        }
+        self.cur_olt_hit = false;
+    }
+
+    fn acoustic_fetch(&mut self, _frame: usize, _pdf: Label) {
+        // On-chip buffer, overlapped with the arc pipeline: energy only.
+        self.energy.acoustic_buffer +=
+            self.sram_pj(self.config.acoustic_buffer_bytes) / 1e9;
+        self.flops += 1;
+    }
+
+    fn hash_insert(&mut self, key: u64) {
+        let hash_bytes = self.config.hash_entries as u64 * self.config.hash_entry_bytes;
+        let spills = self.hash.insert(key);
+        self.energy.hash += self.sram_pj(hash_bytes) / 1e9;
+        self.cycles += EVENT_CYCLES;
+        self.flops += 2; // likelihood compare + update
+        for _ in 0..spills {
+            self.dram.write();
+            self.traffic.hash_bursts += 1;
+            self.cycles += self.overlapped_stall();
+        }
+    }
+
+    fn token_store(&mut self, a: u64, bytes: u32) {
+        let cap = self.config.token_cache.capacity_bytes;
+        let misses = self.token_cache.access(a, bytes);
+        self.energy.token_cache += self.sram_pj(cap) / 1e9;
+        self.cycles += EVENT_CYCLES;
+        for _ in 0..misses {
+            self.dram.write();
+            self.traffic.token_bursts += 1;
+            self.cycles += self.overlapped_stall();
+        }
+    }
+
+    fn preemptive_prune(&mut self) {
+        // The abandoned walk's fetches up to this point are already
+        // pending; they will be charged at the next boundary. The prune
+        // itself is one comparator operation.
+        self.flops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_accelerator_reports_zero_traffic() {
+        let mut a = Accelerator::new(AcceleratorConfig::unfold());
+        a.frame_start(0, 0);
+        let r = a.finish(1.0);
+        assert_eq!(r.dram.read_bursts, 0);
+        assert!(r.cycles >= FRAME_OVERHEAD_CYCLES);
+        assert!(r.total_energy_mj() > 0.0, "static energy must be accounted");
+    }
+
+    #[test]
+    fn cold_misses_generate_dram_reads() {
+        let mut a = Accelerator::new(AcceleratorConfig::unfold());
+        for i in 0..100u64 {
+            a.am_arc_fetch(addr::AM_ARC_BASE + i * 256, 16);
+        }
+        let r = a.finish(1.0);
+        assert_eq!(r.dram.read_bursts, 100, "every distinct line is a cold miss");
+        assert!(r.am_arc_cache.misses == 100);
+    }
+
+    #[test]
+    fn olt_hit_skips_probe_fetches() {
+        let run = |with_hit: bool| {
+            let mut a = Accelerator::new(AcceleratorConfig::unfold());
+            if with_hit {
+                // Warm the OLT with a prior resolved lookup.
+                a.lm_lookup(3, 7);
+                for i in 0..6u64 {
+                    a.lm_arc_fetch(addr::LM_ARC_BASE + i * 640, 6);
+                }
+                a.lm_resolved(3, 7, 0);
+            }
+            let cycles0 = a.cycles();
+            a.lm_lookup(3, 7);
+            for i in 0..6u64 {
+                a.lm_arc_fetch(addr::LM_ARC_BASE + i * 640, 6);
+            }
+            a.lm_resolved(3, 7, 0);
+            a.cycles() - cycles0
+        };
+        let cold = run(false);
+        let warm = run(true);
+        assert!(warm < cold, "OLT hit must be cheaper: {warm} vs {cold}");
+    }
+
+    #[test]
+    fn lm_probe_misses_stall_fully() {
+        // Two accelerators: one gets sequential (cache-friendly) LM
+        // fetches, the other scattered ones. The scattered walk must be
+        // much slower because LM misses pay the whole DRAM latency.
+        let mut seq = Accelerator::new(AcceleratorConfig::unfold());
+        let mut scat = Accelerator::new(AcceleratorConfig::unfold());
+        for i in 0..50u64 {
+            seq.lm_lookup(1, i as u32 + 1);
+            seq.lm_arc_fetch(addr::LM_ARC_BASE + (i / 8) * 64, 6);
+            seq.lm_resolved(1, i as u32 + 1, 0);
+            scat.lm_lookup(1, i as u32 + 1);
+            scat.lm_arc_fetch(addr::LM_ARC_BASE + i * 4096, 6);
+            scat.lm_resolved(1, i as u32 + 1, 0);
+        }
+        assert!(scat.cycles() > seq.cycles() * 3);
+    }
+
+    #[test]
+    fn token_writes_are_dram_writes_on_miss() {
+        let mut a = Accelerator::new(AcceleratorConfig::unfold());
+        // Sequential lattice writes: one miss per 64-byte line.
+        for i in 0..64u64 {
+            a.token_store(addr::TOKEN_BASE + i * 8, 8);
+        }
+        let r = a.finish(1.0);
+        assert_eq!(r.dram.write_bursts, 8);
+        let tc = r.token_cache;
+        assert!(tc.miss_ratio() > 0.1 && tc.miss_ratio() < 0.2);
+    }
+
+    #[test]
+    fn hash_overflow_spills_to_memory() {
+        let mut cfg = AcceleratorConfig::unfold();
+        cfg.hash_entries = 4;
+        let mut a = Accelerator::new(cfg);
+        for k in 0..10u64 {
+            a.hash_insert(k);
+        }
+        let r = a.finish(1.0);
+        assert_eq!(r.hash.overflows, 6);
+        assert_eq!(r.dram.write_bursts, 6);
+    }
+
+    #[test]
+    fn baseline_has_no_olt_or_lm_cache() {
+        let mut a = Accelerator::new(AcceleratorConfig::reza());
+        a.lm_lookup(1, 2);
+        a.lm_arc_fetch(addr::LM_ARC_BASE, 16);
+        a.lm_resolved(1, 2, 0);
+        let r = a.finish(1.0);
+        assert_eq!(r.olt.probes, 0);
+        // LM fetches fall through to the (shared) arc cache.
+        assert!(r.am_arc_cache.accesses > 0);
+        assert_eq!(r.lm_arc_cache.accesses, 0);
+    }
+}

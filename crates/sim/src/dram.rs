@@ -1,0 +1,116 @@
+//! Off-chip DRAM model (LPDDR4-flavored).
+//!
+//! The paper models an 8 GB LPDDR4 with the Micron power model. Here a
+//! burst-level abstraction suffices: every cache miss costs one 64-byte
+//! burst, a fixed access latency, and a fixed per-burst energy; a
+//! background (static) power covers refresh and standby. The single
+//! load-bearing property, per the paper's energy argument, is that a
+//! DRAM access costs *orders of magnitude* more energy than an SRAM
+//! access — see `energy.rs` for the SRAM side.
+
+/// Burst size in bytes (one cache line).
+pub const BURST_BYTES: u64 = 64;
+
+/// Traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read bursts (cache-line fills).
+    pub read_bursts: u64,
+    /// Write bursts (token/lattice spills and write-backs).
+    pub write_bursts: u64,
+}
+
+impl DramStats {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        (self.read_bursts + self.write_bursts) * BURST_BYTES
+    }
+}
+
+/// The DRAM timing/energy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    /// Access latency in accelerator cycles.
+    pub latency_cycles: u64,
+    /// Dynamic energy per 64-byte burst, in picojoules.
+    /// LPDDR4 ≈ 15 pJ/bit end-to-end → 64 B ≈ 8 nJ.
+    pub energy_pj_per_burst: f64,
+    /// Background power (refresh + standby) in milliwatts.
+    pub background_mw: f64,
+    stats: DramStats,
+}
+
+impl DramModel {
+    /// LPDDR4-ish defaults at an 800 MHz accelerator clock.
+    pub fn lpddr4(frequency_mhz: u64) -> Self {
+        DramModel {
+            // ~250 ns access time expressed in accelerator cycles.
+            latency_cycles: (250 * frequency_mhz) / 1000,
+            energy_pj_per_burst: 8_000.0,
+            background_mw: 85.0,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Records a read burst.
+    pub fn read(&mut self) {
+        self.stats.read_bursts += 1;
+    }
+
+    /// Records a write burst.
+    pub fn write(&mut self) {
+        self.stats.write_bursts += 1;
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Dynamic energy consumed so far, in millijoules.
+    pub fn dynamic_energy_mj(&self) -> f64 {
+        (self.stats.read_bursts + self.stats.write_bursts) as f64 * self.energy_pj_per_burst
+            / 1e9
+    }
+
+    /// Bandwidth in MB/s given the decode wall-clock time.
+    ///
+    /// # Panics
+    /// Panics if `seconds` is not positive.
+    pub fn bandwidth_mb_per_s(&self, seconds: f64) -> f64 {
+        assert!(seconds > 0.0, "bandwidth: non-positive time");
+        self.stats.total_bytes() as f64 / 1e6 / seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_scales_with_frequency() {
+        assert_eq!(DramModel::lpddr4(800).latency_cycles, 200);
+        assert_eq!(DramModel::lpddr4(600).latency_cycles, 150);
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let mut d = DramModel::lpddr4(800);
+        d.read();
+        d.read();
+        d.write();
+        assert_eq!(d.stats().read_bursts, 2);
+        assert_eq!(d.stats().total_bytes(), 3 * 64);
+        assert!((d.dynamic_energy_mj() - 3.0 * 8_000.0 / 1e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_computation() {
+        let mut d = DramModel::lpddr4(800);
+        for _ in 0..1_000_000 {
+            d.read();
+        }
+        // 64 MB in 0.01 s = 6400 MB/s.
+        assert!((d.bandwidth_mb_per_s(0.01) - 6_400.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Offset Lookup Table (paper §3.1, Figure 7).
+//!
+//! A direct-mapped, on-chip table memoizing recent `(LM state, word id)`
+//! → arc-offset results so that repeated LM lookups skip the binary
+//! search entirely: "it is indexed using the XOR of the LM state index
+//! and the word ID. Each entry contains a valid bit, a 24-bit tag and
+//! the 23-bit offset for the arc." The paper picks 32K entries (192 KB).
+
+use unfold_wfst::{Label, StateId};
+
+/// Hit/probe counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OltStats {
+    /// Probes issued.
+    pub probes: u64,
+    /// Probes that hit.
+    pub hits: u64,
+    /// Entries installed (on miss-then-resolve).
+    pub inserts: u64,
+}
+
+impl OltStats {
+    /// Hit ratio in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.probes as f64
+        }
+    }
+
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        1.0 - self.hit_ratio()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    valid: bool,
+    tag: u32,
+}
+
+/// Direct-mapped memo table for LM arc offsets.
+#[derive(Debug, Clone)]
+pub struct OffsetLookupTable {
+    entries: Vec<Entry>,
+    mask: u64,
+    stats: OltStats,
+}
+
+/// Bytes per entry: valid bit + 24-bit tag + 23-bit offset = 48 bits,
+/// i.e. 6 bytes (the paper's 32K × 6 B = 192 KB).
+pub const OLT_ENTRY_BYTES: u64 = 6;
+
+impl OffsetLookupTable {
+    /// Builds a table with `entries` slots.
+    ///
+    /// # Panics
+    /// Panics if `entries` is not a power of two or is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0 && entries.is_power_of_two(), "new: entries must be a power of two");
+        OffsetLookupTable {
+            entries: vec![Entry { valid: false, tag: 0 }; entries],
+            mask: entries as u64 - 1,
+            stats: OltStats::default(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Storage footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.entries.len() as u64 * OLT_ENTRY_BYTES
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> OltStats {
+        self.stats
+    }
+
+    fn index_and_tag(&self, state: StateId, word: Label) -> (usize, u32) {
+        let idx = (u64::from(state) ^ u64::from(word)) & self.mask;
+        // Tag disambiguates (state, word) pairs that alias to one slot;
+        // 24 bits as in the paper.
+        let tag = (u64::from(state)
+            .wrapping_mul(0x9E37_79B1)
+            .wrapping_add(u64::from(word).wrapping_mul(0x85EB_CA77))
+            >> 8) as u32
+            & 0x00FF_FFFF;
+        (idx as usize, tag)
+    }
+
+    /// Probes for `(state, word)`; returns whether it hit.
+    pub fn probe(&mut self, state: StateId, word: Label) -> bool {
+        self.stats.probes += 1;
+        let (idx, tag) = self.index_and_tag(state, word);
+        let e = self.entries[idx];
+        if e.valid && e.tag == tag {
+            self.stats.hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Installs `(state, word)` after a successful binary search.
+    pub fn insert(&mut self, state: StateId, word: Label) {
+        let (idx, tag) = self.index_and_tag(state, word);
+        self.entries[idx] = Entry { valid: true, tag };
+        self.stats.inserts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut t = OffsetLookupTable::new(1024);
+        assert!(!t.probe(5, 9));
+        t.insert(5, 9);
+        assert!(t.probe(5, 9));
+        assert_eq!(t.stats().probes, 2);
+        assert_eq!(t.stats().hits, 1);
+    }
+
+    #[test]
+    fn paper_size_is_192_kb() {
+        let t = OffsetLookupTable::new(32 * 1024);
+        assert_eq!(t.size_bytes(), 192 * 1024);
+    }
+
+    #[test]
+    fn conflicting_entries_evict() {
+        // Two pairs with identical index: (s^w) equal.
+        let mut t = OffsetLookupTable::new(16);
+        t.insert(0b0001, 0b0010); // idx 3
+        assert!(t.probe(1, 2));
+        t.insert(0b0010, 0b0001); // also idx 3, different tag
+        assert!(!t.probe(1, 2), "conflict must evict the old entry");
+        assert!(t.probe(2, 1));
+    }
+
+    #[test]
+    fn bigger_table_hits_more_on_working_set() {
+        let pairs: Vec<(u32, u32)> = (0..2000u32).map(|i| (i % 700, (i * 7) % 300 + 1)).collect();
+        let run = |entries: usize| {
+            let mut t = OffsetLookupTable::new(entries);
+            for &(s, w) in pairs.iter().chain(pairs.iter()) {
+                if !t.probe(s, w) {
+                    t.insert(s, w);
+                }
+            }
+            t.stats().hit_ratio()
+        };
+        let small = run(64);
+        let large = run(8192);
+        assert!(large > small, "large {large} should beat small {small}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = OffsetLookupTable::new(1000);
+    }
+}

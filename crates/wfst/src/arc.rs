@@ -1,0 +1,98 @@
+//! Arc and label primitives.
+//!
+//! A WFST arc maps an input label to an output label with a weight and a
+//! destination state. In the paper's uncompressed memory layout each arc
+//! is a 128-bit record: four 32-bit fields (§3.4). [`Arc`] mirrors that
+//! layout exactly so that byte-size accounting on the uncompressed
+//! datasets matches the paper's Table 1.
+
+/// State identifier inside a single [`crate::Wfst`].
+pub type StateId = u32;
+
+/// Input/output label. `0` ([`EPSILON`]) means "no label".
+pub type Label = u32;
+
+/// The epsilon label: an arc that consumes (or emits) nothing.
+///
+/// In the acoustic model, an epsilon *output* label means "no word ends
+/// on this arc"; an epsilon *input* label means the arc is traversed
+/// without consuming an acoustic score. In the language model, back-off
+/// arcs carry epsilon on both sides.
+pub const EPSILON: Label = 0;
+
+/// Sentinel for "no state" (used for absent back-off destinations).
+pub const NO_STATE: StateId = u32::MAX;
+
+/// A single transducer arc: 16 bytes, matching the 128-bit arc record of
+/// the paper (§3.4: "Each arc consists of a 128-bit structure including
+/// destination state index, input label, output word ID and weight").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arc {
+    /// Input label: a PDF/senone id in the AM, a word id in the LM.
+    pub ilabel: Label,
+    /// Output label: a word id on cross-word transitions, else epsilon.
+    pub olabel: Label,
+    /// Arc weight as a negative log-probability (tropical semiring).
+    pub weight: f32,
+    /// Destination state.
+    pub nextstate: StateId,
+}
+
+impl Arc {
+    /// Creates a new arc.
+    ///
+    /// ```
+    /// use unfold_wfst::Arc;
+    /// let a = Arc::new(1, 2, 0.5, 3);
+    /// assert_eq!(a.nextstate, 3);
+    /// ```
+    #[inline]
+    pub fn new(ilabel: Label, olabel: Label, weight: f32, nextstate: StateId) -> Self {
+        Arc { ilabel, olabel, weight, nextstate }
+    }
+
+    /// An epsilon:epsilon arc (used for back-off transitions in the LM).
+    #[inline]
+    pub fn epsilon(weight: f32, nextstate: StateId) -> Self {
+        Arc::new(EPSILON, EPSILON, weight, nextstate)
+    }
+
+    /// Whether this arc consumes no input label.
+    #[inline]
+    pub fn is_input_epsilon(&self) -> bool {
+        self.ilabel == EPSILON
+    }
+
+    /// Whether this arc emits a word (a "cross-word transition" in the
+    /// paper's terminology).
+    #[inline]
+    pub fn is_cross_word(&self) -> bool {
+        self.olabel != EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arc_is_128_bits() {
+        // The paper's uncompressed layout stores four 32-bit fields.
+        assert_eq!(std::mem::size_of::<Arc>(), 16);
+    }
+
+    #[test]
+    fn cross_word_detection() {
+        assert!(Arc::new(1, 5, 0.0, 2).is_cross_word());
+        assert!(!Arc::new(1, EPSILON, 0.0, 2).is_cross_word());
+    }
+
+    #[test]
+    fn epsilon_constructor() {
+        let a = Arc::epsilon(1.5, 9);
+        assert!(a.is_input_epsilon());
+        assert!(!a.is_cross_word());
+        assert_eq!(a.nextstate, 9);
+        assert_eq!(a.weight, 1.5);
+    }
+}

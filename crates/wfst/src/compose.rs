@@ -1,0 +1,257 @@
+//! Offline AM ∘ LM composition with back-off (failure) semantics.
+//!
+//! This is the operation the paper's *baseline* systems perform at
+//! training time to produce the huge unified WFST (Table 1: e.g. 33 MB
+//! AM + 66 MB LM → 1090 MB composed). UNFOLD's whole point is to avoid
+//! running this offline and instead expand pairs on demand; we implement
+//! the offline variant because
+//!
+//! 1. the fully-composed decoder/accelerator is the paper's comparator,
+//! 2. equivalence between offline and on-the-fly search is the key
+//!    correctness invariant of the reproduction (checked in the
+//!    integration tests).
+//!
+//! The LM here is a deterministic back-off n-gram automaton: a missing
+//! word arc at a state means "follow the epsilon back-off arc, pay its
+//! weight, retry". That is *failure* semantics — the back-off path may
+//! only be taken when no direct arc exists — and the composition below
+//! resolves it eagerly: for every (LM state, word) pair it walks the
+//! back-off chain until a word arc is found, multiplying the weights,
+//! exactly like the decoder does at run time.
+
+use std::collections::HashMap;
+
+use crate::arc::{Arc, Label, StateId, EPSILON};
+use crate::fst::{Wfst, WfstBuilder};
+
+/// Options controlling [`compose_am_lm`].
+#[derive(Debug, Clone, Copy)]
+pub struct ComposeOptions {
+    /// Treat LM epsilon arcs as failure (back-off) arcs. This is the
+    /// correct semantics for n-gram LMs and the default; turning it off
+    /// composes epsilon arcs as ordinary free transitions (which
+    /// over-counts paths, but is occasionally useful for debugging).
+    pub backoff_as_failure: bool,
+}
+
+impl Default for ComposeOptions {
+    fn default() -> Self {
+        ComposeOptions { backoff_as_failure: true }
+    }
+}
+
+/// Resolves a word transition in a back-off LM: walks back-off arcs from
+/// `state` until an arc with input `word` is found, accumulating weight.
+///
+/// Returns `(destination, total_weight, backoff_hops)`, or `None` if the
+/// word cannot be found anywhere along the chain (which cannot happen
+/// when the LM keeps all unigrams at its root, as the paper's §3.3
+/// guarantees: "All the unigram likelihoods are maintained").
+pub fn resolve_lm_word(lm: &Wfst, state: StateId, word: Label) -> Option<(StateId, f32, u32)> {
+    let mut s = state;
+    let mut acc = 0.0f32;
+    let mut hops = 0u32;
+    loop {
+        let (hit, _) = lm.find_arc(s, word);
+        if let Some(arc) = hit {
+            return Some((arc.nextstate, acc + arc.weight, hops));
+        }
+        let back = lm.backoff_arc(s)?;
+        acc += back.weight;
+        s = back.nextstate;
+        hops += 1;
+        // A back-off chain longer than the n-gram order would mean a
+        // cycle of epsilon arcs; 8 is far beyond any real model.
+        assert!(hops <= 8, "back-off chain too long: LM is malformed");
+    }
+}
+
+/// Composes an acoustic-model transducer with a back-off language model.
+///
+/// The AM's *output* labels (word ids) are matched against the LM's
+/// *input* labels. AM arcs with epsilon output move only through the AM;
+/// cross-word AM arcs trigger an LM transition resolved through the
+/// back-off chain. The result is the paper's "fully-composed WFST": its
+/// states are reachable (AM state, LM state) pairs.
+///
+/// The returned machine keeps the AM arc's input label (so acoustic
+/// scores still drive the search) and the word id as its output label;
+/// the arc weight is the AM weight plus any LM weight.
+///
+/// # Panics
+/// Panics if the LM cannot resolve a word that the AM emits (i.e. the LM
+/// root is missing a unigram), or if the LM arcs are not ilabel-sorted.
+pub fn compose_am_lm(am: &Wfst, lm: &Wfst, opts: ComposeOptions) -> Wfst {
+    assert!(lm.is_ilabel_sorted(), "compose: LM must be ilabel-sorted");
+    let mut b = WfstBuilder::new();
+    // Interned (am, lm) pair -> composed state id.
+    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut queue: Vec<(StateId, StateId)> = Vec::new();
+
+    let start_pair = (am.start(), lm.start());
+    let start = b.add_state();
+    index.insert(start_pair, start);
+    b.set_start(start);
+    queue.push(start_pair);
+
+    // The builder requires destinations to exist before arcs are added,
+    // so arcs are buffered per composed state and added after discovery.
+    let mut pending: Vec<(StateId, Arc)> = Vec::new();
+
+    while let Some((am_s, lm_s)) = queue.pop() {
+        let src = index[&(am_s, lm_s)];
+        if let (Some(wa), Some(_)) = (am.final_weight(am_s), Some(())) {
+            // A composed state is final when its AM state is; the LM
+            // contributes its own final weight if present (our synthetic
+            // LMs make every state final with weight 0).
+            let wl = lm.final_weight(lm_s).unwrap_or(f32::INFINITY);
+            if wl.is_finite() {
+                b.set_final(src, wa + wl);
+            }
+        }
+        for arc in am.arcs(am_s) {
+            let (lm_next, extra_w, word_out) = if arc.is_cross_word() {
+                if opts.backoff_as_failure {
+                    let (dest, w, _) = resolve_lm_word(lm, lm_s, arc.olabel)
+                        .expect("compose: LM cannot emit word; missing unigram");
+                    (dest, w, arc.olabel)
+                } else {
+                    match lm.find_arc(lm_s, arc.olabel).0 {
+                        Some(lm_arc) => (lm_arc.nextstate, lm_arc.weight, arc.olabel),
+                        None => continue,
+                    }
+                }
+            } else {
+                (lm_s, 0.0, EPSILON)
+            };
+            let pair = (arc.nextstate, lm_next);
+            let dest = *index.entry(pair).or_insert_with(|| {
+                queue.push(pair);
+                b.add_state()
+            });
+            pending.push((src, Arc::new(arc.ilabel, word_out, arc.weight + extra_w, dest)));
+        }
+    }
+
+    for (src, arc) in pending {
+        b.add_arc(src, arc);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy AM over two words: word 1 = phonemes [1,2], word 2 = [3].
+    /// Cross-word arcs return to the root.
+    fn toy_am() -> Wfst {
+        let mut b = WfstBuilder::with_states(3);
+        b.set_start(0);
+        b.set_final(0, 0.0);
+        b.add_arc(0, Arc::new(1, EPSILON, 0.1, 1)); // ph1
+        b.add_arc(1, Arc::new(2, 1, 0.1, 0)); // ph2, emits word 1
+        b.add_arc(0, Arc::new(3, 2, 0.2, 0)); // ph3, emits word 2 (one-phone word)
+        b.build()
+    }
+
+    /// A toy bigram LM: root 0, history states 1 and 2 (for words 1, 2).
+    /// State 1 has a bigram for word 2 only; word 1 after word 1 must
+    /// back off to the root.
+    fn toy_lm() -> Wfst {
+        let mut b = WfstBuilder::with_states(3);
+        b.set_start(0);
+        for s in 0..3 {
+            b.set_final(s, 0.0);
+        }
+        b.add_arc(0, Arc::new(1, 1, 1.0, 1)); // unigram w1
+        b.add_arc(0, Arc::new(2, 2, 2.0, 2)); // unigram w2
+        b.add_arc(1, Arc::new(2, 2, 0.5, 2)); // bigram w1->w2
+        b.add_arc(1, Arc::epsilon(0.7, 0)); // back-off from h=w1
+        b.add_arc(2, Arc::epsilon(0.9, 0)); // back-off from h=w2
+        let mut fst = b.build();
+        fst.sort_arcs_by_ilabel();
+        fst
+    }
+
+    #[test]
+    fn resolve_direct_hit() {
+        let lm = toy_lm();
+        let (dest, w, hops) = resolve_lm_word(&lm, 1, 2).unwrap();
+        assert_eq!(dest, 2);
+        assert_eq!(hops, 0);
+        assert!((w - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resolve_through_backoff() {
+        let lm = toy_lm();
+        // word 1 from history w1: no bigram, back off (0.7) then unigram (1.0).
+        let (dest, w, hops) = resolve_lm_word(&lm, 1, 1).unwrap();
+        assert_eq!(dest, 1);
+        assert_eq!(hops, 1);
+        assert!((w - 1.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resolve_missing_word_returns_none() {
+        let lm = toy_lm();
+        assert!(resolve_lm_word(&lm, 1, 99).is_none());
+    }
+
+    #[test]
+    fn composed_has_pair_states() {
+        let am = toy_am();
+        let lm = toy_lm();
+        let c = compose_am_lm(&am, &lm, ComposeOptions::default());
+        // Reachable pairs: (0,0) (1,0) (0,1) (1,1) (0,2) (1,2) = 6.
+        assert_eq!(c.num_states(), 6);
+        assert!(c.num_arcs() >= am.num_arcs(), "composition must not lose arcs");
+        // Start state's arcs mirror AM root arcs.
+        assert_eq!(c.arcs(c.start()).len(), am.arcs(am.start()).len());
+    }
+
+    #[test]
+    fn composed_weights_include_lm_scores() {
+        let am = toy_am();
+        let lm = toy_lm();
+        let c = compose_am_lm(&am, &lm, ComposeOptions::default());
+        // Find the cross-word arc for word 2 out of the start pair:
+        // weight must be AM 0.2 + unigram 2.0.
+        let arc = c
+            .arcs(c.start())
+            .iter()
+            .find(|a| a.olabel == 2)
+            .expect("word-2 arc out of start");
+        assert!((arc.weight - 2.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn composed_is_larger_than_parts() {
+        // The multiplicative state blow-up that motivates the paper:
+        // composed states exceed max(|AM|, |LM|) once histories diverge.
+        let am = toy_am();
+        let lm = toy_lm();
+        let c = compose_am_lm(&am, &lm, ComposeOptions::default());
+        assert!(c.num_states() > am.num_states().max(lm.num_states()));
+    }
+
+    #[test]
+    fn epsilon_output_keeps_lm_state() {
+        let am = toy_am();
+        let lm = toy_lm();
+        let c = compose_am_lm(&am, &lm, ComposeOptions::default());
+        // Arc with epsilon output out of the start must stay at LM state 0,
+        // i.e. its destination equals pair (1, 0) which was discovered first.
+        let eps_arc = c
+            .arcs(c.start())
+            .iter()
+            .find(|a| !a.is_cross_word())
+            .unwrap();
+        // From that state the cross-word arc for word 1 must cost
+        // AM 0.1 + unigram 1.0 (LM still at root).
+        let next = eps_arc.nextstate;
+        let w1 = c.arcs(next).iter().find(|a| a.olabel == 1).unwrap();
+        assert!((w1.weight - 1.1).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,138 @@
+//! Trimming: removes states that are unreachable from the start state or
+//! cannot reach a final state. Offline toolchains (Kaldi's `fstconnect`)
+//! run this after composition; we apply it so the composed-WFST sizes in
+//! Table 1 are not inflated by dead states.
+
+use crate::arc::{Arc, StateId, NO_STATE};
+use crate::fst::{Wfst, WfstBuilder};
+
+/// Returns a trimmed copy of `fst` containing only states that are both
+/// accessible (reachable from the start) and coaccessible (can reach a
+/// final state). State ids are renumbered densely in discovery order.
+///
+/// An empty machine (or one whose start state is useless) trims to an
+/// empty machine.
+pub fn connect(fst: &Wfst) -> Wfst {
+    let n = fst.num_states();
+    if n == 0 {
+        return WfstBuilder::new().build();
+    }
+
+    // Forward reachability from the start.
+    let mut accessible = vec![false; n];
+    let mut stack = vec![fst.start()];
+    accessible[fst.start() as usize] = true;
+    while let Some(s) = stack.pop() {
+        for a in fst.arcs(s) {
+            if !accessible[a.nextstate as usize] {
+                accessible[a.nextstate as usize] = true;
+                stack.push(a.nextstate);
+            }
+        }
+    }
+
+    // Backward reachability from final states over reversed arcs.
+    let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    for s in fst.states() {
+        for a in fst.arcs(s) {
+            rev[a.nextstate as usize].push(s);
+        }
+    }
+    let mut coaccessible = vec![false; n];
+    let mut stack: Vec<StateId> = fst
+        .states()
+        .filter(|&s| fst.final_weight(s).is_some())
+        .collect();
+    for &s in &stack {
+        coaccessible[s as usize] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for &p in &rev[s as usize] {
+            if !coaccessible[p as usize] {
+                coaccessible[p as usize] = true;
+                stack.push(p);
+            }
+        }
+    }
+
+    let keep: Vec<bool> = (0..n).map(|i| accessible[i] && coaccessible[i]).collect();
+    if !keep[fst.start() as usize] {
+        return WfstBuilder::new().build();
+    }
+
+    let mut remap = vec![NO_STATE; n];
+    let mut b = WfstBuilder::new();
+    for s in 0..n {
+        if keep[s] {
+            remap[s] = b.add_state();
+        }
+    }
+    b.set_start(remap[fst.start() as usize]);
+    for s in 0..n {
+        if !keep[s] {
+            continue;
+        }
+        let ns = remap[s];
+        if let Some(w) = fst.final_weight(s as StateId) {
+            b.set_final(ns, w);
+        }
+        for a in fst.arcs(s as StateId) {
+            if keep[a.nextstate as usize] {
+                b.add_arc(ns, Arc::new(a.ilabel, a.olabel, a.weight, remap[a.nextstate as usize]));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arc::EPSILON;
+
+    #[test]
+    fn removes_unreachable_and_dead_states() {
+        let mut b = WfstBuilder::with_states(5);
+        b.set_start(0);
+        b.set_final(1, 0.0);
+        b.add_arc(0, Arc::new(1, EPSILON, 0.0, 1));
+        b.add_arc(0, Arc::new(2, EPSILON, 0.0, 2)); // state 2 is a dead end
+        b.add_arc(3, Arc::new(3, EPSILON, 0.0, 1)); // state 3 unreachable
+        // state 4 isolated
+        let fst = b.build();
+        let t = connect(&fst);
+        assert_eq!(t.num_states(), 2);
+        assert_eq!(t.num_arcs(), 1);
+        assert!(t.final_weight(t.arcs(t.start())[0].nextstate).is_some());
+    }
+
+    #[test]
+    fn fully_connected_machine_is_unchanged_in_size() {
+        let mut b = WfstBuilder::with_states(3);
+        b.set_start(0);
+        b.set_final(2, 0.5);
+        b.add_arc(0, Arc::new(1, 0, 0.0, 1));
+        b.add_arc(1, Arc::new(2, 0, 0.0, 2));
+        b.add_arc(2, Arc::new(3, 0, 0.0, 0)); // loop back, still coaccessible
+        let fst = b.build();
+        let t = connect(&fst);
+        assert_eq!(t.num_states(), 3);
+        assert_eq!(t.num_arcs(), 3);
+    }
+
+    #[test]
+    fn useless_start_trims_to_empty() {
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        b.set_final(1, 0.0); // unreachable final
+        let fst = b.build();
+        let t = connect(&fst);
+        assert_eq!(t.num_states(), 0);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let t = connect(&WfstBuilder::new().build());
+        assert_eq!(t.num_states(), 0);
+    }
+}

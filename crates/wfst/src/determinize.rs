@@ -1,0 +1,381 @@
+//! Weighted determinization (tropical semiring) and the string-cost
+//! oracle used to verify it.
+//!
+//! Determinization is the operation that keeps real offline-composed
+//! recognition networks tractable: equivalent-future states collapse so
+//! the lexicon is shared across language-model contexts (see
+//! `unfold::composed` for where this repository relies on that effect
+//! structurally). The implementation here is the classical weighted
+//! subset construction: a determinized state is a set of
+//! `(state, residual weight)` pairs, normalized so the smallest
+//! residual is zero (the surplus is pushed onto the incoming arc).
+//!
+//! Weighted determinization does not terminate for every cyclic
+//! machine (the twins property); [`DeterminizeOptions::max_states`]
+//! bounds the construction and the function panics with a clear
+//! message rather than looping.
+
+use std::collections::HashMap;
+
+use crate::arc::{Arc, Label, StateId, EPSILON};
+use crate::fst::{Wfst, WfstBuilder};
+
+/// Cost of accepting `ilabels` (an exact DP over the machine, epsilon
+/// arcs included) — the oracle the determinization tests compare
+/// against. Returns `None` if the string is not accepted.
+///
+/// # Panics
+/// Panics if epsilon relaxation exceeds its budget (negative-weight
+/// epsilon cycle).
+pub fn accept_cost(fst: &Wfst, ilabels: &[Label]) -> Option<f32> {
+    let n = fst.num_states();
+    if n == 0 {
+        return None;
+    }
+    let budget = (n as u64 + 1) * (fst.num_arcs() as u64 + 1) + 1;
+    // Relax epsilon-input arcs within one position.
+    let eps_close = |dist: &mut Vec<f32>| {
+        let mut queue: Vec<StateId> =
+            (0..n as StateId).filter(|&s| dist[s as usize].is_finite()).collect();
+        let mut relaxations = 0u64;
+        while let Some(s) = queue.pop() {
+            let ds = dist[s as usize];
+            for a in fst.arcs(s) {
+                if a.ilabel != EPSILON {
+                    continue;
+                }
+                relaxations += 1;
+                assert!(relaxations <= budget, "accept_cost: negative epsilon cycle");
+                let nd = ds + a.weight;
+                if nd < dist[a.nextstate as usize] {
+                    dist[a.nextstate as usize] = nd;
+                    queue.push(a.nextstate);
+                }
+            }
+        }
+    };
+
+    let mut dist = vec![f32::INFINITY; n];
+    dist[fst.start() as usize] = 0.0;
+    eps_close(&mut dist);
+    for &label in ilabels {
+        let mut next = vec![f32::INFINITY; n];
+        for s in fst.states() {
+            let ds = dist[s as usize];
+            if !ds.is_finite() {
+                continue;
+            }
+            for a in fst.arcs(s) {
+                if a.ilabel == label {
+                    let nd = ds + a.weight;
+                    if nd < next[a.nextstate as usize] {
+                        next[a.nextstate as usize] = nd;
+                    }
+                }
+            }
+        }
+        eps_close(&mut next);
+        dist = next;
+    }
+    let mut best = f32::INFINITY;
+    for s in fst.states() {
+        if let Some(fw) = fst.final_weight(s) {
+            best = best.min(dist[s as usize] + fw);
+        }
+    }
+    best.is_finite().then_some(best)
+}
+
+/// Whether every state has at most one outgoing arc per input label and
+/// no epsilon-input arcs.
+pub fn is_deterministic(fst: &Wfst) -> bool {
+    fst.states().all(|s| {
+        let mut seen = std::collections::HashSet::new();
+        fst.arcs(s)
+            .iter()
+            .all(|a| a.ilabel != EPSILON && seen.insert(a.ilabel))
+    })
+}
+
+/// Options for [`determinize`].
+#[derive(Debug, Clone, Copy)]
+pub struct DeterminizeOptions {
+    /// Abort (panic) once this many determinized states exist — the
+    /// guard against non-terminating cyclic cases.
+    pub max_states: usize,
+}
+
+impl Default for DeterminizeOptions {
+    fn default() -> Self {
+        DeterminizeOptions { max_states: 1_000_000 }
+    }
+}
+
+/// Residual weights are quantized to this resolution when forming
+/// subset keys, so float jitter cannot spawn unbounded near-duplicate
+/// subsets.
+const RESIDUAL_QUANTUM: f32 = 1e-4;
+
+/// Determinizes an epsilon-free weighted *acceptor*.
+///
+/// # Panics
+/// Panics if the machine has epsilon-input arcs (run
+/// [`crate::rm_epsilon`] first), if any arc is a transducer arc
+/// (`ilabel != olabel`), or if the subset construction exceeds
+/// `opts.max_states`.
+pub fn determinize(fst: &Wfst, opts: DeterminizeOptions) -> Wfst {
+    if fst.num_states() == 0 {
+        return WfstBuilder::new().build();
+    }
+    for s in fst.states() {
+        for a in fst.arcs(s) {
+            assert_ne!(a.ilabel, EPSILON, "determinize: remove epsilons first");
+            assert_eq!(a.ilabel, a.olabel, "determinize: acceptors only");
+        }
+    }
+
+    // A determinized state: sorted (state, residual) pairs, residuals
+    // quantized and normalized to min 0.
+    type Subset = Vec<(StateId, i32)>;
+    let quantize = |w: f32| (w / RESIDUAL_QUANTUM).round() as i32;
+    let dequantize = |q: i32| q as f32 * RESIDUAL_QUANTUM;
+
+    let mut b = WfstBuilder::new();
+    let mut index: HashMap<Subset, StateId> = HashMap::new();
+    let start_subset: Subset = vec![(fst.start(), 0)];
+    let start = b.add_state();
+    b.set_start(start);
+    index.insert(start_subset.clone(), start);
+    let mut queue: Vec<Subset> = vec![start_subset];
+    let mut pending: Vec<(StateId, Arc)> = Vec::new();
+
+    while let Some(subset) = queue.pop() {
+        let id = index[&subset];
+        // Final weight: min over members of residual + final weight.
+        let mut fw = f32::INFINITY;
+        for &(s, rq) in &subset {
+            if let Some(w) = fst.final_weight(s) {
+                fw = fw.min(dequantize(rq) + w);
+            }
+        }
+        if fw.is_finite() {
+            b.set_final(id, fw);
+        }
+
+        // Group successor (state, weight) pairs by label.
+        let mut by_label: HashMap<Label, HashMap<StateId, f32>> = HashMap::new();
+        for &(s, rq) in &subset {
+            let res = dequantize(rq);
+            for a in fst.arcs(s) {
+                let entry = by_label.entry(a.ilabel).or_default();
+                let w = res + a.weight;
+                entry
+                    .entry(a.nextstate)
+                    .and_modify(|cur| *cur = cur.min(w))
+                    .or_insert(w);
+            }
+        }
+        let mut labels: Vec<Label> = by_label.keys().copied().collect();
+        labels.sort_unstable();
+        for label in labels {
+            let members = &by_label[&label];
+            let min_w = members.values().copied().fold(f32::INFINITY, f32::min);
+            let mut next: Subset = members
+                .iter()
+                .map(|(&s, &w)| (s, quantize(w - min_w)))
+                .collect();
+            next.sort_unstable();
+            let dest = match index.get(&next) {
+                Some(&d) => d,
+                None => {
+                    assert!(
+                        index.len() < opts.max_states,
+                        "determinize: exceeded {} states — the machine may \
+                         not be determinizable (twins property)",
+                        opts.max_states
+                    );
+                    let d = b.add_state();
+                    index.insert(next.clone(), d);
+                    queue.push(next);
+                    d
+                }
+            };
+            pending.push((id, Arc::new(label, label, min_w, dest)));
+        }
+    }
+    for (src, arc) in pending {
+        b.add_arc(src, arc);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmepsilon::rm_epsilon;
+    use proptest::prelude::*;
+
+    /// Union of weighted strings: a deliberately nondeterministic
+    /// acceptor (every string gets its own branch from the start).
+    fn union_of_strings(strings: &[(Vec<Label>, f32)]) -> Wfst {
+        let mut b = WfstBuilder::new();
+        let start = b.add_state();
+        b.set_start(start);
+        for (string, weight) in strings {
+            let mut prev = start;
+            for (i, &l) in string.iter().enumerate() {
+                let s = b.add_state();
+                let w = if i == 0 { *weight } else { 0.0 };
+                // Destination must exist before add_arc; it does (s).
+                b.add_arc(prev, Arc::new(l, l, w, s));
+                prev = s;
+            }
+            b.set_final(prev, 0.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn accept_cost_on_a_chain() {
+        let f = union_of_strings(&[(vec![1, 2, 3], 0.5)]);
+        assert_eq!(accept_cost(&f, &[1, 2, 3]), Some(0.5));
+        assert_eq!(accept_cost(&f, &[1, 2]), None);
+        assert_eq!(accept_cost(&f, &[3, 2, 1]), None);
+    }
+
+    #[test]
+    fn determinize_merges_shared_prefixes() {
+        let f = union_of_strings(&[
+            (vec![1, 2, 3], 0.1),
+            (vec![1, 2, 4], 0.2),
+            (vec![1, 5], 0.3),
+        ]);
+        assert!(!is_deterministic(&f));
+        let d = determinize(&f, DeterminizeOptions::default());
+        assert!(is_deterministic(&d));
+        // Prefix "1" is shared: the deterministic machine is smaller.
+        assert!(d.num_states() < f.num_states());
+        // Start state has exactly one arc (label 1).
+        assert_eq!(d.arcs(d.start()).len(), 1);
+        for (string, w) in [(vec![1u32, 2, 3], 0.1f32), (vec![1, 2, 4], 0.2), (vec![1, 5], 0.3)] {
+            let got = accept_cost(&d, &string).unwrap();
+            assert!((got - w).abs() < 1e-3, "{string:?}: {got} vs {w}");
+        }
+        assert_eq!(accept_cost(&d, &[1, 2]), None);
+    }
+
+    #[test]
+    fn duplicate_strings_keep_the_cheaper_weight() {
+        let f = union_of_strings(&[(vec![7, 8], 2.0), (vec![7, 8], 0.5)]);
+        let d = determinize(&f, DeterminizeOptions::default());
+        assert!((accept_cost(&d, &[7, 8]).unwrap() - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_cyclic_machine_passes_through() {
+        // A self-loop acceptor is already deterministic; determinize
+        // must terminate and preserve it.
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        b.set_final(1, 0.0);
+        b.add_arc(0, Arc::new(1, 1, 0.5, 1));
+        b.add_arc(1, Arc::new(1, 1, 0.25, 1)); // loop
+        let f = b.build();
+        let d = determinize(&f, DeterminizeOptions::default());
+        assert!(is_deterministic(&d));
+        assert!((accept_cost(&d, &[1, 1, 1]).unwrap() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lm_after_epsilon_removal_is_determinizable() {
+        // A back-off LM is deterministic per state *except* for its
+        // epsilon arcs; removing them yields an acceptor whose
+        // determinization terminates and preserves string costs.
+        // (The result is the "eagerly composed" LM real toolchains use.)
+        use crate::compose::resolve_lm_word;
+        let mut b = WfstBuilder::with_states(3);
+        b.set_start(0);
+        for s in 0..3 {
+            b.set_final(s, 0.0);
+        }
+        b.add_arc(0, Arc::new(1, 1, 1.0, 1));
+        b.add_arc(0, Arc::new(2, 2, 2.0, 2));
+        b.add_arc(1, Arc::new(2, 2, 0.5, 2));
+        b.add_arc(1, Arc::epsilon(0.7, 0));
+        b.add_arc(2, Arc::epsilon(0.9, 0));
+        let mut lm = b.build();
+        lm.sort_arcs_by_ilabel();
+        let noeps = rm_epsilon(&lm);
+        let d = determinize(&noeps, DeterminizeOptions::default());
+        assert!(is_deterministic(&d));
+        // Cost of "1 2" via the bigram arc (cheaper than backoff path).
+        let direct = resolve_lm_word(&lm, 1, 2).unwrap().1;
+        let got = accept_cost(&d, &[1, 2]).unwrap();
+        assert!((got - (1.0 + direct.min(0.7 + 2.0))).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "remove epsilons first")]
+    fn epsilon_input_rejected() {
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        b.set_final(1, 0.0);
+        b.add_arc(0, Arc::epsilon(0.0, 1));
+        let _ = determinize(&b.build(), DeterminizeOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "acceptors only")]
+    fn transducer_rejected() {
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        b.set_final(1, 0.0);
+        b.add_arc(0, Arc::new(1, 2, 0.0, 1));
+        let _ = determinize(&b.build(), DeterminizeOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn state_budget_enforced() {
+        // Classic non-determinizable machine: two cycles with different
+        // weights on the same label (non-twin siblings).
+        let mut b = WfstBuilder::with_states(3);
+        b.set_start(0);
+        b.set_final(1, 0.0);
+        b.set_final(2, 0.0);
+        b.add_arc(0, Arc::new(1, 1, 0.0, 1));
+        b.add_arc(0, Arc::new(1, 1, 0.5, 2));
+        b.add_arc(1, Arc::new(1, 1, 1.0, 1));
+        b.add_arc(2, Arc::new(1, 1, 2.0, 2));
+        let _ = determinize(&b.build(), DeterminizeOptions { max_states: 100 });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Determinization preserves the weighted language on random
+        /// string unions.
+        #[test]
+        fn preserves_costs_on_random_unions(
+            strings in proptest::collection::vec(
+                (proptest::collection::vec(1u32..6, 1..6), 0.0f32..5.0),
+                1..8
+            )
+        ) {
+            let f = union_of_strings(&strings);
+            let d = determinize(&f, DeterminizeOptions::default());
+            prop_assert!(is_deterministic(&d));
+            for (string, _) in &strings {
+                let orig = accept_cost(&f, string).expect("accepted by union");
+                let det = accept_cost(&d, string).expect("accepted after determinization");
+                prop_assert!((orig - det).abs() < 1e-2, "{string:?}: {orig} vs {det}");
+            }
+            // Strings outside the union stay outside.
+            let probe = vec![5u32, 5, 5, 5, 5, 5, 5];
+            prop_assert_eq!(
+                accept_cost(&f, &probe).is_some(),
+                accept_cost(&d, &probe).is_some()
+            );
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! The [`Wfst`] container and its builder.
+//!
+//! States and arcs live in two flat arrays (the layout of Choi et al.
+//! that the paper's §3.4 adopts): a per-state record holding the offset
+//! of its first arc plus the arc count, and a contiguous arc array. This
+//! gives the single-indirection state fetch the accelerator's State
+//! Issuer performs, and makes byte-size accounting straightforward.
+
+use crate::arc::{Arc, Label, StateId, EPSILON, NO_STATE};
+
+/// Mutable WFST under construction. Finish with [`WfstBuilder::build`].
+///
+/// ```
+/// use unfold_wfst::{WfstBuilder, Arc};
+/// let mut b = WfstBuilder::new();
+/// let s = b.add_state();
+/// let t = b.add_state();
+/// b.set_start(s);
+/// b.set_final(t, 1.0);
+/// b.add_arc(s, Arc::new(1, 0, 0.25, t));
+/// let fst = b.build();
+/// assert_eq!(fst.num_arcs(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WfstBuilder {
+    arcs: Vec<Vec<Arc>>,
+    finals: Vec<f32>,
+    start: StateId,
+}
+
+impl WfstBuilder {
+    /// Creates an empty builder with no states.
+    pub fn new() -> Self {
+        WfstBuilder { arcs: Vec::new(), finals: Vec::new(), start: NO_STATE }
+    }
+
+    /// Creates a builder pre-sized for `n` states (ids `0..n`).
+    pub fn with_states(n: usize) -> Self {
+        WfstBuilder {
+            arcs: vec![Vec::new(); n],
+            finals: vec![f32::INFINITY; n],
+            start: NO_STATE,
+        }
+    }
+
+    /// Adds a state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        self.arcs.push(Vec::new());
+        self.finals.push(f32::INFINITY);
+        (self.arcs.len() - 1) as StateId
+    }
+
+    /// Number of states added so far.
+    pub fn num_states(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Marks the start state.
+    ///
+    /// # Panics
+    /// Panics if `s` has not been added.
+    pub fn set_start(&mut self, s: StateId) {
+        assert!((s as usize) < self.arcs.len(), "set_start: unknown state {s}");
+        self.start = s;
+    }
+
+    /// Marks `s` final with the given cost.
+    ///
+    /// # Panics
+    /// Panics if `s` has not been added.
+    pub fn set_final(&mut self, s: StateId, weight: f32) {
+        assert!((s as usize) < self.arcs.len(), "set_final: unknown state {s}");
+        self.finals[s as usize] = weight;
+    }
+
+    /// Appends an outgoing arc to `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` or the arc's destination has not been added.
+    pub fn add_arc(&mut self, s: StateId, arc: Arc) {
+        assert!((s as usize) < self.arcs.len(), "add_arc: unknown source {s}");
+        assert!(
+            (arc.nextstate as usize) < self.arcs.len(),
+            "add_arc: unknown destination {}",
+            arc.nextstate
+        );
+        self.arcs[s as usize].push(arc);
+    }
+
+    /// Freezes the builder into an immutable CSR [`Wfst`].
+    ///
+    /// # Panics
+    /// Panics if no start state was set on a non-empty machine.
+    pub fn build(self) -> Wfst {
+        assert!(
+            self.arcs.is_empty() || self.start != NO_STATE,
+            "build: start state not set"
+        );
+        let num_arcs: usize = self.arcs.iter().map(Vec::len).sum();
+        let mut flat = Vec::with_capacity(num_arcs);
+        let mut offsets = Vec::with_capacity(self.arcs.len() + 1);
+        offsets.push(0u32);
+        for state_arcs in &self.arcs {
+            flat.extend_from_slice(state_arcs);
+            offsets.push(flat.len() as u32);
+        }
+        Wfst { offsets, arcs: flat, finals: self.finals, start: self.start }
+    }
+}
+
+/// An immutable WFST in CSR form.
+#[derive(Debug, Clone)]
+pub struct Wfst {
+    /// `offsets[s]..offsets[s+1]` indexes `arcs` for state `s`.
+    offsets: Vec<u32>,
+    arcs: Vec<Arc>,
+    /// Final cost per state; `f32::INFINITY` means non-final.
+    finals: Vec<f32>,
+    start: StateId,
+}
+
+impl Wfst {
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.finals.len()
+    }
+
+    /// Total number of arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Outgoing arcs of `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    #[inline]
+    pub fn arcs(&self, s: StateId) -> &[Arc] {
+        let lo = self.offsets[s as usize] as usize;
+        let hi = self.offsets[s as usize + 1] as usize;
+        &self.arcs[lo..hi]
+    }
+
+    /// Byte offset of state `s`'s first arc in the flat arc array, under
+    /// the paper's 16-bytes-per-arc uncompressed layout. The simulator
+    /// uses this to derive memory addresses.
+    #[inline]
+    pub fn arc_base_offset(&self, s: StateId) -> u64 {
+        self.offsets[s as usize] as u64 * std::mem::size_of::<Arc>() as u64
+    }
+
+    /// Final cost of `s`, or `None` if `s` is not final.
+    #[inline]
+    pub fn final_weight(&self, s: StateId) -> Option<f32> {
+        let w = self.finals[s as usize];
+        if w.is_finite() {
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.num_states() as StateId).into_iter()
+    }
+
+    /// Sorts each state's arcs by input label, ascending.
+    ///
+    /// Epsilon-labelled arcs (label 0) are moved to the *end* of each
+    /// state's arc list rather than the front: in the LM these are
+    /// back-off arcs, and the paper's compressed layout stores "the
+    /// back-off arc ... always \[as\] the last outgoing arc of each state"
+    /// (§3.4) so that binary search over the word-labelled prefix works.
+    pub fn sort_arcs_by_ilabel(&mut self) {
+        let n = self.num_states();
+        for s in 0..n {
+            let lo = self.offsets[s] as usize;
+            let hi = self.offsets[s + 1] as usize;
+            self.arcs[lo..hi].sort_by_key(|a| sort_key(a.ilabel));
+        }
+    }
+
+    /// Whether every state's arcs are ilabel-sorted (epsilon last).
+    pub fn is_ilabel_sorted(&self) -> bool {
+        self.states().all(|s| {
+            self.arcs(s)
+                .windows(2)
+                .all(|w| sort_key(w[0].ilabel) <= sort_key(w[1].ilabel))
+        })
+    }
+
+    /// Binary-searches the ilabel-sorted arcs of `s` for `label`.
+    ///
+    /// Returns the matching arc and the number of probes the search
+    /// performed (the paper's Arc Issuer issues one LM-arc fetch per
+    /// probe, so the probe count drives the simulator's memory trace).
+    /// Returns `None` (with the probe count) if no arc matches.
+    pub fn find_arc(&self, s: StateId, label: Label) -> (Option<&Arc>, u32) {
+        debug_assert_ne!(label, EPSILON, "find_arc: cannot search for epsilon");
+        let arcs = self.arcs(s);
+        // Exclude the trailing epsilon (back-off) arcs from the search range.
+        let mut hi = arcs.len();
+        while hi > 0 && arcs[hi - 1].ilabel == EPSILON {
+            hi -= 1;
+        }
+        let mut lo = 0usize;
+        let mut probes = 0u32;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probes += 1;
+            match arcs[mid].ilabel.cmp(&label) {
+                std::cmp::Ordering::Equal => return (Some(&arcs[mid]), probes),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        (None, probes)
+    }
+
+    /// Linear-searches the arcs of `s` for `label`; returns the arc and
+    /// probe count. This is the strawman the paper reports as a 10x
+    /// slowdown before switching to binary search.
+    pub fn find_arc_linear(&self, s: StateId, label: Label) -> (Option<&Arc>, u32) {
+        let mut probes = 0;
+        for a in self.arcs(s) {
+            probes += 1;
+            if a.ilabel == label {
+                return (Some(a), probes);
+            }
+        }
+        (None, probes)
+    }
+
+    /// The back-off arc of `s`: the trailing epsilon-input arc, if any.
+    pub fn backoff_arc(&self, s: StateId) -> Option<&Arc> {
+        self.arcs(s).last().filter(|a| a.ilabel == EPSILON)
+    }
+
+    /// Index of an arc within the flat arc array (for address modelling).
+    ///
+    /// # Panics
+    /// Panics if `arc_idx` is out of range for `s`.
+    pub fn global_arc_index(&self, s: StateId, arc_idx: usize) -> u64 {
+        let lo = self.offsets[s as usize] as usize;
+        let hi = self.offsets[s as usize + 1] as usize;
+        assert!(lo + arc_idx < hi, "arc index {arc_idx} out of range for state {s}");
+        (lo + arc_idx) as u64
+    }
+}
+
+/// Sort key placing epsilon (back-off) arcs after all word arcs.
+#[inline]
+fn sort_key(label: Label) -> u64 {
+    if label == EPSILON {
+        u64::from(u32::MAX) + 1
+    } else {
+        u64::from(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn chain(n: usize) -> Wfst {
+        let mut b = WfstBuilder::with_states(n);
+        b.set_start(0);
+        b.set_final((n - 1) as StateId, 0.0);
+        for s in 0..n - 1 {
+            b.add_arc(s as StateId, Arc::new(s as Label + 1, 0, 0.1, s as StateId + 1));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let fst = chain(4);
+        assert_eq!(fst.num_states(), 4);
+        assert_eq!(fst.num_arcs(), 3);
+        assert_eq!(fst.start(), 0);
+        assert_eq!(fst.arcs(1)[0].nextstate, 2);
+        assert_eq!(fst.final_weight(3), Some(0.0));
+        assert_eq!(fst.final_weight(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "start state not set")]
+    fn build_without_start_panics() {
+        let mut b = WfstBuilder::new();
+        b.add_state();
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown destination")]
+    fn arc_to_missing_state_panics() {
+        let mut b = WfstBuilder::new();
+        let s = b.add_state();
+        b.add_arc(s, Arc::new(1, 0, 0.0, 99));
+    }
+
+    #[test]
+    fn empty_machine_builds() {
+        let fst = WfstBuilder::new().build();
+        assert_eq!(fst.num_states(), 0);
+        assert_eq!(fst.num_arcs(), 0);
+    }
+
+    #[test]
+    fn sort_puts_epsilon_last() {
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        b.set_final(1, 0.0);
+        b.add_arc(0, Arc::epsilon(0.5, 1)); // back-off first on purpose
+        b.add_arc(0, Arc::new(7, 7, 0.1, 1));
+        b.add_arc(0, Arc::new(3, 3, 0.2, 1));
+        let mut fst = b.build();
+        assert!(!fst.is_ilabel_sorted());
+        fst.sort_arcs_by_ilabel();
+        assert!(fst.is_ilabel_sorted());
+        let labels: Vec<_> = fst.arcs(0).iter().map(|a| a.ilabel).collect();
+        assert_eq!(labels, vec![3, 7, EPSILON]);
+        assert!(fst.backoff_arc(0).is_some());
+    }
+
+    #[test]
+    fn find_arc_skips_backoff() {
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        for w in [2u32, 4, 6, 8] {
+            b.add_arc(0, Arc::new(w, w, 0.0, 1));
+        }
+        b.add_arc(0, Arc::epsilon(1.0, 1));
+        let mut fst = b.build();
+        fst.sort_arcs_by_ilabel();
+        let (hit, _) = fst.find_arc(0, 6);
+        assert_eq!(hit.unwrap().ilabel, 6);
+        let (miss, _) = fst.find_arc(0, 5);
+        assert!(miss.is_none());
+        // The backoff arc must never be returned by a word search.
+        let (eps_hit, _) = fst.find_arc(0, 1);
+        assert!(eps_hit.is_none());
+    }
+
+    #[test]
+    fn backoff_arc_absent_when_no_epsilon() {
+        let fst = chain(3);
+        assert!(fst.backoff_arc(0).is_none());
+    }
+
+    #[test]
+    fn arc_base_offset_is_16_bytes_per_arc() {
+        let fst = chain(4);
+        assert_eq!(fst.arc_base_offset(0), 0);
+        assert_eq!(fst.arc_base_offset(1), 16);
+        assert_eq!(fst.arc_base_offset(2), 32);
+    }
+
+    proptest! {
+        /// Binary search agrees with linear search on sorted arc lists.
+        #[test]
+        fn binary_matches_linear(labels in proptest::collection::btree_set(1u32..500, 0..60),
+                                 query in 1u32..500) {
+            let mut b = WfstBuilder::with_states(2);
+            b.set_start(0);
+            for &w in &labels {
+                b.add_arc(0, Arc::new(w, w, 0.0, 1));
+            }
+            b.add_arc(0, Arc::epsilon(0.3, 1));
+            let mut fst = b.build();
+            fst.sort_arcs_by_ilabel();
+            let (bin, probes) = fst.find_arc(0, query);
+            let (lin, _) = fst.find_arc_linear(0, query);
+            prop_assert_eq!(bin.map(|a| a.ilabel), lin.map(|a| a.ilabel));
+            // log2 bound on probe count
+            let n = labels.len().max(1) as f64;
+            prop_assert!(probes as f64 <= n.log2().ceil() + 1.0);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Weight-exact minimization of deterministic machines, and weighted
+//! acceptor intersection.
+//!
+//! Minimization merges states with identical futures — the suffix
+//! sharing that, together with determinization, keeps real composed
+//! recognition networks at `LM arcs × pronunciation states` instead of
+//! a product blow-up. The algorithm is Moore-style partition
+//! refinement: start from (final weight) classes and split until every
+//! class is transition-consistent.
+
+use std::collections::HashMap;
+
+use crate::arc::{Arc, StateId, EPSILON};
+use crate::determinize::is_deterministic;
+use crate::fst::{Wfst, WfstBuilder};
+
+/// Minimizes a deterministic, epsilon-free machine. Weights must match
+/// *exactly* for states to merge (no weight pushing is performed, so
+/// this is canonical only up to weight distribution — sufficient for
+/// suffix sharing on the graphs this repository builds).
+///
+/// # Panics
+/// Panics if the machine is nondeterministic or has epsilon-input arcs.
+pub fn minimize(fst: &Wfst) -> Wfst {
+    assert!(is_deterministic(fst), "minimize: machine must be deterministic");
+    let n = fst.num_states();
+    if n == 0 {
+        return WfstBuilder::new().build();
+    }
+
+    // Initial partition: by final weight (bit pattern; INFINITY = not final).
+    let mut class: Vec<u32> = (0..n)
+        .map(|s| fst.final_weight(s as StateId).unwrap_or(f32::INFINITY).to_bits())
+        .collect();
+    // Renumber classes densely.
+    let renumber = |class: &mut Vec<u32>| {
+        let mut map = HashMap::new();
+        for c in class.iter_mut() {
+            let next = map.len() as u32;
+            *c = *map.entry(*c).or_insert(next);
+        }
+        map.len()
+    };
+    let mut num_classes = renumber(&mut class);
+
+    loop {
+        // Signature: (class, sorted [(label, weight bits, dest class)]).
+        let mut sig_map: HashMap<(u32, Vec<(u32, u32, u32)>), u32> = HashMap::new();
+        let mut new_class = vec![0u32; n];
+        for s in 0..n {
+            let mut trans: Vec<(u32, u32, u32)> = fst
+                .arcs(s as StateId)
+                .iter()
+                .map(|a| (a.ilabel, a.weight.to_bits(), class[a.nextstate as usize]))
+                .collect();
+            trans.sort_unstable();
+            let key = (class[s], trans);
+            let next = sig_map.len() as u32;
+            new_class[s] = *sig_map.entry(key).or_insert(next);
+        }
+        let new_count = sig_map.len();
+        class = new_class;
+        if new_count == num_classes {
+            break;
+        }
+        num_classes = new_count;
+    }
+
+    // Emit one state per class; representative = first member.
+    let mut b = WfstBuilder::with_states(num_classes);
+    b.set_start(class[fst.start() as usize]);
+    let mut emitted = vec![false; num_classes];
+    for s in 0..n {
+        let c = class[s] as usize;
+        if emitted[c] {
+            continue;
+        }
+        emitted[c] = true;
+        if let Some(w) = fst.final_weight(s as StateId) {
+            b.set_final(c as StateId, w);
+        }
+        for a in fst.arcs(s as StateId) {
+            b.add_arc(
+                c as StateId,
+                Arc::new(a.ilabel, a.olabel, a.weight, class[a.nextstate as usize]),
+            );
+        }
+    }
+    b.build()
+}
+
+/// Intersects two epsilon-free weighted acceptors: the result accepts
+/// exactly the strings both accept, with added costs.
+///
+/// # Panics
+/// Panics if either machine has epsilon-input or transducer arcs, and
+/// if either side's arcs are not ilabel-sorted.
+pub fn intersect(a: &Wfst, b: &Wfst) -> Wfst {
+    for (name, f) in [("left", a), ("right", b)] {
+        assert!(f.is_ilabel_sorted(), "intersect: {name} machine must be sorted");
+        for s in f.states() {
+            for arc in f.arcs(s) {
+                assert_ne!(arc.ilabel, EPSILON, "intersect: {name} has epsilon arcs");
+                assert_eq!(arc.ilabel, arc.olabel, "intersect: {name} is a transducer");
+            }
+        }
+    }
+    if a.num_states() == 0 || b.num_states() == 0 {
+        return WfstBuilder::new().build();
+    }
+    let mut builder = WfstBuilder::new();
+    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let start_pair = (a.start(), b.start());
+    let start = builder.add_state();
+    builder.set_start(start);
+    index.insert(start_pair, start);
+    let mut queue = vec![start_pair];
+    let mut pending: Vec<(StateId, Arc)> = Vec::new();
+    while let Some((sa, sb)) = queue.pop() {
+        let id = index[&(sa, sb)];
+        if let (Some(wa), Some(wb)) = (a.final_weight(sa), b.final_weight(sb)) {
+            builder.set_final(id, wa + wb);
+        }
+        // Sorted-merge the two arc lists on matching labels.
+        let (arcs_a, arcs_b) = (a.arcs(sa), b.arcs(sb));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < arcs_a.len() && j < arcs_b.len() {
+            match arcs_a[i].ilabel.cmp(&arcs_b[j].ilabel) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let label = arcs_a[i].ilabel;
+                    // All pairs sharing this label.
+                    let i0 = i;
+                    let j0 = j;
+                    while i < arcs_a.len() && arcs_a[i].ilabel == label {
+                        i += 1;
+                    }
+                    while j < arcs_b.len() && arcs_b[j].ilabel == label {
+                        j += 1;
+                    }
+                    for x in &arcs_a[i0..i] {
+                        for y in &arcs_b[j0..j] {
+                            let pair = (x.nextstate, y.nextstate);
+                            let dest = *index.entry(pair).or_insert_with(|| {
+                                queue.push(pair);
+                                builder.add_state()
+                            });
+                            pending.push((
+                                id,
+                                Arc::new(label, label, x.weight + y.weight, dest),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (src, arc) in pending {
+        builder.add_arc(src, arc);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::determinize::{accept_cost, determinize, DeterminizeOptions};
+    use proptest::prelude::*;
+
+    fn union_of_strings(strings: &[(Vec<u32>, f32)]) -> Wfst {
+        let mut b = WfstBuilder::new();
+        let start = b.add_state();
+        b.set_start(start);
+        for (string, weight) in strings {
+            let mut prev = start;
+            for (i, &l) in string.iter().enumerate() {
+                let s = b.add_state();
+                b.add_arc(prev, Arc::new(l, l, if i == 0 { *weight } else { 0.0 }, s));
+                prev = s;
+            }
+            b.set_final(prev, 0.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn minimize_shares_suffixes() {
+        // Strings 1-3-4 and 2-3-4 share the suffix 3-4, which
+        // determinization alone cannot merge (it shares prefixes).
+        let f = union_of_strings(&[(vec![1, 3, 4], 0.0), (vec![2, 3, 4], 0.0)]);
+        let d = determinize(&f, DeterminizeOptions::default());
+        let m = minimize(&d);
+        assert!(m.num_states() < d.num_states(), "{} !< {}", m.num_states(), d.num_states());
+        for s in [[1u32, 3, 4], [2, 3, 4]] {
+            assert_eq!(accept_cost(&m, &s), Some(0.0));
+        }
+        assert_eq!(accept_cost(&m, &[1, 3]), None);
+    }
+
+    #[test]
+    fn minimize_keeps_distinct_weights_apart() {
+        // Same suffix labels but different weights: must NOT merge.
+        let mut b = WfstBuilder::with_states(5);
+        b.set_start(0);
+        b.set_final(3, 0.0);
+        b.set_final(4, 0.0);
+        b.add_arc(0, Arc::new(1, 1, 0.0, 1));
+        b.add_arc(0, Arc::new(2, 2, 0.0, 2));
+        b.add_arc(1, Arc::new(9, 9, 1.0, 3));
+        b.add_arc(2, Arc::new(9, 9, 2.0, 4));
+        let f = b.build();
+        let m = minimize(&f);
+        // 3 and 4 merge (identical futures), 1 and 2 do not (weights differ).
+        assert_eq!(m.num_states(), 4);
+        assert_eq!(accept_cost(&m, &[1, 9]), Some(1.0));
+        assert_eq!(accept_cost(&m, &[2, 9]), Some(2.0));
+    }
+
+    #[test]
+    fn minimize_is_idempotent() {
+        let f = union_of_strings(&[(vec![1, 2], 0.5), (vec![3, 2], 0.5), (vec![1, 4], 0.1)]);
+        let m1 = minimize(&determinize(&f, DeterminizeOptions::default()));
+        let m2 = minimize(&m1);
+        assert_eq!(m1.num_states(), m2.num_states());
+        assert_eq!(m1.num_arcs(), m2.num_arcs());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be deterministic")]
+    fn minimize_rejects_nondeterministic() {
+        let f = union_of_strings(&[(vec![1, 2], 0.0), (vec![1, 3], 0.0)]);
+        let _ = minimize(&f);
+    }
+
+    #[test]
+    fn intersect_keeps_common_strings_with_added_costs() {
+        let mut a = union_of_strings(&[(vec![1, 2], 0.5), (vec![3], 1.0)]);
+        let mut b = union_of_strings(&[(vec![1, 2], 0.25), (vec![4], 0.0)]);
+        a.sort_arcs_by_ilabel();
+        b.sort_arcs_by_ilabel();
+        let i = intersect(&a, &b);
+        assert_eq!(accept_cost(&i, &[1, 2]), Some(0.75));
+        assert_eq!(accept_cost(&i, &[3]), None);
+        assert_eq!(accept_cost(&i, &[4]), None);
+    }
+
+    #[test]
+    fn intersect_with_empty_is_empty() {
+        let mut a = union_of_strings(&[(vec![1], 0.0)]);
+        a.sort_arcs_by_ilabel();
+        let e = WfstBuilder::new().build();
+        assert_eq!(intersect(&a, &e).num_states(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// det → min preserves the weighted language.
+        #[test]
+        fn minimize_preserves_costs(
+            strings in proptest::collection::vec(
+                (proptest::collection::vec(1u32..5, 1..5), 0.0f32..3.0),
+                1..6
+            )
+        ) {
+            let f = union_of_strings(&strings);
+            let d = determinize(&f, DeterminizeOptions::default());
+            let m = minimize(&d);
+            prop_assert!(m.num_states() <= d.num_states());
+            for (s, _) in &strings {
+                let want = accept_cost(&f, s).unwrap();
+                let got = accept_cost(&m, s).unwrap();
+                prop_assert!((want - got).abs() < 1e-2);
+            }
+        }
+
+        /// Intersection cost = sum of the two machines' costs, for
+        /// strings both accept.
+        #[test]
+        fn intersect_adds_costs(
+            shared in proptest::collection::vec(1u32..5, 1..5),
+            wa in 0.0f32..3.0,
+            wb in 0.0f32..3.0,
+        ) {
+            let mut a = union_of_strings(&[(shared.clone(), wa)]);
+            let mut b = union_of_strings(&[(shared.clone(), wb)]);
+            a.sort_arcs_by_ilabel();
+            b.sort_arcs_by_ilabel();
+            let i = intersect(&a, &b);
+            let got = accept_cost(&i, &shared).unwrap();
+            prop_assert!((got - (wa + wb)).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Structural transducer operations: project, invert, reverse, and
+//! weight/label mapping.
+//!
+//! These are the standard WFST-library operations (rustfst/OpenFst
+//! vocabulary) a downstream user expects; internally the reproduction
+//! uses them in tests (e.g. reversing a graph to check coaccessibility
+//! independently of [`crate::connect()`]).
+
+use crate::arc::{Arc, StateId, EPSILON, NO_STATE};
+use crate::fst::{Wfst, WfstBuilder};
+
+/// Which label survives a [`project`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProjectType {
+    /// Keep input labels (acceptor over inputs).
+    Input,
+    /// Keep output labels (acceptor over outputs).
+    Output,
+}
+
+/// Turns a transducer into an acceptor by copying one label side onto
+/// both sides.
+pub fn project(fst: &Wfst, ptype: ProjectType) -> Wfst {
+    map_arcs(fst, |a| {
+        let l = match ptype {
+            ProjectType::Input => a.ilabel,
+            ProjectType::Output => a.olabel,
+        };
+        Arc::new(l, l, a.weight, a.nextstate)
+    })
+}
+
+/// Swaps input and output labels on every arc.
+pub fn invert(fst: &Wfst) -> Wfst {
+    map_arcs(fst, |a| Arc::new(a.olabel, a.ilabel, a.weight, a.nextstate))
+}
+
+/// Applies `f` to every arc, preserving states and final weights.
+pub fn map_arcs(fst: &Wfst, mut f: impl FnMut(&Arc) -> Arc) -> Wfst {
+    let mut b = WfstBuilder::with_states(fst.num_states());
+    if fst.num_states() == 0 {
+        return b.build();
+    }
+    b.set_start(fst.start());
+    for s in fst.states() {
+        if let Some(w) = fst.final_weight(s) {
+            b.set_final(s, w);
+        }
+        for a in fst.arcs(s) {
+            let na = f(a);
+            b.add_arc(s, na);
+        }
+    }
+    b.build()
+}
+
+/// Applies `f` to every arc weight (and final weights).
+pub fn map_weights(fst: &Wfst, mut f: impl FnMut(f32) -> f32) -> Wfst {
+    let mut b = WfstBuilder::with_states(fst.num_states());
+    if fst.num_states() == 0 {
+        return b.build();
+    }
+    b.set_start(fst.start());
+    for s in fst.states() {
+        if let Some(w) = fst.final_weight(s) {
+            b.set_final(s, f(w));
+        }
+        for a in fst.arcs(s) {
+            b.add_arc(s, Arc::new(a.ilabel, a.olabel, f(a.weight), a.nextstate));
+        }
+    }
+    b.build()
+}
+
+/// Reverses the machine: a path from start to a final state becomes a
+/// path from the new start to the old start. A fresh superinitial state
+/// carries epsilon arcs to the old final states (with their final
+/// weights); the old start becomes the only final state.
+pub fn reverse(fst: &Wfst) -> Wfst {
+    let n = fst.num_states();
+    let mut b = WfstBuilder::with_states(n + 1);
+    if n == 0 {
+        return WfstBuilder::new().build();
+    }
+    let superinit = n as StateId;
+    b.set_start(superinit);
+    b.set_final(fst.start(), 0.0);
+    for s in fst.states() {
+        if let Some(w) = fst.final_weight(s) {
+            b.add_arc(superinit, Arc::new(EPSILON, EPSILON, w, s));
+        }
+        for a in fst.arcs(s) {
+            // Reverse the arc: nextstate -> s.
+            b.add_arc(a.nextstate, Arc::new(a.ilabel, a.olabel, a.weight, s));
+        }
+    }
+    b.build()
+}
+
+/// Relabels every state id through `map` (useful after external
+/// sorting); `map[s] == NO_STATE` drops the state and its arcs.
+///
+/// # Panics
+/// Panics if `map` is shorter than the state count, maps the start
+/// state to `NO_STATE`, or produces duplicate ids.
+pub fn relabel_states(fst: &Wfst, map: &[StateId]) -> Wfst {
+    assert!(map.len() >= fst.num_states(), "relabel_states: map too short");
+    let kept: Vec<StateId> = map[..fst.num_states()]
+        .iter()
+        .copied()
+        .filter(|&m| m != NO_STATE)
+        .collect();
+    let mut sorted = kept.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), kept.len(), "relabel_states: duplicate target ids");
+    assert_ne!(map[fst.start() as usize], NO_STATE, "relabel_states: start dropped");
+
+    let num_new = sorted.len();
+    let mut b = WfstBuilder::with_states(num_new);
+    b.set_start(map[fst.start() as usize]);
+    for s in fst.states() {
+        let ns = map[s as usize];
+        if ns == NO_STATE {
+            continue;
+        }
+        if let Some(w) = fst.final_weight(s) {
+            b.set_final(ns, w);
+        }
+        for a in fst.arcs(s) {
+            let nd = map[a.nextstate as usize];
+            if nd != NO_STATE {
+                b.add_arc(ns, Arc::new(a.ilabel, a.olabel, a.weight, nd));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Renders the machine in Graphviz DOT syntax, optionally labelling
+/// arcs through symbol tables (`isyms` for inputs, `osyms` for
+/// outputs). Final states are doubled circles; the start state gets a
+/// bold outline. Intended for debugging small machines — the Figure 3
+/// graphs render readably; a full task graph will not.
+pub fn to_dot(
+    fst: &Wfst,
+    isyms: Option<&crate::symbols::SymbolTable>,
+    osyms: Option<&crate::symbols::SymbolTable>,
+) -> String {
+    use std::fmt::Write as _;
+    let label = |syms: Option<&crate::symbols::SymbolTable>, l: u32| -> String {
+        match syms.and_then(|s| s.name(l)) {
+            Some(name) => name.to_string(),
+            None if l == EPSILON => "<eps>".to_string(),
+            None => l.to_string(),
+        }
+    };
+    let mut out = String::from("digraph wfst {
+  rankdir = LR;
+");
+    for s in fst.states() {
+        let shape = if fst.final_weight(s).is_some() { "doublecircle" } else { "circle" };
+        let style = if s == fst.start() { ", style=bold" } else { "" };
+        let fw = fst
+            .final_weight(s)
+            .map_or(String::new(), |w| format!("/{w:.2}"));
+        let _ = writeln!(out, "  {s} [shape={shape}{style}, label=\"{s}{fw}\"];");
+        for a in fst.arcs(s) {
+            let _ = writeln!(
+                out,
+                "  {s} -> {} [label=\"{}:{}/{:.2}\"];",
+                a.nextstate,
+                label(isyms, a.ilabel),
+                label(osyms, a.olabel),
+                a.weight
+            );
+        }
+    }
+    out.push_str("}
+");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortest::shortest_path;
+
+    fn sample() -> Wfst {
+        let mut b = WfstBuilder::with_states(3);
+        b.set_start(0);
+        b.set_final(2, 0.5);
+        b.add_arc(0, Arc::new(1, 10, 1.0, 1));
+        b.add_arc(1, Arc::new(2, 20, 2.0, 2));
+        b.add_arc(0, Arc::new(3, 30, 9.0, 2));
+        b.build()
+    }
+
+    #[test]
+    fn project_input_copies_ilabels() {
+        let p = project(&sample(), ProjectType::Input);
+        for s in p.states() {
+            for a in p.arcs(s) {
+                assert_eq!(a.ilabel, a.olabel);
+            }
+        }
+        assert_eq!(p.arcs(0)[0].olabel, 1);
+    }
+
+    #[test]
+    fn invert_twice_is_identity() {
+        let f = sample();
+        let ff = invert(&invert(&f));
+        for s in f.states() {
+            assert_eq!(f.arcs(s), ff.arcs(s));
+        }
+    }
+
+    #[test]
+    fn invert_swaps_label_sides() {
+        let inv = invert(&sample());
+        assert_eq!(inv.arcs(0)[0].ilabel, 10);
+        assert_eq!(inv.arcs(0)[0].olabel, 1);
+    }
+
+    #[test]
+    fn map_weights_scales_costs() {
+        let doubled = map_weights(&sample(), |w| w * 2.0);
+        assert_eq!(doubled.arcs(0)[0].weight, 2.0);
+        assert_eq!(doubled.final_weight(2), Some(1.0));
+    }
+
+    #[test]
+    fn reverse_preserves_shortest_distance() {
+        let f = sample();
+        let fwd = shortest_path(&f).unwrap();
+        let rev = shortest_path(&reverse(&f)).unwrap();
+        assert!((fwd.cost - rev.cost).abs() < 1e-6);
+        // The reversed path reads labels back-to-front.
+        let mut back = rev.olabels.clone();
+        back.reverse();
+        assert_eq!(fwd.olabels, back);
+    }
+
+    #[test]
+    fn relabel_identity_roundtrips() {
+        let f = sample();
+        let id: Vec<StateId> = (0..f.num_states() as StateId).collect();
+        let g = relabel_states(&f, &id);
+        assert_eq!(g.num_arcs(), f.num_arcs());
+        assert_eq!(g.start(), f.start());
+    }
+
+    #[test]
+    fn relabel_can_drop_states() {
+        let f = sample();
+        // Drop state 1: its arcs vanish.
+        let map = vec![0, NO_STATE, 1];
+        let g = relabel_states(&f, &map);
+        assert_eq!(g.num_states(), 2);
+        assert_eq!(g.num_arcs(), 1); // only 0 -> 2 survives
+        assert_eq!(g.arcs(0)[0].nextstate, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "start dropped")]
+    fn relabel_rejects_dropping_start() {
+        let f = sample();
+        let map = vec![NO_STATE, 0, 1];
+        let _ = relabel_states(&f, &map);
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let mut syms = crate::symbols::SymbolTable::new();
+        let one = syms.add("ONE");
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        b.set_final(1, 0.5);
+        b.add_arc(0, Arc::new(3, one, 1.0, 1));
+        let dot = to_dot(&b.build(), None, Some(&syms));
+        assert!(dot.starts_with("digraph wfst {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("3:ONE/1.00"), "{dot}");
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("style=bold"));
+    }
+
+    #[test]
+    fn empty_machine_ops_are_safe() {
+        let e = WfstBuilder::new().build();
+        assert_eq!(project(&e, ProjectType::Output).num_states(), 0);
+        assert_eq!(invert(&e).num_states(), 0);
+        assert_eq!(reverse(&e).num_states(), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Epsilon removal.
+//!
+//! Replaces epsilon-input transitions by folding their weights into the
+//! following non-epsilon arcs (and final weights), preserving the
+//! weighted input/output relation. Offline toolchains run this between
+//! composition and decoding; here it also serves as a differential
+//! oracle — removing epsilons must not change shortest-path costs.
+//!
+//! Output labels on epsilon-input arcs (cross-word transitions) are
+//! *not* erasable without changing the relation, so arcs with
+//! `ilabel == EPSILON` but `olabel != EPSILON` are kept as-is; only
+//! pure epsilon:epsilon arcs are removed. That matches what the
+//! decoding graphs in this repository contain (back-off arcs and
+//! word-return arcs are the two epsilon-input kinds; only back-off
+//! arcs are pure).
+
+use crate::arc::{Arc, StateId, EPSILON};
+use crate::fst::{Wfst, WfstBuilder};
+
+/// Removes pure epsilon (epsilon:epsilon) arcs.
+///
+/// For every state, the weighted epsilon-closure is computed (cheapest
+/// pure-epsilon distance to each reachable state); non-epsilon arcs and
+/// final weights of closure states are copied over with the closure
+/// distance folded in. States are preserved (ids unchanged); dead
+/// states can be trimmed afterwards with [`crate::connect()`].
+///
+/// # Panics
+/// Panics if the machine contains a pure-epsilon cycle with negative
+/// total weight (the closure would not terminate); epsilon cycles with
+/// non-negative weight are fine (they never improve a distance).
+pub fn rm_epsilon(fst: &Wfst) -> Wfst {
+    let n = fst.num_states();
+    let mut b = WfstBuilder::with_states(n);
+    if n == 0 {
+        return b.build();
+    }
+    b.set_start(fst.start());
+
+    for s in fst.states() {
+        // Weighted epsilon-closure from `s` (label-correcting search).
+        let mut dist: std::collections::HashMap<StateId, f32> = std::collections::HashMap::new();
+        dist.insert(s, 0.0);
+        let mut queue = std::collections::VecDeque::from([s]);
+        let mut relaxations = 0u64;
+        let budget = (n as u64 + 1) * (fst.num_arcs() as u64 + 1) + 1;
+        while let Some(q) = queue.pop_front() {
+            let dq = dist[&q];
+            for a in fst.arcs(q) {
+                if a.ilabel != EPSILON || a.olabel != EPSILON {
+                    continue;
+                }
+                relaxations += 1;
+                assert!(relaxations <= budget, "rm_epsilon: negative epsilon cycle");
+                let nd = dq + a.weight;
+                if dist.get(&a.nextstate).map_or(true, |&d| nd < d) {
+                    dist.insert(a.nextstate, nd);
+                    queue.push_back(a.nextstate);
+                }
+            }
+        }
+
+        // Emit: non-epsilon (or output-bearing) arcs and final weights
+        // of every closure member, shifted by the closure distance.
+        let mut best_final: Option<f32> = None;
+        let mut sorted: Vec<(StateId, f32)> = dist.into_iter().collect();
+        sorted.sort_unstable_by_key(|&(q, _)| q);
+        for (q, d) in sorted {
+            if let Some(fw) = fst.final_weight(q) {
+                let total = d + fw;
+                if best_final.map_or(true, |bf| total < bf) {
+                    best_final = Some(total);
+                }
+            }
+            for a in fst.arcs(q) {
+                if a.ilabel == EPSILON && a.olabel == EPSILON {
+                    continue;
+                }
+                b.add_arc(s, Arc::new(a.ilabel, a.olabel, d + a.weight, a.nextstate));
+            }
+        }
+        if let Some(fw) = best_final {
+            b.set_final(s, fw);
+        }
+    }
+    b.build()
+}
+
+/// Whether the machine has any pure epsilon arcs left.
+pub fn has_pure_epsilons(fst: &Wfst) -> bool {
+    fst.states()
+        .any(|s| fst.arcs(s).iter().any(|a| a.ilabel == EPSILON && a.olabel == EPSILON))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortest::shortest_path;
+
+    fn with_epsilons() -> Wfst {
+        let mut b = WfstBuilder::with_states(4);
+        b.set_start(0);
+        b.set_final(3, 0.5);
+        b.add_arc(0, Arc::epsilon(0.2, 1)); // pure epsilon
+        b.add_arc(1, Arc::new(5, 0, 1.0, 2));
+        b.add_arc(2, Arc::epsilon(0.3, 3)); // pure epsilon
+        b.add_arc(0, Arc::new(7, 0, 9.0, 3));
+        b.build()
+    }
+
+    #[test]
+    fn removes_all_pure_epsilons() {
+        let f = with_epsilons();
+        assert!(has_pure_epsilons(&f));
+        let g = rm_epsilon(&f);
+        assert!(!has_pure_epsilons(&g));
+    }
+
+    #[test]
+    fn preserves_shortest_path() {
+        let f = with_epsilons();
+        let g = rm_epsilon(&f);
+        let pf = shortest_path(&f).unwrap();
+        let pg = shortest_path(&g).unwrap();
+        assert!((pf.cost - pg.cost).abs() < 1e-6);
+        assert_eq!(pf.ilabels, pg.ilabels);
+    }
+
+    #[test]
+    fn closure_folds_final_weights() {
+        // start --eps(0.1)--> final(0.2): start becomes final at 0.3.
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        b.set_final(1, 0.2);
+        b.add_arc(0, Arc::epsilon(0.1, 1));
+        let g = rm_epsilon(&b.build());
+        assert!((g.final_weight(0).unwrap() - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn keeps_output_bearing_epsilon_input_arcs() {
+        // A cross-word arc (eps input, word output) must survive.
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        b.set_final(1, 0.0);
+        b.add_arc(0, Arc::new(EPSILON, 42, 0.7, 1));
+        let g = rm_epsilon(&b.build());
+        assert_eq!(g.arcs(0).len(), 1);
+        assert_eq!(g.arcs(0)[0].olabel, 42);
+    }
+
+    #[test]
+    fn positive_epsilon_cycle_is_tolerated() {
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        b.set_final(1, 0.0);
+        b.add_arc(0, Arc::epsilon(1.0, 1));
+        b.add_arc(1, Arc::epsilon(1.0, 0)); // cycle, but positive
+        b.add_arc(1, Arc::new(3, 0, 0.5, 1));
+        let g = rm_epsilon(&b.build());
+        assert!(!has_pure_epsilons(&g));
+        assert!(shortest_path(&g).is_some());
+    }
+
+    #[test]
+    fn zero_weight_epsilon_cycle_terminates() {
+        // Zero-weight cycles never strictly improve a distance, so the
+        // closure converges.
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        b.set_final(1, 0.0);
+        b.add_arc(0, Arc::epsilon(0.0, 1));
+        b.add_arc(1, Arc::epsilon(0.0, 0));
+        b.add_arc(1, Arc::new(3, 0, 0.5, 1));
+        let g = rm_epsilon(&b.build());
+        assert!(!has_pure_epsilons(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative epsilon cycle")]
+    fn negative_epsilon_cycle_panics() {
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        b.set_final(1, 0.0);
+        b.add_arc(0, Arc::epsilon(1.0, 1));
+        b.add_arc(1, Arc::epsilon(-2.0, 0));
+        let _ = rm_epsilon(&b.build());
+    }
+
+    #[test]
+    fn lm_backoff_arcs_are_removable() {
+        // On a real back-off LM, removing epsilons keeps resolution
+        // costs reachable as plain arcs (the closure pre-applies bow).
+        // Miniature: root 0, unigram-history state 1 with a back-off.
+        let mut b = WfstBuilder::with_states(2);
+        b.set_start(0);
+        b.set_final(0, 0.0);
+        b.set_final(1, 0.0);
+        b.add_arc(0, Arc::new(1, 1, 2.0, 1)); // unigram w1
+        b.add_arc(1, Arc::epsilon(0.4, 0)); // back-off
+        let g = rm_epsilon(&b.build());
+        // State 1 now reaches w1 directly at bow + unigram cost.
+        let w1 = g.arcs(1).iter().find(|a| a.ilabel == 1).unwrap();
+        assert!((w1.weight - 2.4).abs() < 1e-6);
+    }
+
+}

@@ -1,0 +1,213 @@
+//! Semirings for shortest-path computations.
+//!
+//! The Viterbi search operates in the *tropical* semiring (min, +) over
+//! negative log-probabilities: `plus` keeps the better hypothesis and
+//! `times` accumulates costs along a path. The *log* semiring is provided
+//! for completeness (it is what full-posterior lattice rescoring would
+//! use) and to property-test the semiring laws against a second instance.
+
+/// An abstract semiring over `f32`-backed weights.
+///
+/// Implementors must satisfy the semiring laws (associativity and
+/// commutativity of `plus`, associativity of `times`, distributivity,
+/// and identity/annihilator behavior of [`Semiring::zero`] and
+/// [`Semiring::one`]); the property tests in this module check them.
+pub trait Semiring: Copy + PartialEq + std::fmt::Debug {
+    /// The additive identity (the "impossible" hypothesis).
+    fn zero() -> Self;
+    /// The multiplicative identity (the free transition).
+    fn one() -> Self;
+    /// Combines two alternative paths.
+    fn plus(self, rhs: Self) -> Self;
+    /// Extends a path with an additional arc.
+    fn times(self, rhs: Self) -> Self;
+    /// The raw cost value (negative log-probability).
+    fn value(self) -> f32;
+}
+
+/// Tropical semiring: `plus` = min, `times` = +.
+///
+/// ```
+/// use unfold_wfst::{Semiring, TropicalWeight};
+/// let a = TropicalWeight::new(1.0);
+/// let b = TropicalWeight::new(2.0);
+/// assert_eq!(a.plus(b), a);
+/// assert_eq!(a.times(b).value(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct TropicalWeight(f32);
+
+impl TropicalWeight {
+    /// Wraps a cost (negative log-probability).
+    #[inline]
+    pub fn new(cost: f32) -> Self {
+        TropicalWeight(cost)
+    }
+}
+
+impl Semiring for TropicalWeight {
+    #[inline]
+    fn zero() -> Self {
+        TropicalWeight(f32::INFINITY)
+    }
+    #[inline]
+    fn one() -> Self {
+        TropicalWeight(0.0)
+    }
+    #[inline]
+    fn plus(self, rhs: Self) -> Self {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+    #[inline]
+    fn times(self, rhs: Self) -> Self {
+        TropicalWeight(self.0 + rhs.0)
+    }
+    #[inline]
+    fn value(self) -> f32 {
+        self.0
+    }
+}
+
+impl Default for TropicalWeight {
+    fn default() -> Self {
+        Self::one()
+    }
+}
+
+impl std::fmt::Display for TropicalWeight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Log semiring: `plus` = -log(e^-a + e^-b), `times` = +.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct LogWeight(f32);
+
+impl LogWeight {
+    /// Wraps a cost (negative log-probability).
+    #[inline]
+    pub fn new(cost: f32) -> Self {
+        LogWeight(cost)
+    }
+}
+
+/// Numerically-stable `-ln(e^-a + e^-b)`.
+fn log_add(a: f32, b: f32) -> f32 {
+    if a == f32::INFINITY {
+        return b;
+    }
+    if b == f32::INFINITY {
+        return a;
+    }
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    lo - (1.0 + (-(hi - lo)).exp()).ln()
+}
+
+impl Semiring for LogWeight {
+    #[inline]
+    fn zero() -> Self {
+        LogWeight(f32::INFINITY)
+    }
+    #[inline]
+    fn one() -> Self {
+        LogWeight(0.0)
+    }
+    #[inline]
+    fn plus(self, rhs: Self) -> Self {
+        LogWeight(log_add(self.0, rhs.0))
+    }
+    #[inline]
+    fn times(self, rhs: Self) -> Self {
+        LogWeight(self.0 + rhs.0)
+    }
+    #[inline]
+    fn value(self) -> f32 {
+        self.0
+    }
+}
+
+impl Default for LogWeight {
+    fn default() -> Self {
+        Self::one()
+    }
+}
+
+impl std::fmt::Display for LogWeight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tropical_identities() {
+        let w = TropicalWeight::new(3.5);
+        assert_eq!(w.plus(TropicalWeight::zero()), w);
+        assert_eq!(w.times(TropicalWeight::one()), w);
+        assert_eq!(w.times(TropicalWeight::zero()), TropicalWeight::zero());
+    }
+
+    #[test]
+    fn log_plus_is_probability_sum() {
+        // P = 0.5 each => combined P = 1.0 => cost 0.
+        let half = LogWeight::new(core::f32::consts::LN_2);
+        let sum = half.plus(half);
+        assert!(sum.value().abs() < 1e-6, "got {}", sum.value());
+    }
+
+    #[test]
+    fn log_plus_with_zero() {
+        let w = LogWeight::new(1.25);
+        assert_eq!(w.plus(LogWeight::zero()), w);
+        assert_eq!(LogWeight::zero().plus(w), w);
+    }
+
+    fn costs() -> impl Strategy<Value = f32> {
+        prop_oneof![(0.0f32..50.0), Just(f32::INFINITY)]
+    }
+
+    proptest! {
+        #[test]
+        fn tropical_plus_commutative(a in costs(), b in costs()) {
+            let (a, b) = (TropicalWeight::new(a), TropicalWeight::new(b));
+            prop_assert_eq!(a.plus(b), b.plus(a));
+        }
+
+        #[test]
+        fn tropical_plus_associative(a in costs(), b in costs(), c in costs()) {
+            let (a, b, c) = (TropicalWeight::new(a), TropicalWeight::new(b), TropicalWeight::new(c));
+            prop_assert_eq!(a.plus(b).plus(c), a.plus(b.plus(c)));
+        }
+
+        #[test]
+        fn tropical_distributes(a in 0.0f32..50.0, b in 0.0f32..50.0, c in 0.0f32..50.0) {
+            let (a, b, c) = (TropicalWeight::new(a), TropicalWeight::new(b), TropicalWeight::new(c));
+            let lhs = a.times(b.plus(c));
+            let rhs = a.times(b).plus(a.times(c));
+            prop_assert!((lhs.value() - rhs.value()).abs() < 1e-4);
+        }
+
+        #[test]
+        fn log_plus_commutative(a in 0.0f32..30.0, b in 0.0f32..30.0) {
+            let (a, b) = (LogWeight::new(a), LogWeight::new(b));
+            prop_assert!((a.plus(b).value() - b.plus(a).value()).abs() < 1e-4);
+        }
+
+        #[test]
+        fn log_plus_never_worse_than_best(a in 0.0f32..30.0, b in 0.0f32..30.0) {
+            // Combining alternatives can only increase total probability,
+            // i.e. the resulting cost is <= min(a, b).
+            let s = LogWeight::new(a).plus(LogWeight::new(b));
+            prop_assert!(s.value() <= a.min(b) + 1e-5);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Topology statistics and byte-size accounting.
+//!
+//! The paper's memory-footprint claims (Table 1, Table 2, Figure 8) are
+//! all about how many bytes the AM, LM, and composed WFSTs occupy under
+//! specific layouts. [`SizeModel`] pins down the uncompressed layout:
+//! 16 bytes per arc (four 32-bit fields, §3.4) and 8 bytes per state
+//! record (32-bit first-arc offset, 16-bit arc count, 16-bit final-weight
+//! slot — the "bandwidth reduction scheme" state record of \[34\] that
+//! §3.4 adopts for the states array).
+
+use crate::fst::Wfst;
+
+/// Bytes per arc / state under a given storage layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeModel {
+    /// Bytes for each arc record.
+    pub bytes_per_arc: u64,
+    /// Bytes for each state record.
+    pub bytes_per_state: u64,
+}
+
+impl SizeModel {
+    /// The paper's uncompressed layout: 128-bit arcs, 64-bit states.
+    pub const UNCOMPRESSED: SizeModel = SizeModel { bytes_per_arc: 16, bytes_per_state: 8 };
+
+    /// Total bytes for `fst` under this layout.
+    pub fn bytes(&self, fst: &Wfst) -> u64 {
+        self.bytes_per_arc * fst.num_arcs() as u64
+            + self.bytes_per_state * fst.num_states() as u64
+    }
+
+    /// Total mebibytes for `fst` under this layout.
+    pub fn mib(&self, fst: &Wfst) -> f64 {
+        self.bytes(fst) as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl Default for SizeModel {
+    fn default() -> Self {
+        Self::UNCOMPRESSED
+    }
+}
+
+/// Aggregate topology statistics for a WFST.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FstStats {
+    /// Number of states.
+    pub num_states: usize,
+    /// Number of arcs.
+    pub num_arcs: usize,
+    /// Number of final states.
+    pub num_final: usize,
+    /// Arcs whose output label is a word id.
+    pub cross_word_arcs: usize,
+    /// Arcs with epsilon input (back-off arcs in an LM).
+    pub epsilon_input_arcs: usize,
+    /// Largest out-degree of any state.
+    pub max_out_degree: usize,
+    /// Mean out-degree.
+    pub mean_out_degree: f64,
+    /// Arcs whose destination is the same state, the previous state, or
+    /// the next state — the fraction the paper's 20-bit compressed AM
+    /// format (Figure 5) applies to.
+    pub local_arcs: usize,
+    /// Bytes under [`SizeModel::UNCOMPRESSED`].
+    pub uncompressed_bytes: u64,
+}
+
+impl FstStats {
+    /// Computes statistics for `fst`.
+    ///
+    /// ```
+    /// use unfold_wfst::{WfstBuilder, Arc, FstStats};
+    /// let mut b = WfstBuilder::with_states(2);
+    /// b.set_start(0);
+    /// b.set_final(1, 0.0);
+    /// b.add_arc(0, Arc::new(1, 0, 0.0, 1));
+    /// let stats = FstStats::measure(&b.build());
+    /// assert_eq!(stats.num_arcs, 1);
+    /// assert_eq!(stats.local_arcs, 1); // dest = src + 1
+    /// ```
+    pub fn measure(fst: &Wfst) -> Self {
+        let mut cross = 0;
+        let mut eps_in = 0;
+        let mut max_deg = 0;
+        let mut local = 0;
+        let mut finals = 0;
+        for s in fst.states() {
+            if fst.final_weight(s).is_some() {
+                finals += 1;
+            }
+            let arcs = fst.arcs(s);
+            max_deg = max_deg.max(arcs.len());
+            for a in arcs {
+                if a.is_cross_word() {
+                    cross += 1;
+                }
+                if a.is_input_epsilon() {
+                    eps_in += 1;
+                }
+                let d = i64::from(a.nextstate) - i64::from(s);
+                if (-1..=1).contains(&d) {
+                    local += 1;
+                }
+            }
+        }
+        let num_states = fst.num_states();
+        let num_arcs = fst.num_arcs();
+        FstStats {
+            num_states,
+            num_arcs,
+            num_final: finals,
+            cross_word_arcs: cross,
+            epsilon_input_arcs: eps_in,
+            max_out_degree: max_deg,
+            mean_out_degree: if num_states == 0 {
+                0.0
+            } else {
+                num_arcs as f64 / num_states as f64
+            },
+            local_arcs: local,
+            uncompressed_bytes: SizeModel::UNCOMPRESSED.bytes(fst),
+        }
+    }
+
+    /// Fraction of arcs eligible for the short (20-bit) AM format.
+    pub fn local_arc_fraction(&self) -> f64 {
+        if self.num_arcs == 0 {
+            0.0
+        } else {
+            self.local_arcs as f64 / self.num_arcs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arc::{Arc, EPSILON};
+    use crate::fst::WfstBuilder;
+
+    fn sample() -> Wfst {
+        let mut b = WfstBuilder::with_states(4);
+        b.set_start(0);
+        b.set_final(3, 0.0);
+        b.add_arc(0, Arc::new(1, EPSILON, 0.0, 0)); // self-loop: local
+        b.add_arc(0, Arc::new(2, EPSILON, 0.0, 1)); // +1: local
+        b.add_arc(1, Arc::new(3, 7, 0.0, 3)); // cross-word, non-local (+2)
+        b.add_arc(3, Arc::epsilon(0.1, 2)); // eps input, -1: local
+        b.build()
+    }
+
+    #[test]
+    fn measures_topology() {
+        let s = FstStats::measure(&sample());
+        assert_eq!(s.num_states, 4);
+        assert_eq!(s.num_arcs, 4);
+        assert_eq!(s.num_final, 1);
+        assert_eq!(s.cross_word_arcs, 1);
+        assert_eq!(s.epsilon_input_arcs, 1);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.local_arcs, 3);
+        assert!((s.local_arc_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncompressed_size_is_16b_arcs_plus_8b_states() {
+        let s = FstStats::measure(&sample());
+        assert_eq!(s.uncompressed_bytes, 4 * 16 + 4 * 8);
+        assert!(SizeModel::UNCOMPRESSED.mib(&sample()) > 0.0);
+    }
+
+    #[test]
+    fn empty_fst_stats() {
+        let s = FstStats::measure(&WfstBuilder::new().build());
+        assert_eq!(s.num_arcs, 0);
+        assert_eq!(s.mean_out_degree, 0.0);
+        assert_eq!(s.local_arc_fraction(), 0.0);
+    }
+}

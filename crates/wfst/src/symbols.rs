@@ -1,0 +1,134 @@
+//! Symbol tables: human-readable names for labels.
+//!
+//! WFST labels are bare integers everywhere in the hot path; a
+//! [`SymbolTable`] maps them to strings at the edges (debugging,
+//! examples, the Figure 3 walkthrough). Id 0 is always reserved for
+//! epsilon, matching [`crate::EPSILON`].
+
+use std::collections::HashMap;
+
+use crate::arc::{Label, EPSILON};
+
+/// Bidirectional label ↔ string mapping with dense ids.
+///
+/// ```
+/// use unfold_wfst::SymbolTable;
+/// let mut syms = SymbolTable::new();
+/// let one = syms.add("ONE");
+/// assert_eq!(one, 1);
+/// assert_eq!(syms.get("ONE"), Some(1));
+/// assert_eq!(syms.name(one), Some("ONE"));
+/// assert_eq!(syms.name(0), Some("<eps>"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    ids: HashMap<String, Label>,
+}
+
+impl SymbolTable {
+    /// Creates a table containing only epsilon (id 0).
+    pub fn new() -> Self {
+        let mut t = SymbolTable { names: Vec::new(), ids: HashMap::new() };
+        t.names.push("<eps>".to_string());
+        t.ids.insert("<eps>".to_string(), EPSILON);
+        t
+    }
+
+    /// Adds `name` (or returns its existing id).
+    ///
+    /// # Panics
+    /// Panics if `name` is empty.
+    pub fn add(&mut self, name: &str) -> Label {
+        assert!(!name.is_empty(), "add: empty symbol name");
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as Label;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Id of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.ids.get(name).copied()
+    }
+
+    /// Name of `id`, if present.
+    pub fn name(&self, id: Label) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of symbols including epsilon.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether only epsilon is present.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Renders a label sequence as space-separated names; unknown ids
+    /// render as `#<id>`.
+    pub fn render(&self, labels: &[Label]) -> String {
+        labels
+            .iter()
+            .map(|&l| self.name(l).map_or_else(|| format!("#{l}"), str::to_string))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl Default for SymbolTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> FromIterator<&'a str> for SymbolTable {
+    fn from_iter<I: IntoIterator<Item = &'a str>>(iter: I) -> Self {
+        let mut t = SymbolTable::new();
+        for s in iter {
+            t.add(s);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.add("ONE"), 1);
+        assert_eq!(t.add("TWO"), 2);
+        assert_eq!(t.add("ONE"), 1, "re-adding must return the same id");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn epsilon_reserved() {
+        let t = SymbolTable::new();
+        assert_eq!(t.name(EPSILON), Some("<eps>"));
+        assert_eq!(t.get("<eps>"), Some(0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn render_sequences() {
+        let t: SymbolTable = ["ONE", "TWO", "THREE"].into_iter().collect();
+        assert_eq!(t.render(&[1, 3, 2]), "ONE THREE TWO");
+        assert_eq!(t.render(&[9]), "#9");
+        assert_eq!(t.render(&[]), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty symbol name")]
+    fn empty_name_panics() {
+        SymbolTable::new().add("");
+    }
+}

@@ -1,0 +1,43 @@
+//! Design-space exploration with the accelerator model: beam width vs
+//! accuracy/latency, and cache scaling vs energy — the kind of sweep
+//! §3.5 and Figure 6/7 run to pick the shipped configuration.
+//!
+//! Run with: `cargo run --release -p unfold-examples --bin accelerator_sweep`
+
+use unfold::experiments::run_unfold_configured;
+use unfold::{System, TaskSpec};
+use unfold_decoder::DecodeConfig;
+use unfold_sim::AcceleratorConfig;
+
+fn main() {
+    let system = System::build(&TaskSpec::tiny());
+    let utts = system.test_utterances(4);
+
+    println!("beam | WER % | mean active tokens | xRT");
+    for beam in [4.0f32, 8.0, 12.0, 16.0] {
+        let run = run_unfold_configured(
+            &system,
+            &utts,
+            AcceleratorConfig::unfold(),
+            DecodeConfig { beam, ..Default::default() },
+        );
+        println!(
+            "{beam:4} | {:5.1} | {:18.0} | {:.0}",
+            run.wer.percent(),
+            run.stats.mean_active(),
+            run.sim.times_real_time()
+        );
+    }
+
+    println!("\ncache scale | energy mJ/s | bandwidth MB/s | state miss %");
+    for factor in [1u64, 4, 16, 64] {
+        let cfg = AcceleratorConfig::unfold().scaled_datasets(factor);
+        let run = run_unfold_configured(&system, &utts, cfg, DecodeConfig::default());
+        println!(
+            "1/{factor:<9} | {:11.4} | {:14.0} | {:.1}",
+            run.sim.energy_mj_per_audio_second(),
+            run.sim.bandwidth_mb_per_s(),
+            run.sim.state_cache.miss_ratio() * 100.0
+        );
+    }
+}

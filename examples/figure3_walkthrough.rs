@@ -1,0 +1,82 @@
+//! The paper's Figure 3 walkthrough, end to end: build the 3-word AM
+//! and 3-gram LM by hand, decode "ONE TWO", and replay the §3.3
+//! back-off story — with human-readable symbols.
+//!
+//! Run with: `cargo run --release -p unfold-examples --bin figure3_walkthrough`
+
+use unfold_am::AcousticScores;
+use unfold_decoder::{DecodeConfig, NullSink, OtfDecoder};
+use unfold_wfst::compose::resolve_lm_word;
+use unfold_wfst::{Arc, SymbolTable, WfstBuilder, EPSILON};
+
+fn main() {
+    let mut words = SymbolTable::new();
+    let (one, two, three) = (words.add("ONE"), words.add("TWO"), words.add("THREE"));
+    let mut phones = SymbolTable::new();
+    let s: Vec<u32> = (1..=8).map(|i| phones.add(&format!("S{i}"))).collect();
+
+    // --- Figure 3a: the AM. ---
+    let mut b = WfstBuilder::with_states(9);
+    b.set_start(0);
+    b.set_final(0, 0.0);
+    for (word, ph_seq, states) in [
+        (one, &s[0..3], [1u32, 2, 3]),
+        (two, &s[3..5], [4, 5, 0]),
+        (three, &s[5..8], [6, 7, 8]),
+    ] {
+        let mut prev = 0u32;
+        let last = ph_seq.len() - 1;
+        for (i, &ph) in ph_seq.iter().enumerate() {
+            let dest = states[i];
+            let olabel = if i == last { word } else { EPSILON };
+            b.add_arc(prev, Arc::new(ph, olabel, 0.0, dest));
+            prev = dest;
+        }
+        if prev != 0 {
+            b.add_arc(prev, Arc::epsilon(0.0, 0));
+        }
+    }
+    let am = b.build();
+    println!("AM (Figure 3a): {} states, {} arcs", am.num_states(), am.num_arcs());
+
+    // --- Figure 3b: the LM. ---
+    let mut b = WfstBuilder::with_states(7);
+    b.set_start(0);
+    for st in 0..7 {
+        b.set_final(st, 0.0);
+    }
+    b.add_arc(0, Arc::new(one, one, 1.0, 1));
+    b.add_arc(0, Arc::new(two, two, 1.2, 2));
+    b.add_arc(0, Arc::new(three, three, 1.5, 3));
+    b.add_arc(1, Arc::new(three, three, 0.4, 4));
+    b.add_arc(2, Arc::new(one, one, 0.5, 5));
+    b.add_arc(3, Arc::new(two, two, 0.6, 6));
+    b.add_arc(6, Arc::new(one, one, 0.2, 5)); // Prob(ONE | THREE, TWO)
+    for (st, bow, dest) in [(1, 0.3, 0), (2, 0.35, 0), (3, 0.25, 0), (4, 0.1, 3), (5, 0.15, 1), (6, 0.2, 2)] {
+        b.add_arc(st, Arc::epsilon(bow, dest));
+    }
+    let mut lm = b.build();
+    lm.sort_arcs_by_ilabel();
+    println!("LM (Figure 3b): {} states, {} arcs\n", lm.num_states(), lm.num_arcs());
+
+    // --- Figure 3c: decode "ONE TWO" on the fly. ---
+    let frames = [s[0], s[1], s[2], s[3], s[4]];
+    let mut flat = Vec::new();
+    for &p in &frames {
+        for pdf in 1..=8u32 {
+            flat.push(if pdf == p { 0.1 } else { 6.0 });
+        }
+    }
+    let scores = AcousticScores::from_flat(flat, 8);
+    let res = OtfDecoder::new(DecodeConfig::default()).decode(&am, &lm, &scores, &mut NullSink);
+    println!("acoustics say: {}", phones.render(&frames));
+    println!("decoded      : {} (cost {:.2})", words.render(&res.words), res.cost);
+
+    // --- §3.3: the back-off walk for "TWO ONE" + TWO. ---
+    let (dest, cost, hops) = resolve_lm_word(&lm, 5, two).expect("resolvable");
+    println!("\nSection 3.3 walkthrough: history \"TWO ONE\", next word TWO");
+    println!("  -> {hops} back-off hops, total LM cost {cost:.2}, lands at state {dest}");
+    println!("     (state {dest} = unigram history of {})", words.name(two).unwrap());
+    assert_eq!(hops, 2);
+    assert_eq!(dest, 2);
+}

@@ -1,0 +1,1 @@
+//! Example binaries live alongside this stub library target.

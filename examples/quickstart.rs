@@ -1,0 +1,47 @@
+//! Quickstart: build a small ASR system, decode an utterance with
+//! on-the-fly WFST composition, and inspect the result.
+//!
+//! Run with: `cargo run --release -p unfold-examples --bin quickstart`
+
+use unfold::{System, TaskSpec};
+use unfold_decoder::{wer, DecodeConfig, NullSink, OtfDecoder};
+
+fn main() {
+    // A miniature task (80-word vocabulary) that builds in milliseconds.
+    let spec = TaskSpec::tiny();
+    println!("building task '{}' (vocab {})...", spec.name, spec.vocab_size);
+    let system = System::build(&spec);
+
+    // The two models UNFOLD keeps in memory instead of the composed WFST.
+    println!(
+        "AM: {} states / {} arcs; LM: {} states / {} arcs",
+        system.am.fst.num_states(),
+        system.am.fst.num_arcs(),
+        system.lm_fst.num_states(),
+        system.lm_fst.num_arcs()
+    );
+    println!(
+        "compressed: AM {} KiB + LM {} KiB",
+        system.am_comp.size_bytes() / 1024,
+        system.lm_comp.size_bytes() / 1024
+    );
+
+    // Synthesize a test utterance and decode it against the compressed
+    // models — exactly what the UNFOLD accelerator does.
+    let utt = &system.test_utterances(1)[0];
+    let decoder = OtfDecoder::new(DecodeConfig::default());
+    let result = decoder.decode(&system.am_comp, &system.lm_comp, &utt.scores, &mut NullSink);
+
+    println!("\nspoken   : {:?}", utt.words);
+    println!("decoded  : {:?}", result.words);
+    println!("cost     : {:.2}", result.cost);
+    let report = wer(&utt.words, &result.words);
+    println!("WER      : {:.1}%", report.percent());
+    println!(
+        "search   : {} frames, {} tokens, {} LM lookups, {} back-off hops",
+        result.stats.frames,
+        result.stats.tokens_created,
+        result.stats.lm_lookups,
+        result.stats.backoff_hops
+    );
+}

@@ -1,0 +1,114 @@
+//! Property tests across the compression stack on realistic models.
+
+use proptest::prelude::*;
+use unfold::{System, TaskSpec};
+use unfold_compress::{CompressedAm, CompressedLm, WeightQuantizer};
+use unfold_wfst::SizeModel;
+
+fn system() -> System {
+    System::build(&TaskSpec::tiny())
+}
+
+#[test]
+fn am_roundtrip_preserves_structure_exactly() {
+    let s = system();
+    let rt = s.am_comp.to_wfst();
+    assert_eq!(rt.num_states(), s.am.fst.num_states());
+    for st in s.am.fst.states() {
+        let (a, b) = (s.am.fst.arcs(st), rt.arcs(st));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!((x.ilabel, x.olabel, x.nextstate), (y.ilabel, y.olabel, y.nextstate));
+        }
+    }
+}
+
+#[test]
+fn lm_roundtrip_preserves_structure_exactly() {
+    let s = system();
+    let rt = s.lm_comp.to_wfst();
+    assert_eq!(rt.num_states(), s.lm_fst.num_states());
+    assert_eq!(rt.num_arcs(), s.lm_fst.num_arcs());
+    assert!(rt.is_ilabel_sorted());
+}
+
+#[test]
+fn compression_always_shrinks_realistic_models() {
+    let s = system();
+    assert!(s.am_comp.size_bytes() < SizeModel::UNCOMPRESSED.bytes(&s.am.fst));
+    assert!(s.lm_comp.size_bytes() < SizeModel::UNCOMPRESSED.bytes(&s.lm_fst));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any seed/cluster-count combination round-trips the AM topology.
+    #[test]
+    fn am_roundtrip_under_any_quantization(k in 2usize..=64, seed in 0u64..50) {
+        let s = system();
+        let comp = CompressedAm::compress(&s.am.fst, k, seed);
+        let rt = comp.to_wfst();
+        prop_assert_eq!(rt.num_arcs(), s.am.fst.num_arcs());
+    }
+
+    /// Quantized weights never stray beyond the codebook range.
+    #[test]
+    fn quantizer_output_within_range(k in 2usize..64, seed in 0u64..20) {
+        let s = system();
+        let weights: Vec<f32> = s.lm_fst.states()
+            .flat_map(|st| s.lm_fst.arcs(st).iter().map(|a| a.weight))
+            .collect();
+        let q = WeightQuantizer::fit(&weights, k, seed);
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &w in &weights {
+            lo = lo.min(w);
+            hi = hi.max(w);
+        }
+        for &w in weights.iter().step_by(7) {
+            let v = q.quantize(w);
+            prop_assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
+        }
+    }
+
+    /// Compressed LM lookups equal uncompressed binary search for any
+    /// (state, word) pair.
+    #[test]
+    fn lm_lookup_agreement(sstep in 1usize..20, wstep in 1usize..20) {
+        let s = system();
+        let clm = CompressedLm::compress(&s.lm_fst, 64, 1);
+        for st in (0..s.lm_fst.num_states() as u32).step_by(sstep) {
+            for w in (1..=80u32).step_by(wstep) {
+                let a = s.lm_fst.find_arc(st, w).0.map(|x| x.nextstate);
+                let b = clm.lookup(st, w).arc.map(|x| x.nextstate);
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}
+
+#[test]
+fn saved_models_decode_identically_after_reload() {
+    // The deployment flow: compress once, write the UNFA/UNFL files,
+    // load them elsewhere, decode — results must be bit-identical.
+    use unfold_compress::{load_am, load_lm, save_am, save_lm};
+    use unfold_decoder::{DecodeConfig, NullSink, OtfDecoder};
+
+    let s = system();
+    let dir = std::env::temp_dir().join(format!("unfold-io-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let am_path = dir.join("task.unfa");
+    let lm_path = dir.join("task.unfl");
+    save_am(&s.am_comp, &am_path).expect("write AM");
+    save_lm(&s.lm_comp, &lm_path).expect("write LM");
+
+    let am = load_am(&am_path).expect("read AM");
+    let lm = load_lm(&lm_path).expect("read LM");
+    let dec = OtfDecoder::new(DecodeConfig::default());
+    for utt in s.test_utterances(3) {
+        let a = dec.decode(&s.am_comp, &s.lm_comp, &utt.scores, &mut NullSink);
+        let b = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
+        assert_eq!(a.words, b.words);
+        assert_eq!(a.cost, b.cost);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

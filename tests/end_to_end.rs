@@ -1,0 +1,132 @@
+//! End-to-end integration: build a task, decode with every system
+//! configuration, and check the paper's qualitative relationships.
+
+use unfold::experiments::{run_baseline_on, run_gpu, run_unfold};
+use unfold::{System, TaskSpec};
+
+fn tiny() -> (System, Vec<unfold_am::Utterance>) {
+    let system = System::build(&TaskSpec::tiny());
+    let utts = system.test_utterances(4);
+    (system, utts)
+}
+
+#[test]
+fn unfold_beats_baseline_on_footprint_energy_bandwidth() {
+    let (system, utts) = tiny();
+    let composed = system.composed();
+    let unf = run_unfold(&system, &utts);
+    let reza = run_baseline_on(&system, &composed, &utts);
+
+    // Footprint: the paper's headline (on tiny scale the ratio is
+    // smaller but must still be large).
+    let sizes = system.sizes();
+    assert!(sizes.reduction_vs_composed() > 8.0);
+    // Energy and bandwidth: UNFOLD below the baseline.
+    assert!(unf.sim.total_energy_mj() < reza.sim.total_energy_mj());
+    assert!(unf.sim.dram.total_bytes() < reza.sim.dram.total_bytes());
+    // Both accelerators decode faster than real time by a large margin.
+    assert!(unf.sim.times_real_time() > 10.0);
+    assert!(reza.sim.times_real_time() > 10.0);
+}
+
+#[test]
+fn accelerators_beat_gpu_by_orders_of_magnitude() {
+    let (system, utts) = tiny();
+    let unf = run_unfold(&system, &utts);
+    let gpu = run_gpu(&system, &utts);
+    assert!(gpu.search_seconds > unf.sim.seconds * 5.0);
+    assert!(gpu.search_energy_mj > unf.sim.total_energy_mj());
+}
+
+#[test]
+fn both_systems_transcribe_equally_well() {
+    let (system, utts) = tiny();
+    let composed = system.composed();
+    let unf = run_unfold(&system, &utts);
+    let reza = run_baseline_on(&system, &composed, &utts);
+    assert!((unf.wer.percent() - reza.wer.percent()).abs() < 5.0);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let (sys_a, utts_a) = tiny();
+    let (sys_b, utts_b) = tiny();
+    let a = run_unfold(&sys_a, &utts_a);
+    let b = run_unfold(&sys_b, &utts_b);
+    assert_eq!(a.sim.cycles, b.sim.cycles);
+    assert_eq!(a.wer, b.wer);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn every_paper_task_spec_builds() {
+    // Full builds are exercised by the bench binaries; here we verify
+    // the specs are internally consistent at reduced size.
+    for mut spec in TaskSpec::all_paper_tasks() {
+        spec.vocab_size = 120;
+        spec.num_sentences = 800;
+        let system = System::build(&spec);
+        let utts = system.test_utterances(2);
+        let run = run_unfold(&system, &utts);
+        assert!(run.sim.cycles > 0, "{} produced no work", spec.name);
+        assert!(run.wer.ref_words > 0);
+    }
+}
+
+#[test]
+fn bigram_only_grammar_is_supported() {
+    // §5.3: "supporting any grammar (bigram, trigram, pentagram...)".
+    // Pruning every trigram yields a pure bigram LM; the whole pipeline
+    // (WFST conversion, compression, decoding) must still work.
+    let mut spec = TaskSpec::tiny();
+    spec.discount = unfold_lm::DiscountConfig {
+        min_trigram_count: u64::MAX,
+        ..Default::default()
+    };
+    let system = System::build(&spec);
+    assert_eq!(system.lm_model.num_trigrams(), 0, "trigrams must all be pruned");
+    // The LM WFST collapses to root + unigram-history states.
+    assert_eq!(system.lm_fst.num_states(), 1 + spec.vocab_size);
+    let utts = system.test_utterances(3);
+    let run = run_unfold(&system, &utts);
+    assert!(run.wer.percent() < 60.0, "bigram decode degenerated: {}", run.wer.percent());
+    assert!(run.sim.cycles > 0);
+}
+
+#[test]
+fn real_gmm_scoring_decodes_and_errors_track_separation() {
+    // The GMM substrate: feature vectors sampled from per-PDF Gaussians
+    // and scored with real likelihood arithmetic. Well-separated models
+    // decode near-perfectly; overlapping ones err — no injected
+    // confusion involved.
+    use unfold_am::{build_am, synthesize_utterance_gmm, GmmModel, HmmTopology, Lexicon};
+    use unfold_decoder::{wer, DecodeConfig, NullSink, OtfDecoder, WerReport};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, NGramModel};
+
+    let lex = Lexicon::generate(60, 20, 21);
+    let am = build_am(&lex, HmmTopology::Kaldi3State);
+    let spec = CorpusSpec { vocab_size: 60, num_sentences: 400, ..Default::default() };
+    let model = NGramModel::train(&spec.generate(22), 60, Default::default());
+    let lm = lm_to_wfst(&model);
+    let decoder = OtfDecoder::new(DecodeConfig::default());
+
+    let run = |separation: f32| -> f64 {
+        let gmm = GmmModel::synthesize(am.num_pdfs, 12, 2, separation, 23);
+        let mut rep = WerReport::default();
+        for seed in 0..6u64 {
+            let words = [(seed as u32 % 60) + 1, ((seed as u32 * 11) % 60) + 1, ((seed as u32 * 5) % 60) + 1];
+            let utt = synthesize_utterance_gmm(&words, &lex, HmmTopology::Kaldi3State, &gmm, seed);
+            let res = decoder.decode(&am.fst, &lm, &utt.scores, &mut NullSink);
+            rep.accumulate(wer(&utt.words, &res.words));
+        }
+        rep.percent()
+    };
+
+    let clean = run(6.0);
+    let noisy = run(0.15);
+    assert!(clean < 10.0, "separated GMM should be near-exact: {clean}%");
+    assert!(
+        noisy > clean + 10.0,
+        "heavy overlap must produce word errors: {noisy}% vs {clean}%"
+    );
+}

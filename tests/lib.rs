@@ -1,0 +1,1 @@
+//! Integration test package; tests are the interesting part.

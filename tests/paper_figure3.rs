@@ -1,0 +1,172 @@
+//! The paper's Figure 3 worked example, built arc-by-arc: a 3-word AM
+//! (ONE / TWO / THREE), the 3-gram LM over those words, and the
+//! on-the-fly search of Figure 3c — including the §3.3 back-off
+//! walkthrough ("TWO-ONE" followed by "TWO" backs off twice).
+
+use unfold_am::AcousticScores;
+use unfold_decoder::{DecodeConfig, LmSource, NullSink, OtfDecoder};
+use unfold_wfst::compose::resolve_lm_word;
+use unfold_wfst::{Arc, SymbolTable, Wfst, WfstBuilder, EPSILON};
+
+// PDF ids for the phonemes S1..S8 of Figure 3a.
+const S1: u32 = 1;
+const S2: u32 = 2;
+const S3: u32 = 3;
+const S4: u32 = 4;
+const S5: u32 = 5;
+const S6: u32 = 6;
+const S7: u32 = 7;
+const S8: u32 = 8;
+
+fn words() -> SymbolTable {
+    ["ONE", "TWO", "THREE"].into_iter().collect()
+}
+
+/// Figure 3a: the acoustic model. Words emit on their last phoneme arc;
+/// an epsilon arc returns to the root.
+fn am() -> Wfst {
+    let w = words();
+    let (one, two, three) = (w.get("ONE").unwrap(), w.get("TWO").unwrap(), w.get("THREE").unwrap());
+    let mut b = WfstBuilder::with_states(9);
+    b.set_start(0);
+    b.set_final(0, 0.0);
+    // ONE: S1 S2 S3
+    b.add_arc(0, Arc::new(S1, EPSILON, 0.0, 1));
+    b.add_arc(1, Arc::new(S2, EPSILON, 0.0, 2));
+    b.add_arc(2, Arc::new(S3, one, 0.0, 3));
+    b.add_arc(3, Arc::epsilon(0.0, 0));
+    // TWO: S4 S5
+    b.add_arc(0, Arc::new(S4, EPSILON, 0.0, 4));
+    b.add_arc(4, Arc::new(S5, two, 0.0, 5));
+    b.add_arc(5, Arc::epsilon(0.0, 0));
+    // THREE: S6 S7 S8
+    b.add_arc(0, Arc::new(S6, EPSILON, 0.0, 6));
+    b.add_arc(6, Arc::new(S7, EPSILON, 0.0, 7));
+    b.add_arc(7, Arc::new(S8, three, 0.0, 8));
+    b.add_arc(8, Arc::epsilon(0.0, 0));
+    b.build()
+}
+
+/// Figure 3b: the 3-gram LM. State 0 is the empty history; 1/2/3 are
+/// the one-word histories of ONE/TWO/THREE; 4/5/6 are two-word
+/// histories. Missing combinations back off, as in §3.3.
+fn lm() -> Wfst {
+    let w = words();
+    let (one, two, three) = (w.get("ONE").unwrap(), w.get("TWO").unwrap(), w.get("THREE").unwrap());
+    let mut b = WfstBuilder::with_states(7);
+    b.set_start(0);
+    for s in 0..7 {
+        b.set_final(s, 0.0);
+    }
+    // Unigrams (word w -> state w, the layout invariant).
+    b.add_arc(0, Arc::new(one, one, 1.0, 1));
+    b.add_arc(0, Arc::new(two, two, 1.2, 2));
+    b.add_arc(0, Arc::new(three, three, 1.5, 3));
+    // Bigrams: ONE->THREE (state 4 = "ONE THREE"), TWO->ONE
+    // (5 = "TWO ONE"), THREE->TWO (6 = "THREE TWO"). Crucially there is
+    // *no* bigram ONE->TWO: that is the gap §3.3's walkthrough relies on.
+    b.add_arc(1, Arc::new(three, three, 0.4, 4));
+    b.add_arc(2, Arc::new(one, one, 0.5, 5));
+    b.add_arc(3, Arc::new(two, two, 0.6, 6));
+    // Trigram: Prob(ONE | THREE, TWO): state 6 -> state 5.
+    b.add_arc(6, Arc::new(one, one, 0.2, 5));
+    // Back-off arcs (last, per the storage convention).
+    b.add_arc(1, Arc::epsilon(0.3, 0));
+    b.add_arc(2, Arc::epsilon(0.35, 0));
+    b.add_arc(3, Arc::epsilon(0.25, 0));
+    b.add_arc(4, Arc::epsilon(0.1, 3)); // "ONE THREE" backs off to "THREE"
+    b.add_arc(5, Arc::epsilon(0.15, 1)); // "TWO ONE" backs off to "ONE"
+    b.add_arc(6, Arc::epsilon(0.2, 2)); // "THREE TWO" backs off to "TWO"
+    let mut fst = b.build();
+    fst.sort_arcs_by_ilabel();
+    fst
+}
+
+/// Scores where exactly the given PDF is cheap at each frame.
+fn scores_for(pdf_per_frame: &[u32]) -> AcousticScores {
+    let num_pdfs = 8;
+    let mut flat = Vec::new();
+    for &p in pdf_per_frame {
+        for pdf in 1..=num_pdfs as u32 {
+            flat.push(if pdf == p { 0.1 } else { 6.0 });
+        }
+    }
+    AcousticScores::from_flat(flat, num_pdfs)
+}
+
+#[test]
+fn decodes_one_two_like_figure_3c() {
+    let w = words();
+    let utt = scores_for(&[S1, S2, S3, S4, S5]);
+    let dec = OtfDecoder::new(DecodeConfig::default());
+    let res = dec.decode(&am(), &lm(), &utt, &mut NullSink);
+    assert_eq!(w.render(&res.words), "ONE TWO");
+    // Cost: acoustics 5 x 0.1 + unigram(ONE)=1.0, then TWO has no
+    // bigram after ONE: backoff(1)=0.3 + unigram(TWO)=1.2.
+    assert!((res.cost - (0.5 + 1.0 + 0.3 + 1.2)).abs() < 1e-4, "cost {}", res.cost);
+}
+
+#[test]
+fn decodes_three_through_the_unigram() {
+    let w = words();
+    let utt = scores_for(&[S6, S7, S8]);
+    let dec = OtfDecoder::new(DecodeConfig::default());
+    let res = dec.decode(&am(), &lm(), &utt, &mut NullSink);
+    assert_eq!(w.render(&res.words), "THREE");
+    assert!((res.cost - (0.3 + 1.5)).abs() < 1e-4);
+}
+
+#[test]
+fn section_3_3_backoff_walkthrough() {
+    // "Consider the word sequence TWO-ONE ... if the next word is TWO,
+    // then we use a back-off transition to state 1 ... since there is
+    // no 3-gram model for TWO-ONE-TWO. Next, as there is no bigram from
+    // state 1 for the word TWO, another back-off transition is taken to
+    // state 0. Then, by traversing the right arc, it reaches ... state
+    // [2], which corresponds to having seen the unigram TWO."
+    let lm = lm();
+    let two = words().get("TWO").unwrap();
+    // State 5 encodes the history "TWO ONE".
+    let (dest, cost, hops) = resolve_lm_word(&lm, 5, two).unwrap();
+    assert_eq!(hops, 2, "two back-off transitions");
+    assert_eq!(dest, 2, "lands at the unigram history of TWO");
+    // Weight: backoff(5) 0.15 + backoff(1) 0.3 + unigram(TWO) 1.2.
+    assert!((cost - (0.15 + 0.3 + 1.2)).abs() < 1e-5);
+}
+
+#[test]
+fn trigram_is_used_when_present() {
+    // History "THREE TWO" (state 6) + ONE has an explicit trigram arc.
+    let lm = lm();
+    let one = words().get("ONE").unwrap();
+    let (dest, cost, hops) = resolve_lm_word(&lm, 6, one).unwrap();
+    assert_eq!(hops, 0);
+    assert_eq!(dest, 5, "transitions to the TWO-ONE history");
+    assert!((cost - 0.2).abs() < 1e-6);
+}
+
+#[test]
+fn compressed_figure_3_lm_behaves_identically() {
+    let lm = lm();
+    let comp = unfold_compress::CompressedLm::compress(&lm, 8, 0);
+    for s in 0..7u32 {
+        for word in 1..=3u32 {
+            let a = resolve_lm_word(&lm, s, word).unwrap();
+            let (d, c, h, _) = comp.resolve(s, word).unwrap();
+            assert_eq!(a.0, d);
+            assert_eq!(a.2, h);
+            assert!((a.1 - c).abs() < 0.2);
+        }
+    }
+}
+
+#[test]
+fn figure_3_lm_probes_stay_logarithmic() {
+    let lm = lm();
+    for s in 0..7u32 {
+        for word in 1..=3u32 {
+            let res = LmSource::lookup_word(&lm, s, word);
+            assert!(res.probes.len() <= 2, "state {s} word {word}: {} probes", res.probes.len());
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulator invariants that must hold for any decode.
+
+use unfold::experiments::{run_baseline_on, run_unfold, run_unfold_configured};
+use unfold::{System, TaskSpec};
+use unfold_decoder::DecodeConfig;
+use unfold_sim::AcceleratorConfig;
+
+fn setup() -> (System, Vec<unfold_am::Utterance>) {
+    let system = System::build(&TaskSpec::tiny());
+    let utts = system.test_utterances(3);
+    (system, utts)
+}
+
+#[test]
+fn energy_components_are_nonnegative_and_sum() {
+    let (system, utts) = setup();
+    let run = run_unfold(&system, &utts);
+    let e = &run.sim.energy;
+    for (name, v) in [
+        ("state", e.state_cache),
+        ("am", e.am_arc_cache),
+        ("lm", e.lm_arc_cache),
+        ("token", e.token_cache),
+        ("hash", e.hash),
+        ("olt", e.offset_table),
+        ("acoustic", e.acoustic_buffer),
+        ("pipeline", e.pipeline),
+        ("dram", e.dram),
+        ("static", e.static_energy),
+    ] {
+        assert!(v >= 0.0, "{name} energy negative: {v}");
+    }
+    assert!(e.total() > 0.0);
+}
+
+#[test]
+fn traffic_breakdown_sums_to_dram_stats() {
+    let (system, utts) = setup();
+    let run = run_unfold(&system, &utts);
+    let t = &run.sim.traffic;
+    let reads = t.state_bursts + t.am_arc_bursts + t.lm_arc_bursts;
+    let writes = t.token_bursts + t.hash_bursts;
+    assert_eq!(reads, run.sim.dram.read_bursts);
+    assert_eq!(writes, run.sim.dram.write_bursts);
+}
+
+#[test]
+fn smaller_caches_never_speed_things_up() {
+    let (system, utts) = setup();
+    let big = run_unfold_configured(
+        &system,
+        &utts,
+        AcceleratorConfig::unfold(),
+        DecodeConfig::default(),
+    );
+    let small = run_unfold_configured(
+        &system,
+        &utts,
+        AcceleratorConfig::unfold().scaled_datasets(64),
+        DecodeConfig::default(),
+    );
+    assert!(small.sim.cycles >= big.sim.cycles);
+    assert!(small.sim.dram.total_bytes() >= big.sim.dram.total_bytes());
+}
+
+#[test]
+fn olt_reduces_lm_cycles() {
+    let (system, utts) = setup();
+    let with = run_unfold_configured(
+        &system,
+        &utts,
+        AcceleratorConfig::unfold(),
+        DecodeConfig::default(),
+    );
+    let mut no_olt_cfg = AcceleratorConfig::unfold();
+    no_olt_cfg.offset_table_entries = None;
+    let without = run_unfold_configured(&system, &utts, no_olt_cfg, DecodeConfig::default());
+    assert!(with.sim.cycles <= without.sim.cycles);
+    assert!(with.sim.olt.probes > 0);
+    assert_eq!(without.sim.olt.probes, 0);
+}
+
+#[test]
+fn miss_ratios_within_unit_interval() {
+    let (system, utts) = setup();
+    let composed = system.composed();
+    for sim in [
+        run_unfold(&system, &utts).sim,
+        run_baseline_on(&system, &composed, &utts).sim,
+    ] {
+        for (name, stats) in [
+            ("state", sim.state_cache),
+            ("am", sim.am_arc_cache),
+            ("lm", sim.lm_arc_cache),
+            ("token", sim.token_cache),
+        ] {
+            let r = stats.miss_ratio();
+            assert!((0.0..=1.0).contains(&r), "{name} ratio {r}");
+            assert!(stats.misses <= stats.accesses);
+        }
+    }
+}
+
+#[test]
+fn audio_time_equals_frames_times_hop() {
+    let (system, utts) = setup();
+    let run = run_unfold(&system, &utts);
+    let frames: usize = utts.iter().map(|u| u.scores.num_frames()).sum();
+    assert!((run.audio_seconds - frames as f64 * 0.01).abs() < 1e-9);
+}
