@@ -53,7 +53,10 @@ impl AcousticScores {
     /// Panics if `frame` or `pdf` is out of range.
     #[inline]
     pub fn cost(&self, frame: usize, pdf: PdfId) -> f32 {
-        assert!(pdf >= 1 && (pdf as usize) <= self.num_pdfs, "cost: bad pdf {pdf}");
+        assert!(
+            pdf >= 1 && (pdf as usize) <= self.num_pdfs,
+            "cost: bad pdf {pdf}"
+        );
         self.costs[frame * self.num_pdfs + (pdf as usize - 1)]
     }
 
@@ -177,7 +180,10 @@ pub fn synthesize_utterance(
     noise: &NoiseModel,
     seed: u64,
 ) -> Utterance {
-    assert!(!words.is_empty(), "synthesize_utterance: empty word sequence");
+    assert!(
+        !words.is_empty(),
+        "synthesize_utterance: empty word sequence"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let num_pdfs = topology.num_pdfs(lexicon.num_phonemes());
 
@@ -189,7 +195,11 @@ pub fn synthesize_utterance(
         let spoken = if rng.gen::<f32>() < noise.word_confusion_prob && lexicon.vocab_size() > 1 {
             let mut alt = rng.gen_range(1..=lexicon.vocab_size() as WordId);
             if alt == w {
-                alt = if alt == lexicon.vocab_size() as WordId { 1 } else { alt + 1 };
+                alt = if alt == lexicon.vocab_size() as WordId {
+                    1
+                } else {
+                    alt + 1
+                };
             }
             alt
         } else {
@@ -245,9 +255,7 @@ pub fn synthesize_utterance(
             // confused, the true PDF is demoted to confusable cost.
             let mean = if pdf == heard_pdf {
                 noise.true_cost
-            } else if pdf == true_pdf {
-                noise.confusable_cost
-            } else if i64::from(pdf).abs_diff(i64::from(heard_pdf)) <= 2 {
+            } else if pdf == true_pdf || i64::from(pdf).abs_diff(i64::from(heard_pdf)) <= 2 {
                 noise.confusable_cost
             } else {
                 noise.wrong_cost
@@ -298,7 +306,11 @@ impl AcousticBackend {
     /// Number of trainable parameters.
     pub fn num_params(&self) -> u64 {
         match *self {
-            AcousticBackend::Gmm { num_pdfs, mixtures, feat_dim } => {
+            AcousticBackend::Gmm {
+                num_pdfs,
+                mixtures,
+                feat_dim,
+            } => {
                 // mean + variance per dim, plus a mixture weight.
                 (num_pdfs * mixtures * (2 * feat_dim + 1)) as u64
             }
@@ -306,7 +318,11 @@ impl AcousticBackend {
                 .windows(2)
                 .map(|w| (w[0] * w[1] + w[1]) as u64)
                 .sum(),
-            AcousticBackend::Lstm { input, hidden, layers } => {
+            AcousticBackend::Lstm {
+                input,
+                hidden,
+                layers,
+            } => {
                 // 4 gates, bidirectional: 2 directions per layer.
                 let l1 = 2u64 * 4 * ((input * hidden + hidden * hidden + hidden) as u64);
                 let ln = 2u64 * 4 * ((2 * hidden * hidden + hidden * hidden + hidden) as u64);
@@ -342,7 +358,13 @@ mod tests {
     #[test]
     fn alignment_matches_pronunciations_cleanly() {
         let lex = setup();
-        let utt = synthesize_utterance(&[3, 7], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 1);
+        let utt = synthesize_utterance(
+            &[3, 7],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            1,
+        );
         // Dedup consecutive frames -> PDF sequence must equal the
         // concatenated per-phoneme PDFs.
         let mut dedup: Vec<PdfId> = Vec::new();
@@ -353,7 +375,11 @@ mod tests {
         }
         let want: Vec<PdfId> = [3u32, 7]
             .iter()
-            .flat_map(|&w| lex.pronunciation(w).iter().flat_map(|&ph| HmmTopology::Kaldi3State.pdfs(ph)))
+            .flat_map(|&w| {
+                lex.pronunciation(w)
+                    .iter()
+                    .flat_map(|&ph| HmmTopology::Kaldi3State.pdfs(ph))
+            })
             .collect();
         assert_eq!(dedup, want);
     }
@@ -361,7 +387,13 @@ mod tests {
     #[test]
     fn clean_scores_favor_truth() {
         let lex = setup();
-        let utt = synthesize_utterance(&[1, 2, 3], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 2);
+        let utt = synthesize_utterance(
+            &[1, 2, 3],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            2,
+        );
         for (t, &true_pdf) in utt.alignment.iter().enumerate() {
             let true_cost = utt.scores.cost(t, true_pdf);
             for pdf in 1..=utt.scores.num_pdfs() as PdfId {
@@ -378,7 +410,13 @@ mod tests {
     #[test]
     fn audio_seconds_uses_10ms_frames() {
         let lex = setup();
-        let utt = synthesize_utterance(&[1], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 3);
+        let utt = synthesize_utterance(
+            &[1],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            3,
+        );
         let s = utt.audio_seconds();
         assert!((s - utt.alignment.len() as f64 * 0.01).abs() < 1e-12);
     }
@@ -386,8 +424,20 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let lex = setup();
-        let a = synthesize_utterance(&[5, 6], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 9);
-        let b = synthesize_utterance(&[5, 6], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 9);
+        let a = synthesize_utterance(
+            &[5, 6],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            9,
+        );
+        let b = synthesize_utterance(
+            &[5, 6],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            9,
+        );
         assert_eq!(a.alignment, b.alignment);
         assert_eq!(a.scores.cost(0, 1), b.scores.cost(0, 1));
     }
@@ -398,7 +448,13 @@ mod tests {
         let blank = HmmTopology::Ctc.blank_pdf(30).unwrap();
         let mut any_blank = false;
         for seed in 0..20 {
-            let utt = synthesize_utterance(&[1, 2, 3, 4], &lex, HmmTopology::Ctc, &NoiseModel::clean(), seed);
+            let utt = synthesize_utterance(
+                &[1, 2, 3, 4],
+                &lex,
+                HmmTopology::Ctc,
+                &NoiseModel::clean(),
+                seed,
+            );
             any_blank |= utt.alignment.contains(&blank);
         }
         assert!(any_blank, "no blank frames in 20 utterances");
@@ -415,9 +471,19 @@ mod tests {
     fn backend_sizes_are_plausible() {
         // Constants chosen so the synthetic backends land in the paper's
         // Figure 2 ballpark (tens to ~150 MB).
-        let gmm = AcousticBackend::Gmm { num_pdfs: 4_000, mixtures: 32, feat_dim: 40 };
-        let dnn = AcousticBackend::Dnn { layer_widths: [440, 2048, 2048, 2048, 2048, 8000] };
-        let lstm = AcousticBackend::Lstm { input: 120, hidden: 320, layers: 5 };
+        let gmm = AcousticBackend::Gmm {
+            num_pdfs: 4_000,
+            mixtures: 32,
+            feat_dim: 40,
+        };
+        let dnn = AcousticBackend::Dnn {
+            layer_widths: [440, 2048, 2048, 2048, 2048, 8000],
+        };
+        let lstm = AcousticBackend::Lstm {
+            input: 120,
+            hidden: 320,
+            layers: 5,
+        };
         assert!(gmm.bytes() > 10 << 20 && gmm.bytes() < 100 << 20);
         assert!(dnn.bytes() > 30 << 20 && dnn.bytes() < 200 << 20);
         assert!(lstm.bytes() > 2 << 20 && lstm.bytes() < 100 << 20);

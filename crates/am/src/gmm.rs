@@ -60,7 +60,10 @@ impl GmmModel {
         separation: f32,
         seed: u64,
     ) -> Self {
-        assert!(num_pdfs > 0 && dim > 0 && mixtures > 0, "synthesize: empty model");
+        assert!(
+            num_pdfs > 0 && dim > 0 && mixtures > 0,
+            "synthesize: empty model"
+        );
         assert!(separation > 0.0, "synthesize: separation must be positive");
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut means = Vec::with_capacity(num_pdfs * mixtures * dim);
@@ -93,8 +96,7 @@ impl GmmModel {
         model.gconst = (0..num_pdfs * mixtures)
             .map(|pm| {
                 let lo = pm * model.dim;
-                let sum_ln_var: f32 =
-                    model.vars[lo..lo + model.dim].iter().map(|v| v.ln()).sum();
+                let sum_ln_var: f32 = model.vars[lo..lo + model.dim].iter().map(|v| v.ln()).sum();
                 -0.5 * (model.dim as f32 * (2.0 * core::f32::consts::PI).ln() + sum_ln_var)
             })
             .collect();
@@ -132,7 +134,10 @@ impl GmmModel {
     /// # Panics
     /// Panics if `pdf` is out of range.
     pub fn sample_frame(&self, pdf: PdfId, rng: &mut SmallRng) -> Vec<f32> {
-        assert!(pdf >= 1 && (pdf as usize) <= self.num_pdfs, "sample_frame: bad pdf {pdf}");
+        assert!(
+            pdf >= 1 && (pdf as usize) <= self.num_pdfs,
+            "sample_frame: bad pdf {pdf}"
+        );
         // Pick a mixture component by weight.
         let wbase = (pdf as usize - 1) * self.mixtures;
         let u: f32 = rng.gen();
@@ -155,8 +160,8 @@ impl GmmModel {
     fn log_gaussian(&self, pdf: PdfId, mix: usize, feat: &[f32]) -> f32 {
         let lo = self.block(pdf, mix);
         let mut quad = 0.0f32;
-        for d in 0..self.dim {
-            let diff = feat[d] - self.means[lo + d];
+        for (d, &f) in feat.iter().enumerate().take(self.dim) {
+            let diff = f - self.means[lo + d];
             quad += diff * diff / self.vars[lo + d];
         }
         self.gconst[(pdf as usize - 1) * self.mixtures + mix] - 0.5 * quad
@@ -199,7 +204,10 @@ pub fn synthesize_utterance_gmm(
     gmm: &GmmModel,
     seed: u64,
 ) -> Utterance {
-    assert!(!words.is_empty(), "synthesize_utterance_gmm: empty word sequence");
+    assert!(
+        !words.is_empty(),
+        "synthesize_utterance_gmm: empty word sequence"
+    );
     assert!(
         gmm.num_pdfs() >= topology.num_pdfs(lexicon.num_phonemes()),
         "synthesize_utterance_gmm: model covers {} PDFs, topology needs {}",
@@ -227,7 +235,11 @@ pub fn synthesize_utterance_gmm(
         flat.extend(gmm.frame_costs(&feat));
     }
     let scores = AcousticScores::from_flat(flat, gmm.num_pdfs());
-    Utterance { words: words.to_vec(), alignment, scores }
+    Utterance {
+        words: words.to_vec(),
+        alignment,
+        scores,
+    }
 }
 
 #[cfg(test)]
@@ -259,7 +271,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins > trials * 95 / 100, "only {wins}/{trials} frames classified");
+        assert!(
+            wins > trials * 95 / 100,
+            "only {wins}/{trials} frames classified"
+        );
     }
 
     #[test]
@@ -351,7 +366,11 @@ mod tests {
                     wins += 1;
                 }
             }
-            assert!(wins * 10 > utt.alignment.len() * 8, "{wins}/{}", utt.alignment.len());
+            assert!(
+                wins * 10 > utt.alignment.len() * 8,
+                "{wins}/{}",
+                utt.alignment.len()
+            );
         }
     }
 }

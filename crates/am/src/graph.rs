@@ -222,8 +222,7 @@ mod tests {
         let l = lex();
         let am = build_am(&l, HmmTopology::Kaldi3State);
         // Without sharing, states = sum of pronunciation lengths * 3 + 1.
-        let unshared: usize =
-            l.iter().map(|(_, p)| p.len() * 3).sum::<usize>() + 1;
+        let unshared: usize = l.iter().map(|(_, p)| p.len() * 3).sum::<usize>() + 1;
         assert!(
             am.fst.num_states() < unshared,
             "trie should share prefixes: {} vs {}",

@@ -62,7 +62,10 @@ impl Lexicon {
             };
             prons.push(pron);
         }
-        Lexicon { prons, num_phonemes }
+        Lexicon {
+            prons,
+            num_phonemes,
+        }
     }
 
     /// Number of words (excluding epsilon).
@@ -131,7 +134,10 @@ mod tests {
             .map(|w| lex.pronunciation(w).len() as f64)
             .sum::<f64>()
             / 100.0;
-        assert!(head < tail, "head {head} should be shorter than tail {tail}");
+        assert!(
+            head < tail,
+            "head {head} should be shorter than tail {tail}"
+        );
     }
 
     #[test]

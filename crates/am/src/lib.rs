@@ -38,9 +38,7 @@ pub mod gmm;
 pub mod graph;
 pub mod lexicon;
 
-pub use acoustic::{
-    synthesize_utterance, AcousticBackend, AcousticScores, NoiseModel, Utterance,
-};
+pub use acoustic::{synthesize_utterance, AcousticBackend, AcousticScores, NoiseModel, Utterance};
 pub use gmm::{synthesize_utterance_gmm, GmmModel};
 pub use graph::{build_am, AmGraph, HmmTopology, PdfId};
 pub use lexicon::{Lexicon, PhonemeId};

@@ -24,7 +24,9 @@ fn bench_compression(c: &mut Criterion) {
             }
         })
     });
-    let weights: Vec<f32> = (0..20_000).map(|i| ((i * 37) % 1000) as f32 / 83.0).collect();
+    let weights: Vec<f32> = (0..20_000)
+        .map(|i| ((i * 37) % 1000) as f32 / 83.0)
+        .collect();
     group.bench_function("kmeans_fit_64", |b| {
         b.iter(|| black_box(WeightQuantizer::fit(&weights, 64, 0)))
     });

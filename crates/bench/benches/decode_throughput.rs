@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use unfold::{System, TaskSpec};
-use unfold_decoder::{DecodeConfig, FullyComposedDecoder, NullSink, OtfDecoder};
+use unfold_decoder::{DecodeConfig, FullyComposedDecoder, MetricsSink, NullSink, OtfDecoder};
 
 fn bench_decoders(c: &mut Criterion) {
     let system = System::build(&TaskSpec::tiny());
@@ -16,7 +16,14 @@ fn bench_decoders(c: &mut Criterion) {
         let dec = OtfDecoder::new(DecodeConfig::default());
         b.iter_batched(
             || (),
-            |_| dec.decode(&system.am.fst, &system.lm_fst, &utts[0].scores, &mut NullSink),
+            |_| {
+                dec.decode(
+                    &system.am.fst,
+                    &system.lm_fst,
+                    &utts[0].scores,
+                    &mut NullSink,
+                )
+            },
             BatchSize::SmallInput,
         )
     });
@@ -24,7 +31,24 @@ fn bench_decoders(c: &mut Criterion) {
         let dec = OtfDecoder::new(DecodeConfig::default());
         b.iter_batched(
             || (),
-            |_| dec.decode(&system.am_comp, &system.lm_comp, &utts[0].scores, &mut NullSink),
+            |_| {
+                dec.decode(
+                    &system.am_comp,
+                    &system.lm_comp,
+                    &utts[0].scores,
+                    &mut NullSink,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Same decode as otf_compressed but with telemetry attached: the
+    // gap between the two is the observability overhead (kept ≤5%).
+    group.bench_function("otf_compressed_metrics", |b| {
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        b.iter_batched(
+            MetricsSink::new,
+            |mut sink| dec.decode(&system.am_comp, &system.lm_comp, &utts[0].scores, &mut sink),
             BatchSize::SmallInput,
         )
     });

@@ -12,13 +12,22 @@ fn main() {
     let tasks = build_all();
     let task = &tasks[0];
     println!("Task: {}\n", task.name());
-    header(&["Beam", "WER %", "Mean active tokens", "Tokens created", "xRT"]);
+    header(&[
+        "Beam",
+        "WER %",
+        "Mean active tokens",
+        "Tokens created",
+        "xRT",
+    ]);
     for beam in [2.0f32, 4.0, 6.0, 8.0, 11.0, 14.0, 18.0] {
         let run = run_unfold_configured(
             &task.system,
             &task.utterances,
             AcceleratorConfig::unfold(),
-            DecodeConfig { beam, ..Default::default() },
+            DecodeConfig {
+                beam,
+                ..Default::default()
+            },
         );
         row(&[
             format!("{beam}"),

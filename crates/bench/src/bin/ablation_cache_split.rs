@@ -9,7 +9,13 @@ use unfold_sim::{AcceleratorConfig, CacheConfig};
 
 fn main() {
     println!("# Ablation — split AM/LM arc caches vs a unified arc cache\n");
-    header(&["Task", "Split cycles", "Unified cycles", "Split advantage %", "LM miss % (split)"]);
+    header(&[
+        "Task",
+        "Split cycles",
+        "Unified cycles",
+        "Split advantage %",
+        "LM miss % (split)",
+    ]);
     for task in build_all() {
         // Scaled-machine configs so the arc working sets exceed the
         // caches, as at full scale.
@@ -21,13 +27,26 @@ fn main() {
             + split_cfg.lm_arc_cache.map_or(0, |c| c.capacity_bytes);
         unified_cfg.am_arc_cache = CacheConfig::kib(combined / 1024, 8, 64);
         unified_cfg.lm_arc_cache = None;
-        let a = run_unfold_configured(&task.system, &task.utterances, split_cfg, DecodeConfig::default());
-        let b = run_unfold_configured(&task.system, &task.utterances, unified_cfg, DecodeConfig::default());
+        let a = run_unfold_configured(
+            &task.system,
+            &task.utterances,
+            split_cfg,
+            DecodeConfig::default(),
+        );
+        let b = run_unfold_configured(
+            &task.system,
+            &task.utterances,
+            unified_cfg,
+            DecodeConfig::default(),
+        );
         row(&[
             task.name().into(),
             a.sim.cycles.to_string(),
             b.sim.cycles.to_string(),
-            format!("{:+.2}", (b.sim.cycles as f64 / a.sim.cycles as f64 - 1.0) * 100.0),
+            format!(
+                "{:+.2}",
+                (b.sim.cycles as f64 / a.sim.cycles as f64 - 1.0) * 100.0
+            ),
             format!("{:.1}", a.sim.lm_arc_cache.miss_ratio() * 100.0),
         ]);
     }

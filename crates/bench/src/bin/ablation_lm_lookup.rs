@@ -21,7 +21,10 @@ fn main() {
     // Scaled-machine configs (see DESIGN.md) so LM fetches actually
     // miss, as they do at full scale.
     const SCALE: u64 = 32;
-    let no_preempt = DecodeConfig { preemptive_pruning: false, ..Default::default() };
+    let no_preempt = DecodeConfig {
+        preemptive_pruning: false,
+        ..Default::default()
+    };
     let mut no_olt = AcceleratorConfig::unfold().scaled_datasets(SCALE);
     no_olt.offset_table_entries = None;
 
@@ -53,7 +56,12 @@ fn main() {
     let full_rep = accel.finish(audio);
     let full = full_rep.cycles as f64;
 
-    header(&["Strategy", "Cycles (norm.)", "LM arc fetches", "Paper slowdown vs baseline"]);
+    header(&[
+        "Strategy",
+        "Cycles (norm.)",
+        "LM arc fetches",
+        "Paper slowdown vs baseline",
+    ]);
     row(&[
         "linear search".into(),
         format!("{:.2}", linear / full),
@@ -72,7 +80,10 @@ fn main() {
         full_rep.lm_fetches_charged.to_string(),
         format!("{:.2}x", paper::FINAL_SLOWDOWN),
     ]);
-    assert!(linear >= binary && binary >= full, "ladder ordering must hold");
+    assert!(
+        linear >= binary && binary >= full,
+        "ladder ordering must hold"
+    );
     assert!(
         linear_rep.lm_fetches_charged > binary_rep.lm_fetches_charged
             && binary_rep.lm_fetches_charged > full_rep.lm_fetches_charged,

@@ -22,7 +22,13 @@ fn main() {
         reference.accumulate(wer(&utt.words, &r.words));
     }
 
-    header(&["K", "index bits", "AM+LM KiB", "WER %", "WER delta vs float"]);
+    header(&[
+        "K",
+        "index bits",
+        "AM+LM KiB",
+        "WER %",
+        "WER delta vs float",
+    ]);
     for k in [4usize, 8, 16, 32, 64] {
         let am = CompressedAm::compress(&s.am.fst, k, s.spec.seed);
         let lm = CompressedLm::compress(&s.lm_fst, k, s.spec.seed);

@@ -5,7 +5,12 @@ use unfold_bench::{build_all, fmt1, header, paper, row};
 
 fn main() {
     println!("# Figure 1 — GPU execution-time breakdown (Tegra X1 model)\n");
-    header(&["Task", "Viterbi % (paper)", "Viterbi % (measured)", "Scoring % (measured)"]);
+    header(&[
+        "Task",
+        "Viterbi % (paper)",
+        "Viterbi % (measured)",
+        "Scoring % (measured)",
+    ]);
     for (i, task) in build_all().iter().enumerate() {
         let gpu = unfold::run_gpu(&task.system, &task.utterances);
         let viterbi = gpu.viterbi_fraction() * 100.0;

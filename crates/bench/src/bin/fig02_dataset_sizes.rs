@@ -5,7 +5,12 @@ use unfold_bench::{build_all, fmt1, fmt2, header, row};
 
 fn main() {
     println!("# Figure 2 — dataset sizes per decoder (scaled task instances)\n");
-    header(&["Task", "GMM/DNN/LSTM (MiB)", "Composed WFST (MiB)", "WFST share % (paper: 87-97%)"]);
+    header(&[
+        "Task",
+        "GMM/DNN/LSTM (MiB)",
+        "Composed WFST (MiB)",
+        "WFST share % (paper: 87-97%)",
+    ]);
     for task in build_all() {
         let sizes = task.system.sizes();
         let share = 100.0 * sizes.composed_mib / (sizes.composed_mib + sizes.backend_mib);

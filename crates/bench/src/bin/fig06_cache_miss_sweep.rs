@@ -23,7 +23,12 @@ fn main() {
     let mut trace = TraceRecorder::new();
     let mut audio = 0.0;
     for utt in &task.utterances {
-        decoder.decode(&task.system.am_comp, &task.system.lm_comp, &utt.scores, &mut trace);
+        decoder.decode(
+            &task.system.am_comp,
+            &task.system.lm_comp,
+            &utt.scores,
+            &mut trace,
+        );
         audio += utt.audio_seconds();
     }
 

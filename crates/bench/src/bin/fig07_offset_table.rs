@@ -21,7 +21,12 @@ fn main() {
     let mut trace = TraceRecorder::new();
     let mut audio = 0.0;
     for utt in &task.utterances {
-        decoder.decode(&task.system.am_comp, &task.system.lm_comp, &utt.scores, &mut trace);
+        decoder.decode(
+            &task.system.am_comp,
+            &task.system.lm_comp,
+            &utt.scores,
+            &mut trace,
+        );
         audio += utt.audio_seconds();
     }
     let simulate = |entries: Option<usize>| {
@@ -35,7 +40,12 @@ fn main() {
     // Reference: no OLT at all.
     let base = simulate(None);
     println!("LM arc fetches without OLT: {}\n", base.lm_fetches_charged);
-    header(&["OLT entries", "Miss ratio %", "LM fetches eliminated %", "Speedup vs no-OLT"]);
+    header(&[
+        "OLT entries",
+        "Miss ratio %",
+        "LM fetches eliminated %",
+        "Speedup vs no-OLT",
+    ]);
     for entries in [64usize, 128, 256, 512, 1024, 2048, 4096] {
         let sim = simulate(Some(entries));
         row(&[

@@ -6,14 +6,22 @@ use unfold_bench::{build_all, fmt1, header, paper, row};
 
 fn main() {
     println!("# Figure 9 — search energy (mJ per second of speech)\n");
-    header(&["Task", "Tegra X1", "Reza et al.", "UNFOLD", "UNFOLD saving vs Reza"]);
+    header(&[
+        "Task",
+        "Tegra X1",
+        "Reza et al.",
+        "UNFOLD",
+        "UNFOLD saving vs Reza",
+    ]);
     let mut savings = Vec::new();
     for task in build_all() {
         let composed = task.system.composed();
         let gpu = run_gpu(&task.system, &task.utterances);
         let reza = run_baseline_on(&task.system, &composed, &task.utterances);
         let unf = run_unfold(&task.system, &task.utterances);
-        let saving = (1.0 - unf.sim.energy_mj_per_audio_second() / reza.sim.energy_mj_per_audio_second()) * 100.0;
+        let saving = (1.0
+            - unf.sim.energy_mj_per_audio_second() / reza.sim.energy_mj_per_audio_second())
+            * 100.0;
         savings.push(saving);
         row(&[
             task.name().into(),

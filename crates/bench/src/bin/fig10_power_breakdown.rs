@@ -18,17 +18,41 @@ fn main() {
     let r = &reza.sim;
     header(&["Component", "UNFOLD mW", "Reza et al. mW"]);
     let rows: Vec<(&str, f64, f64)> = vec![
-        ("State cache", u.energy.state_cache / u.seconds, r.energy.state_cache / r.seconds),
+        (
+            "State cache",
+            u.energy.state_cache / u.seconds,
+            r.energy.state_cache / r.seconds,
+        ),
         (
             "Arc cache(s)",
             (u.energy.am_arc_cache + u.energy.lm_arc_cache) / u.seconds,
             (r.energy.am_arc_cache + r.energy.lm_arc_cache) / r.seconds,
         ),
-        ("Token cache", u.energy.token_cache / u.seconds, r.energy.token_cache / r.seconds),
-        ("Hash tables", u.energy.hash / u.seconds, r.energy.hash / r.seconds),
-        ("Offset lookup table", u.energy.offset_table / u.seconds, r.energy.offset_table / r.seconds),
-        ("Pipeline", u.energy.pipeline / u.seconds, r.energy.pipeline / r.seconds),
-        ("Main memory (dynamic)", u.energy.dram / u.seconds, r.energy.dram / r.seconds),
+        (
+            "Token cache",
+            u.energy.token_cache / u.seconds,
+            r.energy.token_cache / r.seconds,
+        ),
+        (
+            "Hash tables",
+            u.energy.hash / u.seconds,
+            r.energy.hash / r.seconds,
+        ),
+        (
+            "Offset lookup table",
+            u.energy.offset_table / u.seconds,
+            r.energy.offset_table / r.seconds,
+        ),
+        (
+            "Pipeline",
+            u.energy.pipeline / u.seconds,
+            r.energy.pipeline / r.seconds,
+        ),
+        (
+            "Main memory (dynamic)",
+            u.energy.dram / u.seconds,
+            r.energy.dram / r.seconds,
+        ),
         (
             "Static (leakage + DRAM background)",
             u.energy.static_energy / u.seconds,

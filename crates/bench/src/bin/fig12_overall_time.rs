@@ -7,7 +7,13 @@ use unfold_sim::{batch_pipeline, GpuModel};
 
 fn main() {
     println!("# Figure 12 — overall ASR decode time per second of speech (ms)\n");
-    header(&["Task", "Tegra X1 only", "GPU + Reza", "GPU + UNFOLD", "Speedup vs GPU"]);
+    header(&[
+        "Task",
+        "Tegra X1 only",
+        "GPU + Reza",
+        "GPU + UNFOLD",
+        "Speedup vs GPU",
+    ]);
     let gpu_model = GpuModel::default();
     let mut speedups = Vec::new();
     for task in build_all() {
@@ -20,9 +26,14 @@ fn main() {
         // §5.2 batch pipeline: 100-frame (1 s) batches through the
         // shared score buffer.
         let batches = (frames / 100).max(1);
-        let scoring_per_batch = gpu_model.scoring_seconds(&task.system.spec.backend, frames) / batches as f64;
-        let hybrid_reza =
-            batch_pipeline(scoring_per_batch, reza.sim.seconds / batches as f64, batches).makespan_s;
+        let scoring_per_batch =
+            gpu_model.scoring_seconds(&task.system.spec.backend, frames) / batches as f64;
+        let hybrid_reza = batch_pipeline(
+            scoring_per_batch,
+            reza.sim.seconds / batches as f64,
+            batches,
+        )
+        .makespan_s;
         let hybrid_unfold =
             batch_pipeline(scoring_per_batch, unf.sim.seconds / batches as f64, batches).makespan_s;
         let per_s = 1e3 / gpu.audio_seconds;

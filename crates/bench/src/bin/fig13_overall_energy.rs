@@ -6,7 +6,13 @@ use unfold_bench::{build_all, header, paper, row};
 
 fn main() {
     println!("# Figure 13 — overall ASR energy per second of speech (mJ)\n");
-    header(&["Task", "Tegra X1 only", "GPU + Reza", "GPU + UNFOLD", "Reduction vs GPU"]);
+    header(&[
+        "Task",
+        "Tegra X1 only",
+        "GPU + Reza",
+        "GPU + UNFOLD",
+        "Reduction vs GPU",
+    ]);
     let mut reductions = Vec::new();
     for task in build_all() {
         let composed = task.system.composed();

@@ -1,12 +1,15 @@
 //! One-stop summary: the paper's abstract-level claims, measured.
 
 use unfold::experiments::{run_baseline_on, run_gpu, run_unfold};
-use unfold_bench::{build_all, header, paper, row};
+use unfold_bench::{
+    build_all, export_metrics, header, metrics_arg, paper, row, run_unfold_with_metrics,
+};
 
 fn main() {
     println!("# UNFOLD reproduction — headline summary\n");
     header(&["Claim", "Paper", "Measured (scaled tasks)"]);
     let tasks = build_all();
+    let metrics_path = metrics_arg();
     let mut red = Vec::new();
     let mut red_comp = Vec::new();
     let mut energy_save = Vec::new();
@@ -18,15 +21,28 @@ fn main() {
         red_comp.push(sizes.reduction_vs_composed_comp());
         let composed = task.system.composed();
         let reza = run_baseline_on(&task.system, &composed, &task.utterances);
-        let unf = run_unfold(&task.system, &task.utterances);
+        let unf = match &metrics_path {
+            Some(base) => {
+                let (unf, metrics) = run_unfold_with_metrics(task);
+                let path = if tasks.len() == 1 {
+                    base.clone()
+                } else {
+                    format!("{base}.{}", task.name())
+                };
+                export_metrics(&metrics, &path);
+                unf
+            }
+            None => run_unfold(&task.system, &task.utterances),
+        };
         let gpu = run_gpu(&task.system, &task.utterances);
         energy_save.push(
             (1.0 - unf.sim.energy_mj_per_audio_second() / reza.sim.energy_mj_per_audio_second())
                 * 100.0,
         );
         bw_save.push((1.0 - unf.sim.bandwidth_mb_per_s() / reza.sim.bandwidth_mb_per_s()) * 100.0);
-        dataset_red
-            .push((sizes.composed_mib + sizes.backend_mib) / (sizes.unfold_mib() + sizes.backend_mib));
+        dataset_red.push(
+            (sizes.composed_mib + sizes.backend_mib) / (sizes.unfold_mib() + sizes.backend_mib),
+        );
         let _ = gpu;
     }
     let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;

@@ -17,7 +17,10 @@ fn main() {
         let s = task.system.sizes();
         let adv = s.reduction_vs_composed_comp();
         ratios.push(adv);
-        let paper_adv = match (paper::TABLE2_FULL_COMP_MB.get(i), paper::TABLE2_OTF_COMP_MB.get(i)) {
+        let paper_adv = match (
+            paper::TABLE2_FULL_COMP_MB.get(i),
+            paper::TABLE2_OTF_COMP_MB.get(i),
+        ) {
             (Some(f), Some(o)) => f / o,
             _ => f64::NAN,
         };

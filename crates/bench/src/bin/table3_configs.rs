@@ -20,7 +20,11 @@ fn print_config(c: &AcceleratorConfig) {
         c.am_arc_cache.ways
     );
     match c.lm_arc_cache {
-        Some(l) => println!("- LM arc cache: {} KiB, {}-way", kib(l.capacity_bytes), l.ways),
+        Some(l) => println!(
+            "- LM arc cache: {} KiB, {}-way",
+            kib(l.capacity_bytes),
+            l.ways
+        ),
         None => println!("- LM arc cache: (none)"),
     }
     println!(
@@ -28,14 +32,21 @@ fn print_config(c: &AcceleratorConfig) {
         kib(c.token_cache.capacity_bytes),
         c.token_cache.ways
     );
-    println!("- acoustic likelihood buffer: {} KiB", kib(c.acoustic_buffer_bytes));
+    println!(
+        "- acoustic likelihood buffer: {} KiB",
+        kib(c.acoustic_buffer_bytes)
+    );
     println!(
         "- hash tables: {} entries, {} KiB",
         c.hash_entries,
         kib(c.hash_entries as u64 * c.hash_entry_bytes)
     );
     match c.offset_table_entries {
-        Some(e) => println!("- offset lookup table: {} entries, {} KiB", e, kib(e as u64 * 6)),
+        Some(e) => println!(
+            "- offset lookup table: {} entries, {} KiB",
+            e,
+            kib(e as u64 * 6)
+        ),
         None => println!("- offset lookup table: (none)"),
     }
     println!("- memory controller: {} in-flight requests", c.max_inflight);

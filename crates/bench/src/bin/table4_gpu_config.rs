@@ -9,18 +9,33 @@ fn main() {
     println!("# Table 4 — GPU configuration\n");
     println!("## Paper (NVIDIA Tegra X1, measured hardware)\n");
     header(&["Parameter", "Value"]);
-    row(&["Streaming multiprocessors".into(), "2 (2,048 threads each)".into()]);
+    row(&[
+        "Streaming multiprocessors".into(),
+        "2 (2,048 threads each)".into(),
+    ]);
     row(&["Technology".into(), "20 nm".into()]);
     row(&["Frequency".into(), "1.0 GHz".into()]);
     row(&["Level-2 cache".into(), "256 KiB".into()]);
     println!("\n## This reproduction (analytic model; see `unfold_sim::gpu`)\n");
     let g = GpuModel::default();
     header(&["Parameter", "Value"]);
-    row(&["Viterbi cost".into(), format!("{} µs per created token", g.viterbi_us_per_token)]);
+    row(&[
+        "Viterbi cost".into(),
+        format!("{} µs per created token", g.viterbi_us_per_token),
+    ]);
     row(&["Viterbi power".into(), format!("{} W", g.viterbi_power_w)]);
-    row(&["DNN scoring throughput".into(), format!("{:.0} GFLOP/s sustained", g.dnn_flops_per_s / 1e9)]);
-    row(&["GMM scoring throughput".into(), format!("{:.0} GFLOP/s sustained", g.gmm_flops_per_s / 1e9)]);
-    row(&["LSTM scoring throughput".into(), format!("{:.1} GFLOP/s sustained", g.lstm_flops_per_s / 1e9)]);
+    row(&[
+        "DNN scoring throughput".into(),
+        format!("{:.0} GFLOP/s sustained", g.dnn_flops_per_s / 1e9),
+    ]);
+    row(&[
+        "GMM scoring throughput".into(),
+        format!("{:.0} GFLOP/s sustained", g.gmm_flops_per_s / 1e9),
+    ]);
+    row(&[
+        "LSTM scoring throughput".into(),
+        format!("{:.1} GFLOP/s sustained", g.lstm_flops_per_s / 1e9),
+    ]);
     row(&["Scoring power".into(), format!("{} W", g.scoring_power_w)]);
     println!("\nThe hardware parameters are replaced by sustained-rate constants");
     println!("calibrated to the paper's own reported breakdowns (Figure 1, §5.1);");

@@ -21,7 +21,12 @@ fn main() {
         let gpu = run_gpu(&task.system, &task.utterances);
         let reza = run_baseline_on(&task.system, &composed, &task.utterances);
         let unf = run_unfold(&task.system, &task.utterances);
-        let gmax = gpu.per_utterance_seconds.iter().copied().fold(0.0f64, f64::max) * 1e3;
+        let gmax = gpu
+            .per_utterance_seconds
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+            * 1e3;
         let gavg = gpu.per_utterance_seconds.iter().sum::<f64>()
             / gpu.per_utterance_seconds.len() as f64
             * 1e3;

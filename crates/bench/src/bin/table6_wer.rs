@@ -7,14 +7,25 @@ use unfold_decoder::{wer, DecodeConfig, NullSink, OtfDecoder, WerReport};
 
 fn main() {
     println!("# Table 6 — word error rate (%)\n");
-    header(&["Task", "WER paper", "WER measured (UNFOLD)", "WER uncompressed models", "Delta"]);
+    header(&[
+        "Task",
+        "WER paper",
+        "WER measured (UNFOLD)",
+        "WER uncompressed models",
+        "Delta",
+    ]);
     for (i, task) in build_all().iter().enumerate() {
         let comp = run_unfold(&task.system, &task.utterances);
         // Same decode against the *uncompressed* models: quantization impact.
         let decoder = OtfDecoder::new(DecodeConfig::default());
         let mut plain = WerReport::default();
         for utt in &task.utterances {
-            let res = decoder.decode(&task.system.am.fst, &task.system.lm_fst, &utt.scores, &mut NullSink);
+            let res = decoder.decode(
+                &task.system.am.fst,
+                &task.system.lm_fst,
+                &utt.scores,
+                &mut NullSink,
+            );
             plain.accumulate(wer(&utt.words, &res.words));
         }
         let paper_wer = paper::TABLE6_WER.get(i).copied().unwrap_or(f64::NAN);

@@ -1,7 +1,9 @@
 //! Shared machinery for the per-figure binaries.
 
+use unfold::experiments::{run_unfold_traced, SystemRun};
 use unfold::{System, TaskSpec};
 use unfold_am::Utterance;
+use unfold_decoder::MetricsSink;
 
 /// One built task plus its test batch.
 pub struct TaskRun {
@@ -29,8 +31,12 @@ pub fn utterance_count() -> usize {
 /// Builds every paper task (or just the tiny task under
 /// `UNFOLD_SMOKE=1`) with its utterance batch.
 pub fn build_all() -> Vec<TaskRun> {
-    let smoke = std::env::var("UNFOLD_SMOKE").map_or(false, |v| v == "1");
-    let specs = if smoke { vec![TaskSpec::tiny()] } else { TaskSpec::all_paper_tasks() };
+    let smoke = std::env::var("UNFOLD_SMOKE").is_ok_and(|v| v == "1");
+    let specs = if smoke {
+        vec![TaskSpec::tiny()]
+    } else {
+        TaskSpec::all_paper_tasks()
+    };
     let n = utterance_count();
     specs
         .into_iter()
@@ -42,10 +48,45 @@ pub fn build_all() -> Vec<TaskRun> {
         .collect()
 }
 
+/// The `--metrics <file>` argument, if the binary was invoked with one
+/// (`UNFOLD_METRICS=<file>` works too). Binaries that honor it export
+/// decode-time telemetry as JSONL next to their Markdown output.
+pub fn metrics_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("UNFOLD_METRICS").ok())
+}
+
+/// [`unfold::experiments::run_unfold`] with telemetry: returns the run
+/// plus the sink holding its stage/frame records.
+pub fn run_unfold_with_metrics(task: &TaskRun) -> (SystemRun, MetricsSink) {
+    let mut metrics = MetricsSink::new();
+    let run = run_unfold_traced(&task.system, &task.utterances, &mut metrics);
+    (run, metrics)
+}
+
+/// Writes a sink's telemetry to `path` as JSONL (one record per frame
+/// and per stage) and prints a receipt to stderr so the Markdown table
+/// on stdout stays clean.
+pub fn export_metrics(metrics: &MetricsSink, path: &str) {
+    match std::fs::write(path, metrics.to_jsonl()) {
+        Ok(()) => eprintln!(
+            "metrics: {} frame records -> {path}",
+            metrics.frames().total_seen()
+        ),
+        Err(e) => eprintln!("metrics: failed to write {path}: {e}"),
+    }
+}
+
 /// Prints a Markdown header row + separator.
 pub fn header(cols: &[&str]) {
     println!("| {} |", cols.join(" | "));
-    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Prints a Markdown data row.
@@ -75,7 +116,7 @@ mod tests {
 
     #[test]
     fn formatting() {
-        assert_eq!(fmt1(3.14159), "3.1");
-        assert_eq!(fmt2(3.14159), "3.14");
+        assert_eq!(fmt1(12.3456), "12.3");
+        assert_eq!(fmt2(12.3456), "12.35");
     }
 }

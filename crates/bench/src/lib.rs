@@ -15,4 +15,7 @@
 pub mod harness;
 pub mod paper;
 
-pub use harness::{build_all, fmt1, fmt2, header, row, utterance_count, TaskRun};
+pub use harness::{
+    build_all, export_metrics, fmt1, fmt2, header, metrics_arg, row, run_unfold_with_metrics,
+    utterance_count, TaskRun,
+};

@@ -10,7 +10,12 @@
 //!   utterances, printing transcripts and WER,
 //! * `simulate` — run the accelerator model (UNFOLD or the baseline)
 //!   over a task and print the performance/energy summary,
+//! * `profile`  — decode with telemetry enabled and print the stage
+//!   breakdown plus frame-latency percentiles,
 //! * `sizes`    — print the dataset size table for a task.
+//!
+//! `decode`, `simulate`, and `profile` accept `--metrics <file>` to
+//! export the per-frame/per-stage telemetry as JSONL.
 //!
 //! All argument parsing is plain `std`; [`run`] returns the output as a
 //! string so every command is unit-testable.
@@ -18,10 +23,12 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use unfold::experiments::{run_baseline_on, run_unfold};
+use unfold::experiments::{
+    run_baseline_on, run_baseline_traced, run_unfold, run_unfold_traced, SystemRun,
+};
 use unfold::{System, TaskSpec};
 use unfold_compress::{load_am, load_lm, save_am, save_lm};
-use unfold_decoder::{wer, DecodeConfig, NullSink, OtfDecoder, WerReport};
+use unfold_decoder::{wer, DecodeConfig, MetricsSink, NullSink, OtfDecoder, TraceSink, WerReport};
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
@@ -32,8 +39,12 @@ commands:
   decode   --task <name> [--utterances N]   decode test utterances (WER report)
            [--am <file> --lm <file>]        ... using previously saved models
            [--nbest K]                      ... printing K-best hypotheses
+           [--metrics <file>]               ... exporting telemetry as JSONL
   simulate --task <name> [--utterances N]   accelerator performance/energy summary
            [--baseline]                     ... on the Reza et al. baseline instead
+           [--metrics <file>]               ... exporting telemetry as JSONL
+  profile  --task <name> [--utterances N]   stage breakdown + frame latency percentiles
+           [--baseline] [--metrics <file>]
   sizes    --task <name>                    dataset size table
 
 tasks: tedlium | librispeech | voxforge | eesen | tiny
@@ -104,7 +115,10 @@ impl<'a> Flags<'a> {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.pairs.iter().find(|(k, _)| *k == key).and_then(|(_, v)| *v)
+        self.pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| *v)
     }
 
     fn has(&self, key: &str) -> bool {
@@ -112,7 +126,8 @@ impl<'a> Flags<'a> {
     }
 
     fn require(&self, key: &str) -> Result<&str, CliError> {
-        self.get(key).ok_or_else(|| CliError::Usage(format!("missing --{key}")))
+        self.get(key)
+            .ok_or_else(|| CliError::Usage(format!("missing --{key}")))
     }
 
     fn usize_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
@@ -137,6 +152,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "build" => cmd_build(rest),
         "decode" => cmd_decode(rest),
         "simulate" => cmd_simulate(rest),
+        "profile" => cmd_profile(rest),
         "sizes" => cmd_sizes(rest),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
@@ -156,10 +172,43 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     std::fs::write(&arpa_path, unfold_lm::to_arpa(&system.lm_model))?;
     let mut s = String::new();
     let _ = writeln!(s, "task: {}", spec.name);
-    let _ = writeln!(s, "AM:   {} ({} bytes)", am_path.display(), system.am_comp.size_bytes());
-    let _ = writeln!(s, "LM:   {} ({} bytes)", lm_path.display(), system.lm_comp.size_bytes());
+    let _ = writeln!(
+        s,
+        "AM:   {} ({} bytes)",
+        am_path.display(),
+        system.am_comp.size_bytes()
+    );
+    let _ = writeln!(
+        s,
+        "LM:   {} ({} bytes)",
+        lm_path.display(),
+        system.lm_comp.size_bytes()
+    );
     let _ = writeln!(s, "ARPA: {}", arpa_path.display());
     Ok(s)
+}
+
+/// Synthesizes the test utterances, profiled as the acoustic-scoring
+/// stage: in this software stack likelihood evaluation happens up front
+/// rather than interleaved with the search, so it is its own span.
+fn scored_utterances(
+    system: &System,
+    n: usize,
+    metrics: &mut MetricsSink,
+) -> Vec<unfold_am::Utterance> {
+    metrics
+        .stages_mut()
+        .scoped("acoustic_scoring", || system.test_utterances(n))
+}
+
+/// Writes a sink's telemetry as JSONL and returns a one-line receipt.
+fn export_metrics(metrics: &MetricsSink, path: &str) -> Result<String, CliError> {
+    std::fs::write(path, metrics.to_jsonl())?;
+    Ok(format!(
+        "metrics: {} frame records ({} retained) -> {path}",
+        metrics.frames().total_seen(),
+        metrics.frames().len()
+    ))
 }
 
 fn cmd_decode(args: &[String]) -> Result<String, CliError> {
@@ -173,26 +222,42 @@ fn cmd_decode(args: &[String]) -> Result<String, CliError> {
     let loaded = match (flags.get("am"), flags.get("lm")) {
         (Some(a), Some(l)) => Some((load_am(a.as_ref())?, load_lm(l.as_ref())?)),
         (None, None) => None,
-        _ => return Err(CliError::Usage("--am and --lm must be given together".into())),
+        _ => {
+            return Err(CliError::Usage(
+                "--am and --lm must be given together".into(),
+            ))
+        }
     };
     let nbest = flags.usize_or("nbest", 1)?;
-    for (i, utt) in system.test_utterances(n).iter().enumerate() {
+    let metrics_path = flags.get("metrics");
+    let mut metrics = MetricsSink::new();
+    let mut null = NullSink;
+    let utts = match metrics_path {
+        Some(_) => scored_utterances(&system, n, &mut metrics),
+        None => system.test_utterances(n),
+    };
+    let sink: &mut dyn TraceSink = if metrics_path.is_some() {
+        &mut metrics
+    } else {
+        &mut null
+    };
+    for (i, utt) in utts.iter().enumerate() {
         let res = match &loaded {
-            Some((am, lm)) => decoder.decode(am, lm, &utt.scores, &mut NullSink),
-            None => decoder.decode(&system.am_comp, &system.lm_comp, &utt.scores, &mut NullSink),
+            Some((am, lm)) => decoder.decode(am, lm, &utt.scores, &mut *sink),
+            None => decoder.decode(&system.am_comp, &system.lm_comp, &utt.scores, &mut *sink),
         };
         report.accumulate(wer(&utt.words, &res.words));
         let _ = writeln!(s, "utt {i}: ref {:?}", utt.words);
         let _ = writeln!(s, "       hyp {:?} (cost {:.2})", res.words, res.cost);
         if nbest > 1 {
             let list = match &loaded {
-                Some((am, lm)) => decoder.decode_nbest(am, lm, &utt.scores, nbest, &mut NullSink),
+                Some((am, lm)) => decoder.decode_nbest(am, lm, &utt.scores, nbest, &mut *sink),
                 None => decoder.decode_nbest(
                     &system.am_comp,
                     &system.lm_comp,
                     &utt.scores,
                     nbest,
-                    &mut NullSink,
+                    &mut *sink,
                 ),
             };
             for (rank, (words, cost)) in list.iter().enumerate().skip(1) {
@@ -200,8 +265,38 @@ fn cmd_decode(args: &[String]) -> Result<String, CliError> {
             }
         }
     }
-    let _ = writeln!(s, "WER: {:.2}% over {} words", report.percent(), report.ref_words);
+    let _ = writeln!(
+        s,
+        "WER: {:.2}% over {} words",
+        report.percent(),
+        report.ref_words
+    );
+    if let Some(path) = metrics_path {
+        let _ = writeln!(s, "{}", export_metrics(&metrics, path)?);
+    }
     Ok(s)
+}
+
+/// Runs the selected accelerator configuration, teeing telemetry into
+/// `metrics` when given.
+fn run_simulated(
+    system: &System,
+    utts: &[unfold_am::Utterance],
+    baseline: bool,
+    metrics: Option<&mut MetricsSink>,
+) -> SystemRun {
+    match (baseline, metrics) {
+        (true, Some(m)) => {
+            let composed = system.composed();
+            run_baseline_traced(system, &composed, utts, m)
+        }
+        (true, None) => {
+            let composed = system.composed();
+            run_baseline_on(system, &composed, utts)
+        }
+        (false, Some(m)) => run_unfold_traced(system, utts, m),
+        (false, None) => run_unfold(system, utts),
+    }
 }
 
 fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
@@ -209,21 +304,40 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
     let spec = task_by_name(flags.require("task")?)?;
     let n = flags.usize_or("utterances", 5)?;
     let system = System::build(&spec);
-    let utts = system.test_utterances(n);
-    let run = if flags.has("baseline") {
-        let composed = system.composed();
-        run_baseline_on(&system, &composed, &utts)
-    } else {
-        run_unfold(&system, &utts)
+    let metrics_path = flags.get("metrics");
+    let mut metrics = MetricsSink::new();
+    let utts = match metrics_path {
+        Some(_) => scored_utterances(&system, n, &mut metrics),
+        None => system.test_utterances(n),
     };
+    let run = run_simulated(
+        &system,
+        &utts,
+        flags.has("baseline"),
+        metrics_path.map(|_| &mut metrics),
+    );
     let mut s = String::new();
     let sim = &run.sim;
     let _ = writeln!(s, "configuration: {}", sim.config_name);
     let _ = writeln!(s, "task:          {}", spec.name);
-    let _ = writeln!(s, "audio:         {:.2} s in {} utterances", run.audio_seconds, n);
-    let _ = writeln!(s, "decode time:   {:.3} ms ({:.0}x real time)", sim.seconds * 1e3, sim.times_real_time());
-    let _ = writeln!(s, "energy:        {:.4} mJ ({:.4} mJ per audio second)", sim.total_energy_mj(), sim.energy_mj_per_audio_second());
-    let _ = writeln!(s, "avg power:     {:.1} mW", sim.total_energy_mj() / sim.seconds / 1000.0 * 1000.0);
+    let _ = writeln!(
+        s,
+        "audio:         {:.2} s in {} utterances",
+        run.audio_seconds, n
+    );
+    let _ = writeln!(
+        s,
+        "decode time:   {:.3} ms ({:.0}x real time)",
+        sim.seconds * 1e3,
+        sim.times_real_time()
+    );
+    let _ = writeln!(
+        s,
+        "energy:        {:.4} mJ ({:.4} mJ per audio second)",
+        sim.total_energy_mj(),
+        sim.energy_mj_per_audio_second()
+    );
+    let _ = writeln!(s, "avg power:     {:.1} mW", sim.avg_power_mw());
     let _ = writeln!(s, "bandwidth:     {:.1} MB/s", sim.bandwidth_mb_per_s());
     let _ = writeln!(
         s,
@@ -238,6 +352,44 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
     }
     let _ = writeln!(s, "WER:           {:.2}%", run.wer.percent());
     let _ = writeln!(s, "area estimate: {:.1} mm2", sim.area_mm2);
+    if let Some(path) = metrics_path {
+        let _ = writeln!(s, "{}", export_metrics(&metrics, path)?);
+    }
+    Ok(s)
+}
+
+fn cmd_profile(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["baseline"])?;
+    let spec = task_by_name(flags.require("task")?)?;
+    let n = flags.usize_or("utterances", 5)?;
+    let system = System::build(&spec);
+    let mut metrics = MetricsSink::new();
+    let utts = scored_utterances(&system, n, &mut metrics);
+    let run = run_simulated(&system, &utts, flags.has("baseline"), Some(&mut metrics));
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "profile: {} on {} ({} utterances, {} frames, {:.2} s audio)",
+        run.sim.config_name, spec.name, n, run.stats.frames, run.audio_seconds
+    );
+    let _ = writeln!(s);
+    s.push_str(&metrics.summary_markdown());
+    let lat = metrics.frame_latency().summary();
+    let us = |ns: f64| ns / 1e3;
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "frame latency (host): p50 {:.1} us  p95 {:.1} us  p99 {:.1} us  (mean {:.1} us over {} frames)",
+        us(lat.p50),
+        us(lat.p95),
+        us(lat.p99),
+        us(lat.mean),
+        lat.count
+    );
+    if let Some(path) = flags.get("metrics") {
+        let _ = writeln!(s, "{}", export_metrics(&metrics, path)?);
+    }
     Ok(s)
 }
 
@@ -251,12 +403,28 @@ fn cmd_sizes(args: &[String]) -> Result<String, CliError> {
     let _ = writeln!(s, "AM WFST:                 {:>10.3} MiB", t.am_mib);
     let _ = writeln!(s, "LM WFST:                 {:>10.3} MiB", t.lm_mib);
     let _ = writeln!(s, "composed WFST:           {:>10.3} MiB", t.composed_mib);
-    let _ = writeln!(s, "composed + compression:  {:>10.3} MiB", t.composed_comp_mib);
-    let _ = writeln!(s, "on-the-fly (AM+LM):      {:>10.3} MiB", t.on_the_fly_mib());
+    let _ = writeln!(
+        s,
+        "composed + compression:  {:>10.3} MiB",
+        t.composed_comp_mib
+    );
+    let _ = writeln!(
+        s,
+        "on-the-fly (AM+LM):      {:>10.3} MiB",
+        t.on_the_fly_mib()
+    );
     let _ = writeln!(s, "UNFOLD (compressed):     {:>10.3} MiB", t.unfold_mib());
     let _ = writeln!(s, "acoustic backend:        {:>10.3} MiB", t.backend_mib);
-    let _ = writeln!(s, "reduction vs composed:   {:>9.1}x", t.reduction_vs_composed());
-    let _ = writeln!(s, "reduction vs comp+comp:  {:>9.1}x", t.reduction_vs_composed_comp());
+    let _ = writeln!(
+        s,
+        "reduction vs composed:   {:>9.1}x",
+        t.reduction_vs_composed()
+    );
+    let _ = writeln!(
+        s,
+        "reduction vs comp+comp:  {:>9.1}x",
+        t.reduction_vs_composed_comp()
+    );
     Ok(s)
 }
 
@@ -304,8 +472,16 @@ mod tests {
 
     #[test]
     fn decode_nbest_lists_alternatives() {
-        let out =
-            run(&sv(&["decode", "--task", "tiny", "--utterances", "1", "--nbest", "3"])).unwrap();
+        let out = run(&sv(&[
+            "decode",
+            "--task",
+            "tiny",
+            "--utterances",
+            "1",
+            "--nbest",
+            "3",
+        ]))
+        .unwrap();
         assert!(out.contains("hyp"));
         // Alternatives may or may not exist; the flag must parse.
         assert!(out.contains("WER:"));
@@ -316,15 +492,100 @@ mod tests {
         let unfold_out = run(&sv(&["simulate", "--task", "tiny", "--utterances", "2"])).unwrap();
         assert!(unfold_out.contains("configuration: UNFOLD"));
         assert!(unfold_out.contains("OLT hit ratio"));
-        let reza_out =
-            run(&sv(&["simulate", "--task", "tiny", "--utterances", "2", "--baseline"])).unwrap();
+        let reza_out = run(&sv(&[
+            "simulate",
+            "--task",
+            "tiny",
+            "--utterances",
+            "2",
+            "--baseline",
+        ]))
+        .unwrap();
         assert!(reza_out.contains("configuration: Reza et al."));
+    }
+
+    #[test]
+    fn profile_prints_stage_breakdown_and_percentiles() {
+        let out = run(&sv(&["profile", "--task", "tiny", "--utterances", "2"])).unwrap();
+        assert!(out.contains("## Stage breakdown"));
+        for stage in [
+            "acoustic_scoring",
+            "arc_expansion",
+            "lm_lookup",
+            "pruning",
+            "lattice",
+        ] {
+            assert!(out.contains(stage), "missing stage {stage} in:\n{out}");
+        }
+        assert!(out.contains("frame latency (host): p50"));
+        assert!(out.contains("p95"));
+        assert!(out.contains("p99"));
+    }
+
+    #[test]
+    fn decode_metrics_writes_parseable_jsonl() {
+        let path =
+            std::env::temp_dir().join(format!("unfold-metrics-{}.jsonl", std::process::id()));
+        let out = run(&sv(&[
+            "decode",
+            "--task",
+            "tiny",
+            "--utterances",
+            "1",
+            "--metrics",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("metrics:"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut frames = 0usize;
+        for line in text.lines() {
+            let rec = unfold_obs::ObsRecord::parse_line(line).expect("valid JSONL");
+            if matches!(rec, unfold_obs::ObsRecord::Frame(_)) {
+                frames += 1;
+            }
+        }
+        assert!(frames >= 1, "at least one frame record per decoded frame");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_metrics_includes_cache_rates() {
+        let path =
+            std::env::temp_dir().join(format!("unfold-sim-metrics-{}.jsonl", std::process::id()));
+        let out = run(&sv(&[
+            "simulate",
+            "--task",
+            "tiny",
+            "--utterances",
+            "1",
+            "--metrics",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("metrics:"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let has_cache = text.lines().any(|l| {
+            matches!(
+                unfold_obs::ObsRecord::parse_line(l),
+                Ok(unfold_obs::ObsRecord::Frame(f)) if f.cache.is_some()
+            )
+        });
+        assert!(has_cache, "simulated frames must carry cache hit rates");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn build_then_decode_from_files() {
         let dir = std::env::temp_dir().join(format!("unfold-cli-{}", std::process::id()));
-        let out = run(&sv(&["build", "--task", "tiny", "--out", dir.to_str().unwrap()])).unwrap();
+        let out = run(&sv(&[
+            "build",
+            "--task",
+            "tiny",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert!(out.contains(".unfa") || out.contains("AM:"));
         let am = dir.join("tiny.unfa");
         let lm = dir.join("tiny.unfl");

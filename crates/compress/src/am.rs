@@ -67,12 +67,12 @@ impl CompressedAm {
             .states()
             .flat_map(|s| fst.arcs(s).iter().map(|a| a.weight))
             .collect();
-        assert!(k <= 64, "compress: the AM format stores 6-bit weight indices (k <= 64)");
-        let quant = WeightQuantizer::fit(
-            if weights.is_empty() { &[0.0] } else { &weights },
-            k,
-            seed,
+        assert!(
+            k <= 64,
+            "compress: the AM format stores 6-bit weight indices (k <= 64)"
         );
+        let quant =
+            WeightQuantizer::fit(if weights.is_empty() { &[0.0] } else { &weights }, k, seed);
 
         let mut w = BitWriter::new();
         let mut states = Vec::with_capacity(fst.num_states());
@@ -87,7 +87,11 @@ impl CompressedAm {
                 final_weight: fst.final_weight(s).unwrap_or(f32::INFINITY),
             });
             for a in arcs {
-                assert!(a.ilabel < (1 << PDF_BITS), "pdf id {} exceeds 12 bits", a.ilabel);
+                assert!(
+                    a.ilabel < (1 << PDF_BITS),
+                    "pdf id {} exceeds 12 bits",
+                    a.ilabel
+                );
                 let delta = i64::from(a.nextstate) - i64::from(s);
                 let tag = if a.olabel == EPSILON {
                     match delta {
@@ -103,7 +107,11 @@ impl CompressedAm {
                 w.push(u64::from(a.ilabel), PDF_BITS);
                 w.push(u64::from(quant.encode(a.weight)), WEIGHT_BITS);
                 if tag == TAG_NORMAL {
-                    assert!(a.olabel < (1 << WORD_BITS), "word id {} exceeds 18 bits", a.olabel);
+                    assert!(
+                        a.olabel < (1 << WORD_BITS),
+                        "word id {} exceeds 18 bits",
+                        a.olabel
+                    );
                     w.push(u64::from(a.olabel), WORD_BITS);
                     w.push(u64::from(a.nextstate), DEST_BITS);
                     normal_arcs += 1;
@@ -266,7 +274,7 @@ impl CompressedAm {
         if !centroids.windows(2).all(|w| w[0] <= w[1]) {
             return Err(ModelIoError::Corrupt("codebook not sorted"));
         }
-        if num_states.checked_mul(20).map_or(true, |n| n > r.remaining()) {
+        if num_states.checked_mul(20).is_none_or(|n| n > r.remaining()) {
             return Err(ModelIoError::Truncated);
         }
         let mut states = Vec::with_capacity(num_states);
@@ -275,14 +283,19 @@ impl CompressedAm {
             let narcs = r.u32()?;
             let is_final = r.u32()? != 0;
             let final_weight = r.f32()?;
-            states.push(StateRec { bit_offset, narcs, is_final, final_weight });
+            states.push(StateRec {
+                bit_offset,
+                narcs,
+                is_final,
+                final_weight,
+            });
         }
         let len_bits = r.u64()?;
         let num_words = r.u32()? as usize;
         if len_bits > num_words as u64 * 64 {
             return Err(ModelIoError::Corrupt("bit length exceeds words"));
         }
-        if num_words.checked_mul(8).map_or(true, |n| n > r.remaining()) {
+        if num_words.checked_mul(8).is_none_or(|n| n > r.remaining()) {
             return Err(ModelIoError::Truncated);
         }
         let mut words = Vec::with_capacity(num_words);
@@ -322,15 +335,11 @@ impl CompressedAm {
                     return Err(ModelIoError::Corrupt("arc past end of stream"));
                 }
                 match tag {
-                    t if t == TAG_NEXT => {
-                        if i as u32 + 1 >= n {
-                            return Err(ModelIoError::Corrupt("+1 arc from last state"));
-                        }
+                    t if t == TAG_NEXT && i as u32 + 1 >= n => {
+                        return Err(ModelIoError::Corrupt("+1 arc from last state"));
                     }
-                    t if t == TAG_PREV => {
-                        if i == 0 {
-                            return Err(ModelIoError::Corrupt("-1 arc from state 0"));
-                        }
+                    t if t == TAG_PREV && i == 0 => {
+                        return Err(ModelIoError::Corrupt("-1 arc from state 0"));
                     }
                     t if t == TAG_NORMAL => {
                         let dest = self.reader.read(off + 20 + 18, DEST_BITS) as u32;
@@ -342,10 +351,7 @@ impl CompressedAm {
                 }
                 off += width;
             }
-            let next_off = self
-                .states
-                .get(i + 1)
-                .map_or(len, |nr| nr.bit_offset);
+            let next_off = self.states.get(i + 1).map_or(len, |nr| nr.bit_offset);
             if off != next_off {
                 return Err(ModelIoError::Corrupt("arc blocks not contiguous"));
             }
@@ -463,8 +469,10 @@ mod tests {
                 if width == 58 {
                     // Full-format arcs are exactly the non-local or
                     // cross-word ones.
-                    assert!(a.olabel != unfold_wfst::EPSILON
-                        || (i64::from(a.nextstate) - i64::from(s)).abs() > 1);
+                    assert!(
+                        a.olabel != unfold_wfst::EPSILON
+                            || (i64::from(a.nextstate) - i64::from(s)).abs() > 1
+                    );
                 }
                 prev_end = off + u64::from(width);
             });
@@ -494,7 +502,10 @@ mod tests {
         // Bad magic.
         let mut bad = good.clone();
         bad[0] = b'X';
-        assert_eq!(CompressedAm::from_bytes(&bad).unwrap_err(), ModelIoError::BadMagic);
+        assert_eq!(
+            CompressedAm::from_bytes(&bad).unwrap_err(),
+            ModelIoError::BadMagic
+        );
         // Truncated.
         assert_eq!(
             CompressedAm::from_bytes(&good[..good.len() / 2]).unwrap_err(),
@@ -502,10 +513,12 @@ mod tests {
         );
         // Flip a state record's bit offset: contiguity validation must
         // surface a structural error, never a panic.
-        // Header = 36 bytes, codebook = 64 * 4; state records are 20
-        // bytes each, offset first.
+        // Header = 36 bytes with the cluster count k at bytes 32..36;
+        // codebook = k * 4; state records are 20 bytes each, offset
+        // first.
         let mut flipped = good.clone();
-        let state1_offset = 36 + 64 * 4 + 20;
+        let k = u32::from_le_bytes(good[32..36].try_into().unwrap()) as usize;
+        let state1_offset = 36 + k * 4 + 20;
         flipped[state1_offset] ^= 0xFF;
         assert!(CompressedAm::from_bytes(&flipped).is_err());
     }

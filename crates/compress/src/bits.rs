@@ -41,7 +41,10 @@ impl BitWriter {
     /// `width`. (57 keeps every field within two words; all formats in
     /// this crate use ≤ 24-bit fields.)
     pub fn push(&mut self, value: u64, width: u32) {
-        assert!(width >= 1 && width <= 57, "push: width {width} out of range");
+        assert!(
+            (1..=57).contains(&width),
+            "push: width {width} out of range"
+        );
         assert!(
             width == 64 || value < (1u64 << width),
             "push: value {value:#x} does not fit in {width} bits"
@@ -60,7 +63,10 @@ impl BitWriter {
 
     /// Finalizes the stream.
     pub fn finish(self) -> BitBuf {
-        BitBuf { words: self.words, len_bits: self.len_bits }
+        BitBuf {
+            words: self.words,
+            len_bits: self.len_bits,
+        }
     }
 }
 
@@ -98,7 +104,7 @@ impl BitBuf {
     /// Storage footprint in bytes, rounded up to whole bytes (this is
     /// what the size tables report).
     pub fn size_bytes(&self) -> u64 {
-        (self.len_bits + 7) / 8
+        self.len_bits.div_ceil(8)
     }
 }
 
@@ -125,7 +131,10 @@ impl BitReader {
     /// Panics if the window exceeds the buffer or `width` > 57.
     #[inline]
     pub fn read(&self, offset: u64, width: u32) -> u64 {
-        assert!(width >= 1 && width <= 57, "read: width {width} out of range");
+        assert!(
+            (1..=57).contains(&width),
+            "read: width {width} out of range"
+        );
         assert!(
             offset + u64::from(width) <= self.buf.len_bits,
             "read: window [{offset}, +{width}) beyond {} bits",

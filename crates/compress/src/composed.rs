@@ -79,7 +79,8 @@ impl CompressedComposed {
             .states()
             .flat_map(|s| fst.arcs(s).iter().map(|a| a.weight))
             .collect();
-        let quant = WeightQuantizer::fit(if weights.is_empty() { &[0.0] } else { &weights }, k, seed);
+        let quant =
+            WeightQuantizer::fit(if weights.is_empty() { &[0.0] } else { &weights }, k, seed);
 
         let mut w = BitWriter::new();
         let mut state_offsets = Vec::with_capacity(fst.num_states());
@@ -174,7 +175,11 @@ mod tests {
     fn composed() -> Wfst {
         let lex = Lexicon::generate(60, 20, 3);
         let am = build_am(&lex, HmmTopology::Kaldi3State);
-        let spec = CorpusSpec { vocab_size: 60, num_sentences: 300, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 60,
+            num_sentences: 300,
+            ..Default::default()
+        };
         let model = NGramModel::train(&spec.generate(4), 60, DiscountConfig::default());
         let lm = lm_to_wfst(&model);
         compose_am_lm(&am.fst, &lm, ComposeOptions::default())
@@ -217,7 +222,10 @@ mod tests {
                 assert_eq!(a.ilabel, b.ilabel);
                 assert_eq!(a.olabel, b.olabel);
                 assert_eq!(a.nextstate, b.nextstate);
-                assert!((a.weight - b.weight).abs() < 2.0, "tail outlier beyond codebook reach");
+                assert!(
+                    (a.weight - b.weight).abs() < 2.0,
+                    "tail outlier beyond codebook reach"
+                );
             }
         }
     }

@@ -65,15 +65,21 @@ impl<'a> ByteReader<'a> {
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, ModelIoError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, ModelIoError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     pub(crate) fn f32(&mut self) -> Result<f32, ModelIoError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     pub(crate) fn done(&self) -> bool {

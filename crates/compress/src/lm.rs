@@ -77,7 +77,10 @@ impl CompressedLm {
             .states()
             .flat_map(|s| fst.arcs(s).iter().map(|a| a.weight))
             .collect();
-        assert!(k <= 64, "compress: the LM format stores 6-bit weight indices (k <= 64)");
+        assert!(
+            k <= 64,
+            "compress: the LM format stores 6-bit weight indices (k <= 64)"
+        );
         let quant = WeightQuantizer::fit(&weights, k, seed);
 
         let mut w = BitWriter::new();
@@ -86,10 +89,23 @@ impl CompressedLm {
         // Root: positional unigram arcs.
         let root_arcs = fst.arcs(0);
         for (i, a) in root_arcs.iter().enumerate() {
-            assert_eq!(a.ilabel, i as Label + 1, "root arc {i} is not word {}", i + 1);
-            assert_eq!(a.nextstate, i as StateId + 1, "root arc {i} breaks the dest invariant");
+            assert_eq!(
+                a.ilabel,
+                i as Label + 1,
+                "root arc {i} is not word {}",
+                i + 1
+            );
+            assert_eq!(
+                a.nextstate,
+                i as StateId + 1,
+                "root arc {i} breaks the dest invariant"
+            );
         }
-        states.push(StateRec { bit_offset: 0, num_word_arcs: root_arcs.len() as u32, has_backoff: false });
+        states.push(StateRec {
+            bit_offset: 0,
+            num_word_arcs: root_arcs.len() as u32,
+            has_backoff: false,
+        });
         for a in root_arcs {
             w.push(u64::from(quant.encode(a.weight)), WEIGHT_BITS);
         }
@@ -107,7 +123,11 @@ impl CompressedLm {
                 has_backoff,
             });
             for a in &arcs[..num_word_arcs] {
-                assert!(a.ilabel < (1 << WORD_BITS), "word id {} exceeds 18 bits", a.ilabel);
+                assert!(
+                    a.ilabel < (1 << WORD_BITS),
+                    "word id {} exceeds 18 bits",
+                    a.ilabel
+                );
                 w.push(u64::from(a.ilabel), WORD_BITS);
                 w.push(u64::from(a.nextstate), DEST_BITS);
                 w.push(u64::from(quant.encode(a.weight)), WEIGHT_BITS);
@@ -120,7 +140,11 @@ impl CompressedLm {
             }
         }
 
-        CompressedLm { states, reader: BitReader::new(w.finish()), quant }
+        CompressedLm {
+            states,
+            reader: BitReader::new(w.finish()),
+            quant,
+        }
     }
 
     /// Number of states.
@@ -145,7 +169,10 @@ impl CompressedLm {
     /// Panics if `i` is out of range.
     pub fn word_arc(&self, s: StateId, i: u32) -> Arc {
         let rec = &self.states[s as usize];
-        assert!(i < rec.num_word_arcs, "word_arc: index {i} out of range at state {s}");
+        assert!(
+            i < rec.num_word_arcs,
+            "word_arc: index {i} out of range at state {s}"
+        );
         if s == 0 {
             let off = rec.bit_offset + u64::from(i) * UNIGRAM_ARC_BITS;
             let widx = self.reader.read(off, WEIGHT_BITS) as u8;
@@ -154,10 +181,10 @@ impl CompressedLm {
             let off = rec.bit_offset + u64::from(i) * REGULAR_ARC_BITS;
             let word = self.reader.read(off, WORD_BITS) as u32;
             let dest = self.reader.read(off + u64::from(WORD_BITS), DEST_BITS) as u32;
-            let widx = self
-                .reader
-                .read(off + u64::from(WORD_BITS) + u64::from(DEST_BITS), WEIGHT_BITS)
-                as u8;
+            let widx = self.reader.read(
+                off + u64::from(WORD_BITS) + u64::from(DEST_BITS),
+                WEIGHT_BITS,
+            ) as u8;
             Arc::new(word, word, self.quant.decode(widx), dest)
         }
     }
@@ -165,7 +192,11 @@ impl CompressedLm {
     /// Bit offset of the `i`-th word arc of `s` (address modeling).
     pub fn word_arc_bit_offset(&self, s: StateId, i: u32) -> u64 {
         let rec = &self.states[s as usize];
-        let width = if s == 0 { UNIGRAM_ARC_BITS } else { REGULAR_ARC_BITS };
+        let width = if s == 0 {
+            UNIGRAM_ARC_BITS
+        } else {
+            REGULAR_ARC_BITS
+        };
         rec.bit_offset + u64::from(i) * width
     }
 
@@ -198,7 +229,11 @@ impl CompressedLm {
                     bit_offset: self.word_arc_bit_offset(0, word - 1),
                 };
             }
-            return LmLookup { arc: None, probes: 1, bit_offset: rec.bit_offset };
+            return LmLookup {
+                arc: None,
+                probes: 1,
+                bit_offset: rec.bit_offset,
+            };
         }
         let mut lo = 0u32;
         let mut hi = rec.num_word_arcs;
@@ -211,13 +246,21 @@ impl CompressedLm {
             let a = self.word_arc(s, mid);
             match a.ilabel.cmp(&word) {
                 std::cmp::Ordering::Equal => {
-                    return LmLookup { arc: Some(a), probes, bit_offset: last_off }
+                    return LmLookup {
+                        arc: Some(a),
+                        probes,
+                        bit_offset: last_off,
+                    }
                 }
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
             }
         }
-        LmLookup { arc: None, probes: probes.max(1), bit_offset: last_off }
+        LmLookup {
+            arc: None,
+            probes: probes.max(1),
+            bit_offset: last_off,
+        }
     }
 
     /// Resolves `word` from `s` with full back-off semantics; mirrors
@@ -297,7 +340,7 @@ impl CompressedLm {
         if !centroids.windows(2).all(|w| w[0] <= w[1]) {
             return Err(ModelIoError::Corrupt("codebook not sorted"));
         }
-        if num_states.checked_mul(16).map_or(true, |n| n > r.remaining()) {
+        if num_states.checked_mul(16).is_none_or(|n| n > r.remaining()) {
             return Err(ModelIoError::Truncated);
         }
         let mut states = Vec::with_capacity(num_states);
@@ -305,14 +348,18 @@ impl CompressedLm {
             let bit_offset = r.u64()?;
             let num_word_arcs = r.u32()?;
             let has_backoff = r.u32()? != 0;
-            states.push(StateRec { bit_offset, num_word_arcs, has_backoff });
+            states.push(StateRec {
+                bit_offset,
+                num_word_arcs,
+                has_backoff,
+            });
         }
         let len_bits = r.u64()?;
         let num_words = r.u32()? as usize;
         if len_bits > num_words as u64 * 64 {
             return Err(ModelIoError::Corrupt("bit length exceeds words"));
         }
-        if num_words.checked_mul(8).map_or(true, |n| n > r.remaining()) {
+        if num_words.checked_mul(8).is_none_or(|n| n > r.remaining()) {
             return Err(ModelIoError::Truncated);
         }
         let mut words = Vec::with_capacity(num_words);
@@ -340,7 +387,11 @@ impl CompressedLm {
             return Err(ModelIoError::Corrupt("root state has a back-off arc"));
         }
         for (i, rec) in self.states.iter().enumerate() {
-            let width = if i == 0 { UNIGRAM_ARC_BITS } else { REGULAR_ARC_BITS };
+            let width = if i == 0 {
+                UNIGRAM_ARC_BITS
+            } else {
+                REGULAR_ARC_BITS
+            };
             let mut end = rec
                 .bit_offset
                 .checked_add(u64::from(rec.num_word_arcs) * width)
@@ -404,7 +455,11 @@ mod tests {
     use unfold_wfst::SizeModel;
 
     fn lm_fst() -> Wfst {
-        let spec = CorpusSpec { vocab_size: 120, num_sentences: 500, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 120,
+            num_sentences: 500,
+            ..Default::default()
+        };
         let corpus = spec.generate(77);
         let model = NGramModel::train(&corpus, 120, DiscountConfig::default());
         lm_to_wfst(&model)
@@ -423,7 +478,10 @@ mod tests {
             for (a, b) in o.iter().zip(d) {
                 assert_eq!(a.ilabel, b.ilabel);
                 assert_eq!(a.nextstate, b.nextstate);
-                assert!((a.weight - b.weight).abs() < 2.0, "tail outlier beyond codebook reach");
+                assert!(
+                    (a.weight - b.weight).abs() < 2.0,
+                    "tail outlier beyond codebook reach"
+                );
             }
         }
     }
@@ -485,7 +543,10 @@ mod tests {
         let comp = CompressedLm::compress(&fst, 64, 0);
         assert!(comp.backoff_arc(0).is_none());
         for s in 1..comp.num_states() as StateId {
-            assert!(comp.backoff_arc(s).is_some(), "state {s} lost its back-off arc");
+            assert!(
+                comp.backoff_arc(s).is_some(),
+                "state {s} lost its back-off arc"
+            );
         }
     }
 
@@ -511,7 +572,10 @@ mod tests {
         let good = comp.to_bytes();
         let mut bad = good.clone();
         bad[1] = b'?';
-        assert_eq!(CompressedLm::from_bytes(&bad).unwrap_err(), ModelIoError::BadMagic);
+        assert_eq!(
+            CompressedLm::from_bytes(&bad).unwrap_err(),
+            ModelIoError::BadMagic
+        );
         assert_eq!(
             CompressedLm::from_bytes(&good[..20]).unwrap_err(),
             ModelIoError::Truncated

@@ -26,7 +26,7 @@ impl WeightQuantizer {
     /// indices must fit in a byte; the paper uses 64).
     pub fn fit(values: &[f32], k: usize, seed: u64) -> Self {
         assert!(!values.is_empty(), "fit: no values");
-        assert!(k >= 1 && k <= 256, "fit: k {k} out of range");
+        assert!((1..=256).contains(&k), "fit: k {k} out of range");
         let mut sorted: Vec<f32> = values.iter().copied().filter(|v| v.is_finite()).collect();
         assert!(!sorted.is_empty(), "fit: all values non-finite");
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -36,7 +36,11 @@ impl WeightQuantizer {
         // Quantile init spread across the full value range.
         let mut centroids: Vec<f32> = (0..k)
             .map(|i| {
-                let idx = if k == 1 { 0 } else { (i * (sorted.len() - 1)) / (k - 1) };
+                let idx = if k == 1 {
+                    0
+                } else {
+                    (i * (sorted.len() - 1)) / (k - 1)
+                };
                 sorted[idx] + rng.gen_range(-1e-6..1e-6)
             })
             .collect();
@@ -94,7 +98,10 @@ impl WeightQuantizer {
     /// # Panics
     /// Panics if `centroids` is empty, unsorted, or longer than 256.
     pub fn from_centroids(centroids: Vec<f32>) -> Self {
-        assert!(!centroids.is_empty() && centroids.len() <= 256, "from_centroids: bad length");
+        assert!(
+            !centroids.is_empty() && centroids.len() <= 256,
+            "from_centroids: bad length"
+        );
         assert!(
             centroids.windows(2).all(|w| w[0] <= w[1]),
             "from_centroids: codebook must be sorted"
@@ -176,7 +183,9 @@ mod tests {
 
     #[test]
     fn paper_configuration_is_6_bits() {
-        let vals: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.37).sin().abs() * 10.0).collect();
+        let vals: Vec<f32> = (0..10_000)
+            .map(|i| (i as f32 * 0.37).sin().abs() * 10.0)
+            .collect();
         let q = WeightQuantizer::fit(&vals, 64, 1);
         assert_eq!(q.num_clusters(), 64);
         assert_eq!(q.index_bits(), 6);
@@ -185,9 +194,14 @@ mod tests {
 
     #[test]
     fn quantization_error_is_small_relative_to_range() {
-        let vals: Vec<f32> = (0..50_000).map(|i| ((i * 2_654_435_761u64.wrapping_mul(i as u64) as usize) % 1000) as f32 / 100.0).collect();
+        let vals: Vec<f32> = (0..50_000)
+            .map(|i| ((i * 2_654_435_761u64.wrapping_mul(i as u64) as usize) % 1000) as f32 / 100.0)
+            .collect();
         let q = WeightQuantizer::fit(&vals, 64, 2);
-        let max_err = vals.iter().map(|&v| (q.quantize(v) - v).abs()).fold(0.0f32, f32::max);
+        let max_err = vals
+            .iter()
+            .map(|&v| (q.quantize(v) - v).abs())
+            .fold(0.0f32, f32::max);
         assert!(max_err < 0.5, "max error {max_err} too big for 10.0 range");
     }
 

@@ -54,7 +54,10 @@ fn expand_prefix_tree(
         children: Vec<(PhonemeId, usize)>,
         words: Vec<usize>, // indices into exits
     }
-    let mut trie = vec![Node { children: Vec::new(), words: Vec::new() }];
+    let mut trie = vec![Node {
+        children: Vec::new(),
+        words: Vec::new(),
+    }];
     for (i, e) in exits.iter().enumerate() {
         let mut node = 0usize;
         for &ph in lexicon.pronunciation(e.word) {
@@ -62,7 +65,10 @@ fn expand_prefix_tree(
                 Some(&(_, n)) => n,
                 None => {
                     let n = trie.len();
-                    trie.push(Node { children: Vec::new(), words: Vec::new() });
+                    trie.push(Node {
+                        children: Vec::new(),
+                        words: Vec::new(),
+                    });
                     trie[node].children.push((ph, n));
                     n
                 }
@@ -98,11 +104,7 @@ fn expand_prefix_tree(
 ///
 /// # Panics
 /// Panics if the lexicon vocabulary is smaller than the LM's.
-pub fn build_composed_lg(
-    lexicon: &Lexicon,
-    topology: HmmTopology,
-    model: &NGramModel,
-) -> Wfst {
+pub fn build_composed_lg(lexicon: &Lexicon, topology: HmmTopology, model: &NGramModel) -> Wfst {
     assert!(
         lexicon.vocab_size() >= model.vocab_size(),
         "build_composed_lg: lexicon smaller than LM vocabulary"
@@ -116,7 +118,10 @@ pub fn build_composed_lg(
     for (i, &h) in tri_hists.iter().enumerate() {
         bigram_states.insert(h, first_bigram_state + i as StateId);
     }
-    let layout = LmWfstLayout { vocab_size: v, bigram_states };
+    let layout = LmWfstLayout {
+        vocab_size: v,
+        bigram_states,
+    };
     let num_anchors = v + 1 + tri_hists.len();
 
     let mut b = WfstBuilder::with_states(num_anchors);
@@ -127,7 +132,11 @@ pub fn build_composed_lg(
 
     // Root anchor: the full vocabulary (unigrams).
     let root_exits: Vec<WordExit> = (1..=v as u32)
-        .map(|w| WordExit { word: w, lm_cost: model.unigram_cost(w), dest_anchor: w })
+        .map(|w| WordExit {
+            word: w,
+            lm_cost: model.unigram_cost(w),
+            dest_anchor: w,
+        })
         .collect();
     expand_prefix_tree(&mut b, lexicon, topology, 0, &root_exits);
 
@@ -136,7 +145,11 @@ pub fn build_composed_lg(
         let exits: Vec<WordExit> = model
             .bigram_arcs(u)
             .iter()
-            .map(|&(w, cost)| WordExit { word: w, lm_cost: cost, dest_anchor: layout.state_for(&[u, w]) })
+            .map(|&(w, cost)| WordExit {
+                word: w,
+                lm_cost: cost,
+                dest_anchor: layout.state_for(&[u, w]),
+            })
             .collect();
         expand_prefix_tree(&mut b, lexicon, topology, u, &exits);
         b.add_arc(u, Arc::epsilon(model.bigram_backoff_cost(u), 0));
@@ -148,7 +161,11 @@ pub fn build_composed_lg(
         let exits: Vec<WordExit> = model
             .trigram_arcs(u, vv)
             .iter()
-            .map(|&(w, cost)| WordExit { word: w, lm_cost: cost, dest_anchor: layout.state_for(&[vv, w]) })
+            .map(|&(w, cost)| WordExit {
+                word: w,
+                lm_cost: cost,
+                dest_anchor: layout.state_for(&[vv, w]),
+            })
             .collect();
         expand_prefix_tree(&mut b, lexicon, topology, s, &exits);
         b.add_arc(s, Arc::epsilon(model.trigram_backoff_cost(u, vv), vv));
@@ -170,7 +187,11 @@ mod tests {
 
     fn build() -> (Lexicon, NGramModel, Wfst) {
         let lex = Lexicon::generate(100, 25, 8);
-        let spec = CorpusSpec { vocab_size: 100, num_sentences: 800, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 100,
+            num_sentences: 800,
+            ..Default::default()
+        };
         let model = NGramModel::train(&spec.generate(9), 100, DiscountConfig::default());
         let lg = build_composed_lg(&lex, HmmTopology::Kaldi3State, &model);
         (lex, model, lg)
@@ -235,7 +256,11 @@ mod tests {
     #[test]
     fn ctc_variant_is_smaller() {
         let lex = Lexicon::generate(100, 25, 8);
-        let spec = CorpusSpec { vocab_size: 100, num_sentences: 800, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 100,
+            num_sentences: 800,
+            ..Default::default()
+        };
         let model = NGramModel::train(&spec.generate(9), 100, DiscountConfig::default());
         let kaldi = build_composed_lg(&lex, HmmTopology::Kaldi3State, &model);
         let ctc = build_composed_lg(&lex, HmmTopology::Ctc, &model);

@@ -12,9 +12,11 @@
 
 use unfold_am::Utterance;
 use unfold_decoder::{
-    wer, DecodeConfig, DecodeStats, FullyComposedDecoder, OtfDecoder, WerReport,
+    wer, DecodeConfig, DecodeResult, DecodeStats, FullyComposedDecoder, MetricsSink, OtfDecoder,
+    TeeSink, TraceSink, WerReport,
 };
-use unfold_sim::{Accelerator, AcceleratorConfig, GpuModel, SimReport};
+use unfold_obs::CacheRates;
+use unfold_sim::{Accelerator, AcceleratorConfig, FrameCacheSnapshot, GpuModel, SimReport};
 
 use crate::system::System;
 
@@ -31,6 +33,9 @@ pub struct SystemRun {
     pub audio_seconds: f64,
     /// Per-utterance decode time on the accelerator, seconds.
     pub per_utterance_seconds: Vec<f64>,
+    /// Per-frame cache/OLT hit rates across the whole batch, in decode
+    /// order (one entry per frame).
+    pub frame_cache: Vec<FrameCacheSnapshot>,
 }
 
 impl SystemRun {
@@ -42,7 +47,11 @@ impl SystemRun {
 
     /// Worst per-utterance latency in milliseconds (Table 5).
     pub fn max_latency_ms(&self) -> f64 {
-        self.per_utterance_seconds.iter().copied().fold(0.0, f64::max) * 1e3
+        self.per_utterance_seconds
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+            * 1e3
     }
 }
 
@@ -60,10 +69,82 @@ fn merge_stats(total: &mut DecodeStats, one: &DecodeStats) {
     total.epsilon_expansions += one.epsilon_expansions;
 }
 
+/// Copies the accelerator's per-frame cache rates onto the telemetry
+/// `metrics` recorded during the same run. Frames are matched by the
+/// sink's global sequence number, so `metrics` must have been fresh
+/// when the run started.
+fn attach_cache_rates(metrics: &mut MetricsSink, snaps: &[FrameCacheSnapshot]) {
+    for ft in metrics.frames_mut().iter_mut() {
+        if let Some(s) = snaps.get(ft.seq as usize) {
+            ft.cache = Some(CacheRates {
+                state: s.state,
+                am_arc: s.am_arc,
+                lm_arc: s.lm_arc,
+                token: s.token,
+                olt: s.olt,
+            });
+        }
+    }
+}
+
+/// Shared batch loop: decodes every utterance into the accelerator
+/// (optionally teeing the trace into `metrics`), then builds the run
+/// report. Observability must not steer the search, so the decode
+/// closure receives whichever sink composition is active.
+fn run_accelerated<F>(
+    utterances: &[Utterance],
+    accel_config: AcceleratorConfig,
+    mut metrics: Option<&mut MetricsSink>,
+    mut decode_one: F,
+) -> SystemRun
+where
+    F: FnMut(&Utterance, &mut dyn TraceSink) -> DecodeResult,
+{
+    assert!(!utterances.is_empty(), "run_accelerated: no utterances");
+    let mut accel = Accelerator::new(accel_config);
+    let mut total_wer = WerReport::default();
+    let mut stats = DecodeStats::default();
+    let mut audio = 0.0;
+    let mut per_utt = Vec::with_capacity(utterances.len());
+    let freq_hz = accel.config().frequency_mhz as f64 * 1e6;
+    for utt in utterances {
+        let c0 = accel.cycles();
+        let res = match metrics {
+            Some(ref mut m) => {
+                let mut tee = TeeSink::new(vec![&mut accel, &mut **m]);
+                decode_one(utt, &mut tee)
+            }
+            None => decode_one(utt, &mut accel),
+        };
+        per_utt.push((accel.cycles() - c0) as f64 / freq_hz);
+        total_wer.accumulate(wer(&utt.words, &res.words));
+        merge_stats(&mut stats, &res.stats);
+        audio += utt.audio_seconds();
+    }
+    let sim = accel.finish(audio);
+    let frame_cache = accel.frame_snapshots().to_vec();
+    if let Some(m) = metrics {
+        attach_cache_rates(m, &frame_cache);
+    }
+    SystemRun {
+        wer: total_wer,
+        sim,
+        stats,
+        audio_seconds: audio,
+        per_utterance_seconds: per_utt,
+        frame_cache,
+    }
+}
+
 /// Runs UNFOLD: on-the-fly decode of the compressed models, simulated
 /// on the UNFOLD accelerator configuration.
 pub fn run_unfold(system: &System, utterances: &[Utterance]) -> SystemRun {
-    run_unfold_configured(system, utterances, AcceleratorConfig::unfold(), DecodeConfig::default())
+    run_unfold_configured(
+        system,
+        utterances,
+        AcceleratorConfig::unfold(),
+        DecodeConfig::default(),
+    )
 }
 
 /// [`run_unfold`] with explicit accelerator/decoder configurations
@@ -74,24 +155,28 @@ pub fn run_unfold_configured(
     accel_config: AcceleratorConfig,
     decode_config: DecodeConfig,
 ) -> SystemRun {
-    assert!(!utterances.is_empty(), "run_unfold: no utterances");
     let decoder = OtfDecoder::new(decode_config);
-    let mut accel = Accelerator::new(accel_config);
-    let mut total_wer = WerReport::default();
-    let mut stats = DecodeStats::default();
-    let mut audio = 0.0;
-    let mut per_utt = Vec::with_capacity(utterances.len());
-    let freq_hz = accel.config().frequency_mhz as f64 * 1e6;
-    for utt in utterances {
-        let c0 = accel.cycles();
-        let res = decoder.decode(&system.am_comp, &system.lm_comp, &utt.scores, &mut accel);
-        per_utt.push((accel.cycles() - c0) as f64 / freq_hz);
-        total_wer.accumulate(wer(&utt.words, &res.words));
-        merge_stats(&mut stats, &res.stats);
-        audio += utt.audio_seconds();
-    }
-    let sim = accel.finish(audio);
-    SystemRun { wer: total_wer, sim, stats, audio_seconds: audio, per_utterance_seconds: per_utt }
+    run_accelerated(utterances, accel_config, None, |utt, sink| {
+        decoder.decode(&system.am_comp, &system.lm_comp, &utt.scores, sink)
+    })
+}
+
+/// [`run_unfold`] with decode-time telemetry: every trace event is
+/// teed into `metrics` alongside the accelerator, and after the batch
+/// each recorded frame is annotated with the accelerator's cache/OLT
+/// hit rates for that frame. Pass a freshly-created sink.
+pub fn run_unfold_traced(
+    system: &System,
+    utterances: &[Utterance],
+    metrics: &mut MetricsSink,
+) -> SystemRun {
+    let decoder = OtfDecoder::new(DecodeConfig::default());
+    run_accelerated(
+        utterances,
+        AcceleratorConfig::unfold(),
+        Some(metrics),
+        |utt, sink| decoder.decode(&system.am_comp, &system.lm_comp, &utt.scores, sink),
+    )
 }
 
 /// Runs the Reza et al. baseline: fully-composed decode on the offline
@@ -110,7 +195,13 @@ pub fn run_baseline_on(
     composed: &unfold_wfst::Wfst,
     utterances: &[Utterance],
 ) -> SystemRun {
-    run_baseline_configured(system, composed, utterances, AcceleratorConfig::reza(), DecodeConfig::default())
+    run_baseline_configured(
+        system,
+        composed,
+        utterances,
+        AcceleratorConfig::reza(),
+        DecodeConfig::default(),
+    )
 }
 
 /// [`run_baseline_on`] with explicit accelerator/decoder configurations.
@@ -121,24 +212,27 @@ pub fn run_baseline_configured(
     accel_config: AcceleratorConfig,
     decode_config: DecodeConfig,
 ) -> SystemRun {
-    assert!(!utterances.is_empty(), "run_baseline: no utterances");
     let decoder = FullyComposedDecoder::new(decode_config);
-    let mut accel = Accelerator::new(accel_config);
-    let mut total_wer = WerReport::default();
-    let mut stats = DecodeStats::default();
-    let mut audio = 0.0;
-    let mut per_utt = Vec::with_capacity(utterances.len());
-    let freq_hz = accel.config().frequency_mhz as f64 * 1e6;
-    for utt in utterances {
-        let c0 = accel.cycles();
-        let res = decoder.decode(composed, &utt.scores, &mut accel);
-        per_utt.push((accel.cycles() - c0) as f64 / freq_hz);
-        total_wer.accumulate(wer(&utt.words, &res.words));
-        merge_stats(&mut stats, &res.stats);
-        audio += utt.audio_seconds();
-    }
-    let sim = accel.finish(audio);
-    SystemRun { wer: total_wer, sim, stats, audio_seconds: audio, per_utterance_seconds: per_utt }
+    run_accelerated(utterances, accel_config, None, |utt, sink| {
+        decoder.decode(composed, &utt.scores, sink)
+    })
+}
+
+/// [`run_baseline_on`] with decode-time telemetry (see
+/// [`run_unfold_traced`]).
+pub fn run_baseline_traced(
+    _system: &System,
+    composed: &unfold_wfst::Wfst,
+    utterances: &[Utterance],
+    metrics: &mut MetricsSink,
+) -> SystemRun {
+    let decoder = FullyComposedDecoder::new(DecodeConfig::default());
+    run_accelerated(
+        utterances,
+        AcceleratorConfig::reza(),
+        Some(metrics),
+        |utt, sink| decoder.decode(composed, &utt.scores, sink),
+    )
 }
 
 /// Outcome of the GPU (Tegra X1) software run.
@@ -221,10 +315,37 @@ mod tests {
         let run = run_unfold(&s, &utts);
         assert!(run.wer.ref_words > 0);
         assert!(run.sim.cycles > 0);
-        assert!(run.sim.times_real_time() > 1.0, "accelerator must beat real time");
+        assert!(
+            run.sim.times_real_time() > 1.0,
+            "accelerator must beat real time"
+        );
         assert!(run.stats.lm_lookups > 0);
         assert_eq!(run.per_utterance_seconds.len(), 3);
         assert!(run.max_latency_ms() >= run.avg_latency_ms());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_carries_cache_rates() {
+        let (s, utts) = setup();
+        let plain = run_unfold(&s, &utts);
+        let mut metrics = MetricsSink::new();
+        let traced = run_unfold_traced(&s, &utts, &mut metrics);
+
+        // Observability listens, it never steers: identical outcomes.
+        assert_eq!(plain.wer, traced.wer);
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(plain.sim.cycles, traced.sim.cycles);
+
+        // One cache snapshot per decoded frame, attached to telemetry.
+        assert_eq!(traced.frame_cache.len(), traced.stats.frames);
+        assert_eq!(metrics.frames().total_seen() as usize, traced.stats.frames);
+        for ft in metrics.frames().iter() {
+            let c = ft.cache.expect("every frame gets cache rates");
+            assert!((0.0..=1.0).contains(&c.state));
+            assert!((0.0..=1.0).contains(&c.olt));
+        }
+        // Stage spans covered the run.
+        assert!(metrics.collector().stages.total() > std::time::Duration::ZERO);
     }
 
     #[test]
@@ -259,6 +380,9 @@ mod tests {
         let accel = run_unfold(&s, &utts);
         let gpu = run_gpu(&s, &utts);
         assert!(gpu.search_seconds > accel.sim.seconds * 3.0);
-        assert!(gpu.viterbi_fraction() > 0.5, "Viterbi must dominate (Figure 1)");
+        assert!(
+            gpu.viterbi_fraction() > 0.5,
+            "Viterbi must dominate (Figure 1)"
+        );
     }
 }

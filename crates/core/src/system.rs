@@ -1,8 +1,7 @@
 //! End-to-end system assembly: one call builds everything a task needs.
 
 use unfold_am::{
-    build_am, synthesize_utterance, synthesize_utterance_gmm, AmGraph, GmmModel, Lexicon,
-    Utterance,
+    build_am, synthesize_utterance, synthesize_utterance_gmm, AmGraph, GmmModel, Lexicon, Utterance,
 };
 use unfold_compress::{CompressedAm, CompressedComposed, CompressedLm};
 use unfold_lm::{lm_to_wfst, Corpus, NGramModel};
@@ -80,7 +79,9 @@ pub struct System {
 
 impl std::fmt::Debug for System {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("System").field("task", &self.spec.name).finish_non_exhaustive()
+        f.debug_struct("System")
+            .field("task", &self.spec.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -99,7 +100,11 @@ impl System {
         let lm_comp = CompressedLm::compress(&lm_fst, QUANT_CLUSTERS, spec.seed);
         let gmm = match spec.scoring {
             ScoringSynth::Table => None,
-            ScoringSynth::RealGmm { dim, mixtures, separation } => Some(GmmModel::synthesize(
+            ScoringSynth::RealGmm {
+                dim,
+                mixtures,
+                separation,
+            } => Some(GmmModel::synthesize(
                 am.num_pdfs,
                 dim,
                 mixtures,
@@ -107,7 +112,17 @@ impl System {
                 spec.seed ^ 0x6A11,
             )),
         };
-        System { spec: *spec, lexicon, am, lm_model, lm_fst, am_comp, lm_comp, gmm, heldout }
+        System {
+            spec: *spec,
+            lexicon,
+            am,
+            lm_model,
+            lm_fst,
+            am_comp,
+            lm_comp,
+            gmm,
+            heldout,
+        }
     }
 
     /// Builds the offline-composed decoding graph (large; built on
@@ -199,7 +214,11 @@ mod tests {
         assert!(t.unfold_mib() < t.composed_comp_mib);
         // Headline reductions point the right way.
         assert!(t.reduction_vs_composed() > t.reduction_vs_composed_comp());
-        assert!(t.reduction_vs_composed() > 8.0, "got {}", t.reduction_vs_composed());
+        assert!(
+            t.reduction_vs_composed() > 8.0,
+            "got {}",
+            t.reduction_vs_composed()
+        );
     }
 
     #[test]
@@ -210,7 +229,11 @@ mod tests {
         let utts = s.test_utterances(2);
         assert_eq!(utts[0].scores.num_pdfs(), s.am.num_pdfs);
         let run = crate::experiments::run_unfold(&s, &utts);
-        assert!(run.wer.percent() < 25.0, "well-separated GMM: {}", run.wer.percent());
+        assert!(
+            run.wer.percent() < 25.0,
+            "well-separated GMM: {}",
+            run.wer.percent()
+        );
     }
 
     #[test]

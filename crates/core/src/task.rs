@@ -69,8 +69,16 @@ impl TaskSpec {
             phonemes: 40,
             topology: HmmTopology::Kaldi3State,
             discount: DiscountConfig::default(),
-            backend: AcousticBackend::Gmm { num_pdfs: 120, mixtures: 32, feat_dim: 60 },
-            noise: NoiseModel { word_confusion_prob: 0.28, noise_sigma: 1.0, ..NoiseModel::default() },
+            backend: AcousticBackend::Gmm {
+                num_pdfs: 120,
+                mixtures: 32,
+                feat_dim: 60,
+            },
+            noise: NoiseModel {
+                word_confusion_prob: 0.28,
+                noise_sigma: 1.0,
+                ..NoiseModel::default()
+            },
             scoring: ScoringSynth::Table,
             seed: 0x7ED,
         }
@@ -85,8 +93,14 @@ impl TaskSpec {
             phonemes: 42,
             topology: HmmTopology::Kaldi3State,
             discount: DiscountConfig::default(),
-            backend: AcousticBackend::Dnn { layer_widths: [120, 512, 512, 512, 512, 2000] },
-            noise: NoiseModel { word_confusion_prob: 0.085, noise_sigma: 0.9, ..NoiseModel::default() },
+            backend: AcousticBackend::Dnn {
+                layer_widths: [120, 512, 512, 512, 512, 2000],
+            },
+            noise: NoiseModel {
+                word_confusion_prob: 0.085,
+                noise_sigma: 0.9,
+                ..NoiseModel::default()
+            },
             scoring: ScoringSynth::Table,
             seed: 0x11B5,
         }
@@ -101,8 +115,16 @@ impl TaskSpec {
             phonemes: 35,
             topology: HmmTopology::Kaldi3State,
             discount: DiscountConfig::default(),
-            backend: AcousticBackend::Gmm { num_pdfs: 105, mixtures: 8, feat_dim: 39 },
-            noise: NoiseModel { word_confusion_prob: 0.14, noise_sigma: 0.9, ..NoiseModel::default() },
+            backend: AcousticBackend::Gmm {
+                num_pdfs: 105,
+                mixtures: 8,
+                feat_dim: 39,
+            },
+            noise: NoiseModel {
+                word_confusion_prob: 0.14,
+                noise_sigma: 0.9,
+                ..NoiseModel::default()
+            },
             scoring: ScoringSynth::Table,
             seed: 0x40F,
         }
@@ -117,9 +139,21 @@ impl TaskSpec {
             num_sentences: 34_000,
             phonemes: 40,
             topology: HmmTopology::Ctc,
-            discount: DiscountConfig { min_bigram_count: 2, min_trigram_count: 2, ..Default::default() },
-            backend: AcousticBackend::Lstm { input: 120, hidden: 100, layers: 4 },
-            noise: NoiseModel { word_confusion_prob: 0.26, noise_sigma: 1.0, ..NoiseModel::default() },
+            discount: DiscountConfig {
+                min_bigram_count: 2,
+                min_trigram_count: 2,
+                ..Default::default()
+            },
+            backend: AcousticBackend::Lstm {
+                input: 120,
+                hidden: 100,
+                layers: 4,
+            },
+            noise: NoiseModel {
+                word_confusion_prob: 0.26,
+                noise_sigma: 1.0,
+                ..NoiseModel::default()
+            },
             scoring: ScoringSynth::Table,
             seed: 0xEE5E,
         }
@@ -146,8 +180,16 @@ impl TaskSpec {
             phonemes: 25,
             topology: HmmTopology::Kaldi3State,
             discount: DiscountConfig::default(),
-            backend: AcousticBackend::Gmm { num_pdfs: 75, mixtures: 4, feat_dim: 20 },
-            noise: NoiseModel { word_confusion_prob: 0.10, noise_sigma: 0.8, ..NoiseModel::default() },
+            backend: AcousticBackend::Gmm {
+                num_pdfs: 75,
+                mixtures: 4,
+                feat_dim: 20,
+            },
+            noise: NoiseModel {
+                word_confusion_prob: 0.10,
+                noise_sigma: 0.8,
+                ..NoiseModel::default()
+            },
             scoring: ScoringSynth::Table,
             seed: 42,
         }
@@ -156,7 +198,11 @@ impl TaskSpec {
     /// Switches the task to real-GMM scoring (see
     /// [`ScoringSynth::RealGmm`]).
     pub fn with_real_gmm(mut self, dim: usize, mixtures: usize, separation: f32) -> Self {
-        self.scoring = ScoringSynth::RealGmm { dim, mixtures, separation };
+        self.scoring = ScoringSynth::RealGmm {
+            dim,
+            mixtures,
+            separation,
+        };
         self
     }
 
@@ -197,7 +243,10 @@ mod tests {
     #[test]
     fn real_gmm_switch() {
         let spec = TaskSpec::tiny().with_real_gmm(12, 2, 4.0);
-        assert!(matches!(spec.scoring, ScoringSynth::RealGmm { dim: 12, .. }));
+        assert!(matches!(
+            spec.scoring,
+            ScoringSynth::RealGmm { dim: 12, .. }
+        ));
         assert_eq!(TaskSpec::tiny().scoring, ScoringSynth::Table);
     }
 
@@ -206,7 +255,12 @@ mod tests {
         let names: Vec<_> = TaskSpec::all_paper_tasks().iter().map(|t| t.name).collect();
         assert_eq!(
             names,
-            vec!["Kaldi-TEDLIUM", "Kaldi-Librispeech", "Kaldi-Voxforge", "EESEN-TEDLIUM"]
+            vec![
+                "Kaldi-TEDLIUM",
+                "Kaldi-Librispeech",
+                "Kaldi-Voxforge",
+                "EESEN-TEDLIUM"
+            ]
         );
     }
 }

@@ -18,7 +18,11 @@ pub struct DecodeConfig {
 
 impl Default for DecodeConfig {
     fn default() -> Self {
-        DecodeConfig { beam: 14.0, max_active: 6_000, preemptive_pruning: true }
+        DecodeConfig {
+            beam: 14.0,
+            max_active: 6_000,
+            preemptive_pruning: true,
+        }
     }
 }
 
@@ -117,7 +121,11 @@ mod tests {
 
     #[test]
     fn incomplete_result_detected() {
-        let r = DecodeResult { words: vec![], cost: f32::INFINITY, stats: DecodeStats::default() };
+        let r = DecodeResult {
+            words: vec![],
+            cost: f32::INFINITY,
+            stats: DecodeStats::default(),
+        };
         assert!(!r.is_complete());
     }
 }

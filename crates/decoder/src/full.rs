@@ -10,7 +10,7 @@ use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
 use crate::lattice::{Lattice, COMPACT_ENTRY_BYTES, LATTICE_ROOT};
 use crate::search::{prune_threshold, Token, TokenMap};
 use crate::sources::{addr, AmSource};
-use crate::trace::TraceSink;
+use crate::trace::{DecodeStage, TraceSink};
 
 /// Beam-search decoder for offline-composed WFSTs.
 #[derive(Debug, Clone)]
@@ -42,10 +42,24 @@ impl FullyComposedDecoder {
         let mut stats = DecodeStats::default();
         let mut lattice = Lattice::new();
         let mut cur: TokenMap<StateId, Token> = TokenMap::default();
-        cur.insert(AmSource::start(fst), Token { cost: 0.0, lat: LATTICE_ROOT });
+        cur.insert(
+            AmSource::start(fst),
+            Token {
+                cost: 0.0,
+                lat: LATTICE_ROOT,
+            },
+        );
         // Initial non-emitting closure (the composed start state may have
         // epsilon-input arcs after a cross-word loop).
-        self.epsilon_closure(fst, &mut cur, &mut lattice, 0, f32::INFINITY, sink, &mut stats);
+        self.epsilon_closure(
+            fst,
+            &mut cur,
+            &mut lattice,
+            0,
+            f32::INFINITY,
+            sink,
+            &mut stats,
+        );
 
         for t in 0..scores.num_frames() {
             sink.frame_start(t, cur.len());
@@ -53,7 +67,9 @@ impl FullyComposedDecoder {
             stats.max_active = stats.max_active.max(cur.len());
             stats.total_active += cur.len() as u64;
 
+            sink.stage_enter(DecodeStage::Pruning);
             let thr = prune_threshold(&cur, self.config.beam, self.config.max_active);
+            sink.stage_switch(DecodeStage::Pruning, DecodeStage::ArcExpansion);
             let mut next: TokenMap<StateId, Token> = TokenMap::default();
             let mut next_best = f32::INFINITY;
 
@@ -100,10 +116,23 @@ impl FullyComposedDecoder {
                 sink,
                 &mut stats,
             );
+            sink.stage_exit(DecodeStage::ArcExpansion);
+
+            let mut best = f32::INFINITY;
+            let mut worst = f32::NEG_INFINITY;
+            for tok in next.values() {
+                best = best.min(tok.cost);
+                worst = if worst.is_finite() {
+                    worst.max(tok.cost)
+                } else {
+                    tok.cost
+                };
+            }
+            sink.frame_end(t, next.len(), best, worst);
             cur = next;
         }
 
-        finish(fst, &cur, &lattice, stats)
+        finish(fst, &cur, &lattice, stats, sink)
     }
 
     /// Relaxes epsilon-input arcs to a fixed point (worklist).
@@ -122,7 +151,10 @@ impl FullyComposedDecoder {
         let mut guard = 0u64;
         while let Some(s) = worklist.pop() {
             guard += 1;
-            assert!(guard < 100_000_000, "epsilon closure diverged: negative cycle?");
+            assert!(
+                guard < 100_000_000,
+                "epsilon closure diverged: negative cycle?"
+            );
             let tok = match tokens.get(&s) {
                 Some(t) => *t,
                 None => continue,
@@ -189,7 +221,9 @@ fn finish(
     tokens: &TokenMap<StateId, Token>,
     lattice: &Lattice,
     stats: DecodeStats,
+    sink: &mut dyn TraceSink,
 ) -> DecodeResult {
+    sink.stage_enter(DecodeStage::Lattice);
     let mut best_cost = f32::INFINITY;
     let mut best_lat = LATTICE_ROOT;
     for (&s, tok) in tokens.iter() {
@@ -206,7 +240,12 @@ fn finish(
     } else {
         Vec::new()
     };
-    DecodeResult { words, cost: best_cost, stats }
+    sink.stage_exit(DecodeStage::Lattice);
+    DecodeResult {
+        words,
+        cost: best_cost,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +259,11 @@ mod tests {
     fn setup() -> (Lexicon, Wfst) {
         let lex = Lexicon::generate(60, 25, 4);
         let am = build_am(&lex, HmmTopology::Kaldi3State);
-        let spec = CorpusSpec { vocab_size: 60, num_sentences: 400, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 60,
+            num_sentences: 400,
+            ..Default::default()
+        };
         let model = NGramModel::train(&spec.generate(5), 60, DiscountConfig::default());
         let lm = lm_to_wfst(&model);
         let composed = compose_am_lm(&am.fst, &lm, ComposeOptions::default());
@@ -231,7 +274,13 @@ mod tests {
     fn decodes_clean_utterance_exactly() {
         let (lex, composed) = setup();
         let truth = vec![7u32, 3, 15, 2];
-        let utt = synthesize_utterance(&truth, &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 11);
+        let utt = synthesize_utterance(
+            &truth,
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            11,
+        );
         let dec = FullyComposedDecoder::new(DecodeConfig::default());
         let res = dec.decode(&composed, &utt.scores, &mut NullSink);
         assert!(res.is_complete());
@@ -241,7 +290,13 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let (lex, composed) = setup();
-        let utt = synthesize_utterance(&[1, 2], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 3);
+        let utt = synthesize_utterance(
+            &[1, 2],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            3,
+        );
         let dec = FullyComposedDecoder::new(DecodeConfig::default());
         let mut sink = CountingSink::default();
         let res = dec.decode(&composed, &utt.scores, &mut sink);
@@ -250,7 +305,10 @@ mod tests {
         assert!(res.stats.max_active >= 1);
         assert_eq!(sink.frames, utt.scores.num_frames());
         assert!(sink.am_arc_fetches > 0);
-        assert!(sink.token_bytes > 0, "cross-word arcs must write lattice entries");
+        assert!(
+            sink.token_bytes > 0,
+            "cross-word arcs must write lattice entries"
+        );
         // The fully-composed decoder never touches an LM.
         assert_eq!(sink.lm_lookups, 0);
     }
@@ -258,11 +316,23 @@ mod tests {
     #[test]
     fn tight_beam_prunes_more() {
         let (lex, composed) = setup();
-        let utt = synthesize_utterance(&[5, 9, 12], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 7);
-        let wide = FullyComposedDecoder::new(DecodeConfig { beam: 16.0, ..Default::default() })
-            .decode(&composed, &utt.scores, &mut NullSink);
-        let tight = FullyComposedDecoder::new(DecodeConfig { beam: 4.0, ..Default::default() })
-            .decode(&composed, &utt.scores, &mut NullSink);
+        let utt = synthesize_utterance(
+            &[5, 9, 12],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            7,
+        );
+        let wide = FullyComposedDecoder::new(DecodeConfig {
+            beam: 16.0,
+            ..Default::default()
+        })
+        .decode(&composed, &utt.scores, &mut NullSink);
+        let tight = FullyComposedDecoder::new(DecodeConfig {
+            beam: 4.0,
+            ..Default::default()
+        })
+        .decode(&composed, &utt.scores, &mut NullSink);
         assert!(tight.stats.mean_active() < wide.stats.mean_active());
         // A wider beam can only find an equal-or-better path.
         if wide.is_complete() && tight.is_complete() {
@@ -273,7 +343,13 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let (lex, composed) = setup();
-        let utt = synthesize_utterance(&[2, 4, 6], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 13);
+        let utt = synthesize_utterance(
+            &[2, 4, 6],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            13,
+        );
         let dec = FullyComposedDecoder::new(DecodeConfig::default());
         let a = dec.decode(&composed, &utt.scores, &mut NullSink);
         let b = dec.decode(&composed, &utt.scores, &mut NullSink);

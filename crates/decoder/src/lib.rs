@@ -37,11 +37,12 @@
 //! ```
 
 pub mod config;
-pub(crate) mod search;
 pub mod full;
 pub mod lattice;
+pub mod metrics;
 pub mod otf;
 pub mod record;
+pub(crate) mod search;
 pub mod sources;
 pub mod streaming;
 pub mod trace;
@@ -51,10 +52,11 @@ pub mod wer;
 pub use config::{DecodeConfig, DecodeResult, DecodeStats};
 pub use full::FullyComposedDecoder;
 pub use lattice::Lattice;
+pub use metrics::{MetricsSink, TeeSink};
 pub use otf::OtfDecoder;
 pub use record::{TraceEvent, TraceRecorder};
 pub use sources::{addr, AmSource, ArcVisit, LinearLm, LmResolution, LmSource};
 pub use streaming::OtfStream;
+pub use trace::{CountingSink, DecodeStage, NullSink, TraceSink};
 pub use twopass::{TwoPassDecoder, TwoPassResult, UnigramLm};
-pub use trace::{CountingSink, NullSink, TraceSink};
 pub use wer::{align, oracle_wer, wer, AlignOp, WerReport};

@@ -16,7 +16,7 @@ use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
 use crate::lattice::{Lattice, COMPACT_ENTRY_BYTES, LATTICE_ROOT};
 use crate::search::{prune_threshold, Token, TokenMap};
 use crate::sources::{addr, AmSource, LmSource};
-use crate::trace::TraceSink;
+use crate::trace::{DecodeStage, TraceSink};
 
 /// Token key: AM state in the high half, LM state in the low half —
 /// also how the accelerator indexes its token hash tables ("the hash
@@ -73,12 +73,39 @@ impl OtfDecoder {
         let mut stats = DecodeStats::default();
         let mut lattice = Lattice::new();
         let mut cur: TokenMap<u64, Token> = TokenMap::default();
-        cur.insert(token_key(am.start(), lm.start()), Token { cost: 0.0, lat: LATTICE_ROOT });
-        epsilon_closure(&self.config, am, lm, &mut cur, &mut lattice, 0, f32::INFINITY, sink, &mut stats);
+        cur.insert(
+            token_key(am.start(), lm.start()),
+            Token {
+                cost: 0.0,
+                lat: LATTICE_ROOT,
+            },
+        );
+        epsilon_closure(
+            &self.config,
+            am,
+            lm,
+            &mut cur,
+            &mut lattice,
+            0,
+            f32::INFINITY,
+            sink,
+            &mut stats,
+        );
         for t in 0..scores.num_frames() {
-            cur = expand_frame(&self.config, am, lm, &cur, scores.frame(t), t, &mut lattice, sink, &mut stats);
+            cur = expand_frame(
+                &self.config,
+                am,
+                lm,
+                &cur,
+                scores.frame(t),
+                t,
+                &mut lattice,
+                sink,
+                &mut stats,
+            );
         }
         // Collect every complete hypothesis, dedup by word string.
+        sink.stage_enter(DecodeStage::Lattice);
         let mut finals: Vec<(f32, u32)> = Vec::new();
         for (&key, tok) in cur.iter() {
             let (am_s, _) = split(key);
@@ -100,6 +127,7 @@ impl OtfDecoder {
                 break;
             }
         }
+        sink.stage_exit(DecodeStage::Lattice);
         out
     }
 
@@ -121,8 +149,24 @@ impl OtfDecoder {
         let mut stats = DecodeStats::default();
         let mut lattice = Lattice::new();
         let mut cur: TokenMap<u64, Token> = TokenMap::default();
-        cur.insert(token_key(am.start(), lm.start()), Token { cost: 0.0, lat: LATTICE_ROOT });
-        epsilon_closure(&self.config, am, lm, &mut cur, &mut lattice, 0, f32::INFINITY, sink, &mut stats);
+        cur.insert(
+            token_key(am.start(), lm.start()),
+            Token {
+                cost: 0.0,
+                lat: LATTICE_ROOT,
+            },
+        );
+        epsilon_closure(
+            &self.config,
+            am,
+            lm,
+            &mut cur,
+            &mut lattice,
+            0,
+            f32::INFINITY,
+            sink,
+            &mut stats,
+        );
 
         for t in 0..scores.num_frames() {
             cur = expand_frame(
@@ -138,7 +182,7 @@ impl OtfDecoder {
             );
         }
 
-        finish(am, &cur, &lattice, stats)
+        finish(am, &cur, &lattice, stats, sink)
     }
 }
 
@@ -165,7 +209,9 @@ pub(crate) fn expand_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
     stats.max_active = stats.max_active.max(cur.len());
     stats.total_active += cur.len() as u64;
 
+    sink.stage_enter(DecodeStage::Pruning);
     let thr = prune_threshold(cur, config.beam, config.max_active);
+    sink.stage_switch(DecodeStage::Pruning, DecodeStage::ArcExpansion);
     let mut next: TokenMap<u64, Token> = TokenMap::default();
     let mut next_best = f32::INFINITY;
 
@@ -210,11 +256,43 @@ pub(crate) fn expand_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
                 (lm_s, base, EPSILON)
             };
             next_best = next_best.min(cost);
-            relax(&mut next, token_key(arc.nextstate, lm_next), cost, tok.lat, word, t as u32, lattice, sink);
+            relax(
+                &mut next,
+                token_key(arc.nextstate, lm_next),
+                cost,
+                tok.lat,
+                word,
+                t as u32,
+                lattice,
+                sink,
+            );
         });
     }
 
-    epsilon_closure(config, am, lm, &mut next, lattice, t as u32, next_best + config.beam, sink, stats);
+    epsilon_closure(
+        config,
+        am,
+        lm,
+        &mut next,
+        lattice,
+        t as u32,
+        next_best + config.beam,
+        sink,
+        stats,
+    );
+    sink.stage_exit(DecodeStage::ArcExpansion);
+
+    let mut best = f32::INFINITY;
+    let mut worst = f32::INFINITY;
+    for tok in next.values() {
+        best = best.min(tok.cost);
+        worst = if worst.is_finite() {
+            worst.max(tok.cost)
+        } else {
+            tok.cost
+        };
+    }
+    sink.frame_end(t, next.len(), best, worst);
     next
 }
 
@@ -232,44 +310,60 @@ pub(crate) fn epsilon_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
     sink: &mut dyn TraceSink,
     stats: &mut DecodeStats,
 ) {
-        let mut worklist: Vec<u64> = tokens.keys().copied().collect();
-        let mut guard = 0u64;
-        while let Some(k) = worklist.pop() {
-            guard += 1;
-            assert!(guard < 100_000_000, "epsilon closure diverged: negative cycle?");
-            let tok = match tokens.get(&k) {
-                Some(t) => *t,
-                None => continue,
-            };
-            if tok.cost > thr {
-                continue;
+    let mut worklist: Vec<u64> = tokens.keys().copied().collect();
+    let mut guard = 0u64;
+    while let Some(k) = worklist.pop() {
+        guard += 1;
+        assert!(
+            guard < 100_000_000,
+            "epsilon closure diverged: negative cycle?"
+        );
+        let tok = match tokens.get(&k) {
+            Some(t) => *t,
+            None => continue,
+        };
+        if tok.cost > thr {
+            continue;
+        }
+        let (am_s, lm_s) = split(k);
+        let mut local: Vec<(StateId, f32, Label)> = Vec::new();
+        am.for_each_arc(am_s, &mut |v| {
+            if v.arc.ilabel != EPSILON {
+                return;
             }
-            let (am_s, lm_s) = split(k);
-            let mut local: Vec<(StateId, f32, Label)> = Vec::new();
-            am.for_each_arc(am_s, &mut |v| {
-                if v.arc.ilabel != EPSILON {
-                    return;
-                }
-                sink.am_arc_fetch(v.addr, v.bytes);
-                stats.epsilon_expansions += 1;
-                local.push((v.arc.nextstate, tok.cost + v.arc.weight, v.arc.olabel));
-            });
-            for (am_next, base, word) in local {
-                stats.tokens_created += 1;
-                let (lm_next, cost, out_word) = if word != EPSILON {
-                    let walk_thr = if config.preemptive_pruning { thr } else { f32::INFINITY };
-                    match lm_walk(lm, lm_s, word, base, walk_thr, sink, stats) {
-                        Some((dest, c)) => (dest, c, word),
-                        None => continue,
-                    }
+            sink.am_arc_fetch(v.addr, v.bytes);
+            stats.epsilon_expansions += 1;
+            local.push((v.arc.nextstate, tok.cost + v.arc.weight, v.arc.olabel));
+        });
+        for (am_next, base, word) in local {
+            stats.tokens_created += 1;
+            let (lm_next, cost, out_word) = if word != EPSILON {
+                let walk_thr = if config.preemptive_pruning {
+                    thr
                 } else {
-                    (lm_s, base, EPSILON)
+                    f32::INFINITY
                 };
-                if relax(tokens, token_key(am_next, lm_next), cost, tok.lat, out_word, frame, lattice, sink) {
-                    worklist.push(token_key(am_next, lm_next));
+                match lm_walk(lm, lm_s, word, base, walk_thr, sink, stats) {
+                    Some((dest, c)) => (dest, c, word),
+                    None => continue,
                 }
+            } else {
+                (lm_s, base, EPSILON)
+            };
+            if relax(
+                tokens,
+                token_key(am_next, lm_next),
+                cost,
+                tok.lat,
+                out_word,
+                frame,
+                lattice,
+                sink,
+            ) {
+                worklist.push(token_key(am_next, lm_next));
             }
         }
+    }
 }
 
 /// Resolves `word` from `lm_state`, carrying the hypothesis cost `base`
@@ -292,6 +386,7 @@ fn lm_walk<L: LmSource + ?Sized>(
     let mut cost = base;
     let mut hops = 0u32;
     stats.lm_lookups += 1;
+    sink.stage_enter(DecodeStage::LmLookup);
     loop {
         sink.lm_lookup(state, word);
         sink.state_fetch(lm.state_addr(state));
@@ -302,6 +397,7 @@ fn lm_walk<L: LmSource + ?Sized>(
         }
         if let Some(arc) = res.arc {
             sink.lm_resolved(state, word, hops);
+            sink.stage_exit(DecodeStage::LmLookup);
             return Some((arc.nextstate, cost + arc.weight));
         }
         let (back, fetch) = lm
@@ -318,6 +414,7 @@ fn lm_walk<L: LmSource + ?Sized>(
         if cost > thr {
             stats.preemptive_prunes += 1;
             sink.preemptive_prune();
+            sink.stage_exit(DecodeStage::LmLookup);
             return None;
         }
         state = back.nextstate;
@@ -364,7 +461,9 @@ pub(crate) fn finish<A: AmSource + ?Sized>(
     tokens: &TokenMap<u64, Token>,
     lattice: &Lattice,
     stats: DecodeStats,
+    sink: &mut dyn TraceSink,
 ) -> DecodeResult {
+    sink.stage_enter(DecodeStage::Lattice);
     let mut best_cost = f32::INFINITY;
     let mut best_lat = LATTICE_ROOT;
     for (&k, tok) in tokens.iter() {
@@ -382,7 +481,12 @@ pub(crate) fn finish<A: AmSource + ?Sized>(
     } else {
         Vec::new()
     };
-    DecodeResult { words, cost: best_cost, stats }
+    sink.stage_exit(DecodeStage::Lattice);
+    DecodeResult {
+        words,
+        cost: best_cost,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -397,7 +501,11 @@ mod tests {
     fn setup() -> (Lexicon, Wfst, Wfst) {
         let lex = Lexicon::generate(60, 25, 4);
         let am = build_am(&lex, HmmTopology::Kaldi3State);
-        let spec = CorpusSpec { vocab_size: 60, num_sentences: 400, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 60,
+            num_sentences: 400,
+            ..Default::default()
+        };
         let model = NGramModel::train(&spec.generate(5), 60, DiscountConfig::default());
         let lm = lm_to_wfst(&model);
         (lex, am.fst, lm)
@@ -407,7 +515,13 @@ mod tests {
     fn decodes_clean_utterance_exactly() {
         let (lex, am, lm) = setup();
         let truth = vec![7u32, 3, 15, 2];
-        let utt = synthesize_utterance(&truth, &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 11);
+        let utt = synthesize_utterance(
+            &truth,
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            11,
+        );
         let dec = OtfDecoder::new(DecodeConfig::default());
         let res = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
         assert!(res.is_complete());
@@ -417,14 +531,23 @@ mod tests {
     #[test]
     fn lm_traffic_is_reported() {
         let (lex, am, lm) = setup();
-        let utt = synthesize_utterance(&[1, 2, 3], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 3);
+        let utt = synthesize_utterance(
+            &[1, 2, 3],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            3,
+        );
         let dec = OtfDecoder::new(DecodeConfig::default());
         let mut sink = CountingSink::default();
         let res = dec.decode(&am, &lm, &utt.scores, &mut sink);
-        assert!(res.stats.lm_lookups > 0, "cross-word arcs must trigger LM lookups");
+        assert!(
+            res.stats.lm_lookups > 0,
+            "cross-word arcs must trigger LM lookups"
+        );
         assert!(res.stats.lm_fetches >= res.stats.lm_lookups);
         assert!(sink.lm_arc_fetches > 0);
-        assert_eq!(sink.lm_lookups >= res.stats.lm_lookups, true);
+        assert!(sink.lm_lookups >= res.stats.lm_lookups);
     }
 
     #[test]
@@ -433,12 +556,21 @@ mod tests {
         let cam = CompressedAm::compress(&am, 64, 0);
         let clm = CompressedLm::compress(&lm, 64, 0);
         let truth = vec![4u32, 8, 20];
-        let utt = synthesize_utterance(&truth, &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 17);
+        let utt = synthesize_utterance(
+            &truth,
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            17,
+        );
         let dec = OtfDecoder::new(DecodeConfig::default());
         let plain = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
         let comp = dec.decode(&cam, &clm, &utt.scores, &mut NullSink);
         assert_eq!(plain.words, truth);
-        assert_eq!(comp.words, truth, "quantization must not change a clean decode");
+        assert_eq!(
+            comp.words, truth,
+            "quantization must not change a clean decode"
+        );
         assert!((plain.cost - comp.cost).abs() < 2.0);
     }
 
@@ -451,13 +583,25 @@ mod tests {
         // A long, rare-word utterance under a tight beam: back-off
         // walks start near the threshold, so the §3.3 check fires.
         let words = [55u32, 58, 33, 59, 41, 60, 47, 52];
-        let noise = NoiseModel { noise_sigma: 1.3, ..NoiseModel::default() };
+        let noise = NoiseModel {
+            noise_sigma: 1.3,
+            ..NoiseModel::default()
+        };
         let utt = synthesize_utterance(&words, &lex, HmmTopology::Kaldi3State, &noise, 23);
-        let cfg = DecodeConfig { beam: 8.0, ..Default::default() };
-        let on = OtfDecoder::new(DecodeConfig { preemptive_pruning: true, ..cfg })
-            .decode(&am, &lm, &utt.scores, &mut NullSink);
-        let off = OtfDecoder::new(DecodeConfig { preemptive_pruning: false, ..cfg })
-            .decode(&am, &lm, &utt.scores, &mut NullSink);
+        let cfg = DecodeConfig {
+            beam: 8.0,
+            ..Default::default()
+        };
+        let on = OtfDecoder::new(DecodeConfig {
+            preemptive_pruning: true,
+            ..cfg
+        })
+        .decode(&am, &lm, &utt.scores, &mut NullSink);
+        let off = OtfDecoder::new(DecodeConfig {
+            preemptive_pruning: false,
+            ..cfg
+        })
+        .decode(&am, &lm, &utt.scores, &mut NullSink);
         assert_eq!(on.words, off.words);
         assert!((on.cost - off.cost).abs() < 1e-4);
         assert!(on.stats.preemptive_prunes > 0, "pruning never fired");
@@ -468,7 +612,13 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let (lex, am, lm) = setup();
-        let utt = synthesize_utterance(&[2, 4, 6], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 13);
+        let utt = synthesize_utterance(
+            &[2, 4, 6],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            13,
+        );
         let dec = OtfDecoder::new(DecodeConfig::default());
         let a = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
         let b = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
@@ -480,7 +630,13 @@ mod tests {
     fn backoff_hops_occur_on_real_workloads() {
         let (lex, am, lm) = setup();
         // Rare-word sequences are unlikely to have kept trigrams.
-        let utt = synthesize_utterance(&[55, 58, 59, 60], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 31);
+        let utt = synthesize_utterance(
+            &[55, 58, 59, 60],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            31,
+        );
         let dec = OtfDecoder::new(DecodeConfig::default());
         let res = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
         assert!(res.stats.backoff_hops > 0, "no back-off exercised");
@@ -497,7 +653,11 @@ mod nbest_tests {
     fn setup() -> (Lexicon, unfold_wfst::Wfst, unfold_wfst::Wfst) {
         let lex = Lexicon::generate(40, 18, 8);
         let am = build_am(&lex, HmmTopology::Kaldi3State);
-        let spec = CorpusSpec { vocab_size: 40, num_sentences: 250, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 40,
+            num_sentences: 250,
+            ..Default::default()
+        };
         let model = NGramModel::train(&spec.generate(2), 40, DiscountConfig::default());
         (lex, am.fst, lm_to_wfst(&model))
     }
@@ -505,7 +665,13 @@ mod nbest_tests {
     #[test]
     fn one_best_matches_decode() {
         let (lex, am, lm) = setup();
-        let utt = synthesize_utterance(&[3, 8], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 4);
+        let utt = synthesize_utterance(
+            &[3, 8],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            4,
+        );
         let dec = OtfDecoder::new(DecodeConfig::default());
         let best = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
         let nbest = dec.decode_nbest(&am, &lm, &utt.scores, 5, &mut NullSink);
@@ -517,7 +683,10 @@ mod nbest_tests {
     #[test]
     fn nbest_is_sorted_and_distinct() {
         let (lex, am, lm) = setup();
-        let noise = NoiseModel { noise_sigma: 1.2, ..NoiseModel::default() };
+        let noise = NoiseModel {
+            noise_sigma: 1.2,
+            ..NoiseModel::default()
+        };
         let utt = synthesize_utterance(&[5, 9, 12], &lex, HmmTopology::Kaldi3State, &noise, 6);
         let dec = OtfDecoder::new(DecodeConfig::default());
         let nbest = dec.decode_nbest(&am, &lm, &utt.scores, 8, &mut NullSink);
@@ -531,8 +700,20 @@ mod nbest_tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         let (lex, am, lm) = setup();
-        let utt = synthesize_utterance(&[1], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 1);
-        let _ = OtfDecoder::new(DecodeConfig::default()).decode_nbest(&am, &lm, &utt.scores, 0, &mut NullSink);
+        let utt = synthesize_utterance(
+            &[1],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            1,
+        );
+        let _ = OtfDecoder::new(DecodeConfig::default()).decode_nbest(
+            &am,
+            &lm,
+            &utt.scores,
+            0,
+            &mut NullSink,
+        );
     }
 }
 
@@ -547,16 +728,35 @@ mod pruning_tests {
     fn max_active_caps_the_population() {
         let lex = Lexicon::generate(60, 20, 14);
         let am = build_am(&lex, HmmTopology::Kaldi3State);
-        let spec = CorpusSpec { vocab_size: 60, num_sentences: 300, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 60,
+            num_sentences: 300,
+            ..Default::default()
+        };
         let model = NGramModel::train(&spec.generate(15), 60, Default::default());
         let lm = lm_to_wfst(&model);
-        let noise = NoiseModel { noise_sigma: 1.4, wrong_cost: 2.0, ..NoiseModel::default() };
+        let noise = NoiseModel {
+            noise_sigma: 1.4,
+            wrong_cost: 2.0,
+            ..NoiseModel::default()
+        };
         let utt = synthesize_utterance(&[3, 9], &lex, HmmTopology::Kaldi3State, &noise, 16);
-        let loose = OtfDecoder::new(DecodeConfig { beam: 20.0, max_active: usize::MAX, ..Default::default() })
-            .decode(&am.fst, &lm, &utt.scores, &mut NullSink);
-        let capped = OtfDecoder::new(DecodeConfig { beam: 20.0, max_active: 50, ..Default::default() })
-            .decode(&am.fst, &lm, &utt.scores, &mut NullSink);
-        assert!(loose.stats.max_active > 50, "workload too small to test the cap");
+        let loose = OtfDecoder::new(DecodeConfig {
+            beam: 20.0,
+            max_active: usize::MAX,
+            ..Default::default()
+        })
+        .decode(&am.fst, &lm, &utt.scores, &mut NullSink);
+        let capped = OtfDecoder::new(DecodeConfig {
+            beam: 20.0,
+            max_active: 50,
+            ..Default::default()
+        })
+        .decode(&am.fst, &lm, &utt.scores, &mut NullSink);
+        assert!(
+            loose.stats.max_active > 50,
+            "workload too small to test the cap"
+        );
         // Histogram pruning caps survivors *entering* expansion; the
         // population measured at the next frame start can exceed the cap
         // only via fresh expansion, so mean active must drop sharply.

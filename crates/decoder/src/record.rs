@@ -9,13 +9,19 @@
 
 use unfold_wfst::{Label, StateId};
 
-use crate::trace::TraceSink;
+use crate::trace::{DecodeStage, TraceSink};
 
 /// One recorded trace event (the [`TraceSink`] vocabulary, reified).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
     /// Frame boundary with the live-token count.
     FrameStart(usize, usize),
+    /// Frame completed: surviving tokens and their cost spread.
+    FrameEnd(usize, usize, f32, f32),
+    /// A profiled stage begins.
+    StageEnter(DecodeStage),
+    /// The innermost profiled stage ends.
+    StageExit(DecodeStage),
     /// State record fetch.
     StateFetch(u64),
     /// AM (or composed-graph) arc fetch.
@@ -68,6 +74,9 @@ impl TraceRecorder {
         for &e in &self.events {
             match e {
                 TraceEvent::FrameStart(f, a) => sink.frame_start(f, a),
+                TraceEvent::FrameEnd(f, a, best, worst) => sink.frame_end(f, a, best, worst),
+                TraceEvent::StageEnter(stage) => sink.stage_enter(stage),
+                TraceEvent::StageExit(stage) => sink.stage_exit(stage),
                 TraceEvent::StateFetch(addr) => sink.state_fetch(addr),
                 TraceEvent::AmArcFetch(addr, b) => sink.am_arc_fetch(addr, b),
                 TraceEvent::LmLookup(s, w) => sink.lm_lookup(s, w),
@@ -86,6 +95,16 @@ impl TraceSink for TraceRecorder {
     fn frame_start(&mut self, frame: usize, active: usize) {
         self.events.push(TraceEvent::FrameStart(frame, active));
     }
+    fn frame_end(&mut self, frame: usize, active: usize, best_cost: f32, worst_cost: f32) {
+        self.events
+            .push(TraceEvent::FrameEnd(frame, active, best_cost, worst_cost));
+    }
+    fn stage_enter(&mut self, stage: DecodeStage) {
+        self.events.push(TraceEvent::StageEnter(stage));
+    }
+    fn stage_exit(&mut self, stage: DecodeStage) {
+        self.events.push(TraceEvent::StageExit(stage));
+    }
     fn state_fetch(&mut self, addr: u64) {
         self.events.push(TraceEvent::StateFetch(addr));
     }
@@ -99,7 +118,8 @@ impl TraceSink for TraceRecorder {
         self.events.push(TraceEvent::LmArcFetch(addr, bytes));
     }
     fn lm_resolved(&mut self, lm_state: StateId, word: Label, backoff_hops: u32) {
-        self.events.push(TraceEvent::LmResolved(lm_state, word, backoff_hops));
+        self.events
+            .push(TraceEvent::LmResolved(lm_state, word, backoff_hops));
     }
     fn acoustic_fetch(&mut self, frame: usize, pdf: Label) {
         self.events.push(TraceEvent::AcousticFetch(frame, pdf));
@@ -127,10 +147,20 @@ mod tests {
     fn replay_reproduces_the_online_counts() {
         let lex = Lexicon::generate(40, 18, 2);
         let am = build_am(&lex, HmmTopology::Kaldi3State);
-        let spec = CorpusSpec { vocab_size: 40, num_sentences: 250, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 40,
+            num_sentences: 250,
+            ..Default::default()
+        };
         let model = NGramModel::train(&spec.generate(3), 40, Default::default());
         let lm = lm_to_wfst(&model);
-        let utt = synthesize_utterance(&[4, 9], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 7);
+        let utt = synthesize_utterance(
+            &[4, 9],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            7,
+        );
         let dec = OtfDecoder::new(DecodeConfig::default());
 
         // Online counts.

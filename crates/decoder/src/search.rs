@@ -17,7 +17,11 @@ impl Hasher for DetHasher {
 
     fn write(&mut self, bytes: &[u8]) {
         const PRIME: u64 = 0x0000_0100_0000_01B3;
-        let mut h = if self.0 == 0 { 0xCBF2_9CE4_8422_2325 } else { self.0 };
+        let mut h = if self.0 == 0 {
+            0xCBF2_9CE4_8422_2325
+        } else {
+            self.0
+        };
         for &b in bytes {
             h ^= u64::from(b);
             h = h.wrapping_mul(PRIME);
@@ -61,13 +65,15 @@ where
     if tokens.is_empty() {
         return f32::INFINITY;
     }
-    let best = tokens.values().map(|t| t.cost).fold(f32::INFINITY, f32::min);
+    let best = tokens
+        .values()
+        .map(|t| t.cost)
+        .fold(f32::INFINITY, f32::min);
     let mut thr = best + beam;
     if tokens.len() > max_active {
         let mut costs: Vec<f32> = tokens.values().map(|t| t.cost).collect();
-        let (_, nth, _) = costs.select_nth_unstable_by(max_active - 1, |a, b| {
-            a.partial_cmp(b).unwrap()
-        });
+        let (_, nth, _) =
+            costs.select_nth_unstable_by(max_active - 1, |a, b| a.partial_cmp(b).unwrap());
         thr = thr.min(*nth);
     }
     thr
@@ -81,7 +87,13 @@ mod tests {
     fn map_of(costs: &[f32]) -> TokenMap<u32, Token> {
         let mut m = TokenMap::default();
         for (i, &c) in costs.iter().enumerate() {
-            m.insert(i as u32, Token { cost: c, lat: LATTICE_ROOT });
+            m.insert(
+                i as u32,
+                Token {
+                    cost: c,
+                    lat: LATTICE_ROOT,
+                },
+            );
         }
         m
     }

@@ -144,7 +144,11 @@ impl AmSource for Wfst {
     fn for_each_arc(&self, s: StateId, f: &mut dyn FnMut(ArcVisit)) {
         let base = addr::AM_ARC_BASE + self.arc_base_offset(s);
         for (i, &arc) in self.arcs(s).iter().enumerate() {
-            f(ArcVisit { arc, addr: base + i as u64 * 16, bytes: 16 });
+            f(ArcVisit {
+                arc,
+                addr: base + i as u64 * 16,
+                bytes: 16,
+            });
         }
     }
 }
@@ -169,10 +173,16 @@ impl LmSource for Wfst {
         let mut probes = Vec::new();
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            probes.push((addr::LM_ARC_BASE + self.global_arc_index(s, mid) * 16, 16u32));
+            probes.push((
+                addr::LM_ARC_BASE + self.global_arc_index(s, mid) * 16,
+                16u32,
+            ));
             match arcs[mid].ilabel.cmp(&word) {
                 std::cmp::Ordering::Equal => {
-                    return LmLookupResult { arc: Some(arcs[mid]), probes }
+                    return LmLookupResult {
+                        arc: Some(arcs[mid]),
+                        probes,
+                    }
                 }
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
@@ -184,7 +194,10 @@ impl LmSource for Wfst {
     fn backoff(&self, s: StateId) -> Option<(Arc, Fetch)> {
         let back = *self.backoff_arc(s)?;
         let idx = self.arcs(s).len() - 1;
-        Some((back, (addr::LM_ARC_BASE + self.global_arc_index(s, idx) * 16, 16)))
+        Some((
+            back,
+            (addr::LM_ARC_BASE + self.global_arc_index(s, idx) * 16, 16),
+        ))
     }
 }
 
@@ -212,9 +225,15 @@ impl LmSource for LinearLm<'_> {
             if a.ilabel == EPSILON {
                 break; // trailing back-off arcs end the word region
             }
-            probes.push((addr::LM_ARC_BASE + self.0.global_arc_index(s, i) * 16, 16u32));
+            probes.push((
+                addr::LM_ARC_BASE + self.0.global_arc_index(s, i) * 16,
+                16u32,
+            ));
             if a.ilabel == word {
-                return LmLookupResult { arc: Some(*a), probes };
+                return LmLookupResult {
+                    arc: Some(*a),
+                    probes,
+                };
             }
         }
         LmLookupResult { arc: None, probes }
@@ -245,7 +264,7 @@ impl AmSource for CompressedAm {
             f(ArcVisit {
                 arc,
                 addr: addr::AM_ARC_BASE + bit_off / 8,
-                bytes: (width + 7) / 8,
+                bytes: width.div_ceil(8),
             });
         });
     }
@@ -271,7 +290,10 @@ impl LmSource for CompressedLm {
                     probes: vec![(addr::LM_ARC_BASE + off / 8, 1)],
                 };
             }
-            return LmLookupResult { arc: None, probes: Vec::new() };
+            return LmLookupResult {
+                arc: None,
+                probes: Vec::new(),
+            };
         }
         let mut lo = 0u32;
         let mut hi = n;
@@ -279,10 +301,18 @@ impl LmSource for CompressedLm {
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             // 45-bit arc: may straddle up to 7 bytes; 6 is the common case.
-            probes.push((addr::LM_ARC_BASE + self.word_arc_bit_offset(s, mid) / 8, 6u32));
+            probes.push((
+                addr::LM_ARC_BASE + self.word_arc_bit_offset(s, mid) / 8,
+                6u32,
+            ));
             let a = self.word_arc(s, mid);
             match a.ilabel.cmp(&word) {
-                std::cmp::Ordering::Equal => return LmLookupResult { arc: Some(a), probes },
+                std::cmp::Ordering::Equal => {
+                    return LmLookupResult {
+                        arc: Some(a),
+                        probes,
+                    }
+                }
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
             }
@@ -293,7 +323,8 @@ impl LmSource for CompressedLm {
     fn backoff(&self, s: StateId) -> Option<(Arc, Fetch)> {
         let back = self.backoff_arc(s)?;
         let n = self.num_word_arcs(s);
-        let off = self.word_arc_bit_offset(s, 0) + u64::from(n) * unfold_compress::lm::REGULAR_ARC_BITS;
+        let off =
+            self.word_arc_bit_offset(s, 0) + u64::from(n) * unfold_compress::lm::REGULAR_ARC_BITS;
         Some((back, (addr::LM_ARC_BASE + off / 8, 4)))
     }
 }
@@ -307,7 +338,11 @@ mod tests {
     fn models() -> (Wfst, Wfst) {
         let lex = Lexicon::generate(80, 25, 2);
         let am = build_am(&lex, HmmTopology::Kaldi3State);
-        let spec = CorpusSpec { vocab_size: 80, num_sentences: 400, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 80,
+            num_sentences: 400,
+            ..Default::default()
+        };
         let model = NGramModel::train(&spec.generate(7), 80, DiscountConfig::default());
         (am.fst, lm_to_wfst(&model))
     }
@@ -394,7 +429,10 @@ mod tests {
             lin_total += a.probes.len();
             bin_total += b.probes.len();
         }
-        assert!(lin_total > 3 * bin_total, "linear {lin_total} vs binary {bin_total}");
+        assert!(
+            lin_total > 3 * bin_total,
+            "linear {lin_total} vs binary {bin_total}"
+        );
     }
 
     #[test]

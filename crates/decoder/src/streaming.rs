@@ -10,7 +10,6 @@
 //! [`crate::OtfDecoder::decode`] (tested below), so the batched system
 //! loses no accuracy, exactly as the paper asserts.
 
-
 use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
 use crate::lattice::{Lattice, LATTICE_ROOT};
 use crate::otf;
@@ -46,7 +45,10 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
         };
         stream.tokens.insert(
             otf::token_key(am.start(), lm.start()),
-            Token { cost: 0.0, lat: LATTICE_ROOT },
+            Token {
+                cost: 0.0,
+                lat: LATTICE_ROOT,
+            },
         );
         otf::epsilon_closure(
             &stream.config,
@@ -98,7 +100,7 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
     pub fn partial_result(&self) -> Vec<unfold_lm::WordId> {
         let mut best: Option<(f32, u32)> = None;
         for tok in self.tokens.values() {
-            if best.map_or(true, |(c, _)| tok.cost < c) {
+            if best.is_none_or(|(c, _)| tok.cost < c) {
                 best = Some((tok.cost, tok.lat));
             }
         }
@@ -107,7 +109,14 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
 
     /// Finishes the decode and returns the result.
     pub fn finish(self) -> DecodeResult {
-        otf::finish(self.am, &self.tokens, &self.lattice, self.stats)
+        self.finish_with(&mut crate::trace::NullSink)
+    }
+
+    /// Finishes the decode, emitting the final lattice-backtrace span
+    /// to `sink` (use the same sink the frames were pushed through to
+    /// get a complete stage profile).
+    pub fn finish_with(self, sink: &mut dyn TraceSink) -> DecodeResult {
+        otf::finish(self.am, &self.tokens, &self.lattice, self.stats, sink)
     }
 }
 
@@ -123,7 +132,11 @@ mod tests {
     fn setup() -> (Lexicon, Wfst, Wfst) {
         let lex = Lexicon::generate(50, 20, 6);
         let am = build_am(&lex, HmmTopology::Kaldi3State);
-        let spec = CorpusSpec { vocab_size: 50, num_sentences: 300, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 50,
+            num_sentences: 300,
+            ..Default::default()
+        };
         let model = NGramModel::train(&spec.generate(3), 50, DiscountConfig::default());
         (lex, am.fst, lm_to_wfst(&model))
     }
@@ -131,7 +144,13 @@ mod tests {
     #[test]
     fn streaming_matches_batch_decode_exactly() {
         let (lex, am, lm) = setup();
-        let utt = synthesize_utterance(&[3, 9, 17], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 5);
+        let utt = synthesize_utterance(
+            &[3, 9, 17],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            5,
+        );
         let cfg = DecodeConfig::default();
         let batch = OtfDecoder::new(cfg).decode(&am, &lm, &utt.scores, &mut NullSink);
 
@@ -148,7 +167,13 @@ mod tests {
     #[test]
     fn streaming_emits_the_same_trace() {
         let (lex, am, lm) = setup();
-        let utt = synthesize_utterance(&[1, 2], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 9);
+        let utt = synthesize_utterance(
+            &[1, 2],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            9,
+        );
         let cfg = DecodeConfig::default();
         let mut batch_sink = CountingSink::default();
         OtfDecoder::new(cfg).decode(&am, &lm, &utt.scores, &mut batch_sink);
@@ -168,7 +193,13 @@ mod tests {
     fn partial_results_grow_monotonically_on_clean_audio() {
         let (lex, am, lm) = setup();
         let truth = vec![7u32, 11, 4];
-        let utt = synthesize_utterance(&truth, &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 2);
+        let utt = synthesize_utterance(
+            &truth,
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            2,
+        );
         let mut stream = OtfStream::new(DecodeConfig::default(), &am, &lm, &mut NullSink);
         let mut last_len = 0usize;
         let mut shrank = false;
@@ -191,7 +222,13 @@ mod tests {
     #[test]
     fn active_count_visible_between_pushes() {
         let (lex, am, lm) = setup();
-        let utt = synthesize_utterance(&[5], &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 1);
+        let utt = synthesize_utterance(
+            &[5],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            1,
+        );
         let mut stream = OtfStream::new(DecodeConfig::default(), &am, &lm, &mut NullSink);
         assert!(stream.num_active() >= 1);
         assert_eq!(stream.frames_pushed(), 0);

@@ -8,6 +8,54 @@
 
 use unfold_wfst::{Label, StateId};
 
+/// The decoder phases the profiler attributes wall time to. Emitted as
+/// [`TraceSink::stage_enter`]/[`TraceSink::stage_exit`] pairs; stages
+/// nest (an LM lookup happens inside arc expansion) and timing sinks
+/// are expected to attribute time exclusively to the innermost stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeStage {
+    /// Acoustic likelihood computation (score synthesis in this
+    /// reproduction; a neural scorer in a real system). Emitted by the
+    /// caller that produces scores, not by the search itself.
+    AcousticScoring,
+    /// Token expansion over AM arcs, including the non-emitting
+    /// (epsilon) closure.
+    ArcExpansion,
+    /// LM word resolution: binary-search probes plus back-off walks.
+    LmLookup,
+    /// Beam/histogram threshold selection.
+    Pruning,
+    /// Word-lattice backtrace at the end of the search.
+    Lattice,
+}
+
+impl DecodeStage {
+    /// All stages, in pipeline order.
+    pub const ALL: [DecodeStage; 5] = [
+        DecodeStage::AcousticScoring,
+        DecodeStage::ArcExpansion,
+        DecodeStage::LmLookup,
+        DecodeStage::Pruning,
+        DecodeStage::Lattice,
+    ];
+
+    /// Stable snake_case name used in telemetry exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecodeStage::AcousticScoring => "acoustic_scoring",
+            DecodeStage::ArcExpansion => "arc_expansion",
+            DecodeStage::LmLookup => "lm_lookup",
+            DecodeStage::Pruning => "pruning",
+            DecodeStage::Lattice => "lattice",
+        }
+    }
+
+    /// Dense index (position in [`DecodeStage::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// Receiver of decode events. All methods have empty defaults so sinks
 /// implement only what they model.
 ///
@@ -16,6 +64,22 @@ use unfold_wfst::{Label, StateId};
 pub trait TraceSink {
     /// A new frame begins with `active` live tokens.
     fn frame_start(&mut self, _frame: usize, _active: usize) {}
+    /// The frame finished: `active` tokens survive, spanning costs
+    /// `[best_cost, worst_cost]`. Both costs are `f32::INFINITY` when
+    /// nothing survived.
+    fn frame_end(&mut self, _frame: usize, _active: usize, _best_cost: f32, _worst_cost: f32) {}
+    /// A profiled stage begins.
+    fn stage_enter(&mut self, _stage: DecodeStage) {}
+    /// The innermost profiled stage ends.
+    fn stage_exit(&mut self, _stage: DecodeStage) {}
+    /// `from` ends and `to` begins at the same instant. Emitted where
+    /// the decoder moves directly between adjacent stages, so a timing
+    /// sink can mark the boundary with a single clock read. Defaults to
+    /// exit-then-enter, which every sink already handles.
+    fn stage_switch(&mut self, from: DecodeStage, to: DecodeStage) {
+        self.stage_exit(from);
+        self.stage_enter(to);
+    }
     /// A state record was fetched (AM, LM, or composed graph).
     fn state_fetch(&mut self, _addr: u64) {}
     /// An AM (or composed-graph) arc record was fetched.
@@ -66,6 +130,8 @@ pub struct CountingSink {
     pub lm_arc_bytes: u64,
     /// Lookups that needed at least one back-off hop.
     pub backed_off_lookups: u64,
+    /// Back-off hops summed over all resolved lookups.
+    pub total_backoff_hops: u64,
     /// Acoustic score reads.
     pub acoustic_fetches: u64,
     /// Token hash insertions.
@@ -99,6 +165,7 @@ impl TraceSink for CountingSink {
         if backoff_hops > 0 {
             self.backed_off_lookups += 1;
         }
+        self.total_backoff_hops += u64::from(backoff_hops);
     }
     fn acoustic_fetch(&mut self, _frame: usize, _pdf: Label) {
         self.acoustic_fetches += 1;
@@ -128,6 +195,8 @@ mod tests {
         s.lm_lookup(3, 9);
         s.lm_arc_fetch(0xC000_0000, 6);
         s.lm_resolved(3, 9, 2);
+        s.lm_resolved(3, 10, 0);
+        s.lm_resolved(4, 11, 3);
         s.token_store(0, 8);
         s.preemptive_prune();
         assert_eq!(s.frames, 2);
@@ -135,7 +204,11 @@ mod tests {
         assert_eq!(s.am_arc_fetches, 2);
         assert_eq!(s.am_arc_bytes, 32);
         assert_eq!(s.lm_lookups, 1);
-        assert_eq!(s.backed_off_lookups, 1);
+        assert_eq!(s.backed_off_lookups, 2, "only the hop>0 resolutions count");
+        assert_eq!(
+            s.total_backoff_hops, 5,
+            "hops accumulate across resolutions"
+        );
         assert_eq!(s.token_bytes, 8);
         assert_eq!(s.preemptive_prunes, 1);
     }

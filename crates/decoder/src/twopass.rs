@@ -68,9 +68,15 @@ impl LmSource for UnigramLm {
             let arc = Arc::new(word, word, self.cost(word), word);
             // Positional access, like the compressed LM root.
             let off = u64::from(word - 1);
-            LmLookupResult { arc: Some(arc), probes: vec![(addr::LM_ARC_BASE + off, 1)] }
+            LmLookupResult {
+                arc: Some(arc),
+                probes: vec![(addr::LM_ARC_BASE + off, 1)],
+            }
         } else {
-            LmLookupResult { arc: None, probes: Vec::new() }
+            LmLookupResult {
+                arc: None,
+                probes: Vec::new(),
+            }
         }
     }
 
@@ -125,7 +131,9 @@ impl TwoPassDecoder {
         let num_candidates = candidates.len();
 
         // Rescore: swap each candidate's unigram LM score for the full
-        // back-off trigram score.
+        // back-off trigram score. Profiled as LM-lookup work: this is
+        // the full-LM evaluation one-pass search interleaves online.
+        sink.stage_enter(crate::trace::DecodeStage::LmLookup);
         let mut evals = 0u64;
         let mut best: Option<(Vec<Label>, f32)> = None;
         for (words, cost) in candidates {
@@ -135,13 +143,18 @@ impl TwoPassDecoder {
                 rescored += model.word_cost(&words[lo..i], w) - weak.cost(w);
                 evals += 1;
             }
-            if best.as_ref().map_or(true, |(_, c)| rescored < *c) {
+            if best.as_ref().is_none_or(|(_, c)| rescored < *c) {
                 best = Some((words, rescored));
             }
         }
+        sink.stage_exit(crate::trace::DecodeStage::LmLookup);
         let (words, cost) = best.unwrap_or((Vec::new(), f32::INFINITY));
         TwoPassResult {
-            result: DecodeResult { words, cost, stats: DecodeStats::default() },
+            result: DecodeResult {
+                words,
+                cost,
+                stats: DecodeStats::default(),
+            },
             num_candidates,
             rescoring_evals: evals,
         }
@@ -159,7 +172,11 @@ mod tests {
     fn setup() -> (Lexicon, unfold_wfst::Wfst, NGramModel, unfold_wfst::Wfst) {
         let lex = Lexicon::generate(40, 18, 3);
         let am = build_am(&lex, HmmTopology::Kaldi3State);
-        let spec = CorpusSpec { vocab_size: 40, num_sentences: 300, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 40,
+            num_sentences: 300,
+            ..Default::default()
+        };
         let model = NGramModel::train(&spec.generate(5), 40, DiscountConfig::default());
         let lm = lm_to_wfst(&model);
         (lex, am.fst, model, lm)
@@ -182,10 +199,21 @@ mod tests {
     fn clean_audio_decodes_identically_either_way() {
         let (lex, am, model, lm) = setup();
         let truth = vec![4u32, 11, 7];
-        let utt = synthesize_utterance(&truth, &lex, HmmTopology::Kaldi3State, &NoiseModel::clean(), 2);
-        let one = OtfDecoder::new(DecodeConfig::default()).decode(&am, &lm, &utt.scores, &mut NullSink);
-        let two = TwoPassDecoder::new(DecodeConfig::default(), 8)
-            .decode(&am, &model, &utt.scores, &mut NullSink);
+        let utt = synthesize_utterance(
+            &truth,
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            2,
+        );
+        let one =
+            OtfDecoder::new(DecodeConfig::default()).decode(&am, &lm, &utt.scores, &mut NullSink);
+        let two = TwoPassDecoder::new(DecodeConfig::default(), 8).decode(
+            &am,
+            &model,
+            &utt.scores,
+            &mut NullSink,
+        );
         assert_eq!(one.words, truth);
         assert_eq!(two.result.words, truth);
         assert!(two.num_candidates >= 1);
@@ -198,16 +226,28 @@ mod tests {
         // Corpus-frequent word pairs must not lose to the weak LM's
         // unigram-only ranking after rescoring.
         let (lex, am, model, lm) = setup();
-        let noise = NoiseModel { noise_sigma: 1.1, ..NoiseModel::default() };
+        let noise = NoiseModel {
+            noise_sigma: 1.1,
+            ..NoiseModel::default()
+        };
         let mut one_errors = 0u64;
         let mut two_errors = 0u64;
         let mut refs = 0u64;
         for seed in 0..6u64 {
             let words = [(seed as u32 % 40) + 1, ((seed as u32 * 3) % 40) + 1];
             let utt = synthesize_utterance(&words, &lex, HmmTopology::Kaldi3State, &noise, seed);
-            let one = OtfDecoder::new(DecodeConfig::default()).decode(&am, &lm, &utt.scores, &mut NullSink);
-            let two = TwoPassDecoder::new(DecodeConfig::default(), 8)
-                .decode(&am, &model, &utt.scores, &mut NullSink);
+            let one = OtfDecoder::new(DecodeConfig::default()).decode(
+                &am,
+                &lm,
+                &utt.scores,
+                &mut NullSink,
+            );
+            let two = TwoPassDecoder::new(DecodeConfig::default(), 8).decode(
+                &am,
+                &model,
+                &utt.scores,
+                &mut NullSink,
+            );
             let r1 = wer(&words, &one.words);
             let r2 = wer(&words, &two.result.words);
             one_errors += r1.substitutions + r1.deletions + r1.insertions;
@@ -217,7 +257,10 @@ mod tests {
         // One-pass integrates the full LM during the search and can
         // only be at least as good on average (the paper's rationale
         // for choosing it); allow equality.
-        assert!(one_errors <= two_errors + 1, "one-pass {one_errors} vs two-pass {two_errors} of {refs}");
+        assert!(
+            one_errors <= two_errors + 1,
+            "one-pass {one_errors} vs two-pass {two_errors} of {refs}"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ pub fn align(reference: &[WordId], hyp: &[WordId]) -> Vec<AlignOp> {
                 ops.push(if reference[i - 1] == hyp[j - 1] {
                     AlignOp::Correct(reference[i - 1])
                 } else {
-                    AlignOp::Substitute { reference: reference[i - 1], hypothesis: hyp[j - 1] }
+                    AlignOp::Substitute {
+                        reference: reference[i - 1],
+                        hypothesis: hyp[j - 1],
+                    }
                 });
                 i -= 1;
                 j -= 1;
@@ -139,13 +142,31 @@ pub fn wer(reference: &[WordId], hyp: &[WordId]) -> WerReport {
         d: u32,
         i: u32,
     }
-    let mut dp = vec![Cell { cost: 0, s: 0, d: 0, i: 0 }; (n + 1) * (m + 1)];
+    let mut dp = vec![
+        Cell {
+            cost: 0,
+            s: 0,
+            d: 0,
+            i: 0
+        };
+        (n + 1) * (m + 1)
+    ];
     let idx = |i: usize, j: usize| i * (m + 1) + j;
     for i in 1..=n {
-        dp[idx(i, 0)] = Cell { cost: i as u32, s: 0, d: i as u32, i: 0 };
+        dp[idx(i, 0)] = Cell {
+            cost: i as u32,
+            s: 0,
+            d: i as u32,
+            i: 0,
+        };
     }
     for j in 1..=m {
-        dp[idx(0, j)] = Cell { cost: j as u32, s: 0, d: 0, i: j as u32 };
+        dp[idx(0, j)] = Cell {
+            cost: j as u32,
+            s: 0,
+            d: 0,
+            i: j as u32,
+        };
     }
     for i in 1..=n {
         for j in 1..=m {
@@ -158,9 +179,19 @@ pub fn wer(reference: &[WordId], hyp: &[WordId]) -> WerReport {
                 i: diag.i,
             };
             let up = dp[idx(i - 1, j)];
-            let del = Cell { cost: up.cost + 1, s: up.s, d: up.d + 1, i: up.i };
+            let del = Cell {
+                cost: up.cost + 1,
+                s: up.s,
+                d: up.d + 1,
+                i: up.i,
+            };
             let left = dp[idx(i, j - 1)];
-            let ins = Cell { cost: left.cost + 1, s: left.s, d: left.d, i: left.i + 1 };
+            let ins = Cell {
+                cost: left.cost + 1,
+                s: left.s,
+                d: left.d,
+                i: left.i + 1,
+            };
             let best = if sub.cost <= del.cost && sub.cost <= ins.cost {
                 sub
             } else if del.cost <= ins.cost {
@@ -255,7 +286,10 @@ mod tests {
         );
         assert_eq!(
             align(&[7], &[8]),
-            vec![AlignOp::Substitute { reference: 7, hypothesis: 8 }]
+            vec![AlignOp::Substitute {
+                reference: 7,
+                hypothesis: 8
+            }]
         );
     }
 

@@ -59,7 +59,7 @@ pub fn to_arpa(model: &NGramModel) -> String {
         let lp = cost_to_log10(model.unigram_cost(w));
         // Back-off weight is attached to the unigram entry of the
         // history word; only histories with kept bigrams carry one.
-        let has_bow = model.bigram_arcs(w).first().is_some();
+        let has_bow = !model.bigram_arcs(w).is_empty();
         if has_bow {
             let bow = cost_to_log10(model.bigram_backoff_cost(w));
             let _ = writeln!(out, "{lp:.6}\tw{w}\t{bow:.6}");
@@ -72,7 +72,7 @@ pub fn to_arpa(model: &NGramModel) -> String {
     for &u in &bi_hists {
         for &(w, cost) in model.bigram_arcs(u) {
             let lp = cost_to_log10(cost);
-            if model.trigram_arcs(u, w).first().is_some() {
+            if !model.trigram_arcs(u, w).is_empty() {
                 let bow = cost_to_log10(model.trigram_backoff_cost(u, w));
                 let _ = writeln!(out, "{lp:.6}\tw{u} w{w}\t{bow:.6}");
             } else {
@@ -153,7 +153,11 @@ impl std::fmt::Display for ParseArpaError {
         match self {
             ParseArpaError::MissingHeader => write!(f, "missing \\data\\ header"),
             ParseArpaError::BadLine(n, l) => write!(f, "unparseable line {n}: {l:?}"),
-            ParseArpaError::CountMismatch { order, declared, found } => write!(
+            ParseArpaError::CountMismatch {
+                order,
+                declared,
+                found,
+            } => write!(
                 f,
                 "{order}-gram count mismatch: header says {declared}, found {found}"
             ),
@@ -193,14 +197,22 @@ pub fn parse_arpa(text: &str) -> Result<ArpaModel, ParseArpaError> {
             let (order, count) = rest
                 .split_once('=')
                 .ok_or_else(|| ParseArpaError::BadLine(i + 1, line.to_string()))?;
-            let order: usize = order.trim().parse().map_err(|_| ParseArpaError::BadLine(i + 1, line.to_string()))?;
-            let count: usize = count.trim().parse().map_err(|_| ParseArpaError::BadLine(i + 1, line.to_string()))?;
+            let order: usize = order
+                .trim()
+                .parse()
+                .map_err(|_| ParseArpaError::BadLine(i + 1, line.to_string()))?;
+            let count: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| ParseArpaError::BadLine(i + 1, line.to_string()))?;
             declared.insert(order, count);
             continue;
         }
         if let Some(rest) = line.strip_prefix('\\') {
             if let Some(o) = rest.strip_suffix("-grams:") {
-                section = o.parse().map_err(|_| ParseArpaError::BadLine(i + 1, line.to_string()))?;
+                section = o
+                    .parse()
+                    .map_err(|_| ParseArpaError::BadLine(i + 1, line.to_string()))?;
                 continue;
             }
             return Err(ParseArpaError::BadLine(i + 1, line.to_string()));
@@ -226,7 +238,11 @@ pub fn parse_arpa(text: &str) -> Result<ArpaModel, ParseArpaError> {
             }
             2 => {
                 let (u, w, bow) = match words.as_slice() {
-                    [u, w] => (parse_word(u).ok_or_else(bad)?, parse_word(w).ok_or_else(bad)?, 0.0),
+                    [u, w] => (
+                        parse_word(u).ok_or_else(bad)?,
+                        parse_word(w).ok_or_else(bad)?,
+                        0.0,
+                    ),
                     [u, w, bow] => (
                         parse_word(u).ok_or_else(bad)?,
                         parse_word(w).ok_or_else(bad)?,
@@ -262,7 +278,11 @@ pub fn parse_arpa(text: &str) -> Result<ArpaModel, ParseArpaError> {
     ] {
         if let Some(&d) = declared.get(&order) {
             if d != found {
-                return Err(ParseArpaError::CountMismatch { order, declared: d, found });
+                return Err(ParseArpaError::CountMismatch {
+                    order,
+                    declared: d,
+                    found,
+                });
             }
         }
     }
@@ -276,7 +296,11 @@ mod tests {
     use crate::ngram::DiscountConfig;
 
     fn model() -> NGramModel {
-        let spec = CorpusSpec { vocab_size: 60, num_sentences: 400, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 60,
+            num_sentences: 400,
+            ..Default::default()
+        };
         NGramModel::train(&spec.generate(4), 60, DiscountConfig::default())
     }
 
@@ -310,14 +334,21 @@ mod tests {
 
     #[test]
     fn missing_header_is_an_error() {
-        assert_eq!(parse_arpa("-1.0\tw1\n").unwrap_err(), ParseArpaError::MissingHeader);
+        assert_eq!(
+            parse_arpa("-1.0\tw1\n").unwrap_err(),
+            ParseArpaError::MissingHeader
+        );
     }
 
     #[test]
     fn count_mismatch_detected() {
         let text = "\\data\\\nngram 1=2\n\n\\1-grams:\n-1.0\tw1\n\n\\end\\\n";
         match parse_arpa(text) {
-            Err(ParseArpaError::CountMismatch { order: 1, declared: 2, found: 1 }) => {}
+            Err(ParseArpaError::CountMismatch {
+                order: 1,
+                declared: 2,
+                found: 1,
+            }) => {}
             other => panic!("expected count mismatch, got {other:?}"),
         }
     }
@@ -353,7 +384,11 @@ mod tests {
 
     #[test]
     fn display_formats_are_readable() {
-        let e = ParseArpaError::CountMismatch { order: 2, declared: 10, found: 9 };
+        let e = ParseArpaError::CountMismatch {
+            order: 2,
+            declared: 10,
+            found: 9,
+        };
         assert!(e.to_string().contains("2-gram"));
         assert!(ParseArpaError::MissingHeader.to_string().contains("data"));
     }

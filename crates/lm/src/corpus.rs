@@ -112,7 +112,10 @@ impl Corpus {
     /// # Panics
     /// Panics if `fraction` is not within `(0, 1)`.
     pub fn split_heldout(mut self, fraction: f64) -> (Corpus, Corpus) {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0,1)"
+        );
         let n = self.sentences.len();
         let keep = n - ((n as f64 * fraction) as usize).max(1);
         let held = self.sentences.split_off(keep);
@@ -182,7 +185,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let spec = CorpusSpec { vocab_size: 100, num_sentences: 50, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 100,
+            num_sentences: 50,
+            ..Default::default()
+        };
         let a = spec.generate(7);
         let b = spec.generate(7);
         assert_eq!(a.sentences, b.sentences);
@@ -192,7 +199,11 @@ mod tests {
 
     #[test]
     fn words_stay_in_vocabulary() {
-        let spec = CorpusSpec { vocab_size: 64, num_sentences: 200, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 64,
+            num_sentences: 200,
+            ..Default::default()
+        };
         let c = spec.generate(1);
         for s in &c.sentences {
             assert!(s.len() >= 3);
@@ -204,7 +215,12 @@ mod tests {
 
     #[test]
     fn zipf_head_dominates() {
-        let spec = CorpusSpec { vocab_size: 500, num_sentences: 2_000, coherence: 0.0, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 500,
+            num_sentences: 2_000,
+            coherence: 0.0,
+            ..Default::default()
+        };
         let c = spec.generate(3);
         let mut counts = vec![0u64; 501];
         for s in &c.sentences {
@@ -230,9 +246,19 @@ mod tests {
 
     #[test]
     fn coherence_concentrates_bigrams() {
-        let base = CorpusSpec { vocab_size: 300, num_sentences: 1_000, ..Default::default() };
-        let incoherent = CorpusSpec { coherence: 0.0, ..base };
-        let coherent = CorpusSpec { coherence: 0.9, ..base };
+        let base = CorpusSpec {
+            vocab_size: 300,
+            num_sentences: 1_000,
+            ..Default::default()
+        };
+        let incoherent = CorpusSpec {
+            coherence: 0.0,
+            ..base
+        };
+        let coherent = CorpusSpec {
+            coherence: 0.9,
+            ..base
+        };
         let distinct = |c: &Corpus| {
             let mut set = std::collections::HashSet::new();
             for s in &c.sentences {
@@ -252,7 +278,11 @@ mod tests {
 
     #[test]
     fn heldout_split() {
-        let spec = CorpusSpec { vocab_size: 50, num_sentences: 100, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 50,
+            num_sentences: 100,
+            ..Default::default()
+        };
         let (train, held) = spec.generate(2).split_heldout(0.1);
         assert_eq!(train.sentences.len(), 90);
         assert_eq!(held.sentences.len(), 10);
@@ -261,7 +291,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty vocabulary")]
     fn zero_vocab_panics() {
-        let spec = CorpusSpec { vocab_size: 0, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 0,
+            ..Default::default()
+        };
         let _ = spec.generate(0);
     }
 

@@ -64,7 +64,10 @@ pub fn lm_to_wfst_with_layout(model: &NGramModel) -> (Wfst, LmWfstLayout) {
     for (i, &h) in tri_hists.iter().enumerate() {
         bigram_states.insert(h, first_bigram_state + i as StateId);
     }
-    let layout = LmWfstLayout { vocab_size: v, bigram_states };
+    let layout = LmWfstLayout {
+        vocab_size: v,
+        bigram_states,
+    };
 
     let num_states = v + 1 + tri_hists.len();
     let mut b = WfstBuilder::with_states(num_states);
@@ -120,7 +123,11 @@ mod tests {
     use unfold_wfst::EPSILON;
 
     fn build() -> (NGramModel, Wfst, LmWfstLayout) {
-        let spec = CorpusSpec { vocab_size: 150, num_sentences: 600, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 150,
+            num_sentences: 600,
+            ..Default::default()
+        };
         let corpus = spec.generate(33);
         let model = NGramModel::train(&corpus, 150, DiscountConfig::default());
         let (fst, layout) = lm_to_wfst_with_layout(&model);
@@ -179,11 +186,7 @@ mod tests {
         // Walking the WFST back-off chain must reproduce the model's
         // word_cost for unigram, bigram and trigram histories.
         let (model, fst, layout) = build();
-        let histories: Vec<Vec<WordId>> = vec![
-            vec![],
-            vec![3],
-            vec![7, 1],
-        ];
+        let histories: Vec<Vec<WordId>> = vec![vec![], vec![3], vec![7, 1]];
         let mut tri = model.trigram_histories().collect::<Vec<_>>();
         tri.sort_unstable();
         let mut checked = 0;
@@ -193,8 +196,7 @@ mod tests {
         {
             let state = layout.state_for(&hist);
             for w in (1..=150u32).step_by(17) {
-                let (_, cost, _) =
-                    resolve_lm_word(&fst, state, w).expect("resolvable");
+                let (_, cost, _) = resolve_lm_word(&fst, state, w).expect("resolvable");
                 let want = model.word_cost(&hist, w);
                 assert!(
                     (cost - want).abs() < 1e-4,

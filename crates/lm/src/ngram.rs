@@ -34,7 +34,11 @@ pub struct DiscountConfig {
 
 impl Default for DiscountConfig {
     fn default() -> Self {
-        DiscountConfig { discount: 0.5, min_bigram_count: 2, min_trigram_count: 2 }
+        DiscountConfig {
+            discount: 0.5,
+            min_bigram_count: 2,
+            min_trigram_count: 2,
+        }
     }
 }
 
@@ -70,7 +74,10 @@ impl NGramModel {
     /// destination field is 21 bits in the compressed layout).
     pub fn train(corpus: &Corpus, vocab_size: usize, cfg: DiscountConfig) -> Self {
         assert!(vocab_size > 0, "train: empty vocabulary");
-        assert!(vocab_size < (1 << 21), "train: vocabulary exceeds 21-bit word ids");
+        assert!(
+            vocab_size < (1 << 21),
+            "train: vocabulary exceeds 21-bit word ids"
+        );
 
         let mut c_uni = vec![0u64; vocab_size + 1];
         let mut c_bi: HashMap<u64, u64> = HashMap::new();
@@ -86,7 +93,9 @@ impl NGramModel {
                     *c_bi.entry(pack2(sent[i - 1], w)).or_insert(0) += 1;
                 }
                 if i >= 2 {
-                    *c_tri.entry((pack2(sent[i - 2], sent[i - 1]), w)).or_insert(0) += 1;
+                    *c_tri
+                        .entry((pack2(sent[i - 2], sent[i - 1]), w))
+                        .or_insert(0) += 1;
                 }
             }
         }
@@ -95,11 +104,23 @@ impl NGramModel {
         // --- Unigrams: add-one smoothing, full coverage. ---
         let denom = (total + vocab_size as u64) as f64;
         let p_uni: Vec<f64> = (0..=vocab_size)
-            .map(|w| if w == 0 { 0.0 } else { (c_uni[w] + 1) as f64 / denom })
+            .map(|w| {
+                if w == 0 {
+                    0.0
+                } else {
+                    (c_uni[w] + 1) as f64 / denom
+                }
+            })
             .collect();
         let uni_cost: Vec<f32> = p_uni
             .iter()
-            .map(|&p| if p > 0.0 { -(p.ln()) as f32 } else { f32::INFINITY })
+            .map(|&p| {
+                if p > 0.0 {
+                    -(p.ln()) as f32
+                } else {
+                    f32::INFINITY
+                }
+            })
             .collect();
 
         // --- Bigrams: absolute discounting over kept successors. ---
@@ -179,7 +200,14 @@ impl NGramModel {
             tri_backoff.insert(key, -(bow.ln()) as f32);
         }
 
-        NGramModel { vocab_size, uni_cost, bi, bi_backoff, tri, tri_backoff }
+        NGramModel {
+            vocab_size,
+            uni_cost,
+            bi,
+            bi_backoff,
+            tri,
+            tri_backoff,
+        }
     }
 
     /// Reconstructs a model from a parsed ARPA file (the import half of
@@ -192,7 +220,10 @@ impl NGramModel {
     /// if `vocab_size` is out of range.
     pub fn from_arpa(arpa: &crate::arpa::ArpaModel, vocab_size: usize) -> Self {
         assert!(vocab_size > 0, "from_arpa: empty vocabulary");
-        assert!(vocab_size < (1 << 21), "from_arpa: vocabulary exceeds 21-bit word ids");
+        assert!(
+            vocab_size < (1 << 21),
+            "from_arpa: vocabulary exceeds 21-bit word ids"
+        );
         let mut uni_cost = vec![f32::INFINITY; vocab_size + 1];
         let mut bi_backoff: HashMap<WordId, f32> = HashMap::new();
         for w in 1..=vocab_size as WordId {
@@ -222,7 +253,14 @@ impl NGramModel {
         // Drop back-off weights for histories without kept successors
         // (they would be unreachable states in the WFST).
         tri_backoff.retain(|k, _| tri.contains_key(k));
-        NGramModel { vocab_size, uni_cost, bi, bi_backoff, tri, tri_backoff }
+        NGramModel {
+            vocab_size,
+            uni_cost,
+            bi,
+            bi_backoff,
+            tri,
+            tri_backoff,
+        }
     }
 
     /// Vocabulary size.
@@ -235,7 +273,10 @@ impl NGramModel {
     /// # Panics
     /// Panics if `w` is 0 or out of range.
     pub fn unigram_cost(&self, w: WordId) -> f32 {
-        assert!(w >= 1 && (w as usize) <= self.vocab_size, "unigram_cost: bad word {w}");
+        assert!(
+            w >= 1 && (w as usize) <= self.vocab_size,
+            "unigram_cost: bad word {w}"
+        );
         self.uni_cost[w as usize]
     }
 
@@ -344,7 +385,11 @@ mod tests {
     use crate::corpus::CorpusSpec;
 
     fn small_model() -> (NGramModel, Corpus) {
-        let spec = CorpusSpec { vocab_size: 200, num_sentences: 800, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 200,
+            num_sentences: 800,
+            ..Default::default()
+        };
         let corpus = spec.generate(11);
         let model = NGramModel::train(&corpus, 200, DiscountConfig::default());
         (model, corpus)
@@ -401,7 +446,10 @@ mod tests {
         for u in m.bigram_histories().collect::<Vec<_>>() {
             let arcs = m.bigram_arcs(u);
             let kept: f64 = arcs.iter().map(|&(_, c)| f64::from(-c).exp()).sum();
-            let kept_uni: f64 = arcs.iter().map(|&(w, _)| f64::from(-m.unigram_cost(w)).exp()).sum();
+            let kept_uni: f64 = arcs
+                .iter()
+                .map(|&(w, _)| f64::from(-m.unigram_cost(w)).exp())
+                .sum();
             let bow = f64::from(-m.bigram_backoff_cost(u)).exp();
             let total = kept + bow * (1.0 - kept_uni);
             all += 1;
@@ -421,14 +469,16 @@ mod tests {
         // Find a word absent from both the trigram and bigram arcs.
         let absent = (1..=200u32)
             .find(|&w| {
-                m.trigram_arcs(u, v).binary_search_by_key(&w, |&(x, _)| x).is_err()
-                    && m.bigram_arcs(v).binary_search_by_key(&w, |&(x, _)| x).is_err()
+                m.trigram_arcs(u, v)
+                    .binary_search_by_key(&w, |&(x, _)| x)
+                    .is_err()
+                    && m.bigram_arcs(v)
+                        .binary_search_by_key(&w, |&(x, _)| x)
+                        .is_err()
             })
             .expect("some word must be absent");
         let got = m.word_cost(&[u, v], absent);
-        let want = m.trigram_backoff_cost(u, v)
-            + m.bigram_backoff_cost(v)
-            + m.unigram_cost(absent);
+        let want = m.trigram_backoff_cost(u, v) + m.bigram_backoff_cost(v) + m.unigram_cost(absent);
         // bigram_backoff_cost returns 0 when v has no kept bigrams, which
         // matches word_cost's fall-through; both sides agree either way.
         assert!((got - want).abs() < 1e-5, "{got} vs {want}");
@@ -436,12 +486,19 @@ mod tests {
 
     #[test]
     fn model_beats_uniform_on_heldout() {
-        let spec = CorpusSpec { vocab_size: 300, num_sentences: 3_000, ..Default::default() };
+        let spec = CorpusSpec {
+            vocab_size: 300,
+            num_sentences: 3_000,
+            ..Default::default()
+        };
         let (train, held) = spec.generate(21).split_heldout(0.1);
         let m = NGramModel::train(&train, 300, DiscountConfig::default());
         let ppl = m.perplexity(&held);
         assert!(ppl.is_finite());
-        assert!(ppl < 300.0, "perplexity {ppl} not better than uniform (300)");
+        assert!(
+            ppl < 300.0,
+            "perplexity {ppl} not better than uniform (300)"
+        );
     }
 
     #[test]
@@ -458,7 +515,10 @@ mod tests {
             }
         }
         let ppl_uni = (uni_cost / n as f64).exp();
-        assert!(ppl_full < ppl_uni, "context should reduce perplexity: {ppl_full} vs {ppl_uni}");
+        assert!(
+            ppl_full < ppl_uni,
+            "context should reduce perplexity: {ppl_full} vs {ppl_uni}"
+        );
     }
 
     #[test]

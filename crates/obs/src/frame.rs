@@ -1,0 +1,211 @@
+//! Per-frame telemetry ring.
+//!
+//! One [`FrameTelemetry`] record is produced per decoded frame. The
+//! ring is bounded ([`FrameRing::with_capacity`]) so long-running
+//! streaming decodes hold the most recent window instead of growing
+//! without bound; `total_seen`/`dropped` make the truncation explicit
+//! in exports rather than silent.
+
+use std::collections::VecDeque;
+
+/// Default number of frames retained by [`FrameRing::new`]. At the
+/// simulator's 10 ms frame hop this is about four minutes of audio.
+pub const DEFAULT_FRAME_CAPACITY: usize = 25_000;
+
+/// Per-frame cache/OLT hit-rate snapshot from the accelerator
+/// simulator. Rates are deltas for this frame only, not cumulative;
+/// a cache with no accesses this frame reports 1.0 (nothing missed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheRates {
+    /// AM state cache hit rate.
+    pub state: f64,
+    /// AM arc cache hit rate.
+    pub am_arc: f64,
+    /// LM arc cache hit rate.
+    pub lm_arc: f64,
+    /// Token cache hit rate.
+    pub token: f64,
+    /// Offset Lookup Table hit rate.
+    pub olt: f64,
+}
+
+/// Telemetry for one decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTelemetry {
+    /// Monotonic sequence number across the whole run (frame indices
+    /// restart per utterance; this does not).
+    pub seq: u64,
+    /// Frame index within its utterance.
+    pub frame: usize,
+    /// Tokens active when the frame began.
+    pub active_in: usize,
+    /// Tokens surviving after expansion, pruning, and ε-closure.
+    pub active_out: usize,
+    /// Best (lowest) token cost after the frame.
+    pub best_cost: f32,
+    /// Worst surviving token cost after the frame.
+    pub worst_cost: f32,
+    /// LM lookups issued during the frame.
+    pub lm_lookups: u64,
+    /// Back-off hops walked during the frame.
+    pub backoff_hops: u64,
+    /// Hypotheses discarded preemptively (paper §3.3) this frame.
+    pub preemptive_prunes: u64,
+    /// Wall time spent decoding the frame, in nanoseconds.
+    pub wall_ns: u64,
+    /// Simulator cache rates, when a simulator ran alongside.
+    pub cache: Option<CacheRates>,
+}
+
+/// Bounded FIFO of the most recent frames.
+#[derive(Debug, Clone)]
+pub struct FrameRing {
+    frames: VecDeque<FrameTelemetry>,
+    capacity: usize,
+    total_seen: u64,
+}
+
+impl Default for FrameRing {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_FRAME_CAPACITY)
+    }
+}
+
+impl FrameRing {
+    /// A ring with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A ring retaining at most `capacity` frames (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FrameRing {
+            frames: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total_seen: 0,
+        }
+    }
+
+    /// Appends a frame, evicting the oldest if full.
+    pub fn push(&mut self, frame: FrameTelemetry) {
+        if self.frames.len() == self.capacity {
+            self.frames.pop_front();
+        }
+        self.frames.push_back(frame);
+        self.total_seen += 1;
+    }
+
+    /// Frames currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &FrameTelemetry> {
+        self.frames.iter()
+    }
+
+    /// Mutable view of retained frames, oldest first — used to attach
+    /// simulator cache snapshots after a traced run.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut FrameTelemetry> {
+        self.frames.iter_mut()
+    }
+
+    /// Number of frames currently retained.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if no frames were ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total frames pushed over the ring's lifetime.
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+
+    /// Frames evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.total_seen - self.frames.len() as u64
+    }
+
+    /// Renders retained-frame aggregates as markdown.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "frames seen: {} (retained {}, dropped {})\n\n",
+            self.total_seen,
+            self.len(),
+            self.dropped()
+        ));
+        if self.frames.is_empty() {
+            return out;
+        }
+        let n = self.frames.len() as f64;
+        let mean_active = self.frames.iter().map(|f| f.active_out as f64).sum::<f64>() / n;
+        let max_active = self.frames.iter().map(|f| f.active_out).max().unwrap_or(0);
+        let lm: u64 = self.frames.iter().map(|f| f.lm_lookups).sum();
+        let hops: u64 = self.frames.iter().map(|f| f.backoff_hops).sum();
+        let prunes: u64 = self.frames.iter().map(|f| f.preemptive_prunes).sum();
+        out.push_str("| aggregate | value |\n|---|---:|\n");
+        out.push_str(&format!("| mean active tokens | {mean_active:.1} |\n"));
+        out.push_str(&format!("| max active tokens | {max_active} |\n"));
+        out.push_str(&format!("| LM lookups | {lm} |\n"));
+        out.push_str(&format!("| back-off hops | {hops} |\n"));
+        out.push_str(&format!("| preemptive prunes | {prunes} |\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn sample_frame(seq: u64) -> FrameTelemetry {
+    FrameTelemetry {
+        seq,
+        frame: seq as usize,
+        active_in: 10,
+        active_out: 12,
+        best_cost: 1.5,
+        worst_cost: 9.0,
+        lm_lookups: 4,
+        backoff_hops: 2,
+        preemptive_prunes: 1,
+        wall_ns: 1000,
+        cache: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut ring = FrameRing::with_capacity(3);
+        for seq in 0..5 {
+            ring.push(sample_frame(seq));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_seen(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let seqs: Vec<u64> = ring.iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, [2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut ring = FrameRing::with_capacity(0);
+        ring.push(sample_frame(0));
+        ring.push(sample_frame(1));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.iter().next().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn markdown_reports_truncation() {
+        let mut ring = FrameRing::with_capacity(2);
+        for seq in 0..4 {
+            ring.push(sample_frame(seq));
+        }
+        let md = ring.markdown();
+        assert!(md.contains("dropped 2"));
+        assert!(md.contains("LM lookups"));
+    }
+}

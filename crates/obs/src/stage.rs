@@ -1,0 +1,375 @@
+//! Monotonic stage profiling with exclusive-time attribution.
+//!
+//! [`StageTimer`] tracks a stack of named stages. Wall time between
+//! clock ticks is always attributed to the *innermost* open stage, so
+//! a parent's total never double-counts its children — entering
+//! `lm_lookup` inside `arc_expansion` moves the clock to the child and
+//! only time after the child exits accrues to the parent again. This
+//! "self time" view is what the `profile` subcommand prints: the
+//! columns sum to the measured wall clock.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct StageEntry {
+    name: String,
+    self_ticks: u64,
+    count: u64,
+}
+
+/// Reads the raw tick counter. On x86_64 this is the TSC — a single
+/// `rdtsc` costs a few nanoseconds versus tens for a vDSO
+/// `clock_gettime`, which matters because the decoder ticks the clock
+/// at every stage transition and frame boundary. Elsewhere it falls
+/// back to `Instant` nanoseconds since a process-wide origin (ticks
+/// then convert 1:1).
+#[inline]
+pub fn raw_ticks() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: rdtsc has no preconditions; it only reads a counter.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        static ORIGIN: OnceLock<Instant> = OnceLock::new();
+        ORIGIN.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// Nanoseconds per raw tick. On x86_64 the TSC rate is calibrated once
+/// per process against the wall clock over a short window; call it
+/// outside any timed region (e.g. when a sink is created) to front-load
+/// that cost. Elsewhere ticks already are nanoseconds.
+pub fn ns_per_raw_tick() -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static RATE: OnceLock<f64> = OnceLock::new();
+        *RATE.get_or_init(|| {
+            let wall = Instant::now();
+            let t0 = raw_ticks();
+            while wall.elapsed() < Duration::from_micros(200) {
+                std::hint::spin_loop();
+            }
+            let ticks = raw_ticks().saturating_sub(t0);
+            let ns = wall.elapsed().as_nanos() as u64;
+            if ticks == 0 {
+                1.0
+            } else {
+                ns as f64 / ticks as f64
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        1.0
+    }
+}
+
+/// Converts a raw tick delta to nanoseconds.
+#[inline]
+pub fn ticks_to_ns(ticks: u64) -> u64 {
+    (ticks as f64 * ns_per_raw_tick()) as u64
+}
+
+/// Handle to an interned stage name, for hot paths that enter/exit
+/// stages per event rather than per frame (see [`StageTimer::intern`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageId(usize);
+
+/// Per-stage exclusive time for one report row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage name (snake_case, e.g. `arc_expansion`).
+    pub name: String,
+    /// Number of times the stage was entered.
+    pub count: u64,
+    /// Exclusive wall time in nanoseconds.
+    pub self_nanos: u64,
+}
+
+/// Stack-based stage timer. Not thread-safe by design: decoding is
+/// single-threaded and the timer rides the decoder's `TraceSink`.
+#[derive(Debug, Default, Clone)]
+pub struct StageTimer {
+    entries: Vec<StageEntry>,
+    stack: Vec<usize>,
+    /// Raw tick value at the last enter/exit (`None` before first use).
+    last_tick: Option<u64>,
+}
+
+impl StageTimer {
+    /// An empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry_index(&mut self, name: &str) -> usize {
+        match self.entries.iter().position(|e| e.name == name) {
+            Some(i) => i,
+            None => {
+                self.entries.push(StageEntry {
+                    name: name.to_string(),
+                    self_ticks: 0,
+                    count: 0,
+                });
+                self.entries.len() - 1
+            }
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        let now = raw_ticks();
+        let elapsed = match self.last_tick {
+            Some(prev) => now.saturating_sub(prev),
+            None => 0,
+        };
+        self.last_tick = Some(now);
+        elapsed
+    }
+
+    /// Interns `name`, returning a handle that skips the name lookup in
+    /// [`StageTimer::enter_id`]/[`StageTimer::exit_id`]. Interning the
+    /// same name twice returns the same id.
+    pub fn intern(&mut self, name: &str) -> StageId {
+        StageId(self.entry_index(name))
+    }
+
+    /// Opens stage `name`. Elapsed time since the previous tick is
+    /// attributed to the stage that was innermost until now.
+    pub fn enter(&mut self, name: &str) {
+        let id = self.intern(name);
+        self.enter_id(id);
+    }
+
+    /// [`StageTimer::enter`] by pre-interned id (no name lookup).
+    pub fn enter_id(&mut self, id: StageId) {
+        let elapsed = self.tick();
+        if let Some(&top) = self.stack.last() {
+            self.entries[top].self_ticks += elapsed;
+        }
+        self.entries[id.0].count += 1;
+        self.stack.push(id.0);
+    }
+
+    /// Closes the innermost stage, attributing its remaining elapsed
+    /// time. `name` is checked in debug builds; in release a mismatch
+    /// still closes the innermost stage so timing stays balanced.
+    pub fn exit(&mut self, name: &str) {
+        let id = self.intern(name);
+        self.exit_id(id);
+    }
+
+    /// Closes stage `from` and opens stage `to` with a single clock
+    /// read: the elapsed time goes to `from`, and `to` starts at the
+    /// same instant. For hot paths where two stages are adjacent —
+    /// separate exit + enter calls would read the clock twice to
+    /// measure the same boundary.
+    pub fn switch_id(&mut self, from: StageId, to: StageId) {
+        let elapsed = self.tick();
+        if let Some(top) = self.stack.pop() {
+            debug_assert_eq!(
+                self.entries[top].name, self.entries[from.0].name,
+                "stage switch out of order"
+            );
+            self.entries[top].self_ticks += elapsed;
+        } else {
+            debug_assert!(false, "stage switch with no stage open");
+        }
+        self.entries[to.0].count += 1;
+        self.stack.push(to.0);
+    }
+
+    /// Raw tick recorded at the most recent enter/exit/switch, if any.
+    /// Lets callers timestamp events adjacent to a stage boundary
+    /// without paying for another clock read.
+    pub fn last_tick_raw(&self) -> Option<u64> {
+        self.last_tick
+    }
+
+    /// [`StageTimer::exit`] by pre-interned id (no name lookup).
+    pub fn exit_id(&mut self, id: StageId) {
+        let elapsed = self.tick();
+        if let Some(top) = self.stack.pop() {
+            debug_assert_eq!(
+                self.entries[top].name, self.entries[id.0].name,
+                "stage exit out of order"
+            );
+            self.entries[top].self_ticks += elapsed;
+        } else {
+            debug_assert!(false, "stage exit with no stage open");
+        }
+    }
+
+    /// Runs `f` inside stage `name`.
+    pub fn scoped<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        self.enter(name);
+        let out = f();
+        self.exit(name);
+        out
+    }
+
+    /// True if no stage is currently open.
+    pub fn is_balanced(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Report rows in first-entry order, raw ticks converted to
+    /// nanoseconds with one rate for every row.
+    pub fn report(&self) -> Vec<StageReport> {
+        let rate = ns_per_raw_tick();
+        self.entries
+            .iter()
+            .map(|e| StageReport {
+                name: e.name.clone(),
+                count: e.count,
+                self_nanos: (e.self_ticks as f64 * rate) as u64,
+            })
+            .collect()
+    }
+
+    /// Total exclusive time across all stages (equals wall time spent
+    /// inside any stage).
+    pub fn total(&self) -> Duration {
+        let ticks: u64 = self.entries.iter().map(|e| e.self_ticks).sum();
+        Duration::from_nanos(ticks_to_ns(ticks))
+    }
+
+    /// Renders the stage table: name, calls, self time, share of total.
+    pub fn markdown(&self) -> String {
+        let mut out = String::from("| stage | calls | self time | share |\n|---|---:|---:|---:|\n");
+        if self.entries.is_empty() {
+            out.push_str("| (no stages recorded) | | | |\n");
+            return out;
+        }
+        let mut rows = self.report();
+        let total = rows.iter().map(|r| r.self_nanos).sum::<u64>().max(1) as f64;
+        rows.sort_by_key(|r| std::cmp::Reverse(r.self_nanos));
+        for r in rows {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.1}% |\n",
+                r.name,
+                r.count,
+                fmt_duration(Duration::from_nanos(r.self_nanos)),
+                100.0 * r.self_nanos as f64 / total
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_balance() {
+        let mut t = StageTimer::new();
+        t.enter("outer");
+        t.enter("inner");
+        t.exit("inner");
+        t.exit("outer");
+        assert!(t.is_balanced());
+        let report = t.report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].name, "outer");
+        assert_eq!(report[0].count, 1);
+        assert_eq!(report[1].count, 1);
+    }
+
+    #[test]
+    fn nested_time_is_exclusive() {
+        let mut t = StageTimer::new();
+        t.enter("outer");
+        std::thread::sleep(Duration::from_millis(2));
+        t.enter("inner");
+        std::thread::sleep(Duration::from_millis(8));
+        t.exit("inner");
+        t.exit("outer");
+        let report = t.report();
+        let outer = report.iter().find(|r| r.name == "outer").unwrap();
+        let inner = report.iter().find(|r| r.name == "inner").unwrap();
+        // Inner slept 4x longer; exclusive attribution must reflect it.
+        assert!(
+            inner.self_nanos > outer.self_nanos,
+            "inner {} <= outer {}",
+            inner.self_nanos,
+            outer.self_nanos
+        );
+        // Self times sum to total (allow <1% slack: the tick-to-ns
+        // calibration is re-read per call).
+        let sum = report.iter().map(|r| r.self_nanos).sum::<u64>() as f64;
+        let total = t.total().as_nanos() as f64;
+        assert!(
+            (sum - total).abs() < 0.01 * total.max(1.0),
+            "sum {sum} vs total {total}"
+        );
+    }
+
+    #[test]
+    fn switch_closes_and_opens_in_one_step() {
+        let mut t = StageTimer::new();
+        let a = t.intern("pruning");
+        let b = t.intern("arc_expansion");
+        t.enter_id(a);
+        t.switch_id(a, b);
+        t.exit_id(b);
+        assert!(t.is_balanced());
+        let report = t.report();
+        assert_eq!(
+            report.iter().find(|r| r.name == "pruning").unwrap().count,
+            1
+        );
+        assert_eq!(
+            report
+                .iter()
+                .find(|r| r.name == "arc_expansion")
+                .unwrap()
+                .count,
+            1
+        );
+        assert!(t.last_tick_raw().is_some());
+    }
+
+    #[test]
+    fn scoped_returns_value() {
+        let mut t = StageTimer::new();
+        let v = t.scoped("calc", || 7);
+        assert_eq!(v, 7);
+        assert_eq!(t.report()[0].count, 1);
+        assert!(t.is_balanced());
+    }
+
+    #[test]
+    fn reentry_accumulates_counts() {
+        let mut t = StageTimer::new();
+        for _ in 0..5 {
+            t.scoped("loop", || ());
+        }
+        assert_eq!(t.report()[0].count, 5);
+    }
+
+    #[test]
+    fn markdown_lists_stages() {
+        let mut t = StageTimer::new();
+        t.scoped("pruning", || ());
+        let md = t.markdown();
+        assert!(md.contains("| pruning |"));
+        assert!(md.contains("| stage |"));
+    }
+}

@@ -22,10 +22,10 @@
 use unfold_decoder::{sources::addr, TraceSink};
 use unfold_wfst::{Label, StateId};
 
-use crate::cache::Cache;
+use crate::cache::{Cache, CacheStats};
 use crate::dram::DramModel;
 use crate::hashtable::TokenHashTable;
-use crate::olt::OffsetLookupTable;
+use crate::olt::{OffsetLookupTable, OltStats};
 use crate::report::{AcceleratorConfig, ComponentEnergy, SimReport, TrafficBreakdown};
 
 /// Cycles per pipelined event (cache hit path).
@@ -34,6 +34,48 @@ const EVENT_CYCLES: u64 = 1;
 const LM_PROBE_CYCLES: u64 = 2;
 /// Frame startup overhead (hash flip, threshold broadcast).
 const FRAME_OVERHEAD_CYCLES: u64 = 12;
+
+/// Per-frame cache behaviour: the hit rate each on-chip structure
+/// achieved *within one frame* (deltas between frame boundaries, not
+/// cumulative averages — a cumulative rate hides the cold-start ramp and
+/// per-utterance working-set shifts that frame-granular telemetry is
+/// for). A structure untouched during the frame reports `1.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameCacheSnapshot {
+    /// Frame index the snapshot covers.
+    pub frame: usize,
+    /// State cache hit rate.
+    pub state: f64,
+    /// AM arc cache hit rate.
+    pub am_arc: f64,
+    /// LM arc cache hit rate (1.0 when the config has no LM cache).
+    pub lm_arc: f64,
+    /// Token cache hit rate.
+    pub token: f64,
+    /// Offset Lookup Table hit rate (1.0 when the config has no OLT).
+    pub olt: f64,
+}
+
+/// Cumulative counters captured at a frame boundary, used to form the
+/// per-frame deltas in [`FrameCacheSnapshot`].
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheMarks {
+    state: CacheStats,
+    am_arc: CacheStats,
+    lm_arc: CacheStats,
+    token: CacheStats,
+    olt: OltStats,
+}
+
+/// Hit rate of the accesses between two cumulative marks.
+fn delta_hit_rate(before: CacheStats, after: CacheStats) -> f64 {
+    let accesses = after.accesses - before.accesses;
+    if accesses == 0 {
+        1.0
+    } else {
+        1.0 - (after.misses - before.misses) as f64 / accesses as f64
+    }
+}
 
 /// Event-driven accelerator model; feed it decoder traces, then call
 /// [`Accelerator::finish`].
@@ -57,6 +99,12 @@ pub struct Accelerator {
     traffic: TrafficBreakdown,
     /// LM arc fetches actually charged (after OLT hits skip probes).
     lm_fetches_charged: u64,
+    /// Counter values at the last frame boundary.
+    marks: CacheMarks,
+    /// Frame index the open interval belongs to, if a frame is open.
+    open_frame: Option<usize>,
+    /// Completed per-frame snapshots.
+    frame_snaps: Vec<FrameCacheSnapshot>,
 }
 
 impl std::fmt::Debug for Accelerator {
@@ -86,6 +134,9 @@ impl Accelerator {
             flops: 0,
             traffic: TrafficBreakdown::default(),
             lm_fetches_charged: 0,
+            marks: CacheMarks::default(),
+            open_frame: None,
+            frame_snaps: Vec::new(),
             config,
         }
     }
@@ -98,6 +149,51 @@ impl Accelerator {
     /// Cycles elapsed so far.
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Per-frame cache hit-rate snapshots collected so far. One entry
+    /// per completed frame (the frame in progress is closed by the next
+    /// `frame_start` or by [`Accelerator::finish`]).
+    pub fn frame_snapshots(&self) -> &[FrameCacheSnapshot] {
+        &self.frame_snaps
+    }
+
+    /// Current cumulative counters of every on-chip structure.
+    fn current_marks(&self) -> CacheMarks {
+        CacheMarks {
+            state: self.state_cache.stats(),
+            am_arc: self.am_arc_cache.stats(),
+            lm_arc: self
+                .lm_arc_cache
+                .as_ref()
+                .map(|c| c.stats())
+                .unwrap_or_default(),
+            token: self.token_cache.stats(),
+            olt: self.olt.as_ref().map(|t| t.stats()).unwrap_or_default(),
+        }
+    }
+
+    /// Closes the open frame interval, if any: turns the counter deltas
+    /// since the last boundary into a [`FrameCacheSnapshot`].
+    fn close_frame(&mut self) {
+        let Some(frame) = self.open_frame.take() else {
+            return;
+        };
+        let now = self.current_marks();
+        let olt_probes = now.olt.probes - self.marks.olt.probes;
+        self.frame_snaps.push(FrameCacheSnapshot {
+            frame,
+            state: delta_hit_rate(self.marks.state, now.state),
+            am_arc: delta_hit_rate(self.marks.am_arc, now.am_arc),
+            lm_arc: delta_hit_rate(self.marks.lm_arc, now.lm_arc),
+            token: delta_hit_rate(self.marks.token, now.token),
+            olt: if olt_probes == 0 {
+                1.0
+            } else {
+                (now.olt.hits - self.marks.olt.hits) as f64 / olt_probes as f64
+            },
+        });
+        self.marks = now;
     }
 
     /// Amortized stall for an overlappable miss (independent accesses
@@ -154,6 +250,7 @@ impl Accelerator {
     pub fn finish(&mut self, audio_seconds: f64) -> SimReport {
         assert!(audio_seconds > 0.0, "finish: non-positive audio time");
         self.flush_lm();
+        self.close_frame();
         let seconds = self.cycles as f64 / (self.config.frequency_mhz as f64 * 1e6);
 
         let mut energy = self.energy;
@@ -177,7 +274,11 @@ impl Accelerator {
             traffic: self.traffic,
             state_cache: self.state_cache.stats(),
             am_arc_cache: self.am_arc_cache.stats(),
-            lm_arc_cache: self.lm_arc_cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            lm_arc_cache: self
+                .lm_arc_cache
+                .as_ref()
+                .map(|c| c.stats())
+                .unwrap_or_default(),
             token_cache: self.token_cache.stats(),
             olt: self.olt.as_ref().map(|t| t.stats()).unwrap_or_default(),
             lm_fetches_charged: self.lm_fetches_charged,
@@ -188,8 +289,13 @@ impl Accelerator {
 }
 
 impl TraceSink for Accelerator {
-    fn frame_start(&mut self, _frame: usize, _active: usize) {
+    fn frame_start(&mut self, frame: usize, _active: usize) {
         self.flush_lm();
+        self.close_frame();
+        // Re-mark so pre-frame work (the utterance-initial epsilon
+        // closure) never leaks into frame 0's delta.
+        self.marks = self.current_marks();
+        self.open_frame = Some(frame);
         self.hash.frame_flip();
         self.cycles += FRAME_OVERHEAD_CYCLES;
     }
@@ -250,8 +356,7 @@ impl TraceSink for Accelerator {
 
     fn acoustic_fetch(&mut self, _frame: usize, _pdf: Label) {
         // On-chip buffer, overlapped with the arc pipeline: energy only.
-        self.energy.acoustic_buffer +=
-            self.sram_pj(self.config.acoustic_buffer_bytes) / 1e9;
+        self.energy.acoustic_buffer += self.sram_pj(self.config.acoustic_buffer_bytes) / 1e9;
         self.flops += 1;
     }
 
@@ -303,13 +408,59 @@ mod tests {
     }
 
     #[test]
+    fn frame_snapshots_report_per_frame_deltas() {
+        let mut a = Accelerator::new(AcceleratorConfig::unfold());
+        // Frame 0: two cold AM arc fetches on distinct lines → 0% hit.
+        a.frame_start(0, 1);
+        a.am_arc_fetch(addr::AM_ARC_BASE, 16);
+        a.am_arc_fetch(addr::AM_ARC_BASE + 256, 16);
+        // Frame 1: the same two lines again → 100% hit, even though the
+        // cumulative rate is only 50%.
+        a.frame_start(1, 1);
+        a.am_arc_fetch(addr::AM_ARC_BASE, 16);
+        a.am_arc_fetch(addr::AM_ARC_BASE + 256, 16);
+        let r = a.finish(1.0);
+        let snaps = a.frame_snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].frame, 0);
+        assert_eq!(snaps[0].am_arc, 0.0);
+        assert_eq!(snaps[1].frame, 1);
+        assert_eq!(snaps[1].am_arc, 1.0);
+        // Untouched structures report 1.0, not 0/0 noise.
+        assert_eq!(snaps[0].state, 1.0);
+        assert_eq!(snaps[0].olt, 1.0);
+        // The cumulative report still shows the blended 50%.
+        assert!((r.am_arc_cache.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_frame_work_does_not_leak_into_frame_zero() {
+        let mut a = Accelerator::new(AcceleratorConfig::unfold());
+        // Utterance-initial closure: cold fetches before any frame.
+        a.am_arc_fetch(addr::AM_ARC_BASE, 16);
+        a.frame_start(0, 1);
+        // Warm re-fetch inside frame 0.
+        a.am_arc_fetch(addr::AM_ARC_BASE, 16);
+        let _ = a.finish(1.0);
+        let snaps = a.frame_snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(
+            snaps[0].am_arc, 1.0,
+            "the pre-frame cold miss is not frame 0's"
+        );
+    }
+
+    #[test]
     fn cold_misses_generate_dram_reads() {
         let mut a = Accelerator::new(AcceleratorConfig::unfold());
         for i in 0..100u64 {
             a.am_arc_fetch(addr::AM_ARC_BASE + i * 256, 16);
         }
         let r = a.finish(1.0);
-        assert_eq!(r.dram.read_bursts, 100, "every distinct line is a cold miss");
+        assert_eq!(
+            r.dram.read_bursts, 100,
+            "every distinct line is a cold miss"
+        );
         assert!(r.am_arc_cache.misses == 100);
     }
 

@@ -23,14 +23,21 @@ impl CacheConfig {
     /// Panics if the geometry is degenerate (zero sizes, capacity not
     /// divisible by `ways * line`).
     pub fn kib(capacity_kib: u64, ways: usize, line_bytes: u64) -> Self {
-        let c = CacheConfig { capacity_bytes: capacity_kib * 1024, ways, line_bytes };
+        let c = CacheConfig {
+            capacity_bytes: capacity_kib * 1024,
+            ways,
+            line_bytes,
+        };
         assert!(c.num_sets() > 0, "kib: degenerate cache geometry");
         c
     }
 
     /// Number of sets.
     pub fn num_sets(&self) -> usize {
-        assert!(self.ways > 0 && self.line_bytes > 0, "num_sets: zero ways/line");
+        assert!(
+            self.ways > 0 && self.line_bytes > 0,
+            "num_sets: zero ways/line"
+        );
         let sets = self.capacity_bytes / (self.ways as u64 * self.line_bytes);
         assert_eq!(
             sets * self.ways as u64 * self.line_bytes,
@@ -83,7 +90,14 @@ impl Cache {
         let n = config.num_sets() * config.ways;
         Cache {
             config,
-            lines: vec![Line { tag: 0, valid: false, stamp: 0 }; n],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    stamp: 0
+                };
+                n
+            ],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -139,7 +153,11 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.stamp } else { 0 })
             .expect("cache set cannot be empty");
-        *victim = Line { tag, valid: true, stamp: self.clock };
+        *victim = Line {
+            tag,
+            valid: true,
+            stamp: self.clock,
+        };
         false
     }
 }
@@ -169,7 +187,11 @@ mod tests {
     #[test]
     fn lru_evicts_oldest() {
         // 2 sets, 2 ways, 64B lines = 256B cache.
-        let cfg = CacheConfig { capacity_bytes: 256, ways: 2, line_bytes: 64 };
+        let cfg = CacheConfig {
+            capacity_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        };
         let mut c = Cache::new(cfg);
         // Three lines mapping to set 0: line addrs 0, 2, 4.
         c.access(0, 1);

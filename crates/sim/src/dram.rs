@@ -69,8 +69,7 @@ impl DramModel {
 
     /// Dynamic energy consumed so far, in millijoules.
     pub fn dynamic_energy_mj(&self) -> f64 {
-        (self.stats.read_bursts + self.stats.write_bursts) as f64 * self.energy_pj_per_burst
-            / 1e9
+        (self.stats.read_bursts + self.stats.write_bursts) as f64 * self.energy_pj_per_burst / 1e9
     }
 
     /// Bandwidth in MB/s given the decode wall-clock time.

@@ -107,10 +107,16 @@ mod tests {
         let reza_kib = 512 + 1024 + 512 + 64 + 768;
         let unfold = m.sram_mm2(unfold_kib * 1024) + m.logic_mm2;
         let reza = m.sram_mm2(reza_kib * 1024) + m.logic_mm2;
-        assert!((unfold - 21.5).abs() < 4.0, "UNFOLD area {unfold} off target");
+        assert!(
+            (unfold - 21.5).abs() < 4.0,
+            "UNFOLD area {unfold} off target"
+        );
         assert!(reza > unfold, "baseline must be larger");
         let reduction = (reza - unfold) / reza;
-        assert!((0.05..0.30).contains(&reduction), "area reduction {reduction}");
+        assert!(
+            (0.05..0.30).contains(&reduction),
+            "area reduction {reduction}"
+        );
     }
 
     #[test]

@@ -102,7 +102,12 @@ impl GpuModel {
     }
 
     /// Total GPU-only ASR time: scoring then search, sequential.
-    pub fn gpu_only_seconds(&self, backend: &AcousticBackend, frames: usize, stats: &DecodeStats) -> f64 {
+    pub fn gpu_only_seconds(
+        &self,
+        backend: &AcousticBackend,
+        frames: usize,
+        stats: &DecodeStats,
+    ) -> f64 {
         self.scoring_seconds(backend, frames) + self.viterbi_seconds(stats)
     }
 
@@ -183,7 +188,11 @@ mod tests {
     use super::*;
 
     fn stats(tokens: u64) -> DecodeStats {
-        DecodeStats { tokens_created: tokens, frames: 100, ..Default::default() }
+        DecodeStats {
+            tokens_created: tokens,
+            frames: 100,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -200,9 +209,19 @@ mod tests {
         // bound; tiny sequential LSTM steps are worst (the EESEN bar in
         // Figure 1).
         let g = GpuModel::default();
-        let gmm = AcousticBackend::Gmm { num_pdfs: 4_000, mixtures: 32, feat_dim: 40 };
-        let dnn = AcousticBackend::Dnn { layer_widths: [440, 2048, 2048, 2048, 2048, 8000] };
-        let lstm = AcousticBackend::Lstm { input: 120, hidden: 100, layers: 4 };
+        let gmm = AcousticBackend::Gmm {
+            num_pdfs: 4_000,
+            mixtures: 32,
+            feat_dim: 40,
+        };
+        let dnn = AcousticBackend::Dnn {
+            layer_widths: [440, 2048, 2048, 2048, 2048, 8000],
+        };
+        let lstm = AcousticBackend::Lstm {
+            input: 120,
+            hidden: 100,
+            layers: 4,
+        };
         assert!(g.effective_flops_per_s(&dnn) > g.effective_flops_per_s(&gmm));
         assert!(g.effective_flops_per_s(&gmm) > g.effective_flops_per_s(&lstm));
         for b in [gmm, dnn, lstm] {
@@ -213,7 +232,11 @@ mod tests {
     #[test]
     fn hybrid_overlaps_scoring_and_search() {
         let g = GpuModel::default();
-        let gmm = AcousticBackend::Gmm { num_pdfs: 4_000, mixtures: 32, feat_dim: 40 };
+        let gmm = AcousticBackend::Gmm {
+            num_pdfs: 4_000,
+            mixtures: 32,
+            feat_dim: 40,
+        };
         let st = stats(100_000);
         let gpu_only = g.gpu_only_seconds(&gmm, 100, &st);
         let hybrid = g.hybrid_seconds(&gmm, 100, 0.001);

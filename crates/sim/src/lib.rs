@@ -46,7 +46,7 @@ pub mod hashtable;
 pub mod olt;
 pub mod report;
 
-pub use accel::Accelerator;
+pub use accel::{Accelerator, FrameCacheSnapshot};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use dram::DramModel;
 pub use energy::EnergyModel;

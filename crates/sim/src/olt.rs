@@ -59,9 +59,18 @@ impl OffsetLookupTable {
     /// # Panics
     /// Panics if `entries` is not a power of two or is zero.
     pub fn new(entries: usize) -> Self {
-        assert!(entries > 0 && entries.is_power_of_two(), "new: entries must be a power of two");
+        assert!(
+            entries > 0 && entries.is_power_of_two(),
+            "new: entries must be a power of two"
+        );
         OffsetLookupTable {
-            entries: vec![Entry { valid: false, tag: 0 }; entries],
+            entries: vec![
+                Entry {
+                    valid: false,
+                    tag: 0
+                };
+                entries
+            ],
             mask: entries as u64 - 1,
             stats: OltStats::default(),
         }

@@ -91,7 +91,11 @@ impl AcceleratorConfig {
             // Round down to a power-of-two multiple of ways*line so the
             // set count stays integral.
             let raw = cap / min;
-            let sets = if raw.is_power_of_two() { raw } else { raw.next_power_of_two() / 2 };
+            let sets = if raw.is_power_of_two() {
+                raw
+            } else {
+                raw.next_power_of_two() / 2
+            };
             let sets = sets.max(1);
             crate::cache::CacheConfig {
                 capacity_bytes: sets * min,
@@ -257,10 +261,10 @@ impl SimReport {
         self.dram.total_bytes() as f64 / 1e6 / self.seconds
     }
 
-    /// Average power during decode, mW.
+    /// Average power during decode, mW (mJ over seconds is mW directly).
     pub fn avg_power_mw(&self) -> f64 {
         assert!(self.seconds > 0.0, "no simulated time");
-        self.energy.total() / 1000.0 / self.seconds * 1e6 / 1000.0
+        self.energy.total() / self.seconds
     }
 }
 
@@ -272,7 +276,10 @@ mod tests {
     fn table3_sram_totals() {
         // UNFOLD: 256+512+32+128 caches + 64 buffer + 576 hash + 192 OLT.
         let u = AcceleratorConfig::unfold();
-        assert_eq!(u.sram_bytes(), (256 + 512 + 32 + 128 + 64 + 576 + 192) * 1024);
+        assert_eq!(
+            u.sram_bytes(),
+            (256 + 512 + 32 + 128 + 64 + 576 + 192) * 1024
+        );
         // Reza: 512+1024+512 caches + 64 buffer + 768 hash, no OLT.
         let r = AcceleratorConfig::reza();
         assert_eq!(r.sram_bytes(), (512 + 1024 + 512 + 64 + 768) * 1024);
@@ -296,8 +303,14 @@ mod tests {
     fn scaled_datasets_shrinks_capacities_proportionally() {
         let base = AcceleratorConfig::unfold();
         let scaled = base.scaled_datasets(32);
-        assert_eq!(scaled.state_cache.capacity_bytes, base.state_cache.capacity_bytes / 32);
-        assert_eq!(scaled.am_arc_cache.capacity_bytes, base.am_arc_cache.capacity_bytes / 32);
+        assert_eq!(
+            scaled.state_cache.capacity_bytes,
+            base.state_cache.capacity_bytes / 32
+        );
+        assert_eq!(
+            scaled.am_arc_cache.capacity_bytes,
+            base.am_arc_cache.capacity_bytes / 32
+        );
         // Geometry stays valid: sets remain integral powers of two.
         assert!(scaled.state_cache.num_sets().is_power_of_two());
         assert!(scaled.am_arc_cache.num_sets() >= 1);
@@ -323,6 +336,34 @@ mod tests {
         assert_eq!(same.am_arc_cache, base.am_arc_cache);
         assert_eq!(same.token_cache, base.token_cache);
         assert_eq!(same.hash_entries, base.hash_entries);
+    }
+
+    #[test]
+    fn avg_power_is_energy_over_time() {
+        let energy = ComponentEnergy {
+            pipeline: 12.5, // mJ
+            ..Default::default()
+        };
+        let r = SimReport {
+            config_name: "test",
+            cycles: 1,
+            seconds: 2.5,
+            audio_seconds: 1.0,
+            energy,
+            dram: DramStats::default(),
+            traffic: TrafficBreakdown::default(),
+            state_cache: CacheStats::default(),
+            am_arc_cache: CacheStats::default(),
+            lm_arc_cache: CacheStats::default(),
+            token_cache: CacheStats::default(),
+            olt: OltStats::default(),
+            lm_fetches_charged: 0,
+            hash: HashStats::default(),
+            area_mm2: 0.0,
+        };
+        // mJ / s = mW, with no hidden unit shuffling.
+        assert_eq!(r.avg_power_mw(), r.total_energy_mj() / r.seconds);
+        assert_eq!(r.avg_power_mw(), 5.0);
     }
 
     #[test]

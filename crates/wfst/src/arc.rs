@@ -48,7 +48,12 @@ impl Arc {
     /// ```
     #[inline]
     pub fn new(ilabel: Label, olabel: Label, weight: f32, nextstate: StateId) -> Self {
-        Arc { ilabel, olabel, weight, nextstate }
+        Arc {
+            ilabel,
+            olabel,
+            weight,
+            nextstate,
+        }
     }
 
     /// An epsilon:epsilon arc (used for back-off transitions in the LM).

@@ -36,7 +36,9 @@ pub struct ComposeOptions {
 
 impl Default for ComposeOptions {
     fn default() -> Self {
-        ComposeOptions { backoff_as_failure: true }
+        ComposeOptions {
+            backoff_as_failure: true,
+        }
     }
 }
 
@@ -129,7 +131,10 @@ pub fn compose_am_lm(am: &Wfst, lm: &Wfst, opts: ComposeOptions) -> Wfst {
                 queue.push(pair);
                 b.add_state()
             });
-            pending.push((src, Arc::new(arc.ilabel, word_out, arc.weight + extra_w, dest)));
+            pending.push((
+                src,
+                Arc::new(arc.ilabel, word_out, arc.weight + extra_w, dest),
+            ));
         }
     }
 
@@ -206,7 +211,10 @@ mod tests {
         let c = compose_am_lm(&am, &lm, ComposeOptions::default());
         // Reachable pairs: (0,0) (1,0) (0,1) (1,1) (0,2) (1,2) = 6.
         assert_eq!(c.num_states(), 6);
-        assert!(c.num_arcs() >= am.num_arcs(), "composition must not lose arcs");
+        assert!(
+            c.num_arcs() >= am.num_arcs(),
+            "composition must not lose arcs"
+        );
         // Start state's arcs mirror AM root arcs.
         assert_eq!(c.arcs(c.start()).len(), am.arcs(am.start()).len());
     }

@@ -78,7 +78,10 @@ pub fn connect(fst: &Wfst) -> Wfst {
         }
         for a in fst.arcs(s as StateId) {
             if keep[a.nextstate as usize] {
-                b.add_arc(ns, Arc::new(a.ilabel, a.olabel, a.weight, remap[a.nextstate as usize]));
+                b.add_arc(
+                    ns,
+                    Arc::new(a.ilabel, a.olabel, a.weight, remap[a.nextstate as usize]),
+                );
             }
         }
     }
@@ -98,7 +101,7 @@ mod tests {
         b.add_arc(0, Arc::new(1, EPSILON, 0.0, 1));
         b.add_arc(0, Arc::new(2, EPSILON, 0.0, 2)); // state 2 is a dead end
         b.add_arc(3, Arc::new(3, EPSILON, 0.0, 1)); // state 3 unreachable
-        // state 4 isolated
+                                                    // state 4 isolated
         let fst = b.build();
         let t = connect(&fst);
         assert_eq!(t.num_states(), 2);

@@ -35,8 +35,9 @@ pub fn accept_cost(fst: &Wfst, ilabels: &[Label]) -> Option<f32> {
     let budget = (n as u64 + 1) * (fst.num_arcs() as u64 + 1) + 1;
     // Relax epsilon-input arcs within one position.
     let eps_close = |dist: &mut Vec<f32>| {
-        let mut queue: Vec<StateId> =
-            (0..n as StateId).filter(|&s| dist[s as usize].is_finite()).collect();
+        let mut queue: Vec<StateId> = (0..n as StateId)
+            .filter(|&s| dist[s as usize].is_finite())
+            .collect();
         let mut relaxations = 0u64;
         while let Some(s) = queue.pop() {
             let ds = dist[s as usize];
@@ -107,7 +108,9 @@ pub struct DeterminizeOptions {
 
 impl Default for DeterminizeOptions {
     fn default() -> Self {
-        DeterminizeOptions { max_states: 1_000_000 }
+        DeterminizeOptions {
+            max_states: 1_000_000,
+        }
     }
 }
 
@@ -257,7 +260,11 @@ mod tests {
         assert!(d.num_states() < f.num_states());
         // Start state has exactly one arc (label 1).
         assert_eq!(d.arcs(d.start()).len(), 1);
-        for (string, w) in [(vec![1u32, 2, 3], 0.1f32), (vec![1, 2, 4], 0.2), (vec![1, 5], 0.3)] {
+        for (string, w) in [
+            (vec![1u32, 2, 3], 0.1f32),
+            (vec![1, 2, 4], 0.2),
+            (vec![1, 5], 0.3),
+        ] {
             let got = accept_cost(&d, &string).unwrap();
             assert!((got - w).abs() < 1e-3, "{string:?}: {got} vs {w}");
         }

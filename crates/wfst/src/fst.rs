@@ -31,7 +31,11 @@ pub struct WfstBuilder {
 impl WfstBuilder {
     /// Creates an empty builder with no states.
     pub fn new() -> Self {
-        WfstBuilder { arcs: Vec::new(), finals: Vec::new(), start: NO_STATE }
+        WfstBuilder {
+            arcs: Vec::new(),
+            finals: Vec::new(),
+            start: NO_STATE,
+        }
     }
 
     /// Creates a builder pre-sized for `n` states (ids `0..n`).
@@ -60,7 +64,10 @@ impl WfstBuilder {
     /// # Panics
     /// Panics if `s` has not been added.
     pub fn set_start(&mut self, s: StateId) {
-        assert!((s as usize) < self.arcs.len(), "set_start: unknown state {s}");
+        assert!(
+            (s as usize) < self.arcs.len(),
+            "set_start: unknown state {s}"
+        );
         self.start = s;
     }
 
@@ -69,7 +76,10 @@ impl WfstBuilder {
     /// # Panics
     /// Panics if `s` has not been added.
     pub fn set_final(&mut self, s: StateId, weight: f32) {
-        assert!((s as usize) < self.arcs.len(), "set_final: unknown state {s}");
+        assert!(
+            (s as usize) < self.arcs.len(),
+            "set_final: unknown state {s}"
+        );
         self.finals[s as usize] = weight;
     }
 
@@ -78,7 +88,10 @@ impl WfstBuilder {
     /// # Panics
     /// Panics if `s` or the arc's destination has not been added.
     pub fn add_arc(&mut self, s: StateId, arc: Arc) {
-        assert!((s as usize) < self.arcs.len(), "add_arc: unknown source {s}");
+        assert!(
+            (s as usize) < self.arcs.len(),
+            "add_arc: unknown source {s}"
+        );
         assert!(
             (arc.nextstate as usize) < self.arcs.len(),
             "add_arc: unknown destination {}",
@@ -104,7 +117,12 @@ impl WfstBuilder {
             flat.extend_from_slice(state_arcs);
             offsets.push(flat.len() as u32);
         }
-        Wfst { offsets, arcs: flat, finals: self.finals, start: self.start }
+        Wfst {
+            offsets,
+            arcs: flat,
+            finals: self.finals,
+            start: self.start,
+        }
     }
 }
 
@@ -167,7 +185,7 @@ impl Wfst {
 
     /// Iterates over all state ids.
     pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
-        (0..self.num_states() as StateId).into_iter()
+        0..self.num_states() as StateId
     }
 
     /// Sorts each state's arcs by input label, ascending.
@@ -249,7 +267,10 @@ impl Wfst {
     pub fn global_arc_index(&self, s: StateId, arc_idx: usize) -> u64 {
         let lo = self.offsets[s as usize] as usize;
         let hi = self.offsets[s as usize + 1] as usize;
-        assert!(lo + arc_idx < hi, "arc index {arc_idx} out of range for state {s}");
+        assert!(
+            lo + arc_idx < hi,
+            "arc index {arc_idx} out of range for state {s}"
+        );
         (lo + arc_idx) as u64
     }
 }
@@ -274,7 +295,10 @@ mod tests {
         b.set_start(0);
         b.set_final((n - 1) as StateId, 0.0);
         for s in 0..n - 1 {
-            b.add_arc(s as StateId, Arc::new(s as Label + 1, 0, 0.1, s as StateId + 1));
+            b.add_arc(
+                s as StateId,
+                Arc::new(s as Label + 1, 0, 0.1, s as StateId + 1),
+            );
         }
         b.build()
     }

@@ -54,11 +54,13 @@ pub use arc::{Arc, Label, StateId, EPSILON, NO_STATE};
 pub use compose::{compose_am_lm, ComposeOptions};
 pub use connect::connect;
 pub use determinize::{accept_cost, determinize, is_deterministic, DeterminizeOptions};
-pub use minimize::{intersect, minimize};
 pub use fst::{Wfst, WfstBuilder};
-pub use semiring::{LogWeight, Semiring, TropicalWeight};
-pub use ops::{invert, map_arcs, map_weights, project, relabel_states, reverse, to_dot, ProjectType};
+pub use minimize::{intersect, minimize};
+pub use ops::{
+    invert, map_arcs, map_weights, project, relabel_states, reverse, to_dot, ProjectType,
+};
 pub use rmepsilon::{has_pure_epsilons, rm_epsilon};
+pub use semiring::{LogWeight, Semiring, TropicalWeight};
 pub use shortest::{shortest_distance, shortest_path, ShortestPath};
 pub use stats::{FstStats, SizeModel};
 pub use symbols::SymbolTable;

@@ -14,6 +14,10 @@ use crate::arc::{Arc, StateId, EPSILON};
 use crate::determinize::is_deterministic;
 use crate::fst::{Wfst, WfstBuilder};
 
+/// Partition-refinement signature: source class plus the sorted
+/// `(label, weight bits, destination class)` transition set.
+type StateSignature = (u32, Vec<(u32, u32, u32)>);
+
 /// Minimizes a deterministic, epsilon-free machine. Weights must match
 /// *exactly* for states to merge (no weight pushing is performed, so
 /// this is canonical only up to weight distribution — sufficient for
@@ -22,7 +26,10 @@ use crate::fst::{Wfst, WfstBuilder};
 /// # Panics
 /// Panics if the machine is nondeterministic or has epsilon-input arcs.
 pub fn minimize(fst: &Wfst) -> Wfst {
-    assert!(is_deterministic(fst), "minimize: machine must be deterministic");
+    assert!(
+        is_deterministic(fst),
+        "minimize: machine must be deterministic"
+    );
     let n = fst.num_states();
     if n == 0 {
         return WfstBuilder::new().build();
@@ -30,7 +37,11 @@ pub fn minimize(fst: &Wfst) -> Wfst {
 
     // Initial partition: by final weight (bit pattern; INFINITY = not final).
     let mut class: Vec<u32> = (0..n)
-        .map(|s| fst.final_weight(s as StateId).unwrap_or(f32::INFINITY).to_bits())
+        .map(|s| {
+            fst.final_weight(s as StateId)
+                .unwrap_or(f32::INFINITY)
+                .to_bits()
+        })
         .collect();
     // Renumber classes densely.
     let renumber = |class: &mut Vec<u32>| {
@@ -44,8 +55,7 @@ pub fn minimize(fst: &Wfst) -> Wfst {
     let mut num_classes = renumber(&mut class);
 
     loop {
-        // Signature: (class, sorted [(label, weight bits, dest class)]).
-        let mut sig_map: HashMap<(u32, Vec<(u32, u32, u32)>), u32> = HashMap::new();
+        let mut sig_map: HashMap<StateSignature, u32> = HashMap::new();
         let mut new_class = vec![0u32; n];
         for s in 0..n {
             let mut trans: Vec<(u32, u32, u32)> = fst
@@ -97,7 +107,10 @@ pub fn minimize(fst: &Wfst) -> Wfst {
 /// if either side's arcs are not ilabel-sorted.
 pub fn intersect(a: &Wfst, b: &Wfst) -> Wfst {
     for (name, f) in [("left", a), ("right", b)] {
-        assert!(f.is_ilabel_sorted(), "intersect: {name} machine must be sorted");
+        assert!(
+            f.is_ilabel_sorted(),
+            "intersect: {name} machine must be sorted"
+        );
         for s in f.states() {
             for arc in f.arcs(s) {
                 assert_ne!(arc.ilabel, EPSILON, "intersect: {name} has epsilon arcs");
@@ -146,10 +159,7 @@ pub fn intersect(a: &Wfst, b: &Wfst) -> Wfst {
                                 queue.push(pair);
                                 builder.add_state()
                             });
-                            pending.push((
-                                id,
-                                Arc::new(label, label, x.weight + y.weight, dest),
-                            ));
+                            pending.push((id, Arc::new(label, label, x.weight + y.weight, dest)));
                         }
                     }
                 }
@@ -191,7 +201,12 @@ mod tests {
         let f = union_of_strings(&[(vec![1, 3, 4], 0.0), (vec![2, 3, 4], 0.0)]);
         let d = determinize(&f, DeterminizeOptions::default());
         let m = minimize(&d);
-        assert!(m.num_states() < d.num_states(), "{} !< {}", m.num_states(), d.num_states());
+        assert!(
+            m.num_states() < d.num_states(),
+            "{} !< {}",
+            m.num_states(),
+            d.num_states()
+        );
         for s in [[1u32, 3, 4], [2, 3, 4]] {
             assert_eq!(accept_cost(&m, &s), Some(0.0));
         }

@@ -104,7 +104,10 @@ pub fn reverse(fst: &Wfst) -> Wfst {
 /// Panics if `map` is shorter than the state count, maps the start
 /// state to `NO_STATE`, or produces duplicate ids.
 pub fn relabel_states(fst: &Wfst, map: &[StateId]) -> Wfst {
-    assert!(map.len() >= fst.num_states(), "relabel_states: map too short");
+    assert!(
+        map.len() >= fst.num_states(),
+        "relabel_states: map too short"
+    );
     let kept: Vec<StateId> = map[..fst.num_states()]
         .iter()
         .copied()
@@ -113,8 +116,16 @@ pub fn relabel_states(fst: &Wfst, map: &[StateId]) -> Wfst {
     let mut sorted = kept.clone();
     sorted.sort_unstable();
     sorted.dedup();
-    assert_eq!(sorted.len(), kept.len(), "relabel_states: duplicate target ids");
-    assert_ne!(map[fst.start() as usize], NO_STATE, "relabel_states: start dropped");
+    assert_eq!(
+        sorted.len(),
+        kept.len(),
+        "relabel_states: duplicate target ids"
+    );
+    assert_ne!(
+        map[fst.start() as usize],
+        NO_STATE,
+        "relabel_states: start dropped"
+    );
 
     let num_new = sorted.len();
     let mut b = WfstBuilder::with_states(num_new);
@@ -155,11 +166,17 @@ pub fn to_dot(
             None => l.to_string(),
         }
     };
-    let mut out = String::from("digraph wfst {
+    let mut out = String::from(
+        "digraph wfst {
   rankdir = LR;
-");
+",
+    );
     for s in fst.states() {
-        let shape = if fst.final_weight(s).is_some() { "doublecircle" } else { "circle" };
+        let shape = if fst.final_weight(s).is_some() {
+            "doublecircle"
+        } else {
+            "circle"
+        };
         let style = if s == fst.start() { ", style=bold" } else { "" };
         let fw = fst
             .final_weight(s)
@@ -176,8 +193,10 @@ pub fn to_dot(
             );
         }
     }
-    out.push_str("}
-");
+    out.push_str(
+        "}
+",
+    );
     out
 }
 

@@ -53,7 +53,7 @@ pub fn rm_epsilon(fst: &Wfst) -> Wfst {
                 relaxations += 1;
                 assert!(relaxations <= budget, "rm_epsilon: negative epsilon cycle");
                 let nd = dq + a.weight;
-                if dist.get(&a.nextstate).map_or(true, |&d| nd < d) {
+                if dist.get(&a.nextstate).is_none_or(|&d| nd < d) {
                     dist.insert(a.nextstate, nd);
                     queue.push_back(a.nextstate);
                 }
@@ -68,7 +68,7 @@ pub fn rm_epsilon(fst: &Wfst) -> Wfst {
         for (q, d) in sorted {
             if let Some(fw) = fst.final_weight(q) {
                 let total = d + fw;
-                if best_final.map_or(true, |bf| total < bf) {
+                if best_final.is_none_or(|bf| total < bf) {
                     best_final = Some(total);
                 }
             }
@@ -88,8 +88,11 @@ pub fn rm_epsilon(fst: &Wfst) -> Wfst {
 
 /// Whether the machine has any pure epsilon arcs left.
 pub fn has_pure_epsilons(fst: &Wfst) -> bool {
-    fst.states()
-        .any(|s| fst.arcs(s).iter().any(|a| a.ilabel == EPSILON && a.olabel == EPSILON))
+    fst.states().any(|s| {
+        fst.arcs(s)
+            .iter()
+            .any(|a| a.ilabel == EPSILON && a.olabel == EPSILON)
+    })
 }
 
 #[cfg(test)]
@@ -203,5 +206,4 @@ mod tests {
         let w1 = g.arcs(1).iter().find(|a| a.ilabel == 1).unwrap();
         assert!((w1.weight - 2.4).abs() < 1e-6);
     }
-
 }

@@ -68,7 +68,10 @@ pub fn shortest_path(fst: &Wfst) -> Option<ShortestPath> {
         let ds = dist[s as usize];
         for (i, arc) in fst.arcs(s).iter().enumerate() {
             relaxations += 1;
-            assert!(relaxations <= budget, "shortest_path: negative cycle suspected");
+            assert!(
+                relaxations <= budget,
+                "shortest_path: negative cycle suspected"
+            );
             let nd = ds + arc.weight;
             if nd < dist[arc.nextstate as usize] {
                 dist[arc.nextstate as usize] = nd;
@@ -86,7 +89,7 @@ pub fn shortest_path(fst: &Wfst) -> Option<ShortestPath> {
     for s in fst.states() {
         if let Some(fw) = fst.final_weight(s) {
             let total = dist[s as usize] + fw;
-            if total.is_finite() && best.map_or(true, |(_, c)| total < c) {
+            if total.is_finite() && best.is_none_or(|(_, c)| total < c) {
                 best = Some((s, total));
             }
         }
@@ -118,7 +121,12 @@ pub fn shortest_path(fst: &Wfst) -> Option<ShortestPath> {
             ilabels.push(arc.ilabel);
         }
     }
-    Some(ShortestPath { cost, states, olabels, ilabels })
+    Some(ShortestPath {
+        cost,
+        states,
+        olabels,
+        ilabels,
+    })
 }
 
 #[cfg(test)]

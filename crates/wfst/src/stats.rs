@@ -21,12 +21,14 @@ pub struct SizeModel {
 
 impl SizeModel {
     /// The paper's uncompressed layout: 128-bit arcs, 64-bit states.
-    pub const UNCOMPRESSED: SizeModel = SizeModel { bytes_per_arc: 16, bytes_per_state: 8 };
+    pub const UNCOMPRESSED: SizeModel = SizeModel {
+        bytes_per_arc: 16,
+        bytes_per_state: 8,
+    };
 
     /// Total bytes for `fst` under this layout.
     pub fn bytes(&self, fst: &Wfst) -> u64 {
-        self.bytes_per_arc * fst.num_arcs() as u64
-            + self.bytes_per_state * fst.num_states() as u64
+        self.bytes_per_arc * fst.num_arcs() as u64 + self.bytes_per_state * fst.num_states() as u64
     }
 
     /// Total mebibytes for `fst` under this layout.

@@ -29,7 +29,10 @@ pub struct SymbolTable {
 impl SymbolTable {
     /// Creates a table containing only epsilon (id 0).
     pub fn new() -> Self {
-        let mut t = SymbolTable { names: Vec::new(), ids: HashMap::new() };
+        let mut t = SymbolTable {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        };
         t.names.push("<eps>".to_string());
         t.ids.insert("<eps>".to_string(), EPSILON);
         t

@@ -19,7 +19,10 @@ fn main() {
             &system,
             &utts,
             AcceleratorConfig::unfold(),
-            DecodeConfig { beam, ..Default::default() },
+            DecodeConfig {
+                beam,
+                ..Default::default()
+            },
         );
         println!(
             "{beam:4} | {:5.1} | {:18.0} | {:.0}",

@@ -13,37 +13,65 @@ fn main() {
     // --- AM: 2-bit destination tags make most arcs 20 bits. ---
     let am = &system.am_comp;
     let total = am.short_arcs() + am.normal_arcs();
-    println!("AM arcs: {} short (20-bit) + {} full (58-bit) = {:.0}% short",
-        am.short_arcs(), am.normal_arcs(), 100.0 * am.short_arcs() as f64 / total as f64);
+    println!(
+        "AM arcs: {} short (20-bit) + {} full (58-bit) = {:.0}% short",
+        am.short_arcs(),
+        am.normal_arcs(),
+        100.0 * am.short_arcs() as f64 / total as f64
+    );
     let uncompressed = SizeModel::UNCOMPRESSED.bytes(&system.am.fst);
-    println!("AM: {} B -> {} B ({:.1}x)",
-        uncompressed, am.size_bytes(), uncompressed as f64 / am.size_bytes() as f64);
+    println!(
+        "AM: {} B -> {} B ({:.1}x)",
+        uncompressed,
+        am.size_bytes(),
+        uncompressed as f64 / am.size_bytes() as f64
+    );
 
     // --- LM: positional unigram arcs, 45-bit regular, 27-bit back-off. ---
     let lm = &system.lm_comp;
     let lm_uncompressed = SizeModel::UNCOMPRESSED.bytes(&system.lm_fst);
-    println!("LM: {} B -> {} B ({:.1}x); root words need only 6 bits each",
-        lm_uncompressed, lm.size_bytes(), lm_uncompressed as f64 / lm.size_bytes() as f64);
+    println!(
+        "LM: {} B -> {} B ({:.1}x); root words need only 6 bits each",
+        lm_uncompressed,
+        lm.size_bytes(),
+        lm_uncompressed as f64 / lm.size_bytes() as f64
+    );
     let lookup = lm.lookup(0, 5);
-    println!("root lookup for word 5: {} probe(s), arc -> state {}",
-        lookup.probes, lookup.arc.expect("unigram must exist").nextstate);
+    println!(
+        "root lookup for word 5: {} probe(s), arc -> state {}",
+        lookup.probes,
+        lookup.arc.expect("unigram must exist").nextstate
+    );
 
     // --- Composed baseline compression saturates much lower. ---
     let composed = system.composed();
     let comp = CompressedComposed::compress(&composed, 64, 0);
     let cu = SizeModel::UNCOMPRESSED.bytes(&composed);
-    println!("composed: {} B -> {} B ({:.1}x) — the Price-et-al-style comparator",
-        cu, comp.size_bytes(), cu as f64 / comp.size_bytes() as f64);
+    println!(
+        "composed: {} B -> {} B ({:.1}x) — the Price-et-al-style comparator",
+        cu,
+        comp.size_bytes(),
+        cu as f64 / comp.size_bytes() as f64
+    );
 
     // --- Quantizer: 64 clusters, 6-bit indices, tiny error. ---
-    let weights: Vec<f32> = system.lm_fst.states()
+    let weights: Vec<f32> = system
+        .lm_fst
+        .states()
         .flat_map(|s| system.lm_fst.arcs(s).iter().map(|a| a.weight))
         .collect();
     let q = WeightQuantizer::fit(&weights, 64, 0);
-    let mean_err: f32 = weights.iter().map(|&w| (q.quantize(w) - w).abs()).sum::<f32>()
+    let mean_err: f32 = weights
+        .iter()
+        .map(|&w| (q.quantize(w) - w).abs())
+        .sum::<f32>()
         / weights.len() as f32;
-    println!("quantizer: {} clusters, {} bits/index, mean |error| {:.4} nats",
-        q.num_clusters(), q.index_bits(), mean_err);
+    println!(
+        "quantizer: {} clusters, {} bits/index, mean |error| {:.4} nats",
+        q.num_clusters(),
+        q.index_bits(),
+        mean_err
+    );
 
     // --- Round-trip proof. ---
     let rt = system.am_comp.to_wfst();

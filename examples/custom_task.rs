@@ -15,7 +15,11 @@ fn main() {
     let vocab = 300;
     let lexicon = Lexicon::generate(vocab, 30, 2024);
     let am = build_am(&lexicon, HmmTopology::Ctc);
-    println!("CTC AM: {} states, {} PDFs", am.fst.num_states(), am.num_pdfs);
+    println!(
+        "CTC AM: {} states, {} PDFs",
+        am.fst.num_states(),
+        am.num_pdfs
+    );
 
     // 2. Train a trigram LM on a synthetic corpus.
     let corpus = CorpusSpec {
@@ -46,7 +50,13 @@ fn main() {
 
     // 4. Speak a sentence from the corpus and decode it.
     let sentence = &corpus.sentences[0][..corpus.sentences[0].len().min(8)];
-    let utt = synthesize_utterance(sentence, &lexicon, HmmTopology::Ctc, &NoiseModel::clean(), 99);
+    let utt = synthesize_utterance(
+        sentence,
+        &lexicon,
+        HmmTopology::Ctc,
+        &NoiseModel::clean(),
+        99,
+    );
     let decoder = OtfDecoder::new(DecodeConfig::default());
     let result = decoder.decode(&am_comp, &lm_comp, &utt.scores, &mut NullSink);
     println!("\nspoken : {sentence:?}");

@@ -37,7 +37,11 @@ fn main() {
         }
     }
     let am = b.build();
-    println!("AM (Figure 3a): {} states, {} arcs", am.num_states(), am.num_arcs());
+    println!(
+        "AM (Figure 3a): {} states, {} arcs",
+        am.num_states(),
+        am.num_arcs()
+    );
 
     // --- Figure 3b: the LM. ---
     let mut b = WfstBuilder::with_states(7);
@@ -52,12 +56,23 @@ fn main() {
     b.add_arc(2, Arc::new(one, one, 0.5, 5));
     b.add_arc(3, Arc::new(two, two, 0.6, 6));
     b.add_arc(6, Arc::new(one, one, 0.2, 5)); // Prob(ONE | THREE, TWO)
-    for (st, bow, dest) in [(1, 0.3, 0), (2, 0.35, 0), (3, 0.25, 0), (4, 0.1, 3), (5, 0.15, 1), (6, 0.2, 2)] {
+    for (st, bow, dest) in [
+        (1, 0.3, 0),
+        (2, 0.35, 0),
+        (3, 0.25, 0),
+        (4, 0.1, 3),
+        (5, 0.15, 1),
+        (6, 0.2, 2),
+    ] {
         b.add_arc(st, Arc::epsilon(bow, dest));
     }
     let mut lm = b.build();
     lm.sort_arcs_by_ilabel();
-    println!("LM (Figure 3b): {} states, {} arcs\n", lm.num_states(), lm.num_arcs());
+    println!(
+        "LM (Figure 3b): {} states, {} arcs\n",
+        lm.num_states(),
+        lm.num_arcs()
+    );
 
     // --- Figure 3c: decode "ONE TWO" on the fly. ---
     let frames = [s[0], s[1], s[2], s[3], s[4]];
@@ -70,13 +85,20 @@ fn main() {
     let scores = AcousticScores::from_flat(flat, 8);
     let res = OtfDecoder::new(DecodeConfig::default()).decode(&am, &lm, &scores, &mut NullSink);
     println!("acoustics say: {}", phones.render(&frames));
-    println!("decoded      : {} (cost {:.2})", words.render(&res.words), res.cost);
+    println!(
+        "decoded      : {} (cost {:.2})",
+        words.render(&res.words),
+        res.cost
+    );
 
     // --- §3.3: the back-off walk for "TWO ONE" + TWO. ---
     let (dest, cost, hops) = resolve_lm_word(&lm, 5, two).expect("resolvable");
     println!("\nSection 3.3 walkthrough: history \"TWO ONE\", next word TWO");
     println!("  -> {hops} back-off hops, total LM cost {cost:.2}, lands at state {dest}");
-    println!("     (state {dest} = unigram history of {})", words.name(two).unwrap());
+    println!(
+        "     (state {dest} = unigram history of {})",
+        words.name(two).unwrap()
+    );
     assert_eq!(hops, 2);
     assert_eq!(dest, 2);
 }

@@ -1,0 +1,144 @@
+//! Measures the cost of decode-time observability.
+//!
+//! Runs the same utterance through `OtfDecoder` with a `NullSink` and a
+//! `MetricsSink`, strictly interleaved so CPU frequency drift hits both
+//! sides equally, and reports low-percentile timings (the shared
+//! environment is noisy; mins and low percentiles are the stable
+//! signal). Also prints the per-event component costs behind the total:
+//! clock-read price, counter events, frame boundaries, stage spans.
+//!
+//! The repo's budget for `MetricsSink` overhead on `decode_throughput`
+//! is <= 5%; run this after touching the sink or the stage timer.
+//!
+//! ```text
+//! cargo run --release -p unfold-examples --bin obs_overhead
+//! ```
+
+use std::time::Instant;
+use unfold::{System, TaskSpec};
+use unfold_decoder::{
+    CountingSink, DecodeConfig, DecodeStage, MetricsSink, NullSink, OtfDecoder, TraceSink,
+};
+
+/// Per-call cost of a counter event through dyn dispatch.
+#[inline(never)]
+fn time_events(sink: &mut dyn TraceSink, n: u64) -> f64 {
+    let t = Instant::now();
+    for i in 0..n {
+        sink.am_arc_fetch(std::hint::black_box(i), std::hint::black_box(16));
+    }
+    t.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// Per-frame cost of a bare `frame_start`/`frame_end` pair. With no
+/// stage transitions in between, `MetricsSink` falls back to two fresh
+/// clock reads — an upper bound on what a decoded frame pays.
+#[inline(never)]
+fn time_frames(sink: &mut dyn TraceSink, n: u64) -> f64 {
+    let t = Instant::now();
+    for i in 0..n {
+        sink.frame_start(i as usize, 10);
+        sink.frame_end(i as usize, 12, 1.0, 2.0);
+    }
+    t.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// Per-frame cost of the stage-span pattern the decoder emits.
+#[inline(never)]
+fn time_stages(sink: &mut dyn TraceSink, n: u64) -> f64 {
+    let t = Instant::now();
+    for _ in 0..n {
+        sink.stage_enter(DecodeStage::Pruning);
+        sink.stage_switch(DecodeStage::Pruning, DecodeStage::ArcExpansion);
+        sink.stage_exit(DecodeStage::ArcExpansion);
+    }
+    t.elapsed().as_nanos() as f64 / n as f64
+}
+
+fn main() {
+    let system = System::build(&TaskSpec::tiny());
+    let utts = system.test_utterances(1);
+    let dec = OtfDecoder::new(DecodeConfig::default());
+
+    // Event volume: what one decode actually feeds a sink.
+    let mut c = CountingSink::default();
+    let r = dec.decode(&system.am_comp, &system.lm_comp, &utts[0].scores, &mut c);
+    println!(
+        "one decode ({} words): frames={} lm_lookups={} am_arc_fetches={} lm_arc_fetches={} hash_inserts={}",
+        r.words.len(),
+        c.frames,
+        c.lm_lookups,
+        c.am_arc_fetches,
+        c.lm_arc_fetches,
+        c.hash_inserts
+    );
+
+    // Clock-read price on this machine (the dominant per-span cost).
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..1_000_000 {
+        acc = acc.wrapping_add(Instant::now().elapsed().as_nanos() as u64);
+    }
+    println!(
+        "Instant::now pair: {:.1} ns (checksum {acc})",
+        t0.elapsed().as_nanos() as f64 / 1e6
+    );
+    println!("raw tick read:     {:.1} ns", {
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            acc = acc.wrapping_add(unfold_obs::raw_ticks());
+        }
+        std::hint::black_box(acc);
+        t0.elapsed().as_nanos() as f64 / 1e6
+    });
+
+    // Component costs, null vs metrics.
+    let mut m = MetricsSink::new();
+    println!(
+        "counter event:     null {:.1} ns, metrics {:.1} ns",
+        time_events(&mut NullSink, 1_000_000),
+        time_events(&mut m, 1_000_000)
+    );
+    let mut m = MetricsSink::new();
+    println!(
+        "frame pair:        null {:.1} ns, metrics {:.1} ns",
+        time_frames(&mut NullSink, 100_000),
+        time_frames(&mut m, 100_000)
+    );
+    let mut m = MetricsSink::new();
+    println!(
+        "stage span pair:   null {:.1} ns, metrics {:.1} ns",
+        time_stages(&mut NullSink, 100_000),
+        time_stages(&mut m, 100_000)
+    );
+
+    // End-to-end A/B, strictly interleaved.
+    let mut t_null = Vec::new();
+    let mut t_met = Vec::new();
+    for _ in 0..100 {
+        let t = Instant::now();
+        std::hint::black_box(dec.decode(
+            &system.am_comp,
+            &system.lm_comp,
+            &utts[0].scores,
+            &mut NullSink,
+        ));
+        t_null.push(t.elapsed().as_secs_f64());
+        let mut m = MetricsSink::new();
+        let t = Instant::now();
+        std::hint::black_box(dec.decode(&system.am_comp, &system.lm_comp, &utts[0].scores, &mut m));
+        t_met.push(t.elapsed().as_secs_f64());
+    }
+    t_null.sort_by(f64::total_cmp);
+    t_met.sort_by(f64::total_cmp);
+    println!("\ndecode A/B over 100 interleaved runs:");
+    for (label, i) in [("min", 0usize), ("p10", 10), ("p25", 25)] {
+        println!(
+            "  {label}: null {:.1} us, metrics {:.1} us, overhead {:.1}%",
+            t_null[i] * 1e6,
+            t_met[i] * 1e6,
+            (t_met[i] / t_null[i] - 1.0) * 100.0
+        );
+    }
+}

@@ -9,7 +9,10 @@ use unfold_decoder::{wer, DecodeConfig, NullSink, OtfDecoder};
 fn main() {
     // A miniature task (80-word vocabulary) that builds in milliseconds.
     let spec = TaskSpec::tiny();
-    println!("building task '{}' (vocab {})...", spec.name, spec.vocab_size);
+    println!(
+        "building task '{}' (vocab {})...",
+        spec.name, spec.vocab_size
+    );
     let system = System::build(&spec);
 
     // The two models UNFOLD keeps in memory instead of the composed WFST.

@@ -11,9 +11,18 @@ use unfold_decoder::{DecodeConfig, NullSink, OtfDecoder, OtfStream};
 fn main() {
     let system = System::build(&TaskSpec::tiny());
     let utt = &system.test_utterances(1)[0];
-    println!("streaming {} frames; ground truth {:?}\n", utt.scores.num_frames(), utt.words);
+    println!(
+        "streaming {} frames; ground truth {:?}\n",
+        utt.scores.num_frames(),
+        utt.words
+    );
 
-    let mut stream = OtfStream::new(DecodeConfig::default(), &system.am_comp, &system.lm_comp, &mut NullSink);
+    let mut stream = OtfStream::new(
+        DecodeConfig::default(),
+        &system.am_comp,
+        &system.lm_comp,
+        &mut NullSink,
+    );
     let mut last_partial = Vec::new();
     for t in 0..utt.scores.num_frames() {
         stream.push_frame(utt.scores.frame(t), &mut NullSink);
@@ -26,9 +35,16 @@ fn main() {
     let streamed = stream.finish();
 
     // Cross-check against the one-shot decoder.
-    let batch = OtfDecoder::new(DecodeConfig::default())
-        .decode(&system.am_comp, &system.lm_comp, &utt.scores, &mut NullSink);
-    println!("\nstreamed: {:?} (cost {:.2})", streamed.words, streamed.cost);
+    let batch = OtfDecoder::new(DecodeConfig::default()).decode(
+        &system.am_comp,
+        &system.lm_comp,
+        &utt.scores,
+        &mut NullSink,
+    );
+    println!(
+        "\nstreamed: {:?} (cost {:.2})",
+        streamed.words, streamed.cost
+    );
     println!("batch   : {:?} (cost {:.2})", batch.words, batch.cost);
     assert_eq!(streamed.words, batch.words);
     assert_eq!(streamed.cost, batch.cost);

@@ -19,6 +19,11 @@ BINS=(
 cargo build --release -p unfold-bench --bins
 for b in "${BINS[@]}"; do
   echo "== $b"
-  UNFOLD_UTTS="$UTTS" "target/release/$b" | tee "$OUT/$b.md"
+  EXTRA=()
+  # The headline run also exports decode-time telemetry (JSONL).
+  if [[ "$b" == overall_summary ]]; then
+    EXTRA=(--metrics "$OUT/overall_summary_metrics.jsonl")
+  fi
+  UNFOLD_UTTS="$UTTS" "target/release/$b" "${EXTRA[@]}" | tee "$OUT/$b.md"
 done
 echo "results written to $OUT/"

@@ -55,7 +55,11 @@ fn otf_matches_determinized_lg() {
             diverged += 1;
         }
     }
-    assert!(diverged <= 1, "{diverged}/{} transcripts diverged", utts.len());
+    assert!(
+        diverged <= 1,
+        "{diverged}/{} transcripts diverged",
+        utts.len()
+    );
 }
 
 #[test]
@@ -73,7 +77,11 @@ fn compressed_models_decode_like_uncompressed() {
     }
     // Quantization may flip a borderline hypothesis occasionally; the
     // paper reports < 0.01% WER change, i.e. essentially never.
-    assert!(diverged <= 1, "{diverged}/{} transcripts changed", utts.len());
+    assert!(
+        diverged <= 1,
+        "{diverged}/{} transcripts changed",
+        utts.len()
+    );
 }
 
 #[test]
@@ -161,9 +169,7 @@ fn determinization_reproduces_the_prefix_tree_size_argument() {
     // union-of-chains acceptor over a lexicon yields exactly the trie's
     // state count, and minimization shrinks it further (suffix sharing).
     use unfold_am::Lexicon;
-    use unfold_wfst::{
-        accept_cost, determinize, minimize, Arc, DeterminizeOptions, WfstBuilder,
-    };
+    use unfold_wfst::{accept_cost, determinize, minimize, Arc, DeterminizeOptions, WfstBuilder};
 
     let lex = Lexicon::generate(60, 12, 31);
     // Naive union: one chain per word over phoneme labels (+1 so no
@@ -192,11 +198,21 @@ fn determinization_reproduces_the_prefix_tree_size_argument() {
     let trie_states = prefixes.len() + 1;
 
     let det = determinize(&naive, DeterminizeOptions::default());
-    assert_eq!(det.num_states(), trie_states, "determinization = prefix tree");
-    assert!(det.num_states() < naive.num_states(), "sharing must shrink the union");
+    assert_eq!(
+        det.num_states(),
+        trie_states,
+        "determinization = prefix tree"
+    );
+    assert!(
+        det.num_states() < naive.num_states(),
+        "sharing must shrink the union"
+    );
 
     let min = minimize(&det);
-    assert!(min.num_states() < det.num_states(), "suffix sharing shrinks further");
+    assert!(
+        min.num_states() < det.num_states(),
+        "suffix sharing shrinks further"
+    );
 
     // The weighted language is intact throughout.
     for (_, pron) in lex.iter().take(10) {

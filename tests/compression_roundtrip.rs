@@ -18,7 +18,10 @@ fn am_roundtrip_preserves_structure_exactly() {
         let (a, b) = (s.am.fst.arcs(st), rt.arcs(st));
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
-            assert_eq!((x.ilabel, x.olabel, x.nextstate), (y.ilabel, y.olabel, y.nextstate));
+            assert_eq!(
+                (x.ilabel, x.olabel, x.nextstate),
+                (y.ilabel, y.olabel, y.nextstate)
+            );
         }
     }
 }

@@ -7,7 +7,9 @@
 use unfold_am::{build_am, synthesize_utterance, AcousticScores, HmmTopology, Lexicon, NoiseModel};
 use unfold_decoder::{DecodeConfig, FullyComposedDecoder, NullSink, OtfDecoder};
 use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
-use unfold_wfst::{compose_am_lm, shortest_path, Arc, ComposeOptions, StateId, Wfst, WfstBuilder, EPSILON};
+use unfold_wfst::{
+    compose_am_lm, shortest_path, Arc, ComposeOptions, StateId, Wfst, WfstBuilder, EPSILON,
+};
 
 /// Unrolls `graph` against `scores`: trellis state = (frame, graph
 /// state); emitting arcs consume a frame and add its acoustic cost;
@@ -29,10 +31,16 @@ fn unroll(graph: &Wfst, scores: &AcousticScores) -> Wfst {
             for a in graph.arcs(s) {
                 if a.ilabel == EPSILON {
                     // Non-emitting: same frame.
-                    b.add_arc(id(t, s), Arc::new(EPSILON, a.olabel, a.weight, id(t, a.nextstate)));
+                    b.add_arc(
+                        id(t, s),
+                        Arc::new(EPSILON, a.olabel, a.weight, id(t, a.nextstate)),
+                    );
                 } else if t < frames {
                     let cost = a.weight + scores.cost(t, a.ilabel);
-                    b.add_arc(id(t, s), Arc::new(a.ilabel, a.olabel, cost, id(t + 1, a.nextstate)));
+                    b.add_arc(
+                        id(t, s),
+                        Arc::new(a.ilabel, a.olabel, cost, id(t + 1, a.nextstate)),
+                    );
                 }
             }
         }
@@ -43,7 +51,11 @@ fn unroll(graph: &Wfst, scores: &AcousticScores) -> Wfst {
 fn setup() -> (Lexicon, Wfst, Wfst, Wfst) {
     let lex = Lexicon::generate(20, 12, 12);
     let am = build_am(&lex, HmmTopology::Kaldi3State);
-    let spec = CorpusSpec { vocab_size: 20, num_sentences: 150, ..Default::default() };
+    let spec = CorpusSpec {
+        vocab_size: 20,
+        num_sentences: 150,
+        ..Default::default()
+    };
     let model = NGramModel::train(&spec.generate(8), 20, DiscountConfig::default());
     let lm = lm_to_wfst(&model);
     let composed = compose_am_lm(&am.fst, &lm, ComposeOptions::default());
@@ -53,7 +65,11 @@ fn setup() -> (Lexicon, Wfst, Wfst, Wfst) {
 #[test]
 fn beam_decoders_match_exact_shortest_path() {
     let (lex, am, lm, composed) = setup();
-    let noise = NoiseModel { noise_sigma: 0.6, word_confusion_prob: 0.2, ..NoiseModel::default() };
+    let noise = NoiseModel {
+        noise_sigma: 0.6,
+        word_confusion_prob: 0.2,
+        ..NoiseModel::default()
+    };
     for seed in 0..3u64 {
         let words = [(seed as u32 % 20) + 1, ((seed as u32 * 7) % 20) + 1];
         let utt = synthesize_utterance(&words, &lex, HmmTopology::Kaldi3State, &noise, seed);
@@ -63,7 +79,11 @@ fn beam_decoders_match_exact_shortest_path() {
         let exact = shortest_path(&trellis).expect("trellis has a path");
 
         // Wide-beam dynamic decoders.
-        let cfg = DecodeConfig { beam: 1e9, max_active: usize::MAX, preemptive_pruning: false };
+        let cfg = DecodeConfig {
+            beam: 1e9,
+            max_active: usize::MAX,
+            preemptive_pruning: false,
+        };
         let full = FullyComposedDecoder::new(cfg).decode(&composed, &utt.scores, &mut NullSink);
         let otf = OtfDecoder::new(cfg).decode(&am, &lm, &utt.scores, &mut NullSink);
 
@@ -79,20 +99,38 @@ fn beam_decoders_match_exact_shortest_path() {
             exact.cost,
             otf.cost
         );
-        assert_eq!(exact.olabels, full.words, "seed {seed}: words diverged (full)");
-        assert_eq!(exact.olabels, otf.words, "seed {seed}: words diverged (otf)");
+        assert_eq!(
+            exact.olabels, full.words,
+            "seed {seed}: words diverged (full)"
+        );
+        assert_eq!(
+            exact.olabels, otf.words,
+            "seed {seed}: words diverged (otf)"
+        );
     }
 }
 
 #[test]
 fn pruned_decode_never_beats_the_oracle() {
     let (lex, am, lm, composed) = setup();
-    let utt = synthesize_utterance(&[5, 9], &lex, HmmTopology::Kaldi3State, &NoiseModel::default(), 3);
+    let utt = synthesize_utterance(
+        &[5, 9],
+        &lex,
+        HmmTopology::Kaldi3State,
+        &NoiseModel::default(),
+        3,
+    );
     let trellis = unroll(&composed, &utt.scores);
     let exact = shortest_path(&trellis).expect("path");
-    let tight = OtfDecoder::new(DecodeConfig { beam: 3.0, ..Default::default() })
-        .decode(&am, &lm, &utt.scores, &mut NullSink);
+    let tight = OtfDecoder::new(DecodeConfig {
+        beam: 3.0,
+        ..Default::default()
+    })
+    .decode(&am, &lm, &utt.scores, &mut NullSink);
     if tight.is_complete() {
-        assert!(tight.cost >= exact.cost - 1e-3, "pruning cannot improve the optimum");
+        assert!(
+            tight.cost >= exact.cost - 1e-3,
+            "pruning cannot improve the optimum"
+        );
     }
 }

@@ -84,12 +84,20 @@ fn bigram_only_grammar_is_supported() {
         ..Default::default()
     };
     let system = System::build(&spec);
-    assert_eq!(system.lm_model.num_trigrams(), 0, "trigrams must all be pruned");
+    assert_eq!(
+        system.lm_model.num_trigrams(),
+        0,
+        "trigrams must all be pruned"
+    );
     // The LM WFST collapses to root + unigram-history states.
     assert_eq!(system.lm_fst.num_states(), 1 + spec.vocab_size);
     let utts = system.test_utterances(3);
     let run = run_unfold(&system, &utts);
-    assert!(run.wer.percent() < 60.0, "bigram decode degenerated: {}", run.wer.percent());
+    assert!(
+        run.wer.percent() < 60.0,
+        "bigram decode degenerated: {}",
+        run.wer.percent()
+    );
     assert!(run.sim.cycles > 0);
 }
 
@@ -105,7 +113,11 @@ fn real_gmm_scoring_decodes_and_errors_track_separation() {
 
     let lex = Lexicon::generate(60, 20, 21);
     let am = build_am(&lex, HmmTopology::Kaldi3State);
-    let spec = CorpusSpec { vocab_size: 60, num_sentences: 400, ..Default::default() };
+    let spec = CorpusSpec {
+        vocab_size: 60,
+        num_sentences: 400,
+        ..Default::default()
+    };
     let model = NGramModel::train(&spec.generate(22), 60, Default::default());
     let lm = lm_to_wfst(&model);
     let decoder = OtfDecoder::new(DecodeConfig::default());
@@ -114,7 +126,11 @@ fn real_gmm_scoring_decodes_and_errors_track_separation() {
         let gmm = GmmModel::synthesize(am.num_pdfs, 12, 2, separation, 23);
         let mut rep = WerReport::default();
         for seed in 0..6u64 {
-            let words = [(seed as u32 % 60) + 1, ((seed as u32 * 11) % 60) + 1, ((seed as u32 * 5) % 60) + 1];
+            let words = [
+                (seed as u32 % 60) + 1,
+                ((seed as u32 * 11) % 60) + 1,
+                ((seed as u32 * 5) % 60) + 1,
+            ];
             let utt = synthesize_utterance_gmm(&words, &lex, HmmTopology::Kaldi3State, &gmm, seed);
             let res = decoder.decode(&am.fst, &lm, &utt.scores, &mut NullSink);
             rep.accumulate(wer(&utt.words, &res.words));

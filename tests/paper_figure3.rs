@@ -26,7 +26,11 @@ fn words() -> SymbolTable {
 /// an epsilon arc returns to the root.
 fn am() -> Wfst {
     let w = words();
-    let (one, two, three) = (w.get("ONE").unwrap(), w.get("TWO").unwrap(), w.get("THREE").unwrap());
+    let (one, two, three) = (
+        w.get("ONE").unwrap(),
+        w.get("TWO").unwrap(),
+        w.get("THREE").unwrap(),
+    );
     let mut b = WfstBuilder::with_states(9);
     b.set_start(0);
     b.set_final(0, 0.0);
@@ -52,7 +56,11 @@ fn am() -> Wfst {
 /// histories. Missing combinations back off, as in §3.3.
 fn lm() -> Wfst {
     let w = words();
-    let (one, two, three) = (w.get("ONE").unwrap(), w.get("TWO").unwrap(), w.get("THREE").unwrap());
+    let (one, two, three) = (
+        w.get("ONE").unwrap(),
+        w.get("TWO").unwrap(),
+        w.get("THREE").unwrap(),
+    );
     let mut b = WfstBuilder::with_states(7);
     b.set_start(0);
     for s in 0..7 {
@@ -103,7 +111,11 @@ fn decodes_one_two_like_figure_3c() {
     assert_eq!(w.render(&res.words), "ONE TWO");
     // Cost: acoustics 5 x 0.1 + unigram(ONE)=1.0, then TWO has no
     // bigram after ONE: backoff(1)=0.3 + unigram(TWO)=1.2.
-    assert!((res.cost - (0.5 + 1.0 + 0.3 + 1.2)).abs() < 1e-4, "cost {}", res.cost);
+    assert!(
+        (res.cost - (0.5 + 1.0 + 0.3 + 1.2)).abs() < 1e-4,
+        "cost {}",
+        res.cost
+    );
 }
 
 #[test]
@@ -166,7 +178,11 @@ fn figure_3_lm_probes_stay_logarithmic() {
     for s in 0..7u32 {
         for word in 1..=3u32 {
             let res = LmSource::lookup_word(&lm, s, word);
-            assert!(res.probes.len() <= 2, "state {s} word {word}: {} probes", res.probes.len());
+            assert!(
+                res.probes.len() <= 2,
+                "state {s} word {word}: {} probes",
+                res.probes.len()
+            );
         }
     }
 }

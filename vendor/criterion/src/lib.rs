@@ -1,0 +1,263 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be downloaded. This crate keeps the workspace's benches
+//! compiling *and measuring*: each `bench_function` is calibrated to
+//! ~`TARGET_SAMPLE_NANOS` per sample, timed for the configured number
+//! of samples, and reported as min/median/mean nanoseconds on stdout.
+//! There are no plots, no statistics beyond the three-point summary,
+//! and no saved baselines.
+//!
+//! Positional command-line arguments act as substring filters on the
+//! `group/function` id, like upstream; flags (`--bench`, `--exact`,
+//! etc.) are accepted and ignored.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock per measured sample.
+const TARGET_SAMPLE_NANOS: u128 = 2_000_000;
+
+/// How a batched iteration's setup cost is amortized (accepted for API
+/// compatibility; the stub always times routine-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many routine calls per setup.
+    SmallInput,
+    /// Large inputs: few routine calls per setup.
+    LargeInput,
+    /// One routine call per setup.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            sample_size: 20,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size: need at least 2 samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, id, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+/// A group of benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, f);
+        self
+    }
+
+    /// Finishes the group (upstream writes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &mut Criterion, id: &str, mut f: F) {
+    if !c.matches(id) {
+        return;
+    }
+    // Calibrate: how many iterations fill a sample?
+    let mut bench = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bench);
+    let once = bench.elapsed.as_nanos().max(1);
+    let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<u128> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() / u128::from(iters));
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<u128>() / samples.len() as u128;
+    println!(
+        "{id:<40} time: [min {} median {} mean {}] ({} samples x {iters} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        samples.len(),
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filters: Vec::new(),
+        };
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("spin", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0, "routine never executed");
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filters: vec!["other".into()],
+        };
+        let mut ran = false;
+        c.bench_function("this_one", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filters: Vec::new(),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,62 @@
+//! Collection strategies (`vec`, `btree_set`).
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy for `Vec`s with element strategy `S` and a length range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: core::ops::Range<usize>,
+}
+
+/// Generates vectors whose length is drawn from `sizes`.
+pub fn vec<S: Strategy>(element: S, sizes: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, sizes }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.in_range(self.sizes.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet`s with element strategy `S` and a size range.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    sizes: core::ops::Range<usize>,
+}
+
+/// Generates sets whose size is drawn from `sizes`. If the element
+/// strategy cannot produce enough distinct values, the set saturates at
+/// whatever was reachable (upstream proptest retries similarly).
+pub fn btree_set<S>(element: S, sizes: core::ops::Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, sizes }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord + Debug,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = rng.in_range(self.sizes.clone());
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target * 10 + 16 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}

@@ -1,0 +1,144 @@
+//! String strategies from a small regex subset.
+//!
+//! Supports exactly the shape the workspace's tests use: one character
+//! class with an optional counted repetition — `[chars]{m,n}`,
+//! `[chars]{n}`, `[chars]*`, `[chars]+`, or a bare `[chars]` /  literal
+//! string. Classes may contain ranges (`a-z`), literals, and the
+//! escapes `\n`, `\t`, `\r`, `\\`, `\]`, `\-`.
+
+use crate::TestRng;
+
+fn parse_class(pattern: &str, start: usize) -> (Vec<(char, char)>, usize) {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut ranges = Vec::new();
+    let mut i = start;
+    let mut pending: Option<char> = None;
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            match chars.get(i) {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some('r') => '\r',
+                Some(&c) => c,
+                None => panic!("regex strategy: trailing backslash in {pattern:?}"),
+            }
+        } else {
+            chars[i]
+        };
+        if c == '-' && pending.is_some() && i + 1 < chars.len() && chars[i + 1] != ']' {
+            // Range: pending-next.
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                match chars[i] {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    c => c,
+                }
+            } else {
+                chars[i]
+            };
+            let lo = pending.take().expect("pending range start");
+            assert!(lo <= hi, "regex strategy: inverted range in {pattern:?}");
+            ranges.push((lo, hi));
+        } else {
+            if let Some(p) = pending.take() {
+                ranges.push((p, p));
+            }
+            pending = Some(c);
+        }
+        i += 1;
+    }
+    assert!(
+        i < chars.len(),
+        "regex strategy: unterminated class in {pattern:?}"
+    );
+    if let Some(p) = pending {
+        ranges.push((p, p));
+    }
+    (ranges, i + 1)
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut pick = rng.in_range(0..total);
+    for &(lo, hi) in ranges {
+        let span = hi as u32 - lo as u32 + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick).expect("class char");
+        }
+        pick -= span;
+    }
+    unreachable!("pick within total")
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+/// Panics on syntax outside the supported subset.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    if !pattern.starts_with('[') {
+        // Literal pattern.
+        return pattern.to_string();
+    }
+    let (ranges, rest) = parse_class(pattern, 1);
+    let tail = &pattern[pattern
+        .char_indices()
+        .nth(rest)
+        .map(|(i, _)| i)
+        .unwrap_or(pattern.len())..];
+    let (lo, hi) = match tail {
+        "" => (1usize, 1usize),
+        "*" => (0, 16),
+        "+" => (1, 16),
+        _ => {
+            let inner = tail
+                .strip_prefix('{')
+                .and_then(|t| t.strip_suffix('}'))
+                .unwrap_or_else(|| panic!("regex strategy: unsupported tail {tail:?}"));
+            match inner.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repeat lower bound"),
+                    n.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = inner.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        }
+    };
+    let len = rng.in_range_inclusive(lo..=hi);
+    (0..len).map(|_| sample_class(&ranges, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printable_class_with_escapes() {
+        let mut rng = TestRng::for_test("printable");
+        for _ in 0..200 {
+            let s = generate("[ -~\n\t]{0,600}", &mut rng);
+            assert!(s.len() <= 600);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn exact_count_and_literal() {
+        let mut rng = TestRng::for_test("exact");
+        assert_eq!(generate("abc", &mut rng), "abc");
+        let s = generate("[xy]{3}", &mut rng);
+        assert_eq!(s.len(), 3);
+        assert!(s.chars().all(|c| c == 'x' || c == 'y'));
+    }
+}

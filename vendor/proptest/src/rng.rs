@@ -1,0 +1,83 @@
+//! Deterministic case generator (SplitMix64).
+
+/// The generator driving strategy sampling. Seeded from the test name
+/// so every run of a test sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test identifier (FNV-1a of the name).
+    pub fn for_test(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn in_range<T: Uniform>(&mut self, r: core::ops::Range<T>) -> T {
+        T::from_range(self, r.start, r.end, false)
+    }
+
+    /// Uniform sample from an inclusive range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn in_range_inclusive<T: Uniform>(&mut self, r: core::ops::RangeInclusive<T>) -> T {
+        T::from_range(self, *r.start(), *r.end(), true)
+    }
+}
+
+/// Types samplable from a range by [`TestRng`].
+pub trait Uniform: Copy {
+    /// Samples from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn from_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            fn from_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) + i128::from(inclusive);
+                assert!(span > 0, "strategy range is empty");
+                lo.wrapping_add((rng.next_u64() as u128 % span as u128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            fn from_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                assert!(if inclusive { lo <= hi } else { lo < hi }, "strategy range is empty");
+                lo + rng.unit_f64() as $t * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
