@@ -2,7 +2,7 @@
 //! uncompressed models (the software-side cost of on-the-fly
 //! composition).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use unfold::{System, TaskSpec};
 use unfold_decoder::{DecodeConfig, FullyComposedDecoder, MetricsSink, NullSink, OtfDecoder};
 
@@ -68,4 +68,22 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_decoders
 }
-criterion_main!(benches);
+
+// Custom main (instead of criterion_main!): after the Criterion
+// micro-benchmarks, measure the end-to-end decode hot path and write
+// the machine-readable report (skip with UNFOLD_BENCH_SKIP_JSON=1).
+fn main() {
+    benches();
+    if std::env::var("UNFOLD_BENCH_SKIP_JSON").is_ok_and(|v| v == "1") {
+        return;
+    }
+    let report = unfold_bench::decode_bench::measure_default();
+    let path = unfold_bench::decode_bench::default_path();
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => eprintln!(
+            "decode bench: {:.0} frames/s single-thread ({:.2}x vs naive, OLT hit rate {:.3}) -> {path}",
+            report.frames_per_sec, report.single_thread_speedup, report.olt_hit_rate
+        ),
+        Err(e) => eprintln!("decode bench: failed to write {path}: {e}"),
+    }
+}

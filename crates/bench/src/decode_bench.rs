@@ -1,0 +1,302 @@
+//! Machine-readable decode-throughput benchmark.
+//!
+//! `cargo bench --bench decode_throughput` finishes by measuring the
+//! software decode hot path end to end and writing the numbers as JSON
+//! (default `BENCH_decode.json`, override with `UNFOLD_BENCH_JSON`).
+//! Unlike the per-figure Markdown tables, this file is meant for
+//! machines: CI trend lines and before/after comparisons in PRs.
+//!
+//! Three configurations are measured on the same utterance batch:
+//!
+//! * **naive** — fresh working memory per utterance, software OLT off
+//!   (the decode path as it was before the zero-alloc refactor),
+//! * **optimized, single thread** — one warm [`DecodeScratch`] reused
+//!   across utterances plus the software OLT,
+//! * **optimized, `jobs` ∈ {1, 2, 4}** — the utterance-parallel pool.
+//!
+//! All three produce bit-identical transcripts (pinned by tests and
+//! asserted again here); only the wall clock may differ.
+
+use std::time::Instant;
+
+use unfold::{decode_batch, System, TaskSpec};
+use unfold_am::Utterance;
+use unfold_decoder::{DecodeConfig, DecodeScratch, NullSink, OtfDecoder};
+
+/// Software-OLT capacity used by the optimized configurations. The
+/// paper's hardware table holds 32K entries (Fig 7); the software memo
+/// has no SRAM budget, so it simply matches that.
+pub const BENCH_OLT_ENTRIES: usize = 32 * 1024;
+
+/// Throughput of one worker-count configuration.
+#[derive(Debug, Clone)]
+pub struct JobsPoint {
+    /// Worker count.
+    pub jobs: usize,
+    /// Decoded frames per wall-clock second.
+    pub frames_per_sec: f64,
+    /// Speedup over the `jobs = 1` point.
+    pub speedup: f64,
+    /// Pool occupancy (1.0 = every worker busy the whole batch).
+    pub occupancy: f64,
+}
+
+/// The full decode-throughput report.
+#[derive(Debug, Clone)]
+pub struct DecodeBenchReport {
+    /// Task preset the batch came from.
+    pub task: String,
+    /// Hardware threads available on the measuring machine — read this
+    /// before judging the `jobs` scaling numbers.
+    pub cores: usize,
+    /// Utterances in the batch.
+    pub utterances: usize,
+    /// Frames in the batch.
+    pub frames: usize,
+    /// Audio seconds in the batch.
+    pub audio_seconds: f64,
+    /// Frames/sec with fresh scratch per utterance and the OLT off.
+    pub naive_frames_per_sec: f64,
+    /// Frames/sec with warm scratch + OLT, single thread.
+    pub frames_per_sec: f64,
+    /// `frames_per_sec / naive_frames_per_sec`.
+    pub single_thread_speedup: f64,
+    /// Real-time factor of the optimized single-thread configuration
+    /// (audio seconds decoded per wall second).
+    pub rtf: f64,
+    /// Software-OLT hit rate in the optimized run.
+    pub olt_hit_rate: f64,
+    /// Scaling across worker counts.
+    pub jobs: Vec<JobsPoint>,
+}
+
+impl DecodeBenchReport {
+    /// Serializes the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"decode_throughput\",\n");
+        s.push_str(&format!("  \"task\": \"{}\",\n", self.task));
+        s.push_str(&format!("  \"cores\": {},\n", self.cores));
+        s.push_str(&format!("  \"utterances\": {},\n", self.utterances));
+        s.push_str(&format!("  \"frames\": {},\n", self.frames));
+        s.push_str(&format!(
+            "  \"audio_seconds\": {:.6},\n",
+            self.audio_seconds
+        ));
+        s.push_str(&format!(
+            "  \"naive_frames_per_sec\": {:.1},\n",
+            self.naive_frames_per_sec
+        ));
+        s.push_str(&format!(
+            "  \"frames_per_sec\": {:.1},\n",
+            self.frames_per_sec
+        ));
+        s.push_str(&format!(
+            "  \"single_thread_speedup\": {:.3},\n",
+            self.single_thread_speedup
+        ));
+        s.push_str(&format!("  \"rtf\": {:.1},\n", self.rtf));
+        s.push_str(&format!("  \"olt_hit_rate\": {:.4},\n", self.olt_hit_rate));
+        s.push_str(&format!("  \"olt_entries\": {},\n", BENCH_OLT_ENTRIES));
+        s.push_str("  \"jobs\": [\n");
+        for (i, p) in self.jobs.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"jobs\": {}, \"frames_per_sec\": {:.1}, \"speedup\": {:.3}, \"occupancy\": {:.3}}}{}\n",
+                p.jobs,
+                p.frames_per_sec,
+                p.speedup,
+                p.occupancy,
+                if i + 1 < self.jobs.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Median of a sample set (destructive).
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Measures decode throughput on `utts` with `reps` timed repetitions
+/// per configuration (median taken).
+///
+/// All configurations are timed **strictly interleaved** within each
+/// repetition — the same discipline `examples/obs_overhead.rs` uses —
+/// so slow machine-speed drift (this box swings ±15% over minutes)
+/// hits every configuration equally instead of biasing whichever block
+/// ran during the slow stretch.
+pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchReport {
+    let reps = reps.max(1);
+    let frames: usize = utts.iter().map(|u| u.scores.num_frames()).sum();
+    let audio_seconds: f64 = utts.iter().map(|u| u.audio_seconds()).sum();
+
+    // Naive: the pre-optimization shape — fresh scratch, OLT off.
+    let naive_dec = OtfDecoder::new(DecodeConfig::default());
+    let naive_words: Vec<Vec<u32>> = utts
+        .iter()
+        .map(|u| {
+            naive_dec
+                .decode(&system.am_comp, &system.lm_comp, &u.scores, &mut NullSink)
+                .words
+        })
+        .collect();
+
+    // Optimized: warm scratch + software OLT, single thread.
+    let opt_dec = OtfDecoder::new(DecodeConfig {
+        olt_entries: BENCH_OLT_ENTRIES,
+        ..Default::default()
+    });
+    let mut scratch = DecodeScratch::new();
+    let mut olt_probes = 0u64;
+    let mut olt_hits = 0u64;
+    for (u, naive) in utts.iter().zip(&naive_words) {
+        let r = opt_dec.decode_with(
+            &system.am_comp,
+            &system.lm_comp,
+            &u.scores,
+            &mut scratch,
+            &mut NullSink,
+        );
+        assert_eq!(r.words, *naive, "optimizations must not change output");
+        olt_probes += r.stats.olt_probes;
+        olt_hits += r.stats.olt_hits;
+    }
+
+    const JOBS: [usize; 3] = [1, 2, 4];
+    let mut naive_samples = Vec::with_capacity(reps);
+    let mut opt_samples = Vec::with_capacity(reps);
+    let mut jobs_samples: [Vec<f64>; JOBS.len()] = Default::default();
+    let mut occupancies = [0.0f64; JOBS.len()];
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for u in utts {
+            naive_dec.decode(&system.am_comp, &system.lm_comp, &u.scores, &mut NullSink);
+        }
+        naive_samples.push(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        for u in utts {
+            opt_dec.decode_with(
+                &system.am_comp,
+                &system.lm_comp,
+                &u.scores,
+                &mut scratch,
+                &mut NullSink,
+            );
+        }
+        opt_samples.push(t0.elapsed().as_secs_f64());
+
+        for (ji, &jobs) in JOBS.iter().enumerate() {
+            let t0 = Instant::now();
+            let (_, pool) = decode_batch(utts, jobs, |_i, u, scratch| {
+                opt_dec.decode_with(
+                    &system.am_comp,
+                    &system.lm_comp,
+                    &u.scores,
+                    scratch,
+                    &mut NullSink,
+                )
+            });
+            jobs_samples[ji].push(t0.elapsed().as_secs_f64());
+            occupancies[ji] = pool.occupancy();
+        }
+    }
+    let naive_secs = median(naive_samples);
+    let opt_secs = median(opt_samples);
+
+    let mut jobs_points = Vec::new();
+    let mut serial_fps = 0.0;
+    for (ji, &jobs) in JOBS.iter().enumerate() {
+        let fps = frames as f64 / median(std::mem::take(&mut jobs_samples[ji]));
+        if jobs == 1 {
+            serial_fps = fps;
+        }
+        jobs_points.push(JobsPoint {
+            jobs,
+            frames_per_sec: fps,
+            speedup: fps / serial_fps,
+            occupancy: occupancies[ji],
+        });
+    }
+
+    DecodeBenchReport {
+        task: system.spec.name.to_string(),
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        utterances: utts.len(),
+        frames,
+        audio_seconds,
+        naive_frames_per_sec: frames as f64 / naive_secs,
+        frames_per_sec: frames as f64 / opt_secs,
+        single_thread_speedup: naive_secs / opt_secs,
+        rtf: audio_seconds / opt_secs,
+        olt_hit_rate: if olt_probes > 0 {
+            olt_hits as f64 / olt_probes as f64
+        } else {
+            0.0
+        },
+        jobs: jobs_points,
+    }
+}
+
+/// Measures the default configuration: the `UNFOLD_BENCH_TASK` preset
+/// (default `tedlium`, the paper's headline task — its LM binary
+/// search is deep enough for the OLT and warm scratch to matter;
+/// `tiny` is available for smoke runs), [`crate::utterance_count`]
+/// utterances, `UNFOLD_BENCH_REPS` timed repetitions (default 30).
+pub fn measure_default() -> DecodeBenchReport {
+    let task = std::env::var("UNFOLD_BENCH_TASK").unwrap_or_else(|_| "tedlium".into());
+    let spec = match task.as_str() {
+        "tedlium" => TaskSpec::tedlium_kaldi(),
+        "librispeech" => TaskSpec::librispeech(),
+        "voxforge" => TaskSpec::voxforge(),
+        "eesen" => TaskSpec::tedlium_eesen(),
+        _ => TaskSpec::tiny(),
+    };
+    let system = System::build(&spec);
+    let utts = system.test_utterances(crate::utterance_count());
+    let reps = std::env::var("UNFOLD_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    measure(&system, &utts, reps)
+}
+
+/// Output path: `UNFOLD_BENCH_JSON`, or `BENCH_decode.json` at the
+/// workspace root (cargo runs benches with the package directory as
+/// CWD, so a bare relative path would land in `crates/bench/`).
+pub fn default_path() -> String {
+    std::env::var("UNFOLD_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_decode.json", env!("CARGO_MANIFEST_DIR")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_measures_and_serializes() {
+        let system = System::build(&TaskSpec::tiny());
+        let utts = system.test_utterances(2);
+        let report = measure(&system, &utts, 2);
+        assert!(report.frames_per_sec > 0.0);
+        assert!(report.naive_frames_per_sec > 0.0);
+        assert!(report.rtf > 0.0);
+        assert!(report.olt_hit_rate > 0.0, "tiny task must hit the OLT");
+        assert_eq!(report.jobs.len(), 3);
+        assert!((report.jobs[0].speedup - 1.0).abs() < 1e-9);
+        let json = report.to_json();
+        for key in [
+            "\"cores\"",
+            "\"frames_per_sec\"",
+            "\"rtf\"",
+            "\"olt_hit_rate\"",
+            "\"single_thread_speedup\"",
+            "\"jobs\": [",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+}

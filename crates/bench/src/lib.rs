@@ -12,6 +12,7 @@
 //! * `UNFOLD_UTTS` — test utterances per task (default 8),
 //! * `UNFOLD_SMOKE` — set to `1` to run on the tiny task only (CI).
 
+pub mod decode_bench;
 pub mod harness;
 pub mod paper;
 

@@ -24,11 +24,13 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use unfold::experiments::{
-    run_baseline_on, run_baseline_traced, run_unfold, run_unfold_traced, SystemRun,
+    run_baseline_configured_jobs, run_baseline_traced_jobs, run_unfold_jobs,
+    run_unfold_traced_jobs, SystemRun,
 };
-use unfold::{System, TaskSpec};
+use unfold::{decode_batch_recorded, System, TaskSpec};
 use unfold_compress::{load_am, load_lm, save_am, save_lm};
 use unfold_decoder::{wer, DecodeConfig, MetricsSink, NullSink, OtfDecoder, TraceSink, WerReport};
+use unfold_sim::AcceleratorConfig;
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
@@ -39,9 +41,11 @@ commands:
   decode   --task <name> [--utterances N]   decode test utterances (WER report)
            [--am <file> --lm <file>]        ... using previously saved models
            [--nbest K]                      ... printing K-best hypotheses
+           [--jobs N]                       ... on N parallel workers (same output)
            [--metrics <file>]               ... exporting telemetry as JSONL
   simulate --task <name> [--utterances N]   accelerator performance/energy summary
            [--baseline]                     ... on the Reza et al. baseline instead
+           [--jobs N]                       ... decode on N workers, replay serially
            [--metrics <file>]               ... exporting telemetry as JSONL
   profile  --task <name> [--utterances N]   stage breakdown + frame latency percentiles
            [--baseline] [--metrics <file>]
@@ -229,6 +233,7 @@ fn cmd_decode(args: &[String]) -> Result<String, CliError> {
         }
     };
     let nbest = flags.usize_or("nbest", 1)?;
+    let jobs = flags.usize_or("jobs", 1)?;
     let metrics_path = flags.get("metrics");
     let mut metrics = MetricsSink::new();
     let mut null = NullSink;
@@ -241,11 +246,44 @@ fn cmd_decode(args: &[String]) -> Result<String, CliError> {
     } else {
         &mut null
     };
-    for (i, utt) in utts.iter().enumerate() {
-        let res = match &loaded {
-            Some((am, lm)) => decoder.decode(am, lm, &utt.scores, &mut *sink),
-            None => decoder.decode(&system.am_comp, &system.lm_comp, &utt.scores, &mut *sink),
-        };
+    // Decode output is bit-identical for any worker count, so --jobs
+    // only changes wall time; with telemetry on, the recorded traces
+    // replay serially in utterance order to keep it deterministic too.
+    let results: Vec<unfold_decoder::DecodeResult> = if jobs <= 1 {
+        let mut scratch = unfold_decoder::DecodeScratch::new();
+        utts.iter()
+            .map(|utt| match &loaded {
+                Some((am, lm)) => {
+                    decoder.decode_with(am, lm, &utt.scores, &mut scratch, &mut *sink)
+                }
+                None => decoder.decode_with(
+                    &system.am_comp,
+                    &system.lm_comp,
+                    &utt.scores,
+                    &mut scratch,
+                    &mut *sink,
+                ),
+            })
+            .collect()
+    } else {
+        let (pairs, _pool) =
+            decode_batch_recorded(&utts, jobs, |_i, utt, scratch, rec| match &loaded {
+                Some((am, lm)) => decoder.decode_with(am, lm, &utt.scores, scratch, rec),
+                None => {
+                    decoder.decode_with(&system.am_comp, &system.lm_comp, &utt.scores, scratch, rec)
+                }
+            });
+        pairs
+            .into_iter()
+            .map(|(res, trace)| {
+                if metrics_path.is_some() {
+                    trace.replay(&mut *sink);
+                }
+                res
+            })
+            .collect()
+    };
+    for (i, (utt, res)) in utts.iter().zip(&results).enumerate() {
         report.accumulate(wer(&utt.words, &res.words));
         let _ = writeln!(s, "utt {i}: ref {:?}", utt.words);
         let _ = writeln!(s, "       hyp {:?} (cost {:.2})", res.words, res.cost);
@@ -284,18 +322,26 @@ fn run_simulated(
     utts: &[unfold_am::Utterance],
     baseline: bool,
     metrics: Option<&mut MetricsSink>,
+    jobs: usize,
 ) -> SystemRun {
     match (baseline, metrics) {
         (true, Some(m)) => {
             let composed = system.composed();
-            run_baseline_traced(system, &composed, utts, m)
+            run_baseline_traced_jobs(system, &composed, utts, m, jobs)
         }
         (true, None) => {
             let composed = system.composed();
-            run_baseline_on(system, &composed, utts)
+            run_baseline_configured_jobs(
+                system,
+                &composed,
+                utts,
+                AcceleratorConfig::reza(),
+                DecodeConfig::default(),
+                jobs,
+            )
         }
-        (false, Some(m)) => run_unfold_traced(system, utts, m),
-        (false, None) => run_unfold(system, utts),
+        (false, Some(m)) => run_unfold_traced_jobs(system, utts, m, jobs),
+        (false, None) => run_unfold_jobs(system, utts, jobs),
     }
 }
 
@@ -303,6 +349,7 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args, &["baseline"])?;
     let spec = task_by_name(flags.require("task")?)?;
     let n = flags.usize_or("utterances", 5)?;
+    let jobs = flags.usize_or("jobs", 1)?;
     let system = System::build(&spec);
     let metrics_path = flags.get("metrics");
     let mut metrics = MetricsSink::new();
@@ -315,6 +362,7 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
         &utts,
         flags.has("baseline"),
         metrics_path.map(|_| &mut metrics),
+        jobs,
     );
     let mut s = String::new();
     let sim = &run.sim;
@@ -350,6 +398,14 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
     if sim.olt.probes > 0 {
         let _ = writeln!(s, "OLT hit ratio: {:.1}%", sim.olt.hit_ratio() * 100.0);
     }
+    if run.pool.workers > 1 {
+        let _ = writeln!(
+            s,
+            "decode pool:   {} workers, occupancy {:.2}",
+            run.pool.workers,
+            run.pool.occupancy()
+        );
+    }
     let _ = writeln!(s, "WER:           {:.2}%", run.wer.percent());
     let _ = writeln!(s, "area estimate: {:.1} mm2", sim.area_mm2);
     if let Some(path) = metrics_path {
@@ -365,7 +421,7 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
     let system = System::build(&spec);
     let mut metrics = MetricsSink::new();
     let utts = scored_utterances(&system, n, &mut metrics);
-    let run = run_simulated(&system, &utts, flags.has("baseline"), Some(&mut metrics));
+    let run = run_simulated(&system, &utts, flags.has("baseline"), Some(&mut metrics), 1);
 
     let mut s = String::new();
     let _ = writeln!(
@@ -605,6 +661,47 @@ mod tests {
         .unwrap();
         assert!(decoded.contains("WER:"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn decode_jobs_output_is_identical_to_serial() {
+        let serial = run(&sv(&["decode", "--task", "tiny", "--utterances", "3"])).unwrap();
+        let parallel = run(&sv(&[
+            "decode",
+            "--task",
+            "tiny",
+            "--utterances",
+            "3",
+            "--jobs",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(serial, parallel, "--jobs must not change decode output");
+    }
+
+    #[test]
+    fn simulate_jobs_reports_pool_and_matches_serial_sim() {
+        let serial = run(&sv(&["simulate", "--task", "tiny", "--utterances", "2"])).unwrap();
+        let parallel = run(&sv(&[
+            "simulate",
+            "--task",
+            "tiny",
+            "--utterances",
+            "2",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert!(parallel.contains("decode pool:   2 workers"));
+        // Every simulator-derived line must be unchanged by --jobs.
+        for prefix in ["decode time:", "energy:", "WER:", "cache misses:"] {
+            let find = |out: &str| {
+                out.lines()
+                    .find(|l| l.starts_with(prefix))
+                    .map(str::to_string)
+            };
+            assert_eq!(find(&serial), find(&parallel), "line '{prefix}' diverged");
+        }
     }
 
     #[test]

@@ -12,12 +12,13 @@
 
 use unfold_am::Utterance;
 use unfold_decoder::{
-    wer, DecodeConfig, DecodeResult, DecodeStats, FullyComposedDecoder, MetricsSink, OtfDecoder,
-    TeeSink, TraceSink, WerReport,
+    wer, DecodeConfig, DecodeResult, DecodeScratch, DecodeStats, FullyComposedDecoder, MetricsSink,
+    OtfDecoder, TeeSink, TraceSink, WerReport,
 };
-use unfold_obs::CacheRates;
+use unfold_obs::{CacheRates, PoolTelemetry};
 use unfold_sim::{Accelerator, AcceleratorConfig, FrameCacheSnapshot, GpuModel, SimReport};
 
+use crate::batch::{decode_batch, decode_batch_recorded};
 use crate::system::System;
 
 /// Outcome of running a batch on an accelerated configuration.
@@ -36,6 +37,9 @@ pub struct SystemRun {
     /// Per-frame cache/OLT hit rates across the whole batch, in decode
     /// order (one entry per frame).
     pub frame_cache: Vec<FrameCacheSnapshot>,
+    /// How the decode work spread across the worker pool (one worker
+    /// for serial runs).
+    pub pool: PoolTelemetry,
 }
 
 impl SystemRun {
@@ -67,6 +71,10 @@ fn merge_stats(total: &mut DecodeStats, one: &DecodeStats) {
     total.backoff_hops += one.backoff_hops;
     total.preemptive_prunes += one.preemptive_prunes;
     total.epsilon_expansions += one.epsilon_expansions;
+    total.olt_probes += one.olt_probes;
+    total.olt_hits += one.olt_hits;
+    total.olt_installs += one.olt_installs;
+    total.olt_evictions += one.olt_evictions;
 }
 
 /// Copies the accelerator's per-frame cache rates onto the telemetry
@@ -91,14 +99,23 @@ fn attach_cache_rates(metrics: &mut MetricsSink, snaps: &[FrameCacheSnapshot]) {
 /// (optionally teeing the trace into `metrics`), then builds the run
 /// report. Observability must not steer the search, so the decode
 /// closure receives whichever sink composition is active.
+///
+/// With `jobs > 1` the decode itself runs on the utterance-parallel
+/// pool ([`crate::batch`]): each worker records its utterances' traces
+/// privately, and the traces replay into the accelerator serially in
+/// utterance order afterwards. The simulator's cache and DRAM state is
+/// cumulative across the batch, so only that replay order feeds it the
+/// byte-for-byte event stream the serial path produces — which is what
+/// keeps every report field bit-identical for any `jobs`.
 fn run_accelerated<F>(
     utterances: &[Utterance],
     accel_config: AcceleratorConfig,
     mut metrics: Option<&mut MetricsSink>,
-    mut decode_one: F,
+    jobs: usize,
+    decode_one: F,
 ) -> SystemRun
 where
-    F: FnMut(&Utterance, &mut dyn TraceSink) -> DecodeResult,
+    F: Fn(&Utterance, &mut DecodeScratch, &mut dyn TraceSink) -> DecodeResult + Sync,
 {
     assert!(!utterances.is_empty(), "run_accelerated: no utterances");
     let mut accel = Accelerator::new(accel_config);
@@ -107,19 +124,51 @@ where
     let mut audio = 0.0;
     let mut per_utt = Vec::with_capacity(utterances.len());
     let freq_hz = accel.config().frequency_mhz as f64 * 1e6;
-    for utt in utterances {
-        let c0 = accel.cycles();
-        let res = match metrics {
-            Some(ref mut m) => {
-                let mut tee = TeeSink::new(vec![&mut accel, &mut **m]);
-                decode_one(utt, &mut tee)
-            }
-            None => decode_one(utt, &mut accel),
+    let pool;
+    if jobs <= 1 {
+        let started = std::time::Instant::now();
+        let mut scratch = DecodeScratch::new();
+        for utt in utterances {
+            let c0 = accel.cycles();
+            let res = match metrics {
+                Some(ref mut m) => {
+                    let mut tee = TeeSink::new(vec![&mut accel, &mut **m]);
+                    decode_one(utt, &mut scratch, &mut tee)
+                }
+                None => decode_one(utt, &mut scratch, &mut accel),
+            };
+            per_utt.push((accel.cycles() - c0) as f64 / freq_hz);
+            total_wer.accumulate(wer(&utt.words, &res.words));
+            merge_stats(&mut stats, &res.stats);
+            audio += utt.audio_seconds();
+        }
+        let wall = started.elapsed().as_nanos() as u64;
+        pool = PoolTelemetry {
+            workers: 1,
+            items: utterances.len(),
+            per_worker_items: vec![utterances.len()],
+            per_worker_busy_ns: vec![wall],
+            wall_ns: wall,
         };
-        per_utt.push((accel.cycles() - c0) as f64 / freq_hz);
-        total_wer.accumulate(wer(&utt.words, &res.words));
-        merge_stats(&mut stats, &res.stats);
-        audio += utt.audio_seconds();
+    } else {
+        let (decoded, pool_t) = decode_batch_recorded(utterances, jobs, |_i, utt, scratch, rec| {
+            decode_one(utt, scratch, rec)
+        });
+        pool = pool_t;
+        for (utt, (res, trace)) in utterances.iter().zip(&decoded) {
+            let c0 = accel.cycles();
+            match metrics {
+                Some(ref mut m) => {
+                    let mut tee = TeeSink::new(vec![&mut accel, &mut **m]);
+                    trace.replay(&mut tee);
+                }
+                None => trace.replay(&mut accel),
+            }
+            per_utt.push((accel.cycles() - c0) as f64 / freq_hz);
+            total_wer.accumulate(wer(&utt.words, &res.words));
+            merge_stats(&mut stats, &res.stats);
+            audio += utt.audio_seconds();
+        }
     }
     let sim = accel.finish(audio);
     let frame_cache = accel.frame_snapshots().to_vec();
@@ -133,17 +182,27 @@ where
         audio_seconds: audio,
         per_utterance_seconds: per_utt,
         frame_cache,
+        pool,
     }
 }
 
 /// Runs UNFOLD: on-the-fly decode of the compressed models, simulated
 /// on the UNFOLD accelerator configuration.
 pub fn run_unfold(system: &System, utterances: &[Utterance]) -> SystemRun {
-    run_unfold_configured(
+    run_unfold_jobs(system, utterances, 1)
+}
+
+/// [`run_unfold`] on the utterance-parallel pool: decode with up to
+/// `jobs` workers, then replay the recorded traces into the simulator
+/// serially. Bit-identical to `jobs = 1` — only wall time and
+/// [`SystemRun::pool`] change.
+pub fn run_unfold_jobs(system: &System, utterances: &[Utterance], jobs: usize) -> SystemRun {
+    run_unfold_configured_jobs(
         system,
         utterances,
         AcceleratorConfig::unfold(),
         DecodeConfig::default(),
+        jobs,
     )
 }
 
@@ -155,10 +214,27 @@ pub fn run_unfold_configured(
     accel_config: AcceleratorConfig,
     decode_config: DecodeConfig,
 ) -> SystemRun {
+    run_unfold_configured_jobs(system, utterances, accel_config, decode_config, 1)
+}
+
+/// [`run_unfold_configured`] with an explicit worker count.
+pub fn run_unfold_configured_jobs(
+    system: &System,
+    utterances: &[Utterance],
+    accel_config: AcceleratorConfig,
+    decode_config: DecodeConfig,
+    jobs: usize,
+) -> SystemRun {
     let decoder = OtfDecoder::new(decode_config);
-    run_accelerated(utterances, accel_config, None, |utt, sink| {
-        decoder.decode(&system.am_comp, &system.lm_comp, &utt.scores, sink)
-    })
+    run_accelerated(
+        utterances,
+        accel_config,
+        None,
+        jobs,
+        |utt, scratch, sink| {
+            decoder.decode_with(&system.am_comp, &system.lm_comp, &utt.scores, scratch, sink)
+        },
+    )
 }
 
 /// [`run_unfold`] with decode-time telemetry: every trace event is
@@ -170,12 +246,27 @@ pub fn run_unfold_traced(
     utterances: &[Utterance],
     metrics: &mut MetricsSink,
 ) -> SystemRun {
+    run_unfold_traced_jobs(system, utterances, metrics, 1)
+}
+
+/// [`run_unfold_traced`] with an explicit worker count; telemetry is
+/// fed during the serial replay, so it too is identical for any `jobs`
+/// (except host wall-clock fields).
+pub fn run_unfold_traced_jobs(
+    system: &System,
+    utterances: &[Utterance],
+    metrics: &mut MetricsSink,
+    jobs: usize,
+) -> SystemRun {
     let decoder = OtfDecoder::new(DecodeConfig::default());
     run_accelerated(
         utterances,
         AcceleratorConfig::unfold(),
         Some(metrics),
-        |utt, sink| decoder.decode(&system.am_comp, &system.lm_comp, &utt.scores, sink),
+        jobs,
+        |utt, scratch, sink| {
+            decoder.decode_with(&system.am_comp, &system.lm_comp, &utt.scores, scratch, sink)
+        },
     )
 }
 
@@ -206,32 +297,62 @@ pub fn run_baseline_on(
 
 /// [`run_baseline_on`] with explicit accelerator/decoder configurations.
 pub fn run_baseline_configured(
-    _system: &System,
+    system: &System,
     composed: &unfold_wfst::Wfst,
     utterances: &[Utterance],
     accel_config: AcceleratorConfig,
     decode_config: DecodeConfig,
 ) -> SystemRun {
+    run_baseline_configured_jobs(system, composed, utterances, accel_config, decode_config, 1)
+}
+
+/// [`run_baseline_configured`] with an explicit worker count (the
+/// fully-composed decoder keeps its own working memory, so workers
+/// ignore the pool scratch).
+pub fn run_baseline_configured_jobs(
+    _system: &System,
+    composed: &unfold_wfst::Wfst,
+    utterances: &[Utterance],
+    accel_config: AcceleratorConfig,
+    decode_config: DecodeConfig,
+    jobs: usize,
+) -> SystemRun {
     let decoder = FullyComposedDecoder::new(decode_config);
-    run_accelerated(utterances, accel_config, None, |utt, sink| {
-        decoder.decode(composed, &utt.scores, sink)
-    })
+    run_accelerated(
+        utterances,
+        accel_config,
+        None,
+        jobs,
+        |utt, _scratch, sink| decoder.decode(composed, &utt.scores, sink),
+    )
 }
 
 /// [`run_baseline_on`] with decode-time telemetry (see
 /// [`run_unfold_traced`]).
 pub fn run_baseline_traced(
+    system: &System,
+    composed: &unfold_wfst::Wfst,
+    utterances: &[Utterance],
+    metrics: &mut MetricsSink,
+) -> SystemRun {
+    run_baseline_traced_jobs(system, composed, utterances, metrics, 1)
+}
+
+/// [`run_baseline_traced`] with an explicit worker count.
+pub fn run_baseline_traced_jobs(
     _system: &System,
     composed: &unfold_wfst::Wfst,
     utterances: &[Utterance],
     metrics: &mut MetricsSink,
+    jobs: usize,
 ) -> SystemRun {
     let decoder = FullyComposedDecoder::new(DecodeConfig::default());
     run_accelerated(
         utterances,
         AcceleratorConfig::reza(),
         Some(metrics),
-        |utt, sink| decoder.decode(composed, &utt.scores, sink),
+        jobs,
+        |utt, _scratch, sink| decoder.decode(composed, &utt.scores, sink),
     )
 }
 
@@ -266,21 +387,31 @@ impl GpuRun {
 
 /// Runs the software decoder and prices it with the Tegra X1 model.
 pub fn run_gpu(system: &System, utterances: &[Utterance]) -> GpuRun {
+    run_gpu_jobs(system, utterances, 1)
+}
+
+/// [`run_gpu`] with the decode fanned out over `jobs` workers. The GPU
+/// model is analytic (priced from per-utterance stats), so no replay
+/// step is needed — results aggregate in utterance order.
+pub fn run_gpu_jobs(system: &System, utterances: &[Utterance], jobs: usize) -> GpuRun {
     assert!(!utterances.is_empty(), "run_gpu: no utterances");
     let gpu = GpuModel::default();
     let decoder = OtfDecoder::new(DecodeConfig::default());
+    let (results, _pool) = decode_batch(utterances, jobs, |_i, utt, scratch| {
+        decoder.decode_with(
+            &system.am.fst,
+            &system.lm_fst,
+            &utt.scores,
+            scratch,
+            &mut unfold_decoder::NullSink,
+        )
+    });
     let mut search_s = 0.0;
     let mut search_mj = 0.0;
     let mut frames = 0usize;
     let mut audio = 0.0;
     let mut per_utt = Vec::with_capacity(utterances.len());
-    for utt in utterances {
-        let res = decoder.decode(
-            &system.am.fst,
-            &system.lm_fst,
-            &utt.scores,
-            &mut unfold_decoder::NullSink,
-        );
+    for (utt, res) in utterances.iter().zip(&results) {
         let t = gpu.viterbi_seconds(&res.stats);
         per_utt.push(t);
         search_s += t;
@@ -346,6 +477,25 @@ mod tests {
         }
         // Stage spans covered the run.
         assert!(metrics.collector().stages.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let (s, utts) = setup();
+        let serial = run_unfold(&s, &utts);
+        for jobs in [2, 4] {
+            let par = run_unfold_jobs(&s, &utts, jobs);
+            assert_eq!(serial.wer, par.wer, "jobs={jobs}");
+            assert_eq!(serial.stats, par.stats, "jobs={jobs}");
+            assert_eq!(serial.sim.cycles, par.sim.cycles, "jobs={jobs}");
+            assert_eq!(
+                serial.per_utterance_seconds, par.per_utterance_seconds,
+                "jobs={jobs}"
+            );
+            assert_eq!(serial.frame_cache, par.frame_cache, "jobs={jobs}");
+            assert_eq!(par.pool.workers, jobs.min(utts.len()));
+            assert_eq!(par.pool.items, utts.len());
+        }
     }
 
     #[test]

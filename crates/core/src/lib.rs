@@ -15,7 +15,9 @@
 //!   (LM-arc expansion) whose size explosion motivates the paper,
 //! * [`experiments`] — one-call runners pairing a decoder with an
 //!   accelerator model: UNFOLD, the Reza et al. baseline, and the
-//!   Tegra X1 GPU.
+//!   Tegra X1 GPU,
+//! * [`batch`] — the utterance-parallel worker pool behind the
+//!   runners' `_jobs` variants (bit-identical for any worker count).
 //!
 //! # Quickstart
 //!
@@ -30,12 +32,16 @@
 //! assert!(run.sim.times_real_time() > 1.0);
 //! ```
 
+pub mod batch;
 pub mod composed;
 pub mod experiments;
 pub mod system;
 pub mod task;
 
+pub use batch::{decode_batch, decode_batch_recorded};
 pub use composed::build_composed_lg;
-pub use experiments::{run_baseline, run_gpu, run_unfold, GpuRun, SystemRun};
+pub use experiments::{
+    run_baseline, run_gpu, run_gpu_jobs, run_unfold, run_unfold_jobs, GpuRun, SystemRun,
+};
 pub use system::{SizeTable, System};
 pub use task::{ScoringSynth, TaskSpec};

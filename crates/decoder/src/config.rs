@@ -14,6 +14,13 @@ pub struct DecodeConfig {
     /// mid-back-off as soon as its accumulated cost crosses the beam
     /// threshold.
     pub preemptive_pruning: bool,
+    /// Capacity of the software Offset Lookup Table memoizing
+    /// `(LM state, word)` → word-arc resolutions (paper §3.1, Fig. 7),
+    /// in entries; 0 disables it. Rounded up to a power of two. The OLT
+    /// never changes decode output — only how many LM arc fetches the
+    /// binary searches cost — so it defaults to off to keep simulator
+    /// traces identical to the unmemoized decoder.
+    pub olt_entries: usize,
 }
 
 impl Default for DecodeConfig {
@@ -22,6 +29,7 @@ impl Default for DecodeConfig {
             beam: 14.0,
             max_active: 6_000,
             preemptive_pruning: true,
+            olt_entries: 0,
         }
     }
 }
@@ -49,6 +57,15 @@ pub struct DecodeStats {
     pub preemptive_prunes: u64,
     /// Non-emitting (epsilon) expansions performed.
     pub epsilon_expansions: u64,
+    /// Software-OLT probes issued (one per LM lookup step while the
+    /// table is enabled).
+    pub olt_probes: u64,
+    /// Software-OLT probes that hit (binary search skipped).
+    pub olt_hits: u64,
+    /// Resolutions installed into the software OLT.
+    pub olt_installs: u64,
+    /// Installs that displaced a live entry.
+    pub olt_evictions: u64,
 }
 
 impl DecodeStats {
@@ -68,6 +85,15 @@ impl DecodeStats {
             0.0
         } else {
             self.lm_fetches as f64 / self.lm_lookups as f64
+        }
+    }
+
+    /// Software-OLT hit ratio in `[0, 1]` (0.0 when the table was off).
+    pub fn olt_hit_ratio(&self) -> f64 {
+        if self.olt_probes == 0 {
+            0.0
+        } else {
+            self.olt_hits as f64 / self.olt_probes as f64
         }
     }
 }

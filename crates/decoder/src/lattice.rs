@@ -51,6 +51,12 @@ impl Lattice {
         self.entries.is_empty()
     }
 
+    /// Drops every entry but keeps the allocation (scratch reuse
+    /// between utterances).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Appends a word recognized at `frame`, preceded by `prev`
     /// (or [`LATTICE_ROOT`]). Returns the new entry's index.
     ///

@@ -40,8 +40,10 @@ pub mod config;
 pub mod full;
 pub mod lattice;
 pub mod metrics;
+pub mod olt;
 pub mod otf;
 pub mod record;
+pub mod scratch;
 pub(crate) mod search;
 pub mod sources;
 pub mod streaming;
@@ -53,9 +55,11 @@ pub use config::{DecodeConfig, DecodeResult, DecodeStats};
 pub use full::FullyComposedDecoder;
 pub use lattice::Lattice;
 pub use metrics::{MetricsSink, TeeSink};
+pub use olt::SoftOlt;
 pub use otf::OtfDecoder;
 pub use record::{TraceEvent, TraceRecorder};
-pub use sources::{addr, AmSource, ArcVisit, LinearLm, LmResolution, LmSource};
+pub use scratch::{validate_models, DecodeScratch};
+pub use sources::{addr, AmSource, ArcVisit, LinearLm, LmResolution, LmSource, MAX_BACKOFF_HOPS};
 pub use streaming::OtfStream;
 pub use trace::{CountingSink, DecodeStage, NullSink, TraceSink};
 pub use twopass::{TwoPassDecoder, TwoPassResult, UnigramLm};

@@ -33,6 +33,10 @@ struct Totals {
     hash_inserts: u64,
     lattice_bytes: u64,
     preemptive_prunes: u64,
+    olt_probes: u64,
+    olt_hits: u64,
+    olt_installs: u64,
+    olt_evictions: u64,
 }
 
 /// State of the frame currently being decoded.
@@ -46,6 +50,8 @@ struct OpenFrame {
     lm_lookups: u64,
     backoff_hops: u64,
     preemptive_prunes: u64,
+    olt_probes: u64,
+    olt_hits: u64,
 }
 
 /// A [`TraceSink`] that aggregates the event stream into decode-time
@@ -132,6 +138,10 @@ impl MetricsSink {
         r.counter("hash_inserts").add(t.hash_inserts);
         r.counter("lattice_bytes").add(t.lattice_bytes);
         r.counter("preemptive_prunes").add(t.preemptive_prunes);
+        r.counter("olt_probes").add(t.olt_probes);
+        r.counter("olt_hits").add(t.olt_hits);
+        r.counter("olt_installs").add(t.olt_installs);
+        r.counter("olt_evictions").add(t.olt_evictions);
         *r.histogram("frame_ns") = self.frame_ns.clone();
         *r.histogram("active_tokens") = self.active_tokens.clone();
         r
@@ -185,6 +195,8 @@ impl TraceSink for MetricsSink {
             lm_lookups: self.totals.lm_lookups,
             backoff_hops: self.totals.backoff_hops,
             preemptive_prunes: self.totals.preemptive_prunes,
+            olt_probes: self.totals.olt_probes,
+            olt_hits: self.totals.olt_hits,
         });
     }
 
@@ -210,6 +222,8 @@ impl TraceSink for MetricsSink {
             lm_lookups: t.lm_lookups - open.lm_lookups,
             backoff_hops: t.backoff_hops - open.backoff_hops,
             preemptive_prunes: t.preemptive_prunes - open.preemptive_prunes,
+            olt_probes: t.olt_probes - open.olt_probes,
+            olt_hits: t.olt_hits - open.olt_hits,
             wall_ns,
             cache: None,
         });
@@ -265,6 +279,20 @@ impl TraceSink for MetricsSink {
 
     fn preemptive_prune(&mut self) {
         self.totals.preemptive_prunes += 1;
+    }
+
+    fn olt_probe(&mut self, _lm_state: StateId, _word: Label, hit: bool) {
+        self.totals.olt_probes += 1;
+        if hit {
+            self.totals.olt_hits += 1;
+        }
+    }
+
+    fn olt_install(&mut self, evicted: bool) {
+        self.totals.olt_installs += 1;
+        if evicted {
+            self.totals.olt_evictions += 1;
+        }
     }
 }
 
@@ -363,6 +391,16 @@ impl TraceSink for TeeSink<'_> {
             s.preemptive_prune();
         }
     }
+    fn olt_probe(&mut self, lm_state: StateId, word: Label, hit: bool) {
+        for s in &mut self.sinks {
+            s.olt_probe(lm_state, word, hit);
+        }
+    }
+    fn olt_install(&mut self, evicted: bool) {
+        for s in &mut self.sinks {
+            s.olt_install(evicted);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -381,8 +419,13 @@ mod tests {
         sink.acoustic_fetch(0, 2);
         sink.stage_enter(DecodeStage::LmLookup);
         sink.lm_lookup(1, 7);
+        sink.olt_probe(1, 7, false);
         sink.lm_arc_fetch(0xC000_0000, 6);
         sink.lm_resolved(1, 7, 2);
+        sink.olt_install(false);
+        sink.lm_lookup(1, 7);
+        sink.olt_probe(1, 7, true);
+        sink.lm_resolved(1, 7, 0);
         sink.stage_exit(DecodeStage::LmLookup);
         sink.hash_insert(42);
         sink.token_store(0, 8);
@@ -401,9 +444,11 @@ mod tests {
         assert_eq!(f.active_out, 5);
         assert_eq!(f.best_cost, 1.25);
         assert_eq!(f.worst_cost, 9.5);
-        assert_eq!(f.lm_lookups, 1);
+        assert_eq!(f.lm_lookups, 2);
         assert_eq!(f.backoff_hops, 2);
         assert_eq!(f.preemptive_prunes, 1);
+        assert_eq!(f.olt_probes, 2);
+        assert_eq!(f.olt_hits, 1);
         assert_eq!(m.frame_latency().count(), 1);
     }
 

@@ -8,15 +8,28 @@
 //! longer survive the beam — "it is guaranteed that we only discard the
 //! hypotheses that would be pruned away later" because back-off weights
 //! only ever add cost at the point of comparison.
+//!
+//! Two decode-time accelerations ride on top of the search, neither of
+//! which changes its output:
+//!
+//! * a software Offset Lookup Table ([`crate::olt::SoftOlt`], §3.1)
+//!   memoizing word-arc resolutions, consulted at every LM lookup step;
+//! * a reusable [`DecodeScratch`] holding every frame-loop structure,
+//!   so steady-state decoding allocates nothing.
 
 use unfold_am::AcousticScores;
 use unfold_wfst::{Label, StateId, EPSILON};
 
 use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
 use crate::lattice::{Lattice, COMPACT_ENTRY_BYTES, LATTICE_ROOT};
-use crate::search::{prune_threshold, Token, TokenMap};
-use crate::sources::{addr, AmSource, LmSource};
+use crate::olt::SoftOlt;
+use crate::scratch::DecodeScratch;
+use crate::search::{prune_threshold_store, DetHasher, Token, TokenStore};
+use crate::sources::{addr, AmSource, Fetch, LmSource, MAX_BACKOFF_HOPS};
 use crate::trace::{DecodeStage, TraceSink};
+
+use std::collections::HashSet;
+use std::hash::BuildHasherDefault;
 
 /// Token key: AM state in the high half, LM state in the low half —
 /// also how the accelerator indexes its token hash tables ("the hash
@@ -69,59 +82,43 @@ impl OtfDecoder {
         k: usize,
         sink: &mut dyn TraceSink,
     ) -> Vec<(Vec<Label>, f32)> {
+        self.decode_nbest_with(am, lm, scores, k, &mut DecodeScratch::new(), sink)
+    }
+
+    /// [`OtfDecoder::decode_nbest`] with caller-owned working memory.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn decode_nbest_with<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+        &self,
+        am: &A,
+        lm: &L,
+        scores: &AcousticScores,
+        k: usize,
+        scratch: &mut DecodeScratch,
+        sink: &mut dyn TraceSink,
+    ) -> Vec<(Vec<Label>, f32)> {
         assert!(k > 0, "decode_nbest: k must be positive");
         let mut stats = DecodeStats::default();
-        let mut lattice = Lattice::new();
-        let mut cur: TokenMap<u64, Token> = TokenMap::default();
-        cur.insert(
-            token_key(am.start(), lm.start()),
-            Token {
-                cost: 0.0,
-                lat: LATTICE_ROOT,
-            },
-        );
-        epsilon_closure(
-            &self.config,
-            am,
-            lm,
-            &mut cur,
-            &mut lattice,
-            0,
-            f32::INFINITY,
-            sink,
-            &mut stats,
-        );
-        for t in 0..scores.num_frames() {
-            cur = expand_frame(
-                &self.config,
-                am,
-                lm,
-                &cur,
-                scores.frame(t),
-                t,
-                &mut lattice,
-                sink,
-                &mut stats,
-            );
-        }
+        self.run(am, lm, scores, scratch, sink, &mut stats);
         // Collect every complete hypothesis, dedup by word string.
         sink.stage_enter(DecodeStage::Lattice);
         let mut finals: Vec<(f32, u32)> = Vec::new();
-        for (&key, tok) in cur.iter() {
+        for &(key, tok) in scratch.cur.iter() {
             let (am_s, _) = split(key);
             if let Some(fw) = am.final_weight(am_s) {
                 finals.push((tok.cost + fw, tok.lat));
             }
         }
         finals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let mut seen: Vec<Vec<Label>> = Vec::new();
+        let mut seen: HashSet<Vec<Label>, BuildHasherDefault<DetHasher>> = HashSet::default();
         let mut out = Vec::new();
         for (cost, lat) in finals {
-            let words = lattice.backtrace(lat);
+            let words = scratch.lattice.backtrace(lat);
             if seen.contains(&words) {
                 continue;
             }
-            seen.push(words.clone());
+            seen.insert(words.clone());
             out.push((words, cost));
             if out.len() == k {
                 break;
@@ -146,10 +143,41 @@ impl OtfDecoder {
         scores: &AcousticScores,
         sink: &mut dyn TraceSink,
     ) -> DecodeResult {
+        self.decode_with(am, lm, scores, &mut DecodeScratch::new(), sink)
+    }
+
+    /// [`OtfDecoder::decode`] with caller-owned working memory: reusing
+    /// one [`DecodeScratch`] across utterances eliminates steady-state
+    /// allocation, and the result is bit-identical to a fresh-scratch
+    /// decode.
+    pub fn decode_with<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+        &self,
+        am: &A,
+        lm: &L,
+        scores: &AcousticScores,
+        scratch: &mut DecodeScratch,
+        sink: &mut dyn TraceSink,
+    ) -> DecodeResult {
         let mut stats = DecodeStats::default();
-        let mut lattice = Lattice::new();
-        let mut cur: TokenMap<u64, Token> = TokenMap::default();
-        cur.insert(
+        self.run(am, lm, scores, scratch, sink, &mut stats);
+        finish(am, &scratch.cur, &scratch.lattice, stats, sink)
+    }
+
+    /// Shared search loop: seeds the start token, runs the initial
+    /// closure, expands every frame. The surviving population is left
+    /// in `scratch.cur`.
+    fn run<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+        &self,
+        am: &A,
+        lm: &L,
+        scores: &AcousticScores,
+        scratch: &mut DecodeScratch,
+        sink: &mut dyn TraceSink,
+        stats: &mut DecodeStats,
+    ) {
+        scratch.begin(&self.config);
+        scratch.ensure_validated(am, lm, scores.num_pdfs());
+        scratch.cur.insert(
             token_key(am.start(), lm.start()),
             Token {
                 cost: 0.0,
@@ -160,121 +188,138 @@ impl OtfDecoder {
             &self.config,
             am,
             lm,
-            &mut cur,
-            &mut lattice,
+            &mut scratch.cur,
+            &mut scratch.worklist,
+            &mut scratch.eps_local,
+            &mut scratch.probes,
+            &mut scratch.olt,
+            &mut scratch.lattice,
             0,
             f32::INFINITY,
             sink,
-            &mut stats,
+            stats,
         );
-
         for t in 0..scores.num_frames() {
-            cur = expand_frame(
+            expand_frame(
                 &self.config,
                 am,
                 lm,
-                &cur,
+                scratch,
                 scores.frame(t),
                 t,
-                &mut lattice,
                 sink,
-                &mut stats,
+                stats,
             );
         }
-
-        finish(am, &cur, &lattice, stats, sink)
     }
 }
 
 /// Processes one frame: prune, expand emitting arcs against the frame's
-/// cost row (`costs[pdf - 1]`), then run the non-emitting closure.
-/// Shared by [`OtfDecoder::decode`] and [`crate::streaming::OtfStream`].
-///
-/// # Panics
-/// Panics if an AM arc's PDF id exceeds `costs.len()`.
+/// cost row (`costs[pdf - 1]`), then run the non-emitting closure. The
+/// population entering the frame is `scratch.cur`; the surviving
+/// population is swapped back into `scratch.cur` on return. Shared by
+/// [`OtfDecoder::decode`] and [`crate::streaming::OtfStream`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn expand_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
     config: &DecodeConfig,
     am: &A,
     lm: &L,
-    cur: &TokenMap<u64, Token>,
+    scratch: &mut DecodeScratch,
     costs: &[f32],
     t: usize,
-    lattice: &mut Lattice,
     sink: &mut dyn TraceSink,
     stats: &mut DecodeStats,
-) -> TokenMap<u64, Token> {
-    sink.frame_start(t, cur.len());
+) {
+    scratch.ensure_validated(am, lm, costs.len());
+    sink.frame_start(t, scratch.cur.len());
     stats.frames += 1;
-    stats.max_active = stats.max_active.max(cur.len());
-    stats.total_active += cur.len() as u64;
+    stats.max_active = stats.max_active.max(scratch.cur.len());
+    stats.total_active += scratch.cur.len() as u64;
 
     sink.stage_enter(DecodeStage::Pruning);
-    let thr = prune_threshold(cur, config.beam, config.max_active);
+    let thr = prune_threshold_store(
+        &scratch.cur,
+        config.beam,
+        config.max_active,
+        &mut scratch.prune_costs,
+    );
     sink.stage_switch(DecodeStage::Pruning, DecodeStage::ArcExpansion);
-    let mut next: TokenMap<u64, Token> = TokenMap::default();
+    scratch.next.clear();
     let mut next_best = f32::INFINITY;
 
-    for (&k, tok) in cur.iter() {
-        if tok.cost > thr {
-            stats.tokens_pruned += 1;
-            continue;
-        }
-        let (am_s, lm_s) = split(k);
-        sink.state_fetch(am.state_addr(am_s));
-        let tok = *tok;
-        am.for_each_arc(am_s, &mut |v| {
-            sink.am_arc_fetch(v.addr, v.bytes);
-            let arc = v.arc;
-            if arc.ilabel == EPSILON {
-                return; // non-emitting: closure phase
-            }
-            sink.acoustic_fetch(t, arc.ilabel);
-            assert!(
-                (arc.ilabel as usize) <= costs.len(),
-                "pdf {} beyond the {}-wide score row",
-                arc.ilabel,
-                costs.len()
-            );
-            let base = tok.cost + arc.weight + costs[arc.ilabel as usize - 1];
-            stats.tokens_created += 1;
-            if base > next_best + config.beam {
+    {
+        let cur = &scratch.cur;
+        let next = &mut scratch.next;
+        let olt = &mut scratch.olt;
+        let probes = &mut scratch.probes;
+        let lattice = &mut scratch.lattice;
+        for &(k, tok) in cur.iter() {
+            if tok.cost > thr {
                 stats.tokens_pruned += 1;
-                return;
+                continue;
             }
-            let (lm_next, cost, word) = if arc.olabel != EPSILON {
-                let walk_thr = if config.preemptive_pruning {
-                    next_best + config.beam
-                } else {
-                    f32::INFINITY
-                };
-                match lm_walk(lm, lm_s, arc.olabel, base, walk_thr, sink, stats) {
-                    Some((dest, c)) => (dest, c, arc.olabel),
-                    None => return,
+            let (am_s, lm_s) = split(k);
+            sink.state_fetch(am.state_addr(am_s));
+            am.for_each_arc(am_s, &mut |v| {
+                sink.am_arc_fetch(v.addr, v.bytes);
+                let arc = v.arc;
+                if arc.ilabel == EPSILON {
+                    return; // non-emitting: closure phase
                 }
-            } else {
-                (lm_s, base, EPSILON)
-            };
-            next_best = next_best.min(cost);
-            relax(
-                &mut next,
-                token_key(arc.nextstate, lm_next),
-                cost,
-                tok.lat,
-                word,
-                t as u32,
-                lattice,
-                sink,
-            );
-        });
+                sink.acoustic_fetch(t, arc.ilabel);
+                // Validated once per model in `ensure_validated`.
+                debug_assert!(
+                    (arc.ilabel as usize) <= costs.len(),
+                    "pdf {} beyond the {}-wide score row",
+                    arc.ilabel,
+                    costs.len()
+                );
+                let base = tok.cost + arc.weight + costs[arc.ilabel as usize - 1];
+                stats.tokens_created += 1;
+                if base > next_best + config.beam {
+                    stats.tokens_pruned += 1;
+                    return;
+                }
+                let (lm_next, cost, word) = if arc.olabel != EPSILON {
+                    let walk_thr = if config.preemptive_pruning {
+                        next_best + config.beam
+                    } else {
+                        f32::INFINITY
+                    };
+                    match lm_walk(
+                        lm, lm_s, arc.olabel, base, walk_thr, olt, probes, sink, stats,
+                    ) {
+                        Some((dest, c)) => (dest, c, arc.olabel),
+                        None => return,
+                    }
+                } else {
+                    (lm_s, base, EPSILON)
+                };
+                next_best = next_best.min(cost);
+                relax(
+                    next,
+                    token_key(arc.nextstate, lm_next),
+                    cost,
+                    tok.lat,
+                    word,
+                    t as u32,
+                    lattice,
+                    sink,
+                );
+            });
+        }
     }
 
     epsilon_closure(
         config,
         am,
         lm,
-        &mut next,
-        lattice,
+        &mut scratch.next,
+        &mut scratch.worklist,
+        &mut scratch.eps_local,
+        &mut scratch.probes,
+        &mut scratch.olt,
+        &mut scratch.lattice,
         t as u32,
         next_best + config.beam,
         sink,
@@ -284,7 +329,7 @@ pub(crate) fn expand_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
 
     let mut best = f32::INFINITY;
     let mut worst = f32::INFINITY;
-    for tok in next.values() {
+    for tok in scratch.next.values() {
         best = best.min(tok.cost);
         worst = if worst.is_finite() {
             worst.max(tok.cost)
@@ -292,25 +337,32 @@ pub(crate) fn expand_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
             tok.cost
         };
     }
-    sink.frame_end(t, next.len(), best, worst);
-    next
+    sink.frame_end(t, scratch.next.len(), best, worst);
+    std::mem::swap(&mut scratch.cur, &mut scratch.next);
 }
 
 /// Relaxes non-emitting AM arcs (including cross-word transitions,
-/// which trigger LM walks) to a fixed point.
+/// which trigger LM walks) to a fixed point. `worklist`, `eps_local`,
+/// and `probes` are caller-owned buffers (cleared here) so the closure
+/// allocates nothing in steady state.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn epsilon_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
     config: &DecodeConfig,
     am: &A,
     lm: &L,
-    tokens: &mut TokenMap<u64, Token>,
+    tokens: &mut TokenStore,
+    worklist: &mut Vec<u64>,
+    eps_local: &mut Vec<(StateId, f32, Label)>,
+    probes: &mut Vec<Fetch>,
+    olt: &mut SoftOlt,
     lattice: &mut Lattice,
     frame: u32,
     thr: f32,
     sink: &mut dyn TraceSink,
     stats: &mut DecodeStats,
 ) {
-    let mut worklist: Vec<u64> = tokens.keys().copied().collect();
+    worklist.clear();
+    worklist.extend(tokens.keys());
     let mut guard = 0u64;
     while let Some(k) = worklist.pop() {
         guard += 1;
@@ -318,24 +370,24 @@ pub(crate) fn epsilon_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
             guard < 100_000_000,
             "epsilon closure diverged: negative cycle?"
         );
-        let tok = match tokens.get(&k) {
-            Some(t) => *t,
+        let tok = match tokens.get(k) {
+            Some(t) => t,
             None => continue,
         };
         if tok.cost > thr {
             continue;
         }
         let (am_s, lm_s) = split(k);
-        let mut local: Vec<(StateId, f32, Label)> = Vec::new();
+        eps_local.clear();
         am.for_each_arc(am_s, &mut |v| {
             if v.arc.ilabel != EPSILON {
                 return;
             }
             sink.am_arc_fetch(v.addr, v.bytes);
             stats.epsilon_expansions += 1;
-            local.push((v.arc.nextstate, tok.cost + v.arc.weight, v.arc.olabel));
+            eps_local.push((v.arc.nextstate, tok.cost + v.arc.weight, v.arc.olabel));
         });
-        for (am_next, base, word) in local {
+        for &(am_next, base, word) in eps_local.iter() {
             stats.tokens_created += 1;
             let (lm_next, cost, out_word) = if word != EPSILON {
                 let walk_thr = if config.preemptive_pruning {
@@ -343,7 +395,7 @@ pub(crate) fn epsilon_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
                 } else {
                     f32::INFINITY
                 };
-                match lm_walk(lm, lm_s, word, base, walk_thr, sink, stats) {
+                match lm_walk(lm, lm_s, word, base, walk_thr, olt, probes, sink, stats) {
                     Some((dest, c)) => (dest, c, word),
                     None => continue,
                 }
@@ -370,15 +422,26 @@ pub(crate) fn epsilon_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
 /// through the back-off chain. Returns `None` if preemptive pruning
 /// abandoned the hypothesis (cost crossed `thr` mid-walk).
 ///
+/// At every step the software OLT is consulted first (when enabled): a
+/// hit returns the memoized word arc and skips the binary search — the
+/// cached `(dest, weight)` is exactly what the search would have found,
+/// so the returned cost is bit-identical either way. A resolution that
+/// came from the search is installed, mirroring the hardware table's
+/// probe/install protocol (only *resolving* states install; back-off
+/// intermediates never do).
+///
 /// # Panics
 /// Panics if the LM has no back-off arc on a state that misses `word`
 /// (a malformed model).
+#[allow(clippy::too_many_arguments)]
 fn lm_walk<L: LmSource + ?Sized>(
     lm: &L,
     lm_state: StateId,
     word: Label,
     base: f32,
     thr: f32,
+    olt: &mut SoftOlt,
+    probes: &mut Vec<Fetch>,
     sink: &mut dyn TraceSink,
     stats: &mut DecodeStats,
 ) -> Option<(StateId, f32)> {
@@ -390,13 +453,33 @@ fn lm_walk<L: LmSource + ?Sized>(
     loop {
         sink.lm_lookup(state, word);
         sink.state_fetch(lm.state_addr(state));
-        let res = lm.lookup_word(state, word);
-        stats.lm_fetches += res.probes.len() as u64;
-        for &(a, b) in &res.probes {
+        if olt.is_enabled() {
+            stats.olt_probes += 1;
+            if let Some((dest, weight)) = olt.probe(state, word) {
+                stats.olt_hits += 1;
+                sink.olt_probe(state, word, true);
+                sink.lm_resolved(state, word, hops);
+                sink.stage_exit(DecodeStage::LmLookup);
+                return Some((dest, cost + weight));
+            }
+            sink.olt_probe(state, word, false);
+        }
+        probes.clear();
+        let found = lm.lookup_word_into(state, word, probes);
+        stats.lm_fetches += probes.len() as u64;
+        for &(a, b) in probes.iter() {
             sink.lm_arc_fetch(a, b);
         }
-        if let Some(arc) = res.arc {
+        if let Some(arc) = found {
             sink.lm_resolved(state, word, hops);
+            if olt.is_enabled() {
+                let evicted = olt.insert(state, word, arc.nextstate, arc.weight);
+                stats.olt_installs += 1;
+                if evicted {
+                    stats.olt_evictions += 1;
+                }
+                sink.olt_install(evicted);
+            }
             sink.stage_exit(DecodeStage::LmLookup);
             return Some((arc.nextstate, cost + arc.weight));
         }
@@ -408,7 +491,9 @@ fn lm_walk<L: LmSource + ?Sized>(
         stats.backoff_hops += 1;
         cost += back.weight;
         hops += 1;
-        assert!(hops <= 8, "back-off chain too long");
+        // Chain termination validated once per model in
+        // `ensure_validated`.
+        debug_assert!(hops <= MAX_BACKOFF_HOPS, "back-off chain too long");
         // §3.3: "the Arc Issuer updates and checks the likelihood of a
         // hypothesis after traversing a back-off arc".
         if cost > thr {
@@ -421,10 +506,10 @@ fn lm_walk<L: LmSource + ?Sized>(
     }
 }
 
-/// Inserts/improves a token; returns whether the map changed.
+/// Inserts/improves a token; returns whether the store changed.
 #[allow(clippy::too_many_arguments)]
 fn relax(
-    map: &mut TokenMap<u64, Token>,
+    map: &mut TokenStore,
     k: u64,
     cost: f32,
     parent_lat: u32,
@@ -433,7 +518,7 @@ fn relax(
     lattice: &mut Lattice,
     sink: &mut dyn TraceSink,
 ) -> bool {
-    let improved = match map.get(&k) {
+    let improved = match map.get(k) {
         Some(existing) => cost < existing.cost,
         None => true,
     };
@@ -458,7 +543,7 @@ fn relax(
 /// Selects the best token whose AM state is final and backtraces it.
 pub(crate) fn finish<A: AmSource + ?Sized>(
     am: &A,
-    tokens: &TokenMap<u64, Token>,
+    tokens: &TokenStore,
     lattice: &Lattice,
     stats: DecodeStats,
     sink: &mut dyn TraceSink,
@@ -466,7 +551,7 @@ pub(crate) fn finish<A: AmSource + ?Sized>(
     sink.stage_enter(DecodeStage::Lattice);
     let mut best_cost = f32::INFINITY;
     let mut best_lat = LATTICE_ROOT;
-    for (&k, tok) in tokens.iter() {
+    for &(k, tok) in tokens.iter() {
         let (am_s, _) = split(k);
         if let Some(fw) = am.final_weight(am_s) {
             let total = tok.cost + fw;
@@ -640,6 +725,101 @@ mod tests {
         let dec = OtfDecoder::new(DecodeConfig::default());
         let res = dec.decode(&am, &lm, &utt.scores, &mut NullSink);
         assert!(res.stats.backoff_hops > 0, "no back-off exercised");
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let (lex, am, lm) = setup();
+        let utts: Vec<_> = [(vec![7u32, 3, 15, 2], 11u64), (vec![55, 58, 59, 60], 31)]
+            .into_iter()
+            .map(|(w, seed)| {
+                synthesize_utterance(
+                    &w,
+                    &lex,
+                    HmmTopology::Kaldi3State,
+                    &NoiseModel::default(),
+                    seed,
+                )
+            })
+            .collect();
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        let fresh: Vec<_> = utts
+            .iter()
+            .map(|u| dec.decode(&am, &lm, &u.scores, &mut NullSink))
+            .collect();
+        let mut scratch = DecodeScratch::new();
+        for (u, want) in utts.iter().zip(&fresh) {
+            let got = dec.decode_with(&am, &lm, &u.scores, &mut scratch, &mut NullSink);
+            assert_eq!(got.words, want.words);
+            assert_eq!(got.cost.to_bits(), want.cost.to_bits());
+            assert_eq!(got.stats, want.stats, "warm scratch must not perturb stats");
+        }
+    }
+
+    #[test]
+    fn olt_on_matches_olt_off_bit_for_bit() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(
+            &[55, 58, 33, 59, 41, 60],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            29,
+        );
+        let off =
+            OtfDecoder::new(DecodeConfig::default()).decode(&am, &lm, &utt.scores, &mut NullSink);
+        assert_eq!(off.stats.olt_probes, 0, "disabled table must not probe");
+        for entries in [64usize, 1024] {
+            let on = OtfDecoder::new(DecodeConfig {
+                olt_entries: entries,
+                ..Default::default()
+            })
+            .decode(&am, &lm, &utt.scores, &mut NullSink);
+            assert_eq!(on.words, off.words);
+            assert_eq!(on.cost.to_bits(), off.cost.to_bits());
+            // Search behavior is untouched...
+            assert_eq!(on.stats.frames, off.stats.frames);
+            assert_eq!(on.stats.tokens_created, off.stats.tokens_created);
+            assert_eq!(on.stats.lm_lookups, off.stats.lm_lookups);
+            assert_eq!(on.stats.backoff_hops, off.stats.backoff_hops);
+            // ...only the fetch statistics change.
+            assert!(on.stats.olt_probes > 0);
+            assert!(on.stats.olt_hits > 0, "a real workload must repeat lookups");
+            assert!(on.stats.olt_installs > 0);
+            assert!(
+                on.stats.lm_fetches < off.stats.lm_fetches,
+                "hits must skip binary-search probes"
+            );
+        }
+    }
+
+    #[test]
+    fn olt_events_reach_the_sink() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(
+            &[2, 4, 6, 8],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            7,
+        );
+        let dec = OtfDecoder::new(DecodeConfig {
+            olt_entries: 256,
+            ..Default::default()
+        });
+        let mut sink = CountingSink::default();
+        let res = dec.decode(&am, &lm, &utt.scores, &mut sink);
+        assert_eq!(sink.olt_probes, res.stats.olt_probes);
+        assert_eq!(sink.olt_hits, res.stats.olt_hits);
+        assert_eq!(sink.olt_installs, res.stats.olt_installs);
+        assert_eq!(sink.olt_evictions, res.stats.olt_evictions);
+        // Every lookup step ends exactly one way: a table hit, a
+        // resolution (which installs), or a back-off hop (no install).
+        assert_eq!(
+            res.stats.olt_probes,
+            res.stats.olt_hits + res.stats.olt_installs + res.stats.backoff_hops
+        );
+        assert!(res.stats.olt_hit_ratio() > 0.0);
     }
 }
 

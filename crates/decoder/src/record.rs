@@ -40,6 +40,10 @@ pub enum TraceEvent {
     TokenStore(u64, u32),
     /// Hypothesis abandoned mid-back-off.
     PreemptivePrune,
+    /// Software-OLT probe for `(state, word)` and whether it hit.
+    OltProbe(StateId, Label, bool),
+    /// Software-OLT install and whether it evicted a live entry.
+    OltInstall(bool),
 }
 
 /// Records every sink call for later replay.
@@ -86,6 +90,8 @@ impl TraceRecorder {
                 TraceEvent::HashInsert(k) => sink.hash_insert(k),
                 TraceEvent::TokenStore(addr, b) => sink.token_store(addr, b),
                 TraceEvent::PreemptivePrune => sink.preemptive_prune(),
+                TraceEvent::OltProbe(s, w, hit) => sink.olt_probe(s, w, hit),
+                TraceEvent::OltInstall(evicted) => sink.olt_install(evicted),
             }
         }
     }
@@ -132,6 +138,12 @@ impl TraceSink for TraceRecorder {
     }
     fn preemptive_prune(&mut self) {
         self.events.push(TraceEvent::PreemptivePrune);
+    }
+    fn olt_probe(&mut self, lm_state: StateId, word: Label, hit: bool) {
+        self.events.push(TraceEvent::OltProbe(lm_state, word, hit));
+    }
+    fn olt_install(&mut self, evicted: bool) {
+        self.events.push(TraceEvent::OltInstall(evicted));
     }
 }
 

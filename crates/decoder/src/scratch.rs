@@ -1,0 +1,195 @@
+//! Reusable decode working memory.
+//!
+//! The frame loop's data structures — the double-buffered token
+//! populations, the epsilon-closure worklist, the LM probe buffer, the
+//! pruning histogram staging area, the software OLT, and the word
+//! lattice — all live in one [`DecodeScratch`] that is cleared (not
+//! reallocated) between frames and utterances. After the first few
+//! frames warm the buffers, steady-state decoding performs no heap
+//! allocation.
+//!
+//! Reuse is only legal because every structure here iterates in a
+//! capacity-independent order (see [`crate::search::TokenStore`]):
+//! decode output stays bit-identical whether the scratch is fresh or
+//! warm, which the batch decoder relies on to give identical results
+//! for any worker count.
+
+use unfold_wfst::EPSILON;
+
+use crate::config::DecodeConfig;
+use crate::lattice::Lattice;
+use crate::olt::SoftOlt;
+use crate::search::TokenStore;
+use crate::sources::{AmSource, Fetch, LmSource, MAX_BACKOFF_HOPS};
+
+/// Per-decoder (or per-worker) reusable working memory. Create once,
+/// pass to [`crate::OtfDecoder::decode_with`] for every utterance.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    /// Token population entering the current frame.
+    pub(crate) cur: TokenStore,
+    /// Population being built for the next frame (swapped with `cur`).
+    pub(crate) next: TokenStore,
+    /// Epsilon-closure worklist.
+    pub(crate) worklist: Vec<u64>,
+    /// Per-state epsilon-arc staging buffer.
+    pub(crate) eps_local: Vec<(unfold_wfst::StateId, f32, unfold_wfst::Label)>,
+    /// LM binary-search probe buffer.
+    pub(crate) probes: Vec<Fetch>,
+    /// Histogram-pruning cost staging buffer.
+    pub(crate) prune_costs: Vec<f32>,
+    /// Software Offset Lookup Table (empty when disabled).
+    pub(crate) olt: SoftOlt,
+    /// Word lattice of the utterance in progress.
+    pub(crate) lattice: Lattice,
+    /// `olt_entries` the table was built for (rebuild detection).
+    olt_built_for: usize,
+    /// `(am, lm, num_pdfs)` identity of the last validated model pair.
+    validated: Option<(usize, usize, usize)>,
+}
+
+impl DecodeScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares for a new utterance: clears the token populations and
+    /// lattice, and resets (or rebuilds, if `config.olt_entries`
+    /// changed) the software OLT. Model-validation state is kept — it
+    /// is per model pair, not per utterance.
+    pub fn begin(&mut self, config: &DecodeConfig) {
+        self.cur.clear();
+        self.next.clear();
+        self.worklist.clear();
+        self.eps_local.clear();
+        self.probes.clear();
+        self.lattice.clear();
+        if self.olt_built_for != config.olt_entries {
+            self.olt = SoftOlt::new(config.olt_entries);
+            self.olt_built_for = config.olt_entries;
+        } else {
+            self.olt.reset();
+        }
+    }
+
+    /// Validates `(am, lm)` once per scratch (keyed by address
+    /// identity and score-row width): the checks the hot path demotes
+    /// to `debug_assert!` run here instead, in one O(model) sweep.
+    pub(crate) fn ensure_validated<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+        &mut self,
+        am: &A,
+        lm: &L,
+        num_pdfs: usize,
+    ) {
+        let key = (
+            (am as *const A).cast::<u8>() as usize,
+            (lm as *const L).cast::<u8>() as usize,
+            num_pdfs,
+        );
+        if self.validated == Some(key) {
+            return;
+        }
+        validate_models(am, lm, num_pdfs);
+        self.validated = Some(key);
+    }
+}
+
+/// One-time model sweep backing the hot path's `debug_assert!`s: every
+/// emitting AM arc's PDF id must fit the score row, and every LM
+/// state's back-off chain must terminate within [`MAX_BACKOFF_HOPS`].
+///
+/// # Panics
+/// Panics with a diagnostic on the first violation.
+pub fn validate_models<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+    am: &A,
+    lm: &L,
+    num_pdfs: usize,
+) {
+    for s in 0..am.num_states() as unfold_wfst::StateId {
+        am.for_each_arc(s, &mut |v| {
+            assert!(
+                v.arc.ilabel == EPSILON || (v.arc.ilabel as usize) <= num_pdfs,
+                "AM state {s}: pdf {} beyond the {num_pdfs}-wide score row",
+                v.arc.ilabel,
+            );
+        });
+    }
+    for s in 0..lm.num_states() as unfold_wfst::StateId {
+        let mut state = s;
+        let mut hops = 0u32;
+        while let Some((back, _)) = lm.backoff(state) {
+            hops += 1;
+            assert!(
+                hops <= MAX_BACKOFF_HOPS,
+                "LM state {s}: back-off chain exceeds {MAX_BACKOFF_HOPS} hops"
+            );
+            state = back.nextstate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unfold_am::{build_am, HmmTopology, Lexicon};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+
+    fn models() -> (unfold_wfst::Wfst, unfold_wfst::Wfst) {
+        let lex = Lexicon::generate(40, 18, 3);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec {
+            vocab_size: 40,
+            num_sentences: 200,
+            ..Default::default()
+        };
+        let model = NGramModel::train(&spec.generate(9), 40, DiscountConfig::default());
+        (am.fst, lm_to_wfst(&model))
+    }
+
+    #[test]
+    fn well_formed_models_validate() {
+        let (am, lm) = models();
+        let pdfs = (0..am.num_states() as u32)
+            .flat_map(|s| am.arcs(s).iter().map(|a| a.ilabel))
+            .max()
+            .unwrap() as usize;
+        validate_models(&am, &lm, pdfs);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the")]
+    fn narrow_score_row_is_rejected() {
+        let (am, lm) = models();
+        validate_models(&am, &lm, 1);
+    }
+
+    #[test]
+    fn validation_runs_once_per_model_pair() {
+        let (am, lm) = models();
+        let pdfs = 1_000;
+        let mut scratch = DecodeScratch::new();
+        scratch.ensure_validated(&am, &lm, pdfs);
+        let key = scratch.validated;
+        assert!(key.is_some());
+        scratch.begin(&DecodeConfig::default());
+        assert_eq!(scratch.validated, key, "begin() must not drop validation");
+        scratch.ensure_validated(&am, &lm, pdfs);
+        assert_eq!(scratch.validated, key);
+    }
+
+    #[test]
+    fn begin_rebuilds_olt_on_capacity_change() {
+        let mut scratch = DecodeScratch::new();
+        scratch.begin(&DecodeConfig {
+            olt_entries: 64,
+            ..Default::default()
+        });
+        assert_eq!(scratch.olt.num_entries(), 64);
+        scratch.begin(&DecodeConfig {
+            olt_entries: 0,
+            ..Default::default()
+        });
+        assert!(!scratch.olt.is_enabled());
+    }
+}

@@ -79,6 +79,157 @@ where
     thr
 }
 
+/// [`prune_threshold`] over a [`TokenStore`], staging the cost copy in
+/// a caller-owned buffer so the per-frame histogram selection performs
+/// no allocation in steady state.
+pub fn prune_threshold_store(
+    tokens: &TokenStore,
+    beam: f32,
+    max_active: usize,
+    costs: &mut Vec<f32>,
+) -> f32 {
+    if tokens.is_empty() {
+        return f32::INFINITY;
+    }
+    let best = tokens
+        .values()
+        .map(|t| t.cost)
+        .fold(f32::INFINITY, f32::min);
+    let mut thr = best + beam;
+    if tokens.len() > max_active {
+        costs.clear();
+        costs.extend(tokens.values().map(|t| t.cost));
+        let (_, nth, _) =
+            costs.select_nth_unstable_by(max_active - 1, |a, b| a.partial_cmp(b).unwrap());
+        thr = thr.min(*nth);
+    }
+    thr
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+#[inline]
+fn splitmix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The live token population of one frame: a dense entry array plus an
+/// open-addressing index over it.
+///
+/// The dense array makes iteration order *insertion order* — a property
+/// `HashMap` lacks: its iteration order depends on table capacity, so a
+/// map reused across frames (larger capacity than a fresh one) would
+/// visit tokens differently and perturb traces, stats, and ultimately
+/// pruning decisions. Insertion order is capacity-independent, which is
+/// what lets [`crate::DecodeScratch`] be reused across frames,
+/// utterances, and worker threads while keeping decode output
+/// bit-identical to a from-scratch run.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStore {
+    entries: Vec<(u64, Token)>,
+    /// Power-of-two slot array holding indices into `entries`
+    /// ([`EMPTY_SLOT`] marks a free slot).
+    index: Vec<u32>,
+}
+
+impl TokenStore {
+    /// Number of live tokens.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every token but keeps both allocations.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.fill(EMPTY_SLOT);
+    }
+
+    /// `(key, token)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, Token)> {
+        self.entries.iter()
+    }
+
+    /// Tokens in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Token> {
+        self.entries.iter().map(|(_, t)| t)
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|(k, _)| *k)
+    }
+
+    /// The token stored under `key`, if any.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<Token> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let mut slot = splitmix64(key) as usize & mask;
+        loop {
+            match self.index[slot] {
+                EMPTY_SLOT => return None,
+                e => {
+                    let (k, t) = self.entries[e as usize];
+                    if k == key {
+                        return Some(t);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Inserts or overwrites `key`. An overwrite keeps the entry's
+    /// original insertion position.
+    pub fn insert(&mut self, key: u64, tok: Token) {
+        if self.entries.len() * 2 >= self.index.len() {
+            self.grow();
+        }
+        let mask = self.index.len() - 1;
+        let mut slot = splitmix64(key) as usize & mask;
+        loop {
+            match self.index[slot] {
+                EMPTY_SLOT => {
+                    self.index[slot] = self.entries.len() as u32;
+                    self.entries.push((key, tok));
+                    return;
+                }
+                e => {
+                    if self.entries[e as usize].0 == key {
+                        self.entries[e as usize].1 = tok;
+                        return;
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.index.len() * 2).max(64);
+        self.index.clear();
+        self.index.resize(cap, EMPTY_SLOT);
+        let mask = cap - 1;
+        for (i, &(k, _)) in self.entries.iter().enumerate() {
+            let mut slot = splitmix64(k) as usize & mask;
+            while self.index[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+            self.index[slot] = i as u32;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

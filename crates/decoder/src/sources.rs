@@ -49,10 +49,17 @@ pub struct ArcVisit {
 /// A memory fetch: `(byte address, bytes)`.
 pub type Fetch = (u64, u32);
 
+/// Longest back-off chain a well-formed LM may have; enforced once per
+/// model by [`crate::scratch::validate_models`] and assumed (via
+/// `debug_assert!`) by the decoder's hot path.
+pub const MAX_BACKOFF_HOPS: u32 = 8;
+
 /// The AM side of decoding: sequential arc exploration.
 pub trait AmSource {
     /// Start state.
     fn start(&self) -> StateId;
+    /// Number of states (model-validation sweeps).
+    fn num_states(&self) -> usize;
     /// Final weight of `s`.
     fn final_weight(&self, s: StateId) -> Option<f32>;
     /// Address of the state record of `s`.
@@ -74,13 +81,26 @@ pub struct LmLookupResult {
 pub trait LmSource {
     /// Start (root) state.
     fn start(&self) -> StateId;
+    /// Number of states (model-validation sweeps).
+    fn num_states(&self) -> usize;
     /// Address of the state record of `s`.
     fn state_addr(&self, s: StateId) -> u64;
     /// Searches `s` for an arc labelled `word` (binary search over the
-    /// sorted word arcs; O(1) at the root of a layout-conforming LM).
-    fn lookup_word(&self, s: StateId, word: Label) -> LmLookupResult;
+    /// sorted word arcs; O(1) at the root of a layout-conforming LM),
+    /// appending each arc fetch (binary-search probe) to `probes`. The
+    /// caller-owned buffer is what keeps the decoder's steady-state
+    /// frame loop allocation-free.
+    fn lookup_word_into(&self, s: StateId, word: Label, probes: &mut Vec<Fetch>) -> Option<Arc>;
     /// The back-off arc of `s` and its fetch, if the state has one.
     fn backoff(&self, s: StateId) -> Option<(Arc, Fetch)>;
+
+    /// Allocating convenience wrapper over
+    /// [`LmSource::lookup_word_into`].
+    fn lookup_word(&self, s: StateId, word: Label) -> LmLookupResult {
+        let mut probes = Vec::new();
+        let arc = self.lookup_word_into(s, word, &mut probes);
+        LmLookupResult { arc, probes }
+    }
 
     /// Full back-off resolution (reference semantics; the decoder runs
     /// its own walk so it can prune preemptively). Returns
@@ -90,10 +110,12 @@ pub trait LmSource {
         let mut cost = 0.0f32;
         let mut hops = 0u32;
         let mut fetches = 0u64;
+        let mut probes = Vec::new();
         loop {
-            let res = self.lookup_word(state, word);
-            fetches += res.probes.len() as u64;
-            if let Some(arc) = res.arc {
+            probes.clear();
+            let arc = self.lookup_word_into(state, word, &mut probes);
+            fetches += probes.len() as u64;
+            if let Some(arc) = arc {
                 return Some(LmResolution {
                     dest: arc.nextstate,
                     cost: cost + arc.weight,
@@ -106,7 +128,7 @@ pub trait LmSource {
             cost += back.weight;
             state = back.nextstate;
             hops += 1;
-            if hops > 8 {
+            if hops > MAX_BACKOFF_HOPS {
                 return None;
             }
         }
@@ -131,6 +153,10 @@ pub struct LmResolution {
 impl AmSource for Wfst {
     fn start(&self) -> StateId {
         Wfst::start(self)
+    }
+
+    fn num_states(&self) -> usize {
+        Wfst::num_states(self)
     }
 
     fn final_weight(&self, s: StateId) -> Option<f32> {
@@ -158,11 +184,15 @@ impl LmSource for Wfst {
         Wfst::start(self)
     }
 
+    fn num_states(&self) -> usize {
+        Wfst::num_states(self)
+    }
+
     fn state_addr(&self, s: StateId) -> u64 {
         addr::LM_STATE_BASE + u64::from(s) * addr::STATE_RECORD_BYTES
     }
 
-    fn lookup_word(&self, s: StateId, word: Label) -> LmLookupResult {
+    fn lookup_word_into(&self, s: StateId, word: Label, probes: &mut Vec<Fetch>) -> Option<Arc> {
         debug_assert_ne!(word, EPSILON);
         let arcs = self.arcs(s);
         let mut hi = arcs.len();
@@ -170,7 +200,6 @@ impl LmSource for Wfst {
             hi -= 1;
         }
         let mut lo = 0usize;
-        let mut probes = Vec::new();
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             probes.push((
@@ -178,17 +207,12 @@ impl LmSource for Wfst {
                 16u32,
             ));
             match arcs[mid].ilabel.cmp(&word) {
-                std::cmp::Ordering::Equal => {
-                    return LmLookupResult {
-                        arc: Some(arcs[mid]),
-                        probes,
-                    }
-                }
+                std::cmp::Ordering::Equal => return Some(arcs[mid]),
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
             }
         }
-        LmLookupResult { arc: None, probes }
+        None
     }
 
     fn backoff(&self, s: StateId) -> Option<(Arc, Fetch)> {
@@ -214,13 +238,16 @@ impl LmSource for LinearLm<'_> {
         Wfst::start(self.0)
     }
 
+    fn num_states(&self) -> usize {
+        Wfst::num_states(self.0)
+    }
+
     fn state_addr(&self, s: StateId) -> u64 {
         addr::LM_STATE_BASE + u64::from(s) * addr::STATE_RECORD_BYTES
     }
 
-    fn lookup_word(&self, s: StateId, word: Label) -> LmLookupResult {
+    fn lookup_word_into(&self, s: StateId, word: Label, probes: &mut Vec<Fetch>) -> Option<Arc> {
         let arcs = self.0.arcs(s);
-        let mut probes = Vec::new();
         for (i, a) in arcs.iter().enumerate() {
             if a.ilabel == EPSILON {
                 break; // trailing back-off arcs end the word region
@@ -230,13 +257,10 @@ impl LmSource for LinearLm<'_> {
                 16u32,
             ));
             if a.ilabel == word {
-                return LmLookupResult {
-                    arc: Some(*a),
-                    probes,
-                };
+                return Some(*a);
             }
         }
-        LmLookupResult { arc: None, probes }
+        None
     }
 
     fn backoff(&self, s: StateId) -> Option<(Arc, Fetch)> {
@@ -249,6 +273,10 @@ impl LmSource for LinearLm<'_> {
 impl AmSource for CompressedAm {
     fn start(&self) -> StateId {
         CompressedAm::start(self)
+    }
+
+    fn num_states(&self) -> usize {
+        CompressedAm::num_states(self)
     }
 
     fn final_weight(&self, s: StateId) -> Option<f32> {
@@ -275,29 +303,27 @@ impl LmSource for CompressedLm {
         0
     }
 
+    fn num_states(&self) -> usize {
+        CompressedLm::num_states(self)
+    }
+
     fn state_addr(&self, s: StateId) -> u64 {
         addr::LM_STATE_BASE + u64::from(s) * addr::STATE_RECORD_BYTES
     }
 
-    fn lookup_word(&self, s: StateId, word: Label) -> LmLookupResult {
+    fn lookup_word_into(&self, s: StateId, word: Label, probes: &mut Vec<Fetch>) -> Option<Arc> {
         let n = self.num_word_arcs(s);
         if s == 0 {
             // Root: positional access, a single 6-bit fetch.
             if word >= 1 && word <= n {
                 let off = self.word_arc_bit_offset(0, word - 1);
-                return LmLookupResult {
-                    arc: Some(self.word_arc(0, word - 1)),
-                    probes: vec![(addr::LM_ARC_BASE + off / 8, 1)],
-                };
+                probes.push((addr::LM_ARC_BASE + off / 8, 1));
+                return Some(self.word_arc(0, word - 1));
             }
-            return LmLookupResult {
-                arc: None,
-                probes: Vec::new(),
-            };
+            return None;
         }
         let mut lo = 0u32;
         let mut hi = n;
-        let mut probes = Vec::new();
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             // 45-bit arc: may straddle up to 7 bytes; 6 is the common case.
@@ -307,17 +333,12 @@ impl LmSource for CompressedLm {
             ));
             let a = self.word_arc(s, mid);
             match a.ilabel.cmp(&word) {
-                std::cmp::Ordering::Equal => {
-                    return LmLookupResult {
-                        arc: Some(a),
-                        probes,
-                    }
-                }
+                std::cmp::Ordering::Equal => return Some(a),
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
             }
         }
-        LmLookupResult { arc: None, probes }
+        None
     }
 
     fn backoff(&self, s: StateId) -> Option<(Arc, Fetch)> {

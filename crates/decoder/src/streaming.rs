@@ -11,21 +11,22 @@
 //! loses no accuracy, exactly as the paper asserts.
 
 use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
-use crate::lattice::{Lattice, LATTICE_ROOT};
+use crate::lattice::LATTICE_ROOT;
 use crate::otf;
-use crate::search::{Token, TokenMap};
+use crate::scratch::DecodeScratch;
+use crate::search::Token;
 use crate::sources::{AmSource, LmSource};
 use crate::trace::TraceSink;
 
 /// An in-progress on-the-fly decode. Create with [`OtfStream::new`],
 /// feed frames with [`OtfStream::push_frame`], finish with
-/// [`OtfStream::finish`].
+/// [`OtfStream::finish`]. The stream owns a [`DecodeScratch`], so
+/// steady-state frame pushes allocate nothing.
 pub struct OtfStream<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> {
     am: &'a A,
     lm: &'a L,
     config: DecodeConfig,
-    tokens: TokenMap<u64, Token>,
-    lattice: Lattice,
+    scratch: DecodeScratch,
     stats: DecodeStats,
     frame: usize,
 }
@@ -38,12 +39,12 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
             am,
             lm,
             config,
-            tokens: TokenMap::default(),
-            lattice: Lattice::new(),
+            scratch: DecodeScratch::new(),
             stats: DecodeStats::default(),
             frame: 0,
         };
-        stream.tokens.insert(
+        stream.scratch.begin(&stream.config);
+        stream.scratch.cur.insert(
             otf::token_key(am.start(), lm.start()),
             Token {
                 cost: 0.0,
@@ -54,8 +55,12 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
             &stream.config,
             am,
             lm,
-            &mut stream.tokens,
-            &mut stream.lattice,
+            &mut stream.scratch.cur,
+            &mut stream.scratch.worklist,
+            &mut stream.scratch.eps_local,
+            &mut stream.scratch.probes,
+            &mut stream.scratch.olt,
+            &mut stream.scratch.lattice,
             0,
             f32::INFINITY,
             sink,
@@ -71,7 +76,7 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
 
     /// Live hypotheses right now.
     pub fn num_active(&self) -> usize {
-        self.tokens.len()
+        self.scratch.cur.len()
     }
 
     /// Consumes one frame of acoustic costs (`costs[pdf - 1]`).
@@ -79,18 +84,16 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
     /// # Panics
     /// Panics if an AM arc's PDF id exceeds `costs.len()`.
     pub fn push_frame(&mut self, costs: &[f32], sink: &mut dyn TraceSink) {
-        let next = otf::expand_frame(
+        otf::expand_frame(
             &self.config,
             self.am,
             self.lm,
-            &self.tokens,
+            &mut self.scratch,
             costs,
             self.frame,
-            &mut self.lattice,
             sink,
             &mut self.stats,
         );
-        self.tokens = next;
         self.frame += 1;
     }
 
@@ -99,12 +102,12 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
     /// an empty sequence when nothing is final yet.
     pub fn partial_result(&self) -> Vec<unfold_lm::WordId> {
         let mut best: Option<(f32, u32)> = None;
-        for tok in self.tokens.values() {
+        for tok in self.scratch.cur.values() {
             if best.is_none_or(|(c, _)| tok.cost < c) {
                 best = Some((tok.cost, tok.lat));
             }
         }
-        best.map_or_else(Vec::new, |(_, lat)| self.lattice.backtrace(lat))
+        best.map_or_else(Vec::new, |(_, lat)| self.scratch.lattice.backtrace(lat))
     }
 
     /// Finishes the decode and returns the result.
@@ -116,7 +119,13 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
     /// to `sink` (use the same sink the frames were pushed through to
     /// get a complete stage profile).
     pub fn finish_with(self, sink: &mut dyn TraceSink) -> DecodeResult {
-        otf::finish(self.am, &self.tokens, &self.lattice, self.stats, sink)
+        otf::finish(
+            self.am,
+            &self.scratch.cur,
+            &self.scratch.lattice,
+            self.stats,
+            sink,
+        )
     }
 }
 

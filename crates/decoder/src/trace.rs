@@ -100,6 +100,14 @@ pub trait TraceSink {
     fn token_store(&mut self, _addr: u64, _bytes: u32) {}
     /// A hypothesis was abandoned mid-back-off by preemptive pruning.
     fn preemptive_prune(&mut self) {}
+    /// The decoder's *software* OLT was probed for `(lm_state, word)`.
+    /// On a hit the binary-search probes for this lookup step are
+    /// skipped (no [`TraceSink::lm_arc_fetch`] events follow). Only
+    /// emitted while `DecodeConfig::olt_entries > 0`.
+    fn olt_probe(&mut self, _lm_state: StateId, _word: Label, _hit: bool) {}
+    /// A resolved lookup was installed into the software OLT; `evicted`
+    /// says whether a live entry was displaced.
+    fn olt_install(&mut self, _evicted: bool) {}
 }
 
 /// Sink that drops everything (pure functional decoding).
@@ -140,6 +148,14 @@ pub struct CountingSink {
     pub token_bytes: u64,
     /// Preemptively pruned hypotheses.
     pub preemptive_prunes: u64,
+    /// Software-OLT probes.
+    pub olt_probes: u64,
+    /// Software-OLT hits.
+    pub olt_hits: u64,
+    /// Software-OLT installs.
+    pub olt_installs: u64,
+    /// Software-OLT installs that displaced a live entry.
+    pub olt_evictions: u64,
 }
 
 impl TraceSink for CountingSink {
@@ -178,6 +194,18 @@ impl TraceSink for CountingSink {
     }
     fn preemptive_prune(&mut self) {
         self.preemptive_prunes += 1;
+    }
+    fn olt_probe(&mut self, _lm_state: StateId, _word: Label, hit: bool) {
+        self.olt_probes += 1;
+        if hit {
+            self.olt_hits += 1;
+        }
+    }
+    fn olt_install(&mut self, evicted: bool) {
+        self.olt_installs += 1;
+        if evicted {
+            self.olt_evictions += 1;
+        }
     }
 }
 

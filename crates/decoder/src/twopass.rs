@@ -16,7 +16,7 @@ use unfold_wfst::{Arc, Label, StateId};
 
 use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
 use crate::otf::OtfDecoder;
-use crate::sources::{addr, AmSource, Fetch, LmLookupResult, LmSource};
+use crate::sources::{addr, AmSource, Fetch, LmSource};
 use crate::trace::TraceSink;
 
 /// A unigram LM whose states mirror the last recognized word: costs are
@@ -63,20 +63,19 @@ impl LmSource for UnigramLm {
         addr::LM_STATE_BASE
     }
 
-    fn lookup_word(&self, _s: StateId, word: Label) -> LmLookupResult {
+    fn num_states(&self) -> usize {
+        // State 0 (start) plus one state per vocabulary word.
+        self.costs.len() + 1
+    }
+
+    fn lookup_word_into(&self, _s: StateId, word: Label, probes: &mut Vec<Fetch>) -> Option<Arc> {
         if word >= 1 && (word as usize) <= self.costs.len() {
-            let arc = Arc::new(word, word, self.cost(word), word);
             // Positional access, like the compressed LM root.
             let off = u64::from(word - 1);
-            LmLookupResult {
-                arc: Some(arc),
-                probes: vec![(addr::LM_ARC_BASE + off, 1)],
-            }
+            probes.push((addr::LM_ARC_BASE + off, 1));
+            Some(Arc::new(word, word, self.cost(word), word))
         } else {
-            LmLookupResult {
-                arc: None,
-                probes: Vec::new(),
-            }
+            None
         }
     }
 

@@ -51,6 +51,10 @@ pub struct FrameTelemetry {
     pub backoff_hops: u64,
     /// Hypotheses discarded preemptively (paper §3.3) this frame.
     pub preemptive_prunes: u64,
+    /// Software-OLT probes this frame (0 when the table is off).
+    pub olt_probes: u64,
+    /// Software-OLT hits this frame.
+    pub olt_hits: u64,
     /// Wall time spent decoding the frame, in nanoseconds.
     pub wall_ns: u64,
     /// Simulator cache rates, when a simulator ran alongside.
@@ -145,12 +149,20 @@ impl FrameRing {
         let lm: u64 = self.frames.iter().map(|f| f.lm_lookups).sum();
         let hops: u64 = self.frames.iter().map(|f| f.backoff_hops).sum();
         let prunes: u64 = self.frames.iter().map(|f| f.preemptive_prunes).sum();
+        let olt_probes: u64 = self.frames.iter().map(|f| f.olt_probes).sum();
+        let olt_hits: u64 = self.frames.iter().map(|f| f.olt_hits).sum();
         out.push_str("| aggregate | value |\n|---|---:|\n");
         out.push_str(&format!("| mean active tokens | {mean_active:.1} |\n"));
         out.push_str(&format!("| max active tokens | {max_active} |\n"));
         out.push_str(&format!("| LM lookups | {lm} |\n"));
         out.push_str(&format!("| back-off hops | {hops} |\n"));
         out.push_str(&format!("| preemptive prunes | {prunes} |\n"));
+        if olt_probes > 0 {
+            out.push_str(&format!(
+                "| software-OLT hit rate | {:.3} |\n",
+                olt_hits as f64 / olt_probes as f64
+            ));
+        }
         out
     }
 }
@@ -167,6 +179,8 @@ pub(crate) fn sample_frame(seq: u64) -> FrameTelemetry {
         lm_lookups: 4,
         backoff_hops: 2,
         preemptive_prunes: 1,
+        olt_probes: 3,
+        olt_hits: 2,
         wall_ns: 1000,
         cache: None,
     }

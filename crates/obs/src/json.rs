@@ -120,6 +120,8 @@ impl ObsRecord {
                 w.uint("lm_lookups", f.lm_lookups);
                 w.uint("backoff_hops", f.backoff_hops);
                 w.uint("preemptive_prunes", f.preemptive_prunes);
+                w.uint("olt_probes", f.olt_probes);
+                w.uint("olt_hits", f.olt_hits);
                 w.uint("wall_ns", f.wall_ns);
                 if let Some(c) = f.cache {
                     w.float("cache_state", c.state);
@@ -186,6 +188,10 @@ impl ObsRecord {
                     lm_lookups: get_u64(obj, "lm_lookups")?,
                     backoff_hops: get_u64(obj, "backoff_hops")?,
                     preemptive_prunes: get_u64(obj, "preemptive_prunes")?,
+                    // Absent in JSONL written before the software OLT
+                    // existed; default to 0 so old logs still parse.
+                    olt_probes: get_u64_or(obj, "olt_probes", 0)?,
+                    olt_hits: get_u64_or(obj, "olt_hits", 0)?,
                     wall_ns: get_u64(obj, "wall_ns")?,
                     cache,
                 }))
@@ -231,6 +237,14 @@ fn get_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
         return Err(format!("field {key:?} is not a non-negative integer: {v}"));
     }
     Ok(v as u64)
+}
+
+fn get_u64_or(obj: &BTreeMap<String, Value>, key: &str, default: u64) -> Result<u64, String> {
+    if obj.contains_key(key) {
+        get_u64(obj, key)
+    } else {
+        Ok(default)
+    }
 }
 
 // ---------------------------------------------------------------------

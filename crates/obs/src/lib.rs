@@ -8,7 +8,8 @@
 //!   time to decoder phases (acoustic scoring, arc expansion, LM
 //!   lookup, pruning, lattice);
 //! * [`frame`] — a bounded per-frame telemetry ring (active tokens,
-//!   cost spread, LM traffic, cache hit rates).
+//!   cost spread, LM traffic, cache hit rates);
+//! * [`pool`] — worker-pool occupancy for utterance-parallel batches.
 //!
 //! Everything exports through [`json`] as JSONL (one record per frame
 //! or span) and renders to a markdown summary via
@@ -18,11 +19,13 @@
 
 pub mod frame;
 pub mod json;
+pub mod pool;
 pub mod registry;
 pub mod stage;
 
 pub use frame::{CacheRates, FrameRing, FrameTelemetry};
 pub use json::ObsRecord;
+pub use pool::PoolTelemetry;
 pub use registry::{Histogram, MetricsRegistry, Summary};
 pub use stage::{ns_per_raw_tick, raw_ticks, ticks_to_ns, StageId, StageReport, StageTimer};
 

@@ -1,0 +1,110 @@
+//! Worker-pool telemetry for utterance-parallel batch decoding.
+//!
+//! The batch decoder (`unfold::batch`) hands out utterances to a fixed
+//! set of workers through an atomic work index. [`PoolTelemetry`]
+//! records how that work distributed: items per worker, per-worker busy
+//! time, and the batch wall time, from which occupancy (how much of the
+//! pool's capacity was actually used) falls out. Like the rest of this
+//! crate it only *observes* — the pool produces bit-identical output
+//! for any worker count, so these numbers never feed back into decoding.
+
+/// How a batch of work spread across a worker pool.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PoolTelemetry {
+    /// Workers spawned (1 for the serial path).
+    pub workers: usize,
+    /// Items (utterances) processed.
+    pub items: usize,
+    /// Items each worker claimed from the shared queue.
+    pub per_worker_items: Vec<usize>,
+    /// Wall time each worker spent alive, in nanoseconds.
+    pub per_worker_busy_ns: Vec<u64>,
+    /// Batch wall time (queue open → last worker joined), nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl PoolTelemetry {
+    /// Fraction of the pool's capacity that was busy:
+    /// `sum(busy) / (workers × wall)`. 1.0 means every worker worked
+    /// the whole batch; low values mean the queue starved (few items,
+    /// or one straggler utterance). 0.0 when nothing ran.
+    pub fn occupancy(&self) -> f64 {
+        if self.workers == 0 || self.wall_ns == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.per_worker_busy_ns.iter().sum();
+        busy as f64 / (self.workers as f64 * self.wall_ns as f64)
+    }
+
+    /// Largest items-per-worker imbalance: `max - min` over workers.
+    /// 0 means the queue dealt perfectly evenly.
+    pub fn imbalance(&self) -> usize {
+        let max = self.per_worker_items.iter().copied().max().unwrap_or(0);
+        let min = self.per_worker_items.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+
+    /// Renders the pool summary as a markdown table.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| pool | value |\n|---|---:|\n");
+        out.push_str(&format!("| workers | {} |\n", self.workers));
+        out.push_str(&format!("| items | {} |\n", self.items));
+        out.push_str(&format!("| occupancy | {:.3} |\n", self.occupancy()));
+        out.push_str(&format!("| imbalance | {} |\n", self.imbalance()));
+        out.push_str(&format!("| wall ms | {:.3} |\n", self.wall_ns as f64 / 1e6));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_of_fully_busy_pool_is_one() {
+        let t = PoolTelemetry {
+            workers: 2,
+            items: 8,
+            per_worker_items: vec![4, 4],
+            per_worker_busy_ns: vec![1_000, 1_000],
+            wall_ns: 1_000,
+        };
+        assert!((t.occupancy() - 1.0).abs() < 1e-9);
+        assert_eq!(t.imbalance(), 0);
+    }
+
+    #[test]
+    fn starved_pool_reports_low_occupancy() {
+        let t = PoolTelemetry {
+            workers: 4,
+            items: 1,
+            per_worker_items: vec![1, 0, 0, 0],
+            per_worker_busy_ns: vec![1_000, 10, 10, 10],
+            wall_ns: 1_000,
+        };
+        assert!(t.occupancy() < 0.3);
+        assert_eq!(t.imbalance(), 1);
+    }
+
+    #[test]
+    fn empty_pool_is_zero_not_nan() {
+        let t = PoolTelemetry::default();
+        assert_eq!(t.occupancy(), 0.0);
+        assert_eq!(t.imbalance(), 0);
+    }
+
+    #[test]
+    fn markdown_has_rows() {
+        let t = PoolTelemetry {
+            workers: 2,
+            items: 3,
+            per_worker_items: vec![2, 1],
+            per_worker_busy_ns: vec![500, 400],
+            wall_ns: 600,
+        };
+        let md = t.markdown();
+        assert!(md.contains("| workers | 2 |"));
+        assert!(md.contains("| occupancy |"));
+    }
+}

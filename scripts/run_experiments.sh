@@ -26,4 +26,8 @@ for b in "${BINS[@]}"; do
   fi
   UNFOLD_UTTS="$UTTS" "target/release/$b" "${EXTRA[@]}" | tee "$OUT/$b.md"
 done
+# Machine-readable decode-throughput report (frames/sec, RTF, OLT hit
+# rate, worker-pool scaling) — lands at the repo root as BENCH_decode.json.
+echo "== decode_throughput"
+cargo bench -p unfold-bench --bench decode_throughput
 echo "results written to $OUT/"

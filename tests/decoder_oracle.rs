@@ -83,6 +83,7 @@ fn beam_decoders_match_exact_shortest_path() {
             beam: 1e9,
             max_active: usize::MAX,
             preemptive_pruning: false,
+            ..Default::default()
         };
         let full = FullyComposedDecoder::new(cfg).decode(&composed, &utt.scores, &mut NullSink);
         let otf = OtfDecoder::new(cfg).decode(&am, &lm, &utt.scores, &mut NullSink);

@@ -1,0 +1,109 @@
+//! Decode-invariance properties for the two perf paths this repo
+//! treats as pure optimizations: the utterance-parallel worker pool
+//! and the software Offset Lookup Table. Neither may change a single
+//! bit of decode output — traces feed the cycle-accurate simulator, so
+//! "almost the same" is a correctness bug, not a tolerance question.
+
+use proptest::prelude::*;
+use unfold::decode_batch;
+use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel, Utterance};
+use unfold_decoder::{DecodeConfig, DecodeScratch, NullSink, OtfDecoder};
+use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+
+fn mini_task(seed: u64, vocab: usize) -> (unfold_am::AmGraph, unfold_wfst::Wfst, Lexicon) {
+    let lex = Lexicon::generate(vocab, 12, seed);
+    let am = build_am(&lex, HmmTopology::Kaldi3State);
+    let spec = CorpusSpec {
+        vocab_size: vocab,
+        num_sentences: 120,
+        ..Default::default()
+    };
+    let model = NGramModel::train(&spec.generate(seed ^ 1), vocab, DiscountConfig::default());
+    (am, lm_to_wfst(&model), lex)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For random miniature tasks, decoding a batch with 2 or 4
+    /// workers produces byte-identical transcripts, costs, and stats
+    /// to the serial run.
+    #[test]
+    fn any_worker_count_is_byte_identical(
+        seed in 0u64..1_000,
+        vocab in 15usize..35,
+        sigma in 0.1f32..1.0,
+    ) {
+        let (am, lm, lex) = mini_task(seed, vocab);
+        let noise = NoiseModel { noise_sigma: sigma, ..NoiseModel::default() };
+        let utts: Vec<Utterance> = (0..5u32)
+            .map(|i| {
+                let w1 = (seed as u32 + i) % vocab as u32 + 1;
+                let w2 = (seed as u32 * 3 + i) % vocab as u32 + 1;
+                synthesize_utterance(
+                    &[w1, w2],
+                    &lex,
+                    HmmTopology::Kaldi3State,
+                    &noise,
+                    seed ^ u64::from(i),
+                )
+            })
+            .collect();
+        let decoder = OtfDecoder::new(DecodeConfig::default());
+        let decode = |_i: usize, utt: &Utterance, scratch: &mut DecodeScratch| {
+            decoder.decode_with(&am.fst, &lm, &utt.scores, scratch, &mut NullSink)
+        };
+        let (serial, _) = decode_batch(&utts, 1, decode);
+        for jobs in [2usize, 4] {
+            let (par, _) = decode_batch(&utts, jobs, decode);
+            for (a, b) in serial.iter().zip(&par) {
+                prop_assert_eq!(&a.words, &b.words);
+                prop_assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+                prop_assert_eq!(&a.stats, &b.stats);
+            }
+        }
+    }
+
+    /// Turning the software OLT on (any capacity) leaves the decoded
+    /// words, cost bits, and search-shape statistics untouched; only
+    /// the memo-table counters and the LM fetch count may move.
+    #[test]
+    fn olt_capacity_never_changes_the_answer(
+        seed in 0u64..1_000,
+        vocab in 15usize..35,
+        sigma in 0.1f32..1.0,
+        w1 in 1u32..15,
+        w2 in 1u32..15,
+    ) {
+        let (am, lm, lex) = mini_task(seed, vocab);
+        let noise = NoiseModel { noise_sigma: sigma, ..NoiseModel::default() };
+        let utt = synthesize_utterance(
+            &[w1, w2],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &noise,
+            seed ^ 2,
+        );
+        let base =
+            OtfDecoder::new(DecodeConfig::default()).decode(&am.fst, &lm, &utt.scores, &mut NullSink);
+        prop_assert_eq!(base.stats.olt_probes, 0);
+        for entries in [64usize, 1024] {
+            let cfg = DecodeConfig { olt_entries: entries, ..Default::default() };
+            let r = OtfDecoder::new(cfg).decode(&am.fst, &lm, &utt.scores, &mut NullSink);
+            prop_assert_eq!(&r.words, &base.words);
+            prop_assert_eq!(r.cost.to_bits(), base.cost.to_bits());
+            prop_assert_eq!(r.stats.frames, base.stats.frames);
+            prop_assert_eq!(r.stats.tokens_created, base.stats.tokens_created);
+            prop_assert_eq!(r.stats.tokens_pruned, base.stats.tokens_pruned);
+            prop_assert_eq!(r.stats.lm_lookups, base.stats.lm_lookups);
+            prop_assert_eq!(r.stats.backoff_hops, base.stats.backoff_hops);
+            prop_assert_eq!(r.stats.preemptive_prunes, base.stats.preemptive_prunes);
+            // A hit skips exactly the probes the binary search would
+            // have issued, so fetches can only go down.
+            prop_assert!(r.stats.lm_fetches <= base.stats.lm_fetches);
+            if r.stats.olt_hits > 0 {
+                prop_assert!(r.stats.lm_fetches < base.stats.lm_fetches);
+            }
+        }
+    }
+}
