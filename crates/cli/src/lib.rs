@@ -12,7 +12,9 @@
 //!   over a task and print the performance/energy summary,
 //! * `profile`  — decode with telemetry enabled and print the stage
 //!   breakdown plus frame-latency percentiles,
-//! * `sizes`    — print the dataset size table for a task.
+//! * `sizes`    — print the dataset size table for a task,
+//! * `verify`   — replay an `unfold-verify` repro file through the full
+//!   differential check matrix.
 //!
 //! `decode`, `simulate`, and `profile` accept `--metrics <file>` to
 //! export the per-frame/per-stage telemetry as JSONL.
@@ -50,6 +52,7 @@ commands:
   profile  --task <name> [--utterances N]   stage breakdown + frame latency percentiles
            [--baseline] [--metrics <file>]
   sizes    --task <name>                    dataset size table
+  verify   --repro <file>                   replay an unfold-verify repro file
 
 tasks: tedlium | librispeech | voxforge | eesen | tiny
 ";
@@ -158,6 +161,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "simulate" => cmd_simulate(rest),
         "profile" => cmd_profile(rest),
         "sizes" => cmd_sizes(rest),
+        "verify" => cmd_verify(rest),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
 }
@@ -484,6 +488,44 @@ fn cmd_sizes(args: &[String]) -> Result<String, CliError> {
     Ok(s)
 }
 
+fn cmd_verify(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let path = flags.require("repro")?;
+    let text = std::fs::read_to_string(path)?;
+    let repro = unfold_verify::ReproCase::from_text(&text)
+        .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "repro: {path} (mutation {}, expected check {})",
+        repro.mutation.name(),
+        repro
+            .check
+            .map_or_else(|| "unspecified".to_string(), |c| c.to_string())
+    );
+    match unfold_verify::run_repro(&repro) {
+        Some(d) => {
+            let _ = writeln!(s, "DIVERGED ({}): {}", d.check, d.detail);
+            if let Some(expected) = repro.check {
+                if expected != d.check {
+                    let _ = writeln!(
+                        s,
+                        "note: repro was recorded against check '{expected}', now failing '{}'",
+                        d.check
+                    );
+                }
+            }
+        }
+        None => {
+            let _ = writeln!(
+                s,
+                "PASS: all checks agree (the recorded divergence is gone)"
+            );
+        }
+    }
+    Ok(s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -702,6 +744,54 @@ mod tests {
             };
             assert_eq!(find(&serial), find(&parallel), "line '{prefix}' diverged");
         }
+    }
+
+    #[test]
+    fn verify_replays_passing_and_diverging_repros() {
+        use unfold_verify::{CaseSpec, Mutation, ReproCase};
+        let dir = std::env::temp_dir().join(format!("unfold-verify-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A clean spec under no mutation replays as PASS.
+        let clean = dir.join("clean.txt");
+        let repro = ReproCase {
+            spec: CaseSpec::derive(0xC1EA4, 0),
+            check: None,
+            mutation: Mutation::None,
+        };
+        std::fs::write(&clean, repro.to_text()).unwrap();
+        let out = run(&sv(&["verify", "--repro", clean.to_str().unwrap()])).unwrap();
+        assert!(out.contains("PASS"), "expected PASS in:\n{out}");
+
+        // The same specs under the free-backoff mutation must surface a
+        // divergence for at least one case.
+        let diverged = (0..12).any(|i| {
+            let path = dir.join(format!("mut-{i}.txt"));
+            let repro = ReproCase {
+                spec: CaseSpec::derive(0xB00, i),
+                check: None,
+                mutation: Mutation::FreeBackoff,
+            };
+            std::fs::write(&path, repro.to_text()).unwrap();
+            let out = run(&sv(&["verify", "--repro", path.to_str().unwrap()])).unwrap();
+            out.contains("DIVERGED")
+        });
+        assert!(diverged, "injected bug must replay as DIVERGED");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_rejects_malformed_repros() {
+        let path =
+            std::env::temp_dir().join(format!("unfold-verify-bad-{}.txt", std::process::id()));
+        std::fs::write(&path, "version = 1\nbogus_key = 3\n").unwrap();
+        let err = run(&sv(&["verify", "--repro", path.to_str().unwrap()])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("bogus_key"));
+        std::fs::remove_file(&path).ok();
+
+        let err = run(&sv(&["verify"])).unwrap_err();
+        assert!(err.to_string().contains("--repro"));
     }
 
     #[test]

@@ -30,6 +30,12 @@ use unfold_obs::PoolTelemetry;
 /// serial), returning the per-utterance results in input order plus
 /// the pool's occupancy telemetry.
 ///
+/// The pool is clamped to the batch size: `jobs` beyond
+/// `utterances.len()` never spawn idle workers, so
+/// [`PoolTelemetry::occupancy`] is not diluted by threads that pull
+/// zero items (a single utterance under any `jobs` reports one worker
+/// at occupancy 1.0).
+///
 /// `decode_one` receives the utterance index, the utterance, and the
 /// calling worker's private scratch; it must not touch shared mutable
 /// state (the `Sync` bound enforces the usual cases).
@@ -177,6 +183,24 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert_eq!(pool.workers, 2);
         assert!(pool.occupancy() > 0.0);
+    }
+
+    #[test]
+    fn excess_jobs_on_one_utterance_keep_full_occupancy() {
+        // jobs ≫ utterances must not dilute occupancy with idle
+        // workers: one utterance collapses to the serial path, whose
+        // single worker is busy for the whole wall time — occupancy is
+        // exactly 1.0, not just positive.
+        let (s, utts) = setup();
+        let decoder = OtfDecoder::new(DecodeConfig::default());
+        let one = &utts[..1];
+        let (results, pool) = decode_batch(one, 8, |_i, utt, scratch| {
+            decoder.decode_with(&s.am_comp, &s.lm_comp, &utt.scores, scratch, &mut NullSink)
+        });
+        assert_eq!(results.len(), 1);
+        assert_eq!(pool.workers, 1, "pool must clamp 8 jobs to 1 utterance");
+        assert_eq!(pool.per_worker_items, vec![1]);
+        assert_eq!(pool.occupancy(), 1.0, "no idle workers to dilute occupancy");
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Campaign driver: runs N seeded cases across worker threads,
+//! shrinks every divergence, and writes repro files.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::case::CaseSpec;
+use crate::check::{run_case_caught, Divergence, Mutation};
+use crate::repro::ReproCase;
+use crate::shrink::{shrink, ShrinkOutcome};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Campaign seed; case `i` is `CaseSpec::derive(seed, i)`.
+    pub seed: u64,
+    /// Number of cases.
+    pub cases: u64,
+    /// Injected decoder bug ([`Mutation::None`] for a clean campaign).
+    pub mutation: Mutation,
+    /// Directory for minimized repro files (skipped when `None`).
+    pub out_dir: Option<PathBuf>,
+    /// Run the shrinker on each divergence.
+    pub shrink: bool,
+    /// Worker threads (clamped to ≥ 1).
+    pub jobs: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 42,
+            cases: 64,
+            mutation: Mutation::None,
+            out_dir: None,
+            shrink: true,
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// One diverging case, with its shrink result and repro file.
+#[derive(Debug, Clone)]
+pub struct CampaignDivergence {
+    /// Case index within the campaign.
+    pub index: u64,
+    /// The original (unshrunk) spec.
+    pub original: CaseSpec,
+    /// The divergence as first observed.
+    pub divergence: Divergence,
+    /// Shrink result (`None` when shrinking was disabled).
+    pub shrunk: Option<ShrinkOutcome>,
+    /// Where the repro file was written, if an out dir was given.
+    pub repro_path: Option<PathBuf>,
+}
+
+/// Aggregate campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Cases with every check passing.
+    pub passed: u64,
+    /// Diverging cases, in case-index order.
+    pub divergences: Vec<CampaignDivergence>,
+}
+
+impl CampaignReport {
+    /// `true` when no case diverged.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Runs the campaign. Case execution is parallel (each case is an
+/// independent pure function of `(seed, index, mutation)`); shrinking
+/// and repro writing happen serially afterwards so file output and
+/// shrinker progress stay deterministic in everything but thread
+/// scheduling — the set of divergences found does not depend on `jobs`.
+///
+/// # Errors
+/// Returns `Err` only on repro-file I/O failure.
+pub fn run_campaign(config: &CampaignConfig) -> std::io::Result<CampaignReport> {
+    let next = AtomicU64::new(0);
+    let found: Mutex<Vec<(u64, CaseSpec, Divergence)>> = Mutex::new(Vec::new());
+    let jobs = config.jobs.max(1).min(config.cases.max(1) as usize);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= config.cases {
+                    break;
+                }
+                let spec = CaseSpec::derive(config.seed, i);
+                if let Some(d) = run_case_caught(&spec, config.mutation) {
+                    found.lock().unwrap().push((i, spec, d));
+                }
+            });
+        }
+    });
+
+    let mut raw = found.into_inner().unwrap();
+    raw.sort_by_key(|(i, _, _)| *i);
+
+    if let Some(dir) = &config.out_dir {
+        if !raw.is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+
+    let mut divergences = Vec::with_capacity(raw.len());
+    for (index, original, divergence) in raw {
+        let shrunk = if config.shrink {
+            shrink(&original, config.mutation)
+        } else {
+            None
+        };
+        let repro_path = match &config.out_dir {
+            Some(dir) => {
+                let (spec, check) = match &shrunk {
+                    Some(s) => (s.spec.clone(), s.divergence.check),
+                    None => (original.clone(), divergence.check),
+                };
+                let repro = ReproCase {
+                    spec,
+                    check: Some(check),
+                    mutation: config.mutation,
+                };
+                Some(write_repro(dir, index, &repro)?)
+            }
+            None => None,
+        };
+        divergences.push(CampaignDivergence {
+            index,
+            original,
+            divergence,
+            shrunk,
+            repro_path,
+        });
+    }
+
+    Ok(CampaignReport {
+        cases: config.cases,
+        passed: config.cases - divergences.len() as u64,
+        divergences,
+    })
+}
+
+fn write_repro(dir: &Path, index: u64, repro: &ReproCase) -> std::io::Result<PathBuf> {
+    let check = repro.check.map_or("unknown", |c| c.name());
+    let path = dir.join(format!("repro-{index:04}-{check}.txt"));
+    std::fs::write(&path, repro.to_text())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_clean_campaign_is_clean() {
+        let report = run_campaign(&CampaignConfig {
+            seed: 0xC1EA4,
+            cases: 4,
+            jobs: 2,
+            shrink: false,
+            ..CampaignConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.cases, 4);
+        assert!(report.is_clean(), "divergences: {:?}", report.divergences);
+    }
+
+    #[test]
+    fn divergence_set_is_independent_of_jobs() {
+        let run = |jobs| {
+            let r = run_campaign(&CampaignConfig {
+                seed: 0xB00,
+                cases: 6,
+                mutation: Mutation::FreeBackoff,
+                jobs,
+                shrink: false,
+                ..CampaignConfig::default()
+            })
+            .unwrap();
+            r.divergences
+                .iter()
+                .map(|d| (d.index, d.divergence.check))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

@@ -1,0 +1,365 @@
+//! Adversarial case generation.
+//!
+//! A [`CaseSpec`] is a plain bag of generator knobs, fully determined by
+//! the campaign seed and case index, that [`CaseModels::build`] turns
+//! into concrete models and one utterance. Everything the spec controls
+//! is chosen to stress a decoder edge the fixed presets in `tests/`
+//! under-exercise: pruned n-gram tables force deep back-off chains and
+//! unigram-only states, coarse weight grids manufacture arc-weight
+//! ties, tight beams make preemptive pruning decisive, and zero- or
+//! one-frame utterances hit the search's boundary paths.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use unfold_am::{
+    build_am, synthesize_utterance, AcousticScores, AmGraph, HmmTopology, Lexicon, NoiseModel,
+    Utterance,
+};
+use unfold_compress::{CompressedAm, CompressedLm};
+use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+use unfold_wfst::{Arc, Wfst, WfstBuilder};
+
+/// K-means clusters used for the compressed-model round-trip checks
+/// (matches `unfold::QUANT_CLUSTERS`, paper §3.4).
+pub const CASE_QUANT_CLUSTERS: usize = 64;
+
+/// Generator knobs for one differential test case. Deterministic:
+/// equal specs build equal models and utterances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseSpec {
+    /// Seed for corpus generation, lexicon and utterance synthesis.
+    pub seed: u64,
+    /// Vocabulary size (≥ 4).
+    pub vocab_size: usize,
+    /// Phoneme inventory size (≥ 4).
+    pub phonemes: usize,
+    /// CTC topology instead of Kaldi 3-state.
+    pub ctc: bool,
+    /// Training-corpus sentences.
+    pub sentences: usize,
+    /// Bigrams below this count are pruned (`u64::MAX` ⇒ unigram-only).
+    pub min_bigram_count: u64,
+    /// Trigrams below this count are pruned.
+    pub min_trigram_count: u64,
+    /// LM weights rounded to multiples of this (0.0 ⇒ off); coarse
+    /// grids manufacture exact arc-weight ties.
+    pub weight_grid: f32,
+    /// Acoustic score jitter.
+    pub noise_sigma: f32,
+    /// Word-level confusion probability.
+    pub word_confusion: f32,
+    /// Truth words; empty ⇒ a zero-frame utterance.
+    pub words: Vec<u32>,
+    /// Frame cap (`usize::MAX` ⇒ keep the whole utterance).
+    pub max_frames: usize,
+    /// Decode beam.
+    pub beam: f32,
+    /// Histogram-pruning cap.
+    pub max_active: usize,
+    /// "Small" OLT size for the identity check (forces evictions).
+    pub olt_small: usize,
+    /// "Large" OLT size for the identity check.
+    pub olt_large: usize,
+}
+
+impl CaseSpec {
+    /// Derives case `index` of the campaign started from
+    /// `campaign_seed`. The knob distribution is deliberately skewed
+    /// toward the edge cases listed in the module docs.
+    pub fn derive(campaign_seed: u64, index: u64) -> CaseSpec {
+        let mut rng =
+            SmallRng::seed_from_u64(campaign_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let vocab_size = rng.gen_range(4usize..=24);
+        let phonemes = rng.gen_range(4usize..=10);
+        let ctc = rng.gen::<f64>() < 0.3;
+        let sentences = rng.gen_range(40usize..=180);
+
+        // LM shape: often force the back-off machinery to dominate.
+        let (min_bigram_count, min_trigram_count) = match rng.gen::<f64>() {
+            r if r < 0.15 => (u64::MAX, u64::MAX), // unigram-only states
+            r if r < 0.35 => (2, u64::MAX),        // no trigrams
+            r if r < 0.60 => (rng.gen_range(3u64..=6), rng.gen_range(3u64..=6)),
+            _ => (2, 2),
+        };
+        let weight_grid = if rng.gen::<f64>() < 0.4 { 0.5 } else { 0.0 };
+
+        let (noise_sigma, word_confusion) = if rng.gen::<f64>() < 0.25 {
+            (0.05, 0.0)
+        } else {
+            (
+                rng.gen_range(0.1f32..1.2),
+                if rng.gen::<f64>() < 0.15 { 0.1 } else { 0.0 },
+            )
+        };
+
+        let num_words = match rng.gen::<f64>() {
+            r if r < 0.06 => 0, // zero-frame utterance
+            r if r < 0.18 => 1,
+            _ => rng.gen_range(2usize..=5),
+        };
+        let words = (0..num_words)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.5 {
+                    // Rare words: high ids back off hardest.
+                    let tail = (vocab_size / 3).max(1);
+                    (vocab_size - rng.gen_range(0..tail)) as u32
+                } else {
+                    rng.gen_range(1u32..=vocab_size as u32)
+                }
+            })
+            .collect();
+
+        let max_frames = match rng.gen::<f64>() {
+            r if r < 0.08 => 1,
+            r if r < 0.16 => rng.gen_range(2usize..=6),
+            _ => usize::MAX,
+        };
+        let beam = if rng.gen::<f64>() < 0.2 {
+            rng.gen_range(5.0f32..9.0)
+        } else {
+            14.0
+        };
+        let max_active = if rng.gen::<f64>() < 0.15 { 64 } else { 6000 };
+
+        CaseSpec {
+            seed: rng.gen::<u64>(),
+            vocab_size,
+            phonemes,
+            ctc,
+            sentences,
+            min_bigram_count,
+            min_trigram_count,
+            weight_grid,
+            noise_sigma,
+            word_confusion,
+            words,
+            max_frames,
+            beam,
+            max_active,
+            olt_small: 8,
+            olt_large: 4096,
+        }
+    }
+
+    /// The HMM topology this spec selects.
+    pub fn topology(&self) -> HmmTopology {
+        if self.ctc {
+            HmmTopology::Ctc
+        } else {
+            HmmTopology::Kaldi3State
+        }
+    }
+}
+
+/// The concrete models and utterance a [`CaseSpec`] builds.
+pub struct CaseModels {
+    /// Pronunciation lexicon.
+    pub lexicon: Lexicon,
+    /// Acoustic-model WFST and metadata.
+    pub am: AmGraph,
+    /// Trained n-gram model (pre-rounding; drives two-pass rescoring).
+    pub lm_model: NGramModel,
+    /// LM WFST, weight-rounded when the spec asks for ties.
+    pub lm_fst: Wfst,
+    /// Bit-packed AM.
+    pub cam: CompressedAm,
+    /// Bit-packed LM.
+    pub clm: CompressedLm,
+    /// The utterance under test (possibly zero frames).
+    pub utt: Utterance,
+}
+
+impl CaseModels {
+    /// Builds every model for `spec`. Deterministic in the spec.
+    pub fn build(spec: &CaseSpec) -> CaseModels {
+        let corpus = CorpusSpec {
+            vocab_size: spec.vocab_size,
+            num_sentences: spec.sentences,
+            ..CorpusSpec::default()
+        }
+        .generate(spec.seed);
+        let discount = DiscountConfig {
+            min_bigram_count: spec.min_bigram_count,
+            min_trigram_count: spec.min_trigram_count,
+            ..DiscountConfig::default()
+        };
+        let lm_model = NGramModel::train(&corpus, spec.vocab_size, discount);
+        let mut lm_fst = lm_to_wfst(&lm_model);
+        if spec.weight_grid > 0.0 {
+            lm_fst = round_weights(&lm_fst, spec.weight_grid);
+        }
+        let lexicon = Lexicon::generate(spec.vocab_size, spec.phonemes, spec.seed ^ 0xA11CE);
+        let am = build_am(&lexicon, spec.topology());
+        let cam = CompressedAm::compress(&am.fst, CASE_QUANT_CLUSTERS, spec.seed);
+        let clm = CompressedLm::compress(&lm_fst, CASE_QUANT_CLUSTERS, spec.seed);
+        let utt = build_utterance(spec, &lexicon, am.num_pdfs, 0);
+        CaseModels {
+            lexicon,
+            am,
+            lm_model,
+            lm_fst,
+            cam,
+            clm,
+            utt,
+        }
+    }
+
+    /// A small batch around the case utterance (the case itself plus
+    /// `extra` seed-perturbed variants) for the `jobs` ∈ {1, N} check.
+    pub fn batch(&self, spec: &CaseSpec, extra: usize) -> Vec<Utterance> {
+        let mut batch = vec![clone_utterance(&self.utt)];
+        for v in 1..=extra {
+            batch.push(build_utterance(
+                spec,
+                &self.lexicon,
+                self.am.num_pdfs,
+                v as u64,
+            ));
+        }
+        batch
+    }
+}
+
+/// Synthesizes the spec's utterance (variant 0) or a seed-perturbed
+/// sibling, applying the zero-word and frame-cap edge cases.
+fn build_utterance(spec: &CaseSpec, lexicon: &Lexicon, num_pdfs: usize, variant: u64) -> Utterance {
+    if spec.words.is_empty() {
+        return Utterance {
+            words: Vec::new(),
+            alignment: Vec::new(),
+            scores: AcousticScores::from_flat(Vec::new(), num_pdfs),
+        };
+    }
+    let noise = NoiseModel {
+        noise_sigma: spec.noise_sigma,
+        word_confusion_prob: spec.word_confusion,
+        ..NoiseModel::default()
+    };
+    let utt = synthesize_utterance(
+        &spec.words,
+        lexicon,
+        spec.topology(),
+        &noise,
+        spec.seed ^ 0x5EED ^ variant.wrapping_mul(7919),
+    );
+    truncate_utterance(utt, spec.max_frames)
+}
+
+/// Caps an utterance to its first `max_frames` score rows.
+fn truncate_utterance(utt: Utterance, max_frames: usize) -> Utterance {
+    let frames = utt.scores.num_frames();
+    if max_frames >= frames {
+        return utt;
+    }
+    let num_pdfs = utt.scores.num_pdfs();
+    let mut flat = Vec::with_capacity(max_frames * num_pdfs);
+    for t in 0..max_frames {
+        flat.extend_from_slice(utt.scores.frame(t));
+    }
+    Utterance {
+        words: utt.words,
+        alignment: utt.alignment.into_iter().take(max_frames).collect(),
+        scores: AcousticScores::from_flat(flat, num_pdfs),
+    }
+}
+
+fn clone_utterance(utt: &Utterance) -> Utterance {
+    let num_pdfs = utt.scores.num_pdfs();
+    let mut flat = Vec::with_capacity(utt.scores.num_frames() * num_pdfs);
+    for t in 0..utt.scores.num_frames() {
+        flat.extend_from_slice(utt.scores.frame(t));
+    }
+    Utterance {
+        words: utt.words.clone(),
+        alignment: utt.alignment.clone(),
+        scores: AcousticScores::from_flat(flat, num_pdfs),
+    }
+}
+
+/// Rebuilds `fst` with every arc and final weight rounded to the
+/// nearest multiple of `grid`, preserving state ids and arc order (so
+/// the LM layout invariants — sorted word arcs, trailing back-off arcs,
+/// root positional access — survive). Coarse grids collapse nearby
+/// weights onto each other, manufacturing the exact-tie hypotheses the
+/// beam search must order deterministically.
+pub fn round_weights(fst: &Wfst, grid: f32) -> Wfst {
+    assert!(grid > 0.0, "round_weights: grid must be positive");
+    let snap = |w: f32| (w / grid).round() * grid;
+    let mut b = WfstBuilder::with_states(fst.num_states());
+    b.set_start(fst.start());
+    for s in fst.states() {
+        if let Some(fw) = fst.final_weight(s) {
+            b.set_final(s, snap(fw));
+        }
+        for a in fst.arcs(s) {
+            b.add_arc(s, Arc::new(a.ilabel, a.olabel, snap(a.weight), a.nextstate));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_deterministic_and_varied() {
+        let a = CaseSpec::derive(42, 7);
+        let b = CaseSpec::derive(42, 7);
+        assert_eq!(a, b);
+        let mut unigram_only = 0;
+        let mut empty = 0;
+        let mut single_frame = 0;
+        let mut ties = 0;
+        for i in 0..200 {
+            let s = CaseSpec::derive(1, i);
+            assert!(s.vocab_size >= 4);
+            assert!(s.words.iter().all(|&w| w >= 1 && w <= s.vocab_size as u32));
+            unigram_only += usize::from(s.min_bigram_count == u64::MAX);
+            empty += usize::from(s.words.is_empty());
+            single_frame += usize::from(s.max_frames == 1);
+            ties += usize::from(s.weight_grid > 0.0);
+        }
+        assert!(unigram_only > 5, "unigram-only LMs must occur");
+        assert!(empty > 2, "zero-frame utterances must occur");
+        assert!(single_frame > 2, "one-frame utterances must occur");
+        assert!(ties > 30, "weight-tie cases must occur");
+    }
+
+    #[test]
+    fn build_handles_empty_and_truncated_utterances() {
+        let mut spec = CaseSpec::derive(3, 0);
+        spec.words = Vec::new();
+        let m = CaseModels::build(&spec);
+        assert_eq!(m.utt.scores.num_frames(), 0);
+
+        spec.words = vec![1, 2];
+        spec.max_frames = 1;
+        let m = CaseModels::build(&spec);
+        assert_eq!(m.utt.scores.num_frames(), 1);
+        assert_eq!(m.utt.alignment.len(), 1);
+    }
+
+    #[test]
+    fn rounded_lm_keeps_layout_invariants() {
+        let spec = CaseSpec {
+            weight_grid: 0.5,
+            ..CaseSpec::derive(9, 4)
+        };
+        let m = CaseModels::build(&spec);
+        assert!(m.lm_fst.is_ilabel_sorted());
+        for s in m.lm_fst.states() {
+            for a in m.lm_fst.arcs(s) {
+                let q = (a.weight / 0.5).round() * 0.5;
+                assert!((a.weight - q).abs() < 1e-6, "weight off-grid: {}", a.weight);
+            }
+        }
+        // Root arc i must still be word i pointing at state i.
+        for (i, a) in m.lm_fst.arcs(m.lm_fst.start()).iter().enumerate() {
+            if a.ilabel != unfold_wfst::EPSILON {
+                assert_eq!(a.ilabel as usize, i + 1);
+            }
+        }
+    }
+}

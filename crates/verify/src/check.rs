@@ -1,0 +1,555 @@
+//! The differential configuration matrix, plus injectable decoder bugs.
+//!
+//! [`run_case`] decodes one generated case through every configuration
+//! the repository claims equivalent and returns the first divergence it
+//! finds. Two kinds of claims are distinguished:
+//!
+//! * **semantic equivalence** (on-the-fly vs offline-composed oracle,
+//!   the two-pass cost bound): compared under a small cost tolerance,
+//!   because the two implementations sum the same weights in different
+//!   association orders — and exact-cost ties may legitimately pick
+//!   different transcripts;
+//! * **bit identity** (OLT on/off, fresh vs warm scratch, `jobs`
+//!   ∈ {1, N}, streaming vs whole-utterance, compressed models vs their
+//!   `to_wfst()` round-trips): words, cost *bits*, and search statistics
+//!   must match exactly.
+//!
+//! [`Mutation`] wraps the LM source with a known-broken variant so the
+//! campaign's detection and shrinking machinery can be exercised on a
+//! bug we control; `Mutation::OltAliasing` reproduces exactly the
+//! hardware-faithful OLT hazard DESIGN.md §7 documents the software
+//! table avoiding (a memo hit trusted without the full-key compare).
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use unfold::decode_batch;
+use unfold_am::acoustic::FRAME_SECONDS;
+use unfold_am::Utterance;
+use unfold_decoder::{
+    DecodeConfig, DecodeResult, DecodeScratch, FullyComposedDecoder, LmSource, NullSink,
+    OtfDecoder, OtfStream, TraceRecorder, TwoPassDecoder,
+};
+use unfold_sim::{Accelerator, AcceleratorConfig};
+use unfold_wfst::{compose_am_lm, Arc, ComposeOptions, Label, StateId, Wfst};
+
+use crate::case::{CaseModels, CaseSpec};
+
+/// Cost tolerance for the semantic-equivalence checks: the decoders sum
+/// identical weights in different association orders, so exact f32
+/// equality is not expected there (the bit-identity checks are exact).
+pub const COST_TOLERANCE: f32 = 1e-2;
+
+/// Which equivalence a divergence broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckId {
+    /// On-the-fly vs offline-composed oracle.
+    Oracle,
+    /// OLT sizes {0, small, large} bit identity.
+    OltIdentity,
+    /// Fresh vs warm `DecodeScratch` bit identity.
+    ScratchReuse,
+    /// Streaming vs whole-utterance bit identity (result and trace).
+    Streaming,
+    /// `decode_batch` jobs ∈ {1, N} bit identity.
+    Jobs,
+    /// Compressed models vs their `to_wfst()` round-trips.
+    CompressRoundtrip,
+    /// Two-pass determinism and rescoring cost bound.
+    TwoPass,
+    /// Trace replay through the accelerator simulator is deterministic.
+    SimReplay,
+    /// A check panicked instead of returning.
+    Panic,
+}
+
+impl CheckId {
+    /// Stable kebab-case name (used in repro files and file names).
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckId::Oracle => "oracle",
+            CheckId::OltIdentity => "olt-identity",
+            CheckId::ScratchReuse => "scratch-reuse",
+            CheckId::Streaming => "streaming",
+            CheckId::Jobs => "jobs",
+            CheckId::CompressRoundtrip => "compress-roundtrip",
+            CheckId::TwoPass => "two-pass",
+            CheckId::SimReplay => "sim-replay",
+            CheckId::Panic => "panic",
+        }
+    }
+
+    /// Parses [`CheckId::name`] output.
+    pub fn parse(s: &str) -> Option<CheckId> {
+        [
+            CheckId::Oracle,
+            CheckId::OltIdentity,
+            CheckId::ScratchReuse,
+            CheckId::Streaming,
+            CheckId::Jobs,
+            CheckId::CompressRoundtrip,
+            CheckId::TwoPass,
+            CheckId::SimReplay,
+            CheckId::Panic,
+        ]
+        .into_iter()
+        .find(|c| c.name() == s)
+    }
+}
+
+impl std::fmt::Display for CheckId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One broken equivalence: which check failed and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// The check that failed.
+    pub check: CheckId,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+/// An intentionally-injected decoder bug, applied to the on-the-fly
+/// LM-lookup path (the offline-composed oracle never sees it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// No bug: the LM source is passed through unchanged.
+    #[default]
+    None,
+    /// A small lookup memo indexed by `(state ^ word)` that trusts any
+    /// occupied slot *without comparing the full key* — the exact
+    /// aliasing hazard of a tag-only direct-mapped OLT (DESIGN.md §7).
+    /// Aliased hits return another `(state, word)`'s destination and
+    /// weight.
+    OltAliasing,
+    /// Back-off arcs are traversed at zero cost, silently dropping the
+    /// back-off penalties the n-gram model assigns.
+    FreeBackoff,
+}
+
+impl Mutation {
+    /// Stable kebab-case name (used in repro files and the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::OltAliasing => "olt-aliasing",
+            Mutation::FreeBackoff => "free-backoff",
+        }
+    }
+
+    /// Parses [`Mutation::name`] output.
+    pub fn parse(s: &str) -> Option<Mutation> {
+        match s {
+            "none" => Some(Mutation::None),
+            "olt-aliasing" => Some(Mutation::OltAliasing),
+            "free-backoff" => Some(Mutation::FreeBackoff),
+            _ => None,
+        }
+    }
+}
+
+/// Slots in the aliasing memo: tiny on purpose, so even minimized
+/// models (a handful of LM states) collide.
+const MEMO_SLOTS: usize = 8;
+
+/// An [`LmSource`] wrapper applying a [`Mutation`] to a [`Wfst`] LM.
+/// Each decode gets a fresh wrapper, so individual decodes stay
+/// deterministic and the bit-identity checks still pass — only the
+/// comparison against the composed oracle exposes the bug.
+struct MutatedLm<'a> {
+    inner: &'a Wfst,
+    mutation: Mutation,
+    memo: RefCell<[Option<(StateId, f32)>; MEMO_SLOTS]>,
+}
+
+impl<'a> MutatedLm<'a> {
+    fn new(inner: &'a Wfst, mutation: Mutation) -> Self {
+        MutatedLm {
+            inner,
+            mutation,
+            memo: RefCell::new([None; MEMO_SLOTS]),
+        }
+    }
+}
+
+impl LmSource for MutatedLm<'_> {
+    fn start(&self) -> StateId {
+        LmSource::start(self.inner)
+    }
+
+    fn num_states(&self) -> usize {
+        LmSource::num_states(self.inner)
+    }
+
+    fn state_addr(&self, s: StateId) -> u64 {
+        LmSource::state_addr(self.inner, s)
+    }
+
+    fn lookup_word_into(
+        &self,
+        s: StateId,
+        word: Label,
+        probes: &mut Vec<unfold_decoder::sources::Fetch>,
+    ) -> Option<Arc> {
+        if self.mutation == Mutation::OltAliasing {
+            let slot = ((s ^ word) as usize) % MEMO_SLOTS;
+            if let Some((dest, weight)) = self.memo.borrow()[slot] {
+                // BUG under test: the occupied slot is trusted without
+                // the full-key compare, so an aliased (state, word)
+                // entry is returned as if it matched.
+                return Some(Arc::new(word, word, weight, dest));
+            }
+            let found = self.inner.lookup_word_into(s, word, probes);
+            if let Some(arc) = found {
+                self.memo.borrow_mut()[slot] = Some((arc.nextstate, arc.weight));
+            }
+            return found;
+        }
+        self.inner.lookup_word_into(s, word, probes)
+    }
+
+    fn backoff(&self, s: StateId) -> Option<(Arc, unfold_decoder::sources::Fetch)> {
+        let (arc, fetch) = LmSource::backoff(self.inner, s)?;
+        match self.mutation {
+            Mutation::FreeBackoff => {
+                Some((Arc::new(arc.ilabel, arc.olabel, 0.0, arc.nextstate), fetch))
+            }
+            _ => Some((arc, fetch)),
+        }
+    }
+}
+
+/// `true` when two best-path costs agree within [`COST_TOLERANCE`]
+/// (both-infinite counts as agreement: neither decode completed).
+fn costs_close(a: f32, b: f32) -> bool {
+    if a.is_infinite() && b.is_infinite() {
+        return true;
+    }
+    (a - b).abs() <= COST_TOLERANCE
+}
+
+/// Exact comparison for the bit-identity family: words, cost bits, and
+/// the full search statistics.
+fn bit_diff(label: &str, a: &DecodeResult, b: &DecodeResult) -> Option<String> {
+    if a.words != b.words {
+        return Some(format!("{label}: words {:?} vs {:?}", a.words, b.words));
+    }
+    if a.cost.to_bits() != b.cost.to_bits() {
+        return Some(format!("{label}: cost bits {} vs {}", a.cost, b.cost));
+    }
+    if a.stats != b.stats {
+        return Some(format!("{label}: stats {:?} vs {:?}", a.stats, b.stats));
+    }
+    None
+}
+
+/// Comparison for configurations whose fetch counts legitimately differ
+/// (OLT hits skip probes; compressed lookups probe differently): words
+/// and cost bits exact, search-shape statistics exact, fetch counters
+/// ignored.
+fn search_diff(label: &str, a: &DecodeResult, b: &DecodeResult) -> Option<String> {
+    if a.words != b.words {
+        return Some(format!("{label}: words {:?} vs {:?}", a.words, b.words));
+    }
+    if a.cost.to_bits() != b.cost.to_bits() {
+        return Some(format!("{label}: cost bits {} vs {}", a.cost, b.cost));
+    }
+    let sa = &a.stats;
+    let sb = &b.stats;
+    if (sa.frames, sa.tokens_created, sa.lm_lookups, sa.backoff_hops)
+        != (sb.frames, sb.tokens_created, sb.lm_lookups, sb.backoff_hops)
+    {
+        return Some(format!(
+            "{label}: search shape (frames/tokens/lookups/hops) \
+             ({}/{}/{}/{}) vs ({}/{}/{}/{})",
+            sa.frames,
+            sa.tokens_created,
+            sa.lm_lookups,
+            sa.backoff_hops,
+            sb.frames,
+            sb.tokens_created,
+            sb.lm_lookups,
+            sb.backoff_hops
+        ));
+    }
+    None
+}
+
+/// Runs one case through the full configuration matrix and returns the
+/// first divergence, or `None` when every equivalence held.
+pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
+    let m = CaseModels::build(spec);
+    let cfg = DecodeConfig {
+        beam: spec.beam,
+        max_active: spec.max_active,
+        preemptive_pruning: true,
+        olt_entries: 0,
+    };
+    let dec = OtfDecoder::new(cfg);
+    let scores = &m.utt.scores;
+
+    // Baseline on-the-fly decode, trace recorded for the streaming and
+    // simulator checks.
+    let mut base_rec = TraceRecorder::new();
+    let baseline = {
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        dec.decode(&m.am.fst, &lm, scores, &mut base_rec)
+    };
+
+    // 1. On-the-fly vs offline-composed oracle (semantic equivalence;
+    //    a transcript difference at equal cost is an accepted tie).
+    {
+        let composed = compose_am_lm(&m.am.fst, &m.lm_fst, ComposeOptions::default());
+        let oracle = FullyComposedDecoder::new(cfg).decode(&composed, scores, &mut NullSink);
+        if !costs_close(baseline.cost, oracle.cost) {
+            return Some(Divergence {
+                check: CheckId::Oracle,
+                detail: format!(
+                    "otf cost {} words {:?} vs composed cost {} words {:?}",
+                    baseline.cost, baseline.words, oracle.cost, oracle.words
+                ),
+            });
+        }
+    }
+
+    // 2. OLT sizes {small, large} vs disabled: bit identity of the
+    //    search, fetch savings allowed.
+    for entries in [spec.olt_small, spec.olt_large] {
+        let on = {
+            let lm = MutatedLm::new(&m.lm_fst, mutation);
+            OtfDecoder::new(DecodeConfig {
+                olt_entries: entries,
+                ..cfg
+            })
+            .decode(&m.am.fst, &lm, scores, &mut NullSink)
+        };
+        if let Some(d) = search_diff(&format!("olt_entries={entries}"), &on, &baseline) {
+            return Some(Divergence {
+                check: CheckId::OltIdentity,
+                detail: d,
+            });
+        }
+        if on.stats.lm_fetches > baseline.stats.lm_fetches {
+            return Some(Divergence {
+                check: CheckId::OltIdentity,
+                detail: format!(
+                    "olt_entries={entries}: {} lm fetches, more than the {} without a table",
+                    on.stats.lm_fetches, baseline.stats.lm_fetches
+                ),
+            });
+        }
+    }
+
+    // 3. Warm scratch: the second decode through a reused scratch must
+    //    be bit-identical to the fresh-scratch baseline.
+    {
+        let mut scratch = DecodeScratch::new();
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        let _first = dec.decode_with(&m.am.fst, &lm, scores, &mut scratch, &mut NullSink);
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        let warm = dec.decode_with(&m.am.fst, &lm, scores, &mut scratch, &mut NullSink);
+        if let Some(d) = bit_diff("warm scratch", &warm, &baseline) {
+            return Some(Divergence {
+                check: CheckId::ScratchReuse,
+                detail: d,
+            });
+        }
+    }
+
+    // 4. Streaming vs whole-utterance: result and trace bit identity.
+    {
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        let mut rec = TraceRecorder::new();
+        let mut stream = OtfStream::new(cfg, &m.am.fst, &lm, &mut rec);
+        for t in 0..scores.num_frames() {
+            stream.push_frame(scores.frame(t), &mut rec);
+        }
+        let streamed = stream.finish_with(&mut rec);
+        if let Some(d) = bit_diff("streaming", &streamed, &baseline) {
+            return Some(Divergence {
+                check: CheckId::Streaming,
+                detail: d,
+            });
+        }
+        if rec.events() != base_rec.events() {
+            return Some(Divergence {
+                check: CheckId::Streaming,
+                detail: format!(
+                    "trace diverged: {} streamed events vs {} batch events",
+                    rec.len(),
+                    base_rec.len()
+                ),
+            });
+        }
+    }
+
+    // 5. decode_batch jobs ∈ {1, N}: every per-utterance result
+    //    bit-identical, and the pool never over-spawns.
+    {
+        let batch = m.batch(spec, 2);
+        let decode_one = |_i: usize, utt: &Utterance, scratch: &mut DecodeScratch| {
+            let lm = MutatedLm::new(&m.lm_fst, mutation);
+            let mut sink = NullSink;
+            dec.decode_with(&m.am.fst, &lm, &utt.scores, scratch, &mut sink)
+        };
+        let (serial, _) = decode_batch(&batch, 1, decode_one);
+        let (parallel, pool) = decode_batch(&batch, batch.len(), decode_one);
+        if pool.workers > batch.len() {
+            return Some(Divergence {
+                check: CheckId::Jobs,
+                detail: format!("{} workers for {} utterances", pool.workers, batch.len()),
+            });
+        }
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            if let Some(d) = bit_diff(&format!("jobs utt {i}"), b, a) {
+                return Some(Divergence {
+                    check: CheckId::Jobs,
+                    detail: d,
+                });
+            }
+        }
+    }
+
+    // 6. Compressed models vs their to_wfst() round-trips: both sides
+    //    serve the same quantized weights, so the decodes must agree
+    //    bit for bit (probe counts differ by layout and are ignored).
+    {
+        let comp = dec.decode(&m.cam, &m.clm, scores, &mut NullSink);
+        let am_rt = m.cam.to_wfst();
+        let lm_rt = m.clm.to_wfst();
+        let roundtrip = dec.decode(&am_rt, &lm_rt, scores, &mut NullSink);
+        if let Some(d) = search_diff("compressed vs to_wfst round-trip", &comp, &roundtrip) {
+            return Some(Divergence {
+                check: CheckId::CompressRoundtrip,
+                detail: d,
+            });
+        }
+    }
+
+    // 7. Two-pass: bitwise deterministic across runs; and under a wide
+    //    beam on the unrounded model, its exact full-LM rescore of a
+    //    first-pass candidate can never beat the one-pass optimum.
+    {
+        let tp = TwoPassDecoder::new(cfg, 8);
+        let a = tp.decode(&m.am.fst, &m.lm_model, scores, &mut NullSink);
+        let b = tp.decode(&m.am.fst, &m.lm_model, scores, &mut NullSink);
+        if let Some(d) = bit_diff("two-pass determinism", &b.result, &a.result) {
+            return Some(Divergence {
+                check: CheckId::TwoPass,
+                detail: d,
+            });
+        }
+        let bound_applies = mutation == Mutation::None
+            && spec.weight_grid == 0.0
+            && spec.beam >= 12.0
+            && spec.max_active >= 1000
+            && baseline.cost.is_finite()
+            && a.result.cost.is_finite();
+        if bound_applies && a.result.cost < baseline.cost - COST_TOLERANCE {
+            return Some(Divergence {
+                check: CheckId::TwoPass,
+                detail: format!(
+                    "rescored cost {} beats the one-pass optimum {}",
+                    a.result.cost, baseline.cost
+                ),
+            });
+        }
+    }
+
+    // 8. Trace replay through the accelerator simulator twice: the
+    //    SimReports must be equal (the simulator is deterministic in
+    //    the trace). Zero-frame utterances carry no audio, and
+    //    `Accelerator::finish` documents a positive-audio contract, so
+    //    they are skipped here.
+    if scores.num_frames() > 0 {
+        let audio = scores.num_frames() as f64 * FRAME_SECONDS;
+        let replay = || {
+            let mut acc = Accelerator::new(AcceleratorConfig::unfold());
+            base_rec.replay(&mut acc);
+            acc.finish(audio)
+        };
+        let r1 = replay();
+        let r2 = replay();
+        if r1 != r2 {
+            return Some(Divergence {
+                check: CheckId::SimReplay,
+                detail: "replaying the same trace produced different SimReports".into(),
+            });
+        }
+    }
+
+    None
+}
+
+/// [`run_case`] with panics converted into [`CheckId::Panic`]
+/// divergences, so a crashing configuration is shrunk like any other.
+pub fn run_case_caught(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
+    match catch_unwind(AssertUnwindSafe(|| run_case(spec, mutation))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Some(Divergence {
+                check: CheckId::Panic,
+                detail: msg,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_cases_pass_every_check() {
+        for i in 0..4 {
+            let spec = CaseSpec::derive(0xC1EA4, i);
+            assert_eq!(run_case(&spec, Mutation::None), None, "case {i}: {spec:?}");
+        }
+    }
+
+    #[test]
+    fn injected_bugs_are_caught() {
+        for mutation in [Mutation::OltAliasing, Mutation::FreeBackoff] {
+            let caught = (0..12).any(|i| {
+                let spec = CaseSpec::derive(0xB00, i);
+                run_case_caught(&spec, mutation).is_some()
+            });
+            assert!(caught, "{mutation:?} survived 12 cases undetected");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for c in [
+            CheckId::Oracle,
+            CheckId::OltIdentity,
+            CheckId::ScratchReuse,
+            CheckId::Streaming,
+            CheckId::Jobs,
+            CheckId::CompressRoundtrip,
+            CheckId::TwoPass,
+            CheckId::SimReplay,
+            CheckId::Panic,
+        ] {
+            assert_eq!(CheckId::parse(c.name()), Some(c));
+        }
+        for m in [Mutation::None, Mutation::OltAliasing, Mutation::FreeBackoff] {
+            assert_eq!(Mutation::parse(m.name()), Some(m));
+        }
+        assert_eq!(Mutation::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,268 @@
+//! Self-contained repro files.
+//!
+//! A repro file is a short `key = value` text document holding the
+//! minimized [`CaseSpec`], the [`Mutation`] that was active, and the
+//! check that diverged. `unfold-cli verify --repro <file>` parses it
+//! and re-runs the case; the format is hand-rolled (no serde in the
+//! workspace) and round-trips exactly — floats are written with `{:?}`
+//! so the parsed value is bit-identical.
+
+use std::fmt::Write as _;
+
+use crate::case::CaseSpec;
+use crate::check::{run_case_caught, CheckId, Divergence, Mutation};
+
+/// A divergence repro: everything needed to replay one case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproCase {
+    /// The (usually minimized) generator spec.
+    pub spec: CaseSpec,
+    /// The check expected to diverge (`None` for exploratory replays).
+    pub check: Option<CheckId>,
+    /// The mutation that was active when the divergence was found.
+    pub mutation: Mutation,
+}
+
+/// Error from [`ReproCase::from_text`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproParseError {
+    /// 1-based line of the offending entry (0 for missing keys).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReproParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "repro file: {}", self.message)
+        } else {
+            write!(f, "repro file line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ReproParseError {}
+
+/// Sentinel for `max_frames = usize::MAX` (no cap).
+const MAX_SENTINEL: &str = "max";
+
+impl ReproCase {
+    /// Serializes to the repro text format.
+    pub fn to_text(&self) -> String {
+        let s = &self.spec;
+        let mut out = String::new();
+        let _ = writeln!(out, "# unfold-verify repro");
+        let _ = writeln!(out, "version = 1");
+        let _ = writeln!(out, "mutation = {}", self.mutation.name());
+        if let Some(check) = self.check {
+            let _ = writeln!(out, "check = {check}");
+        }
+        let _ = writeln!(out, "seed = {}", s.seed);
+        let _ = writeln!(out, "vocab_size = {}", s.vocab_size);
+        let _ = writeln!(out, "phonemes = {}", s.phonemes);
+        let _ = writeln!(out, "ctc = {}", s.ctc);
+        let _ = writeln!(out, "sentences = {}", s.sentences);
+        let _ = writeln!(out, "min_bigram_count = {}", s.min_bigram_count);
+        let _ = writeln!(out, "min_trigram_count = {}", s.min_trigram_count);
+        let _ = writeln!(out, "weight_grid = {:?}", s.weight_grid);
+        let _ = writeln!(out, "noise_sigma = {:?}", s.noise_sigma);
+        let _ = writeln!(out, "word_confusion = {:?}", s.word_confusion);
+        let words: Vec<String> = s.words.iter().map(|w| w.to_string()).collect();
+        let _ = writeln!(out, "words = {}", words.join(","));
+        if s.max_frames == usize::MAX {
+            let _ = writeln!(out, "max_frames = {MAX_SENTINEL}");
+        } else {
+            let _ = writeln!(out, "max_frames = {}", s.max_frames);
+        }
+        let _ = writeln!(out, "beam = {:?}", s.beam);
+        let _ = writeln!(out, "max_active = {}", s.max_active);
+        let _ = writeln!(out, "olt_small = {}", s.olt_small);
+        let _ = writeln!(out, "olt_large = {}", s.olt_large);
+        out
+    }
+
+    /// Parses [`ReproCase::to_text`] output. Unknown keys are rejected
+    /// so typos fail loudly; comment (`#`) and blank lines are skipped.
+    pub fn from_text(text: &str) -> Result<ReproCase, ReproParseError> {
+        fn err(line: usize, message: impl Into<String>) -> ReproParseError {
+            ReproParseError {
+                line,
+                message: message.into(),
+            }
+        }
+        fn parse<T: std::str::FromStr>(
+            line: usize,
+            key: &str,
+            value: &str,
+        ) -> Result<T, ReproParseError> {
+            value
+                .parse::<T>()
+                .map_err(|_| err(line, format!("invalid value for {key}: {value:?}")))
+        }
+
+        let mut spec = CaseSpec {
+            seed: 0,
+            vocab_size: 0,
+            phonemes: 0,
+            ctc: false,
+            sentences: 0,
+            min_bigram_count: 2,
+            min_trigram_count: 2,
+            weight_grid: 0.0,
+            noise_sigma: 0.05,
+            word_confusion: 0.0,
+            words: Vec::new(),
+            max_frames: usize::MAX,
+            beam: 14.0,
+            max_active: 6000,
+            olt_small: 8,
+            olt_large: 4096,
+        };
+        let mut mutation = Mutation::None;
+        let mut check = None;
+        let (mut saw_seed, mut saw_vocab, mut saw_phonemes, mut saw_sentences) =
+            (false, false, false, false);
+
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(lineno, format!("expected `key = value`, got {line:?}")));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "version" => {
+                    if value != "1" {
+                        return Err(err(lineno, format!("unsupported version {value}")));
+                    }
+                }
+                "mutation" => {
+                    mutation = Mutation::parse(value)
+                        .ok_or_else(|| err(lineno, format!("unknown mutation {value:?}")))?;
+                }
+                "check" => {
+                    check = Some(
+                        CheckId::parse(value)
+                            .ok_or_else(|| err(lineno, format!("unknown check {value:?}")))?,
+                    );
+                }
+                "seed" => {
+                    spec.seed = parse(lineno, key, value)?;
+                    saw_seed = true;
+                }
+                "vocab_size" => {
+                    spec.vocab_size = parse(lineno, key, value)?;
+                    saw_vocab = true;
+                }
+                "phonemes" => {
+                    spec.phonemes = parse(lineno, key, value)?;
+                    saw_phonemes = true;
+                }
+                "ctc" => spec.ctc = parse(lineno, key, value)?,
+                "sentences" => {
+                    spec.sentences = parse(lineno, key, value)?;
+                    saw_sentences = true;
+                }
+                "min_bigram_count" => spec.min_bigram_count = parse(lineno, key, value)?,
+                "min_trigram_count" => spec.min_trigram_count = parse(lineno, key, value)?,
+                "weight_grid" => spec.weight_grid = parse(lineno, key, value)?,
+                "noise_sigma" => spec.noise_sigma = parse(lineno, key, value)?,
+                "word_confusion" => spec.word_confusion = parse(lineno, key, value)?,
+                "words" => {
+                    spec.words = if value.is_empty() {
+                        Vec::new()
+                    } else {
+                        value
+                            .split(',')
+                            .map(|w| parse(lineno, key, w.trim()))
+                            .collect::<Result<_, _>>()?
+                    };
+                }
+                "max_frames" => {
+                    spec.max_frames = if value == MAX_SENTINEL {
+                        usize::MAX
+                    } else {
+                        parse(lineno, key, value)?
+                    };
+                }
+                "beam" => spec.beam = parse(lineno, key, value)?,
+                "max_active" => spec.max_active = parse(lineno, key, value)?,
+                "olt_small" => spec.olt_small = parse(lineno, key, value)?,
+                "olt_large" => spec.olt_large = parse(lineno, key, value)?,
+                _ => return Err(err(lineno, format!("unknown key {key:?}"))),
+            }
+        }
+
+        for (seen, key) in [
+            (saw_seed, "seed"),
+            (saw_vocab, "vocab_size"),
+            (saw_phonemes, "phonemes"),
+            (saw_sentences, "sentences"),
+        ] {
+            if !seen {
+                return Err(err(0, format!("missing required key {key:?}")));
+            }
+        }
+        Ok(ReproCase {
+            spec,
+            check,
+            mutation,
+        })
+    }
+}
+
+/// Replays a repro: rebuilds the models and re-runs the full check
+/// matrix under the recorded mutation. Returns the divergence, or
+/// `None` when the case now passes (i.e. the bug is fixed).
+pub fn run_repro(repro: &ReproCase) -> Option<Divergence> {
+    run_case_caught(&repro.spec, repro.mutation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trips_exactly() {
+        for (index, mutation) in [
+            (0, Mutation::None),
+            (3, Mutation::OltAliasing),
+            (7, Mutation::FreeBackoff),
+        ] {
+            let repro = ReproCase {
+                spec: CaseSpec::derive(99, index),
+                check: Some(CheckId::Oracle),
+                mutation,
+            };
+            let parsed = ReproCase::from_text(&repro.to_text()).unwrap();
+            assert_eq!(parsed, repro);
+        }
+    }
+
+    #[test]
+    fn empty_words_and_max_frames_round_trip() {
+        let mut repro = ReproCase {
+            spec: CaseSpec::derive(1, 1),
+            check: None,
+            mutation: Mutation::None,
+        };
+        repro.spec.words = Vec::new();
+        repro.spec.max_frames = usize::MAX;
+        let parsed = ReproCase::from_text(&repro.to_text()).unwrap();
+        assert_eq!(parsed, repro);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let e = ReproCase::from_text("version = 1\nbogus_key = 3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = ReproCase::from_text("not a key value line\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = ReproCase::from_text("version = 1\n").unwrap_err();
+        assert_eq!(e.line, 0, "missing keys reported at line 0");
+    }
+}

@@ -30,4 +30,13 @@ done
 # rate, worker-pool scaling) — lands at the repo root as BENCH_decode.json.
 echo "== decode_throughput"
 cargo bench -p unfold-bench --bench decode_throughput
+# Optional: run the differential verification campaign alongside the
+# experiments (UNFOLD_VERIFY=<cases>, e.g. UNFOLD_VERIFY=256). Any
+# divergence fails the script and leaves repro files in results/verify/.
+if [[ -n "${UNFOLD_VERIFY:-}" ]]; then
+  echo "== verify (${UNFOLD_VERIFY} cases)"
+  cargo build --release -p unfold-verify
+  target/release/unfold-verify --cases "$UNFOLD_VERIFY" --seed 42 \
+    --out "$OUT/verify" | tee "$OUT/verify_campaign.log"
+fi
 echo "results written to $OUT/"

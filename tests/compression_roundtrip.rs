@@ -89,6 +89,52 @@ proptest! {
     }
 }
 
+/// Regression: promoted from `proptest-regressions/compression_roundtrip.txt`
+/// (cc 16b15bc5…, "shrinks to k = 65, seed = 0") so the case survives a
+/// proptest cache wipe. k = 65 is the exact boundary of the packed
+/// formats' 6-bit weight-index field: the free-standing quantizer
+/// accepts it (spilling to 7 index bits), but `compress` must reject it
+/// loudly instead of silently truncating codebook indices — and k = 64
+/// must keep round-tripping bit-exactly.
+#[test]
+fn regression_k65_seed0_is_rejected_at_the_format_boundary() {
+    let s = system();
+    let weights: Vec<f32> = s
+        .lm_fst
+        .states()
+        .flat_map(|st| s.lm_fst.arcs(st).iter().map(|a| a.weight))
+        .collect();
+
+    // The quantizer itself is format-agnostic: k = 65 fits and needs a
+    // 7th index bit.
+    let q = WeightQuantizer::fit(&weights, 65, 0);
+    assert!(q.index_bits() >= 7, "k = 65 must spill past 6 index bits");
+    for &w in weights.iter().step_by(7) {
+        assert!(q.quantize(w).is_finite());
+    }
+
+    // The packed formats must refuse k = 65 (their arc layouts store
+    // 6-bit indices) rather than emit corrupt models.
+    for result in [
+        std::panic::catch_unwind(|| CompressedAm::compress(&s.am.fst, 65, 0).size_bytes()),
+        std::panic::catch_unwind(|| CompressedLm::compress(&s.lm_fst, 65, 0).size_bytes()),
+    ] {
+        let err = result.expect_err("k = 65 must be rejected by compress");
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("k <= 64"), "unexpected panic message: {msg}");
+    }
+
+    // One below the boundary still round-trips the topology exactly.
+    let cam = CompressedAm::compress(&s.am.fst, 64, 0);
+    let clm = CompressedLm::compress(&s.lm_fst, 64, 0);
+    assert_eq!(cam.to_wfst().num_arcs(), s.am.fst.num_arcs());
+    assert_eq!(clm.to_wfst().num_arcs(), s.lm_fst.num_arcs());
+}
+
 #[test]
 fn saved_models_decode_identically_after_reload() {
     // The deployment flow: compress once, write the UNFA/UNFL files,

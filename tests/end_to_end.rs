@@ -74,6 +74,90 @@ fn every_paper_task_spec_builds() {
 }
 
 #[test]
+fn clean_presets_transcribe_exactly() {
+    // Stronger than the WER bounds above: with the noise knobs zeroed,
+    // every synthetic preset must recover the reference transcript
+    // *exactly* — any systematic decode error shows up here even when
+    // it stays under a WER threshold.
+    use unfold_am::NoiseModel;
+    use unfold_decoder::{DecodeConfig, NullSink, OtfDecoder};
+
+    let mut specs = TaskSpec::all_paper_tasks();
+    specs.push(TaskSpec::tiny());
+    for mut spec in specs {
+        spec.vocab_size = 120;
+        spec.num_sentences = 800;
+        spec.scoring = unfold::ScoringSynth::Table;
+        spec.noise = NoiseModel {
+            noise_sigma: 0.05,
+            confusion_prob: 0.0,
+            word_confusion_prob: 0.0,
+            ..NoiseModel::default()
+        };
+        let system = System::build(&spec);
+        let decoder = OtfDecoder::new(DecodeConfig::default());
+        for (i, utt) in system.test_utterances(3).iter().enumerate() {
+            let res = decoder.decode(&system.am.fst, &system.lm_fst, &utt.scores, &mut NullSink);
+            assert_eq!(
+                res.words, utt.words,
+                "{} utt {i}: clean decode must be exact",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn decode_batch_handles_empty_and_one_frame_batches() {
+    use unfold_am::AcousticScores;
+    use unfold_decoder::{DecodeConfig, DecodeResult, NullSink, OtfDecoder};
+
+    let (system, utts) = tiny();
+    let decoder = OtfDecoder::new(DecodeConfig::default());
+    let decode_one =
+        |_i: usize, utt: &unfold_am::Utterance, scratch: &mut unfold_decoder::DecodeScratch| {
+            decoder.decode_with(
+                &system.am_comp,
+                &system.lm_comp,
+                &utt.scores,
+                scratch,
+                &mut NullSink,
+            )
+        };
+
+    // Zero utterances: no workers panic, telemetry stays sane.
+    let empty: Vec<unfold_am::Utterance> = Vec::new();
+    let (results, pool) = unfold::decode_batch(&empty, 4, decode_one);
+    assert!(results.is_empty());
+    assert!(pool.workers <= 1, "an empty batch needs no worker pool");
+
+    // A batch containing a 1-frame and a 0-frame utterance decodes
+    // without panicking and matches the serial path bit for bit.
+    let num_pdfs = utts[0].scores.num_pdfs();
+    let one_frame = unfold_am::Utterance {
+        words: utts[0].words.clone(),
+        alignment: utts[0].alignment.iter().take(1).copied().collect(),
+        scores: AcousticScores::from_flat(utts[0].scores.frame(0).to_vec(), num_pdfs),
+    };
+    let zero_frame = unfold_am::Utterance {
+        words: Vec::new(),
+        alignment: Vec::new(),
+        scores: AcousticScores::from_flat(Vec::new(), num_pdfs),
+    };
+    let batch = vec![one_frame, zero_frame];
+    let (serial, _) = unfold::decode_batch(&batch, 1, decode_one);
+    let (parallel, pool) = unfold::decode_batch(&batch, 8, decode_one);
+    assert!(pool.workers <= batch.len(), "pool must clamp to batch size");
+    let bits = |r: &DecodeResult| (r.words.clone(), r.cost.to_bits(), r.stats);
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(bits(a), bits(b));
+    }
+    assert_eq!(serial[0].stats.frames, 1);
+    assert_eq!(serial[1].stats.frames, 0);
+    assert!(serial[1].words.is_empty());
+}
+
+#[test]
 fn bigram_only_grammar_is_supported() {
     // §5.3: "supporting any grammar (bigram, trigram, pentagram...)".
     // Pruning every trigram yields a pure bigram LM; the whole pipeline
