@@ -12,7 +12,12 @@
 //!   (the decode path as it was before the zero-alloc refactor),
 //! * **optimized, single thread** — one warm [`DecodeScratch`] reused
 //!   across utterances plus the software OLT,
-//! * **optimized, `jobs` ∈ {1, 2, 4}** — the utterance-parallel pool.
+//! * **optimized, `jobs` ∈ {1, 2, 4}** — the utterance-parallel pool,
+//!   but only the worker counts this machine can actually run in
+//!   parallel: points with `jobs > cores` measure scheduler thrash,
+//!   not the pool, so they are skipped and listed in
+//!   `skipped_oversubscribed` instead of being reported as if they
+//!   meant something.
 //!
 //! All three produce bit-identical transcripts (pinned by tests and
 //! asserted again here); only the wall clock may differ.
@@ -66,8 +71,13 @@ pub struct DecodeBenchReport {
     pub rtf: f64,
     /// Software-OLT hit rate in the optimized run.
     pub olt_hit_rate: f64,
-    /// Scaling across worker counts.
+    /// Scaling across worker counts that fit this machine
+    /// (`jobs <= cores`, plus `jobs = 1` always).
     pub jobs: Vec<JobsPoint>,
+    /// Worker counts *not* measured because they exceed the machine's
+    /// cores — an oversubscribed pool benchmarks the OS scheduler, not
+    /// the decoder.
+    pub skipped_oversubscribed: Vec<usize>,
 }
 
 impl DecodeBenchReport {
@@ -109,7 +119,16 @@ impl DecodeBenchReport {
                 if i + 1 < self.jobs.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"skipped_oversubscribed\": [{}]\n",
+            self.skipped_oversubscribed
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        s.push_str("}\n");
         s
     }
 }
@@ -166,10 +185,21 @@ pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchR
     }
 
     const JOBS: [usize; 3] = [1, 2, 4];
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // An oversubscribed pool (jobs > cores) time-slices workers on the
+    // same core and measures the OS scheduler, not the decoder — its
+    // "speedup" is noise below 1.0. Record those points as skipped
+    // rather than publishing misleading numbers.
+    let measured: Vec<usize> = JOBS
+        .iter()
+        .copied()
+        .filter(|&j| j <= cores.max(1))
+        .collect();
+    let skipped: Vec<usize> = JOBS.iter().copied().filter(|&j| j > cores.max(1)).collect();
     let mut naive_samples = Vec::with_capacity(reps);
     let mut opt_samples = Vec::with_capacity(reps);
-    let mut jobs_samples: [Vec<f64>; JOBS.len()] = Default::default();
-    let mut occupancies = [0.0f64; JOBS.len()];
+    let mut jobs_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); measured.len()];
+    let mut occupancies = vec![0.0f64; measured.len()];
     for _ in 0..reps {
         let t0 = Instant::now();
         for u in utts {
@@ -189,7 +219,7 @@ pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchR
         }
         opt_samples.push(t0.elapsed().as_secs_f64());
 
-        for (ji, &jobs) in JOBS.iter().enumerate() {
+        for (ji, &jobs) in measured.iter().enumerate() {
             let t0 = Instant::now();
             let (_, pool) = decode_batch(utts, jobs, |_i, u, scratch| {
                 opt_dec.decode_with(
@@ -209,7 +239,7 @@ pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchR
 
     let mut jobs_points = Vec::new();
     let mut serial_fps = 0.0;
-    for (ji, &jobs) in JOBS.iter().enumerate() {
+    for (ji, &jobs) in measured.iter().enumerate() {
         let fps = frames as f64 / median(std::mem::take(&mut jobs_samples[ji]));
         if jobs == 1 {
             serial_fps = fps;
@@ -224,7 +254,7 @@ pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchR
 
     DecodeBenchReport {
         task: system.spec.name.to_string(),
-        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cores,
         utterances: utts.len(),
         frames,
         audio_seconds,
@@ -238,6 +268,7 @@ pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchR
             0.0
         },
         jobs: jobs_points,
+        skipped_oversubscribed: skipped,
     }
 }
 
@@ -285,8 +316,22 @@ mod tests {
         assert!(report.naive_frames_per_sec > 0.0);
         assert!(report.rtf > 0.0);
         assert!(report.olt_hit_rate > 0.0, "tiny task must hit the OLT");
-        assert_eq!(report.jobs.len(), 3);
+        // Every candidate jobs point is either measured or listed as
+        // skipped-oversubscribed; jobs=1 is always measured.
+        assert_eq!(report.jobs.len() + report.skipped_oversubscribed.len(), 3);
+        assert_eq!(report.jobs[0].jobs, 1);
         assert!((report.jobs[0].speedup - 1.0).abs() < 1e-9);
+        for p in &report.jobs {
+            assert!(
+                p.jobs == 1 || p.jobs <= report.cores,
+                "oversubscribed point jobs={} on {} cores must be skipped",
+                p.jobs,
+                report.cores
+            );
+        }
+        for &j in &report.skipped_oversubscribed {
+            assert!(j > report.cores);
+        }
         let json = report.to_json();
         for key in [
             "\"cores\"",
@@ -295,6 +340,7 @@ mod tests {
             "\"olt_hit_rate\"",
             "\"single_thread_speedup\"",
             "\"jobs\": [",
+            "\"skipped_oversubscribed\": [",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

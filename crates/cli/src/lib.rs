@@ -14,7 +14,11 @@
 //!   breakdown plus frame-latency percentiles,
 //! * `sizes`    — print the dataset size table for a task,
 //! * `verify`   — replay an `unfold-verify` repro file through the full
-//!   differential check matrix.
+//!   differential check matrix,
+//! * `serve`    — run the multi-session streaming decode server on a
+//!   TCP port until a client sends `Shutdown`,
+//! * `loadgen`  — drive a closed-loop load test against a running
+//!   server and write the latency report to `BENCH_serve.json`.
 //!
 //! `decode`, `simulate`, and `profile` accept `--metrics <file>` to
 //! export the per-frame/per-stage telemetry as JSONL.
@@ -23,7 +27,9 @@
 //! string so every command is unit-testable.
 
 use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use unfold::experiments::{
     run_baseline_configured_jobs, run_baseline_traced_jobs, run_unfold_jobs,
@@ -32,6 +38,7 @@ use unfold::experiments::{
 use unfold::{decode_batch_recorded, System, TaskSpec};
 use unfold_compress::{load_am, load_lm, save_am, save_lm};
 use unfold_decoder::{wer, DecodeConfig, MetricsSink, NullSink, OtfDecoder, TraceSink, WerReport};
+use unfold_serve::{run_loadgen, LoadgenConfig, ServeConfig, Server, TcpFront};
 use unfold_sim::AcceleratorConfig;
 
 /// Usage text printed on argument errors.
@@ -43,16 +50,29 @@ commands:
   decode   --task <name> [--utterances N]   decode test utterances (WER report)
            [--am <file> --lm <file>]        ... using previously saved models
            [--nbest K]                      ... printing K-best hypotheses
-           [--jobs N]                       ... on N parallel workers (same output)
+           [--jobs N]                       ... on N parallel workers (same output;
+                                                0 = one per available core)
            [--metrics <file>]               ... exporting telemetry as JSONL
   simulate --task <name> [--utterances N]   accelerator performance/energy summary
            [--baseline]                     ... on the Reza et al. baseline instead
-           [--jobs N]                       ... decode on N workers, replay serially
+           [--jobs N]                       ... decode on N workers (0 = all cores),
+                                                replay serially
            [--metrics <file>]               ... exporting telemetry as JSONL
   profile  --task <name> [--utterances N]   stage breakdown + frame latency percentiles
            [--baseline] [--metrics <file>]
   sizes    --task <name>                    dataset size table
   verify   --repro <file>                   replay an unfold-verify repro file
+  serve    --task <name> [--port N]         multi-session streaming decode server;
+           [--port-file <file>]             ... write the bound port to a file
+           [--workers N] [--capacity N]     ... decode threads (0 = all cores) and
+           [--quantum N] [--deadline-ms N]      session slots / scheduler knobs
+           [--idle-timeout-ms N] [--olt N]      runs until a client sends Shutdown
+  loadgen  --task <name>                    closed-loop load test against `serve`
+           --addr <ip:port> | --port N | --port-file <file>
+           [--sessions N] [--concurrency N]
+           [--chunk N] [--utterances N]     ... frames per message, distinct utts
+           [--out <file>] [--shutdown]      ... report path (default
+                                                BENCH_serve.json), stop the server
 
 tasks: tedlium | librispeech | voxforge | eesen | tiny
 ";
@@ -162,7 +182,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "profile" => cmd_profile(rest),
         "sizes" => cmd_sizes(rest),
         "verify" => cmd_verify(rest),
+        "serve" => cmd_serve(rest),
+        "loadgen" => cmd_loadgen(rest),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Resolves a `--jobs`/`--workers` count: `0` means one worker per
+/// available core (so scripts can say "use the machine" without
+/// hard-coding a count that oversubscribes small boxes).
+fn resolve_jobs(n: usize) -> usize {
+    if n == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        n
     }
 }
 
@@ -237,7 +270,7 @@ fn cmd_decode(args: &[String]) -> Result<String, CliError> {
         }
     };
     let nbest = flags.usize_or("nbest", 1)?;
-    let jobs = flags.usize_or("jobs", 1)?;
+    let jobs = resolve_jobs(flags.usize_or("jobs", 1)?);
     let metrics_path = flags.get("metrics");
     let mut metrics = MetricsSink::new();
     let mut null = NullSink;
@@ -353,7 +386,7 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args, &["baseline"])?;
     let spec = task_by_name(flags.require("task")?)?;
     let n = flags.usize_or("utterances", 5)?;
-    let jobs = flags.usize_or("jobs", 1)?;
+    let jobs = resolve_jobs(flags.usize_or("jobs", 1)?);
     let system = System::build(&spec);
     let metrics_path = flags.get("metrics");
     let mut metrics = MetricsSink::new();
@@ -523,6 +556,132 @@ fn cmd_verify(args: &[String]) -> Result<String, CliError> {
             );
         }
     }
+    Ok(s)
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let spec = task_by_name(flags.require("task")?)?;
+    let port = flags.usize_or("port", 0)?;
+    let port = u16::try_from(port)
+        .map_err(|_| CliError::Usage(format!("--port {port} is not a TCP port")))?;
+    let config = ServeConfig {
+        workers: resolve_jobs(flags.usize_or("workers", 2)?),
+        capacity: flags.usize_or("capacity", 32)?,
+        quantum_frames: flags.usize_or("quantum", 16)?,
+        deadline_ms: flags.usize_or("deadline-ms", 500)? as u64,
+        idle_timeout_ms: flags.usize_or("idle-timeout-ms", 10_000)? as u64,
+        olt_entries: flags.usize_or("olt", 1_024)?,
+        ..Default::default()
+    };
+    let system = System::build(&spec);
+    let server = Server::start(config, Arc::new(system.am_comp), Arc::new(system.lm_comp));
+    let handle = server.handle();
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let front = TcpFront::start(listener, server.handle())?;
+    let addr = front.local_addr();
+    if let Some(path) = flags.get("port-file") {
+        // The ephemeral port (with --port 0) is only knowable here, so
+        // scripts read it back from this file.
+        std::fs::write(path, format!("{}\n", addr.port()))?;
+    }
+    // Blocks until a client sends Shutdown (the accept loop watches the
+    // server's shutdown flag).
+    front.join();
+    server.shutdown();
+    let mut s = String::new();
+    let _ = writeln!(s, "serve: {} on {addr} — shut down", spec.name);
+    s.push_str(&handle.obs_markdown());
+    Ok(s)
+}
+
+/// Resolves the loadgen target address from `--addr`, `--port`, or
+/// `--port-file` (in that precedence).
+fn loadgen_addr(flags: &Flags) -> Result<SocketAddr, CliError> {
+    if let Some(a) = flags.get("addr") {
+        return a
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--addr expects ip:port, got '{a}'")));
+    }
+    let port = if let Some(path) = flags.get("port-file") {
+        let text = std::fs::read_to_string(path)?;
+        text.trim().parse::<u16>().map_err(|_| {
+            CliError::Usage(format!("{path}: expected a port, got '{}'", text.trim()))
+        })?
+    } else {
+        let port = flags.usize_or("port", 0)?;
+        if port == 0 {
+            return Err(CliError::Usage(
+                "loadgen needs --addr, --port, or --port-file".into(),
+            ));
+        }
+        u16::try_from(port)
+            .map_err(|_| CliError::Usage(format!("--port {port} is not a TCP port")))?
+    };
+    Ok(SocketAddr::from(([127, 0, 0, 1], port)))
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["shutdown"])?;
+    let spec = task_by_name(flags.require("task")?)?;
+    let addr = loadgen_addr(&flags)?;
+    let cfg = LoadgenConfig {
+        sessions: flags.usize_or("sessions", 16)?,
+        concurrency: flags.usize_or("concurrency", 4)?,
+        chunk_frames: flags.usize_or("chunk", 10)?,
+        shutdown_after: flags.has("shutdown"),
+    };
+    let n = flags.usize_or("utterances", 4)?.max(1);
+    let out = flags.get("out").unwrap_or("BENCH_serve.json");
+    // The client synthesizes the same task preset the server loaded, so
+    // score-row width matches the server's acoustic model.
+    let system = System::build(&spec);
+    let utts: Vec<Vec<Vec<f32>>> = system
+        .test_utterances(n)
+        .iter()
+        .map(|u| {
+            (0..u.scores.num_frames())
+                .map(|t| u.scores.frame(t).to_vec())
+                .collect()
+        })
+        .collect();
+    let report = run_loadgen(addr, &utts, &cfg)?;
+    std::fs::write(out, report.to_json())?;
+    let mut s = String::new();
+    let _ = writeln!(s, "loadgen: {} against {addr}", spec.name);
+    let _ = writeln!(
+        s,
+        "sessions: {} requested, {} completed, {} rejected, {} errors ({:.2}/s)",
+        report.sessions_requested,
+        report.sessions_completed,
+        report.sessions_rejected,
+        report.errors,
+        report.sessions_per_sec
+    );
+    let _ = writeln!(
+        s,
+        "first partial: p50 {:.0} ms  p95 {:.0} ms  p99 {:.0} ms  ({} sessions)",
+        report.first_partial_ms.p50,
+        report.first_partial_ms.p95,
+        report.first_partial_ms.p99,
+        report.first_partial_ms.count
+    );
+    let _ = writeln!(
+        s,
+        "final:         p50 {:.0} ms  p95 {:.0} ms  p99 {:.0} ms  ({} sessions)",
+        report.final_ms.p50, report.final_ms.p95, report.final_ms.p99, report.final_ms.count
+    );
+    for name in [
+        "serve.deadline_misses",
+        "serve.evictions_idle",
+        "serve.rejects_capacity",
+        "serve.rejects_overload",
+    ] {
+        if let Some(v) = report.server_total(name) {
+            let _ = writeln!(s, "{name}: {v:.0}");
+        }
+    }
+    let _ = writeln!(s, "report: {out}");
     Ok(s)
 }
 
@@ -798,5 +957,100 @@ mod tests {
     fn bad_number_is_usage_error() {
         let err = run(&sv(&["decode", "--task", "tiny", "--utterances", "lots"])).unwrap_err();
         assert!(err.to_string().contains("number"));
+    }
+
+    #[test]
+    fn jobs_zero_resolves_to_available_cores_with_identical_output() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+        let serial = run(&sv(&["decode", "--task", "tiny", "--utterances", "2"])).unwrap();
+        let auto = run(&sv(&[
+            "decode",
+            "--task",
+            "tiny",
+            "--utterances",
+            "2",
+            "--jobs",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(serial, auto, "--jobs 0 must not change decode output");
+    }
+
+    #[test]
+    fn loadgen_without_a_target_is_a_usage_error() {
+        let err = run(&sv(&["loadgen", "--task", "tiny"])).unwrap_err();
+        assert!(err.to_string().contains("--addr"));
+        let err = run(&sv(&["loadgen", "--task", "tiny", "--addr", "nonsense"])).unwrap_err();
+        assert!(err.to_string().contains("ip:port"));
+    }
+
+    #[test]
+    fn serve_and_loadgen_roundtrip_writes_bench_report() {
+        let dir = std::env::temp_dir().join(format!("unfold-serve-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("port");
+        let out = dir.join("BENCH_serve.json");
+
+        let pf = port_file.to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            run(&sv(&[
+                "serve",
+                "--task",
+                "tiny",
+                "--port",
+                "0",
+                "--port-file",
+                &pf,
+                "--workers",
+                "2",
+            ]))
+        });
+        // Wait (bounded) for serve to publish its ephemeral port.
+        let mut waited = 0u32;
+        while !port_file.exists() {
+            assert!(!server.is_finished(), "serve exited before binding");
+            assert!(waited < 1_000, "serve never wrote its port file");
+            waited += 1;
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let report = run(&sv(&[
+            "loadgen",
+            "--task",
+            "tiny",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--sessions",
+            "4",
+            "--concurrency",
+            "2",
+            "--utterances",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+            "--shutdown",
+        ]))
+        .unwrap();
+        assert!(report.contains("4 completed"), "in:\n{report}");
+        assert!(report.contains("first partial: p50"));
+        assert!(report.contains("serve.deadline_misses"));
+
+        let json = std::fs::read_to_string(&out).unwrap();
+        for key in [
+            "\"sessions_per_sec\"",
+            "\"first_partial_ms\"",
+            "\"p99\"",
+            "\"serve.deadline_misses\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+
+        // --shutdown stopped the server; its thread returns the obs
+        // summary.
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("shut down"), "in:\n{served}");
+        assert!(served.contains("serve.finals"), "in:\n{served}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -58,9 +58,9 @@ pub use metrics::{MetricsSink, TeeSink};
 pub use olt::SoftOlt;
 pub use otf::OtfDecoder;
 pub use record::{TraceEvent, TraceRecorder};
-pub use scratch::{validate_models, DecodeScratch};
+pub use scratch::{validate_models, DecodeScratch, SessionScratch, WorkScratch};
 pub use sources::{addr, AmSource, ArcVisit, LinearLm, LmResolution, LmSource, MAX_BACKOFF_HOPS};
-pub use streaming::OtfStream;
+pub use streaming::{OtfStream, StreamSession};
 pub use trace::{CountingSink, DecodeStage, NullSink, TraceSink};
 pub use twopass::{TwoPassDecoder, TwoPassResult, UnigramLm};
 pub use wer::{align, oracle_wer, wer, AlignOp, WerReport};

@@ -23,7 +23,7 @@ use unfold_wfst::{Label, StateId, EPSILON};
 use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
 use crate::lattice::{Lattice, COMPACT_ENTRY_BYTES, LATTICE_ROOT};
 use crate::olt::SoftOlt;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeScratch, SessionScratch, WorkScratch};
 use crate::search::{prune_threshold_store, DetHasher, Token, TokenStore};
 use crate::sources::{addr, AmSource, Fetch, LmSource, MAX_BACKOFF_HOPS};
 use crate::trace::{DecodeStage, TraceSink};
@@ -104,7 +104,7 @@ impl OtfDecoder {
         // Collect every complete hypothesis, dedup by word string.
         sink.stage_enter(DecodeStage::Lattice);
         let mut finals: Vec<(f32, u32)> = Vec::new();
-        for &(key, tok) in scratch.cur.iter() {
+        for &(key, tok) in scratch.session.cur.iter() {
             let (am_s, _) = split(key);
             if let Some(fw) = am.final_weight(am_s) {
                 finals.push((tok.cost + fw, tok.lat));
@@ -114,7 +114,7 @@ impl OtfDecoder {
         let mut seen: HashSet<Vec<Label>, BuildHasherDefault<DetHasher>> = HashSet::default();
         let mut out = Vec::new();
         for (cost, lat) in finals {
-            let words = scratch.lattice.backtrace(lat);
+            let words = scratch.session.lattice.backtrace(lat);
             if seen.contains(&words) {
                 continue;
             }
@@ -160,7 +160,13 @@ impl OtfDecoder {
     ) -> DecodeResult {
         let mut stats = DecodeStats::default();
         self.run(am, lm, scores, scratch, sink, &mut stats);
-        finish(am, &scratch.cur, &scratch.lattice, stats, sink)
+        finish(
+            am,
+            &scratch.session.cur,
+            &scratch.session.lattice,
+            stats,
+            sink,
+        )
     }
 
     /// Shared search loop: seeds the start token, runs the initial
@@ -176,8 +182,8 @@ impl OtfDecoder {
         stats: &mut DecodeStats,
     ) {
         scratch.begin(&self.config);
-        scratch.ensure_validated(am, lm, scores.num_pdfs());
-        scratch.cur.insert(
+        scratch.work.ensure_validated(am, lm, scores.num_pdfs());
+        scratch.session.cur.insert(
             token_key(am.start(), lm.start()),
             Token {
                 cost: 0.0,
@@ -188,12 +194,12 @@ impl OtfDecoder {
             &self.config,
             am,
             lm,
-            &mut scratch.cur,
-            &mut scratch.worklist,
-            &mut scratch.eps_local,
-            &mut scratch.probes,
-            &mut scratch.olt,
-            &mut scratch.lattice,
+            &mut scratch.session.cur,
+            &mut scratch.work.worklist,
+            &mut scratch.work.eps_local,
+            &mut scratch.work.probes,
+            &mut scratch.work.olt,
+            &mut scratch.session.lattice,
             0,
             f32::INFINITY,
             sink,
@@ -204,7 +210,8 @@ impl OtfDecoder {
                 &self.config,
                 am,
                 lm,
-                scratch,
+                &mut scratch.session,
+                &mut scratch.work,
                 scores.frame(t),
                 t,
                 sink,
@@ -216,43 +223,47 @@ impl OtfDecoder {
 
 /// Processes one frame: prune, expand emitting arcs against the frame's
 /// cost row (`costs[pdf - 1]`), then run the non-emitting closure. The
-/// population entering the frame is `scratch.cur`; the surviving
-/// population is swapped back into `scratch.cur` on return. Shared by
-/// [`OtfDecoder::decode`] and [`crate::streaming::OtfStream`].
+/// population entering the frame is `session.cur`; the surviving
+/// population is swapped back into `session.cur` on return. Shared by
+/// [`OtfDecoder::decode`] and [`crate::streaming::StreamSession`] —
+/// the latter lends a (possibly different) worker's `work` buffers on
+/// every call, which is safe because nothing in [`WorkScratch`]
+/// carries search state across a frame boundary.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn expand_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
     config: &DecodeConfig,
     am: &A,
     lm: &L,
-    scratch: &mut DecodeScratch,
+    session: &mut SessionScratch,
+    work: &mut WorkScratch,
     costs: &[f32],
     t: usize,
     sink: &mut dyn TraceSink,
     stats: &mut DecodeStats,
 ) {
-    scratch.ensure_validated(am, lm, costs.len());
-    sink.frame_start(t, scratch.cur.len());
+    work.ensure_validated(am, lm, costs.len());
+    sink.frame_start(t, session.cur.len());
     stats.frames += 1;
-    stats.max_active = stats.max_active.max(scratch.cur.len());
-    stats.total_active += scratch.cur.len() as u64;
+    stats.max_active = stats.max_active.max(session.cur.len());
+    stats.total_active += session.cur.len() as u64;
 
     sink.stage_enter(DecodeStage::Pruning);
     let thr = prune_threshold_store(
-        &scratch.cur,
+        &session.cur,
         config.beam,
         config.max_active,
-        &mut scratch.prune_costs,
+        &mut work.prune_costs,
     );
     sink.stage_switch(DecodeStage::Pruning, DecodeStage::ArcExpansion);
-    scratch.next.clear();
+    session.next.clear();
     let mut next_best = f32::INFINITY;
 
     {
-        let cur = &scratch.cur;
-        let next = &mut scratch.next;
-        let olt = &mut scratch.olt;
-        let probes = &mut scratch.probes;
-        let lattice = &mut scratch.lattice;
+        let cur = &session.cur;
+        let next = &mut session.next;
+        let olt = &mut work.olt;
+        let probes = &mut work.probes;
+        let lattice = &mut session.lattice;
         for &(k, tok) in cur.iter() {
             if tok.cost > thr {
                 stats.tokens_pruned += 1;
@@ -314,12 +325,12 @@ pub(crate) fn expand_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
         config,
         am,
         lm,
-        &mut scratch.next,
-        &mut scratch.worklist,
-        &mut scratch.eps_local,
-        &mut scratch.probes,
-        &mut scratch.olt,
-        &mut scratch.lattice,
+        &mut session.next,
+        &mut work.worklist,
+        &mut work.eps_local,
+        &mut work.probes,
+        &mut work.olt,
+        &mut session.lattice,
         t as u32,
         next_best + config.beam,
         sink,
@@ -329,7 +340,7 @@ pub(crate) fn expand_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
 
     let mut best = f32::INFINITY;
     let mut worst = f32::INFINITY;
-    for tok in scratch.next.values() {
+    for tok in session.next.values() {
         best = best.min(tok.cost);
         worst = if worst.is_finite() {
             worst.max(tok.cost)
@@ -337,8 +348,8 @@ pub(crate) fn expand_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
             tok.cost
         };
     }
-    sink.frame_end(t, scratch.next.len(), best, worst);
-    std::mem::swap(&mut scratch.cur, &mut scratch.next);
+    sink.frame_end(t, session.next.len(), best, worst);
+    std::mem::swap(&mut session.cur, &mut session.next);
 }
 
 /// Relaxes non-emitting AM arcs (including cross-word transitions,

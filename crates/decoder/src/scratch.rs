@@ -1,12 +1,21 @@
 //! Reusable decode working memory.
 //!
-//! The frame loop's data structures — the double-buffered token
-//! populations, the epsilon-closure worklist, the LM probe buffer, the
-//! pruning histogram staging area, the software OLT, and the word
-//! lattice — all live in one [`DecodeScratch`] that is cleared (not
-//! reallocated) between frames and utterances. After the first few
-//! frames warm the buffers, steady-state decoding performs no heap
-//! allocation.
+//! The frame loop's data structures are split by *ownership lifetime*:
+//!
+//! * [`SessionScratch`] — state intrinsic to one in-progress utterance:
+//!   the double-buffered token populations and the word lattice. A
+//!   streaming session must keep these alive between frame pushes.
+//! * [`WorkScratch`] — transient buffers the frame loop borrows while
+//!   it runs: the epsilon-closure worklist, the LM probe buffer, the
+//!   pruning histogram staging area, and the software OLT. Nothing in
+//!   here carries meaning across a frame boundary, so a multi-session
+//!   scheduler keeps **one per worker** and lends it to whichever
+//!   session the worker is currently advancing.
+//!
+//! [`DecodeScratch`] bundles both for the common one-utterance-at-a-time
+//! case; it is cleared (not reallocated) between frames and utterances,
+//! so after the first few frames warm the buffers, steady-state decoding
+//! performs no heap allocation.
 //!
 //! Reuse is only legal because every structure here iterates in a
 //! capacity-independent order (see [`crate::search::TokenStore`]):
@@ -22,14 +31,46 @@ use crate::olt::SoftOlt;
 use crate::search::TokenStore;
 use crate::sources::{AmSource, Fetch, LmSource, MAX_BACKOFF_HOPS};
 
-/// Per-decoder (or per-worker) reusable working memory. Create once,
-/// pass to [`crate::OtfDecoder::decode_with`] for every utterance.
+/// Per-utterance persistent search state: the live token populations
+/// and the word lattice. This is the minimum a paused streaming session
+/// must hold on to between frame pushes.
 #[derive(Debug, Default)]
-pub struct DecodeScratch {
+pub struct SessionScratch {
     /// Token population entering the current frame.
     pub(crate) cur: TokenStore,
     /// Population being built for the next frame (swapped with `cur`).
     pub(crate) next: TokenStore,
+    /// Word lattice of the utterance in progress.
+    pub(crate) lattice: Lattice,
+}
+
+impl SessionScratch {
+    /// Fresh, empty session state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares for a new utterance: clears the token populations and
+    /// lattice (capacity is kept).
+    pub fn begin(&mut self) {
+        self.cur.clear();
+        self.next.clear();
+        self.lattice.clear();
+    }
+
+    /// Live hypotheses right now.
+    pub fn num_active(&self) -> usize {
+        self.cur.len()
+    }
+}
+
+/// Frame-loop transient buffers plus the software OLT. Shared by every
+/// utterance a worker advances; holds nothing an individual search
+/// depends on across frames (the OLT is a pure memo — see
+/// [`crate::olt::SoftOlt`] — so sharing it across sessions decoding
+/// against the same LM never changes any session's output).
+#[derive(Debug, Default)]
+pub struct WorkScratch {
     /// Epsilon-closure worklist.
     pub(crate) worklist: Vec<u64>,
     /// Per-state epsilon-arc staging buffer.
@@ -40,36 +81,40 @@ pub struct DecodeScratch {
     pub(crate) prune_costs: Vec<f32>,
     /// Software Offset Lookup Table (empty when disabled).
     pub(crate) olt: SoftOlt,
-    /// Word lattice of the utterance in progress.
-    pub(crate) lattice: Lattice,
     /// `olt_entries` the table was built for (rebuild detection).
     olt_built_for: usize,
     /// `(am, lm, num_pdfs)` identity of the last validated model pair.
     validated: Option<(usize, usize, usize)>,
 }
 
-impl DecodeScratch {
-    /// Fresh, empty scratch.
+impl WorkScratch {
+    /// Fresh, empty worker buffers.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Prepares for a new utterance: clears the token populations and
-    /// lattice, and resets (or rebuilds, if `config.olt_entries`
-    /// changed) the software OLT. Model-validation state is kept — it
-    /// is per model pair, not per utterance.
+    /// Per-utterance reset: clears the transient buffers and resets (or
+    /// rebuilds, if `config.olt_entries` changed) the software OLT.
+    /// Model-validation state is kept — it is per model pair, not per
+    /// utterance.
     pub fn begin(&mut self, config: &DecodeConfig) {
-        self.cur.clear();
-        self.next.clear();
         self.worklist.clear();
         self.eps_local.clear();
         self.probes.clear();
-        self.lattice.clear();
-        if self.olt_built_for != config.olt_entries {
-            self.olt = SoftOlt::new(config.olt_entries);
-            self.olt_built_for = config.olt_entries;
-        } else {
-            self.olt.reset();
+        self.configure_olt(config.olt_entries);
+        self.olt.reset();
+    }
+
+    /// Sizes the OLT for `olt_entries` **without** resetting a table
+    /// that is already the right size. A multi-session scheduler calls
+    /// this once per quantum: the memo keeps accumulating across the
+    /// sessions a worker serves (they share the LM, so every entry
+    /// stays valid), mirroring how the hardware table is a per-engine
+    /// resource rather than a per-utterance one.
+    pub fn configure_olt(&mut self, olt_entries: usize) {
+        if self.olt_built_for != olt_entries {
+            self.olt = SoftOlt::new(olt_entries);
+            self.olt_built_for = olt_entries;
         }
     }
 
@@ -92,6 +137,33 @@ impl DecodeScratch {
         }
         validate_models(am, lm, num_pdfs);
         self.validated = Some(key);
+    }
+}
+
+/// Per-decoder (or per-worker) reusable working memory for the
+/// one-utterance-at-a-time decode path. Create once, pass to
+/// [`crate::OtfDecoder::decode_with`] for every utterance.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    /// Per-utterance search state.
+    pub(crate) session: SessionScratch,
+    /// Frame-loop transient buffers.
+    pub(crate) work: WorkScratch,
+}
+
+impl DecodeScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares for a new utterance: clears the token populations and
+    /// lattice, and resets (or rebuilds, if `config.olt_entries`
+    /// changed) the software OLT. Model-validation state is kept — it
+    /// is per model pair, not per utterance.
+    pub fn begin(&mut self, config: &DecodeConfig) {
+        self.session.begin();
+        self.work.begin(config);
     }
 }
 
@@ -169,13 +241,16 @@ mod tests {
         let (am, lm) = models();
         let pdfs = 1_000;
         let mut scratch = DecodeScratch::new();
-        scratch.ensure_validated(&am, &lm, pdfs);
-        let key = scratch.validated;
+        scratch.work.ensure_validated(&am, &lm, pdfs);
+        let key = scratch.work.validated;
         assert!(key.is_some());
         scratch.begin(&DecodeConfig::default());
-        assert_eq!(scratch.validated, key, "begin() must not drop validation");
-        scratch.ensure_validated(&am, &lm, pdfs);
-        assert_eq!(scratch.validated, key);
+        assert_eq!(
+            scratch.work.validated, key,
+            "begin() must not drop validation"
+        );
+        scratch.work.ensure_validated(&am, &lm, pdfs);
+        assert_eq!(scratch.work.validated, key);
     }
 
     #[test]
@@ -185,11 +260,25 @@ mod tests {
             olt_entries: 64,
             ..Default::default()
         });
-        assert_eq!(scratch.olt.num_entries(), 64);
+        assert_eq!(scratch.work.olt.num_entries(), 64);
         scratch.begin(&DecodeConfig {
             olt_entries: 0,
             ..Default::default()
         });
-        assert!(!scratch.olt.is_enabled());
+        assert!(!scratch.work.olt.is_enabled());
+    }
+
+    #[test]
+    fn configure_olt_resizes_without_resetting_same_size() {
+        let mut work = WorkScratch::new();
+        work.configure_olt(128);
+        assert_eq!(work.olt.num_entries(), 128);
+        work.olt.insert(3, 7, 11, 0.5);
+        // Same size: the memo must survive.
+        work.configure_olt(128);
+        assert_eq!(work.olt.probe(3, 7), Some((11, 0.5)));
+        // New size: rebuilt empty.
+        work.configure_olt(256);
+        assert_eq!(work.olt.probe(3, 7), None);
     }
 }

@@ -4,47 +4,89 @@
 //! the GPU scores batch *i+1* while the accelerator decodes batch *i*
 //! through a shared buffer. That pipeline requires a decoder that
 //! accepts score rows incrementally instead of a complete utterance —
-//! this module provides it. [`OtfStream`] holds the live token
-//! population between pushes; pushing every frame of an utterance and
-//! finalizing produces *bit-identical* results to
-//! [`crate::OtfDecoder::decode`] (tested below), so the batched system
-//! loses no accuracy, exactly as the paper asserts.
+//! this module provides it, in two layers:
+//!
+//! * [`StreamSession`] — the detached core: it owns only the
+//!   per-utterance search state ([`SessionScratch`] + stats) and takes
+//!   the models **and a [`WorkScratch`]** as arguments on every call.
+//!   This is the unit a multi-session scheduler juggles: many paused
+//!   sessions, a handful of worker-owned `WorkScratch`es, shared
+//!   models. A session may be advanced by *different* workers across
+//!   its lifetime — `WorkScratch` carries no search state across a
+//!   frame boundary, so decode output is independent of which worker
+//!   ran which quantum.
+//! * [`OtfStream`] — the borrow-and-go convenience wrapper for the
+//!   single-session case: it pins the models and owns a private
+//!   `WorkScratch`, so steady-state frame pushes allocate nothing.
+//!
+//! Pushing every frame of an utterance and finalizing produces
+//! *bit-identical* results to [`crate::OtfDecoder::decode`] (tested
+//! below), so the batched system loses no accuracy, exactly as the
+//! paper asserts.
 
 use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
 use crate::lattice::LATTICE_ROOT;
 use crate::otf;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{SessionScratch, WorkScratch};
 use crate::search::Token;
 use crate::sources::{AmSource, LmSource};
 use crate::trace::TraceSink;
 
-/// An in-progress on-the-fly decode. Create with [`OtfStream::new`],
-/// feed frames with [`OtfStream::push_frame`], finish with
-/// [`OtfStream::finish`]. The stream owns a [`DecodeScratch`], so
-/// steady-state frame pushes allocate nothing.
-pub struct OtfStream<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> {
-    am: &'a A,
-    lm: &'a L,
+/// An in-progress streaming decode holding **only** its own search
+/// state. Create with [`StreamSession::new`], seed the start token with
+/// [`StreamSession::seed`], feed frames with
+/// [`StreamSession::push_frame`], finish with
+/// [`StreamSession::finalize`]. Every decoding call borrows the models
+/// and a [`WorkScratch`]; the session itself borrows nothing, so it can
+/// be parked in a session table and advanced by whichever worker is
+/// free.
+#[derive(Debug)]
+pub struct StreamSession {
     config: DecodeConfig,
-    scratch: DecodeScratch,
+    state: SessionScratch,
     stats: DecodeStats,
     frame: usize,
+    seeded: bool,
 }
 
-impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
-    /// Starts a decode: seeds the start token and runs the initial
-    /// non-emitting closure.
-    pub fn new(config: DecodeConfig, am: &'a A, lm: &'a L, sink: &mut dyn TraceSink) -> Self {
-        let mut stream = OtfStream {
-            am,
-            lm,
+impl StreamSession {
+    /// A fresh, unseeded session.
+    pub fn new(config: DecodeConfig) -> Self {
+        StreamSession {
             config,
-            scratch: DecodeScratch::new(),
+            state: SessionScratch::new(),
             stats: DecodeStats::default(),
             frame: 0,
-        };
-        stream.scratch.begin(&stream.config);
-        stream.scratch.cur.insert(
+            seeded: false,
+        }
+    }
+
+    /// The beam configuration this session decodes under.
+    pub fn config(&self) -> &DecodeConfig {
+        &self.config
+    }
+
+    /// Whether [`StreamSession::seed`] has run.
+    pub fn is_seeded(&self) -> bool {
+        self.seeded
+    }
+
+    /// Seeds the start token and runs the initial non-emitting closure.
+    /// Must run (once) before the first frame push.
+    ///
+    /// # Panics
+    /// Panics if the session was already seeded.
+    pub fn seed<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+        &mut self,
+        am: &A,
+        lm: &L,
+        work: &mut WorkScratch,
+        sink: &mut dyn TraceSink,
+    ) {
+        assert!(!self.seeded, "StreamSession::seed: already seeded");
+        self.seeded = true;
+        self.state.begin();
+        self.state.cur.insert(
             otf::token_key(am.start(), lm.start()),
             Token {
                 cost: 0.0,
@@ -52,21 +94,20 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
             },
         );
         otf::epsilon_closure(
-            &stream.config,
+            &self.config,
             am,
             lm,
-            &mut stream.scratch.cur,
-            &mut stream.scratch.worklist,
-            &mut stream.scratch.eps_local,
-            &mut stream.scratch.probes,
-            &mut stream.scratch.olt,
-            &mut stream.scratch.lattice,
+            &mut self.state.cur,
+            &mut work.worklist,
+            &mut work.eps_local,
+            &mut work.probes,
+            &mut work.olt,
+            &mut self.state.lattice,
             0,
             f32::INFINITY,
             sink,
-            &mut stream.stats,
+            &mut self.stats,
         );
-        stream
     }
 
     /// Frames consumed so far.
@@ -76,19 +117,34 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
 
     /// Live hypotheses right now.
     pub fn num_active(&self) -> usize {
-        self.scratch.cur.len()
+        self.state.num_active()
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> &DecodeStats {
+        &self.stats
     }
 
     /// Consumes one frame of acoustic costs (`costs[pdf - 1]`).
     ///
     /// # Panics
-    /// Panics if an AM arc's PDF id exceeds `costs.len()`.
-    pub fn push_frame(&mut self, costs: &[f32], sink: &mut dyn TraceSink) {
+    /// Panics if the session is unseeded, or if an AM arc's PDF id
+    /// exceeds `costs.len()`.
+    pub fn push_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+        &mut self,
+        am: &A,
+        lm: &L,
+        work: &mut WorkScratch,
+        costs: &[f32],
+        sink: &mut dyn TraceSink,
+    ) {
+        assert!(self.seeded, "StreamSession::push_frame: seed() first");
         otf::expand_frame(
             &self.config,
-            self.am,
-            self.lm,
-            &mut self.scratch,
+            am,
+            lm,
+            &mut self.state,
+            work,
             costs,
             self.frame,
             sink,
@@ -102,12 +158,115 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
     /// an empty sequence when nothing is final yet.
     pub fn partial_result(&self) -> Vec<unfold_lm::WordId> {
         let mut best: Option<(f32, u32)> = None;
-        for tok in self.scratch.cur.values() {
+        for tok in self.state.cur.values() {
             if best.is_none_or(|(c, _)| tok.cost < c) {
                 best = Some((tok.cost, tok.lat));
             }
         }
-        best.map_or_else(Vec::new, |(_, lat)| self.scratch.lattice.backtrace(lat))
+        best.map_or_else(Vec::new, |(_, lat)| self.state.lattice.backtrace(lat))
+    }
+
+    /// The longest word prefix shared by **all** live hypotheses — the
+    /// part of the transcript no amount of further audio can revise
+    /// (every surviving path already agrees on it), so a serving layer
+    /// can emit it as a non-flickering partial. Always a prefix of
+    /// [`StreamSession::partial_result`]; empty when hypotheses still
+    /// disagree from the first word (or nothing is live).
+    pub fn partial_stable_prefix(&self) -> Vec<unfold_lm::WordId> {
+        // Many tokens share a lattice node; dedup before backtracing.
+        let mut lats: Vec<u32> = self.state.cur.values().map(|t| t.lat).collect();
+        lats.sort_unstable();
+        lats.dedup();
+        let mut it = lats.into_iter();
+        let Some(first) = it.next() else {
+            return Vec::new();
+        };
+        let mut prefix = self.state.lattice.backtrace(first);
+        for lat in it {
+            if prefix.is_empty() {
+                break;
+            }
+            let words = self.state.lattice.backtrace(lat);
+            let common = prefix
+                .iter()
+                .zip(&words)
+                .take_while(|(a, b)| a == b)
+                .count();
+            prefix.truncate(common);
+        }
+        prefix
+    }
+
+    /// Finishes the decode and returns the result, emitting the final
+    /// lattice-backtrace span to `sink`. Non-consuming so a session
+    /// table can keep the entry alive until the client collects the
+    /// result; pushing further frames after finalizing is allowed but
+    /// pointless.
+    pub fn finalize<A: AmSource + ?Sized>(&self, am: &A, sink: &mut dyn TraceSink) -> DecodeResult {
+        otf::finish(am, &self.state.cur, &self.state.lattice, self.stats, sink)
+    }
+}
+
+/// An in-progress on-the-fly decode pinned to one model pair. Create
+/// with [`OtfStream::new`], feed frames with [`OtfStream::push_frame`],
+/// finish with [`OtfStream::finish`]. The stream owns its
+/// [`WorkScratch`], so steady-state frame pushes allocate nothing.
+///
+/// This is a thin wrapper over [`StreamSession`]; use the session
+/// directly when many concurrent decodes share models and workers.
+pub struct OtfStream<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> {
+    am: &'a A,
+    lm: &'a L,
+    session: StreamSession,
+    work: WorkScratch,
+}
+
+impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
+    /// Starts a decode: seeds the start token and runs the initial
+    /// non-emitting closure.
+    pub fn new(config: DecodeConfig, am: &'a A, lm: &'a L, sink: &mut dyn TraceSink) -> Self {
+        let mut work = WorkScratch::new();
+        work.begin(&config);
+        let mut session = StreamSession::new(config);
+        session.seed(am, lm, &mut work, sink);
+        OtfStream {
+            am,
+            lm,
+            session,
+            work,
+        }
+    }
+
+    /// Frames consumed so far.
+    pub fn frames_pushed(&self) -> usize {
+        self.session.frames_pushed()
+    }
+
+    /// Live hypotheses right now.
+    pub fn num_active(&self) -> usize {
+        self.session.num_active()
+    }
+
+    /// Consumes one frame of acoustic costs (`costs[pdf - 1]`).
+    ///
+    /// # Panics
+    /// Panics if an AM arc's PDF id exceeds `costs.len()`.
+    pub fn push_frame(&mut self, costs: &[f32], sink: &mut dyn TraceSink) {
+        self.session
+            .push_frame(self.am, self.lm, &mut self.work, costs, sink);
+    }
+
+    /// The best word sequence decodable *right now* (a partial
+    /// hypothesis — useful for live captioning style output). Returns
+    /// an empty sequence when nothing is final yet.
+    pub fn partial_result(&self) -> Vec<unfold_lm::WordId> {
+        self.session.partial_result()
+    }
+
+    /// The longest word prefix shared by all live hypotheses; see
+    /// [`StreamSession::partial_stable_prefix`].
+    pub fn partial_stable_prefix(&self) -> Vec<unfold_lm::WordId> {
+        self.session.partial_stable_prefix()
     }
 
     /// Finishes the decode and returns the result.
@@ -119,13 +278,7 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
     /// to `sink` (use the same sink the frames were pushed through to
     /// get a complete stage profile).
     pub fn finish_with(self, sink: &mut dyn TraceSink) -> DecodeResult {
-        otf::finish(
-            self.am,
-            &self.scratch.cur,
-            &self.scratch.lattice,
-            self.stats,
-            sink,
-        )
+        self.session.finalize(self.am, sink)
     }
 }
 
@@ -171,6 +324,86 @@ mod tests {
         assert_eq!(batch.words, streamed.words);
         assert_eq!(batch.cost, streamed.cost);
         assert_eq!(batch.stats, streamed.stats);
+    }
+
+    #[test]
+    fn detached_session_matches_batch_decode_exactly() {
+        // The scheduler-facing path: a parked StreamSession advanced
+        // with an external WorkScratch, models passed per call.
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(
+            &[3, 9, 17],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            5,
+        );
+        let cfg = DecodeConfig::default();
+        let batch = OtfDecoder::new(cfg).decode(&am, &lm, &utt.scores, &mut NullSink);
+
+        let mut work = WorkScratch::new();
+        work.begin(&cfg);
+        let mut session = StreamSession::new(cfg);
+        session.seed(&am, &lm, &mut work, &mut NullSink);
+        for t in 0..utt.scores.num_frames() {
+            session.push_frame(&am, &lm, &mut work, utt.scores.frame(t), &mut NullSink);
+        }
+        let streamed = session.finalize(&am, &mut NullSink);
+        assert_eq!(batch.words, streamed.words);
+        assert_eq!(batch.cost.to_bits(), streamed.cost.to_bits());
+        assert_eq!(batch.stats, streamed.stats);
+    }
+
+    #[test]
+    fn interleaved_sessions_with_shared_work_scratch_stay_independent() {
+        // Two sessions advanced alternately through ONE WorkScratch
+        // (what a serve worker does) must each produce exactly what
+        // they produce decoded alone. The shared OLT warms across both,
+        // so only words/cost are pinned, not fetch statistics.
+        let (lex, am, lm) = setup();
+        let ua = synthesize_utterance(
+            &[3, 9, 17],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            5,
+        );
+        let ub = synthesize_utterance(
+            &[7, 11, 4],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            8,
+        );
+        let cfg = DecodeConfig {
+            olt_entries: 512,
+            ..Default::default()
+        };
+        let dec = OtfDecoder::new(cfg);
+        let alone_a = dec.decode(&am, &lm, &ua.scores, &mut NullSink);
+        let alone_b = dec.decode(&am, &lm, &ub.scores, &mut NullSink);
+
+        let mut work = WorkScratch::new();
+        work.configure_olt(cfg.olt_entries);
+        let mut sa = StreamSession::new(cfg);
+        let mut sb = StreamSession::new(cfg);
+        sa.seed(&am, &lm, &mut work, &mut NullSink);
+        sb.seed(&am, &lm, &mut work, &mut NullSink);
+        let frames = ua.scores.num_frames().max(ub.scores.num_frames());
+        for t in 0..frames {
+            if t < ua.scores.num_frames() {
+                sa.push_frame(&am, &lm, &mut work, ua.scores.frame(t), &mut NullSink);
+            }
+            if t < ub.scores.num_frames() {
+                sb.push_frame(&am, &lm, &mut work, ub.scores.frame(t), &mut NullSink);
+            }
+        }
+        let ra = sa.finalize(&am, &mut NullSink);
+        let rb = sb.finalize(&am, &mut NullSink);
+        assert_eq!(ra.words, alone_a.words);
+        assert_eq!(ra.cost.to_bits(), alone_a.cost.to_bits());
+        assert_eq!(rb.words, alone_b.words);
+        assert_eq!(rb.cost.to_bits(), alone_b.cost.to_bits());
     }
 
     #[test]
@@ -229,6 +462,75 @@ mod tests {
     }
 
     #[test]
+    fn stable_prefix_is_a_prefix_of_the_partial_and_never_flickers_back() {
+        let (lex, am, lm) = setup();
+        let truth = vec![7u32, 11, 4, 22];
+        let utt = synthesize_utterance(
+            &truth,
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            12,
+        );
+        let mut stream = OtfStream::new(DecodeConfig::default(), &am, &lm, &mut NullSink);
+        let mut emitted: Vec<u32> = Vec::new();
+        for t in 0..utt.scores.num_frames() {
+            stream.push_frame(utt.scores.frame(t), &mut NullSink);
+            let stable = stream.partial_stable_prefix();
+            let partial = stream.partial_result();
+            assert!(
+                stable.len() <= partial.len() && partial[..stable.len()] == stable[..],
+                "stable prefix {stable:?} must prefix the 1-best partial {partial:?}"
+            );
+            // A word every hypothesis agreed on stays agreed: the
+            // emitted transcript only ever extends.
+            let common = emitted
+                .iter()
+                .zip(&stable)
+                .take_while(|(a, b)| a == b)
+                .count();
+            assert_eq!(
+                common,
+                emitted.len().min(stable.len()),
+                "stable prefix revised an already-stable word: had {emitted:?}, now {stable:?}"
+            );
+            if stable.len() > emitted.len() {
+                emitted = stable;
+            }
+        }
+        let final_words = stream.finish().words;
+        assert!(
+            emitted.len() <= final_words.len() && final_words[..emitted.len()] == emitted[..],
+            "stable prefix {emitted:?} must prefix the final transcript {final_words:?}"
+        );
+    }
+
+    #[test]
+    fn stable_prefix_equals_partial_when_one_hypothesis_survives() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(
+            &[5, 9],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            4,
+        );
+        // A very tight beam forces the population toward a single path.
+        let cfg = DecodeConfig {
+            beam: 0.5,
+            max_active: 1,
+            ..Default::default()
+        };
+        let mut stream = OtfStream::new(cfg, &am, &lm, &mut NullSink);
+        for t in 0..utt.scores.num_frames() {
+            stream.push_frame(utt.scores.frame(t), &mut NullSink);
+            if stream.num_active() == 1 {
+                assert_eq!(stream.partial_stable_prefix(), stream.partial_result());
+            }
+        }
+    }
+
+    #[test]
     fn active_count_visible_between_pushes() {
         let (lex, am, lm) = setup();
         let utt = synthesize_utterance(
@@ -244,5 +546,21 @@ mod tests {
         stream.push_frame(utt.scores.frame(0), &mut NullSink);
         assert_eq!(stream.frames_pushed(), 1);
         assert!(stream.num_active() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed() first")]
+    fn unseeded_push_panics() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(
+            &[5],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            1,
+        );
+        let mut work = WorkScratch::new();
+        let mut session = StreamSession::new(DecodeConfig::default());
+        session.push_frame(&am, &lm, &mut work, utt.scores.frame(0), &mut NullSink);
     }
 }

@@ -1,0 +1,375 @@
+//! Closed-loop load generator for the TCP front end.
+//!
+//! `concurrency` client threads each stream their share of `sessions`
+//! sequentially: open, send frame chunks (waiting for each `Partial`
+//! before sending the next chunk — closed loop, so offered load adapts
+//! to the server), finish, wait for `Final`. Two latencies are
+//! measured per session:
+//!
+//! * **first partial** — open until the first *non-empty* stable
+//!   partial, the "time to first word" a captioning UI cares about;
+//! * **final** — `Finish` sent until `Final` received, the tail
+//!   flush cost.
+//!
+//! The report carries p50/p95/p99 summaries of both plus the server's
+//! own metrics record (admissions, evictions, deadline misses), and
+//! serializes to the JSON shape `BENCH_serve.json` stores.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use unfold_obs::{Histogram, ObsRecord, Summary};
+
+use crate::wire::{read_server, write_client, ClientMsg, ServerMsg};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadgenConfig {
+    /// Total sessions to run.
+    pub sessions: usize,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Frames per `Frames` message.
+    pub chunk_frames: usize,
+    /// Send `Shutdown` to the server after the run (for smoke tests
+    /// that own the server's lifetime).
+    pub shutdown_after: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            sessions: 16,
+            concurrency: 4,
+            chunk_frames: 10,
+            shutdown_after: false,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SessionOutcome {
+    first_partial_ms: Option<u64>,
+    final_ms: Option<u64>,
+    completed: bool,
+    rejected: bool,
+    errored: bool,
+}
+
+/// What a load-generation run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Sessions attempted.
+    pub sessions_requested: usize,
+    /// Sessions that received a `Final`.
+    pub sessions_completed: u64,
+    /// Sessions refused admission.
+    pub sessions_rejected: u64,
+    /// Sessions that hit a protocol or server error.
+    pub errors: u64,
+    /// Open → first non-empty stable partial.
+    pub first_partial_ms: Summary,
+    /// `Finish` sent → `Final` received.
+    pub final_ms: Summary,
+    /// Wall time of the whole run.
+    pub elapsed_ms: u64,
+    /// Completed sessions per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// The server's own metrics totals (`serve.*`), fetched over the
+    /// wire at the end of the run.
+    pub server: Vec<(String, f64)>,
+}
+
+impl LoadgenReport {
+    /// Looks up one server metric by name (e.g.
+    /// `"serve.deadline_misses"`).
+    pub fn server_total(&self, name: &str) -> Option<f64> {
+        self.server.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Serializes the report as the `BENCH_serve.json` document.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        fn summary(s: &Summary) -> String {
+            format!(
+                "{{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"min\": {}, \"max\": {}}}",
+                s.count,
+                num(s.mean),
+                num(s.p50),
+                num(s.p95),
+                num(s.p99),
+                s.min,
+                s.max
+            )
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"sessions_requested\": {},\n",
+            self.sessions_requested
+        ));
+        out.push_str(&format!(
+            "  \"sessions_completed\": {},\n",
+            self.sessions_completed
+        ));
+        out.push_str(&format!(
+            "  \"sessions_rejected\": {},\n",
+            self.sessions_rejected
+        ));
+        out.push_str(&format!("  \"errors\": {},\n", self.errors));
+        out.push_str(&format!("  \"elapsed_ms\": {},\n", self.elapsed_ms));
+        out.push_str(&format!(
+            "  \"sessions_per_sec\": {},\n",
+            num(self.sessions_per_sec)
+        ));
+        out.push_str(&format!(
+            "  \"first_partial_ms\": {},\n",
+            summary(&self.first_partial_ms)
+        ));
+        out.push_str(&format!("  \"final_ms\": {},\n", summary(&self.final_ms)));
+        out.push_str("  \"server\": {");
+        for (i, (name, v)) in self.server.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{name}\": {}", num(*v)));
+        }
+        if !self.server.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn conn(addr: SocketAddr) -> io::Result<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    Ok((BufReader::new(stream.try_clone()?), BufWriter::new(stream)))
+}
+
+/// Runs one session over an existing connection.
+fn run_session(
+    rd: &mut BufReader<TcpStream>,
+    wr: &mut BufWriter<TcpStream>,
+    utt: &[Vec<f32>],
+    chunk_frames: usize,
+) -> io::Result<SessionOutcome> {
+    let mut out = SessionOutcome::default();
+    let opened_at = Instant::now();
+    write_client(wr, &ClientMsg::Open)?;
+    match read_server(rd)? {
+        Some(ServerMsg::Opened { .. }) => {}
+        Some(ServerMsg::Rejected { .. }) => {
+            out.rejected = true;
+            return Ok(out);
+        }
+        _ => {
+            out.errored = true;
+            return Ok(out);
+        }
+    }
+    for chunk in utt.chunks(chunk_frames.max(1)) {
+        write_client(wr, &ClientMsg::Frames(chunk.to_vec()))?;
+        match read_server(rd)? {
+            Some(ServerMsg::Partial { words }) => {
+                if out.first_partial_ms.is_none() && !words.is_empty() {
+                    out.first_partial_ms = Some(opened_at.elapsed().as_millis() as u64);
+                }
+            }
+            _ => {
+                out.errored = true;
+                return Ok(out);
+            }
+        }
+    }
+    let finish_at = Instant::now();
+    write_client(wr, &ClientMsg::Finish)?;
+    match read_server(rd)? {
+        Some(ServerMsg::Final { .. }) => {
+            out.final_ms = Some(finish_at.elapsed().as_millis() as u64);
+            out.completed = true;
+        }
+        _ => out.errored = true,
+    }
+    Ok(out)
+}
+
+/// Drives a closed-loop load test against a serve front end at `addr`.
+/// Session `i` streams `utts[i % utts.len()]` (each utterance a list
+/// of score rows).
+///
+/// # Errors
+/// Connection failures; per-session protocol errors are *counted*, not
+/// returned.
+///
+/// # Panics
+/// Panics if `utts` is empty.
+pub fn run_loadgen(
+    addr: SocketAddr,
+    utts: &[Vec<Vec<f32>>],
+    cfg: &LoadgenConfig,
+) -> io::Result<LoadgenReport> {
+    assert!(!utts.is_empty(), "loadgen needs at least one utterance");
+    let started = Instant::now();
+    let concurrency = cfg.concurrency.max(1);
+    let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|worker| {
+                scope.spawn(move || -> io::Result<Vec<SessionOutcome>> {
+                    let (mut rd, mut wr) = conn(addr)?;
+                    let mut outs = Vec::new();
+                    let mut i = worker;
+                    while i < cfg.sessions {
+                        let utt = &utts[i % utts.len()];
+                        outs.push(run_session(&mut rd, &mut wr, utt, cfg.chunk_frames)?);
+                        i += concurrency;
+                    }
+                    Ok(outs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("loadgen thread").unwrap_or_default())
+            .collect()
+    });
+
+    let mut first_partial = Histogram::new();
+    let mut final_lat = Histogram::new();
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    let mut errors = 0u64;
+    for o in &outcomes {
+        if let Some(ms) = o.first_partial_ms {
+            first_partial.record(ms);
+        }
+        if let Some(ms) = o.final_ms {
+            final_lat.record(ms);
+        }
+        completed += u64::from(o.completed);
+        rejected += u64::from(o.rejected);
+        errors += u64::from(o.errored);
+    }
+    // Sessions lost to connection-level failures count as errors too.
+    errors += (cfg.sessions.saturating_sub(outcomes.len())) as u64;
+
+    // Fetch the server's own counters, and optionally stop it.
+    let (mut rd, mut wr) = conn(addr)?;
+    write_client(&mut wr, &ClientMsg::Stats)?;
+    let server = match read_server(&mut rd)? {
+        Some(ServerMsg::Stats { jsonl }) => match ObsRecord::parse_line(jsonl.trim()) {
+            Ok(ObsRecord::Run(pairs)) => pairs,
+            _ => Vec::new(),
+        },
+        _ => Vec::new(),
+    };
+    if cfg.shutdown_after {
+        write_client(&mut wr, &ClientMsg::Shutdown)?;
+    }
+
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    Ok(LoadgenReport {
+        sessions_requested: cfg.sessions,
+        sessions_completed: completed,
+        sessions_rejected: rejected,
+        errors,
+        first_partial_ms: first_partial.summary(),
+        final_ms: final_lat.summary(),
+        elapsed_ms,
+        sessions_per_sec: if elapsed_ms == 0 {
+            completed as f64
+        } else {
+            completed as f64 / (elapsed_ms as f64 / 1e3)
+        },
+        server,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use crate::tcp::TcpFront;
+    use crate::ServeConfig;
+    use std::net::TcpListener;
+    use std::sync::Arc;
+    use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+
+    #[test]
+    fn loadgen_end_to_end_produces_a_report_and_shuts_the_server_down() {
+        let lex = Lexicon::generate(50, 20, 6);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec {
+            vocab_size: 50,
+            num_sentences: 300,
+            ..Default::default()
+        };
+        let model = NGramModel::train(&spec.generate(3), 50, DiscountConfig::default());
+        let lm = Arc::new(lm_to_wfst(&model));
+        let am = Arc::new(am.fst);
+        let utts: Vec<Vec<Vec<f32>>> = [[3u32, 9, 17], [7, 11, 4]]
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let u = synthesize_utterance(
+                    w,
+                    &lex,
+                    HmmTopology::Kaldi3State,
+                    &NoiseModel::default(),
+                    60 + i as u64,
+                );
+                (0..u.scores.num_frames())
+                    .map(|t| u.scores.frame(t).to_vec())
+                    .collect()
+            })
+            .collect();
+
+        let server = Server::start(
+            ServeConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            am,
+            lm,
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let front = TcpFront::start(listener, server.handle()).unwrap();
+        let cfg = LoadgenConfig {
+            sessions: 4,
+            concurrency: 2,
+            chunk_frames: 8,
+            shutdown_after: true,
+        };
+        let report = run_loadgen(front.local_addr(), &utts, &cfg).unwrap();
+        assert_eq!(report.sessions_requested, 4);
+        assert_eq!(report.sessions_completed, 4);
+        assert_eq!(report.sessions_rejected, 0);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.final_ms.count, 4);
+        assert!(report.first_partial_ms.count >= 1, "some words decoded");
+        assert_eq!(report.server_total("serve.finals"), Some(4.0));
+        assert_eq!(report.server_total("serve.evictions_idle"), Some(0.0));
+        let json = report.to_json();
+        for key in [
+            "\"sessions_per_sec\"",
+            "\"first_partial_ms\"",
+            "\"p99\"",
+            "\"serve.deadline_misses\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // shutdown_after stops the whole stack: the accept loop sees
+        // the flag and exits, and the worker pool joins cleanly.
+        front.join();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,988 @@
+//! The deterministic scheduler core: session table, deadline-ordered
+//! ready queue, admission control, and the lease protocol workers use
+//! to decode outside the lock.
+//!
+//! [`ServeCore`] never reads a wall clock — every method takes a
+//! logical `now_ms`, so tests drive overload, idle eviction, and
+//! deadline misses with plain arithmetic instead of sleeps. The
+//! threaded [`crate::Server`] wraps it with a real clock.
+//!
+//! # Scheduling
+//!
+//! Ready sessions sit in a min-heap keyed by `(deadline, seq)` —
+//! earliest deadline first, with an arm-order sequence number breaking
+//! ties. A session is *armed* (given a deadline `now + deadline_ms` and
+//! pushed) when work first arrives, and re-armed after each quantum
+//! while work remains, so equal-deadline sessions round-robin in FIFO
+//! order: 8 sessions with queued audio each get one quantum before any
+//! gets its second. Heap entries are never removed eagerly; an entry
+//! whose `(deadline, seq)` no longer matches the session's `armed`
+//! field is stale and skipped on pop.
+//!
+//! # Leases
+//!
+//! [`ServeCore::lease_next`] *moves* a session's decode state and up to
+//! `quantum_frames` queued rows out of the table; the caller runs
+//! [`Lease::run`] with its own per-worker [`WorkScratch`] (no lock
+//! held), then returns everything with [`ServeCore::complete_lease`].
+//! Because a [`StreamSession`] carries no worker-local state, which
+//! worker runs which quantum cannot affect transcripts.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+use unfold_decoder::{
+    AmSource, DecodeResult, LmSource, NullSink, StreamSession, TraceSink, WorkScratch,
+};
+use unfold_lm::WordId;
+use unfold_obs::{MetricsRegistry, ObsRecord};
+
+use crate::session::{Session, SessionId, SessionPhase, SessionView};
+use crate::{RejectReason, ServeConfig, ServeError};
+
+/// Counters the server accumulates over its lifetime. Latency and
+/// population *distributions* live in the core's metrics registry
+/// (exported via [`ServeCore::obs_jsonl`]); these scalars are cheap to
+/// copy out for tests and status lines.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Sessions admitted.
+    pub opened: u64,
+    /// Admissions refused: no free session slot.
+    pub rejected_capacity: u64,
+    /// Admissions refused: backlog bound exhausted.
+    pub rejected_overload: u64,
+    /// Sessions admitted with degraded (tightened) beams.
+    pub degraded_admissions: u64,
+    /// Sessions evicted by the idle timeout.
+    pub evicted_idle: u64,
+    /// Frames accepted into session queues.
+    pub frames_accepted: u64,
+    /// Frames refused (per-session queue full or server overloaded).
+    pub frames_rejected: u64,
+    /// Frames decoded.
+    pub frames_decoded: u64,
+    /// Quanta whose completion overran the service deadline.
+    pub deadline_misses: u64,
+    /// Decode quanta served.
+    pub quanta: u64,
+    /// Sessions finalized.
+    pub finals: u64,
+}
+
+/// A claim on one session's next decode quantum: the decode state, the
+/// frames to feed it, and whether to finalize afterwards. Obtained from
+/// [`ServeCore::lease_next`]; must be returned via
+/// [`ServeCore::complete_lease`] (session stays parked-as-leased until
+/// then).
+#[derive(Debug)]
+pub struct Lease {
+    id: SessionId,
+    decode: StreamSession,
+    frames: Vec<Vec<f32>>,
+    finalize: bool,
+    deadline_ms: u64,
+    result: Option<DecodeResult>,
+}
+
+impl Lease {
+    /// The session this lease advances.
+    pub fn session(&self) -> SessionId {
+        self.id
+    }
+
+    /// Frames this quantum will decode.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether this quantum finalizes the session.
+    pub fn is_final(&self) -> bool {
+        self.finalize
+    }
+
+    /// Runs the quantum: seeds the session if this is its first slice,
+    /// pushes the leased frames, and finalizes if the session is
+    /// draining. Call with the worker's own `work` scratch — no lock
+    /// needs to be held.
+    pub fn run<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+        &mut self,
+        am: &A,
+        lm: &L,
+        work: &mut WorkScratch,
+        sink: &mut dyn TraceSink,
+    ) {
+        if !self.decode.is_seeded() {
+            self.decode.seed(am, lm, work, sink);
+        }
+        for row in &self.frames {
+            self.decode.push_frame(am, lm, work, row, sink);
+        }
+        if self.finalize && self.result.is_none() {
+            self.result = Some(self.decode.finalize(am, sink));
+        }
+    }
+}
+
+/// The deterministic multi-session scheduler. See the module docs for
+/// the scheduling and lease protocols.
+#[derive(Debug)]
+pub struct ServeCore<A: AmSource + ?Sized, L: LmSource + ?Sized> {
+    config: ServeConfig,
+    am: Arc<A>,
+    lm: Arc<L>,
+    sessions: HashMap<SessionId, Session>,
+    /// Min-heap of `(deadline_ms, seq, session)`; stale entries are
+    /// skipped on pop (see module docs).
+    ready: BinaryHeap<Reverse<(u64, u64, SessionId)>>,
+    next_id: SessionId,
+    next_seq: u64,
+    /// Total queued frames across sessions (the backlog bound).
+    backlog: usize,
+    /// Recycled score-row buffers: steady-state frame ingest allocates
+    /// only when the pool is dry, and the pool is bounded by the
+    /// backlog bound, so queue memory cannot grow without limit.
+    row_pool: Vec<Vec<f32>>,
+    stats: ServeStats,
+    obs: MetricsRegistry,
+}
+
+impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
+    /// A core serving `config` against one shared model pair.
+    pub fn new(config: ServeConfig, am: Arc<A>, lm: Arc<L>) -> Self {
+        let mut obs = MetricsRegistry::new();
+        // Touch every metric once so registration order (and thus
+        // export order) is fixed regardless of which events fire first.
+        for name in [
+            "serve.sessions_opened",
+            "serve.rejects_capacity",
+            "serve.rejects_overload",
+            "serve.admissions_degraded",
+            "serve.evictions_idle",
+            "serve.frames_accepted",
+            "serve.frames_rejected",
+            "serve.frames_decoded",
+            "serve.deadline_misses",
+            "serve.quanta",
+            "serve.finals",
+        ] {
+            obs.counter(name);
+        }
+        for name in [
+            "serve.active_sessions",
+            "serve.backlog_frames",
+            "serve.pressure",
+        ] {
+            obs.gauge(name);
+        }
+        for name in [
+            "serve.lease_frames",
+            "serve.session_frames",
+            "serve.session_words",
+        ] {
+            obs.histogram(name);
+        }
+        ServeCore {
+            config,
+            am,
+            lm,
+            sessions: HashMap::new(),
+            ready: BinaryHeap::new(),
+            next_id: 1,
+            next_seq: 0,
+            backlog: 0,
+            row_pool: Vec::new(),
+            stats: ServeStats::default(),
+            obs,
+        }
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Clones of the shared model handles (for decoding outside the
+    /// core's lock).
+    pub fn models(&self) -> (Arc<A>, Arc<L>) {
+        (Arc::clone(&self.am), Arc::clone(&self.lm))
+    }
+
+    /// Sessions currently occupying slots (all phases — a closed
+    /// session holds its slot until its result is collected).
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Total queued frames across sessions.
+    pub fn backlog_frames(&self) -> usize {
+        self.backlog
+    }
+
+    /// The current load signal (see [`ServeConfig::pressure`]).
+    pub fn pressure(&self) -> f64 {
+        self.config.pressure(self.sessions.len(), self.backlog)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Admission control: opens a session, applying the degradation
+    /// ladder to its beams at the current pressure, or refuses it.
+    ///
+    /// # Errors
+    /// [`RejectReason::AtCapacity`] when every slot is taken,
+    /// [`RejectReason::Overloaded`] when the backlog bound is
+    /// exhausted.
+    pub fn open(&mut self, now_ms: u64) -> Result<SessionId, RejectReason> {
+        if self.sessions.len() >= self.config.capacity {
+            self.stats.rejected_capacity += 1;
+            return Err(RejectReason::AtCapacity);
+        }
+        if self.backlog >= self.config.max_backlog_frames {
+            self.stats.rejected_overload += 1;
+            return Err(RejectReason::Overloaded);
+        }
+        let (cfg, level) = self.config.admission_config(self.pressure());
+        if level > 0 {
+            self.stats.degraded_admissions += 1;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions
+            .insert(id, Session::new(StreamSession::new(cfg), now_ms, level));
+        self.stats.opened += 1;
+        Ok(id)
+    }
+
+    /// Queues one score row (`row[pdf - 1]` = acoustic cost) for `id`.
+    ///
+    /// # Errors
+    /// [`ServeError::Rejected`] when the server-wide backlog bound is
+    /// exhausted, [`ServeError::QueueFull`] when this session's queue
+    /// is, [`ServeError::Finished`] after `finish`, and
+    /// [`ServeError::UnknownSession`] otherwise.
+    pub fn push_frame(
+        &mut self,
+        id: SessionId,
+        row: &[f32],
+        now_ms: u64,
+    ) -> Result<(), ServeError> {
+        if self.backlog >= self.config.max_backlog_frames {
+            self.stats.frames_rejected += 1;
+            return Err(ServeError::Rejected(RejectReason::Overloaded));
+        }
+        let queue_cap = self.config.session_queue_frames;
+        let mut buf = self.row_pool.pop().unwrap_or_default();
+        let s = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownSession(id))?;
+        s.last_activity_ms = now_ms;
+        if s.phase != SessionPhase::Open {
+            return Err(ServeError::Finished(id));
+        }
+        if s.queue.len() >= queue_cap {
+            self.stats.frames_rejected += 1;
+            return Err(ServeError::QueueFull(id));
+        }
+        buf.clear();
+        buf.extend_from_slice(row);
+        s.queue.push_back(buf);
+        s.frames_accepted += 1;
+        self.stats.frames_accepted += 1;
+        self.backlog += 1;
+        self.arm(id, now_ms);
+        Ok(())
+    }
+
+    /// Marks `id` as finishing: queued frames drain, then the session
+    /// finalizes and its result becomes collectable. Idempotent.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownSession`] when `id` does not exist.
+    pub fn finish(&mut self, id: SessionId, now_ms: u64) -> Result<(), ServeError> {
+        let s = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownSession(id))?;
+        s.last_activity_ms = now_ms;
+        if s.phase == SessionPhase::Open {
+            s.phase = SessionPhase::Finishing;
+        }
+        self.arm(id, now_ms);
+        Ok(())
+    }
+
+    /// Evicts every non-leased session with no client activity for
+    /// `idle_timeout_ms` (0 disables eviction), returning the evicted
+    /// ids in ascending order. Uncollected results are dropped —
+    /// eviction is how abandoned sessions stop holding slots and
+    /// lattice memory.
+    pub fn evict_idle(&mut self, now_ms: u64) -> Vec<SessionId> {
+        if self.config.idle_timeout_ms == 0 {
+            return Vec::new();
+        }
+        let mut expired: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| {
+                !s.leased
+                    && now_ms.saturating_sub(s.last_activity_ms) >= self.config.idle_timeout_ms
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        expired.sort_unstable();
+        for &id in &expired {
+            if let Some(s) = self.sessions.remove(&id) {
+                self.backlog -= s.queue.len();
+                self.recycle(s.queue);
+                self.stats.evicted_idle += 1;
+            }
+        }
+        expired
+    }
+
+    /// Claims the ready session with the earliest deadline, moving its
+    /// decode state and up to `quantum_frames` rows out of the table.
+    /// Returns `None` when no session has pending work.
+    pub fn lease_next(&mut self, _now_ms: u64) -> Option<Lease> {
+        let quantum = self.config.quantum_frames.max(1);
+        while let Some(Reverse((deadline, seq, id))) = self.ready.pop() {
+            let Some(s) = self.sessions.get_mut(&id) else {
+                continue; // evicted; stale entry
+            };
+            if s.leased || s.armed != Some((deadline, seq)) {
+                continue; // re-armed since; stale entry
+            }
+            s.armed = None;
+            if !s.runnable() {
+                continue;
+            }
+            s.leased = true;
+            let take = quantum.min(s.queue.len());
+            let frames: Vec<Vec<f32>> = s.queue.drain(..take).collect();
+            let finalize = s.phase == SessionPhase::Finishing && s.queue.is_empty();
+            let decode = s.decode.take().expect("unleased session owns its state");
+            self.backlog -= take;
+            self.stats.quanta += 1;
+            self.obs.histogram("serve.lease_frames").record(take as u64);
+            return Some(Lease {
+                id,
+                decode,
+                frames,
+                finalize,
+                deadline_ms: deadline,
+                result: None,
+            });
+        }
+        None
+    }
+
+    /// Returns a ran lease: re-parks the decode state, caches the
+    /// stable partial, recycles the frame rows, records a deadline miss
+    /// if the quantum completed late, and either stores the final
+    /// result or re-arms the session for its next quantum.
+    pub fn complete_lease(&mut self, lease: Lease, now_ms: u64) {
+        let Lease {
+            id,
+            decode,
+            frames,
+            finalize: _,
+            deadline_ms,
+            result,
+        } = lease;
+        let n = frames.len() as u64;
+        self.stats.frames_decoded += n;
+        if now_ms > deadline_ms {
+            self.stats.deadline_misses += 1;
+        }
+        self.recycle(frames);
+        let finished = result.is_some();
+        let (session_frames, session_words) = {
+            let Some(s) = self.sessions.get_mut(&id) else {
+                return; // evicted mid-lease (cannot happen today; be safe)
+            };
+            s.frames_decoded += n;
+            s.last_partial = decode.partial_stable_prefix();
+            s.decode = Some(decode);
+            s.leased = false;
+            match result {
+                Some(res) => {
+                    let words = res.words.len() as u64;
+                    s.result = Some(res);
+                    s.phase = SessionPhase::Closed;
+                    (s.frames_decoded, words)
+                }
+                None => (0, 0),
+            }
+        };
+        if finished {
+            self.stats.finals += 1;
+            self.obs
+                .histogram("serve.session_frames")
+                .record(session_frames);
+            self.obs
+                .histogram("serve.session_words")
+                .record(session_words);
+        } else {
+            self.arm(id, now_ms);
+        }
+    }
+
+    /// One scheduler turn: lease, decode, complete. The deterministic
+    /// single-threaded driver (and the tests' way of pumping the
+    /// server by hand). Returns the session advanced, or `None` when
+    /// nothing was runnable.
+    pub fn step(&mut self, work: &mut WorkScratch, now_ms: u64) -> Option<SessionId> {
+        let mut lease = self.lease_next(now_ms)?;
+        let (am, lm) = self.models();
+        lease.run(&*am, &*lm, work, &mut NullSink);
+        let id = lease.session();
+        self.complete_lease(lease, now_ms);
+        Some(id)
+    }
+
+    /// The longest word prefix all of `id`'s live hypotheses agree on —
+    /// the non-flickering partial transcript. While the session is
+    /// leased out, returns the prefix cached at its last quantum.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownSession`] when `id` does not exist.
+    pub fn stable_partial(&self, id: SessionId) -> Result<Vec<WordId>, ServeError> {
+        let s = self
+            .sessions
+            .get(&id)
+            .ok_or(ServeError::UnknownSession(id))?;
+        Ok(match &s.decode {
+            Some(d) => d.partial_stable_prefix(),
+            None => s.last_partial.clone(),
+        })
+    }
+
+    /// A snapshot of `id`'s scheduling state.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownSession`] when `id` does not exist.
+    pub fn view(&self, id: SessionId) -> Result<SessionView, ServeError> {
+        self.sessions
+            .get(&id)
+            .map(Session::view)
+            .ok_or(ServeError::UnknownSession(id))
+    }
+
+    /// Collects a finished session's result, freeing its slot. Returns
+    /// `Ok(None)` while the session is still decoding.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownSession`] when `id` does not exist (or was
+    /// already collected).
+    pub fn take_result(&mut self, id: SessionId) -> Result<Option<DecodeResult>, ServeError> {
+        match self.sessions.get(&id) {
+            None => Err(ServeError::UnknownSession(id)),
+            Some(s) if s.phase == SessionPhase::Closed => {
+                let s = self.sessions.remove(&id).expect("present");
+                self.backlog -= s.queue.len();
+                self.recycle(s.queue);
+                Ok(s.result)
+            }
+            Some(_) => Ok(None),
+        }
+    }
+
+    /// Exports server metrics as one `run` JSONL record (the
+    /// `unfold-obs` format every other tool in this repo emits).
+    pub fn obs_jsonl(&mut self) -> String {
+        self.sync_obs();
+        let mut out = ObsRecord::Run(self.obs.totals()).to_json();
+        out.push('\n');
+        out
+    }
+
+    /// Renders server metrics as a markdown table.
+    pub fn obs_markdown(&mut self) -> String {
+        self.sync_obs();
+        self.obs.markdown()
+    }
+
+    /// Arms `id` in the ready queue if it has work and no live entry.
+    fn arm(&mut self, id: SessionId, now_ms: u64) {
+        let deadline = now_ms + self.config.deadline_ms;
+        let seq = self.next_seq;
+        let Some(s) = self.sessions.get_mut(&id) else {
+            return;
+        };
+        if s.leased || s.armed.is_some() || !s.runnable() {
+            return;
+        }
+        s.armed = Some((deadline, seq));
+        self.next_seq += 1;
+        self.ready.push(Reverse((deadline, seq, id)));
+    }
+
+    /// Returns row buffers to the pool (bounded by the backlog bound).
+    fn recycle(&mut self, rows: impl IntoIterator<Item = Vec<f32>>) {
+        for mut row in rows {
+            if self.row_pool.len() >= self.config.max_backlog_frames {
+                break;
+            }
+            row.clear();
+            self.row_pool.push(row);
+        }
+    }
+
+    /// Brings the registry's counters/gauges up to date with the
+    /// scalar stats (histograms record at event time).
+    fn sync_obs(&mut self) {
+        let counters = [
+            ("serve.sessions_opened", self.stats.opened),
+            ("serve.rejects_capacity", self.stats.rejected_capacity),
+            ("serve.rejects_overload", self.stats.rejected_overload),
+            ("serve.admissions_degraded", self.stats.degraded_admissions),
+            ("serve.evictions_idle", self.stats.evicted_idle),
+            ("serve.frames_accepted", self.stats.frames_accepted),
+            ("serve.frames_rejected", self.stats.frames_rejected),
+            ("serve.frames_decoded", self.stats.frames_decoded),
+            ("serve.deadline_misses", self.stats.deadline_misses),
+            ("serve.quanta", self.stats.quanta),
+            ("serve.finals", self.stats.finals),
+        ];
+        for (name, v) in counters {
+            let c = self.obs.counter(name);
+            let cur = c.get();
+            if v > cur {
+                c.add(v - cur);
+            }
+        }
+        let pressure = self.pressure();
+        self.obs
+            .gauge("serve.active_sessions")
+            .set(self.sessions.len() as f64);
+        self.obs
+            .gauge("serve.backlog_frames")
+            .set(self.backlog as f64);
+        self.obs.gauge("serve.pressure").set(pressure);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel, Utterance};
+    use unfold_decoder::{DecodeConfig, OtfDecoder};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+    use unfold_wfst::Wfst;
+
+    fn setup() -> (Lexicon, Arc<Wfst>, Arc<Wfst>) {
+        let lex = Lexicon::generate(50, 20, 6);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec {
+            vocab_size: 50,
+            num_sentences: 300,
+            ..Default::default()
+        };
+        let model = NGramModel::train(&spec.generate(3), 50, DiscountConfig::default());
+        (lex, Arc::new(am.fst), Arc::new(lm_to_wfst(&model)))
+    }
+
+    fn utt(lex: &Lexicon, words: &[u32], seed: u64) -> Utterance {
+        synthesize_utterance(
+            words,
+            lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            seed,
+        )
+    }
+
+    fn core_with(am: &Arc<Wfst>, lm: &Arc<Wfst>, config: ServeConfig) -> ServeCore<Wfst, Wfst> {
+        ServeCore::new(config, Arc::clone(am), Arc::clone(lm))
+    }
+
+    fn push_all(core: &mut ServeCore<Wfst, Wfst>, id: SessionId, u: &Utterance, now: u64) {
+        for t in 0..u.scores.num_frames() {
+            core.push_frame(id, u.scores.frame(t), now).expect("push");
+        }
+    }
+
+    /// The tentpole acceptance test: 8 sessions interleaved through the
+    /// scheduler, each transcript bit-identical (words, cost bits, and
+    /// — with the OLT off — full search statistics) to the same
+    /// utterance decoded standalone through `OtfDecoder::decode`.
+    #[test]
+    fn eight_interleaved_sessions_match_standalone_decode() {
+        let (lex, am, lm) = setup();
+        let word_seqs: [&[u32]; 8] = [
+            &[3, 9, 17],
+            &[7, 11, 4],
+            &[1, 2, 3],
+            &[22, 5],
+            &[14, 30, 8, 2],
+            &[40, 6, 19],
+            &[9, 9, 27],
+            &[33, 12],
+        ];
+        let utts: Vec<Utterance> = word_seqs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| utt(&lex, w, 5 + i as u64))
+            .collect();
+        // OLT off so even the fetch statistics must match standalone.
+        let base = DecodeConfig::default();
+        assert_eq!(base.olt_entries, 0);
+        let standalone: Vec<_> = utts
+            .iter()
+            .map(|u| OtfDecoder::new(base).decode(&*am, &*lm, &u.scores, &mut NullSink))
+            .collect();
+
+        let config = ServeConfig {
+            capacity: 32, // 8/32 < DEGRADE_SOFT: everyone gets full beams
+            quantum_frames: 8,
+            olt_entries: 0,
+            base,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm, config);
+        let ids: Vec<SessionId> = (0..8).map(|_| core.open(0).expect("admit")).collect();
+        for (id, u) in ids.iter().zip(&utts) {
+            push_all(&mut core, *id, u, 0);
+            core.finish(*id, 0).expect("finish");
+        }
+
+        let mut work = WorkScratch::new();
+        work.configure_olt(core.config().olt_entries);
+        let mut order = Vec::new();
+        while let Some(id) = core.step(&mut work, 0) {
+            order.push(id);
+        }
+        // Equal deadlines round-robin in arm order: the first 8 quanta
+        // touch 8 distinct sessions — genuinely interleaved, not
+        // run-to-completion.
+        let mut first8 = order[..8].to_vec();
+        first8.sort_unstable();
+        first8.dedup();
+        assert_eq!(first8.len(), 8, "first quanta must cover all sessions");
+
+        for ((id, u), alone) in ids.iter().zip(&utts).zip(&standalone) {
+            let served = core
+                .take_result(*id)
+                .expect("known")
+                .expect("closed after drain");
+            assert_eq!(served.words, alone.words, "utt {:?}", u.words);
+            assert_eq!(served.cost.to_bits(), alone.cost.to_bits());
+            assert_eq!(served.stats, alone.stats);
+        }
+        assert_eq!(core.active_sessions(), 0);
+        assert_eq!(core.backlog_frames(), 0);
+        let stats = core.stats();
+        assert_eq!(stats.finals, 8);
+        assert_eq!(stats.deadline_misses, 0);
+    }
+
+    /// Same interleaving with a shared warm worker OLT: the memo never
+    /// changes transcripts, only fetch counts.
+    #[test]
+    fn shared_worker_olt_does_not_change_transcripts() {
+        let (lex, am, lm) = setup();
+        let ua = utt(&lex, &[3, 9, 17], 5);
+        let ub = utt(&lex, &[7, 11, 4], 8);
+        let base = DecodeConfig {
+            olt_entries: 512,
+            ..Default::default()
+        };
+        let dec = OtfDecoder::new(base);
+        let alone_a = dec.decode(&*am, &*lm, &ua.scores, &mut NullSink);
+        let alone_b = dec.decode(&*am, &*lm, &ub.scores, &mut NullSink);
+
+        let config = ServeConfig {
+            quantum_frames: 4,
+            olt_entries: 512,
+            base,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm, config);
+        let a = core.open(0).unwrap();
+        let b = core.open(0).unwrap();
+        push_all(&mut core, a, &ua, 0);
+        push_all(&mut core, b, &ub, 0);
+        core.finish(a, 0).unwrap();
+        core.finish(b, 0).unwrap();
+        let mut work = WorkScratch::new();
+        work.configure_olt(512);
+        while core.step(&mut work, 0).is_some() {}
+        let ra = core.take_result(a).unwrap().unwrap();
+        let rb = core.take_result(b).unwrap().unwrap();
+        assert_eq!(ra.words, alone_a.words);
+        assert_eq!(ra.cost.to_bits(), alone_a.cost.to_bits());
+        assert_eq!(rb.words, alone_b.words);
+        assert_eq!(rb.cost.to_bits(), alone_b.cost.to_bits());
+    }
+
+    #[test]
+    fn admission_degrades_then_rejects_and_admitted_sessions_complete() {
+        let (lex, am, lm) = setup();
+        let u = utt(&lex, &[3, 9], 1);
+        let config = ServeConfig {
+            capacity: 4,
+            quantum_frames: 16,
+            olt_entries: 0,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm, config);
+        // Slots fill: pressure at each open is slots-already-taken / 4.
+        let s1 = core.open(0).unwrap(); // 0.00 -> full beams
+        let s2 = core.open(0).unwrap(); // 0.25 -> full beams
+        let s3 = core.open(0).unwrap(); // 0.50 -> full beams
+        let s4 = core.open(0).unwrap(); // 0.75 -> degraded
+        assert_eq!(core.view(s1).unwrap().degrade_level, 0);
+        assert_eq!(core.view(s3).unwrap().degrade_level, 0);
+        assert!(core.view(s4).unwrap().degrade_level >= 1, "degrades first");
+        // Then sheds: the table is full.
+        assert_eq!(core.open(0), Err(RejectReason::AtCapacity));
+        let stats = core.stats();
+        assert_eq!(stats.degraded_admissions, 1);
+        assert_eq!(stats.rejected_capacity, 1);
+
+        // Every admitted session still completes.
+        for id in [s1, s2, s3, s4] {
+            push_all(&mut core, id, &u, 0);
+            core.finish(id, 0).unwrap();
+        }
+        let mut work = WorkScratch::new();
+        work.configure_olt(0);
+        while core.step(&mut work, 0).is_some() {}
+        for id in [s1, s2, s3, s4] {
+            let res = core.take_result(id).unwrap().expect("completed");
+            assert!(!res.words.is_empty());
+        }
+    }
+
+    #[test]
+    fn backlog_bound_rejects_frames_and_new_sessions_memory_stays_bounded() {
+        let (lex, am, lm) = setup();
+        let u = utt(&lex, &[3, 9, 17], 2);
+        let frames = u.scores.num_frames();
+        let config = ServeConfig {
+            capacity: 8,
+            max_backlog_frames: frames + 3,
+            session_queue_frames: usize::MAX,
+            olt_entries: 0,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm, config);
+        let a = core.open(0).unwrap();
+        push_all(&mut core, a, &u, 0);
+        // 3 more rows fit, then the overload bound bites.
+        for _ in 0..3 {
+            core.push_frame(a, u.scores.frame(0), 0).unwrap();
+        }
+        assert_eq!(
+            core.push_frame(a, u.scores.frame(0), 0),
+            Err(ServeError::Rejected(RejectReason::Overloaded))
+        );
+        // New sessions are shed under the same signal.
+        assert_eq!(core.open(0), Err(RejectReason::Overloaded));
+        assert!(core.pressure() >= 1.0);
+        let stats = core.stats();
+        assert_eq!(stats.frames_rejected, 1);
+        assert_eq!(stats.rejected_overload, 1);
+        assert_eq!(core.backlog_frames(), frames + 3);
+
+        // Draining frees the backlog; the admitted session completes.
+        core.finish(a, 0).unwrap();
+        let mut work = WorkScratch::new();
+        work.configure_olt(0);
+        while core.step(&mut work, 0).is_some() {}
+        assert_eq!(core.backlog_frames(), 0);
+        assert!(core.take_result(a).unwrap().is_some());
+        assert!(core.open(1).is_ok(), "admits again once drained");
+    }
+
+    #[test]
+    fn per_session_queue_bound_rejects_excess_frames() {
+        let (lex, am, lm) = setup();
+        let u = utt(&lex, &[3], 1);
+        let config = ServeConfig {
+            session_queue_frames: 2,
+            olt_entries: 0,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm, config);
+        let id = core.open(0).unwrap();
+        core.push_frame(id, u.scores.frame(0), 0).unwrap();
+        core.push_frame(id, u.scores.frame(1), 0).unwrap();
+        assert_eq!(
+            core.push_frame(id, u.scores.frame(2), 0),
+            Err(ServeError::QueueFull(id))
+        );
+        assert_eq!(core.stats().frames_rejected, 1);
+    }
+
+    /// Satellite: an abandoned session is evicted mid-utterance — the
+    /// client pushed audio, the server decoded it, the client vanished.
+    #[test]
+    fn idle_session_is_evicted_mid_utterance() {
+        let (lex, am, lm) = setup();
+        let u = utt(&lex, &[3, 9, 17], 5);
+        let config = ServeConfig {
+            idle_timeout_ms: 1_000,
+            quantum_frames: 64,
+            olt_entries: 0,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm, config);
+        let id = core.open(0).unwrap();
+        for t in 0..u.scores.num_frames() / 2 {
+            core.push_frame(id, u.scores.frame(t), 0).unwrap();
+        }
+        let mut work = WorkScratch::new();
+        work.configure_olt(0);
+        while core.step(&mut work, 0).is_some() {}
+        assert!(core.view(id).unwrap().frames_decoded > 0, "mid-utterance");
+
+        // Decode progress does not count as client activity.
+        assert!(core.evict_idle(999).is_empty());
+        assert_eq!(core.evict_idle(1_000), vec![id]);
+        assert_eq!(core.stats().evicted_idle, 1);
+        assert_eq!(core.active_sessions(), 0);
+        assert_eq!(core.backlog_frames(), 0);
+        assert_eq!(
+            core.push_frame(id, u.scores.frame(0), 1_001),
+            Err(ServeError::UnknownSession(id))
+        );
+        assert_eq!(core.take_result(id), Err(ServeError::UnknownSession(id)));
+        // A session with *queued* audio but a silent client is shed too.
+        let id2 = core.open(2_000).unwrap();
+        core.push_frame(id2, u.scores.frame(0), 2_000).unwrap();
+        assert_eq!(core.evict_idle(3_000), vec![id2]);
+        assert_eq!(core.backlog_frames(), 0);
+    }
+
+    /// Satellite: `finish()` after zero frames still produces a result
+    /// (the seed-then-finalize path), not a hang or a panic.
+    #[test]
+    fn finish_after_zero_frames_closes_cleanly() {
+        let (_lex, am, lm) = setup();
+        let config = ServeConfig {
+            olt_entries: 0,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm, config);
+        let id = core.open(0).unwrap();
+        core.finish(id, 0).unwrap();
+        assert_eq!(core.view(id).unwrap().phase, SessionPhase::Finishing);
+        let mut work = WorkScratch::new();
+        work.configure_olt(0);
+        assert_eq!(core.step(&mut work, 0), Some(id));
+        assert_eq!(core.view(id).unwrap().phase, SessionPhase::Closed);
+        let res = core.take_result(id).unwrap().expect("result ready");
+        assert!(res.words.is_empty());
+        assert_eq!(res.stats.frames, 0);
+        // Frames after finish are refused.
+        let id2 = core.open(0).unwrap();
+        core.finish(id2, 0).unwrap();
+        assert_eq!(
+            core.push_frame(id2, &[0.0; 4], 0),
+            Err(ServeError::Finished(id2))
+        );
+    }
+
+    #[test]
+    fn late_quantum_counts_a_deadline_miss() {
+        let (lex, am, lm) = setup();
+        let u = utt(&lex, &[3], 1);
+        let config = ServeConfig {
+            deadline_ms: 10,
+            olt_entries: 0,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm, config);
+        let id = core.open(0).unwrap();
+        core.push_frame(id, u.scores.frame(0), 0).unwrap();
+        let (a, l) = core.models();
+        let mut work = WorkScratch::new();
+        work.configure_olt(0);
+
+        // On time: armed at t=0, completed at t=10 exactly.
+        let mut lease = core.lease_next(5).expect("ready");
+        lease.run(&*a, &*l, &mut work, &mut NullSink);
+        core.complete_lease(lease, 10);
+        assert_eq!(core.stats().deadline_misses, 0);
+
+        // Late: completed past deadline.
+        core.push_frame(id, u.scores.frame(1), 20).unwrap();
+        let mut lease = core.lease_next(20).expect("ready");
+        lease.run(&*a, &*l, &mut work, &mut NullSink);
+        core.complete_lease(lease, 31);
+        assert_eq!(core.stats().deadline_misses, 1);
+    }
+
+    #[test]
+    fn collecting_a_result_frees_the_slot() {
+        let (_lex, am, lm) = setup();
+        let config = ServeConfig {
+            capacity: 1,
+            olt_entries: 0,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm, config);
+        let id = core.open(0).unwrap();
+        core.finish(id, 0).unwrap();
+        let mut work = WorkScratch::new();
+        work.configure_olt(0);
+        core.step(&mut work, 0);
+        // Closed-but-uncollected still occupies the slot...
+        assert_eq!(core.open(0), Err(RejectReason::AtCapacity));
+        // ...until collected.
+        core.take_result(id).unwrap().unwrap();
+        assert!(core.open(0).is_ok());
+    }
+
+    #[test]
+    fn stable_partial_is_served_while_leased() {
+        let (lex, am, lm) = setup();
+        let u = utt(&lex, &[3, 9, 17], 5);
+        let config = ServeConfig {
+            quantum_frames: 8,
+            olt_entries: 0,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm, config);
+        let id = core.open(0).unwrap();
+        push_all(&mut core, id, &u, 0);
+        let mut work = WorkScratch::new();
+        work.configure_olt(0);
+        core.step(&mut work, 0);
+        let parked = core.stable_partial(id).unwrap();
+        let lease = core.lease_next(0).expect("more quanta pending");
+        // While the state is out with a "worker", the cached prefix is
+        // served rather than panicking or blocking.
+        assert_eq!(core.stable_partial(id).unwrap(), parked);
+        core.complete_lease(lease, 0);
+    }
+
+    #[test]
+    fn obs_export_is_a_parseable_run_record() {
+        let (_lex, am, lm) = setup();
+        let mut core = core_with(&am, &lm, ServeConfig::default());
+        let id = core.open(0).unwrap();
+        core.finish(id, 0).unwrap();
+        let mut work = WorkScratch::new();
+        work.configure_olt(core.config().olt_entries);
+        while core.step(&mut work, 0).is_some() {}
+        let jsonl = core.obs_jsonl();
+        let rec = ObsRecord::parse_line(jsonl.trim()).expect("valid obs record");
+        let ObsRecord::Run(pairs) = rec else {
+            panic!("expected a run record");
+        };
+        let get = |k: &str| pairs.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(get("serve.sessions_opened"), Some(1.0));
+        assert_eq!(get("serve.finals"), Some(1.0));
+        assert_eq!(get("serve.active_sessions"), Some(1.0));
+        assert!(get("serve.lease_frames.count").is_some());
+        assert!(core.obs_markdown().contains("serve.quanta"));
+    }
+}

@@ -1,0 +1,447 @@
+//! The threaded server: a pool of decode workers around a
+//! [`ServeCore`], plus the cloneable in-process [`ServeHandle`] clients
+//! drive it with.
+//!
+//! Workers follow the lease protocol: lock the core, claim the
+//! earliest-deadline quantum, *unlock*, decode with their private
+//! [`WorkScratch`] (so each worker keeps one warm software OLT for its
+//! whole life), relock, return the lease. The mutex therefore guards
+//! only queue surgery — decode time, which dominates, runs unlocked on
+//! every worker in parallel.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use unfold_decoder::{AmSource, DecodeResult, LmSource, NullSink, WorkScratch};
+use unfold_lm::WordId;
+
+use crate::sched::{ServeCore, ServeStats};
+use crate::session::{SessionId, SessionView};
+use crate::{RejectReason, ServeConfig, ServeError};
+
+/// How long an idle worker sleeps before re-checking for work and
+/// running the idle-eviction sweep. Purely a liveness bound — workers
+/// are woken eagerly whenever work arrives.
+const IDLE_POLL: Duration = Duration::from_millis(20);
+
+struct Shared<A: AmSource + ?Sized, L: LmSource + ?Sized> {
+    core: Mutex<ServeCore<A, L>>,
+    /// Signals both "work available" (to workers) and "progress made"
+    /// (to result waiters); waiters recheck their predicate.
+    cv: Condvar,
+    shutdown: AtomicBool,
+    epoch: Instant,
+}
+
+impl<A: AmSource + ?Sized, L: LmSource + ?Sized> Shared<A, L> {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+}
+
+/// A multi-session streaming decode server. Owns `workers` OS threads
+/// for its lifetime; dropping without [`Server::shutdown`] also joins
+/// them cleanly.
+pub struct Server<A, L>
+where
+    A: AmSource + Send + Sync + 'static + ?Sized,
+    L: LmSource + Send + Sync + 'static + ?Sized,
+{
+    shared: Arc<Shared<A, L>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<A, L> Server<A, L>
+where
+    A: AmSource + Send + Sync + 'static + ?Sized,
+    L: LmSource + Send + Sync + 'static + ?Sized,
+{
+    /// Starts a server decoding against one shared model pair.
+    pub fn start(config: ServeConfig, am: Arc<A>, lm: Arc<L>) -> Self {
+        let workers = config.workers.max(1);
+        let olt_entries = config.olt_entries;
+        let shared = Arc::new(Shared {
+            core: Mutex::new(ServeCore::new(config, am, lm)),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            epoch: Instant::now(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("unfold-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, olt_entries))
+                    .expect("spawn decode worker")
+            })
+            .collect();
+        Server {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// A cloneable client handle to this server.
+    pub fn handle(&self) -> ServeHandle<A, L> {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stops the workers and joins them. In-flight quanta complete;
+    /// queued-but-undecoded work is dropped.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<A, L> Drop for Server<A, L>
+where
+    A: AmSource + Send + Sync + 'static + ?Sized,
+    L: LmSource + Send + Sync + 'static + ?Sized,
+{
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+fn worker_loop<A, L>(shared: &Shared<A, L>, olt_entries: usize)
+where
+    A: AmSource + Send + Sync + 'static + ?Sized,
+    L: LmSource + Send + Sync + 'static + ?Sized,
+{
+    // One scratch (and one warm OLT) per worker, for its whole life.
+    let mut work = WorkScratch::new();
+    work.configure_olt(olt_entries);
+    let mut core = shared.core.lock().expect("serve lock");
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = shared.now_ms();
+        core.evict_idle(now);
+        match core.lease_next(now) {
+            Some(mut lease) => {
+                let (am, lm) = core.models();
+                drop(core);
+                lease.run(&*am, &*lm, &mut work, &mut NullSink);
+                core = shared.core.lock().expect("serve lock");
+                core.complete_lease(lease, shared.now_ms());
+                shared.cv.notify_all();
+            }
+            None => {
+                let (guard, _timeout) =
+                    shared.cv.wait_timeout(core, IDLE_POLL).expect("serve lock");
+                core = guard;
+            }
+        }
+    }
+}
+
+/// A cloneable client handle to a running [`Server`]: the in-process
+/// API the TCP front end and tests are built on. All methods are safe
+/// to call from any thread.
+pub struct ServeHandle<A: AmSource + ?Sized, L: LmSource + ?Sized> {
+    shared: Arc<Shared<A, L>>,
+}
+
+impl<A: AmSource + ?Sized, L: LmSource + ?Sized> Clone for ServeHandle<A, L> {
+    fn clone(&self) -> Self {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeHandle<A, L> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ServeCore<A, L>> {
+        self.shared.core.lock().expect("serve lock")
+    }
+
+    /// Milliseconds since the server started (its logical clock).
+    pub fn now_ms(&self) -> u64 {
+        self.shared.now_ms()
+    }
+
+    /// Opens a session (admission control applies).
+    ///
+    /// # Errors
+    /// The [`RejectReason`] when admission is refused.
+    pub fn open(&self) -> Result<SessionId, RejectReason> {
+        self.lock().open(self.shared.now_ms())
+    }
+
+    /// Queues one score row for `id` and wakes a worker.
+    ///
+    /// # Errors
+    /// See [`ServeCore::push_frame`].
+    pub fn push_frame(&self, id: SessionId, row: &[f32]) -> Result<(), ServeError> {
+        let r = self.lock().push_frame(id, row, self.shared.now_ms());
+        if r.is_ok() {
+            self.shared.cv.notify_all();
+        }
+        r
+    }
+
+    /// Marks `id` finished; its result becomes collectable once the
+    /// queue drains.
+    ///
+    /// # Errors
+    /// See [`ServeCore::finish`].
+    pub fn finish(&self, id: SessionId) -> Result<(), ServeError> {
+        let r = self.lock().finish(id, self.shared.now_ms());
+        if r.is_ok() {
+            self.shared.cv.notify_all();
+        }
+        r
+    }
+
+    /// The session's current non-flickering partial transcript.
+    ///
+    /// # Errors
+    /// See [`ServeCore::stable_partial`].
+    pub fn stable_partial(&self, id: SessionId) -> Result<Vec<WordId>, ServeError> {
+        self.lock().stable_partial(id)
+    }
+
+    /// A snapshot of the session's scheduling state.
+    ///
+    /// # Errors
+    /// See [`ServeCore::view`].
+    pub fn view(&self, id: SessionId) -> Result<SessionView, ServeError> {
+        self.lock().view(id)
+    }
+
+    /// Blocks until `id`'s queued frames have all been decoded (or
+    /// `timeout` passes). Returns whether the queue drained.
+    pub fn wait_drained(&self, id: SessionId, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut core = self.lock();
+        loop {
+            match core.view(id) {
+                Ok(v) if v.queued == 0 && !v.leased => return true,
+                Err(_) => return false,
+                Ok(_) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .shared
+                .cv
+                .wait_timeout(core, deadline - now)
+                .expect("serve lock");
+            core = guard;
+        }
+    }
+
+    /// Blocks until `id`'s final result is ready and collects it,
+    /// freeing the slot. `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownSession`] if the session vanished (evicted,
+    /// or already collected).
+    pub fn wait_result(
+        &self,
+        id: SessionId,
+        timeout: Duration,
+    ) -> Result<Option<DecodeResult>, ServeError> {
+        let deadline = Instant::now() + timeout;
+        let mut core = self.lock();
+        loop {
+            if let Some(res) = core.take_result(id)? {
+                return Ok(Some(res));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (guard, _) = self
+                .shared
+                .cv
+                .wait_timeout(core, deadline - now)
+                .expect("serve lock");
+            core = guard;
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServeStats {
+        self.lock().stats()
+    }
+
+    /// Sessions currently holding slots.
+    pub fn active_sessions(&self) -> usize {
+        self.lock().active_sessions()
+    }
+
+    /// Server metrics as one `unfold-obs` run record (JSONL).
+    pub fn obs_jsonl(&self) -> String {
+        self.lock().obs_jsonl()
+    }
+
+    /// Server metrics as a markdown table.
+    pub fn obs_markdown(&self) -> String {
+        self.lock().obs_markdown()
+    }
+
+    /// Asks the server (and any front ends polling this flag) to stop.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel, Utterance};
+    use unfold_decoder::{DecodeConfig, OtfDecoder};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+    use unfold_wfst::Wfst;
+
+    fn setup() -> (Lexicon, Arc<Wfst>, Arc<Wfst>) {
+        let lex = Lexicon::generate(50, 20, 6);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec {
+            vocab_size: 50,
+            num_sentences: 300,
+            ..Default::default()
+        };
+        let model = NGramModel::train(&spec.generate(3), 50, DiscountConfig::default());
+        (lex, Arc::new(am.fst), Arc::new(lm_to_wfst(&model)))
+    }
+
+    /// Concurrent sessions through real worker threads still produce
+    /// transcripts bit-identical to standalone decodes — worker
+    /// scheduling is timing-dependent, results must not be.
+    #[test]
+    fn threaded_sessions_match_standalone_decode() {
+        let (lex, am, lm) = setup();
+        let word_seqs: [&[u32]; 4] = [&[3, 9, 17], &[7, 11, 4], &[22, 5], &[14, 30, 8]];
+        let utts: Vec<Utterance> = word_seqs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                synthesize_utterance(
+                    w,
+                    &lex,
+                    HmmTopology::Kaldi3State,
+                    &NoiseModel::default(),
+                    40 + i as u64,
+                )
+            })
+            .collect();
+        let base = DecodeConfig::default();
+        let standalone: Vec<_> = utts
+            .iter()
+            .map(|u| OtfDecoder::new(base).decode(&*am, &*lm, &u.scores, &mut NullSink))
+            .collect();
+
+        let config = ServeConfig {
+            workers: 2,
+            quantum_frames: 8,
+            olt_entries: 0,
+            base,
+            ..Default::default()
+        };
+        let server = Server::start(config, Arc::clone(&am), Arc::clone(&lm));
+        let handle = server.handle();
+
+        let joins: Vec<_> = utts
+            .iter()
+            .map(|u| {
+                let handle = handle.clone();
+                let rows: Vec<Vec<f32>> = (0..u.scores.num_frames())
+                    .map(|t| u.scores.frame(t).to_vec())
+                    .collect();
+                std::thread::spawn(move || {
+                    let id = handle.open().expect("admit");
+                    for row in &rows {
+                        handle.push_frame(id, row).expect("push");
+                    }
+                    handle.finish(id).expect("finish");
+                    handle
+                        .wait_result(id, Duration::from_secs(60))
+                        .expect("known")
+                        .expect("no timeout")
+                })
+            })
+            .collect();
+        let results: Vec<DecodeResult> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        for (served, alone) in results.iter().zip(&standalone) {
+            assert_eq!(served.words, alone.words);
+            assert_eq!(served.cost.to_bits(), alone.cost.to_bits());
+            assert_eq!(served.stats, alone.stats);
+        }
+        assert_eq!(handle.stats().finals, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn wait_drained_and_partials_work_under_workers() {
+        let (lex, am, lm) = setup();
+        let u = synthesize_utterance(
+            &[3, 9, 17],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::clean(),
+            7,
+        );
+        let server = Server::start(
+            ServeConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            Arc::clone(&am),
+            Arc::clone(&lm),
+        );
+        let handle = server.handle();
+        let id = handle.open().unwrap();
+        for t in 0..u.scores.num_frames() {
+            handle.push_frame(id, u.scores.frame(t)).unwrap();
+        }
+        assert!(handle.wait_drained(id, Duration::from_secs(30)));
+        let partial = handle.stable_partial(id).unwrap();
+        handle.finish(id).unwrap();
+        let res = handle
+            .wait_result(id, Duration::from_secs(30))
+            .unwrap()
+            .expect("final");
+        assert!(
+            partial.len() <= res.words.len() && res.words[..partial.len()] == partial[..],
+            "stable partial {partial:?} must prefix the final {:?}",
+            res.words
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_workers_and_drop_is_clean() {
+        let (_lex, am, lm) = setup();
+        let server = Server::start(ServeConfig::default(), Arc::clone(&am), Arc::clone(&lm));
+        let handle = server.handle();
+        assert!(!handle.shutdown_requested());
+        server.shutdown();
+        assert!(handle.shutdown_requested());
+        // Drop without explicit shutdown must also not hang.
+        let server2 = Server::start(ServeConfig::default(), am, lm);
+        drop(server2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Session identity, lifecycle, and the table entry the scheduler
+//! juggles.
+
+use std::collections::VecDeque;
+
+use unfold_decoder::{DecodeResult, StreamSession};
+use unfold_lm::WordId;
+
+/// Opaque session identifier, unique for a server's lifetime.
+pub type SessionId = u64;
+
+/// Where a session is in its lifecycle.
+///
+/// `Open → Finishing → Closed`; eviction removes the entry from any
+/// phase. There is no separate "Streaming" state — an `Open` session
+/// with queued frames is streaming, one without is idle, and the
+/// distinction is visible in [`SessionView::queued`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// Accepting frames.
+    Open,
+    /// `finish()` called; draining queued frames, then finalizing.
+    Finishing,
+    /// Final result ready for collection.
+    Closed,
+}
+
+/// A read-only snapshot of one session's scheduling state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionView {
+    /// Lifecycle phase.
+    pub phase: SessionPhase,
+    /// Frames accepted from the client so far.
+    pub frames_accepted: u64,
+    /// Frames actually decoded so far.
+    pub frames_decoded: u64,
+    /// Frames queued, awaiting a decode slice.
+    pub queued: usize,
+    /// Whether a worker currently holds this session's decode state.
+    pub leased: bool,
+    /// Degradation-ladder level this session was admitted at
+    /// (0 = full beams).
+    pub degrade_level: u8,
+}
+
+/// The session-table entry. The decode state lives in an `Option` so a
+/// worker can *move it out* under the lock (a lease), decode without
+/// holding the lock, and return it.
+#[derive(Debug)]
+pub(crate) struct Session {
+    /// Search state; `None` while leased to a worker.
+    pub decode: Option<StreamSession>,
+    /// Queued score rows (`row[pdf - 1]` = acoustic cost).
+    pub queue: VecDeque<Vec<f32>>,
+    pub phase: SessionPhase,
+    /// Last *client* activity (open/push/finish) — the idle-eviction
+    /// clock. Decode progress deliberately does not refresh it.
+    pub last_activity_ms: u64,
+    /// The `(deadline_ms, seq)` key of this session's live ready-queue
+    /// entry, if any; heap entries with a different key are stale.
+    pub armed: Option<(u64, u64)>,
+    pub leased: bool,
+    pub result: Option<DecodeResult>,
+    pub frames_accepted: u64,
+    pub frames_decoded: u64,
+    /// Stable prefix cached at the last lease completion, served while
+    /// the decode state is out with a worker.
+    pub last_partial: Vec<WordId>,
+    pub degrade_level: u8,
+}
+
+impl Session {
+    pub(crate) fn new(decode: StreamSession, now_ms: u64, degrade_level: u8) -> Self {
+        Session {
+            decode: Some(decode),
+            queue: VecDeque::new(),
+            phase: SessionPhase::Open,
+            last_activity_ms: now_ms,
+            armed: None,
+            leased: false,
+            result: None,
+            frames_accepted: 0,
+            frames_decoded: 0,
+            last_partial: Vec::new(),
+            degrade_level,
+        }
+    }
+
+    /// Whether the session has work a lease could perform: queued
+    /// frames, or a pending finalize.
+    pub(crate) fn runnable(&self) -> bool {
+        !self.queue.is_empty() || (self.phase == SessionPhase::Finishing && self.result.is_none())
+    }
+
+    pub(crate) fn view(&self) -> SessionView {
+        SessionView {
+            phase: self.phase,
+            frames_accepted: self.frames_accepted,
+            frames_decoded: self.frames_decoded,
+            queued: self.queue.len(),
+            leased: self.leased,
+            degrade_level: self.degrade_level,
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! TCP front end: a `std::net` accept loop translating the wire
+//! protocol onto a [`ServeHandle`], one session per connection.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use unfold_decoder::{AmSource, LmSource};
+
+use crate::server::ServeHandle;
+use crate::wire::{read_client, write_server, ClientMsg, ServerMsg};
+use crate::{ServeError, SessionId};
+
+/// How long a connection waits for queued frames to decode before
+/// answering `Partial`, and for the final result before giving up.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Poll interval of the (non-blocking) accept loop. Accept latency is
+/// bounded by this; connection handling itself is blocking I/O.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A running TCP front end. Dropping it (or calling
+/// [`TcpFront::stop`]) stops accepting; established connections run to
+/// completion on their own threads.
+pub struct TcpFront {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpFront {
+    /// Starts accepting on `listener` (bind with port 0 for an
+    /// ephemeral port, then read it back from
+    /// [`TcpFront::local_addr`]). The accept loop also exits on the
+    /// server's own shutdown flag, so a wire `Shutdown` message stops
+    /// the front end too.
+    ///
+    /// # Errors
+    /// Propagates listener setup failures.
+    pub fn start<A, L>(listener: TcpListener, handle: ServeHandle<A, L>) -> io::Result<TcpFront>
+    where
+        A: AmSource + Send + Sync + 'static + ?Sized,
+        L: LmSource + Send + Sync + 'static + ?Sized,
+    {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("unfold-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &handle, &stop2))
+            .expect("spawn accept loop");
+        Ok(TcpFront {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the accept loop exits (i.e. until server shutdown
+    /// is requested over the wire or [`TcpFront::stop`] is called from
+    /// another thread).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Asks the accept loop to exit.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for TcpFront {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop<A, L>(listener: &TcpListener, handle: &ServeHandle<A, L>, stop: &AtomicBool)
+where
+    A: AmSource + Send + Sync + 'static + ?Sized,
+    L: LmSource + Send + Sync + 'static + ?Sized,
+{
+    while !stop.load(Ordering::SeqCst) && !handle.shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let handle = handle.clone();
+                let _ = std::thread::Builder::new()
+                    .name("unfold-serve-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &handle);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn reject_to_msg(e: ServeError) -> ServerMsg {
+    match e {
+        ServeError::Rejected(reason) => ServerMsg::Rejected { reason },
+        other => ServerMsg::Error {
+            msg: other.to_string(),
+        },
+    }
+}
+
+/// Runs one connection to completion. Client disconnection
+/// mid-session is fine: the session is left to the idle-timeout sweep.
+fn serve_connection<A, L>(stream: TcpStream, handle: &ServeHandle<A, L>) -> io::Result<()>
+where
+    A: AmSource + Send + Sync + 'static + ?Sized,
+    L: LmSource + Send + Sync + 'static + ?Sized,
+{
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut session: Option<SessionId> = None;
+    while let Some(msg) = read_client(&mut reader)? {
+        let reply = match msg {
+            ClientMsg::Open => match handle.open() {
+                Ok(id) => {
+                    session = Some(id);
+                    ServerMsg::Opened { session: id }
+                }
+                Err(reason) => ServerMsg::Rejected { reason },
+            },
+            ClientMsg::Frames(rows) => match session {
+                None => ServerMsg::Error {
+                    msg: "no open session on this connection".into(),
+                },
+                Some(id) => {
+                    let mut err = None;
+                    for row in &rows {
+                        if let Err(e) = handle.push_frame(id, row) {
+                            err = Some(e);
+                            break;
+                        }
+                    }
+                    match err {
+                        Some(e) => reject_to_msg(e),
+                        None => {
+                            // Closed loop: answer once this batch has
+                            // actually been decoded, so the partial
+                            // reflects it and the client paces itself
+                            // to the server.
+                            handle.wait_drained(id, DRAIN_TIMEOUT);
+                            match handle.stable_partial(id) {
+                                Ok(words) => ServerMsg::Partial { words },
+                                Err(e) => reject_to_msg(e),
+                            }
+                        }
+                    }
+                }
+            },
+            ClientMsg::Finish => match session.take() {
+                None => ServerMsg::Error {
+                    msg: "no open session on this connection".into(),
+                },
+                Some(id) => match handle.finish(id) {
+                    Err(e) => reject_to_msg(e),
+                    Ok(()) => match handle.wait_result(id, DRAIN_TIMEOUT) {
+                        Ok(Some(res)) => ServerMsg::Final {
+                            words: res.words.clone(),
+                            cost: res.cost,
+                            frames: res.stats.frames as u64,
+                        },
+                        Ok(None) => ServerMsg::Error {
+                            msg: "timed out waiting for the final result".into(),
+                        },
+                        Err(e) => reject_to_msg(e),
+                    },
+                },
+            },
+            ClientMsg::Stats => ServerMsg::Stats {
+                jsonl: handle.obs_jsonl(),
+            },
+            ClientMsg::Shutdown => {
+                handle.request_shutdown();
+                break;
+            }
+        };
+        write_server(&mut writer, &reply)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use crate::wire::{read_server, write_client};
+    use crate::ServeConfig;
+    use std::io::{BufReader as R, BufWriter as W};
+    use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel};
+    use unfold_decoder::{DecodeConfig, NullSink, OtfDecoder};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+    use unfold_wfst::Wfst;
+
+    fn setup() -> (Lexicon, Arc<Wfst>, Arc<Wfst>) {
+        let lex = Lexicon::generate(50, 20, 6);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec {
+            vocab_size: 50,
+            num_sentences: 300,
+            ..Default::default()
+        };
+        let model = NGramModel::train(&spec.generate(3), 50, DiscountConfig::default());
+        (lex, Arc::new(am.fst), Arc::new(lm_to_wfst(&model)))
+    }
+
+    #[test]
+    fn tcp_session_roundtrip_matches_standalone_decode() {
+        let (lex, am, lm) = setup();
+        let u = synthesize_utterance(
+            &[3, 9, 17],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            5,
+        );
+        let base = DecodeConfig::default();
+        let alone = OtfDecoder::new(base).decode(&*am, &*lm, &u.scores, &mut NullSink);
+
+        let server = Server::start(
+            ServeConfig {
+                workers: 1,
+                olt_entries: 0,
+                base,
+                ..Default::default()
+            },
+            Arc::clone(&am),
+            Arc::clone(&lm),
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let front = TcpFront::start(listener, server.handle()).unwrap();
+
+        let stream = TcpStream::connect(front.local_addr()).unwrap();
+        let mut rd = R::new(stream.try_clone().unwrap());
+        let mut wr = W::new(stream);
+        write_client(&mut wr, &ClientMsg::Open).unwrap();
+        assert!(matches!(
+            read_server(&mut rd).unwrap(),
+            Some(ServerMsg::Opened { .. })
+        ));
+        let rows: Vec<Vec<f32>> = (0..u.scores.num_frames())
+            .map(|t| u.scores.frame(t).to_vec())
+            .collect();
+        for chunk in rows.chunks(10) {
+            write_client(&mut wr, &ClientMsg::Frames(chunk.to_vec())).unwrap();
+            let reply = read_server(&mut rd).unwrap().unwrap();
+            let ServerMsg::Partial { words } = reply else {
+                panic!("expected Partial, got {reply:?}");
+            };
+            assert!(
+                words.len() <= alone.words.len() && alone.words[..words.len()] == words[..],
+                "stable partial {words:?} must prefix the final {:?}",
+                alone.words
+            );
+        }
+        write_client(&mut wr, &ClientMsg::Finish).unwrap();
+        let reply = read_server(&mut rd).unwrap().unwrap();
+        let ServerMsg::Final {
+            words,
+            cost,
+            frames,
+        } = reply
+        else {
+            panic!("expected Final, got {reply:?}");
+        };
+        assert_eq!(words, alone.words);
+        assert_eq!(cost.to_bits(), alone.cost.to_bits());
+        assert_eq!(frames as usize, u.scores.num_frames());
+
+        write_client(&mut wr, &ClientMsg::Stats).unwrap();
+        let ServerMsg::Stats { jsonl } = read_server(&mut rd).unwrap().unwrap() else {
+            panic!("expected Stats");
+        };
+        assert!(jsonl.contains("serve.finals"));
+
+        write_client(&mut wr, &ClientMsg::Shutdown).unwrap();
+        front.join();
+        server.shutdown();
+    }
+
+    #[test]
+    fn frames_without_open_is_an_error_and_rejection_is_reported() {
+        let (_lex, am, lm) = setup();
+        let server = Server::start(
+            ServeConfig {
+                capacity: 0, // every open is refused
+                workers: 1,
+                ..Default::default()
+            },
+            am,
+            lm,
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let front = TcpFront::start(listener, server.handle()).unwrap();
+        let stream = TcpStream::connect(front.local_addr()).unwrap();
+        let mut rd = R::new(stream.try_clone().unwrap());
+        let mut wr = W::new(stream);
+
+        write_client(&mut wr, &ClientMsg::Frames(vec![vec![0.0]])).unwrap();
+        assert!(matches!(
+            read_server(&mut rd).unwrap(),
+            Some(ServerMsg::Error { .. })
+        ));
+        write_client(&mut wr, &ClientMsg::Open).unwrap();
+        assert!(matches!(
+            read_server(&mut rd).unwrap(),
+            Some(ServerMsg::Rejected {
+                reason: crate::RejectReason::AtCapacity
+            })
+        ));
+        drop(wr);
+        drop(rd);
+        front.stop();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,470 @@
+//! Length-prefixed wire protocol for the TCP front end.
+//!
+//! Every message is `[u32 length (LE)] [u8 tag] [payload]`, where
+//! `length` counts the tag plus payload. Integers and floats are
+//! little-endian. The protocol is deliberately dumb — no negotiation,
+//! no compression — because its job is to exercise the serving layer,
+//! not to be a product API.
+//!
+//! One session per connection: `Open` binds the connection to a fresh
+//! session; each `Frames` batch is answered with a `Partial` (the
+//! stable prefix so far); `Finish` is answered with `Final`. `Stats`
+//! and `Shutdown` work on any connection.
+
+use std::io::{self, Read, Write};
+
+use crate::RejectReason;
+
+/// Hard bound on one message's payload (tag + body), to fail fast on
+/// corrupt length prefixes instead of attempting a huge allocation.
+pub const MAX_MESSAGE: usize = 64 << 20;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Open a session on this connection.
+    Open,
+    /// A batch of score rows (all the same width).
+    Frames(Vec<Vec<f32>>),
+    /// No more audio; finalize and return the transcript.
+    Finish,
+    /// Request the server's metrics record.
+    Stats,
+    /// Ask the whole server to shut down.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// Session admitted.
+    Opened {
+        /// Its id (diagnostic — the connection itself addresses it).
+        session: u64,
+    },
+    /// Admission refused.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// Stable partial transcript after a `Frames` batch.
+    Partial {
+        /// Words every live hypothesis agrees on so far.
+        words: Vec<u32>,
+    },
+    /// Final transcript after `Finish`.
+    Final {
+        /// Best-path word sequence.
+        words: Vec<u32>,
+        /// Best complete-hypothesis cost.
+        cost: f32,
+        /// Frames decoded.
+        frames: u64,
+    },
+    /// Protocol or session error (connection stays usable).
+    Error {
+        /// Human-readable cause.
+        msg: String,
+    },
+    /// Metrics record (`unfold-obs` run JSONL).
+    Stats {
+        /// The JSONL text.
+        jsonl: String,
+    },
+}
+
+const T_OPEN: u8 = 0x01;
+const T_FRAMES: u8 = 0x02;
+const T_FINISH: u8 = 0x03;
+const T_STATS: u8 = 0x04;
+const T_SHUTDOWN: u8 = 0x05;
+
+const T_OPENED: u8 = 0x81;
+const T_REJECTED: u8 = 0x82;
+const T_PARTIAL: u8 = 0x83;
+const T_FINAL: u8 = 0x84;
+const T_ERROR: u8 = 0x85;
+const T_STATS_REPLY: u8 = 0x86;
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("wire: {what}"))
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad("truncated message"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn words(&mut self) -> io::Result<Vec<u32>> {
+        let n = self.u32()? as usize;
+        if n > MAX_MESSAGE / 4 {
+            return Err(bad("word list too long"));
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("invalid utf-8"))
+    }
+
+    fn done(&self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad("trailing bytes"))
+        }
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_words(buf: &mut Vec<u8>, words: &[u32]) {
+    put_u32(buf, words.len() as u32);
+    for &w in words {
+        put_u32(buf, w);
+    }
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+impl ClientMsg {
+    /// Serializes tag + payload (without the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            ClientMsg::Open => buf.push(T_OPEN),
+            ClientMsg::Frames(rows) => {
+                buf.push(T_FRAMES);
+                let width = rows.first().map_or(0, Vec::len);
+                put_u32(&mut buf, rows.len() as u32);
+                put_u32(&mut buf, width as u32);
+                for row in rows {
+                    assert_eq!(row.len(), width, "ragged frame batch");
+                    for &v in row {
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+            ClientMsg::Finish => buf.push(T_FINISH),
+            ClientMsg::Stats => buf.push(T_STATS),
+            ClientMsg::Shutdown => buf.push(T_SHUTDOWN),
+        }
+        buf
+    }
+
+    /// Parses tag + payload.
+    ///
+    /// # Errors
+    /// `InvalidData` on unknown tags or malformed payloads.
+    pub fn decode(buf: &[u8]) -> io::Result<ClientMsg> {
+        let mut c = Cursor::new(buf);
+        let msg = match c.u8()? {
+            T_OPEN => ClientMsg::Open,
+            T_FRAMES => {
+                let n = c.u32()? as usize;
+                let width = c.u32()? as usize;
+                if n.checked_mul(width)
+                    .and_then(|cells| cells.checked_mul(4))
+                    .is_none_or(|bytes| bytes > MAX_MESSAGE)
+                {
+                    return Err(bad("frame batch too large"));
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let mut row = Vec::with_capacity(width);
+                    for _ in 0..width {
+                        row.push(c.f32()?);
+                    }
+                    rows.push(row);
+                }
+                ClientMsg::Frames(rows)
+            }
+            T_FINISH => ClientMsg::Finish,
+            T_STATS => ClientMsg::Stats,
+            T_SHUTDOWN => ClientMsg::Shutdown,
+            t => return Err(bad(&format!("unknown client tag {t:#04x}"))),
+        };
+        c.done()?;
+        Ok(msg)
+    }
+}
+
+impl ServerMsg {
+    /// Serializes tag + payload (without the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            ServerMsg::Opened { session } => {
+                buf.push(T_OPENED);
+                put_u64(&mut buf, *session);
+            }
+            ServerMsg::Rejected { reason } => {
+                buf.push(T_REJECTED);
+                buf.push(match reason {
+                    RejectReason::AtCapacity => 0,
+                    RejectReason::Overloaded => 1,
+                });
+            }
+            ServerMsg::Partial { words } => {
+                buf.push(T_PARTIAL);
+                put_words(&mut buf, words);
+            }
+            ServerMsg::Final {
+                words,
+                cost,
+                frames,
+            } => {
+                buf.push(T_FINAL);
+                put_words(&mut buf, words);
+                buf.extend_from_slice(&cost.to_le_bytes());
+                put_u64(&mut buf, *frames);
+            }
+            ServerMsg::Error { msg } => {
+                buf.push(T_ERROR);
+                put_string(&mut buf, msg);
+            }
+            ServerMsg::Stats { jsonl } => {
+                buf.push(T_STATS_REPLY);
+                put_string(&mut buf, jsonl);
+            }
+        }
+        buf
+    }
+
+    /// Parses tag + payload.
+    ///
+    /// # Errors
+    /// `InvalidData` on unknown tags or malformed payloads.
+    pub fn decode(buf: &[u8]) -> io::Result<ServerMsg> {
+        let mut c = Cursor::new(buf);
+        let msg = match c.u8()? {
+            T_OPENED => ServerMsg::Opened { session: c.u64()? },
+            T_REJECTED => ServerMsg::Rejected {
+                reason: match c.u8()? {
+                    0 => RejectReason::AtCapacity,
+                    1 => RejectReason::Overloaded,
+                    r => return Err(bad(&format!("unknown reject reason {r}"))),
+                },
+            },
+            T_PARTIAL => ServerMsg::Partial { words: c.words()? },
+            T_FINAL => ServerMsg::Final {
+                words: c.words()?,
+                cost: c.f32()?,
+                frames: c.u64()?,
+            },
+            T_ERROR => ServerMsg::Error { msg: c.string()? },
+            T_STATS_REPLY => ServerMsg::Stats { jsonl: c.string()? },
+            t => return Err(bad(&format!("unknown server tag {t:#04x}"))),
+        };
+        c.done()?;
+        Ok(msg)
+    }
+}
+
+fn write_framed(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed message body. `Ok(None)` on clean EOF at
+/// a message boundary.
+///
+/// # Errors
+/// I/O errors, EOF mid-message, or a length beyond [`MAX_MESSAGE`].
+fn read_framed(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len == 0 || len > MAX_MESSAGE {
+        return Err(bad("bad message length"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Writes one client message, length-prefixed.
+///
+/// # Errors
+/// Underlying I/O errors.
+pub fn write_client(w: &mut impl Write, msg: &ClientMsg) -> io::Result<()> {
+    write_framed(w, &msg.encode())
+}
+
+/// Reads one client message; `Ok(None)` on clean EOF.
+///
+/// # Errors
+/// I/O errors or malformed messages.
+pub fn read_client(r: &mut impl Read) -> io::Result<Option<ClientMsg>> {
+    read_framed(r)?.map(|b| ClientMsg::decode(&b)).transpose()
+}
+
+/// Writes one server message, length-prefixed.
+///
+/// # Errors
+/// Underlying I/O errors.
+pub fn write_server(w: &mut impl Write, msg: &ServerMsg) -> io::Result<()> {
+    write_framed(w, &msg.encode())
+}
+
+/// Reads one server message; `Ok(None)` on clean EOF.
+///
+/// # Errors
+/// I/O errors or malformed messages.
+pub fn read_server(r: &mut impl Read) -> io::Result<Option<ServerMsg>> {
+    read_framed(r)?.map(|b| ServerMsg::decode(&b)).transpose()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_client(msg: ClientMsg) {
+        let mut buf = Vec::new();
+        write_client(&mut buf, &msg).unwrap();
+        let back = read_client(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back, msg);
+    }
+
+    fn roundtrip_server(msg: ServerMsg) {
+        let mut buf = Vec::new();
+        write_server(&mut buf, &msg).unwrap();
+        let back = read_server(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn client_messages_roundtrip() {
+        roundtrip_client(ClientMsg::Open);
+        roundtrip_client(ClientMsg::Frames(vec![vec![1.0, -2.5], vec![0.0, 3.25]]));
+        roundtrip_client(ClientMsg::Frames(Vec::new()));
+        roundtrip_client(ClientMsg::Finish);
+        roundtrip_client(ClientMsg::Stats);
+        roundtrip_client(ClientMsg::Shutdown);
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        roundtrip_server(ServerMsg::Opened { session: 7 });
+        roundtrip_server(ServerMsg::Rejected {
+            reason: RejectReason::AtCapacity,
+        });
+        roundtrip_server(ServerMsg::Rejected {
+            reason: RejectReason::Overloaded,
+        });
+        roundtrip_server(ServerMsg::Partial { words: vec![1, 2] });
+        roundtrip_server(ServerMsg::Final {
+            words: vec![3, 9, 17],
+            cost: 42.5,
+            frames: 120,
+        });
+        roundtrip_server(ServerMsg::Error {
+            msg: "queue full".into(),
+        });
+        roundtrip_server(ServerMsg::Stats {
+            jsonl: "{\"record\":\"run\"}".into(),
+        });
+    }
+
+    #[test]
+    fn several_messages_stream_back_to_back() {
+        let mut buf = Vec::new();
+        write_client(&mut buf, &ClientMsg::Open).unwrap();
+        write_client(&mut buf, &ClientMsg::Frames(vec![vec![1.0]])).unwrap();
+        write_client(&mut buf, &ClientMsg::Finish).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_client(&mut r).unwrap(), Some(ClientMsg::Open));
+        assert!(matches!(
+            read_client(&mut r).unwrap(),
+            Some(ClientMsg::Frames(_))
+        ));
+        assert_eq!(read_client(&mut r).unwrap(), Some(ClientMsg::Finish));
+        assert_eq!(read_client(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn malformed_input_is_invalid_data_not_panic() {
+        // Zero length.
+        let z = 0u32.to_le_bytes();
+        assert!(read_client(&mut z.as_slice()).is_err());
+        // Absurd length.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_client(&mut huge.as_slice()).is_err());
+        // Unknown tag.
+        let mut bad_tag = Vec::new();
+        bad_tag.extend_from_slice(&1u32.to_le_bytes());
+        bad_tag.push(0x7F);
+        assert!(read_client(&mut bad_tag.as_slice()).is_err());
+        // Truncated payload (EOF mid-message).
+        let mut trunc = Vec::new();
+        trunc.extend_from_slice(&100u32.to_le_bytes());
+        trunc.push(T_FRAMES);
+        assert!(read_client(&mut trunc.as_slice()).is_err());
+        // Trailing bytes after a complete payload.
+        let mut trailing = Vec::new();
+        trailing.extend_from_slice(&2u32.to_le_bytes());
+        trailing.push(T_OPEN);
+        trailing.push(0xAA);
+        assert!(read_client(&mut trailing.as_slice()).is_err());
+        // Frame batch whose declared size overflows.
+        let mut overflow = Vec::new();
+        let body = [
+            &[T_FRAMES][..],
+            &u32::MAX.to_le_bytes(),
+            &u32::MAX.to_le_bytes(),
+        ]
+        .concat();
+        overflow.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        overflow.extend_from_slice(&body);
+        assert!(read_client(&mut overflow.as_slice()).is_err());
+    }
+}
