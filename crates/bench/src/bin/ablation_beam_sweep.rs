@@ -24,10 +24,10 @@ fn main() {
             &task.system,
             &task.utterances,
             AcceleratorConfig::unfold(),
-            DecodeConfig {
-                beam,
-                ..Default::default()
-            },
+            DecodeConfig::builder()
+                .beam(beam)
+                .build()
+                .expect("valid ablation config"),
         );
         row(&[
             format!("{beam}"),

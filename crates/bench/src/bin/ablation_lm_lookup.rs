@@ -21,10 +21,10 @@ fn main() {
     // Scaled-machine configs (see DESIGN.md) so LM fetches actually
     // miss, as they do at full scale.
     const SCALE: u64 = 32;
-    let no_preempt = DecodeConfig {
-        preemptive_pruning: false,
-        ..Default::default()
-    };
+    let no_preempt = DecodeConfig::builder()
+        .preemptive_pruning(false)
+        .build()
+        .expect("valid ablation config");
     let mut no_olt = AcceleratorConfig::unfold().scaled_datasets(SCALE);
     no_olt.offset_table_entries = None;
 

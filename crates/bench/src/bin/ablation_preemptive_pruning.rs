@@ -19,10 +19,12 @@ fn main() {
     for task in build_all() {
         let s = &task.system;
         let run = |preempt: bool| {
-            let dec = OtfDecoder::new(DecodeConfig {
-                preemptive_pruning: preempt,
-                ..Default::default()
-            });
+            let dec = OtfDecoder::new(
+                DecodeConfig::builder()
+                    .preemptive_pruning(preempt)
+                    .build()
+                    .expect("valid ablation config"),
+            );
             let mut accel = Accelerator::new(AcceleratorConfig::unfold().scaled_datasets(32));
             let mut words = Vec::new();
             let mut stats = unfold_decoder::DecodeStats::default();

@@ -1,0 +1,82 @@
+//! Cold-load benchmark driver: owned vs mmap bundle opens.
+//!
+//! Parent mode (no args): packs the `UNFOLD_BENCH_TASK` preset
+//! (default `tedlium`) into a temp `.unfb` bundle, then re-invokes
+//! this same binary `UNFOLD_BENCH_LOAD_REPS` times (default 5) per
+//! mode with `--child <mode> <bundle>`. Each child is a fresh process,
+//! so every open is process-cold and its `VmHWM` isolates what *that*
+//! open made resident. Medians go to `BENCH_load.json`.
+//!
+//! Child mode (`--child owned|mmap <path>`): opens the bundle once and
+//! prints a one-line JSON sample on stdout.
+
+use std::process::Command;
+
+use unfold_bench::load_bench::{
+    default_path, pack_bench_bundle, probe, sample_from_json, sample_to_json, summarize,
+    LoadBenchReport, LoadSample,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--child") {
+        let mode = args.get(1).expect("--child needs a mode");
+        let path = std::path::Path::new(args.get(2).expect("--child needs a bundle path"));
+        println!("{}", sample_to_json(&probe(mode, path)));
+        return;
+    }
+
+    let task = std::env::var("UNFOLD_BENCH_TASK").unwrap_or_else(|_| "tedlium".into());
+    let reps: usize = std::env::var("UNFOLD_BENCH_LOAD_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let exe = std::env::current_exe().expect("own path");
+
+    eprintln!("packing '{task}' bundle ...");
+    let bundle = pack_bench_bundle(&task);
+    let bundle_bytes = std::fs::metadata(&bundle).expect("bundle stat").len();
+
+    let mut modes = Vec::new();
+    let mut lms = 0;
+    let mut arc_stream_kb = 0;
+    for mode in ["owned", "mmap"] {
+        let mut samples: Vec<LoadSample> = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let out = Command::new(&exe)
+                .args(["--child", mode, bundle.to_str().expect("utf-8 temp path")])
+                .output()
+                .expect("child runs");
+            assert!(
+                out.status.success(),
+                "child ({mode}) failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let line = String::from_utf8_lossy(&out.stdout);
+            let sample = sample_from_json(line.trim()).expect("child printed a sample");
+            lms = sample.lms;
+            arc_stream_kb = sample.arc_stream_kb;
+            samples.push(sample);
+        }
+        modes.push(summarize(mode, &samples));
+    }
+    std::fs::remove_file(&bundle).ok();
+
+    let report = LoadBenchReport {
+        task,
+        bundle_bytes,
+        arc_stream_kb,
+        lms,
+        reps,
+        modes,
+    };
+    let path = default_path();
+    std::fs::write(&path, report.to_json()).expect("report written");
+    eprintln!(
+        "wrote {path}: bundle {} KiB, mmap open {:.2}x faster than owned",
+        bundle_bytes / 1024,
+        report.mmap_speedup()
+    );
+    print!("{}", report.to_json());
+}

@@ -164,10 +164,12 @@ pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchR
         .collect();
 
     // Optimized: warm scratch + software OLT, single thread.
-    let opt_dec = OtfDecoder::new(DecodeConfig {
-        olt_entries: BENCH_OLT_ENTRIES,
-        ..Default::default()
-    });
+    let opt_dec = OtfDecoder::new(
+        DecodeConfig::builder()
+            .olt_entries(BENCH_OLT_ENTRIES)
+            .build()
+            .expect("valid bench config"),
+    );
     let mut scratch = DecodeScratch::new();
     let mut olt_probes = 0u64;
     let mut olt_hits = 0u64;

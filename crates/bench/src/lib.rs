@@ -14,6 +14,7 @@
 
 pub mod decode_bench;
 pub mod harness;
+pub mod load_bench;
 pub mod paper;
 
 pub use harness::{

@@ -6,6 +6,10 @@
 //!
 //! * `build`    — build a task's models and write the compressed
 //!   `.unfa`/`.unfl` files plus an ARPA dump of the LM,
+//! * `pack`     — build a task's models and write one `.unfb` bundle
+//!   (AM + one or more named LMs + symbols + metadata),
+//! * `inspect`  — print a bundle's section table and metadata after
+//!   verifying every checksum,
 //! * `decode`   — load compressed models and decode synthesized test
 //!   utterances, printing transcripts and WER,
 //! * `simulate` — run the accelerator model (UNFOLD or the baseline)
@@ -35,8 +39,8 @@ use unfold::experiments::{
     run_baseline_configured_jobs, run_baseline_traced_jobs, run_unfold_jobs,
     run_unfold_traced_jobs, SystemRun,
 };
-use unfold::{decode_batch_recorded, System, TaskSpec};
-use unfold_compress::{load_am, load_lm, save_am, save_lm};
+use unfold::{decode_batch_recorded, pack_system, AmModel, LmModel, Models, System, TaskSpec};
+use unfold_compress::{load_am, load_lm, save_am, save_lm, Bundle};
 use unfold_decoder::{wer, DecodeConfig, MetricsSink, NullSink, OtfDecoder, TraceSink, WerReport};
 use unfold_serve::{run_loadgen, LoadgenConfig, ServeConfig, Server, TcpFront};
 use unfold_sim::AcceleratorConfig;
@@ -47,8 +51,13 @@ usage: unfold-cli <command> [options]
 
 commands:
   build    --task <name> --out <dir>        build models, write .unfa/.unfl/.arpa
+  pack     --task <name> --out <file>       build models, write one .unfb bundle
+           [--lm-variants N]                ... with N extra domain-variant LMs
+  inspect  --bundle <file> [--mmap]         verify + print a bundle's section table
   decode   --task <name> [--utterances N]   decode test utterances (WER report)
            [--am <file> --lm <file>]        ... using previously saved models
+           [--bundle <file> [--mmap]]       ... using a packed bundle (zero-copy
+           [--model <lm-name>]                  with --mmap), picking a bundled LM
            [--nbest K]                      ... printing K-best hypotheses
            [--jobs N]                       ... on N parallel workers (same output;
                                                 0 = one per available core)
@@ -63,6 +72,9 @@ commands:
   sizes    --task <name>                    dataset size table
   verify   --repro <file>                   replay an unfold-verify repro file
   serve    --task <name> [--port N]         multi-session streaming decode server;
+           [--bundle <file> [--mmap]]       ... hosting a packed bundle's models
+                                                (every bundled LM is selectable
+                                                per session by name)
            [--port-file <file>]             ... write the bound port to a file
            [--workers N] [--capacity N]     ... decode threads (0 = all cores) and
            [--quantum N] [--deadline-ms N]      session slots / scheduler knobs
@@ -75,42 +87,97 @@ commands:
                                                 BENCH_serve.json), stop the server
 
 tasks: tedlium | librispeech | voxforge | eesen | tiny
+exit status: 0 success, 1 runtime failure (i/o, corrupt bundle, ...), 2 usage
 ";
 
-/// CLI errors (argument problems and I/O failures).
+/// The CLI's top-level error: every failure a subcommand can hit,
+/// with the underlying cause preserved through
+/// [`std::error::Error::source`] so `main` can print the whole chain.
+///
+/// Process exit codes (see `main.rs`): usage problems exit 2,
+/// everything else (I/O, corrupt bundles, invalid configs, serve
+/// failures) exits 1.
 #[derive(Debug)]
-pub enum CliError {
+pub enum Error {
     /// No or unknown subcommand / flag.
     Usage(String),
     /// Filesystem failure.
     Io(std::io::Error),
+    /// A model bundle failed to write, open, or verify.
+    Bundle(unfold_compress::BundleError),
+    /// A decode configuration was rejected by its validator.
+    Config(unfold_decoder::ConfigError),
+    /// The serve layer refused an operation.
+    Serve(unfold_serve::ServeError),
 }
 
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl Error {
+    /// The process exit code this error maps to: 2 for usage errors
+    /// (mirrors `EX_USAGE`-style conventions), 1 for runtime failures.
+    pub fn exit_code(&self) -> i32 {
         match self {
-            CliError::Usage(m) => write!(f, "{m}"),
-            CliError::Io(e) => write!(f, "i/o: {e}"),
+            Error::Usage(_) => 2,
+            _ => 1,
         }
     }
 }
 
-impl std::error::Error for CliError {}
-
-impl From<std::io::Error> for CliError {
-    fn from(e: std::io::Error) -> Self {
-        CliError::Io(e)
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Usage(m) => write!(f, "{m}"),
+            Error::Io(e) => write!(f, "i/o: {e}"),
+            Error::Bundle(e) => write!(f, "bundle: {e}"),
+            Error::Config(e) => write!(f, "config: {e}"),
+            Error::Serve(e) => write!(f, "serve: {e}"),
+        }
     }
 }
 
-fn task_by_name(name: &str) -> Result<TaskSpec, CliError> {
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Usage(_) => None,
+            Error::Io(e) => Some(e),
+            Error::Bundle(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<unfold_compress::BundleError> for Error {
+    fn from(e: unfold_compress::BundleError) -> Self {
+        Error::Bundle(e)
+    }
+}
+
+impl From<unfold_decoder::ConfigError> for Error {
+    fn from(e: unfold_decoder::ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<unfold_serve::ServeError> for Error {
+    fn from(e: unfold_serve::ServeError) -> Self {
+        Error::Serve(e)
+    }
+}
+
+fn task_by_name(name: &str) -> Result<TaskSpec, Error> {
     match name {
         "tedlium" => Ok(TaskSpec::tedlium_kaldi()),
         "librispeech" => Ok(TaskSpec::librispeech()),
         "voxforge" => Ok(TaskSpec::voxforge()),
         "eesen" => Ok(TaskSpec::tedlium_eesen()),
         "tiny" => Ok(TaskSpec::tiny()),
-        other => Err(CliError::Usage(format!("unknown task '{other}'"))),
+        other => Err(Error::Usage(format!("unknown task '{other}'"))),
     }
 }
 
@@ -120,20 +187,20 @@ struct Flags<'a> {
 }
 
 impl<'a> Flags<'a> {
-    fn parse(args: &'a [String], switches: &[&str]) -> Result<Self, CliError> {
+    fn parse(args: &'a [String], switches: &[&str]) -> Result<Self, Error> {
         let mut pairs = Vec::new();
         let mut i = 0;
         while i < args.len() {
             let key = args[i]
                 .strip_prefix("--")
-                .ok_or_else(|| CliError::Usage(format!("expected a flag, got '{}'", args[i])))?;
+                .ok_or_else(|| Error::Usage(format!("expected a flag, got '{}'", args[i])))?;
             if switches.contains(&key) {
                 pairs.push((key, None));
                 i += 1;
             } else {
                 let val = args
                     .get(i + 1)
-                    .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+                    .ok_or_else(|| Error::Usage(format!("--{key} needs a value")))?;
                 pairs.push((key, Some(val.as_str())));
                 i += 2;
             }
@@ -152,17 +219,17 @@ impl<'a> Flags<'a> {
         self.pairs.iter().any(|(k, _)| *k == key)
     }
 
-    fn require(&self, key: &str) -> Result<&str, CliError> {
+    fn require(&self, key: &str) -> Result<&str, Error> {
         self.get(key)
-            .ok_or_else(|| CliError::Usage(format!("missing --{key}")))
+            .ok_or_else(|| Error::Usage(format!("missing --{key}")))
     }
 
-    fn usize_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, Error> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| CliError::Usage(format!("--{key} expects a number, got '{v}'"))),
+                .map_err(|_| Error::Usage(format!("--{key} expects a number, got '{v}'"))),
         }
     }
 }
@@ -170,13 +237,15 @@ impl<'a> Flags<'a> {
 /// Executes a CLI invocation and returns its stdout text.
 ///
 /// # Errors
-/// Returns [`CliError`] on bad arguments or filesystem failures.
-pub fn run(args: &[String]) -> Result<String, CliError> {
+/// Returns [`Error`] on bad arguments or filesystem failures.
+pub fn run(args: &[String]) -> Result<String, Error> {
     let (cmd, rest) = args
         .split_first()
-        .ok_or_else(|| CliError::Usage("no command given".into()))?;
+        .ok_or_else(|| Error::Usage("no command given".into()))?;
     match cmd.as_str() {
         "build" => cmd_build(rest),
+        "pack" => cmd_pack(rest),
+        "inspect" => cmd_inspect(rest),
         "decode" => cmd_decode(rest),
         "simulate" => cmd_simulate(rest),
         "profile" => cmd_profile(rest),
@@ -184,7 +253,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "verify" => cmd_verify(rest),
         "serve" => cmd_serve(rest),
         "loadgen" => cmd_loadgen(rest),
-        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+        other => Err(Error::Usage(format!("unknown command '{other}'"))),
     }
 }
 
@@ -199,7 +268,7 @@ fn resolve_jobs(n: usize) -> usize {
     }
 }
 
-fn cmd_build(args: &[String]) -> Result<String, CliError> {
+fn cmd_build(args: &[String]) -> Result<String, Error> {
     let flags = Flags::parse(args, &[])?;
     let spec = task_by_name(flags.require("task")?)?;
     let out = PathBuf::from(flags.require("out")?);
@@ -229,6 +298,88 @@ fn cmd_build(args: &[String]) -> Result<String, CliError> {
     Ok(s)
 }
 
+fn cmd_pack(args: &[String]) -> Result<String, Error> {
+    let flags = Flags::parse(args, &[])?;
+    let spec = task_by_name(flags.require("task")?)?;
+    let out = PathBuf::from(flags.require("out")?);
+    let variants = flags.usize_or("lm-variants", 0)?;
+    let system = System::build(&spec);
+    // Variant seeds are the ordinals 1..=N so the bundled LMs get
+    // predictable names ("variant-1", ...) regardless of the task.
+    let seeds: Vec<u64> = (1..=variants as u64).collect();
+    let bytes = pack_system(&system, &seeds)?;
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(&out, &bytes)?;
+    let bundle = Bundle::from_bytes(bytes)?;
+    let mut s = String::new();
+    let _ = writeln!(s, "task:   {}", spec.name);
+    let _ = writeln!(
+        s,
+        "bundle: {} ({} bytes, {} sections)",
+        out.display(),
+        bundle.bytes().len(),
+        bundle.sections().len()
+    );
+    let _ = writeln!(s, "LMs:    {}", bundle.lm_names().join(", "));
+    Ok(s)
+}
+
+/// Renders a bundle's section table (used by `inspect` and tests).
+fn bundle_report(bundle: &Bundle, path: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "bundle: {path} ({} bytes, {})",
+        bundle.bytes().len(),
+        if bundle.is_mapped() {
+            "memory-mapped"
+        } else {
+            "owned"
+        }
+    );
+    let _ = writeln!(
+        s,
+        "{:<8} {:<24} {:>10} {:>10}  crc64",
+        "kind", "name", "offset", "bytes"
+    );
+    for sec in bundle.sections() {
+        let _ = writeln!(
+            s,
+            "{:<8} {:<24} {:>10} {:>10}  {:016x}",
+            sec.kind.tag(),
+            sec.name,
+            sec.offset,
+            sec.len,
+            sec.crc
+        );
+    }
+    if let Ok(Some(task)) = bundle.meta("task") {
+        let _ = writeln!(s, "meta.task: {}", String::from_utf8_lossy(task));
+    }
+    let _ = writeln!(s, "LMs: {}", bundle.lm_names().join(", "));
+    s
+}
+
+fn cmd_inspect(args: &[String]) -> Result<String, Error> {
+    let flags = Flags::parse(args, &["mmap"])?;
+    let path = flags.require("bundle")?;
+    let bundle = if flags.has("mmap") {
+        Bundle::open_mmap(path.as_ref())?
+    } else {
+        Bundle::open(path.as_ref())?
+    };
+    // `inspect` is the integrity check, so verify everything eagerly
+    // even on a lazily-checked mmap open.
+    bundle.verify_all()?;
+    let mut s = bundle_report(&bundle, path);
+    let _ = writeln!(s, "checksums: all sections verified");
+    Ok(s)
+}
+
 /// Synthesizes the test utterances, profiled as the acoustic-scoring
 /// stage: in this software stack likelihood evaluation happens up front
 /// rather than interleaved with the search, so it is its own span.
@@ -243,7 +394,7 @@ fn scored_utterances(
 }
 
 /// Writes a sink's telemetry as JSONL and returns a one-line receipt.
-fn export_metrics(metrics: &MetricsSink, path: &str) -> Result<String, CliError> {
+fn export_metrics(metrics: &MetricsSink, path: &str) -> Result<String, Error> {
     std::fs::write(path, metrics.to_jsonl())?;
     Ok(format!(
         "metrics: {} frame records ({} retained) -> {path}",
@@ -252,23 +403,48 @@ fn export_metrics(metrics: &MetricsSink, path: &str) -> Result<String, CliError>
     ))
 }
 
-fn cmd_decode(args: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(args, &[])?;
+/// Resolves the models a `decode` invocation runs against — packed
+/// bundle (owned or mmap), saved `.unfa`/`.unfl` pair, or the task's
+/// generated models — always through the [`Models`] facade so every
+/// origin decodes through one code path.
+fn decode_models(flags: &Flags, system: &System) -> Result<Models, Error> {
+    match (flags.get("bundle"), flags.get("am"), flags.get("lm")) {
+        (Some(path), None, None) => Ok(if flags.has("mmap") {
+            Models::open_mmap(path.as_ref())?
+        } else {
+            Models::open(path.as_ref())?
+        }),
+        (Some(_), _, _) => Err(Error::Usage(
+            "--bundle replaces --am/--lm; give one or the other".into(),
+        )),
+        (None, Some(a), Some(l)) => Ok(Models::from_parts(
+            load_am(a.as_ref())?,
+            vec![(unfold::DEFAULT_LM.to_string(), load_lm(l.as_ref())?)],
+        )),
+        (None, None, None) => Ok(Models::from_system(system)),
+        _ => Err(Error::Usage("--am and --lm must be given together".into())),
+    }
+}
+
+fn cmd_decode(args: &[String]) -> Result<String, Error> {
+    let flags = Flags::parse(args, &["mmap"])?;
     let spec = task_by_name(flags.require("task")?)?;
     let n = flags.usize_or("utterances", 5)?;
     let system = System::build(&spec);
     let decoder = OtfDecoder::new(DecodeConfig::default());
     let mut s = String::new();
     let mut report = WerReport::default();
-    let loaded = match (flags.get("am"), flags.get("lm")) {
-        (Some(a), Some(l)) => Some((load_am(a.as_ref())?, load_lm(l.as_ref())?)),
-        (None, None) => None,
-        _ => {
-            return Err(CliError::Usage(
-                "--am and --lm must be given together".into(),
+    let models = decode_models(&flags, &system)?;
+    let lm = match flags.get("model") {
+        None => models.default_lm(),
+        Some(name) => models.lm(name).ok_or_else(|| {
+            Error::Usage(format!(
+                "no LM '{name}' in this bundle (have: {})",
+                models.lm_names().join(", ")
             ))
-        }
+        })?,
     };
+    let am = models.am();
     let nbest = flags.usize_or("nbest", 1)?;
     let jobs = resolve_jobs(flags.usize_or("jobs", 1)?);
     let metrics_path = flags.get("metrics");
@@ -289,27 +465,12 @@ fn cmd_decode(args: &[String]) -> Result<String, CliError> {
     let results: Vec<unfold_decoder::DecodeResult> = if jobs <= 1 {
         let mut scratch = unfold_decoder::DecodeScratch::new();
         utts.iter()
-            .map(|utt| match &loaded {
-                Some((am, lm)) => {
-                    decoder.decode_with(am, lm, &utt.scores, &mut scratch, &mut *sink)
-                }
-                None => decoder.decode_with(
-                    &system.am_comp,
-                    &system.lm_comp,
-                    &utt.scores,
-                    &mut scratch,
-                    &mut *sink,
-                ),
-            })
+            .map(|utt| decoder.decode_with(am, lm, &utt.scores, &mut scratch, &mut *sink))
             .collect()
     } else {
-        let (pairs, _pool) =
-            decode_batch_recorded(&utts, jobs, |_i, utt, scratch, rec| match &loaded {
-                Some((am, lm)) => decoder.decode_with(am, lm, &utt.scores, scratch, rec),
-                None => {
-                    decoder.decode_with(&system.am_comp, &system.lm_comp, &utt.scores, scratch, rec)
-                }
-            });
+        let (pairs, _pool) = decode_batch_recorded(&utts, jobs, |_i, utt, scratch, rec| {
+            decoder.decode_with(am, lm, &utt.scores, scratch, rec)
+        });
         pairs
             .into_iter()
             .map(|(res, trace)| {
@@ -325,16 +486,7 @@ fn cmd_decode(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(s, "utt {i}: ref {:?}", utt.words);
         let _ = writeln!(s, "       hyp {:?} (cost {:.2})", res.words, res.cost);
         if nbest > 1 {
-            let list = match &loaded {
-                Some((am, lm)) => decoder.decode_nbest(am, lm, &utt.scores, nbest, &mut *sink),
-                None => decoder.decode_nbest(
-                    &system.am_comp,
-                    &system.lm_comp,
-                    &utt.scores,
-                    nbest,
-                    &mut *sink,
-                ),
-            };
+            let list = decoder.decode_nbest(am, lm, &utt.scores, nbest, &mut *sink);
             for (rank, (words, cost)) in list.iter().enumerate().skip(1) {
                 let _ = writeln!(s, "       #{} {:?} (cost {cost:.2})", rank + 1, words);
             }
@@ -382,7 +534,7 @@ fn run_simulated(
     }
 }
 
-fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
+fn cmd_simulate(args: &[String]) -> Result<String, Error> {
     let flags = Flags::parse(args, &["baseline"])?;
     let spec = task_by_name(flags.require("task")?)?;
     let n = flags.usize_or("utterances", 5)?;
@@ -451,7 +603,7 @@ fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
     Ok(s)
 }
 
-fn cmd_profile(args: &[String]) -> Result<String, CliError> {
+fn cmd_profile(args: &[String]) -> Result<String, Error> {
     let flags = Flags::parse(args, &["baseline"])?;
     let spec = task_by_name(flags.require("task")?)?;
     let n = flags.usize_or("utterances", 5)?;
@@ -486,7 +638,7 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
     Ok(s)
 }
 
-fn cmd_sizes(args: &[String]) -> Result<String, CliError> {
+fn cmd_sizes(args: &[String]) -> Result<String, Error> {
     let flags = Flags::parse(args, &[])?;
     let spec = task_by_name(flags.require("task")?)?;
     let system = System::build(&spec);
@@ -521,12 +673,12 @@ fn cmd_sizes(args: &[String]) -> Result<String, CliError> {
     Ok(s)
 }
 
-fn cmd_verify(args: &[String]) -> Result<String, CliError> {
+fn cmd_verify(args: &[String]) -> Result<String, Error> {
     let flags = Flags::parse(args, &[])?;
     let path = flags.require("repro")?;
     let text = std::fs::read_to_string(path)?;
     let repro = unfold_verify::ReproCase::from_text(&text)
-        .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+        .map_err(|e| Error::Usage(format!("{path}: {e}")))?;
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -559,12 +711,12 @@ fn cmd_verify(args: &[String]) -> Result<String, CliError> {
     Ok(s)
 }
 
-fn cmd_serve(args: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(args, &[])?;
+fn cmd_serve(args: &[String]) -> Result<String, Error> {
+    let flags = Flags::parse(args, &["mmap"])?;
     let spec = task_by_name(flags.require("task")?)?;
     let port = flags.usize_or("port", 0)?;
     let port = u16::try_from(port)
-        .map_err(|_| CliError::Usage(format!("--port {port} is not a TCP port")))?;
+        .map_err(|_| Error::Usage(format!("--port {port} is not a TCP port")))?;
     let config = ServeConfig {
         workers: resolve_jobs(flags.usize_or("workers", 2)?),
         capacity: flags.usize_or("capacity", 32)?,
@@ -574,8 +726,25 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         olt_entries: flags.usize_or("olt", 1_024)?,
         ..Default::default()
     };
-    let system = System::build(&spec);
-    let server = Server::start(config, Arc::new(system.am_comp), Arc::new(system.lm_comp));
+    // All origins funnel through the Models facade, so the server hosts
+    // AmModel/LmModel regardless of where the bytes came from — and a
+    // bundle's every LM is selectable per session by name.
+    let models = match flags.get("bundle") {
+        Some(path) if flags.has("mmap") => Models::open_mmap(path.as_ref())?,
+        Some(path) => Models::open(path.as_ref())?,
+        None => Models::from_system(&System::build(&spec)),
+    };
+    let am: Arc<AmModel> = Arc::new(models.am().clone());
+    let lms: Vec<(String, Arc<LmModel>)> = models
+        .lm_names()
+        .iter()
+        .map(|&name| {
+            let lm = models.lm(name).expect("listed name resolves");
+            (name.to_string(), Arc::new(lm.clone()))
+        })
+        .collect();
+    let lm_names: Vec<String> = lms.iter().map(|(n, _)| n.clone()).collect();
+    let server = Server::start_multi(config, am, lms);
     let handle = server.handle();
     let listener = TcpListener::bind(("127.0.0.1", port))?;
     let front = TcpFront::start(listener, server.handle())?;
@@ -590,38 +759,42 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     front.join();
     server.shutdown();
     let mut s = String::new();
-    let _ = writeln!(s, "serve: {} on {addr} — shut down", spec.name);
+    let _ = writeln!(
+        s,
+        "serve: {} on {addr} (LMs: {}) — shut down",
+        spec.name,
+        lm_names.join(", ")
+    );
     s.push_str(&handle.obs_markdown());
     Ok(s)
 }
 
 /// Resolves the loadgen target address from `--addr`, `--port`, or
 /// `--port-file` (in that precedence).
-fn loadgen_addr(flags: &Flags) -> Result<SocketAddr, CliError> {
+fn loadgen_addr(flags: &Flags) -> Result<SocketAddr, Error> {
     if let Some(a) = flags.get("addr") {
         return a
             .parse()
-            .map_err(|_| CliError::Usage(format!("--addr expects ip:port, got '{a}'")));
+            .map_err(|_| Error::Usage(format!("--addr expects ip:port, got '{a}'")));
     }
     let port = if let Some(path) = flags.get("port-file") {
         let text = std::fs::read_to_string(path)?;
-        text.trim().parse::<u16>().map_err(|_| {
-            CliError::Usage(format!("{path}: expected a port, got '{}'", text.trim()))
-        })?
+        text.trim()
+            .parse::<u16>()
+            .map_err(|_| Error::Usage(format!("{path}: expected a port, got '{}'", text.trim())))?
     } else {
         let port = flags.usize_or("port", 0)?;
         if port == 0 {
-            return Err(CliError::Usage(
+            return Err(Error::Usage(
                 "loadgen needs --addr, --port, or --port-file".into(),
             ));
         }
-        u16::try_from(port)
-            .map_err(|_| CliError::Usage(format!("--port {port} is not a TCP port")))?
+        u16::try_from(port).map_err(|_| Error::Usage(format!("--port {port} is not a TCP port")))?
     };
     Ok(SocketAddr::from(([127, 0, 0, 1], port)))
 }
 
-fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
+fn cmd_loadgen(args: &[String]) -> Result<String, Error> {
     let flags = Flags::parse(args, &["shutdown"])?;
     let spec = task_by_name(flags.require("task")?)?;
     let addr = loadgen_addr(&flags)?;
@@ -695,8 +868,8 @@ mod tests {
 
     #[test]
     fn no_command_is_usage_error() {
-        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
-        assert!(matches!(run(&sv(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&[]), Err(Error::Usage(_))));
+        assert!(matches!(run(&sv(&["frobnicate"])), Err(Error::Usage(_))));
     }
 
     #[test]
@@ -865,6 +1038,142 @@ mod tests {
     }
 
     #[test]
+    fn pack_inspect_and_bundle_decode_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("unfold-pack-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bundle = dir.join("tiny.unfb");
+        let packed = run(&sv(&[
+            "pack",
+            "--task",
+            "tiny",
+            "--out",
+            bundle.to_str().unwrap(),
+            "--lm-variants",
+            "1",
+        ]))
+        .unwrap();
+        assert!(packed.contains("sections"), "in:\n{packed}");
+        assert!(bundle.exists());
+
+        let inspected = run(&sv(&["inspect", "--bundle", bundle.to_str().unwrap()])).unwrap();
+        assert!(inspected.contains("meta.task: tiny"), "in:\n{inspected}");
+        assert!(inspected.contains("all sections verified"));
+        assert!(inspected.contains("default"), "in:\n{inspected}");
+        let mapped = run(&sv(&[
+            "inspect",
+            "--bundle",
+            bundle.to_str().unwrap(),
+            "--mmap",
+        ]))
+        .unwrap();
+        assert!(mapped.contains("memory-mapped"), "in:\n{mapped}");
+
+        // Generated, owned-bundle, and mmap-bundle decodes all print
+        // identical transcripts: one facade, one decode path.
+        let generated = run(&sv(&["decode", "--task", "tiny", "--utterances", "2"])).unwrap();
+        let owned = run(&sv(&[
+            "decode",
+            "--task",
+            "tiny",
+            "--utterances",
+            "2",
+            "--bundle",
+            bundle.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mmapped = run(&sv(&[
+            "decode",
+            "--task",
+            "tiny",
+            "--utterances",
+            "2",
+            "--bundle",
+            bundle.to_str().unwrap(),
+            "--mmap",
+        ]))
+        .unwrap();
+        assert_eq!(
+            generated, owned,
+            "bundle must decode like the source models"
+        );
+        assert_eq!(owned, mmapped, "mmap must be bit-identical to owned");
+
+        // The packed variant LM is selectable and decodes.
+        let variant = run(&sv(&[
+            "decode",
+            "--task",
+            "tiny",
+            "--utterances",
+            "1",
+            "--bundle",
+            bundle.to_str().unwrap(),
+            "--mmap",
+            "--model",
+            "variant-1",
+        ]))
+        .unwrap();
+        assert!(variant.contains("WER:"), "in:\n{variant}");
+
+        // Unknown LM names list what the bundle has.
+        let err = run(&sv(&[
+            "decode",
+            "--task",
+            "tiny",
+            "--bundle",
+            bundle.to_str().unwrap(),
+            "--model",
+            "nope",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("variant-1"), "got: {err}");
+        // Conflicting model sources are refused.
+        let err = run(&sv(&[
+            "decode",
+            "--task",
+            "tiny",
+            "--bundle",
+            bundle.to_str().unwrap(),
+            "--am",
+            "x.unfa",
+            "--lm",
+            "x.unfl",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, Error::Usage(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_bundle_is_a_bundle_error_with_source_and_exit_code_one() {
+        let dir = std::env::temp_dir().join(format!("unfold-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bundle = dir.join("tiny.unfb");
+        run(&sv(&[
+            "pack",
+            "--task",
+            "tiny",
+            "--out",
+            bundle.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Flip one payload byte: inspect must fail the checksum, as a
+        // typed error carrying the cause, never a panic.
+        let mut bytes = std::fs::read(&bundle).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&bundle, &bytes).unwrap();
+        let err = run(&sv(&["inspect", "--bundle", bundle.to_str().unwrap()])).unwrap_err();
+        assert!(matches!(err, Error::Bundle(_)), "got: {err:?}");
+        assert_eq!(err.exit_code(), 1);
+        assert!(
+            std::error::Error::source(&err).is_some(),
+            "bundle errors keep their cause chain"
+        );
+        assert_eq!(Error::Usage("x".into()).exit_code(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn decode_jobs_output_is_identical_to_serial() {
         let serial = run(&sv(&["decode", "--task", "tiny", "--utterances", "3"])).unwrap();
         let parallel = run(&sv(&[
@@ -945,7 +1254,7 @@ mod tests {
             std::env::temp_dir().join(format!("unfold-verify-bad-{}.txt", std::process::id()));
         std::fs::write(&path, "version = 1\nbogus_key = 3\n").unwrap();
         let err = run(&sv(&["verify", "--repro", path.to_str().unwrap()])).unwrap_err();
-        assert!(matches!(err, CliError::Usage(_)));
+        assert!(matches!(err, Error::Usage(_)));
         assert!(err.to_string().contains("bogus_key"));
         std::fs::remove_file(&path).ok();
 

@@ -153,6 +153,80 @@ impl BitReader {
     }
 }
 
+/// Random-access bit reader over raw *bytes* — the zero-copy twin of
+/// [`BitReader`].
+///
+/// The serialized containers store the arc stream as little-endian
+/// 64-bit words, so bit `i` of the stream is bit `i % 8` of byte
+/// `i / 8` of the serialized section. That makes the on-disk bytes
+/// directly readable: no deserialization into a `Vec<u64>` is needed,
+/// which is what lets [`crate::CompressedAmRef`] and
+/// [`crate::CompressedLmRef`] decode arcs straight out of an
+/// mmap-backed bundle.
+///
+/// ```
+/// use unfold_compress::{BitSlice, BitWriter};
+/// let mut w = BitWriter::new();
+/// w.push(0b101, 3);
+/// w.push(0x3FFFF, 18);
+/// let buf = w.finish();
+/// let bytes: Vec<u8> = buf.words().iter().flat_map(|w| w.to_le_bytes()).collect();
+/// let s = BitSlice::new(&bytes, buf.len_bits());
+/// assert_eq!(s.read(0, 3), 0b101);
+/// assert_eq!(s.read(3, 18), 0x3FFFF);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BitSlice<'a> {
+    bytes: &'a [u8],
+    len_bits: u64,
+}
+
+impl<'a> BitSlice<'a> {
+    /// Wraps `bytes` holding `len_bits` valid bits.
+    ///
+    /// # Panics
+    /// Panics if `len_bits` exceeds the slice.
+    pub fn new(bytes: &'a [u8], len_bits: u64) -> Self {
+        assert!(
+            len_bits <= bytes.len() as u64 * 8,
+            "BitSlice: {len_bits} bits exceed {} bytes",
+            bytes.len()
+        );
+        BitSlice { bytes, len_bits }
+    }
+
+    /// Length in bits.
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// Reads `width` bits starting at bit `offset`. Semantically
+    /// identical to [`BitReader::read`] over the same stream.
+    ///
+    /// # Panics
+    /// Panics if the window exceeds the buffer or `width` > 57.
+    #[inline]
+    pub fn read(&self, offset: u64, width: u32) -> u64 {
+        assert!(
+            (1..=57).contains(&width),
+            "read: width {width} out of range"
+        );
+        assert!(
+            offset + u64::from(width) <= self.len_bits,
+            "read: window [{offset}, +{width}) beyond {} bits",
+            self.len_bits
+        );
+        let byte = (offset / 8) as usize;
+        let bit = (offset % 8) as u32;
+        // width <= 57 and bit <= 7, so the window fits one unaligned
+        // 64-bit load; zero-pad near the end of the slice.
+        let mut raw = [0u8; 8];
+        let take = 8.min(self.bytes.len() - byte);
+        raw[..take].copy_from_slice(&self.bytes[byte..byte + take]);
+        (u64::from_le_bytes(raw) >> bit) & ((1u64 << width) - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +273,23 @@ mod tests {
         assert_eq!(w.finish().size_bytes(), 2);
     }
 
+    #[test]
+    fn bit_slice_handles_tail_windows() {
+        let mut w = BitWriter::new();
+        w.push(0x1FF, 9); // 2 bytes of stream, window ends mid-byte
+        let buf = w.finish();
+        let bytes: Vec<u8> = buf.words().iter().flat_map(|x| x.to_le_bytes()).collect();
+        let s = BitSlice::new(&bytes[..2], buf.len_bits());
+        assert_eq!(s.read(0, 9), 0x1FF);
+        assert_eq!(s.read(3, 6), 0x3F);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn bit_slice_read_past_end_panics() {
+        BitSlice::new(&[0xFF], 4).read(2, 4);
+    }
+
     proptest! {
         #[test]
         fn roundtrip_random_fields(fields in proptest::collection::vec((0u64..1u64<<24, 1u32..25), 1..200)) {
@@ -213,6 +304,25 @@ mod tests {
             for (&(v, width), &off) in fields.iter().zip(&offsets) {
                 let v = v & ((1 << width) - 1);
                 prop_assert_eq!(r.read(off, width), v);
+            }
+        }
+
+        /// A `BitSlice` over the little-endian serialization of the words
+        /// must read every window identically to the `BitReader`.
+        #[test]
+        fn bit_slice_matches_bit_reader(fields in proptest::collection::vec((0u64..1u64<<24, 1u32..25), 1..200)) {
+            let mut w = BitWriter::new();
+            let mut offsets = Vec::new();
+            for &(v, width) in &fields {
+                offsets.push(w.len_bits());
+                w.push(v & ((1 << width) - 1), width);
+            }
+            let buf = w.finish();
+            let bytes: Vec<u8> = buf.words().iter().flat_map(|x| x.to_le_bytes()).collect();
+            let r = BitReader::new(buf.clone());
+            let s = BitSlice::new(&bytes, buf.len_bits());
+            for (&(_, width), &off) in fields.iter().zip(&offsets) {
+                prop_assert_eq!(s.read(off, width), r.read(off, width));
             }
         }
     }

@@ -86,6 +86,12 @@ impl<'a> ByteReader<'a> {
         self.pos == self.buf.len()
     }
 
+    /// Current byte position (section-layout bookkeeping for the
+    /// zero-copy views).
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
     /// Bytes left in the buffer (to validate declared counts before
     /// allocating — a hostile header must not trigger a huge
     /// `Vec::with_capacity`).

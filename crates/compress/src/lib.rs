@@ -18,7 +18,15 @@
 //!   stored last,
 //! * [`composed`] — the Price-et-al-style compression of the *composed*
 //!   WFST used as the paper's "Fully-Composed+Comp" comparator
-//!   (Table 2, Figure 8).
+//!   (Table 2, Figure 8),
+//! * [`refs`] — zero-copy borrowed views ([`CompressedAmRef`] /
+//!   [`CompressedLmRef`]) that decode arcs directly out of serialized
+//!   section bytes,
+//! * [`bundle`] — the `.unfb` single-file model bundle (versioned
+//!   section table, CRC-64 checksums, one AM + named LMs + symbol
+//!   tables + metadata) with owned and mmap-backed opens,
+//! * [`mmap`] — dependency-free read-only file mapping (raw syscalls on
+//!   Linux x86-64, owned-read fallback elsewhere).
 //!
 //! # Example
 //!
@@ -36,14 +44,23 @@
 
 pub mod am;
 pub mod bits;
+pub mod bundle;
 pub mod composed;
 pub mod io;
 pub mod lm;
+pub mod mmap;
 pub mod quant;
+pub mod refs;
 
 pub use am::CompressedAm;
-pub use bits::{BitReader, BitWriter};
+pub use bits::{BitReader, BitSlice, BitWriter};
+pub use bundle::{
+    crc64, Bundle, BundleError, BundleWriter, SectionInfo, SectionKind, SharedAm, SharedLm,
+    BUNDLE_MAGIC, BUNDLE_VERSION,
+};
 pub use composed::CompressedComposed;
 pub use io::{load_am, load_lm, save_am, save_lm, ModelIoError};
 pub use lm::{CompressedLm, LmLookup};
+pub use mmap::Mapped;
 pub use quant::WeightQuantizer;
+pub use refs::{AmLayout, CompressedAmRef, CompressedLmRef, LmLayout};

@@ -1,0 +1,231 @@
+//! Read-only file mapping without external dependencies.
+//!
+//! The workspace's dependency policy is "std plus vendored test crates
+//! only", so there is no `libc` or `memmap2` to lean on. On Linux
+//! x86-64 — the platform the reproduction targets — [`Mapped::open`]
+//! issues the `mmap`/`munmap` system calls directly via inline
+//! assembly (`PROT_READ`, `MAP_PRIVATE`). Everywhere else it falls
+//! back to reading the file into an owned buffer behind the same API,
+//! so the crate stays portable while the zero-copy path is exercised
+//! where it matters.
+//!
+//! The mapping is private and read-only and the struct is `Send +
+//! Sync`; the usual mmap caveat applies that truncating the file while
+//! it is mapped raises `SIGBUS` (don't rewrite live bundles in place —
+//! write a new file and rename).
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use std::io;
+
+    const SYS_MMAP: usize = 9;
+    const SYS_MUNMAP: usize = 11;
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Raw syscall3/6 shims. The kernel returns small negative values
+    /// for errors; `-4095..=-1` maps to an errno.
+    unsafe fn syscall6(
+        nr: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if (-4095..0).contains(&ret) {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// Maps `len` bytes of `fd` read-only.
+    pub(super) fn mmap_readonly(fd: i32, len: usize) -> io::Result<*const u8> {
+        let ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, MAP_PRIVATE, fd as usize, 0) };
+        check(ret).map(|addr| addr as *const u8)
+    }
+
+    /// Unmaps a region returned by [`mmap_readonly`].
+    pub(super) fn munmap(ptr: *const u8, len: usize) {
+        // Failure here is unrecoverable and harmless (the address range
+        // simply stays reserved); ignore it as the libc wrappers do in
+        // destructors.
+        let _ = unsafe { syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0) };
+    }
+}
+
+enum Backing {
+    /// Kernel mapping: pointer + length, unmapped on drop.
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Mapped { ptr: *const u8, len: usize },
+    /// Portable fallback (and the empty-file case): owned bytes.
+    Owned(Vec<u8>),
+}
+
+/// A read-only view of a file's bytes, memory-mapped where the platform
+/// supports it.
+pub struct Mapped {
+    backing: Backing,
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE — immutable shared
+// state, no interior mutability.
+unsafe impl Send for Mapped {}
+unsafe impl Sync for Mapped {}
+
+impl Mapped {
+    /// Opens `path` as a read-only mapping (Linux x86-64) or an owned
+    /// read (elsewhere).
+    ///
+    /// # Errors
+    /// Propagates I/O errors from `open`/`stat`/`mmap`.
+    pub fn open(path: &Path) -> io::Result<Mapped> {
+        let file = File::open(path)?;
+        Self::from_file(&file)
+    }
+
+    /// Maps an already-open file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn from_file(file: &File) -> io::Result<Mapped> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mapped {
+                backing: Backing::Owned(Vec::new()),
+            });
+        }
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            use std::os::fd::AsRawFd;
+            let ptr = sys::mmap_readonly(file.as_raw_fd(), len)?;
+            Ok(Mapped {
+                backing: Backing::Mapped { ptr, len },
+            })
+        }
+        #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+        {
+            use std::io::Read;
+            let mut buf = Vec::with_capacity(len);
+            let mut f = file;
+            f.read_to_end(&mut buf)?;
+            Ok(Mapped {
+                backing: Backing::Owned(buf),
+            })
+        }
+    }
+
+    /// The file's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            // SAFETY: ptr..ptr+len is a live PROT_READ mapping owned by
+            // self; unmapped only in Drop.
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned(v) => v,
+        }
+    }
+
+    /// Whether the bytes come from a kernel mapping (false on the
+    /// portable read-into-memory fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Backing::Mapped { .. } => true,
+            Backing::Owned(_) => false,
+        }
+    }
+}
+
+impl Drop for Mapped {
+    fn drop(&mut self) {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            sys::munmap(ptr, len);
+        }
+    }
+}
+
+impl std::fmt::Debug for Mapped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapped")
+            .field("len", &self.as_bytes().len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("unfold-mmap-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = temp_path("basic");
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::write(&path, &data).unwrap();
+        let m = Mapped::open(&path).unwrap();
+        assert_eq!(m.as_bytes(), &data[..]);
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(m.is_mapped(), "linux x86-64 must take the mmap path");
+        drop(m);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_is_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let m = Mapped::open(&path).unwrap();
+        assert!(m.as_bytes().is_empty());
+        drop(m);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(Mapped::open(&temp_path("does-not-exist")).is_err());
+    }
+
+    #[test]
+    fn many_mappings_drop_cleanly() {
+        let path = temp_path("many");
+        std::fs::write(&path, vec![0xAB; 4096 * 3 + 17]).unwrap();
+        for _ in 0..64 {
+            let m = Mapped::open(&path).unwrap();
+            assert_eq!(m.as_bytes().len(), 4096 * 3 + 17);
+            assert_eq!(m.as_bytes()[4096 * 3 + 16], 0xAB);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

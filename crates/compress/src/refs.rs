@@ -1,0 +1,750 @@
+//! Zero-copy views over serialized compressed models.
+//!
+//! [`CompressedAm::from_bytes`] deserializes by *copying*: state
+//! records into a `Vec`, the arc stream into a `Vec<u64>`. That is fine
+//! for one-shot tools but defeats UNFOLD's deployment story — a bundle
+//! that is already in the page cache (or mmap-ed straight from flash)
+//! should be decodable without duplicating tens of megabytes of arcs
+//! into the heap.
+//!
+//! This module splits loading into two parts:
+//!
+//! * [`AmLayout`] / [`LmLayout`] — the parsed *header* of a serialized
+//!   section: counts, the K-means codebook, and byte ranges of the
+//!   state table and arc bit stream. Owns only the codebook (≤ 64
+//!   floats); parsing is O(states) and never touches the arc stream.
+//! * [`CompressedAmRef`] / [`CompressedLmRef`] — borrowed views pairing
+//!   a layout with the raw section bytes. Arc decoding reads the
+//!   mapped bytes directly through [`BitSlice`]; state records are
+//!   indexed in place (fixed 20-/16-byte records).
+//!
+//! The views mirror the owned types' decode arithmetic exactly — same
+//! codebook floats, same bit offsets, same probe sequences — so a
+//! decode against a view is bit-identical to one against the owned
+//! model loaded from the same bytes (`unfold-verify` pins this).
+
+use unfold_wfst::{Arc, Label, StateId, EPSILON};
+
+use crate::bits::BitSlice;
+use crate::io::{ByteReader, ModelIoError, AM_MAGIC, FORMAT_VERSION, LM_MAGIC};
+use crate::lm::{BACKOFF_ARC_BITS, REGULAR_ARC_BITS, UNIGRAM_ARC_BITS};
+use crate::quant::WeightQuantizer;
+
+const AM_STATE_REC_BYTES: usize = 20;
+const LM_STATE_REC_BYTES: usize = 16;
+
+// AM arc field widths (mirrors `am.rs`).
+const TAG_SELF: u64 = 0b11;
+const TAG_NEXT: u64 = 0b10;
+const TAG_PREV: u64 = 0b01;
+const TAG_NORMAL: u64 = 0b00;
+const PDF_BITS: u32 = 12;
+const WEIGHT_BITS: u32 = 6;
+const WORD_BITS: u32 = 18;
+const AM_DEST_BITS: u32 = 20;
+const LM_DEST_BITS: u32 = 21;
+
+#[inline]
+fn rd_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"))
+}
+
+#[inline]
+fn rd_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes"))
+}
+
+#[inline]
+fn rd_f32(b: &[u8], off: usize) -> f32 {
+    f32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes"))
+}
+
+/// Parsed header of a serialized `UNFA` section: everything needed to
+/// decode arcs in place except the bytes themselves.
+#[derive(Debug, Clone)]
+pub struct AmLayout {
+    num_states: usize,
+    start: StateId,
+    short_arcs: u64,
+    normal_arcs: u64,
+    quant: WeightQuantizer,
+    states_off: usize,
+    bits_off: usize,
+    bits_len: usize,
+    len_bits: u64,
+    section_len: usize,
+}
+
+impl AmLayout {
+    /// Parses the header of a serialized AM, validating counts, the
+    /// codebook, section bounds, and state-record sanity (monotone
+    /// offsets within the stream). O(states); the arc stream is not
+    /// read — integrity of the payload is the bundle checksum's job,
+    /// and [`CompressedAmRef::validate_deep`] offers the owned loader's
+    /// full structural walk on demand.
+    ///
+    /// # Errors
+    /// Returns [`ModelIoError`] on bad magic/version, truncation, or a
+    /// structurally invalid header.
+    pub fn parse(bytes: &[u8]) -> Result<AmLayout, ModelIoError> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(4)? != AM_MAGIC {
+            return Err(ModelIoError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(ModelIoError::BadVersion(version));
+        }
+        let num_states = r.u32()? as usize;
+        if num_states == 0 || num_states >= (1 << AM_DEST_BITS) {
+            return Err(ModelIoError::Corrupt("state count out of range"));
+        }
+        let start = r.u32()?;
+        if start as usize >= num_states {
+            return Err(ModelIoError::Corrupt("start state out of range"));
+        }
+        let short_arcs = r.u64()?;
+        let normal_arcs = r.u64()?;
+        let k = r.u32()? as usize;
+        if k == 0 || k > 64 {
+            return Err(ModelIoError::Corrupt("cluster count out of range"));
+        }
+        let mut centroids = Vec::with_capacity(k);
+        for _ in 0..k {
+            centroids.push(r.f32()?);
+        }
+        if !centroids.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(ModelIoError::Corrupt("codebook not sorted"));
+        }
+        let states_off = r.pos();
+        let state_bytes = num_states
+            .checked_mul(AM_STATE_REC_BYTES)
+            .ok_or(ModelIoError::Truncated)?;
+        let states = r.take(state_bytes)?;
+        let len_bits = r.u64()?;
+        let num_words = r.u32()? as usize;
+        if len_bits > num_words as u64 * 64 {
+            return Err(ModelIoError::Corrupt("bit length exceeds words"));
+        }
+        let bits_off = r.pos();
+        let bits_len = num_words.checked_mul(8).ok_or(ModelIoError::Truncated)?;
+        r.take(bits_len)?;
+        if !r.done() {
+            return Err(ModelIoError::Corrupt("trailing bytes"));
+        }
+        // Cheap state-table sweep: offsets monotone and every block's
+        // minimum extent (20 bits/arc) inside the stream.
+        let mut prev = 0u64;
+        for i in 0..num_states {
+            let off = rd_u64(states, i * AM_STATE_REC_BYTES);
+            let narcs = u64::from(rd_u32(states, i * AM_STATE_REC_BYTES + 8));
+            if off < prev || off > len_bits {
+                return Err(ModelIoError::Corrupt("state offsets not monotone"));
+            }
+            if narcs
+                .checked_mul(20)
+                .and_then(|n| n.checked_add(off))
+                .is_none_or(|end| end > len_bits)
+            {
+                return Err(ModelIoError::Corrupt("arc block past end of stream"));
+            }
+            prev = off;
+        }
+        Ok(AmLayout {
+            num_states,
+            start,
+            short_arcs,
+            normal_arcs,
+            quant: WeightQuantizer::from_centroids(centroids),
+            states_off,
+            bits_off,
+            bits_len,
+            len_bits,
+            section_len: bytes.len(),
+        })
+    }
+
+    /// Pairs the layout with the section bytes it was parsed from.
+    /// Zero-alloc slice arithmetic; callable per decode.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not the same length as the parsed section.
+    pub fn view<'a>(&'a self, bytes: &'a [u8]) -> CompressedAmRef<'a> {
+        assert_eq!(
+            bytes.len(),
+            self.section_len,
+            "view: section length changed since parse"
+        );
+        CompressedAmRef {
+            layout: self,
+            states: &bytes[self.states_off..self.states_off + self.num_states * AM_STATE_REC_BYTES],
+            bits: BitSlice::new(
+                &bytes[self.bits_off..self.bits_off + self.bits_len],
+                self.len_bits,
+            ),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Arc-stream payload size in bytes (what mmap loading avoids
+    /// copying).
+    pub fn arc_stream_bytes(&self) -> usize {
+        self.bits_len
+    }
+
+    /// State-table size in bytes — the part of the section the header
+    /// sweep *does* read at parse time.
+    pub fn state_table_bytes(&self) -> usize {
+        self.num_states * AM_STATE_REC_BYTES
+    }
+}
+
+/// A borrowed, zero-copy compressed AM: decodes arcs directly out of
+/// the serialized section bytes. API mirrors [`crate::CompressedAm`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompressedAmRef<'a> {
+    layout: &'a AmLayout,
+    states: &'a [u8],
+    bits: BitSlice<'a>,
+}
+
+impl CompressedAmRef<'_> {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.layout.num_states
+    }
+
+    /// Start state of the original machine.
+    pub fn start(&self) -> StateId {
+        self.layout.start
+    }
+
+    /// Number of arcs stored in the 20-bit short format.
+    pub fn short_arcs(&self) -> u64 {
+        self.layout.short_arcs
+    }
+
+    /// Number of arcs stored in the 58-bit full format.
+    pub fn normal_arcs(&self) -> u64 {
+        self.layout.normal_arcs
+    }
+
+    #[inline]
+    fn rec(&self, s: StateId) -> (u64, u32, bool, f32) {
+        let base = s as usize * AM_STATE_REC_BYTES;
+        (
+            rd_u64(self.states, base),
+            rd_u32(self.states, base + 8),
+            rd_u32(self.states, base + 12) != 0,
+            rd_f32(self.states, base + 16),
+        )
+    }
+
+    /// Bit offset of the first arc of `s`.
+    pub fn state_bit_offset(&self, s: StateId) -> u64 {
+        self.rec(s).0
+    }
+
+    /// Final weight of `s`, or `None` if non-final.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn final_weight(&self, s: StateId) -> Option<f32> {
+        let (_, _, is_final, w) = self.rec(s);
+        is_final.then_some(w)
+    }
+
+    /// Visits each arc of `s` with its bit offset and encoded width;
+    /// identical visit order, offsets, and weights to
+    /// [`crate::CompressedAm::for_each_arc`] on the same bytes.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range, or (on a section whose checksum
+    /// was not verified) if a corrupt stream runs out of bounds.
+    pub fn for_each_arc(&self, s: StateId, mut f: impl FnMut(Arc, u64, u32)) {
+        let (mut off, narcs, _, _) = self.rec(s);
+        for _ in 0..narcs {
+            let start_off = off;
+            let tag = self.bits.read(off, 2);
+            let pdf = self.bits.read(off + 2, PDF_BITS) as u32;
+            let widx = self.bits.read(off + 2 + u64::from(PDF_BITS), WEIGHT_BITS) as u8;
+            let weight = self.layout.quant.decode(widx);
+            off += 2 + u64::from(PDF_BITS) + u64::from(WEIGHT_BITS);
+            let (olabel, dest, width) = match tag {
+                t if t == TAG_SELF => (EPSILON, s, 20),
+                t if t == TAG_NEXT => (EPSILON, s + 1, 20),
+                t if t == TAG_PREV => (EPSILON, s - 1, 20),
+                _ => {
+                    let word = self.bits.read(off, WORD_BITS) as u32;
+                    let dest = self.bits.read(off + u64::from(WORD_BITS), AM_DEST_BITS) as u32;
+                    off += u64::from(WORD_BITS) + u64::from(AM_DEST_BITS);
+                    (word, dest, 58)
+                }
+            };
+            f(Arc::new(pdf, olabel, weight, dest), start_off, width);
+        }
+    }
+
+    /// Decodes the outgoing arcs of `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn decode_arcs(&self, s: StateId) -> Vec<Arc> {
+        let mut out = Vec::new();
+        self.for_each_arc(s, |a, _, _| out.push(a));
+        out
+    }
+
+    /// The owned loader's full structural walk (arc tags, destinations,
+    /// block contiguity) — O(arcs). [`AmLayout::parse`] skips this for
+    /// O(ms) opens; run it when loading bytes whose integrity is not
+    /// already covered by a bundle checksum.
+    ///
+    /// # Errors
+    /// Returns [`ModelIoError::Corrupt`] on any structural violation.
+    pub fn validate_deep(&self) -> Result<(), ModelIoError> {
+        let len = self.bits.len_bits();
+        let n = self.layout.num_states as u32;
+        for i in 0..self.layout.num_states {
+            let (mut off, narcs, _, _) = self.rec(i as StateId);
+            for _ in 0..narcs {
+                if off + 20 > len {
+                    return Err(ModelIoError::Corrupt("arc past end of stream"));
+                }
+                let tag = self.bits.read(off, 2);
+                let width = if tag == TAG_NORMAL { 58 } else { 20 };
+                if off + width > len {
+                    return Err(ModelIoError::Corrupt("arc past end of stream"));
+                }
+                match tag {
+                    t if t == TAG_NEXT && i as u32 + 1 >= n => {
+                        return Err(ModelIoError::Corrupt("+1 arc from last state"));
+                    }
+                    t if t == TAG_PREV && i == 0 => {
+                        return Err(ModelIoError::Corrupt("-1 arc from state 0"));
+                    }
+                    t if t == TAG_NORMAL => {
+                        let dest = self.bits.read(off + 20 + 18, AM_DEST_BITS) as u32;
+                        if dest >= n {
+                            return Err(ModelIoError::Corrupt("destination out of range"));
+                        }
+                    }
+                    _ => {}
+                }
+                off += width;
+            }
+            let next_off = if i + 1 < self.layout.num_states {
+                self.rec((i + 1) as StateId).0
+            } else {
+                len
+            };
+            if off != next_off {
+                return Err(ModelIoError::Corrupt("arc blocks not contiguous"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parsed header of a serialized `UNFL` section.
+#[derive(Debug, Clone)]
+pub struct LmLayout {
+    num_states: usize,
+    quant: WeightQuantizer,
+    states_off: usize,
+    bits_off: usize,
+    bits_len: usize,
+    len_bits: u64,
+    section_len: usize,
+}
+
+impl LmLayout {
+    /// Parses the header of a serialized LM. O(states): because LM arc
+    /// records are fixed-width, the sweep verifies full block
+    /// contiguity (root positional block, per-state word arcs, trailing
+    /// back-off) without decoding a single arc. Word-arc sortedness and
+    /// destination bounds are [`CompressedLmRef::validate_deep`]'s job.
+    ///
+    /// # Errors
+    /// Returns [`ModelIoError`] on bad magic/version, truncation, or a
+    /// structurally invalid header.
+    pub fn parse(bytes: &[u8]) -> Result<LmLayout, ModelIoError> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(4)? != LM_MAGIC {
+            return Err(ModelIoError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(ModelIoError::BadVersion(version));
+        }
+        let num_states = r.u32()? as usize;
+        if num_states == 0 || num_states >= (1 << LM_DEST_BITS) {
+            return Err(ModelIoError::Corrupt("state count out of range"));
+        }
+        let k = r.u32()? as usize;
+        if k == 0 || k > 64 {
+            return Err(ModelIoError::Corrupt("cluster count out of range"));
+        }
+        let mut centroids = Vec::with_capacity(k);
+        for _ in 0..k {
+            centroids.push(r.f32()?);
+        }
+        if !centroids.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(ModelIoError::Corrupt("codebook not sorted"));
+        }
+        let states_off = r.pos();
+        let state_bytes = num_states
+            .checked_mul(LM_STATE_REC_BYTES)
+            .ok_or(ModelIoError::Truncated)?;
+        let states = r.take(state_bytes)?;
+        let len_bits = r.u64()?;
+        let num_words = r.u32()? as usize;
+        if len_bits > num_words as u64 * 64 {
+            return Err(ModelIoError::Corrupt("bit length exceeds words"));
+        }
+        let bits_off = r.pos();
+        let bits_len = num_words.checked_mul(8).ok_or(ModelIoError::Truncated)?;
+        r.take(bits_len)?;
+        if !r.done() {
+            return Err(ModelIoError::Corrupt("trailing bytes"));
+        }
+        if rd_u32(states, 12) != 0 {
+            return Err(ModelIoError::Corrupt("root state has a back-off arc"));
+        }
+        let mut expect = 0u64;
+        for i in 0..num_states {
+            let base = i * LM_STATE_REC_BYTES;
+            let off = rd_u64(states, base);
+            let narcs = u64::from(rd_u32(states, base + 8));
+            let has_backoff = rd_u32(states, base + 12) != 0;
+            if off != expect {
+                return Err(ModelIoError::Corrupt("arc blocks not contiguous"));
+            }
+            let width = if i == 0 {
+                UNIGRAM_ARC_BITS
+            } else {
+                REGULAR_ARC_BITS
+            };
+            let mut end = narcs
+                .checked_mul(width)
+                .and_then(|n| n.checked_add(off))
+                .ok_or(ModelIoError::Corrupt("offset overflow"))?;
+            if has_backoff {
+                end += BACKOFF_ARC_BITS;
+            }
+            if end > len_bits {
+                return Err(ModelIoError::Corrupt("arc block past end of stream"));
+            }
+            expect = end;
+        }
+        if expect != len_bits {
+            return Err(ModelIoError::Corrupt("arc blocks not contiguous"));
+        }
+        Ok(LmLayout {
+            num_states,
+            quant: WeightQuantizer::from_centroids(centroids),
+            states_off,
+            bits_off,
+            bits_len,
+            len_bits,
+            section_len: bytes.len(),
+        })
+    }
+
+    /// Pairs the layout with the section bytes it was parsed from.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not the same length as the parsed section.
+    pub fn view<'a>(&'a self, bytes: &'a [u8]) -> CompressedLmRef<'a> {
+        assert_eq!(
+            bytes.len(),
+            self.section_len,
+            "view: section length changed since parse"
+        );
+        CompressedLmRef {
+            layout: self,
+            states: &bytes[self.states_off..self.states_off + self.num_states * LM_STATE_REC_BYTES],
+            bits: BitSlice::new(
+                &bytes[self.bits_off..self.bits_off + self.bits_len],
+                self.len_bits,
+            ),
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Arc-stream payload size in bytes.
+    pub fn arc_stream_bytes(&self) -> usize {
+        self.bits_len
+    }
+
+    /// State-table size in bytes — the part of the section the header
+    /// sweep *does* read at parse time.
+    pub fn state_table_bytes(&self) -> usize {
+        self.num_states * LM_STATE_REC_BYTES
+    }
+}
+
+/// A borrowed, zero-copy compressed LM. API mirrors
+/// [`crate::CompressedLm`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompressedLmRef<'a> {
+    layout: &'a LmLayout,
+    states: &'a [u8],
+    bits: BitSlice<'a>,
+}
+
+impl CompressedLmRef<'_> {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.layout.num_states
+    }
+
+    #[inline]
+    fn rec(&self, s: StateId) -> (u64, u32, bool) {
+        let base = s as usize * LM_STATE_REC_BYTES;
+        (
+            rd_u64(self.states, base),
+            rd_u32(self.states, base + 8),
+            rd_u32(self.states, base + 12) != 0,
+        )
+    }
+
+    /// Number of word-labelled arcs at `s`.
+    pub fn num_word_arcs(&self, s: StateId) -> u32 {
+        self.rec(s).1
+    }
+
+    /// Bit offset of the `i`-th word arc of `s`.
+    pub fn word_arc_bit_offset(&self, s: StateId, i: u32) -> u64 {
+        let width = if s == 0 {
+            UNIGRAM_ARC_BITS
+        } else {
+            REGULAR_ARC_BITS
+        };
+        self.rec(s).0 + u64::from(i) * width
+    }
+
+    /// Decodes the `i`-th word arc of `s`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn word_arc(&self, s: StateId, i: u32) -> Arc {
+        let (off0, narcs, _) = self.rec(s);
+        assert!(i < narcs, "word_arc: index {i} out of range at state {s}");
+        if s == 0 {
+            let off = off0 + u64::from(i) * UNIGRAM_ARC_BITS;
+            let widx = self.bits.read(off, WEIGHT_BITS) as u8;
+            Arc::new(i + 1, i + 1, self.layout.quant.decode(widx), i + 1)
+        } else {
+            let off = off0 + u64::from(i) * REGULAR_ARC_BITS;
+            let word = self.bits.read(off, WORD_BITS) as u32;
+            let dest = self.bits.read(off + u64::from(WORD_BITS), LM_DEST_BITS) as u32;
+            let widx = self.bits.read(
+                off + u64::from(WORD_BITS) + u64::from(LM_DEST_BITS),
+                WEIGHT_BITS,
+            ) as u8;
+            Arc::new(word, word, self.layout.quant.decode(widx), dest)
+        }
+    }
+
+    /// The back-off arc of `s`, if present.
+    pub fn backoff_arc(&self, s: StateId) -> Option<Arc> {
+        let (off0, narcs, has_backoff) = self.rec(s);
+        if !has_backoff {
+            return None;
+        }
+        let off = off0 + u64::from(narcs) * REGULAR_ARC_BITS;
+        let dest = self.bits.read(off, LM_DEST_BITS) as u32;
+        let widx = self.bits.read(off + u64::from(LM_DEST_BITS), WEIGHT_BITS) as u8;
+        Some(Arc::epsilon(self.layout.quant.decode(widx), dest))
+    }
+
+    /// Word-arc sortedness and destination bounds — the part of the
+    /// owned loader's validation [`LmLayout::parse`] defers. O(arcs).
+    ///
+    /// # Errors
+    /// Returns [`ModelIoError::Corrupt`] on any structural violation.
+    pub fn validate_deep(&self) -> Result<(), ModelIoError> {
+        let n = self.layout.num_states as u32;
+        for s in 1..n {
+            let mut prev_word = 0u32;
+            for i in 0..self.num_word_arcs(s) {
+                let a = self.word_arc(s, i);
+                if a.ilabel <= prev_word {
+                    return Err(ModelIoError::Corrupt("word arcs not sorted"));
+                }
+                prev_word = a.ilabel;
+                if a.nextstate >= n {
+                    return Err(ModelIoError::Corrupt("destination out of range"));
+                }
+            }
+            if let Some(back) = self.backoff_arc(s) {
+                if back.nextstate >= n {
+                    return Err(ModelIoError::Corrupt("back-off destination out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks up `word` at `s` (root positional, binary search
+    /// elsewhere); mirrors [`crate::CompressedLm::lookup`] arc-for-arc.
+    ///
+    /// # Panics
+    /// Panics if `word` is epsilon.
+    pub fn lookup(&self, s: StateId, word: Label) -> Option<Arc> {
+        assert_ne!(word, EPSILON, "lookup: cannot search for epsilon");
+        let (_, narcs, _) = self.rec(s);
+        if s == 0 {
+            return (word >= 1 && word <= narcs).then(|| self.word_arc(0, word - 1));
+        }
+        let mut lo = 0u32;
+        let mut hi = narcs;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let a = self.word_arc(s, mid);
+            match a.ilabel.cmp(&word) {
+                std::cmp::Ordering::Equal => return Some(a),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompressedAm, CompressedLm};
+    use unfold_am::{build_am, HmmTopology, Lexicon};
+    use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+
+    fn am_bytes() -> Vec<u8> {
+        let fst = build_am(&Lexicon::generate(120, 28, 5), HmmTopology::Kaldi3State).fst;
+        CompressedAm::compress(&fst, 64, 0).to_bytes()
+    }
+
+    fn lm_bytes() -> Vec<u8> {
+        let spec = CorpusSpec {
+            vocab_size: 100,
+            num_sentences: 400,
+            ..Default::default()
+        };
+        let model = NGramModel::train(&spec.generate(9), 100, DiscountConfig::default());
+        CompressedLm::compress(&lm_to_wfst(&model), 64, 0).to_bytes()
+    }
+
+    #[test]
+    fn am_ref_decodes_identically_to_owned() {
+        let bytes = am_bytes();
+        let owned = CompressedAm::from_bytes(&bytes).unwrap();
+        let layout = AmLayout::parse(&bytes).unwrap();
+        let view = layout.view(&bytes);
+        assert_eq!(view.num_states(), owned.num_states());
+        assert_eq!(view.start(), owned.start());
+        assert_eq!(view.short_arcs(), owned.short_arcs());
+        assert_eq!(view.normal_arcs(), owned.normal_arcs());
+        for s in 0..owned.num_states() as StateId {
+            assert_eq!(view.final_weight(s), owned.final_weight(s));
+            let mut got = Vec::new();
+            view.for_each_arc(s, |a, off, w| got.push((a, off, w)));
+            let mut want = Vec::new();
+            owned.for_each_arc(s, |a, off, w| want.push((a, off, w)));
+            assert_eq!(got, want, "state {s}");
+        }
+        view.validate_deep().unwrap();
+    }
+
+    #[test]
+    fn lm_ref_decodes_identically_to_owned() {
+        let bytes = lm_bytes();
+        let owned = CompressedLm::from_bytes(&bytes).unwrap();
+        let layout = LmLayout::parse(&bytes).unwrap();
+        let view = layout.view(&bytes);
+        assert_eq!(view.num_states(), owned.num_states());
+        for s in 0..owned.num_states() as StateId {
+            assert_eq!(view.num_word_arcs(s), owned.num_word_arcs(s));
+            for i in 0..owned.num_word_arcs(s) {
+                assert_eq!(
+                    view.word_arc(s, i),
+                    owned.word_arc(s, i),
+                    "state {s} arc {i}"
+                );
+                assert_eq!(
+                    view.word_arc_bit_offset(s, i),
+                    owned.word_arc_bit_offset(s, i)
+                );
+            }
+            assert_eq!(view.backoff_arc(s), owned.backoff_arc(s), "state {s}");
+            for w in (1..=100u32).step_by(7) {
+                assert_eq!(view.lookup(s, w), owned.lookup(s, w).arc);
+            }
+        }
+        view.validate_deep().unwrap();
+    }
+
+    #[test]
+    fn layout_parse_rejects_corrupt_headers() {
+        let good = am_bytes();
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(AmLayout::parse(&bad).unwrap_err(), ModelIoError::BadMagic);
+        assert_eq!(
+            AmLayout::parse(&good[..good.len() / 2]).unwrap_err(),
+            ModelIoError::Truncated
+        );
+        let lm_good = lm_bytes();
+        let mut lm_bad = lm_good.clone();
+        lm_bad[1] = b'?';
+        assert_eq!(
+            LmLayout::parse(&lm_bad).unwrap_err(),
+            ModelIoError::BadMagic
+        );
+        assert_eq!(
+            LmLayout::parse(&lm_good[..20]).unwrap_err(),
+            ModelIoError::Truncated
+        );
+        // Flip a state-record bit offset: the LM's fixed-width sweep
+        // catches it at parse time.
+        let mut flipped = lm_good.clone();
+        let state3_offset = 16 + 64 * 4 + 3 * 16;
+        flipped[state3_offset] ^= 0x5A;
+        assert!(LmLayout::parse(&flipped).is_err());
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary bytes must error, never panic (mirror of the
+            /// owned loaders' fuzz suite).
+            #[test]
+            fn random_bytes_never_panic_layout_parsers(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+                let _ = AmLayout::parse(&bytes);
+                let _ = LmLayout::parse(&bytes);
+            }
+
+            #[test]
+            fn magic_prefixed_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+                let mut am = AM_MAGIC.to_vec();
+                am.extend_from_slice(&1u32.to_le_bytes());
+                am.extend_from_slice(&bytes);
+                let _ = AmLayout::parse(&am);
+                let mut lm = LM_MAGIC.to_vec();
+                lm.extend_from_slice(&1u32.to_le_bytes());
+                lm.extend_from_slice(&bytes);
+                let _ = LmLayout::parse(&lm);
+            }
+        }
+    }
+}

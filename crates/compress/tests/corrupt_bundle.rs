@@ -1,0 +1,226 @@
+//! Corrupt-bundle robustness: a hostile or damaged `.unfb` must always
+//! come back as a typed [`BundleError`] — never a panic, never an
+//! over-read past the section table's declared bounds.
+//!
+//! The strategies here mirror how bundles actually rot: truncated
+//! downloads (cut at and around every section boundary, plus a sweep),
+//! single flipped bits in the header, table, and payloads, and a
+//! crafted table whose sections alias the same byte range.
+
+use unfold_am::{build_am, HmmTopology, Lexicon};
+use unfold_compress::{
+    crc64, Bundle, BundleError, BundleWriter, CompressedAm, CompressedLm, SectionKind,
+};
+use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+
+/// Header bytes before the section table (magic + version + count +
+/// table length), mirroring the format spec in `bundle.rs`.
+const HEADER_BYTES: usize = 16;
+
+fn small_models() -> (CompressedAm, CompressedLm) {
+    let fst = build_am(&Lexicon::generate(30, 10, 3), HmmTopology::Kaldi3State).fst;
+    let am = CompressedAm::compress(&fst, 64, 0);
+    let spec = CorpusSpec {
+        vocab_size: 30,
+        num_sentences: 100,
+        ..Default::default()
+    };
+    let model = NGramModel::train(&spec.generate(5), 30, DiscountConfig::default());
+    let lm = CompressedLm::compress(&lm_to_wfst(&model), 64, 5);
+    (am, lm)
+}
+
+fn bundle_bytes() -> Vec<u8> {
+    let (am, lm) = small_models();
+    let mut w = BundleWriter::new();
+    w.add_am(&am)
+        .add_lm("default", &lm)
+        .add_symtab("words", b"0 a\n1 b\n".to_vec())
+        .add_meta("task", b"corrupt-bundle-test".to_vec());
+    w.finish().unwrap()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("unfold-corrupt-{}-{name}.unfb", std::process::id()))
+}
+
+/// Byte offset where section payloads start (header + table + table
+/// CRC), read back out of the intact header.
+fn data_start(bytes: &[u8]) -> usize {
+    let table_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    HEADER_BYTES + table_len + 8
+}
+
+#[test]
+fn truncation_at_every_boundary_is_a_typed_error() {
+    let bytes = bundle_bytes();
+    let sections: Vec<(usize, usize)> = {
+        let b = Bundle::from_bytes(bytes.clone()).unwrap();
+        b.sections().iter().map(|s| (s.offset, s.len)).collect()
+    };
+
+    // Every byte of the header + table region, every section boundary
+    // (start, end, and one byte either side), and a coarse sweep of
+    // the payload region.
+    let mut cuts: Vec<usize> = (0..data_start(&bytes)).collect();
+    for &(off, len) in &sections {
+        for cut in [
+            off.saturating_sub(1),
+            off,
+            off + 1,
+            off + len - 1,
+            off + len,
+        ] {
+            cuts.push(cut);
+        }
+    }
+    cuts.extend((data_start(&bytes)..bytes.len()).step_by(97));
+
+    for cut in cuts {
+        if cut >= bytes.len() {
+            continue;
+        }
+        let err = Bundle::from_bytes(bytes[..cut].to_vec())
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {cut} bytes opened clean"));
+        // Any typed BundleError is acceptable; reaching here at all
+        // means no panic and no over-read.
+        let _ = format!("{err}");
+    }
+
+    // The same truncations through the mmap path (a cut file on disk).
+    let path = tmp("truncate");
+    for &(off, len) in &sections {
+        std::fs::write(&path, &bytes[..off + len - 1]).unwrap();
+        assert!(
+            Bundle::open_mmap(&path).is_err() || {
+                // A cut inside the *last* payload still parses the
+                // table only if the table says otherwise; lazy opens
+                // must then fail verification instead.
+                Bundle::open_mmap(&path).unwrap().verify_all().is_err()
+            },
+            "file cut at {} opened and verified clean",
+            off + len - 1
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn flipped_header_and_table_bytes_are_typed_errors() {
+    let bytes = bundle_bytes();
+    let start = data_start(&bytes);
+
+    for pos in 0..start {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x01;
+        let err = Bundle::from_bytes(bad)
+            .err()
+            .unwrap_or_else(|| panic!("flipped byte {pos} opened clean"));
+        match (pos, &err) {
+            (0..=3, BundleError::BadMagic) => {}
+            (4..=7, BundleError::BadVersion(_)) => {}
+            // Anything else lands in the table or its CRC: count/len
+            // corruption, a table-checksum mismatch, or a structurally
+            // invalid table — all typed.
+            (_, e) => {
+                let _ = format!("{e}");
+            }
+        }
+    }
+}
+
+#[test]
+fn flipped_payload_bytes_fail_their_sections_checksum() {
+    let bytes = bundle_bytes();
+    let sections: Vec<(String, usize, usize)> = {
+        let b = Bundle::from_bytes(bytes.clone()).unwrap();
+        b.sections()
+            .iter()
+            .map(|s| (s.name.clone(), s.offset, s.len))
+            .collect()
+    };
+
+    let path = tmp("flip");
+    for (name, off, len) in sections {
+        let mut bad = bytes.clone();
+        bad[off + len / 2] ^= 0x80;
+
+        // Eager open: rejected immediately, naming the section.
+        match Bundle::from_bytes(bad.clone()) {
+            Err(BundleError::ChecksumMismatch(s)) => assert_eq!(s, name),
+            other => panic!("payload flip in '{name}': {other:?}"),
+        }
+
+        // Lazy mmap open: opens (checksums deferred), then the flipped
+        // section — and only a full verification — reports it.
+        std::fs::write(&path, &bad).unwrap();
+        let b = Bundle::open_mmap(&path).unwrap();
+        match b.verify_all() {
+            Err(BundleError::ChecksumMismatch(s)) => assert_eq!(s, name),
+            other => panic!("mmap verify of flipped '{name}': {other:?}"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn overlapping_section_offsets_are_rejected() {
+    let bytes = bundle_bytes();
+
+    // Walk the table to the second entry's offset field and point it
+    // at the first section's payload, then re-seal the table CRC so
+    // only the overlap check can object.
+    let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    assert!(count >= 2);
+    let table_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let mut pos = HEADER_BYTES;
+    let mut first_offset = None;
+    let mut patched = bytes.clone();
+    for i in 0..2 {
+        let name_len = u32::from_le_bytes(patched[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        let offset_pos = pos + 8 + name_len;
+        let offset = u64::from_le_bytes(patched[offset_pos..offset_pos + 8].try_into().unwrap());
+        match i {
+            0 => first_offset = Some(offset),
+            _ => patched[offset_pos..offset_pos + 8]
+                .copy_from_slice(&first_offset.unwrap().to_le_bytes()),
+        }
+        pos = offset_pos + 24; // skip offset + len + crc
+    }
+    let crc = crc64(&patched[..HEADER_BYTES + table_len]);
+    patched[HEADER_BYTES + table_len..HEADER_BYTES + table_len + 8]
+        .copy_from_slice(&crc.to_le_bytes());
+
+    match Bundle::from_bytes(patched) {
+        Err(BundleError::Corrupt(msg)) => assert!(msg.contains("overlap"), "got: {msg}"),
+        other => panic!("aliased sections opened: {other:?}"),
+    }
+}
+
+#[test]
+fn section_kind_confusion_is_a_typed_error() {
+    // Ask for the AM out of a bundle whose "am" payload is actually LM
+    // bytes: the model-level magic check must reject it (the container
+    // checksums are all valid).
+    let (_, lm) = small_models();
+    let lm2 = lm.clone();
+    let mut w = BundleWriter::new();
+    // add_am writes the section with the AM kind tag regardless of the
+    // payload we hand it — simulate a confused producer by packing an
+    // LM's bytes under the AM section via the public writer is not
+    // possible, so corrupt at the model layer instead: an LM section
+    // asked for as an AM.
+    let fst = build_am(&Lexicon::generate(30, 10, 3), HmmTopology::Kaldi3State).fst;
+    let am = CompressedAm::compress(&fst, 64, 0);
+    w.add_am(&am).add_lm("default", &lm).add_lm("alt", &lm2);
+    let b = Bundle::from_bytes(w.finish().unwrap()).unwrap();
+    match b.lm_layout("am") {
+        Err(BundleError::MissingSection(s)) => assert!(s.contains("am"), "got: {s}"),
+        other => panic!("LM lookup of an AM name: {other:?}"),
+    }
+    assert!(matches!(
+        b.section_bytes(SectionKind::Am, "default"),
+        Err(BundleError::MissingSection(_))
+    ));
+}

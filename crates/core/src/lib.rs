@@ -17,7 +17,9 @@
 //!   accelerator model: UNFOLD, the Reza et al. baseline, and the
 //!   Tegra X1 GPU,
 //! * [`batch`] — the utterance-parallel worker pool behind the
-//!   runners' `_jobs` variants (bit-identical for any worker count).
+//!   runners' `_jobs` variants (bit-identical for any worker count),
+//! * [`models`] — the unified model facade: one API over generated,
+//!   owned-loaded, and zero-copy mmap-backed `.unfb` bundle models.
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@
 pub mod batch;
 pub mod composed;
 pub mod experiments;
+pub mod models;
 pub mod system;
 pub mod task;
 
@@ -43,5 +46,6 @@ pub use composed::build_composed_lg;
 pub use experiments::{
     run_baseline, run_gpu, run_gpu_jobs, run_unfold, run_unfold_jobs, GpuRun, SystemRun,
 };
+pub use models::{pack_system, AmModel, LmModel, Models, DEFAULT_LM};
 pub use system::{SizeTable, System};
 pub use task::{ScoringSynth, TaskSpec};

@@ -1,0 +1,373 @@
+//! The unified model API: one way to obtain decodable models.
+//!
+//! Decodable AM/LM pairs historically came from three unrelated places
+//! — built in memory by [`System::build`], loaded from loose
+//! `.unfa`/`.unfl` files, or (for serving) wrapped in `Arc`s by hand.
+//! [`Models`] is the single facade over all of them:
+//!
+//! * [`Models::from_task`] / [`Models::from_system`] — generators and
+//!   presets (owned, in memory),
+//! * [`Models::from_parts`] — owned compressed models from anywhere,
+//! * [`Models::open`] — a packed `.unfb` bundle, fully loaded and
+//!   checksum-verified,
+//! * [`Models::open_mmap`] — the same bundle, zero-copy: arcs decode
+//!   straight out of the mapped file, nothing is deserialized.
+//!
+//! Whatever the origin, the facade hands out [`AmModel`]/[`LmModel`]
+//! handles that implement the decoder's [`AmSource`]/[`LmSource`]
+//! traits, are cheaply cloneable, and are `Send + Sync` — the same
+//! handle type drives a one-shot CLI decode and a multi-worker server.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use unfold_compress::{
+    Bundle, BundleError, BundleWriter, CompressedAm, CompressedLm, SharedAm, SharedLm,
+};
+use unfold_decoder::sources::Fetch;
+use unfold_decoder::{AmSource, ArcVisit, LmSource};
+use unfold_lm::NGramModel;
+use unfold_wfst::{Arc as WfstArc, Label, StateId};
+
+use crate::system::{System, QUANT_CLUSTERS};
+use crate::task::TaskSpec;
+
+/// Name given to the primary LM when packing a bundle.
+pub const DEFAULT_LM: &str = "default";
+
+/// A decodable acoustic model: owned in memory, or a zero-copy view
+/// into a bundle (whose bytes may be a read-only file mapping).
+#[derive(Debug, Clone)]
+pub enum AmModel {
+    /// Owned, deserialized compressed AM.
+    Owned(Arc<CompressedAm>),
+    /// Zero-copy view over a bundle section.
+    Shared(SharedAm),
+}
+
+/// A decodable language model; see [`AmModel`].
+#[derive(Debug, Clone)]
+pub enum LmModel {
+    /// Owned, deserialized compressed LM.
+    Owned(Arc<CompressedLm>),
+    /// Zero-copy view over a bundle section.
+    Shared(SharedLm),
+}
+
+impl AmSource for AmModel {
+    fn start(&self) -> StateId {
+        match self {
+            AmModel::Owned(am) => AmSource::start(&**am),
+            AmModel::Shared(am) => AmSource::start(am),
+        }
+    }
+
+    fn num_states(&self) -> usize {
+        match self {
+            AmModel::Owned(am) => AmSource::num_states(&**am),
+            AmModel::Shared(am) => AmSource::num_states(am),
+        }
+    }
+
+    fn final_weight(&self, s: StateId) -> Option<f32> {
+        match self {
+            AmModel::Owned(am) => AmSource::final_weight(&**am, s),
+            AmModel::Shared(am) => AmSource::final_weight(am, s),
+        }
+    }
+
+    fn state_addr(&self, s: StateId) -> u64 {
+        match self {
+            AmModel::Owned(am) => AmSource::state_addr(&**am, s),
+            AmModel::Shared(am) => AmSource::state_addr(am, s),
+        }
+    }
+
+    fn for_each_arc(&self, s: StateId, f: &mut dyn FnMut(ArcVisit)) {
+        match self {
+            AmModel::Owned(am) => AmSource::for_each_arc(&**am, s, f),
+            AmModel::Shared(am) => AmSource::for_each_arc(am, s, f),
+        }
+    }
+}
+
+impl LmSource for LmModel {
+    fn start(&self) -> StateId {
+        match self {
+            LmModel::Owned(lm) => LmSource::start(&**lm),
+            LmModel::Shared(lm) => LmSource::start(lm),
+        }
+    }
+
+    fn num_states(&self) -> usize {
+        match self {
+            LmModel::Owned(lm) => LmSource::num_states(&**lm),
+            LmModel::Shared(lm) => LmSource::num_states(lm),
+        }
+    }
+
+    fn state_addr(&self, s: StateId) -> u64 {
+        match self {
+            LmModel::Owned(lm) => LmSource::state_addr(&**lm, s),
+            LmModel::Shared(lm) => LmSource::state_addr(lm, s),
+        }
+    }
+
+    fn lookup_word_into(
+        &self,
+        s: StateId,
+        word: Label,
+        probes: &mut Vec<Fetch>,
+    ) -> Option<WfstArc> {
+        match self {
+            LmModel::Owned(lm) => LmSource::lookup_word_into(&**lm, s, word, probes),
+            LmModel::Shared(lm) => LmSource::lookup_word_into(lm, s, word, probes),
+        }
+    }
+
+    fn backoff(&self, s: StateId) -> Option<(WfstArc, Fetch)> {
+        match self {
+            LmModel::Owned(lm) => LmSource::backoff(&**lm, s),
+            LmModel::Shared(lm) => LmSource::backoff(lm, s),
+        }
+    }
+}
+
+/// One AM plus one or more named LMs, however they were obtained.
+#[derive(Debug, Clone)]
+pub struct Models {
+    am: AmModel,
+    lms: Vec<(String, LmModel)>,
+    bundle: Option<Arc<Bundle>>,
+}
+
+impl Models {
+    /// Wraps owned compressed models. The first LM is the default.
+    ///
+    /// # Panics
+    /// Panics if `lms` is empty or contains duplicate names.
+    pub fn from_parts(am: CompressedAm, lms: Vec<(String, CompressedLm)>) -> Models {
+        assert!(!lms.is_empty(), "a model set needs at least one LM");
+        let lms: Vec<(String, LmModel)> = lms
+            .into_iter()
+            .map(|(name, lm)| (name, LmModel::Owned(Arc::new(lm))))
+            .collect();
+        for (i, (name, _)) in lms.iter().enumerate() {
+            assert!(
+                lms[..i].iter().all(|(n, _)| n != name),
+                "duplicate LM name '{name}'"
+            );
+        }
+        Models {
+            am: AmModel::Owned(Arc::new(am)),
+            lms,
+            bundle: None,
+        }
+    }
+
+    /// Models of an already-built [`System`] (owned; the system keeps
+    /// its own copies). The LM is named [`DEFAULT_LM`].
+    pub fn from_system(system: &System) -> Models {
+        Models::from_parts(
+            system.am_comp.clone(),
+            vec![(DEFAULT_LM.to_string(), system.lm_comp.clone())],
+        )
+    }
+
+    /// Builds a task preset and wraps its models; see
+    /// [`Models::from_system`].
+    pub fn from_task(spec: &TaskSpec) -> Models {
+        Models::from_system(&System::build(spec))
+    }
+
+    /// Opens a `.unfb` bundle fully into memory, verifying every
+    /// section checksum eagerly.
+    ///
+    /// # Errors
+    /// [`BundleError`] on I/O failure, malformed container, checksum
+    /// mismatch, or malformed model sections.
+    pub fn open(path: &Path) -> Result<Models, BundleError> {
+        Models::from_bundle(Bundle::open(path)?)
+    }
+
+    /// Opens a `.unfb` bundle zero-copy: the file is mapped read-only
+    /// and arcs decode directly from the mapped bytes. Section
+    /// checksums are verified lazily on first access, so opening never
+    /// touches the arc bit streams.
+    ///
+    /// # Errors
+    /// [`BundleError`]; see [`Models::open`].
+    pub fn open_mmap(path: &Path) -> Result<Models, BundleError> {
+        Models::from_bundle(Bundle::open_mmap(path)?)
+    }
+
+    /// Wraps an already-opened bundle; every LM section becomes a
+    /// zero-copy [`LmModel`].
+    ///
+    /// # Errors
+    /// [`BundleError`] if any model section fails layout validation.
+    pub fn from_bundle(bundle: Bundle) -> Result<Models, BundleError> {
+        let bundle = Arc::new(bundle);
+        let am = AmModel::Shared(SharedAm::new(Arc::clone(&bundle))?);
+        let names: Vec<String> = bundle.lm_names().iter().map(|s| s.to_string()).collect();
+        let mut lms = Vec::with_capacity(names.len());
+        for name in names {
+            let lm = LmModel::Shared(SharedLm::new(Arc::clone(&bundle), &name)?);
+            lms.push((name, lm));
+        }
+        Ok(Models {
+            am,
+            lms,
+            bundle: Some(bundle),
+        })
+    }
+
+    /// The acoustic model.
+    pub fn am(&self) -> &AmModel {
+        &self.am
+    }
+
+    /// The default LM (first packed / first added).
+    pub fn default_lm(&self) -> &LmModel {
+        &self.lms[0].1
+    }
+
+    /// The LM named `name`, if present.
+    pub fn lm(&self, name: &str) -> Option<&LmModel> {
+        self.lms.iter().find(|(n, _)| n == name).map(|(_, lm)| lm)
+    }
+
+    /// LM names in pack/insertion order (first is the default).
+    pub fn lm_names(&self) -> Vec<&str> {
+        self.lms.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Whether the models decode out of a read-only file mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.bundle.as_ref().is_some_and(|b| b.is_mapped())
+    }
+
+    /// The backing bundle, when the models came from one.
+    pub fn bundle(&self) -> Option<&Arc<Bundle>> {
+        self.bundle.as_ref()
+    }
+}
+
+/// Packs a built system into `.unfb` bundle bytes: the AM, the primary
+/// LM (named [`DEFAULT_LM`]), one `variant-<seed>` LM per entry of
+/// `variant_seeds` (trained on a reseeded corpus over the *same*
+/// vocabulary, so each is decodable against the packed AM), a word
+/// symbol table, and a `task` metadata section.
+///
+/// # Errors
+/// [`BundleError`] if the composition is rejected (cannot happen for a
+/// well-formed system).
+pub fn pack_system(system: &System, variant_seeds: &[u64]) -> Result<Vec<u8>, BundleError> {
+    let mut w = BundleWriter::new();
+    w.add_am(&system.am_comp);
+    w.add_lm(DEFAULT_LM, &system.lm_comp);
+    for &seed in variant_seeds {
+        w.add_lm(&format!("variant-{seed}"), &system.lm_variant(seed));
+    }
+    let symtab: String = (0..system.spec.vocab_size).fold(String::new(), |mut s, w| {
+        s.push('w');
+        s.push_str(&w.to_string());
+        s.push('\n');
+        s
+    });
+    w.add_symtab("words", symtab.into_bytes());
+    w.add_meta("task", system.spec.name.as_bytes().to_vec());
+    w.finish()
+}
+
+impl System {
+    /// Trains an alternative LM over this system's vocabulary from a
+    /// reseeded corpus — a stand-in for the domain/persona LMs a
+    /// multi-model server hosts side by side. Decodable against this
+    /// system's AM; different n-gram statistics for any
+    /// `variant_seed != spec.seed`.
+    pub fn lm_variant(&self, variant_seed: u64) -> CompressedLm {
+        let corpus = self.spec.corpus_spec().generate(variant_seed);
+        let model = NGramModel::train(&corpus, self.spec.vocab_size, self.spec.discount);
+        let fst = unfold_lm::lm_to_wfst(&model);
+        CompressedLm::compress(&fst, QUANT_CLUSTERS, variant_seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unfold_decoder::{DecodeConfig, NullSink, OtfDecoder};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("unfold-models-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn facade_decodes_from_every_origin_identically() {
+        let system = System::build(&TaskSpec::tiny());
+        let utt = &system.test_utterances(1)[0];
+        let dec = OtfDecoder::new(DecodeConfig::default());
+
+        let owned = Models::from_system(&system);
+        let base = dec.decode(owned.am(), owned.default_lm(), &utt.scores, &mut NullSink);
+        assert!(base.is_complete());
+
+        let path = tmp("roundtrip.unfb");
+        std::fs::write(&path, pack_system(&system, &[]).unwrap()).unwrap();
+
+        let loaded = Models::open(&path).unwrap();
+        assert!(!loaded.is_mapped());
+        let from_owned_bundle =
+            dec.decode(loaded.am(), loaded.default_lm(), &utt.scores, &mut NullSink);
+        assert_eq!(base, from_owned_bundle);
+
+        let mapped = Models::open_mmap(&path).unwrap();
+        let from_mapped = dec.decode(mapped.am(), mapped.default_lm(), &utt.scores, &mut NullSink);
+        assert_eq!(base, from_mapped, "mmap decode must be bit-identical");
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn variant_lms_share_the_vocabulary_and_decode() {
+        let system = System::build(&TaskSpec::tiny());
+        let utt = &system.test_utterances(1)[0];
+        let path = tmp("variants.unfb");
+        std::fs::write(&path, pack_system(&system, &[7, 8]).unwrap()).unwrap();
+
+        let models = Models::open_mmap(&path).unwrap();
+        assert_eq!(
+            models.lm_names(),
+            vec![DEFAULT_LM, "variant-7", "variant-8"]
+        );
+        assert!(models.lm("nope").is_none());
+
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        for name in models.lm_names() {
+            let lm = models.lm(name).unwrap();
+            let r = dec.decode(models.am(), lm, &utt.scores, &mut NullSink);
+            assert!(r.is_complete(), "LM '{name}' failed to decode");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bundle_metadata_roundtrips() {
+        let system = System::build(&TaskSpec::tiny());
+        let path = tmp("meta.unfb");
+        std::fs::write(&path, pack_system(&system, &[]).unwrap()).unwrap();
+        let models = Models::open(&path).unwrap();
+        let bundle = models.bundle().unwrap();
+        assert_eq!(
+            bundle.meta("task").unwrap().unwrap(),
+            system.spec.name.as_bytes()
+        );
+        let words = bundle.symtab("words").unwrap().unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(words).lines().count(),
+            system.spec.vocab_size
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -34,6 +34,104 @@ impl Default for DecodeConfig {
     }
 }
 
+impl DecodeConfig {
+    /// A validating builder seeded with the defaults — the sanctioned
+    /// way to construct a non-default configuration. Struct literals
+    /// silently accept nonsense (`beam: 0.0` prunes everything,
+    /// `olt_entries: 100` would be quietly rounded); the builder
+    /// rejects it at construction time.
+    pub fn builder() -> DecodeConfigBuilder {
+        DecodeConfigBuilder {
+            cfg: DecodeConfig::default(),
+        }
+    }
+
+    /// A builder seeded with this configuration's current values, for
+    /// deriving a variant (`cfg.to_builder().olt_entries(512).build()`).
+    pub fn to_builder(self) -> DecodeConfigBuilder {
+        DecodeConfigBuilder { cfg: self }
+    }
+}
+
+/// A [`DecodeConfig`] that failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// Beam must be finite and strictly positive.
+    BadBeam(f32),
+    /// `max_active` of zero would prune every token.
+    ZeroMaxActive,
+    /// A non-zero OLT capacity must be a power of two (the table is
+    /// XOR-indexed).
+    OltNotPowerOfTwo(usize),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::BadBeam(b) => {
+                write!(f, "beam must be finite and > 0, got {b}")
+            }
+            ConfigError::ZeroMaxActive => write!(f, "max_active must be > 0"),
+            ConfigError::OltNotPowerOfTwo(n) => {
+                write!(f, "olt_entries must be 0 or a power of two, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`DecodeConfig`]; see [`DecodeConfig::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct DecodeConfigBuilder {
+    cfg: DecodeConfig,
+}
+
+impl DecodeConfigBuilder {
+    /// Beam width (must be finite and > 0).
+    pub fn beam(mut self, beam: f32) -> Self {
+        self.cfg.beam = beam;
+        self
+    }
+
+    /// Live-token cap per frame (must be > 0; `usize::MAX` disables).
+    pub fn max_active(mut self, max_active: usize) -> Self {
+        self.cfg.max_active = max_active;
+        self
+    }
+
+    /// Toggle preemptive pruning (§3.3).
+    pub fn preemptive_pruning(mut self, on: bool) -> Self {
+        self.cfg.preemptive_pruning = on;
+        self
+    }
+
+    /// Software-OLT capacity in entries (0 disables; otherwise must be
+    /// a power of two).
+    pub fn olt_entries(mut self, entries: usize) -> Self {
+        self.cfg.olt_entries = entries;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// [`ConfigError`] describing the first rejected field.
+    pub fn build(self) -> Result<DecodeConfig, ConfigError> {
+        let c = self.cfg;
+        if !c.beam.is_finite() || c.beam <= 0.0 {
+            return Err(ConfigError::BadBeam(c.beam));
+        }
+        if c.max_active == 0 {
+            return Err(ConfigError::ZeroMaxActive);
+        }
+        if c.olt_entries != 0 && !c.olt_entries.is_power_of_two() {
+            return Err(ConfigError::OltNotPowerOfTwo(c.olt_entries));
+        }
+        Ok(c)
+    }
+}
+
 /// Counters collected during one utterance decode.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DecodeStats {
@@ -127,6 +225,61 @@ mod tests {
         assert!(c.beam > 0.0);
         assert!(c.max_active > 100);
         assert!(c.preemptive_pruning);
+    }
+
+    #[test]
+    fn builder_accepts_valid_configs() {
+        let c = DecodeConfig::builder()
+            .beam(9.0)
+            .max_active(64)
+            .preemptive_pruning(false)
+            .olt_entries(4096)
+            .build()
+            .unwrap();
+        assert_eq!(c.beam, 9.0);
+        assert_eq!(c.max_active, 64);
+        assert!(!c.preemptive_pruning);
+        assert_eq!(c.olt_entries, 4096);
+        // Defaults pass unmodified.
+        assert_eq!(
+            DecodeConfig::builder().build().unwrap(),
+            DecodeConfig::default()
+        );
+        // usize::MAX disables the cap and is valid.
+        assert!(DecodeConfig::builder()
+            .max_active(usize::MAX)
+            .build()
+            .is_ok());
+        // OLT 0 = disabled is valid.
+        assert!(DecodeConfig::builder().olt_entries(0).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert_eq!(
+            DecodeConfig::builder().beam(0.0).build(),
+            Err(ConfigError::BadBeam(0.0))
+        );
+        assert_eq!(
+            DecodeConfig::builder().beam(-3.0).build(),
+            Err(ConfigError::BadBeam(-3.0))
+        );
+        assert!(matches!(
+            DecodeConfig::builder().beam(f32::NAN).build(),
+            Err(ConfigError::BadBeam(_))
+        ));
+        assert!(matches!(
+            DecodeConfig::builder().beam(f32::INFINITY).build(),
+            Err(ConfigError::BadBeam(_))
+        ));
+        assert_eq!(
+            DecodeConfig::builder().max_active(0).build(),
+            Err(ConfigError::ZeroMaxActive)
+        );
+        assert_eq!(
+            DecodeConfig::builder().olt_entries(100).build(),
+            Err(ConfigError::OltNotPowerOfTwo(100))
+        );
     }
 
     #[test]

@@ -323,16 +323,10 @@ mod tests {
             &NoiseModel::default(),
             7,
         );
-        let wide = FullyComposedDecoder::new(DecodeConfig {
-            beam: 16.0,
-            ..Default::default()
-        })
-        .decode(&composed, &utt.scores, &mut NullSink);
-        let tight = FullyComposedDecoder::new(DecodeConfig {
-            beam: 4.0,
-            ..Default::default()
-        })
-        .decode(&composed, &utt.scores, &mut NullSink);
+        let wide = FullyComposedDecoder::new(DecodeConfig::builder().beam(16.0).build().unwrap())
+            .decode(&composed, &utt.scores, &mut NullSink);
+        let tight = FullyComposedDecoder::new(DecodeConfig::builder().beam(4.0).build().unwrap())
+            .decode(&composed, &utt.scores, &mut NullSink);
         assert!(tight.stats.mean_active() < wide.stats.mean_active());
         // A wider beam can only find an equal-or-better path.
         if wide.is_complete() && tight.is_complete() {

@@ -51,7 +51,7 @@ pub mod trace;
 pub mod twopass;
 pub mod wer;
 
-pub use config::{DecodeConfig, DecodeResult, DecodeStats};
+pub use config::{ConfigError, DecodeConfig, DecodeConfigBuilder, DecodeResult, DecodeStats};
 pub use full::FullyComposedDecoder;
 pub use lattice::Lattice;
 pub use metrics::{MetricsSink, TeeSink};

@@ -684,20 +684,11 @@ mod tests {
             ..NoiseModel::default()
         };
         let utt = synthesize_utterance(&words, &lex, HmmTopology::Kaldi3State, &noise, 23);
-        let cfg = DecodeConfig {
-            beam: 8.0,
-            ..Default::default()
-        };
-        let on = OtfDecoder::new(DecodeConfig {
-            preemptive_pruning: true,
-            ..cfg
-        })
-        .decode(&am, &lm, &utt.scores, &mut NullSink);
-        let off = OtfDecoder::new(DecodeConfig {
-            preemptive_pruning: false,
-            ..cfg
-        })
-        .decode(&am, &lm, &utt.scores, &mut NullSink);
+        let cfg = DecodeConfig::builder().beam(8.0).build().unwrap();
+        let on = OtfDecoder::new(cfg.to_builder().preemptive_pruning(true).build().unwrap())
+            .decode(&am, &lm, &utt.scores, &mut NullSink);
+        let off = OtfDecoder::new(cfg.to_builder().preemptive_pruning(false).build().unwrap())
+            .decode(&am, &lm, &utt.scores, &mut NullSink);
         assert_eq!(on.words, off.words);
         assert!((on.cost - off.cost).abs() < 1e-4);
         assert!(on.stats.preemptive_prunes > 0, "pruning never fired");
@@ -781,10 +772,12 @@ mod tests {
             OtfDecoder::new(DecodeConfig::default()).decode(&am, &lm, &utt.scores, &mut NullSink);
         assert_eq!(off.stats.olt_probes, 0, "disabled table must not probe");
         for entries in [64usize, 1024] {
-            let on = OtfDecoder::new(DecodeConfig {
-                olt_entries: entries,
-                ..Default::default()
-            })
+            let on = OtfDecoder::new(
+                DecodeConfig::builder()
+                    .olt_entries(entries)
+                    .build()
+                    .unwrap(),
+            )
             .decode(&am, &lm, &utt.scores, &mut NullSink);
             assert_eq!(on.words, off.words);
             assert_eq!(on.cost.to_bits(), off.cost.to_bits());
@@ -814,10 +807,7 @@ mod tests {
             &NoiseModel::default(),
             7,
         );
-        let dec = OtfDecoder::new(DecodeConfig {
-            olt_entries: 256,
-            ..Default::default()
-        });
+        let dec = OtfDecoder::new(DecodeConfig::builder().olt_entries(256).build().unwrap());
         let mut sink = CountingSink::default();
         let res = dec.decode(&am, &lm, &utt.scores, &mut sink);
         assert_eq!(sink.olt_probes, res.stats.olt_probes);
@@ -932,17 +922,21 @@ mod pruning_tests {
             ..NoiseModel::default()
         };
         let utt = synthesize_utterance(&[3, 9], &lex, HmmTopology::Kaldi3State, &noise, 16);
-        let loose = OtfDecoder::new(DecodeConfig {
-            beam: 20.0,
-            max_active: usize::MAX,
-            ..Default::default()
-        })
+        let loose = OtfDecoder::new(
+            DecodeConfig::builder()
+                .beam(20.0)
+                .max_active(usize::MAX)
+                .build()
+                .unwrap(),
+        )
         .decode(&am.fst, &lm, &utt.scores, &mut NullSink);
-        let capped = OtfDecoder::new(DecodeConfig {
-            beam: 20.0,
-            max_active: 50,
-            ..Default::default()
-        })
+        let capped = OtfDecoder::new(
+            DecodeConfig::builder()
+                .beam(20.0)
+                .max_active(50)
+                .build()
+                .unwrap(),
+        )
         .decode(&am.fst, &lm, &utt.scores, &mut NullSink);
         assert!(
             loose.stats.max_active > 50,

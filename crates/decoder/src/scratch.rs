@@ -83,6 +83,9 @@ pub struct WorkScratch {
     pub(crate) olt: SoftOlt,
     /// `olt_entries` the table was built for (rebuild detection).
     olt_built_for: usize,
+    /// Address identity of the LM the OLT's entries were memoized
+    /// against (see [`WorkScratch::bind_olt_lm`]).
+    olt_lm: Option<usize>,
     /// `(am, lm, num_pdfs)` identity of the last validated model pair.
     validated: Option<(usize, usize, usize)>,
 }
@@ -115,6 +118,20 @@ impl WorkScratch {
         if self.olt_built_for != olt_entries {
             self.olt = SoftOlt::new(olt_entries);
             self.olt_built_for = olt_entries;
+        }
+    }
+
+    /// Binds the OLT memo to `lm` (by address identity), resetting the
+    /// table when the worker switches models. OLT entries are offsets
+    /// into one specific LM's arc layout, so a scheduler serving
+    /// sessions pinned to *different* LMs must call this before each
+    /// quantum; consecutive quanta against the same LM keep the memo
+    /// warm.
+    pub fn bind_olt_lm<L: LmSource + ?Sized>(&mut self, lm: &L) {
+        let key = (lm as *const L).cast::<u8>() as usize;
+        if self.olt_lm != Some(key) {
+            self.olt.reset();
+            self.olt_lm = Some(key);
         }
     }
 
@@ -256,15 +273,9 @@ mod tests {
     #[test]
     fn begin_rebuilds_olt_on_capacity_change() {
         let mut scratch = DecodeScratch::new();
-        scratch.begin(&DecodeConfig {
-            olt_entries: 64,
-            ..Default::default()
-        });
+        scratch.begin(&DecodeConfig::builder().olt_entries(64).build().unwrap());
         assert_eq!(scratch.work.olt.num_entries(), 64);
-        scratch.begin(&DecodeConfig {
-            olt_entries: 0,
-            ..Default::default()
-        });
+        scratch.begin(&DecodeConfig::builder().olt_entries(0).build().unwrap());
         assert!(!scratch.work.olt.is_enabled());
     }
 

@@ -14,7 +14,9 @@
 //! preemptive pruning (§3.3) intervenes, abandoning a hypothesis between
 //! hops.
 
-use unfold_compress::{CompressedAm, CompressedLm};
+use unfold_compress::{
+    CompressedAm, CompressedAmRef, CompressedLm, CompressedLmRef, SharedAm, SharedLm,
+};
 use unfold_wfst::{Arc, Label, StateId, Wfst, EPSILON};
 
 /// Address-space bases for the flat memory map the simulator models.
@@ -350,6 +352,137 @@ impl LmSource for CompressedLm {
     }
 }
 
+// --- Zero-copy (bundle-backed) implementations. ---
+//
+// These mirror the owned `CompressedAm`/`CompressedLm` impls above
+// fetch-for-fetch: same addresses, same probe sequences, same quantized
+// weights. That is what makes a decode against an mmap-backed bundle
+// bit-identical — words, costs, *and* `DecodeStats` — to one against
+// the owned models loaded from the same bytes (`unfold-verify` pins
+// this as a matrix check).
+
+impl AmSource for CompressedAmRef<'_> {
+    fn start(&self) -> StateId {
+        CompressedAmRef::start(self)
+    }
+
+    fn num_states(&self) -> usize {
+        CompressedAmRef::num_states(self)
+    }
+
+    fn final_weight(&self, s: StateId) -> Option<f32> {
+        CompressedAmRef::final_weight(self, s)
+    }
+
+    fn state_addr(&self, s: StateId) -> u64 {
+        addr::AM_STATE_BASE + u64::from(s) * addr::STATE_RECORD_BYTES
+    }
+
+    fn for_each_arc(&self, s: StateId, f: &mut dyn FnMut(ArcVisit)) {
+        CompressedAmRef::for_each_arc(self, s, |arc, bit_off, width| {
+            f(ArcVisit {
+                arc,
+                addr: addr::AM_ARC_BASE + bit_off / 8,
+                bytes: width.div_ceil(8),
+            });
+        });
+    }
+}
+
+impl LmSource for CompressedLmRef<'_> {
+    fn start(&self) -> StateId {
+        0
+    }
+
+    fn num_states(&self) -> usize {
+        CompressedLmRef::num_states(self)
+    }
+
+    fn state_addr(&self, s: StateId) -> u64 {
+        addr::LM_STATE_BASE + u64::from(s) * addr::STATE_RECORD_BYTES
+    }
+
+    fn lookup_word_into(&self, s: StateId, word: Label, probes: &mut Vec<Fetch>) -> Option<Arc> {
+        let n = self.num_word_arcs(s);
+        if s == 0 {
+            if word >= 1 && word <= n {
+                let off = self.word_arc_bit_offset(0, word - 1);
+                probes.push((addr::LM_ARC_BASE + off / 8, 1));
+                return Some(self.word_arc(0, word - 1));
+            }
+            return None;
+        }
+        let mut lo = 0u32;
+        let mut hi = n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probes.push((
+                addr::LM_ARC_BASE + self.word_arc_bit_offset(s, mid) / 8,
+                6u32,
+            ));
+            let a = self.word_arc(s, mid);
+            match a.ilabel.cmp(&word) {
+                std::cmp::Ordering::Equal => return Some(a),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
+    }
+
+    fn backoff(&self, s: StateId) -> Option<(Arc, Fetch)> {
+        let back = self.backoff_arc(s)?;
+        let n = self.num_word_arcs(s);
+        let off =
+            self.word_arc_bit_offset(s, 0) + u64::from(n) * unfold_compress::lm::REGULAR_ARC_BITS;
+        Some((back, (addr::LM_ARC_BASE + off / 8, 4)))
+    }
+}
+
+impl AmSource for SharedAm {
+    fn start(&self) -> StateId {
+        self.view().start()
+    }
+
+    fn num_states(&self) -> usize {
+        self.view().num_states()
+    }
+
+    fn final_weight(&self, s: StateId) -> Option<f32> {
+        self.view().final_weight(s)
+    }
+
+    fn state_addr(&self, s: StateId) -> u64 {
+        AmSource::state_addr(&self.view(), s)
+    }
+
+    fn for_each_arc(&self, s: StateId, f: &mut dyn FnMut(ArcVisit)) {
+        AmSource::for_each_arc(&self.view(), s, f);
+    }
+}
+
+impl LmSource for SharedLm {
+    fn start(&self) -> StateId {
+        0
+    }
+
+    fn num_states(&self) -> usize {
+        self.view().num_states()
+    }
+
+    fn state_addr(&self, s: StateId) -> u64 {
+        LmSource::state_addr(&self.view(), s)
+    }
+
+    fn lookup_word_into(&self, s: StateId, word: Label, probes: &mut Vec<Fetch>) -> Option<Arc> {
+        LmSource::lookup_word_into(&self.view(), s, word, probes)
+    }
+
+    fn backoff(&self, s: StateId) -> Option<(Arc, Fetch)> {
+        LmSource::backoff(&self.view(), s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +587,40 @@ mod tests {
             lin_total > 3 * bin_total,
             "linear {lin_total} vs binary {bin_total}"
         );
+    }
+
+    #[test]
+    fn ref_sources_match_owned_fetch_for_fetch() {
+        let (am, lm) = models();
+        let cam = CompressedAm::compress(&am, 64, 0);
+        let clm = CompressedLm::compress(&lm, 64, 0);
+        let (am_bytes, lm_bytes) = (cam.to_bytes(), clm.to_bytes());
+        let am_layout = unfold_compress::AmLayout::parse(&am_bytes).unwrap();
+        let lm_layout = unfold_compress::LmLayout::parse(&lm_bytes).unwrap();
+        let (ram, rlm) = (am_layout.view(&am_bytes), lm_layout.view(&lm_bytes));
+
+        for s in (0..cam.num_states() as StateId).step_by(29) {
+            let mut want = Vec::new();
+            AmSource::for_each_arc(&cam, s, &mut |v| want.push(v));
+            let mut got = Vec::new();
+            AmSource::for_each_arc(&ram, s, &mut |v| got.push(v));
+            assert_eq!(got, want, "state {s}");
+            assert_eq!(
+                AmSource::final_weight(&ram, s),
+                AmSource::final_weight(&cam, s)
+            );
+        }
+        assert_eq!(AmSource::start(&ram), AmSource::start(&cam));
+
+        for s in (0..clm.num_states() as StateId).step_by(17) {
+            for w in (1..=80u32).step_by(11) {
+                let a = LmSource::lookup_word(&clm, s, w);
+                let b = LmSource::lookup_word(&rlm, s, w);
+                assert_eq!(a.arc, b.arc, "state {s} word {w}");
+                assert_eq!(a.probes, b.probes, "state {s} word {w}");
+            }
+            assert_eq!(LmSource::backoff(&clm, s), LmSource::backoff(&rlm, s));
+        }
     }
 
     #[test]

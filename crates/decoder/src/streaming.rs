@@ -375,10 +375,7 @@ mod tests {
             &NoiseModel::default(),
             8,
         );
-        let cfg = DecodeConfig {
-            olt_entries: 512,
-            ..Default::default()
-        };
+        let cfg = DecodeConfig::builder().olt_entries(512).build().unwrap();
         let dec = OtfDecoder::new(cfg);
         let alone_a = dec.decode(&am, &lm, &ua.scores, &mut NullSink);
         let alone_b = dec.decode(&am, &lm, &ub.scores, &mut NullSink);
@@ -516,11 +513,11 @@ mod tests {
             4,
         );
         // A very tight beam forces the population toward a single path.
-        let cfg = DecodeConfig {
-            beam: 0.5,
-            max_active: 1,
-            ..Default::default()
-        };
+        let cfg = DecodeConfig::builder()
+            .beam(0.5)
+            .max_active(1)
+            .build()
+            .unwrap();
         let mut stream = OtfStream::new(cfg, &am, &lm, &mut NullSink);
         for t in 0..utt.scores.num_frames() {
             stream.push_frame(utt.scores.frame(t), &mut NullSink);

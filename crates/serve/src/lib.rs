@@ -4,9 +4,10 @@
 //!
 //! The paper's SoC decodes one utterance at a time; a deployed
 //! recognizer front-ends *many* concurrent audio streams against one
-//! shared AM/LM pair. This crate supplies that serving layer, pure
-//! `std` and thread-based (no async runtime), in layers that peel
-//! apart for testing:
+//! shared AM and a registry of named LMs (clients pick a model per
+//! session; models can be added and retired live). This crate supplies
+//! that serving layer, pure `std` and thread-based (no async runtime),
+//! in layers that peel apart for testing:
 //!
 //! * [`ServeCore`] — the deterministic heart: a session table plus a
 //!   deadline-ordered ready queue, driven manually with an explicit
@@ -37,7 +38,7 @@ pub mod tcp;
 pub mod wire;
 
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
-pub use sched::{Lease, ServeCore, ServeStats};
+pub use sched::{Lease, ServeCore, ServeStats, DEFAULT_LM};
 pub use server::{ServeHandle, Server};
 pub use session::{SessionId, SessionPhase, SessionView};
 pub use tcp::TcpFront;
@@ -150,7 +151,7 @@ impl std::fmt::Display for RejectReason {
 }
 
 /// Errors surfaced by session operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// No such session (never existed, already collected, or evicted).
     UnknownSession(SessionId),
@@ -160,6 +161,11 @@ pub enum ServeError {
     QueueFull(SessionId),
     /// The session already finished; it accepts no more frames.
     Finished(SessionId),
+    /// No LM is registered under this name.
+    UnknownModel(String),
+    /// The last registered LM cannot be retired — a server always has a
+    /// default model.
+    LastModel(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -169,6 +175,10 @@ impl std::fmt::Display for ServeError {
             ServeError::Rejected(r) => write!(f, "rejected: {r}"),
             ServeError::QueueFull(id) => write!(f, "session {id}: frame queue full"),
             ServeError::Finished(id) => write!(f, "session {id}: already finished"),
+            ServeError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            ServeError::LastModel(name) => {
+                write!(f, "cannot retire '{name}': it is the last registered LM")
+            }
         }
     }
 }
@@ -214,10 +224,10 @@ mod tests {
     #[test]
     fn degraded_max_active_never_reaches_zero() {
         let cfg = ServeConfig {
-            base: DecodeConfig {
-                max_active: 1,
-                ..Default::default()
-            },
+            base: DecodeConfig::builder()
+                .max_active(1)
+                .build()
+                .expect("valid config"),
             ..Default::default()
         };
         let (hard, _) = cfg.admission_config(1.0);

@@ -164,7 +164,7 @@ fn run_session(
 ) -> io::Result<SessionOutcome> {
     let mut out = SessionOutcome::default();
     let opened_at = Instant::now();
-    write_client(wr, &ClientMsg::Open)?;
+    write_client(wr, &ClientMsg::Open { lm: None })?;
     match read_server(rd)? {
         Some(ServerMsg::Opened { .. }) => {}
         Some(ServerMsg::Rejected { .. }) => {

@@ -71,22 +71,27 @@ pub struct ServeStats {
     pub finals: u64,
 }
 
+/// Name under which a single-LM server registers its model; also the
+/// model new sessions decode against when `open` names none.
+pub const DEFAULT_LM: &str = "default";
+
 /// A claim on one session's next decode quantum: the decode state, the
-/// frames to feed it, and whether to finalize afterwards. Obtained from
-/// [`ServeCore::lease_next`]; must be returned via
-/// [`ServeCore::complete_lease`] (session stays parked-as-leased until
-/// then).
+/// session's own LM handle, the frames to feed it, and whether to
+/// finalize afterwards. Obtained from [`ServeCore::lease_next`]; must
+/// be returned via [`ServeCore::complete_lease`] (session stays
+/// parked-as-leased until then).
 #[derive(Debug)]
-pub struct Lease {
+pub struct Lease<L: LmSource + ?Sized> {
     id: SessionId,
     decode: StreamSession,
+    lm: Arc<L>,
     frames: Vec<Vec<f32>>,
     finalize: bool,
     deadline_ms: u64,
     result: Option<DecodeResult>,
 }
 
-impl Lease {
+impl<L: LmSource + ?Sized> Lease<L> {
     /// The session this lease advances.
     pub fn session(&self) -> SessionId {
         self.id
@@ -104,15 +109,20 @@ impl Lease {
 
     /// Runs the quantum: seeds the session if this is its first slice,
     /// pushes the leased frames, and finalizes if the session is
-    /// draining. Call with the worker's own `work` scratch — no lock
-    /// needs to be held.
-    pub fn run<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+    /// draining. The lease carries the session's own LM (selected at
+    /// `open`), so a worker serving sessions bound to different models
+    /// needs no per-model dispatch. Call with the worker's own `work`
+    /// scratch — no lock needs to be held.
+    pub fn run<A: AmSource + ?Sized>(
         &mut self,
         am: &A,
-        lm: &L,
         work: &mut WorkScratch,
         sink: &mut dyn TraceSink,
     ) {
+        let lm = &*self.lm;
+        // Entries memoized against another session's LM are invalid for
+        // this one; binding resets the OLT only on an actual switch.
+        work.bind_olt_lm(lm);
         if !self.decode.is_seeded() {
             self.decode.seed(am, lm, work, sink);
         }
@@ -127,12 +137,24 @@ impl Lease {
 
 /// The deterministic multi-session scheduler. See the module docs for
 /// the scheduling and lease protocols.
+///
+/// # Model registry
+///
+/// The core serves one shared AM against a *registry* of named LMs.
+/// The first entry is the default; [`ServeCore::open_with_lm`] lets a
+/// client pick any registered model, and [`ServeCore::add_lm`] /
+/// [`ServeCore::retire_lm`] mutate the registry live. Each session pins
+/// its own `Arc` to the LM it was admitted with, so retiring a model
+/// never disturbs in-flight sessions — their decodes stay bit-identical
+/// to a standalone decode against that model.
 #[derive(Debug)]
 pub struct ServeCore<A: AmSource + ?Sized, L: LmSource + ?Sized> {
     config: ServeConfig,
     am: Arc<A>,
-    lm: Arc<L>,
-    sessions: HashMap<SessionId, Session>,
+    /// Registered LMs; the first entry is the default for sessions
+    /// that name no model. Never empty.
+    lms: Vec<(String, Arc<L>)>,
+    sessions: HashMap<SessionId, Session<L>>,
     /// Min-heap of `(deadline_ms, seq, session)`; stale entries are
     /// skipped on pop (see module docs).
     ready: BinaryHeap<Reverse<(u64, u64, SessionId)>>,
@@ -149,8 +171,18 @@ pub struct ServeCore<A: AmSource + ?Sized, L: LmSource + ?Sized> {
 }
 
 impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
-    /// A core serving `config` against one shared model pair.
+    /// A core serving `config` against one shared model pair; the LM is
+    /// registered under [`DEFAULT_LM`].
     pub fn new(config: ServeConfig, am: Arc<A>, lm: Arc<L>) -> Self {
+        Self::new_multi(config, am, vec![(DEFAULT_LM.to_string(), lm)])
+    }
+
+    /// A core serving one AM against several named LMs. The first entry
+    /// is the default model for sessions that name none.
+    ///
+    /// # Panics
+    /// When `lms` is empty or contains a duplicate name.
+    pub fn new_multi(config: ServeConfig, am: Arc<A>, lms: Vec<(String, Arc<L>)>) -> Self {
         let mut obs = MetricsRegistry::new();
         // Touch every metric once so registration order (and thus
         // export order) is fixed regardless of which events fire first.
@@ -183,10 +215,17 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         ] {
             obs.histogram(name);
         }
+        assert!(!lms.is_empty(), "a server needs at least one LM");
+        for (i, (name, _)) in lms.iter().enumerate() {
+            assert!(
+                lms[..i].iter().all(|(n, _)| n != name),
+                "duplicate LM name '{name}'"
+            );
+        }
         ServeCore {
             config,
             am,
-            lm,
+            lms,
             sessions: HashMap::new(),
             ready: BinaryHeap::new(),
             next_id: 1,
@@ -203,10 +242,71 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         &self.config
     }
 
-    /// Clones of the shared model handles (for decoding outside the
-    /// core's lock).
+    /// Clones of the shared AM and *default* LM handles (for decoding
+    /// outside the core's lock).
     pub fn models(&self) -> (Arc<A>, Arc<L>) {
-        (Arc::clone(&self.am), Arc::clone(&self.lm))
+        (Arc::clone(&self.am), Arc::clone(&self.lms[0].1))
+    }
+
+    /// A clone of the shared AM handle.
+    pub fn am(&self) -> Arc<A> {
+        Arc::clone(&self.am)
+    }
+
+    /// The registered LM names, default first.
+    pub fn lm_names(&self) -> Vec<String> {
+        self.lms.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Resolves a model name against the registry (`None` = default).
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] when no LM is registered under the
+    /// name.
+    pub fn lm(&self, name: Option<&str>) -> Result<Arc<L>, ServeError> {
+        match name {
+            None => Ok(Arc::clone(&self.lms[0].1)),
+            Some(n) => self
+                .lms
+                .iter()
+                .find(|(reg, _)| reg == n)
+                .map(|(_, lm)| Arc::clone(lm))
+                .ok_or_else(|| ServeError::UnknownModel(n.to_string())),
+        }
+    }
+
+    /// Registers `lm` under `name`, replacing any existing model with
+    /// that name (a hot swap). Sessions already pinned to the replaced
+    /// model keep it; only *new* admissions see the update. Returns the
+    /// replaced handle, if any.
+    pub fn add_lm(&mut self, name: &str, lm: Arc<L>) -> Option<Arc<L>> {
+        match self.lms.iter_mut().find(|(reg, _)| reg == name) {
+            Some((_, slot)) => Some(std::mem::replace(slot, lm)),
+            None => {
+                self.lms.push((name.to_string(), lm));
+                None
+            }
+        }
+    }
+
+    /// Removes `name` from the registry. Live sessions pinned to the
+    /// model are untouched — they hold their own `Arc` — but no new
+    /// session can select it.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] when the name is not registered,
+    /// [`ServeError::LastModel`] when it is the only remaining LM (a
+    /// server always has a default).
+    pub fn retire_lm(&mut self, name: &str) -> Result<Arc<L>, ServeError> {
+        let idx = self
+            .lms
+            .iter()
+            .position(|(reg, _)| reg == name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        if self.lms.len() == 1 {
+            return Err(ServeError::LastModel(name.to_string()));
+        }
+        Ok(self.lms.remove(idx).1)
     }
 
     /// Sessions currently occupying slots (all phases — a closed
@@ -230,21 +330,39 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         self.stats
     }
 
-    /// Admission control: opens a session, applying the degradation
-    /// ladder to its beams at the current pressure, or refuses it.
+    /// Admission control: opens a session against the default LM,
+    /// applying the degradation ladder to its beams at the current
+    /// pressure, or refuses it.
     ///
     /// # Errors
     /// [`RejectReason::AtCapacity`] when every slot is taken,
     /// [`RejectReason::Overloaded`] when the backlog bound is
     /// exhausted.
     pub fn open(&mut self, now_ms: u64) -> Result<SessionId, RejectReason> {
+        match self.open_with_lm(None, now_ms) {
+            Ok(id) => Ok(id),
+            Err(ServeError::Rejected(r)) => Err(r),
+            Err(e) => unreachable!("default LM always resolves: {e}"),
+        }
+    }
+
+    /// [`ServeCore::open`] with per-session model selection: the new
+    /// session decodes against the named LM (`None` = default), pinned
+    /// for its whole lifetime.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] when the name is not registered,
+    /// [`ServeError::Rejected`] when admission control refuses the
+    /// session.
+    pub fn open_with_lm(&mut self, lm: Option<&str>, now_ms: u64) -> Result<SessionId, ServeError> {
+        let lm = self.lm(lm)?;
         if self.sessions.len() >= self.config.capacity {
             self.stats.rejected_capacity += 1;
-            return Err(RejectReason::AtCapacity);
+            return Err(ServeError::Rejected(RejectReason::AtCapacity));
         }
         if self.backlog >= self.config.max_backlog_frames {
             self.stats.rejected_overload += 1;
-            return Err(RejectReason::Overloaded);
+            return Err(ServeError::Rejected(RejectReason::Overloaded));
         }
         let (cfg, level) = self.config.admission_config(self.pressure());
         if level > 0 {
@@ -253,7 +371,7 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         let id = self.next_id;
         self.next_id += 1;
         self.sessions
-            .insert(id, Session::new(StreamSession::new(cfg), now_ms, level));
+            .insert(id, Session::new(StreamSession::new(cfg), lm, now_ms, level));
         self.stats.opened += 1;
         Ok(id)
     }
@@ -349,7 +467,7 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
     /// Claims the ready session with the earliest deadline, moving its
     /// decode state and up to `quantum_frames` rows out of the table.
     /// Returns `None` when no session has pending work.
-    pub fn lease_next(&mut self, _now_ms: u64) -> Option<Lease> {
+    pub fn lease_next(&mut self, _now_ms: u64) -> Option<Lease<L>> {
         let quantum = self.config.quantum_frames.max(1);
         while let Some(Reverse((deadline, seq, id))) = self.ready.pop() {
             let Some(s) = self.sessions.get_mut(&id) else {
@@ -373,6 +491,7 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             return Some(Lease {
                 id,
                 decode,
+                lm: Arc::clone(&s.lm),
                 frames,
                 finalize,
                 deadline_ms: deadline,
@@ -386,10 +505,11 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
     /// stable partial, recycles the frame rows, records a deadline miss
     /// if the quantum completed late, and either stores the final
     /// result or re-arms the session for its next quantum.
-    pub fn complete_lease(&mut self, lease: Lease, now_ms: u64) {
+    pub fn complete_lease(&mut self, lease: Lease<L>, now_ms: u64) {
         let Lease {
             id,
             decode,
+            lm: _,
             frames,
             finalize: _,
             deadline_ms,
@@ -439,8 +559,8 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
     /// nothing was runnable.
     pub fn step(&mut self, work: &mut WorkScratch, now_ms: u64) -> Option<SessionId> {
         let mut lease = self.lease_next(now_ms)?;
-        let (am, lm) = self.models();
-        lease.run(&*am, &*lm, work, &mut NullSink);
+        let am = self.am();
+        lease.run(&*am, work, &mut NullSink);
         let id = lease.session();
         self.complete_lease(lease, now_ms);
         Some(id)
@@ -689,10 +809,10 @@ mod tests {
         let (lex, am, lm) = setup();
         let ua = utt(&lex, &[3, 9, 17], 5);
         let ub = utt(&lex, &[7, 11, 4], 8);
-        let base = DecodeConfig {
-            olt_entries: 512,
-            ..Default::default()
-        };
+        let base = DecodeConfig::builder()
+            .olt_entries(512)
+            .build()
+            .expect("valid config");
         let dec = OtfDecoder::new(base);
         let alone_a = dec.decode(&*am, &*lm, &ua.scores, &mut NullSink);
         let alone_b = dec.decode(&*am, &*lm, &ub.scores, &mut NullSink);
@@ -902,20 +1022,20 @@ mod tests {
         let mut core = core_with(&am, &lm, config);
         let id = core.open(0).unwrap();
         core.push_frame(id, u.scores.frame(0), 0).unwrap();
-        let (a, l) = core.models();
+        let a = core.am();
         let mut work = WorkScratch::new();
         work.configure_olt(0);
 
         // On time: armed at t=0, completed at t=10 exactly.
         let mut lease = core.lease_next(5).expect("ready");
-        lease.run(&*a, &*l, &mut work, &mut NullSink);
+        lease.run(&*a, &mut work, &mut NullSink);
         core.complete_lease(lease, 10);
         assert_eq!(core.stats().deadline_misses, 0);
 
         // Late: completed past deadline.
         core.push_frame(id, u.scores.frame(1), 20).unwrap();
         let mut lease = core.lease_next(20).expect("ready");
-        lease.run(&*a, &*l, &mut work, &mut NullSink);
+        lease.run(&*a, &mut work, &mut NullSink);
         core.complete_lease(lease, 31);
         assert_eq!(core.stats().deadline_misses, 1);
     }
@@ -962,6 +1082,219 @@ mod tests {
         // served rather than panicking or blocking.
         assert_eq!(core.stable_partial(id).unwrap(), parked);
         core.complete_lease(lease, 0);
+    }
+
+    /// A second LM over the same 50-word vocabulary, trained on a
+    /// differently-seeded corpus — a realistic "domain variant".
+    fn alt_lm() -> Arc<Wfst> {
+        let spec = CorpusSpec {
+            vocab_size: 50,
+            num_sentences: 300,
+            ..Default::default()
+        };
+        let model = NGramModel::train(&spec.generate(17), 50, DiscountConfig::default());
+        Arc::new(lm_to_wfst(&model))
+    }
+
+    /// The registry acceptance test: sessions pinned to *different* LMs
+    /// interleave through one scheduler (and one worker scratch) and
+    /// each stays bit-identical — words, cost bits, and full search
+    /// statistics — to a standalone decode against its own LM.
+    #[test]
+    fn interleaved_sessions_on_two_lms_match_standalone_per_lm_decodes() {
+        let (lex, am, lm_a) = setup();
+        let lm_b = alt_lm();
+        assert_ne!(Arc::as_ptr(&lm_a), Arc::as_ptr(&lm_b));
+        let word_seqs: [&[u32]; 4] = [&[3, 9, 17], &[7, 11, 4], &[22, 5], &[14, 30, 8]];
+        let utts: Vec<Utterance> = word_seqs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| utt(&lex, w, 5 + i as u64))
+            .collect();
+        let base = DecodeConfig::default();
+        assert_eq!(base.olt_entries, 0); // full-stats identity
+        let pick = |i: usize| if i.is_multiple_of(2) { &lm_a } else { &lm_b };
+        let standalone: Vec<_> = utts
+            .iter()
+            .enumerate()
+            .map(|(i, u)| OtfDecoder::new(base).decode(&*am, &**pick(i), &u.scores, &mut NullSink))
+            .collect();
+
+        let config = ServeConfig {
+            quantum_frames: 8,
+            olt_entries: 0,
+            base,
+            ..Default::default()
+        };
+        let mut core = ServeCore::new_multi(
+            config,
+            Arc::clone(&am),
+            vec![
+                ("default".to_string(), Arc::clone(&lm_a)),
+                ("alt".to_string(), Arc::clone(&lm_b)),
+            ],
+        );
+        assert_eq!(core.lm_names(), vec!["default", "alt"]);
+        let ids: Vec<SessionId> = (0..4)
+            .map(|i| {
+                let name = if i % 2 == 0 { None } else { Some("alt") };
+                core.open_with_lm(name, 0).expect("admit")
+            })
+            .collect();
+        for (id, u) in ids.iter().zip(&utts) {
+            push_all(&mut core, *id, u, 0);
+            core.finish(*id, 0).expect("finish");
+        }
+        let mut work = WorkScratch::new();
+        work.configure_olt(0);
+        let mut order = Vec::new();
+        while let Some(id) = core.step(&mut work, 0) {
+            order.push(id);
+        }
+        let mut first4 = order[..4].to_vec();
+        first4.sort_unstable();
+        first4.dedup();
+        assert_eq!(first4.len(), 4, "sessions genuinely interleave");
+        for ((id, u), alone) in ids.iter().zip(&utts).zip(&standalone) {
+            let served = core.take_result(*id).expect("known").expect("closed");
+            assert_eq!(served.words, alone.words, "utt {:?}", u.words);
+            assert_eq!(served.cost.to_bits(), alone.cost.to_bits());
+            assert_eq!(served.stats, alone.stats);
+        }
+        // The two models really disagree somewhere, or the test proves
+        // nothing about per-session selection.
+        let a_alone = OtfDecoder::new(base).decode(&*am, &*lm_a, &utts[1].scores, &mut NullSink);
+        let b_alone = OtfDecoder::new(base).decode(&*am, &*lm_b, &utts[1].scores, &mut NullSink);
+        assert_ne!(
+            a_alone.cost.to_bits(),
+            b_alone.cost.to_bits(),
+            "variant LM must actually change the search"
+        );
+    }
+
+    /// A worker OLT shared across sessions on different LMs: the memo
+    /// resets on each model switch (offsets are per-LM), so transcripts
+    /// still match standalone decodes.
+    #[test]
+    fn shared_olt_across_different_lms_does_not_corrupt_transcripts() {
+        let (lex, am, lm_a) = setup();
+        let lm_b = alt_lm();
+        let ua = utt(&lex, &[3, 9, 17], 5);
+        let ub = utt(&lex, &[7, 11, 4], 8);
+        let base = DecodeConfig::builder()
+            .olt_entries(512)
+            .build()
+            .expect("valid config");
+        let alone_a = OtfDecoder::new(base).decode(&*am, &*lm_a, &ua.scores, &mut NullSink);
+        let alone_b = OtfDecoder::new(base).decode(&*am, &*lm_b, &ub.scores, &mut NullSink);
+
+        let config = ServeConfig {
+            quantum_frames: 4,
+            olt_entries: 512,
+            base,
+            ..Default::default()
+        };
+        let mut core = ServeCore::new_multi(
+            config,
+            Arc::clone(&am),
+            vec![
+                ("default".to_string(), Arc::clone(&lm_a)),
+                ("alt".to_string(), Arc::clone(&lm_b)),
+            ],
+        );
+        let a = core.open_with_lm(None, 0).unwrap();
+        let b = core.open_with_lm(Some("alt"), 0).unwrap();
+        push_all(&mut core, a, &ua, 0);
+        push_all(&mut core, b, &ub, 0);
+        core.finish(a, 0).unwrap();
+        core.finish(b, 0).unwrap();
+        let mut work = WorkScratch::new();
+        work.configure_olt(512);
+        while core.step(&mut work, 0).is_some() {}
+        let ra = core.take_result(a).unwrap().unwrap();
+        let rb = core.take_result(b).unwrap().unwrap();
+        assert_eq!(ra.words, alone_a.words);
+        assert_eq!(ra.cost.to_bits(), alone_a.cost.to_bits());
+        assert_eq!(rb.words, alone_b.words);
+        assert_eq!(rb.cost.to_bits(), alone_b.cost.to_bits());
+    }
+
+    /// Hot registry mutation: models are added and retired while a
+    /// session pinned to the retired model is mid-utterance, and that
+    /// session still completes bit-identically.
+    #[test]
+    fn hot_add_and_retire_never_disturb_live_sessions() {
+        let (lex, am, lm_a) = setup();
+        let lm_b = alt_lm();
+        let u = utt(&lex, &[3, 9, 17], 5);
+        let base = DecodeConfig::default();
+        let alone = OtfDecoder::new(base).decode(&*am, &*lm_a, &u.scores, &mut NullSink);
+
+        let config = ServeConfig {
+            quantum_frames: 8,
+            olt_entries: 0,
+            base,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm_a, config);
+        assert_eq!(core.lm_names(), vec![DEFAULT_LM]);
+        // Retiring the only LM is refused.
+        assert_eq!(
+            core.retire_lm(DEFAULT_LM).err(),
+            Some(ServeError::LastModel(DEFAULT_LM.to_string()))
+        );
+
+        // Session opens against "default", streams half its audio...
+        let id = core.open(0).unwrap();
+        let half = u.scores.num_frames() / 2;
+        for t in 0..half {
+            core.push_frame(id, u.scores.frame(t), 0).unwrap();
+        }
+        let mut work = WorkScratch::new();
+        work.configure_olt(0);
+        while core.step(&mut work, 0).is_some() {}
+
+        // ...then the registry churns underneath it.
+        assert!(core.add_lm("alt", Arc::clone(&lm_b)).is_none());
+        let retired = core.retire_lm(DEFAULT_LM).expect("two models now");
+        assert!(Arc::ptr_eq(&retired, &lm_a));
+        assert_eq!(core.lm_names(), vec!["alt"]);
+        assert_eq!(
+            core.open_with_lm(Some(DEFAULT_LM), 1),
+            Err(ServeError::UnknownModel(DEFAULT_LM.to_string()))
+        );
+        // `open` now admits against the new default ("alt").
+        let id2 = core.open(1).unwrap();
+        assert!(Arc::ptr_eq(&core.sessions[&id2].lm, &lm_b));
+
+        // The live session finishes the utterance on its pinned model.
+        for t in half..u.scores.num_frames() {
+            core.push_frame(id, u.scores.frame(t), 1).unwrap();
+        }
+        core.finish(id, 1).unwrap();
+        while core.step(&mut work, 1).is_some() {}
+        let served = core.take_result(id).unwrap().expect("closed");
+        assert_eq!(served.words, alone.words);
+        assert_eq!(served.cost.to_bits(), alone.cost.to_bits());
+        assert_eq!(served.stats, alone.stats);
+
+        // Replacing an entry hands back the old handle (hot swap).
+        let swapped = core.add_lm("alt", Arc::clone(&lm_a)).expect("replaced");
+        assert!(Arc::ptr_eq(&swapped, &lm_b));
+        assert_eq!(core.lm_names(), vec!["alt"]);
+    }
+
+    #[test]
+    fn open_with_unknown_model_consumes_nothing() {
+        let (_lex, am, lm) = setup();
+        let mut core = core_with(&am, &lm, ServeConfig::default());
+        assert_eq!(
+            core.open_with_lm(Some("nope"), 0),
+            Err(ServeError::UnknownModel("nope".to_string()))
+        );
+        assert_eq!(core.active_sessions(), 0);
+        assert_eq!(core.stats().opened, 0);
+        assert_eq!(core.stats().rejected_capacity, 0);
     }
 
     #[test]

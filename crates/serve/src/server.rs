@@ -58,12 +58,23 @@ where
     A: AmSource + Send + Sync + 'static + ?Sized,
     L: LmSource + Send + Sync + 'static + ?Sized,
 {
-    /// Starts a server decoding against one shared model pair.
+    /// Starts a server decoding against one shared model pair (the LM
+    /// is registered under [`crate::sched::DEFAULT_LM`]).
     pub fn start(config: ServeConfig, am: Arc<A>, lm: Arc<L>) -> Self {
+        Self::start_multi(config, am, vec![(crate::sched::DEFAULT_LM.to_string(), lm)])
+    }
+
+    /// Starts a server hosting one AM and several named LMs; clients
+    /// pick per session with [`ServeHandle::open_with_lm`]. The first
+    /// entry is the default model.
+    ///
+    /// # Panics
+    /// When `lms` is empty or contains a duplicate name.
+    pub fn start_multi(config: ServeConfig, am: Arc<A>, lms: Vec<(String, Arc<L>)>) -> Self {
         let workers = config.workers.max(1);
         let olt_entries = config.olt_entries;
         let shared = Arc::new(Shared {
-            core: Mutex::new(ServeCore::new(config, am, lm)),
+            core: Mutex::new(ServeCore::new_multi(config, am, lms)),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             epoch: Instant::now(),
@@ -132,9 +143,11 @@ where
         core.evict_idle(now);
         match core.lease_next(now) {
             Some(mut lease) => {
-                let (am, lm) = core.models();
+                // The lease carries its session's own LM; only the
+                // shared AM comes from the core.
+                let am = core.am();
                 drop(core);
-                lease.run(&*am, &*lm, &mut work, &mut NullSink);
+                lease.run(&*am, &mut work, &mut NullSink);
                 core = shared.core.lock().expect("serve lock");
                 core.complete_lease(lease, shared.now_ms());
                 shared.cv.notify_all();
@@ -179,6 +192,35 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeHandle<A, L> {
     /// The [`RejectReason`] when admission is refused.
     pub fn open(&self) -> Result<SessionId, RejectReason> {
         self.lock().open(self.shared.now_ms())
+    }
+
+    /// Opens a session decoding against the named LM (`None` =
+    /// default), pinned for the session's lifetime.
+    ///
+    /// # Errors
+    /// See [`ServeCore::open_with_lm`].
+    pub fn open_with_lm(&self, lm: Option<&str>) -> Result<SessionId, ServeError> {
+        self.lock().open_with_lm(lm, self.shared.now_ms())
+    }
+
+    /// The registered LM names, default first.
+    pub fn lm_names(&self) -> Vec<String> {
+        self.lock().lm_names()
+    }
+
+    /// Registers (or hot-swaps) an LM under `name` without draining any
+    /// session. Returns the replaced handle, if any.
+    pub fn add_lm(&self, name: &str, lm: Arc<L>) -> Option<Arc<L>> {
+        self.lock().add_lm(name, lm)
+    }
+
+    /// Removes `name` from the registry. Sessions pinned to it finish
+    /// undisturbed; new sessions can no longer select it.
+    ///
+    /// # Errors
+    /// See [`ServeCore::retire_lm`].
+    pub fn retire_lm(&self, name: &str) -> Result<Arc<L>, ServeError> {
+        self.lock().retire_lm(name)
     }
 
     /// Queues one score row for `id` and wakes a worker.
@@ -429,6 +471,99 @@ mod tests {
             "stable partial {partial:?} must prefix the final {:?}",
             res.words
         );
+        server.shutdown();
+    }
+
+    /// Two LMs hosted by one threaded server: sessions select per-open,
+    /// run on real workers, and match standalone decodes against their
+    /// own model bit for bit.
+    #[test]
+    fn threaded_multi_lm_sessions_match_standalone_per_lm_decodes() {
+        let (lex, am, lm_a) = setup();
+        let spec = CorpusSpec {
+            vocab_size: 50,
+            num_sentences: 300,
+            ..Default::default()
+        };
+        let model_b = NGramModel::train(&spec.generate(17), 50, DiscountConfig::default());
+        let lm_b = Arc::new(lm_to_wfst(&model_b));
+        let word_seqs: [&[u32]; 4] = [&[3, 9, 17], &[7, 11, 4], &[22, 5], &[14, 30, 8]];
+        let utts: Vec<Utterance> = word_seqs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                synthesize_utterance(
+                    w,
+                    &lex,
+                    HmmTopology::Kaldi3State,
+                    &NoiseModel::default(),
+                    40 + i as u64,
+                )
+            })
+            .collect();
+        let base = DecodeConfig::default();
+        let pick = |i: usize| if i.is_multiple_of(2) { &lm_a } else { &lm_b };
+        let standalone: Vec<_> = utts
+            .iter()
+            .enumerate()
+            .map(|(i, u)| OtfDecoder::new(base).decode(&*am, &**pick(i), &u.scores, &mut NullSink))
+            .collect();
+
+        let config = ServeConfig {
+            workers: 2,
+            quantum_frames: 8,
+            olt_entries: 0,
+            base,
+            ..Default::default()
+        };
+        let server = Server::start_multi(
+            config,
+            Arc::clone(&am),
+            vec![
+                ("default".to_string(), Arc::clone(&lm_a)),
+                ("alt".to_string(), Arc::clone(&lm_b)),
+            ],
+        );
+        let handle = server.handle();
+        assert_eq!(handle.lm_names(), vec!["default", "alt"]);
+        assert!(matches!(
+            handle.open_with_lm(Some("missing")),
+            Err(ServeError::UnknownModel(_))
+        ));
+
+        let joins: Vec<_> = utts
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                let handle = handle.clone();
+                let rows: Vec<Vec<f32>> = (0..u.scores.num_frames())
+                    .map(|t| u.scores.frame(t).to_vec())
+                    .collect();
+                std::thread::spawn(move || {
+                    let name = if i % 2 == 0 { None } else { Some("alt") };
+                    let id = handle.open_with_lm(name).expect("admit");
+                    for row in &rows {
+                        handle.push_frame(id, row).expect("push");
+                    }
+                    handle.finish(id).expect("finish");
+                    handle
+                        .wait_result(id, Duration::from_secs(60))
+                        .expect("known")
+                        .expect("no timeout")
+                })
+            })
+            .collect();
+        let results: Vec<DecodeResult> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        for (served, alone) in results.iter().zip(&standalone) {
+            assert_eq!(served.words, alone.words);
+            assert_eq!(served.cost.to_bits(), alone.cost.to_bits());
+            assert_eq!(served.stats, alone.stats);
+        }
+        // Hot swap through the handle while the server runs.
+        let retired = handle.retire_lm("alt").expect("retire");
+        assert!(Arc::ptr_eq(&retired, &lm_b));
+        assert!(handle.add_lm("alt2", lm_b).is_none());
+        assert_eq!(handle.lm_names(), vec!["default", "alt2"]);
         server.shutdown();
     }
 

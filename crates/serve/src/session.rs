@@ -2,8 +2,9 @@
 //! juggles.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-use unfold_decoder::{DecodeResult, StreamSession};
+use unfold_decoder::{DecodeResult, LmSource, StreamSession};
 use unfold_lm::WordId;
 
 /// Opaque session identifier, unique for a server's lifetime.
@@ -46,8 +47,15 @@ pub struct SessionView {
 /// The session-table entry. The decode state lives in an `Option` so a
 /// worker can *move it out* under the lock (a lease), decode without
 /// holding the lock, and return it.
+///
+/// The entry pins its *own* LM handle, resolved once at `open` from the
+/// server's model registry. Retiring an LM from the registry therefore
+/// never disturbs a live session — the session's `Arc` keeps the model
+/// alive until its final result is collected.
 #[derive(Debug)]
-pub(crate) struct Session {
+pub(crate) struct Session<L: LmSource + ?Sized> {
+    /// The LM this session decodes against (fixed at admission).
+    pub lm: Arc<L>,
     /// Search state; `None` while leased to a worker.
     pub decode: Option<StreamSession>,
     /// Queued score rows (`row[pdf - 1]` = acoustic cost).
@@ -69,9 +77,10 @@ pub(crate) struct Session {
     pub degrade_level: u8,
 }
 
-impl Session {
-    pub(crate) fn new(decode: StreamSession, now_ms: u64, degrade_level: u8) -> Self {
+impl<L: LmSource + ?Sized> Session<L> {
+    pub(crate) fn new(decode: StreamSession, lm: Arc<L>, now_ms: u64, degrade_level: u8) -> Self {
         Session {
+            lm,
             decode: Some(decode),
             queue: VecDeque::new(),
             phase: SessionPhase::Open,

@@ -134,12 +134,12 @@ where
     let mut session: Option<SessionId> = None;
     while let Some(msg) = read_client(&mut reader)? {
         let reply = match msg {
-            ClientMsg::Open => match handle.open() {
+            ClientMsg::Open { lm } => match handle.open_with_lm(lm.as_deref()) {
                 Ok(id) => {
                     session = Some(id);
                     ServerMsg::Opened { session: id }
                 }
-                Err(reason) => ServerMsg::Rejected { reason },
+                Err(e) => reject_to_msg(e),
             },
             ClientMsg::Frames(rows) => match session {
                 None => ServerMsg::Error {
@@ -254,7 +254,7 @@ mod tests {
         let stream = TcpStream::connect(front.local_addr()).unwrap();
         let mut rd = R::new(stream.try_clone().unwrap());
         let mut wr = W::new(stream);
-        write_client(&mut wr, &ClientMsg::Open).unwrap();
+        write_client(&mut wr, &ClientMsg::Open { lm: None }).unwrap();
         assert!(matches!(
             read_server(&mut rd).unwrap(),
             Some(ServerMsg::Opened { .. })
@@ -322,12 +322,24 @@ mod tests {
             read_server(&mut rd).unwrap(),
             Some(ServerMsg::Error { .. })
         ));
-        write_client(&mut wr, &ClientMsg::Open).unwrap();
+        write_client(&mut wr, &ClientMsg::Open { lm: None }).unwrap();
         assert!(matches!(
             read_server(&mut rd).unwrap(),
             Some(ServerMsg::Rejected {
                 reason: crate::RejectReason::AtCapacity
             })
+        ));
+        // Naming an unregistered model is an Error, not a Rejected.
+        write_client(
+            &mut wr,
+            &ClientMsg::Open {
+                lm: Some("nope".into()),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_server(&mut rd).unwrap(),
+            Some(ServerMsg::Error { .. })
         ));
         drop(wr);
         drop(rd);

@@ -22,8 +22,13 @@ pub const MAX_MESSAGE: usize = 64 << 20;
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMsg {
-    /// Open a session on this connection.
-    Open,
+    /// Open a session on this connection, optionally naming the LM to
+    /// decode against. A bare `Open` payload (no name — what older
+    /// clients send) selects the server's default model.
+    Open {
+        /// Registered LM name; `None` = default.
+        lm: Option<String>,
+    },
     /// A batch of score rows (all the same width).
     Frames(Vec<Vec<f32>>),
     /// No more audio; finalize and return the transcript.
@@ -175,7 +180,12 @@ impl ClientMsg {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
-            ClientMsg::Open => buf.push(T_OPEN),
+            ClientMsg::Open { lm } => {
+                buf.push(T_OPEN);
+                if let Some(name) = lm {
+                    put_string(&mut buf, name);
+                }
+            }
             ClientMsg::Frames(rows) => {
                 buf.push(T_FRAMES);
                 let width = rows.first().map_or(0, Vec::len);
@@ -202,7 +212,14 @@ impl ClientMsg {
     pub fn decode(buf: &[u8]) -> io::Result<ClientMsg> {
         let mut c = Cursor::new(buf);
         let msg = match c.u8()? {
-            T_OPEN => ClientMsg::Open,
+            T_OPEN => {
+                let lm = if c.pos == buf.len() {
+                    None // legacy bare Open: default model
+                } else {
+                    Some(c.string()?)
+                };
+                ClientMsg::Open { lm }
+            }
             T_FRAMES => {
                 let n = c.u32()? as usize;
                 let width = c.u32()? as usize;
@@ -383,12 +400,32 @@ mod tests {
 
     #[test]
     fn client_messages_roundtrip() {
-        roundtrip_client(ClientMsg::Open);
+        roundtrip_client(ClientMsg::Open { lm: None });
+        roundtrip_client(ClientMsg::Open {
+            lm: Some("tedlium-variant-7".into()),
+        });
         roundtrip_client(ClientMsg::Frames(vec![vec![1.0, -2.5], vec![0.0, 3.25]]));
         roundtrip_client(ClientMsg::Frames(Vec::new()));
         roundtrip_client(ClientMsg::Finish);
         roundtrip_client(ClientMsg::Stats);
         roundtrip_client(ClientMsg::Shutdown);
+    }
+
+    /// A bare `T_OPEN` — the entire pre-registry protocol — must still
+    /// parse, as the default-model open.
+    #[test]
+    fn legacy_bare_open_still_parses_as_default() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(T_OPEN);
+        assert_eq!(
+            read_client(&mut buf.as_slice()).unwrap(),
+            Some(ClientMsg::Open { lm: None })
+        );
+        // And the `lm: None` encoding is exactly that legacy frame.
+        let mut out = Vec::new();
+        write_client(&mut out, &ClientMsg::Open { lm: None }).unwrap();
+        assert_eq!(out, buf);
     }
 
     #[test]
@@ -417,11 +454,14 @@ mod tests {
     #[test]
     fn several_messages_stream_back_to_back() {
         let mut buf = Vec::new();
-        write_client(&mut buf, &ClientMsg::Open).unwrap();
+        write_client(&mut buf, &ClientMsg::Open { lm: None }).unwrap();
         write_client(&mut buf, &ClientMsg::Frames(vec![vec![1.0]])).unwrap();
         write_client(&mut buf, &ClientMsg::Finish).unwrap();
         let mut r = buf.as_slice();
-        assert_eq!(read_client(&mut r).unwrap(), Some(ClientMsg::Open));
+        assert_eq!(
+            read_client(&mut r).unwrap(),
+            Some(ClientMsg::Open { lm: None })
+        );
         assert!(matches!(
             read_client(&mut r).unwrap(),
             Some(ClientMsg::Frames(_))

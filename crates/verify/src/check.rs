@@ -26,6 +26,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use unfold::decode_batch;
 use unfold_am::acoustic::FRAME_SECONDS;
 use unfold_am::Utterance;
+use unfold_compress::{Bundle, BundleError, BundleWriter, SharedAm, SharedLm};
 use unfold_decoder::{
     DecodeConfig, DecodeResult, DecodeScratch, FullyComposedDecoder, LmSource, NullSink,
     OtfDecoder, OtfStream, TraceRecorder, TwoPassDecoder,
@@ -55,6 +56,9 @@ pub enum CheckId {
     Jobs,
     /// Compressed models vs their `to_wfst()` round-trips.
     CompressRoundtrip,
+    /// Owned compressed models vs zero-copy views of an mmap-ed
+    /// `.unfb` bundle (also hosts the stale-checksum detection).
+    MmapIdentity,
     /// Two-pass determinism and rescoring cost bound.
     TwoPass,
     /// Trace replay through the accelerator simulator is deterministic.
@@ -73,6 +77,7 @@ impl CheckId {
             CheckId::Streaming => "streaming",
             CheckId::Jobs => "jobs",
             CheckId::CompressRoundtrip => "compress-roundtrip",
+            CheckId::MmapIdentity => "mmap-identity",
             CheckId::TwoPass => "two-pass",
             CheckId::SimReplay => "sim-replay",
             CheckId::Panic => "panic",
@@ -88,6 +93,7 @@ impl CheckId {
             CheckId::Streaming,
             CheckId::Jobs,
             CheckId::CompressRoundtrip,
+            CheckId::MmapIdentity,
             CheckId::TwoPass,
             CheckId::SimReplay,
             CheckId::Panic,
@@ -134,6 +140,13 @@ pub enum Mutation {
     /// Back-off arcs are traversed at zero cost, silently dropping the
     /// back-off penalties the n-gram model assigns.
     FreeBackoff,
+    /// One payload byte of the packed `.unfb` bundle is flipped
+    /// *without* updating the section checksum — a producer writing
+    /// garbage, a torn copy, bit rot. The checksum machinery must
+    /// reject the bundle with a typed error (never a panic); the
+    /// mmap-identity check reports either the rejection or — worse —
+    /// that the corruption sailed through.
+    StaleChecksum,
 }
 
 impl Mutation {
@@ -143,6 +156,7 @@ impl Mutation {
             Mutation::None => "none",
             Mutation::OltAliasing => "olt-aliasing",
             Mutation::FreeBackoff => "free-backoff",
+            Mutation::StaleChecksum => "stale-checksum",
         }
     }
 
@@ -152,6 +166,7 @@ impl Mutation {
             "none" => Some(Mutation::None),
             "olt-aliasing" => Some(Mutation::OltAliasing),
             "free-backoff" => Some(Mutation::FreeBackoff),
+            "stale-checksum" => Some(Mutation::StaleChecksum),
             _ => None,
         }
     }
@@ -288,12 +303,13 @@ fn search_diff(label: &str, a: &DecodeResult, b: &DecodeResult) -> Option<String
 /// first divergence, or `None` when every equivalence held.
 pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
     let m = CaseModels::build(spec);
-    let cfg = DecodeConfig {
-        beam: spec.beam,
-        max_active: spec.max_active,
-        preemptive_pruning: true,
-        olt_entries: 0,
-    };
+    let cfg = DecodeConfig::builder()
+        .beam(spec.beam)
+        .max_active(spec.max_active)
+        .preemptive_pruning(true)
+        .olt_entries(0)
+        .build()
+        .expect("case spec yields a valid config");
     let dec = OtfDecoder::new(cfg);
     let scores = &m.utt.scores;
 
@@ -326,10 +342,12 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
     for entries in [spec.olt_small, spec.olt_large] {
         let on = {
             let lm = MutatedLm::new(&m.lm_fst, mutation);
-            OtfDecoder::new(DecodeConfig {
-                olt_entries: entries,
-                ..cfg
-            })
+            OtfDecoder::new(
+                cfg.to_builder()
+                    .olt_entries(entries)
+                    .build()
+                    .expect("case spec yields a valid config"),
+            )
             .decode(&m.am.fst, &lm, scores, &mut NullSink)
         };
         if let Some(d) = search_diff(&format!("olt_entries={entries}"), &on, &baseline) {
@@ -435,6 +453,83 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
         }
     }
 
+    // 6b. Zero-copy bundle identity: pack the compressed models into a
+    //     `.unfb`, mmap it back, and decode through the borrowed views
+    //     — words, cost bits, and the full stats must match the owned
+    //     compressed decode bit for bit. Under `StaleChecksum` the
+    //     bundle is corrupted after packing; the typed rejection (or
+    //     its absence) is the reported divergence.
+    {
+        let comp = dec.decode(&m.cam, &m.clm, scores, &mut NullSink);
+        let mut w = BundleWriter::new();
+        w.add_am(&m.cam);
+        w.add_lm("default", &m.clm);
+        let mut bytes = w.finish().expect("well-formed models pack");
+        if mutation == Mutation::StaleChecksum {
+            // Flip a payload byte of the last section; its table CRC
+            // is now stale.
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x40;
+            match Bundle::from_bytes(bytes.clone()) {
+                Err(BundleError::ChecksumMismatch(section)) => {
+                    return Some(Divergence {
+                        check: CheckId::MmapIdentity,
+                        detail: format!(
+                            "stale checksum on section '{section}' rejected at owned open"
+                        ),
+                    });
+                }
+                Err(e) => {
+                    return Some(Divergence {
+                        check: CheckId::MmapIdentity,
+                        detail: format!("stale checksum rejected with the wrong error: {e}"),
+                    });
+                }
+                Ok(_) => {
+                    return Some(Divergence {
+                        check: CheckId::MmapIdentity,
+                        detail: "stale checksum NOT detected: corrupt bundle opened clean".into(),
+                    });
+                }
+            }
+        }
+        static BUNDLE_SERIAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "unfold-verify-{}-{}.unfb",
+            std::process::id(),
+            BUNDLE_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            return Some(Divergence {
+                check: CheckId::MmapIdentity,
+                detail: format!("bundle temp write failed: {e}"),
+            });
+        }
+        let mapped = (|| -> Result<DecodeResult, unfold_compress::BundleError> {
+            let bundle = std::sync::Arc::new(Bundle::open_mmap(&path)?);
+            let am = SharedAm::new(std::sync::Arc::clone(&bundle))?;
+            let lm = SharedLm::new(bundle, "default")?;
+            Ok(dec.decode(&am, &lm, scores, &mut NullSink))
+        })();
+        std::fs::remove_file(&path).ok();
+        match mapped {
+            Ok(mapped) => {
+                if let Some(d) = bit_diff("mmap bundle views", &mapped, &comp) {
+                    return Some(Divergence {
+                        check: CheckId::MmapIdentity,
+                        detail: d,
+                    });
+                }
+            }
+            Err(e) => {
+                return Some(Divergence {
+                    check: CheckId::MmapIdentity,
+                    detail: format!("clean bundle failed to open mapped: {e}"),
+                });
+            }
+        }
+    }
+
     // 7. Two-pass: bitwise deterministic across runs; and under a wide
     //    beam on the unrounded model, its exact full-LM rescore of a
     //    first-pass candidate can never beat the one-pass optimum.
@@ -523,13 +618,30 @@ mod tests {
 
     #[test]
     fn injected_bugs_are_caught() {
-        for mutation in [Mutation::OltAliasing, Mutation::FreeBackoff] {
+        for mutation in [
+            Mutation::OltAliasing,
+            Mutation::FreeBackoff,
+            Mutation::StaleChecksum,
+        ] {
             let caught = (0..12).any(|i| {
                 let spec = CaseSpec::derive(0xB00, i);
                 run_case_caught(&spec, mutation).is_some()
             });
             assert!(caught, "{mutation:?} survived 12 cases undetected");
         }
+    }
+
+    #[test]
+    fn stale_checksum_is_rejected_typed() {
+        let spec = CaseSpec::derive(0xC4C, 0);
+        let d = run_case_caught(&spec, Mutation::StaleChecksum)
+            .expect("a stale checksum must surface as a divergence");
+        assert_eq!(d.check, CheckId::MmapIdentity);
+        assert!(
+            d.detail.contains("rejected at owned open"),
+            "want the typed rejection, got: {}",
+            d.detail
+        );
     }
 
     #[test]
@@ -541,13 +653,19 @@ mod tests {
             CheckId::Streaming,
             CheckId::Jobs,
             CheckId::CompressRoundtrip,
+            CheckId::MmapIdentity,
             CheckId::TwoPass,
             CheckId::SimReplay,
             CheckId::Panic,
         ] {
             assert_eq!(CheckId::parse(c.name()), Some(c));
         }
-        for m in [Mutation::None, Mutation::OltAliasing, Mutation::FreeBackoff] {
+        for m in [
+            Mutation::None,
+            Mutation::OltAliasing,
+            Mutation::FreeBackoff,
+            Mutation::StaleChecksum,
+        ] {
             assert_eq!(Mutation::parse(m.name()), Some(m));
         }
         assert_eq!(Mutation::parse("bogus"), None);

@@ -232,6 +232,7 @@ mod tests {
             (0, Mutation::None),
             (3, Mutation::OltAliasing),
             (7, Mutation::FreeBackoff),
+            (9, Mutation::StaleChecksum),
         ] {
             let repro = ReproCase {
                 spec: CaseSpec::derive(99, index),

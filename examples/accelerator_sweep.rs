@@ -19,10 +19,10 @@ fn main() {
             &system,
             &utts,
             AcceleratorConfig::unfold(),
-            DecodeConfig {
-                beam,
-                ..Default::default()
-            },
+            DecodeConfig::builder()
+                .beam(beam)
+                .build()
+                .expect("valid sweep config"),
         );
         println!(
             "{beam:4} | {:5.1} | {:18.0} | {:.0}",

@@ -79,12 +79,12 @@ fn beam_decoders_match_exact_shortest_path() {
         let exact = shortest_path(&trellis).expect("trellis has a path");
 
         // Wide-beam dynamic decoders.
-        let cfg = DecodeConfig {
-            beam: 1e9,
-            max_active: usize::MAX,
-            preemptive_pruning: false,
-            ..Default::default()
-        };
+        let cfg = DecodeConfig::builder()
+            .beam(1e9)
+            .max_active(usize::MAX)
+            .preemptive_pruning(false)
+            .build()
+            .unwrap();
         let full = FullyComposedDecoder::new(cfg).decode(&composed, &utt.scores, &mut NullSink);
         let otf = OtfDecoder::new(cfg).decode(&am, &lm, &utt.scores, &mut NullSink);
 
@@ -123,11 +123,12 @@ fn pruned_decode_never_beats_the_oracle() {
     );
     let trellis = unroll(&composed, &utt.scores);
     let exact = shortest_path(&trellis).expect("path");
-    let tight = OtfDecoder::new(DecodeConfig {
-        beam: 3.0,
-        ..Default::default()
-    })
-    .decode(&am, &lm, &utt.scores, &mut NullSink);
+    let tight = OtfDecoder::new(DecodeConfig::builder().beam(3.0).build().unwrap()).decode(
+        &am,
+        &lm,
+        &utt.scores,
+        &mut NullSink,
+    );
     if tight.is_complete() {
         assert!(
             tight.cost >= exact.cost - 1e-3,

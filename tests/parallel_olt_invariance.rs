@@ -88,7 +88,7 @@ proptest! {
             OtfDecoder::new(DecodeConfig::default()).decode(&am.fst, &lm, &utt.scores, &mut NullSink);
         prop_assert_eq!(base.stats.olt_probes, 0);
         for entries in [64usize, 1024] {
-            let cfg = DecodeConfig { olt_entries: entries, ..Default::default() };
+            let cfg = DecodeConfig::builder().olt_entries(entries).build().unwrap();
             let r = OtfDecoder::new(cfg).decode(&am.fst, &lm, &utt.scores, &mut NullSink);
             prop_assert_eq!(&r.words, &base.words);
             prop_assert_eq!(r.cost.to_bits(), base.cost.to_bits());
