@@ -25,8 +25,13 @@
 //! (CRC-64/ECMA) make corruption a *typed error* instead of a decode
 //! anomaly: [`Bundle::open`] verifies every section eagerly; the
 //! mmap-backed [`Bundle::open_mmap`] verifies the header and table
-//! eagerly (cheap) and each payload on first access, so opening a
-//! bundle never copies — or even touches — the arc bit streams.
+//! eagerly (cheap) and each payload lazily — once, memoized, the
+//! first time the section is accessed through [`Bundle::section_bytes`]
+//! or bound to a [`SharedAm`]/[`SharedLm`] handle. Opening a mapped
+//! bundle therefore never copies or hashes the arc bit streams;
+//! *binding* a model streams one CRC pass over its (mapped, page-cache
+//! backed) section so every later infallible `view()` decodes verified
+//! bytes.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -370,7 +375,9 @@ impl Bundle {
     /// Opens a bundle zero-copy: the file is mmap-ed (on Linux x86-64;
     /// read-fallback elsewhere), the header and section table are
     /// verified, and payload checksums are deferred to first section
-    /// access. Never copies or touches the arc bit streams.
+    /// access ([`Bundle::section_bytes`], or binding a
+    /// [`SharedAm`]/[`SharedLm`]). Never copies or touches the arc bit
+    /// streams at open time.
     ///
     /// # Errors
     /// File I/O plus header/table-level [`BundleError`]s.
@@ -432,12 +439,15 @@ impl Bundle {
         Ok(payload)
     }
 
-    /// Payload bytes *without* the checksum pass — for layout parsing,
-    /// which reads only a section's fixed-size header. On owned opens
-    /// every payload was already verified eagerly; on mapped opens this
-    /// is exactly the path that must not fault in the arc bit streams
-    /// (run [`Bundle::verify_all`] when integrity matters more than
-    /// cold-start latency).
+    /// Payload bytes *without* the checksum pass — for layout parsing
+    /// only, which reads a section's fixed-size header (a total,
+    /// fuzz-pinned parse that returns typed errors on any input). On
+    /// owned opens every payload was already verified eagerly; on
+    /// mapped opens this is exactly the path that must not fault in
+    /// the arc bit streams. Anything that will *decode* the payload
+    /// ([`SharedAm::new`]/[`SharedLm::new`], `load_am`/`load_lm`) goes
+    /// through [`Bundle::section_bytes`] instead, so no decode path
+    /// ever runs on checksum-unverified bytes.
     ///
     /// # Errors
     /// [`BundleError::MissingSection`].
@@ -651,11 +661,18 @@ pub struct SharedAm {
 }
 
 impl SharedAm {
-    /// Parses the AM header of `bundle` and keeps the bundle alive.
+    /// Verifies the AM section's checksum (once per bundle, memoized),
+    /// parses its header, and keeps the bundle alive. The checksum pass
+    /// runs here — not at `view()` time — because every later
+    /// [`SharedAm::view`] and decode through it is infallible: a
+    /// corrupt payload must surface as this typed error, never as a
+    /// mid-decode panic.
     ///
     /// # Errors
-    /// As [`Bundle::am_layout`].
+    /// [`BundleError::ChecksumMismatch`] on a corrupt payload, plus
+    /// anything from [`Bundle::am_layout`].
     pub fn new(bundle: Arc<Bundle>) -> Result<SharedAm, BundleError> {
+        bundle.section_bytes(SectionKind::Am, "am")?;
         let layout = bundle.am_layout()?;
         let info = bundle
             .sections()
@@ -696,11 +713,15 @@ pub struct SharedLm {
 }
 
 impl SharedLm {
-    /// Parses LM `name` of `bundle` and keeps the bundle alive.
+    /// Verifies LM `name`'s section checksum (once per bundle,
+    /// memoized), parses its header, and keeps the bundle alive; see
+    /// [`SharedAm::new`] for why verification happens here.
     ///
     /// # Errors
-    /// As [`Bundle::lm_layout`].
+    /// [`BundleError::ChecksumMismatch`] on a corrupt payload, plus
+    /// anything from [`Bundle::lm_layout`].
     pub fn new(bundle: Arc<Bundle>, name: &str) -> Result<SharedLm, BundleError> {
+        bundle.section_bytes(SectionKind::Lm, name)?;
         let layout = bundle.lm_layout(name)?;
         let info = bundle
             .sections()
@@ -811,6 +832,39 @@ mod tests {
         // The mapping outlives the bundle handle through the Arcs.
         drop(b);
         assert_eq!(lm.view().num_states(), owned_lm.num_states());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shared_handles_reject_corrupt_payloads_on_mmap_opens() {
+        // Flip one byte inside each model payload: open_mmap still
+        // succeeds (table-only), but binding the model must fail with
+        // the section's typed checksum error — the decode paths never
+        // see unverified bytes.
+        let bytes = bundle_bytes();
+        let path =
+            std::env::temp_dir().join(format!("unfold-bundle-corrupt-{}.unfb", std::process::id()));
+        for kind in [SectionKind::Am, SectionKind::Lm] {
+            let clean = Bundle::from_bytes(bytes.clone()).unwrap();
+            let info = clean
+                .sections()
+                .iter()
+                .find(|s| s.kind == kind)
+                .unwrap()
+                .clone();
+            let mut bad = bytes.clone();
+            bad[info.offset + info.len / 2] ^= 0x10;
+            std::fs::write(&path, &bad).unwrap();
+            let b = Arc::new(Bundle::open_mmap(&path).unwrap());
+            let err = match kind {
+                SectionKind::Am => SharedAm::new(Arc::clone(&b)).unwrap_err(),
+                _ => SharedLm::new(Arc::clone(&b), &info.name).unwrap_err(),
+            };
+            match err {
+                BundleError::ChecksumMismatch(name) => assert_eq!(name, info.name),
+                other => panic!("corrupt {} payload: {other:?}", kind.tag()),
+            }
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

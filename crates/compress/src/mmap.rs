@@ -108,7 +108,11 @@ impl Mapped {
         Self::from_file(&file)
     }
 
-    /// Maps an already-open file.
+    /// Maps an already-open file. Always views the file **from offset
+    /// 0** regardless of the file's current read cursor — `mmap`
+    /// ignores the cursor, and the portable fallback seeks to 0 before
+    /// reading so both paths return identical bytes. On the fallback,
+    /// the shared OS-level cursor is left at end-of-file.
     ///
     /// # Errors
     /// Propagates I/O errors.
@@ -131,9 +135,12 @@ impl Mapped {
         }
         #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
         {
-            use std::io::Read;
-            let mut buf = Vec::with_capacity(len);
+            use std::io::{Read, Seek, SeekFrom};
+            // Match the mmap path's offset-0 contract: the caller's
+            // cursor position must not change what we return.
             let mut f = file;
+            f.seek(SeekFrom::Start(0))?;
+            let mut buf = Vec::with_capacity(len);
             f.read_to_end(&mut buf)?;
             Ok(Mapped {
                 backing: Backing::Owned(buf),

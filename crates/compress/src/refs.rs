@@ -263,8 +263,12 @@ impl CompressedAmRef<'_> {
     /// [`crate::CompressedAm::for_each_arc`] on the same bytes.
     ///
     /// # Panics
-    /// Panics if `s` is out of range, or (on a section whose checksum
-    /// was not verified) if a corrupt stream runs out of bounds.
+    /// Panics if `s` is out of range. Bundle-backed views are built
+    /// from checksum-verified bytes, but a view over hand-supplied
+    /// bytes can still see a structurally invalid stream (e.g. one a
+    /// buggy packer sealed with a valid CRC); such a stream panics with
+    /// a diagnostic — in release builds too, never a silent index wrap
+    /// — unless [`CompressedAmRef::validate_deep`] rejected it first.
     pub fn for_each_arc(&self, s: StateId, mut f: impl FnMut(Arc, u64, u32)) {
         let (mut off, narcs, _, _) = self.rec(s);
         for _ in 0..narcs {
@@ -276,8 +280,17 @@ impl CompressedAmRef<'_> {
             off += 2 + u64::from(PDF_BITS) + u64::from(WEIGHT_BITS);
             let (olabel, dest, width) = match tag {
                 t if t == TAG_SELF => (EPSILON, s, 20),
-                t if t == TAG_NEXT => (EPSILON, s + 1, 20),
-                t if t == TAG_PREV => (EPSILON, s - 1, 20),
+                t if t == TAG_NEXT => {
+                    assert!(
+                        (s as usize) + 1 < self.layout.num_states,
+                        "corrupt AM stream: +1 arc from last state {s}"
+                    );
+                    (EPSILON, s + 1, 20)
+                }
+                t if t == TAG_PREV => {
+                    assert!(s != 0, "corrupt AM stream: -1 arc from state 0");
+                    (EPSILON, s - 1, 20)
+                }
                 _ => {
                     let word = self.bits.read(off, WORD_BITS) as u32;
                     let dest = self.bits.read(off + u64::from(WORD_BITS), AM_DEST_BITS) as u32;

@@ -11,7 +11,9 @@
 //! * [`Models::open`] — a packed `.unfb` bundle, fully loaded and
 //!   checksum-verified,
 //! * [`Models::open_mmap`] — the same bundle, zero-copy: arcs decode
-//!   straight out of the mapped file, nothing is deserialized.
+//!   straight out of the mapped file, nothing is deserialized (section
+//!   checksums are still verified — one streaming pass over the mapped
+//!   bytes per model section, no copy).
 //!
 //! Whatever the origin, the facade hands out [`AmModel`]/[`LmModel`]
 //! handles that implement the decoder's [`AmSource`]/[`LmSource`]
@@ -191,9 +193,13 @@ impl Models {
     }
 
     /// Opens a `.unfb` bundle zero-copy: the file is mapped read-only
-    /// and arcs decode directly from the mapped bytes. Section
-    /// checksums are verified lazily on first access, so opening never
-    /// touches the arc bit streams.
+    /// and arcs decode directly from the mapped bytes — nothing is
+    /// copied or deserialized. Each model section's checksum *is*
+    /// verified (once, while binding the [`SharedAm`]/[`SharedLm`]
+    /// handles), because every decode through the returned handles is
+    /// infallible: corruption must be a typed error here, not a panic
+    /// mid-decode. The verification is a streaming CRC pass over the
+    /// mapped pages; the arc streams are never copied to the heap.
     ///
     /// # Errors
     /// [`BundleError`]; see [`Models::open`].
@@ -202,10 +208,12 @@ impl Models {
     }
 
     /// Wraps an already-opened bundle; every LM section becomes a
-    /// zero-copy [`LmModel`].
+    /// zero-copy [`LmModel`]. Binding the sections verifies each model
+    /// payload's checksum (memoized; a no-op after an eager open).
     ///
     /// # Errors
-    /// [`BundleError`] if any model section fails layout validation.
+    /// [`BundleError`] if any model section fails its checksum or
+    /// layout validation.
     pub fn from_bundle(bundle: Bundle) -> Result<Models, BundleError> {
         let bundle = Arc::new(bundle);
         let am = AmModel::Shared(SharedAm::new(Arc::clone(&bundle))?);
@@ -348,6 +356,33 @@ mod tests {
             let lm = models.lm(name).unwrap();
             let r = dec.decode(models.am(), lm, &utt.scores, &mut NullSink);
             assert!(r.is_complete(), "LM '{name}' failed to decode");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_open_rejects_corrupt_model_payloads() {
+        let system = System::build(&TaskSpec::tiny());
+        let mut bytes = pack_system(&system, &[]).unwrap();
+        // Flip one byte in the middle of the AM payload — deep in the
+        // arc bit stream, past everything layout parsing reads.
+        let am = Bundle::from_bytes(bytes.clone())
+            .unwrap()
+            .sections()
+            .iter()
+            .find(|s| s.name == "am")
+            .unwrap()
+            .clone();
+        bytes[am.offset + am.len / 2] ^= 0x04;
+        let path = tmp("corrupt.unfb");
+        std::fs::write(&path, &bytes).unwrap();
+        match Models::open_mmap(&path) {
+            Err(BundleError::ChecksumMismatch(name)) => assert_eq!(name, "am"),
+            other => panic!("corrupt payload opened mapped: {other:?}"),
+        }
+        match Models::open(&path) {
+            Err(BundleError::ChecksumMismatch(name)) => assert_eq!(name, "am"),
+            other => panic!("corrupt payload opened owned: {other:?}"),
         }
         std::fs::remove_file(&path).ok();
     }

@@ -83,9 +83,9 @@ pub struct WorkScratch {
     pub(crate) olt: SoftOlt,
     /// `olt_entries` the table was built for (rebuild detection).
     olt_built_for: usize,
-    /// Address identity of the LM the OLT's entries were memoized
-    /// against (see [`WorkScratch::bind_olt_lm`]).
-    olt_lm: Option<usize>,
+    /// Generation stamp of the LM the OLT's entries were memoized
+    /// against (see [`WorkScratch::bind_olt_model`]).
+    olt_model: Option<u64>,
     /// `(am, lm, num_pdfs)` identity of the last validated model pair.
     validated: Option<(usize, usize, usize)>,
 }
@@ -121,17 +121,27 @@ impl WorkScratch {
         }
     }
 
-    /// Binds the OLT memo to `lm` (by address identity), resetting the
-    /// table when the worker switches models. OLT entries are offsets
-    /// into one specific LM's arc layout, so a scheduler serving
-    /// sessions pinned to *different* LMs must call this before each
-    /// quantum; consecutive quanta against the same LM keep the memo
-    /// warm.
-    pub fn bind_olt_lm<L: LmSource + ?Sized>(&mut self, lm: &L) {
-        let key = (lm as *const L).cast::<u8>() as usize;
-        if self.olt_lm != Some(key) {
+    /// Binds the OLT memo to the LM identified by `model_gen`,
+    /// resetting the table when the worker switches models. OLT entries
+    /// are offsets into one specific LM's arc layout, so a scheduler
+    /// serving sessions pinned to *different* LMs must call this before
+    /// each quantum; consecutive quanta against the same LM keep the
+    /// memo warm.
+    ///
+    /// `model_gen` must uniquely identify an LM for the scratch's whole
+    /// lifetime — including models that have since been retired and
+    /// dropped. A registry hands out monotonically increasing stamps
+    /// (see `unfold_serve::ServeCore`); a heap address is **not** a
+    /// valid key, because the allocator can place a newly added model
+    /// at a retired model's old address (ABA), silently reviving memo
+    /// entries laid out for the dead model's arc stream. A model switch
+    /// also drops the cached model-validation state, so a swapped-in
+    /// model is re-validated even if it reuses the old one's address.
+    pub fn bind_olt_model(&mut self, model_gen: u64) {
+        if self.olt_model != Some(model_gen) {
             self.olt.reset();
-            self.olt_lm = Some(key);
+            self.validated = None;
+            self.olt_model = Some(model_gen);
         }
     }
 
@@ -277,6 +287,31 @@ mod tests {
         assert_eq!(scratch.work.olt.num_entries(), 64);
         scratch.begin(&DecodeConfig::builder().olt_entries(0).build().unwrap());
         assert!(!scratch.work.olt.is_enabled());
+    }
+
+    #[test]
+    fn bind_olt_model_resets_only_on_generation_change() {
+        let (am, lm) = models();
+        let mut work = WorkScratch::new();
+        work.configure_olt(128);
+        work.bind_olt_model(7);
+        work.ensure_validated(&am, &lm, 1_000);
+        work.olt.insert(3, 7, 11, 0.5);
+        // Re-binding the same generation keeps the memo (and the
+        // validation cache) warm — the cross-quantum case a worker
+        // serving one LM relies on...
+        work.bind_olt_model(7);
+        assert_eq!(work.olt.probe(3, 7), Some((11, 0.5)));
+        assert!(work.validated.is_some());
+        // ...while a different generation — even for a model the
+        // allocator placed at the same address — drops both the OLT
+        // memo and the validation cache.
+        work.bind_olt_model(8);
+        assert_eq!(work.olt.probe(3, 7), None);
+        assert!(
+            work.validated.is_none(),
+            "model switch must force re-validation"
+        );
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub struct Lease<L: LmSource + ?Sized> {
     id: SessionId,
     decode: StreamSession,
     lm: Arc<L>,
+    /// Registry generation of `lm` — the stable identity the worker's
+    /// OLT memo is keyed by (an `Arc` address is not one: a retired
+    /// model's allocation can be reused by a later `add_lm`).
+    lm_gen: u64,
     frames: Vec<Vec<f32>>,
     finalize: bool,
     deadline_ms: u64,
@@ -121,8 +125,10 @@ impl<L: LmSource + ?Sized> Lease<L> {
     ) {
         let lm = &*self.lm;
         // Entries memoized against another session's LM are invalid for
-        // this one; binding resets the OLT only on an actual switch.
-        work.bind_olt_lm(lm);
+        // this one; binding by the registry's generation stamp resets
+        // the OLT only on an actual model switch, and is immune to the
+        // allocator reusing a retired model's address.
+        work.bind_olt_model(self.lm_gen);
         if !self.decode.is_seeded() {
             self.decode.seed(am, lm, work, sink);
         }
@@ -133,6 +139,18 @@ impl<L: LmSource + ?Sized> Lease<L> {
             self.result = Some(self.decode.finalize(am, sink));
         }
     }
+}
+
+/// One model-registry entry: a named LM plus its generation stamp —
+/// unique for the core's whole lifetime, never reused. Workers key
+/// their per-LM OLT memo by the stamp, so a model added after a retire
+/// can never be mistaken for the one it replaced, even if the
+/// allocator hands it the retired model's heap address.
+#[derive(Debug)]
+struct LmEntry<L: LmSource + ?Sized> {
+    name: String,
+    gen: u64,
+    lm: Arc<L>,
 }
 
 /// The deterministic multi-session scheduler. See the module docs for
@@ -153,7 +171,9 @@ pub struct ServeCore<A: AmSource + ?Sized, L: LmSource + ?Sized> {
     am: Arc<A>,
     /// Registered LMs; the first entry is the default for sessions
     /// that name no model. Never empty.
-    lms: Vec<(String, Arc<L>)>,
+    lms: Vec<LmEntry<L>>,
+    /// Next generation stamp to hand out (monotonic; see [`LmEntry`]).
+    next_lm_gen: u64,
     sessions: HashMap<SessionId, Session<L>>,
     /// Min-heap of `(deadline_ms, seq, session)`; stale entries are
     /// skipped on pop (see module docs).
@@ -222,10 +242,21 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
                 "duplicate LM name '{name}'"
             );
         }
+        let next_lm_gen = lms.len() as u64;
+        let lms = lms
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, lm))| LmEntry {
+                name,
+                gen: i as u64,
+                lm,
+            })
+            .collect();
         ServeCore {
             config,
             am,
             lms,
+            next_lm_gen,
             sessions: HashMap::new(),
             ready: BinaryHeap::new(),
             next_id: 1,
@@ -245,7 +276,7 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
     /// Clones of the shared AM and *default* LM handles (for decoding
     /// outside the core's lock).
     pub fn models(&self) -> (Arc<A>, Arc<L>) {
-        (Arc::clone(&self.am), Arc::clone(&self.lms[0].1))
+        (Arc::clone(&self.am), Arc::clone(&self.lms[0].lm))
     }
 
     /// A clone of the shared AM handle.
@@ -255,7 +286,19 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
 
     /// The registered LM names, default first.
     pub fn lm_names(&self) -> Vec<String> {
-        self.lms.iter().map(|(n, _)| n.clone()).collect()
+        self.lms.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Resolves a model name to its registry entry (`None` = default).
+    fn lm_entry(&self, name: Option<&str>) -> Result<&LmEntry<L>, ServeError> {
+        match name {
+            None => Ok(&self.lms[0]),
+            Some(n) => self
+                .lms
+                .iter()
+                .find(|e| e.name == n)
+                .ok_or_else(|| ServeError::UnknownModel(n.to_string())),
+        }
     }
 
     /// Resolves a model name against the registry (`None` = default).
@@ -264,26 +307,29 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
     /// [`ServeError::UnknownModel`] when no LM is registered under the
     /// name.
     pub fn lm(&self, name: Option<&str>) -> Result<Arc<L>, ServeError> {
-        match name {
-            None => Ok(Arc::clone(&self.lms[0].1)),
-            Some(n) => self
-                .lms
-                .iter()
-                .find(|(reg, _)| reg == n)
-                .map(|(_, lm)| Arc::clone(lm))
-                .ok_or_else(|| ServeError::UnknownModel(n.to_string())),
-        }
+        self.lm_entry(name).map(|e| Arc::clone(&e.lm))
     }
 
     /// Registers `lm` under `name`, replacing any existing model with
     /// that name (a hot swap). Sessions already pinned to the replaced
-    /// model keep it; only *new* admissions see the update. Returns the
+    /// model keep it; only *new* admissions see the update. Either way
+    /// the entry gets a fresh generation stamp, so workers' per-LM OLT
+    /// memos can never carry over from the replaced model. Returns the
     /// replaced handle, if any.
     pub fn add_lm(&mut self, name: &str, lm: Arc<L>) -> Option<Arc<L>> {
-        match self.lms.iter_mut().find(|(reg, _)| reg == name) {
-            Some((_, slot)) => Some(std::mem::replace(slot, lm)),
+        let gen = self.next_lm_gen;
+        self.next_lm_gen += 1;
+        match self.lms.iter_mut().find(|e| e.name == name) {
+            Some(entry) => {
+                entry.gen = gen;
+                Some(std::mem::replace(&mut entry.lm, lm))
+            }
             None => {
-                self.lms.push((name.to_string(), lm));
+                self.lms.push(LmEntry {
+                    name: name.to_string(),
+                    gen,
+                    lm,
+                });
                 None
             }
         }
@@ -301,12 +347,12 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         let idx = self
             .lms
             .iter()
-            .position(|(reg, _)| reg == name)
+            .position(|e| e.name == name)
             .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
         if self.lms.len() == 1 {
             return Err(ServeError::LastModel(name.to_string()));
         }
-        Ok(self.lms.remove(idx).1)
+        Ok(self.lms.remove(idx).lm)
     }
 
     /// Sessions currently occupying slots (all phases — a closed
@@ -355,7 +401,10 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
     /// [`ServeError::Rejected`] when admission control refuses the
     /// session.
     pub fn open_with_lm(&mut self, lm: Option<&str>, now_ms: u64) -> Result<SessionId, ServeError> {
-        let lm = self.lm(lm)?;
+        let (lm, lm_gen) = {
+            let entry = self.lm_entry(lm)?;
+            (Arc::clone(&entry.lm), entry.gen)
+        };
         if self.sessions.len() >= self.config.capacity {
             self.stats.rejected_capacity += 1;
             return Err(ServeError::Rejected(RejectReason::AtCapacity));
@@ -370,8 +419,10 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.sessions
-            .insert(id, Session::new(StreamSession::new(cfg), lm, now_ms, level));
+        self.sessions.insert(
+            id,
+            Session::new(StreamSession::new(cfg), lm, lm_gen, now_ms, level),
+        );
         self.stats.opened += 1;
         Ok(id)
     }
@@ -492,6 +543,7 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
                 id,
                 decode,
                 lm: Arc::clone(&s.lm),
+                lm_gen: s.lm_gen,
                 frames,
                 finalize,
                 deadline_ms: deadline,
@@ -510,6 +562,7 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             id,
             decode,
             lm: _,
+            lm_gen: _,
             frames,
             finalize: _,
             deadline_ms,
@@ -1282,6 +1335,39 @@ mod tests {
         let swapped = core.add_lm("alt", Arc::clone(&lm_a)).expect("replaced");
         assert!(Arc::ptr_eq(&swapped, &lm_b));
         assert_eq!(core.lm_names(), vec!["alt"]);
+    }
+
+    /// Registry generation stamps are never reused: a model added
+    /// after a retire — even under the same name, even if the
+    /// allocator hands it the retired model's heap address — carries a
+    /// fresh stamp, so a worker scratch's OLT memo keyed by the old
+    /// stamp can never be revived for the new model (the ABA that a
+    /// pointer-keyed binding is vulnerable to).
+    #[test]
+    fn registry_generations_are_unique_across_retire_and_add() {
+        let (_lex, am, lm_a) = setup();
+        let lm_b = alt_lm();
+        let mut core = core_with(&am, &lm_a, ServeConfig::default());
+        let gen0 = core.lm_entry(None).unwrap().gen;
+
+        // Hot swap under the same name: new stamp.
+        core.add_lm(DEFAULT_LM, Arc::clone(&lm_b));
+        let gen1 = core.lm_entry(None).unwrap().gen;
+        assert_ne!(gen0, gen1, "hot swap must change the generation");
+
+        // Retire, then re-add under the same name: yet another stamp,
+        // and sessions opened before/after the swap carry the stamp of
+        // the model they were admitted with.
+        let before = core.open(0).unwrap();
+        core.add_lm("tmp", Arc::clone(&lm_a));
+        core.retire_lm(DEFAULT_LM).unwrap();
+        core.add_lm(DEFAULT_LM, Arc::clone(&lm_a));
+        let gen2 = core.lm_entry(Some(DEFAULT_LM)).unwrap().gen;
+        assert!(gen2 > gen1);
+        let after = core.open_with_lm(Some(DEFAULT_LM), 0).unwrap();
+        assert_eq!(core.sessions[&before].lm_gen, gen1);
+        assert_eq!(core.sessions[&after].lm_gen, gen2);
+        assert_ne!(core.sessions[&before].lm_gen, core.sessions[&after].lm_gen);
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub struct SessionView {
 pub(crate) struct Session<L: LmSource + ?Sized> {
     /// The LM this session decodes against (fixed at admission).
     pub lm: Arc<L>,
+    /// The registry generation stamp of `lm` at admission — the stable
+    /// identity leases hand workers for their per-LM OLT memo (heap
+    /// addresses are reusable across retire/add; stamps are not).
+    pub lm_gen: u64,
     /// Search state; `None` while leased to a worker.
     pub decode: Option<StreamSession>,
     /// Queued score rows (`row[pdf - 1]` = acoustic cost).
@@ -78,9 +82,16 @@ pub(crate) struct Session<L: LmSource + ?Sized> {
 }
 
 impl<L: LmSource + ?Sized> Session<L> {
-    pub(crate) fn new(decode: StreamSession, lm: Arc<L>, now_ms: u64, degrade_level: u8) -> Self {
+    pub(crate) fn new(
+        decode: StreamSession,
+        lm: Arc<L>,
+        lm_gen: u64,
+        now_ms: u64,
+        degrade_level: u8,
+    ) -> Self {
         Session {
             lm,
+            lm_gen,
             decode: Some(decode),
             queue: VecDeque::new(),
             phase: SessionPhase::Open,

@@ -143,9 +143,11 @@ pub enum Mutation {
     /// One payload byte of the packed `.unfb` bundle is flipped
     /// *without* updating the section checksum — a producer writing
     /// garbage, a torn copy, bit rot. The checksum machinery must
-    /// reject the bundle with a typed error (never a panic); the
-    /// mmap-identity check reports either the rejection or — worse —
-    /// that the corruption sailed through.
+    /// reject the bundle with a typed error (never a panic) on *both*
+    /// open paths: the eager owned open, and the lazy mapped open no
+    /// later than `SharedAm`/`SharedLm` binding. The mmap-identity
+    /// check reports either the rejections or — worse — that the
+    /// corruption sailed through.
     StaleChecksum,
 }
 
@@ -457,28 +459,31 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
     //     `.unfb`, mmap it back, and decode through the borrowed views
     //     — words, cost bits, and the full stats must match the owned
     //     compressed decode bit for bit. Under `StaleChecksum` the
-    //     bundle is corrupted after packing; the typed rejection (or
-    //     its absence) is the reported divergence.
+    //     bundle is corrupted after packing and *both* open paths must
+    //     reject it typed: the eager owned open, and the lazy mapped
+    //     open no later than `SharedAm::new`/`SharedLm::new` binding
+    //     (after which decode bytes are reachable). The typed rejection
+    //     (or its absence) is the reported divergence.
     {
         let comp = dec.decode(&m.cam, &m.clm, scores, &mut NullSink);
         let mut w = BundleWriter::new();
         w.add_am(&m.cam);
         w.add_lm("default", &m.clm);
         let mut bytes = w.finish().expect("well-formed models pack");
+        static BUNDLE_SERIAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "unfold-verify-{}-{}.unfb",
+            std::process::id(),
+            BUNDLE_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
         if mutation == Mutation::StaleChecksum {
             // Flip a payload byte of the last section; its table CRC
             // is now stale.
             let last = bytes.len() - 1;
             bytes[last] ^= 0x40;
-            match Bundle::from_bytes(bytes.clone()) {
-                Err(BundleError::ChecksumMismatch(section)) => {
-                    return Some(Divergence {
-                        check: CheckId::MmapIdentity,
-                        detail: format!(
-                            "stale checksum on section '{section}' rejected at owned open"
-                        ),
-                    });
-                }
+            // The eager owned open must reject it outright...
+            let owned_section = match Bundle::from_bytes(bytes.clone()) {
+                Err(BundleError::ChecksumMismatch(section)) => section,
                 Err(e) => {
                     return Some(Divergence {
                         check: CheckId::MmapIdentity,
@@ -491,14 +496,46 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
                         detail: "stale checksum NOT detected: corrupt bundle opened clean".into(),
                     });
                 }
+            };
+            // ...and the mapped path must reject it at model binding:
+            // `Bundle::open_mmap` checks only the section table, but
+            // `SharedAm::new`/`SharedLm::new` stream each payload's CRC
+            // before any decode path can see the bytes.
+            if let Err(e) = std::fs::write(&path, &bytes) {
+                return Some(Divergence {
+                    check: CheckId::MmapIdentity,
+                    detail: format!("bundle temp write failed: {e}"),
+                });
             }
+            let mapped = (|| -> Result<(), BundleError> {
+                let bundle = std::sync::Arc::new(Bundle::open_mmap(&path)?);
+                SharedAm::new(std::sync::Arc::clone(&bundle))?;
+                SharedLm::new(bundle, "default")?;
+                Ok(())
+            })();
+            std::fs::remove_file(&path).ok();
+            return Some(match mapped {
+                Err(BundleError::ChecksumMismatch(section)) => Divergence {
+                    check: CheckId::MmapIdentity,
+                    detail: format!(
+                        "stale checksum on section '{owned_section}' rejected at owned open \
+                         and at mmap model binding ('{section}')"
+                    ),
+                },
+                Err(e) => Divergence {
+                    check: CheckId::MmapIdentity,
+                    detail: format!(
+                        "stale checksum: mmap model binding rejected with the wrong error: {e}"
+                    ),
+                },
+                Ok(()) => Divergence {
+                    check: CheckId::MmapIdentity,
+                    detail: "stale checksum NOT detected on the mmap path: \
+                             corrupt payload bound clean"
+                        .into(),
+                },
+            });
         }
-        static BUNDLE_SERIAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let path = std::env::temp_dir().join(format!(
-            "unfold-verify-{}-{}.unfb",
-            std::process::id(),
-            BUNDLE_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-        ));
         if let Err(e) = std::fs::write(&path, &bytes) {
             return Some(Divergence {
                 check: CheckId::MmapIdentity,
@@ -640,6 +677,11 @@ mod tests {
         assert!(
             d.detail.contains("rejected at owned open"),
             "want the typed rejection, got: {}",
+            d.detail
+        );
+        assert!(
+            d.detail.contains("mmap model binding"),
+            "want the mapped path's typed rejection too, got: {}",
             d.detail
         );
     }
