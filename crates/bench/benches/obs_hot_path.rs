@@ -1,0 +1,62 @@
+//! Criterion: serve-side observability hot paths.
+//!
+//! Every lease quantum pays one `LogHistogram::record`, and the loadgen
+//! folds per-thread histograms with `merge_from`; session lifecycle
+//! pays a `SpanLog` open/close pair per state change. These are the
+//! always-on costs behind the ≤5% serve overhead budget (enforced
+//! end-to-end by `examples/obs_overhead.rs`) — this bench tracks the
+//! unit costs so a regression shows up before the budget does.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use unfold_obs::{LogHistogram, SpanLog};
+
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_hot_path");
+
+    // One lock-free bump, the per-quantum decode-latency record.
+    let h = LogHistogram::new();
+    let mut v = 1u64;
+    group.bench_function("loghist_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v >> 33));
+        })
+    });
+
+    // Exact-count fold of a populated histogram (65 buckets).
+    let src = LogHistogram::new();
+    for i in 0..10_000u64 {
+        src.record(i * i);
+    }
+    let dst = LogHistogram::new();
+    group.bench_function("loghist_merge", |b| {
+        b.iter(|| dst.merge_from(black_box(&src)))
+    });
+
+    // Full snapshot → quantile summary, the scrape-side cost.
+    group.bench_function("loghist_summary", |b| {
+        b.iter(|| black_box(src.summary().p99))
+    });
+
+    // Span open + attributed close on the logical clock (ring reuse —
+    // the log stays at capacity, so this measures steady state).
+    let mut spans = SpanLog::new();
+    let mut t = 0u64;
+    group.bench_function("span_open_close", |b| {
+        b.iter(|| {
+            t += 1;
+            let id = spans.open("lease", black_box(t), 0, t);
+            spans.close_with(id, t + 1, &[("frames", 16.0), ("slack_ms", 3.0)]);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_obs
+}
+criterion_main!(benches);

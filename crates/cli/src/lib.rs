@@ -22,7 +22,11 @@
 //! * `serve`    — run the multi-session streaming decode server on a
 //!   TCP port until a client sends `Shutdown`,
 //! * `loadgen`  — drive a closed-loop load test against a running
-//!   server and write the latency report to `BENCH_serve.json`.
+//!   server and write the latency report to `BENCH_serve.json`,
+//!   optionally scraping live stats mid-run,
+//! * `stats`    — scrape a running server's live metrics over the wire
+//!   (text table or run-record JSONL; `--dump` appends the flight
+//!   recorder and closed session spans).
 //!
 //! `decode`, `simulate`, and `profile` accept `--metrics <file>` to
 //! export the per-frame/per-stage telemetry as JSONL.
@@ -42,7 +46,9 @@ use unfold::experiments::{
 use unfold::{decode_batch_recorded, pack_system, AmModel, LmModel, Models, System, TaskSpec};
 use unfold_compress::{load_am, load_lm, save_am, save_lm, Bundle};
 use unfold_decoder::{wer, DecodeConfig, MetricsSink, NullSink, OtfDecoder, TraceSink, WerReport};
-use unfold_serve::{run_loadgen, LoadgenConfig, ServeConfig, Server, TcpFront};
+use unfold_serve::{
+    run_loadgen, ClientMsg, LoadgenConfig, ServeConfig, Server, ServerMsg, TcpFront,
+};
 use unfold_sim::AcceleratorConfig;
 
 /// Usage text printed on argument errors.
@@ -83,8 +89,17 @@ commands:
            --addr <ip:port> | --port N | --port-file <file>
            [--sessions N] [--concurrency N]
            [--chunk N] [--utterances N]     ... frames per message, distinct utts
+           [--scrape-every N]               ... poll live stats every N ms mid-run
+                                                (checks counters stay monotonic and
+                                                the frame ledger reconciles)
+           [--flight-out <file>]            ... write the flight-recorder dump
            [--out <file>] [--shutdown]      ... report path (default
                                                 BENCH_serve.json), stop the server
+  stats    --addr <ip:port> | --port N | --port-file <file>
+           [--json]                         live server metrics as a text table
+                                                (or the raw run-record JSONL)
+           [--dump]                         ... append flight + span JSONL
+           [--shutdown]                     ... stop the server after scraping
 
 tasks: tedlium | librispeech | voxforge | eesen | tiny
 exit status: 0 success, 1 runtime failure (i/o, corrupt bundle, ...), 2 usage
@@ -253,6 +268,7 @@ pub fn run(args: &[String]) -> Result<String, Error> {
         "verify" => cmd_verify(rest),
         "serve" => cmd_serve(rest),
         "loadgen" => cmd_loadgen(rest),
+        "stats" => cmd_stats(rest),
         other => Err(Error::Usage(format!("unknown command '{other}'"))),
     }
 }
@@ -802,6 +818,7 @@ fn cmd_loadgen(args: &[String]) -> Result<String, Error> {
         sessions: flags.usize_or("sessions", 16)?,
         concurrency: flags.usize_or("concurrency", 4)?,
         chunk_frames: flags.usize_or("chunk", 10)?,
+        scrape_every_ms: flags.usize_or("scrape-every", 0)? as u64,
         shutdown_after: flags.has("shutdown"),
     };
     let n = flags.usize_or("utterances", 4)?.max(1);
@@ -833,7 +850,7 @@ fn cmd_loadgen(args: &[String]) -> Result<String, Error> {
     );
     let _ = writeln!(
         s,
-        "first partial: p50 {:.0} ms  p95 {:.0} ms  p99 {:.0} ms  ({} sessions)",
+        "first partial: p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  ({} sessions)",
         report.first_partial_ms.p50,
         report.first_partial_ms.p95,
         report.first_partial_ms.p99,
@@ -841,9 +858,16 @@ fn cmd_loadgen(args: &[String]) -> Result<String, Error> {
     );
     let _ = writeln!(
         s,
-        "final:         p50 {:.0} ms  p95 {:.0} ms  p99 {:.0} ms  ({} sessions)",
+        "final:         p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  ({} sessions)",
         report.final_ms.p50, report.final_ms.p95, report.final_ms.p99, report.final_ms.count
     );
+    if cfg.scrape_every_ms > 0 {
+        let _ = writeln!(
+            s,
+            "scrapes: {} ({} failures, reconciled: {})",
+            report.scrapes, report.scrape_failures, report.reconciled
+        );
+    }
     for name in [
         "serve.deadline_misses",
         "serve.evictions_idle",
@@ -854,7 +878,62 @@ fn cmd_loadgen(args: &[String]) -> Result<String, Error> {
             let _ = writeln!(s, "{name}: {v:.0}");
         }
     }
+    if let Some(path) = flags.get("flight-out") {
+        std::fs::write(path, &report.flight_jsonl)?;
+        let _ = writeln!(s, "flight: {path}");
+    }
     let _ = writeln!(s, "report: {out}");
+    Ok(s)
+}
+
+/// Scrapes a running server's live metrics over the wire. `--json`
+/// prints the raw run-record JSONL instead of the text table; `--dump`
+/// appends the flight-recorder and session-span JSONL; `--shutdown`
+/// asks the server to stop after the scrape.
+fn cmd_stats(args: &[String]) -> Result<String, Error> {
+    use unfold_serve::wire::{read_server, write_client};
+    let flags = Flags::parse(args, &["json", "dump", "shutdown"])?;
+    let addr = loadgen_addr(&flags)?;
+    let stream = std::net::TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut rd = std::io::BufReader::new(stream.try_clone()?);
+    let mut wr = std::io::BufWriter::new(stream);
+    let unexpected = |what: &str| {
+        Error::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            what.to_string(),
+        ))
+    };
+    write_client(&mut wr, &ClientMsg::Stats)?;
+    let Some(ServerMsg::Stats { jsonl }) = read_server(&mut rd)? else {
+        return Err(unexpected("unexpected reply to Stats"));
+    };
+    let mut s = String::new();
+    if flags.has("json") {
+        s.push_str(jsonl.trim());
+        s.push('\n');
+    } else {
+        let Ok(unfold_obs::ObsRecord::Run(pairs)) = unfold_obs::ObsRecord::parse_line(jsonl.trim())
+        else {
+            return Err(unexpected("stats reply is not a run record"));
+        };
+        let _ = writeln!(s, "stats: {addr}");
+        let width = pairs.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in &pairs {
+            let _ = writeln!(s, "  {name:<width$}  {v}");
+        }
+    }
+    if flags.has("dump") {
+        write_client(&mut wr, &ClientMsg::Dump)?;
+        let Some(ServerMsg::Dump { flight, spans }) = read_server(&mut rd)? else {
+            return Err(unexpected("unexpected reply to Dump"));
+        };
+        s.push_str(&flight);
+        s.push_str(&spans);
+    }
+    if flags.has("shutdown") {
+        write_client(&mut wr, &ClientMsg::Shutdown)?;
+    }
     Ok(s)
 }
 
@@ -1324,6 +1403,27 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
 
+        // Live scrape before any traffic: counters exist and are zero.
+        let stats = run(&sv(&["stats", "--port-file", port_file.to_str().unwrap()])).unwrap();
+        assert!(stats.contains("serve.sessions_opened"), "in:\n{stats}");
+        assert!(stats.contains("serve.frames_accepted"), "in:\n{stats}");
+        let stats_json = run(&sv(&[
+            "stats",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--json",
+            "--dump",
+        ]))
+        .unwrap();
+        assert!(
+            matches!(
+                unfold_obs::ObsRecord::parse_line(stats_json.lines().next().unwrap()),
+                Ok(unfold_obs::ObsRecord::Run(_))
+            ),
+            "--json must emit a parseable run record:\n{stats_json}"
+        );
+
+        let flight_out = dir.join("flight.jsonl");
         let report = run(&sv(&[
             "loadgen",
             "--task",
@@ -1336,6 +1436,10 @@ mod tests {
             "2",
             "--utterances",
             "2",
+            "--scrape-every",
+            "5",
+            "--flight-out",
+            flight_out.to_str().unwrap(),
             "--out",
             out.to_str().unwrap(),
             "--shutdown",
@@ -1344,16 +1448,30 @@ mod tests {
         assert!(report.contains("4 completed"), "in:\n{report}");
         assert!(report.contains("first partial: p50"));
         assert!(report.contains("serve.deadline_misses"));
+        assert!(report.contains("reconciled: true"), "in:\n{report}");
 
         let json = std::fs::read_to_string(&out).unwrap();
         for key in [
             "\"sessions_per_sec\"",
             "\"first_partial_ms\"",
             "\"p99\"",
+            "\"scrape_failures\": 0",
+            "\"reconciled\": true",
+            "\"server_session_spans\": 4",
             "\"serve.deadline_misses\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
+        // The flight dump is valid JSONL of flight records.
+        let flight = std::fs::read_to_string(&flight_out).unwrap();
+        assert!(
+            flight.lines().all(|l| matches!(
+                unfold_obs::ObsRecord::parse_line(l),
+                Ok(unfold_obs::ObsRecord::Flight(_))
+            )),
+            "flight dump must parse:\n{flight}"
+        );
+        assert!(flight.contains("\"event\":\"final\""), "in:\n{flight}");
 
         // --shutdown stopped the server; its thread returns the obs
         // summary.

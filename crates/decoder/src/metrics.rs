@@ -476,6 +476,9 @@ mod tests {
                 ObsRecord::Frame(_) => frames += 1,
                 ObsRecord::Run(_) => runs += 1,
                 ObsRecord::Span(_) => {}
+                r @ (ObsRecord::SessionSpan(_) | ObsRecord::Flight(_)) => {
+                    panic!("decoder telemetry emitted a serve-side record: {r:?}")
+                }
             }
         }
         assert_eq!(frames, 1);

@@ -158,6 +158,25 @@ pub struct CountingSink {
     pub olt_evictions: u64,
 }
 
+impl CountingSink {
+    /// Zeroes every counter in place. The serve workers keep one
+    /// `CountingSink` per worker and reset it at each lease quantum,
+    /// so per-quantum telemetry (OLT hit rate, LM traffic) attaches to
+    /// the quantum's span without reallocating a sink per lease.
+    pub fn reset(&mut self) {
+        *self = CountingSink::default();
+    }
+
+    /// OLT hit rate over the counted window, or 0 with no probes.
+    pub fn olt_hit_rate(&self) -> f64 {
+        if self.olt_probes == 0 {
+            0.0
+        } else {
+            self.olt_hits as f64 / self.olt_probes as f64
+        }
+    }
+}
+
 impl TraceSink for CountingSink {
     fn frame_start(&mut self, _frame: usize, active: usize) {
         self.frames += 1;
@@ -239,6 +258,14 @@ mod tests {
         );
         assert_eq!(s.token_bytes, 8);
         assert_eq!(s.preemptive_prunes, 1);
+
+        s.olt_probe(3, 9, true);
+        s.olt_probe(3, 10, false);
+        assert_eq!(s.olt_hit_rate(), 0.5);
+        s.reset();
+        assert_eq!(s.frames, 0);
+        assert_eq!(s.total_backoff_hops, 0);
+        assert_eq!(s.olt_hit_rate(), 0.0);
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //!
 //! One JSON object per line, discriminated by a `"type"` field:
 //!
-//! * `frame` — one [`FrameTelemetry`] per decoded frame;
-//! * `span`  — one [`StageReport`] per profiled stage;
-//! * `run`   — flattened registry totals for the whole run.
+//! * `frame`  — one [`FrameTelemetry`] per decoded frame;
+//! * `span`   — one [`StageReport`] per profiled stage;
+//! * `sspan`  — one [`SessionSpan`] per closed session-lifecycle span;
+//! * `flight` — one [`FlightEvent`] per flight-recorder entry;
+//! * `run`    — flattened registry totals for the whole run.
 //!
 //! The writer and parser are hand-rolled over `std` (the workspace has
 //! no serde). Floats print with Rust's shortest-round-trip `Display`,
@@ -14,7 +16,9 @@
 
 use std::collections::BTreeMap;
 
+use crate::flight::{FlightEvent, FlightKind};
 use crate::frame::{CacheRates, FrameTelemetry};
+use crate::span::SessionSpan;
 use crate::stage::StageReport;
 
 /// A single telemetry record (one JSONL line).
@@ -24,6 +28,10 @@ pub enum ObsRecord {
     Frame(FrameTelemetry),
     /// Per-stage exclusive time.
     Span(StageReport),
+    /// One closed session-lifecycle span.
+    SessionSpan(SessionSpan),
+    /// One flight-recorder event.
+    Flight(FlightEvent),
     /// Run-level registry totals as `(name, value)` pairs.
     Run(Vec<(String, f64)>),
 }
@@ -139,6 +147,37 @@ impl ObsRecord {
                 w.uint("self_ns", s.self_nanos);
                 w.finish()
             }
+            ObsRecord::SessionSpan(s) => {
+                let mut w = ObjWriter::new("sspan");
+                w.uint("id", s.id);
+                w.uint("parent", s.parent);
+                w.string("stage", &s.stage);
+                w.uint("session", s.session);
+                w.uint("start_ms", s.start_ms);
+                w.uint("end_ms", s.end_ms);
+                w.key("attrs");
+                w.out.push('{');
+                for (i, (name, v)) in s.attrs.iter().enumerate() {
+                    if i > 0 {
+                        w.out.push(',');
+                    }
+                    push_str_value(&mut w.out, name);
+                    w.out.push(':');
+                    push_f64(&mut w.out, *v);
+                }
+                w.out.push('}');
+                w.finish()
+            }
+            ObsRecord::Flight(e) => {
+                let mut w = ObjWriter::new("flight");
+                w.uint("seq", e.seq);
+                w.uint("now_ms", e.now_ms);
+                w.uint("session", e.session);
+                w.string("event", e.kind.tag());
+                w.float("slack_ms", e.slack_ms);
+                w.float("value", e.value);
+                w.finish()
+            }
             ObsRecord::Run(metrics) => {
                 let mut w = ObjWriter::new("run");
                 w.key("metrics");
@@ -205,6 +244,48 @@ impl ObsRecord {
                 count: get_u64(obj, "count")?,
                 self_nanos: get_u64(obj, "self_ns")?,
             })),
+            "sspan" => {
+                let attrs_obj = obj
+                    .get("attrs")
+                    .and_then(Value::as_object)
+                    .ok_or("sspan missing \"attrs\" object")?;
+                let mut attrs = Vec::with_capacity(attrs_obj.len());
+                for (name, v) in attrs_obj {
+                    attrs.push((
+                        name.clone(),
+                        v.as_f64()
+                            .ok_or_else(|| format!("attr {name:?} is not numeric"))?,
+                    ));
+                }
+                Ok(ObsRecord::SessionSpan(SessionSpan {
+                    id: get_u64(obj, "id")?,
+                    parent: get_u64(obj, "parent")?,
+                    stage: obj
+                        .get("stage")
+                        .and_then(Value::as_str)
+                        .ok_or("sspan missing \"stage\"")?
+                        .to_string(),
+                    session: get_u64(obj, "session")?,
+                    start_ms: get_u64(obj, "start_ms")?,
+                    end_ms: get_u64(obj, "end_ms")?,
+                    attrs,
+                }))
+            }
+            "flight" => {
+                let tag = obj
+                    .get("event")
+                    .and_then(Value::as_str)
+                    .ok_or("flight missing \"event\"")?;
+                Ok(ObsRecord::Flight(FlightEvent {
+                    seq: get_u64(obj, "seq")?,
+                    now_ms: get_u64(obj, "now_ms")?,
+                    session: get_u64(obj, "session")?,
+                    kind: FlightKind::from_tag(tag)
+                        .ok_or_else(|| format!("unknown flight event {tag:?}"))?,
+                    slack_ms: get_f64(obj, "slack_ms")?,
+                    value: get_f64(obj, "value")?,
+                }))
+            }
             "run" => {
                 let metrics = obj
                     .get("metrics")

@@ -9,7 +9,13 @@
 //!   lookup, pruning, lattice);
 //! * [`frame`] — a bounded per-frame telemetry ring (active tokens,
 //!   cost spread, LM traffic, cache hit rates);
-//! * [`pool`] — worker-pool occupancy for utterance-parallel batches.
+//! * [`pool`] — worker-pool occupancy for utterance-parallel batches;
+//! * [`loghist`] — a lock-free log₂ histogram workers bump through a
+//!   shared `Arc`, with exact-count deterministic merge;
+//! * [`span`] — session-lifecycle spans on the serve layer's logical
+//!   clock, exportable as JSONL and Chrome `trace_event`;
+//! * [`flight`] — a bounded scheduler-event ring that pins a JSONL
+//!   dump at the first deadline miss, overload reject, or panic.
 //!
 //! Everything exports through [`json`] as JSONL (one record per frame
 //! or span) and renders to a markdown summary via
@@ -17,16 +23,22 @@
 //! through its `TraceSink` — observability never touches the search
 //! itself, so enabling it cannot perturb results.
 
+pub mod flight;
 pub mod frame;
 pub mod json;
+pub mod loghist;
 pub mod pool;
 pub mod registry;
+pub mod span;
 pub mod stage;
 
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use frame::{CacheRates, FrameRing, FrameTelemetry};
 pub use json::ObsRecord;
+pub use loghist::LogHistogram;
 pub use pool::PoolTelemetry;
 pub use registry::{Histogram, MetricsRegistry, Summary};
+pub use span::{SessionSpan, SpanLog};
 pub use stage::{ns_per_raw_tick, raw_ticks, ticks_to_ns, StageId, StageReport, StageTimer};
 
 /// One-stop container bundling the registry, stage timer, and frame

@@ -1,0 +1,229 @@
+//! Lock-free log₂-bucketed histogram for hot-path recording.
+//!
+//! [`LogHistogram`] shares the bucket scheme of
+//! [`registry::Histogram`](crate::registry::Histogram) — bucket 0 holds
+//! the value 0, bucket `i` holds `[2^(i-1), 2^i)` — but every field is
+//! atomic, so workers bump it through a shared `Arc` with no lock and
+//! no coordination. Recording is a relaxed `fetch_add` on one bucket
+//! plus count/sum and a `fetch_min`/`fetch_max`; there is no CAS loop
+//! and no retry, so the hot-path cost is a handful of uncontended
+//! atomic RMWs.
+//!
+//! Merging is *exact-count*: [`LogHistogram::merge_from`] adds the
+//! other histogram's buckets, count, and sum verbatim, so folding N
+//! per-worker histograms into one produces identical totals in any
+//! fold order — the property the serve registry relies on for
+//! deterministic exports across `--workers N`.
+//!
+//! Concurrent `record` calls racing a `snapshot` can yield a snapshot
+//! whose count and bucket sum disagree transiently by in-flight
+//! observations; quiesce writers (serve snapshots under the core lock
+//! after workers park) when exactness matters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::registry::{bucket_of, Histogram, Summary, BUCKETS};
+
+/// A thread-safe log₂ histogram: share via `Arc`, record from any
+/// thread, snapshot into a plain [`Histogram`] for quantiles.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` while empty, so the first `fetch_min` wins.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. Safe to call concurrently from any
+    /// number of threads; all updates are relaxed atomics.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds `other`'s exact bucket counts (and count/sum/min/max) into
+    /// `self`. Addition is commutative and associative, so merging a
+    /// set of histograms produces bit-identical totals regardless of
+    /// fold order — per-worker histograms collapse deterministically.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n != 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let n = other.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Copies the current contents into a plain (single-threaded)
+    /// [`Histogram`] for quantile math and export.
+    pub fn snapshot(&self) -> Histogram {
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        Histogram::from_parts(
+            buckets,
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Three-point summary of a snapshot (see [`Histogram::summary`]).
+    pub fn summary(&self) -> Summary {
+        self.snapshot().summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_matches_plain_histogram() {
+        // (Parity holds while the total fits u64: the plain histogram
+        // saturates its sum, the atomic one wraps — both only diverge
+        // past 2^64 total, unreachable for real latency data.)
+        let lh = LogHistogram::new();
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 1 << 40] {
+            lh.record(v);
+            h.record(v);
+        }
+        assert_eq!(lh.snapshot().summary(), h.summary());
+
+        let top = LogHistogram::new();
+        top.record(u64::MAX);
+        let s = top.summary();
+        assert_eq!((s.count, s.min, s.max), (1, u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = LogHistogram::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn bucket_boundaries_land_where_the_registry_puts_them() {
+        // Powers of two open a new bucket; 2^i - 1 stays in the old one.
+        for i in 1..=10u32 {
+            let edge = 1u64 << i;
+            let below = LogHistogram::new();
+            below.record(edge - 1);
+            let at = LogHistogram::new();
+            at.record(edge);
+            let b = below.snapshot();
+            let a = at.snapshot();
+            // Same value in, same exact min/max out; the quantile of a
+            // single observation is exact regardless of bucket.
+            assert_eq!(b.summary().p50, (edge - 1) as f64);
+            assert_eq!(a.summary().p50, edge as f64);
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_and_order_independent() {
+        let parts: Vec<LogHistogram> = (0..4)
+            .map(|w| {
+                let h = LogHistogram::new();
+                for v in 0..100u64 {
+                    h.record(v * (w + 1));
+                }
+                h
+            })
+            .collect();
+
+        let fwd = LogHistogram::new();
+        for p in &parts {
+            fwd.merge_from(p);
+        }
+        let rev = LogHistogram::new();
+        for p in parts.iter().rev() {
+            rev.merge_from(p);
+        }
+        assert_eq!(fwd.snapshot().summary(), rev.snapshot().summary());
+        assert_eq!(fwd.count(), 400);
+
+        // And equals recording everything into one histogram directly.
+        let direct = LogHistogram::new();
+        for (w, _) in parts.iter().enumerate() {
+            for v in 0..100u64 {
+                direct.record(v * (w as u64 + 1));
+            }
+        }
+        assert_eq!(fwd.snapshot().summary(), direct.snapshot().summary());
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_changes_nothing() {
+        let h = LogHistogram::new();
+        h.record(5);
+        let before = h.snapshot().summary();
+        h.merge_from(&LogHistogram::new());
+        assert_eq!(h.snapshot().summary(), before);
+        // And min stays untouched (the empty side's min is u64::MAX).
+        assert_eq!(before.min, 5);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(LogHistogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        let s = h.summary();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 39_999);
+    }
+}

@@ -7,6 +7,9 @@
 //! footprint, plenty for latency/population distributions.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::loghist::LogHistogram;
 
 /// Number of histogram buckets: one for zero plus one per bit of u64.
 pub const BUCKETS: usize = 65;
@@ -89,7 +92,7 @@ pub struct Summary {
     pub max: u64,
 }
 
-fn bucket_of(v: u64) -> usize {
+pub(crate) fn bucket_of(v: u64) -> usize {
     if v == 0 {
         0
     } else {
@@ -109,6 +112,24 @@ impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rehydrates a histogram from raw parts — the bridge from an
+    /// atomic [`LogHistogram`] snapshot back into quantile math.
+    pub(crate) fn from_parts(
+        buckets: [u64; BUCKETS],
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
     }
 
     /// Records one observation.
@@ -184,6 +205,9 @@ pub enum Metric {
     /// Distribution (boxed: a histogram's bucket array is two orders of
     /// magnitude larger than the scalar variants).
     Histogram(Box<Histogram>),
+    /// Lock-free distribution shared with recording threads via `Arc`;
+    /// exports exactly like [`Metric::Histogram`].
+    Shared(Arc<LogHistogram>),
 }
 
 /// Ordered collection of named metrics.
@@ -248,6 +272,19 @@ impl MetricsRegistry {
         }
     }
 
+    /// The shared lock-free histogram registered under `name`, created
+    /// on first use. The returned `Arc` can be handed to recording
+    /// threads; the registry keeps its own reference for export.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn log_histogram(&mut self, name: &str) -> Arc<LogHistogram> {
+        match self.slot(name, || Metric::Shared(Arc::new(LogHistogram::new()))) {
+            Metric::Shared(h) => Arc::clone(h),
+            other => panic!("metric {name:?} is not a shared histogram: {other:?}"),
+        }
+    }
+
     /// Iterates metrics in registration order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
         self.entries.iter().map(|(n, m)| (n.as_str(), m))
@@ -263,15 +300,8 @@ impl MetricsRegistry {
             match metric {
                 Metric::Counter(c) => out.push((name.to_string(), c.get() as f64)),
                 Metric::Gauge(g) => out.push((name.to_string(), g.get())),
-                Metric::Histogram(h) => {
-                    let s = h.summary();
-                    out.push((format!("{name}.count"), s.count as f64));
-                    out.push((format!("{name}.mean"), s.mean));
-                    out.push((format!("{name}.p50"), s.p50));
-                    out.push((format!("{name}.p95"), s.p95));
-                    out.push((format!("{name}.p99"), s.p99));
-                    out.push((format!("{name}.max"), s.max as f64));
-                }
+                Metric::Histogram(h) => push_summary(&mut out, name, h.summary()),
+                Metric::Shared(h) => push_summary(&mut out, name, h.summary()),
             }
         }
         out
@@ -288,17 +318,28 @@ impl MetricsRegistry {
             match metric {
                 Metric::Counter(c) => out.push_str(&format!("| {name} | {} |\n", c.get())),
                 Metric::Gauge(g) => out.push_str(&format!("| {name} | {:.4} |\n", g.get())),
-                Metric::Histogram(h) => {
-                    let s = h.summary();
-                    out.push_str(&format!(
-                        "| {name} | n={} mean={:.1} p50={:.1} p95={:.1} p99={:.1} max={} |\n",
-                        s.count, s.mean, s.p50, s.p95, s.p99, s.max
-                    ));
-                }
+                Metric::Histogram(h) => push_summary_row(&mut out, name, h.summary()),
+                Metric::Shared(h) => push_summary_row(&mut out, name, h.summary()),
             }
         }
         out
     }
+}
+
+fn push_summary(out: &mut Vec<(String, f64)>, name: &str, s: Summary) {
+    out.push((format!("{name}.count"), s.count as f64));
+    out.push((format!("{name}.mean"), s.mean));
+    out.push((format!("{name}.p50"), s.p50));
+    out.push((format!("{name}.p95"), s.p95));
+    out.push((format!("{name}.p99"), s.p99));
+    out.push((format!("{name}.max"), s.max as f64));
+}
+
+fn push_summary_row(out: &mut String, name: &str, s: Summary) {
+    out.push_str(&format!(
+        "| {name} | n={} mean={:.1} p50={:.1} p95={:.1} p99={:.1} max={} |\n",
+        s.count, s.mean, s.p50, s.p95, s.p99, s.max
+    ));
 }
 
 #[cfg(test)]
@@ -377,6 +418,30 @@ mod tests {
         let mut r = MetricsRegistry::new();
         r.gauge("x").set(1.0);
         r.counter("x");
+    }
+
+    #[test]
+    fn shared_histograms_export_like_plain_ones() {
+        let mut r = MetricsRegistry::new();
+        let h = r.log_histogram("lat");
+        h.record(10);
+        h.record(20);
+        // Re-requesting the same name hands back the same histogram.
+        r.log_histogram("lat").record(30);
+        let totals: Vec<(String, f64)> = r.totals();
+        let get = |k: &str| totals.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(get("lat.count"), Some(3.0));
+        assert_eq!(get("lat.max"), Some(30.0));
+        assert_eq!(get("lat.mean"), Some(20.0));
+        assert!(r.markdown().contains("| lat |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a shared histogram")]
+    fn shared_kind_mismatch_panics() {
+        let mut r = MetricsRegistry::new();
+        r.counter("x").inc();
+        r.log_histogram("x");
     }
 
     #[test]

@@ -20,7 +20,17 @@
 //! * [`tcp`] — a length-prefixed TCP front end over `std::net`, one
 //!   session per connection.
 //! * [`loadgen`] — a closed-loop load generator measuring
-//!   first-partial and final-result latency percentiles.
+//!   first-partial and final-result latency percentiles (captured in
+//!   µs), with an optional live-stats scraper that cross-checks the
+//!   server's frame ledger mid-run.
+//!
+//! The core is also instrumented end to end: every session carries a
+//! lifecycle span tree (`session` → `sched-wait`/`lease`) on the
+//! logical clock, a bounded flight recorder pins a JSONL dump of the
+//! scheduler events leading up to the first deadline miss, overload
+//! reject, or worker panic, and workers feed a lock-free decode-latency
+//! histogram. All of it is readable live over the wire (`Stats` /
+//! `Dump`) and none of it touches the search.
 //!
 //! Sessions are [`unfold_decoder::StreamSession`]s: they hold *only*
 //! per-utterance search state, so any worker can advance any session
@@ -37,7 +47,7 @@ pub mod session;
 pub mod tcp;
 pub mod wire;
 
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use loadgen::{run_loadgen, LatencyMs, LoadgenConfig, LoadgenReport};
 pub use sched::{Lease, ServeCore, ServeStats, DEFAULT_LM};
 pub use server::{ServeHandle, Server};
 pub use session::{SessionId, SessionPhase, SessionView};

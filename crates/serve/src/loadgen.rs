@@ -11,15 +11,27 @@
 //! * **final** — `Finish` sent until `Final` received, the tail
 //!   flush cost.
 //!
-//! The report carries p50/p95/p99 summaries of both plus the server's
-//! own metrics record (admissions, evictions, deadline misses), and
-//! serializes to the JSON shape `BENCH_serve.json` stores.
+//! Latencies are captured in *microseconds* (each client thread bumps
+//! its own lock-free [`LogHistogram`], merged exactly at the end) and
+//! reported as fractional milliseconds — sub-millisecond finals no
+//! longer truncate to 0.
+//!
+//! With [`LoadgenConfig::scrape_every_ms`] set, a scraper thread polls
+//! the live `Stats` endpoint on its own connection while traffic runs,
+//! asserting that every counter is monotonic scrape-over-scrape and
+//! that the frame ledger reconciles (`accepted = decoded + backlog +
+//! inflight + dropped`) inside each consistent snapshot.
+//!
+//! The report carries p50/p95/p99 summaries of both latencies plus the
+//! server's own metrics record (admissions, evictions, deadline
+//! misses), and serializes to the JSON shape `BENCH_serve.json` stores.
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
-use unfold_obs::{Histogram, ObsRecord, Summary};
+use unfold_obs::{LogHistogram, ObsRecord, Summary};
 
 use crate::wire::{read_server, write_client, ClientMsg, ServerMsg};
 
@@ -32,6 +44,9 @@ pub struct LoadgenConfig {
     pub concurrency: usize,
     /// Frames per `Frames` message.
     pub chunk_frames: usize,
+    /// Poll the live `Stats` endpoint every this many milliseconds from
+    /// a dedicated scraper connection while traffic runs (0 = off).
+    pub scrape_every_ms: u64,
     /// Send `Shutdown` to the server after the run (for smoke tests
     /// that own the server's lifetime).
     pub shutdown_after: bool,
@@ -43,6 +58,7 @@ impl Default for LoadgenConfig {
             sessions: 16,
             concurrency: 4,
             chunk_frames: 10,
+            scrape_every_ms: 0,
             shutdown_after: false,
         }
     }
@@ -50,11 +66,44 @@ impl Default for LoadgenConfig {
 
 #[derive(Debug, Default, Clone, Copy)]
 struct SessionOutcome {
-    first_partial_ms: Option<u64>,
-    final_ms: Option<u64>,
+    first_partial_us: Option<u64>,
+    final_us: Option<u64>,
     completed: bool,
     rejected: bool,
     errored: bool,
+}
+
+/// A latency summary in fractional milliseconds (captured in µs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyMs {
+    /// Observations.
+    pub count: u64,
+    /// Mean, ms.
+    pub mean: f64,
+    /// Median, ms.
+    pub p50: f64,
+    /// 95th percentile, ms.
+    pub p95: f64,
+    /// 99th percentile, ms.
+    pub p99: f64,
+    /// Exact minimum, ms.
+    pub min: f64,
+    /// Exact maximum, ms.
+    pub max: f64,
+}
+
+impl LatencyMs {
+    fn from_us(s: &Summary) -> Self {
+        LatencyMs {
+            count: s.count,
+            mean: s.mean / 1e3,
+            p50: s.p50 / 1e3,
+            p95: s.p95 / 1e3,
+            p99: s.p99 / 1e3,
+            min: s.min as f64 / 1e3,
+            max: s.max as f64 / 1e3,
+        }
+    }
 }
 
 /// What a load-generation run measured.
@@ -69,13 +118,29 @@ pub struct LoadgenReport {
     /// Sessions that hit a protocol or server error.
     pub errors: u64,
     /// Open → first non-empty stable partial.
-    pub first_partial_ms: Summary,
+    pub first_partial_ms: LatencyMs,
     /// `Finish` sent → `Final` received.
-    pub final_ms: Summary,
-    /// Wall time of the whole run.
-    pub elapsed_ms: u64,
+    pub final_ms: LatencyMs,
+    /// Wall time of the whole run (fractional ms).
+    pub elapsed_ms: f64,
     /// Completed sessions per wall-clock second.
     pub sessions_per_sec: f64,
+    /// Mid-run `Stats` scrapes performed (0 when scraping is off).
+    pub scrapes: u64,
+    /// Scrapes that failed: I/O error, a counter moving backwards, or a
+    /// snapshot whose frame ledger did not reconcile.
+    pub scrape_failures: u64,
+    /// Whether the frame ledger reconciled in the final stats fetch
+    /// *and* every mid-run scrape: `serve.frames_accepted =
+    /// frames_decoded + backlog + inflight + dropped`.
+    pub reconciled: bool,
+    /// Closed `session`-stage spans the server reported at the end —
+    /// reconciles with `sessions_completed` plus evictions.
+    pub server_session_spans: u64,
+    /// The server's flight-recorder dump (JSONL), fetched at the end:
+    /// the pinned incident snapshot if one froze, else a live ring
+    /// snapshot. Not serialized into the JSON report.
+    pub flight_jsonl: String,
     /// The server's own metrics totals (`serve.*`), fetched over the
     /// wire at the end of the run.
     pub server: Vec<(String, f64)>,
@@ -97,7 +162,7 @@ impl LoadgenReport {
                 "null".to_string()
             }
         }
-        fn summary(s: &Summary) -> String {
+        fn summary(s: &LatencyMs) -> String {
             format!(
                 "{{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"min\": {}, \"max\": {}}}",
                 s.count,
@@ -105,8 +170,8 @@ impl LoadgenReport {
                 num(s.p50),
                 num(s.p95),
                 num(s.p99),
-                s.min,
-                s.max
+                num(s.min),
+                num(s.max)
             )
         }
         let mut out = String::from("{\n");
@@ -123,10 +188,20 @@ impl LoadgenReport {
             self.sessions_rejected
         ));
         out.push_str(&format!("  \"errors\": {},\n", self.errors));
-        out.push_str(&format!("  \"elapsed_ms\": {},\n", self.elapsed_ms));
+        out.push_str(&format!("  \"elapsed_ms\": {},\n", num(self.elapsed_ms)));
         out.push_str(&format!(
             "  \"sessions_per_sec\": {},\n",
             num(self.sessions_per_sec)
+        ));
+        out.push_str(&format!("  \"scrapes\": {},\n", self.scrapes));
+        out.push_str(&format!(
+            "  \"scrape_failures\": {},\n",
+            self.scrape_failures
+        ));
+        out.push_str(&format!("  \"reconciled\": {},\n", self.reconciled));
+        out.push_str(&format!(
+            "  \"server_session_spans\": {},\n",
+            self.server_session_spans
         ));
         out.push_str(&format!(
             "  \"first_partial_ms\": {},\n",
@@ -155,6 +230,97 @@ fn conn(addr: SocketAddr) -> io::Result<(BufReader<TcpStream>, BufWriter<TcpStre
     Ok((BufReader::new(stream.try_clone()?), BufWriter::new(stream)))
 }
 
+/// The `serve.*` counters every scrape re-checks for monotonicity.
+const MONOTONIC: &[&str] = &[
+    "serve.sessions_opened",
+    "serve.frames_accepted",
+    "serve.frames_decoded",
+    "serve.frames_dropped",
+    "serve.quanta",
+    "serve.finals",
+    "serve.deadline_misses",
+    "serve.worker_panics",
+];
+
+fn metric(pairs: &[(String, f64)], name: &str) -> Option<f64> {
+    pairs.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+/// Whether one stats snapshot's frame ledger balances: every accepted
+/// frame is decoded, queued, out with a worker, or accounted dropped.
+/// Stats snapshots are taken under the core lock, so this holds exactly
+/// at any instant — not just at quiescence.
+fn ledger_reconciles(pairs: &[(String, f64)]) -> bool {
+    let get = |n| metric(pairs, n).unwrap_or(f64::NAN);
+    let accounted = get("serve.frames_decoded")
+        + get("serve.backlog_frames")
+        + get("serve.frames_inflight")
+        + get("serve.frames_dropped");
+    get("serve.frames_accepted") == accounted
+}
+
+fn fetch_stats(
+    rd: &mut BufReader<TcpStream>,
+    wr: &mut BufWriter<TcpStream>,
+) -> io::Result<Vec<(String, f64)>> {
+    write_client(wr, &ClientMsg::Stats)?;
+    match read_server(rd)? {
+        Some(ServerMsg::Stats { jsonl }) => match ObsRecord::parse_line(jsonl.trim()) {
+            Ok(ObsRecord::Run(pairs)) => Ok(pairs),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stats reply is not a run record",
+            )),
+        },
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected reply to Stats",
+        )),
+    }
+}
+
+/// Polls `Stats` on a dedicated connection until `done`, verifying each
+/// snapshot against the previous one. Returns `(scrapes, failures)`.
+fn scrape_loop(addr: SocketAddr, every_ms: u64, done: &AtomicBool) -> (u64, u64) {
+    let Ok((mut rd, mut wr)) = conn(addr) else {
+        return (0, 1);
+    };
+    let (mut scrapes, mut failures) = (0u64, 0u64);
+    let mut prev: Vec<(String, f64)> = Vec::new();
+    while !done.load(Ordering::Relaxed) {
+        // Sleep in short slices so the scraper exits promptly.
+        let mut slept = 0u64;
+        while slept < every_ms && !done.load(Ordering::Relaxed) {
+            let step = (every_ms - slept).min(10);
+            std::thread::sleep(Duration::from_millis(step));
+            slept += step;
+        }
+        if done.load(Ordering::Relaxed) {
+            break;
+        }
+        let cur = match fetch_stats(&mut rd, &mut wr) {
+            Ok(pairs) => pairs,
+            Err(_) => {
+                failures += 1;
+                break;
+            }
+        };
+        scrapes += 1;
+        let monotone = MONOTONIC
+            .iter()
+            .all(|n| match (metric(&prev, n), metric(&cur, n)) {
+                (Some(before), Some(now)) => now >= before,
+                (None, Some(_)) => true, // first scrape
+                _ => false,              // counter vanished
+            });
+        if !monotone || !ledger_reconciles(&cur) {
+            failures += 1;
+        }
+        prev = cur;
+    }
+    (scrapes, failures)
+}
+
 /// Runs one session over an existing connection.
 fn run_session(
     rd: &mut BufReader<TcpStream>,
@@ -180,8 +346,8 @@ fn run_session(
         write_client(wr, &ClientMsg::Frames(chunk.to_vec()))?;
         match read_server(rd)? {
             Some(ServerMsg::Partial { words }) => {
-                if out.first_partial_ms.is_none() && !words.is_empty() {
-                    out.first_partial_ms = Some(opened_at.elapsed().as_millis() as u64);
+                if out.first_partial_us.is_none() && !words.is_empty() {
+                    out.first_partial_us = Some(opened_at.elapsed().as_micros() as u64);
                 }
             }
             _ => {
@@ -194,7 +360,7 @@ fn run_session(
     write_client(wr, &ClientMsg::Finish)?;
     match read_server(rd)? {
         Some(ServerMsg::Final { .. }) => {
-            out.final_ms = Some(finish_at.elapsed().as_millis() as u64);
+            out.final_us = Some(finish_at.elapsed().as_micros() as u64);
             out.completed = true;
         }
         _ => out.errored = true,
@@ -220,40 +386,57 @@ pub fn run_loadgen(
     assert!(!utts.is_empty(), "loadgen needs at least one utterance");
     let started = Instant::now();
     let concurrency = cfg.concurrency.max(1);
-    let outcomes: Vec<SessionOutcome> = std::thread::scope(|scope| {
+    let first_partial = LogHistogram::new();
+    let final_lat = LogHistogram::new();
+    let done = AtomicBool::new(false);
+    let (outcomes, scrapes, scrape_failures) = std::thread::scope(|scope| {
+        let scraper = (cfg.scrape_every_ms > 0)
+            .then(|| scope.spawn(|| scrape_loop(addr, cfg.scrape_every_ms, &done)));
+        // Each client thread records latencies (in µs) into its own
+        // lock-free histograms; the exact-count merge below folds them
+        // into the run totals independent of join order.
         let handles: Vec<_> = (0..concurrency)
             .map(|worker| {
-                scope.spawn(move || -> io::Result<Vec<SessionOutcome>> {
-                    let (mut rd, mut wr) = conn(addr)?;
-                    let mut outs = Vec::new();
-                    let mut i = worker;
-                    while i < cfg.sessions {
-                        let utt = &utts[i % utts.len()];
-                        outs.push(run_session(&mut rd, &mut wr, utt, cfg.chunk_frames)?);
-                        i += concurrency;
-                    }
-                    Ok(outs)
-                })
+                scope.spawn(
+                    move || -> io::Result<(Vec<SessionOutcome>, LogHistogram, LogHistogram)> {
+                        let (mut rd, mut wr) = conn(addr)?;
+                        let (fp, fl) = (LogHistogram::new(), LogHistogram::new());
+                        let mut outs = Vec::new();
+                        let mut i = worker;
+                        while i < cfg.sessions {
+                            let utt = &utts[i % utts.len()];
+                            let o = run_session(&mut rd, &mut wr, utt, cfg.chunk_frames)?;
+                            if let Some(us) = o.first_partial_us {
+                                fp.record(us);
+                            }
+                            if let Some(us) = o.final_us {
+                                fl.record(us);
+                            }
+                            outs.push(o);
+                            i += concurrency;
+                        }
+                        Ok((outs, fp, fl))
+                    },
+                )
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("loadgen thread").unwrap_or_default())
-            .collect()
+        let mut outcomes = Vec::new();
+        for h in handles {
+            if let Ok((outs, fp, fl)) = h.join().expect("loadgen thread") {
+                outcomes.extend(outs);
+                first_partial.merge_from(&fp);
+                final_lat.merge_from(&fl);
+            }
+        }
+        done.store(true, Ordering::Relaxed);
+        let (scrapes, failures) = scraper.map_or((0, 0), |h| h.join().expect("scrape thread"));
+        (outcomes, scrapes, failures)
     });
 
-    let mut first_partial = Histogram::new();
-    let mut final_lat = Histogram::new();
     let mut completed = 0u64;
     let mut rejected = 0u64;
     let mut errors = 0u64;
     for o in &outcomes {
-        if let Some(ms) = o.first_partial_ms {
-            first_partial.record(ms);
-        }
-        if let Some(ms) = o.final_ms {
-            final_lat.record(ms);
-        }
         completed += u64::from(o.completed);
         rejected += u64::from(o.rejected);
         errors += u64::from(o.errored);
@@ -261,34 +444,43 @@ pub fn run_loadgen(
     // Sessions lost to connection-level failures count as errors too.
     errors += (cfg.sessions.saturating_sub(outcomes.len())) as u64;
 
-    // Fetch the server's own counters, and optionally stop it.
+    // Fetch the server's own counters plus the span/flight dump, and
+    // optionally stop it.
     let (mut rd, mut wr) = conn(addr)?;
-    write_client(&mut wr, &ClientMsg::Stats)?;
-    let server = match read_server(&mut rd)? {
-        Some(ServerMsg::Stats { jsonl }) => match ObsRecord::parse_line(jsonl.trim()) {
-            Ok(ObsRecord::Run(pairs)) => pairs,
-            _ => Vec::new(),
-        },
-        _ => Vec::new(),
+    let server = fetch_stats(&mut rd, &mut wr).unwrap_or_default();
+    write_client(&mut wr, &ClientMsg::Dump)?;
+    let (flight_jsonl, spans) = match read_server(&mut rd)? {
+        Some(ServerMsg::Dump { flight, spans }) => (flight, spans),
+        _ => (String::new(), String::new()),
     };
+    let server_session_spans = spans
+        .lines()
+        .filter(|l| l.contains("\"stage\":\"session\""))
+        .count() as u64;
     if cfg.shutdown_after {
         write_client(&mut wr, &ClientMsg::Shutdown)?;
     }
 
-    let elapsed_ms = started.elapsed().as_millis() as u64;
+    let reconciled = scrape_failures == 0 && ledger_reconciles(&server);
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
     Ok(LoadgenReport {
         sessions_requested: cfg.sessions,
         sessions_completed: completed,
         sessions_rejected: rejected,
         errors,
-        first_partial_ms: first_partial.summary(),
-        final_ms: final_lat.summary(),
+        first_partial_ms: LatencyMs::from_us(&first_partial.summary()),
+        final_ms: LatencyMs::from_us(&final_lat.summary()),
         elapsed_ms,
-        sessions_per_sec: if elapsed_ms == 0 {
+        sessions_per_sec: if elapsed_ms <= 0.0 {
             completed as f64
         } else {
-            completed as f64 / (elapsed_ms as f64 / 1e3)
+            completed as f64 / (elapsed_ms / 1e3)
         },
+        scrapes,
+        scrape_failures,
+        reconciled,
+        server_session_spans,
+        flight_jsonl,
         server,
     })
 }
@@ -347,6 +539,7 @@ mod tests {
             sessions: 4,
             concurrency: 2,
             chunk_frames: 8,
+            scrape_every_ms: 5,
             shutdown_after: true,
         };
         let report = run_loadgen(front.local_addr(), &utts, &cfg).unwrap();
@@ -358,11 +551,32 @@ mod tests {
         assert!(report.first_partial_ms.count >= 1, "some words decoded");
         assert_eq!(report.server_total("serve.finals"), Some(4.0));
         assert_eq!(report.server_total("serve.evictions_idle"), Some(0.0));
+        // µs capture: a real network roundtrip is never exactly 0 ms,
+        // which the old millisecond truncation routinely reported.
+        assert!(
+            report.final_ms.min > 0.0,
+            "final latency truncated to zero: {:?}",
+            report.final_ms
+        );
+        // Live scrapes reconciled against the server mid-run, and the
+        // server's closed session spans match the client's tally.
+        assert_eq!(report.scrape_failures, 0);
+        assert!(report.reconciled, "frame ledger must balance");
+        assert_eq!(report.server_session_spans, report.sessions_completed);
+        assert!(
+            report.flight_jsonl.contains("\"event\":\"final\""),
+            "flight ring should hold the finals:\n{}",
+            report.flight_jsonl
+        );
         let json = report.to_json();
         for key in [
             "\"sessions_per_sec\"",
             "\"first_partial_ms\"",
             "\"p99\"",
+            "\"scrapes\"",
+            "\"scrape_failures\": 0",
+            "\"reconciled\": true",
+            "\"server_session_spans\": 4",
             "\"serve.deadline_misses\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");

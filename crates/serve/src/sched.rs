@@ -33,10 +33,10 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use unfold_decoder::{
-    AmSource, DecodeResult, LmSource, NullSink, StreamSession, TraceSink, WorkScratch,
+    AmSource, CountingSink, DecodeResult, LmSource, StreamSession, TraceSink, WorkScratch,
 };
 use unfold_lm::WordId;
-use unfold_obs::{MetricsRegistry, ObsRecord};
+use unfold_obs::{FlightKind, FlightRecorder, LogHistogram, MetricsRegistry, ObsRecord, SpanLog};
 
 use crate::session::{Session, SessionId, SessionPhase, SessionView};
 use crate::{RejectReason, ServeConfig, ServeError};
@@ -69,6 +69,11 @@ pub struct ServeStats {
     pub quanta: u64,
     /// Sessions finalized.
     pub finals: u64,
+    /// Accepted frames discarded undecoded (eviction of a session with
+    /// queued audio, or a lease lost to a worker panic).
+    pub frames_dropped: u64,
+    /// Leases lost to a panicking worker.
+    pub worker_panics: u64,
 }
 
 /// Name under which a single-LM server registers its model; also the
@@ -93,6 +98,13 @@ pub struct Lease<L: LmSource + ?Sized> {
     finalize: bool,
     deadline_ms: u64,
     result: Option<DecodeResult>,
+    /// The open `lease` span covering this quantum (0 = none).
+    span: u64,
+    /// Per-quantum decode telemetry captured by
+    /// [`Lease::run_traced`], attached to the lease span at
+    /// completion.
+    olt_probes: u64,
+    olt_hits: u64,
 }
 
 impl<L: LmSource + ?Sized> Lease<L> {
@@ -109,6 +121,12 @@ impl<L: LmSource + ?Sized> Lease<L> {
     /// Whether this quantum finalizes the session.
     pub fn is_final(&self) -> bool {
         self.finalize
+    }
+
+    /// The open lease-span id (for [`ServeCore::abort_lease`] if the
+    /// lease itself is lost to a panic).
+    pub fn span_id(&self) -> u64 {
+        self.span
     }
 
     /// Runs the quantum: seeds the session if this is its first slice,
@@ -138,6 +156,23 @@ impl<L: LmSource + ?Sized> Lease<L> {
         if self.finalize && self.result.is_none() {
             self.result = Some(self.decode.finalize(am, sink));
         }
+    }
+
+    /// [`Lease::run`] with per-quantum telemetry: resets `counts`,
+    /// decodes through it, and keeps the quantum's OLT probe/hit
+    /// counts on the lease so [`ServeCore::complete_lease`] can attach
+    /// them (as a hit rate) to the lease span. Workers keep one
+    /// [`CountingSink`] per thread and pass it to every quantum.
+    pub fn run_traced<A: AmSource + ?Sized>(
+        &mut self,
+        am: &A,
+        work: &mut WorkScratch,
+        counts: &mut CountingSink,
+    ) {
+        counts.reset();
+        self.run(am, work, counts);
+        self.olt_probes = counts.olt_probes;
+        self.olt_hits = counts.olt_hits;
     }
 }
 
@@ -182,12 +217,24 @@ pub struct ServeCore<A: AmSource + ?Sized, L: LmSource + ?Sized> {
     next_seq: u64,
     /// Total queued frames across sessions (the backlog bound).
     backlog: usize,
+    /// Frames currently out with running leases: accepted, no longer
+    /// queued, not yet counted decoded. Part of the scrape-time
+    /// reconciliation `accepted = decoded + backlog + inflight +
+    /// dropped`.
+    inflight: u64,
     /// Recycled score-row buffers: steady-state frame ingest allocates
     /// only when the pool is dry, and the pool is bounded by the
     /// backlog bound, so queue memory cannot grow without limit.
     row_pool: Vec<Vec<f32>>,
     stats: ServeStats,
     obs: MetricsRegistry,
+    /// Session-lifecycle spans (`session → sched-wait / lease`).
+    spans: SpanLog,
+    /// Recent-scheduler-event ring with first-anomaly auto-freeze.
+    flight: FlightRecorder,
+    /// Worker-side decode wall time per quantum (µs), bumped lock-free
+    /// by the threaded server's workers; also registered in `obs`.
+    lease_decode_us: Arc<LogHistogram>,
 }
 
 impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
@@ -218,23 +265,28 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             "serve.deadline_misses",
             "serve.quanta",
             "serve.finals",
+            "serve.frames_dropped",
+            "serve.worker_panics",
         ] {
             obs.counter(name);
         }
-        for name in [
-            "serve.active_sessions",
-            "serve.backlog_frames",
-            "serve.pressure",
-        ] {
+        for name in ["serve.backlog_frames", "serve.frames_inflight"] {
             obs.gauge(name);
         }
+        // `active_sessions` and `pressure` are *distributions over the
+        // run* (sampled at each scheduling event), not shutdown-time
+        // gauges — a loaded server reports the load it actually
+        // carried. Pressure is scaled ×1000 into integer millis.
         for name in [
             "serve.lease_frames",
             "serve.session_frames",
             "serve.session_words",
+            "serve.active_sessions",
+            "serve.pressure_milli",
         ] {
             obs.histogram(name);
         }
+        let lease_decode_us = obs.log_histogram("serve.lease_decode_us");
         assert!(!lms.is_empty(), "a server needs at least one LM");
         for (i, (name, _)) in lms.iter().enumerate() {
             assert!(
@@ -262,9 +314,13 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             next_id: 1,
             next_seq: 0,
             backlog: 0,
+            inflight: 0,
             row_pool: Vec::new(),
             stats: ServeStats::default(),
             obs,
+            spans: SpanLog::new(),
+            flight: FlightRecorder::new(),
+            lease_decode_us,
         }
     }
 
@@ -407,10 +463,14 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         };
         if self.sessions.len() >= self.config.capacity {
             self.stats.rejected_capacity += 1;
+            self.flight
+                .record(FlightKind::RejectCapacity, now_ms, 0, 0.0, 0.0);
             return Err(ServeError::Rejected(RejectReason::AtCapacity));
         }
         if self.backlog >= self.config.max_backlog_frames {
             self.stats.rejected_overload += 1;
+            self.flight
+                .record(FlightKind::RejectOverload, now_ms, 0, 0.0, 0.0);
             return Err(ServeError::Rejected(RejectReason::Overloaded));
         }
         let (cfg, level) = self.config.admission_config(self.pressure());
@@ -419,11 +479,13 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.sessions.insert(
-            id,
-            Session::new(StreamSession::new(cfg), lm, lm_gen, now_ms, level),
-        );
+        let mut s = Session::new(StreamSession::new(cfg), lm, lm_gen, now_ms, level);
+        s.root_span = self.spans.open("session", id, 0, now_ms);
+        self.sessions.insert(id, s);
         self.stats.opened += 1;
+        self.flight
+            .record(FlightKind::Admit, now_ms, id, 0.0, f64::from(level));
+        self.sample_load();
         Ok(id)
     }
 
@@ -442,6 +504,8 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
     ) -> Result<(), ServeError> {
         if self.backlog >= self.config.max_backlog_frames {
             self.stats.frames_rejected += 1;
+            self.flight
+                .record(FlightKind::RejectOverload, now_ms, id, 0.0, 1.0);
             return Err(ServeError::Rejected(RejectReason::Overloaded));
         }
         let queue_cap = self.config.session_queue_frames;
@@ -507,18 +571,38 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         expired.sort_unstable();
         for &id in &expired {
             if let Some(s) = self.sessions.remove(&id) {
+                let dropped = s.queue.len() as u64;
                 self.backlog -= s.queue.len();
+                self.stats.frames_dropped += dropped;
                 self.recycle(s.queue);
                 self.stats.evicted_idle += 1;
+                if s.wait_span != 0 {
+                    self.spans.close(s.wait_span, now_ms);
+                }
+                self.spans.close_with(
+                    s.root_span,
+                    now_ms,
+                    &[
+                        ("frames_decoded", s.frames_decoded as f64),
+                        ("evicted", 1.0),
+                    ],
+                );
+                self.flight
+                    .record(FlightKind::Evict, now_ms, id, 0.0, dropped as f64);
             }
+        }
+        if !expired.is_empty() {
+            self.sample_load();
         }
         expired
     }
 
     /// Claims the ready session with the earliest deadline, moving its
     /// decode state and up to `quantum_frames` rows out of the table.
-    /// Returns `None` when no session has pending work.
-    pub fn lease_next(&mut self, _now_ms: u64) -> Option<Lease<L>> {
+    /// Returns `None` when no session has pending work. `now_ms` also
+    /// stamps the lease's deadline slack at dispatch (`deadline − now`)
+    /// into the flight recorder.
+    pub fn lease_next(&mut self, now_ms: u64) -> Option<Lease<L>> {
         let quantum = self.config.quantum_frames.max(1);
         while let Some(Reverse((deadline, seq, id))) = self.ready.pop() {
             let Some(s) = self.sessions.get_mut(&id) else {
@@ -536,18 +620,34 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             let frames: Vec<Vec<f32>> = s.queue.drain(..take).collect();
             let finalize = s.phase == SessionPhase::Finishing && s.queue.is_empty();
             let decode = s.decode.take().expect("unleased session owns its state");
+            let lm = Arc::clone(&s.lm);
+            let lm_gen = s.lm_gen;
+            let root = s.root_span;
+            let wait = std::mem::take(&mut s.wait_span);
+            if wait != 0 {
+                self.spans.close(wait, now_ms);
+            }
             self.backlog -= take;
+            self.inflight += take as u64;
             self.stats.quanta += 1;
             self.obs.histogram("serve.lease_frames").record(take as u64);
+            let slack = deadline as f64 - now_ms as f64;
+            self.flight
+                .record(FlightKind::Lease, now_ms, id, slack, take as f64);
+            self.sample_load();
+            let span = self.spans.open("lease", id, root, now_ms);
             return Some(Lease {
                 id,
                 decode,
-                lm: Arc::clone(&s.lm),
-                lm_gen: s.lm_gen,
+                lm,
+                lm_gen,
                 frames,
                 finalize,
                 deadline_ms: deadline,
                 result: None,
+                span,
+                olt_probes: 0,
+                olt_hits: 0,
             });
         }
         None
@@ -562,17 +662,40 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             id,
             decode,
             lm: _,
-            lm_gen: _,
+            lm_gen,
             frames,
             finalize: _,
             deadline_ms,
             result,
+            span,
+            olt_probes,
+            olt_hits,
         } = lease;
         let n = frames.len() as u64;
         self.stats.frames_decoded += n;
+        self.inflight -= n;
+        let slack = deadline_ms as f64 - now_ms as f64;
         if now_ms > deadline_ms {
             self.stats.deadline_misses += 1;
+            self.flight
+                .record(FlightKind::DeadlineMiss, now_ms, id, slack, n as f64);
         }
+        let olt_hit_rate = if olt_probes == 0 {
+            0.0
+        } else {
+            olt_hits as f64 / olt_probes as f64
+        };
+        self.spans.close_with(
+            span,
+            now_ms,
+            &[
+                ("frames", n as f64),
+                ("olt_hit_rate", olt_hit_rate),
+                ("olt_probes", olt_probes as f64),
+                ("lm_gen", lm_gen as f64),
+                ("slack_ms", slack),
+            ],
+        );
         self.recycle(frames);
         let finished = result.is_some();
         let (session_frames, session_words) = {
@@ -583,6 +706,7 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             s.last_partial = decode.partial_stable_prefix();
             s.decode = Some(decode);
             s.leased = false;
+            s.last_progress_ms = s.last_progress_ms.max(now_ms);
             match result {
                 Some(res) => {
                     let words = res.words.len() as u64;
@@ -601,9 +725,38 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             self.obs
                 .histogram("serve.session_words")
                 .record(session_words);
+            self.flight
+                .record(FlightKind::Final, now_ms, id, slack, session_frames as f64);
         } else {
             self.arm(id, now_ms);
         }
+    }
+
+    /// Abandons a lease whose worker panicked mid-quantum: the decode
+    /// state and the leased frames went down with the worker's stack,
+    /// so the session cannot continue — record the panic (a flight
+    /// trigger), close its spans, and free the slot. `lost_frames` is
+    /// the lease's frame count, captured before the decode started.
+    pub fn abort_lease(&mut self, id: SessionId, lease_span: u64, lost_frames: u64, now_ms: u64) {
+        self.stats.worker_panics += 1;
+        self.stats.frames_dropped += lost_frames;
+        self.inflight -= lost_frames;
+        self.spans
+            .close_with(lease_span, now_ms, &[("panicked", 1.0)]);
+        if let Some(s) = self.sessions.remove(&id) {
+            let queued = s.queue.len() as u64;
+            self.stats.frames_dropped += queued;
+            self.backlog -= s.queue.len();
+            self.recycle(s.queue);
+            if s.wait_span != 0 {
+                self.spans.close(s.wait_span, now_ms);
+            }
+            self.spans
+                .close_with(s.root_span, now_ms, &[("panicked", 1.0)]);
+        }
+        self.flight
+            .record(FlightKind::WorkerPanic, now_ms, id, 0.0, lost_frames as f64);
+        self.sample_load();
     }
 
     /// One scheduler turn: lease, decode, complete. The deterministic
@@ -613,7 +766,8 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
     pub fn step(&mut self, work: &mut WorkScratch, now_ms: u64) -> Option<SessionId> {
         let mut lease = self.lease_next(now_ms)?;
         let am = self.am();
-        lease.run(&*am, work, &mut NullSink);
+        let mut counts = CountingSink::default();
+        lease.run_traced(&*am, work, &mut counts);
         let id = lease.session();
         self.complete_lease(lease, now_ms);
         Some(id)
@@ -659,7 +813,26 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             Some(s) if s.phase == SessionPhase::Closed => {
                 let s = self.sessions.remove(&id).expect("present");
                 self.backlog -= s.queue.len();
+                self.stats.frames_dropped += s.queue.len() as u64;
                 self.recycle(s.queue);
+                // Collection has no logical timestamp of its own: the
+                // root span ends at the session's latest client or
+                // scheduler activity, so it never closes before its
+                // child lease spans.
+                let end = s.last_activity_ms.max(s.last_progress_ms);
+                if s.wait_span != 0 {
+                    self.spans.close(s.wait_span, end);
+                }
+                let words = s.result.as_ref().map_or(0, |r| r.words.len()) as f64;
+                self.spans.close_with(
+                    s.root_span,
+                    end,
+                    &[
+                        ("frames_decoded", s.frames_decoded as f64),
+                        ("words", words),
+                    ],
+                );
+                self.sample_load();
                 Ok(s.result)
             }
             Some(_) => Ok(None),
@@ -681,7 +854,62 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         self.obs.markdown()
     }
 
-    /// Arms `id` in the ready queue if it has work and no live entry.
+    /// Closed session-lifecycle spans as JSONL (one `sspan` record per
+    /// line, in close order).
+    pub fn spans_jsonl(&self) -> String {
+        self.spans.to_jsonl()
+    }
+
+    /// Closed spans as a Chrome `trace_event` JSON array for
+    /// about://tracing (one track per session).
+    pub fn spans_chrome_trace(&self) -> String {
+        self.spans.to_chrome_trace()
+    }
+
+    /// `(opened, closed, still_open)` span counts over the core's
+    /// lifetime — the reconciliation surface for scrape tests.
+    pub fn span_counts(&self) -> (u64, u64, usize) {
+        (
+            self.spans.opened_total(),
+            self.spans.closed_total(),
+            self.spans.open_count(),
+        )
+    }
+
+    /// The flight recorder's current ring as JSONL, oldest first.
+    pub fn flight_jsonl(&self) -> String {
+        self.flight.snapshot_jsonl()
+    }
+
+    /// The dump pinned at the first anomaly (deadline miss, overload
+    /// reject, worker panic), with the trigger's tag — `None` while the
+    /// run has been clean.
+    pub fn flight_frozen(&self) -> Option<(&'static str, &str)> {
+        Some((self.flight.frozen_reason()?, self.flight.frozen_dump()?))
+    }
+
+    /// The shared worker-side decode-time histogram (µs per quantum);
+    /// the threaded server's workers record into clones of this `Arc`
+    /// with no lock held.
+    pub fn lease_decode_us(&self) -> Arc<LogHistogram> {
+        Arc::clone(&self.lease_decode_us)
+    }
+
+    /// Samples the load distributions (`serve.active_sessions`,
+    /// `serve.pressure_milli`) at a scheduling event, so the exported
+    /// report reflects load *over the run*, not at shutdown.
+    fn sample_load(&mut self) {
+        let sessions = self.sessions.len() as u64;
+        let pressure_milli = (self.pressure() * 1000.0).round() as u64;
+        self.obs.histogram("serve.active_sessions").record(sessions);
+        self.obs
+            .histogram("serve.pressure_milli")
+            .record(pressure_milli);
+    }
+
+    /// Arms `id` in the ready queue if it has work and no live entry,
+    /// opening its `sched-wait` span (armed → leased is exactly the
+    /// time the session spent waiting for a worker).
     fn arm(&mut self, id: SessionId, now_ms: u64) {
         let deadline = now_ms + self.config.deadline_ms;
         let seq = self.next_seq;
@@ -692,8 +920,13 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             return;
         }
         s.armed = Some((deadline, seq));
+        let root = s.root_span;
         self.next_seq += 1;
         self.ready.push(Reverse((deadline, seq, id)));
+        let wait = self.spans.open("sched-wait", id, root, now_ms);
+        if let Some(s) = self.sessions.get_mut(&id) {
+            s.wait_span = wait;
+        }
     }
 
     /// Returns row buffers to the pool (bounded by the backlog bound).
@@ -722,6 +955,8 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             ("serve.deadline_misses", self.stats.deadline_misses),
             ("serve.quanta", self.stats.quanta),
             ("serve.finals", self.stats.finals),
+            ("serve.frames_dropped", self.stats.frames_dropped),
+            ("serve.worker_panics", self.stats.worker_panics),
         ];
         for (name, v) in counters {
             let c = self.obs.counter(name);
@@ -730,14 +965,12 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
                 c.add(v - cur);
             }
         }
-        let pressure = self.pressure();
-        self.obs
-            .gauge("serve.active_sessions")
-            .set(self.sessions.len() as f64);
         self.obs
             .gauge("serve.backlog_frames")
             .set(self.backlog as f64);
-        self.obs.gauge("serve.pressure").set(pressure);
+        self.obs
+            .gauge("serve.frames_inflight")
+            .set(self.inflight as f64);
     }
 }
 
@@ -745,7 +978,7 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
 mod tests {
     use super::*;
     use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel, Utterance};
-    use unfold_decoder::{DecodeConfig, OtfDecoder};
+    use unfold_decoder::{DecodeConfig, NullSink, OtfDecoder};
     use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
     use unfold_wfst::Wfst;
 
@@ -1400,8 +1633,204 @@ mod tests {
         let get = |k: &str| pairs.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
         assert_eq!(get("serve.sessions_opened"), Some(1.0));
         assert_eq!(get("serve.finals"), Some(1.0));
-        assert_eq!(get("serve.active_sessions"), Some(1.0));
+        // Load is a distribution over the run now, not a shutdown-time
+        // gauge: this run peaked at one live session.
+        assert_eq!(get("serve.active_sessions.max"), Some(1.0));
+        assert!(get("serve.active_sessions.count").unwrap() >= 2.0);
+        assert!(get("serve.pressure_milli.count").is_some());
+        assert_eq!(get("serve.frames_inflight"), Some(0.0));
         assert!(get("serve.lease_frames.count").is_some());
+        assert!(get("serve.lease_decode_us.count").is_some());
         assert!(core.obs_markdown().contains("serve.quanta"));
+    }
+
+    /// Acceptance: a forced deadline miss pins a flight-recorder dump
+    /// whose *last* event is the missed lease with negative slack.
+    #[test]
+    fn deadline_miss_freezes_a_flight_dump_ending_with_negative_slack() {
+        let (lex, am, lm) = setup();
+        let u = utt(&lex, &[3, 9], 1);
+        let config = ServeConfig {
+            deadline_ms: 10,
+            olt_entries: 0,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm, config);
+        let id = core.open(0).unwrap();
+        core.push_frame(id, u.scores.frame(0), 0).unwrap();
+        let a = core.am();
+        let mut work = WorkScratch::new();
+        work.configure_olt(0);
+        assert!(core.flight_frozen().is_none(), "clean so far");
+
+        // The quantum dispatches at t=5 but completes at t=25, 15 ms
+        // past its t=10 deadline.
+        let mut lease = core.lease_next(5).expect("ready");
+        lease.run(&*a, &mut work, &mut NullSink);
+        core.complete_lease(lease, 25);
+
+        let (reason, dump) = core.flight_frozen().expect("miss pinned a dump");
+        assert_eq!(reason, "deadline_miss");
+        let events: Vec<unfold_obs::FlightEvent> = dump
+            .lines()
+            .map(|l| match ObsRecord::parse_line(l).unwrap() {
+                ObsRecord::Flight(e) => e,
+                other => panic!("expected flight events, got {other:?}"),
+            })
+            .collect();
+        // The run up to the anomaly is all there: admit → lease → miss.
+        assert!(events.iter().any(|e| e.kind == FlightKind::Admit));
+        assert!(events.iter().any(|e| e.kind == FlightKind::Lease));
+        let last = events.last().unwrap();
+        assert_eq!(last.kind, FlightKind::DeadlineMiss);
+        assert_eq!(last.session, id);
+        assert_eq!(last.slack_ms, -15.0, "deadline 10, completed 25");
+        // The lease-grant event carried its dispatch slack.
+        let grant = events.iter().find(|e| e.kind == FlightKind::Lease).unwrap();
+        assert_eq!(grant.slack_ms, 5.0, "deadline 10, dispatched 5");
+    }
+
+    /// Satellite: span lifecycle. Every opened span closes exactly
+    /// once, parents close after (or with) their children, and the
+    /// whole span log is byte-identical across two identical runs on
+    /// the logical clock.
+    #[test]
+    fn session_spans_close_once_nest_and_are_deterministic() {
+        let run = || {
+            let (lex, am, lm) = setup();
+            let config = ServeConfig {
+                quantum_frames: 8,
+                olt_entries: 0,
+                ..Default::default()
+            };
+            let mut core = core_with(&am, &lm, config);
+            let utts = [utt(&lex, &[3, 9, 17], 5), utt(&lex, &[7, 11], 8)];
+            let ids: Vec<SessionId> = utts.iter().map(|_| core.open(0).unwrap()).collect();
+            for (id, u) in ids.iter().zip(&utts) {
+                push_all(&mut core, *id, u, 1);
+                core.finish(*id, 2).unwrap();
+            }
+            let mut work = WorkScratch::new();
+            work.configure_olt(0);
+            let mut t = 3;
+            while core.step(&mut work, t).is_some() {
+                t += 1;
+            }
+            for id in &ids {
+                core.take_result(*id).unwrap().unwrap();
+            }
+            let (opened, closed, still_open) = core.span_counts();
+            assert_eq!(opened, closed, "every span must close");
+            assert_eq!(still_open, 0);
+            core.spans_jsonl()
+        };
+        let jsonl = run();
+
+        let mut seen = std::collections::HashMap::new();
+        let mut ids_seen = std::collections::HashSet::new();
+        let spans: Vec<unfold_obs::SessionSpan> = jsonl
+            .lines()
+            .map(|l| match ObsRecord::parse_line(l).unwrap() {
+                ObsRecord::SessionSpan(s) => s,
+                other => panic!("expected sspan, got {other:?}"),
+            })
+            .collect();
+        for s in &spans {
+            assert!(ids_seen.insert(s.id), "span {} closed twice", s.id);
+            assert!(s.end_ms >= s.start_ms);
+            seen.insert(s.id, (s.start_ms, s.end_ms));
+        }
+        // Children nest inside their parents: the parent opened no
+        // later and (being closed later in the log or carrying a later
+        // stamp) ends no earlier.
+        for s in &spans {
+            if s.parent != 0 {
+                let &(p_start, p_end) = seen
+                    .get(&s.parent)
+                    .expect("parent closed too (and made it into the log)");
+                assert!(p_start <= s.start_ms, "parent opens first");
+                assert!(p_end >= s.end_ms, "parent closes after children");
+            }
+        }
+        // Stage vocabulary is exactly the documented lifecycle.
+        for s in &spans {
+            assert!(
+                ["session", "sched-wait", "lease"].contains(&s.stage.as_str()),
+                "unexpected stage {:?}",
+                s.stage
+            );
+        }
+        // Deterministic: an identical run produces an identical log.
+        assert_eq!(jsonl, run(), "span export must be deterministic");
+    }
+
+    #[test]
+    fn abort_lease_frees_the_slot_and_reconciles_frame_accounting() {
+        let (lex, am, lm) = setup();
+        let u = utt(&lex, &[3, 9, 17], 5);
+        let config = ServeConfig {
+            quantum_frames: 4,
+            olt_entries: 0,
+            ..Default::default()
+        };
+        let mut core = core_with(&am, &lm, config);
+        let id = core.open(0).unwrap();
+        push_all(&mut core, id, &u, 0);
+        let accepted = core.stats().frames_accepted;
+
+        // A worker takes a lease and "panics": the lease never comes
+        // back, only the abort notification does.
+        let lease = core.lease_next(1).expect("ready");
+        let (sid, span, lost) = (lease.session(), lease.span_id(), lease.num_frames() as u64);
+        drop(lease);
+        core.abort_lease(sid, span, lost, 2);
+
+        assert_eq!(core.active_sessions(), 0);
+        assert_eq!(core.stats().worker_panics, 1);
+        let st = core.stats();
+        assert_eq!(
+            st.frames_accepted,
+            st.frames_decoded + core.backlog_frames() as u64 + st.frames_dropped,
+            "accounting reconciles after the panic"
+        );
+        assert_eq!(st.frames_dropped, accepted, "all queued+leased rows lost");
+        let (reason, dump) = core.flight_frozen().expect("panic pinned a dump");
+        assert_eq!(reason, "worker_panic");
+        assert!(dump.contains("worker_panic"));
+        let (opened, closed, still_open) = core.span_counts();
+        assert_eq!(opened, closed);
+        assert_eq!(still_open, 0);
+        // The slot is genuinely free.
+        assert!(core.open(3).is_ok());
+    }
+
+    #[test]
+    fn chrome_trace_export_covers_all_sessions() {
+        let (lex, am, lm) = setup();
+        let u = utt(&lex, &[3, 9], 5);
+        let mut core = core_with(
+            &am,
+            &lm,
+            ServeConfig {
+                olt_entries: 0,
+                ..Default::default()
+            },
+        );
+        let a = core.open(0).unwrap();
+        let b = core.open(0).unwrap();
+        for (id, seed) in [(a, &u), (b, &u)] {
+            push_all(&mut core, id, seed, 0);
+            core.finish(id, 0).unwrap();
+        }
+        let mut work = WorkScratch::new();
+        work.configure_olt(0);
+        while core.step(&mut work, 1).is_some() {}
+        core.take_result(a).unwrap().unwrap();
+        core.take_result(b).unwrap().unwrap();
+        let trace = core.spans_chrome_trace();
+        assert!(trace.starts_with('[') && trace.ends_with(']'));
+        assert!(trace.contains(&format!("\"tid\":{a}")));
+        assert!(trace.contains(&format!("\"tid\":{b}")));
+        assert!(trace.contains("\"olt_hit_rate\""));
     }
 }

@@ -14,7 +14,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use unfold_decoder::{AmSource, DecodeResult, LmSource, NullSink, WorkScratch};
+use unfold_decoder::{AmSource, CountingSink, DecodeResult, LmSource, WorkScratch};
 use unfold_lm::WordId;
 
 use crate::sched::{ServeCore, ServeStats};
@@ -131,10 +131,13 @@ where
     A: AmSource + Send + Sync + 'static + ?Sized,
     L: LmSource + Send + Sync + 'static + ?Sized,
 {
-    // One scratch (and one warm OLT) per worker, for its whole life.
+    // One scratch (and one warm OLT) per worker, for its whole life —
+    // and one counting sink, reset per quantum, feeding the lease span.
     let mut work = WorkScratch::new();
     work.configure_olt(olt_entries);
+    let mut counts = CountingSink::default();
     let mut core = shared.core.lock().expect("serve lock");
+    let decode_us = core.lease_decode_us();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -147,9 +150,29 @@ where
                 // shared AM comes from the core.
                 let am = core.am();
                 drop(core);
-                lease.run(&*am, &mut work, &mut NullSink);
+                // Decode unlocked. A panicking decode must not wedge
+                // the session's slot (or poison the core mutex), so the
+                // quantum runs under `catch_unwind`; the identifiers
+                // needed to unwind the lease are captured first because
+                // a panic consumes it.
+                let (id, span, granted) =
+                    (lease.session(), lease.span_id(), lease.num_frames() as u64);
+                let started = Instant::now();
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    lease.run_traced(&*am, &mut work, &mut counts);
+                    lease
+                }));
+                let spent = started.elapsed();
                 core = shared.core.lock().expect("serve lock");
-                core.complete_lease(lease, shared.now_ms());
+                match outcome {
+                    Ok(lease) => {
+                        decode_us.record(spent.as_micros() as u64);
+                        core.complete_lease(lease, shared.now_ms());
+                    }
+                    // The search state unwound with the panic: release
+                    // the slot and account the lost frames.
+                    Err(_) => core.abort_lease(id, span, granted, shared.now_ms()),
+                }
                 shared.cv.notify_all();
             }
             None => {
@@ -338,6 +361,34 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeHandle<A, L> {
         self.lock().obs_markdown()
     }
 
+    /// Closed session spans as JSONL (`sspan` records, close order).
+    pub fn spans_jsonl(&self) -> String {
+        self.lock().spans_jsonl()
+    }
+
+    /// Closed session spans as a Chrome `trace_event` JSON array.
+    pub fn spans_chrome_trace(&self) -> String {
+        self.lock().spans_chrome_trace()
+    }
+
+    /// `(opened, closed, still_open)` span counts since start.
+    pub fn span_counts(&self) -> (u64, u64, usize) {
+        self.lock().span_counts()
+    }
+
+    /// The flight recorder: the frozen incident dump if one was pinned,
+    /// otherwise a live snapshot of the event ring.
+    pub fn flight_jsonl(&self) -> String {
+        self.lock().flight_jsonl()
+    }
+
+    /// `(reason, dump)` of the pinned incident snapshot, if any.
+    pub fn flight_frozen(&self) -> Option<(String, String)> {
+        self.lock()
+            .flight_frozen()
+            .map(|(reason, dump)| (reason.to_string(), dump.to_string()))
+    }
+
     /// Asks the server (and any front ends polling this flag) to stop.
     pub fn request_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -354,7 +405,7 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeHandle<A, L> {
 mod tests {
     use super::*;
     use unfold_am::{build_am, synthesize_utterance, HmmTopology, Lexicon, NoiseModel, Utterance};
-    use unfold_decoder::{DecodeConfig, OtfDecoder};
+    use unfold_decoder::{DecodeConfig, NullSink, OtfDecoder};
     use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
     use unfold_wfst::Wfst;
 
@@ -433,6 +484,13 @@ mod tests {
             assert_eq!(served.stats, alone.stats);
         }
         assert_eq!(handle.stats().finals, 4);
+        // Every slot is freed, so the span ledger balances and a clean
+        // run pins no flight-recorder incident.
+        let (opened, closed, open) = handle.span_counts();
+        assert_eq!(opened, closed);
+        assert_eq!(open, 0);
+        assert!(handle.flight_frozen().is_none());
+        assert!(!handle.spans_jsonl().is_empty());
         server.shutdown();
     }
 

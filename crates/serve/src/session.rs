@@ -68,6 +68,11 @@ pub(crate) struct Session<L: LmSource + ?Sized> {
     /// Last *client* activity (open/push/finish) — the idle-eviction
     /// clock. Decode progress deliberately does not refresh it.
     pub last_activity_ms: u64,
+    /// Last *scheduler* progress (lease completion). Collection has no
+    /// timestamp of its own, so the root span closes at
+    /// `max(last_activity_ms, last_progress_ms)` — never before its
+    /// child lease spans.
+    pub last_progress_ms: u64,
     /// The `(deadline_ms, seq)` key of this session's live ready-queue
     /// entry, if any; heap entries with a different key are stale.
     pub armed: Option<(u64, u64)>,
@@ -79,6 +84,12 @@ pub(crate) struct Session<L: LmSource + ?Sized> {
     /// the decode state is out with a worker.
     pub last_partial: Vec<WordId>,
     pub degrade_level: u8,
+    /// The session's root lifecycle span, open from admission until
+    /// the slot is freed (collect or evict). 0 = spans disabled.
+    pub root_span: u64,
+    /// The open `sched-wait` span, if the session is armed and waiting
+    /// for a lease. 0 = none open.
+    pub wait_span: u64,
 }
 
 impl<L: LmSource + ?Sized> Session<L> {
@@ -96,6 +107,7 @@ impl<L: LmSource + ?Sized> Session<L> {
             queue: VecDeque::new(),
             phase: SessionPhase::Open,
             last_activity_ms: now_ms,
+            last_progress_ms: now_ms,
             armed: None,
             leased: false,
             result: None,
@@ -103,6 +115,8 @@ impl<L: LmSource + ?Sized> Session<L> {
             frames_decoded: 0,
             last_partial: Vec::new(),
             degrade_level,
+            root_span: 0,
+            wait_span: 0,
         }
     }
 

@@ -191,6 +191,10 @@ where
             ClientMsg::Stats => ServerMsg::Stats {
                 jsonl: handle.obs_jsonl(),
             },
+            ClientMsg::Dump => ServerMsg::Dump {
+                flight: handle.flight_jsonl(),
+                spans: handle.spans_jsonl(),
+            },
             ClientMsg::Shutdown => {
                 handle.request_shutdown();
                 break;
@@ -293,6 +297,15 @@ mod tests {
             panic!("expected Stats");
         };
         assert!(jsonl.contains("serve.finals"));
+
+        // A Dump over the same connection carries the flight ring (an
+        // Admit at least) and the now-closed session's spans.
+        write_client(&mut wr, &ClientMsg::Dump).unwrap();
+        let ServerMsg::Dump { flight, spans } = read_server(&mut rd).unwrap().unwrap() else {
+            panic!("expected Dump");
+        };
+        assert!(flight.contains("\"event\":\"admit\""), "{flight}");
+        assert!(spans.contains("\"stage\":\"session\""), "{spans}");
 
         write_client(&mut wr, &ClientMsg::Shutdown).unwrap();
         front.join();

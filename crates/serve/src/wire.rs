@@ -37,6 +37,8 @@ pub enum ClientMsg {
     Stats,
     /// Ask the whole server to shut down.
     Shutdown,
+    /// Request the flight-recorder dump and closed session spans.
+    Dump,
 }
 
 /// Server → client messages.
@@ -76,6 +78,14 @@ pub enum ServerMsg {
         /// The JSONL text.
         jsonl: String,
     },
+    /// Flight-recorder events plus closed session spans.
+    Dump {
+        /// Flight events as JSONL (`flight` records) — the pinned
+        /// incident snapshot if one froze, else a live ring snapshot.
+        flight: String,
+        /// Closed session spans as JSONL (`sspan` records).
+        spans: String,
+    },
 }
 
 const T_OPEN: u8 = 0x01;
@@ -83,6 +93,7 @@ const T_FRAMES: u8 = 0x02;
 const T_FINISH: u8 = 0x03;
 const T_STATS: u8 = 0x04;
 const T_SHUTDOWN: u8 = 0x05;
+const T_DUMP: u8 = 0x06;
 
 const T_OPENED: u8 = 0x81;
 const T_REJECTED: u8 = 0x82;
@@ -90,6 +101,7 @@ const T_PARTIAL: u8 = 0x83;
 const T_FINAL: u8 = 0x84;
 const T_ERROR: u8 = 0x85;
 const T_STATS_REPLY: u8 = 0x86;
+const T_DUMP_REPLY: u8 = 0x87;
 
 fn bad(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("wire: {what}"))
@@ -201,6 +213,7 @@ impl ClientMsg {
             ClientMsg::Finish => buf.push(T_FINISH),
             ClientMsg::Stats => buf.push(T_STATS),
             ClientMsg::Shutdown => buf.push(T_SHUTDOWN),
+            ClientMsg::Dump => buf.push(T_DUMP),
         }
         buf
     }
@@ -242,6 +255,7 @@ impl ClientMsg {
             T_FINISH => ClientMsg::Finish,
             T_STATS => ClientMsg::Stats,
             T_SHUTDOWN => ClientMsg::Shutdown,
+            T_DUMP => ClientMsg::Dump,
             t => return Err(bad(&format!("unknown client tag {t:#04x}"))),
         };
         c.done()?;
@@ -287,6 +301,11 @@ impl ServerMsg {
                 buf.push(T_STATS_REPLY);
                 put_string(&mut buf, jsonl);
             }
+            ServerMsg::Dump { flight, spans } => {
+                buf.push(T_DUMP_REPLY);
+                put_string(&mut buf, flight);
+                put_string(&mut buf, spans);
+            }
         }
         buf
     }
@@ -314,6 +333,10 @@ impl ServerMsg {
             },
             T_ERROR => ServerMsg::Error { msg: c.string()? },
             T_STATS_REPLY => ServerMsg::Stats { jsonl: c.string()? },
+            T_DUMP_REPLY => ServerMsg::Dump {
+                flight: c.string()?,
+                spans: c.string()?,
+            },
             t => return Err(bad(&format!("unknown server tag {t:#04x}"))),
         };
         c.done()?;
@@ -409,6 +432,7 @@ mod tests {
         roundtrip_client(ClientMsg::Finish);
         roundtrip_client(ClientMsg::Stats);
         roundtrip_client(ClientMsg::Shutdown);
+        roundtrip_client(ClientMsg::Dump);
     }
 
     /// A bare `T_OPEN` — the entire pre-registry protocol — must still
@@ -448,6 +472,14 @@ mod tests {
         });
         roundtrip_server(ServerMsg::Stats {
             jsonl: "{\"record\":\"run\"}".into(),
+        });
+        roundtrip_server(ServerMsg::Dump {
+            flight: "{\"record\":\"flight\"}\n".into(),
+            spans: "{\"record\":\"sspan\"}\n".into(),
+        });
+        roundtrip_server(ServerMsg::Dump {
+            flight: String::new(),
+            spans: String::new(),
         });
     }
 
@@ -506,5 +538,11 @@ mod tests {
         overflow.extend_from_slice(&(body.len() as u32).to_le_bytes());
         overflow.extend_from_slice(&body);
         assert!(read_client(&mut overflow.as_slice()).is_err());
+        // Dump reply missing its second string.
+        let mut short_dump = Vec::new();
+        let body = [&[T_DUMP_REPLY][..], &0u32.to_le_bytes()].concat();
+        short_dump.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        short_dump.extend_from_slice(&body);
+        assert!(read_server(&mut short_dump.as_slice()).is_err());
     }
 }

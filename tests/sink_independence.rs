@@ -122,6 +122,10 @@ fn exported_telemetry_roundtrips_through_jsonl() {
                 runs += 1;
                 assert!(!counters.is_empty(), "run record carries no counters");
             }
+            // Serve-side record types; a MetricsSink decode emits none.
+            r @ (unfold_obs::ObsRecord::SessionSpan(_) | unfold_obs::ObsRecord::Flight(_)) => {
+                panic!("decoder telemetry emitted a serve-side record: {r:?}")
+            }
         }
     }
     assert_eq!(
