@@ -81,8 +81,13 @@ fn main() {
     let path = unfold_bench::decode_bench::default_path();
     match std::fs::write(&path, report.to_json()) {
         Ok(()) => eprintln!(
-            "decode bench: {:.0} frames/s single-thread ({:.2}x vs naive, OLT hit rate {:.3}) -> {path}",
-            report.frames_per_sec, report.single_thread_speedup, report.olt_hit_rate
+            "decode bench: {:.0} frames/s single-thread ({:.2}x vs naive, {:.2}x vs legacy kernel, OLT hit rate {}) -> {path}",
+            report.frames_per_sec,
+            report.single_thread_speedup,
+            report.kernel_speedup,
+            report
+                .olt_hit_rate
+                .map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}")),
         ),
         Err(e) => eprintln!("decode bench: failed to write {path}: {e}"),
     }

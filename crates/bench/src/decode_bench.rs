@@ -6,27 +6,31 @@
 //! Unlike the per-figure Markdown tables, this file is meant for
 //! machines: CI trend lines and before/after comparisons in PRs.
 //!
-//! Three configurations are measured on the same utterance batch:
+//! Four configurations are measured on the same utterance batch:
 //!
-//! * **naive** — fresh working memory per utterance, software OLT off
-//!   (the decode path as it was before the zero-alloc refactor),
+//! * **naive** — fresh working memory per utterance, software OLT off,
+//!   legacy scalar kernel (the decode path as it was before the
+//!   zero-alloc refactor and the SoA kernel),
 //! * **optimized, single thread** — one warm [`DecodeScratch`] reused
-//!   across utterances plus the software OLT,
-//! * **optimized, `jobs` ∈ {1, 2, 4}** — the utterance-parallel pool,
-//!   but only the worker counts this machine can actually run in
-//!   parallel: points with `jobs > cores` measure scheduler thrash,
-//!   not the pool, so they are skipped and listed in
-//!   `skipped_oversubscribed` instead of being reported as if they
-//!   meant something.
+//!   across utterances, the software OLT, and the SoA frame kernel,
+//! * **legacy-kernel optimized** — identical to the above but with the
+//!   scalar kernel, timed in the *same* repetition so the
+//!   `kernel_speedup` ratio is immune to machine-speed drift,
+//! * **optimized, multi-worker** — the utterance-parallel pool across
+//!   a cores-aware worker ladder (`{1, 2, 4}` ∪ powers of two up to
+//!   the core count ∪ the core count itself); points with
+//!   `jobs > cores` measure scheduler thrash, not the pool, so they
+//!   are skipped and listed in `skipped_oversubscribed` instead of
+//!   being reported as if they meant something.
 //!
-//! All three produce bit-identical transcripts (pinned by tests and
-//! asserted again here); only the wall clock may differ.
+//! All configurations produce bit-identical transcripts (pinned by
+//! tests and asserted again here); only the wall clock may differ.
 
 use std::time::Instant;
 
 use unfold::{decode_batch, System, TaskSpec};
 use unfold_am::Utterance;
-use unfold_decoder::{DecodeConfig, DecodeScratch, NullSink, OtfDecoder};
+use unfold_decoder::{DecodeConfig, DecodeKernel, DecodeScratch, NullSink, OtfDecoder};
 
 /// Software-OLT capacity used by the optimized configurations. The
 /// paper's hardware table holds 32K entries (Fig 7); the software memo
@@ -60,17 +64,31 @@ pub struct DecodeBenchReport {
     pub frames: usize,
     /// Audio seconds in the batch.
     pub audio_seconds: f64,
-    /// Frames/sec with fresh scratch per utterance and the OLT off.
+    /// Frames/sec with fresh scratch per utterance, the OLT off, and
+    /// the legacy kernel.
     pub naive_frames_per_sec: f64,
-    /// Frames/sec with warm scratch + OLT, single thread.
+    /// Frames/sec with warm scratch + OLT + SoA kernel, single thread.
     pub frames_per_sec: f64,
+    /// Frames/sec of the legacy-kernel twin of the optimized
+    /// configuration (warm scratch + OLT, scalar loops), timed in the
+    /// same repetitions as `frames_per_sec`.
+    pub legacy_frames_per_sec: f64,
     /// `frames_per_sec / naive_frames_per_sec`.
     pub single_thread_speedup: f64,
+    /// `frames_per_sec / legacy_frames_per_sec` — the SoA kernel's
+    /// isolated contribution, drift-immune because both sides were
+    /// interleaved within each repetition.
+    pub kernel_speedup: f64,
     /// Real-time factor of the optimized single-thread configuration
     /// (audio seconds decoded per wall second).
     pub rtf: f64,
-    /// Software-OLT hit rate in the optimized run.
-    pub olt_hit_rate: f64,
+    /// Software-OLT probes issued in the optimized run.
+    pub olt_probes: u64,
+    /// Software-OLT hit rate in the optimized run; `None` (JSON
+    /// `null`) when the run issued zero probes — a 0-probe run has no
+    /// hit rate, and reporting `0.0` would read as "probed and always
+    /// missed".
+    pub olt_hit_rate: Option<f64>,
     /// Scaling across worker counts that fit this machine
     /// (`jobs <= cores`, plus `jobs = 1` always).
     pub jobs: Vec<JobsPoint>,
@@ -102,11 +120,23 @@ impl DecodeBenchReport {
             self.frames_per_sec
         ));
         s.push_str(&format!(
+            "  \"legacy_frames_per_sec\": {:.1},\n",
+            self.legacy_frames_per_sec
+        ));
+        s.push_str(&format!(
             "  \"single_thread_speedup\": {:.3},\n",
             self.single_thread_speedup
         ));
+        s.push_str(&format!(
+            "  \"kernel_speedup\": {:.3},\n",
+            self.kernel_speedup
+        ));
         s.push_str(&format!("  \"rtf\": {:.1},\n", self.rtf));
-        s.push_str(&format!("  \"olt_hit_rate\": {:.4},\n", self.olt_hit_rate));
+        s.push_str(&format!("  \"olt_probes\": {},\n", self.olt_probes));
+        match self.olt_hit_rate {
+            Some(rate) => s.push_str(&format!("  \"olt_hit_rate\": {rate:.4},\n")),
+            None => s.push_str("  \"olt_hit_rate\": null,\n"),
+        }
         s.push_str(&format!("  \"olt_entries\": {},\n", BENCH_OLT_ENTRIES));
         s.push_str("  \"jobs\": [\n");
         for (i, p) in self.jobs.iter().enumerate() {
@@ -133,6 +163,25 @@ impl DecodeBenchReport {
     }
 }
 
+/// The worker-count ladder for the jobs scaling curve: the historical
+/// `{1, 2, 4}` floor, every power of two up to the machine's core
+/// count, and the core count itself — so the curve always ends at full
+/// hardware width instead of stopping at whatever constant was wired
+/// in when the bench was written.
+pub fn jobs_candidates(cores: usize) -> Vec<usize> {
+    let cores = cores.max(1);
+    let mut c = vec![1usize, 2, 4];
+    let mut p = 8usize;
+    while p <= cores {
+        c.push(p);
+        p *= 2;
+    }
+    c.push(cores);
+    c.sort_unstable();
+    c.dedup();
+    c
+}
+
 /// Median of a sample set (destructive).
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -152,8 +201,14 @@ pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchR
     let frames: usize = utts.iter().map(|u| u.scores.num_frames()).sum();
     let audio_seconds: f64 = utts.iter().map(|u| u.audio_seconds()).sum();
 
-    // Naive: the pre-optimization shape — fresh scratch, OLT off.
-    let naive_dec = OtfDecoder::new(DecodeConfig::default());
+    // Naive: the pre-optimization shape — fresh scratch, OLT off,
+    // legacy scalar kernel.
+    let naive_dec = OtfDecoder::new(
+        DecodeConfig::builder()
+            .kernel(DecodeKernel::Legacy)
+            .build()
+            .expect("valid bench config"),
+    );
     let naive_words: Vec<Vec<u32>> = utts
         .iter()
         .map(|u| {
@@ -163,10 +218,20 @@ pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchR
         })
         .collect();
 
-    // Optimized: warm scratch + software OLT, single thread.
+    // Optimized: warm scratch + software OLT + SoA kernel.
     let opt_dec = OtfDecoder::new(
         DecodeConfig::builder()
             .olt_entries(BENCH_OLT_ENTRIES)
+            .kernel(DecodeKernel::Soa)
+            .build()
+            .expect("valid bench config"),
+    );
+    // The optimized configuration's legacy-kernel twin, timed in the
+    // same repetitions so kernel_speedup cancels machine-speed drift.
+    let legacy_dec = OtfDecoder::new(
+        DecodeConfig::builder()
+            .olt_entries(BENCH_OLT_ENTRIES)
+            .kernel(DecodeKernel::Legacy)
             .build()
             .expect("valid bench config"),
     );
@@ -182,24 +247,37 @@ pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchR
             &mut NullSink,
         );
         assert_eq!(r.words, *naive, "optimizations must not change output");
+        let l = legacy_dec.decode_with(
+            &system.am_comp,
+            &system.lm_comp,
+            &u.scores,
+            &mut scratch,
+            &mut NullSink,
+        );
+        assert_eq!(l.words, *naive, "kernels must not change output");
         olt_probes += r.stats.olt_probes;
         olt_hits += r.stats.olt_hits;
     }
 
-    const JOBS: [usize; 3] = [1, 2, 4];
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let candidates = jobs_candidates(cores);
     // An oversubscribed pool (jobs > cores) time-slices workers on the
     // same core and measures the OS scheduler, not the decoder — its
     // "speedup" is noise below 1.0. Record those points as skipped
     // rather than publishing misleading numbers.
-    let measured: Vec<usize> = JOBS
+    let measured: Vec<usize> = candidates
         .iter()
         .copied()
         .filter(|&j| j <= cores.max(1))
         .collect();
-    let skipped: Vec<usize> = JOBS.iter().copied().filter(|&j| j > cores.max(1)).collect();
+    let skipped: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&j| j > cores.max(1))
+        .collect();
     let mut naive_samples = Vec::with_capacity(reps);
     let mut opt_samples = Vec::with_capacity(reps);
+    let mut legacy_samples = Vec::with_capacity(reps);
     let mut jobs_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); measured.len()];
     let mut occupancies = vec![0.0f64; measured.len()];
     for _ in 0..reps {
@@ -221,6 +299,18 @@ pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchR
         }
         opt_samples.push(t0.elapsed().as_secs_f64());
 
+        let t0 = Instant::now();
+        for u in utts {
+            legacy_dec.decode_with(
+                &system.am_comp,
+                &system.lm_comp,
+                &u.scores,
+                &mut scratch,
+                &mut NullSink,
+            );
+        }
+        legacy_samples.push(t0.elapsed().as_secs_f64());
+
         for (ji, &jobs) in measured.iter().enumerate() {
             let t0 = Instant::now();
             let (_, pool) = decode_batch(utts, jobs, |_i, u, scratch| {
@@ -238,6 +328,7 @@ pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchR
     }
     let naive_secs = median(naive_samples);
     let opt_secs = median(opt_samples);
+    let legacy_secs = median(legacy_samples);
 
     let mut jobs_points = Vec::new();
     let mut serial_fps = 0.0;
@@ -262,12 +353,15 @@ pub fn measure(system: &System, utts: &[Utterance], reps: usize) -> DecodeBenchR
         audio_seconds,
         naive_frames_per_sec: frames as f64 / naive_secs,
         frames_per_sec: frames as f64 / opt_secs,
+        legacy_frames_per_sec: frames as f64 / legacy_secs,
         single_thread_speedup: naive_secs / opt_secs,
+        kernel_speedup: legacy_secs / opt_secs,
         rtf: audio_seconds / opt_secs,
+        olt_probes,
         olt_hit_rate: if olt_probes > 0 {
-            olt_hits as f64 / olt_probes as f64
+            Some(olt_hits as f64 / olt_probes as f64)
         } else {
-            0.0
+            None
         },
         jobs: jobs_points,
         skipped_oversubscribed: skipped,
@@ -316,11 +410,20 @@ mod tests {
         let report = measure(&system, &utts, 2);
         assert!(report.frames_per_sec > 0.0);
         assert!(report.naive_frames_per_sec > 0.0);
+        assert!(report.legacy_frames_per_sec > 0.0);
+        assert!(report.kernel_speedup > 0.0);
         assert!(report.rtf > 0.0);
-        assert!(report.olt_hit_rate > 0.0, "tiny task must hit the OLT");
+        assert!(report.olt_probes > 0, "tiny task must probe the OLT");
+        assert!(
+            report.olt_hit_rate.expect("probes > 0 means a rate") > 0.0,
+            "tiny task must hit the OLT"
+        );
         // Every candidate jobs point is either measured or listed as
         // skipped-oversubscribed; jobs=1 is always measured.
-        assert_eq!(report.jobs.len() + report.skipped_oversubscribed.len(), 3);
+        assert_eq!(
+            report.jobs.len() + report.skipped_oversubscribed.len(),
+            jobs_candidates(report.cores).len()
+        );
         assert_eq!(report.jobs[0].jobs, 1);
         assert!((report.jobs[0].speedup - 1.0).abs() < 1e-9);
         for p in &report.jobs {
@@ -338,7 +441,10 @@ mod tests {
         for key in [
             "\"cores\"",
             "\"frames_per_sec\"",
+            "\"legacy_frames_per_sec\"",
+            "\"kernel_speedup\"",
             "\"rtf\"",
+            "\"olt_probes\"",
             "\"olt_hit_rate\"",
             "\"single_thread_speedup\"",
             "\"jobs\": [",
@@ -346,5 +452,41 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
+    }
+
+    #[test]
+    fn zero_probe_runs_report_null_hit_rate() {
+        // A 0-probe run has no hit rate: the JSON must carry `null`
+        // plus the probe count, never a misleading `0.0`.
+        let report = DecodeBenchReport {
+            task: "tiny".into(),
+            cores: 1,
+            utterances: 0,
+            frames: 0,
+            audio_seconds: 0.0,
+            naive_frames_per_sec: 0.0,
+            frames_per_sec: 0.0,
+            legacy_frames_per_sec: 0.0,
+            single_thread_speedup: 1.0,
+            kernel_speedup: 1.0,
+            rtf: 0.0,
+            olt_probes: 0,
+            olt_hit_rate: None,
+            jobs: Vec::new(),
+            skipped_oversubscribed: Vec::new(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"olt_hit_rate\": null"), "{json}");
+        assert!(json.contains("\"olt_probes\": 0"), "{json}");
+    }
+
+    #[test]
+    fn jobs_ladder_is_cores_aware() {
+        assert_eq!(jobs_candidates(1), vec![1, 2, 4]);
+        assert_eq!(jobs_candidates(4), vec![1, 2, 4]);
+        assert_eq!(jobs_candidates(6), vec![1, 2, 4, 6]);
+        assert_eq!(jobs_candidates(8), vec![1, 2, 4, 8]);
+        assert_eq!(jobs_candidates(12), vec![1, 2, 4, 8, 12]);
+        assert_eq!(jobs_candidates(16), vec![1, 2, 4, 8, 16]);
     }
 }

@@ -47,7 +47,8 @@ use unfold::{decode_batch_recorded, pack_system, AmModel, LmModel, Models, Syste
 use unfold_compress::{load_am, load_lm, save_am, save_lm, Bundle};
 use unfold_decoder::{wer, DecodeConfig, MetricsSink, NullSink, OtfDecoder, TraceSink, WerReport};
 use unfold_serve::{
-    run_loadgen, ClientMsg, LoadgenConfig, ServeConfig, Server, ServerMsg, TcpFront,
+    run_loadgen, run_saturation_sweep, saturation_ladder, ClientMsg, LoadgenConfig, ServeConfig,
+    Server, ServerMsg, TcpFront,
 };
 use unfold_sim::AcceleratorConfig;
 
@@ -93,6 +94,10 @@ commands:
                                                 (checks counters stay monotonic and
                                                 the frame ledger reconciles)
            [--flight-out <file>]            ... write the flight-recorder dump
+           [--saturate]                     ... after the main run, sweep client
+           [--saturate-max N]                   concurrency 1,2,4..N (default 4x
+                                                --concurrency) and record the
+                                                sessions-vs-p99/deadline-miss curve
            [--out <file>] [--shutdown]      ... report path (default
                                                 BENCH_serve.json), stop the server
   stats    --addr <ip:port> | --port N | --port-file <file>
@@ -811,15 +816,17 @@ fn loadgen_addr(flags: &Flags) -> Result<SocketAddr, Error> {
 }
 
 fn cmd_loadgen(args: &[String]) -> Result<String, Error> {
-    let flags = Flags::parse(args, &["shutdown"])?;
+    let flags = Flags::parse(args, &["shutdown", "saturate"])?;
     let spec = task_by_name(flags.require("task")?)?;
     let addr = loadgen_addr(&flags)?;
+    let saturate = flags.has("saturate");
     let cfg = LoadgenConfig {
         sessions: flags.usize_or("sessions", 16)?,
         concurrency: flags.usize_or("concurrency", 4)?,
         chunk_frames: flags.usize_or("chunk", 10)?,
         scrape_every_ms: flags.usize_or("scrape-every", 0)? as u64,
-        shutdown_after: flags.has("shutdown"),
+        // With a sweep following, the shutdown belongs to its last rung.
+        shutdown_after: flags.has("shutdown") && !saturate,
     };
     let n = flags.usize_or("utterances", 4)?.max(1);
     let out = flags.get("out").unwrap_or("BENCH_serve.json");
@@ -836,7 +843,17 @@ fn cmd_loadgen(args: &[String]) -> Result<String, Error> {
         })
         .collect();
     let report = run_loadgen(addr, &utts, &cfg)?;
-    std::fs::write(out, report.to_json())?;
+    let sweep = if saturate {
+        let max = flags.usize_or("saturate-max", cfg.concurrency.max(1) * 4)?;
+        let base = LoadgenConfig {
+            shutdown_after: flags.has("shutdown"),
+            ..cfg.clone()
+        };
+        run_saturation_sweep(addr, &utts, &base, &saturation_ladder(max))?
+    } else {
+        Vec::new()
+    };
+    std::fs::write(out, report.to_json_with_saturation(&sweep))?;
     let mut s = String::new();
     let _ = writeln!(s, "loadgen: {} against {addr}", spec.name);
     let _ = writeln!(
@@ -877,6 +894,18 @@ fn cmd_loadgen(args: &[String]) -> Result<String, Error> {
         if let Some(v) = report.server_total(name) {
             let _ = writeln!(s, "{name}: {v:.0}");
         }
+    }
+    for p in &sweep {
+        let _ = writeln!(
+            s,
+            "saturation c={:>3}: {}/{} sessions ({:.2}/s)  p99 final {:.2} ms  miss delta {:.0}",
+            p.concurrency,
+            p.completed,
+            p.sessions,
+            p.sessions_per_sec,
+            p.p99_final_ms,
+            p.deadline_miss_delta
+        );
     }
     if let Some(path) = flags.get("flight-out") {
         std::fs::write(path, &report.flight_jsonl)?;
@@ -1440,6 +1469,9 @@ mod tests {
             "5",
             "--flight-out",
             flight_out.to_str().unwrap(),
+            "--saturate",
+            "--saturate-max",
+            "2",
             "--out",
             out.to_str().unwrap(),
             "--shutdown",
@@ -1449,6 +1481,9 @@ mod tests {
         assert!(report.contains("first partial: p50"));
         assert!(report.contains("serve.deadline_misses"));
         assert!(report.contains("reconciled: true"), "in:\n{report}");
+        // --saturate walks concurrency 1 then 2 after the main run.
+        assert!(report.contains("saturation c=  1"), "in:\n{report}");
+        assert!(report.contains("saturation c=  2"), "in:\n{report}");
 
         let json = std::fs::read_to_string(&out).unwrap();
         for key in [
@@ -1459,6 +1494,8 @@ mod tests {
             "\"reconciled\": true",
             "\"server_session_spans\": 4",
             "\"serve.deadline_misses\"",
+            "\"saturation\": [",
+            "\"deadline_miss_delta\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

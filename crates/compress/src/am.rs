@@ -150,6 +150,17 @@ impl CompressedAm {
         self.states[s as usize].bit_offset
     }
 
+    /// Hints the cache to load the head of `s`'s arc bit stream. A
+    /// batched frame kernel calls this over its survivor list before
+    /// expansion so the decode loop finds the lines resident. No-op on
+    /// an out-of-range state — a hint must never panic.
+    #[inline]
+    pub fn prefetch_state(&self, s: StateId) {
+        if let Some(rec) = self.states.get(s as usize) {
+            self.reader.prefetch(rec.bit_offset);
+        }
+    }
+
     /// Total compressed size in bytes: arc bit stream + 8-byte state
     /// records + the K-means centroid table.
     pub fn size_bytes(&self) -> u64 {

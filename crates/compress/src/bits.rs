@@ -70,6 +70,21 @@ impl BitWriter {
     }
 }
 
+/// Best-effort read-prefetch of the cache line holding `p`. A hint
+/// only: never faults, never changes program behavior. Compiles to
+/// `prefetcht0` on x86-64 and to nothing elsewhere.
+#[inline]
+pub fn prefetch_read(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it performs no memory access that
+    // could fault, even on a dangling pointer.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p.cast::<i8>());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 /// An immutable bit buffer.
 #[derive(Debug, Clone, Default)]
 pub struct BitBuf {
@@ -106,6 +121,15 @@ impl BitBuf {
     pub fn size_bytes(&self) -> u64 {
         self.len_bits.div_ceil(8)
     }
+
+    /// Hints the cache to load the word holding `bit_offset` (no-op
+    /// when out of range — prefetch must never panic).
+    #[inline]
+    pub fn prefetch(&self, bit_offset: u64) {
+        if let Some(w) = self.words.get((bit_offset / 64) as usize) {
+            prefetch_read((w as *const u64).cast());
+        }
+    }
 }
 
 /// Random-access reader over a [`BitBuf`].
@@ -123,6 +147,12 @@ impl BitReader {
     /// The underlying buffer.
     pub fn buf(&self) -> &BitBuf {
         &self.buf
+    }
+
+    /// Hints the cache to load the word holding `bit_offset`.
+    #[inline]
+    pub fn prefetch(&self, bit_offset: u64) {
+        self.buf.prefetch(bit_offset);
     }
 
     /// Reads `width` bits starting at bit `offset`.
@@ -198,6 +228,15 @@ impl<'a> BitSlice<'a> {
     /// Length in bits.
     pub fn len_bits(&self) -> u64 {
         self.len_bits
+    }
+
+    /// Hints the cache to load the byte holding `bit_offset` (no-op
+    /// when out of range).
+    #[inline]
+    pub fn prefetch(&self, bit_offset: u64) {
+        if let Some(b) = self.bytes.get((bit_offset / 8) as usize) {
+            prefetch_read(b as *const u8);
+        }
     }
 
     /// Reads `width` bits starting at bit `offset`. Semantically

@@ -53,7 +53,7 @@ pub mod quant;
 pub mod refs;
 
 pub use am::CompressedAm;
-pub use bits::{BitReader, BitSlice, BitWriter};
+pub use bits::{prefetch_read, BitReader, BitSlice, BitWriter};
 pub use bundle::{
     crc64, Bundle, BundleError, BundleWriter, SectionInfo, SectionKind, SharedAm, SharedLm,
     BUNDLE_MAGIC, BUNDLE_VERSION,

@@ -189,6 +189,16 @@ impl CompressedLm {
         }
     }
 
+    /// Hints the cache to load `s`'s state record neighborhood and the
+    /// head of its word-arc region, ahead of a lookup. No-op on an
+    /// out-of-range state — a hint must never panic.
+    #[inline]
+    pub fn prefetch_state(&self, s: StateId) {
+        if let Some(rec) = self.states.get(s as usize) {
+            self.reader.prefetch(rec.bit_offset);
+        }
+    }
+
     /// Bit offset of the `i`-th word arc of `s` (address modeling).
     pub fn word_arc_bit_offset(&self, s: StateId, i: u32) -> u64 {
         let rec = &self.states[s as usize];

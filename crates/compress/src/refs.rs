@@ -249,6 +249,18 @@ impl CompressedAmRef<'_> {
         self.rec(s).0
     }
 
+    /// Hints the cache to load `s`'s state record and the head of its
+    /// arc bit stream. No-op on an out-of-range state — a hint must
+    /// never panic.
+    #[inline]
+    pub fn prefetch_state(&self, s: StateId) {
+        let base = s as usize * AM_STATE_REC_BYTES;
+        if base + AM_STATE_REC_BYTES <= self.states.len() {
+            crate::bits::prefetch_read(self.states[base..].as_ptr());
+            self.bits.prefetch(self.rec(s).0);
+        }
+    }
+
     /// Final weight of `s`, or `None` if non-final.
     ///
     /// # Panics
@@ -533,6 +545,18 @@ impl CompressedLmRef<'_> {
     /// Number of word-labelled arcs at `s`.
     pub fn num_word_arcs(&self, s: StateId) -> u32 {
         self.rec(s).1
+    }
+
+    /// Hints the cache to load `s`'s state record and the head of its
+    /// word-arc region. No-op on an out-of-range state — a hint must
+    /// never panic.
+    #[inline]
+    pub fn prefetch_state(&self, s: StateId) {
+        let base = s as usize * LM_STATE_REC_BYTES;
+        if base + LM_STATE_REC_BYTES <= self.states.len() {
+            crate::bits::prefetch_read(self.states[base..].as_ptr());
+            self.bits.prefetch(self.rec(s).0);
+        }
     }
 
     /// Bit offset of the `i`-th word arc of `s`.

@@ -2,6 +2,48 @@
 
 use unfold_lm::WordId;
 
+/// Which frame-loop implementation the on-the-fly decoder runs. Both
+/// kernels produce bit-identical output — words, costs, stats, and the
+/// full ordered [`crate::TraceSink`] event stream — which the verify
+/// matrix and proptests pin; they differ only in how the work is laid
+/// out for the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeKernel {
+    /// The scalar reference kernel: per-token map walks, `get` +
+    /// `insert` relaxation. Kept compiled unconditionally so the SoA
+    /// kernel always has a differential baseline.
+    Legacy,
+    /// The struct-of-arrays kernel: contiguous-slice threshold fold,
+    /// packed survivor bitmask compaction, a batched probe-buffer
+    /// prefetch pass over the frame's (AM, LM) state keys, and fused
+    /// single-walk token relaxation.
+    Soa,
+}
+
+impl DecodeKernel {
+    /// Stable snake_case name used in telemetry and bench exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecodeKernel::Legacy => "legacy",
+            DecodeKernel::Soa => "soa",
+        }
+    }
+}
+
+impl Default for DecodeKernel {
+    /// The `soa_kernel` cargo feature (on by default) selects the SoA
+    /// kernel; building `unfold-decoder` with `--no-default-features`
+    /// flips the default back to the scalar reference kernel. Either
+    /// way both kernels stay compiled and runtime-selectable.
+    fn default() -> Self {
+        if cfg!(feature = "soa_kernel") {
+            DecodeKernel::Soa
+        } else {
+            DecodeKernel::Legacy
+        }
+    }
+}
+
 /// Beam-search parameters shared by both decoders.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecodeConfig {
@@ -21,6 +63,9 @@ pub struct DecodeConfig {
     /// binary searches cost — so it defaults to off to keep simulator
     /// traces identical to the unmemoized decoder.
     pub olt_entries: usize,
+    /// Frame-loop implementation (see [`DecodeKernel`]). Never changes
+    /// decode output; defaults by the `soa_kernel` cargo feature.
+    pub kernel: DecodeKernel,
 }
 
 impl Default for DecodeConfig {
@@ -30,6 +75,7 @@ impl Default for DecodeConfig {
             max_active: 6_000,
             preemptive_pruning: true,
             olt_entries: 0,
+            kernel: DecodeKernel::default(),
         }
     }
 }
@@ -110,6 +156,12 @@ impl DecodeConfigBuilder {
     /// a power of two).
     pub fn olt_entries(mut self, entries: usize) -> Self {
         self.cfg.olt_entries = entries;
+        self
+    }
+
+    /// Frame-loop kernel selection (see [`DecodeKernel`]).
+    pub fn kernel(mut self, kernel: DecodeKernel) -> Self {
+        self.cfg.kernel = kernel;
         self
     }
 
@@ -234,12 +286,20 @@ mod tests {
             .max_active(64)
             .preemptive_pruning(false)
             .olt_entries(4096)
+            .kernel(DecodeKernel::Legacy)
             .build()
             .unwrap();
         assert_eq!(c.beam, 9.0);
         assert_eq!(c.max_active, 64);
         assert!(!c.preemptive_pruning);
         assert_eq!(c.olt_entries, 4096);
+        assert_eq!(c.kernel, DecodeKernel::Legacy);
+        assert_eq!(c.kernel.name(), "legacy");
+        // The feature-flag default picks a kernel; both stay valid.
+        assert!(DecodeConfig::builder()
+            .kernel(DecodeKernel::Soa)
+            .build()
+            .is_ok());
         // Defaults pass unmodified.
         assert_eq!(
             DecodeConfig::builder().build().unwrap(),

@@ -38,6 +38,7 @@
 
 pub mod config;
 pub mod full;
+pub(crate) mod kernel;
 pub mod lattice;
 pub mod metrics;
 pub mod olt;
@@ -51,7 +52,9 @@ pub mod trace;
 pub mod twopass;
 pub mod wer;
 
-pub use config::{ConfigError, DecodeConfig, DecodeConfigBuilder, DecodeResult, DecodeStats};
+pub use config::{
+    ConfigError, DecodeConfig, DecodeConfigBuilder, DecodeKernel, DecodeResult, DecodeStats,
+};
 pub use full::FullyComposedDecoder;
 pub use lattice::Lattice;
 pub use metrics::{MetricsSink, TeeSink};
@@ -61,6 +64,6 @@ pub use record::{TraceEvent, TraceRecorder};
 pub use scratch::{validate_models, DecodeScratch, SessionScratch, WorkScratch};
 pub use sources::{addr, AmSource, ArcVisit, LinearLm, LmResolution, LmSource, MAX_BACKOFF_HOPS};
 pub use streaming::{OtfStream, StreamSession};
-pub use trace::{CountingSink, DecodeStage, NullSink, TraceSink};
+pub use trace::{CountingSink, DecodeStage, KernelPhase, NullSink, TraceSink};
 pub use twopass::{TwoPassDecoder, TwoPassResult, UnigramLm};
 pub use wer::{align, oracle_wer, wer, AlignOp, WerReport};

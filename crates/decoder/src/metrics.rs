@@ -11,11 +11,11 @@
 
 use unfold_obs::{
     ns_per_raw_tick, raw_ticks, Collector, FrameRing, FrameTelemetry, Histogram, MetricsRegistry,
-    StageId, StageTimer,
+    PhaseAccum, StageId, StageTimer,
 };
 use unfold_wfst::{Label, StateId};
 
-use crate::trace::{DecodeStage, TraceSink};
+use crate::trace::{DecodeStage, KernelPhase, TraceSink};
 
 /// Running totals MetricsSink keeps as plain fields (hash-free event
 /// handling; they become registry counters only at export).
@@ -38,6 +38,18 @@ struct Totals {
     olt_installs: u64,
     olt_evictions: u64,
 }
+
+/// Lane names for the kernel-phase accumulator, in
+/// [`KernelPhase::index`] order.
+const KERNEL_PHASE_NAMES: [&str; KernelPhase::ALL.len()] = {
+    let mut names = [""; KernelPhase::ALL.len()];
+    let mut i = 0;
+    while i < KernelPhase::ALL.len() {
+        names[i] = KernelPhase::ALL[i].name();
+        i += 1;
+    }
+    names
+};
 
 /// State of the frame currently being decoded.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +79,7 @@ pub struct MetricsSink {
     frame_ns: Histogram,
     active_tokens: Histogram,
     totals: Totals,
+    kernel_phases: PhaseAccum,
     seq: u64,
     open: Option<OpenFrame>,
     /// Tick→ns rate cached at construction (calibration is per-process,
@@ -100,6 +113,7 @@ impl MetricsSink {
             frame_ns: Histogram::new(),
             active_tokens: Histogram::new(),
             totals: Totals::default(),
+            kernel_phases: PhaseAccum::new(&KERNEL_PHASE_NAMES),
             seq: 0,
             open: None,
             ns_per_tick,
@@ -142,6 +156,14 @@ impl MetricsSink {
         r.counter("olt_hits").add(t.olt_hits);
         r.counter("olt_installs").add(t.olt_installs);
         r.counter("olt_evictions").add(t.olt_evictions);
+        if self.kernel_phases.any_recorded() {
+            for stat in self.kernel_phases.stats() {
+                r.counter(&format!("kernel_{}_ns", stat.name))
+                    .add(stat.total_ns);
+                r.counter(&format!("kernel_{}_calls", stat.name))
+                    .add(stat.count);
+            }
+        }
         *r.histogram("frame_ns") = self.frame_ns.clone();
         *r.histogram("active_tokens") = self.active_tokens.clone();
         r
@@ -159,6 +181,12 @@ impl MetricsSink {
     /// Per-frame latency histogram (nanoseconds).
     pub fn frame_latency(&self) -> &Histogram {
         &self.frame_ns
+    }
+
+    /// Accumulated SoA kernel-phase timing (all lanes zero when the
+    /// decode ran the legacy kernel, which emits no phase samples).
+    pub fn kernel_phases(&self) -> &PhaseAccum {
+        &self.kernel_phases
     }
 
     /// Serializes the run as JSONL (spans, frames, run totals).
@@ -294,6 +322,14 @@ impl TraceSink for MetricsSink {
             self.totals.olt_evictions += 1;
         }
     }
+
+    fn wants_kernel_timing(&self) -> bool {
+        true
+    }
+
+    fn kernel_phase(&mut self, phase: KernelPhase, ns: u64) {
+        self.kernel_phases.add(phase.index(), ns);
+    }
 }
 
 /// Fans one event stream out to every wrapped sink, in order. Lets a
@@ -401,6 +437,16 @@ impl TraceSink for TeeSink<'_> {
             s.olt_install(evicted);
         }
     }
+
+    fn wants_kernel_timing(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_kernel_timing())
+    }
+
+    fn kernel_phase(&mut self, phase: KernelPhase, ns: u64) {
+        for s in &mut self.sinks {
+            s.kernel_phase(phase, ns);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -497,6 +543,46 @@ mod tests {
         assert_eq!(counting.frames, 1);
         assert_eq!(counting.total_backoff_hops, 2);
         assert_eq!(metrics.frames().total_seen(), 1);
+    }
+
+    #[test]
+    fn kernel_phase_timing_is_aggregated() {
+        let mut m = MetricsSink::new();
+        assert!(m.wants_kernel_timing());
+        m.kernel_phase(KernelPhase::Threshold, 100);
+        m.kernel_phase(KernelPhase::Expand, 50);
+        m.kernel_phase(KernelPhase::Threshold, 20);
+        let p = m.kernel_phases();
+        assert_eq!(p.total_ns(KernelPhase::Threshold.index()), 120);
+        assert_eq!(p.count(KernelPhase::Threshold.index()), 2);
+        assert_eq!(p.total_ns(KernelPhase::Expand.index()), 50);
+        assert!(m.to_jsonl().contains("kernel_threshold_ns"));
+    }
+
+    #[test]
+    fn legacy_runs_export_no_kernel_phase_counters() {
+        let mut m = MetricsSink::new();
+        drive(&mut m);
+        assert!(!m.kernel_phases().any_recorded());
+        assert!(!m.to_jsonl().contains("kernel_threshold_ns"));
+    }
+
+    #[test]
+    fn tee_wants_kernel_timing_if_any_member_does() {
+        let mut counting = CountingSink::default();
+        {
+            let tee = TeeSink::new(vec![&mut counting]);
+            assert!(!tee.wants_kernel_timing());
+        }
+        let mut metrics = MetricsSink::new();
+        let mut tee = TeeSink::new(vec![&mut counting, &mut metrics]);
+        assert!(tee.wants_kernel_timing());
+        tee.kernel_phase(KernelPhase::Closure, 9);
+        drop(tee);
+        assert_eq!(
+            metrics.kernel_phases().count(KernelPhase::Closure.index()),
+            1
+        );
     }
 
     #[test]

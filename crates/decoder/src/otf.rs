@@ -20,7 +20,7 @@
 use unfold_am::AcousticScores;
 use unfold_wfst::{Label, StateId, EPSILON};
 
-use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
+use crate::config::{DecodeConfig, DecodeKernel, DecodeResult, DecodeStats};
 use crate::lattice::{Lattice, COMPACT_ENTRY_BYTES, LATTICE_ROOT};
 use crate::olt::SoftOlt;
 use crate::scratch::{DecodeScratch, SessionScratch, WorkScratch};
@@ -41,7 +41,7 @@ pub(crate) fn token_key(am: StateId, lm: StateId) -> u64 {
 }
 
 #[inline]
-fn split(key: u64) -> (StateId, StateId) {
+pub(crate) fn split(key: u64) -> (StateId, StateId) {
     ((key >> 32) as StateId, key as StateId)
 }
 
@@ -104,7 +104,7 @@ impl OtfDecoder {
         // Collect every complete hypothesis, dedup by word string.
         sink.stage_enter(DecodeStage::Lattice);
         let mut finals: Vec<(f32, u32)> = Vec::new();
-        for &(key, tok) in scratch.session.cur.iter() {
+        for (key, tok) in scratch.session.cur.iter() {
             let (am_s, _) = split(key);
             if let Some(fw) = am.final_weight(am_s) {
                 finals.push((tok.cost + fw, tok.lat));
@@ -183,25 +183,12 @@ impl OtfDecoder {
     ) {
         scratch.begin(&self.config);
         scratch.work.ensure_validated(am, lm, scores.num_pdfs());
-        scratch.session.cur.insert(
-            token_key(am.start(), lm.start()),
-            Token {
-                cost: 0.0,
-                lat: LATTICE_ROOT,
-            },
-        );
-        epsilon_closure(
+        seed_closure(
             &self.config,
             am,
             lm,
-            &mut scratch.session.cur,
-            &mut scratch.work.worklist,
-            &mut scratch.work.eps_local,
-            &mut scratch.work.probes,
-            &mut scratch.work.olt,
-            &mut scratch.session.lattice,
-            0,
-            f32::INFINITY,
+            &mut scratch.session,
+            &mut scratch.work,
             sink,
             stats,
         );
@@ -221,16 +208,106 @@ impl OtfDecoder {
     }
 }
 
-/// Processes one frame: prune, expand emitting arcs against the frame's
-/// cost row (`costs[pdf - 1]`), then run the non-emitting closure. The
-/// population entering the frame is `session.cur`; the surviving
-/// population is swapped back into `session.cur` on return. Shared by
-/// [`OtfDecoder::decode`] and [`crate::streaming::StreamSession`] —
-/// the latter lends a (possibly different) worker's `work` buffers on
-/// every call, which is safe because nothing in [`WorkScratch`]
-/// carries search state across a frame boundary.
+/// Seeds the start token into `session.cur` and runs the initial
+/// non-emitting closure under the configured kernel. Shared by
+/// [`OtfDecoder`] and [`crate::streaming::StreamSession`].
+pub(crate) fn seed_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+    config: &DecodeConfig,
+    am: &A,
+    lm: &L,
+    session: &mut SessionScratch,
+    work: &mut WorkScratch,
+    sink: &mut dyn TraceSink,
+    stats: &mut DecodeStats,
+) {
+    session.cur.insert(
+        token_key(am.start(), lm.start()),
+        Token {
+            cost: 0.0,
+            lat: LATTICE_ROOT,
+        },
+    );
+    match config.kernel {
+        DecodeKernel::Legacy => epsilon_closure(
+            config,
+            am,
+            lm,
+            &mut session.cur,
+            &mut work.worklist,
+            &mut work.eps_local,
+            &mut work.probes,
+            &mut work.olt,
+            &mut session.lattice,
+            0,
+            f32::INFINITY,
+            sink,
+            stats,
+        ),
+        DecodeKernel::Soa => {
+            // The streaming path seeds before the first frame's
+            // `ensure_validated`, so the stage binds here too.
+            work.bind_arc_stage(am);
+            crate::kernel::epsilon_closure_soa(
+                config,
+                am,
+                lm,
+                &mut session.cur,
+                &mut work.worklist_idx,
+                &mut work.eps_local,
+                &mut work.probes,
+                &mut work.olt,
+                &mut work.arc_stage,
+                &mut session.lattice,
+                0,
+                f32::INFINITY,
+                sink,
+                stats,
+            )
+        }
+    }
+}
+
+/// Processes one frame under the configured kernel: prune, expand
+/// emitting arcs against the frame's cost row (`costs[pdf - 1]`), then
+/// run the non-emitting closure. The population entering the frame is
+/// `session.cur`; the surviving population is swapped back into
+/// `session.cur` on return. Shared by [`OtfDecoder::decode`] and
+/// [`crate::streaming::StreamSession`] — the latter lends a (possibly
+/// different) worker's `work` buffers on every call, which is safe
+/// because nothing in [`WorkScratch`] carries search state across a
+/// frame boundary.
+///
+/// Both kernels produce the identical ordered [`TraceSink`] event
+/// stream and [`DecodeStats`] — pinned by the `soa_identity` proptests
+/// and verify-matrix check.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn expand_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+    config: &DecodeConfig,
+    am: &A,
+    lm: &L,
+    session: &mut SessionScratch,
+    work: &mut WorkScratch,
+    costs: &[f32],
+    t: usize,
+    sink: &mut dyn TraceSink,
+    stats: &mut DecodeStats,
+) {
+    match config.kernel {
+        DecodeKernel::Legacy => {
+            expand_frame_legacy(config, am, lm, session, work, costs, t, sink, stats);
+        }
+        DecodeKernel::Soa => {
+            crate::kernel::expand_frame_soa(config, am, lm, session, work, costs, t, sink, stats);
+        }
+    }
+}
+
+/// The scalar reference frame loop (see [`DecodeKernel::Legacy`]):
+/// per-token beam test inside the expansion walk, `get`-then-`insert`
+/// relaxation. Kept byte-for-byte as the differential baseline the SoA
+/// kernel is pinned against.
+#[allow(clippy::too_many_arguments)]
+fn expand_frame_legacy<A: AmSource + ?Sized, L: LmSource + ?Sized>(
     config: &DecodeConfig,
     am: &A,
     lm: &L,
@@ -264,7 +341,7 @@ pub(crate) fn expand_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
         let olt = &mut work.olt;
         let probes = &mut work.probes;
         let lattice = &mut session.lattice;
-        for &(k, tok) in cur.iter() {
+        for (k, tok) in cur.iter() {
             if tok.cost > thr {
                 stats.tokens_pruned += 1;
                 continue;
@@ -445,7 +522,7 @@ pub(crate) fn epsilon_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
 /// Panics if the LM has no back-off arc on a state that misses `word`
 /// (a malformed model).
 #[allow(clippy::too_many_arguments)]
-fn lm_walk<L: LmSource + ?Sized>(
+pub(crate) fn lm_walk<L: LmSource + ?Sized>(
     lm: &L,
     lm_state: StateId,
     word: Label,
@@ -519,7 +596,7 @@ fn lm_walk<L: LmSource + ?Sized>(
 
 /// Inserts/improves a token; returns whether the store changed.
 #[allow(clippy::too_many_arguments)]
-fn relax(
+pub(crate) fn relax(
     map: &mut TokenStore,
     k: u64,
     cost: f32,
@@ -562,7 +639,7 @@ pub(crate) fn finish<A: AmSource + ?Sized>(
     sink.stage_enter(DecodeStage::Lattice);
     let mut best_cost = f32::INFINITY;
     let mut best_lat = LATTICE_ROOT;
-    for &(k, tok) in tokens.iter() {
+    for (k, tok) in tokens.iter() {
         let (am_s, _) = split(k);
         if let Some(fw) = am.final_weight(am_s) {
             let total = tok.cost + fw;

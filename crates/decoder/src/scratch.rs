@@ -23,13 +23,13 @@
 //! warm, which the batch decoder relies on to give identical results
 //! for any worker count.
 
-use unfold_wfst::EPSILON;
+use unfold_wfst::{StateId, EPSILON};
 
 use crate::config::DecodeConfig;
 use crate::lattice::Lattice;
 use crate::olt::SoftOlt;
 use crate::search::TokenStore;
-use crate::sources::{AmSource, Fetch, LmSource, MAX_BACKOFF_HOPS};
+use crate::sources::{AmSource, ArcVisit, Fetch, LmSource, MAX_BACKOFF_HOPS};
 
 /// Per-utterance persistent search state: the live token populations
 /// and the word lattice. This is the minimum a paused streaming session
@@ -71,14 +71,28 @@ impl SessionScratch {
 /// against the same LM never changes any session's output).
 #[derive(Debug, Default)]
 pub struct WorkScratch {
-    /// Epsilon-closure worklist.
+    /// Epsilon-closure worklist (legacy kernel: token keys).
     pub(crate) worklist: Vec<u64>,
+    /// Epsilon-closure worklist (SoA kernel: dense entry indices, so a
+    /// pop is a direct lane load instead of a hash walk).
+    pub(crate) worklist_idx: Vec<u32>,
     /// Per-state epsilon-arc staging buffer.
     pub(crate) eps_local: Vec<(unfold_wfst::StateId, f32, unfold_wfst::Label)>,
     /// LM binary-search probe buffer.
     pub(crate) probes: Vec<Fetch>,
     /// Histogram-pruning cost staging buffer.
     pub(crate) prune_costs: Vec<f32>,
+    /// Packed survivor flags, one bit per token entering the frame
+    /// (SoA kernel): built by a vectorizable compare sweep over the
+    /// contiguous cost lane, consumed with `trailing_zeros` bit tricks.
+    pub(crate) survivor_mask: Vec<u64>,
+    /// The frame's batched probe buffer (SoA kernel): dense indices of
+    /// beam survivors, compacted from the bitmask. Prefetch and
+    /// expansion iterate this instead of re-testing every token.
+    pub(crate) survivors: Vec<u32>,
+    /// Decoded-arc staging arena (SoA kernel): the AM-side analog of
+    /// the OLT memo. See [`ArcStage`].
+    pub(crate) arc_stage: ArcStage,
     /// Software Offset Lookup Table (empty when disabled).
     pub(crate) olt: SoftOlt,
     /// `olt_entries` the table was built for (rebuild detection).
@@ -88,6 +102,9 @@ pub struct WorkScratch {
     olt_model: Option<u64>,
     /// `(am, lm, num_pdfs)` identity of the last validated model pair.
     validated: Option<(usize, usize, usize)>,
+    /// `(am, num_states)` identity the arc stage is bound to (see
+    /// [`WorkScratch::bind_arc_stage`]).
+    stage_am: Option<(usize, usize)>,
 }
 
 impl WorkScratch {
@@ -102,8 +119,11 @@ impl WorkScratch {
     /// utterance.
     pub fn begin(&mut self, config: &DecodeConfig) {
         self.worklist.clear();
+        self.worklist_idx.clear();
         self.eps_local.clear();
         self.probes.clear();
+        self.survivor_mask.clear();
+        self.survivors.clear();
         self.configure_olt(config.olt_entries);
         self.olt.reset();
     }
@@ -141,6 +161,7 @@ impl WorkScratch {
         if self.olt_model != Some(model_gen) {
             self.olt.reset();
             self.validated = None;
+            self.stage_am = None;
             self.olt_model = Some(model_gen);
         }
     }
@@ -164,6 +185,99 @@ impl WorkScratch {
         }
         validate_models(am, lm, num_pdfs);
         self.validated = Some(key);
+    }
+
+    /// Binds the decoded-arc stage to `am`, resetting the arena when
+    /// the scratch last staged a *different* AM (keyed by address and
+    /// state count; [`WorkScratch::bind_olt_model`] additionally drops
+    /// the binding on a model-generation change, the ABA-safe path).
+    /// Every SoA kernel entry point calls this before touching
+    /// [`WorkScratch::arc_stage`]; consecutive utterances against the
+    /// same AM keep the memo warm, exactly like the OLT.
+    pub(crate) fn bind_arc_stage<A: AmSource + ?Sized>(&mut self, am: &A) {
+        let key = ((am as *const A).cast::<u8>() as usize, am.num_states());
+        if self.stage_am != Some(key) {
+            self.arc_stage.reset(am.num_states());
+            self.stage_am = Some(key);
+        }
+    }
+}
+
+/// Decoded-arc staging arena: the AM-side analog of the software OLT.
+///
+/// The compressed AM stores arcs as a variable-width bit stream, so
+/// every visit to a state pays the unpack cost — and HMM topologies
+/// revisit the same states frame after frame (self-loops alone
+/// guarantee it). The SoA kernel stages each state's decoded
+/// [`ArcVisit`]s into one flat arena on first visit and replays the
+/// contiguous slice thereafter; a per-state span table maps
+/// `StateId -> (start, len)`.
+///
+/// Replay is bit-identical to re-decoding by construction: an
+/// [`ArcVisit`] carries the arc *and* the `(addr, bytes)` fetch
+/// footprint, and bit-stream decoding is deterministic, so the slice
+/// holds exactly what `for_each_arc` would produce — same arcs, same
+/// order, same trace events. Like the OLT, the stage is a pure memo:
+/// it never changes any decode's output, only how fast the arcs
+/// arrive. It is (re)bound to an AM via
+/// [`WorkScratch::bind_arc_stage`] and persists across utterances.
+///
+/// The arena is soft-capped at [`ArcStage::ARENA_CAP`] visits; states
+/// first seen after the cap decode through a transient buffer instead
+/// of staging (bounded memory on pathologically large models, at the
+/// cost of losing the memo for the tail).
+#[derive(Debug, Default)]
+pub(crate) struct ArcStage {
+    /// Per-state `(start, len)` into `arena`; `start == UNSTAGED`
+    /// means the state has not been decoded yet.
+    spans: Vec<(u32, u32)>,
+    /// Flat decoded-arc storage, appended in first-visit order.
+    arena: Vec<ArcVisit>,
+    /// Fallback decode buffer for states beyond the arena cap.
+    tmp: Vec<ArcVisit>,
+}
+
+impl ArcStage {
+    const UNSTAGED: u32 = u32::MAX;
+    /// Soft bound on staged visits (32 bytes each — 32 MiB ceiling).
+    pub(crate) const ARENA_CAP: usize = 1 << 20;
+
+    /// Drops every staged span and resizes the span table for a model
+    /// with `num_states` AM states.
+    pub(crate) fn reset(&mut self, num_states: usize) {
+        self.spans.clear();
+        self.spans.resize(num_states, (Self::UNSTAGED, 0));
+        self.arena.clear();
+    }
+
+    /// The decoded arcs of AM state `s`: a contiguous replay slice when
+    /// staged, staging it first when not. Identical to what
+    /// `am.for_each_arc(s, ..)` would visit, in the same order.
+    #[inline]
+    pub(crate) fn arcs<A: AmSource + ?Sized>(&mut self, am: &A, s: StateId) -> &[ArcVisit] {
+        let i = s as usize;
+        let (start, len) = self.spans[i];
+        if start != Self::UNSTAGED {
+            return &self.arena[start as usize..start as usize + len as usize];
+        }
+        if self.arena.len() < Self::ARENA_CAP {
+            let start = self.arena.len();
+            let arena = &mut self.arena;
+            am.for_each_arc(s, &mut |v| arena.push(v));
+            self.spans[i] = (start as u32, (self.arena.len() - start) as u32);
+            &self.arena[start..]
+        } else {
+            self.tmp.clear();
+            let tmp = &mut self.tmp;
+            am.for_each_arc(s, &mut |v| tmp.push(v));
+            &self.tmp
+        }
+    }
+
+    /// Visits staged so far (test and reporting hook).
+    #[cfg(test)]
+    pub(crate) fn staged_visits(&self) -> usize {
+        self.arena.len()
     }
 }
 
@@ -312,6 +426,61 @@ mod tests {
             work.validated.is_none(),
             "model switch must force re-validation"
         );
+    }
+
+    #[test]
+    fn arc_stage_replays_identically_and_memoizes() {
+        let (am, _) = models();
+        let mut stage = ArcStage::default();
+        stage.reset(am.num_states());
+        let s = am.start();
+        let mut direct = Vec::new();
+        am.for_each_arc(s, &mut |v| direct.push(v));
+        assert!(!direct.is_empty(), "start state should have arcs");
+        assert_eq!(stage.arcs(&am, s), &direct[..], "staging pass diverged");
+        let staged = stage.staged_visits();
+        assert_eq!(stage.arcs(&am, s), &direct[..], "replay diverged");
+        assert_eq!(
+            stage.staged_visits(),
+            staged,
+            "revisit must replay, not re-stage"
+        );
+    }
+
+    #[test]
+    fn bind_arc_stage_keeps_memo_for_same_am_and_resets_on_switch() {
+        let (am, other) = models();
+        let mut work = WorkScratch::new();
+        work.bind_arc_stage(&am);
+        let _ = work.arc_stage.arcs(&am, am.start());
+        let staged = work.arc_stage.staged_visits();
+        assert!(staged > 0);
+        // Same AM: warm across utterances, like the OLT.
+        work.bind_arc_stage(&am);
+        assert_eq!(work.arc_stage.staged_visits(), staged);
+        // Different AM: stale spans describe the old arc layout.
+        work.bind_arc_stage(&other);
+        assert_eq!(
+            work.arc_stage.staged_visits(),
+            0,
+            "AM switch must reset the stage"
+        );
+    }
+
+    #[test]
+    fn bind_olt_model_change_drops_arc_stage_binding() {
+        let (am, _) = models();
+        let mut work = WorkScratch::new();
+        work.bind_olt_model(1);
+        work.bind_arc_stage(&am);
+        let _ = work.arc_stage.arcs(&am, am.start());
+        assert!(work.arc_stage.staged_visits() > 0);
+        // A model-generation change is the ABA-safe invalidation path:
+        // the next bind must restart the arena cold even though the AM
+        // sits at the same address.
+        work.bind_olt_model(2);
+        work.bind_arc_stage(&am);
+        assert_eq!(work.arc_stage.staged_visits(), 0);
     }
 
     #[test]

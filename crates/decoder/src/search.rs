@@ -82,6 +82,12 @@ where
 /// [`prune_threshold`] over a [`TokenStore`], staging the cost copy in
 /// a caller-owned buffer so the per-frame histogram selection performs
 /// no allocation in steady state.
+///
+/// The SoA store exposes its costs as one contiguous `f32` slice, so
+/// the best-cost fold is a straight-line slice reduction the
+/// autovectorizer handles, and the `max_active` staging copy is a
+/// single `extend_from_slice` (memcpy) followed by an O(n)
+/// `select_nth_unstable_by` — no per-token iterator plumbing.
 pub fn prune_threshold_store(
     tokens: &TokenStore,
     beam: f32,
@@ -91,14 +97,15 @@ pub fn prune_threshold_store(
     if tokens.is_empty() {
         return f32::INFINITY;
     }
-    let best = tokens
-        .values()
-        .map(|t| t.cost)
-        .fold(f32::INFINITY, f32::min);
+    let cs = tokens.costs();
+    let mut best = f32::INFINITY;
+    for &c in cs {
+        best = if c < best { c } else { best };
+    }
     let mut thr = best + beam;
-    if tokens.len() > max_active {
+    if cs.len() > max_active {
         costs.clear();
-        costs.extend(tokens.values().map(|t| t.cost));
+        costs.extend_from_slice(cs);
         let (_, nth, _) =
             costs.select_nth_unstable_by(max_active - 1, |a, b| a.partial_cmp(b).unwrap());
         thr = thr.min(*nth);
@@ -116,10 +123,47 @@ fn splitmix64(v: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The live token population of one frame: a dense entry array plus an
-/// open-addressing index over it.
+/// Outcome of one open-addressing walk over a [`TokenStore`] index:
+/// either the dense position of an existing entry, or the slot where a
+/// fresh key would land. Lets the decoder's relax path pay one hash
+/// walk instead of the two a `get`-then-`insert` pair costs.
 ///
-/// The dense array makes iteration order *insertion order* — a property
+/// A `Probe` is only valid until the next mutation of the store it came
+/// from; [`TokenStore::insert_probed`] re-walks defensively whenever
+/// the index has grown in between.
+#[derive(Debug, Clone, Copy)]
+pub struct Probe {
+    /// Index slot where the walk terminated.
+    slot: u32,
+    /// Dense entry position, or [`EMPTY_SLOT`] if the key is absent.
+    entry: u32,
+    /// Index capacity at probe time (detects growth before commit).
+    cap: u32,
+}
+
+impl Probe {
+    /// Dense entry position of the existing token, if the key was
+    /// present.
+    #[inline]
+    pub fn entry(&self) -> Option<u32> {
+        (self.entry != EMPTY_SLOT).then_some(self.entry)
+    }
+}
+
+/// The live token population of one frame, laid out struct-of-arrays:
+/// parallel dense lanes (`keys`, `costs`, `lats`) plus an
+/// open-addressing index over them.
+///
+/// Each `keys` lane packs the token's two `u32` state ids —
+/// `(am_state << 32) | lm_state` — into one `u64`, so the key compare
+/// in the index walk is a single 64-bit op and the kernel can split
+/// lanes with shifts instead of field loads. `costs` is one contiguous
+/// `f32` slice, which is what lets the beam-threshold fold, the
+/// prune-survivor scan, and the histogram staging copy in
+/// [`prune_threshold_store`] compile to straight-line vectorizable
+/// loops instead of pointer-chasing `(key, Token)` pairs.
+///
+/// The dense lanes make iteration order *insertion order* — a property
 /// `HashMap` lacks: its iteration order depends on table capacity, so a
 /// map reused across frames (larger capacity than a fresh one) would
 /// visit tokens differently and perturb traces, stats, and ultimately
@@ -129,8 +173,13 @@ fn splitmix64(v: u64) -> u64 {
 /// bit-identical to a from-scratch run.
 #[derive(Debug, Clone, Default)]
 pub struct TokenStore {
-    entries: Vec<(u64, Token)>,
-    /// Power-of-two slot array holding indices into `entries`
+    /// Packed `(am_state << 32) | lm_state` token keys, insertion order.
+    keys: Vec<u64>,
+    /// Accumulated path cost per token (parallel to `keys`).
+    costs: Vec<f32>,
+    /// Lattice backpointer per token (parallel to `keys`).
+    lats: Vec<u32>,
+    /// Power-of-two slot array holding dense positions
     /// ([`EMPTY_SLOT`] marks a free slot).
     index: Vec<u32>,
 }
@@ -138,81 +187,159 @@ pub struct TokenStore {
 impl TokenStore {
     /// Number of live tokens.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.keys.len()
     }
 
     /// Whether the store holds no tokens.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.keys.is_empty()
     }
 
-    /// Drops every token but keeps both allocations.
+    /// Drops every token but keeps all four lane allocations.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.keys.clear();
+        self.costs.clear();
+        self.lats.clear();
         self.index.fill(EMPTY_SLOT);
     }
 
+    /// Packed token keys in insertion order.
+    pub fn keys_slice(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Path costs in insertion order (parallel to
+    /// [`TokenStore::keys_slice`]).
+    pub fn costs(&self) -> &[f32] {
+        &self.costs
+    }
+
+    /// Lattice backpointers in insertion order (parallel to
+    /// [`TokenStore::keys_slice`]).
+    pub fn lats(&self) -> &[u32] {
+        &self.lats
+    }
+
+    /// The `(key, token)` pair at dense position `i`.
+    #[inline]
+    pub fn pair_at(&self, i: usize) -> (u64, Token) {
+        (
+            self.keys[i],
+            Token {
+                cost: self.costs[i],
+                lat: self.lats[i],
+            },
+        )
+    }
+
     /// `(key, token)` pairs in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &(u64, Token)> {
-        self.entries.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Token)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.costs.iter().zip(self.lats.iter()))
+            .map(|(&k, (&cost, &lat))| (k, Token { cost, lat }))
     }
 
     /// Tokens in insertion order.
-    pub fn values(&self) -> impl Iterator<Item = &Token> {
-        self.entries.iter().map(|(_, t)| t)
+    pub fn values(&self) -> impl Iterator<Item = Token> + '_ {
+        self.costs
+            .iter()
+            .zip(self.lats.iter())
+            .map(|(&cost, &lat)| Token { cost, lat })
     }
 
     /// Keys in insertion order.
     pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
-        self.entries.iter().map(|(k, _)| *k)
+        self.keys.iter().copied()
     }
 
-    /// The token stored under `key`, if any.
+    /// One open-addressing walk for `key`: where it lives, or where it
+    /// would go.
     #[inline]
-    pub fn get(&self, key: u64) -> Option<Token> {
+    pub fn probe(&self, key: u64) -> Probe {
         if self.index.is_empty() {
-            return None;
-        }
-        let mask = self.index.len() - 1;
-        let mut slot = splitmix64(key) as usize & mask;
-        loop {
-            match self.index[slot] {
-                EMPTY_SLOT => return None,
-                e => {
-                    let (k, t) = self.entries[e as usize];
-                    if k == key {
-                        return Some(t);
-                    }
-                }
-            }
-            slot = (slot + 1) & mask;
-        }
-    }
-
-    /// Inserts or overwrites `key`. An overwrite keeps the entry's
-    /// original insertion position.
-    pub fn insert(&mut self, key: u64, tok: Token) {
-        if self.entries.len() * 2 >= self.index.len() {
-            self.grow();
+            return Probe {
+                slot: 0,
+                entry: EMPTY_SLOT,
+                cap: 0,
+            };
         }
         let mask = self.index.len() - 1;
         let mut slot = splitmix64(key) as usize & mask;
         loop {
             match self.index[slot] {
                 EMPTY_SLOT => {
-                    self.index[slot] = self.entries.len() as u32;
-                    self.entries.push((key, tok));
-                    return;
+                    return Probe {
+                        slot: slot as u32,
+                        entry: EMPTY_SLOT,
+                        cap: self.index.len() as u32,
+                    }
                 }
                 e => {
-                    if self.entries[e as usize].0 == key {
-                        self.entries[e as usize].1 = tok;
-                        return;
+                    if self.keys[e as usize] == key {
+                        return Probe {
+                            slot: slot as u32,
+                            entry: e,
+                            cap: self.index.len() as u32,
+                        };
                     }
                 }
             }
             slot = (slot + 1) & mask;
         }
+    }
+
+    /// The token stored under `key`, if any.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<Token> {
+        let e = self.probe(key).entry()?;
+        Some(Token {
+            cost: self.costs[e as usize],
+            lat: self.lats[e as usize],
+        })
+    }
+
+    /// Overwrites the token at dense position `entry` in place (the key
+    /// keeps its insertion position; the index is untouched).
+    #[inline]
+    pub fn update_entry(&mut self, entry: u32, tok: Token) {
+        self.costs[entry as usize] = tok.cost;
+        self.lats[entry as usize] = tok.lat;
+    }
+
+    /// Inserts or overwrites `key`. An overwrite keeps the entry's
+    /// original insertion position.
+    pub fn insert(&mut self, key: u64, tok: Token) {
+        let p = self.probe(key);
+        self.insert_probed(p, key, tok);
+    }
+
+    /// Commits an insert-or-overwrite at a previously probed position,
+    /// skipping the second index walk `get`-then-`insert` would pay.
+    /// Falls back to a fresh walk if the index grew (or needs to grow)
+    /// since the probe.
+    pub fn insert_probed(&mut self, p: Probe, key: u64, tok: Token) {
+        if let Some(e) = p.entry() {
+            self.update_entry(e, tok);
+            return;
+        }
+        if self.keys.len() * 2 >= self.index.len() {
+            self.grow();
+        }
+        let mut slot = p.slot as usize;
+        if self.index.len() as u32 != p.cap {
+            // Index changed since the probe: re-walk to the free slot.
+            let mask = self.index.len() - 1;
+            slot = splitmix64(key) as usize & mask;
+            while self.index[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+        }
+        debug_assert_eq!(self.index[slot], EMPTY_SLOT);
+        self.index[slot] = self.keys.len() as u32;
+        self.keys.push(key);
+        self.costs.push(tok.cost);
+        self.lats.push(tok.lat);
     }
 
     fn grow(&mut self) {
@@ -220,7 +347,7 @@ impl TokenStore {
         self.index.clear();
         self.index.resize(cap, EMPTY_SLOT);
         let mask = cap - 1;
-        for (i, &(k, _)) in self.entries.iter().enumerate() {
+        for (i, &k) in self.keys.iter().enumerate() {
             let mut slot = splitmix64(k) as usize & mask;
             while self.index[slot] != EMPTY_SLOT {
                 slot = (slot + 1) & mask;
@@ -267,6 +394,95 @@ mod tests {
     fn empty_population() {
         let m: TokenMap<u32, Token> = TokenMap::default();
         assert_eq!(prune_threshold(&m, 5.0, 10), f32::INFINITY);
+    }
+
+    fn tok(cost: f32) -> Token {
+        Token {
+            cost,
+            lat: LATTICE_ROOT,
+        }
+    }
+
+    #[test]
+    fn store_iterates_in_insertion_order_across_growth() {
+        let mut s = TokenStore::default();
+        // Far past the initial 64-slot index so grow() runs repeatedly.
+        for i in 0..500u64 {
+            s.insert(i * 0x9E37_79B9, tok(i as f32));
+        }
+        let keys: Vec<u64> = s.keys().collect();
+        let want: Vec<u64> = (0..500u64).map(|i| i * 0x9E37_79B9).collect();
+        assert_eq!(keys, want);
+        assert_eq!(s.keys_slice(), &want[..]);
+        for (i, (k, t)) in s.iter().enumerate() {
+            assert_eq!((k, t), s.pair_at(i));
+            assert_eq!(t.cost, i as f32);
+        }
+    }
+
+    #[test]
+    fn store_overwrite_keeps_position_and_lanes_stay_parallel() {
+        let mut s = TokenStore::default();
+        s.insert(10, tok(1.0));
+        s.insert(20, tok(2.0));
+        s.insert(10, Token { cost: 0.5, lat: 7 });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.keys_slice(), &[10, 20]);
+        assert_eq!(s.costs(), &[0.5, 2.0]);
+        assert_eq!(s.lats(), &[7, LATTICE_ROOT]);
+        assert_eq!(s.get(10), Some(Token { cost: 0.5, lat: 7 }));
+    }
+
+    #[test]
+    fn probe_then_commit_matches_get_then_insert() {
+        let mut a = TokenStore::default();
+        let mut b = TokenStore::default();
+        // Deterministic pseudo-random key stream with repeats.
+        let mut x = 0x1234_5678u64;
+        for i in 0..300 {
+            x = splitmix64(x);
+            let key = x % 97;
+            let t = tok(i as f32);
+            // Path A: fused probe/commit (possibly via update_entry).
+            let p = a.probe(key);
+            match p.entry() {
+                Some(e) => a.update_entry(e, t),
+                None => a.insert_probed(p, key, t),
+            }
+            // Path B: classic insert.
+            b.insert(key, t);
+            assert_eq!(a.get(key), b.get(key));
+        }
+        assert_eq!(a.len(), b.len());
+        let av: Vec<(u64, Token)> = a.iter().collect();
+        let bv: Vec<(u64, Token)> = b.iter().collect();
+        assert_eq!(av, bv);
+    }
+
+    #[test]
+    fn stale_probe_is_safe_after_growth() {
+        let mut s = TokenStore::default();
+        let p = s.probe(999); // probed while index was empty
+        for i in 0..100u64 {
+            s.insert(i, tok(0.0));
+        }
+        s.insert_probed(p, 999, tok(3.0));
+        assert_eq!(s.get(999), Some(tok(3.0)));
+        assert_eq!(s.len(), 101);
+    }
+
+    #[test]
+    fn clear_keeps_tokens_out_but_reuses_index() {
+        let mut s = TokenStore::default();
+        for i in 0..50u64 {
+            s.insert(i, tok(0.0));
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.get(3), None);
+        s.insert(3, tok(1.0));
+        assert_eq!(s.get(3), Some(tok(1.0)));
+        assert_eq!(s.keys_slice(), &[3]);
     }
 
     #[test]

@@ -68,6 +68,11 @@ pub trait AmSource {
     fn state_addr(&self, s: StateId) -> u64;
     /// Visits every outgoing arc of `s` in storage order.
     fn for_each_arc(&self, s: StateId, f: &mut dyn FnMut(ArcVisit));
+    /// Best-effort cache hint that `s`'s arcs are about to be walked.
+    /// A pure hint: no trace events, no effect on decode output, never
+    /// panics. The SoA kernel issues these over its batched probe
+    /// buffer before expansion; default is a no-op.
+    fn prefetch_state(&self, _s: StateId) {}
 }
 
 /// Result of a single-state LM word lookup.
@@ -95,6 +100,10 @@ pub trait LmSource {
     fn lookup_word_into(&self, s: StateId, word: Label, probes: &mut Vec<Fetch>) -> Option<Arc>;
     /// The back-off arc of `s` and its fetch, if the state has one.
     fn backoff(&self, s: StateId) -> Option<(Arc, Fetch)>;
+    /// Best-effort cache hint that `s` is about to be searched. A pure
+    /// hint: no trace events, no effect on decode output, never panics.
+    /// Default is a no-op.
+    fn prefetch_state(&self, _s: StateId) {}
 
     /// Allocating convenience wrapper over
     /// [`LmSource::lookup_word_into`].
@@ -179,6 +188,12 @@ impl AmSource for Wfst {
             });
         }
     }
+
+    fn prefetch_state(&self, s: StateId) {
+        if (s as usize) < Wfst::num_states(self) {
+            unfold_compress::prefetch_read(self.arcs(s).as_ptr().cast());
+        }
+    }
 }
 
 impl LmSource for Wfst {
@@ -224,6 +239,12 @@ impl LmSource for Wfst {
             back,
             (addr::LM_ARC_BASE + self.global_arc_index(s, idx) * 16, 16),
         ))
+    }
+
+    fn prefetch_state(&self, s: StateId) {
+        if (s as usize) < Wfst::num_states(self) {
+            unfold_compress::prefetch_read(self.arcs(s).as_ptr().cast());
+        }
     }
 }
 
@@ -298,6 +319,10 @@ impl AmSource for CompressedAm {
             });
         });
     }
+
+    fn prefetch_state(&self, s: StateId) {
+        CompressedAm::prefetch_state(self, s);
+    }
 }
 
 impl LmSource for CompressedLm {
@@ -350,6 +375,10 @@ impl LmSource for CompressedLm {
             self.word_arc_bit_offset(s, 0) + u64::from(n) * unfold_compress::lm::REGULAR_ARC_BITS;
         Some((back, (addr::LM_ARC_BASE + off / 8, 4)))
     }
+
+    fn prefetch_state(&self, s: StateId) {
+        CompressedLm::prefetch_state(self, s);
+    }
 }
 
 // --- Zero-copy (bundle-backed) implementations. ---
@@ -386,6 +415,10 @@ impl AmSource for CompressedAmRef<'_> {
                 bytes: width.div_ceil(8),
             });
         });
+    }
+
+    fn prefetch_state(&self, s: StateId) {
+        CompressedAmRef::prefetch_state(self, s);
     }
 }
 
@@ -437,6 +470,10 @@ impl LmSource for CompressedLmRef<'_> {
             self.word_arc_bit_offset(s, 0) + u64::from(n) * unfold_compress::lm::REGULAR_ARC_BITS;
         Some((back, (addr::LM_ARC_BASE + off / 8, 4)))
     }
+
+    fn prefetch_state(&self, s: StateId) {
+        CompressedLmRef::prefetch_state(self, s);
+    }
 }
 
 impl AmSource for SharedAm {
@@ -459,6 +496,10 @@ impl AmSource for SharedAm {
     fn for_each_arc(&self, s: StateId, f: &mut dyn FnMut(ArcVisit)) {
         AmSource::for_each_arc(&self.view(), s, f);
     }
+
+    fn prefetch_state(&self, s: StateId) {
+        self.view().prefetch_state(s);
+    }
 }
 
 impl LmSource for SharedLm {
@@ -480,6 +521,10 @@ impl LmSource for SharedLm {
 
     fn backoff(&self, s: StateId) -> Option<(Arc, Fetch)> {
         LmSource::backoff(&self.view(), s)
+    }
+
+    fn prefetch_state(&self, s: StateId) {
+        self.view().prefetch_state(s);
     }
 }
 

@@ -25,10 +25,8 @@
 //! paper asserts.
 
 use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
-use crate::lattice::LATTICE_ROOT;
 use crate::otf;
 use crate::scratch::{SessionScratch, WorkScratch};
-use crate::search::Token;
 use crate::sources::{AmSource, LmSource};
 use crate::trace::TraceSink;
 
@@ -86,25 +84,12 @@ impl StreamSession {
         assert!(!self.seeded, "StreamSession::seed: already seeded");
         self.seeded = true;
         self.state.begin();
-        self.state.cur.insert(
-            otf::token_key(am.start(), lm.start()),
-            Token {
-                cost: 0.0,
-                lat: LATTICE_ROOT,
-            },
-        );
-        otf::epsilon_closure(
+        otf::seed_closure(
             &self.config,
             am,
             lm,
-            &mut self.state.cur,
-            &mut work.worklist,
-            &mut work.eps_local,
-            &mut work.probes,
-            &mut work.olt,
-            &mut self.state.lattice,
-            0,
-            f32::INFINITY,
+            &mut self.state,
+            work,
             sink,
             &mut self.stats,
         );
@@ -174,7 +159,9 @@ impl StreamSession {
     /// disagree from the first word (or nothing is live).
     pub fn partial_stable_prefix(&self) -> Vec<unfold_lm::WordId> {
         // Many tokens share a lattice node; dedup before backtracing.
-        let mut lats: Vec<u32> = self.state.cur.values().map(|t| t.lat).collect();
+        // The SoA store hands us the lattice lane as one contiguous
+        // slice — no per-token iteration needed.
+        let mut lats: Vec<u32> = self.state.cur.lats().to_vec();
         lats.sort_unstable();
         lats.dedup();
         let mut it = lats.into_iter();

@@ -29,6 +29,51 @@ pub enum DecodeStage {
     Lattice,
 }
 
+/// The sub-phases of the SoA frame kernel, for sinks that opt in to
+/// kernel timing (see [`TraceSink::wants_kernel_timing`]). Unlike
+/// [`DecodeStage`] events these are *observability only*: they are not
+/// part of the architectural trace, are skipped entirely unless a sink
+/// asks for them, and are excluded from trace-identity comparisons
+/// between kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPhase {
+    /// Beam/histogram threshold fold over the contiguous cost lane plus
+    /// packed survivor-bitmask construction and compaction.
+    Threshold,
+    /// The batched probe-buffer pass: prefetching the survivors' AM/LM
+    /// state storage before expansion.
+    BatchProbe,
+    /// Emitting-arc expansion over the compacted survivor list.
+    Expand,
+    /// Non-emitting (epsilon) closure to a fixed point.
+    Closure,
+}
+
+impl KernelPhase {
+    /// All kernel phases, in execution order.
+    pub const ALL: [KernelPhase; 4] = [
+        KernelPhase::Threshold,
+        KernelPhase::BatchProbe,
+        KernelPhase::Expand,
+        KernelPhase::Closure,
+    ];
+
+    /// Stable snake_case name used in telemetry exports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            KernelPhase::Threshold => "threshold",
+            KernelPhase::BatchProbe => "batch_probe",
+            KernelPhase::Expand => "expand",
+            KernelPhase::Closure => "closure",
+        }
+    }
+
+    /// Dense index (position in [`KernelPhase::ALL`]).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 impl DecodeStage {
     /// All stages, in pipeline order.
     pub const ALL: [DecodeStage; 5] = [
@@ -108,6 +153,18 @@ pub trait TraceSink {
     /// A resolved lookup was installed into the software OLT; `evicted`
     /// says whether a live entry was displaced.
     fn olt_install(&mut self, _evicted: bool) {}
+    /// Whether this sink wants [`TraceSink::kernel_phase`] timing. The
+    /// kernel reads this once per frame and skips every clock read when
+    /// it returns `false`, so sinks that don't time (the default) pay
+    /// nothing.
+    fn wants_kernel_timing(&self) -> bool {
+        false
+    }
+    /// `ns` nanoseconds were spent in kernel sub-phase `phase` this
+    /// frame. Only emitted when [`TraceSink::wants_kernel_timing`]
+    /// returned `true` at frame start, and only by the SoA kernel.
+    /// Observability only — never part of trace-identity comparisons.
+    fn kernel_phase(&mut self, _phase: KernelPhase, _ns: u64) {}
 }
 
 /// Sink that drops everything (pure functional decoding).

@@ -27,6 +27,7 @@ pub mod flight;
 pub mod frame;
 pub mod json;
 pub mod loghist;
+pub mod phase;
 pub mod pool;
 pub mod registry;
 pub mod span;
@@ -36,6 +37,7 @@ pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use frame::{CacheRates, FrameRing, FrameTelemetry};
 pub use json::ObsRecord;
 pub use loghist::LogHistogram;
+pub use phase::{PhaseAccum, PhaseStat};
 pub use pool::PoolTelemetry;
 pub use registry::{Histogram, MetricsRegistry, Summary};
 pub use span::{SessionSpan, SpanLog};

@@ -1,0 +1,144 @@
+//! Fixed-lane nanosecond accumulators for kernel-phase timing.
+//!
+//! A [`PhaseAccum`] is the cheapest possible aggregation for a hot
+//! loop that reports "phase i took n nanoseconds" many times per
+//! frame: a flat array of `(total_ns, count)` lanes indexed by phase,
+//! no interning, no hashing, no clock reads of its own. The decoder's
+//! SoA kernel feeds one via `TraceSink::kernel_phase`; the serve layer
+//! can do the same for request phases.
+//!
+//! This deliberately differs from [`crate::StageTimer`]: the stage
+//! timer owns the clock and attributes exclusive time across a stack,
+//! while a `PhaseAccum` just sums durations the caller already
+//! measured (phases may overlap stages or each other freely).
+
+/// Aggregated timing for one phase lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Lane name (as given at construction).
+    pub name: &'static str,
+    /// Total accumulated nanoseconds.
+    pub total_ns: u64,
+    /// Number of samples accumulated.
+    pub count: u64,
+}
+
+impl PhaseStat {
+    /// Mean nanoseconds per sample (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Flat per-phase `(total_ns, count)` accumulator. Lanes are fixed at
+/// construction; out-of-range indices are ignored rather than panicking
+/// so a sink can never take down a decode.
+#[derive(Debug, Clone)]
+pub struct PhaseAccum {
+    names: Vec<&'static str>,
+    total_ns: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl PhaseAccum {
+    /// An accumulator with one lane per name.
+    pub fn new(names: &[&'static str]) -> Self {
+        PhaseAccum {
+            names: names.to_vec(),
+            total_ns: vec![0; names.len()],
+            counts: vec![0; names.len()],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the accumulator has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Adds one sample of `ns` to lane `idx` (no-op when out of range).
+    #[inline]
+    pub fn add(&mut self, idx: usize, ns: u64) {
+        if let (Some(t), Some(c)) = (self.total_ns.get_mut(idx), self.counts.get_mut(idx)) {
+            *t += ns;
+            *c += 1;
+        }
+    }
+
+    /// Total nanoseconds accumulated in lane `idx`.
+    pub fn total_ns(&self, idx: usize) -> u64 {
+        self.total_ns.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Samples accumulated in lane `idx`.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Whether any lane has seen a sample.
+    pub fn any_recorded(&self) -> bool {
+        self.counts.iter().any(|&c| c > 0)
+    }
+
+    /// Per-lane stats, in lane order.
+    pub fn stats(&self) -> Vec<PhaseStat> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, &name)| PhaseStat {
+                name,
+                total_ns: self.total_ns[i],
+                count: self.counts[i],
+            })
+            .collect()
+    }
+
+    /// Resets every lane to zero, keeping the lane set.
+    pub fn reset(&mut self) {
+        self.total_ns.fill(0);
+        self.counts.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_lane() {
+        let mut p = PhaseAccum::new(&["a", "b"]);
+        p.add(0, 10);
+        p.add(0, 5);
+        p.add(1, 7);
+        assert_eq!(p.total_ns(0), 15);
+        assert_eq!(p.count(0), 2);
+        assert_eq!(p.total_ns(1), 7);
+        assert!(p.any_recorded());
+        let s = p.stats();
+        assert_eq!(s[0].name, "a");
+        assert_eq!(s[0].mean_ns(), 7);
+    }
+
+    #[test]
+    fn out_of_range_is_ignored() {
+        let mut p = PhaseAccum::new(&["only"]);
+        p.add(5, 100);
+        assert_eq!(p.total_ns(5), 0);
+        assert_eq!(p.count(5), 0);
+        assert!(!p.any_recorded());
+    }
+
+    #[test]
+    fn reset_clears_samples() {
+        let mut p = PhaseAccum::new(&["x"]);
+        p.add(0, 3);
+        p.reset();
+        assert_eq!(p.total_ns(0), 0);
+        assert!(!p.any_recorded());
+        assert_eq!(p.len(), 1);
+    }
+}

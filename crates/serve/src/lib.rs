@@ -47,7 +47,10 @@ pub mod session;
 pub mod tcp;
 pub mod wire;
 
-pub use loadgen::{run_loadgen, LatencyMs, LoadgenConfig, LoadgenReport};
+pub use loadgen::{
+    run_loadgen, run_saturation_sweep, saturation_ladder, LatencyMs, LoadgenConfig, LoadgenReport,
+    SaturationPoint,
+};
 pub use sched::{Lease, ServeCore, ServeStats, DEFAULT_LM};
 pub use server::{ServeHandle, Server};
 pub use session::{SessionId, SessionPhase, SessionView};

@@ -106,6 +106,29 @@ impl LatencyMs {
     }
 }
 
+/// JSON number, with non-finite values mapped to `null`.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One latency summary as a JSON object.
+fn summary(s: &LatencyMs) -> String {
+    format!(
+        "{{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"min\": {}, \"max\": {}}}",
+        s.count,
+        num(s.mean),
+        num(s.p50),
+        num(s.p95),
+        num(s.p99),
+        num(s.min),
+        num(s.max)
+    )
+}
+
 /// What a load-generation run measured.
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
@@ -155,25 +178,14 @@ impl LoadgenReport {
 
     /// Serializes the report as the `BENCH_serve.json` document.
     pub fn to_json(&self) -> String {
-        fn num(v: f64) -> String {
-            if v.is_finite() {
-                format!("{v}")
-            } else {
-                "null".to_string()
-            }
-        }
-        fn summary(s: &LatencyMs) -> String {
-            format!(
-                "{{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"min\": {}, \"max\": {}}}",
-                s.count,
-                num(s.mean),
-                num(s.p50),
-                num(s.p95),
-                num(s.p99),
-                num(s.min),
-                num(s.max)
-            )
-        }
+        self.to_json_with_saturation(&[])
+    }
+
+    /// Same document with a `"saturation"` array (one object per sweep
+    /// rung, see [`run_saturation_sweep`]) ahead of the server-counter
+    /// block. An empty sweep omits the key, so plain `to_json` output
+    /// is unchanged.
+    pub fn to_json_with_saturation(&self, sweep: &[SaturationPoint]) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
             "  \"sessions_requested\": {},\n",
@@ -208,6 +220,25 @@ impl LoadgenReport {
             summary(&self.first_partial_ms)
         ));
         out.push_str(&format!("  \"final_ms\": {},\n", summary(&self.final_ms)));
+        if !sweep.is_empty() {
+            out.push_str("  \"saturation\": [\n");
+            for (i, p) in sweep.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"sessions\": {}, \"concurrency\": {}, \"completed\": {}, \"rejected\": {}, \"errors\": {}, \"sessions_per_sec\": {}, \"p99_first_partial_ms\": {}, \"p99_final_ms\": {}, \"deadline_miss_delta\": {}}}{}\n",
+                    p.sessions,
+                    p.concurrency,
+                    p.completed,
+                    p.rejected,
+                    p.errors,
+                    num(p.sessions_per_sec),
+                    num(p.p99_first_partial_ms),
+                    num(p.p99_final_ms),
+                    num(p.deadline_miss_delta),
+                    if i + 1 < sweep.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  ],\n");
+        }
         out.push_str("  \"server\": {");
         for (i, (name, v)) in self.server.iter().enumerate() {
             if i > 0 {
@@ -485,6 +516,114 @@ pub fn run_loadgen(
     })
 }
 
+/// One rung of a saturation sweep: the offered load and what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturationPoint {
+    /// Sessions offered at this rung.
+    pub sessions: usize,
+    /// Concurrent client connections at this rung.
+    pub concurrency: usize,
+    /// Sessions that received a `Final`.
+    pub completed: u64,
+    /// Sessions refused admission.
+    pub rejected: u64,
+    /// Protocol or connection errors.
+    pub errors: u64,
+    /// Completed sessions per wall-clock second (the throughput axis).
+    pub sessions_per_sec: f64,
+    /// p99 open → first non-empty stable partial, ms.
+    pub p99_first_partial_ms: f64,
+    /// p99 `Finish` sent → `Final` received, ms (the latency axis).
+    pub p99_final_ms: f64,
+    /// Deadline misses the server accrued *during this rung* — the
+    /// delta of the cumulative `serve.deadline_misses` counter across
+    /// the rung, so the curve shows where misses start, not a running
+    /// total.
+    pub deadline_miss_delta: f64,
+}
+
+/// Doubling concurrency ladder for a saturation sweep: 1, 2, 4, …
+/// capped at `max`, with `max` itself appended when it is not a power
+/// of two. `max == 0` yields just `[1]`.
+pub fn saturation_ladder(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut ladder = Vec::new();
+    let mut c = 1;
+    while c <= max {
+        ladder.push(c);
+        c *= 2;
+    }
+    if *ladder.last().unwrap() != max {
+        ladder.push(max);
+    }
+    ladder
+}
+
+/// Fetches the server's cumulative deadline-miss counter over a fresh
+/// connection (0.0 when the counter is absent).
+fn fetch_deadline_misses(addr: SocketAddr) -> io::Result<f64> {
+    let (mut rd, mut wr) = conn(addr)?;
+    let pairs = fetch_stats(&mut rd, &mut wr)?;
+    Ok(metric(&pairs, "serve.deadline_misses").unwrap_or(0.0))
+}
+
+/// Runs the closed-loop loadgen once per rung of `ladder` (each entry
+/// a client-concurrency level) against the same server, holding
+/// sessions-per-client fixed at `base.sessions / base.concurrency` so
+/// offered load scales with the rung. The resulting
+/// sessions-vs-p99/deadline-miss columns are the saturation curve
+/// `BENCH_serve.json` stores (see
+/// [`LoadgenReport::to_json_with_saturation`]).
+///
+/// Mid-run scraping is disabled per rung (it would perturb the very
+/// tail latencies the sweep measures). When `base.shutdown_after` is
+/// set, `Shutdown` is sent only after the final rung.
+///
+/// # Errors
+/// Connection failures; per-session errors are counted in each rung.
+///
+/// # Panics
+/// Panics if `utts` is empty (same contract as [`run_loadgen`]).
+pub fn run_saturation_sweep(
+    addr: SocketAddr,
+    utts: &[Vec<Vec<f32>>],
+    base: &LoadgenConfig,
+    ladder: &[usize],
+) -> io::Result<Vec<SaturationPoint>> {
+    let per_client = (base.sessions / base.concurrency.max(1)).max(1);
+    // The server counter is cumulative (and may be nonzero before the
+    // sweep if other traffic ran), so every rung reports a delta.
+    let mut prev_misses = fetch_deadline_misses(addr).unwrap_or(0.0);
+    let mut points = Vec::with_capacity(ladder.len());
+    for (i, &rung) in ladder.iter().enumerate() {
+        let concurrency = rung.max(1);
+        let cfg = LoadgenConfig {
+            sessions: concurrency * per_client,
+            concurrency,
+            chunk_frames: base.chunk_frames,
+            scrape_every_ms: 0,
+            shutdown_after: base.shutdown_after && i + 1 == ladder.len(),
+        };
+        let rep = run_loadgen(addr, utts, &cfg)?;
+        let misses = rep
+            .server_total("serve.deadline_misses")
+            .unwrap_or(prev_misses);
+        points.push(SaturationPoint {
+            sessions: cfg.sessions,
+            concurrency,
+            completed: rep.sessions_completed,
+            rejected: rep.sessions_rejected,
+            errors: rep.errors,
+            sessions_per_sec: rep.sessions_per_sec,
+            p99_first_partial_ms: rep.first_partial_ms.p99,
+            p99_final_ms: rep.final_ms.p99,
+            deadline_miss_delta: (misses - prev_misses).max(0.0),
+        });
+        prev_misses = misses;
+    }
+    Ok(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,6 +722,104 @@ mod tests {
         }
         // shutdown_after stops the whole stack: the accept loop sees
         // the flag and exits, and the worker pool joins cleanly.
+        front.join();
+        server.shutdown();
+    }
+
+    #[test]
+    fn saturation_ladder_doubles_and_caps() {
+        assert_eq!(saturation_ladder(0), vec![1]);
+        assert_eq!(saturation_ladder(1), vec![1]);
+        assert_eq!(saturation_ladder(4), vec![1, 2, 4]);
+        assert_eq!(saturation_ladder(6), vec![1, 2, 4, 6]);
+        assert_eq!(saturation_ladder(16), vec![1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn saturation_sweep_walks_the_ladder_and_serializes() {
+        let lex = Lexicon::generate(50, 20, 6);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec {
+            vocab_size: 50,
+            num_sentences: 300,
+            ..Default::default()
+        };
+        let model = NGramModel::train(&spec.generate(3), 50, DiscountConfig::default());
+        let lm = Arc::new(lm_to_wfst(&model));
+        let am = Arc::new(am.fst);
+        let u = synthesize_utterance(
+            &[3u32, 9, 17],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            60,
+        );
+        let utts: Vec<Vec<Vec<f32>>> = vec![(0..u.scores.num_frames())
+            .map(|t| u.scores.frame(t).to_vec())
+            .collect()];
+
+        let server = Server::start(
+            ServeConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            am,
+            lm,
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let front = TcpFront::start(listener, server.handle()).unwrap();
+        let base = LoadgenConfig {
+            sessions: 4,
+            concurrency: 2,
+            chunk_frames: 8,
+            scrape_every_ms: 0,
+            shutdown_after: true,
+        };
+        let points = run_saturation_sweep(front.local_addr(), &utts, &base, &[1, 2]).unwrap();
+        assert_eq!(points.len(), 2);
+        // sessions-per-client is 4/2 = 2, so rung c offers 2*c sessions.
+        assert_eq!(points[0].concurrency, 1);
+        assert_eq!(points[0].sessions, 2);
+        assert_eq!(points[1].concurrency, 2);
+        assert_eq!(points[1].sessions, 4);
+        for p in &points {
+            assert_eq!(p.completed, p.sessions as u64, "rung completed: {p:?}");
+            assert_eq!(p.errors, 0);
+            assert!(p.deadline_miss_delta >= 0.0);
+            assert!(p.p99_final_ms > 0.0);
+        }
+
+        // The sweep rides into the report JSON under "saturation"; an
+        // empty sweep leaves the plain document untouched.
+        let report = LoadgenReport {
+            sessions_requested: 6,
+            sessions_completed: points.iter().map(|p| p.completed).sum(),
+            sessions_rejected: 0,
+            errors: 0,
+            first_partial_ms: LatencyMs::from_us(&unfold_obs::LogHistogram::new().summary()),
+            final_ms: LatencyMs::from_us(&unfold_obs::LogHistogram::new().summary()),
+            elapsed_ms: 1.0,
+            sessions_per_sec: 1.0,
+            scrapes: 0,
+            scrape_failures: 0,
+            reconciled: true,
+            server_session_spans: 6,
+            flight_jsonl: String::new(),
+            server: vec![("serve.deadline_misses".into(), 0.0)],
+        };
+        let json = report.to_json_with_saturation(&points);
+        for key in [
+            "\"saturation\": [",
+            "\"p99_final_ms\"",
+            "\"deadline_miss_delta\"",
+            "\"concurrency\": 2",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(!report.to_json().contains("\"saturation\""));
+
+        // shutdown_after on the base config stops the server after the
+        // last rung.
         front.join();
         server.shutdown();
     }

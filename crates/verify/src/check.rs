@@ -28,8 +28,8 @@ use unfold_am::acoustic::FRAME_SECONDS;
 use unfold_am::Utterance;
 use unfold_compress::{Bundle, BundleError, BundleWriter, SharedAm, SharedLm};
 use unfold_decoder::{
-    DecodeConfig, DecodeResult, DecodeScratch, FullyComposedDecoder, LmSource, NullSink,
-    OtfDecoder, OtfStream, TraceRecorder, TwoPassDecoder,
+    DecodeConfig, DecodeKernel, DecodeResult, DecodeScratch, FullyComposedDecoder, LmSource,
+    NullSink, OtfDecoder, OtfStream, TraceRecorder, TwoPassDecoder,
 };
 use unfold_sim::{Accelerator, AcceleratorConfig};
 use unfold_wfst::{compose_am_lm, Arc, ComposeOptions, Label, StateId, Wfst};
@@ -46,6 +46,9 @@ pub const COST_TOLERANCE: f32 = 1e-2;
 pub enum CheckId {
     /// On-the-fly vs offline-composed oracle.
     Oracle,
+    /// SoA vs legacy frame kernel: result *and* ordered trace-event
+    /// bit identity (implies identical OLT install/evict order).
+    SoaIdentity,
     /// OLT sizes {0, small, large} bit identity.
     OltIdentity,
     /// Fresh vs warm `DecodeScratch` bit identity.
@@ -72,6 +75,7 @@ impl CheckId {
     pub fn name(self) -> &'static str {
         match self {
             CheckId::Oracle => "oracle",
+            CheckId::SoaIdentity => "soa-identity",
             CheckId::OltIdentity => "olt-identity",
             CheckId::ScratchReuse => "scratch-reuse",
             CheckId::Streaming => "streaming",
@@ -88,6 +92,7 @@ impl CheckId {
     pub fn parse(s: &str) -> Option<CheckId> {
         [
             CheckId::Oracle,
+            CheckId::SoaIdentity,
             CheckId::OltIdentity,
             CheckId::ScratchReuse,
             CheckId::Streaming,
@@ -339,7 +344,43 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
         }
     }
 
-    // 2. OLT sizes {small, large} vs disabled: bit identity of the
+    // 2. SoA vs legacy kernel: the strongest claim in the matrix —
+    //    words, cost bits, full stats, and the *ordered* trace-event
+    //    stream must all match, whichever kernel the baseline ran.
+    {
+        let other = match cfg.kernel {
+            DecodeKernel::Legacy => DecodeKernel::Soa,
+            DecodeKernel::Soa => DecodeKernel::Legacy,
+        };
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        let mut rec = TraceRecorder::new();
+        let alt = OtfDecoder::new(
+            cfg.to_builder()
+                .kernel(other)
+                .build()
+                .expect("case spec yields a valid config"),
+        )
+        .decode(&m.am.fst, &lm, scores, &mut rec);
+        if let Some(d) = bit_diff("soa vs legacy kernel", &alt, &baseline) {
+            return Some(Divergence {
+                check: CheckId::SoaIdentity,
+                detail: d,
+            });
+        }
+        if rec.events() != base_rec.events() {
+            return Some(Divergence {
+                check: CheckId::SoaIdentity,
+                detail: format!(
+                    "kernel trace diverged: {} events ({other:?}) vs {} ({:?})",
+                    rec.len(),
+                    base_rec.len(),
+                    cfg.kernel
+                ),
+            });
+        }
+    }
+
+    // 3. OLT sizes {small, large} vs disabled: bit identity of the
     //    search, fetch savings allowed.
     for entries in [spec.olt_small, spec.olt_large] {
         let on = {
@@ -690,6 +731,7 @@ mod tests {
     fn names_round_trip() {
         for c in [
             CheckId::Oracle,
+            CheckId::SoaIdentity,
             CheckId::OltIdentity,
             CheckId::ScratchReuse,
             CheckId::Streaming,

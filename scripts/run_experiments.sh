@@ -55,7 +55,7 @@ if [[ -n "${UNFOLD_SERVE:-}" ]]; then
   [[ -s "$PORT_FILE" ]] || { echo "serve never bound a port" >&2; exit 1; }
   target/release/unfold-cli loadgen --task tedlium --port-file "$PORT_FILE" \
     --sessions 16 --concurrency 4 --utterances "$UTTS" \
-    --out BENCH_serve.json --shutdown | tee "$OUT/serve_latency.md"
+    --saturate --out BENCH_serve.json --shutdown | tee "$OUT/serve_latency.md"
   wait "$SERVE_PID"
   rm -f "$PORT_FILE"
 fi
