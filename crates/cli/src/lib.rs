@@ -66,6 +66,10 @@ commands:
            [--bundle <file> [--mmap]]       ... using a packed bundle (zero-copy
            [--model <lm-name>]                  with --mmap), picking a bundled LM
            [--nbest K]                      ... printing K-best hypotheses
+           [--lattice-beam B]               ... word-lattice pruning beam for
+                                                --nbest/--confidence (default 8)
+           [--confidence]                   ... per-word time spans + lattice
+                                                posterior confidences
            [--jobs N]                       ... on N parallel workers (same output;
                                                 0 = one per available core)
            [--metrics <file>]               ... exporting telemetry as JSONL
@@ -245,6 +249,15 @@ impl<'a> Flags<'a> {
     }
 
     fn usize_or(&self, key: &str, default: usize) -> Result<usize, Error> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| Error::Usage(format!("--{key} expects a number, got '{v}'"))),
+        }
+    }
+
+    fn f32_or(&self, key: &str, default: f32) -> Result<f32, Error> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
@@ -448,11 +461,18 @@ fn decode_models(flags: &Flags, system: &System) -> Result<Models, Error> {
 }
 
 fn cmd_decode(args: &[String]) -> Result<String, Error> {
-    let flags = Flags::parse(args, &["mmap"])?;
+    let flags = Flags::parse(args, &["mmap", "confidence"])?;
     let spec = task_by_name(flags.require("task")?)?;
     let n = flags.usize_or("utterances", 5)?;
     let system = System::build(&spec);
-    let decoder = OtfDecoder::new(DecodeConfig::default());
+    let confidence = flags.has("confidence");
+    let lattice_beam = flags.f32_or("lattice-beam", DecodeConfig::default().lattice_beam)?;
+    let config = DecodeConfig::default()
+        .to_builder()
+        .lattice_beam(lattice_beam)
+        .build()
+        .map_err(|e| Error::Usage(format!("--lattice-beam: {e:?}")))?;
+    let decoder = OtfDecoder::new(config);
     let mut s = String::new();
     let mut report = WerReport::default();
     let models = decode_models(&flags, &system)?;
@@ -510,6 +530,23 @@ fn cmd_decode(args: &[String]) -> Result<String, Error> {
             let list = decoder.decode_nbest(am, lm, &utt.scores, nbest, &mut *sink);
             for (rank, (words, cost)) in list.iter().enumerate().skip(1) {
                 let _ = writeln!(s, "       #{} {:?} (cost {cost:.2})", rank + 1, words);
+            }
+        }
+        if confidence && res.is_complete() {
+            let (_, lattice) = decoder.decode_lattice(am, lm, &utt.scores, &mut *sink);
+            let hyps = lattice.best_path_detail();
+            let spans = res.word_spans();
+            for (hyp, (word, first, last)) in hyps.iter().zip(&spans) {
+                debug_assert_eq!(hyp.word, *word);
+                let (t0, t1) = (
+                    f64::from(*first) * unfold_am::acoustic::FRAME_SECONDS,
+                    f64::from(*last + 1) * unfold_am::acoustic::FRAME_SECONDS,
+                );
+                let _ = writeln!(
+                    s,
+                    "       word {word} frames {first}-{last} ({t0:.2}s-{t1:.2}s) conf {:.3}",
+                    hyp.confidence
+                );
             }
         }
     }
@@ -1023,6 +1060,28 @@ mod tests {
         assert!(out.contains("hyp"));
         // Alternatives may or may not exist; the flag must parse.
         assert!(out.contains("WER:"));
+    }
+
+    #[test]
+    fn decode_confidence_prints_word_spans() {
+        let out = run(&sv(&[
+            "decode",
+            "--task",
+            "tiny",
+            "--utterances",
+            "1",
+            "--confidence",
+        ]))
+        .unwrap();
+        assert!(out.contains("conf "), "missing confidence lines in:\n{out}");
+        assert!(out.contains("frames "), "missing frame spans in:\n{out}");
+        assert!(out.contains("WER:"));
+    }
+
+    #[test]
+    fn decode_rejects_bad_lattice_beam() {
+        let err = run(&sv(&["decode", "--task", "tiny", "--lattice-beam", "-3"])).unwrap_err();
+        assert!(err.to_string().contains("lattice-beam"));
     }
 
     #[test]

@@ -66,6 +66,13 @@ pub struct DecodeConfig {
     /// Frame-loop implementation (see [`DecodeKernel`]). Never changes
     /// decode output; defaults by the `soa_kernel` cargo feature.
     pub kernel: DecodeKernel,
+    /// Lattice beam: when a word lattice is requested, arcs whose best
+    /// complete path exceeds `best + lattice_beam` are pruned from the
+    /// lattice in the post-pass. Only consulted by the lattice-producing
+    /// entry points (`decode_lattice*`, `decode_nbest*`, streaming with
+    /// the lattice enabled); plain 1-best decoding ignores it entirely,
+    /// so it can never perturb search output.
+    pub lattice_beam: f32,
 }
 
 impl Default for DecodeConfig {
@@ -76,6 +83,7 @@ impl Default for DecodeConfig {
             preemptive_pruning: true,
             olt_entries: 0,
             kernel: DecodeKernel::default(),
+            lattice_beam: 8.0,
         }
     }
 }
@@ -109,6 +117,9 @@ pub enum ConfigError {
     /// A non-zero OLT capacity must be a power of two (the table is
     /// XOR-indexed).
     OltNotPowerOfTwo(usize),
+    /// Lattice beam must be finite and strictly positive (a zero or
+    /// negative lattice beam would prune the Viterbi path itself).
+    BadLatticeBeam(f32),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -120,6 +131,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroMaxActive => write!(f, "max_active must be > 0"),
             ConfigError::OltNotPowerOfTwo(n) => {
                 write!(f, "olt_entries must be 0 or a power of two, got {n}")
+            }
+            ConfigError::BadLatticeBeam(b) => {
+                write!(f, "lattice_beam must be finite and > 0, got {b}")
             }
         }
     }
@@ -165,6 +179,13 @@ impl DecodeConfigBuilder {
         self
     }
 
+    /// Lattice beam for lattice-producing entry points (must be finite
+    /// and > 0).
+    pub fn lattice_beam(mut self, lattice_beam: f32) -> Self {
+        self.cfg.lattice_beam = lattice_beam;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -179,6 +200,9 @@ impl DecodeConfigBuilder {
         }
         if c.olt_entries != 0 && !c.olt_entries.is_power_of_two() {
             return Err(ConfigError::OltNotPowerOfTwo(c.olt_entries));
+        }
+        if !c.lattice_beam.is_finite() || c.lattice_beam <= 0.0 {
+            return Err(ConfigError::BadLatticeBeam(c.lattice_beam));
         }
         Ok(c)
     }
@@ -253,6 +277,10 @@ impl DecodeStats {
 pub struct DecodeResult {
     /// Best-path word sequence.
     pub words: Vec<WordId>,
+    /// Frame at which each word in `words` was recognized (the frame of
+    /// the token-passing arc that carried the word label). Parallel to
+    /// `words`; empty when the decode was incomplete.
+    pub word_frames: Vec<u32>,
     /// Cost of the best complete hypothesis (`f32::INFINITY` when no
     /// hypothesis reached a final state).
     pub cost: f32,
@@ -264,6 +292,21 @@ impl DecodeResult {
     /// Whether the search produced a complete hypothesis.
     pub fn is_complete(&self) -> bool {
         self.cost.is_finite()
+    }
+
+    /// Per-word frame spans `(word, first_frame, last_frame)` derived
+    /// from `word_frames`: each word's span runs from just after the
+    /// previous word's recognition frame through its own. Spans are
+    /// inclusive and non-overlapping; word boundaries inside a span are
+    /// not refined below the word level.
+    pub fn word_spans(&self) -> Vec<(WordId, u32, u32)> {
+        let mut spans = Vec::with_capacity(self.words.len());
+        let mut start = 0u32;
+        for (&w, &end) in self.words.iter().zip(&self.word_frames) {
+            spans.push((w, start.min(end), end));
+            start = end + 1;
+        }
+        spans
     }
 }
 
@@ -340,6 +383,18 @@ mod tests {
             DecodeConfig::builder().olt_entries(100).build(),
             Err(ConfigError::OltNotPowerOfTwo(100))
         );
+        assert_eq!(
+            DecodeConfig::builder().lattice_beam(0.0).build(),
+            Err(ConfigError::BadLatticeBeam(0.0))
+        );
+        assert!(matches!(
+            DecodeConfig::builder().lattice_beam(f32::INFINITY).build(),
+            Err(ConfigError::BadLatticeBeam(_))
+        ));
+        assert!(matches!(
+            DecodeConfig::builder().lattice_beam(f32::NAN).build(),
+            Err(ConfigError::BadLatticeBeam(_))
+        ));
     }
 
     #[test]
@@ -362,9 +417,22 @@ mod tests {
     fn incomplete_result_detected() {
         let r = DecodeResult {
             words: vec![],
+            word_frames: vec![],
             cost: f32::INFINITY,
             stats: DecodeStats::default(),
         };
         assert!(!r.is_complete());
+        assert!(r.word_spans().is_empty());
+    }
+
+    #[test]
+    fn word_spans_partition_the_frames() {
+        let r = DecodeResult {
+            words: vec![7, 3, 9],
+            word_frames: vec![4, 5, 11],
+            cost: 1.0,
+            stats: DecodeStats::default(),
+        };
+        assert_eq!(r.word_spans(), vec![(7, 0, 4), (3, 5, 5), (9, 6, 11)]);
     }
 }

@@ -235,14 +235,19 @@ fn finish(
             }
         }
     }
-    let words = if best_cost.is_finite() {
-        lattice.backtrace(best_lat)
+    let (words, word_frames) = if best_cost.is_finite() {
+        let spanned = lattice.backtrace_spanned(best_lat);
+        (
+            spanned.iter().map(|&(w, _)| w).collect(),
+            spanned.iter().map(|&(_, f)| f).collect(),
+        )
     } else {
-        Vec::new()
+        (Vec::new(), Vec::new())
     };
     sink.stage_exit(DecodeStage::Lattice);
     DecodeResult {
         words,
+        word_frames,
         cost: best_cost,
         stats,
     }

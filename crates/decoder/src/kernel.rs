@@ -45,7 +45,7 @@
 
 use std::time::Instant;
 
-use unfold_wfst::{Label, StateId, EPSILON};
+use unfold_wfst::{Label, Semiring, StateId, TropicalWeight, EPSILON};
 
 use crate::config::{DecodeConfig, DecodeStats};
 use crate::lattice::{Lattice, COMPACT_ENTRY_BYTES};
@@ -80,6 +80,7 @@ pub(crate) fn expand_frame_soa<A: AmSource + ?Sized, L: LmSource + ?Sized>(
 ) {
     work.ensure_validated(am, lm, costs.len());
     work.bind_arc_stage(am);
+    session.lattice.advance_pop();
     sink.frame_start(t, session.cur.len());
     stats.frames += 1;
     stats.max_active = stats.max_active.max(session.cur.len());
@@ -183,7 +184,12 @@ pub(crate) fn expand_frame_soa<A: AmSource + ?Sized, L: LmSource + ?Sized>(
                     arc.ilabel,
                     costs.len()
                 );
-                let base = tok.cost + arc.weight + costs[arc.ilabel as usize - 1];
+                // Same tropical ⊗-chain as the legacy kernel: identical
+                // left-to-right f32 additions, identical bits.
+                let base = TropicalWeight::from_cost(tok.cost)
+                    .times(TropicalWeight::from_cost(arc.weight))
+                    .times(TropicalWeight::from_cost(costs[arc.ilabel as usize - 1]))
+                    .value();
                 stats.tokens_created += 1;
                 if base > next_best + config.beam {
                     stats.tokens_pruned += 1;
@@ -204,7 +210,10 @@ pub(crate) fn expand_frame_soa<A: AmSource + ?Sized, L: LmSource + ?Sized>(
                 } else {
                     (lm_s, base, EPSILON)
                 };
-                next_best = next_best.min(cost);
+                next_best = TropicalWeight::from_cost(cost)
+                    .plus(TropicalWeight::from_cost(next_best))
+                    .value();
+                lattice.record_emit(k, token_key(arc.nextstate, lm_next), word, cost);
                 relax_soa(
                     next,
                     token_key(arc.nextstate, lm_next),
@@ -244,13 +253,13 @@ pub(crate) fn expand_frame_soa<A: AmSource + ?Sized, L: LmSource + ?Sized>(
     // conditional replicates the legacy fold exactly: it differs from
     // a plain `max` when +inf costs appear, and the FrameEnd event is
     // part of the recorded identity.
-    let mut best = f32::INFINITY;
+    let mut best = TropicalWeight::zero();
     let mut worst = f32::INFINITY;
     for &c in session.next.costs() {
-        best = best.min(c);
+        best = TropicalWeight::from_cost(c).plus(best);
         worst = if worst.is_finite() { worst.max(c) } else { c };
     }
-    sink.frame_end(t, session.next.len(), best, worst);
+    sink.frame_end(t, session.next.len(), best.value(), worst);
     std::mem::swap(&mut session.cur, &mut session.next);
 }
 
@@ -302,7 +311,13 @@ pub(crate) fn epsilon_closure_soa<A: AmSource + ?Sized, L: LmSource + ?Sized>(
             }
             sink.am_arc_fetch(v.addr, v.bytes);
             stats.epsilon_expansions += 1;
-            eps_local.push((v.arc.nextstate, tok.cost + v.arc.weight, v.arc.olabel));
+            eps_local.push((
+                v.arc.nextstate,
+                TropicalWeight::from_cost(tok.cost)
+                    .times(TropicalWeight::from_cost(v.arc.weight))
+                    .value(),
+                v.arc.olabel,
+            ));
         }
         for &(am_next, base, word) in eps_local.iter() {
             stats.tokens_created += 1;
@@ -319,6 +334,7 @@ pub(crate) fn epsilon_closure_soa<A: AmSource + ?Sized, L: LmSource + ?Sized>(
             } else {
                 (lm_s, base, EPSILON)
             };
+            lattice.record_eps(k, token_key(am_next, lm_next), out_word, cost);
             if let Some(ne) = relax_soa(
                 tokens,
                 token_key(am_next, lm_next),

@@ -1,15 +1,42 @@
-//! Word lattice: the backpointer structure from which the best word
-//! sequence is recovered.
+//! Word lattices: the compact backpointer chain the 1-best search
+//! writes, the raw expansion tape recorded alongside it, and the
+//! [`WordLattice`] post-pass that turns the tape into an exact, pruned
+//! word lattice with posteriors and deterministic N-best paths.
 //!
-//! Tokens do not store word histories; they store an index into this
-//! append-only lattice. Each entry records a recognized word and the
+//! Tokens do not store word histories; they store an index into the
+//! append-only [`Lattice`]. Each entry records a recognized word and the
 //! entry that preceded it, so a hypothesis's words are recovered by
 //! walking backpointers from its lattice index — the same compact
 //! token-to-lattice split the paper adopts from \[22\] to cut Token Cache
 //! traffic ("the Token Issuer \[writes\] the word lattice in a compact
 //! representation").
+//!
+//! The backpointer chain only remembers the Viterbi predecessor of each
+//! token. When a lattice is requested, the decoder additionally turns on
+//! the *expansion tape*: every relaxation the search attempts — emitting
+//! or epsilon, improving or not — is appended as a raw
+//! `(source token, destination token, word, destination cost)` record.
+//! Because the tape captures *all* surviving incoming arcs per
+//! (frame, state), the post-pass can reconstruct the exact set of
+//! hypotheses the beam search considered, not just the single best
+//! (the GPU exact-lattice decoder of Povey et al. materializes lattices
+//! from token passing the same way). The tape is contents-neutral for
+//! search: recording never changes decode output, stats, or the trace
+//! event stream.
+//!
+//! The post-pass ([`WordLattice::build`]) works in two semirings through
+//! the [`Semiring`] trait: tropical (min, +) for the exact
+//! forward/backward Viterbi scores that drive lattice-beam pruning, and
+//! log (-log-sum-exp, +) for the forward/backward occupation scores that
+//! yield arc posteriors — per-word confidence.
+
+use std::collections::BTreeMap;
 
 use unfold_lm::WordId;
+use unfold_wfst::{LogWeight, Semiring, TropicalWeight};
+
+use crate::search::TokenStore;
+use crate::sources::AmSource;
 
 /// Bytes one lattice entry occupies in the compact representation
 /// (\[22\]-style: packed backpointer + word id).
@@ -25,14 +52,37 @@ pub const LATTICE_ROOT: u32 = u32::MAX;
 struct Entry {
     prev: u32,
     word: WordId,
-    #[allow(dead_code)]
     frame: u32,
 }
 
-/// Append-only word lattice.
+/// One raw record on the expansion tape: the search relaxed an arc from
+/// the token keyed `src_key` (in population `src_pop`) into the token
+/// keyed `dst_key` (in population `dst_pop`), carrying `word` (0 for
+/// none), arriving with path cost `dst_cost`.
+#[derive(Debug, Clone, Copy)]
+struct TapeArc {
+    src_pop: u32,
+    dst_pop: u32,
+    src_key: u64,
+    dst_key: u64,
+    word: WordId,
+    dst_cost: f32,
+}
+
+/// Append-only word lattice backpointer store, plus (when recording is
+/// enabled) the raw expansion tape a [`WordLattice`] is built from.
 #[derive(Debug, Clone, Default)]
 pub struct Lattice {
     entries: Vec<Entry>,
+    /// Whether the expansion tape is being recorded.
+    recording: bool,
+    /// Current token population: 0 for the seed closure, `t + 1` once
+    /// frame `t` has been expanded.
+    cur_pop: u32,
+    /// Token key of the seed token (population 0).
+    start_key: u64,
+    /// Raw expansion records, in the order the search attempted them.
+    tape: Vec<TapeArc>,
 }
 
 impl Lattice {
@@ -51,10 +101,72 @@ impl Lattice {
         self.entries.is_empty()
     }
 
-    /// Drops every entry but keeps the allocation (scratch reuse
-    /// between utterances).
+    /// Drops every entry and tape record but keeps the allocations
+    /// (scratch reuse between utterances). Recording is switched off;
+    /// each lattice-producing entry point re-enables it explicitly.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.tape.clear();
+        self.recording = false;
+        self.cur_pop = 0;
+        self.start_key = 0;
+    }
+
+    /// Enables or disables the expansion tape. Contents-neutral for the
+    /// search itself.
+    pub(crate) fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    /// Whether the expansion tape is being recorded.
+    pub(crate) fn is_recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Records the seed token's key (population 0).
+    pub(crate) fn record_start(&mut self, key: u64) {
+        if self.recording {
+            self.start_key = key;
+        }
+    }
+
+    /// Advances to the next token population; called once at the start
+    /// of every frame expansion.
+    pub(crate) fn advance_pop(&mut self) {
+        self.cur_pop += 1;
+    }
+
+    /// Records an emitting relaxation: an arc from `src_key` in the
+    /// previous population into `dst_key` in the current one.
+    #[inline]
+    pub(crate) fn record_emit(&mut self, src_key: u64, dst_key: u64, word: WordId, dst_cost: f32) {
+        if self.recording {
+            debug_assert!(self.cur_pop >= 1, "emitting arc before any frame");
+            self.tape.push(TapeArc {
+                src_pop: self.cur_pop - 1,
+                dst_pop: self.cur_pop,
+                src_key,
+                dst_key,
+                word,
+                dst_cost,
+            });
+        }
+    }
+
+    /// Records an epsilon-closure relaxation within the current
+    /// population.
+    #[inline]
+    pub(crate) fn record_eps(&mut self, src_key: u64, dst_key: u64, word: WordId, dst_cost: f32) {
+        if self.recording {
+            self.tape.push(TapeArc {
+                src_pop: self.cur_pop,
+                dst_pop: self.cur_pop,
+                src_key,
+                dst_key,
+                word,
+                dst_cost,
+            });
+        }
     }
 
     /// Appends a word recognized at `frame`, preceded by `prev`
@@ -80,15 +192,800 @@ impl Lattice {
     /// # Panics
     /// Panics if `index` is invalid.
     pub fn backtrace(&self, index: u32) -> Vec<WordId> {
+        self.backtrace_spanned(index)
+            .into_iter()
+            .map(|(w, _)| w)
+            .collect()
+    }
+
+    /// Like [`Lattice::backtrace`], but pairs every word with the frame
+    /// it was recognized at.
+    ///
+    /// # Panics
+    /// Panics if `index` is invalid.
+    pub fn backtrace_spanned(&self, index: u32) -> Vec<(WordId, u32)> {
         let mut words = Vec::new();
         let mut cur = index;
         while cur != LATTICE_ROOT {
             let e = &self.entries[cur as usize];
-            words.push(e.word);
+            words.push((e.word, e.frame));
             cur = e.prev;
         }
         words.reverse();
         words
+    }
+}
+
+/// A node of a [`WordLattice`]: one surviving search token, identified
+/// by its `(frame, packed state key)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatticeNode {
+    /// Token population: 0 before any frame, `t + 1` after frame `t`.
+    pub frame: u32,
+    /// Packed `(am_state << 32) | lm_state` search key.
+    pub key: u64,
+    /// Exact tropical forward cost from the start node — bit-identical
+    /// to the search token's accumulated path cost.
+    pub forward: f32,
+    /// Tropical backward cost to the cheapest reachable final.
+    pub backward: f32,
+    /// Log-semiring forward score (α) over the pruned lattice.
+    pub log_forward: f32,
+    /// Log-semiring backward score (β, including final weights) over
+    /// the pruned lattice.
+    pub log_backward: f32,
+}
+
+/// An arc of a [`WordLattice`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatticeArc {
+    /// Source node index.
+    pub from: u32,
+    /// Destination node index.
+    pub to: u32,
+    /// Word carried by the arc (0 = none).
+    pub word: WordId,
+    /// Tropical cost contribution of this arc.
+    pub weight: f32,
+    /// Posterior probability of the arc under the log semiring, in
+    /// `[0, 1]`.
+    pub posterior: f32,
+}
+
+/// One word of a best-path hypothesis with its recognition frame and
+/// lattice-posterior confidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordHyp {
+    /// The word.
+    pub word: WordId,
+    /// Frame the word was recognized at.
+    pub frame: u32,
+    /// Posterior confidence in `[0, 1]`.
+    pub confidence: f32,
+}
+
+/// An exact, lattice-beam-pruned word lattice over surviving search
+/// tokens.
+///
+/// Nodes are ordered by `(frame, key)` and arcs by
+/// `(from, to, word)`, so two lattices built from the same search —
+/// regardless of kernel, OLT size, scratch reuse, or streaming — are
+/// bit-identical structure-for-structure; the verify matrix pins this.
+/// Every node lies on at least one complete path whose total cost is
+/// within `lattice_beam` of the best (non-coreachable nodes are
+/// pruned), and the exact Viterbi path is always present.
+#[derive(Debug, Clone)]
+pub struct WordLattice {
+    nodes: Vec<LatticeNode>,
+    arcs: Vec<LatticeArc>,
+    /// CSR offsets into `arcs` per node (length `nodes.len() + 1`).
+    arc_start: Vec<u32>,
+    /// Final nodes and their final weights.
+    finals: Vec<(u32, f32)>,
+    start: u32,
+    best_cost: f32,
+    num_frames: u32,
+}
+
+impl Default for WordLattice {
+    fn default() -> Self {
+        WordLattice::empty()
+    }
+}
+
+/// Safety valve for the best-first path enumerations: total heap pops.
+const EXPLORE_BUDGET: usize = 400_000;
+
+impl WordLattice {
+    /// The empty lattice (an incomplete decode).
+    pub(crate) fn empty() -> Self {
+        WordLattice {
+            nodes: Vec::new(),
+            arcs: Vec::new(),
+            arc_start: vec![0],
+            finals: Vec::new(),
+            start: 0,
+            best_cost: f32::INFINITY,
+            num_frames: 0,
+        }
+    }
+
+    /// Builds the pruned word lattice from a recorded expansion tape and
+    /// the search's final token population.
+    pub(crate) fn build<A: AmSource + ?Sized>(
+        am: &A,
+        tape: &Lattice,
+        final_population: &TokenStore,
+        lattice_beam: f32,
+    ) -> WordLattice {
+        debug_assert!(tape.is_recording(), "building a lattice without a tape");
+        let t_final = tape.cur_pop;
+
+        // Final (key, final weight) pairs from the last population.
+        let mut final_keys: Vec<(u64, f32)> = Vec::new();
+        for key in final_population.keys() {
+            let am_state = (key >> 32) as u32;
+            if let Some(fw) = am.final_weight(am_state) {
+                final_keys.push((key, fw));
+            }
+        }
+
+        // Node universe, canonically ordered by (population, key).
+        let mut ids: BTreeMap<(u32, u64), u32> = BTreeMap::new();
+        ids.insert((0, tape.start_key), 0);
+        for a in &tape.tape {
+            ids.insert((a.src_pop, a.src_key), 0);
+            ids.insert((a.dst_pop, a.dst_key), 0);
+        }
+        for &(k, _) in &final_keys {
+            ids.insert((t_final, k), 0);
+        }
+        let mut node_meta: Vec<(u32, u64)> = Vec::with_capacity(ids.len());
+        for (i, ((pop, key), v)) in ids.iter_mut().enumerate() {
+            *v = i as u32;
+            node_meta.push((*pop, *key));
+        }
+        let n = node_meta.len();
+        let start = ids[&(0, tape.start_key)];
+
+        // Canonical arc list: sorted, then deduplicated to the cheapest
+        // record per (src, dst, word). Duplicates arise whenever the
+        // closure re-expands an improved token; the minimum is exactly
+        // the settled source cost plus the arc cost, so the surviving
+        // record is independent of the order the search emitted them in.
+        let mut raw: Vec<TapeArc> = tape.tape.clone();
+        raw.sort_by(|a, b| {
+            (a.src_pop, a.src_key, a.dst_pop, a.dst_key, a.word)
+                .cmp(&(b.src_pop, b.src_key, b.dst_pop, b.dst_key, b.word))
+                .then(a.dst_cost.total_cmp(&b.dst_cost))
+        });
+        raw.dedup_by(|next, kept| {
+            (
+                next.src_pop,
+                next.src_key,
+                next.dst_pop,
+                next.dst_key,
+                next.word,
+            ) == (
+                kept.src_pop,
+                kept.src_key,
+                kept.dst_pop,
+                kept.dst_key,
+                kept.word,
+            )
+        });
+
+        // Exact tropical forward: a node's cost is the cheapest recorded
+        // relaxation into it — bit-identical to the search token's cost,
+        // because the search computed the same minimum over the same
+        // multiset.
+        let mut fv = vec![f32::INFINITY; n];
+        fv[start as usize] = 0.0;
+        for a in &raw {
+            let d = ids[&(a.dst_pop, a.dst_key)] as usize;
+            let c = TropicalWeight::from_cost(a.dst_cost)
+                .plus(TropicalWeight::from_cost(fv[d]))
+                .value();
+            fv[d] = c;
+        }
+
+        // Provisional arcs with weight w = dst_cost - forward(src); the
+        // decomposition makes every path's arc-weight sum equal its
+        // search cost (up to float re-association). Self-loops are
+        // dropped: the strict-improvement relax predicate means the
+        // search itself never takes them.
+        struct PArc {
+            from: u32,
+            to: u32,
+            word: WordId,
+            w: f32,
+        }
+        let mut parcs: Vec<PArc> = Vec::with_capacity(raw.len());
+        for a in &raw {
+            let s = ids[&(a.src_pop, a.src_key)];
+            let d = ids[&(a.dst_pop, a.dst_key)];
+            let w = a.dst_cost - fv[s as usize];
+            if s != d && w.is_finite() {
+                parcs.push(PArc {
+                    from: s,
+                    to: d,
+                    word: a.word,
+                    w,
+                });
+            }
+        }
+
+        // CSR over the provisional arcs (they are sorted by `from`
+        // because node ids follow the (population, key) sort order).
+        let mut pstart = vec![0u32; n + 1];
+        for a in &parcs {
+            pstart[a.from as usize + 1] += 1;
+        }
+        for i in 0..n {
+            pstart[i + 1] += pstart[i];
+        }
+
+        // Topological order (Kahn, smallest node index first — emitting
+        // arcs advance the frame, so this is near-sequential). Any
+        // leftover nodes (an epsilon cycle, which well-formed models do
+        // not produce) are appended in index order as a defensive
+        // fallback; the enumeration budgets below keep everything
+        // terminating regardless.
+        let topo = {
+            let mut indeg = vec![0u32; n];
+            for a in &parcs {
+                indeg[a.to as usize] += 1;
+            }
+            let mut heap = std::collections::BinaryHeap::new();
+            for (i, &d) in indeg.iter().enumerate() {
+                if d == 0 {
+                    heap.push(std::cmp::Reverse(i as u32));
+                }
+            }
+            let mut order = Vec::with_capacity(n);
+            let mut seen = vec![false; n];
+            while let Some(std::cmp::Reverse(u)) = heap.pop() {
+                order.push(u);
+                seen[u as usize] = true;
+                let (lo, hi) = (pstart[u as usize] as usize, pstart[u as usize + 1] as usize);
+                for a in &parcs[lo..hi] {
+                    indeg[a.to as usize] -= 1;
+                    if indeg[a.to as usize] == 0 {
+                        heap.push(std::cmp::Reverse(a.to));
+                    }
+                }
+            }
+            for i in 0..n as u32 {
+                if !seen[i as usize] {
+                    order.push(i);
+                }
+            }
+            order
+        };
+
+        // Tropical backward over the provisional lattice (reverse
+        // topological, exact on a DAG).
+        let mut bv = vec![f32::INFINITY; n];
+        for &(k, fw) in &final_keys {
+            let d = ids[&(t_final, k)] as usize;
+            bv[d] = TropicalWeight::from_cost(fw)
+                .plus(TropicalWeight::from_cost(bv[d]))
+                .value();
+        }
+        for &u in topo.iter().rev() {
+            let (lo, hi) = (pstart[u as usize] as usize, pstart[u as usize + 1] as usize);
+            let mut acc = TropicalWeight::from_cost(bv[u as usize]);
+            for a in &parcs[lo..hi] {
+                acc = TropicalWeight::from_cost(a.w)
+                    .times(TropicalWeight::from_cost(bv[a.to as usize]))
+                    .plus(acc);
+            }
+            bv[u as usize] = acc.value();
+        }
+
+        // Best complete cost: minimum over finals of forward + final
+        // weight (the same fold the search's finish step performs).
+        let mut best = TropicalWeight::zero();
+        for &(k, fw) in &final_keys {
+            let d = ids[&(t_final, k)] as usize;
+            best = TropicalWeight::from_cost(fv[d])
+                .times(TropicalWeight::from_cost(fw))
+                .plus(best);
+        }
+        let best_cost = best.value();
+        if !best_cost.is_finite() {
+            return WordLattice::empty();
+        }
+
+        // Lattice-beam prune: keep an arc iff the best complete path
+        // through it is within `lattice_beam` of the best. Every node a
+        // kept arc touches then lies on such a path itself (the Viterbi
+        // witness to/from the node survives arc-by-arc), so the pruned
+        // lattice stays connected and coreachable by construction.
+        let bound = best_cost + lattice_beam;
+        let mut keep_node = vec![false; n];
+        keep_node[start as usize] = true;
+        let kept: Vec<usize> = (0..parcs.len())
+            .filter(|&i| {
+                let a = &parcs[i];
+                fv[a.from as usize] + a.w + bv[a.to as usize] <= bound
+            })
+            .collect();
+        for &i in &kept {
+            keep_node[parcs[i].from as usize] = true;
+            keep_node[parcs[i].to as usize] = true;
+        }
+        for &(k, fw) in &final_keys {
+            let d = ids[&(t_final, k)] as usize;
+            if fv[d] + fw <= bound {
+                keep_node[d] = true;
+            }
+        }
+
+        // Renumber (sorted order preserved) and assemble.
+        let mut remap = vec![u32::MAX; n];
+        let mut nodes: Vec<LatticeNode> = Vec::new();
+        for i in 0..n {
+            if keep_node[i] {
+                remap[i] = nodes.len() as u32;
+                nodes.push(LatticeNode {
+                    frame: node_meta[i].0,
+                    key: node_meta[i].1,
+                    forward: fv[i],
+                    backward: bv[i],
+                    log_forward: f32::INFINITY,
+                    log_backward: f32::INFINITY,
+                });
+            }
+        }
+        let arcs: Vec<LatticeArc> = kept
+            .iter()
+            .map(|&i| {
+                let a = &parcs[i];
+                LatticeArc {
+                    from: remap[a.from as usize],
+                    to: remap[a.to as usize],
+                    word: a.word,
+                    weight: a.w,
+                    posterior: 0.0,
+                }
+            })
+            .collect();
+        let finals: Vec<(u32, f32)> = final_keys
+            .iter()
+            .filter_map(|&(k, fw)| {
+                let d = ids[&(t_final, k)] as usize;
+                (keep_node[d] && fv[d] + fw <= bound).then(|| (remap[d], fw))
+            })
+            .collect();
+        let m = nodes.len();
+        let mut arc_start = vec![0u32; m + 1];
+        for a in &arcs {
+            arc_start[a.from as usize + 1] += 1;
+        }
+        for i in 0..m {
+            arc_start[i + 1] += arc_start[i];
+        }
+        let mut lat = WordLattice {
+            nodes,
+            arcs,
+            arc_start,
+            finals: {
+                let mut f = finals;
+                f.sort_by_key(|&(d, _)| d);
+                f
+            },
+            start: remap[start as usize],
+            best_cost,
+            num_frames: t_final,
+        };
+        lat.compute_posteriors(&topo, &remap);
+        lat
+    }
+
+    /// Log-semiring forward/backward over the pruned lattice, filling
+    /// `log_forward`/`log_backward` per node and `posterior` per arc.
+    /// `topo`/`remap` carry the pre-prune topological order; the induced
+    /// order on kept nodes is still topological.
+    fn compute_posteriors(&mut self, topo: &[u32], remap: &[u32]) {
+        let m = self.nodes.len();
+        if m == 0 {
+            return;
+        }
+        let order: Vec<u32> = topo
+            .iter()
+            .map(|&u| remap[u as usize])
+            .filter(|&d| d != u32::MAX)
+            .collect();
+        let mut alpha = vec![LogWeight::zero(); m];
+        alpha[self.start as usize] = LogWeight::one();
+        for &u in &order {
+            let a_u = alpha[u as usize];
+            if a_u == LogWeight::zero() {
+                continue;
+            }
+            let (lo, hi) = self.out_range(u);
+            for a in &self.arcs[lo..hi] {
+                alpha[a.to as usize] =
+                    alpha[a.to as usize].plus(a_u.times(LogWeight::from_cost(a.weight)));
+            }
+        }
+        let mut beta = vec![LogWeight::zero(); m];
+        for &(d, fw) in &self.finals {
+            beta[d as usize] = beta[d as usize].plus(LogWeight::from_cost(fw));
+        }
+        for &u in order.iter().rev() {
+            let (lo, hi) = self.out_range(u);
+            let mut acc = beta[u as usize];
+            for a in &self.arcs[lo..hi] {
+                acc = acc.plus(LogWeight::from_cost(a.weight).times(beta[a.to as usize]));
+            }
+            beta[u as usize] = acc;
+        }
+        let total = alpha[self.start as usize].times(beta[self.start as usize]);
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            n.log_forward = alpha[i].value();
+            n.log_backward = beta[i].value();
+        }
+        for a in &mut self.arcs {
+            let through = alpha[a.from as usize]
+                .times(LogWeight::from_cost(a.weight))
+                .times(beta[a.to as usize]);
+            let p = (-(through.value() - total.value())).exp();
+            a.posterior = p.clamp(0.0, 1.0);
+        }
+    }
+
+    #[inline]
+    fn out_range(&self, u: u32) -> (usize, usize) {
+        (
+            self.arc_start[u as usize] as usize,
+            self.arc_start[u as usize + 1] as usize,
+        )
+    }
+
+    /// Nodes, ordered by `(frame, key)`.
+    pub fn nodes(&self) -> &[LatticeNode] {
+        &self.nodes
+    }
+
+    /// Arcs, ordered by `(from, to, word)`.
+    pub fn arcs(&self) -> &[LatticeArc] {
+        &self.arcs
+    }
+
+    /// Final nodes and their final weights, ordered by node index.
+    pub fn finals(&self) -> &[(u32, f32)] {
+        &self.finals
+    }
+
+    /// Start node index.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Cost of the best complete path (`f32::INFINITY` when empty).
+    pub fn best_cost(&self) -> f32 {
+        self.best_cost
+    }
+
+    /// Number of frames the utterance spanned.
+    pub fn num_frames(&self) -> u32 {
+        self.num_frames
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Whether the lattice holds no complete hypothesis.
+    pub fn is_empty(&self) -> bool {
+        self.finals.is_empty()
+    }
+
+    /// Frame an arc's label was recognized at (the frame its expansion
+    /// consumed; epsilon-closure arcs share the frame of the expansion
+    /// that produced their population).
+    pub fn arc_frame(&self, arc: &LatticeArc) -> u32 {
+        self.nodes[arc.to as usize].frame.saturating_sub(1)
+    }
+
+    /// Largest `forward + weight + backward` slack over the best
+    /// complete cost across all arcs — by construction at most the
+    /// lattice beam the lattice was pruned with; the verify matrix
+    /// asserts exactly that.
+    pub fn max_path_slack(&self) -> f32 {
+        let mut worst = 0.0f32;
+        for a in &self.arcs {
+            let through =
+                self.nodes[a.from as usize].forward + a.weight + self.nodes[a.to as usize].backward;
+            let slack = through - self.best_cost;
+            if slack > worst {
+                worst = slack;
+            }
+        }
+        worst
+    }
+
+    /// Sum of arc posteriors over the emitting arcs that consume
+    /// `frame` — ~1.0 for every frame of a well-formed lattice, since
+    /// each complete path crosses each frame boundary exactly once.
+    pub fn emitting_posterior_sum(&self, frame: u32) -> f64 {
+        let mut sum = 0.0f64;
+        for a in &self.arcs {
+            let (f, t) = (
+                self.nodes[a.from as usize].frame,
+                self.nodes[a.to as usize].frame,
+            );
+            if t == f + 1 && f == frame {
+                sum += f64::from(a.posterior);
+            }
+        }
+        sum
+    }
+
+    /// The `n` cheapest distinct word sequences through the lattice,
+    /// best first, with their path costs. Deterministic: paths are
+    /// enumerated best-first (A* with the exact tropical backward score
+    /// as heuristic) with ties broken by insertion order over the
+    /// canonically sorted arc list.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0.
+    pub fn nbest(&self, n: usize) -> Vec<(Vec<WordId>, f32)> {
+        assert!(n > 0, "nbest: n must be > 0");
+        let cap = 8 * n + 32;
+        let (paths, _) = self.explore(n, f64::INFINITY, EXPLORE_BUDGET, cap);
+        paths
+            .into_iter()
+            .map(|(words, cost)| (words, cost as f32))
+            .collect()
+    }
+
+    /// Every distinct word sequence whose best path cost is at most
+    /// `bound`, with that cost, or `None` if the enumeration exceeded
+    /// `budget` heap pops (an unpruned lattice can hold exponentially
+    /// many paths). Used by the verify matrix's exhaustive comparisons.
+    pub fn paths_within(&self, bound: f32, budget: usize) -> Option<BTreeMap<Vec<WordId>, f64>> {
+        let (paths, complete) = self.explore(usize::MAX, f64::from(bound), budget, usize::MAX);
+        if !complete {
+            return None;
+        }
+        let mut out = BTreeMap::new();
+        for (words, cost) in paths {
+            out.entry(words).or_insert(cost);
+        }
+        Some(out)
+    }
+
+    /// The best path as per-word hypotheses: word, recognition frame,
+    /// and lattice-posterior confidence.
+    pub fn best_path_detail(&self) -> Vec<WordHyp> {
+        let (paths, _) = self.explore_arcs(1, f64::INFINITY, EXPLORE_BUDGET, 64);
+        let Some((arc_path, _)) = paths.into_iter().next() else {
+            return Vec::new();
+        };
+        arc_path
+            .iter()
+            .filter_map(|&ai| {
+                let a = &self.arcs[ai as usize];
+                (a.word != 0).then(|| WordHyp {
+                    word: a.word,
+                    frame: self.arc_frame(a),
+                    confidence: a.posterior,
+                })
+            })
+            .collect()
+    }
+
+    /// Best-first path enumeration returning word sequences; see
+    /// [`WordLattice::explore_arcs`].
+    fn explore(
+        &self,
+        max_paths: usize,
+        cost_bound: f64,
+        budget: usize,
+        per_node_cap: usize,
+    ) -> (Vec<(Vec<WordId>, f64)>, bool) {
+        let (paths, complete) = self.explore_arcs(max_paths, cost_bound, budget, per_node_cap);
+        let out = paths
+            .into_iter()
+            .map(|(arc_path, cost)| {
+                let words: Vec<WordId> = arc_path
+                    .iter()
+                    .map(|&ai| self.arcs[ai as usize].word)
+                    .filter(|&w| w != 0)
+                    .collect();
+                (words, cost)
+            })
+            .collect();
+        (out, complete)
+    }
+
+    /// Core best-first enumeration over arc paths. Returns up to
+    /// `max_paths` paths with distinct word sequences, each as the arc
+    /// index list and its total cost, plus whether the enumeration ran
+    /// to natural completion (as opposed to hitting `budget`).
+    ///
+    /// Two partial paths reaching the same node with the same word
+    /// prefix are merged, keeping the cheaper (their suffix sets are
+    /// identical, so the costlier one can never yield a distinct
+    /// sequence or a better cost) — without this, time-alignment
+    /// variants of one word sequence crowd out genuinely different
+    /// sequences and the search degenerates.
+    fn explore_arcs(
+        &self,
+        max_paths: usize,
+        cost_bound: f64,
+        budget: usize,
+        per_node_cap: usize,
+    ) -> (Vec<(Vec<u32>, f64)>, bool) {
+        const SUPER_FINAL: u32 = u32::MAX;
+        #[derive(Debug)]
+        struct Item {
+            est: f64,
+            seq: u64,
+            node: u32,
+            g: f64,
+            arcs: Vec<u32>,
+            words: Vec<WordId>,
+        }
+        impl PartialEq for Item {
+            fn eq(&self, o: &Self) -> bool {
+                self.est.total_cmp(&o.est).is_eq() && self.seq == o.seq
+            }
+        }
+        impl Eq for Item {}
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for Item {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                self.est.total_cmp(&o.est).then(self.seq.cmp(&o.seq))
+            }
+        }
+
+        let mut out: Vec<(Vec<u32>, f64)> = Vec::new();
+        if self.finals.is_empty() {
+            return (out, true);
+        }
+        let mut final_weight = vec![f32::INFINITY; self.nodes.len()];
+        for &(d, fw) in &self.finals {
+            final_weight[d as usize] = final_weight[d as usize].min(fw);
+        }
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<Item>> =
+            std::collections::BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut pops = vec![0usize; self.nodes.len()];
+        let mut seen: std::collections::BTreeSet<Vec<WordId>> = std::collections::BTreeSet::new();
+        // Best g per (node, word prefix): the alignment-merge table.
+        let mut best_prefix: std::collections::BTreeMap<(u32, Vec<WordId>), f64> =
+            std::collections::BTreeMap::new();
+        let start_est = f64::from(self.nodes[self.start as usize].backward);
+        best_prefix.insert((self.start, Vec::new()), 0.0);
+        heap.push(std::cmp::Reverse(Item {
+            est: start_est,
+            seq,
+            node: self.start,
+            g: 0.0,
+            arcs: Vec::new(),
+            words: Vec::new(),
+        }));
+        let mut total_pops = 0usize;
+        while let Some(std::cmp::Reverse(item)) = heap.pop() {
+            if item.est > cost_bound {
+                break; // everything still queued is costlier
+            }
+            total_pops += 1;
+            if total_pops > budget {
+                return (out, false);
+            }
+            if item.node == SUPER_FINAL {
+                if seen.insert(item.words) {
+                    out.push((item.arcs, item.g));
+                    if out.len() >= max_paths {
+                        return (out, true);
+                    }
+                }
+                continue;
+            }
+            // A cheaper path already reached this node with this word
+            // prefix: this one is a dominated alignment variant.
+            if best_prefix
+                .get(&(item.node, item.words.clone()))
+                .is_some_and(|&g0| g0 < item.g)
+            {
+                continue;
+            }
+            let u = item.node as usize;
+            if pops[u] >= per_node_cap {
+                continue;
+            }
+            pops[u] += 1;
+            let fw = final_weight[u];
+            if fw.is_finite() {
+                let g = item.g + f64::from(fw);
+                seq += 1;
+                heap.push(std::cmp::Reverse(Item {
+                    est: g,
+                    seq,
+                    node: SUPER_FINAL,
+                    g,
+                    arcs: item.arcs.clone(),
+                    words: item.words.clone(),
+                }));
+            }
+            let (lo, hi) = self.out_range(item.node);
+            for (off, a) in self.arcs[lo..hi].iter().enumerate() {
+                let g = item.g + f64::from(a.weight);
+                let est = g + f64::from(self.nodes[a.to as usize].backward);
+                if est > cost_bound {
+                    continue;
+                }
+                let mut words = item.words.clone();
+                if a.word != 0 {
+                    words.push(a.word);
+                }
+                match best_prefix.get(&(a.to, words.clone())) {
+                    Some(&g0) if g0 <= g => continue, // dominated
+                    _ => {
+                        best_prefix.insert((a.to, words.clone()), g);
+                    }
+                }
+                let mut arcs = item.arcs.clone();
+                arcs.push((lo + off) as u32);
+                seq += 1;
+                heap.push(std::cmp::Reverse(Item {
+                    est,
+                    seq,
+                    node: a.to,
+                    g,
+                    arcs,
+                    words,
+                }));
+            }
+        }
+        (out, true)
+    }
+
+    /// Whether two lattices are bit-for-bit identical: same structure
+    /// and identical float bits for every weight, score, and posterior.
+    /// The verify matrix's determinism A/Bs compare with this.
+    pub fn bit_identical(&self, other: &WordLattice) -> bool {
+        self.start == other.start
+            && self.num_frames == other.num_frames
+            && self.best_cost.to_bits() == other.best_cost.to_bits()
+            && self.nodes.len() == other.nodes.len()
+            && self.arcs.len() == other.arcs.len()
+            && self.finals.len() == other.finals.len()
+            && self.nodes.iter().zip(&other.nodes).all(|(a, b)| {
+                a.frame == b.frame
+                    && a.key == b.key
+                    && a.forward.to_bits() == b.forward.to_bits()
+                    && a.backward.to_bits() == b.backward.to_bits()
+                    && a.log_forward.to_bits() == b.log_forward.to_bits()
+                    && a.log_backward.to_bits() == b.log_backward.to_bits()
+            })
+            && self.arcs.iter().zip(&other.arcs).all(|(a, b)| {
+                a.from == b.from
+                    && a.to == b.to
+                    && a.word == b.word
+                    && a.weight.to_bits() == b.weight.to_bits()
+                    && a.posterior.to_bits() == b.posterior.to_bits()
+            })
+            && self
+                .finals
+                .iter()
+                .zip(&other.finals)
+                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits())
     }
 }
 
@@ -105,6 +1002,7 @@ mod tests {
         assert_eq!(l.backtrace(c), vec![10, 20, 30]);
         assert_eq!(l.backtrace(a), vec![10]);
         assert_eq!(l.backtrace(LATTICE_ROOT), Vec::<WordId>::new());
+        assert_eq!(l.backtrace_spanned(c), vec![(10, 0), (20, 5), (30, 9)]);
     }
 
     #[test]
@@ -123,5 +1021,161 @@ mod tests {
     fn dangling_prev_panics() {
         let mut l = Lattice::new();
         l.push(5, 1, 0);
+    }
+
+    #[test]
+    fn tape_records_only_while_recording() {
+        let mut l = Lattice::new();
+        l.record_start(42);
+        l.advance_pop();
+        l.record_emit(42, 7, 0, 1.0);
+        assert!(l.tape.is_empty());
+        assert_eq!(l.start_key, 0);
+        l.clear();
+        l.set_recording(true);
+        l.record_start(42);
+        l.advance_pop();
+        l.record_emit(42, 7, 3, 1.0);
+        l.record_eps(7, 9, 0, 1.5);
+        assert_eq!(l.tape.len(), 2);
+        assert_eq!(l.tape[0].src_pop, 0);
+        assert_eq!(l.tape[0].dst_pop, 1);
+        assert_eq!(l.tape[1].src_pop, 1);
+        assert_eq!(l.tape[1].dst_pop, 1);
+        // clear() drops the tape and switches recording back off.
+        l.clear();
+        assert!(l.tape.is_empty());
+        assert!(!l.is_recording());
+        assert_eq!(l.cur_pop, 0);
+    }
+
+    /// A minimal AM stub: every state final with weight 0.
+    struct AllFinal;
+    impl AmSource for AllFinal {
+        fn start(&self) -> u32 {
+            0
+        }
+        fn num_states(&self) -> usize {
+            1 << 20
+        }
+        fn final_weight(&self, _s: u32) -> Option<f32> {
+            Some(0.0)
+        }
+        fn state_addr(&self, _s: u32) -> u64 {
+            0
+        }
+        fn for_each_arc(&self, _s: u32, _f: &mut dyn FnMut(crate::ArcVisit)) {}
+    }
+
+    fn key(am: u32, lm: u32) -> u64 {
+        (u64::from(am) << 32) | u64::from(lm)
+    }
+
+    /// Hand-built diamond: start splits into two one-frame hypotheses
+    /// (words 1 and 2) that rejoin at a shared final token.
+    fn diamond(beam: f32) -> WordLattice {
+        let mut tape = Lattice::new();
+        tape.set_recording(true);
+        tape.record_start(key(0, 0));
+        tape.advance_pop();
+        tape.record_emit(key(0, 0), key(1, 1), 1, 1.0);
+        tape.record_emit(key(0, 0), key(2, 2), 2, 3.0);
+        tape.advance_pop();
+        tape.record_emit(key(1, 1), key(3, 3), 0, 2.0);
+        tape.record_emit(key(2, 2), key(3, 3), 0, 4.0);
+        let mut finals = TokenStore::default();
+        finals.insert(
+            key(3, 3),
+            crate::search::Token {
+                cost: 2.0,
+                lat: LATTICE_ROOT,
+            },
+        );
+        WordLattice::build(&AllFinal, &tape, &finals, beam)
+    }
+
+    #[test]
+    fn diamond_builds_exact_scores_and_nbest() {
+        let lat = diamond(10.0);
+        assert_eq!(lat.num_frames(), 2);
+        assert_eq!(lat.num_nodes(), 4);
+        assert_eq!(lat.num_arcs(), 4);
+        assert_eq!(lat.best_cost(), 2.0);
+        // Node forward costs are the recorded relaxation minima.
+        let n3 = lat.nodes().iter().find(|n| n.key == key(3, 3)).unwrap();
+        assert_eq!(n3.forward, 2.0);
+        assert_eq!(n3.backward, 0.0);
+        // Both paths, best first, deterministic.
+        let nb = lat.nbest(5);
+        assert_eq!(nb.len(), 2);
+        assert_eq!(nb[0], (vec![1], 2.0));
+        assert_eq!(nb[1], (vec![2], 4.0));
+        // Path slack: worst arc is on the cost-4 path.
+        assert!((lat.max_path_slack() - 2.0).abs() < 1e-6);
+        // Posteriors: the two branches sum to ~1 on both frames.
+        for f in 0..2 {
+            assert!((lat.emitting_posterior_sum(f) - 1.0).abs() < 1e-4);
+        }
+        // The cheaper branch dominates the posterior mass.
+        let a1 = lat.arcs().iter().find(|a| a.word == 1).unwrap();
+        let a2 = lat.arcs().iter().find(|a| a.word == 2).unwrap();
+        assert!(a1.posterior > a2.posterior);
+        // Best-path detail carries the word, frame, and confidence.
+        let detail = lat.best_path_detail();
+        assert_eq!(detail.len(), 1);
+        assert_eq!(detail[0].word, 1);
+        assert_eq!(detail[0].frame, 0);
+        assert!((detail[0].confidence - a1.posterior).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lattice_beam_prunes_the_costly_branch() {
+        let lat = diamond(1.0);
+        // The word-2 branch is 2.0 over the best path: pruned.
+        assert_eq!(lat.nbest(5), vec![(vec![1], 2.0)]);
+        assert_eq!(lat.num_arcs(), 2);
+        assert!(lat.max_path_slack() <= 1.0);
+        // Every kept frame's posterior mass is the single survivor.
+        for f in 0..2 {
+            assert!((lat.emitting_posterior_sum(f) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn paths_within_enumerates_and_bounds() {
+        let lat = diamond(10.0);
+        let all = lat.paths_within(10.0, 10_000).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[&vec![1u32]], 2.0);
+        assert_eq!(all[&vec![2u32]], 4.0);
+        let tight = lat.paths_within(3.0, 10_000).unwrap();
+        assert_eq!(tight.len(), 1);
+        // A zero budget reports incompleteness instead of lying.
+        assert!(lat.paths_within(10.0, 0).is_none());
+    }
+
+    #[test]
+    fn empty_lattice_is_sane() {
+        let lat = WordLattice::empty();
+        assert!(lat.is_empty());
+        assert_eq!(lat.best_cost(), f32::INFINITY);
+        assert_eq!(lat.nbest(3), Vec::<(Vec<WordId>, f32)>::new());
+        assert!(lat.best_path_detail().is_empty());
+        assert_eq!(lat.max_path_slack(), 0.0);
+        assert!(lat.bit_identical(&WordLattice::empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be > 0")]
+    fn nbest_zero_panics() {
+        diamond(10.0).nbest(0);
+    }
+
+    #[test]
+    fn bit_identical_detects_structural_difference() {
+        let a = diamond(10.0);
+        let b = diamond(1.0);
+        assert!(a.bit_identical(&diamond(10.0)));
+        assert!(!a.bit_identical(&b));
     }
 }

@@ -56,7 +56,7 @@ pub use config::{
     ConfigError, DecodeConfig, DecodeConfigBuilder, DecodeKernel, DecodeResult, DecodeStats,
 };
 pub use full::FullyComposedDecoder;
-pub use lattice::Lattice;
+pub use lattice::{Lattice, LatticeArc, LatticeNode, WordHyp, WordLattice};
 pub use metrics::{MetricsSink, TeeSink};
 pub use olt::SoftOlt;
 pub use otf::OtfDecoder;
@@ -65,5 +65,5 @@ pub use scratch::{validate_models, DecodeScratch, SessionScratch, WorkScratch};
 pub use sources::{addr, AmSource, ArcVisit, LinearLm, LmResolution, LmSource, MAX_BACKOFF_HOPS};
 pub use streaming::{OtfStream, StreamSession};
 pub use trace::{CountingSink, DecodeStage, KernelPhase, NullSink, TraceSink};
-pub use twopass::{TwoPassDecoder, TwoPassResult, UnigramLm};
+pub use twopass::{LatticeRescorer, NGramRescorer, TwoPassDecoder, TwoPassResult, UnigramLm};
 pub use wer::{align, oracle_wer, wer, AlignOp, WerReport};

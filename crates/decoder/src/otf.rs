@@ -18,18 +18,15 @@
 //!   so steady-state decoding allocates nothing.
 
 use unfold_am::AcousticScores;
-use unfold_wfst::{Label, StateId, EPSILON};
+use unfold_wfst::{Label, Semiring, StateId, TropicalWeight, EPSILON};
 
 use crate::config::{DecodeConfig, DecodeKernel, DecodeResult, DecodeStats};
-use crate::lattice::{Lattice, COMPACT_ENTRY_BYTES, LATTICE_ROOT};
+use crate::lattice::{Lattice, WordLattice, COMPACT_ENTRY_BYTES, LATTICE_ROOT};
 use crate::olt::SoftOlt;
 use crate::scratch::{DecodeScratch, SessionScratch, WorkScratch};
-use crate::search::{prune_threshold_store, DetHasher, Token, TokenStore};
+use crate::search::{prune_threshold_store, Token, TokenStore};
 use crate::sources::{addr, AmSource, Fetch, LmSource, MAX_BACKOFF_HOPS};
 use crate::trace::{DecodeStage, TraceSink};
-
-use std::collections::HashSet;
-use std::hash::BuildHasherDefault;
 
 /// Token key: AM state in the high half, LM state in the low half —
 /// also how the accelerator indexes its token hash tables ("the hash
@@ -99,33 +96,80 @@ impl OtfDecoder {
         sink: &mut dyn TraceSink,
     ) -> Vec<(Vec<Label>, f32)> {
         assert!(k > 0, "decode_nbest: k must be positive");
-        let mut stats = DecodeStats::default();
-        self.run(am, lm, scores, scratch, sink, &mut stats);
-        // Collect every complete hypothesis, dedup by word string.
-        sink.stage_enter(DecodeStage::Lattice);
-        let mut finals: Vec<(f32, u32)> = Vec::new();
-        for (key, tok) in scratch.session.cur.iter() {
-            let (am_s, _) = split(key);
-            if let Some(fw) = am.final_weight(am_s) {
-                finals.push((tok.cost + fw, tok.lat));
+        let (res, lattice) = self.decode_lattice_with(am, lm, scores, scratch, sink);
+        if !res.is_complete() {
+            return Vec::new();
+        }
+        // Entry 0 is the exact Viterbi result (bit-identical to
+        // `decode`); the remaining entries come out of the pruned word
+        // lattice, skipping the duplicate of the 1-best sequence.
+        let mut out: Vec<(Vec<Label>, f32)> = Vec::with_capacity(k);
+        out.push((res.words.clone(), res.cost));
+        if k > 1 {
+            for (words, cost) in lattice.nbest(k) {
+                if words == res.words {
+                    continue;
+                }
+                // Lattice arc weights are derived from the exact search
+                // scores, but clamp anyway so the list stays sorted even
+                // under f32 re-association.
+                let floor = out.last().map(|e| e.1).unwrap_or(res.cost);
+                out.push((words, cost.max(floor)));
+                if out.len() == k {
+                    break;
+                }
             }
         }
-        finals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let mut seen: HashSet<Vec<Label>, BuildHasherDefault<DetHasher>> = HashSet::default();
-        let mut out = Vec::new();
-        for (cost, lat) in finals {
-            let words = scratch.session.lattice.backtrace(lat);
-            if seen.contains(&words) {
-                continue;
-            }
-            seen.insert(words.clone());
-            out.push((words, cost));
-            if out.len() == k {
-                break;
-            }
-        }
-        sink.stage_exit(DecodeStage::Lattice);
         out
+    }
+
+    /// Decodes one utterance and returns both the 1-best result and the
+    /// pruned exact word lattice (all hypotheses within
+    /// [`DecodeConfig::lattice_beam`] of the best complete path).
+    ///
+    /// The [`DecodeResult`] is bit-identical to [`OtfDecoder::decode`]:
+    /// lattice recording is contents-neutral for the search.
+    pub fn decode_lattice<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+        &self,
+        am: &A,
+        lm: &L,
+        scores: &AcousticScores,
+        sink: &mut dyn TraceSink,
+    ) -> (DecodeResult, WordLattice) {
+        self.decode_lattice_with(am, lm, scores, &mut DecodeScratch::new(), sink)
+    }
+
+    /// [`OtfDecoder::decode_lattice`] with caller-owned working memory.
+    pub fn decode_lattice_with<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+        &self,
+        am: &A,
+        lm: &L,
+        scores: &AcousticScores,
+        scratch: &mut DecodeScratch,
+        sink: &mut dyn TraceSink,
+    ) -> (DecodeResult, WordLattice) {
+        let mut stats = DecodeStats::default();
+        self.run(am, lm, scores, scratch, sink, &mut stats, true);
+        let res = finish(
+            am,
+            &scratch.session.cur,
+            &scratch.session.lattice,
+            stats,
+            sink,
+        );
+        sink.stage_enter(DecodeStage::Lattice);
+        let lattice = if res.is_complete() {
+            WordLattice::build(
+                am,
+                &scratch.session.lattice,
+                &scratch.session.cur,
+                self.config.lattice_beam,
+            )
+        } else {
+            WordLattice::empty()
+        };
+        sink.stage_exit(DecodeStage::Lattice);
+        (res, lattice)
     }
 
     /// Decodes one utterance by composing `am` and `lm` on demand.
@@ -159,7 +203,7 @@ impl OtfDecoder {
         sink: &mut dyn TraceSink,
     ) -> DecodeResult {
         let mut stats = DecodeStats::default();
-        self.run(am, lm, scores, scratch, sink, &mut stats);
+        self.run(am, lm, scores, scratch, sink, &mut stats, false);
         finish(
             am,
             &scratch.session.cur,
@@ -171,7 +215,10 @@ impl OtfDecoder {
 
     /// Shared search loop: seeds the start token, runs the initial
     /// closure, expands every frame. The surviving population is left
-    /// in `scratch.cur`.
+    /// in `scratch.cur`. When `record` is set, the expansion tape is
+    /// captured for [`WordLattice::build`] — contents-neutral for the
+    /// search itself.
+    #[allow(clippy::too_many_arguments)]
     fn run<A: AmSource + ?Sized, L: LmSource + ?Sized>(
         &self,
         am: &A,
@@ -180,8 +227,10 @@ impl OtfDecoder {
         scratch: &mut DecodeScratch,
         sink: &mut dyn TraceSink,
         stats: &mut DecodeStats,
+        record: bool,
     ) {
         scratch.begin(&self.config);
+        scratch.session.lattice.set_recording(record);
         scratch.work.ensure_validated(am, lm, scores.num_pdfs());
         seed_closure(
             &self.config,
@@ -227,6 +276,9 @@ pub(crate) fn seed_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
             lat: LATTICE_ROOT,
         },
     );
+    session
+        .lattice
+        .record_start(token_key(am.start(), lm.start()));
     match config.kernel {
         DecodeKernel::Legacy => epsilon_closure(
             config,
@@ -319,6 +371,7 @@ fn expand_frame_legacy<A: AmSource + ?Sized, L: LmSource + ?Sized>(
     stats: &mut DecodeStats,
 ) {
     work.ensure_validated(am, lm, costs.len());
+    session.lattice.advance_pop();
     sink.frame_start(t, session.cur.len());
     stats.frames += 1;
     stats.max_active = stats.max_active.max(session.cur.len());
@@ -362,7 +415,13 @@ fn expand_frame_legacy<A: AmSource + ?Sized, L: LmSource + ?Sized>(
                     arc.ilabel,
                     costs.len()
                 );
-                let base = tok.cost + arc.weight + costs[arc.ilabel as usize - 1];
+                // Tropical ⊗-chain — compiles to the same left-to-right
+                // f32 additions as `tok.cost + arc.weight + costs[..]`,
+                // so scores stay bit-identical to the pre-semiring code.
+                let base = TropicalWeight::from_cost(tok.cost)
+                    .times(TropicalWeight::from_cost(arc.weight))
+                    .times(TropicalWeight::from_cost(costs[arc.ilabel as usize - 1]))
+                    .value();
                 stats.tokens_created += 1;
                 if base > next_best + config.beam {
                     stats.tokens_pruned += 1;
@@ -383,7 +442,10 @@ fn expand_frame_legacy<A: AmSource + ?Sized, L: LmSource + ?Sized>(
                 } else {
                     (lm_s, base, EPSILON)
                 };
-                next_best = next_best.min(cost);
+                next_best = TropicalWeight::from_cost(cost)
+                    .plus(TropicalWeight::from_cost(next_best))
+                    .value();
+                lattice.record_emit(k, token_key(arc.nextstate, lm_next), word, cost);
                 relax(
                     next,
                     token_key(arc.nextstate, lm_next),
@@ -415,16 +477,17 @@ fn expand_frame_legacy<A: AmSource + ?Sized, L: LmSource + ?Sized>(
     );
     sink.stage_exit(DecodeStage::ArcExpansion);
 
-    let mut best = f32::INFINITY;
+    let mut best = TropicalWeight::zero();
     let mut worst = f32::INFINITY;
     for tok in session.next.values() {
-        best = best.min(tok.cost);
+        best = TropicalWeight::from_cost(tok.cost).plus(best);
         worst = if worst.is_finite() {
             worst.max(tok.cost)
         } else {
             tok.cost
         };
     }
+    let best = best.value();
     sink.frame_end(t, session.next.len(), best, worst);
     std::mem::swap(&mut session.cur, &mut session.next);
 }
@@ -473,7 +536,13 @@ pub(crate) fn epsilon_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
             }
             sink.am_arc_fetch(v.addr, v.bytes);
             stats.epsilon_expansions += 1;
-            eps_local.push((v.arc.nextstate, tok.cost + v.arc.weight, v.arc.olabel));
+            eps_local.push((
+                v.arc.nextstate,
+                TropicalWeight::from_cost(tok.cost)
+                    .times(TropicalWeight::from_cost(v.arc.weight))
+                    .value(),
+                v.arc.olabel,
+            ));
         });
         for &(am_next, base, word) in eps_local.iter() {
             stats.tokens_created += 1;
@@ -490,6 +559,7 @@ pub(crate) fn epsilon_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
             } else {
                 (lm_s, base, EPSILON)
             };
+            lattice.record_eps(k, token_key(am_next, lm_next), out_word, cost);
             if relax(
                 tokens,
                 token_key(am_next, lm_next),
@@ -649,14 +719,19 @@ pub(crate) fn finish<A: AmSource + ?Sized>(
             }
         }
     }
-    let words = if best_cost.is_finite() {
-        lattice.backtrace(best_lat)
+    let (words, word_frames) = if best_cost.is_finite() {
+        let spanned = lattice.backtrace_spanned(best_lat);
+        (
+            spanned.iter().map(|&(w, _)| w).collect(),
+            spanned.iter().map(|&(_, f)| f).collect(),
+        )
     } else {
-        Vec::new()
+        (Vec::new(), Vec::new())
     };
     sink.stage_exit(DecodeStage::Lattice);
     DecodeResult {
         words,
+        word_frames,
         cost: best_cost,
         stats,
     }

@@ -4,6 +4,8 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
+use unfold_wfst::{Semiring, TropicalWeight};
+
 /// Deterministic FNV-style hasher so decode traces (and therefore
 /// simulator results) are reproducible across runs — `RandomState`
 /// would randomize token iteration order.
@@ -65,11 +67,14 @@ where
     if tokens.is_empty() {
         return f32::INFINITY;
     }
-    let best = tokens
-        .values()
-        .map(|t| t.cost)
-        .fold(f32::INFINITY, f32::min);
-    let mut thr = best + beam;
+    // Tropical fold: `plus` keeps the better hypothesis, `times` extends
+    // it by the beam. Bit-identical to the bare f32 min/add it replaces
+    // (`from_cost(c).plus(acc)` keeps `acc` for NaN costs, exactly like
+    // the `c < acc` predicate did).
+    let best = tokens.values().fold(TropicalWeight::zero(), |acc, t| {
+        TropicalWeight::from_cost(t.cost).plus(acc)
+    });
+    let mut thr = best.times(TropicalWeight::from_cost(beam)).value();
     if tokens.len() > max_active {
         let mut costs: Vec<f32> = tokens.values().map(|t| t.cost).collect();
         let (_, nth, _) =
@@ -98,11 +103,13 @@ pub fn prune_threshold_store(
         return f32::INFINITY;
     }
     let cs = tokens.costs();
-    let mut best = f32::INFINITY;
+    // Same tropical fold as [`prune_threshold`], over the contiguous
+    // cost lane; compiles to the identical branchless min reduction.
+    let mut best = TropicalWeight::zero();
     for &c in cs {
-        best = if c < best { c } else { best };
+        best = TropicalWeight::from_cost(c).plus(best);
     }
-    let mut thr = best + beam;
+    let mut thr = best.times(TropicalWeight::from_cost(beam)).value();
     if cs.len() > max_active {
         costs.clear();
         costs.extend_from_slice(cs);

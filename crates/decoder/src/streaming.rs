@@ -25,6 +25,7 @@
 //! paper asserts.
 
 use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
+use crate::lattice::WordLattice;
 use crate::otf;
 use crate::scratch::{SessionScratch, WorkScratch};
 use crate::sources::{AmSource, LmSource};
@@ -45,6 +46,7 @@ pub struct StreamSession {
     stats: DecodeStats,
     frame: usize,
     seeded: bool,
+    record_lattice: bool,
 }
 
 impl StreamSession {
@@ -56,7 +58,22 @@ impl StreamSession {
             stats: DecodeStats::default(),
             frame: 0,
             seeded: false,
+            record_lattice: false,
         }
+    }
+
+    /// Arms expansion-tape recording so [`StreamSession::finalize_lattice`]
+    /// can build the exact word lattice. Contents-neutral for the search
+    /// itself — the decode stays bit-identical either way.
+    ///
+    /// # Panics
+    /// Panics if the session was already seeded.
+    pub fn enable_lattice(&mut self) {
+        assert!(
+            !self.seeded,
+            "StreamSession::enable_lattice: call before seed()"
+        );
+        self.record_lattice = true;
     }
 
     /// The beam configuration this session decodes under.
@@ -84,6 +101,7 @@ impl StreamSession {
         assert!(!self.seeded, "StreamSession::seed: already seeded");
         self.seeded = true;
         self.state.begin();
+        self.state.lattice.set_recording(self.record_lattice);
         otf::seed_closure(
             &self.config,
             am,
@@ -191,6 +209,37 @@ impl StreamSession {
     /// pointless.
     pub fn finalize<A: AmSource + ?Sized>(&self, am: &A, sink: &mut dyn TraceSink) -> DecodeResult {
         otf::finish(am, &self.state.cur, &self.state.lattice, self.stats, sink)
+    }
+
+    /// Finishes the decode and also builds the exact word lattice from
+    /// the recorded expansion tape (pruned to
+    /// [`DecodeConfig::lattice_beam`]). The [`DecodeResult`] is
+    /// bit-identical to [`StreamSession::finalize`].
+    ///
+    /// # Panics
+    /// Panics unless [`StreamSession::enable_lattice`] armed recording
+    /// before the session was seeded.
+    pub fn finalize_lattice<A: AmSource + ?Sized>(
+        &self,
+        am: &A,
+        sink: &mut dyn TraceSink,
+    ) -> (DecodeResult, WordLattice) {
+        assert!(
+            self.record_lattice,
+            "StreamSession::finalize_lattice: enable_lattice() before seed()"
+        );
+        let res = otf::finish(am, &self.state.cur, &self.state.lattice, self.stats, sink);
+        let lattice = if res.is_complete() {
+            WordLattice::build(
+                am,
+                &self.state.lattice,
+                &self.state.cur,
+                self.config.lattice_beam,
+            )
+        } else {
+            WordLattice::empty()
+        };
+        (res, lattice)
     }
 }
 

@@ -84,6 +84,50 @@ impl LmSource for UnigramLm {
     }
 }
 
+/// A second-pass model: maps a first-pass hypothesis (its word sequence
+/// plus combined AM ⊗ weak-LM cost) to a rescored total cost, returning
+/// the cost together with how many full-LM evaluations it spent. This
+/// is the lattice-rescoring hook: candidates are read off the exact
+/// first-pass word lattice ([`OtfDecoder::decode_nbest`]), so any model
+/// too expensive to interleave with the search — a long-context LM, a
+/// neural rescorer — plugs in here.
+pub trait LatticeRescorer {
+    /// Rescores one candidate; returns `(new_cost, lm_evals)`.
+    fn rescore(&self, words: &[WordId], first_pass_cost: f32) -> (f32, u64);
+}
+
+/// The stock second pass: swaps each word's weak-LM (unigram) score for
+/// the full back-off n-gram score, exactly what one-pass search
+/// interleaves online.
+#[derive(Debug, Clone)]
+pub struct NGramRescorer<'a> {
+    model: &'a NGramModel,
+    weak: UnigramLm,
+}
+
+impl<'a> NGramRescorer<'a> {
+    /// A rescorer replacing [`UnigramLm`] scores with `model`'s.
+    pub fn new(model: &'a NGramModel) -> Self {
+        NGramRescorer {
+            model,
+            weak: UnigramLm::from_model(model),
+        }
+    }
+}
+
+impl LatticeRescorer for NGramRescorer<'_> {
+    fn rescore(&self, words: &[WordId], first_pass_cost: f32) -> (f32, u64) {
+        let mut rescored = first_pass_cost;
+        let mut evals = 0u64;
+        for (i, &w) in words.iter().enumerate() {
+            let lo = i.saturating_sub(2);
+            rescored += self.model.word_cost(&words[lo..i], w) - self.weak.cost(w);
+            evals += 1;
+        }
+        (rescored, evals)
+    }
+}
+
 /// Outcome of a two-pass decode.
 #[derive(Debug, Clone)]
 pub struct TwoPassResult {
@@ -116,7 +160,8 @@ impl TwoPassDecoder {
         TwoPassDecoder { config, nbest }
     }
 
-    /// Decodes one utterance.
+    /// Decodes one utterance: a [`UnigramLm`] first pass rescored by
+    /// the full n-gram model ([`NGramRescorer`]).
     pub fn decode<A: AmSource + ?Sized>(
         &self,
         am: &A,
@@ -125,23 +170,37 @@ impl TwoPassDecoder {
         sink: &mut dyn TraceSink,
     ) -> TwoPassResult {
         let weak = UnigramLm::from_model(model);
+        self.decode_rescored(am, &weak, &NGramRescorer::new(model), scores, sink)
+    }
+
+    /// The generic two-pass pipeline: search with `weak_lm`, read the
+    /// n-best candidates off the exact word lattice, hand each to
+    /// `rescorer`. Rescoring work is profiled as LM-lookup time — the
+    /// full-LM evaluation one-pass search interleaves online, here paid
+    /// after the utterance ends (the §6 latency cost).
+    pub fn decode_rescored<A, L, R>(
+        &self,
+        am: &A,
+        weak_lm: &L,
+        rescorer: &R,
+        scores: &AcousticScores,
+        sink: &mut dyn TraceSink,
+    ) -> TwoPassResult
+    where
+        A: AmSource + ?Sized,
+        L: LmSource + ?Sized,
+        R: LatticeRescorer + ?Sized,
+    {
         let pass1 = OtfDecoder::new(self.config);
-        let candidates = pass1.decode_nbest(am, &weak, scores, self.nbest, sink);
+        let candidates = pass1.decode_nbest(am, weak_lm, scores, self.nbest, sink);
         let num_candidates = candidates.len();
 
-        // Rescore: swap each candidate's unigram LM score for the full
-        // back-off trigram score. Profiled as LM-lookup work: this is
-        // the full-LM evaluation one-pass search interleaves online.
         sink.stage_enter(crate::trace::DecodeStage::LmLookup);
         let mut evals = 0u64;
         let mut best: Option<(Vec<Label>, f32)> = None;
         for (words, cost) in candidates {
-            let mut rescored = cost;
-            for (i, &w) in words.iter().enumerate() {
-                let lo = i.saturating_sub(2);
-                rescored += model.word_cost(&words[lo..i], w) - weak.cost(w);
-                evals += 1;
-            }
+            let (rescored, e) = rescorer.rescore(&words, cost);
+            evals += e;
             if best.as_ref().is_none_or(|(_, c)| rescored < *c) {
                 best = Some((words, rescored));
             }
@@ -151,6 +210,7 @@ impl TwoPassDecoder {
         TwoPassResult {
             result: DecodeResult {
                 words,
+                word_frames: Vec::new(),
                 cost,
                 stats: DecodeStats::default(),
             },
@@ -266,5 +326,62 @@ mod tests {
     #[should_panic(expected = "nbest must be positive")]
     fn zero_nbest_panics() {
         let _ = TwoPassDecoder::new(DecodeConfig::default(), 0);
+    }
+
+    /// A synthetic "expensive LM" stand-in: too costly to interleave
+    /// with the search (imagine a long-context neural model), so it
+    /// only runs as a second pass. Here it vetoes one exact sequence.
+    struct VetoRescorer {
+        banned: Vec<WordId>,
+    }
+
+    impl LatticeRescorer for VetoRescorer {
+        fn rescore(&self, words: &[WordId], first_pass_cost: f32) -> (f32, u64) {
+            let penalty = if words == self.banned.as_slice() {
+                1000.0
+            } else {
+                0.0
+            };
+            (first_pass_cost + penalty, words.len() as u64)
+        }
+    }
+
+    #[test]
+    fn lattice_rescoring_hook_reranks_with_an_expensive_lm() {
+        let (lex, am, model, _) = setup();
+        let weak = UnigramLm::from_model(&model);
+        let noise = NoiseModel {
+            noise_sigma: 1.5,
+            ..NoiseModel::default()
+        };
+        let utt = synthesize_utterance(&[6, 14, 9], &lex, HmmTopology::Kaldi3State, &noise, 21);
+        // A word substitution costs ~18 on this synthetic AM, so both
+        // beams must be wide for alternates to survive into the lattice.
+        let cfg = DecodeConfig::builder()
+            .beam(30.0)
+            .lattice_beam(30.0)
+            .build()
+            .unwrap();
+        let nbest = OtfDecoder::new(cfg).decode_nbest(&am, &weak, &utt.scores, 8, &mut NullSink);
+        assert!(
+            nbest.len() >= 2,
+            "workload too easy: the lattice holds a single hypothesis"
+        );
+        let banned = nbest[0].0.clone();
+        let res = TwoPassDecoder::new(cfg, 8).decode_rescored(
+            &am,
+            &weak,
+            &VetoRescorer {
+                banned: banned.clone(),
+            },
+            &utt.scores,
+            &mut NullSink,
+        );
+        assert_ne!(
+            res.result.words, banned,
+            "the expensive LM's veto must rerank the list"
+        );
+        assert_eq!(res.result.words, nbest[1].0);
+        assert!(res.rescoring_evals > 0);
     }
 }

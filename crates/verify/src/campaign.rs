@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::case::CaseSpec;
-use crate::check::{run_case_caught, Divergence, Mutation};
+use crate::check::{run_case_caught_filtered, CheckId, Divergence, Mutation};
 use crate::repro::ReproCase;
 use crate::shrink::{shrink, ShrinkOutcome};
 
@@ -19,6 +19,8 @@ pub struct CampaignConfig {
     pub cases: u64,
     /// Injected decoder bug ([`Mutation::None`] for a clean campaign).
     pub mutation: Mutation,
+    /// Restrict every case to one check (`None` runs the full matrix).
+    pub only: Option<CheckId>,
     /// Directory for minimized repro files (skipped when `None`).
     pub out_dir: Option<PathBuf>,
     /// Run the shrinker on each divergence.
@@ -33,6 +35,7 @@ impl Default for CampaignConfig {
             seed: 42,
             cases: 64,
             mutation: Mutation::None,
+            only: None,
             out_dir: None,
             shrink: true,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -94,7 +97,7 @@ pub fn run_campaign(config: &CampaignConfig) -> std::io::Result<CampaignReport> 
                     break;
                 }
                 let spec = CaseSpec::derive(config.seed, i);
-                if let Some(d) = run_case_caught(&spec, config.mutation) {
+                if let Some(d) = run_case_caught_filtered(&spec, config.mutation, config.only) {
                     found.lock().unwrap().push((i, spec, d));
                 }
             });
@@ -113,7 +116,7 @@ pub fn run_campaign(config: &CampaignConfig) -> std::io::Result<CampaignReport> 
     let mut divergences = Vec::with_capacity(raw.len());
     for (index, original, divergence) in raw {
         let shrunk = if config.shrink {
-            shrink(&original, config.mutation)
+            shrink(&original, config.mutation, config.only)
         } else {
             None
         };

@@ -28,11 +28,12 @@ use unfold_am::acoustic::FRAME_SECONDS;
 use unfold_am::Utterance;
 use unfold_compress::{Bundle, BundleError, BundleWriter, SharedAm, SharedLm};
 use unfold_decoder::{
-    DecodeConfig, DecodeKernel, DecodeResult, DecodeScratch, FullyComposedDecoder, LmSource,
-    NullSink, OtfDecoder, OtfStream, TraceRecorder, TwoPassDecoder,
+    oracle_wer, DecodeConfig, DecodeKernel, DecodeResult, DecodeScratch, FullyComposedDecoder,
+    LmSource, NullSink, OtfDecoder, OtfStream, StreamSession, TraceRecorder, TwoPassDecoder,
+    WorkScratch,
 };
 use unfold_sim::{Accelerator, AcceleratorConfig};
-use unfold_wfst::{compose_am_lm, Arc, ComposeOptions, Label, StateId, Wfst};
+use unfold_wfst::{compose_am_lm, Arc, ComposeOptions, Label, StateId, Wfst, EPSILON};
 
 use crate::case::{CaseModels, CaseSpec};
 
@@ -66,6 +67,12 @@ pub enum CheckId {
     TwoPass,
     /// Trace replay through the accelerator simulator is deterministic.
     SimReplay,
+    /// Exact word lattices: the recorded-tape lattice's path set and
+    /// costs against exhaustive enumeration over the offline-composed
+    /// WFST, 1-best-in-lattice, lattice-beam respect, oracle-WER
+    /// monotonicity in the lattice beam, and lattice bit identity
+    /// across kernels, OLT sizes, warm scratch, and streaming.
+    LatticeOracle,
     /// A check panicked instead of returning.
     Panic,
 }
@@ -84,6 +91,7 @@ impl CheckId {
             CheckId::MmapIdentity => "mmap-identity",
             CheckId::TwoPass => "two-pass",
             CheckId::SimReplay => "sim-replay",
+            CheckId::LatticeOracle => "lattice-oracle",
             CheckId::Panic => "panic",
         }
     }
@@ -101,6 +109,7 @@ impl CheckId {
             CheckId::MmapIdentity,
             CheckId::TwoPass,
             CheckId::SimReplay,
+            CheckId::LatticeOracle,
             CheckId::Panic,
         ]
         .into_iter()
@@ -154,6 +163,13 @@ pub enum Mutation {
     /// check reports either the rejections or — worse — that the
     /// corruption sailed through.
     StaleChecksum,
+    /// The word-lattice builder skips lattice-beam pruning (builds with
+    /// an effectively infinite beam) while still claiming the
+    /// configured beam. Not an LM mutation — the decode itself is
+    /// untouched, so every bit-identity check still passes and only
+    /// the lattice-oracle check's `max_path_slack` assertion can catch
+    /// it.
+    LatticeBeamSkip,
 }
 
 impl Mutation {
@@ -164,6 +180,7 @@ impl Mutation {
             Mutation::OltAliasing => "olt-aliasing",
             Mutation::FreeBackoff => "free-backoff",
             Mutation::StaleChecksum => "stale-checksum",
+            Mutation::LatticeBeamSkip => "lattice-beam-skip",
         }
     }
 
@@ -174,6 +191,7 @@ impl Mutation {
             "olt-aliasing" => Some(Mutation::OltAliasing),
             "free-backoff" => Some(Mutation::FreeBackoff),
             "stale-checksum" => Some(Mutation::StaleChecksum),
+            "lattice-beam-skip" => Some(Mutation::LatticeBeamSkip),
             _ => None,
         }
     }
@@ -309,6 +327,19 @@ fn search_diff(label: &str, a: &DecodeResult, b: &DecodeResult) -> Option<String
 /// Runs one case through the full configuration matrix and returns the
 /// first divergence, or `None` when every equivalence held.
 pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
+    run_case_filtered(spec, mutation, None)
+}
+
+/// [`run_case`] restricted to a single check (`None` runs them all).
+/// The baseline decode always runs; every other configuration is built
+/// only when its check is selected, so a `--check lattice-oracle`
+/// campaign does not pay for the rest of the matrix.
+pub fn run_case_filtered(
+    spec: &CaseSpec,
+    mutation: Mutation,
+    only: Option<CheckId>,
+) -> Option<Divergence> {
+    let want = |c: CheckId| only.is_none_or(|o| o == c);
     let m = CaseModels::build(spec);
     let cfg = DecodeConfig::builder()
         .beam(spec.beam)
@@ -328,11 +359,16 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
         dec.decode(&m.am.fst, &lm, scores, &mut base_rec)
     };
 
+    // The offline-composed graph serves both the 1-best oracle (check
+    // 1) and the lattice oracle's exhaustive path enumeration (check 9).
+    let composed = (want(CheckId::Oracle) || want(CheckId::LatticeOracle))
+        .then(|| compose_am_lm(&m.am.fst, &m.lm_fst, ComposeOptions::default()));
+
     // 1. On-the-fly vs offline-composed oracle (semantic equivalence;
     //    a transcript difference at equal cost is an accepted tie).
-    {
-        let composed = compose_am_lm(&m.am.fst, &m.lm_fst, ComposeOptions::default());
-        let oracle = FullyComposedDecoder::new(cfg).decode(&composed, scores, &mut NullSink);
+    if want(CheckId::Oracle) {
+        let composed = composed.as_ref().expect("composed graph built above");
+        let oracle = FullyComposedDecoder::new(cfg).decode(composed, scores, &mut NullSink);
         if !costs_close(baseline.cost, oracle.cost) {
             return Some(Divergence {
                 check: CheckId::Oracle,
@@ -347,7 +383,7 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
     // 2. SoA vs legacy kernel: the strongest claim in the matrix —
     //    words, cost bits, full stats, and the *ordered* trace-event
     //    stream must all match, whichever kernel the baseline ran.
-    {
+    if want(CheckId::SoaIdentity) {
         let other = match cfg.kernel {
             DecodeKernel::Legacy => DecodeKernel::Soa,
             DecodeKernel::Soa => DecodeKernel::Legacy,
@@ -383,6 +419,9 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
     // 3. OLT sizes {small, large} vs disabled: bit identity of the
     //    search, fetch savings allowed.
     for entries in [spec.olt_small, spec.olt_large] {
+        if !want(CheckId::OltIdentity) {
+            break;
+        }
         let on = {
             let lm = MutatedLm::new(&m.lm_fst, mutation);
             OtfDecoder::new(
@@ -412,7 +451,7 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
 
     // 3. Warm scratch: the second decode through a reused scratch must
     //    be bit-identical to the fresh-scratch baseline.
-    {
+    if want(CheckId::ScratchReuse) {
         let mut scratch = DecodeScratch::new();
         let lm = MutatedLm::new(&m.lm_fst, mutation);
         let _first = dec.decode_with(&m.am.fst, &lm, scores, &mut scratch, &mut NullSink);
@@ -427,7 +466,7 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
     }
 
     // 4. Streaming vs whole-utterance: result and trace bit identity.
-    {
+    if want(CheckId::Streaming) {
         let lm = MutatedLm::new(&m.lm_fst, mutation);
         let mut rec = TraceRecorder::new();
         let mut stream = OtfStream::new(cfg, &m.am.fst, &lm, &mut rec);
@@ -455,7 +494,7 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
 
     // 5. decode_batch jobs ∈ {1, N}: every per-utterance result
     //    bit-identical, and the pool never over-spawns.
-    {
+    if want(CheckId::Jobs) {
         let batch = m.batch(spec, 2);
         let decode_one = |_i: usize, utt: &Utterance, scratch: &mut DecodeScratch| {
             let lm = MutatedLm::new(&m.lm_fst, mutation);
@@ -483,7 +522,7 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
     // 6. Compressed models vs their to_wfst() round-trips: both sides
     //    serve the same quantized weights, so the decodes must agree
     //    bit for bit (probe counts differ by layout and are ignored).
-    {
+    if want(CheckId::CompressRoundtrip) {
         let comp = dec.decode(&m.cam, &m.clm, scores, &mut NullSink);
         let am_rt = m.cam.to_wfst();
         let lm_rt = m.clm.to_wfst();
@@ -505,7 +544,7 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
     //     open no later than `SharedAm::new`/`SharedLm::new` binding
     //     (after which decode bytes are reachable). The typed rejection
     //     (or its absence) is the reported divergence.
-    {
+    if want(CheckId::MmapIdentity) {
         let comp = dec.decode(&m.cam, &m.clm, scores, &mut NullSink);
         let mut w = BundleWriter::new();
         w.add_am(&m.cam);
@@ -611,7 +650,7 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
     // 7. Two-pass: bitwise deterministic across runs; and under a wide
     //    beam on the unrounded model, its exact full-LM rescore of a
     //    first-pass candidate can never beat the one-pass optimum.
-    {
+    if want(CheckId::TwoPass) {
         let tp = TwoPassDecoder::new(cfg, 8);
         let a = tp.decode(&m.am.fst, &m.lm_model, scores, &mut NullSink);
         let b = tp.decode(&m.am.fst, &m.lm_model, scores, &mut NullSink);
@@ -643,7 +682,7 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
     //    the trace). Zero-frame utterances carry no audio, and
     //    `Accelerator::finish` documents a positive-audio contract, so
     //    they are skipped here.
-    if scores.num_frames() > 0 {
+    if want(CheckId::SimReplay) && scores.num_frames() > 0 {
         let audio = scores.num_frames() as f64 * FRAME_SECONDS;
         let replay = || {
             let mut acc = Accelerator::new(AcceleratorConfig::unfold());
@@ -660,13 +699,405 @@ pub fn run_case(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
         }
     }
 
+    // 9. Lattice oracle: build the exact word lattice from the
+    //    recorded expansion tape and pin it four ways — the decode it
+    //    rides on is bit-identical to the plain decode, its 1-best
+    //    reproduces the baseline, no surviving arc exceeds the claimed
+    //    lattice beam, its path set is sound (and, under a wide clean
+    //    beam, complete) against exhaustive enumeration over the
+    //    offline-composed graph, its oracle WER is monotone in the
+    //    lattice beam, and the lattice itself is bit-identical across
+    //    kernels, OLT sizes, warm scratch, and streaming.
+    if want(CheckId::LatticeOracle) {
+        if let Some(d) = lattice_oracle_check(
+            spec,
+            mutation,
+            &m,
+            cfg,
+            &baseline,
+            composed.as_ref().expect("composed graph built above"),
+        ) {
+            return Some(d);
+        }
+    }
+
     None
+}
+
+/// The lattice-beam the lattice-oracle check builds (and claims) for a
+/// spec: half the search beam, clamped into a range where both the
+/// soundness enumeration and the monotonicity comparison stay cheap.
+fn lattice_oracle_beam(spec: &CaseSpec) -> f32 {
+    (spec.beam * 0.5).clamp(1.0, 6.0)
+}
+
+/// Heap-pop budget for the lattice-side path enumerations.
+const LATTICE_PATH_BUDGET: usize = 200_000;
+/// Pop budget for the exhaustive composed-graph enumeration.
+const GRAPH_PATH_BUDGET: usize = 400_000;
+
+fn lattice_oracle_check(
+    spec: &CaseSpec,
+    mutation: Mutation,
+    m: &CaseModels,
+    cfg: DecodeConfig,
+    baseline: &DecodeResult,
+    composed: &Wfst,
+) -> Option<Divergence> {
+    let div = |detail: String| {
+        Some(Divergence {
+            check: CheckId::LatticeOracle,
+            detail,
+        })
+    };
+    let scores = &m.utt.scores;
+    let claimed = lattice_oracle_beam(spec);
+    // The planted bug: build with an effectively infinite beam while
+    // still claiming `claimed`.
+    let built = |b: f32| {
+        if mutation == Mutation::LatticeBeamSkip {
+            1e9
+        } else {
+            b
+        }
+    };
+    let lat_cfg = cfg
+        .to_builder()
+        .lattice_beam(built(claimed))
+        .build()
+        .expect("case spec yields a valid config");
+    let lat_dec = OtfDecoder::new(lat_cfg);
+    let (lat_res, lattice) = {
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        lat_dec.decode_lattice(&m.am.fst, &lm, scores, &mut NullSink)
+    };
+
+    // Recording the expansion tape must not perturb the search.
+    if let Some(d) = bit_diff("decode_lattice vs decode", &lat_res, baseline) {
+        return div(d);
+    }
+    if lat_res.is_complete() == lattice.is_empty() {
+        return div(format!(
+            "complete={} but the lattice has {} final nodes",
+            lat_res.is_complete(),
+            lattice.finals().len()
+        ));
+    }
+    if !lat_res.is_complete() {
+        return None; // nothing reached a final state; no lattice to pin
+    }
+
+    // (a) 1-best-in-lattice: the lattice's best path reproduces the
+    //     Viterbi result. Under a coarse weight grid equal-cost paths
+    //     tie and the tie-break orders differ, so the transcript
+    //     compare is gated the same way the oracle check treats ties.
+    let nb = lattice.nbest(1);
+    match nb.first() {
+        Some((words, cost)) => {
+            if !costs_close(*cost, baseline.cost)
+                || !costs_close(lattice.best_cost(), baseline.cost)
+            {
+                return div(format!(
+                    "lattice best cost {} / 1-best cost {} vs decode cost {}",
+                    lattice.best_cost(),
+                    cost,
+                    baseline.cost
+                ));
+            }
+            if spec.weight_grid == 0.0 && *words != baseline.words {
+                return div(format!(
+                    "lattice 1-best {words:?} vs decode words {:?}",
+                    baseline.words
+                ));
+            }
+        }
+        None => return div("complete decode but nbest(1) is empty".into()),
+    }
+
+    // (b) lattice-beam respect: no surviving arc lies on a path worse
+    //     than best + claimed beam. This is the assertion that catches
+    //     `Mutation::LatticeBeamSkip`.
+    let slack = lattice.max_path_slack();
+    if slack > claimed + COST_TOLERANCE {
+        return div(format!(
+            "max path slack {slack} exceeds the claimed lattice beam {claimed}"
+        ));
+    }
+
+    // (c) determinism: the lattice is bit-identical whichever kernel,
+    //     OLT size, scratch history, or frame-delivery mode produced
+    //     it.
+    {
+        let other = match cfg.kernel {
+            DecodeKernel::Legacy => DecodeKernel::Soa,
+            DecodeKernel::Soa => DecodeKernel::Legacy,
+        };
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        let (ares, alat) = OtfDecoder::new(
+            lat_cfg
+                .to_builder()
+                .kernel(other)
+                .build()
+                .expect("case spec yields a valid config"),
+        )
+        .decode_lattice(&m.am.fst, &lm, scores, &mut NullSink);
+        if let Some(d) = bit_diff("lattice kernel swap", &ares, &lat_res) {
+            return div(d);
+        }
+        if !alat.bit_identical(&lattice) {
+            return div(format!("kernel swap ({other:?}) changed the lattice"));
+        }
+    }
+    for entries in [spec.olt_small, spec.olt_large] {
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        let (ores, olat) = OtfDecoder::new(
+            lat_cfg
+                .to_builder()
+                .olt_entries(entries)
+                .build()
+                .expect("case spec yields a valid config"),
+        )
+        .decode_lattice(&m.am.fst, &lm, scores, &mut NullSink);
+        if let Some(d) = search_diff(&format!("lattice olt_entries={entries}"), &ores, &lat_res) {
+            return div(d);
+        }
+        if !olat.bit_identical(&lattice) {
+            return div(format!("olt_entries={entries} changed the lattice"));
+        }
+    }
+    {
+        let mut scratch = DecodeScratch::new();
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        let _first =
+            lat_dec.decode_lattice_with(&m.am.fst, &lm, scores, &mut scratch, &mut NullSink);
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        let (wres, wlat) =
+            lat_dec.decode_lattice_with(&m.am.fst, &lm, scores, &mut scratch, &mut NullSink);
+        if let Some(d) = bit_diff("lattice warm scratch", &wres, &lat_res) {
+            return div(d);
+        }
+        if !wlat.bit_identical(&lattice) {
+            return div("warm scratch changed the lattice".into());
+        }
+    }
+    {
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        let mut work = WorkScratch::new();
+        work.begin(&lat_cfg);
+        let mut sess = StreamSession::new(lat_cfg);
+        sess.enable_lattice();
+        sess.seed(&m.am.fst, &lm, &mut work, &mut NullSink);
+        for t in 0..scores.num_frames() {
+            sess.push_frame(&m.am.fst, &lm, &mut work, scores.frame(t), &mut NullSink);
+        }
+        let (sres, slat) = sess.finalize_lattice(&m.am.fst, &mut NullSink);
+        if let Some(d) = bit_diff("lattice streaming", &sres, &lat_res) {
+            return div(d);
+        }
+        if !slat.bit_identical(&lattice) {
+            return div("streaming frame delivery changed the lattice".into());
+        }
+    }
+
+    // (d) soundness against the offline-composed graph: every word
+    //     sequence the lattice holds within `best + claimed` must have
+    //     a composed-graph path no cheaper than tolerance below the
+    //     lattice's cost for it — the lattice can never invent a path
+    //     or undercut the graph. Both enumerations are budgeted; a
+    //     blow-up skips the comparison rather than failing it.
+    let bound = lattice.best_cost() + claimed;
+    let lat_paths = lattice.paths_within(bound, LATTICE_PATH_BUDGET);
+    if let Some(lat_paths) = &lat_paths {
+        if let Some(true_paths) = enumerate_composed_paths(
+            composed,
+            scores,
+            f64::from(bound) + f64::from(COST_TOLERANCE),
+            GRAPH_PATH_BUDGET,
+        ) {
+            let tol = 2.0 * f64::from(COST_TOLERANCE);
+            for (words, &c) in lat_paths {
+                match true_paths.get(words) {
+                    Some(&tc) if tc <= c + tol => {}
+                    Some(&tc) => {
+                        return div(format!(
+                            "lattice path {words:?} costs {c:.4} but the composed graph's \
+                             best is {tc:.4}"
+                        ));
+                    }
+                    None => {
+                        return div(format!(
+                            "lattice path {words:?} (cost {c:.4}) has no composed-graph \
+                             path within {bound:.4}"
+                        ));
+                    }
+                }
+            }
+            // Completeness, gated like the two-pass cost bound: under a
+            // wide clean beam every composed-graph path within *half*
+            // the lattice beam must appear in the lattice (per-frame
+            // beam and histogram pruning can legitimately drop
+            // low-global-slack paths under tight budgets).
+            let complete_applies = mutation == Mutation::None
+                && spec.weight_grid == 0.0
+                && spec.beam >= 12.0
+                && spec.max_active >= 1000;
+            if complete_applies {
+                let tight = f64::from(lattice.best_cost() + claimed * 0.5);
+                for (words, &tc) in &true_paths {
+                    if tc <= tight && !lat_paths.contains_key(words) {
+                        return div(format!(
+                            "composed-graph path {words:?} (cost {tc:.4}, within half the \
+                             lattice beam) is missing from the lattice"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // (e) oracle-WER monotonicity in the lattice beam: a narrower
+    //     build's path set is a subset of the wider one's, so its
+    //     oracle WER can only be equal or worse.
+    {
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        let (nres, nlat) = OtfDecoder::new(
+            cfg.to_builder()
+                .lattice_beam(built(claimed * 0.5))
+                .build()
+                .expect("case spec yields a valid config"),
+        )
+        .decode_lattice(&m.am.fst, &lm, scores, &mut NullSink);
+        // The lattice beam is a post-pass knob: the search is untouched.
+        if let Some(d) = bit_diff("lattice narrow-beam decode", &nres, &lat_res) {
+            return div(d);
+        }
+        let narrow = nlat.paths_within(nlat.best_cost() + claimed * 0.5, LATTICE_PATH_BUDGET);
+        if let (Some(narrow), Some(wide)) = (&narrow, &lat_paths) {
+            for words in narrow.keys() {
+                if !wide.contains_key(words) {
+                    return div(format!(
+                        "narrow-beam lattice path {words:?} is missing from the \
+                         wider-beam lattice"
+                    ));
+                }
+            }
+            if !narrow.is_empty() && !wide.is_empty() {
+                let errors = |paths: &std::collections::BTreeMap<Vec<u32>, f64>| {
+                    let cands: Vec<Vec<u32>> = paths.keys().cloned().collect();
+                    let r = oracle_wer(&m.utt.words, &cands);
+                    r.substitutions + r.deletions + r.insertions
+                };
+                let (en, ew) = (errors(narrow), errors(wide));
+                if en < ew {
+                    return div(format!(
+                        "oracle WER worsened as the lattice beam widened: \
+                         {en} errors at beam {}, {ew} at beam {claimed}",
+                        claimed * 0.5
+                    ));
+                }
+            }
+        }
+    }
+
+    None
+}
+
+/// Exhaustively enumerates every word sequence the offline-composed
+/// graph accepts over the utterance with total cost at most `bound`,
+/// returning each sequence's cheapest cost, or `None` when the budget
+/// runs out. Alignment variants of one word sequence are merged via a
+/// best-cost table keyed by `(state, frame, words)` — exactly the merge
+/// the lattice's own enumerator performs — and the search prunes with
+/// an admissible per-frame minimum-emission suffix bound (every
+/// acoustic cost and arc weight in the generated models is
+/// non-negative).
+fn enumerate_composed_paths(
+    fst: &Wfst,
+    scores: &unfold_am::AcousticScores,
+    bound: f64,
+    budget: usize,
+) -> Option<std::collections::BTreeMap<Vec<u32>, f64>> {
+    use std::collections::{BTreeMap, HashMap};
+    let frames = scores.num_frames();
+    let mut suffix = vec![0f64; frames + 1];
+    for t in (0..frames).rev() {
+        let row = scores.frame(t);
+        let mn = row.iter().copied().fold(f32::INFINITY, f32::min);
+        suffix[t] = suffix[t + 1] + f64::from(mn);
+    }
+
+    let mut seen: HashMap<(StateId, usize, Vec<u32>), f64> = HashMap::new();
+    let mut out: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
+    let mut stack: Vec<(StateId, usize, f64, Vec<u32>)> = Vec::new();
+    if suffix[0] <= bound {
+        seen.insert((fst.start(), 0, Vec::new()), 0.0);
+        stack.push((fst.start(), 0, 0.0, Vec::new()));
+    }
+    let mut pops = 0usize;
+    while let Some((s, t, g, words)) = stack.pop() {
+        pops += 1;
+        if pops > budget {
+            return None;
+        }
+        // A cheaper route to this (state, frame, words) superseded us
+        // after we were pushed.
+        if seen.get(&(s, t, words.clone())).is_some_and(|&g0| g0 < g) {
+            continue;
+        }
+        if t == frames {
+            if let Some(fw) = fst.final_weight(s) {
+                let total = g + f64::from(fw);
+                if total <= bound {
+                    out.entry(words.clone())
+                        .and_modify(|c| *c = c.min(total))
+                        .or_insert(total);
+                }
+            }
+        }
+        for arc in fst.arcs(s) {
+            let (nt, ng) = if arc.ilabel == EPSILON {
+                (t, g + f64::from(arc.weight))
+            } else if t < frames {
+                (
+                    t + 1,
+                    g + f64::from(arc.weight) + f64::from(scores.cost(t, arc.ilabel)),
+                )
+            } else {
+                continue; // no frames left to consume
+            };
+            if ng + suffix[nt] > bound {
+                continue;
+            }
+            let mut nw = words.clone();
+            if arc.olabel != EPSILON {
+                nw.push(arc.olabel);
+            }
+            let key = (arc.nextstate, nt, nw);
+            match seen.get(&key) {
+                Some(&g0) if g0 <= ng => continue, // dominated (also breaks 0-cost ε-cycles)
+                _ => {}
+            }
+            seen.insert(key.clone(), ng);
+            stack.push((key.0, key.1, ng, key.2));
+        }
+    }
+    Some(out)
 }
 
 /// [`run_case`] with panics converted into [`CheckId::Panic`]
 /// divergences, so a crashing configuration is shrunk like any other.
 pub fn run_case_caught(spec: &CaseSpec, mutation: Mutation) -> Option<Divergence> {
-    match catch_unwind(AssertUnwindSafe(|| run_case(spec, mutation))) {
+    run_case_caught_filtered(spec, mutation, None)
+}
+
+/// [`run_case_filtered`] with panics converted into
+/// [`CheckId::Panic`] divergences.
+pub fn run_case_caught_filtered(
+    spec: &CaseSpec,
+    mutation: Mutation,
+    only: Option<CheckId>,
+) -> Option<Divergence> {
+    match catch_unwind(AssertUnwindSafe(|| run_case_filtered(spec, mutation, only))) {
         Ok(outcome) => outcome,
         Err(payload) => {
             let msg = payload
@@ -700,6 +1131,7 @@ mod tests {
             Mutation::OltAliasing,
             Mutation::FreeBackoff,
             Mutation::StaleChecksum,
+            Mutation::LatticeBeamSkip,
         ] {
             let caught = (0..12).any(|i| {
                 let spec = CaseSpec::derive(0xB00, i);
@@ -707,6 +1139,50 @@ mod tests {
             });
             assert!(caught, "{mutation:?} survived 12 cases undetected");
         }
+    }
+
+    #[test]
+    fn lattice_beam_skip_is_caught_by_the_lattice_oracle_alone() {
+        let caught = (0..12).find_map(|i| {
+            let spec = CaseSpec::derive(0xB00, i);
+            run_case_caught_filtered(
+                &spec,
+                Mutation::LatticeBeamSkip,
+                Some(CheckId::LatticeOracle),
+            )
+        });
+        let d = caught.expect("a skipped lattice beam must surface within 12 cases");
+        assert_eq!(d.check, CheckId::LatticeOracle);
+        assert!(
+            d.detail.contains("exceeds the claimed lattice beam"),
+            "want the slack assertion, got: {}",
+            d.detail
+        );
+    }
+
+    #[test]
+    fn check_filter_runs_only_the_selected_check() {
+        // OltAliasing corrupts LM lookups, which the oracle check
+        // catches — but a campaign filtered to mmap-identity must stay
+        // blind to it (the mutation never touches the bundle path).
+        let mut oracle_seen = false;
+        for i in 0..12 {
+            let spec = CaseSpec::derive(0xB00, i);
+            let full = run_case_caught(&spec, Mutation::OltAliasing);
+            let mmap_only =
+                run_case_caught_filtered(&spec, Mutation::OltAliasing, Some(CheckId::MmapIdentity));
+            assert_eq!(
+                mmap_only, None,
+                "case {i}: mmap-identity never sees OltAliasing"
+            );
+            if full.as_ref().is_some_and(|d| d.check == CheckId::Oracle) {
+                oracle_seen = true;
+            }
+        }
+        assert!(
+            oracle_seen,
+            "the unfiltered matrix should catch OltAliasing"
+        );
     }
 
     #[test]
@@ -740,6 +1216,7 @@ mod tests {
             CheckId::MmapIdentity,
             CheckId::TwoPass,
             CheckId::SimReplay,
+            CheckId::LatticeOracle,
             CheckId::Panic,
         ] {
             assert_eq!(CheckId::parse(c.name()), Some(c));
@@ -749,6 +1226,7 @@ mod tests {
             Mutation::OltAliasing,
             Mutation::FreeBackoff,
             Mutation::StaleChecksum,
+            Mutation::LatticeBeamSkip,
         ] {
             assert_eq!(Mutation::parse(m.name()), Some(m));
         }

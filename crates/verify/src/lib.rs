@@ -41,6 +41,9 @@ pub mod shrink;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignDivergence, CampaignReport};
 pub use case::{CaseModels, CaseSpec};
-pub use check::{run_case, run_case_caught, CheckId, Divergence, Mutation};
+pub use check::{
+    run_case, run_case_caught, run_case_caught_filtered, run_case_filtered, CheckId, Divergence,
+    Mutation,
+};
 pub use repro::{run_repro, ReproCase, ReproParseError};
 pub use shrink::{shrink, ShrinkOutcome};

@@ -5,14 +5,15 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use unfold_verify::{run_campaign, CampaignConfig, Mutation};
+use unfold_verify::{run_campaign, CampaignConfig, CheckId, Mutation};
 
 const USAGE: &str = "\
 unfold-verify: randomized differential verification campaign
 
 USAGE:
     unfold-verify [--cases N] [--seed S] [--jobs N] [--out DIR]
-                  [--mutation none|olt-aliasing|free-backoff] [--no-shrink]
+                  [--mutation none|olt-aliasing|free-backoff|stale-checksum|lattice-beam-skip]
+                  [--check NAME] [--no-shrink]
 
 FLAGS:
     --cases N      cases to run (default 64)
@@ -20,6 +21,8 @@ FLAGS:
     --jobs N       worker threads (default: available parallelism)
     --out DIR      write minimized repro files here
     --mutation M   inject a known decoder bug (default none)
+    --check NAME   run a single check (e.g. lattice-oracle) instead of
+                   the full matrix
     --no-shrink    skip delta-debugging of divergences
 ";
 
@@ -54,6 +57,12 @@ fn parse_args(args: &[String]) -> Result<CampaignConfig, String> {
                 config.mutation = Mutation::parse(&v)
                     .ok_or_else(|| format!("--mutation: unknown mutation {v:?}"))?;
             }
+            "--check" => {
+                let v = value("--check")?;
+                config.only = Some(
+                    CheckId::parse(&v).ok_or_else(|| format!("--check: unknown check {v:?}"))?,
+                );
+            }
             "--no-shrink" => config.shrink = false,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -76,11 +85,14 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "campaign: {} cases, seed {}, mutation {}, {} jobs",
+        "campaign: {} cases, seed {}, mutation {}, {} jobs{}",
         config.cases,
         config.seed,
         config.mutation.name(),
-        config.jobs.max(1)
+        config.jobs.max(1),
+        config
+            .only
+            .map_or(String::new(), |c| format!(", check {c} only"))
     );
     let report = match run_campaign(&config) {
         Ok(r) => r,

@@ -9,7 +9,7 @@
 //! few lines of knobs instead of a serialized FST.
 
 use crate::case::{CaseModels, CaseSpec};
-use crate::check::{run_case_caught, CheckId, Divergence, Mutation};
+use crate::check::{run_case_caught_filtered, CheckId, Divergence, Mutation};
 
 /// Hard cap on candidate evaluations per shrink (each evaluation
 /// rebuilds the models and decodes the full matrix).
@@ -148,8 +148,10 @@ const MOVES: &[Move] = &[
 /// Minimizes `spec` while `mutation` still makes the *same check*
 /// diverge, greedily applying [`MOVES`] to a fixpoint. Returns `None`
 /// if the original spec does not diverge at all (nothing to shrink).
-pub fn shrink(spec: &CaseSpec, mutation: Mutation) -> Option<ShrinkOutcome> {
-    let original = run_case_caught(spec, mutation)?;
+/// When `only` restricts the matrix to one check, every candidate
+/// evaluation is restricted the same way.
+pub fn shrink(spec: &CaseSpec, mutation: Mutation, only: Option<CheckId>) -> Option<ShrinkOutcome> {
+    let original = run_case_caught_filtered(spec, mutation, only)?;
     let target: CheckId = original.check;
     let mut best = spec.clone();
     let mut best_div = original;
@@ -166,7 +168,7 @@ pub fn shrink(spec: &CaseSpec, mutation: Mutation) -> Option<ShrinkOutcome> {
             while evals < MAX_EVALS {
                 let Some(candidate) = mv(&best) else { break };
                 evals += 1;
-                match run_case_caught(&candidate, mutation) {
+                match run_case_caught_filtered(&candidate, mutation, only) {
                     Some(d) if d.check == target => {
                         best = candidate;
                         best_div = d;
@@ -217,6 +219,6 @@ mod tests {
     #[test]
     fn clean_case_yields_no_outcome() {
         let spec = CaseSpec::derive(0xC1EA4, 0);
-        assert!(shrink(&spec, Mutation::None).is_none());
+        assert!(shrink(&spec, Mutation::None, None).is_none());
     }
 }

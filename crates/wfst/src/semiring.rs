@@ -23,6 +23,11 @@ pub trait Semiring: Copy + PartialEq + std::fmt::Debug {
     fn times(self, rhs: Self) -> Self;
     /// The raw cost value (negative log-probability).
     fn value(self) -> f32;
+    /// Wraps a raw cost (negative log-probability) — the inverse of
+    /// [`Semiring::value`]. Lets semiring-generic passes (forward /
+    /// backward lattice scores, threshold folds) lift `f32` arc costs
+    /// without naming a concrete weight type.
+    fn from_cost(cost: f32) -> Self;
 }
 
 /// Tropical semiring: `plus` = min, `times` = +.
@@ -69,6 +74,10 @@ impl Semiring for TropicalWeight {
     #[inline]
     fn value(self) -> f32 {
         self.0
+    }
+    #[inline]
+    fn from_cost(cost: f32) -> Self {
+        TropicalWeight(cost)
     }
 }
 
@@ -128,6 +137,10 @@ impl Semiring for LogWeight {
     #[inline]
     fn value(self) -> f32 {
         self.0
+    }
+    #[inline]
+    fn from_cost(cost: f32) -> Self {
+        LogWeight(cost)
     }
 }
 

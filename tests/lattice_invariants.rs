@@ -1,0 +1,242 @@
+//! Cross-crate tests for the exact word lattice and N-best decoding:
+//! N-best against exhaustive path enumeration on tiny graphs, N=1
+//! equivalence with plain 1-best decoding across every task preset, and
+//! property-based structural invariants of the lattice itself
+//! (frame-ordered acyclicity, lattice-beam slack, posterior mass).
+
+use proptest::prelude::*;
+use unfold::{System, TaskSpec};
+use unfold_decoder::{DecodeConfig, NullSink, OtfDecoder};
+use unfold_verify::{CaseModels, CaseSpec};
+
+/// A tiny unigram case: a handful of LM states, so `paths_within` can
+/// enumerate the lattice exhaustively as the N-best reference.
+fn tiny_spec(seed: u64, words: Vec<u32>) -> CaseSpec {
+    let mut spec = CaseSpec::derive(seed, 0);
+    spec.vocab_size = 5;
+    spec.phonemes = 4;
+    spec.ctc = false;
+    spec.sentences = 30;
+    spec.min_bigram_count = u64::MAX; // unigram-only: <= 10 LM states
+    spec.min_trigram_count = u64::MAX;
+    spec.weight_grid = 0.0;
+    spec.noise_sigma = 1.0;
+    spec.word_confusion = 0.0;
+    spec.words = words;
+    spec.max_frames = usize::MAX;
+    spec.beam = 24.0;
+    spec.max_active = 6000;
+    spec
+}
+
+#[test]
+fn nbest_equals_exhaustive_enumeration_on_tiny_graphs() {
+    let mut widest = 0usize;
+    for (seed, words) in [
+        (11u64, vec![1u32, 3, 2]),
+        (23, vec![4, 1]),
+        (35, vec![2, 2, 5, 1]),
+    ] {
+        let spec = tiny_spec(seed, words);
+        let m = CaseModels::build(&spec);
+        assert!(
+            m.lm_fst.num_states() <= 10,
+            "want a tiny graph, got {} LM states",
+            m.lm_fst.num_states()
+        );
+        let lattice_beam = 20.0f32;
+        let dec = OtfDecoder::new(
+            DecodeConfig::builder()
+                .beam(spec.beam)
+                .max_active(spec.max_active)
+                .lattice_beam(lattice_beam)
+                .build()
+                .unwrap(),
+        );
+        let (res, lattice) = dec.decode_lattice(&m.am.fst, &m.lm_fst, &m.utt.scores, &mut NullSink);
+        assert!(res.is_complete());
+
+        // Exhaustive reference: every distinct word sequence in the
+        // lattice with its best cost.
+        let all = lattice
+            .paths_within(lattice.best_cost() + lattice_beam, 2_000_000)
+            .expect("tiny lattice enumerates exhaustively");
+        assert!(!all.is_empty());
+        let mut reference: Vec<(Vec<u32>, f64)> = all.into_iter().collect();
+        reference.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+        // `nbest` has no cost bound, so ask for exactly as many paths
+        // as fall inside the beam: best-first order means those first
+        // `reference.len()` entries must be exactly the bounded set.
+        let k = reference.len();
+        let nbest = dec.decode_nbest(&m.am.fst, &m.lm_fst, &m.utt.scores, k, &mut NullSink);
+        assert_eq!(
+            nbest.len(),
+            reference.len(),
+            "nbest must surface every in-beam sequence"
+        );
+
+        // Ordering, no duplicates, and per-sequence cost equality.
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, (words, cost)) in nbest.iter().enumerate() {
+            assert!(seen.insert(words.clone()), "duplicate sequence {words:?}");
+            if i > 0 {
+                assert!(
+                    nbest[i - 1].1 <= *cost + 1e-4,
+                    "nbest out of order at {i}: {} then {cost}",
+                    nbest[i - 1].1
+                );
+            }
+            let (ref_words, ref_cost) = &reference[i];
+            assert!(
+                (f64::from(*cost) - ref_cost).abs() <= 1e-3,
+                "rank {i}: nbest cost {cost} vs exhaustive {ref_cost}"
+            );
+            // Cost ties may order differently; the sequence must still
+            // be somewhere in the reference at the same cost.
+            if words != ref_words {
+                let found = reference
+                    .iter()
+                    .find(|(w, _)| w == words)
+                    .expect("nbest sequence missing from exhaustive enumeration");
+                assert!((f64::from(*cost) - found.1).abs() <= 1e-3);
+            }
+        }
+
+        // Rank 0 is the exact Viterbi result.
+        assert_eq!(nbest[0].0, res.words);
+        assert_eq!(nbest[0].1.to_bits(), res.cost.to_bits());
+        widest = widest.max(reference.len());
+    }
+    // The comparison must not be vacuous: at least one case has to
+    // carry genuine alternatives, not a single-path lattice.
+    assert!(widest > 1, "no case produced any N-best alternatives");
+}
+
+#[test]
+fn nbest_of_one_equals_one_best_across_presets() {
+    let mut presets = TaskSpec::all_paper_tasks();
+    presets.push(TaskSpec::tiny());
+    for spec in presets {
+        let system = System::build(&spec);
+        let dec = OtfDecoder::new(DecodeConfig::default());
+        for utt in system.test_utterances(2) {
+            let one = dec.decode(&system.am.fst, &system.lm_fst, &utt.scores, &mut NullSink);
+            let nbest = dec.decode_nbest(
+                &system.am.fst,
+                &system.lm_fst,
+                &utt.scores,
+                1,
+                &mut NullSink,
+            );
+            if !one.is_complete() {
+                assert!(
+                    nbest.is_empty(),
+                    "{}: incomplete decode must yield no list",
+                    spec.name
+                );
+                continue;
+            }
+            assert_eq!(nbest.len(), 1, "{}", spec.name);
+            assert_eq!(nbest[0].0, one.words, "{}", spec.name);
+            assert_eq!(
+                nbest[0].1.to_bits(),
+                one.cost.to_bits(),
+                "{}: N=1 must reproduce the 1-best cost bit-exactly",
+                spec.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Structural invariants of the pruned word lattice, over randomly
+    /// derived cases and lattice beams:
+    /// 1. acyclic in frame order — every arc advances the node frame
+    ///    (emitting) or stays within it toward a later sort position
+    ///    (epsilon);
+    /// 2. every arc lies on a complete path within `lattice_beam` of
+    ///    the best cost;
+    /// 3. the emitting arcs of each frame carry ~1.0 posterior mass;
+    /// 4. the exact Viterbi path is present with a bit-identical cost.
+    #[test]
+    fn lattice_structural_invariants(
+        case in 0u64..64,
+        lattice_beam in 2.0f32..12.0,
+    ) {
+        let spec = CaseSpec::derive(0x1A77, case);
+        let m = CaseModels::build(&spec);
+        let dec = OtfDecoder::new(
+            DecodeConfig::builder()
+                .beam(spec.beam)
+                .max_active(spec.max_active)
+                .lattice_beam(lattice_beam)
+                .build()
+                .unwrap(),
+        );
+        let (res, lattice) =
+            dec.decode_lattice(&m.am.fst, &m.lm_fst, &m.utt.scores, &mut NullSink);
+        if !res.is_complete() {
+            prop_assert!(lattice.is_empty());
+            return Ok(());
+        }
+
+        let nodes = lattice.nodes();
+        for a in lattice.arcs() {
+            let (from, to) = (&nodes[a.from as usize], &nodes[a.to as usize]);
+            // (1a) frame-monotone: emitting arcs advance exactly one
+            // frame, epsilon arcs stay within it.
+            prop_assert!(
+                to.frame == from.frame + 1 || (to.frame == from.frame && a.to != a.from),
+                "arc {}->{} spans frames {}->{}",
+                a.from, a.to, from.frame, to.frame
+            );
+            // (2) on a path within the lattice beam of the best cost.
+            let through = from.forward + a.weight + to.backward;
+            prop_assert!(
+                through - lattice.best_cost() <= lattice_beam + 1e-3,
+                "arc slack {} exceeds beam {lattice_beam}",
+                through - lattice.best_cost()
+            );
+            prop_assert!((0.0..=1.0 + 1e-4).contains(&a.posterior));
+        }
+
+        // (1b) genuinely acyclic: the frame check above cannot order
+        // same-frame epsilon arcs, so settle it with Kahn's algorithm.
+        let mut indeg = vec![0usize; nodes.len()];
+        let mut adj = vec![Vec::new(); nodes.len()];
+        for a in lattice.arcs() {
+            indeg[a.to as usize] += 1;
+            adj[a.from as usize].push(a.to);
+        }
+        let mut ready: Vec<u32> =
+            (0..nodes.len() as u32).filter(|&n| indeg[n as usize] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(n) = ready.pop() {
+            visited += 1;
+            for &t in &adj[n as usize] {
+                indeg[t as usize] -= 1;
+                if indeg[t as usize] == 0 {
+                    ready.push(t);
+                }
+            }
+        }
+        prop_assert!(visited == nodes.len(), "lattice contains a cycle");
+
+        // (3) each frame's emitting arcs carry all the posterior mass.
+        for t in 0..lattice.num_frames() {
+            let mass = lattice.emitting_posterior_sum(t);
+            prop_assert!(
+                (mass - 1.0).abs() < 2e-2,
+                "frame {t}: emitting posterior mass {mass}"
+            );
+        }
+
+        // (4) the Viterbi path is in the lattice at the exact cost.
+        prop_assert_eq!(lattice.best_cost().to_bits(), res.cost.to_bits());
+        let nb = lattice.nbest(1);
+        prop_assert_eq!(&nb[0].0, &res.words);
+    }
+}

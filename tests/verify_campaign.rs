@@ -5,7 +5,8 @@
 //! `unfold-cli verify --repro`.
 
 use unfold_verify::{
-    run_campaign, run_repro, shrink, CampaignConfig, CaseModels, CaseSpec, Mutation, ReproCase,
+    run_campaign, run_repro, shrink, CampaignConfig, CaseModels, CaseSpec, CheckId, Mutation,
+    ReproCase,
 };
 
 /// How many cases the clean campaign runs under `cargo test`. The full
@@ -21,6 +22,7 @@ fn clean_campaign_has_zero_divergences() {
         seed: 42,
         cases: CLEAN_CASES,
         mutation: Mutation::None,
+        only: None,
         out_dir: None,
         shrink: false,
         jobs: 4,
@@ -45,6 +47,7 @@ fn injected_olt_bug_is_caught_and_shrunk_to_tiny_repro() {
         seed: 7,
         cases: 32,
         mutation,
+        only: None,
         out_dir: None,
         shrink: false,
         jobs: 4,
@@ -61,7 +64,7 @@ fn injected_olt_bug_is_caught_and_shrunk_to_tiny_repro() {
     let mut best_states = usize::MAX;
     let mut best: Option<(CaseSpec, unfold_verify::CheckId)> = None;
     for d in &report.divergences {
-        let out = shrink(&d.original, mutation).expect("divergence must still reproduce");
+        let out = shrink(&d.original, mutation, None).expect("divergence must still reproduce");
         assert_eq!(
             out.divergence.check, d.divergence.check,
             "shrinking must preserve the failing check"
@@ -89,6 +92,76 @@ fn injected_olt_bug_is_caught_and_shrunk_to_tiny_repro() {
     };
     let replayed = run_repro(&repro).expect("minimized repro must still diverge");
     assert_eq!(replayed.check, check);
+}
+
+/// The lattice-oracle acceptance scenario: a campaign restricted to the
+/// lattice-oracle check runs clean on the correct decoder, and a
+/// planted lattice-beam-skip bug (the lattice builder ignores
+/// `lattice_beam` while claiming it) is caught by that check alone and
+/// shrinks to a repro of at most 10 LM states.
+#[test]
+fn planted_lattice_beam_skip_is_caught_and_shrunk() {
+    // Clean first: the same restricted campaign must find nothing.
+    let clean = run_campaign(&CampaignConfig {
+        seed: 7,
+        cases: 16,
+        mutation: Mutation::None,
+        only: Some(CheckId::LatticeOracle),
+        out_dir: None,
+        shrink: false,
+        jobs: 4,
+    })
+    .expect("campaign I/O");
+    assert!(
+        clean.is_clean(),
+        "lattice-oracle divergences on a clean decoder: {:#?}",
+        clean.divergences
+    );
+
+    let mutation = Mutation::LatticeBeamSkip;
+    let report = run_campaign(&CampaignConfig {
+        seed: 7,
+        cases: 16,
+        mutation,
+        only: Some(CheckId::LatticeOracle),
+        out_dir: None,
+        shrink: false,
+        jobs: 4,
+    })
+    .expect("campaign I/O");
+    assert!(
+        !report.divergences.is_empty(),
+        "the skipped lattice beam must be detected within 16 cases"
+    );
+    for d in &report.divergences {
+        assert_eq!(d.divergence.check, CheckId::LatticeOracle);
+    }
+
+    let mut best_states = usize::MAX;
+    let mut best: Option<CaseSpec> = None;
+    for d in &report.divergences {
+        let out = shrink(&d.original, mutation, Some(CheckId::LatticeOracle))
+            .expect("divergence must still reproduce");
+        assert_eq!(out.divergence.check, CheckId::LatticeOracle);
+        if out.lm_states < best_states {
+            best_states = out.lm_states;
+            best = Some(out.spec.clone());
+        }
+    }
+    let spec = best.expect("at least one shrink outcome");
+    assert!(
+        best_states <= 10,
+        "best shrunk repro has {best_states} LM states, want <= 10"
+    );
+
+    // The minimized case still diverges on the same check as a repro.
+    let repro = ReproCase {
+        spec,
+        check: Some(CheckId::LatticeOracle),
+        mutation,
+    };
+    let replayed = run_repro(&repro).expect("minimized repro must still diverge");
+    assert_eq!(replayed.check, CheckId::LatticeOracle);
 }
 
 /// The repro file round-trips through disk and through the CLI: the
@@ -142,6 +215,7 @@ fn campaign_writes_replayable_repro_files() {
         seed: 7,
         cases: 8,
         mutation: Mutation::OltAliasing,
+        only: None,
         out_dir: Some(dir.clone()),
         shrink: true,
         jobs: 2,
