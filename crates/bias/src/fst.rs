@@ -1,0 +1,448 @@
+//! The per-user biasing model: a compact weighted phrase/prefix
+//! acceptor.
+//!
+//! Phrases are word-id sequences with a positive bonus (a tropical
+//! cost *reduction* granted when the phrase completes). The acceptor
+//! is a trie whose edges pay the bonus out speculatively — an equal
+//! per-edge share, so partial matches are encouraged into the beam —
+//! and whose failure transitions claw the unearned credit back. The
+//! net cost contribution of any path is therefore
+//! `-(banked completed-phrase bonus)`: hypotheses that never finish a
+//! phrase end up exactly where the unbiased search would have put
+//! them.
+//!
+//! Failure transitions restart at the root (no Aho-Corasick suffix
+//! links): a deliberate deviation from the classical contextual-
+//! biasing construction that keeps the acceptor a pure trie —
+//! serialization is just the phrase list, and the trie is rebuilt
+//! deterministically on load. Overlapping-phrase recall costs one
+//! missed prefix re-entry, which contact/hotword workloads do not
+//! notice.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use unfold_wfst::{Label, EPSILON};
+
+/// One trie node. Edges are sorted by word id for binary search.
+#[derive(Debug, Clone)]
+struct Node {
+    edges: Vec<(Label, u32)>,
+    /// Speculative bonus already granted on the path root -> node.
+    accrued: f32,
+    /// Largest completed-phrase bonus banked on the path root -> node.
+    earned: f32,
+}
+
+impl Node {
+    fn child(&self, word: Label) -> Option<u32> {
+        self.edges
+            .binary_search_by_key(&word, |&(w, _)| w)
+            .ok()
+            .map(|i| self.edges[i].1)
+    }
+}
+
+/// Errors loading a serialized biasing model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BiasFormatError {
+    /// The payload is shorter than its headers claim.
+    Truncated,
+    /// Unknown serialization version.
+    BadVersion(u32),
+    /// A phrase contains the epsilon label or is empty.
+    BadPhrase,
+    /// A bonus is non-finite or not positive.
+    BadBonus,
+}
+
+impl std::fmt::Display for BiasFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "biasing payload truncated"),
+            Self::BadVersion(v) => write!(f, "unknown biasing format version {v}"),
+            Self::BadPhrase => write!(f, "biasing phrase empty or contains epsilon"),
+            Self::BadBonus => write!(f, "biasing bonus must be finite and positive"),
+        }
+    }
+}
+
+impl std::error::Error for BiasFormatError {}
+
+const FORMAT_VERSION: u32 = 1;
+
+/// A weighted phrase acceptor biasing a per-session decode. See the
+/// module docs for the weight scheme.
+#[derive(Debug, Clone)]
+pub struct BiasingFst {
+    nodes: Vec<Node>,
+    /// Canonical (sorted, deduplicated) phrase list — the serialized
+    /// form, kept so `to_bytes` round-trips bit-for-bit.
+    phrases: Vec<(Vec<Label>, f32)>,
+}
+
+impl BiasingFst {
+    /// Builds the acceptor from `(phrase, bonus)` pairs. Phrases are
+    /// canonicalized (sorted, exact duplicates deduplicated keeping
+    /// the largest bonus) so construction is order-independent.
+    ///
+    /// # Panics
+    /// Panics on an empty phrase, an epsilon label, or a bonus that is
+    /// not finite and positive — per-user models are small enough to
+    /// validate eagerly.
+    #[must_use]
+    pub fn build(phrases: &[(Vec<Label>, f32)]) -> Self {
+        for (words, bonus) in phrases {
+            assert!(
+                !words.is_empty() && !words.contains(&EPSILON),
+                "biasing phrase empty or contains epsilon"
+            );
+            assert!(
+                bonus.is_finite() && *bonus > 0.0,
+                "biasing bonus must be finite and positive, got {bonus}"
+            );
+        }
+        let mut canon: Vec<(Vec<Label>, f32)> = phrases.to_vec();
+        canon.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        canon.dedup_by(|next, prev| {
+            if next.0 == prev.0 {
+                prev.1 = prev.1.max(next.1);
+                true
+            } else {
+                false
+            }
+        });
+
+        let mut nodes = vec![Node {
+            edges: Vec::new(),
+            accrued: 0.0,
+            earned: 0.0,
+        }];
+        for (words, bonus) in &canon {
+            let len = words.len() as f32;
+            let mut at = 0u32;
+            for (depth, &w) in words.iter().enumerate() {
+                let next = match nodes[at as usize].child(w) {
+                    Some(c) => c,
+                    None => {
+                        let id = nodes.len() as u32;
+                        nodes.push(Node {
+                            edges: Vec::new(),
+                            accrued: 0.0,
+                            earned: 0.0,
+                        });
+                        let pos = nodes[at as usize]
+                            .edges
+                            .binary_search_by_key(&w, |&(x, _)| x)
+                            .unwrap_err();
+                        nodes[at as usize].edges.insert(pos, (w, id));
+                        id
+                    }
+                };
+                // Prorated speculative credit: an equal per-edge share,
+                // with the final edge topping the path up to exactly
+                // `bonus`. Shared prefixes keep the largest claim.
+                let share = if depth + 1 == words.len() {
+                    *bonus
+                } else {
+                    bonus * ((depth + 1) as f32 / len)
+                };
+                let n = &mut nodes[next as usize];
+                n.accrued = n.accrued.max(share);
+                at = next;
+            }
+            let term = &mut nodes[at as usize];
+            term.earned = term.earned.max(*bonus);
+        }
+        // Make `accrued` monotone non-decreasing and propagate banked
+        // bonuses to descendants, so every edge delta is a bonus
+        // (<= 0) and failure claw-back never over-charges a path that
+        // already completed a phrase.
+        let mut stack = vec![0u32];
+        while let Some(q) = stack.pop() {
+            let (accrued, earned) = {
+                let n = &nodes[q as usize];
+                (n.accrued, n.earned)
+            };
+            for i in 0..nodes[q as usize].edges.len() {
+                let c = nodes[q as usize].edges[i].1;
+                let child = &mut nodes[c as usize];
+                child.accrued = child.accrued.max(accrued);
+                child.earned = child.earned.max(earned);
+                stack.push(c);
+            }
+        }
+        Self {
+            nodes,
+            phrases: canon,
+        }
+    }
+
+    /// Number of trie nodes (node 0 is the root/start state).
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of canonical phrases.
+    #[must_use]
+    pub fn num_phrases(&self) -> usize {
+        self.phrases.len()
+    }
+
+    /// The canonical phrase list.
+    #[must_use]
+    pub fn phrases(&self) -> &[(Vec<Label>, f32)] {
+        &self.phrases
+    }
+
+    /// Serialized size in bytes.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        8 + self
+            .phrases
+            .iter()
+            .map(|(w, _)| 8 + 4 * w.len())
+            .sum::<usize>()
+    }
+
+    /// Advances the acceptor on `word`: returns the successor node and
+    /// the tropical cost delta (negative = bonus, positive = claw-back
+    /// of unearned speculative credit).
+    ///
+    /// Matching edges pay out the accrued difference; a miss claws
+    /// back `accrued - earned` and retries the word at the root, so a
+    /// phrase can start on the very word that broke the previous one.
+    #[inline]
+    #[must_use]
+    pub fn step(&self, q: u32, word: Label) -> (u32, f32) {
+        let node = &self.nodes[q as usize];
+        if let Some(c) = node.child(word) {
+            return (c, -(self.nodes[c as usize].accrued - node.accrued));
+        }
+        let claw = node.accrued - node.earned;
+        if q != 0 {
+            if let Some(c0) = self.nodes[0].child(word) {
+                return (c0, claw - self.nodes[c0 as usize].accrued);
+            }
+        }
+        (0, claw)
+    }
+
+    /// Serializes the model: version, phrase count, then each phrase
+    /// as `len, words.., bonus` (all little-endian 32-bit).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_len());
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.phrases.len() as u32).to_le_bytes());
+        for (words, bonus) in &self.phrases {
+            out.extend_from_slice(&(words.len() as u32).to_le_bytes());
+            for &w in words {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            out.extend_from_slice(&bonus.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a model written by [`BiasingFst::to_bytes`],
+    /// rebuilding the trie deterministically from the phrase list.
+    ///
+    /// # Errors
+    /// Returns a [`BiasFormatError`] on a malformed payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, BiasFormatError> {
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], BiasFormatError> {
+            let end = pos.checked_add(n).ok_or(BiasFormatError::Truncated)?;
+            let s = bytes.get(pos..end).ok_or(BiasFormatError::Truncated)?;
+            pos = end;
+            Ok(s)
+        };
+        let u32_at = |s: &[u8]| u32::from_le_bytes(s.try_into().unwrap());
+        let version = u32_at(take(4)?);
+        if version != FORMAT_VERSION {
+            return Err(BiasFormatError::BadVersion(version));
+        }
+        let count = u32_at(take(4)?) as usize;
+        let mut phrases = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let len = u32_at(take(4)?) as usize;
+            let mut words = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                words.push(u32_at(take(4)?));
+            }
+            let bonus = f32::from_le_bytes(take(4)?.try_into().unwrap());
+            if words.is_empty() || words.contains(&EPSILON) {
+                return Err(BiasFormatError::BadPhrase);
+            }
+            if !bonus.is_finite() || bonus <= 0.0 {
+                return Err(BiasFormatError::BadBonus);
+            }
+            phrases.push((words, bonus));
+        }
+        Ok(Self::build(&phrases))
+    }
+
+    /// Mints a deterministic per-user biasing model: `num_phrases`
+    /// random phrases (1-4 words over `1..=vocab`) with bonuses in
+    /// `[0.5, 4.0)`. The same `(seed, vocab, num_phrases)` always
+    /// yields the same model — load generators and verify campaigns
+    /// derive user populations from seeds alone.
+    ///
+    /// # Panics
+    /// Panics if `vocab` is zero or `num_phrases` is zero.
+    #[must_use]
+    pub fn mint(seed: u64, vocab: u32, num_phrases: usize) -> Self {
+        assert!(vocab > 0, "mint needs a non-empty vocabulary");
+        assert!(num_phrases > 0, "mint needs at least one phrase");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut phrases = Vec::with_capacity(num_phrases);
+        for _ in 0..num_phrases {
+            let len = rng.gen_range(1..=4usize);
+            let words = (0..len).map(|_| rng.gen_range(1..=vocab)).collect();
+            let bonus = rng.gen_range(0.5f32..4.0);
+            phrases.push((words, bonus));
+        }
+        Self::build(&phrases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(b: &BiasingFst, words: &[Label]) -> (u32, f32) {
+        let mut q = 0u32;
+        let mut cost = 0.0f32;
+        for &w in words {
+            let (q2, d) = b.step(q, w);
+            q = q2;
+            cost += d;
+        }
+        (q, cost)
+    }
+
+    #[test]
+    fn completed_phrase_banks_its_full_bonus() {
+        let b = BiasingFst::build(&[(vec![3, 5, 7], 2.0)]);
+        let (q, cost) = walk(&b, &[3, 5, 7]);
+        assert_ne!(q, 0);
+        assert!((cost + 2.0).abs() < 1e-6, "net {cost}");
+        // Leaving the phrase afterwards claws nothing back.
+        let (_, d) = b.step(q, 99);
+        assert!((cost + d + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn abandoned_prefix_is_cost_neutral() {
+        let b = BiasingFst::build(&[(vec![3, 5, 7], 2.0)]);
+        let (q, cost) = walk(&b, &[3, 5, 99]);
+        assert_eq!(q, 0);
+        assert!(cost.abs() < 1e-6, "net {cost} should be zero");
+    }
+
+    #[test]
+    fn partial_credit_is_prorated_along_the_phrase() {
+        let b = BiasingFst::build(&[(vec![3, 5, 7], 3.0)]);
+        let (_, d1) = b.step(0, 3);
+        assert!((d1 + 1.0).abs() < 1e-6, "first edge share {d1}");
+        let (q1, _) = b.step(0, 3);
+        let (_, d2) = b.step(q1, 5);
+        assert!((d2 + 1.0).abs() < 1e-6, "second edge share {d2}");
+    }
+
+    #[test]
+    fn failure_can_restart_a_phrase_at_the_root() {
+        let b = BiasingFst::build(&[(vec![3, 5], 1.0), (vec![7, 9], 2.0)]);
+        // 3 starts the first phrase; 7 breaks it but immediately
+        // starts the second, which then completes.
+        let (q, cost) = walk(&b, &[3, 7, 9]);
+        assert_ne!(q, 0);
+        assert!((cost + 2.0).abs() < 1e-6, "net {cost}");
+    }
+
+    #[test]
+    fn shared_prefixes_keep_the_larger_claim() {
+        let b = BiasingFst::build(&[(vec![3, 5], 1.0), (vec![3, 5, 7], 4.0)]);
+        let (q, cost) = walk(&b, &[3, 5]);
+        // Inner phrase banked; outer still speculating.
+        let (_, d) = b.step(q, 99);
+        assert!((cost + d + 1.0).abs() < 1e-6, "banked {}", cost + d);
+        let (_, full) = walk(&b, &[3, 5, 7]);
+        assert!((full + 4.0).abs() < 1e-6, "full {full}");
+    }
+
+    #[test]
+    fn build_is_order_independent() {
+        let a = BiasingFst::build(&[(vec![3, 5], 1.0), (vec![2], 2.0), (vec![3, 9], 0.75)]);
+        let b = BiasingFst::build(&[(vec![3, 9], 0.75), (vec![3, 5], 1.0), (vec![2], 2.0)]);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn duplicate_phrases_keep_the_largest_bonus() {
+        let b = BiasingFst::build(&[(vec![4], 1.0), (vec![4], 3.0)]);
+        assert_eq!(b.num_phrases(), 1);
+        let (_, d) = b.step(0, 4);
+        assert!((d + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bytes_round_trip_bit_for_bit() {
+        let b = BiasingFst::mint(0xBEEF, 40, 12);
+        let bytes = b.to_bytes();
+        assert_eq!(bytes.len(), b.byte_len());
+        let back = BiasingFst::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.num_states(), b.num_states());
+    }
+
+    #[test]
+    fn from_bytes_rejects_malformed_payloads() {
+        assert_eq!(
+            BiasingFst::from_bytes(&[1, 0]).unwrap_err(),
+            BiasFormatError::Truncated
+        );
+        let mut bad = 9u32.to_le_bytes().to_vec();
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            BiasingFst::from_bytes(&bad).unwrap_err(),
+            BiasFormatError::BadVersion(9)
+        );
+        let b = BiasingFst::build(&[(vec![4], 1.0)]);
+        let mut bytes = b.to_bytes();
+        let bonus_at = bytes.len() - 4;
+        bytes[bonus_at..].copy_from_slice(&(-1.0f32).to_le_bytes());
+        assert_eq!(
+            BiasingFst::from_bytes(&bytes).unwrap_err(),
+            BiasFormatError::BadBonus
+        );
+    }
+
+    #[test]
+    fn mint_is_deterministic_and_distinct_across_seeds() {
+        let a = BiasingFst::mint(7, 40, 8);
+        let b = BiasingFst::mint(7, 40, 8);
+        let c = BiasingFst::mint(8, 40, 8);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        assert_ne!(a.to_bytes(), c.to_bytes());
+    }
+
+    #[test]
+    fn deltas_are_never_positive_on_match_edges() {
+        let b = BiasingFst::mint(0xA11CE, 30, 20);
+        for q in 0..b.num_states() as u32 {
+            for w in 1..=30u32 {
+                let node_child = {
+                    let (q2, d) = b.step(q, w);
+                    if d > 0.0 {
+                        // Positive delta only on failure claw-back.
+                        assert!(q2 == 0 || b.nodes[0].child(w) == Some(q2));
+                    }
+                    (q2, d)
+                };
+                let _ = node_child;
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-session personalized LM biasing via on-the-fly union
+//! composition.
+//!
+//! UNFOLD's thesis is that the search-space product is cheaper to walk
+//! than to store. This crate extends the same argument to
+//! *personalization*: a per-user contact list or hotword set is a tiny
+//! weighted phrase acceptor ([`BiasingFst`]), and the biased search
+//! space `base LM ∘ bias` is never materialized. Instead [`BiasedLm`]
+//! packs `(bias state, base LM state)` into the one `u32` the decoder
+//! already threads through its token keys, and scores each resolved
+//! word arc as `base_cost + bias_bonus` on the fly.
+//!
+//! Memory per user is O(|biasing FST|) plus a small per-session memo
+//! layer (the dynamic half of the decoder's two-layer cache — see
+//! `unfold-decoder`'s `lm_walk`): the shared one-label-transition table
+//! keeps memoizing *base* LM expansions, valid across every session
+//! regardless of bias, while composite resolutions land in a
+//! session-private [`unfold_decoder::SoftOlt`].
+//!
+//! Correctness is pinned by [`OfflineBiasedLm`]: an eager offline
+//! composition of the same product, decoded bit-for-bit against the
+//! on-the-fly path by the `bias-oracle` verify check.
+
+mod fst;
+mod lm;
+mod oracle;
+
+pub use fst::{BiasFormatError, BiasingFst};
+pub use lm::BiasedLm;
+pub use oracle::OfflineBiasedLm;
+
+/// Bits needed to index `n` states (`0` when a single state suffices).
+#[must_use]
+pub fn bits_for(n: usize) -> u32 {
+    usize::BITS - n.saturating_sub(1).leading_zeros()
+}
+
+/// Applies a bias delta to a base word-arc weight — the *single* f32
+/// add of the whole composition. A zero delta performs no arithmetic
+/// at all, so a biasing model that never fires (and the composite ids
+/// staying at bias root 0) leaves the decode bit-identical to the
+/// unbiased LM, `-0.0` weights included. Shared by [`BiasedLm`] and
+/// [`OfflineBiasedLm`] so the on-the-fly and offline paths cannot
+/// drift.
+#[inline]
+#[must_use]
+pub fn apply_delta(weight: f32, delta: f32) -> f32 {
+    if delta == 0.0 {
+        weight
+    } else {
+        weight + delta
+    }
+}
+
+/// The `(bias state, base state) <-> u32` packing shared by the
+/// on-the-fly adapter and the offline oracle. Both sides deriving the
+/// layout from the same model sizes is what makes their token keys —
+/// and therefore their recombination decisions — line up exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompositePacking {
+    base_bits: u32,
+    base_mask: u32,
+}
+
+impl CompositePacking {
+    /// Derives the packing for a base LM with `base_states` states and
+    /// a biasing FST with `bias_states` nodes.
+    ///
+    /// # Panics
+    /// Panics if the two indices cannot share 32 bits.
+    #[must_use]
+    pub fn new(base_states: usize, bias_states: usize) -> Self {
+        let base_bits = bits_for(base_states);
+        let bias_bits = bits_for(bias_states);
+        assert!(
+            base_bits + bias_bits <= 32,
+            "composite state overflow: {base_states} base states ({base_bits} bits) x \
+             {bias_states} bias states ({bias_bits} bits) exceeds 32 bits"
+        );
+        let base_mask = if base_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << base_bits) - 1
+        };
+        Self {
+            base_bits,
+            base_mask,
+        }
+    }
+
+    /// Packs `(bias state, base state)` into one composite id. The
+    /// bias root is node 0, so an unbiased composite equals its base
+    /// state verbatim.
+    #[inline]
+    #[must_use]
+    pub fn pack(self, bias: u32, base: u32) -> u32 {
+        (bias << self.base_bits) | base
+    }
+
+    /// Splits a composite id back into `(base state, bias state)`.
+    #[inline]
+    #[must_use]
+    pub fn split(self, composite: u32) -> (u32, u32) {
+        (composite & self.base_mask, composite >> self.base_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_covers_the_range() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(1 << 20), 20);
+    }
+
+    #[test]
+    fn pack_split_round_trips() {
+        let p = CompositePacking::new(1000, 37);
+        for bias in [0u32, 1, 17, 36] {
+            for base in [0u32, 1, 512, 999] {
+                assert_eq!(p.split(p.pack(bias, base)), (base, bias));
+            }
+        }
+    }
+
+    #[test]
+    fn root_bias_is_the_identity_packing() {
+        let p = CompositePacking::new(4096, 9);
+        for base in [0u32, 7, 4095] {
+            assert_eq!(p.pack(0, base), base);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "composite state overflow")]
+    fn overflowing_product_is_rejected() {
+        let _ = CompositePacking::new(1 << 20, 1 << 13);
+    }
+}

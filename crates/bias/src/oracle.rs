@@ -1,0 +1,234 @@
+//! The offline reference composition: an eagerly materialized
+//! `base LM x biasing FST` product, used by the `bias-oracle` verify
+//! check to pin the on-the-fly path bit-for-bit.
+//!
+//! The oracle is everything UNFOLD avoids — it walks the reachable
+//! product up front and stores every composite state in a hash map —
+//! which is exactly what makes it trustworthy as a differential
+//! reference: its word arcs carry precomputed `base_weight + delta`
+//! (the same single f32 add [`crate::BiasedLm::memo_join`] performs at
+//! resolution), its back-off arcs mirror the base back-offs with the
+//! bias component frozen, and its composite ids use the identical
+//! [`crate::CompositePacking`]. A decode over the oracle therefore
+//! accumulates the same f32 values in the same order, recombines under
+//! the same token keys, and must produce the same bits.
+
+use crate::{BiasingFst, CompositePacking};
+use std::collections::HashMap;
+use unfold_decoder::{addr, Fetch, LmSource};
+use unfold_wfst::{Arc, Label, StateId, Wfst, EPSILON};
+
+#[derive(Debug, Clone)]
+struct OracleState {
+    /// Word arcs sorted by label; weights pre-biased, destinations
+    /// composite.
+    arcs: Vec<Arc>,
+    /// Mirror of the base back-off arc with the bias part unchanged.
+    backoff: Option<Arc>,
+}
+
+/// The eagerly composed biased LM. Memory O(|reachable product|) — the
+/// cost the on-the-fly path exists to avoid.
+#[derive(Debug, Clone)]
+pub struct OfflineBiasedLm {
+    states: HashMap<StateId, OracleState>,
+    start: StateId,
+    num_states: usize,
+}
+
+impl OfflineBiasedLm {
+    /// Composes `base x bias` by breadth-first reachability from the
+    /// composite start state.
+    ///
+    /// # Panics
+    /// Panics if the composite index would overflow 32 bits (same
+    /// bound as [`crate::BiasedLm::new`]).
+    #[must_use]
+    pub fn compose(base: &Wfst, bias: &BiasingFst) -> Self {
+        let packing = CompositePacking::new(Wfst::num_states(base), bias.num_states());
+        let start = packing.pack(0, Wfst::start(base));
+        let mut states: HashMap<StateId, OracleState> = HashMap::new();
+        let mut queue = vec![start];
+        while let Some(s) = queue.pop() {
+            if states.contains_key(&s) {
+                continue;
+            }
+            let (b, q) = packing.split(s);
+            let mut arcs: Vec<Arc> = Vec::new();
+            for a in base.arcs(b) {
+                if a.ilabel == EPSILON {
+                    continue;
+                }
+                let (q2, delta) = bias.step(q, a.ilabel);
+                arcs.push(Arc {
+                    ilabel: a.ilabel,
+                    olabel: a.olabel,
+                    weight: crate::apply_delta(a.weight, delta),
+                    nextstate: packing.pack(q2, a.nextstate),
+                });
+            }
+            let backoff = base.backoff_arc(b).map(|back| Arc {
+                nextstate: packing.pack(q, back.nextstate),
+                ..*back
+            });
+            for a in &arcs {
+                queue.push(a.nextstate);
+            }
+            if let Some(back) = &backoff {
+                queue.push(back.nextstate);
+            }
+            states.insert(s, OracleState { arcs, backoff });
+        }
+        let num_states = states.keys().max().map_or(0, |&m| m as usize + 1);
+        Self {
+            states,
+            start,
+            num_states,
+        }
+    }
+
+    /// Number of materialized composite states.
+    #[must_use]
+    pub fn num_materialized(&self) -> usize {
+        self.states.len()
+    }
+}
+
+impl LmSource for OfflineBiasedLm {
+    fn start(&self) -> StateId {
+        self.start
+    }
+
+    fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    fn state_addr(&self, s: StateId) -> u64 {
+        addr::LM_STATE_BASE + u64::from(s) * addr::STATE_RECORD_BYTES
+    }
+
+    fn lookup_word_into(&self, s: StateId, word: Label, probes: &mut Vec<Fetch>) -> Option<Arc> {
+        debug_assert_ne!(word, EPSILON);
+        let st = self.states.get(&s)?;
+        let arcs = &st.arcs;
+        let mut lo = 0usize;
+        let mut hi = arcs.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probes.push((addr::LM_ARC_BASE + u64::from(s) * 16 + mid as u64, 16));
+            match arcs[mid].ilabel.cmp(&word) {
+                std::cmp::Ordering::Equal => return Some(arcs[mid]),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
+    }
+
+    fn backoff(&self, s: StateId) -> Option<(Arc, Fetch)> {
+        let st = self.states.get(&s)?;
+        let back = st.backoff?;
+        Some((back, (addr::LM_ARC_BASE + u64::from(s) * 16, 16)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BiasedLm;
+
+    fn base_lm() -> Wfst {
+        use unfold_lm::{lm_to_wfst, CorpusSpec, DiscountConfig, NGramModel};
+        let spec = CorpusSpec {
+            vocab_size: 25,
+            num_sentences: 140,
+            ..Default::default()
+        };
+        let model = NGramModel::train(&spec.generate(11), 25, DiscountConfig::default());
+        lm_to_wfst(&model)
+    }
+
+    /// Reference resolve over the oracle must agree bit-for-bit with
+    /// the on-the-fly adapter's split/walk/join protocol, from every
+    /// reachable composite state and for every word.
+    #[test]
+    fn oracle_resolutions_match_the_otf_adapter_bitwise() {
+        let lm = base_lm();
+        let bias = BiasingFst::mint(0xFEED, 25, 6);
+        let biased = BiasedLm::new(&lm, &bias);
+        let oracle = OfflineBiasedLm::compose(&lm, &bias);
+        let packing = biased.packing();
+        let mut checked = 0usize;
+        for &s in oracle.states.keys() {
+            for word in 1..=25u32 {
+                // OTF protocol: split once, walk base states, join at
+                // resolution (mirrors the decoder's lm_walk).
+                let (mut b, ctx) = packing.split(s);
+                let mut cost = 0.0f32;
+                let otf = loop {
+                    let mut probes = Vec::new();
+                    if let Some(arc) = LmSource::lookup_word_into(&lm, b, word, &mut probes) {
+                        let (dest, w) = biased.memo_join(ctx, word, arc.nextstate, arc.weight);
+                        break Some((dest, cost + w));
+                    }
+                    match LmSource::backoff(&lm, b) {
+                        Some((back, _)) => {
+                            cost += back.weight;
+                            b = back.nextstate;
+                        }
+                        None => break None,
+                    }
+                };
+                let orc = oracle.resolve(s, word).map(|r| (r.dest, r.cost));
+                match (otf, orc) {
+                    (None, None) => {}
+                    (Some((ds, cs)), Some((do_, co))) => {
+                        assert_eq!(ds, do_, "dest mismatch at state {s} word {word}");
+                        assert_eq!(
+                            cs.to_bits(),
+                            co.to_bits(),
+                            "cost bits mismatch at state {s} word {word}: {cs} vs {co}"
+                        );
+                        checked += 1;
+                    }
+                    other => panic!("resolution disagreement at {s}/{word}: {other:?}"),
+                }
+            }
+        }
+        assert!(checked > 100, "only {checked} resolutions compared");
+    }
+
+    #[test]
+    fn empty_prefix_states_mirror_the_base_lm() {
+        let lm = base_lm();
+        let bias = BiasingFst::build(&[(vec![24, 24, 24], 1.0)]);
+        let oracle = OfflineBiasedLm::compose(&lm, &bias);
+        assert_eq!(LmSource::start(&oracle), LmSource::start(&lm));
+        // At the bias root the oracle's arcs off-phrase carry the base
+        // weights untouched.
+        let s = LmSource::start(&oracle);
+        for word in 1..=23u32 {
+            let mut p = Vec::new();
+            let base = lm.lookup_word_into(LmSource::start(&lm), word, &mut p);
+            let orc = oracle.lookup_word_into(s, word, &mut p);
+            match (base, orc) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+                }
+                other => panic!("arc presence mismatch for word {word}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_states_resolve_to_nothing() {
+        let lm = base_lm();
+        let bias = BiasingFst::build(&[(vec![3], 1.0)]);
+        let oracle = OfflineBiasedLm::compose(&lm, &bias);
+        let bogus = u32::MAX;
+        let mut probes = Vec::new();
+        assert!(oracle.lookup_word_into(bogus, 3, &mut probes).is_none());
+        assert!(LmSource::backoff(&oracle, bogus).is_none());
+    }
+}

@@ -47,8 +47,8 @@ use unfold::{decode_batch_recorded, pack_system, AmModel, LmModel, Models, Syste
 use unfold_compress::{load_am, load_lm, save_am, save_lm, Bundle};
 use unfold_decoder::{wer, DecodeConfig, MetricsSink, NullSink, OtfDecoder, TraceSink, WerReport};
 use unfold_serve::{
-    run_loadgen, run_saturation_sweep, saturation_ladder, ClientMsg, LoadgenConfig, ServeConfig,
-    Server, ServerMsg, TcpFront,
+    run_bias_compare, run_loadgen, run_saturation_sweep, saturation_ladder, BiasCompare, ClientMsg,
+    LoadgenConfig, ServeConfig, Server, ServerMsg, TcpFront,
 };
 use unfold_sim::AcceleratorConfig;
 
@@ -98,6 +98,10 @@ commands:
                                                 (checks counters stay monotonic and
                                                 the frame ledger reconciles)
            [--flight-out <file>]            ... write the flight-recorder dump
+           [--bias-users N]                 ... mint N distinct per-user biasing
+                                                models, register them over the
+                                                wire, and open every session
+                                                personalized (round-robin)
            [--saturate]                     ... after the main run, sweep client
            [--saturate-max N]                   concurrency 1,2,4..N (default 4x
                                                 --concurrency) and record the
@@ -395,6 +399,26 @@ fn bundle_report(bundle: &Bundle, path: &str) -> String {
         let _ = writeln!(s, "meta.task: {}", String::from_utf8_lossy(task));
     }
     let _ = writeln!(s, "LMs: {}", bundle.lm_names().join(", "));
+    for name in bundle.bias_names() {
+        let parsed = bundle
+            .bias_bytes(name)
+            .map_err(|e| e.to_string())
+            .and_then(|b| unfold_bias::BiasingFst::from_bytes(b).map_err(|e| e.to_string()));
+        match parsed {
+            Ok(bias) => {
+                let _ = writeln!(
+                    s,
+                    "bias.{name}: {} phrases, {} states, {} bytes",
+                    bias.num_phrases(),
+                    bias.num_states(),
+                    bias.byte_len()
+                );
+            }
+            Err(err) => {
+                let _ = writeln!(s, "bias.{name}: unreadable ({err})");
+            }
+        }
+    }
     s
 }
 
@@ -864,6 +888,11 @@ fn cmd_loadgen(args: &[String]) -> Result<String, Error> {
         scrape_every_ms: flags.usize_or("scrape-every", 0)? as u64,
         // With a sweep following, the shutdown belongs to its last rung.
         shutdown_after: flags.has("shutdown") && !saturate,
+        // Distinct per-user biasing models, registered over the wire and
+        // assigned to sessions round-robin; phrases are minted within
+        // the task's vocabulary so they can actually fire.
+        bias_users: flags.usize_or("bias-users", 0)?,
+        bias_vocab: u32::try_from(spec.vocab_size.saturating_sub(1).max(1)).unwrap_or(u32::MAX),
     };
     let n = flags.usize_or("utterances", 4)?.max(1);
     let out = flags.get("out").unwrap_or("BENCH_serve.json");
@@ -879,7 +908,15 @@ fn cmd_loadgen(args: &[String]) -> Result<String, Error> {
                 .collect()
         })
         .collect();
-    let report = run_loadgen(addr, &utts, &cfg)?;
+    // With biased users requested, run an unbiased control pass first at
+    // the same load, so the report carries the marginal cost of
+    // personalization (latency and RSS) rather than absolute numbers.
+    let (report, bias): (_, Option<BiasCompare>) = if cfg.bias_users > 0 {
+        let (report, compare) = run_bias_compare(addr, &utts, &cfg)?;
+        (report, Some(compare))
+    } else {
+        (run_loadgen(addr, &utts, &cfg)?, None)
+    };
     let sweep = if saturate {
         let max = flags.usize_or("saturate-max", cfg.concurrency.max(1) * 4)?;
         let base = LoadgenConfig {
@@ -890,7 +927,7 @@ fn cmd_loadgen(args: &[String]) -> Result<String, Error> {
     } else {
         Vec::new()
     };
-    std::fs::write(out, report.to_json_with_saturation(&sweep))?;
+    std::fs::write(out, report.to_json_document(&sweep, bias.as_ref()))?;
     let mut s = String::new();
     let _ = writeln!(s, "loadgen: {} against {addr}", spec.name);
     let _ = writeln!(
@@ -915,6 +952,19 @@ fn cmd_loadgen(args: &[String]) -> Result<String, Error> {
         "final:         p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  ({} sessions)",
         report.final_ms.p50, report.final_ms.p95, report.final_ms.p99, report.final_ms.count
     );
+    if let Some(b) = &bias {
+        let _ = writeln!(
+            s,
+            "bias: {} users over {} sessions  p99 final {:.2} ms (unbiased {:.2} ms)  \
+             miss delta {:.0}  marginal RSS {:.1} KiB/user",
+            b.users,
+            b.sessions,
+            b.biased_p99_final_ms,
+            b.unbiased_p99_final_ms,
+            b.deadline_miss_delta,
+            b.marginal_rss_kb_per_user
+        );
+    }
     if cfg.scrape_every_ms > 0 {
         let _ = writeln!(
             s,
@@ -984,10 +1034,7 @@ fn cmd_stats(args: &[String]) -> Result<String, Error> {
             return Err(unexpected("stats reply is not a run record"));
         };
         let _ = writeln!(s, "stats: {addr}");
-        let width = pairs.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
-        for (name, v) in &pairs {
-            let _ = writeln!(s, "  {name:<width$}  {v}");
-        }
+        s.push_str(&stats_table(&pairs));
     }
     if flags.has("dump") {
         write_client(&mut wr, &ClientMsg::Dump)?;
@@ -1003,12 +1050,62 @@ fn cmd_stats(args: &[String]) -> Result<String, Error> {
     Ok(s)
 }
 
+/// Renders a scraped run record as the `stats` text table. Absent
+/// metrics (e.g. `serve.olt_hit_rate` before any probe) arrive as NaN;
+/// they render as `-` rather than a float, and the numeric column is
+/// right-aligned so magnitudes line up.
+fn stats_table(pairs: &[(String, f64)]) -> String {
+    use std::fmt::Write as _;
+    let rendered: Vec<(&str, String)> = pairs
+        .iter()
+        .map(|(n, v)| {
+            let cell = if v.is_nan() {
+                "-".to_string()
+            } else {
+                v.to_string()
+            };
+            (n.as_str(), cell)
+        })
+        .collect();
+    let width = rendered.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let vwidth = rendered.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    let mut s = String::new();
+    for (name, v) in &rendered {
+        let _ = writeln!(s, "  {name:<width$}  {v:>vwidth$}");
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn sv(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn stats_table_renders_nan_as_dash_and_right_aligns() {
+        let pairs = vec![
+            ("serve.backlog_frames".to_string(), 1234.0),
+            ("serve.olt_hit_rate".to_string(), f64::NAN),
+            ("serve.vm_rss_kb".to_string(), 56.5),
+        ];
+        let table = stats_table(&pairs);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[1].ends_with(" -"),
+            "NaN must render as a dash: {:?}",
+            lines[1]
+        );
+        assert!(!table.contains("NaN"), "no bare NaN in the table");
+        // Right alignment: every value cell ends at the same column.
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "value column must be right-aligned: {widths:?}"
+        );
     }
 
     #[test]

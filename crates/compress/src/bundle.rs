@@ -64,6 +64,9 @@ pub enum SectionKind {
     SymTab,
     /// Free-form metadata bytes.
     Meta,
+    /// A serialized biasing model (phrase list; see `unfold-bias`).
+    /// Zero or more, uniquely named.
+    Bias,
 }
 
 impl SectionKind {
@@ -73,6 +76,7 @@ impl SectionKind {
             SectionKind::Lm => 2,
             SectionKind::SymTab => 3,
             SectionKind::Meta => 4,
+            SectionKind::Bias => 5,
         }
     }
 
@@ -82,6 +86,7 @@ impl SectionKind {
             2 => Some(SectionKind::Lm),
             3 => Some(SectionKind::SymTab),
             4 => Some(SectionKind::Meta),
+            5 => Some(SectionKind::Bias),
             _ => None,
         }
     }
@@ -93,6 +98,7 @@ impl SectionKind {
             SectionKind::Lm => "lm",
             SectionKind::SymTab => "symtab",
             SectionKind::Meta => "meta",
+            SectionKind::Bias => "bias",
         }
     }
 }
@@ -242,6 +248,15 @@ impl BundleWriter {
     pub fn add_meta(&mut self, name: &str, bytes: Vec<u8>) -> &mut Self {
         self.sections
             .push((SectionKind::Meta, name.to_string(), bytes));
+        self
+    }
+
+    /// Adds a named biasing model (serialized phrase list; the crate
+    /// boundary keeps this raw bytes — `unfold-bias` sits above the
+    /// compression layer).
+    pub fn add_bias(&mut self, name: &str, bytes: Vec<u8>) -> &mut Self {
+        self.sections
+            .push((SectionKind::Bias, name.to_string(), bytes));
         self
     }
 
@@ -478,6 +493,24 @@ impl Bundle {
             .filter(|s| s.kind == SectionKind::Lm)
             .map(|s| s.name.as_str())
             .collect()
+    }
+
+    /// Names of the biasing-model sections, in file order.
+    pub fn bias_names(&self) -> Vec<&str> {
+        self.sections
+            .iter()
+            .filter(|s| s.kind == SectionKind::Bias)
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+
+    /// A named biasing-model payload (checksum-verified). The caller
+    /// deserializes it with `unfold_bias::BiasingFst::from_bytes`.
+    ///
+    /// # Errors
+    /// Missing section or checksum failures.
+    pub fn bias_bytes(&self, name: &str) -> Result<&[u8], BundleError> {
+        self.section_bytes(SectionKind::Bias, name)
     }
 
     /// Parses the AM section header. Reads only the header bytes — no
@@ -785,6 +818,25 @@ mod tests {
             .add_symtab("words", b"1 hello\n2 world\n".to_vec())
             .add_meta("task", b"task=test vocab=60".to_vec());
         w.finish().unwrap()
+    }
+
+    #[test]
+    fn bias_sections_round_trip() {
+        let (am, lm, _) = models();
+        let mut w = BundleWriter::new();
+        let payload = vec![
+            1u8, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 7, 0, 0, 0, 0, 0, 128, 63,
+        ];
+        w.add_am(&am)
+            .add_lm("default", &lm)
+            .add_bias("contacts", payload.clone())
+            .add_bias("hotwords", vec![1, 0, 0, 0, 0, 0, 0, 0]);
+        let b = Bundle::from_bytes(w.finish().unwrap()).unwrap();
+        assert_eq!(b.bias_names(), vec!["contacts", "hotwords"]);
+        assert_eq!(b.bias_bytes("contacts").unwrap(), payload.as_slice());
+        assert!(b.bias_bytes("missing").is_err());
+        let tags: Vec<_> = b.sections().iter().map(|s| s.kind.tag()).collect();
+        assert!(tags.contains(&"bias"));
     }
 
     #[test]

@@ -264,8 +264,9 @@ impl Models {
 /// Packs a built system into `.unfb` bundle bytes: the AM, the primary
 /// LM (named [`DEFAULT_LM`]), one `variant-<seed>` LM per entry of
 /// `variant_seeds` (trained on a reseeded corpus over the *same*
-/// vocabulary, so each is decodable against the packed AM), a word
-/// symbol table, and a `task` metadata section.
+/// vocabulary, so each is decodable against the packed AM), a
+/// `contacts` biasing model minted from the task seed, a word symbol
+/// table, and a `task` metadata section.
 ///
 /// # Errors
 /// [`BundleError`] if the composition is rejected (cannot happen for a
@@ -277,6 +278,9 @@ pub fn pack_system(system: &System, variant_seeds: &[u64]) -> Result<Vec<u8>, Bu
     for &seed in variant_seeds {
         w.add_lm(&format!("variant-{seed}"), &system.lm_variant(seed));
     }
+    let bias =
+        unfold_bias::BiasingFst::mint(system.spec.seed ^ 0xB1A5, system.spec.vocab_size as u32, 8);
+    w.add_bias("contacts", bias.to_bytes());
     let symtab: String = (0..system.spec.vocab_size).fold(String::new(), |mut s, w| {
         s.push('w');
         s.push_str(&w.to_string());

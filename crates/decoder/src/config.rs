@@ -63,6 +63,13 @@ pub struct DecodeConfig {
     /// binary searches cost — so it defaults to off to keep simulator
     /// traces identical to the unmemoized decoder.
     pub olt_entries: usize,
+    /// Capacity of the per-session dynamic memo layer caching
+    /// *composite* `(biased LM state, word)` resolutions when decoding
+    /// through a biasing adapter, in entries; 0 disables it. Rounded up
+    /// to a power of two. Unbiased decodes never touch this layer (the
+    /// LM reports no memo context), so it can never perturb their
+    /// output or statistics.
+    pub bias_cache_entries: usize,
     /// Frame-loop implementation (see [`DecodeKernel`]). Never changes
     /// decode output; defaults by the `soa_kernel` cargo feature.
     pub kernel: DecodeKernel,
@@ -82,6 +89,7 @@ impl Default for DecodeConfig {
             max_active: 6_000,
             preemptive_pruning: true,
             olt_entries: 0,
+            bias_cache_entries: 256,
             kernel: DecodeKernel::default(),
             lattice_beam: 8.0,
         }
@@ -117,6 +125,9 @@ pub enum ConfigError {
     /// A non-zero OLT capacity must be a power of two (the table is
     /// XOR-indexed).
     OltNotPowerOfTwo(usize),
+    /// A non-zero per-session bias-cache capacity must be a power of
+    /// two (same XOR-indexed table layout as the OLT).
+    BiasCacheNotPowerOfTwo(usize),
     /// Lattice beam must be finite and strictly positive (a zero or
     /// negative lattice beam would prune the Viterbi path itself).
     BadLatticeBeam(f32),
@@ -131,6 +142,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroMaxActive => write!(f, "max_active must be > 0"),
             ConfigError::OltNotPowerOfTwo(n) => {
                 write!(f, "olt_entries must be 0 or a power of two, got {n}")
+            }
+            ConfigError::BiasCacheNotPowerOfTwo(n) => {
+                write!(f, "bias_cache_entries must be 0 or a power of two, got {n}")
             }
             ConfigError::BadLatticeBeam(b) => {
                 write!(f, "lattice_beam must be finite and > 0, got {b}")
@@ -173,6 +187,13 @@ impl DecodeConfigBuilder {
         self
     }
 
+    /// Per-session bias-cache capacity in entries (0 disables;
+    /// otherwise must be a power of two).
+    pub fn bias_cache_entries(mut self, entries: usize) -> Self {
+        self.cfg.bias_cache_entries = entries;
+        self
+    }
+
     /// Frame-loop kernel selection (see [`DecodeKernel`]).
     pub fn kernel(mut self, kernel: DecodeKernel) -> Self {
         self.cfg.kernel = kernel;
@@ -200,6 +221,9 @@ impl DecodeConfigBuilder {
         }
         if c.olt_entries != 0 && !c.olt_entries.is_power_of_two() {
             return Err(ConfigError::OltNotPowerOfTwo(c.olt_entries));
+        }
+        if c.bias_cache_entries != 0 && !c.bias_cache_entries.is_power_of_two() {
+            return Err(ConfigError::BiasCacheNotPowerOfTwo(c.bias_cache_entries));
         }
         if !c.lattice_beam.is_finite() || c.lattice_beam <= 0.0 {
             return Err(ConfigError::BadLatticeBeam(c.lattice_beam));
@@ -240,6 +264,15 @@ pub struct DecodeStats {
     pub olt_installs: u64,
     /// Installs that displaced a live entry.
     pub olt_evictions: u64,
+    /// Per-session bias-cache probes (composite-state resolutions;
+    /// zero on unbiased decodes).
+    pub bias_probes: u64,
+    /// Bias-cache probes that hit (base walk + join skipped).
+    pub bias_hits: u64,
+    /// Resolutions installed into the bias cache.
+    pub bias_installs: u64,
+    /// Bias-cache installs that displaced a live entry.
+    pub bias_evictions: u64,
 }
 
 impl DecodeStats {
@@ -268,6 +301,16 @@ impl DecodeStats {
             0.0
         } else {
             self.olt_hits as f64 / self.olt_probes as f64
+        }
+    }
+
+    /// Per-session bias-cache hit ratio in `[0, 1]` (0.0 when unbiased
+    /// or the cache was off).
+    pub fn bias_hit_ratio(&self) -> f64 {
+        if self.bias_probes == 0 {
+            0.0
+        } else {
+            self.bias_hits as f64 / self.bias_probes as f64
         }
     }
 }

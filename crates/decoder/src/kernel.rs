@@ -151,6 +151,7 @@ pub(crate) fn expand_frame_soa<A: AmSource + ?Sized, L: LmSource + ?Sized>(
         let cur = &session.cur;
         let next = &mut session.next;
         let olt = &mut work.olt;
+        let bias = &mut session.bias_cache;
         let probes = &mut work.probes;
         let stage = &mut work.arc_stage;
         let lattice = &mut session.lattice;
@@ -202,7 +203,7 @@ pub(crate) fn expand_frame_soa<A: AmSource + ?Sized, L: LmSource + ?Sized>(
                         f32::INFINITY
                     };
                     match lm_walk(
-                        lm, lm_s, arc.olabel, base, walk_thr, olt, probes, sink, stats,
+                        lm, lm_s, arc.olabel, base, walk_thr, olt, bias, probes, sink, stats,
                     ) {
                         Some((dest, c)) => (dest, c, arc.olabel),
                         None => continue,
@@ -239,6 +240,7 @@ pub(crate) fn expand_frame_soa<A: AmSource + ?Sized, L: LmSource + ?Sized>(
         &mut work.eps_local,
         &mut work.probes,
         &mut work.olt,
+        &mut session.bias_cache,
         &mut work.arc_stage,
         &mut session.lattice,
         t as u32,
@@ -280,6 +282,7 @@ pub(crate) fn epsilon_closure_soa<A: AmSource + ?Sized, L: LmSource + ?Sized>(
     eps_local: &mut Vec<(StateId, f32, Label)>,
     probes: &mut Vec<Fetch>,
     olt: &mut SoftOlt,
+    bias: &mut SoftOlt,
     stage: &mut ArcStage,
     lattice: &mut Lattice,
     frame: u32,
@@ -327,7 +330,9 @@ pub(crate) fn epsilon_closure_soa<A: AmSource + ?Sized, L: LmSource + ?Sized>(
                 } else {
                     f32::INFINITY
                 };
-                match lm_walk(lm, lm_s, word, base, walk_thr, olt, probes, sink, stats) {
+                match lm_walk(
+                    lm, lm_s, word, base, walk_thr, olt, bias, probes, sink, stats,
+                ) {
                     Some((dest, c)) => (dest, c, word),
                     None => continue,
                 }

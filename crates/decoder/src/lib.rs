@@ -62,7 +62,9 @@ pub use olt::SoftOlt;
 pub use otf::OtfDecoder;
 pub use record::{TraceEvent, TraceRecorder};
 pub use scratch::{validate_models, DecodeScratch, SessionScratch, WorkScratch};
-pub use sources::{addr, AmSource, ArcVisit, LinearLm, LmResolution, LmSource, MAX_BACKOFF_HOPS};
+pub use sources::{
+    addr, AmSource, ArcVisit, Fetch, LinearLm, LmResolution, LmSource, MAX_BACKOFF_HOPS,
+};
 pub use streaming::{OtfStream, StreamSession};
 pub use trace::{CountingSink, DecodeStage, KernelPhase, NullSink, TraceSink};
 pub use twopass::{LatticeRescorer, NGramRescorer, TwoPassDecoder, TwoPassResult, UnigramLm};

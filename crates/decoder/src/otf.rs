@@ -289,6 +289,7 @@ pub(crate) fn seed_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
             &mut work.eps_local,
             &mut work.probes,
             &mut work.olt,
+            &mut session.bias_cache,
             &mut session.lattice,
             0,
             f32::INFINITY,
@@ -308,6 +309,7 @@ pub(crate) fn seed_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
                 &mut work.eps_local,
                 &mut work.probes,
                 &mut work.olt,
+                &mut session.bias_cache,
                 &mut work.arc_stage,
                 &mut session.lattice,
                 0,
@@ -392,6 +394,7 @@ fn expand_frame_legacy<A: AmSource + ?Sized, L: LmSource + ?Sized>(
         let cur = &session.cur;
         let next = &mut session.next;
         let olt = &mut work.olt;
+        let bias = &mut session.bias_cache;
         let probes = &mut work.probes;
         let lattice = &mut session.lattice;
         for (k, tok) in cur.iter() {
@@ -434,7 +437,7 @@ fn expand_frame_legacy<A: AmSource + ?Sized, L: LmSource + ?Sized>(
                         f32::INFINITY
                     };
                     match lm_walk(
-                        lm, lm_s, arc.olabel, base, walk_thr, olt, probes, sink, stats,
+                        lm, lm_s, arc.olabel, base, walk_thr, olt, bias, probes, sink, stats,
                     ) {
                         Some((dest, c)) => (dest, c, arc.olabel),
                         None => return,
@@ -469,6 +472,7 @@ fn expand_frame_legacy<A: AmSource + ?Sized, L: LmSource + ?Sized>(
         &mut work.eps_local,
         &mut work.probes,
         &mut work.olt,
+        &mut session.bias_cache,
         &mut session.lattice,
         t as u32,
         next_best + config.beam,
@@ -506,6 +510,7 @@ pub(crate) fn epsilon_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
     eps_local: &mut Vec<(StateId, f32, Label)>,
     probes: &mut Vec<Fetch>,
     olt: &mut SoftOlt,
+    bias: &mut SoftOlt,
     lattice: &mut Lattice,
     frame: u32,
     thr: f32,
@@ -552,7 +557,9 @@ pub(crate) fn epsilon_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
                 } else {
                     f32::INFINITY
                 };
-                match lm_walk(lm, lm_s, word, base, walk_thr, olt, probes, sink, stats) {
+                match lm_walk(
+                    lm, lm_s, word, base, walk_thr, olt, bias, probes, sink, stats,
+                ) {
                     Some((dest, c)) => (dest, c, word),
                     None => continue,
                 }
@@ -588,6 +595,19 @@ pub(crate) fn epsilon_closure<A: AmSource + ?Sized, L: LmSource + ?Sized>(
 /// probe/install protocol (only *resolving* states install; back-off
 /// intermediates never do).
 ///
+/// When the LM is a composing adapter (`lm.has_memo_ctx()`), the walk
+/// runs the paper's two-layer scheme: `lm_state` is split once into
+/// `(base state, context)` and the chain walks *base* states, so the
+/// worker-shared OLT keeps memoizing pure base-LM resolutions, valid
+/// across every session on that LM. The per-session `bias` table is
+/// the dynamic layer: it caches the *joined* `(composite dest, biased
+/// weight)` under the composite key, and is probed before the shared
+/// layer at each hop. Cached join weights are hop-independent (the
+/// accumulated back-off cost stays in `cost`), so a hit at any hop
+/// returns bit-identically to finishing the walk. For plain LMs both
+/// hooks are identities, `bias` is never touched, and this compiles to
+/// exactly the un-composed walk.
+///
 /// # Panics
 /// Panics if the LM has no back-off arc on a state that misses `word`
 /// (a malformed model).
@@ -599,11 +619,13 @@ pub(crate) fn lm_walk<L: LmSource + ?Sized>(
     base: f32,
     thr: f32,
     olt: &mut SoftOlt,
+    bias: &mut SoftOlt,
     probes: &mut Vec<Fetch>,
     sink: &mut dyn TraceSink,
     stats: &mut DecodeStats,
 ) -> Option<(StateId, f32)> {
-    let mut state = lm_state;
+    let (mut state, ctx) = lm.memo_split(lm_state);
+    let session_memo = lm.has_memo_ctx() && bias.is_enabled();
     let mut cost = base;
     let mut hops = 0u32;
     stats.lm_lookups += 1;
@@ -611,12 +633,29 @@ pub(crate) fn lm_walk<L: LmSource + ?Sized>(
     loop {
         sink.lm_lookup(state, word);
         sink.state_fetch(lm.state_addr(state));
+        if session_memo {
+            stats.bias_probes += 1;
+            if let Some((dest, weight)) = bias.probe(lm.memo_pack(ctx, state), word) {
+                stats.bias_hits += 1;
+                sink.lm_resolved(state, word, hops);
+                sink.stage_exit(DecodeStage::LmLookup);
+                return Some((dest, cost + weight));
+            }
+        }
         if olt.is_enabled() {
             stats.olt_probes += 1;
             if let Some((dest, weight)) = olt.probe(state, word) {
                 stats.olt_hits += 1;
                 sink.olt_probe(state, word, true);
                 sink.lm_resolved(state, word, hops);
+                let (dest, weight) = lm.memo_join(ctx, word, dest, weight);
+                if session_memo {
+                    let evicted = bias.insert(lm.memo_pack(ctx, state), word, dest, weight);
+                    stats.bias_installs += 1;
+                    if evicted {
+                        stats.bias_evictions += 1;
+                    }
+                }
                 sink.stage_exit(DecodeStage::LmLookup);
                 return Some((dest, cost + weight));
             }
@@ -638,8 +677,16 @@ pub(crate) fn lm_walk<L: LmSource + ?Sized>(
                 }
                 sink.olt_install(evicted);
             }
+            let (dest, weight) = lm.memo_join(ctx, word, arc.nextstate, arc.weight);
+            if session_memo {
+                let evicted = bias.insert(lm.memo_pack(ctx, state), word, dest, weight);
+                stats.bias_installs += 1;
+                if evicted {
+                    stats.bias_evictions += 1;
+                }
+            }
             sink.stage_exit(DecodeStage::LmLookup);
-            return Some((arc.nextstate, cost + arc.weight));
+            return Some((dest, cost + weight));
         }
         let (back, fetch) = lm
             .backoff(state)

@@ -42,6 +42,15 @@ pub struct SessionScratch {
     pub(crate) next: TokenStore,
     /// Word lattice of the utterance in progress.
     pub(crate) lattice: Lattice,
+    /// Per-session dynamic memo layer: caches *composite* (biased LM
+    /// state, word) resolutions when this session decodes through a
+    /// biasing adapter. Private to the session — composite entries mix
+    /// in a per-session bias automaton, so unlike the worker-shared
+    /// OLT they must never leak across users. Empty (disabled) unless
+    /// configured; unbiased decodes never probe it.
+    pub(crate) bias_cache: SoftOlt,
+    /// `bias_cache_entries` the layer was built for (rebuild detection).
+    bias_built_for: usize,
 }
 
 impl SessionScratch {
@@ -51,11 +60,26 @@ impl SessionScratch {
     }
 
     /// Prepares for a new utterance: clears the token populations and
-    /// lattice (capacity is kept).
+    /// lattice (capacity is kept) and resets the per-session bias
+    /// cache (its entries are keyed to one base-LM × bias pairing; a
+    /// fresh utterance may bind a different one).
     pub fn begin(&mut self) {
         self.cur.clear();
         self.next.clear();
         self.lattice.clear();
+        self.bias_cache.reset();
+    }
+
+    /// Sizes the per-session bias cache for `entries` **without**
+    /// resetting a table that is already the right size (mirrors
+    /// [`WorkScratch::configure_olt`]). A serve scheduler calls this
+    /// when it admits a biased session; plain decodes configure it from
+    /// [`DecodeConfig::bias_cache_entries`](crate::DecodeConfig).
+    pub fn configure_bias_cache(&mut self, entries: usize) {
+        if self.bias_built_for != entries {
+            self.bias_cache = SoftOlt::new(entries);
+            self.bias_built_for = entries;
+        }
     }
 
     /// Live hypotheses right now.
@@ -175,9 +199,13 @@ impl WorkScratch {
         lm: &L,
         num_pdfs: usize,
     ) {
+        // The LM side keys by `validation_addr`, not the wrapper's own
+        // address: a biasing adapter constructed fresh each quantum
+        // forwards its pinned base LM's address, so the O(model) sweep
+        // still runs once per model pair instead of once per quantum.
         let key = (
             (am as *const A).cast::<u8>() as usize,
-            (lm as *const L).cast::<u8>() as usize,
+            lm.validation_addr(),
             num_pdfs,
         );
         if self.validated == Some(key) {
@@ -303,6 +331,7 @@ impl DecodeScratch {
     /// changed) the software OLT. Model-validation state is kept — it
     /// is per model pair, not per utterance.
     pub fn begin(&mut self, config: &DecodeConfig) {
+        self.session.configure_bias_cache(config.bias_cache_entries);
         self.session.begin();
         self.work.begin(config);
     }

@@ -105,6 +105,51 @@ pub trait LmSource {
     /// Default is a no-op.
     fn prefetch_state(&self, _s: StateId) {}
 
+    // --- Memo-composition hooks (on-the-fly biasing). -------------
+    //
+    // A composing adapter (e.g. a per-session biasing layer) carries a
+    // private context component inside each `StateId` it hands the
+    // decoder. The back-off walk splits that context off once, walks
+    // *base* states (so the shared one-label-transition table stays
+    // valid across sessions), and re-joins the context at resolution.
+    // Plain LMs have no context: the defaults are pure identities and
+    // the walk compiles to exactly the un-composed code.
+
+    /// Splits a decoder-visible state into `(base state, context)`.
+    /// Identity (`ctx == 0`) for plain LMs.
+    fn memo_split(&self, s: StateId) -> (StateId, u32) {
+        (s, 0)
+    }
+
+    /// Packs a context back onto a base state, producing the key the
+    /// per-session memo layer caches under. Identity for plain LMs.
+    fn memo_pack(&self, _ctx: u32, base: StateId) -> StateId {
+        base
+    }
+
+    /// Joins a resolved base transition with the context: returns the
+    /// composite destination and the final (possibly biased) word-arc
+    /// weight. Identity for plain LMs — no arithmetic is performed, so
+    /// un-composed decodes stay bit-identical.
+    fn memo_join(&self, _ctx: u32, _word: Label, dest: StateId, weight: f32) -> (StateId, f32) {
+        (dest, weight)
+    }
+
+    /// Whether this source carries a memo context (i.e. composite
+    /// states whose resolutions are worth caching per session). Plain
+    /// LMs return `false`, which keeps the per-session cache untouched
+    /// on unbiased decodes.
+    fn has_memo_ctx(&self) -> bool {
+        false
+    }
+
+    /// Stable address identifying the *validated* model. Composing
+    /// adapters forward their base LM's address so a cheap per-quantum
+    /// wrapper does not re-trigger full model validation sweeps.
+    fn validation_addr(&self) -> usize {
+        std::ptr::from_ref(self).cast::<()>() as usize
+    }
+
     /// Allocating convenience wrapper over
     /// [`LmSource::lookup_word_into`].
     fn lookup_word(&self, s: StateId, word: Label) -> LmLookupResult {

@@ -100,6 +100,8 @@ impl StreamSession {
     ) {
         assert!(!self.seeded, "StreamSession::seed: already seeded");
         self.seeded = true;
+        self.state
+            .configure_bias_cache(self.config.bias_cache_entries);
         self.state.begin();
         self.state.lattice.set_recording(self.record_lattice);
         otf::seed_closure(

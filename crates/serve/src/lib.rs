@@ -48,8 +48,8 @@ pub mod tcp;
 pub mod wire;
 
 pub use loadgen::{
-    run_loadgen, run_saturation_sweep, saturation_ladder, LatencyMs, LoadgenConfig, LoadgenReport,
-    SaturationPoint,
+    run_bias_compare, run_loadgen, run_saturation_sweep, saturation_ladder, BiasCompare, LatencyMs,
+    LoadgenConfig, LoadgenReport, SaturationPoint,
 };
 pub use sched::{Lease, ServeCore, ServeStats, DEFAULT_LM};
 pub use server::{ServeHandle, Server};

@@ -50,6 +50,15 @@ pub struct LoadgenConfig {
     /// Send `Shutdown` to the server after the run (for smoke tests
     /// that own the server's lifetime).
     pub shutdown_after: bool,
+    /// Register this many *distinct* per-user biasing models over the
+    /// wire before traffic starts, then open each session with one of
+    /// them round-robin (0 = every session unbiased). Models the
+    /// "contacts list per caller" personalization workload.
+    pub bias_users: usize,
+    /// Vocabulary bound for the minted biasing phrases (word ids are
+    /// drawn from `1..=bias_vocab`; keep it within the served LM's
+    /// vocabulary so the phrases can actually fire).
+    pub bias_vocab: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -60,8 +69,15 @@ impl Default for LoadgenConfig {
             chunk_frames: 10,
             scrape_every_ms: 0,
             shutdown_after: false,
+            bias_users: 0,
+            bias_vocab: 50,
         }
     }
+}
+
+/// The registry name loadgen gives biasing user `u`.
+fn bias_user_name(u: usize) -> String {
+    format!("user-{u}")
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -186,6 +202,17 @@ impl LoadgenReport {
     /// block. An empty sweep omits the key, so plain `to_json` output
     /// is unchanged.
     pub fn to_json_with_saturation(&self, sweep: &[SaturationPoint]) -> String {
+        self.to_json_document(sweep, None)
+    }
+
+    /// The full document: saturation sweep plus the personalized-bias
+    /// A/B block (see [`run_bias_compare`]). Either part is omitted
+    /// when absent, so the narrower serializers' output is unchanged.
+    pub fn to_json_document(
+        &self,
+        sweep: &[SaturationPoint],
+        bias: Option<&BiasCompare>,
+    ) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
             "  \"sessions_requested\": {},\n",
@@ -224,7 +251,7 @@ impl LoadgenReport {
             out.push_str("  \"saturation\": [\n");
             for (i, p) in sweep.iter().enumerate() {
                 out.push_str(&format!(
-                    "    {{\"sessions\": {}, \"concurrency\": {}, \"completed\": {}, \"rejected\": {}, \"errors\": {}, \"sessions_per_sec\": {}, \"p99_first_partial_ms\": {}, \"p99_final_ms\": {}, \"deadline_miss_delta\": {}}}{}\n",
+                    "    {{\"sessions\": {}, \"concurrency\": {}, \"completed\": {}, \"rejected\": {}, \"errors\": {}, \"sessions_per_sec\": {}, \"p99_first_partial_ms\": {}, \"p99_final_ms\": {}, \"deadline_miss_delta\": {}, \"vm_rss_kb\": {}}}{}\n",
                     p.sessions,
                     p.concurrency,
                     p.completed,
@@ -234,10 +261,26 @@ impl LoadgenReport {
                     num(p.p99_first_partial_ms),
                     num(p.p99_final_ms),
                     num(p.deadline_miss_delta),
+                    num(p.vm_rss_kb),
                     if i + 1 < sweep.len() { "," } else { "" }
                 ));
             }
             out.push_str("  ],\n");
+        }
+        if let Some(b) = bias {
+            out.push_str(&format!(
+                "  \"bias\": {{\"users\": {}, \"sessions\": {}, \"completed\": {}, \"errors\": {}, \"unbiased_p99_final_ms\": {}, \"p99_final_ms\": {}, \"deadline_miss_delta\": {}, \"unbiased_vm_rss_kb\": {}, \"vm_rss_kb\": {}, \"marginal_rss_kb_per_user\": {}}},\n",
+                b.users,
+                b.sessions,
+                b.completed,
+                b.errors,
+                num(b.unbiased_p99_final_ms),
+                num(b.biased_p99_final_ms),
+                num(b.deadline_miss_delta),
+                num(b.unbiased_vm_rss_kb),
+                num(b.biased_vm_rss_kb),
+                num(b.marginal_rss_kb_per_user),
+            ));
         }
         out.push_str("  \"server\": {");
         for (i, (name, v)) in self.server.iter().enumerate() {
@@ -352,16 +395,24 @@ fn scrape_loop(addr: SocketAddr, every_ms: u64, done: &AtomicBool) -> (u64, u64)
     (scrapes, failures)
 }
 
-/// Runs one session over an existing connection.
+/// Runs one session over an existing connection, optionally opened
+/// with a named biasing model.
 fn run_session(
     rd: &mut BufReader<TcpStream>,
     wr: &mut BufWriter<TcpStream>,
     utt: &[Vec<f32>],
     chunk_frames: usize,
+    bias: Option<&str>,
 ) -> io::Result<SessionOutcome> {
     let mut out = SessionOutcome::default();
     let opened_at = Instant::now();
-    write_client(wr, &ClientMsg::Open { lm: None })?;
+    write_client(
+        wr,
+        &ClientMsg::Open {
+            lm: None,
+            bias: bias.map(str::to_string),
+        },
+    )?;
     match read_server(rd)? {
         Some(ServerMsg::Opened { .. }) => {}
         Some(ServerMsg::Rejected { .. }) => {
@@ -415,6 +466,36 @@ pub fn run_loadgen(
     cfg: &LoadgenConfig,
 ) -> io::Result<LoadgenReport> {
     assert!(!utts.is_empty(), "loadgen needs at least one utterance");
+    // Register the per-user biasing models up front, over their own
+    // connection, so the run proper measures only decode traffic. Each
+    // user's phrase list is minted from its own seed — distinct users
+    // get distinct models, and re-running is deterministic.
+    if cfg.bias_users > 0 {
+        let (mut rd, mut wr) = conn(addr)?;
+        for u in 0..cfg.bias_users {
+            let fst = unfold_bias::BiasingFst::mint(
+                0xB1A5 ^ (u as u64).wrapping_mul(0x9E37_79B9),
+                cfg.bias_vocab,
+                5,
+            );
+            write_client(
+                &mut wr,
+                &ClientMsg::AddBias {
+                    name: bias_user_name(u),
+                    phrases: fst.phrases().to_vec(),
+                },
+            )?;
+            match read_server(&mut rd)? {
+                Some(ServerMsg::Ack) => {}
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("registering biasing user {u} failed: {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
     let started = Instant::now();
     let concurrency = cfg.concurrency.max(1);
     let first_partial = LogHistogram::new();
@@ -436,7 +517,15 @@ pub fn run_loadgen(
                         let mut i = worker;
                         while i < cfg.sessions {
                             let utt = &utts[i % utts.len()];
-                            let o = run_session(&mut rd, &mut wr, utt, cfg.chunk_frames)?;
+                            let bias_name =
+                                (cfg.bias_users > 0).then(|| bias_user_name(i % cfg.bias_users));
+                            let o = run_session(
+                                &mut rd,
+                                &mut wr,
+                                utt,
+                                cfg.chunk_frames,
+                                bias_name.as_deref(),
+                            )?;
                             if let Some(us) = o.first_partial_us {
                                 fp.record(us);
                             }
@@ -540,6 +629,10 @@ pub struct SaturationPoint {
     /// the rung, so the curve shows where misses start, not a running
     /// total.
     pub deadline_miss_delta: f64,
+    /// The server process's resident set size (KiB) scraped at the end
+    /// of the rung (`serve.vm_rss_kb`; NaN → `null` when unavailable,
+    /// e.g. off Linux). The memory axis of the saturation curve.
+    pub vm_rss_kb: f64,
 }
 
 /// Doubling concurrency ladder for a saturation sweep: 1, 2, 4, …
@@ -603,6 +696,10 @@ pub fn run_saturation_sweep(
             chunk_frames: base.chunk_frames,
             scrape_every_ms: 0,
             shutdown_after: base.shutdown_after && i + 1 == ladder.len(),
+            // Re-registering per rung is a cheap idempotent hot swap;
+            // sessions at every rung see the same per-user models.
+            bias_users: base.bias_users,
+            bias_vocab: base.bias_vocab,
         };
         let rep = run_loadgen(addr, utts, &cfg)?;
         let misses = rep
@@ -618,10 +715,87 @@ pub fn run_saturation_sweep(
             p99_first_partial_ms: rep.first_partial_ms.p99,
             p99_final_ms: rep.final_ms.p99,
             deadline_miss_delta: (misses - prev_misses).max(0.0),
+            vm_rss_kb: rep.server_total("serve.vm_rss_kb").unwrap_or(f64::NAN),
         });
         prev_misses = misses;
     }
     Ok(points)
+}
+
+/// The personalized-bias A/B block of `BENCH_serve.json`: an unbiased
+/// pass and a biased pass at identical offered load, plus the memory
+/// cost of carrying the per-user models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasCompare {
+    /// Distinct biasing models registered (and round-robined across
+    /// the biased pass's sessions).
+    pub users: usize,
+    /// Sessions per pass.
+    pub sessions: usize,
+    /// Biased-pass sessions that received a `Final`.
+    pub completed: u64,
+    /// Biased-pass protocol or connection errors.
+    pub errors: u64,
+    /// p99 `Finish` → `Final` of the unbiased reference pass, ms.
+    pub unbiased_p99_final_ms: f64,
+    /// p99 `Finish` → `Final` of the biased pass, ms.
+    pub biased_p99_final_ms: f64,
+    /// Deadline misses the server accrued during the biased pass.
+    pub deadline_miss_delta: f64,
+    /// Server RSS (KiB) at the end of the unbiased pass — before any
+    /// biasing model was registered.
+    pub unbiased_vm_rss_kb: f64,
+    /// Server RSS (KiB) at the end of the biased pass.
+    pub biased_vm_rss_kb: f64,
+    /// RSS growth across registration + biased traffic, amortized per
+    /// user (KiB). The per-user cost of personalization at rest.
+    pub marginal_rss_kb_per_user: f64,
+}
+
+/// Runs the personalization A/B: one unbiased pass, then one biased
+/// pass with `cfg.bias_users` distinct per-user models, at the same
+/// sessions/concurrency. The unbiased pass goes first on purpose — it
+/// warms the worker pool, the shared OLT, and the allocator, so the
+/// RSS delta across the biased pass isolates what the per-user models
+/// and their sessions actually cost. Returns the biased pass's full
+/// report (it becomes the main `BENCH_serve.json` document) plus the
+/// comparison block.
+///
+/// # Errors
+/// Connection failures; per-session errors are counted per pass.
+///
+/// # Panics
+/// Panics if `utts` is empty or `cfg.bias_users` is 0.
+pub fn run_bias_compare(
+    addr: SocketAddr,
+    utts: &[Vec<Vec<f32>>],
+    cfg: &LoadgenConfig,
+) -> io::Result<(LoadgenReport, BiasCompare)> {
+    assert!(cfg.bias_users > 0, "bias compare needs --bias-users > 0");
+    let unbiased_cfg = LoadgenConfig {
+        bias_users: 0,
+        scrape_every_ms: 0,
+        shutdown_after: false,
+        ..cfg.clone()
+    };
+    let unbiased = run_loadgen(addr, utts, &unbiased_cfg)?;
+    let biased = run_loadgen(addr, utts, cfg)?;
+    let misses = |r: &LoadgenReport| r.server_total("serve.deadline_misses").unwrap_or(0.0);
+    let rss = |r: &LoadgenReport| r.server_total("serve.vm_rss_kb").unwrap_or(f64::NAN);
+    let (rss_u, rss_b) = (rss(&unbiased), rss(&biased));
+    let compare = BiasCompare {
+        users: cfg.bias_users,
+        sessions: cfg.sessions,
+        completed: biased.sessions_completed,
+        errors: biased.errors,
+        unbiased_p99_final_ms: unbiased.final_ms.p99,
+        biased_p99_final_ms: biased.final_ms.p99,
+        deadline_miss_delta: (misses(&biased) - misses(&unbiased)).max(0.0),
+        unbiased_vm_rss_kb: rss_u,
+        biased_vm_rss_kb: rss_b,
+        marginal_rss_kb_per_user: (rss_b - rss_u) / cfg.bias_users as f64,
+    };
+    Ok((biased, compare))
 }
 
 #[cfg(test)]
@@ -680,6 +854,7 @@ mod tests {
             chunk_frames: 8,
             scrape_every_ms: 5,
             shutdown_after: true,
+            ..Default::default()
         };
         let report = run_loadgen(front.local_addr(), &utts, &cfg).unwrap();
         assert_eq!(report.sessions_requested, 4);
@@ -722,6 +897,80 @@ mod tests {
         }
         // shutdown_after stops the whole stack: the accept loop sees
         // the flag and exits, and the worker pool joins cleanly.
+        front.join();
+        server.shutdown();
+    }
+
+    #[test]
+    fn bias_compare_runs_both_passes_and_serializes() {
+        let lex = Lexicon::generate(50, 20, 6);
+        let am = build_am(&lex, HmmTopology::Kaldi3State);
+        let spec = CorpusSpec {
+            vocab_size: 50,
+            num_sentences: 300,
+            ..Default::default()
+        };
+        let model = NGramModel::train(&spec.generate(3), 50, DiscountConfig::default());
+        let lm = Arc::new(lm_to_wfst(&model));
+        let am = Arc::new(am.fst);
+        let u = synthesize_utterance(
+            &[3u32, 9, 17],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            60,
+        );
+        let utts: Vec<Vec<Vec<f32>>> = vec![(0..u.scores.num_frames())
+            .map(|t| u.scores.frame(t).to_vec())
+            .collect()];
+
+        let server = Server::start(
+            ServeConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            am,
+            lm,
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let front = TcpFront::start(listener, server.handle()).unwrap();
+        let cfg = LoadgenConfig {
+            sessions: 6,
+            concurrency: 2,
+            chunk_frames: 8,
+            shutdown_after: true,
+            bias_users: 3,
+            bias_vocab: 50,
+            ..Default::default()
+        };
+        let (report, bias) = run_bias_compare(front.local_addr(), &utts, &cfg).unwrap();
+        assert_eq!(bias.users, 3);
+        assert_eq!(bias.sessions, 6);
+        assert_eq!(bias.completed, 6);
+        assert_eq!(bias.errors, 0);
+        assert_eq!(report.sessions_completed, 6);
+        assert!(bias.biased_p99_final_ms > 0.0);
+        assert!(bias.unbiased_p99_final_ms > 0.0);
+        assert_eq!(bias.deadline_miss_delta, 0.0);
+        // /proc-backed RSS is available on Linux CI and dev machines;
+        // elsewhere the fields serialize as null and the marginal cost
+        // is unmeasurable rather than wrong. At 3 users the per-user
+        // figure is allocator noise, so only pin that it was computed
+        // from the two finite samples — the 64 KiB/user budget is
+        // asserted by CI's 1000-user run, where it is meaningful.
+        if bias.unbiased_vm_rss_kb.is_finite() {
+            assert!(bias.biased_vm_rss_kb.is_finite());
+            assert!(bias.marginal_rss_kb_per_user.is_finite(), "{bias:?}");
+        }
+        let json = report.to_json_document(&[], Some(&bias));
+        for key in [
+            "\"bias\": {\"users\": 3",
+            "\"unbiased_p99_final_ms\"",
+            "\"marginal_rss_kb_per_user\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(!report.to_json().contains("\"bias\""));
         front.join();
         server.shutdown();
     }
@@ -774,6 +1023,7 @@ mod tests {
             chunk_frames: 8,
             scrape_every_ms: 0,
             shutdown_after: true,
+            ..Default::default()
         };
         let points = run_saturation_sweep(front.local_addr(), &utts, &base, &[1, 2]).unwrap();
         assert_eq!(points.len(), 2);

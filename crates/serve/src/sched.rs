@@ -32,6 +32,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
+use unfold_bias::{BiasedLm, BiasingFst};
 use unfold_decoder::{
     AmSource, CountingSink, DecodeResult, LmSource, StreamSession, TraceSink, WorkScratch,
 };
@@ -100,6 +101,15 @@ pub struct Lease<L: LmSource + ?Sized> {
     result: Option<DecodeResult>,
     /// The open `lease` span covering this quantum (0 = none).
     span: u64,
+    /// The session's biasing model, if any — wrapped around `lm` as a
+    /// fresh on-the-fly `BiasedLm` each quantum. Rebuilding per
+    /// quantum is sound: the composite packing derives purely from the
+    /// two pinned models' sizes, so token keys stay stable across
+    /// quanta and workers.
+    bias: Option<Arc<BiasingFst>>,
+    /// Registry generation of `bias` (0 = unbiased; stamps share the
+    /// LM counter, so 0 is never a bias stamp).
+    bias_gen: u64,
     /// Per-quantum decode telemetry captured by
     /// [`Lease::run_traced`], attached to the lease span at
     /// completion.
@@ -141,20 +151,59 @@ impl<L: LmSource + ?Sized> Lease<L> {
         work: &mut WorkScratch,
         sink: &mut dyn TraceSink,
     ) {
-        let lm = &*self.lm;
         // Entries memoized against another session's LM are invalid for
         // this one; binding by the registry's generation stamp resets
         // the OLT only on an actual model switch, and is immune to the
-        // allocator reusing a retired model's address.
+        // allocator reusing a retired model's address. Biased sessions
+        // bind the *base* LM's stamp: the worker OLT caches base-LM
+        // expansions (pre-bonus), so biased and unbiased sessions of
+        // the same LM generation share it safely.
         work.bind_olt_model(self.lm_gen);
-        if !self.decode.is_seeded() {
-            self.decode.seed(am, lm, work, sink);
+        if let Some(bias) = &self.bias {
+            let biased = BiasedLm::new(&*self.lm, bias);
+            Self::drive(
+                &mut self.decode,
+                &mut self.result,
+                &self.frames,
+                self.finalize,
+                am,
+                &biased,
+                work,
+                sink,
+            );
+        } else {
+            Self::drive(
+                &mut self.decode,
+                &mut self.result,
+                &self.frames,
+                self.finalize,
+                am,
+                &*self.lm,
+                work,
+                sink,
+            );
         }
-        for row in &self.frames {
-            self.decode.push_frame(am, lm, work, row, sink);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn drive<A: AmSource + ?Sized, M: LmSource + ?Sized>(
+        decode: &mut StreamSession,
+        result: &mut Option<DecodeResult>,
+        frames: &[Vec<f32>],
+        finalize: bool,
+        am: &A,
+        lm: &M,
+        work: &mut WorkScratch,
+        sink: &mut dyn TraceSink,
+    ) {
+        if !decode.is_seeded() {
+            decode.seed(am, lm, work, sink);
         }
-        if self.finalize && self.result.is_none() {
-            self.result = Some(self.decode.finalize(am, sink));
+        for row in frames {
+            decode.push_frame(am, lm, work, row, sink);
+        }
+        if finalize && result.is_none() {
+            *result = Some(decode.finalize(am, sink));
         }
     }
 
@@ -188,6 +237,17 @@ struct LmEntry<L: LmSource + ?Sized> {
     lm: Arc<L>,
 }
 
+/// One biasing-registry entry: a named per-user biasing model plus its
+/// generation stamp. Stamps are drawn from the *same* monotonic counter
+/// as LM stamps, so a (lm_gen, bias_gen) pair uniquely identifies the
+/// composed model a session decodes against for the core's lifetime.
+#[derive(Debug)]
+struct BiasEntry {
+    name: String,
+    gen: u64,
+    bias: Arc<BiasingFst>,
+}
+
 /// The deterministic multi-session scheduler. See the module docs for
 /// the scheduling and lease protocols.
 ///
@@ -207,7 +267,11 @@ pub struct ServeCore<A: AmSource + ?Sized, L: LmSource + ?Sized> {
     /// Registered LMs; the first entry is the default for sessions
     /// that name no model. Never empty.
     lms: Vec<LmEntry<L>>,
-    /// Next generation stamp to hand out (monotonic; see [`LmEntry`]).
+    /// Registered per-user biasing models. Unlike `lms`, may be empty:
+    /// a session that names no biasing model decodes unbiased.
+    biases: Vec<BiasEntry>,
+    /// Next generation stamp to hand out (monotonic; shared between
+    /// [`LmEntry`] and [`BiasEntry`]).
     next_lm_gen: u64,
     sessions: HashMap<SessionId, Session<L>>,
     /// Min-heap of `(deadline_ms, seq, session)`; stale entries are
@@ -235,6 +299,11 @@ pub struct ServeCore<A: AmSource + ?Sized, L: LmSource + ?Sized> {
     /// Worker-side decode wall time per quantum (µs), bumped lock-free
     /// by the threaded server's workers; also registered in `obs`.
     lease_decode_us: Arc<LogHistogram>,
+    /// Lifetime worker-OLT probe/hit totals, accumulated from each
+    /// completed lease's per-quantum counts. Exported as the
+    /// `serve.olt_hit_rate` gauge (NaN until the first probe).
+    olt_probes_total: u64,
+    olt_hits_total: u64,
 }
 
 impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
@@ -270,7 +339,12 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         ] {
             obs.counter(name);
         }
-        for name in ["serve.backlog_frames", "serve.frames_inflight"] {
+        for name in [
+            "serve.backlog_frames",
+            "serve.frames_inflight",
+            "serve.olt_hit_rate",
+            "serve.vm_rss_kb",
+        ] {
             obs.gauge(name);
         }
         // `active_sessions` and `pressure` are *distributions over the
@@ -308,6 +382,7 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             config,
             am,
             lms,
+            biases: Vec::new(),
             next_lm_gen,
             sessions: HashMap::new(),
             ready: BinaryHeap::new(),
@@ -321,6 +396,8 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             spans: SpanLog::new(),
             flight: FlightRecorder::new(),
             lease_decode_us,
+            olt_probes_total: 0,
+            olt_hits_total: 0,
         }
     }
 
@@ -411,6 +488,64 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         Ok(self.lms.remove(idx).lm)
     }
 
+    /// The registered biasing-model names, in registration order.
+    pub fn bias_names(&self) -> Vec<String> {
+        self.biases.iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Resolves a biasing-model name against the registry.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] when no biasing model is registered
+    /// under the name.
+    pub fn bias(&self, name: &str) -> Result<Arc<BiasingFst>, ServeError> {
+        self.biases
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| Arc::clone(&e.bias))
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// Registers `bias` under `name`, replacing any existing biasing
+    /// model with that name (a hot swap). As with [`ServeCore::add_lm`],
+    /// sessions already pinned to the replaced model keep it, and the
+    /// entry gets a fresh generation stamp from the shared counter.
+    /// Returns the replaced handle, if any.
+    pub fn add_bias(&mut self, name: &str, bias: Arc<BiasingFst>) -> Option<Arc<BiasingFst>> {
+        let gen = self.next_lm_gen;
+        self.next_lm_gen += 1;
+        match self.biases.iter_mut().find(|e| e.name == name) {
+            Some(entry) => {
+                entry.gen = gen;
+                Some(std::mem::replace(&mut entry.bias, bias))
+            }
+            None => {
+                self.biases.push(BiasEntry {
+                    name: name.to_string(),
+                    gen,
+                    bias,
+                });
+                None
+            }
+        }
+    }
+
+    /// Removes `name` from the biasing registry. Live sessions pinned
+    /// to the model are untouched. Unlike [`ServeCore::retire_lm`]
+    /// there is no last-model constraint: a server with no biasing
+    /// models simply serves every session unbiased.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] when the name is not registered.
+    pub fn retire_bias(&mut self, name: &str) -> Result<Arc<BiasingFst>, ServeError> {
+        let idx = self
+            .biases
+            .iter()
+            .position(|e| e.name == name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+        Ok(self.biases.remove(idx).bias)
+    }
+
     /// Sessions currently occupying slots (all phases — a closed
     /// session holds its slot until its result is collected).
     pub fn active_sessions(&self) -> usize {
@@ -457,9 +592,38 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
     /// [`ServeError::Rejected`] when admission control refuses the
     /// session.
     pub fn open_with_lm(&mut self, lm: Option<&str>, now_ms: u64) -> Result<SessionId, ServeError> {
+        self.open_with_models(lm, None, now_ms)
+    }
+
+    /// [`ServeCore::open_with_lm`] with per-session personalization: the
+    /// new session additionally composes the named biasing model
+    /// (`None` = unbiased) on the fly over its LM, pinned for its whole
+    /// lifetime.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] when either name is not registered,
+    /// [`ServeError::Rejected`] when admission control refuses the
+    /// session.
+    pub fn open_with_models(
+        &mut self,
+        lm: Option<&str>,
+        bias: Option<&str>,
+        now_ms: u64,
+    ) -> Result<SessionId, ServeError> {
         let (lm, lm_gen) = {
             let entry = self.lm_entry(lm)?;
             (Arc::clone(&entry.lm), entry.gen)
+        };
+        let bias = match bias {
+            None => None,
+            Some(n) => {
+                let entry = self
+                    .biases
+                    .iter()
+                    .find(|e| e.name == n)
+                    .ok_or_else(|| ServeError::UnknownModel(n.to_string()))?;
+                Some((Arc::clone(&entry.bias), entry.gen))
+            }
         };
         if self.sessions.len() >= self.config.capacity {
             self.stats.rejected_capacity += 1;
@@ -479,7 +643,7 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         }
         let id = self.next_id;
         self.next_id += 1;
-        let mut s = Session::new(StreamSession::new(cfg), lm, lm_gen, now_ms, level);
+        let mut s = Session::new(StreamSession::new(cfg), lm, lm_gen, bias, now_ms, level);
         s.root_span = self.spans.open("session", id, 0, now_ms);
         self.sessions.insert(id, s);
         self.stats.opened += 1;
@@ -622,6 +786,8 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             let decode = s.decode.take().expect("unleased session owns its state");
             let lm = Arc::clone(&s.lm);
             let lm_gen = s.lm_gen;
+            let bias = s.bias.clone();
+            let bias_gen = s.bias_gen;
             let root = s.root_span;
             let wait = std::mem::take(&mut s.wait_span);
             if wait != 0 {
@@ -646,6 +812,8 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
                 deadline_ms: deadline,
                 result: None,
                 span,
+                bias,
+                bias_gen,
                 olt_probes: 0,
                 olt_hits: 0,
             });
@@ -668,6 +836,8 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             deadline_ms,
             result,
             span,
+            bias: _,
+            bias_gen,
             olt_probes,
             olt_hits,
         } = lease;
@@ -680,6 +850,8 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
             self.flight
                 .record(FlightKind::DeadlineMiss, now_ms, id, slack, n as f64);
         }
+        self.olt_probes_total += olt_probes;
+        self.olt_hits_total += olt_hits;
         let olt_hit_rate = if olt_probes == 0 {
             0.0
         } else {
@@ -693,6 +865,7 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
                 ("olt_hit_rate", olt_hit_rate),
                 ("olt_probes", olt_probes as f64),
                 ("lm_gen", lm_gen as f64),
+                ("bias_gen", bias_gen as f64),
                 ("slack_ms", slack),
             ],
         );
@@ -971,7 +1144,27 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeCore<A, L> {
         self.obs
             .gauge("serve.frames_inflight")
             .set(self.inflight as f64);
+        // NaN — not 0.0 — until the first probe: "no traffic yet" and
+        // "every probe missed" are different answers, and the stats
+        // table renders the former as `-`.
+        let hit_rate = if self.olt_probes_total == 0 {
+            f64::NAN
+        } else {
+            self.olt_hits_total as f64 / self.olt_probes_total as f64
+        };
+        self.obs.gauge("serve.olt_hit_rate").set(hit_rate);
+        self.obs
+            .gauge("serve.vm_rss_kb")
+            .set(read_vm_rss_kb().map_or(f64::NAN, |kb| kb as f64));
     }
+}
+
+/// This process's resident set size in KiB, from `/proc/self/status`
+/// (`None` off Linux or if the field is missing).
+pub fn read_vm_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 #[cfg(test)]

@@ -226,6 +226,19 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeHandle<A, L> {
         self.lock().open_with_lm(lm, self.shared.now_ms())
     }
 
+    /// Opens a session decoding against the named LM with the named
+    /// biasing model composed over it on the fly (`None` = unbiased).
+    ///
+    /// # Errors
+    /// See [`ServeCore::open_with_models`].
+    pub fn open_with_models(
+        &self,
+        lm: Option<&str>,
+        bias: Option<&str>,
+    ) -> Result<SessionId, ServeError> {
+        self.lock().open_with_models(lm, bias, self.shared.now_ms())
+    }
+
     /// The registered LM names, default first.
     pub fn lm_names(&self) -> Vec<String> {
         self.lock().lm_names()
@@ -244,6 +257,30 @@ impl<A: AmSource + ?Sized, L: LmSource + ?Sized> ServeHandle<A, L> {
     /// See [`ServeCore::retire_lm`].
     pub fn retire_lm(&self, name: &str) -> Result<Arc<L>, ServeError> {
         self.lock().retire_lm(name)
+    }
+
+    /// The registered biasing-model names, in registration order.
+    pub fn bias_names(&self) -> Vec<String> {
+        self.lock().bias_names()
+    }
+
+    /// Registers (or hot-swaps) a biasing model under `name` without
+    /// draining any session. Returns the replaced handle, if any.
+    pub fn add_bias(
+        &self,
+        name: &str,
+        bias: Arc<unfold_bias::BiasingFst>,
+    ) -> Option<Arc<unfold_bias::BiasingFst>> {
+        self.lock().add_bias(name, bias)
+    }
+
+    /// Removes `name` from the biasing registry. Sessions pinned to it
+    /// finish undisturbed; new sessions can no longer select it.
+    ///
+    /// # Errors
+    /// See [`ServeCore::retire_bias`].
+    pub fn retire_bias(&self, name: &str) -> Result<Arc<unfold_bias::BiasingFst>, ServeError> {
+        self.lock().retire_bias(name)
     }
 
     /// Queues one score row for `id` and wakes a worker.

@@ -4,6 +4,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use unfold_bias::BiasingFst;
 use unfold_decoder::{DecodeResult, LmSource, StreamSession};
 use unfold_lm::WordId;
 
@@ -60,6 +61,14 @@ pub(crate) struct Session<L: LmSource + ?Sized> {
     /// identity leases hand workers for their per-LM OLT memo (heap
     /// addresses are reusable across retire/add; stamps are not).
     pub lm_gen: u64,
+    /// The biasing model personalizing this session, if any (fixed at
+    /// admission, like `lm`). Each quantum wraps `lm` in a fresh
+    /// on-the-fly `BiasedLm` around this handle.
+    pub bias: Option<Arc<BiasingFst>>,
+    /// Registry generation stamp of `bias` at admission (0 when
+    /// unbiased; stamps share the LM counter and start at the LM
+    /// count, so 0 is never a bias stamp).
+    pub bias_gen: u64,
     /// Search state; `None` while leased to a worker.
     pub decode: Option<StreamSession>,
     /// Queued score rows (`row[pdf - 1]` = acoustic cost).
@@ -97,12 +106,19 @@ impl<L: LmSource + ?Sized> Session<L> {
         decode: StreamSession,
         lm: Arc<L>,
         lm_gen: u64,
+        bias: Option<(Arc<BiasingFst>, u64)>,
         now_ms: u64,
         degrade_level: u8,
     ) -> Self {
+        let (bias, bias_gen) = match bias {
+            Some((b, g)) => (Some(b), g),
+            None => (None, 0),
+        };
         Session {
             lm,
             lm_gen,
+            bias,
+            bias_gen,
             decode: Some(decode),
             queue: VecDeque::new(),
             phase: SessionPhase::Open,

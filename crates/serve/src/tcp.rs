@@ -134,11 +134,37 @@ where
     let mut session: Option<SessionId> = None;
     while let Some(msg) = read_client(&mut reader)? {
         let reply = match msg {
-            ClientMsg::Open { lm } => match handle.open_with_lm(lm.as_deref()) {
-                Ok(id) => {
-                    session = Some(id);
-                    ServerMsg::Opened { session: id }
+            ClientMsg::Open { lm, bias } => {
+                match handle.open_with_models(lm.as_deref(), bias.as_deref()) {
+                    Ok(id) => {
+                        session = Some(id);
+                        ServerMsg::Opened { session: id }
+                    }
+                    Err(e) => reject_to_msg(e),
                 }
+            }
+            ClientMsg::AddBias { name, phrases } => {
+                // `BiasingFst::build` asserts on malformed input (it is
+                // a library-misuse check); a remote client's payload is
+                // validated here so a bad phrase answers `Error` instead
+                // of killing the connection thread.
+                let bad = phrases.iter().any(|(words, bonus)| {
+                    words.is_empty() || words.contains(&0) || !bonus.is_finite() || *bonus <= 0.0
+                });
+                if bad {
+                    ServerMsg::Error {
+                        msg: format!(
+                            "bad biasing model '{name}': phrases must be non-empty, \
+                             epsilon-free, with finite positive bonuses"
+                        ),
+                    }
+                } else {
+                    handle.add_bias(&name, Arc::new(unfold_bias::BiasingFst::build(&phrases)));
+                    ServerMsg::Ack
+                }
+            }
+            ClientMsg::RetireBias { name } => match handle.retire_bias(&name) {
+                Ok(_) => ServerMsg::Ack,
                 Err(e) => reject_to_msg(e),
             },
             ClientMsg::Frames(rows) => match session {
@@ -258,7 +284,14 @@ mod tests {
         let stream = TcpStream::connect(front.local_addr()).unwrap();
         let mut rd = R::new(stream.try_clone().unwrap());
         let mut wr = W::new(stream);
-        write_client(&mut wr, &ClientMsg::Open { lm: None }).unwrap();
+        write_client(
+            &mut wr,
+            &ClientMsg::Open {
+                lm: None,
+                bias: None,
+            },
+        )
+        .unwrap();
         assert!(matches!(
             read_server(&mut rd).unwrap(),
             Some(ServerMsg::Opened { .. })
@@ -335,7 +368,14 @@ mod tests {
             read_server(&mut rd).unwrap(),
             Some(ServerMsg::Error { .. })
         ));
-        write_client(&mut wr, &ClientMsg::Open { lm: None }).unwrap();
+        write_client(
+            &mut wr,
+            &ClientMsg::Open {
+                lm: None,
+                bias: None,
+            },
+        )
+        .unwrap();
         assert!(matches!(
             read_server(&mut rd).unwrap(),
             Some(ServerMsg::Rejected {
@@ -347,6 +387,7 @@ mod tests {
             &mut wr,
             &ClientMsg::Open {
                 lm: Some("nope".into()),
+                bias: None,
             },
         )
         .unwrap();

@@ -23,11 +23,17 @@ pub const MAX_MESSAGE: usize = 64 << 20;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMsg {
     /// Open a session on this connection, optionally naming the LM to
-    /// decode against. A bare `Open` payload (no name — what older
-    /// clients send) selects the server's default model.
+    /// decode against and a registered biasing model to personalize it
+    /// with. A bare `Open` payload (no names — what older clients
+    /// send) selects the server's default model, unbiased.
     Open {
         /// Registered LM name; `None` = default.
         lm: Option<String>,
+        /// Registered biasing-model name; `None` = unbiased. On the
+        /// wire the bias name trails the LM name, with an empty LM
+        /// string standing in for "default" — older frames simply
+        /// stop earlier.
+        bias: Option<String>,
     },
     /// A batch of score rows (all the same width).
     Frames(Vec<Vec<f32>>),
@@ -39,6 +45,20 @@ pub enum ClientMsg {
     Shutdown,
     /// Request the flight-recorder dump and closed session spans.
     Dump,
+    /// Register (or hot-swap) a biasing model under a name. Phrases
+    /// are `(word ids, bonus)` pairs; the server builds the acceptor.
+    AddBias {
+        /// Registry name.
+        name: String,
+        /// The phrase list.
+        phrases: Vec<(Vec<u32>, f32)>,
+    },
+    /// Remove a biasing model from the registry (sessions already
+    /// pinned to it are untouched).
+    RetireBias {
+        /// Registry name.
+        name: String,
+    },
 }
 
 /// Server → client messages.
@@ -86,6 +106,8 @@ pub enum ServerMsg {
         /// Closed session spans as JSONL (`sspan` records).
         spans: String,
     },
+    /// Generic success acknowledgement (`AddBias` / `RetireBias`).
+    Ack,
 }
 
 const T_OPEN: u8 = 0x01;
@@ -94,6 +116,8 @@ const T_FINISH: u8 = 0x03;
 const T_STATS: u8 = 0x04;
 const T_SHUTDOWN: u8 = 0x05;
 const T_DUMP: u8 = 0x06;
+const T_ADD_BIAS: u8 = 0x07;
+const T_RETIRE_BIAS: u8 = 0x08;
 
 const T_OPENED: u8 = 0x81;
 const T_REJECTED: u8 = 0x82;
@@ -102,6 +126,7 @@ const T_FINAL: u8 = 0x84;
 const T_ERROR: u8 = 0x85;
 const T_STATS_REPLY: u8 = 0x86;
 const T_DUMP_REPLY: u8 = 0x87;
+const T_ACK: u8 = 0x88;
 
 fn bad(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("wire: {what}"))
@@ -192,10 +217,17 @@ impl ClientMsg {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         match self {
-            ClientMsg::Open { lm } => {
+            ClientMsg::Open { lm, bias } => {
                 buf.push(T_OPEN);
-                if let Some(name) = lm {
-                    put_string(&mut buf, name);
+                match (lm, bias) {
+                    (None, None) => {} // legacy bare frame
+                    (Some(name), None) => put_string(&mut buf, name),
+                    // A bias name needs the LM slot filled; "" stands
+                    // in for the default model.
+                    (lm, Some(b)) => {
+                        put_string(&mut buf, lm.as_deref().unwrap_or(""));
+                        put_string(&mut buf, b);
+                    }
                 }
             }
             ClientMsg::Frames(rows) => {
@@ -214,6 +246,19 @@ impl ClientMsg {
             ClientMsg::Stats => buf.push(T_STATS),
             ClientMsg::Shutdown => buf.push(T_SHUTDOWN),
             ClientMsg::Dump => buf.push(T_DUMP),
+            ClientMsg::AddBias { name, phrases } => {
+                buf.push(T_ADD_BIAS);
+                put_string(&mut buf, name);
+                put_u32(&mut buf, phrases.len() as u32);
+                for (words, bonus) in phrases {
+                    put_words(&mut buf, words);
+                    buf.extend_from_slice(&bonus.to_le_bytes());
+                }
+            }
+            ClientMsg::RetireBias { name } => {
+                buf.push(T_RETIRE_BIAS);
+                put_string(&mut buf, name);
+            }
         }
         buf
     }
@@ -226,12 +271,24 @@ impl ClientMsg {
         let mut c = Cursor::new(buf);
         let msg = match c.u8()? {
             T_OPEN => {
-                let lm = if c.pos == buf.len() {
-                    None // legacy bare Open: default model
+                if c.pos == buf.len() {
+                    // Legacy bare Open: default model, unbiased.
+                    ClientMsg::Open {
+                        lm: None,
+                        bias: None,
+                    }
                 } else {
-                    Some(c.string()?)
-                };
-                ClientMsg::Open { lm }
+                    let lm = c.string()?;
+                    let bias = if c.pos == buf.len() {
+                        None
+                    } else {
+                        Some(c.string()?)
+                    };
+                    // An empty LM slot only appears as the placeholder
+                    // in front of a bias name.
+                    let lm = if lm.is_empty() { None } else { Some(lm) };
+                    ClientMsg::Open { lm, bias }
+                }
             }
             T_FRAMES => {
                 let n = c.u32()? as usize;
@@ -256,6 +313,21 @@ impl ClientMsg {
             T_STATS => ClientMsg::Stats,
             T_SHUTDOWN => ClientMsg::Shutdown,
             T_DUMP => ClientMsg::Dump,
+            T_ADD_BIAS => {
+                let name = c.string()?;
+                let n = c.u32()? as usize;
+                if n > MAX_MESSAGE / 8 {
+                    return Err(bad("phrase list too long"));
+                }
+                let mut phrases = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let words = c.words()?;
+                    let bonus = c.f32()?;
+                    phrases.push((words, bonus));
+                }
+                ClientMsg::AddBias { name, phrases }
+            }
+            T_RETIRE_BIAS => ClientMsg::RetireBias { name: c.string()? },
             t => return Err(bad(&format!("unknown client tag {t:#04x}"))),
         };
         c.done()?;
@@ -306,6 +378,7 @@ impl ServerMsg {
                 put_string(&mut buf, flight);
                 put_string(&mut buf, spans);
             }
+            ServerMsg::Ack => buf.push(T_ACK),
         }
         buf
     }
@@ -337,6 +410,7 @@ impl ServerMsg {
                 flight: c.string()?,
                 spans: c.string()?,
             },
+            T_ACK => ServerMsg::Ack,
             t => return Err(bad(&format!("unknown server tag {t:#04x}"))),
         };
         c.done()?;
@@ -423,9 +497,21 @@ mod tests {
 
     #[test]
     fn client_messages_roundtrip() {
-        roundtrip_client(ClientMsg::Open { lm: None });
+        roundtrip_client(ClientMsg::Open {
+            lm: None,
+            bias: None,
+        });
         roundtrip_client(ClientMsg::Open {
             lm: Some("tedlium-variant-7".into()),
+            bias: None,
+        });
+        roundtrip_client(ClientMsg::Open {
+            lm: None,
+            bias: Some("contacts-42".into()),
+        });
+        roundtrip_client(ClientMsg::Open {
+            lm: Some("variant-3".into()),
+            bias: Some("hotwords".into()),
         });
         roundtrip_client(ClientMsg::Frames(vec![vec![1.0, -2.5], vec![0.0, 3.25]]));
         roundtrip_client(ClientMsg::Frames(Vec::new()));
@@ -433,6 +519,17 @@ mod tests {
         roundtrip_client(ClientMsg::Stats);
         roundtrip_client(ClientMsg::Shutdown);
         roundtrip_client(ClientMsg::Dump);
+        roundtrip_client(ClientMsg::AddBias {
+            name: "contacts-42".into(),
+            phrases: vec![(vec![3, 5, 7], 2.5), (vec![9], 1.0)],
+        });
+        roundtrip_client(ClientMsg::AddBias {
+            name: "empty".into(),
+            phrases: Vec::new(),
+        });
+        roundtrip_client(ClientMsg::RetireBias {
+            name: "contacts-42".into(),
+        });
     }
 
     /// A bare `T_OPEN` — the entire pre-registry protocol — must still
@@ -444,12 +541,35 @@ mod tests {
         buf.push(T_OPEN);
         assert_eq!(
             read_client(&mut buf.as_slice()).unwrap(),
-            Some(ClientMsg::Open { lm: None })
+            Some(ClientMsg::Open {
+                lm: None,
+                bias: None
+            })
         );
         // And the `lm: None` encoding is exactly that legacy frame.
         let mut out = Vec::new();
-        write_client(&mut out, &ClientMsg::Open { lm: None }).unwrap();
+        write_client(
+            &mut out,
+            &ClientMsg::Open {
+                lm: None,
+                bias: None,
+            },
+        )
+        .unwrap();
         assert_eq!(out, buf);
+    }
+
+    /// An LM-only `Open` (the pre-biasing registry protocol) must keep
+    /// its exact frame bytes: one trailing string, no bias slot.
+    #[test]
+    fn lm_only_open_keeps_the_single_string_frame() {
+        let msg = ClientMsg::Open {
+            lm: Some("alt".into()),
+            bias: None,
+        };
+        let body = msg.encode();
+        assert_eq!(body.len(), 1 + 4 + 3, "tag + len + name only");
+        assert_eq!(ClientMsg::decode(&body).unwrap(), msg);
     }
 
     #[test]
@@ -481,19 +601,21 @@ mod tests {
             flight: String::new(),
             spans: String::new(),
         });
+        roundtrip_server(ServerMsg::Ack);
     }
 
     #[test]
     fn several_messages_stream_back_to_back() {
+        let open = ClientMsg::Open {
+            lm: None,
+            bias: None,
+        };
         let mut buf = Vec::new();
-        write_client(&mut buf, &ClientMsg::Open { lm: None }).unwrap();
+        write_client(&mut buf, &open).unwrap();
         write_client(&mut buf, &ClientMsg::Frames(vec![vec![1.0]])).unwrap();
         write_client(&mut buf, &ClientMsg::Finish).unwrap();
         let mut r = buf.as_slice();
-        assert_eq!(
-            read_client(&mut r).unwrap(),
-            Some(ClientMsg::Open { lm: None })
-        );
+        assert_eq!(read_client(&mut r).unwrap(), Some(open));
         assert!(matches!(
             read_client(&mut r).unwrap(),
             Some(ClientMsg::Frames(_))

@@ -26,6 +26,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use unfold::decode_batch;
 use unfold_am::acoustic::FRAME_SECONDS;
 use unfold_am::Utterance;
+use unfold_bias::{BiasedLm, BiasingFst, OfflineBiasedLm};
 use unfold_compress::{Bundle, BundleError, BundleWriter, SharedAm, SharedLm};
 use unfold_decoder::{
     oracle_wer, DecodeConfig, DecodeKernel, DecodeResult, DecodeScratch, FullyComposedDecoder,
@@ -73,6 +74,10 @@ pub enum CheckId {
     /// monotonicity in the lattice beam, and lattice bit identity
     /// across kernels, OLT sizes, warm scratch, and streaming.
     LatticeOracle,
+    /// Personalized biasing: the on-the-fly `base LM x biasing FST`
+    /// union composition against the eagerly composed biased
+    /// reference, bit for bit (words, cost bits, word frames).
+    BiasOracle,
     /// A check panicked instead of returning.
     Panic,
 }
@@ -92,6 +97,7 @@ impl CheckId {
             CheckId::TwoPass => "two-pass",
             CheckId::SimReplay => "sim-replay",
             CheckId::LatticeOracle => "lattice-oracle",
+            CheckId::BiasOracle => "bias-oracle",
             CheckId::Panic => "panic",
         }
     }
@@ -110,6 +116,7 @@ impl CheckId {
             CheckId::TwoPass,
             CheckId::SimReplay,
             CheckId::LatticeOracle,
+            CheckId::BiasOracle,
             CheckId::Panic,
         ]
         .into_iter()
@@ -170,6 +177,14 @@ pub enum Mutation {
     /// the lattice-oracle check's `max_path_slack` assertion can catch
     /// it.
     LatticeBeamSkip,
+    /// The biasing join keeps the composite destination state but
+    /// drops the bias delta, returning the unmodified base weight — a
+    /// personalization layer that tracks phrase progress yet never
+    /// pays out (or claws back) a bonus. The decode itself stays
+    /// deterministic, so every bit-identity check still passes; only
+    /// the bias-oracle comparison against the offline-composed biased
+    /// reference can catch it.
+    BiasBonusSkip,
 }
 
 impl Mutation {
@@ -181,6 +196,7 @@ impl Mutation {
             Mutation::FreeBackoff => "free-backoff",
             Mutation::StaleChecksum => "stale-checksum",
             Mutation::LatticeBeamSkip => "lattice-beam-skip",
+            Mutation::BiasBonusSkip => "bias-bonus-skip",
         }
     }
 
@@ -192,6 +208,7 @@ impl Mutation {
             "free-backoff" => Some(Mutation::FreeBackoff),
             "stale-checksum" => Some(Mutation::StaleChecksum),
             "lattice-beam-skip" => Some(Mutation::LatticeBeamSkip),
+            "bias-bonus-skip" => Some(Mutation::BiasBonusSkip),
             _ => None,
         }
     }
@@ -265,6 +282,62 @@ impl LmSource for MutatedLm<'_> {
             }
             _ => Some((arc, fetch)),
         }
+    }
+}
+
+/// The [`Mutation::BiasBonusSkip`] wrapper: delegates every
+/// [`LmSource`] method — including the memo-composition hooks, so the
+/// composite state tracking stays intact — but its `memo_join` throws
+/// the joined weight away and returns the unbiased base weight.
+struct SkipBonus<'a, L: LmSource>(&'a L);
+
+impl<L: LmSource> LmSource for SkipBonus<'_, L> {
+    fn start(&self) -> StateId {
+        self.0.start()
+    }
+
+    fn num_states(&self) -> usize {
+        self.0.num_states()
+    }
+
+    fn state_addr(&self, s: StateId) -> u64 {
+        self.0.state_addr(s)
+    }
+
+    fn lookup_word_into(
+        &self,
+        s: StateId,
+        word: Label,
+        probes: &mut Vec<unfold_decoder::sources::Fetch>,
+    ) -> Option<Arc> {
+        self.0.lookup_word_into(s, word, probes)
+    }
+
+    fn backoff(&self, s: StateId) -> Option<(Arc, unfold_decoder::sources::Fetch)> {
+        self.0.backoff(s)
+    }
+
+    fn memo_split(&self, s: StateId) -> (StateId, u32) {
+        self.0.memo_split(s)
+    }
+
+    fn memo_pack(&self, ctx: u32, base: StateId) -> StateId {
+        self.0.memo_pack(ctx, base)
+    }
+
+    fn memo_join(&self, ctx: u32, word: Label, dest: StateId, weight: f32) -> (StateId, f32) {
+        // BUG under test: the phrase walk advances (composite dest is
+        // kept) but the bias delta is dropped on the floor.
+        let (joined, _biased) = self.0.memo_join(ctx, word, dest, weight);
+        (joined, weight)
+    }
+
+    fn has_memo_ctx(&self) -> bool {
+        self.0.has_memo_ctx()
+    }
+
+    fn validation_addr(&self) -> usize {
+        self.0.validation_addr()
     }
 }
 
@@ -721,6 +794,16 @@ pub fn run_case_filtered(
         }
     }
 
+    // 10. Bias oracle: a per-case personalized decode — the on-the-fly
+    //     union composition over the case LM vs the eagerly composed
+    //     biased reference, bit for bit, plus two-layer-cache bit
+    //     identity. This is where `Mutation::BiasBonusSkip` surfaces.
+    if want(CheckId::BiasOracle) {
+        if let Some(d) = bias_oracle_check(spec, mutation, &m, cfg) {
+            return Some(d);
+        }
+    }
+
     None
 }
 
@@ -1002,6 +1085,99 @@ fn lattice_oracle_check(
     None
 }
 
+/// Salt folded into the case seed to derive its biasing phrase list.
+/// A *derived* quantity — not a [`CaseSpec`] knob — so the spec's own
+/// RNG draw sequence (and every existing repro file) is untouched.
+const BIAS_SALT: u64 = 0xB1A5;
+
+/// Phrases minted per case for the bias-oracle check.
+const BIAS_PHRASES: usize = 4;
+
+/// The biasing model the bias-oracle check decodes `spec` against.
+/// Shrinking the spec re-derives the phrases, so minimized cases keep
+/// a well-formed (and usually still-firing) bias.
+pub fn case_bias(spec: &CaseSpec) -> BiasingFst {
+    BiasingFst::mint(spec.seed ^ BIAS_SALT, spec.vocab_size as u32, BIAS_PHRASES)
+}
+
+/// Comparison for the bias-oracle pair: the two sides resolve through
+/// different arc layouts (on-the-fly walk vs materialized composite
+/// arcs), so fetch and probe counters legitimately differ — words,
+/// cost bits, and per-word frame alignments must still match exactly.
+fn bias_diff(label: &str, a: &DecodeResult, b: &DecodeResult) -> Option<String> {
+    if a.words != b.words {
+        return Some(format!("{label}: words {:?} vs {:?}", a.words, b.words));
+    }
+    if a.cost.to_bits() != b.cost.to_bits() {
+        return Some(format!("{label}: cost bits {} vs {}", a.cost, b.cost));
+    }
+    if a.word_frames != b.word_frames {
+        return Some(format!(
+            "{label}: word frames {:?} vs {:?}",
+            a.word_frames, b.word_frames
+        ));
+    }
+    None
+}
+
+fn bias_oracle_check(
+    spec: &CaseSpec,
+    mutation: Mutation,
+    m: &CaseModels,
+    cfg: DecodeConfig,
+) -> Option<Divergence> {
+    let div = |detail: String| {
+        Some(Divergence {
+            check: CheckId::BiasOracle,
+            detail,
+        })
+    };
+    let scores = &m.utt.scores;
+    let bias = case_bias(spec);
+    let dec = OtfDecoder::new(cfg);
+
+    // The reference: everything UNFOLD avoids — the eagerly
+    // materialized `base LM x biasing FST` product. Composed over the
+    // *clean* LM: the stateful mutation wrappers apply to the
+    // on-the-fly side only (same convention as the plain oracle).
+    let oracle = OfflineBiasedLm::compose(&m.lm_fst, &bias);
+    let reference = dec.decode(&m.am.fst, &oracle, scores, &mut NullSink);
+
+    let lm = MutatedLm::new(&m.lm_fst, mutation);
+    let biased = BiasedLm::new(&lm, &bias);
+    let otf = if mutation == Mutation::BiasBonusSkip {
+        dec.decode(&m.am.fst, &SkipBonus(&biased), scores, &mut NullSink)
+    } else {
+        dec.decode(&m.am.fst, &biased, scores, &mut NullSink)
+    };
+    if let Some(d) = bias_diff("biased otf vs offline-composed oracle", &otf, &reference) {
+        return div(d);
+    }
+
+    // Two-layer cache identity: turning the shared worker OLT on (the
+    // base-expansion layer under the per-session bias cache) must not
+    // change a bit of the biased decode.
+    for entries in [spec.olt_small, spec.olt_large] {
+        let lm = MutatedLm::new(&m.lm_fst, mutation);
+        let biased = BiasedLm::new(&lm, &bias);
+        let olt_cfg = cfg
+            .to_builder()
+            .olt_entries(entries)
+            .build()
+            .expect("case spec yields a valid config");
+        let on = if mutation == Mutation::BiasBonusSkip {
+            OtfDecoder::new(olt_cfg).decode(&m.am.fst, &SkipBonus(&biased), scores, &mut NullSink)
+        } else {
+            OtfDecoder::new(olt_cfg).decode(&m.am.fst, &biased, scores, &mut NullSink)
+        };
+        if let Some(d) = bias_diff(&format!("biased olt_entries={entries}"), &on, &otf) {
+            return div(d);
+        }
+    }
+
+    None
+}
+
 /// Exhaustively enumerates every word sequence the offline-composed
 /// graph accepts over the utterance with total cost at most `bound`,
 /// returning each sequence's cheapest cost, or `None` when the budget
@@ -1132,6 +1308,7 @@ mod tests {
             Mutation::FreeBackoff,
             Mutation::StaleChecksum,
             Mutation::LatticeBeamSkip,
+            Mutation::BiasBonusSkip,
         ] {
             let caught = (0..12).any(|i| {
                 let spec = CaseSpec::derive(0xB00, i);
@@ -1156,6 +1333,31 @@ mod tests {
         assert!(
             d.detail.contains("exceeds the claimed lattice beam"),
             "want the slack assertion, got: {}",
+            d.detail
+        );
+    }
+
+    #[test]
+    fn bias_bonus_skip_is_caught_by_the_bias_oracle_alone() {
+        // The decode is deterministic with the bonus dropped, so every
+        // bit-identity check passes; only the comparison against the
+        // offline-composed biased reference can see the missing delta.
+        let caught = (0..12).find_map(|i| {
+            let spec = CaseSpec::derive(0xB00, i);
+            let full = run_case_caught(&spec, Mutation::BiasBonusSkip);
+            if let Some(d) = &full {
+                assert_eq!(
+                    d.check,
+                    CheckId::BiasOracle,
+                    "bias-bonus-skip leaked into another check: {d}"
+                );
+            }
+            full
+        });
+        let d = caught.expect("a dropped bias bonus must surface within 12 cases");
+        assert!(
+            d.detail.contains("oracle") || d.detail.contains("olt"),
+            "want the bias comparison, got: {}",
             d.detail
         );
     }
@@ -1217,6 +1419,7 @@ mod tests {
             CheckId::TwoPass,
             CheckId::SimReplay,
             CheckId::LatticeOracle,
+            CheckId::BiasOracle,
             CheckId::Panic,
         ] {
             assert_eq!(CheckId::parse(c.name()), Some(c));
@@ -1227,6 +1430,7 @@ mod tests {
             Mutation::FreeBackoff,
             Mutation::StaleChecksum,
             Mutation::LatticeBeamSkip,
+            Mutation::BiasBonusSkip,
         ] {
             assert_eq!(Mutation::parse(m.name()), Some(m));
         }
