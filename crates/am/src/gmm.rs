@@ -173,19 +173,35 @@ impl GmmModel {
     /// # Panics
     /// Panics if `feat` has the wrong dimensionality.
     pub fn frame_costs(&self, feat: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.frame_costs_into(feat, &mut out);
+        out
+    }
+
+    /// [`GmmModel::frame_costs`] into a caller-owned buffer (cleared and
+    /// refilled), so a streaming scorer reuses one allocation per row.
+    ///
+    /// # Panics
+    /// Panics if `feat` has the wrong dimensionality.
+    pub fn frame_costs_into(&self, feat: &[f32], out: &mut Vec<f32>) {
         assert_eq!(feat.len(), self.dim, "frame_costs: dimension mismatch");
-        (1..=self.num_pdfs as PdfId)
-            .map(|pdf| {
-                // log-sum-exp over mixtures.
-                let wbase = (pdf as usize - 1) * self.mixtures;
-                let lls: Vec<f32> = (0..self.mixtures)
-                    .map(|m| self.log_mix_w[wbase + m] + self.log_gaussian(pdf, m, feat))
-                    .collect();
-                let max = lls.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let sum: f32 = lls.iter().map(|&l| (l - max).exp()).sum();
-                -(max + sum.ln())
-            })
-            .collect()
+        out.clear();
+        out.reserve(self.num_pdfs);
+        for pdf in 1..=self.num_pdfs as PdfId {
+            // log-sum-exp over mixtures.
+            let wbase = (pdf as usize - 1) * self.mixtures;
+            let mut max = f32::NEG_INFINITY;
+            for m in 0..self.mixtures {
+                let ll = self.log_mix_w[wbase + m] + self.log_gaussian(pdf, m, feat);
+                max = max.max(ll);
+            }
+            let mut sum = 0.0f32;
+            for m in 0..self.mixtures {
+                let ll = self.log_mix_w[wbase + m] + self.log_gaussian(pdf, m, feat);
+                sum += (ll - max).exp();
+            }
+            out.push(-(max + sum.ln()));
+        }
     }
 }
 

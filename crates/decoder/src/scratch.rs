@@ -117,6 +117,10 @@ pub struct WorkScratch {
     /// Decoded-arc staging arena (SoA kernel): the AM-side analog of
     /// the OLT memo. See [`ArcStage`].
     pub(crate) arc_stage: ArcStage,
+    /// Acoustic score-row staging buffer for the feature-frame ingest
+    /// path ([`crate::StreamSession::ingest_frame`]): the scorer fills
+    /// it, the frame expansion reads it, nothing survives the call.
+    pub(crate) score_row: Vec<f32>,
     /// Software Offset Lookup Table (empty when disabled).
     pub(crate) olt: SoftOlt,
     /// `olt_entries` the table was built for (rebuild detection).

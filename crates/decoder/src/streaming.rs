@@ -25,6 +25,7 @@
 //! paper asserts.
 
 use crate::config::{DecodeConfig, DecodeResult, DecodeStats};
+use crate::ingest::{AcousticScorer, FrameInput, ScoreError, SessionIngest};
 use crate::lattice::WordLattice;
 use crate::otf;
 use crate::scratch::{SessionScratch, WorkScratch};
@@ -158,6 +159,38 @@ impl StreamSession {
         self.frame += 1;
     }
 
+    /// Consumes one [`FrameInput`] — the unified ingest surface.
+    /// `scorer` turns the frame into a score row (staged in `work`, so
+    /// steady-state ingest allocates nothing); precomputed rows take
+    /// the exact [`StreamSession::push_frame`] path and stay
+    /// byte-for-byte compatible with it.
+    ///
+    /// # Errors
+    /// [`ScoreError`] when the scorer refuses the frame; the session is
+    /// unchanged (the frame was simply not consumed).
+    ///
+    /// # Panics
+    /// Panics if the session is unseeded, or if an AM arc's PDF id
+    /// exceeds the scorer's row width.
+    pub fn ingest_frame<A: AmSource + ?Sized, L: LmSource + ?Sized>(
+        &mut self,
+        am: &A,
+        lm: &L,
+        scorer: &dyn AcousticScorer,
+        work: &mut WorkScratch,
+        frame: &FrameInput,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), ScoreError> {
+        assert!(self.seeded, "StreamSession::ingest_frame: seed() first");
+        let mut row = std::mem::take(&mut work.score_row);
+        let scored = scorer.score_into(frame, &mut row);
+        if scored.is_ok() {
+            self.push_frame(am, lm, work, &row, sink);
+        }
+        work.score_row = row;
+        scored
+    }
+
     /// The best word sequence decodable *right now* (a partial
     /// hypothesis — useful for live captioning style output). Returns
     /// an empty sequence when nothing is final yet.
@@ -257,11 +290,14 @@ pub struct OtfStream<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> {
     lm: &'a L,
     session: StreamSession,
     work: WorkScratch,
+    scorer: Option<&'a dyn AcousticScorer>,
 }
 
 impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
     /// Starts a decode: seeds the start token and runs the initial
-    /// non-emitting closure.
+    /// non-emitting closure. The stream has no acoustic frontend, so
+    /// [`SessionIngest::ingest`] accepts only precomputed score rows;
+    /// use [`OtfStream::with_scorer`] to accept feature frames too.
     pub fn new(config: DecodeConfig, am: &'a A, lm: &'a L, sink: &mut dyn TraceSink) -> Self {
         let mut work = WorkScratch::new();
         work.begin(&config);
@@ -272,7 +308,29 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
             lm,
             session,
             work,
+            scorer: None,
         }
+    }
+
+    /// Starts a decode whose ingest surface scores frames through
+    /// `scorer`, so [`FrameInput::Features`] frames work too.
+    pub fn with_scorer(
+        config: DecodeConfig,
+        am: &'a A,
+        lm: &'a L,
+        scorer: &'a dyn AcousticScorer,
+        sink: &mut dyn TraceSink,
+    ) -> Self {
+        let mut stream = OtfStream::new(config, am, lm, sink);
+        stream.scorer = Some(scorer);
+        stream
+    }
+
+    /// The underlying [`StreamSession`] — the single home of the
+    /// partial-result, stable-prefix, and stats logic the deprecated
+    /// forwarding accessors used to duplicate.
+    pub fn session(&self) -> &StreamSession {
+        &self.session
     }
 
     /// Frames consumed so far.
@@ -294,17 +352,54 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
             .push_frame(self.am, self.lm, &mut self.work, costs, sink);
     }
 
-    /// The best word sequence decodable *right now* (a partial
-    /// hypothesis — useful for live captioning style output). Returns
-    /// an empty sequence when nothing is final yet.
+    /// Consumes one [`FrameInput`], emitting trace events to `sink`.
+    /// Equivalent to the [`SessionIngest`] impl but with an explicit
+    /// sink. Feature frames require [`OtfStream::with_scorer`];
+    /// precomputed rows always work and take the exact
+    /// [`OtfStream::push_frame`] path.
+    ///
+    /// # Errors
+    /// [`ScoreError`] when the frame was refused; the decode state is
+    /// unchanged.
+    pub fn ingest_with(
+        &mut self,
+        frame: &FrameInput,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), ScoreError> {
+        match self.scorer {
+            Some(scorer) => {
+                self.session
+                    .ingest_frame(self.am, self.lm, scorer, &mut self.work, frame, sink)
+            }
+            None => match frame {
+                FrameInput::Scores(row) => {
+                    self.push_frame(row, sink);
+                    Ok(())
+                }
+                FrameInput::Features(_) => Err(ScoreError::FeaturesUnsupported),
+            },
+        }
+    }
+
+    /// The best word sequence decodable *right now*; forwarded
+    /// verbatim from the session.
+    #[deprecated(note = "use `session().partial_result()`")]
     pub fn partial_result(&self) -> Vec<unfold_lm::WordId> {
         self.session.partial_result()
     }
 
-    /// The longest word prefix shared by all live hypotheses; see
-    /// [`StreamSession::partial_stable_prefix`].
+    /// The longest word prefix shared by all live hypotheses; forwarded
+    /// verbatim from the session.
+    #[deprecated(note = "use `session().partial_stable_prefix()`")]
     pub fn partial_stable_prefix(&self) -> Vec<unfold_lm::WordId> {
         self.session.partial_stable_prefix()
+    }
+
+    /// Search statistics accumulated so far; forwarded verbatim from
+    /// the session.
+    #[deprecated(note = "use `session().stats()`")]
+    pub fn stats(&self) -> &DecodeStats {
+        self.session.stats()
     }
 
     /// Finishes the decode and returns the result.
@@ -317,6 +412,14 @@ impl<'a, A: AmSource + ?Sized, L: LmSource + ?Sized> OtfStream<'a, A, L> {
     /// get a complete stage profile).
     pub fn finish_with(self, sink: &mut dyn TraceSink) -> DecodeResult {
         self.session.finalize(self.am, sink)
+    }
+}
+
+impl<A: AmSource + ?Sized, L: LmSource + ?Sized> SessionIngest for OtfStream<'_, A, L> {
+    type Error = ScoreError;
+
+    fn ingest(&mut self, frame: FrameInput) -> Result<(), Self::Error> {
+        self.ingest_with(&frame, &mut crate::trace::NullSink)
     }
 }
 
@@ -482,7 +585,7 @@ mod tests {
         let mut shrank = false;
         for t in 0..utt.scores.num_frames() {
             stream.push_frame(utt.scores.frame(t), &mut NullSink);
-            let p = stream.partial_result();
+            let p = stream.session().partial_result();
             if p.len() < last_len {
                 shrank = true;
             }
@@ -511,8 +614,8 @@ mod tests {
         let mut emitted: Vec<u32> = Vec::new();
         for t in 0..utt.scores.num_frames() {
             stream.push_frame(utt.scores.frame(t), &mut NullSink);
-            let stable = stream.partial_stable_prefix();
-            let partial = stream.partial_result();
+            let stable = stream.session().partial_stable_prefix();
+            let partial = stream.session().partial_result();
             assert!(
                 stable.len() <= partial.len() && partial[..stable.len()] == stable[..],
                 "stable prefix {stable:?} must prefix the 1-best partial {partial:?}"
@@ -560,7 +663,10 @@ mod tests {
         for t in 0..utt.scores.num_frames() {
             stream.push_frame(utt.scores.frame(t), &mut NullSink);
             if stream.num_active() == 1 {
-                assert_eq!(stream.partial_stable_prefix(), stream.partial_result());
+                assert_eq!(
+                    stream.session().partial_stable_prefix(),
+                    stream.session().partial_result()
+                );
             }
         }
     }
@@ -581,6 +687,137 @@ mod tests {
         stream.push_frame(utt.scores.frame(0), &mut NullSink);
         assert_eq!(stream.frames_pushed(), 1);
         assert!(stream.num_active() >= 1);
+    }
+
+    #[test]
+    fn ingest_of_precomputed_rows_matches_push_frame_exactly() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(
+            &[3, 9, 17],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            5,
+        );
+        let cfg = DecodeConfig::default();
+        let batch = OtfDecoder::new(cfg).decode(&am, &lm, &utt.scores, &mut NullSink);
+
+        // Through the SessionIngest trait on OtfStream (no scorer).
+        let mut stream = OtfStream::new(cfg, &am, &lm, &mut NullSink);
+        for t in 0..utt.scores.num_frames() {
+            crate::ingest::SessionIngest::ingest(
+                &mut stream,
+                FrameInput::Scores(utt.scores.frame(t).to_vec()),
+            )
+            .unwrap();
+        }
+        let streamed = stream.finish();
+        assert_eq!(batch.words, streamed.words);
+        assert_eq!(batch.cost.to_bits(), streamed.cost.to_bits());
+        assert_eq!(batch.stats, streamed.stats);
+
+        // Through StreamSession::ingest_frame with a passthrough scorer.
+        let width = utt.scores.frame(0).len();
+        let scorer = crate::ingest::PrecomputedScorer::new(width);
+        let mut work = WorkScratch::new();
+        work.begin(&cfg);
+        let mut session = StreamSession::new(cfg);
+        session.seed(&am, &lm, &mut work, &mut NullSink);
+        for t in 0..utt.scores.num_frames() {
+            session
+                .ingest_frame(
+                    &am,
+                    &lm,
+                    &scorer,
+                    &mut work,
+                    &FrameInput::Scores(utt.scores.frame(t).to_vec()),
+                    &mut NullSink,
+                )
+                .unwrap();
+        }
+        let ingested = session.finalize(&am, &mut NullSink);
+        assert_eq!(batch.words, ingested.words);
+        assert_eq!(batch.cost.to_bits(), ingested.cost.to_bits());
+        assert_eq!(batch.stats, ingested.stats);
+    }
+
+    #[test]
+    fn feature_frames_score_identically_to_precomputed_rows() {
+        // Scoring features through a GmmScorer at ingest time must be
+        // bit-identical to scoring them up front and pushing the rows.
+        let (lex, am, _lm2) = setup();
+        let topo_pdfs = HmmTopology::Kaldi3State.num_pdfs(lex.num_phonemes());
+        let gmm = std::sync::Arc::new(unfold_am::GmmModel::synthesize(topo_pdfs, 8, 2, 2.0, 11));
+        let spec = CorpusSpec {
+            vocab_size: 50,
+            num_sentences: 300,
+            ..Default::default()
+        };
+        let model = NGramModel::train(&spec.generate(3), 50, DiscountConfig::default());
+        let lm = lm_to_wfst(&model);
+        let scorer = crate::ingest::GmmScorer::new(gmm.clone());
+        // Deterministic pseudo-feature frames (contents are irrelevant —
+        // only that both paths see the same vectors).
+        let feats: Vec<Vec<f32>> = (0..40)
+            .map(|t| {
+                (0..8)
+                    .map(|d| ((t * 31 + d * 7) % 13) as f32 * 0.3 - 1.5)
+                    .collect()
+            })
+            .collect();
+        let cfg = DecodeConfig::default();
+
+        let mut by_rows = OtfStream::new(cfg, &am, &lm, &mut NullSink);
+        for f in &feats {
+            by_rows.push_frame(&gmm.frame_costs(f), &mut NullSink);
+        }
+        let rows_result = by_rows.finish();
+
+        let mut by_feats = OtfStream::with_scorer(cfg, &am, &lm, &scorer, &mut NullSink);
+        for f in &feats {
+            by_feats
+                .ingest_with(&FrameInput::Features(f.clone()), &mut NullSink)
+                .unwrap();
+        }
+        let feats_result = by_feats.finish();
+        assert_eq!(rows_result.words, feats_result.words);
+        assert_eq!(rows_result.cost.to_bits(), feats_result.cost.to_bits());
+        assert_eq!(rows_result.stats, feats_result.stats);
+    }
+
+    #[test]
+    fn ingest_refuses_features_without_a_scorer_and_leaves_state_unchanged() {
+        let (_lex, am, lm) = setup();
+        let mut stream = OtfStream::new(DecodeConfig::default(), &am, &lm, &mut NullSink);
+        let before = stream.frames_pushed();
+        assert_eq!(
+            stream.ingest_with(&FrameInput::Features(vec![0.0; 4]), &mut NullSink),
+            Err(ScoreError::FeaturesUnsupported)
+        );
+        assert_eq!(stream.frames_pushed(), before);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_accessors_still_forward_to_the_session() {
+        let (lex, am, lm) = setup();
+        let utt = synthesize_utterance(
+            &[7, 11],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            3,
+        );
+        let mut stream = OtfStream::new(DecodeConfig::default(), &am, &lm, &mut NullSink);
+        for t in 0..utt.scores.num_frames() {
+            stream.push_frame(utt.scores.frame(t), &mut NullSink);
+        }
+        assert_eq!(stream.partial_result(), stream.session().partial_result());
+        assert_eq!(
+            stream.partial_stable_prefix(),
+            stream.session().partial_stable_prefix()
+        );
+        assert_eq!(stream.stats(), stream.session().stats());
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub enum FlightKind {
     Final,
     /// A worker panicked mid-lease. **Trigger**: freezes the dump.
     WorkerPanic,
+    /// Scoring-stage batch leased; `slack_ms` = sessions in the batch,
+    /// `value` = frames in the batch.
+    ScoreBatch,
 }
 
 impl FlightKind {
@@ -55,6 +58,7 @@ impl FlightKind {
             FlightKind::Evict => "evict",
             FlightKind::Final => "final",
             FlightKind::WorkerPanic => "worker_panic",
+            FlightKind::ScoreBatch => "score_batch",
         }
     }
 
@@ -69,6 +73,7 @@ impl FlightKind {
             "evict" => FlightKind::Evict,
             "final" => FlightKind::Final,
             "worker_panic" => FlightKind::WorkerPanic,
+            "score_batch" => FlightKind::ScoreBatch,
             _ => return None,
         })
     }

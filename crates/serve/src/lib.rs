@@ -48,14 +48,19 @@ pub mod tcp;
 pub mod wire;
 
 pub use loadgen::{
-    run_bias_compare, run_loadgen, run_saturation_sweep, saturation_ladder, BiasCompare, LatencyMs,
-    LoadgenConfig, LoadgenReport, SaturationPoint,
+    run_bias_compare, run_loadgen, run_saturation_sweep, saturation_ladder, sweep_knee,
+    BiasCompare, KneePoint, LatencyMs, LoadgenConfig, LoadgenReport, PipelineCompare,
+    SaturationPoint,
 };
-pub use sched::{Lease, ServeCore, ServeStats, DEFAULT_LM};
-pub use server::{ServeHandle, Server};
+pub use sched::{Lease, ScoreLease, ServeCore, ServeStats, DEFAULT_LM};
+pub use server::{BoundSession, ServeHandle, Server};
 pub use session::{SessionId, SessionPhase, SessionView};
 pub use tcp::TcpFront;
 pub use wire::{ClientMsg, ServerMsg};
+
+// The decoder's unified frame-ingest vocabulary, re-exported so serve
+// callers need not depend on `unfold-decoder` directly.
+pub use unfold_decoder::{AcousticScorer, FrameInput, ScoreError, SessionIngest};
 
 use unfold_decoder::DecodeConfig;
 
@@ -74,8 +79,19 @@ pub struct ServeConfig {
     /// Maximum concurrent sessions (table slots). Admission beyond this
     /// is refused with [`RejectReason::AtCapacity`].
     pub capacity: usize,
-    /// Worker threads in the threaded [`Server`] (min 1).
+    /// Worker threads in the threaded [`Server`] (min 1). With the
+    /// pipeline enabled these run the *search* stage only.
     pub workers: usize,
+    /// Scoring-stage worker threads. 0 (the default) disables the
+    /// two-stage pipeline: frames are scored inline at ingest and the
+    /// server behaves exactly as before. Non-zero splits workers into
+    /// scoring and search roles: ingest lands frames in per-session
+    /// raw queues, scoring workers batch them (across sessions, up to
+    /// [`DecodeConfig::scorer_batch`] frames per call) through the
+    /// server's [`unfold_decoder::AcousticScorer`], and search
+    /// consumes the scored rows at most
+    /// [`DecodeConfig::max_search_lag`] frames behind.
+    pub scoring_workers: usize,
     /// Frames a worker decodes per lease before requeueing the session
     /// — the scheduling quantum.
     pub quantum_frames: usize,
@@ -104,6 +120,7 @@ impl Default for ServeConfig {
         ServeConfig {
             capacity: 32,
             workers: 2,
+            scoring_workers: 0,
             quantum_frames: 16,
             deadline_ms: 500,
             idle_timeout_ms: 10_000,
@@ -179,6 +196,9 @@ pub enum ServeError {
     /// The last registered LM cannot be retired — a server always has a
     /// default model.
     LastModel(String),
+    /// The acoustic scorer refused a frame (wrong width, or features
+    /// pushed at a server with no acoustic frontend).
+    Score(SessionId, unfold_decoder::ScoreError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -192,6 +212,7 @@ impl std::fmt::Display for ServeError {
             ServeError::LastModel(name) => {
                 write!(f, "cannot retire '{name}': it is the last registered LM")
             }
+            ServeError::Score(id, e) => write!(f, "session {id}: {e}"),
         }
     }
 }

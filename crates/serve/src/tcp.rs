@@ -195,6 +195,33 @@ where
                     }
                 }
             },
+            ClientMsg::FramesV2(frames) => match session {
+                None => ServerMsg::Error {
+                    msg: "no open session on this connection".into(),
+                },
+                Some(id) => {
+                    let mut err = None;
+                    for frame in frames {
+                        if let Err(e) = handle.ingest_frame(id, frame) {
+                            err = Some(e);
+                            break;
+                        }
+                    }
+                    match err {
+                        Some(e) => reject_to_msg(e),
+                        None => {
+                            // Same closed loop as legacy Frames: answer
+                            // once the batch has cleared *both* stages,
+                            // so the partial reflects it.
+                            handle.wait_drained(id, DRAIN_TIMEOUT);
+                            match handle.stable_partial(id) {
+                                Ok(words) => ServerMsg::Partial { words },
+                                Err(e) => reject_to_msg(e),
+                            }
+                        }
+                    }
+                }
+            },
             ClientMsg::Finish => match session.take() {
                 None => ServerMsg::Error {
                     msg: "no open session on this connection".into(),
@@ -342,6 +369,73 @@ mod tests {
 
         write_client(&mut wr, &ClientMsg::Shutdown).unwrap();
         front.join();
+        server.shutdown();
+    }
+
+    /// The versioned frame message drives the full two-stage pipeline
+    /// over TCP and still lands the standalone transcript bit for bit.
+    #[test]
+    fn frames_v2_over_tcp_through_pipelined_server_matches_standalone() {
+        use unfold_decoder::FrameInput;
+
+        let (lex, am, lm) = setup();
+        let u = synthesize_utterance(
+            &[7, 11, 4],
+            &lex,
+            HmmTopology::Kaldi3State,
+            &NoiseModel::default(),
+            9,
+        );
+        let base = DecodeConfig::default();
+        let alone = OtfDecoder::new(base).decode(&*am, &*lm, &u.scores, &mut NullSink);
+
+        let server = Server::start(
+            ServeConfig {
+                workers: 1,
+                scoring_workers: 1,
+                olt_entries: 0,
+                base,
+                ..Default::default()
+            },
+            Arc::clone(&am),
+            Arc::clone(&lm),
+        );
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let front = TcpFront::start(listener, server.handle()).unwrap();
+        let stream = TcpStream::connect(front.local_addr()).unwrap();
+        let mut rd = R::new(stream.try_clone().unwrap());
+        let mut wr = W::new(stream);
+
+        write_client(
+            &mut wr,
+            &ClientMsg::Open {
+                lm: None,
+                bias: None,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_server(&mut rd).unwrap(),
+            Some(ServerMsg::Opened { .. })
+        ));
+        let frames: Vec<FrameInput> = (0..u.scores.num_frames())
+            .map(|t| FrameInput::Scores(u.scores.frame(t).to_vec()))
+            .collect();
+        for chunk in frames.chunks(10) {
+            write_client(&mut wr, &ClientMsg::FramesV2(chunk.to_vec())).unwrap();
+            assert!(matches!(
+                read_server(&mut rd).unwrap(),
+                Some(ServerMsg::Partial { .. })
+            ));
+        }
+        write_client(&mut wr, &ClientMsg::Finish).unwrap();
+        let reply = read_server(&mut rd).unwrap().unwrap();
+        let ServerMsg::Final { words, cost, .. } = reply else {
+            panic!("expected Final, got {reply:?}");
+        };
+        assert_eq!(words, alone.words);
+        assert_eq!(cost.to_bits(), alone.cost.to_bits());
+        front.stop();
         server.shutdown();
     }
 

@@ -13,6 +13,8 @@
 
 use std::io::{self, Read, Write};
 
+use unfold_decoder::FrameInput;
+
 use crate::RejectReason;
 
 /// Hard bound on one message's payload (tag + body), to fail fast on
@@ -35,8 +37,17 @@ pub enum ClientMsg {
         /// stop earlier.
         bias: Option<String>,
     },
-    /// A batch of score rows (all the same width).
+    /// A batch of score rows (all the same width). The legacy frame
+    /// message — kept byte-identical so pre-pipeline clients still
+    /// work; new clients send [`ClientMsg::FramesV2`].
     Frames(Vec<Vec<f32>>),
+    /// A versioned batch of [`FrameInput`]s (all the same kind and
+    /// width): precomputed score rows *or* raw feature vectors for the
+    /// server's acoustic scorer. Wire layout:
+    /// `[u8 version=1] [u8 kind (0 = scores, 1 = features)]
+    /// [u32 n] [u32 width] [n × width f32]`. Unknown versions are
+    /// rejected loudly rather than misparsed, so the payload can grow.
+    FramesV2(Vec<FrameInput>),
     /// No more audio; finalize and return the transcript.
     Finish,
     /// Request the server's metrics record.
@@ -118,6 +129,12 @@ const T_SHUTDOWN: u8 = 0x05;
 const T_DUMP: u8 = 0x06;
 const T_ADD_BIAS: u8 = 0x07;
 const T_RETIRE_BIAS: u8 = 0x08;
+const T_FRAMES_V2: u8 = 0x09;
+
+/// Current `FramesV2` payload version.
+const FRAMES_V2_VERSION: u8 = 1;
+const KIND_SCORES: u8 = 0;
+const KIND_FEATURES: u8 = 1;
 
 const T_OPENED: u8 = 0x81;
 const T_REJECTED: u8 = 0x82;
@@ -242,6 +259,32 @@ impl ClientMsg {
                     }
                 }
             }
+            ClientMsg::FramesV2(frames) => {
+                buf.push(T_FRAMES_V2);
+                buf.push(FRAMES_V2_VERSION);
+                let kind = match frames.first() {
+                    None | Some(FrameInput::Scores(_)) => KIND_SCORES,
+                    Some(FrameInput::Features(_)) => KIND_FEATURES,
+                };
+                buf.push(kind);
+                let width = frames.first().map_or(0, |f| f.values().len());
+                put_u32(&mut buf, frames.len() as u32);
+                put_u32(&mut buf, width as u32);
+                for f in frames {
+                    assert_eq!(
+                        match f {
+                            FrameInput::Scores(_) => KIND_SCORES,
+                            FrameInput::Features(_) => KIND_FEATURES,
+                        },
+                        kind,
+                        "mixed-kind frame batch"
+                    );
+                    assert_eq!(f.values().len(), width, "ragged frame batch");
+                    for &v in f.values() {
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
             ClientMsg::Finish => buf.push(T_FINISH),
             ClientMsg::Stats => buf.push(T_STATS),
             ClientMsg::Shutdown => buf.push(T_SHUTDOWN),
@@ -308,6 +351,34 @@ impl ClientMsg {
                     rows.push(row);
                 }
                 ClientMsg::Frames(rows)
+            }
+            T_FRAMES_V2 => {
+                let version = c.u8()?;
+                if version != FRAMES_V2_VERSION {
+                    return Err(bad(&format!("unsupported frames-v2 version {version}")));
+                }
+                let kind = c.u8()?;
+                let n = c.u32()? as usize;
+                let width = c.u32()? as usize;
+                if n.checked_mul(width)
+                    .and_then(|cells| cells.checked_mul(4))
+                    .is_none_or(|bytes| bytes > MAX_MESSAGE)
+                {
+                    return Err(bad("frame batch too large"));
+                }
+                let mut frames = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let mut row = Vec::with_capacity(width);
+                    for _ in 0..width {
+                        row.push(c.f32()?);
+                    }
+                    frames.push(match kind {
+                        KIND_SCORES => FrameInput::Scores(row),
+                        KIND_FEATURES => FrameInput::Features(row),
+                        k => return Err(bad(&format!("unknown frame kind {k}"))),
+                    });
+                }
+                ClientMsg::FramesV2(frames)
             }
             T_FINISH => ClientMsg::Finish,
             T_STATS => ClientMsg::Stats,
@@ -515,6 +586,15 @@ mod tests {
         });
         roundtrip_client(ClientMsg::Frames(vec![vec![1.0, -2.5], vec![0.0, 3.25]]));
         roundtrip_client(ClientMsg::Frames(Vec::new()));
+        roundtrip_client(ClientMsg::FramesV2(vec![
+            FrameInput::Scores(vec![1.0, -2.5]),
+            FrameInput::Scores(vec![0.0, 3.25]),
+        ]));
+        roundtrip_client(ClientMsg::FramesV2(vec![
+            FrameInput::Features(vec![0.5, -1.5, 2.0]),
+            FrameInput::Features(vec![1.25, 0.0, -3.0]),
+        ]));
+        roundtrip_client(ClientMsg::FramesV2(Vec::new()));
         roundtrip_client(ClientMsg::Finish);
         roundtrip_client(ClientMsg::Stats);
         roundtrip_client(ClientMsg::Shutdown);
@@ -570,6 +650,43 @@ mod tests {
         let body = msg.encode();
         assert_eq!(body.len(), 1 + 4 + 3, "tag + len + name only");
         assert_eq!(ClientMsg::decode(&body).unwrap(), msg);
+    }
+
+    /// The legacy `T_FRAMES` message must keep its exact byte layout —
+    /// no version byte, no kind byte — so score-row clients built
+    /// before the pipelined protocol still parse.
+    #[test]
+    fn legacy_score_row_frames_keep_their_byte_layout() {
+        let msg = ClientMsg::Frames(vec![vec![1.0, -2.5]]);
+        let body = msg.encode();
+        assert_eq!(body.len(), 1 + 4 + 4 + 2 * 4, "tag + n + width + cells");
+        assert_eq!(body[0], T_FRAMES);
+        assert_eq!(ClientMsg::decode(&body).unwrap(), msg);
+        // And the v2 framing of the same rows is the versioned layout,
+        // two bytes longer, decoding to the same frame contents.
+        let v2 = ClientMsg::FramesV2(vec![FrameInput::Scores(vec![1.0, -2.5])]);
+        let v2_body = v2.encode();
+        assert_eq!(v2_body.len(), body.len() + 2, "version + kind bytes");
+        assert_eq!(
+            &v2_body[..3],
+            &[T_FRAMES_V2, FRAMES_V2_VERSION, KIND_SCORES]
+        );
+        assert_eq!(ClientMsg::decode(&v2_body).unwrap(), v2);
+    }
+
+    /// Unknown v2 versions and frame kinds are loud `InvalidData`
+    /// errors, never misparses.
+    #[test]
+    fn frames_v2_rejects_unknown_version_and_kind() {
+        let good = ClientMsg::FramesV2(vec![FrameInput::Features(vec![1.0])]).encode();
+        let mut bad_version = good.clone();
+        bad_version[1] = FRAMES_V2_VERSION + 1;
+        let err = ClientMsg::decode(&bad_version).unwrap_err();
+        assert!(err.to_string().contains("version"), "got: {err}");
+        let mut bad_kind = good;
+        bad_kind[2] = 9;
+        let err = ClientMsg::decode(&bad_kind).unwrap_err();
+        assert!(err.to_string().contains("kind"), "got: {err}");
     }
 
     #[test]

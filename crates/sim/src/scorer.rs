@@ -1,0 +1,196 @@
+//! A batch-cost acoustic scorer backed by the Tegra GPU model.
+//!
+//! [`GpuBatchScorer`] is the serve-side face of [`crate::gpu`]: it
+//! wraps any real [`AcousticScorer`] (the passthrough, a GMM frontend)
+//! and *accounts* each call against the analytic GPU cost model —
+//! per-call launch overhead plus per-frame FLOP time — without
+//! changing a single score bit. The pipelined scheduler batches frames
+//! across sessions into one `score_batch` call, so the launch overhead
+//! amortizes over the batch; the accumulated modeled busy time is what
+//! the saturation bench uses to compare lockstep (batch = 1) against
+//! pipelined (batch = N) scoring cost per frame.
+//!
+//! The wrapper keeps the [`AcousticScorer`] purity contract: telemetry
+//! lives in atomics, the rows come verbatim from the inner scorer, so
+//! decode output stays bit-identical whatever the batching.
+
+use crate::gpu::GpuModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use unfold_am::AcousticBackend;
+use unfold_decoder::{AcousticScorer, FrameInput, ScoreError};
+
+/// An [`AcousticScorer`] that delegates scoring to an inner scorer and
+/// bills every call to a [`GpuModel`] cost account.
+#[derive(Debug)]
+pub struct GpuBatchScorer<S> {
+    inner: S,
+    model: GpuModel,
+    backend: AcousticBackend,
+    /// Modeled per-call (kernel launch + buffer hand-off) overhead.
+    launch_overhead_us: f64,
+    frames: AtomicU64,
+    batches: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl<S: AcousticScorer> GpuBatchScorer<S> {
+    /// Wraps `inner`, billing calls as `backend` scoring under `model`
+    /// with `launch_overhead_us` of fixed cost per scorer call.
+    pub fn new(
+        inner: S,
+        model: GpuModel,
+        backend: AcousticBackend,
+        launch_overhead_us: f64,
+    ) -> Self {
+        GpuBatchScorer {
+            inner,
+            model,
+            backend,
+            launch_overhead_us,
+            frames: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bill(&self, frames_in_call: usize) {
+        let secs = self.launch_overhead_us / 1e6
+            + self.model.scoring_seconds(&self.backend, frames_in_call);
+        self.frames
+            .fetch_add(frames_in_call as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.busy_ns
+            .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    /// Frames scored so far.
+    pub fn frames_scored(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Scorer calls (batches) so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated modeled GPU busy time, seconds.
+    pub fn modeled_busy_seconds(&self) -> f64 {
+        self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Modeled mean cost per frame so far, microseconds (NaN before the
+    /// first frame).
+    pub fn modeled_us_per_frame(&self) -> f64 {
+        self.modeled_busy_seconds() * 1e6 / self.frames_scored() as f64
+    }
+}
+
+/// Modeled scoring cost per frame, microseconds, when frames arrive in
+/// batches of `batch`: the analytic amortization curve the saturation
+/// bench reports next to the measured knee. Strictly decreasing in
+/// `batch` whenever the launch overhead is non-zero.
+///
+/// # Panics
+/// Panics if `batch == 0`.
+pub fn modeled_us_per_frame(
+    model: &GpuModel,
+    backend: &AcousticBackend,
+    launch_overhead_us: f64,
+    batch: usize,
+) -> f64 {
+    assert!(batch > 0, "modeled_us_per_frame: zero batch");
+    (launch_overhead_us + model.scoring_seconds(backend, batch) * 1e6) / batch as f64
+}
+
+impl<S: AcousticScorer> AcousticScorer for GpuBatchScorer<S> {
+    fn num_pdfs(&self) -> usize {
+        self.inner.num_pdfs()
+    }
+
+    fn score_into(&self, frame: &FrameInput, out: &mut Vec<f32>) -> Result<(), ScoreError> {
+        self.inner.score_into(frame, out)?;
+        self.bill(1);
+        Ok(())
+    }
+
+    fn score_batch(&self, frames: &[FrameInput]) -> Result<Vec<Vec<f32>>, ScoreError> {
+        let rows = self.inner.score_batch(frames)?;
+        if !frames.is_empty() {
+            self.bill(frames.len());
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unfold_decoder::PrecomputedScorer;
+
+    fn backend() -> AcousticBackend {
+        AcousticBackend::Gmm {
+            num_pdfs: 400,
+            mixtures: 8,
+            feat_dim: 40,
+        }
+    }
+
+    #[test]
+    fn rows_pass_through_bit_identically() {
+        let s = GpuBatchScorer::new(
+            PrecomputedScorer::new(2),
+            GpuModel::default(),
+            backend(),
+            25.0,
+        );
+        let frames = vec![
+            FrameInput::Scores(vec![1.0, 2.0]),
+            FrameInput::Scores(vec![3.0, 4.0]),
+        ];
+        assert_eq!(
+            s.score_batch(&frames).unwrap(),
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]]
+        );
+        assert_eq!(s.num_pdfs(), 2);
+        let mut out = Vec::new();
+        s.score_into(&frames[0], &mut out).unwrap();
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn batching_amortizes_the_launch_overhead() {
+        let model = GpuModel::default();
+        let b = backend();
+        // One 16-frame batch must bill less than 16 single-frame calls.
+        let batched = GpuBatchScorer::new(PrecomputedScorer::new(1), model, b, 25.0);
+        let frames: Vec<FrameInput> = (0..16).map(|_| FrameInput::Scores(vec![0.0])).collect();
+        batched.score_batch(&frames).unwrap();
+        let single = GpuBatchScorer::new(PrecomputedScorer::new(1), model, b, 25.0);
+        let mut out = Vec::new();
+        for f in &frames {
+            single.score_into(f, &mut out).unwrap();
+        }
+        assert_eq!(batched.frames_scored(), 16);
+        assert_eq!(batched.batches(), 1);
+        assert_eq!(single.batches(), 16);
+        assert!(batched.modeled_busy_seconds() < single.modeled_busy_seconds());
+        // And the analytic curve agrees on the direction.
+        assert!(
+            modeled_us_per_frame(&model, &b, 25.0, 16) < modeled_us_per_frame(&model, &b, 25.0, 1)
+        );
+    }
+
+    #[test]
+    fn failed_batches_are_not_billed() {
+        let s = GpuBatchScorer::new(
+            PrecomputedScorer::new(2),
+            GpuModel::default(),
+            backend(),
+            25.0,
+        );
+        let bad = vec![FrameInput::Features(vec![0.0])];
+        assert!(s.score_batch(&bad).is_err());
+        assert_eq!(s.frames_scored(), 0);
+        assert_eq!(s.batches(), 0);
+    }
+}

@@ -26,7 +26,7 @@ fn main() {
     let mut last_partial = Vec::new();
     for t in 0..utt.scores.num_frames() {
         stream.push_frame(utt.scores.frame(t), &mut NullSink);
-        let partial = stream.partial_result();
+        let partial = stream.session().partial_result();
         if partial != last_partial {
             println!("frame {t:>3} ({} active): {partial:?}", stream.num_active());
             last_partial = partial;
